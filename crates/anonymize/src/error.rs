@@ -1,0 +1,74 @@
+//! Errors for the anonymization toolbox.
+
+use std::fmt;
+
+use bi_relation::RelationError;
+
+/// Anonymization failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnonError {
+    /// Underlying relational error (unknown column, type problem, …).
+    Relation(RelationError),
+    /// A value that the declared hierarchy cannot generalize.
+    NotInHierarchy { value: String, hierarchy: String },
+    /// The requested privacy level cannot be met even at full
+    /// generalization with the given suppression budget.
+    Unsatisfiable { k: usize, best_violations: usize },
+    /// Bad parameters (k = 0, ℓ = 0, negative scale, …).
+    BadParams { reason: String },
+    /// A quasi-identifier column that is not numeric/date for Mondrian.
+    NotOrdered { column: String },
+}
+
+impl fmt::Display for AnonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnonError::Relation(e) => write!(f, "{e}"),
+            AnonError::NotInHierarchy { value, hierarchy } => {
+                write!(f, "value {value:?} not covered by hierarchy {hierarchy:?}")
+            }
+            AnonError::Unsatisfiable { k, best_violations } => write!(
+                f,
+                "k-anonymity with k={k} unsatisfiable: {best_violations} rows violate at full generalization"
+            ),
+            AnonError::BadParams { reason } => write!(f, "bad parameters: {reason}"),
+            AnonError::NotOrdered { column } => {
+                write!(f, "column {column:?} is not numeric/date (required by Mondrian)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnonError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for AnonError {
+    fn from(e: RelationError) -> Self {
+        AnonError::Relation(e)
+    }
+}
+
+impl From<bi_types::TypeError> for AnonError {
+    fn from(e: bi_types::TypeError) -> Self {
+        AnonError::Relation(RelationError::Type(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = AnonError::Unsatisfiable { k: 5, best_violations: 3 };
+        assert!(e.to_string().contains("k=5"));
+        let e = AnonError::NotInHierarchy { value: "flu".into(), hierarchy: "disease".into() };
+        assert!(e.to_string().contains("flu"));
+    }
+}

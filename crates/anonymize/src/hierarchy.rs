@@ -1,0 +1,250 @@
+//! Generalization hierarchies (domain generalization ladders).
+//!
+//! A hierarchy maps an attribute value to progressively coarser
+//! representations: level 0 is the value itself, the top level is the
+//! fully-suppressed `*`. Three families cover the paper's health-care
+//! attributes:
+//!
+//! * **categorical** — explicit child→parent edges (disease → disease
+//!   family → `*`);
+//! * **numeric** — fixed-width binning ladders (cost → €10 bins → €50
+//!   bins → `*`);
+//! * **date** — day → month → quarter → year → `*`.
+
+use std::collections::HashMap;
+
+use bi_types::Value;
+
+use crate::error::AnonError;
+
+/// A generalization hierarchy for one attribute.
+#[derive(Debug, Clone)]
+pub enum Hierarchy {
+    /// Explicit taxonomy: every leaf has a chain of ancestors. All chains
+    /// are padded to the same height; the top is always `*`.
+    Categorical { name: String, chains: HashMap<String, Vec<String>>, height: usize },
+    /// Fixed-width bins, one width per level (ascending). Values render
+    /// as `[lo,hi)` intervals; the level above the last width is `*`.
+    Numeric { name: String, widths: Vec<f64> },
+    /// Calendar ladder: day(0) → month(1) → quarter(2) → year(3) → *(4).
+    Date { name: String },
+}
+
+/// Builder for categorical hierarchies.
+#[derive(Debug, Default)]
+pub struct CategoricalBuilder {
+    parent: HashMap<String, String>,
+}
+
+impl CategoricalBuilder {
+    /// Starts an empty taxonomy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares `child`'s parent. Roots need no declaration (they
+    /// implicitly generalize to `*`).
+    pub fn edge(mut self, child: impl Into<String>, parent: impl Into<String>) -> Self {
+        self.parent.insert(child.into(), parent.into());
+        self
+    }
+
+    /// Finalizes: computes every value's chain and pads all chains to
+    /// equal height so lattice levels are uniform.
+    pub fn build(self, name: impl Into<String>) -> Result<Hierarchy, AnonError> {
+        let name = name.into();
+        let mut chains: HashMap<String, Vec<String>> = HashMap::new();
+        // Every mentioned value (child or parent) is a domain value.
+        let mut domain: Vec<&String> = self.parent.keys().collect();
+        for p in self.parent.values() {
+            if !self.parent.contains_key(p) {
+                domain.push(p);
+            }
+        }
+        let mut max_height = 0usize;
+        for v in &domain {
+            let mut chain = vec![(*v).clone()];
+            let mut cur = *v;
+            let mut steps = 0;
+            while let Some(p) = self.parent.get(cur) {
+                chain.push(p.clone());
+                cur = p;
+                steps += 1;
+                if steps > self.parent.len() {
+                    return Err(AnonError::BadParams {
+                        reason: format!("cycle in hierarchy {name:?} at {v:?}"),
+                    });
+                }
+            }
+            chain.push("*".to_string());
+            max_height = max_height.max(chain.len() - 1);
+            chains.insert((*v).clone(), chain);
+        }
+        // Pad shorter chains by repeating their root below `*`.
+        for chain in chains.values_mut() {
+            while chain.len() - 1 < max_height {
+                let root = chain[chain.len() - 2].clone();
+                chain.insert(chain.len() - 1, root);
+            }
+        }
+        Ok(Hierarchy::Categorical { name, chains, height: max_height })
+    }
+}
+
+impl Hierarchy {
+    /// A numeric binning ladder with the given ascending widths.
+    pub fn numeric(name: impl Into<String>, widths: Vec<f64>) -> Result<Self, AnonError> {
+        if widths.is_empty() || widths.iter().any(|w| *w <= 0.0) {
+            return Err(AnonError::BadParams { reason: "numeric widths must be positive".into() });
+        }
+        if widths.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(AnonError::BadParams { reason: "numeric widths must be ascending".into() });
+        }
+        Ok(Hierarchy::Numeric { name: name.into(), widths })
+    }
+
+    /// The calendar ladder.
+    pub fn date(name: impl Into<String>) -> Self {
+        Hierarchy::Date { name: name.into() }
+    }
+
+    /// The attribute name this hierarchy describes.
+    pub fn name(&self) -> &str {
+        match self {
+            Hierarchy::Categorical { name, .. }
+            | Hierarchy::Numeric { name, .. }
+            | Hierarchy::Date { name } => name,
+        }
+    }
+
+    /// Maximum generalization level (the `*` level).
+    pub fn max_level(&self) -> usize {
+        match self {
+            Hierarchy::Categorical { height, .. } => *height,
+            Hierarchy::Numeric { widths, .. } => widths.len() + 1,
+            Hierarchy::Date { .. } => 4,
+        }
+    }
+
+    /// Generalizes `v` to `level` (0 = identity, `max_level()` = `*`).
+    /// NULLs stay NULL at every level.
+    pub fn apply(&self, v: &Value, level: usize) -> Result<Value, AnonError> {
+        if v.is_null() {
+            return Ok(Value::Null);
+        }
+        if level == 0 {
+            return Ok(v.clone());
+        }
+        if level >= self.max_level() {
+            return Ok(Value::text("*"));
+        }
+        match self {
+            Hierarchy::Categorical { name, chains, .. } => {
+                let key = v.as_text().map_err(AnonError::from)?;
+                let chain = chains.get(key).ok_or_else(|| AnonError::NotInHierarchy {
+                    value: key.to_string(),
+                    hierarchy: name.clone(),
+                })?;
+                Ok(Value::text(chain[level].clone()))
+            }
+            Hierarchy::Numeric { widths, .. } => {
+                let x = v.as_f64().map_err(AnonError::from)?;
+                let w = widths[level - 1];
+                let lo = (x / w).floor() * w;
+                Ok(Value::text(format!("[{lo},{})", lo + w)))
+            }
+            Hierarchy::Date { .. } => {
+                let d = v.as_date().map_err(AnonError::from)?;
+                Ok(Value::text(match level {
+                    1 => format!("{:04}-{:02}", d.year(), d.month()),
+                    2 => format!("{:04}-Q{}", d.year(), d.quarter()),
+                    _ => format!("{:04}", d.year()),
+                }))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disease() -> Hierarchy {
+        CategoricalBuilder::new()
+            .edge("HIV", "infectious")
+            .edge("hepatitis", "infectious")
+            .edge("asthma", "respiratory")
+            .edge("diabetes", "metabolic")
+            .build("disease")
+            .unwrap()
+    }
+
+    #[test]
+    fn categorical_ladder() {
+        let h = disease();
+        assert_eq!(h.max_level(), 2);
+        assert_eq!(h.apply(&"HIV".into(), 0).unwrap(), Value::from("HIV"));
+        assert_eq!(h.apply(&"HIV".into(), 1).unwrap(), Value::from("infectious"));
+        assert_eq!(h.apply(&"HIV".into(), 2).unwrap(), Value::from("*"));
+        assert_eq!(h.apply(&"asthma".into(), 1).unwrap(), Value::from("respiratory"));
+        // Parents are domain values too.
+        assert_eq!(h.apply(&"infectious".into(), 1).unwrap(), Value::from("infectious"));
+        assert!(matches!(
+            h.apply(&"flu".into(), 1),
+            Err(AnonError::NotInHierarchy { .. })
+        ));
+    }
+
+    #[test]
+    fn uneven_chains_are_padded() {
+        let h = CategoricalBuilder::new()
+            .edge("a", "ab")
+            .edge("b", "ab")
+            .edge("ab", "abc")
+            .edge("c", "abc")
+            .build("letters")
+            .unwrap();
+        assert_eq!(h.max_level(), 3);
+        // Short chain c → abc → * pads the root.
+        assert_eq!(h.apply(&"c".into(), 1).unwrap(), Value::from("abc"));
+        assert_eq!(h.apply(&"c".into(), 2).unwrap(), Value::from("abc"));
+        assert_eq!(h.apply(&"a".into(), 2).unwrap(), Value::from("abc"));
+        assert_eq!(h.apply(&"a".into(), 3).unwrap(), Value::from("*"));
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let r = CategoricalBuilder::new().edge("a", "b").edge("b", "a").build("bad");
+        assert!(matches!(r, Err(AnonError::BadParams { .. })));
+    }
+
+    #[test]
+    fn numeric_binning() {
+        let h = Hierarchy::numeric("cost", vec![10.0, 50.0]).unwrap();
+        assert_eq!(h.max_level(), 3);
+        assert_eq!(h.apply(&Value::Int(37), 1).unwrap(), Value::from("[30,40)"));
+        assert_eq!(h.apply(&Value::Int(37), 2).unwrap(), Value::from("[0,50)"));
+        assert_eq!(h.apply(&Value::Int(60), 2).unwrap(), Value::from("[50,100)"));
+        assert_eq!(h.apply(&Value::Int(60), 3).unwrap(), Value::from("*"));
+        assert!(Hierarchy::numeric("bad", vec![50.0, 10.0]).is_err());
+        assert!(Hierarchy::numeric("bad", vec![]).is_err());
+    }
+
+    #[test]
+    fn date_ladder() {
+        let h = Hierarchy::date("when");
+        let d = Value::date("12/02/2007").unwrap();
+        assert_eq!(h.apply(&d, 1).unwrap(), Value::from("2007-02"));
+        assert_eq!(h.apply(&d, 2).unwrap(), Value::from("2007-Q1"));
+        assert_eq!(h.apply(&d, 3).unwrap(), Value::from("2007"));
+        assert_eq!(h.apply(&d, 4).unwrap(), Value::from("*"));
+        assert_eq!(h.apply(&d, 0).unwrap(), d);
+    }
+
+    #[test]
+    fn nulls_pass_through() {
+        let h = disease();
+        assert_eq!(h.apply(&Value::Null, 1).unwrap(), Value::Null);
+        assert_eq!(h.apply(&Value::Null, 2).unwrap(), Value::Null);
+    }
+}

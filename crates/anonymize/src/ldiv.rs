@@ -1,0 +1,146 @@
+//! Distinct ℓ-diversity (Machanavajjhala et al.), paper §3.
+//!
+//! k-anonymity alone leaks when an equivalence class is homogeneous in
+//! the sensitive attribute (everyone in the class has HIV). Distinct
+//! ℓ-diversity requires every class to contain at least ℓ distinct
+//! sensitive values; enforcement here suppresses violating classes.
+
+use std::collections::{HashMap, HashSet};
+
+use bi_relation::Table;
+use bi_types::Value;
+
+use crate::error::AnonError;
+
+/// Per QI-class: member row indices and distinct sensitive values.
+type SensitiveClasses = HashMap<Vec<Value>, (Vec<usize>, HashSet<Value>)>;
+
+fn classes_with_sensitive(
+    table: &Table,
+    qi: &[&str],
+    sensitive: &str,
+) -> Result<SensitiveClasses, AnonError> {
+    let qi_idx: Vec<usize> = qi
+        .iter()
+        .map(|c| table.schema().index_of(c))
+        .collect::<Result<_, _>>()
+        .map_err(|e| AnonError::Relation(e.into()))?;
+    let s_idx = table
+        .schema()
+        .index_of(sensitive)
+        .map_err(|e| AnonError::Relation(e.into()))?;
+    let mut out: SensitiveClasses = HashMap::new();
+    for (i, row) in table.rows().iter().enumerate() {
+        let key: Vec<Value> = qi_idx.iter().map(|&c| row[c].clone()).collect();
+        let entry = out.entry(key).or_default();
+        entry.0.push(i);
+        entry.1.insert(row[s_idx].clone());
+    }
+    Ok(out)
+}
+
+/// Is every QI-equivalence class at least ℓ-diverse in `sensitive`?
+pub fn is_l_diverse(
+    table: &Table,
+    qi: &[&str],
+    sensitive: &str,
+    l: usize,
+) -> Result<bool, AnonError> {
+    if l == 0 {
+        return Err(AnonError::BadParams { reason: "l must be at least 1".into() });
+    }
+    Ok(classes_with_sensitive(table, qi, sensitive)?
+        .values()
+        .all(|(_, vals)| vals.len() >= l))
+}
+
+/// Suppresses every class that is not ℓ-diverse; returns the surviving
+/// table and the number of suppressed rows.
+pub fn enforce_l_diversity(
+    table: &Table,
+    qi: &[&str],
+    sensitive: &str,
+    l: usize,
+) -> Result<(Table, usize), AnonError> {
+    if l == 0 {
+        return Err(AnonError::BadParams { reason: "l must be at least 1".into() });
+    }
+    let classes = classes_with_sensitive(table, qi, sensitive)?;
+    let keep: HashSet<usize> = classes
+        .values()
+        .filter(|(_, vals)| vals.len() >= l)
+        .flat_map(|(rows, _)| rows.iter().copied())
+        .collect();
+    let suppressed = table.len() - keep.len();
+    let rows: Vec<_> = table
+        .rows()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| keep.contains(i))
+        .map(|(_, r)| r.clone())
+        .collect();
+    let out = Table::from_rows(table.name().to_string(), table.schema().clone(), rows)
+        .map_err(AnonError::from)?;
+    Ok((out, suppressed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_types::{Column, DataType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("AgeBand", DataType::Text),
+            Column::new("Disease", DataType::Text),
+        ])
+        .unwrap();
+        let rows = vec![
+            // Homogeneous class: both 20-30 rows have HIV.
+            vec!["20-30".into(), "HIV".into()],
+            vec!["20-30".into(), "HIV".into()],
+            // Diverse class.
+            vec!["30-40".into(), "asthma".into()],
+            vec!["30-40".into(), "diabetes".into()],
+            vec!["30-40".into(), "flu".into()],
+        ];
+        Table::from_rows("T", schema, rows).unwrap()
+    }
+
+    #[test]
+    fn detects_homogeneous_classes() {
+        let t = table();
+        assert!(!is_l_diverse(&t, &["AgeBand"], "Disease", 2).unwrap());
+        assert!(is_l_diverse(&t, &["AgeBand"], "Disease", 1).unwrap());
+    }
+
+    #[test]
+    fn enforcement_suppresses_violators() {
+        let t = table();
+        let (out, suppressed) = enforce_l_diversity(&t, &["AgeBand"], "Disease", 2).unwrap();
+        assert_eq!(suppressed, 2);
+        assert_eq!(out.len(), 3);
+        assert!(is_l_diverse(&out, &["AgeBand"], "Disease", 2).unwrap());
+        assert!(out.rows().iter().all(|r| r[0] == Value::from("30-40")));
+    }
+
+    #[test]
+    fn l3_suppresses_more_than_l2() {
+        let t = table();
+        let (_, s2) = enforce_l_diversity(&t, &["AgeBand"], "Disease", 2).unwrap();
+        let (_, s3) = enforce_l_diversity(&t, &["AgeBand"], "Disease", 3).unwrap();
+        assert!(s3 >= s2);
+        let (out4, s4) = enforce_l_diversity(&t, &["AgeBand"], "Disease", 4).unwrap();
+        assert_eq!(s4, 5);
+        assert!(out4.is_empty());
+    }
+
+    #[test]
+    fn bad_params_and_columns() {
+        let t = table();
+        assert!(is_l_diverse(&t, &["AgeBand"], "Disease", 0).is_err());
+        assert!(enforce_l_diversity(&t, &["AgeBand"], "Disease", 0).is_err());
+        assert!(is_l_diverse(&t, &["Nope"], "Disease", 2).is_err());
+        assert!(is_l_diverse(&t, &["AgeBand"], "Nope", 2).is_err());
+    }
+}

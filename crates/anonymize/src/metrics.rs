@@ -1,0 +1,119 @@
+//! Utility metrics for anonymized tables (experiment E7).
+
+use std::collections::HashMap;
+
+use bi_relation::Table;
+use bi_types::Value;
+
+use crate::error::AnonError;
+use crate::hierarchy::Hierarchy;
+
+/// The discernibility metric: Σ over equivalence classes of |class|²,
+/// plus a `|T|·|suppressed|` penalty per suppressed row. Lower is better.
+pub fn discernibility(
+    table: &Table,
+    qi: &[&str],
+    suppressed: usize,
+    original_rows: usize,
+) -> Result<u64, AnonError> {
+    let qi_idx: Vec<usize> = qi
+        .iter()
+        .map(|c| table.schema().index_of(c))
+        .collect::<Result<_, _>>()
+        .map_err(|e| AnonError::Relation(e.into()))?;
+    let mut counts: HashMap<Vec<Value>, u64> = HashMap::new();
+    for row in table.rows() {
+        let key: Vec<Value> = qi_idx.iter().map(|&c| row[c].clone()).collect();
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    let classes: u64 = counts.values().map(|&n| n * n).sum();
+    Ok(classes + suppressed as u64 * original_rows as u64)
+}
+
+/// Average equivalence-class size normalized by the optimum `k`
+/// (`C_avg` of the Mondrian paper). 1.0 is ideal.
+pub fn avg_class_ratio(table: &Table, qi: &[&str], k: usize) -> Result<f64, AnonError> {
+    if k == 0 {
+        return Err(AnonError::BadParams { reason: "k must be at least 1".into() });
+    }
+    let qi_idx: Vec<usize> = qi
+        .iter()
+        .map(|c| table.schema().index_of(c))
+        .collect::<Result<_, _>>()
+        .map_err(|e| AnonError::Relation(e.into()))?;
+    let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
+    for row in table.rows() {
+        let key: Vec<Value> = qi_idx.iter().map(|&c| row[c].clone()).collect();
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    if counts.is_empty() {
+        return Ok(0.0);
+    }
+    Ok(table.len() as f64 / counts.len() as f64 / k as f64)
+}
+
+/// Generalization precision loss for full-domain results: the mean of
+/// `level / max_level` over QI columns, in `[0, 1]`. 0 = untouched,
+/// 1 = fully suppressed.
+pub fn precision_loss(levels: &[usize], hierarchies: &[Hierarchy]) -> f64 {
+    if levels.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = levels
+        .iter()
+        .zip(hierarchies)
+        .map(|(&l, h)| l as f64 / h.max_level().max(1) as f64)
+        .sum();
+    total / levels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::CategoricalBuilder;
+    use bi_types::{Column, DataType, Schema};
+
+    fn two_classes() -> Table {
+        let schema = Schema::new(vec![Column::new("Band", DataType::Text)]).unwrap();
+        Table::from_rows(
+            "T",
+            schema,
+            vec![
+                vec!["a".into()],
+                vec!["a".into()],
+                vec!["a".into()],
+                vec!["b".into()],
+                vec!["b".into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn discernibility_counts_squares() {
+        let t = two_classes();
+        // 3² + 2² = 13, no suppression.
+        assert_eq!(discernibility(&t, &["Band"], 0, 5).unwrap(), 13);
+        // One suppressed row out of 6 originals adds 1·6.
+        assert_eq!(discernibility(&t, &["Band"], 1, 6).unwrap(), 13 + 6);
+    }
+
+    #[test]
+    fn avg_class_ratio_normalizes() {
+        let t = two_classes();
+        // 5 rows / 2 classes / k=2 = 1.25.
+        let r = avg_class_ratio(&t, &["Band"], 2).unwrap();
+        assert!((r - 1.25).abs() < 1e-9);
+        assert!(avg_class_ratio(&t, &["Band"], 0).is_err());
+    }
+
+    #[test]
+    fn precision_loss_ranges() {
+        let h = CategoricalBuilder::new().edge("x", "y").build("H").unwrap();
+        assert_eq!(precision_loss(&[0], std::slice::from_ref(&h)), 0.0);
+        assert_eq!(precision_loss(&[h.max_level()], std::slice::from_ref(&h)), 1.0);
+        let mid = precision_loss(&[1], &[h]);
+        assert!(mid > 0.0 && mid < 1.0);
+        assert_eq!(precision_loss(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Data perturbation (paper §4).
+//!
+//! "Data perturbation may be used to modify the data in input, adding
+//! noise in such a way that the statistical distribution and the patterns
+//! of the input data are preserved and the quality of aggregate reports
+//! or mined results is not compromised." — additive Laplace noise on
+//! numeric measures; zero-mean, so sums and means converge to the true
+//! values as the table grows (experiment E7 quantifies the error).
+
+use bi_relation::Table;
+use bi_types::{DataType, Value};
+use rand::Rng;
+
+use crate::error::AnonError;
+
+/// Draws one Laplace(0, scale) sample by inverse CDF.
+pub fn laplace<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> f64 {
+    let u: f64 = rng.gen_range(-0.5..0.5);
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// Adds Laplace(0, `scale`) noise to the named numeric column.
+///
+/// Int columns are perturbed in floating point and rounded back (keeping
+/// the schema type); NULLs stay NULL.
+pub fn laplace_perturb<R: Rng + ?Sized>(
+    table: &Table,
+    column: &str,
+    scale: f64,
+    rng: &mut R,
+) -> Result<Table, AnonError> {
+    if scale <= 0.0 || !scale.is_finite() {
+        return Err(AnonError::BadParams { reason: format!("scale must be positive, got {scale}") });
+    }
+    let c = table
+        .schema()
+        .index_of(column)
+        .map_err(|e| AnonError::Relation(e.into()))?;
+    let dtype = table.schema().columns()[c].dtype;
+    if !matches!(dtype, DataType::Int | DataType::Float) {
+        return Err(AnonError::NotOrdered { column: column.to_string() });
+    }
+    let mut out = Table::new(table.name().to_string(), table.schema().clone());
+    for row in table.rows() {
+        let mut r = row.clone();
+        match &row[c] {
+            Value::Null => {}
+            Value::Int(i) => {
+                let noisy = *i as f64 + laplace(rng, scale);
+                r[c] = Value::Int(noisy.round() as i64);
+            }
+            Value::Float(f) => {
+                r[c] = Value::Float(*f + laplace(rng, scale));
+            }
+            _ => unreachable!("type checked above"),
+        }
+        out.push_row(r).map_err(AnonError::from)?;
+    }
+    Ok(out)
+}
+
+/// Mean and standard deviation of a numeric column (NULLs skipped) —
+/// the distribution-preservation check used in tests and E7.
+pub fn column_stats(table: &Table, column: &str) -> Result<(f64, f64), AnonError> {
+    let vals = table.column_values(column).map_err(AnonError::from)?;
+    let xs: Vec<f64> = vals.iter().filter(|v| !v.is_null()).map(|v| v.as_f64().unwrap_or(0.0)).collect();
+    if xs.is_empty() {
+        return Ok((0.0, 0.0));
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+    Ok((mean, var.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_types::{Column, Schema};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn costs(n: usize) -> Table {
+        let schema = Schema::new(vec![
+            Column::new("Drug", DataType::Text),
+            Column::new("Cost", DataType::Int),
+        ])
+        .unwrap();
+        let rows = (0..n)
+            .map(|i| vec![Value::text(format!("D{i}")), Value::Int(10 + (i as i64 % 50))])
+            .collect();
+        Table::from_rows("C", schema, rows).unwrap()
+    }
+
+    #[test]
+    fn preserves_mean_approximately() {
+        let t = costs(2000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let noisy = laplace_perturb(&t, "Cost", 5.0, &mut rng).unwrap();
+        let (m0, s0) = column_stats(&t, "Cost").unwrap();
+        let (m1, s1) = column_stats(&noisy, "Cost").unwrap();
+        assert!((m0 - m1).abs() < 1.0, "means {m0} vs {m1}");
+        // Noise inflates spread, but not wildly at this scale.
+        assert!(s1 >= s0 * 0.9 && s1 < s0 * 2.0, "stds {s0} vs {s1}");
+    }
+
+    #[test]
+    fn values_actually_change() {
+        let t = costs(100);
+        let mut rng = StdRng::seed_from_u64(7);
+        let noisy = laplace_perturb(&t, "Cost", 20.0, &mut rng).unwrap();
+        let orig = t.column_values("Cost").unwrap();
+        let pert = noisy.column_values("Cost").unwrap();
+        let changed = orig.iter().zip(&pert).filter(|(a, b)| a != b).count();
+        assert!(changed > 50, "only {changed} of 100 changed");
+    }
+
+    #[test]
+    fn schema_and_other_columns_untouched() {
+        let t = costs(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = laplace_perturb(&t, "Cost", 3.0, &mut rng).unwrap();
+        assert_eq!(noisy.schema(), t.schema());
+        assert_eq!(noisy.column_values("Drug").unwrap(), t.column_values("Drug").unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let t = costs(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(laplace_perturb(&t, "Cost", 0.0, &mut rng).is_err());
+        assert!(laplace_perturb(&t, "Cost", f64::NAN, &mut rng).is_err());
+        assert!(laplace_perturb(&t, "Drug", 1.0, &mut rng).is_err());
+        assert!(laplace_perturb(&t, "Ghost", 1.0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! # bi-audit — monitoring, auditing, dispute resolution
+//!
+//! The paper's fourth challenge (§2.iv): "once requirements … are
+//! collected, we have to face the problem of how to implement a solution
+//! that i) enforces them and ii) supports monitoring and auditing to
+//! detect violations." Enforcement lives in `bi-report`; this crate is
+//! the monitoring half, built for the *third-party auditing agencies* §2
+//! mentions:
+//!
+//! * [`log`] — an append-only journal of every report delivery or
+//!   refusal: who, what plan, which enforcement actions, what outcome;
+//! * [`recheck`] — post-hoc re-checking of delivered reports against the
+//!   *current* policy: catches both enforcement bugs and policy drift
+//!   (a PLA tightened after a report shipped);
+//! * [`dispute`] — provenance-backed responsibility attribution: given a
+//!   leaked source attribute, find every logged delivery that exposed
+//!   it and the exact report cells that did.
+
+pub mod dispute;
+pub mod log;
+pub mod monitor;
+pub mod recheck;
+
+pub use dispute::{exposures_of_attribute, responsible_deliveries, Exposure};
+pub use log::{AuditEntry, AuditLog, Outcome};
+pub use monitor::{monitor, Alert, MonitorConfig};
+pub use recheck::{recheck_log, AuditFinding};

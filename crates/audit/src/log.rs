@@ -1,0 +1,148 @@
+//! The append-only audit journal.
+
+use std::collections::BTreeSet;
+
+use bi_pla::Violation;
+use bi_query::Plan;
+use bi_types::{ConsumerId, Date, ReportId, RoleId};
+
+/// What happened to a report request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Rendered and handed to the consumer.
+    Delivered { rows: usize, suppressed_groups: usize },
+    /// Refused by the compliance gate.
+    Refused { violations: Vec<Violation> },
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditEntry {
+    /// Monotone sequence number (assigned by the log).
+    pub seq: u64,
+    /// Business date of the delivery.
+    pub when: Date,
+    pub consumer: ConsumerId,
+    pub roles: BTreeSet<RoleId>,
+    pub report: ReportId,
+    /// The exact plan that ran (auditors re-check it later).
+    pub plan: Plan,
+    pub purpose: Option<String>,
+    /// Enforcement actions applied by the engine.
+    pub actions: Vec<String>,
+    pub outcome: Outcome,
+}
+
+/// Append-only journal.
+#[derive(Debug, Clone, Default)]
+pub struct AuditLog {
+    entries: Vec<AuditEntry>,
+    next_seq: u64,
+}
+
+impl AuditLog {
+    /// Empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry, assigning its sequence number.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        when: Date,
+        consumer: ConsumerId,
+        roles: BTreeSet<RoleId>,
+        report: ReportId,
+        plan: Plan,
+        purpose: Option<String>,
+        actions: Vec<String>,
+        outcome: Outcome,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(AuditEntry {
+            seq,
+            when,
+            consumer,
+            roles,
+            report,
+            plan,
+            purpose,
+            actions,
+            outcome,
+        });
+        seq
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[AuditEntry] {
+        &self.entries
+    }
+
+    /// Entries about one report.
+    pub fn for_report<'a>(&'a self, report: &'a ReportId) -> impl Iterator<Item = &'a AuditEntry> {
+        self.entries.iter().filter(move |e| &e.report == report)
+    }
+
+    /// Entries by one consumer.
+    pub fn for_consumer<'a>(
+        &'a self,
+        consumer: &'a ConsumerId,
+    ) -> impl Iterator<Item = &'a AuditEntry> {
+        self.entries.iter().filter(move |e| &e.consumer == consumer)
+    }
+
+    /// Delivered entries only.
+    pub fn deliveries(&self) -> impl Iterator<Item = &AuditEntry> {
+        self.entries.iter().filter(|e| matches!(e.outcome, Outcome::Delivered { .. }))
+    }
+
+    /// Number of refusals (a cheap health signal for monitoring).
+    pub fn refusal_count(&self) -> usize {
+        self.entries.iter().filter(|e| matches!(e.outcome, Outcome::Refused { .. })).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_query::plan::scan;
+
+    fn entry(log: &mut AuditLog, report: &str, consumer: &str, delivered: bool) -> u64 {
+        log.record(
+            Date::new(2008, 6, 1).unwrap(),
+            ConsumerId::new(consumer),
+            [RoleId::new("analyst")].into_iter().collect(),
+            ReportId::new(report),
+            scan("T"),
+            Some("quality".into()),
+            vec!["filter rows of T: x > 0".into()],
+            if delivered {
+                Outcome::Delivered { rows: 10, suppressed_groups: 1 }
+            } else {
+                Outcome::Refused {
+                    violations: vec![Violation {
+                        kind: "attribute-access".into(),
+                        description: "d".into(),
+                        subject: "T.c".into(),
+                    }],
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn sequence_and_queries() {
+        let mut log = AuditLog::new();
+        let a = entry(&mut log, "r1", "alice", true);
+        let b = entry(&mut log, "r2", "bob", false);
+        let c = entry(&mut log, "r1", "alice", true);
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(log.entries().len(), 3);
+        assert_eq!(log.for_report(&ReportId::new("r1")).count(), 2);
+        assert_eq!(log.for_consumer(&ConsumerId::new("bob")).count(), 1);
+        assert_eq!(log.deliveries().count(), 2);
+        assert_eq!(log.refusal_count(), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Post-hoc third-party re-checking.
+//!
+//! "Errors in capturing the intentions of the source owners … are
+//! discovered only when the system is released and it is too late" (§6).
+//! Re-checking shrinks that window: an auditor replays every *delivered*
+//! entry of the journal against the current combined policy and reports
+//! any that would violate it today — catching enforcement bugs and
+//! agreements that tightened after delivery.
+
+use std::collections::BTreeMap;
+
+use bi_pla::{check_plan, CombinedPolicy, Violation};
+use bi_query::{Catalog, QueryError};
+use bi_types::SourceId;
+
+use crate::log::{AuditLog, Outcome};
+
+/// One delivered entry that fails today's policy.
+#[derive(Debug, Clone)]
+pub struct AuditFinding {
+    pub seq: u64,
+    pub report: bi_types::ReportId,
+    pub violations: Vec<Violation>,
+}
+
+/// Replays all deliveries in the journal against `policy`.
+pub fn recheck_log(
+    log: &AuditLog,
+    cat: &Catalog,
+    policy: &CombinedPolicy,
+    table_source: &BTreeMap<String, SourceId>,
+) -> Result<Vec<AuditFinding>, QueryError> {
+    let mut findings = Vec::new();
+    for e in log.entries() {
+        if !matches!(e.outcome, Outcome::Delivered { .. }) {
+            continue;
+        }
+        let outcome =
+            check_plan(&e.plan, cat, policy, &e.roles, table_source, e.purpose.as_deref(), e.when)?;
+        if !outcome.violations.is_empty() {
+            findings.push(AuditFinding {
+                seq: e.seq,
+                report: e.report.clone(),
+                violations: outcome.violations,
+            });
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_pla::{PlaDocument, PlaLevel, PlaRule};
+    use bi_query::plan::scan;
+    use bi_relation::Table;
+    use bi_types::{Column, ConsumerId, DataType, Date, ReportId, RoleId, Schema};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "T",
+            Schema::new(vec![
+                Column::new("Patient", DataType::Text),
+                Column::new("Drug", DataType::Text),
+            ])
+            .unwrap(),
+        ))
+        .unwrap();
+        cat
+    }
+
+    fn delivered_log() -> AuditLog {
+        let mut log = AuditLog::new();
+        log.record(
+            Date::new(2008, 1, 1).unwrap(),
+            ConsumerId::new("alice"),
+            [RoleId::new("analyst")].into_iter().collect(),
+            ReportId::new("r1"),
+            scan("T").project_cols(&["Patient"]),
+            None,
+            vec![],
+            Outcome::Delivered { rows: 3, suppressed_groups: 0 },
+        );
+        log.record(
+            Date::new(2008, 1, 2).unwrap(),
+            ConsumerId::new("alice"),
+            [RoleId::new("analyst")].into_iter().collect(),
+            ReportId::new("r2"),
+            scan("T").project_cols(&["Drug"]),
+            None,
+            vec![],
+            Outcome::Delivered { rows: 3, suppressed_groups: 0 },
+        );
+        log
+    }
+
+    #[test]
+    fn policy_drift_detected() {
+        let log = delivered_log();
+        let cat = catalog();
+        let sources: BTreeMap<String, SourceId> =
+            [("T".to_string(), SourceId::new("hospital"))].into_iter().collect();
+        // Under the empty policy nothing fails.
+        let clean = recheck_log(&log, &cat, &CombinedPolicy::combine(&[]), &sources).unwrap();
+        assert!(clean.is_empty());
+        // The hospital later restricts Patient to auditors only.
+        let doc = PlaDocument::new("h2", "hospital", PlaLevel::MetaReport).with_rule(
+            PlaRule::AttributeAccess {
+                attribute: bi_pla::AttrRef::new("T", "Patient"),
+                allowed_roles: [RoleId::new("auditor")].into_iter().collect(),
+                condition: None,
+            },
+        );
+        let policy = CombinedPolicy::combine(&[doc]);
+        let findings = recheck_log(&log, &cat, &policy, &sources).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].report.as_str(), "r1");
+        assert_eq!(findings[0].seq, 0);
+        assert!(findings[0].violations.iter().any(|v| v.kind == "attribute-access"));
+    }
+
+    #[test]
+    fn refusals_are_not_rechecked() {
+        let mut log = AuditLog::new();
+        log.record(
+            Date::new(2008, 1, 1).unwrap(),
+            ConsumerId::new("bob"),
+            [RoleId::new("analyst")].into_iter().collect(),
+            ReportId::new("r3"),
+            scan("T"),
+            None,
+            vec![],
+            Outcome::Refused { violations: vec![] },
+        );
+        let cat = catalog();
+        let sources = BTreeMap::new();
+        let findings = recheck_log(&log, &cat, &CombinedPolicy::combine(&[]), &sources).unwrap();
+        assert!(findings.is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! E1 — the Fig. 1 scenario end-to-end: sources → checked ETL →
+//! warehouse → enforced report delivery, swept over data scale.
+//!
+//! Paper artifact: Fig. 1 (the outsourcing scenario) and the Figs. 2–4
+//! example relations. Expected shape: throughput scales near-linearly in
+//! prescription count; zero PLA violations at every scale.
+
+use bi_core::etl::{EtlOp, Pipeline};
+use bi_core::query::plan::{scan, AggItem};
+use bi_core::report::{MetaReport, ReportSpec};
+use bi_core::types::{Date, RoleId};
+use bi_core::BiSystem;
+use bi_synth::{Scenario, ScenarioConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn build_and_deliver(scenario: &Scenario) -> usize {
+    let mut sys = BiSystem::new(Date::new(2008, 7, 1).unwrap());
+    for (sid, cat) in &scenario.sources {
+        sys.register_source(sid.clone(), cat.clone());
+    }
+    sys.add_pla_text(
+        r#"pla "hospital" source hospital version 1 level meta-report {
+  require aggregation FactPrescriptions min 3;
+  purpose quality;
+}"#,
+    )
+    .unwrap();
+    let pipeline = Pipeline::new("nightly")
+        .step("e", EtlOp::Extract {
+            source: "hospital".into(),
+            table: "Prescriptions".into(),
+            as_name: "s".into(),
+        })
+        .step("d", EtlOp::Deduplicate { table: "s".into() })
+        .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "FactPrescriptions".into() });
+    sys.run_etl(&pipeline, Some("quality")).unwrap();
+    sys.add_meta_report(
+        MetaReport::new(
+            "m",
+            "universe",
+            scan("FactPrescriptions").project_cols(&["Patient", "Drug", "Disease", "Date"]),
+        )
+        .approved("hospital"),
+    );
+    sys.subjects_mut().grant("ada", "analyst");
+    sys.define_report(
+        ReportSpec::new(
+            "r",
+            "consumption",
+            scan("FactPrescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]),
+            [RoleId::new("analyst")],
+        )
+        .for_purpose("quality"),
+    );
+    let out = sys.deliver(&"r".into(), &"ada".into()).unwrap();
+    out.table.len()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_pipeline");
+    group.sample_size(10);
+    eprintln!("\nE1: end-to-end pipeline (rows delivered per scale)");
+    for &prescriptions in &[1_000usize, 5_000, 20_000] {
+        let scenario = Scenario::generate(ScenarioConfig {
+            patients: prescriptions / 5,
+            prescriptions,
+            lab_tests: prescriptions / 4,
+            ..Default::default()
+        });
+        let rows = build_and_deliver(&scenario);
+        eprintln!("  prescriptions={prescriptions:>6} -> report rows={rows}");
+        group.bench_with_input(
+            BenchmarkId::new("sources_to_report", prescriptions),
+            &scenario,
+            |b, s| b.iter(|| build_and_deliver(s)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

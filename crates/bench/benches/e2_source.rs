@@ -1,0 +1,84 @@
+//! E2 — source-level PLA mechanisms (paper §3, Fig. 2).
+//!
+//! Compares the enforcement mechanisms the paper lists at the source
+//! level, at equal protection ("hide HIV rows, mask the doctor"):
+//! unrestricted baseline, view-based access control, VPD-style query
+//! rewriting, and a k-anonymized export (Mondrian). Also prints the
+//! over-engineering ratio of eliciting on the full source schema.
+//! Expected shape: views ≈ rewriting (both cheap, rewrite adds a
+//! planning cost) ≪ anonymized export; high over-engineering at the
+//! source level.
+
+use bi_core::anonymize::mondrian;
+use bi_core::elicitation::{full_surface, over_engineering_ratio};
+use bi_core::query::plan::{scan, AggItem};
+use bi_core::query::rewrite::{apply, MaskAction, ScanPolicy};
+use bi_core::query::{execute, Catalog};
+use bi_core::relation::expr::{col, lit};
+use bi_synth::{Scenario, ScenarioConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn catalog() -> Catalog {
+    let scenario = Scenario::generate(ScenarioConfig {
+        patients: 400,
+        prescriptions: 5_000,
+        lab_tests: 0,
+        ..Default::default()
+    });
+    let mut cat = Catalog::new();
+    cat.add_table(scenario.source("hospital").unwrap().table("Prescriptions").unwrap().clone())
+        .unwrap();
+    // BirthYear for the anonymized-export path.
+    cat.add_table(scenario.source("municipality").unwrap().table("Residents").unwrap().clone())
+        .unwrap();
+    cat
+}
+
+fn bench(c: &mut Criterion) {
+    let mut cat = catalog();
+    let report =
+        scan("Prescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
+
+    // View-based enforcement: a filtered view registered in the catalog.
+    cat.add_view(
+        "SafePrescriptions",
+        scan("Prescriptions").filter(col("Disease").ne(lit("HIV"))),
+    )
+    .unwrap();
+    let view_report =
+        scan("SafePrescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
+
+    // VPD-style rewriting.
+    let mk_policy = || {
+        ScanPolicy::for_table("Prescriptions")
+            .restrict_rows(col("Disease").ne(lit("HIV")))
+            .mask("Doctor", MaskAction::Nullify)
+    };
+    let rewritten = apply(&report, &[mk_policy()], &cat).unwrap();
+
+    let mut group = c.benchmark_group("e2_source");
+    group.bench_function("baseline_unrestricted", |b| b.iter(|| execute(&report, &cat).unwrap()));
+    group.bench_function("view_enforced", |b| b.iter(|| execute(&view_report, &cat).unwrap()));
+    group.bench_function("vpd_rewrite_enforced", |b| b.iter(|| execute(&rewritten, &cat).unwrap()));
+    group.bench_function("vpd_rewrite_cost_only", |b| {
+        b.iter(|| apply(&report, &[mk_policy()], &cat).unwrap())
+    });
+    group.sample_size(10);
+    group.bench_function("mondrian_k5_export", |b| {
+        let residents = cat.table("Residents").unwrap();
+        b.iter(|| mondrian(residents, &["BirthYear"], 5).unwrap())
+    });
+    group.finish();
+
+    // Over-engineering at the source level (printed, not timed).
+    let surface = full_surface(&cat);
+    let ratio = over_engineering_ratio(&surface, &[&report], &cat).unwrap();
+    eprintln!(
+        "\nE2: source-level elicitation surface = {} columns; over-engineering for the consumption report = {:.0}%",
+        surface.len(),
+        ratio * 100.0
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

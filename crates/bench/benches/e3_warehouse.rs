@@ -1,0 +1,96 @@
+//! E3 — warehouse/ETL-level PLAs (paper §4, Fig. 3).
+//!
+//! (a) Static ETL-pipeline compliance checking cost as the pipeline
+//! grows; (b) cube-authorization (minimum-count + complementary
+//! suppression) cost as the cube grows. Expected shape: both linear-ish;
+//! checking is microseconds — cheap enough to run on every deployment,
+//! which is the paper's point about testable PLAs.
+
+use bi_core::etl::{check_pipeline, EtlOp, Pipeline};
+use bi_core::pla::{CombinedPolicy, PlaDocument, PlaLevel, PlaRule};
+use bi_core::relation::Table;
+use bi_core::types::{Column, DataType, Schema, Value};
+use bi_core::warehouse::authz::guard_cube;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn policy() -> CombinedPolicy {
+    let doc = PlaDocument::new("a", "s0", PlaLevel::Warehouse)
+        .with_rule(PlaRule::JoinPermission {
+            left_source: "s0".into(),
+            right_source: "s1".into(),
+            allowed: false,
+        })
+        .with_rule(PlaRule::IntegrationPermission { source: "s0".into(), allowed: true });
+    CombinedPolicy::combine(&[doc])
+}
+
+fn pipeline_with(steps: usize) -> Pipeline {
+    let mut p = Pipeline::new("big");
+    for i in 0..steps {
+        let src = format!("s{}", i % 4);
+        p = p.step(
+            format!("e{i}"),
+            EtlOp::Extract { source: src.into(), table: "T".into(), as_name: format!("t{i}") },
+        );
+        if i >= 2 && i % 3 == 0 {
+            p = p.step(
+                format!("j{i}"),
+                EtlOp::Join {
+                    left: format!("t{}", i - 1),
+                    right: format!("t{i}"),
+                    on: vec![("k".into(), "k".into())],
+                    out: format!("jt{i}"),
+                },
+            );
+        }
+    }
+    p
+}
+
+fn cube_of(cells: usize) -> Table {
+    let schema = Schema::new(vec![
+        Column::new("Quarter", DataType::Text),
+        Column::new("Drug", DataType::Text),
+        Column::new("n", DataType::Int),
+    ])
+    .unwrap();
+    let rows = (0..cells)
+        .map(|i| {
+            vec![
+                Value::text(format!("Q{}", i % 8)),
+                Value::text(format!("D{}", i / 8)),
+                Value::Int((i % 13) as i64),
+            ]
+        })
+        .collect();
+    Table::from_rows("cube", schema, rows).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let pol = policy();
+    let mut group = c.benchmark_group("e3_warehouse");
+    eprintln!("\nE3: static pipeline checking / cube guarding");
+    for &steps in &[10usize, 40, 160] {
+        let p = pipeline_with(steps);
+        let v = check_pipeline(&p, &pol, Some("quality"));
+        eprintln!("  pipeline steps={steps:>4} -> violations found={}", v.len());
+        group.bench_with_input(BenchmarkId::new("check_pipeline", steps), &p, |b, p| {
+            b.iter(|| check_pipeline(p, &pol, Some("quality")))
+        });
+    }
+    for &cells in &[100usize, 1_000, 10_000] {
+        let cube = cube_of(cells);
+        let g = guard_cube(&cube, "n", 5, Some("Drug")).unwrap();
+        eprintln!(
+            "  cube cells={cells:>6} -> suppressed small={} complementary={}",
+            g.suppressed_small, g.suppressed_complementary
+        );
+        group.bench_with_input(BenchmarkId::new("guard_cube", cells), &cube, |b, cube| {
+            b.iter(|| guard_cube(cube, "n", 5, Some("Drug")).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! E4 — report-level PLAs (paper §5, Fig. 4).
+//!
+//! (a) Overhead of enforced report execution (masks + k-thresholds +
+//! row filters) vs. the unenforced plan; (b) compliance-gate latency for
+//! a new report as the number of approved meta-reports grows. Expected
+//! shape: enforcement costs a small constant factor; the gate is fast
+//! and scales linearly in the meta-report count — checking a new report
+//! is *much* cheaper than a new elicitation round.
+
+use std::collections::BTreeMap;
+
+use bi_core::pla::{CombinedPolicy, PlaDocument, PlaLevel, PlaRule};
+use bi_core::query::contain::RefIntegrity;
+use bi_core::query::plan::{scan, AggItem};
+use bi_core::query::{execute, Catalog};
+use bi_core::relation::expr::{col, lit};
+use bi_core::report::{check_report, render_enforced, EngineConfig, MetaReport, ReportSpec};
+use bi_core::types::{Date, RoleId, SourceId};
+use bi_synth::{Scenario, ScenarioConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn setup() -> (Catalog, BTreeMap<String, SourceId>) {
+    let scenario = Scenario::generate(ScenarioConfig {
+        patients: 400,
+        prescriptions: 5_000,
+        lab_tests: 0,
+        ..Default::default()
+    });
+    let mut cat = Catalog::new();
+    cat.add_table(scenario.source("hospital").unwrap().table("Prescriptions").unwrap().clone())
+        .unwrap();
+    let ts = [("Prescriptions".to_string(), SourceId::new("hospital"))].into_iter().collect();
+    (cat, ts)
+}
+
+fn bench(c: &mut Criterion) {
+    let (cat, table_source) = setup();
+    let today = Date::new(2008, 7, 1).unwrap();
+    let report = ReportSpec::new(
+        "r",
+        "per drug",
+        scan("Prescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]),
+        [RoleId::new("analyst")],
+    );
+    let doc = PlaDocument::new("h", "hospital", PlaLevel::MetaReport)
+        .with_rule(PlaRule::AggregationThreshold { table: "Prescriptions".into(), min_group_size: 5 })
+        .with_rule(PlaRule::RowRestriction {
+            table: "Prescriptions".into(),
+            condition: col("Disease").ne(lit("HIV")),
+        })
+        .with_rule(PlaRule::AttributeAccess {
+            attribute: bi_core::pla::AttrRef::new("Prescriptions", "Doctor"),
+            allowed_roles: [RoleId::new("analyst")].into_iter().collect(),
+            condition: Some(col("Disease").ne(lit("HIV"))),
+        });
+    let policy = CombinedPolicy::combine(&[doc]);
+    let config = EngineConfig::default();
+
+    let mut group = c.benchmark_group("e4_reports");
+    group.bench_function("unenforced_execute", |b| b.iter(|| execute(&report.plan, &cat).unwrap()));
+    group.bench_function("enforced_render", |b| {
+        b.iter(|| render_enforced(&report, &cat, &policy, &table_source, &config, today).unwrap())
+    });
+
+    // Gate latency vs meta-report count.
+    eprintln!("\nE4: compliance-gate latency vs approved meta-report count");
+    for &n_metas in &[1usize, 10, 50] {
+        let metas: Vec<MetaReport> = (0..n_metas)
+            .map(|i| {
+                // Only the last meta-report covers the report; the gate
+                // must scan past the non-covering ones.
+                let plan = if i + 1 == n_metas {
+                    scan("Prescriptions").project_cols(&["Patient", "Drug", "Disease"])
+                } else {
+                    scan("Prescriptions")
+                        .filter(col("Disease").eq(lit(format!("only-{i}"))))
+                        .project_cols(&["Drug"])
+                };
+                MetaReport::new(format!("m{i}"), format!("meta {i}"), plan).approved("hospital")
+            })
+            .collect();
+        let res =
+            check_report(&report, &metas, &cat, &RefIntegrity::new(), &[], &table_source, today)
+                .unwrap();
+        eprintln!("  metas={n_metas:>3} -> covered={}", res.coverage.is_covered());
+        group.bench_with_input(BenchmarkId::new("compliance_gate", n_metas), &metas, |b, metas| {
+            b.iter(|| {
+                check_report(&report, metas, &cat, &RefIntegrity::new(), &[], &table_source, today)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! E5 — the Fig. 5 continuum (the paper's headline claim).
+//!
+//! Runs the four-level simulation over a report-evolution workload and
+//! prints the measured continuum table; benchmarks the simulation
+//! itself at growing workload sizes. Expected shape: elicitation effort
+//! decreases and volatility increases from sources toward reports;
+//! meta-reports combine near-report effort with near-warehouse
+//! stability and zero over-engineering.
+
+use bi_core::continuum::{simulate_continuum, ContinuumParams};
+use bi_core::query::contain::RefIntegrity;
+use bi_core::query::Catalog;
+use bi_core::report::evolve::{ReportUniverse, TableDesc, WorkloadParams};
+use bi_core::types::RoleId;
+use bi_synth::{Scenario, ScenarioConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn setup() -> (Catalog, ReportUniverse, RefIntegrity) {
+    let scenario = Scenario::generate(ScenarioConfig {
+        patients: 100,
+        prescriptions: 600,
+        lab_tests: 0,
+        ..Default::default()
+    });
+    let mut cat = Catalog::new();
+    cat.add_table(scenario.source("hospital").unwrap().table("Prescriptions").unwrap().clone())
+        .unwrap();
+    cat.add_table(scenario.source("health-agency").unwrap().table("DrugRegistry").unwrap().clone())
+        .unwrap();
+    let mut refs = RefIntegrity::new();
+    refs.add_fk("Prescriptions", "Drug", "DrugRegistry", "Drug");
+    let universe = ReportUniverse {
+        tables: vec![
+            TableDesc {
+                name: "Prescriptions".into(),
+                group_cols: vec!["Drug".into(), "Disease".into(), "Doctor".into()],
+                measure_cols: vec![],
+                filter_cols: vec![(
+                    "Disease".into(),
+                    vec!["HIV".into(), "asthma".into(), "hypertension".into(), "diabetes".into()],
+                )],
+            },
+            TableDesc {
+                name: "DrugRegistry".into(),
+                group_cols: vec!["Family".into(), "DrugName".into()],
+                measure_cols: vec![],
+                filter_cols: vec![(
+                    "Family".into(),
+                    vec!["antiviral".into(), "respiratory".into(), "metabolic".into()],
+                )],
+            },
+        ],
+        joins: vec![("Prescriptions".into(), "Drug".into(), "DrugRegistry".into(), "Drug".into())],
+        roles: vec![RoleId::new("analyst")],
+    };
+    (cat, universe, refs)
+}
+
+fn bench(c: &mut Criterion) {
+    let (cat, universe, refs) = setup();
+
+    // The headline table (printed once).
+    let params = ContinuumParams {
+        workload: WorkloadParams { initial_reports: 12, epochs: 12, events_per_epoch: 4, ..Default::default() },
+        ..Default::default()
+    };
+    let outcomes = simulate_continuum(&cat, &universe, &refs, &params).unwrap();
+    eprintln!("\nE5: Fig. 5 continuum (48 evolution events)");
+    eprintln!(
+        "  {:<12} {:>9} {:>9} {:>8} {:>10} {:>9}",
+        "level", "init cols", "re-elicit", "incr", "stability", "over-eng"
+    );
+    for o in &outcomes {
+        eprintln!(
+            "  {:<12} {:>9} {:>9} {:>8} {:>10.2} {:>8.0}%",
+            o.level.name(),
+            o.initial.schema_elements,
+            o.re_elicitations,
+            o.incremental.schema_elements,
+            o.stability,
+            o.over_engineering * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("e5_continuum");
+    group.sample_size(10);
+    for &epochs in &[4usize, 8, 16] {
+        let p = ContinuumParams {
+            workload: WorkloadParams {
+                initial_reports: 10,
+                epochs,
+                events_per_epoch: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("simulate", epochs), &p, |b, p| {
+            b.iter(|| simulate_continuum(&cat, &universe, &refs, p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! E6 — meta-report granularity ablation (the §5 design challenge:
+//! "how many meta-reports to define and how close they should be to the
+//! complexity of the data warehouse or the simplicity of the reports").
+//!
+//! Sweeps the granularity knob and prints, per setting: meta-report
+//! count, initial elicitation effort (owner-comprehension proxy),
+//! re-elicitations under churn, and stability. Benchmarks synthesis.
+//! Expected shape: coarser metas → fewer artifacts and fewer
+//! re-elicitations but each artifact is wider (harder for the owner);
+//! the interior settings trade between the extremes.
+
+use bi_core::continuum::{simulate_continuum, ContinuumParams};
+use bi_core::pla::PlaLevel;
+use bi_core::query::contain::RefIntegrity;
+use bi_core::query::Catalog;
+use bi_core::report::evolve::{EvolutionWorkload, ReportUniverse, TableDesc, WorkloadParams};
+use bi_core::report::generate::{synthesize_meta_reports, GranularityKnob};
+use bi_core::types::RoleId;
+use bi_synth::{Scenario, ScenarioConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn setup() -> (Catalog, ReportUniverse, RefIntegrity) {
+    let scenario = Scenario::generate(ScenarioConfig {
+        patients: 80,
+        prescriptions: 400,
+        lab_tests: 0,
+        ..Default::default()
+    });
+    let mut cat = Catalog::new();
+    for (src, t) in [("hospital", "Prescriptions"), ("health-agency", "DrugRegistry"), ("health-agency", "DrugCost"), ("municipality", "Residents")] {
+        cat.add_table(scenario.source(src).unwrap().table(t).unwrap().clone()).unwrap();
+    }
+    let mut refs = RefIntegrity::new();
+    refs.add_fk("Prescriptions", "Drug", "DrugRegistry", "Drug");
+    refs.add_fk("Prescriptions", "Drug", "DrugCost", "Drug");
+    refs.add_fk("Prescriptions", "Patient", "Residents", "Patient");
+    let universe = ReportUniverse {
+        tables: vec![
+            TableDesc {
+                name: "Prescriptions".into(),
+                group_cols: vec!["Drug".into(), "Disease".into(), "Doctor".into()],
+                measure_cols: vec![],
+                filter_cols: vec![("Disease".into(), vec!["HIV".into(), "asthma".into(), "hypertension".into()])],
+            },
+            TableDesc {
+                name: "DrugRegistry".into(),
+                group_cols: vec!["Family".into()],
+                measure_cols: vec![],
+                filter_cols: vec![],
+            },
+            TableDesc {
+                name: "DrugCost".into(),
+                group_cols: vec![],
+                measure_cols: vec!["Cost".into()],
+                filter_cols: vec![],
+            },
+            TableDesc {
+                name: "Residents".into(),
+                group_cols: vec!["Municipality".into()],
+                measure_cols: vec![],
+                filter_cols: vec![],
+            },
+        ],
+        joins: vec![
+            ("Prescriptions".into(), "Drug".into(), "DrugRegistry".into(), "Drug".into()),
+            ("Prescriptions".into(), "Drug".into(), "DrugCost".into(), "Drug".into()),
+            ("Prescriptions".into(), "Patient".into(), "Residents".into(), "Patient".into()),
+        ],
+        roles: vec![RoleId::new("analyst")],
+    };
+    (cat, universe, refs)
+}
+
+fn bench(c: &mut Criterion) {
+    let (cat, universe, refs) = setup();
+    let workload = WorkloadParams { initial_reports: 16, epochs: 10, events_per_epoch: 4, ..Default::default() };
+
+    eprintln!("\nE6: granularity sweep (overlap → metas / init cols / re-elicit / stability)");
+    for overlap in [1.0f64, 0.75, 0.5, 0.25, 0.0] {
+        let knob = GranularityKnob { merge_overlap: overlap };
+        let w = EvolutionWorkload::generate(workload, &universe);
+        let metas = synthesize_meta_reports(&w.initial, &cat, &refs, knob).unwrap().metas;
+        let params = ContinuumParams { workload, knob, ..Default::default() };
+        let outcomes = simulate_continuum(&cat, &universe, &refs, &params).unwrap();
+        let meta = outcomes.iter().find(|o| o.level == PlaLevel::MetaReport).unwrap();
+        eprintln!(
+            "  overlap={overlap:>4.2}: metas={:>2} init_cols={:>3} re_elicit={:>2} stability={:.2}",
+            metas.len(),
+            meta.initial.schema_elements,
+            meta.re_elicitations,
+            meta.stability
+        );
+    }
+
+    let w = EvolutionWorkload::generate(
+        WorkloadParams { initial_reports: 30, ..workload },
+        &universe,
+    );
+    let mut group = c.benchmark_group("e6_granularity");
+    for overlap in [1.0f64, 0.5, 0.0] {
+        let knob = GranularityKnob { merge_overlap: overlap };
+        group.bench_with_input(
+            BenchmarkId::new("synthesize_30_reports", format!("{overlap:.2}")),
+            &knob,
+            |b, knob| b.iter(|| synthesize_meta_reports(&w.initial, &cat, &refs, *knob).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

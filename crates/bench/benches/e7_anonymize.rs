@@ -1,0 +1,98 @@
+//! E7 — anonymization ablation (paper §3/§4 mechanisms).
+//!
+//! (a) Full-domain lattice vs. Mondrian: runtime and information loss
+//! across k and table size; (b) ℓ-diversity enforcement cost; (c)
+//! perturbation: how well aggregates survive noise (the paper's §4
+//! claim). Expected shape: Mondrian beats the lattice on information
+//! loss (discernibility) and scales better; aggregate error from
+//! perturbation shrinks with table size.
+
+use bi_core::anonymize::{
+    enforce_l_diversity, kanonymize, laplace_perturb, metrics, mondrian, Hierarchy,
+};
+use bi_core::anonymize::kanon::is_k_anonymous;
+use bi_core::anonymize::perturb::column_stats;
+use bi_core::relation::Table;
+use bi_core::types::{Column, DataType, Schema, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn patients(n: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let diseases = ["HIV", "asthma", "diabetes", "flu", "migraine"];
+    let schema = Schema::new(vec![
+        Column::new("Age", DataType::Int),
+        Column::new("Zip", DataType::Int),
+        Column::new("Disease", DataType::Text),
+        Column::new("Cost", DataType::Int),
+    ])
+    .unwrap();
+    let rows = (0..n)
+        .map(|_| {
+            vec![
+                Value::Int(rng.gen_range(18..95)),
+                Value::Int(38000 + rng.gen_range(0..40)),
+                diseases[rng.gen_range(0..diseases.len())].into(),
+                Value::Int(rng.gen_range(5..200)),
+            ]
+        })
+        .collect();
+    Table::from_rows("P", schema, rows).unwrap()
+}
+
+fn hiers() -> Vec<Hierarchy> {
+    vec![
+        Hierarchy::numeric("Age", vec![5.0, 20.0, 50.0]).unwrap(),
+        Hierarchy::numeric("Zip", vec![5.0, 20.0]).unwrap(),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    eprintln!("\nE7: information loss (discernibility, lower is better) at n=2000");
+    let t = patients(2_000, 7);
+    for &k in &[2usize, 5, 10] {
+        let full = kanonymize(&t, &hiers(), k, 20).unwrap();
+        let dm_full = metrics::discernibility(&full.table, &["Age", "Zip"], full.suppressed, t.len()).unwrap();
+        let mond = mondrian(&t, &["Age", "Zip"], k).unwrap();
+        assert!(is_k_anonymous(&mond, &["Age", "Zip"], k).unwrap());
+        let dm_mond = metrics::discernibility(&mond, &["Age", "Zip"], 0, t.len()).unwrap();
+        eprintln!(
+            "  k={k:>2}: full-domain dm={dm_full:>9} (levels {:?}, suppressed {})  mondrian dm={dm_mond:>9}",
+            full.levels, full.suppressed
+        );
+    }
+
+    let mut group = c.benchmark_group("e7_anonymize");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000, 8_000] {
+        let t = patients(n, 7);
+        group.bench_with_input(BenchmarkId::new("mondrian_k5", n), &t, |b, t| {
+            b.iter(|| mondrian(t, &["Age", "Zip"], 5).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("full_domain_k5", n), &t, |b, t| {
+            b.iter(|| kanonymize(t, &hiers(), 5, n / 100).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("l_diversity_3", n), &t, |b, t| {
+            let anon = mondrian(t, &["Age", "Zip"], 5).unwrap();
+            b.iter(|| enforce_l_diversity(&anon, &["Age", "Zip"], "Disease", 3).unwrap())
+        });
+    }
+    group.finish();
+
+    eprintln!("\nE7: aggregate accuracy under Laplace noise (scale=10 on Cost)");
+    for &n in &[200usize, 2_000, 20_000] {
+        let t = patients(n, 11);
+        let mut rng = StdRng::seed_from_u64(3);
+        let noisy = laplace_perturb(&t, "Cost", 10.0, &mut rng).unwrap();
+        let (m0, _) = column_stats(&t, "Cost").unwrap();
+        let (m1, _) = column_stats(&noisy, "Cost").unwrap();
+        eprintln!(
+            "  n={n:>6}: true mean={m0:8.3}  noisy mean={m1:8.3}  rel.err={:.3}%",
+            ((m1 - m0) / m0).abs() * 100.0
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion-only crate; see `benches/`.

@@ -1,0 +1,169 @@
+//! The elicitation cost model.
+//!
+//! The paper's comparison of PLA levels (§3–§5) is about what eliciting
+//! requirements *asks of the source owner*: how many schema elements
+//! they must understand, how many artifacts they must discuss, how many
+//! rules get written. This model makes those costs measurable so the
+//! Fig. 5 continuum becomes an experiment (E5) instead of a sketch.
+
+use std::collections::BTreeSet;
+
+use bi_query::{Catalog, Plan, QueryError};
+
+/// The cost of one elicitation round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ElicitationCost {
+    /// Distinct schema elements (columns) the owner must understand.
+    pub schema_elements: usize,
+    /// Artifacts discussed (tables, views, meta-reports, or reports).
+    pub artifacts: usize,
+}
+
+impl ElicitationCost {
+    /// Adds another round's cost.
+    pub fn add(&mut self, other: ElicitationCost) {
+        self.schema_elements += other.schema_elements;
+        self.artifacts += other.artifacts;
+    }
+}
+
+/// Cost of eliciting on raw source schemas (§3): every column of every
+/// table of every source is on the table — including ones the BI
+/// application will never use (the paper's "over-engineering" risk).
+pub fn source_level_cost<'a>(
+    sources: impl IntoIterator<Item = &'a Catalog>,
+) -> ElicitationCost {
+    let mut schema_elements = 0;
+    let mut artifacts = 0;
+    for cat in sources {
+        for t in cat.table_names() {
+            artifacts += 1;
+            if let Ok(s) = cat.schema_of(t) {
+                schema_elements += s.len();
+            }
+        }
+    }
+    ElicitationCost { schema_elements, artifacts }
+}
+
+/// Cost of eliciting on the warehouse schema (§4): the loaded tables.
+pub fn warehouse_level_cost(warehouse_catalog: &Catalog) -> ElicitationCost {
+    source_level_cost(std::iter::once(warehouse_catalog))
+}
+
+/// Cost of eliciting on a set of plans (meta-reports or reports): the
+/// owner sees each plan's *output* columns — implementation detail
+/// hidden, exactly the paper's argument for report-level elicitation.
+pub fn plans_cost<'a>(
+    plans: impl IntoIterator<Item = &'a Plan>,
+    cat: &Catalog,
+) -> Result<ElicitationCost, QueryError> {
+    let mut schema_elements = 0;
+    let mut artifacts = 0;
+    for p in plans {
+        artifacts += 1;
+        schema_elements += p.schema(cat)?.len();
+    }
+    Ok(ElicitationCost { schema_elements, artifacts })
+}
+
+/// Over-engineering ratio (§3): the fraction of elicited source columns
+/// never touched by any report in the portfolio. `elicited` is the set
+/// of `(table, column)` pairs covered by the elicitation; `plans` the
+/// portfolio.
+pub fn over_engineering_ratio(
+    elicited: &BTreeSet<(String, String)>,
+    plans: &[&Plan],
+    cat: &Catalog,
+) -> Result<f64, QueryError> {
+    if elicited.is_empty() {
+        return Ok(0.0);
+    }
+    let mut used: BTreeSet<(String, String)> = BTreeSet::new();
+    for p in plans {
+        let o = bi_query::origins::origins(p, cat)?;
+        used.extend(o.all_origins());
+    }
+    let unused = elicited.iter().filter(|e| !used.contains(*e)).count();
+    Ok(unused as f64 / elicited.len() as f64)
+}
+
+/// Every `(table, column)` of a catalog — the source-level elicitation
+/// surface.
+pub fn full_surface(cat: &Catalog) -> BTreeSet<(String, String)> {
+    let mut out = BTreeSet::new();
+    for t in cat.table_names() {
+        if let Ok(s) = cat.schema_of(t) {
+            for c in s.columns() {
+                out.insert((t.to_string(), c.name.clone()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_query::plan::{scan, AggItem};
+    use bi_relation::Table;
+    use bi_types::{Column, DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "Prescriptions",
+            Schema::new(vec![
+                Column::new("Patient", DataType::Text),
+                Column::new("Drug", DataType::Text),
+                Column::new("Disease", DataType::Text),
+            ])
+            .unwrap(),
+        ))
+        .unwrap();
+        cat.add_table(Table::new(
+            "DrugCost",
+            Schema::new(vec![
+                Column::new("Drug", DataType::Text),
+                Column::new("Cost", DataType::Int),
+            ])
+            .unwrap(),
+        ))
+        .unwrap();
+        cat
+    }
+
+    #[test]
+    fn source_cost_counts_everything() {
+        let cat = catalog();
+        let c = source_level_cost([&cat]);
+        assert_eq!(c.schema_elements, 5);
+        assert_eq!(c.artifacts, 2);
+        let mut sum = c;
+        sum.add(c);
+        assert_eq!(sum.schema_elements, 10);
+    }
+
+    #[test]
+    fn plan_cost_counts_outputs_only() {
+        let cat = catalog();
+        let report =
+            scan("Prescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
+        let c = plans_cost([&report], &cat).unwrap();
+        assert_eq!(c.schema_elements, 2, "Drug + n");
+        assert_eq!(c.artifacts, 1);
+    }
+
+    #[test]
+    fn over_engineering_measures_unused_surface() {
+        let cat = catalog();
+        let surface = full_surface(&cat);
+        assert_eq!(surface.len(), 5);
+        let report = scan("Prescriptions").project_cols(&["Drug"]);
+        let ratio = over_engineering_ratio(&surface, &[&report], &cat).unwrap();
+        // Only Prescriptions.Drug used → 4/5 wasted.
+        assert!((ratio - 0.8).abs() < 1e-9);
+        // Empty surface is trivially fine.
+        assert_eq!(over_engineering_ratio(&BTreeSet::new(), &[&report], &cat).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Elicitation-session simulation (paper §6 future work: "methodologies
+//! for interacting with the source owners in order to quickly converge
+//! to a set of PLAs").
+//!
+//! A simulated [`OwnerModel`] holds the owner's *latent* requirements —
+//! what they would object to if shown. The provider proposes a
+//! meta-report; each round, the owner raises at most `attention_span`
+//! objections (real elicitation meetings have bounded attention — the
+//! paper's observation that owners "are unaware of the details … of the
+//! data in the tables" until shown). The provider applies them and
+//! re-proposes. Convergence metrics let two proposal strategies be
+//! compared quantitatively:
+//!
+//! * **wide-first** — start from everything (the §3 source-level
+//!   instinct): converges slowly, drags hidden columns into discussion;
+//! * **minimal-first** — start from what the report portfolio needs
+//!   (the §5 meta-report instinct): fewer rounds, no wasted objections.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bi_pla::{AttrRef, PlaDocument, PlaLevel, PlaRule};
+use bi_relation::expr::Expr;
+use bi_types::{RoleId, SourceId};
+
+/// What a shown attribute makes the owner say.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stance {
+    /// Fine to expose.
+    Allow,
+    /// Must not appear at all (the column gets dropped).
+    Forbid,
+    /// Only in aggregates over at least `k` rows.
+    RequireAggregation { k: usize },
+    /// Only for these roles.
+    RestrictRoles { roles: BTreeSet<RoleId> },
+    /// Only on rows satisfying the condition (intensional).
+    RequireCondition { condition: Expr },
+}
+
+/// The owner's latent requirements: per-attribute stances, plus how many
+/// issues they can process per session.
+#[derive(Debug, Clone)]
+pub struct OwnerModel {
+    pub source: SourceId,
+    pub stances: BTreeMap<AttrRef, Stance>,
+    /// Objections raised per round (≥ 1).
+    pub attention_span: usize,
+}
+
+impl OwnerModel {
+    /// The stance on one attribute (unlisted attributes are allowed).
+    fn stance(&self, attr: &AttrRef) -> &Stance {
+        self.stances.get(attr).unwrap_or(&Stance::Allow)
+    }
+}
+
+/// One objection raised during a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objection {
+    pub attribute: AttrRef,
+    pub stance: Stance,
+}
+
+/// The outcome of a negotiation.
+#[derive(Debug, Clone)]
+pub struct NegotiationOutcome {
+    /// Sessions until the owner had nothing left to object to.
+    pub rounds: usize,
+    /// Attributes removed from the proposal entirely.
+    pub dropped: BTreeSet<AttrRef>,
+    /// The agreed PLA document.
+    pub document: PlaDocument,
+    /// Attributes that were shown but carried no latent requirement —
+    /// pure discussion overhead (the over-engineering cost, §3).
+    pub wasted_exposure: usize,
+}
+
+/// Runs the session loop: `proposal` is the set of attributes the
+/// provider puts on the table. Returns the agreement and its cost.
+pub fn negotiate(
+    proposal: &BTreeSet<AttrRef>,
+    owner: &OwnerModel,
+    document_id: &str,
+) -> NegotiationOutcome {
+    assert!(owner.attention_span >= 1, "owners notice at least one thing per session");
+    let mut remaining: BTreeSet<AttrRef> = proposal.clone();
+    let mut handled: BTreeSet<AttrRef> = BTreeSet::new();
+    let mut dropped = BTreeSet::new();
+    let mut doc = PlaDocument::new(document_id, owner.source.clone(), PlaLevel::MetaReport);
+    let mut rounds = 0usize;
+
+    loop {
+        // The owner reviews the current proposal and objects to at most
+        // `attention_span` not-yet-handled attributes with requirements.
+        let objections: Vec<Objection> = remaining
+            .iter()
+            .filter(|a| !handled.contains(*a))
+            .filter_map(|a| match owner.stance(a) {
+                Stance::Allow => None,
+                s => Some(Objection { attribute: a.clone(), stance: s.clone() }),
+            })
+            .take(owner.attention_span)
+            .collect();
+        if objections.is_empty() {
+            break;
+        }
+        rounds += 1;
+        for o in objections {
+            handled.insert(o.attribute.clone());
+            match o.stance {
+                Stance::Allow => unreachable!("filtered above"),
+                Stance::Forbid => {
+                    remaining.remove(&o.attribute);
+                    dropped.insert(o.attribute);
+                }
+                Stance::RequireAggregation { k } => {
+                    doc.rules.push(PlaRule::AggregationThreshold {
+                        table: o.attribute.table.clone(),
+                        min_group_size: k,
+                    });
+                }
+                Stance::RestrictRoles { roles } => {
+                    doc.rules.push(PlaRule::AttributeAccess {
+                        attribute: o.attribute.clone(),
+                        allowed_roles: roles,
+                        condition: None,
+                    });
+                }
+                Stance::RequireCondition { condition } => {
+                    doc.rules.push(PlaRule::AttributeAccess {
+                        attribute: o.attribute.clone(),
+                        allowed_roles: [RoleId::new("analyst"), RoleId::new("auditor")]
+                            .into_iter()
+                            .collect(),
+                        condition: Some(condition),
+                    });
+                }
+            }
+        }
+    }
+
+    // A final approval round always happens (the owner signs off).
+    rounds += 1;
+    let wasted_exposure = proposal
+        .iter()
+        .filter(|a| matches!(owner.stance(a), Stance::Allow))
+        .count();
+    NegotiationOutcome { rounds, dropped, document: doc, wasted_exposure }
+}
+
+/// Compares the wide-first and minimal-first strategies against the
+/// same owner: `all_attrs` is the full source surface, `needed` what the
+/// portfolio actually uses. Returns `(wide, minimal)` outcomes.
+pub fn compare_strategies(
+    all_attrs: &BTreeSet<AttrRef>,
+    needed: &BTreeSet<AttrRef>,
+    owner: &OwnerModel,
+) -> (NegotiationOutcome, NegotiationOutcome) {
+    let wide = negotiate(all_attrs, owner, "wide-first");
+    let minimal = negotiate(needed, owner, "minimal-first");
+    (wide, minimal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_relation::expr::{col, lit};
+
+    fn attr(c: &str) -> AttrRef {
+        AttrRef::new("Prescriptions", c)
+    }
+
+    fn owner(attention: usize) -> OwnerModel {
+        OwnerModel {
+            source: "hospital".into(),
+            stances: [
+                (attr("Patient"), Stance::Forbid),
+                (attr("Doctor"), Stance::RestrictRoles {
+                    roles: [RoleId::new("auditor")].into_iter().collect(),
+                }),
+                (attr("Disease"), Stance::RequireCondition {
+                    condition: col("Disease").ne(lit("HIV")),
+                }),
+                (attr("Drug"), Stance::RequireAggregation { k: 5 }),
+            ]
+            .into_iter()
+            .collect(),
+            attention_span: attention,
+        }
+    }
+
+    fn attrs(cols: &[&str]) -> BTreeSet<AttrRef> {
+        cols.iter().map(|c| attr(c)).collect()
+    }
+
+    #[test]
+    fn converges_and_collects_rules() {
+        let proposal = attrs(&["Patient", "Doctor", "Disease", "Drug", "Date"]);
+        let out = negotiate(&proposal, &owner(2), "test");
+        // 4 objections at 2 per round = 2 rounds + 1 approval.
+        assert_eq!(out.rounds, 3);
+        assert_eq!(out.dropped, attrs(&["Patient"]));
+        assert_eq!(out.document.rules.len(), 3);
+        assert_eq!(out.wasted_exposure, 1, "Date carried no requirement");
+        assert!(out
+            .document
+            .rules
+            .iter()
+            .any(|r| matches!(r, PlaRule::AggregationThreshold { min_group_size: 5, .. })));
+    }
+
+    #[test]
+    fn attention_span_drives_round_count() {
+        let proposal = attrs(&["Patient", "Doctor", "Disease", "Drug"]);
+        let slow = negotiate(&proposal, &owner(1), "slow");
+        let fast = negotiate(&proposal, &owner(4), "fast");
+        assert_eq!(slow.rounds, 5, "4 objections, one per session, plus sign-off");
+        assert_eq!(fast.rounds, 2);
+        // The agreements are the same either way.
+        assert_eq!(slow.document.rules.len(), fast.document.rules.len());
+        assert_eq!(slow.dropped, fast.dropped);
+    }
+
+    #[test]
+    fn minimal_first_beats_wide_first() {
+        // Wide proposal includes columns the portfolio never needs; the
+        // owner still has to look at them.
+        let all = attrs(&["Patient", "Doctor", "Disease", "Drug", "Date", "Ward", "Bed", "Insurer"]);
+        let needed = attrs(&["Drug", "Disease"]);
+        let (wide, minimal) = compare_strategies(&all, &needed, &owner(1));
+        assert!(minimal.rounds <= wide.rounds);
+        assert!(minimal.wasted_exposure < wide.wasted_exposure);
+        assert!(minimal.document.rules.len() <= wide.document.rules.len());
+    }
+
+    #[test]
+    fn all_allowed_is_one_signoff_round() {
+        let proposal = attrs(&["Date"]);
+        let out = negotiate(&proposal, &owner(3), "t");
+        assert_eq!(out.rounds, 1);
+        assert!(out.document.rules.is_empty());
+        assert!(out.dropped.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thing")]
+    fn zero_attention_is_rejected() {
+        let o = OwnerModel { source: "s".into(), stances: BTreeMap::new(), attention_span: 0 };
+        negotiate(&BTreeSet::new(), &o, "t");
+    }
+}

@@ -1,0 +1,247 @@
+//! Filesystem persistence for deployments.
+//!
+//! The paper's artifacts are *documents*: PLAs are signed agreements,
+//! extracts are shipped files. This module serializes a deployment's
+//! durable state to a directory and loads it back:
+//!
+//! ```text
+//! <dir>/
+//!   tables/<name>.csv        # warehouse tables (typed via schema files)
+//!   tables/<name>.schema     # one `name:Type[?]` line per column
+//!   agreements.pla           # every PLA document, in the DSL
+//! ```
+//!
+//! Round-trip fidelity is tested; schemas travel next to the data so a
+//! re-import needs no out-of-band knowledge.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use bi_pla::PlaDocument;
+use bi_query::Catalog;
+use bi_relation::{csv, Table};
+use bi_types::{Column, DataType, Schema};
+
+/// Storage failures.
+#[derive(Debug)]
+pub enum StorageError {
+    Io(io::Error),
+    /// Malformed schema / CSV / PLA content.
+    Format { file: String, message: String },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "{e}"),
+            StorageError::Format { file, message } => write!(f, "{file}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+fn format_err(file: &Path, message: impl std::fmt::Display) -> StorageError {
+    StorageError::Format { file: file.display().to_string(), message: message.to_string() }
+}
+
+/// Serializes a schema: one `name:Type` line per column, `?` marks
+/// nullable.
+fn schema_text(schema: &Schema) -> String {
+    let mut out = String::new();
+    for c in schema.columns() {
+        let _ = writeln!(out, "{}:{}{}", c.name, c.dtype, if c.nullable { "?" } else { "" });
+    }
+    out
+}
+
+fn parse_schema(text: &str, file: &Path) -> Result<Schema, StorageError> {
+    let mut cols = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, ty) = line
+            .split_once(':')
+            .ok_or_else(|| format_err(file, format!("bad schema line {line:?}")))?;
+        let (ty, nullable) = match ty.strip_suffix('?') {
+            Some(t) => (t, true),
+            None => (ty, false),
+        };
+        let dtype = match ty {
+            "Bool" => DataType::Bool,
+            "Int" => DataType::Int,
+            "Float" => DataType::Float,
+            "Text" => DataType::Text,
+            "Date" => DataType::Date,
+            other => return Err(format_err(file, format!("unknown type {other:?}"))),
+        };
+        cols.push(if nullable { Column::nullable(name, dtype) } else { Column::new(name, dtype) });
+    }
+    Schema::new(cols).map_err(|e| format_err(file, e))
+}
+
+/// Exports warehouse tables and PLA documents to `dir` (created if
+/// missing; existing files are overwritten).
+pub fn export_deployment(
+    dir: &Path,
+    catalog: &Catalog,
+    documents: &[PlaDocument],
+) -> Result<(), StorageError> {
+    let tables_dir = dir.join("tables");
+    fs::create_dir_all(&tables_dir)?;
+    for name in catalog.table_names() {
+        let table = catalog.table(name).expect("listed tables exist");
+        fs::write(tables_dir.join(format!("{name}.csv")), csv::to_csv(table))?;
+        fs::write(tables_dir.join(format!("{name}.schema")), schema_text(table.schema()))?;
+    }
+    let mut plas = String::new();
+    for (i, d) in documents.iter().enumerate() {
+        if i > 0 {
+            plas.push('\n');
+        }
+        let _ = writeln!(plas, "{d}");
+    }
+    fs::write(dir.join("agreements.pla"), plas)?;
+    Ok(())
+}
+
+/// Loads a deployment directory back: `(catalog, documents)`.
+pub fn import_deployment(dir: &Path) -> Result<(Catalog, Vec<PlaDocument>), StorageError> {
+    let mut catalog = Catalog::new();
+    let tables_dir = dir.join("tables");
+    if tables_dir.is_dir() {
+        let mut names: Vec<String> = Vec::new();
+        for entry in fs::read_dir(&tables_dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("csv") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    names.push(stem.to_string());
+                }
+            }
+        }
+        names.sort();
+        for name in names {
+            let schema_path = tables_dir.join(format!("{name}.schema"));
+            let schema_text = fs::read_to_string(&schema_path)?;
+            let schema = parse_schema(&schema_text, &schema_path)?;
+            let csv_path = tables_dir.join(format!("{name}.csv"));
+            let text = fs::read_to_string(&csv_path)?;
+            let table: Table =
+                csv::from_csv(&name, schema, &text).map_err(|e| format_err(&csv_path, e))?;
+            catalog.put_table(table);
+        }
+    }
+    let pla_path = dir.join("agreements.pla");
+    let documents = if pla_path.is_file() {
+        let text = fs::read_to_string(&pla_path)?;
+        bi_pla::dsl::parse_documents(&text).map_err(|e| format_err(&pla_path, e))?
+    } else {
+        Vec::new()
+    };
+    Ok((catalog, documents))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_pla::{PlaLevel, PlaRule};
+    use bi_types::Value;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("plabi-storage-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(bi_synth::fixtures::prescriptions()).unwrap();
+        cat.add_table(bi_synth::fixtures::drug_cost()).unwrap();
+        cat
+    }
+
+    fn docs() -> Vec<PlaDocument> {
+        vec![
+            PlaDocument::new("hospital-1", "hospital", PlaLevel::MetaReport).with_rule(
+                PlaRule::AggregationThreshold { table: "Prescriptions".into(), min_group_size: 5 },
+            ),
+            PlaDocument::new("agency-1", "health-agency", PlaLevel::Source).with_rule(
+                PlaRule::Purpose { allowed: ["quality".to_string()].into_iter().collect() },
+            ),
+        ]
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        export_deployment(&dir, &catalog(), &docs()).unwrap();
+        let (cat2, docs2) = import_deployment(&dir).unwrap();
+        assert_eq!(cat2.table_names(), vec!["DrugCost", "Prescriptions"]);
+        let p = cat2.table("Prescriptions").unwrap();
+        assert_eq!(p, &bi_synth::fixtures::prescriptions());
+        // Chris's NULL doctor survived (nullable column round-trips).
+        assert!(p.rows().iter().any(|r| r[1].is_null()));
+        assert_eq!(docs2, docs());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn schema_text_roundtrip() {
+        let schema = catalog().table("Prescriptions").unwrap().schema().clone();
+        let text = schema_text(&schema);
+        assert!(text.contains("Doctor:Text?"));
+        assert!(text.contains("Date:Date\n"));
+        let back = parse_schema(&text, Path::new("x")).unwrap();
+        assert_eq!(back, schema);
+        assert!(parse_schema("broken line", Path::new("x")).is_err());
+        assert!(parse_schema("a:Complex", Path::new("x")).is_err());
+    }
+
+    #[test]
+    fn missing_directory_is_empty_deployment() {
+        let dir = tmpdir("missing");
+        let (cat, docs) = import_deployment(&dir).unwrap();
+        assert!(cat.table_names().is_empty());
+        assert!(docs.is_empty());
+    }
+
+    #[test]
+    fn corrupted_files_error_with_path() {
+        let dir = tmpdir("corrupt");
+        export_deployment(&dir, &catalog(), &docs()).unwrap();
+        fs::write(dir.join("tables/DrugCost.csv"), "Drug,Cost\nDH,notanumber\n").unwrap();
+        let err = import_deployment(&dir).unwrap_err();
+        assert!(err.to_string().contains("DrugCost.csv"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn data_survives_a_modify_export_cycle() {
+        let dir = tmpdir("cycle");
+        let mut cat = catalog();
+        export_deployment(&dir, &cat, &[]).unwrap();
+        // Reload, mutate, re-export, reload.
+        let (mut cat2, _) = import_deployment(&dir).unwrap();
+        let mut t = cat2.table("DrugCost").unwrap().clone();
+        t.push_row(vec!["DX".into(), Value::Int(99)]).unwrap();
+        cat2.put_table(t);
+        export_deployment(&dir, &cat2, &[]).unwrap();
+        let (cat3, _) = import_deployment(&dir).unwrap();
+        assert_eq!(cat3.table("DrugCost").unwrap().len(), 6);
+        // Untouched table unchanged.
+        assert_eq!(cat3.table("Prescriptions").unwrap(), cat.table("Prescriptions").unwrap());
+        cat = cat3;
+        let _ = cat;
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,809 @@
+//! The end-to-end system facade.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use bi_audit::{AuditLog, Outcome};
+use bi_etl::{check_pipeline, run_pipeline, EtlReport, Pipeline};
+use bi_pla::{CombinedPolicy, PlaDocument, SubjectRegistry, Violation};
+use bi_query::Catalog;
+use bi_report::{check_report, render_enforced, ComplianceResult, EngineConfig, EnforcedReport, MetaReport, ReportSpec};
+use bi_types::{ConsumerId, Date, ReportId, SourceId};
+use bi_warehouse::Warehouse;
+
+/// Errors surfaced by the facade.
+#[derive(Debug)]
+pub enum SystemError {
+    /// ETL refused: the pipeline statically violates the PLAs.
+    PipelineViolations(Vec<Violation>),
+    Etl(bi_etl::EtlError),
+    Report(bi_report::ReportError),
+    Query(bi_query::QueryError),
+    UnknownReport(ReportId),
+    /// Declared referential integrity does not hold in the loaded data.
+    BrokenIntegrity(Vec<bi_etl::quality::RiViolation>),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::PipelineViolations(vs) => {
+                write!(f, "pipeline violates {} PLA rule(s)", vs.len())
+            }
+            SystemError::Etl(e) => write!(f, "{e}"),
+            SystemError::Report(e) => write!(f, "{e}"),
+            SystemError::Query(e) => write!(f, "{e}"),
+            SystemError::UnknownReport(id) => write!(f, "unknown report {id}"),
+            SystemError::BrokenIntegrity(vs) => {
+                write!(f, "declared referential integrity violated ({} finding(s))", vs.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<bi_etl::EtlError> for SystemError {
+    fn from(e: bi_etl::EtlError) -> Self {
+        SystemError::Etl(e)
+    }
+}
+
+impl From<bi_report::ReportError> for SystemError {
+    fn from(e: bi_report::ReportError) -> Self {
+        SystemError::Report(e)
+    }
+}
+
+impl From<bi_query::QueryError> for SystemError {
+    fn from(e: bi_query::QueryError) -> Self {
+        SystemError::Query(e)
+    }
+}
+
+/// The whole outsourced-BI deployment: sources + PLAs + ETL + warehouse
+/// + meta-reports + reports + enforcement + audit.
+pub struct BiSystem {
+    sources: BTreeMap<SourceId, Catalog>,
+    table_source: BTreeMap<String, SourceId>,
+    /// Full attribution: every source feeding each table (a warehouse
+    /// table built by joining/linking carries them all).
+    table_sources_all: BTreeMap<String, Vec<SourceId>>,
+    documents: Vec<PlaDocument>,
+    warehouse: Warehouse,
+    metas: Vec<MetaReport>,
+    reports: BTreeMap<ReportId, ReportSpec>,
+    subjects: SubjectRegistry,
+    log: AuditLog,
+    engine: EngineConfig,
+    today: Date,
+}
+
+impl BiSystem {
+    /// A fresh system at the given business date.
+    pub fn new(today: Date) -> Self {
+        BiSystem {
+            sources: BTreeMap::new(),
+            table_source: BTreeMap::new(),
+            table_sources_all: BTreeMap::new(),
+            documents: Vec::new(),
+            warehouse: Warehouse::new(),
+            metas: Vec::new(),
+            reports: BTreeMap::new(),
+            subjects: SubjectRegistry::new(),
+            log: AuditLog::new(),
+            engine: EngineConfig::default(),
+            today,
+        }
+    }
+
+    /// Registers a data source with its catalog; table names are
+    /// attributed to the source for join-permission checks.
+    pub fn register_source(&mut self, source: impl Into<SourceId>, catalog: Catalog) {
+        let sid = source.into();
+        for t in catalog.table_names() {
+            self.table_source.insert(t.to_string(), sid.clone());
+            self.table_sources_all.insert(t.to_string(), vec![sid.clone()]);
+        }
+        self.sources.insert(sid, catalog);
+    }
+
+    /// Registers a PLA document (from any level).
+    pub fn add_pla(&mut self, doc: PlaDocument) {
+        self.documents.push(doc);
+    }
+
+    /// Parses and registers PLA documents from DSL text.
+    pub fn add_pla_text(&mut self, text: &str) -> Result<usize, bi_pla::PlaError> {
+        let docs = bi_pla::dsl::parse_documents(text)?;
+        let n = docs.len();
+        self.documents.extend(docs);
+        Ok(n)
+    }
+
+    /// The combined (most-restrictive-wins) policy over every document
+    /// registered so far, including meta-report annotations.
+    pub fn policy(&self) -> CombinedPolicy {
+        let mut docs = self.documents.clone();
+        for m in &self.metas {
+            docs.extend(m.annotations.iter().cloned());
+        }
+        CombinedPolicy::combine(&docs)
+    }
+
+    /// Consumer/role registry.
+    pub fn subjects_mut(&mut self) -> &mut SubjectRegistry {
+        &mut self.subjects
+    }
+
+    /// Engine configuration (pseudonym keys, hierarchies).
+    pub fn engine_mut(&mut self) -> &mut EngineConfig {
+        &mut self.engine
+    }
+
+    /// The warehouse (catalog, star schema, declared FKs).
+    pub fn warehouse(&self) -> &Warehouse {
+        &self.warehouse
+    }
+
+    /// Mutable warehouse access (dimension/fact registration).
+    pub fn warehouse_mut(&mut self) -> &mut Warehouse {
+        &mut self.warehouse
+    }
+
+    /// The audit journal.
+    pub fn audit_log(&self) -> &AuditLog {
+        &self.log
+    }
+
+    /// Statically checks and runs an ETL pipeline with source-level
+    /// enforcement; loads its outputs into the warehouse and validates
+    /// declared referential integrity over the loaded tables.
+    pub fn run_etl(&mut self, pipeline: &Pipeline, purpose: Option<&str>) -> Result<EtlReport, SystemError> {
+        let policy = self.policy();
+        let violations = check_pipeline(pipeline, &policy, purpose);
+        if !violations.is_empty() {
+            return Err(SystemError::PipelineViolations(violations));
+        }
+        let report = run_pipeline(pipeline, &self.sources, Some(&policy), self.today)?;
+        // Validate referential integrity over a staging copy FIRST: a
+        // failure must leave the warehouse exactly as it was, not half
+        // loaded.
+        let mut staged = self.warehouse.catalog().clone();
+        for (table, _) in &report.loaded {
+            staged.put_table(table.clone());
+        }
+        let ri = bi_etl::quality::validate_ref_integrity(self.warehouse.refs(), &staged)?;
+        if !ri.is_empty() {
+            return Err(SystemError::BrokenIntegrity(ri));
+        }
+        for (table, srcs) in &report.loaded {
+            // Primary attribution for the per-table map, full attribution
+            // for join-permission checks across combined tables.
+            if let Some(first) = srcs.first() {
+                self.table_source.insert(table.name().to_string(), first.clone());
+            }
+            self.table_sources_all.insert(table.name().to_string(), srcs.clone());
+            self.warehouse.load_table(table.clone());
+        }
+        Ok(report)
+    }
+
+    /// Registers an approved meta-report.
+    pub fn add_meta_report(&mut self, meta: MetaReport) {
+        self.metas.push(meta);
+    }
+
+    /// Approved meta-reports.
+    pub fn meta_reports(&self) -> &[MetaReport] {
+        &self.metas
+    }
+
+    /// Defines (or replaces) a report.
+    pub fn define_report(&mut self, report: ReportSpec) {
+        self.reports.insert(report.id.clone(), report);
+    }
+
+    /// Removes a report definition.
+    pub fn remove_report(&mut self, id: &ReportId) -> bool {
+        self.reports.remove(id).is_some()
+    }
+
+    /// All defined reports.
+    pub fn reports(&self) -> impl Iterator<Item = &ReportSpec> {
+        self.reports.values()
+    }
+
+    /// Join-permission violations across the FULL source attribution of
+    /// every base table the plan touches. `bi_pla::check_plan` sees one
+    /// source per table; warehouse tables built from several sources
+    /// need every pair checked.
+    fn multi_source_violations(
+        &self,
+        plan: &bi_query::Plan,
+        policy: &CombinedPolicy,
+    ) -> Result<Vec<Violation>, SystemError> {
+        let o = bi_query::origins::origins(plan, self.warehouse.catalog())
+            .map_err(SystemError::from)?;
+        let mut sources: BTreeSet<&SourceId> = BTreeSet::new();
+        for t in &o.tables {
+            if let Some(all) = self.table_sources_all.get(t) {
+                sources.extend(all.iter());
+            }
+        }
+        let srcs: Vec<&SourceId> = sources.into_iter().collect();
+        let mut out = Vec::new();
+        for i in 0..srcs.len() {
+            for j in i + 1..srcs.len() {
+                if !policy.may_join(srcs[i], srcs[j]) {
+                    out.push(Violation {
+                        kind: "join-permission".into(),
+                        description: "report combines data of sources whose join is prohibited"
+                            .into(),
+                        subject: format!("{} ⋈ {}", srcs[i], srcs[j]),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs the compliance gate for a report (coverage + rule check).
+    pub fn check(&self, id: &ReportId) -> Result<ComplianceResult, SystemError> {
+        let report =
+            self.reports.get(id).ok_or_else(|| SystemError::UnknownReport(id.clone()))?;
+        let mut result = check_report(
+            report,
+            &self.metas,
+            self.warehouse.catalog(),
+            self.warehouse.refs(),
+            &self.documents,
+            &self.table_source,
+            self.today,
+        )
+        .map_err(SystemError::from)?;
+        let extra = self.multi_source_violations(&report.plan, &self.policy())?;
+        for v in extra {
+            if !result.violations.contains(&v) {
+                result.violations.push(v);
+            }
+        }
+        Ok(result)
+    }
+
+    /// Delivers a report to a consumer: compliance gate + enforcement +
+    /// audit logging. Refusals are logged too.
+    pub fn deliver(
+        &mut self,
+        id: &ReportId,
+        consumer: &ConsumerId,
+    ) -> Result<EnforcedReport, SystemError> {
+        let report = self
+            .reports
+            .get(id)
+            .ok_or_else(|| SystemError::UnknownReport(id.clone()))?
+            .clone();
+        let roles: BTreeSet<_> = self.subjects.roles_of(consumer);
+        // The consumer must hold one of the report's declared roles; the
+        // effective roles for PLA checks are the intersection.
+        let effective: BTreeSet<_> = roles.intersection(&report.consumers).cloned().collect();
+        let policy = self.policy();
+        // A consumer holding NONE of the report's declared roles is
+        // refused outright — the role list is the distribution list,
+        // regardless of whether any attribute is role-restricted. The
+        // same applies to prohibited cross-source combinations.
+        let mut upfront: Vec<Violation> = Vec::new();
+        if effective.is_empty() && !report.consumers.is_empty() {
+            upfront.push(Violation {
+                kind: "distribution".into(),
+                description: format!(
+                    "consumer {consumer} holds none of the report's roles"
+                ),
+                subject: id.to_string(),
+            });
+        }
+        upfront.extend(self.multi_source_violations(&report.plan, &policy)?);
+        if !upfront.is_empty() {
+            self.log.record(
+                self.today,
+                consumer.clone(),
+                effective.clone(),
+                id.clone(),
+                report.plan.clone(),
+                report.purpose.clone(),
+                Vec::new(),
+                Outcome::Refused { violations: upfront.clone() },
+            );
+            return Err(SystemError::Report(bi_report::ReportError::NonCompliant {
+                violations: upfront,
+            }));
+        }
+        let mut spec = report.clone();
+        spec.consumers = effective;
+
+        let result = render_enforced(
+            &spec,
+            self.warehouse.catalog(),
+            &policy,
+            &self.table_source,
+            &self.engine,
+            self.today,
+        );
+        match result {
+            Ok(enforced) => {
+                self.log.record(
+                    self.today,
+                    consumer.clone(),
+                    spec.consumers.clone(),
+                    id.clone(),
+                    report.plan.clone(),
+                    report.purpose.clone(),
+                    enforced.applied.clone(),
+                    Outcome::Delivered {
+                        rows: enforced.table.len(),
+                        suppressed_groups: enforced.suppressed_groups,
+                    },
+                );
+                Ok(enforced)
+            }
+            Err(bi_report::ReportError::NonCompliant { violations }) => {
+                self.log.record(
+                    self.today,
+                    consumer.clone(),
+                    spec.consumers.clone(),
+                    id.clone(),
+                    report.plan.clone(),
+                    report.purpose.clone(),
+                    Vec::new(),
+                    Outcome::Refused { violations: violations.clone() },
+                );
+                Err(SystemError::Report(bi_report::ReportError::NonCompliant { violations }))
+            }
+            Err(e) => Err(SystemError::Report(e)),
+        }
+    }
+
+    /// Lints every registered PLA document (including meta-report
+    /// annotations) against the warehouse catalog: typo'd tables or
+    /// columns in an agreement protect nothing, so surface them.
+    pub fn lint_plas(&self) -> Vec<(bi_types::PlaId, bi_pla::LintWarning)> {
+        let mut out = Vec::new();
+        let metas_docs = self.metas.iter().flat_map(|m| m.annotations.iter());
+        for doc in self.documents.iter().chain(metas_docs) {
+            for w in bi_pla::lint_document(doc, self.warehouse.catalog()) {
+                out.push((doc.id.clone(), w));
+            }
+        }
+        out
+    }
+
+    /// Delivers a report and renders the consumer-facing delivery
+    /// document (table + audit context) in one step.
+    pub fn deliver_document(
+        &mut self,
+        id: &ReportId,
+        consumer: &ConsumerId,
+    ) -> Result<String, SystemError> {
+        let binding: Vec<bi_types::PlaId> = self
+            .documents
+            .iter()
+            .map(|d| d.id.clone())
+            .chain(self.metas.iter().flat_map(|m| m.annotations.iter().map(|d| d.id.clone())))
+            .collect();
+        let spec = self
+            .reports
+            .get(id)
+            .ok_or_else(|| SystemError::UnknownReport(id.clone()))?
+            .clone();
+        let enforced = self.deliver(id, consumer)?;
+        Ok(bi_report::render::delivery_document(&spec, &enforced, consumer, self.today, &binding))
+    }
+
+    /// Third-party audit: replay all deliveries against today's policy.
+    pub fn recheck(&self) -> Result<Vec<bi_audit::AuditFinding>, SystemError> {
+        bi_audit::recheck_log(&self.log, self.warehouse.catalog(), &self.policy(), &self.table_source)
+            .map_err(SystemError::from)
+    }
+
+    /// Dispute resolution: which deliveries exposed `table.column`?
+    pub fn dispute(
+        &self,
+        table: &str,
+        column: &str,
+    ) -> Result<Vec<bi_audit::Exposure>, SystemError> {
+        bi_audit::responsible_deliveries(&self.log, self.warehouse.catalog(), table, column)
+            .map_err(SystemError::from)
+    }
+
+    /// Table → owning source attribution.
+    pub fn table_source(&self) -> &BTreeMap<String, SourceId> {
+        &self.table_source
+    }
+
+    /// The business date the system operates at.
+    pub fn today(&self) -> Date {
+        self.today
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_etl::EtlOp;
+    use bi_pla::{PlaLevel, PlaRule};
+    use bi_query::plan::{scan, AggItem};
+    use bi_types::RoleId;
+
+    fn today() -> Date {
+        Date::new(2008, 7, 1).unwrap()
+    }
+
+    /// Minimal end-to-end: scenario → ETL → warehouse → meta → report.
+    fn build_system() -> BiSystem {
+        let scenario = bi_synth::Scenario::generate(bi_synth::ScenarioConfig {
+            patients: 40,
+            prescriptions: 200,
+            lab_tests: 60,
+            ..Default::default()
+        });
+        let mut sys = BiSystem::new(today());
+        for (sid, cat) in &scenario.sources {
+            sys.register_source(sid.clone(), cat.clone());
+        }
+        sys.add_pla_text(
+            r#"pla "hospital-1" source hospital version 1 level meta-report {
+  require aggregation FactPrescriptions min 2;
+  allow integration by hospital;
+  allow integration by laboratory;
+}"#,
+        )
+        .unwrap();
+
+        let pipeline = Pipeline::new("nightly")
+            .step("e1", EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "stg".into(),
+            })
+            .step("l1", EtlOp::Load { table: "stg".into(), warehouse_table: "FactPrescriptions".into() });
+        sys.run_etl(&pipeline, Some("quality")).unwrap();
+
+        sys.add_meta_report(
+            MetaReport::new(
+                "m1",
+                "Prescription universe",
+                scan("FactPrescriptions").project_cols(&["Patient", "Drug", "Disease", "Date"]),
+            )
+            .approved("hospital"),
+        );
+        sys.subjects_mut().grant("alice@agency", "analyst");
+        sys
+    }
+
+    #[test]
+    fn end_to_end_delivery_and_audit() {
+        let mut sys = build_system();
+        sys.define_report(ReportSpec::new(
+            "r-consumption",
+            "Drug consumption",
+            scan("FactPrescriptions")
+                .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")]),
+            [RoleId::new("analyst")],
+        ));
+        let check = sys.check(&ReportId::new("r-consumption")).unwrap();
+        assert!(check.is_compliant(), "violations: {:?}", check.violations);
+
+        let delivered = sys.deliver(&ReportId::new("r-consumption"), &ConsumerId::new("alice@agency")).unwrap();
+        assert!(!delivered.table.is_empty());
+        assert_eq!(sys.audit_log().deliveries().count(), 1);
+        assert!(sys.recheck().unwrap().is_empty());
+        // The delivered cube exposes Drug but not Doctor.
+        assert_eq!(sys.dispute("Prescriptions", "Doctor").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn raw_reports_are_refused_and_logged() {
+        let mut sys = build_system();
+        sys.define_report(ReportSpec::new(
+            "r-raw",
+            "Raw rows",
+            scan("FactPrescriptions").project_cols(&["Patient", "Disease"]),
+            [RoleId::new("analyst")],
+        ));
+        let err = sys.deliver(&ReportId::new("r-raw"), &ConsumerId::new("alice@agency"));
+        assert!(matches!(err, Err(SystemError::Report(bi_report::ReportError::NonCompliant { .. }))));
+        assert_eq!(sys.audit_log().refusal_count(), 1);
+    }
+
+    #[test]
+    fn pipeline_violations_block_etl() {
+        let mut sys = build_system();
+        sys.add_pla(
+            PlaDocument::new("lab-1", "laboratory", PlaLevel::Source).with_rule(PlaRule::JoinPermission {
+                left_source: "hospital".into(),
+                right_source: "laboratory".into(),
+                allowed: false,
+            }),
+        );
+        let pipeline = Pipeline::new("linking")
+            .step("e1", EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "a".into(),
+            })
+            .step("e2", EtlOp::Extract {
+                source: "laboratory".into(),
+                table: "LabTests".into(),
+                as_name: "b".into(),
+            })
+            .step("er", EtlOp::EntityResolution {
+                left: "a".into(),
+                right: "b".into(),
+                on: vec![("Patient".into(), "Person".into())],
+                threshold: 0.9,
+                out: "linked".into(),
+            });
+        assert!(matches!(
+            sys.run_etl(&pipeline, None),
+            Err(SystemError::PipelineViolations(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_reports_and_consumers() {
+        let mut sys = build_system();
+        assert!(matches!(
+            sys.deliver(&ReportId::new("ghost"), &ConsumerId::new("alice@agency")),
+            Err(SystemError::UnknownReport(_))
+        ));
+        // A consumer holding none of the report's declared roles is
+        // refused outright — the role list is the distribution list —
+        // and the refusal is journaled for the auditor.
+        sys.define_report(ReportSpec::new(
+            "r-c",
+            "Counts",
+            scan("FactPrescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]),
+            [RoleId::new("analyst")],
+        ));
+        let refusals_before = sys.audit_log().refusal_count();
+        let out = sys.deliver(&ReportId::new("r-c"), &ConsumerId::new("stranger"));
+        assert!(matches!(
+            out,
+            Err(SystemError::Report(bi_report::ReportError::NonCompliant { .. }))
+        ));
+        assert_eq!(sys.audit_log().refusal_count(), refusals_before + 1);
+        // A consumer holding the role is served.
+        sys.subjects_mut().grant("member", "analyst");
+        assert!(sys.deliver(&ReportId::new("r-c"), &ConsumerId::new("member")).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod lint_and_document_tests {
+    use super::*;
+    use bi_etl::EtlOp;
+    use bi_query::plan::{scan, AggItem};
+    use bi_types::RoleId;
+
+    #[test]
+    fn lint_catches_agreement_typos_against_the_warehouse() {
+        let scenario = bi_synth::Scenario::generate(bi_synth::ScenarioConfig {
+            patients: 20,
+            prescriptions: 60,
+            lab_tests: 0,
+            ..Default::default()
+        });
+        let mut sys = BiSystem::new(Date::new(2008, 7, 1).unwrap());
+        for (sid, cat) in &scenario.sources {
+            sys.register_source(sid.clone(), cat.clone());
+        }
+        sys.add_pla_text(
+            r#"pla "typo" source hospital version 1 level meta-report {
+  require aggregation FactPerscriptions min 5;
+}"#,
+        )
+        .unwrap();
+        let pipeline = Pipeline::new("p")
+            .step("e", EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "s".into(),
+            })
+            .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "FactPrescriptions".into() });
+        sys.run_etl(&pipeline, None).unwrap();
+        let warnings = sys.lint_plas();
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].0.as_str(), "typo");
+        assert!(warnings[0].1.message.contains("FactPerscriptions"));
+    }
+
+    #[test]
+    fn deliver_document_renders_audit_context() {
+        let scenario = bi_synth::Scenario::generate(bi_synth::ScenarioConfig {
+            patients: 20,
+            prescriptions: 100,
+            lab_tests: 0,
+            ..Default::default()
+        });
+        let mut sys = BiSystem::new(Date::new(2008, 7, 1).unwrap());
+        for (sid, cat) in &scenario.sources {
+            sys.register_source(sid.clone(), cat.clone());
+        }
+        sys.add_pla_text(
+            r#"pla "hospital-1" source hospital version 1 level meta-report {
+  require aggregation Fact min 2;
+}"#,
+        )
+        .unwrap();
+        let pipeline = Pipeline::new("p")
+            .step("e", EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "s".into(),
+            })
+            .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "Fact".into() });
+        sys.run_etl(&pipeline, None).unwrap();
+        sys.add_meta_report(
+            MetaReport::new("m", "u", scan("Fact").project_cols(&["Drug"])).approved("hospital"),
+        );
+        sys.subjects_mut().grant("ada", "analyst");
+        sys.define_report(
+            ReportSpec::new(
+                "r",
+                "Drug counts",
+                scan("Fact").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]),
+                [RoleId::new("analyst")],
+            )
+            .for_purpose("quality"),
+        );
+        let doc = sys.deliver_document(&"r".into(), &"ada".into()).unwrap();
+        assert!(doc.contains("REPORT  r — Drug counts"));
+        assert!(doc.contains("FOR     ada on 2008-07-01"));
+        assert!(doc.contains("UNDER   hospital-1"));
+        assert!(doc.contains("Drug | n"));
+        assert_eq!(sys.audit_log().deliveries().count(), 1, "delivery is journaled");
+    }
+}
+
+#[cfg(test)]
+mod multi_source_tests {
+    use super::*;
+    use bi_etl::EtlOp;
+    use bi_pla::{PlaLevel, PlaRule};
+    use bi_query::plan::{scan, AggItem};
+    use bi_types::RoleId;
+
+    /// A warehouse table built by LINKING two sources must be gated by
+    /// join permissions against BOTH sources, not just the first.
+    #[test]
+    fn combined_tables_carry_every_source_into_join_checks() {
+        let scenario = bi_synth::Scenario::generate(bi_synth::ScenarioConfig {
+            patients: 30,
+            prescriptions: 150,
+            lab_tests: 80,
+            ..Default::default()
+        });
+        let mut sys = BiSystem::new(Date::new(2008, 7, 1).unwrap());
+        for (sid, cat) in &scenario.sources {
+            sys.register_source(sid.clone(), cat.clone());
+        }
+        // Integration granted (the link itself is allowed)…
+        sys.add_pla_text(
+            r#"pla "grants" source hospital version 1 level source {
+  allow integration by hospital;
+  allow integration by laboratory;
+}"#,
+        )
+        .unwrap();
+        let pipeline = Pipeline::new("link")
+            .step("e1", EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "p".into(),
+            })
+            .step("e2", EtlOp::Extract {
+                source: "laboratory".into(),
+                table: "LabTests".into(),
+                as_name: "l".into(),
+            })
+            .step("er", EtlOp::EntityResolution {
+                left: "p".into(),
+                right: "l".into(),
+                on: vec![("Patient".into(), "Person".into())],
+                threshold: 0.95,
+                out: "linked".into(),
+            })
+            .step("load", EtlOp::Load { table: "linked".into(), warehouse_table: "FactLinked".into() });
+        sys.run_etl(&pipeline, None).unwrap();
+
+        sys.add_meta_report(
+            MetaReport::new("m", "u", scan("FactLinked").project_cols(&["Drug", "Test"]))
+                .approved("hospital"),
+        );
+        sys.subjects_mut().grant("ada", "analyst");
+        sys.define_report(ReportSpec::new(
+            "r",
+            "linked counts",
+            scan("FactLinked").aggregate(vec!["Test".into()], vec![AggItem::count_star("n")]),
+            [RoleId::new("analyst")],
+        ));
+        // Initially deliverable.
+        assert!(sys.deliver(&"r".into(), &"ada".into()).is_ok());
+
+        // …but the municipality-style prohibition arrives LATER, between
+        // the two linked sources. The combined table must now be blocked
+        // even though its primary attribution is just "hospital".
+        sys.add_pla(
+            PlaDocument::new("ban", "laboratory", PlaLevel::Source).with_rule(
+                PlaRule::JoinPermission {
+                    left_source: "hospital".into(),
+                    right_source: "laboratory".into(),
+                    allowed: false,
+                },
+            ),
+        );
+        let gate = sys.check(&"r".into()).unwrap();
+        assert!(gate.violations.iter().any(|v| v.kind == "join-permission"));
+        assert!(sys.deliver(&"r".into(), &"ada".into()).is_err());
+    }
+
+    /// A failed referential-integrity validation must leave the
+    /// warehouse untouched (no partially loaded tables).
+    #[test]
+    fn broken_integrity_loads_nothing() {
+        let scenario = bi_synth::Scenario::generate(bi_synth::ScenarioConfig {
+            patients: 20,
+            prescriptions: 80,
+            lab_tests: 0,
+            ..Default::default()
+        });
+        let mut sys = BiSystem::new(Date::new(2008, 7, 1).unwrap());
+        for (sid, cat) in &scenario.sources {
+            sys.register_source(sid.clone(), cat.clone());
+        }
+        // Declare an FK the loaded data will violate: facts reference a
+        // registry we deliberately empty before loading.
+        use bi_warehouse::{DimLevel, Dimension, FactTable};
+        sys.warehouse_mut().add_dimension(Dimension {
+            name: "Drug".into(),
+            table: "DimDrug".into(),
+            key: "Drug".into(),
+            levels: vec![DimLevel { name: "Drug".into(), column: "DrugName".into() }],
+        });
+        sys.warehouse_mut()
+            .add_fact(FactTable {
+                name: "Prescriptions".into(),
+                table: "Fact".into(),
+                dims: vec![("Drug".into(), "Drug".into())],
+                measures: vec![],
+            })
+            .unwrap();
+        // Load an EMPTY DimDrug alongside the fact: every fact drug dangles.
+        let pipeline = Pipeline::new("bad")
+            .step("e", EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "s".into(),
+            })
+            .step("f", EtlOp::FilterRows {
+                table: "s".into(),
+                pred: bi_relation::expr::lit(true),
+            })
+            .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "Fact".into() })
+            .step("e2", EtlOp::Extract {
+                source: "health-agency".into(),
+                table: "DrugRegistry".into(),
+                as_name: "r".into(),
+            })
+            .step("f2", EtlOp::FilterRows {
+                table: "r".into(),
+                pred: bi_relation::expr::lit(false), // empties the dimension
+            })
+            .step("l2", EtlOp::Load { table: "r".into(), warehouse_table: "DimDrug".into() });
+        let err = sys.run_etl(&pipeline, None);
+        assert!(matches!(err, Err(SystemError::BrokenIntegrity(_))));
+        // Nothing was committed — not even the fact table.
+        assert!(sys.warehouse().catalog().table("Fact").is_none());
+        assert!(sys.warehouse().catalog().table("DimDrug").is_none());
+    }
+}

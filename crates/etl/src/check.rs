@@ -1,0 +1,236 @@
+//! Static PLA compliance of an ETL pipeline (paper §4, Fig. 3(b)).
+//!
+//! "PLAs associated with the ETL procedures can restrict the operations
+//! that are allowed on the source tables." [`check_pipeline`] walks the
+//! pipeline *without running it*, tracking which sources feed every
+//! staged table, and flags:
+//!
+//! * joins (exact or fuzzy) combining sources whose join is prohibited;
+//! * entity resolution involving any source that did not grant the
+//!   integration permission;
+//! * loads of tables whose data is purpose-limited while the pipeline
+//!   declares an incompatible purpose.
+
+use std::collections::BTreeMap;
+
+use bi_pla::{CombinedPolicy, Violation};
+use bi_types::SourceId;
+
+use crate::pipeline::{EtlOp, Pipeline};
+
+/// Statically checks a pipeline against the combined policy. `purpose`
+/// is the declared purpose of the whole pipeline, if any.
+pub fn check_pipeline(
+    pipeline: &Pipeline,
+    policy: &CombinedPolicy,
+    purpose: Option<&str>,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    // Which sources feed each staging name, tracked symbolically.
+    let mut feeds: BTreeMap<String, Vec<SourceId>> = BTreeMap::new();
+
+    if let Some(p) = purpose {
+        if !policy.purpose_allowed(p) {
+            violations.push(Violation {
+                kind: "purpose".into(),
+                description: format!("pipeline purpose {p:?} is not allowed by the PLAs"),
+                subject: pipeline.name.clone(),
+            });
+        }
+    }
+
+    let check_combination = |step_id: &str,
+                                 left: &[SourceId],
+                                 right: &[SourceId],
+                                 violations: &mut Vec<Violation>| {
+        for a in left {
+            for b in right {
+                if a != b && !policy.may_join(a, b) {
+                    violations.push(Violation {
+                        kind: "join-permission".into(),
+                        description: format!("step {step_id} combines sources whose join is prohibited"),
+                        subject: format!("{a} ⋈ {b}"),
+                    });
+                }
+            }
+        }
+    };
+
+    for step in &pipeline.steps {
+        match &step.op {
+            EtlOp::Extract { source, as_name, .. } => {
+                feeds.insert(as_name.clone(), vec![source.clone()]);
+            }
+            EtlOp::FilterRows { table, .. }
+            | EtlOp::Standardize { table, .. }
+            | EtlOp::FuzzyCanonicalize { table, .. }
+            | EtlOp::Derive { table, .. }
+            | EtlOp::Deduplicate { table } => {
+                // Source set unchanged; unknown tables are a run-time
+                // error, not a policy question.
+                let _ = table;
+            }
+            EtlOp::Join { left, right, out, .. } => {
+                let l = feeds.get(left).cloned().unwrap_or_default();
+                let r = feeds.get(right).cloned().unwrap_or_default();
+                check_combination(&step.id, &l, &r, &mut violations);
+                let mut merged = l;
+                for s in r {
+                    if !merged.contains(&s) {
+                        merged.push(s);
+                    }
+                }
+                feeds.insert(out.clone(), merged);
+            }
+            EtlOp::EntityResolution { left, right, out, .. } => {
+                let l = feeds.get(left).cloned().unwrap_or_default();
+                let r = feeds.get(right).cloned().unwrap_or_default();
+                check_combination(&step.id, &l, &r, &mut violations);
+                // Integration permission: cleaning/resolving uses *both*
+                // sides' information, so every distinct source involved
+                // must have granted it.
+                let mut involved = l.clone();
+                for s in &r {
+                    if !involved.contains(s) {
+                        involved.push(s.clone());
+                    }
+                }
+                if involved.len() > 1 {
+                    for s in &involved {
+                        if !policy.may_integrate(s) {
+                            violations.push(Violation {
+                                kind: "integration-permission".into(),
+                                description: format!(
+                                    "step {} performs entity resolution but source has not granted integration",
+                                    step.id
+                                ),
+                                subject: s.to_string(),
+                            });
+                        }
+                    }
+                }
+                let mut merged = l;
+                for s in r {
+                    if !merged.contains(&s) {
+                        merged.push(s);
+                    }
+                }
+                feeds.insert(out.clone(), merged);
+            }
+            EtlOp::Load { .. } => {}
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{EtlOp, Pipeline};
+    use bi_pla::{PlaDocument, PlaLevel, PlaRule};
+
+    fn extract(step: &str, source: &str, as_name: &str) -> (String, EtlOp) {
+        (
+            step.to_string(),
+            EtlOp::Extract { source: source.into(), table: "T".into(), as_name: as_name.into() },
+        )
+    }
+
+    fn er_pipeline() -> Pipeline {
+        let (i1, e1) = extract("e1", "hospital", "a");
+        let (i2, e2) = extract("e2", "laboratory", "b");
+        Pipeline::new("er")
+            .step(i1, e1)
+            .step(i2, e2)
+            .step(
+                "er",
+                EtlOp::EntityResolution {
+                    left: "a".into(),
+                    right: "b".into(),
+                    on: vec![("Patient".into(), "Person".into())],
+                    threshold: 0.9,
+                    out: "linked".into(),
+                },
+            )
+    }
+
+    #[test]
+    fn integration_permission_required_for_er() {
+        // No grants: both sources flagged.
+        let policy = CombinedPolicy::combine(&[]);
+        let v = check_pipeline(&er_pipeline(), &policy, None);
+        assert_eq!(v.iter().filter(|v| v.kind == "integration-permission").count(), 2);
+
+        // One grant: the other still flagged.
+        let doc = PlaDocument::new("h", "hospital", PlaLevel::Source)
+            .with_rule(PlaRule::IntegrationPermission { source: "hospital".into(), allowed: true });
+        let policy = CombinedPolicy::combine(std::slice::from_ref(&doc));
+        let v = check_pipeline(&er_pipeline(), &policy, None);
+        assert_eq!(v.iter().filter(|v| v.kind == "integration-permission").count(), 1);
+        assert_eq!(v[0].subject, "laboratory");
+
+        // Both grants: clean.
+        let doc2 = PlaDocument::new("l", "laboratory", PlaLevel::Source)
+            .with_rule(PlaRule::IntegrationPermission { source: "laboratory".into(), allowed: true });
+        let policy = CombinedPolicy::combine(&[doc, doc2]);
+        assert!(check_pipeline(&er_pipeline(), &policy, None).is_empty());
+    }
+
+    #[test]
+    fn join_prohibition_propagates_through_staging() {
+        let doc = PlaDocument::new("h", "hospital", PlaLevel::Source).with_rule(PlaRule::JoinPermission {
+            left_source: "hospital".into(),
+            right_source: "municipality".into(),
+            allowed: false,
+        });
+        let policy = CombinedPolicy::combine(&[doc]);
+        let (i1, e1) = extract("e1", "hospital", "a");
+        let (i2, e2) = extract("e2", "municipality", "b");
+        let (i3, e3) = extract("e3", "agency", "c");
+        // a ⋈ c first (fine), then (a⋈c) ⋈ b — the hospital data inside
+        // the intermediate must still be protected.
+        let p = Pipeline::new("chain")
+            .step(i1, e1)
+            .step(i2, e2)
+            .step(i3, e3)
+            .step("j1", EtlOp::Join { left: "a".into(), right: "c".into(), on: vec![], out: "ac".into() })
+            .step("j2", EtlOp::Join { left: "ac".into(), right: "b".into(), on: vec![], out: "acb".into() });
+        let v = check_pipeline(&p, &policy, None);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, "join-permission");
+        assert!(v[0].description.contains("j2"));
+    }
+
+    #[test]
+    fn purpose_checked_once() {
+        let doc = PlaDocument::new("h", "hospital", PlaLevel::Source).with_rule(PlaRule::Purpose {
+            allowed: ["quality".to_string()].into_iter().collect(),
+        });
+        let policy = CombinedPolicy::combine(&[doc]);
+        let (i1, e1) = extract("e1", "hospital", "a");
+        let p = Pipeline::new("p").step(i1, e1);
+        assert!(check_pipeline(&p, &policy, Some("quality")).is_empty());
+        let v = check_pipeline(&p, &policy, Some("marketing"));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, "purpose");
+        assert!(check_pipeline(&p, &policy, None).is_empty(), "no declared purpose, no check");
+    }
+
+    #[test]
+    fn same_source_er_needs_no_permission() {
+        let policy = CombinedPolicy::combine(&[]);
+        let (i1, e1) = extract("e1", "hospital", "a");
+        let (i2, e2) = extract("e2", "hospital", "b");
+        let p = Pipeline::new("self").step(i1, e1).step(i2, e2).step(
+            "er",
+            EtlOp::EntityResolution {
+                left: "a".into(),
+                right: "b".into(),
+                on: vec![("x".into(), "y".into())],
+                threshold: 0.9,
+                out: "o".into(),
+            },
+        );
+        assert!(check_pipeline(&p, &policy, None).is_empty(), "cleaning your own data is fine");
+    }
+}

@@ -1,0 +1,85 @@
+//! Errors for the ETL layer.
+
+use std::fmt;
+
+use bi_query::QueryError;
+use bi_relation::RelationError;
+
+/// ETL failures.
+#[derive(Debug)]
+pub enum EtlError {
+    /// Underlying query/relational error.
+    Query(QueryError),
+    /// A step referenced a staging table that does not exist (yet).
+    NoSuchStagingTable { name: String, step: String },
+    /// A step referenced an unknown source.
+    NoSuchSource { source: String, step: String },
+    /// The pipeline violates a PLA (static check ran as part of the run).
+    PolicyViolation { violations: Vec<bi_pla::Violation> },
+    /// Bad step parameters.
+    BadStep { step: String, reason: String },
+}
+
+impl fmt::Display for EtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtlError::Query(e) => write!(f, "{e}"),
+            EtlError::NoSuchStagingTable { name, step } => {
+                write!(f, "step {step}: staging table {name:?} not found")
+            }
+            EtlError::NoSuchSource { source, step } => {
+                write!(f, "step {step}: unknown source {source:?}")
+            }
+            EtlError::PolicyViolation { violations } => {
+                write!(f, "pipeline violates {} PLA rule(s): ", violations.len())?;
+                for (i, v) in violations.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("; ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+            EtlError::BadStep { step, reason } => write!(f, "step {step}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EtlError {}
+
+impl From<QueryError> for EtlError {
+    fn from(e: QueryError) -> Self {
+        EtlError::Query(e)
+    }
+}
+
+impl From<RelationError> for EtlError {
+    fn from(e: RelationError) -> Self {
+        EtlError::Query(QueryError::Relation(e))
+    }
+}
+
+impl From<bi_types::TypeError> for EtlError {
+    fn from(e: bi_types::TypeError) -> Self {
+        EtlError::Query(QueryError::Relation(RelationError::Type(e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = EtlError::NoSuchStagingTable { name: "T".into(), step: "s1".into() };
+        assert!(e.to_string().contains("staging table"));
+        let e = EtlError::PolicyViolation {
+            violations: vec![bi_pla::Violation {
+                kind: "join-permission".into(),
+                description: "nope".into(),
+                subject: "a ⋈ b".into(),
+            }],
+        };
+        assert!(e.to_string().contains("join-permission"));
+    }
+}

@@ -1,0 +1,299 @@
+//! Data quality primitives: similarity, profiling, integrity.
+
+use std::collections::{HashMap, HashSet};
+
+use bi_query::contain::RefIntegrity;
+use bi_query::Catalog;
+use bi_relation::Table;
+use bi_types::Value;
+
+use crate::error::EtlError;
+
+/// Levenshtein edit distance.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    let mut match_flags_b = vec![false; b.len()];
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == *ca {
+                b_used[j] = true;
+                match_flags_b[j] = true;
+                matches_a.push(*ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> =
+        b.iter().zip(&match_flags_b).filter(|(_, &f)| f).map(|(c, _)| *c).collect();
+    let t = matches_a.iter().zip(&matches_b).filter(|(x, y)| x != y).count() as f64 / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity (common-prefix boost, standard p = 0.1).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+/// Fraction of NULLs in a column.
+pub fn null_ratio(table: &Table, column: &str) -> Result<f64, EtlError> {
+    let vals = table.column_values(column)?;
+    if vals.is_empty() {
+        return Ok(0.0);
+    }
+    Ok(vals.iter().filter(|v| v.is_null()).count() as f64 / vals.len() as f64)
+}
+
+/// One referential-integrity violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiViolation {
+    pub from_table: String,
+    pub from_col: String,
+    pub to_table: String,
+    pub to_col: String,
+    /// Dangling value (no match in the referenced table), or None when
+    /// the referenced column is not unique.
+    pub dangling: Option<Value>,
+}
+
+/// Validates every declared FK against the actual catalog contents:
+/// the referenced column must be unique, and every referencing value
+/// must be non-NULL and present. This is the runtime guarantee behind
+/// the containment checker's lossless wide-meta-report pruning — a NULL
+/// referencing value would be silently dropped by the meta-report's
+/// inner join, so NULLs violate the contract just like dangling values.
+pub fn validate_ref_integrity(
+    refs: &RefIntegrity,
+    cat: &Catalog,
+) -> Result<Vec<RiViolation>, EtlError> {
+    let mut out = Vec::new();
+    for (ft, fc, tt, tc) in refs.iter() {
+        let (Some(from), Some(to)) = (cat.table(ft), cat.table(tt)) else {
+            // Tables not loaded (yet): nothing to validate.
+            continue;
+        };
+        let to_vals = to.column_values(tc)?;
+        let mut seen: HashSet<&Value> = HashSet::new();
+        let mut unique = true;
+        for v in &to_vals {
+            if !v.is_null() && !seen.insert(v) {
+                unique = false;
+                break;
+            }
+        }
+        if !unique {
+            out.push(RiViolation {
+                from_table: ft.to_string(),
+                from_col: fc.to_string(),
+                to_table: tt.to_string(),
+                to_col: tc.to_string(),
+                dangling: None,
+            });
+            continue;
+        }
+        let key_set: HashSet<&Value> = to_vals.iter().collect();
+        for v in from.column_values(fc)? {
+            // NULL referencing values break join losslessness just like
+            // dangling ones (the inner join drops the row).
+            if v.is_null() || !key_set.contains(&v) {
+                out.push(RiViolation {
+                    from_table: ft.to_string(),
+                    from_col: fc.to_string(),
+                    to_table: tt.to_string(),
+                    to_col: tc.to_string(),
+                    dangling: Some(v),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Canonicalizes near-duplicate text values in a column: values within
+/// `threshold` Jaro-Winkler similarity of an earlier value are replaced
+/// by that earlier (canonical) spelling. Returns the table and the
+/// number of replaced cells.
+pub fn canonicalize_column(
+    table: &Table,
+    column: &str,
+    threshold: f64,
+) -> Result<(Table, usize), EtlError> {
+    let c = table.schema().index_of(column)?;
+    let mut canon: Vec<String> = Vec::new();
+    let mut mapping: HashMap<String, String> = HashMap::new();
+    let mut replaced = 0usize;
+    let mut out = Table::new(table.name().to_string(), table.schema().clone());
+    for row in table.rows() {
+        let mut r = row.clone();
+        if let Value::Text(s) = &row[c] {
+            let target = match mapping.get(s) {
+                Some(t) => t.clone(),
+                None => {
+                    let found = canon.iter().find(|k| jaro_winkler(k, s) >= threshold).cloned();
+                    let t = match found {
+                        Some(k) => k,
+                        None => {
+                            canon.push(s.clone());
+                            s.clone()
+                        }
+                    };
+                    mapping.insert(s.clone(), t.clone());
+                    t
+                }
+            };
+            if &target != s {
+                replaced += 1;
+                r[c] = Value::Text(target);
+            }
+        }
+        out.push_row(r)?;
+    }
+    Ok((out, replaced))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_types::{Column, DataType, Schema};
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("Luis", "Luís"), 1);
+    }
+
+    #[test]
+    fn jaro_winkler_basics() {
+        assert_eq!(jaro_winkler("", ""), 1.0);
+        assert_eq!(jaro_winkler("abc", ""), 0.0);
+        assert!((jaro("MARTHA", "MARHTA") - 0.944444).abs() < 1e-4);
+        assert!(jaro_winkler("MARTHA", "MARHTA") > jaro("MARTHA", "MARHTA"));
+        assert!(jaro_winkler("Anne", "Anna") > 0.85);
+        assert!(jaro_winkler("Anne", "Mark") < 0.6);
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn null_profiling() {
+        let t = Table::from_rows(
+            "T",
+            Schema::new(vec![Column::nullable("x", DataType::Int)]).unwrap(),
+            vec![vec![Value::Int(1)], vec![Value::Null], vec![Value::Null], vec![Value::Int(2)]],
+        )
+        .unwrap();
+        assert_eq!(null_ratio(&t, "x").unwrap(), 0.5);
+        assert!(null_ratio(&t, "zzz").is_err());
+    }
+
+    #[test]
+    fn ref_integrity_detects_dangling_and_nonunique() {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            Table::from_rows(
+                "P",
+                Schema::new(vec![Column::new("Drug", DataType::Text)]).unwrap(),
+                vec![vec!["DH".into()], vec!["DX".into()]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat.add_table(
+            Table::from_rows(
+                "C",
+                Schema::new(vec![Column::new("Drug", DataType::Text)]).unwrap(),
+                vec![vec!["DH".into()], vec!["DR".into()]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut refs = RefIntegrity::new();
+        refs.add_fk("P", "Drug", "C", "Drug");
+        let v = validate_ref_integrity(&refs, &cat).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].dangling, Some(Value::from("DX")));
+
+        // Non-unique referenced column.
+        let mut cat2 = Catalog::new();
+        cat2.add_table(cat.table("P").unwrap().clone()).unwrap();
+        cat2.add_table(
+            Table::from_rows(
+                "C",
+                Schema::new(vec![Column::new("Drug", DataType::Text)]).unwrap(),
+                vec![vec!["DH".into()], vec!["DH".into()], vec!["DX".into()]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let v = validate_ref_integrity(&refs, &cat2).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].dangling, None, "uniqueness failure reported");
+    }
+
+    #[test]
+    fn canonicalization_merges_spellings() {
+        let t = Table::from_rows(
+            "T",
+            Schema::new(vec![Column::new("Doctor", DataType::Text)]).unwrap(),
+            vec![
+                vec!["Luis".into()],
+                vec!["Luís".into()],
+                vec!["Luiss".into()],
+                vec!["Mark".into()],
+            ],
+        )
+        .unwrap();
+        // jw("Luis","Luís") ≈ 0.867, jw("Luis","Luiss") ≈ 0.96.
+        let (fixed, replaced) = canonicalize_column(&t, "Doctor", 0.85).unwrap();
+        assert_eq!(replaced, 2);
+        let vals = fixed.column_values("Doctor").unwrap();
+        assert_eq!(vals[1], Value::from("Luis"));
+        assert_eq!(vals[2], Value::from("Luis"));
+        assert_eq!(vals[3], Value::from("Mark"));
+        // Threshold 1.0 replaces nothing.
+        let (_, replaced) = canonicalize_column(&t, "Doctor", 1.0).unwrap();
+        assert_eq!(replaced, 0);
+    }
+}

@@ -1,0 +1,480 @@
+//! Static compliance checking of query plans against a combined policy.
+//!
+//! This is the "testable" in the paper's *precise, testable, auditable*:
+//! before a report/ETL plan ever runs, [`check_plan`] decides which
+//! requirements it **violates** outright and which it can satisfy only
+//! through run-time [`Obligation`]s the enforcement engine must apply
+//! (masks, k-suppression, anonymization, retention filters). A plan with
+//! no violations + discharged obligations is compliant.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bi_query::{origins, Catalog, Plan, QueryError};
+use bi_relation::expr::Expr;
+use bi_types::{Date, RoleId, SourceId};
+
+use crate::combine::CombinedPolicy;
+use crate::rule::{AnonMethod, AttrRef};
+
+/// A hard compliance failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule kind tag (`attribute-access`, `join-permission`, …).
+    pub kind: String,
+    /// What was violated, human-readable.
+    pub description: String,
+    /// Where (attribute, table pair, …).
+    pub subject: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.kind, self.subject, self.description)
+    }
+}
+
+/// A requirement the plan can only satisfy at run time; the enforcement
+/// engine (bi-report) must apply it, and the auditor re-checks it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Obligation {
+    /// Show `attribute` only on rows satisfying `condition` (intensional
+    /// attribute access); mask elsewhere.
+    MaskAttribute { attribute: AttrRef, condition: Expr },
+    /// Filter rows of `table` by `condition` before any use.
+    FilterRows { table: String, condition: Expr },
+    /// Suppress aggregate groups with fewer than `k` base rows of
+    /// `table`.
+    EnforceMinGroup { table: String, k: usize },
+    /// Anonymize `attribute` with `method` before exposure.
+    Anonymize { attribute: AttrRef, method: AnonMethod },
+}
+
+/// The outcome of a static check.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOutcome {
+    pub violations: Vec<Violation>,
+    pub obligations: Vec<Obligation>,
+}
+
+impl CheckOutcome {
+    /// No violations (obligations may remain — they are dischargeable).
+    pub fn is_compliant(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Does every `Scan` of `table` in this (view-inlined) plan have an
+/// `Aggregate` ancestor? Subtrees not touching the table are vacuously
+/// covered.
+fn every_scan_aggregated(plan: &Plan, table: &str) -> bool {
+    match plan {
+        Plan::Scan { table: t } => t != table,
+        // Anything below an aggregate leaves only in aggregated form.
+        Plan::Aggregate { .. } => true,
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. } => every_scan_aggregated(input, table),
+        Plan::Join { left, right, .. } | Plan::Union { left, right } => {
+            every_scan_aggregated(left, table) && every_scan_aggregated(right, table)
+        }
+    }
+}
+
+/// Checks `plan` against `policy` for a consumer holding `roles`, run
+/// for `purpose` on `today`'s date. `table_source` maps base tables to
+/// their owning sources (for join-permission checks).
+///
+/// Tables missing from `table_source` take no part in join-permission
+/// checking — keep the attribution map complete (BiSystem maintains it
+/// for registered sources and ETL loads, and additionally checks the
+/// full multi-source attribution of combined warehouse tables).
+pub fn check_plan(
+    plan: &Plan,
+    cat: &Catalog,
+    policy: &CombinedPolicy,
+    roles: &BTreeSet<RoleId>,
+    table_source: &BTreeMap<String, SourceId>,
+    purpose: Option<&str>,
+    today: Date,
+) -> Result<CheckOutcome, QueryError> {
+    let mut out = CheckOutcome::default();
+
+    // Purpose limitation.
+    if let Some(p) = purpose {
+        if !policy.purpose_allowed(p) {
+            out.violations.push(Violation {
+                kind: "purpose".into(),
+                description: format!("purpose {p:?} is not among the allowed purposes"),
+                subject: p.to_string(),
+            });
+        }
+    }
+
+    let o = origins::origins(plan, cat)?;
+
+    // Join permissions: any pair of distinct sources whose tables are
+    // combined by this plan.
+    let sources: BTreeSet<&SourceId> =
+        o.tables.iter().filter_map(|t| table_source.get(t)).collect();
+    let srcs: Vec<&SourceId> = sources.into_iter().collect();
+    for i in 0..srcs.len() {
+        for j in i + 1..srcs.len() {
+            if !policy.may_join(srcs[i], srcs[j]) {
+                out.violations.push(Violation {
+                    kind: "join-permission".into(),
+                    description: "plan combines data of sources whose join is prohibited".into(),
+                    subject: format!("{} ⋈ {}", srcs[i], srcs[j]),
+                });
+            }
+        }
+    }
+
+    // Attribute access over everything the plan touches (outputs and
+    // conditions both reveal data).
+    for (t, c) in o.all_origins() {
+        let attr = AttrRef::new(t, c);
+        if let Some(r) = policy.attribute_restriction(&attr) {
+            if r.allowed_roles.is_disjoint(roles) {
+                out.violations.push(Violation {
+                    kind: "attribute-access".into(),
+                    description: format!(
+                        "consumer roles {:?} not in allowed set {:?}",
+                        roles.iter().map(|r| r.as_str()).collect::<Vec<_>>(),
+                        r.allowed_roles.iter().map(|r| r.as_str()).collect::<Vec<_>>()
+                    ),
+                    subject: attr.to_string(),
+                });
+            } else {
+                for cond in &r.conditions {
+                    out.obligations.push(Obligation::MaskAttribute {
+                        attribute: attr.clone(),
+                        condition: cond.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Aggregation thresholds: a plan exposing a thresholded table's rows
+    // *unaggregated* is a violation; an aggregated exposure incurs a
+    // run-time group-size obligation. "Aggregated" must hold per table:
+    // every scan of the thresholded table needs an Aggregate ancestor —
+    // an unrelated aggregate elsewhere in the plan (the other branch of
+    // a join or union) must not launder raw rows through the check.
+    let inlined = cat.inline_views(plan)?;
+    for (table, k) in policy.thresholded_tables() {
+        if !o.tables.contains(table) || k <= 1 {
+            continue;
+        }
+        if every_scan_aggregated(&inlined, table) {
+            out.obligations.push(Obligation::EnforceMinGroup { table: table.to_string(), k });
+        } else {
+            out.violations.push(Violation {
+                kind: "aggregation-threshold".into(),
+                description: format!(
+                    "table requires aggregation with groups of at least {k}, but the plan exposes raw rows"
+                ),
+                subject: table.to_string(),
+            });
+        }
+    }
+
+    // Row restrictions, retention, anonymization: run-time obligations.
+    for t in &o.tables {
+        if let Some(f) = policy.row_filter(t) {
+            out.obligations.push(Obligation::FilterRows { table: t.clone(), condition: f });
+        }
+        for (attr, days) in policy.retentions(t) {
+            let cutoff = today.plus_days(-days).map_err(|e| QueryError::Relation(e.into()))?;
+            out.obligations.push(Obligation::FilterRows {
+                table: t.clone(),
+                condition: bi_relation::expr::col(attr)
+                    .ge(Expr::Lit(cutoff.into())),
+            });
+        }
+    }
+    for (attr, method) in policy.anonymized_attributes() {
+        let touched = o.all_origins().contains(&(attr.table.clone(), attr.column.clone()));
+        if touched {
+            out.obligations
+                .push(Obligation::Anonymize { attribute: attr.clone(), method: method.clone() });
+        }
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{PlaDocument, PlaLevel};
+    use crate::rule::PlaRule;
+    use bi_query::plan::{scan, AggItem};
+    use bi_relation::expr::{col, lit};
+    use bi_relation::Table;
+    use bi_types::{Column, DataType, Schema, Value};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            Table::from_rows(
+                "Prescriptions",
+                Schema::new(vec![
+                    Column::new("Patient", DataType::Text),
+                    Column::new("Doctor", DataType::Text),
+                    Column::new("Drug", DataType::Text),
+                    Column::new("Disease", DataType::Text),
+                    Column::new("Date", DataType::Date),
+                ])
+                .unwrap(),
+                vec![vec![
+                    "Alice".into(),
+                    "Luis".into(),
+                    "DH".into(),
+                    "HIV".into(),
+                    Value::date("2007-02-12").unwrap(),
+                ]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat.add_table(
+            Table::from_rows(
+                "LabResults",
+                Schema::new(vec![
+                    Column::new("Patient", DataType::Text),
+                    Column::new("Test", DataType::Text),
+                ])
+                .unwrap(),
+                vec![vec!["Alice".into(), "CD4".into()]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn sources() -> BTreeMap<String, SourceId> {
+        [
+            ("Prescriptions".to_string(), SourceId::new("hospital")),
+            ("LabResults".to_string(), SourceId::new("laboratory")),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn policy() -> CombinedPolicy {
+        let doc = PlaDocument::new("h1", "hospital", PlaLevel::Report)
+            .with_rule(PlaRule::AttributeAccess {
+                attribute: AttrRef::new("Prescriptions", "Doctor"),
+                allowed_roles: [RoleId::new("auditor")].into_iter().collect(),
+                condition: Some(col("Disease").ne(lit("HIV"))),
+            })
+            .with_rule(PlaRule::AggregationThreshold {
+                table: "Prescriptions".into(),
+                min_group_size: 3,
+            })
+            .with_rule(PlaRule::JoinPermission {
+                left_source: "hospital".into(),
+                right_source: "laboratory".into(),
+                allowed: false,
+            })
+            .with_rule(PlaRule::Purpose {
+                allowed: ["quality".to_string()].into_iter().collect(),
+            });
+        CombinedPolicy::combine(&[doc])
+    }
+
+    fn today() -> Date {
+        Date::new(2008, 6, 1).unwrap()
+    }
+
+    fn roles(names: &[&str]) -> BTreeSet<RoleId> {
+        names.iter().map(|n| RoleId::new(*n)).collect()
+    }
+
+    #[test]
+    fn attribute_access_by_role() {
+        let cat = catalog();
+        let p = scan("Prescriptions").project_cols(&["Doctor", "Drug"]);
+        // Analyst may not see Doctor.
+        let out = check_plan(&p, &cat, &policy(), &roles(&["analyst"]), &sources(), None, today()).unwrap();
+        assert!(out.violations.iter().any(|v| v.kind == "attribute-access"));
+        // Auditor may — but gets the intensional mask obligation.
+        let out = check_plan(&p, &cat, &policy(), &roles(&["auditor"]), &sources(), None, today()).unwrap();
+        assert!(out.violations.iter().all(|v| v.kind != "attribute-access"));
+        assert!(out
+            .obligations
+            .iter()
+            .any(|o| matches!(o, Obligation::MaskAttribute { attribute, .. } if attribute.column == "Doctor")));
+    }
+
+    #[test]
+    fn filters_reveal_attributes_too() {
+        let cat = catalog();
+        // Doctor only appears in the WHERE clause — still checked.
+        let p = scan("Prescriptions").filter(col("Doctor").eq(lit("Luis"))).project_cols(&["Drug"]);
+        let out = check_plan(&p, &cat, &policy(), &roles(&["analyst"]), &sources(), None, today()).unwrap();
+        assert!(out.violations.iter().any(|v| v.kind == "attribute-access" && v.subject.contains("Doctor")));
+    }
+
+    #[test]
+    fn join_prohibition_detected() {
+        let cat = catalog();
+        let p = scan("Prescriptions").join(
+            scan("LabResults"),
+            vec![("Patient".into(), "Patient".into())],
+            "lab",
+        );
+        let out = check_plan(&p, &cat, &policy(), &roles(&["auditor"]), &sources(), None, today()).unwrap();
+        assert!(out.violations.iter().any(|v| v.kind == "join-permission"));
+        // A plan over one source alone is fine.
+        let p = scan("LabResults");
+        let out = check_plan(&p, &cat, &policy(), &roles(&["auditor"]), &sources(), None, today()).unwrap();
+        assert!(out.violations.iter().all(|v| v.kind != "join-permission"));
+    }
+
+    #[test]
+    fn aggregation_threshold_raw_vs_aggregated() {
+        let cat = catalog();
+        let raw = scan("Prescriptions").project_cols(&["Drug"]);
+        let out = check_plan(&raw, &cat, &policy(), &roles(&["analyst"]), &sources(), None, today()).unwrap();
+        assert!(out.violations.iter().any(|v| v.kind == "aggregation-threshold"));
+
+        let agg = scan("Prescriptions")
+            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
+        let out = check_plan(&agg, &cat, &policy(), &roles(&["analyst"]), &sources(), None, today()).unwrap();
+        assert!(out.violations.iter().all(|v| v.kind != "aggregation-threshold"));
+        assert!(out
+            .obligations
+            .iter()
+            .any(|o| matches!(o, Obligation::EnforceMinGroup { k: 3, .. })));
+    }
+
+    #[test]
+    fn purpose_limitation() {
+        let cat = catalog();
+        let p = scan("Prescriptions").aggregate(vec![], vec![AggItem::count_star("n")]);
+        let ok = check_plan(&p, &cat, &policy(), &roles(&[]), &sources(), Some("quality"), today()).unwrap();
+        assert!(ok.violations.iter().all(|v| v.kind != "purpose"));
+        let bad = check_plan(&p, &cat, &policy(), &roles(&[]), &sources(), Some("marketing"), today()).unwrap();
+        assert!(bad.violations.iter().any(|v| v.kind == "purpose"));
+    }
+
+    #[test]
+    fn retention_and_row_restrictions_become_filters() {
+        let doc = PlaDocument::new("h2", "hospital", PlaLevel::Source)
+            .with_rule(PlaRule::Retention {
+                table: "Prescriptions".into(),
+                date_attribute: "Date".into(),
+                max_age_days: 365,
+            })
+            .with_rule(PlaRule::RowRestriction {
+                table: "Prescriptions".into(),
+                condition: col("Patient").ne(lit("Math")),
+            });
+        let policy = CombinedPolicy::combine(&[doc]);
+        let cat = catalog();
+        let p = scan("Prescriptions").aggregate(vec![], vec![AggItem::count_star("n")]);
+        let out = check_plan(&p, &cat, &policy, &roles(&[]), &sources(), None, today()).unwrap();
+        assert!(out.is_compliant());
+        let filters: Vec<&Obligation> = out
+            .obligations
+            .iter()
+            .filter(|o| matches!(o, Obligation::FilterRows { .. }))
+            .collect();
+        assert_eq!(filters.len(), 2, "row restriction + retention");
+        assert!(filters.iter().any(|o| matches!(
+            o,
+            Obligation::FilterRows { condition, .. } if condition.to_string().contains("2007-06-02")
+        )));
+    }
+
+    #[test]
+    fn anonymization_obligation_only_when_touched() {
+        let doc = PlaDocument::new("h3", "hospital", PlaLevel::Source).with_rule(PlaRule::Anonymize {
+            attribute: AttrRef::new("Prescriptions", "Patient"),
+            method: AnonMethod::Pseudonymize,
+        });
+        let policy = CombinedPolicy::combine(&[doc]);
+        let cat = catalog();
+        let touching = scan("Prescriptions").project_cols(&["Patient"]);
+        let out = check_plan(&touching, &cat, &policy, &roles(&[]), &sources(), None, today()).unwrap();
+        assert!(out.obligations.iter().any(|o| matches!(o, Obligation::Anonymize { .. })));
+        let not_touching = scan("Prescriptions").project_cols(&["Drug"]);
+        let out = check_plan(&not_touching, &cat, &policy, &roles(&[]), &sources(), None, today()).unwrap();
+        assert!(out.obligations.iter().all(|o| !matches!(o, Obligation::Anonymize { .. })));
+    }
+}
+
+#[cfg(test)]
+mod aggregation_laundering_tests {
+    use super::*;
+    use crate::document::{PlaDocument, PlaLevel};
+    use crate::rule::PlaRule;
+    use bi_query::plan::{scan, AggItem};
+    use bi_relation::Table;
+    use bi_types::{Column, DataType, Schema};
+
+    #[test]
+    fn unrelated_aggregates_do_not_launder_raw_rows() {
+        // The plan joins RAW thresholded rows with an aggregate of
+        // another table: the mere presence of an Aggregate node must not
+        // satisfy the threshold.
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "Protected",
+            Schema::new(vec![
+                Column::new("Patient", DataType::Text),
+                Column::new("Key", DataType::Text),
+            ])
+            .unwrap(),
+        ))
+        .unwrap();
+        cat.add_table(Table::new(
+            "Other",
+            Schema::new(vec![Column::new("Key", DataType::Text)]).unwrap(),
+        ))
+        .unwrap();
+        let doc = PlaDocument::new("d", "s", PlaLevel::MetaReport).with_rule(
+            PlaRule::AggregationThreshold { table: "Protected".into(), min_group_size: 5 },
+        );
+        let policy = CombinedPolicy::combine(&[doc]);
+        let laundered = scan("Protected").join(
+            scan("Other").aggregate(vec!["Key".into()], vec![AggItem::count_star("n")]),
+            vec![("Key".into(), "Key".into())],
+            "agg",
+        );
+        let out = check_plan(
+            &laundered,
+            &cat,
+            &policy,
+            &BTreeSet::new(),
+            &BTreeMap::new(),
+            None,
+            Date::new(2008, 7, 1).unwrap(),
+        )
+        .unwrap();
+        assert!(
+            out.violations.iter().any(|v| v.kind == "aggregation-threshold"),
+            "raw Protected rows leak through the join"
+        );
+        // Aggregating the protected side itself is fine.
+        let proper = scan("Protected")
+            .aggregate(vec!["Key".into()], vec![AggItem::count_star("n")]);
+        let out = check_plan(
+            &proper,
+            &cat,
+            &policy,
+            &BTreeSet::new(),
+            &BTreeMap::new(),
+            None,
+            Date::new(2008, 7, 1).unwrap(),
+        )
+        .unwrap();
+        assert!(out.violations.is_empty());
+        assert!(out.obligations.iter().any(|o| matches!(o, Obligation::EnforceMinGroup { .. })));
+    }
+}

@@ -1,0 +1,485 @@
+//! PLA integration across sources (§2 challenge ii).
+//!
+//! Every source hands the BI provider its own PLA; the provider must
+//! obey *all* of them. [`CombinedPolicy::combine`] merges documents with
+//! **most-restrictive-wins** semantics and surfaces genuine
+//! contradictions as [`Conflict`]s for re-negotiation (the merge still
+//! resolves them safely — to the restrictive side — so the pipeline
+//! never runs unprotected while owners argue):
+//!
+//! * attribute access: allowed role sets intersect, conditions conjoin;
+//! * aggregation thresholds: maximum k wins;
+//! * anonymization: the strongest method wins
+//!   (suppress ≻ pseudonymize ≻ generalize(max level) ≻ noise(max scale));
+//! * join permission: any prohibition wins; allow-vs-forbid is a conflict;
+//! * integration permission: deny by default, any prohibition wins;
+//! * retention: shortest period wins;
+//! * purposes: intersection of all declared purpose sets.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bi_relation::expr::Expr;
+use bi_types::{PlaId, RoleId, SourceId};
+
+use crate::document::PlaDocument;
+use crate::rule::{AnonMethod, AttrRef, PlaRule};
+
+/// A contradiction between documents, resolved restrictively but
+/// reported for re-negotiation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    /// What kind of rule clashed (`join-permission`, …).
+    pub kind: String,
+    /// Human-readable description.
+    pub description: String,
+    /// The documents involved.
+    pub documents: Vec<PlaId>,
+}
+
+/// Merged attribute restriction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrRestriction {
+    /// Roles still allowed (intersection). Empty = nobody.
+    pub allowed_roles: BTreeSet<RoleId>,
+    /// Conjoined visibility conditions (empty = unconditional).
+    pub conditions: Vec<Expr>,
+    /// Documents contributing.
+    pub documents: Vec<PlaId>,
+}
+
+/// The integrated view over a set of PLA documents.
+#[derive(Debug, Clone, Default)]
+pub struct CombinedPolicy {
+    attributes: BTreeMap<AttrRef, AttrRestriction>,
+    row_restrictions: BTreeMap<String, Vec<(Expr, PlaId)>>,
+    min_group: BTreeMap<String, (usize, PlaId)>,
+    anonymize: BTreeMap<AttrRef, (AnonMethod, PlaId)>,
+    /// Key is the unordered source pair (lexicographic).
+    join: BTreeMap<(SourceId, SourceId), bool>,
+    integration: BTreeMap<SourceId, bool>,
+    /// `None` = no document constrained purposes.
+    purposes: Option<BTreeSet<String>>,
+    /// Per table: one entry per distinct date attribute (most
+    /// restrictive period each); all are enforced together.
+    retention: BTreeMap<String, Vec<(String, i64, PlaId)>>,
+    conflicts: Vec<Conflict>,
+}
+
+/// Strength order for anonymization methods (higher = stronger).
+fn anon_strength(m: &AnonMethod) -> u8 {
+    match m {
+        AnonMethod::Suppress => 3,
+        AnonMethod::Pseudonymize => 2,
+        AnonMethod::Generalize { .. } => 1,
+        AnonMethod::Noise { .. } => 0,
+    }
+}
+
+/// Picks the stronger of two methods (same-kind parameters maximize).
+fn stronger(a: AnonMethod, b: AnonMethod) -> AnonMethod {
+    match (&a, &b) {
+        (AnonMethod::Generalize { level: la }, AnonMethod::Generalize { level: lb }) => {
+            AnonMethod::Generalize { level: (*la).max(*lb) }
+        }
+        (AnonMethod::Noise { scale: sa }, AnonMethod::Noise { scale: sb }) => {
+            AnonMethod::Noise { scale: sa.max(*sb) }
+        }
+        _ => {
+            if anon_strength(&a) >= anon_strength(&b) {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+impl CombinedPolicy {
+    /// Merges the documents.
+    pub fn combine(docs: &[PlaDocument]) -> Self {
+        let mut p = CombinedPolicy::default();
+        for doc in docs {
+            for rule in &doc.rules {
+                p.absorb(rule, &doc.id);
+            }
+        }
+        p
+    }
+
+    fn absorb(&mut self, rule: &PlaRule, doc: &PlaId) {
+        match rule {
+            PlaRule::AttributeAccess { attribute, allowed_roles, condition } => {
+                match self.attributes.get_mut(attribute) {
+                    None => {
+                        self.attributes.insert(
+                            attribute.clone(),
+                            AttrRestriction {
+                                allowed_roles: allowed_roles.clone(),
+                                conditions: condition.iter().cloned().collect(),
+                                documents: vec![doc.clone()],
+                            },
+                        );
+                    }
+                    Some(existing) => {
+                        existing.allowed_roles =
+                            existing.allowed_roles.intersection(allowed_roles).cloned().collect();
+                        if let Some(c) = condition {
+                            existing.conditions.push(c.clone());
+                        }
+                        existing.documents.push(doc.clone());
+                        if existing.allowed_roles.is_empty() {
+                            self.conflicts.push(Conflict {
+                                kind: "attribute-access".into(),
+                                description: format!(
+                                    "role intersection for {attribute} is empty — nobody may see it"
+                                ),
+                                documents: existing.documents.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            PlaRule::RowRestriction { table, condition } => {
+                self.row_restrictions
+                    .entry(table.clone())
+                    .or_default()
+                    .push((condition.clone(), doc.clone()));
+            }
+            PlaRule::AggregationThreshold { table, min_group_size } => {
+                let entry = self
+                    .min_group
+                    .entry(table.clone())
+                    .or_insert((*min_group_size, doc.clone()));
+                if *min_group_size > entry.0 {
+                    *entry = (*min_group_size, doc.clone());
+                }
+            }
+            PlaRule::Anonymize { attribute, method } => {
+                match self.anonymize.remove(attribute) {
+                    None => {
+                        self.anonymize.insert(attribute.clone(), (method.clone(), doc.clone()));
+                    }
+                    Some((prev, prev_doc)) => {
+                        let merged = stronger(prev.clone(), method.clone());
+                        let owner = if merged == prev { prev_doc } else { doc.clone() };
+                        self.anonymize.insert(attribute.clone(), (merged, owner));
+                    }
+                }
+            }
+            PlaRule::JoinPermission { left_source, right_source, allowed } => {
+                let key = Self::pair(left_source, right_source);
+                match self.join.get(&key) {
+                    None => {
+                        self.join.insert(key, *allowed);
+                    }
+                    Some(prev) if *prev != *allowed => {
+                        self.conflicts.push(Conflict {
+                            kind: "join-permission".into(),
+                            description: format!(
+                                "join of {} with {} both allowed and forbidden; resolving to forbidden",
+                                key.0, key.1
+                            ),
+                            documents: vec![doc.clone()],
+                        });
+                        self.join.insert(key, false);
+                    }
+                    Some(_) => {}
+                }
+            }
+            PlaRule::IntegrationPermission { source, allowed } => {
+                match self.integration.get(source) {
+                    None => {
+                        self.integration.insert(source.clone(), *allowed);
+                    }
+                    Some(prev) if *prev != *allowed => {
+                        self.conflicts.push(Conflict {
+                            kind: "integration-permission".into(),
+                            description: format!(
+                                "integration by {source} both allowed and forbidden; resolving to forbidden"
+                            ),
+                            documents: vec![doc.clone()],
+                        });
+                        self.integration.insert(source.clone(), false);
+                    }
+                    Some(_) => {}
+                }
+            }
+            PlaRule::Retention { table, date_attribute, max_age_days } => {
+                let entries = self.retention.entry(table.clone()).or_default();
+                match entries.iter_mut().find(|(attr, _, _)| attr == date_attribute) {
+                    Some((_, days, owner)) => {
+                        // Same attribute: shortest period wins.
+                        if *max_age_days < *days {
+                            *days = *max_age_days;
+                            *owner = doc.clone();
+                        }
+                    }
+                    None => {
+                        // A second attribute is not a conflict: both
+                        // limits are enforced together (AND = most
+                        // restrictive).
+                        entries.push((date_attribute.clone(), *max_age_days, doc.clone()));
+                    }
+                }
+            }
+            PlaRule::Purpose { allowed } => {
+                self.purposes = Some(match self.purposes.take() {
+                    None => allowed.clone(),
+                    Some(prev) => prev.intersection(allowed).cloned().collect(),
+                });
+            }
+        }
+    }
+
+    fn pair(a: &SourceId, b: &SourceId) -> (SourceId, SourceId) {
+        if a <= b {
+            (a.clone(), b.clone())
+        } else {
+            (b.clone(), a.clone())
+        }
+    }
+
+    /// Detected contradictions (for re-negotiation with the owners).
+    pub fn conflicts(&self) -> &[Conflict] {
+        &self.conflicts
+    }
+
+    /// May these two sources' data be joined? (Same source: always.)
+    pub fn may_join(&self, a: &SourceId, b: &SourceId) -> bool {
+        if a == b {
+            return true;
+        }
+        *self.join.get(&Self::pair(a, b)).unwrap_or(&true)
+    }
+
+    /// May this source's data be used to clean/resolve other owners'
+    /// data? **Deny by default** — integration is the invasive operation
+    /// the paper singles out; it must be granted explicitly.
+    pub fn may_integrate(&self, source: &SourceId) -> bool {
+        *self.integration.get(source).unwrap_or(&false)
+    }
+
+    /// The merged attribute restriction, if any.
+    pub fn attribute_restriction(&self, attr: &AttrRef) -> Option<&AttrRestriction> {
+        self.attributes.get(attr)
+    }
+
+    /// All restricted attributes.
+    pub fn restricted_attributes(&self) -> impl Iterator<Item = &AttrRef> {
+        self.attributes.keys()
+    }
+
+    /// Conjoined row filters for a table (rows must satisfy them all),
+    /// or `None` when unrestricted.
+    pub fn row_filter(&self, table: &str) -> Option<Expr> {
+        let rs = self.row_restrictions.get(table)?;
+        Some(Expr::conjoin(rs.iter().map(|(e, _)| e.clone())))
+    }
+
+    /// The minimum group size required for values of this table.
+    pub fn min_group_size(&self, table: &str) -> Option<usize> {
+        self.min_group.get(table).map(|(k, _)| *k)
+    }
+
+    /// Tables carrying an aggregation threshold.
+    pub fn thresholded_tables(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.min_group.iter().map(|(t, (k, _))| (t.as_str(), *k))
+    }
+
+    /// The effective (strongest) anonymization method for an attribute.
+    pub fn anonymization(&self, attr: &AttrRef) -> Option<&AnonMethod> {
+        self.anonymize.get(attr).map(|(m, _)| m)
+    }
+
+    /// All attributes requiring anonymization.
+    pub fn anonymized_attributes(&self) -> impl Iterator<Item = (&AttrRef, &AnonMethod)> {
+        self.anonymize.iter().map(|(a, (m, _))| (a, m))
+    }
+
+    /// All retention limits for a table, one per date attribute; every
+    /// entry must be enforced (`AND` of the filters).
+    pub fn retentions(&self, table: &str) -> Vec<(&str, i64)> {
+        self.retention
+            .get(table)
+            .map(|v| v.iter().map(|(a, d, _)| (a.as_str(), *d)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Is this purpose allowed? (No purpose rules anywhere ⇒ allowed.)
+    pub fn purpose_allowed(&self, purpose: &str) -> bool {
+        match &self.purposes {
+            None => true,
+            Some(set) => set.contains(purpose),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{PlaDocument, PlaLevel};
+    use bi_relation::expr::{col, lit};
+
+    fn hospital() -> PlaDocument {
+        PlaDocument::new("hospital-v1", "hospital", PlaLevel::Report)
+            .with_rule(PlaRule::AttributeAccess {
+                attribute: AttrRef::new("Prescriptions", "Doctor"),
+                allowed_roles: [RoleId::new("analyst"), RoleId::new("auditor")].into_iter().collect(),
+                condition: Some(col("Disease").ne(lit("HIV"))),
+            })
+            .with_rule(PlaRule::AggregationThreshold { table: "Prescriptions".into(), min_group_size: 3 })
+            .with_rule(PlaRule::JoinPermission {
+                left_source: "hospital".into(),
+                right_source: "laboratory".into(),
+                allowed: false,
+            })
+            .with_rule(PlaRule::Retention {
+                table: "Prescriptions".into(),
+                date_attribute: "Date".into(),
+                max_age_days: 730,
+            })
+            .with_rule(PlaRule::Purpose {
+                allowed: ["reimbursement".to_string(), "quality".to_string()].into_iter().collect(),
+            })
+    }
+
+    fn agency() -> PlaDocument {
+        PlaDocument::new("agency-v1", "health-agency", PlaLevel::Warehouse)
+            .with_rule(PlaRule::AttributeAccess {
+                attribute: AttrRef::new("Prescriptions", "Doctor"),
+                allowed_roles: [RoleId::new("auditor")].into_iter().collect(),
+                condition: None,
+            })
+            .with_rule(PlaRule::AggregationThreshold { table: "Prescriptions".into(), min_group_size: 5 })
+            .with_rule(PlaRule::Retention {
+                table: "Prescriptions".into(),
+                date_attribute: "Date".into(),
+                max_age_days: 365,
+            })
+            .with_rule(PlaRule::Purpose {
+                allowed: ["quality".to_string(), "planning".to_string()].into_iter().collect(),
+            })
+            .with_rule(PlaRule::IntegrationPermission { source: "health-agency".into(), allowed: true })
+    }
+
+    #[test]
+    fn most_restrictive_wins() {
+        let p = CombinedPolicy::combine(&[hospital(), agency()]);
+        // Roles intersect.
+        let r = p.attribute_restriction(&AttrRef::new("Prescriptions", "Doctor")).unwrap();
+        assert_eq!(r.allowed_roles.len(), 1);
+        assert!(r.allowed_roles.contains(&RoleId::new("auditor")));
+        assert_eq!(r.conditions.len(), 1);
+        // Thresholds maximize.
+        assert_eq!(p.min_group_size("Prescriptions"), Some(5));
+        // Retention minimizes.
+        assert_eq!(p.retentions("Prescriptions"), vec![("Date", 365)]);
+        // Purposes intersect.
+        assert!(p.purpose_allowed("quality"));
+        assert!(!p.purpose_allowed("reimbursement"));
+        assert!(!p.purpose_allowed("planning"));
+        assert!(p.conflicts().is_empty());
+    }
+
+    #[test]
+    fn join_conflicts_resolve_to_forbidden() {
+        let allow = PlaDocument::new("a", "s1", PlaLevel::Source).with_rule(PlaRule::JoinPermission {
+            left_source: "s1".into(),
+            right_source: "s2".into(),
+            allowed: true,
+        });
+        let forbid = PlaDocument::new("b", "s2", PlaLevel::Source).with_rule(PlaRule::JoinPermission {
+            left_source: "s2".into(),
+            right_source: "s1".into(),
+            allowed: false,
+        });
+        let p = CombinedPolicy::combine(&[allow, forbid]);
+        assert!(!p.may_join(&"s1".into(), &"s2".into()));
+        assert_eq!(p.conflicts().len(), 1);
+        assert_eq!(p.conflicts()[0].kind, "join-permission");
+        // Unmentioned pairs default to allowed; same source always joins.
+        assert!(p.may_join(&"s1".into(), &"s9".into()));
+        assert!(p.may_join(&"s1".into(), &"s1".into()));
+    }
+
+    #[test]
+    fn integration_denied_by_default() {
+        let p = CombinedPolicy::combine(&[hospital(), agency()]);
+        assert!(p.may_integrate(&"health-agency".into()));
+        assert!(!p.may_integrate(&"hospital".into()), "no grant, no integration");
+    }
+
+    #[test]
+    fn anonymization_strength_ordering() {
+        let d1 = PlaDocument::new("d1", "s", PlaLevel::Source).with_rule(PlaRule::Anonymize {
+            attribute: AttrRef::new("T", "x"),
+            method: AnonMethod::Generalize { level: 1 },
+        });
+        let d2 = PlaDocument::new("d2", "s", PlaLevel::Source).with_rule(PlaRule::Anonymize {
+            attribute: AttrRef::new("T", "x"),
+            method: AnonMethod::Generalize { level: 3 },
+        });
+        let p = CombinedPolicy::combine(&[d1.clone(), d2]);
+        assert_eq!(p.anonymization(&AttrRef::new("T", "x")), Some(&AnonMethod::Generalize { level: 3 }));
+        let d3 = PlaDocument::new("d3", "s", PlaLevel::Source).with_rule(PlaRule::Anonymize {
+            attribute: AttrRef::new("T", "x"),
+            method: AnonMethod::Suppress,
+        });
+        let p = CombinedPolicy::combine(&[d1, d3]);
+        assert_eq!(p.anonymization(&AttrRef::new("T", "x")), Some(&AnonMethod::Suppress));
+    }
+
+    #[test]
+    fn empty_role_intersection_is_a_conflict() {
+        let a = PlaDocument::new("a", "s1", PlaLevel::Report).with_rule(PlaRule::AttributeAccess {
+            attribute: AttrRef::new("T", "x"),
+            allowed_roles: [RoleId::new("analyst")].into_iter().collect(),
+            condition: None,
+        });
+        let b = PlaDocument::new("b", "s2", PlaLevel::Report).with_rule(PlaRule::AttributeAccess {
+            attribute: AttrRef::new("T", "x"),
+            allowed_roles: [RoleId::new("auditor")].into_iter().collect(),
+            condition: None,
+        });
+        let p = CombinedPolicy::combine(&[a, b]);
+        let r = p.attribute_restriction(&AttrRef::new("T", "x")).unwrap();
+        assert!(r.allowed_roles.is_empty());
+        assert_eq!(p.conflicts().len(), 1);
+    }
+
+    #[test]
+    fn row_filters_conjoin() {
+        let a = PlaDocument::new("a", "s", PlaLevel::Source).with_rule(PlaRule::RowRestriction {
+            table: "T".into(),
+            condition: col("x").gt(lit(0)),
+        });
+        let b = PlaDocument::new("b", "s", PlaLevel::Source).with_rule(PlaRule::RowRestriction {
+            table: "T".into(),
+            condition: col("y").lt(lit(9)),
+        });
+        let p = CombinedPolicy::combine(&[a, b]);
+        assert_eq!(p.row_filter("T").unwrap().to_string(), "x > 0 AND y < 9");
+        assert!(p.row_filter("U").is_none());
+    }
+
+    #[test]
+    fn retention_over_different_attributes_enforces_both() {
+        let a = PlaDocument::new("a", "s", PlaLevel::Source).with_rule(PlaRule::Retention {
+            table: "T".into(),
+            date_attribute: "Date".into(),
+            max_age_days: 100,
+        });
+        let b = PlaDocument::new("b", "s", PlaLevel::Source).with_rule(PlaRule::Retention {
+            table: "T".into(),
+            date_attribute: "Created".into(),
+            max_age_days: 50,
+        });
+        let p = CombinedPolicy::combine(&[a, b]);
+        // Not a conflict: both limits bind (most-restrictive-wins = AND).
+        assert!(p.conflicts().is_empty());
+        let mut rs = p.retentions("T");
+        rs.sort();
+        assert_eq!(rs, vec![("Created", 50), ("Date", 100)]);
+        assert!(p.retentions("U").is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! PLA documents: versioned rule sets bound to an enforcement level.
+
+use std::fmt;
+
+use bi_types::{PlaId, SourceId};
+
+use crate::rule::PlaRule;
+
+/// Where along the pipeline a PLA was elicited and is enforced — the
+/// paper's four-level continuum (Fig. 5): each step right is easier to
+/// elicit but less stable under report evolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PlaLevel {
+    /// On the source schema (§3).
+    Source,
+    /// On the warehouse schema / ETL flows (§4).
+    Warehouse,
+    /// On meta-reports (§5) — the paper's recommended sweet spot.
+    MetaReport,
+    /// On individual final reports (§5).
+    Report,
+}
+
+impl PlaLevel {
+    /// All levels, source-first.
+    pub const ALL: [PlaLevel; 4] =
+        [PlaLevel::Source, PlaLevel::Warehouse, PlaLevel::MetaReport, PlaLevel::Report];
+
+    /// The DSL keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlaLevel::Source => "source",
+            PlaLevel::Warehouse => "warehouse",
+            PlaLevel::MetaReport => "meta-report",
+            PlaLevel::Report => "report",
+        }
+    }
+
+    /// Parses the DSL keyword.
+    pub fn by_name(s: &str) -> Option<Self> {
+        match s {
+            "source" => Some(PlaLevel::Source),
+            "warehouse" => Some(PlaLevel::Warehouse),
+            "meta-report" => Some(PlaLevel::MetaReport),
+            "report" => Some(PlaLevel::Report),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PlaLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A privacy level agreement: the versioned set of requirements one
+/// source owner imposes, elicited and modeled at a particular level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaDocument {
+    pub id: PlaId,
+    pub source: SourceId,
+    pub version: u32,
+    pub level: PlaLevel,
+    pub rules: Vec<PlaRule>,
+}
+
+impl PlaDocument {
+    /// A new version-1 document.
+    pub fn new(id: impl Into<PlaId>, source: impl Into<SourceId>, level: PlaLevel) -> Self {
+        PlaDocument { id: id.into(), source: source.into(), version: 1, level, rules: Vec::new() }
+    }
+
+    /// Appends a rule (builder-style).
+    pub fn with_rule(mut self, rule: PlaRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Bumps the version (re-negotiation after report evolution).
+    pub fn bump_version(&mut self) {
+        self.version += 1;
+    }
+
+    /// Rules anchored to the given table.
+    pub fn rules_for_table<'a>(&'a self, table: &'a str) -> impl Iterator<Item = &'a PlaRule> {
+        self.rules.iter().filter(move |r| r.table() == Some(table))
+    }
+}
+
+impl fmt::Display for PlaDocument {
+    /// The DSL document form (parseable by [`crate::dsl::parse_document`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pla \"{}\" source {} version {} level {} {{",
+            self.id, self.source, self.version, self.level
+        )?;
+        for r in &self.rules {
+            writeln!(f, "  {r};")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{AnonMethod, AttrRef};
+
+    #[test]
+    fn builder_and_queries() {
+        let doc = PlaDocument::new("hospital-v1", "hospital", PlaLevel::Report)
+            .with_rule(PlaRule::AggregationThreshold {
+                table: "Prescriptions".into(),
+                min_group_size: 5,
+            })
+            .with_rule(PlaRule::Anonymize {
+                attribute: AttrRef::new("Prescriptions", "Patient"),
+                method: AnonMethod::Pseudonymize,
+            })
+            .with_rule(PlaRule::IntegrationPermission { source: "hospital".into(), allowed: true });
+        assert_eq!(doc.rules.len(), 3);
+        assert_eq!(doc.rules_for_table("Prescriptions").count(), 2);
+        assert_eq!(doc.rules_for_table("DrugCost").count(), 0);
+        let mut doc = doc;
+        doc.bump_version();
+        assert_eq!(doc.version, 2);
+    }
+
+    #[test]
+    fn levels_roundtrip() {
+        for l in PlaLevel::ALL {
+            assert_eq!(PlaLevel::by_name(l.name()), Some(l));
+        }
+        assert_eq!(PlaLevel::by_name("nope"), None);
+        assert!(PlaLevel::Source < PlaLevel::Report, "continuum order");
+    }
+
+    #[test]
+    fn display_is_a_dsl_document() {
+        let doc = PlaDocument::new("h1", "hospital", PlaLevel::MetaReport).with_rule(
+            PlaRule::AggregationThreshold { table: "T".into(), min_group_size: 3 },
+        );
+        let s = doc.to_string();
+        assert!(s.starts_with("pla \"h1\" source hospital version 1 level meta-report {"));
+        assert!(s.contains("  require aggregation T min 3;\n"));
+        assert!(s.ends_with('}'));
+    }
+}

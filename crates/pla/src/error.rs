@@ -1,0 +1,37 @@
+//! Errors for the PLA layer.
+
+use std::fmt;
+
+/// PLA construction/parsing failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaError {
+    /// DSL parse failure with line information.
+    Parse { message: String, line: usize },
+    /// An embedded condition failed to parse.
+    Condition { message: String },
+    /// Invalid rule parameters.
+    BadRule { reason: String },
+}
+
+impl fmt::Display for PlaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaError::Parse { message, line } => write!(f, "PLA parse error (line {line}): {message}"),
+            PlaError::Condition { message } => write!(f, "PLA condition error: {message}"),
+            PlaError::BadRule { reason } => write!(f, "invalid PLA rule: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PlaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = PlaError::Parse { message: "expected ';'".into(), line: 3 };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

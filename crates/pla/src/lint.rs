@@ -1,0 +1,222 @@
+//! PLA document linting against a catalog.
+//!
+//! A PLA is negotiated text; a typo in a table or column name silently
+//! protects *nothing* (the rule simply never matches a plan). That is
+//! the worst failure mode a privacy agreement can have, so documents
+//! are linted against the schema they are meant to govern before being
+//! accepted: unknown tables/columns, conditions that do not type-check,
+//! self-joins in join permissions, thresholds of 1.
+
+use std::fmt;
+
+use bi_query::Catalog;
+
+use crate::document::PlaDocument;
+use crate::rule::PlaRule;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintWarning {
+    /// Index of the offending rule within the document.
+    pub rule_index: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LintWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule #{}: {}", self.rule_index + 1, self.message)
+    }
+}
+
+/// Lints one document against the catalog. An empty result means every
+/// rule anchors to real schema elements and every condition type-checks.
+pub fn lint_document(doc: &PlaDocument, cat: &Catalog) -> Vec<LintWarning> {
+    let mut warnings = Vec::new();
+    let mut warn = |rule_index: usize, message: String| {
+        warnings.push(LintWarning { rule_index, message });
+    };
+
+    let table_exists = |t: &str| cat.schema_of(t).is_ok();
+    let column_exists = |t: &str, c: &str| {
+        cat.schema_of(t).map(|s| s.contains(c)).unwrap_or(false)
+    };
+
+    for (i, rule) in doc.rules.iter().enumerate() {
+        match rule {
+            PlaRule::AttributeAccess { attribute, condition, allowed_roles } => {
+                if allowed_roles.is_empty() {
+                    warn(i, "empty role set means nobody may ever see the attribute (and the DSL cannot express it)".to_string());
+                }
+                if !table_exists(&attribute.table) {
+                    warn(i, format!("unknown table {:?}", attribute.table));
+                } else if !column_exists(&attribute.table, &attribute.column) {
+                    warn(i, format!("unknown column {attribute}"));
+                }
+                if let (Some(cond), Ok(schema)) = (condition, cat.schema_of(&attribute.table)) {
+                    if let Err(e) = cond.infer_type(&schema) {
+                        warn(i, format!("condition does not type-check against {:?}: {e}", attribute.table));
+                    }
+                }
+            }
+            PlaRule::RowRestriction { table, condition } => {
+                match cat.schema_of(table) {
+                    Err(_) => warn(i, format!("unknown table {table:?}")),
+                    Ok(schema) => {
+                        if let Err(e) = condition.infer_type(&schema) {
+                            warn(i, format!("condition does not type-check against {table:?}: {e}"));
+                        }
+                    }
+                }
+            }
+            PlaRule::AggregationThreshold { table, min_group_size } => {
+                if !table_exists(table) {
+                    warn(i, format!("unknown table {table:?}"));
+                }
+                if *min_group_size <= 1 {
+                    warn(i, "a threshold of 1 protects nothing".to_string());
+                }
+            }
+            PlaRule::Anonymize { attribute, .. } => {
+                if !table_exists(&attribute.table) {
+                    warn(i, format!("unknown table {:?}", attribute.table));
+                } else if !column_exists(&attribute.table, &attribute.column) {
+                    warn(i, format!("unknown column {attribute}"));
+                }
+            }
+            PlaRule::JoinPermission { left_source, right_source, .. } => {
+                if left_source == right_source {
+                    warn(i, format!("join permission of {left_source} with itself is vacuous"));
+                }
+            }
+            PlaRule::IntegrationPermission { .. } => {}
+            PlaRule::Retention { table, date_attribute, .. } => {
+                if !table_exists(table) {
+                    warn(i, format!("unknown table {table:?}"));
+                } else {
+                    if let Ok(schema) = cat.schema_of(table) { match schema.column(date_attribute) {
+                        Err(_) => warn(i, format!("unknown column {table}.{date_attribute}")),
+                        Ok(col) if col.dtype != bi_types::DataType::Date => warn(
+                            i,
+                            format!(
+                                "retention attribute {table}.{date_attribute} is {}, not Date",
+                                col.dtype
+                            ),
+                        ),
+                        Ok(_) => {}
+                    } }
+                }
+            }
+            PlaRule::Purpose { allowed } => {
+                if allowed.is_empty() {
+                    warn(i, "empty purpose set forbids every use".to_string());
+                }
+            }
+        }
+    }
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::PlaLevel;
+    use crate::rule::{AnonMethod, AttrRef};
+    use bi_relation::expr::{col, lit};
+    use bi_relation::Table;
+    use bi_types::{Column, DataType, RoleId, Schema};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "Prescriptions",
+            Schema::new(vec![
+                Column::new("Patient", DataType::Text),
+                Column::new("Disease", DataType::Text),
+                Column::new("Date", DataType::Date),
+                Column::new("Cost", DataType::Int),
+            ])
+            .unwrap(),
+        ))
+        .unwrap();
+        cat
+    }
+
+    fn doc(rules: Vec<PlaRule>) -> PlaDocument {
+        let mut d = PlaDocument::new("d", "hospital", PlaLevel::MetaReport);
+        d.rules = rules;
+        d
+    }
+
+    #[test]
+    fn clean_document_lints_clean() {
+        let d = doc(vec![
+            PlaRule::AttributeAccess {
+                attribute: AttrRef::new("Prescriptions", "Patient"),
+                allowed_roles: [RoleId::new("auditor")].into_iter().collect(),
+                condition: Some(col("Disease").ne(lit("HIV"))),
+            },
+            PlaRule::AggregationThreshold { table: "Prescriptions".into(), min_group_size: 5 },
+            PlaRule::Retention {
+                table: "Prescriptions".into(),
+                date_attribute: "Date".into(),
+                max_age_days: 365,
+            },
+        ]);
+        assert!(lint_document(&d, &catalog()).is_empty());
+    }
+
+    #[test]
+    fn typos_are_caught() {
+        let d = doc(vec![
+            PlaRule::AttributeAccess {
+                attribute: AttrRef::new("Perscriptions", "Patient"), // typo
+                allowed_roles: [RoleId::new("auditor")].into_iter().collect(),
+                condition: None,
+            },
+            PlaRule::Anonymize {
+                attribute: AttrRef::new("Prescriptions", "Pashent"), // typo
+                method: AnonMethod::Suppress,
+            },
+            PlaRule::Retention {
+                table: "Prescriptions".into(),
+                date_attribute: "Cost".into(), // wrong type
+                max_age_days: 365,
+            },
+        ]);
+        let warnings = lint_document(&d, &catalog());
+        assert_eq!(warnings.len(), 3);
+        assert!(warnings[0].message.contains("Perscriptions"));
+        assert!(warnings[1].message.contains("Prescriptions.Pashent"));
+        assert!(warnings[2].message.contains("is Int, not Date"));
+        assert!(warnings[0].to_string().starts_with("rule #1:"));
+    }
+
+    #[test]
+    fn conditions_must_typecheck() {
+        let d = doc(vec![PlaRule::RowRestriction {
+            table: "Prescriptions".into(),
+            condition: col("Ghost").eq(lit(1)),
+        }]);
+        let warnings = lint_document(&d, &catalog());
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].message.contains("type-check"));
+    }
+
+    #[test]
+    fn degenerate_rules_flagged() {
+        let d = doc(vec![
+            PlaRule::AggregationThreshold { table: "Prescriptions".into(), min_group_size: 1 },
+            PlaRule::JoinPermission {
+                left_source: "hospital".into(),
+                right_source: "hospital".into(),
+                allowed: false,
+            },
+            PlaRule::Purpose { allowed: Default::default() },
+        ]);
+        let warnings = lint_document(&d, &catalog());
+        assert_eq!(warnings.len(), 3);
+        assert!(warnings[0].message.contains("protects nothing"));
+        assert!(warnings[1].message.contains("vacuous"));
+        assert!(warnings[2].message.contains("forbids every use"));
+    }
+}

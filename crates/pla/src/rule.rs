@@ -1,0 +1,233 @@
+//! The PLA rule language.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use bi_relation::expr::Expr;
+use bi_types::{RoleId, SourceId};
+
+/// A reference to one source/warehouse attribute: `table.column`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrRef {
+    pub table: String,
+    pub column: String,
+}
+
+impl AttrRef {
+    /// `table.column`.
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        AttrRef { table: table.into(), column: column.into() }
+    }
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// How an attribute must be anonymized before exposure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnonMethod {
+    /// Remove the value entirely (NULL mask).
+    Suppress,
+    /// Replace by a stable keyed pseudonym.
+    Pseudonymize,
+    /// Generalize to the given hierarchy level.
+    Generalize { level: usize },
+    /// Additive Laplace noise with the given scale.
+    Noise { scale: f64 },
+}
+
+impl fmt::Display for AnonMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnonMethod::Suppress => f.write_str("suppress"),
+            AnonMethod::Pseudonymize => f.write_str("pseudonym"),
+            AnonMethod::Generalize { level } => write!(f, "generalize {level}"),
+            AnonMethod::Noise { scale } => write!(f, "noise {scale}"),
+        }
+    }
+}
+
+/// One privacy requirement.
+///
+/// The variants map one-to-one onto the annotation kinds the paper lists
+/// in §5 (i–v), plus row restriction (Fig. 2(b)), retention and purpose
+/// limitation (§2's legal constraints).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlaRule {
+    /// (i) Only `allowed_roles` may see `attribute`; when `condition` is
+    /// present the value is visible only on rows satisfying it
+    /// (intensional, instance-specific).
+    AttributeAccess {
+        attribute: AttrRef,
+        allowed_roles: BTreeSet<RoleId>,
+        condition: Option<Expr>,
+    },
+    /// Rows of `table` failing `condition` must never leave the source
+    /// (the Fig. 2(b) `Policies` metadata, expressed intensionally).
+    RowRestriction { table: String, condition: Expr },
+    /// (ii) Values originating from `table` may only be shown in groups
+    /// of at least `min_group_size` base rows.
+    AggregationThreshold { table: String, min_group_size: usize },
+    /// (iii) `attribute` must be anonymized with `method` before showing.
+    Anonymize { attribute: AttrRef, method: AnonMethod },
+    /// (iv) Joining data of these two sources is permitted/prohibited.
+    JoinPermission { left_source: SourceId, right_source: SourceId, allowed: bool },
+    /// (v) `source`'s data may (not) be used to clean/resolve other
+    /// owners' data.
+    IntegrationPermission { source: SourceId, allowed: bool },
+    /// Rows of `table` older than `max_age_days` (by `date_attribute`)
+    /// must not be used.
+    Retention { table: String, date_attribute: String, max_age_days: i64 },
+    /// Data may be used only for these purposes.
+    Purpose { allowed: BTreeSet<String> },
+}
+
+impl PlaRule {
+    /// A short machine-readable kind tag (used in audit records).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PlaRule::AttributeAccess { .. } => "attribute-access",
+            PlaRule::RowRestriction { .. } => "row-restriction",
+            PlaRule::AggregationThreshold { .. } => "aggregation-threshold",
+            PlaRule::Anonymize { .. } => "anonymize",
+            PlaRule::JoinPermission { .. } => "join-permission",
+            PlaRule::IntegrationPermission { .. } => "integration-permission",
+            PlaRule::Retention { .. } => "retention",
+            PlaRule::Purpose { .. } => "purpose",
+        }
+    }
+
+    /// The table this rule is anchored to, if any.
+    pub fn table(&self) -> Option<&str> {
+        match self {
+            PlaRule::AttributeAccess { attribute, .. } | PlaRule::Anonymize { attribute, .. } => {
+                Some(&attribute.table)
+            }
+            PlaRule::RowRestriction { table, .. }
+            | PlaRule::AggregationThreshold { table, .. }
+            | PlaRule::Retention { table, .. } => Some(table),
+            _ => None,
+        }
+    }
+
+    /// The retention rule as a row filter relative to `today`.
+    pub fn retention_filter(&self, today: bi_types::Date) -> Option<Expr> {
+        if let PlaRule::Retention { date_attribute, max_age_days, .. } = self {
+            let cutoff = today.plus_days(-*max_age_days).ok()?;
+            Some(bi_relation::expr::col(date_attribute.clone()).ge(Expr::Lit(cutoff.into())))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for PlaRule {
+    /// The DSL statement form (without the trailing `;`).
+    ///
+    /// Round-trips through `dsl::parse_document` for every rule the DSL
+    /// can express; empty role or purpose sets have no DSL spelling (the
+    /// parser requires at least one element) and are flagged by
+    /// [`crate::lint::lint_document`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaRule::AttributeAccess { attribute, allowed_roles, condition } => {
+                let roles: Vec<&str> = allowed_roles.iter().map(|r| r.as_str()).collect();
+                write!(f, "allow attribute {attribute} to {}", roles.join(", "))?;
+                if let Some(c) = condition {
+                    write!(f, " when {c}")?;
+                }
+                Ok(())
+            }
+            PlaRule::RowRestriction { table, condition } => {
+                write!(f, "restrict rows {table} when {condition}")
+            }
+            PlaRule::AggregationThreshold { table, min_group_size } => {
+                write!(f, "require aggregation {table} min {min_group_size}")
+            }
+            PlaRule::Anonymize { attribute, method } => {
+                write!(f, "anonymize {attribute} with {method}")
+            }
+            PlaRule::JoinPermission { left_source, right_source, allowed } => {
+                let verb = if *allowed { "allow" } else { "forbid" };
+                write!(f, "{verb} join {left_source} with {right_source}")
+            }
+            PlaRule::IntegrationPermission { source, allowed } => {
+                let verb = if *allowed { "allow" } else { "forbid" };
+                write!(f, "{verb} integration by {source}")
+            }
+            PlaRule::Retention { table, date_attribute, max_age_days } => {
+                write!(f, "retain {table}.{date_attribute} for {max_age_days} days")
+            }
+            PlaRule::Purpose { allowed } => {
+                let ps: Vec<&str> = allowed.iter().map(String::as_str).collect();
+                write!(f, "purpose {}", ps.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_relation::expr::{col, lit};
+
+    #[test]
+    fn kinds_and_tables() {
+        let r = PlaRule::AttributeAccess {
+            attribute: AttrRef::new("Prescriptions", "Doctor"),
+            allowed_roles: [RoleId::new("analyst")].into_iter().collect(),
+            condition: Some(col("Disease").ne(lit("HIV"))),
+        };
+        assert_eq!(r.kind(), "attribute-access");
+        assert_eq!(r.table(), Some("Prescriptions"));
+        let j = PlaRule::JoinPermission {
+            left_source: "hospital".into(),
+            right_source: "laboratory".into(),
+            allowed: false,
+        };
+        assert_eq!(j.table(), None);
+    }
+
+    #[test]
+    fn display_forms_match_dsl() {
+        let r = PlaRule::AttributeAccess {
+            attribute: AttrRef::new("Prescriptions", "Doctor"),
+            allowed_roles: [RoleId::new("analyst"), RoleId::new("auditor")].into_iter().collect(),
+            condition: Some(col("Disease").ne(lit("HIV"))),
+        };
+        assert_eq!(
+            r.to_string(),
+            "allow attribute Prescriptions.Doctor to analyst, auditor when Disease <> 'HIV'"
+        );
+        let r = PlaRule::AggregationThreshold { table: "Prescriptions".into(), min_group_size: 5 };
+        assert_eq!(r.to_string(), "require aggregation Prescriptions min 5");
+        let r = PlaRule::Anonymize {
+            attribute: AttrRef::new("Prescriptions", "Patient"),
+            method: AnonMethod::Pseudonymize,
+        };
+        assert_eq!(r.to_string(), "anonymize Prescriptions.Patient with pseudonym");
+        let r = PlaRule::Retention {
+            table: "Prescriptions".into(),
+            date_attribute: "Date".into(),
+            max_age_days: 365,
+        };
+        assert_eq!(r.to_string(), "retain Prescriptions.Date for 365 days");
+    }
+
+    #[test]
+    fn retention_filter_computes_cutoff() {
+        let r = PlaRule::Retention {
+            table: "Prescriptions".into(),
+            date_attribute: "Date".into(),
+            max_age_days: 30,
+        };
+        let today = bi_types::Date::new(2008, 5, 1).unwrap();
+        let f = r.retention_filter(today).unwrap();
+        assert_eq!(f.to_string(), "Date >= DATE '2008-04-01'");
+        let j = PlaRule::Purpose { allowed: BTreeSet::new() };
+        assert!(j.retention_filter(today).is_none());
+    }
+}

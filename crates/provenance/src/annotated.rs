@@ -1,0 +1,128 @@
+//! Tables whose cells carry provenance annotations.
+
+use std::collections::BTreeSet;
+
+use bi_relation::Table;
+
+use crate::token::ProvToken;
+
+/// The annotation of one cell: the set of source cells it derives from.
+pub type AnnSet = BTreeSet<ProvToken>;
+
+/// A table plus a parallel grid of per-cell annotations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedTable {
+    table: Table,
+    /// `annotations[row][col]`, same shape as the table's rows.
+    annotations: Vec<Vec<AnnSet>>,
+}
+
+impl AnnotatedTable {
+    /// Annotates a base table: cell `(r, c)` gets the single token
+    /// `(table_name, r, column_name)`.
+    pub fn annotate_base(table: Table) -> Self {
+        let name = table.name().to_string();
+        let cols: Vec<String> =
+            table.schema().columns().iter().map(|c| c.name.clone()).collect();
+        let annotations = (0..table.len())
+            .map(|r| {
+                cols.iter()
+                    .map(|c| {
+                        let mut s = AnnSet::new();
+                        s.insert(ProvToken::new(name.clone(), r, c.clone()));
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        AnnotatedTable { table, annotations }
+    }
+
+    /// Wraps a table with explicit annotations (shape-checked).
+    pub fn from_parts(table: Table, annotations: Vec<Vec<AnnSet>>) -> Result<Self, String> {
+        if annotations.len() != table.len() {
+            return Err(format!(
+                "annotation rows {} != table rows {}",
+                annotations.len(),
+                table.len()
+            ));
+        }
+        let width = table.schema().len();
+        if let Some(bad) = annotations.iter().position(|r| r.len() != width) {
+            return Err(format!("annotation row {bad} has wrong width"));
+        }
+        Ok(AnnotatedTable { table, annotations })
+    }
+
+    /// The underlying values.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Consumes self, returning the value table (annotations dropped).
+    pub fn into_table(self) -> Table {
+        self.table
+    }
+
+    /// The full annotation grid.
+    pub fn annotations(&self) -> &[Vec<AnnSet>] {
+        &self.annotations
+    }
+
+    /// Annotation of cell `(row, column-name)`.
+    pub fn cell_annotation(&self, row: usize, column: &str) -> Option<&AnnSet> {
+        let c = self.table.schema().index_of(column).ok()?;
+        self.annotations.get(row).map(|r| &r[c])
+    }
+
+    /// Union of all annotations in the table: the complete source
+    /// footprint of this (intermediate) result.
+    pub fn all_tokens(&self) -> AnnSet {
+        self.annotations.iter().flatten().flat_map(|s| s.iter().cloned()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_types::{Column, DataType, Schema, Value};
+
+    fn small() -> Table {
+        Table::from_rows(
+            "T",
+            Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Text),
+            ])
+            .unwrap(),
+            vec![vec![Value::Int(1), "x".into()], vec![Value::Int(2), "y".into()]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn base_annotation_is_identity() {
+        let at = AnnotatedTable::annotate_base(small());
+        let ann = at.cell_annotation(1, "b").unwrap();
+        assert_eq!(ann.len(), 1);
+        assert!(ann.contains(&ProvToken::new("T", 1, "b")));
+        assert_eq!(at.all_tokens().len(), 4);
+    }
+
+    #[test]
+    fn from_parts_checks_shape() {
+        let t = small();
+        assert!(AnnotatedTable::from_parts(t.clone(), vec![]).is_err());
+        let bad_width = vec![vec![AnnSet::new()], vec![AnnSet::new()]];
+        assert!(AnnotatedTable::from_parts(t.clone(), bad_width).is_err());
+        let ok = vec![vec![AnnSet::new(), AnnSet::new()], vec![AnnSet::new(), AnnSet::new()]];
+        assert!(AnnotatedTable::from_parts(t, ok).is_ok());
+    }
+
+    #[test]
+    fn missing_cells_return_none() {
+        let at = AnnotatedTable::annotate_base(small());
+        assert!(at.cell_annotation(0, "zzz").is_none());
+        assert!(at.cell_annotation(9, "a").is_none());
+    }
+}

@@ -1,0 +1,140 @@
+//! Lineage queries over annotated results.
+//!
+//! Auditing (paper §2.iv) and the elicitation GUI (paper §5) need both
+//! directions: "where does this report cell come from" and "which report
+//! cells expose this source". [`Lineage`] builds an inverted index over
+//! an [`AnnotatedTable`] to answer both in O(1)-ish lookups.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::annotated::{AnnSet, AnnotatedTable};
+use crate::token::ProvToken;
+
+/// A report-cell coordinate: `(row, column name)`.
+pub type Cell = (usize, String);
+
+/// Inverted lineage index for one annotated result.
+#[derive(Debug, Clone)]
+pub struct Lineage {
+    /// source token → report cells exposing it.
+    forward: BTreeMap<ProvToken, BTreeSet<Cell>>,
+    /// source table → report cells exposing any of its cells.
+    by_table: BTreeMap<String, BTreeSet<Cell>>,
+}
+
+impl Lineage {
+    /// Indexes an annotated result.
+    pub fn build(at: &AnnotatedTable) -> Self {
+        let mut forward: BTreeMap<ProvToken, BTreeSet<Cell>> = BTreeMap::new();
+        let mut by_table: BTreeMap<String, BTreeSet<Cell>> = BTreeMap::new();
+        let names: Vec<String> =
+            at.table().schema().columns().iter().map(|c| c.name.clone()).collect();
+        for (r, row_ann) in at.annotations().iter().enumerate() {
+            for (c, ann) in row_ann.iter().enumerate() {
+                for tok in ann {
+                    let cell = (r, names[c].clone());
+                    forward.entry(tok.clone()).or_default().insert(cell.clone());
+                    by_table.entry(tok.table.clone()).or_default().insert(cell);
+                }
+            }
+        }
+        Lineage { forward, by_table }
+    }
+
+    /// Report cells exposing the given source cell (forward lineage).
+    pub fn cells_from(&self, token: &ProvToken) -> BTreeSet<Cell> {
+        self.forward.get(token).cloned().unwrap_or_default()
+    }
+
+    /// Report cells exposing *anything* from the given source table.
+    pub fn cells_from_table(&self, table: &str) -> BTreeSet<Cell> {
+        self.by_table.get(table).cloned().unwrap_or_default()
+    }
+
+    /// Report cells exposing the given source column.
+    pub fn cells_from_column(&self, table: &str, column: &str) -> BTreeSet<Cell> {
+        self.forward
+            .iter()
+            .filter(|(t, _)| t.table == table && t.column == column)
+            .flat_map(|(_, cells)| cells.iter().cloned())
+            .collect()
+    }
+
+    /// All source tables contributing anywhere.
+    pub fn contributing_tables(&self) -> Vec<&str> {
+        self.by_table.keys().map(String::as_str).collect()
+    }
+
+    /// Does any cell of the result derive from `table.column`?
+    pub fn exposes_column(&self, table: &str, column: &str) -> bool {
+        self.forward.keys().any(|t| t.table == table && t.column == column)
+    }
+}
+
+/// Backward lineage of one cell straight off the annotated table (no
+/// index needed): the set of source cells it derives from.
+pub fn sources_of(at: &AnnotatedTable, row: usize, column: &str) -> AnnSet {
+    at.cell_annotation(row, column).cloned().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_query::plan::scan;
+    use bi_query::Catalog;
+    use bi_relation::Table;
+    use bi_types::{Column, DataType, Schema};
+
+    fn annotated() -> AnnotatedTable {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            Table::from_rows(
+                "S",
+                Schema::new(vec![
+                    Column::new("k", DataType::Int),
+                    Column::new("v", DataType::Text),
+                ])
+                .unwrap(),
+                vec![
+                    vec![1.into(), "a".into()],
+                    vec![2.into(), "b".into()],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let pcat = crate::propagate::ProvCatalog::new(&cat);
+        crate::propagate::pexecute(&scan("S").project_cols(&["v", "k"]), &pcat).unwrap()
+    }
+
+    #[test]
+    fn forward_and_backward_agree() {
+        let at = annotated();
+        let lin = Lineage::build(&at);
+        let tok = ProvToken::new("S", 0, "v");
+        let cells = lin.cells_from(&tok);
+        assert_eq!(cells.len(), 1);
+        assert!(cells.contains(&(0usize, "v".to_string())));
+        let back = sources_of(&at, 0, "v");
+        assert!(back.contains(&tok));
+    }
+
+    #[test]
+    fn table_and_column_queries() {
+        let at = annotated();
+        let lin = Lineage::build(&at);
+        assert_eq!(lin.cells_from_table("S").len(), 4);
+        assert!(lin.cells_from_table("Other").is_empty());
+        assert_eq!(lin.cells_from_column("S", "k").len(), 2);
+        assert!(lin.exposes_column("S", "v"));
+        assert!(!lin.exposes_column("S", "zzz"));
+        assert_eq!(lin.contributing_tables(), vec!["S"]);
+    }
+
+    #[test]
+    fn missing_cells_are_empty() {
+        let at = annotated();
+        assert!(sources_of(&at, 99, "v").is_empty());
+        assert!(sources_of(&at, 0, "ghost").is_empty());
+    }
+}

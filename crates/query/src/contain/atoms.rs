@@ -1,0 +1,294 @@
+//! Syntactic predicate implication over atomic conjuncts.
+//!
+//! The containment check needs "every meta-report filter is implied by
+//! the report's filters". Full implication is undecidable in general;
+//! we decide the practical fragment: comparisons of one expression
+//! against a literal, IN-lists, BETWEEN ranges, and IS [NOT] NULL —
+//! exactly the shapes PLA conditions take. Everything else falls back to
+//! syntactic equality. Sound, not complete.
+
+use std::collections::BTreeSet;
+
+use bi_relation::expr::{BinOp, Expr};
+use bi_types::Value;
+
+/// A normalized atomic predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atom {
+    /// `lhs op literal` (the literal is always on the right).
+    Cmp { lhs: Expr, op: BinOp, val: Value },
+    /// `lhs IN (…)`.
+    In { lhs: Expr, vals: BTreeSet<Value> },
+    /// `lhs IS NULL` / `lhs IS NOT NULL`.
+    Null { lhs: Expr, negated: bool },
+    /// Anything else — compared only syntactically.
+    Other(Expr),
+}
+
+/// Flips a comparison operator for literal-on-left normalization.
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// Converts one conjunct into one or more atoms (BETWEEN splits in two).
+pub fn atoms_of(e: &Expr) -> Vec<Atom> {
+    match e {
+        Expr::Bin(op, l, r) if op.is_comparison() => match (l.as_ref(), r.as_ref()) {
+            (lhs, Expr::Lit(v)) if !matches!(lhs, Expr::Lit(_)) => {
+                vec![Atom::Cmp { lhs: lhs.clone(), op: *op, val: v.clone() }]
+            }
+            (Expr::Lit(v), rhs) => {
+                vec![Atom::Cmp { lhs: rhs.clone(), op: flip(*op), val: v.clone() }]
+            }
+            _ => vec![Atom::Other(e.clone())],
+        },
+        Expr::InList(lhs, vs) => {
+            vec![Atom::In { lhs: (**lhs).clone(), vals: vs.iter().cloned().collect() }]
+        }
+        Expr::Between(lhs, lo, hi) => match (lo.as_ref(), hi.as_ref()) {
+            (Expr::Lit(a), Expr::Lit(b)) => vec![
+                Atom::Cmp { lhs: (**lhs).clone(), op: BinOp::Ge, val: a.clone() },
+                Atom::Cmp { lhs: (**lhs).clone(), op: BinOp::Le, val: b.clone() },
+            ],
+            _ => vec![Atom::Other(e.clone())],
+        },
+        Expr::IsNull(lhs) => vec![Atom::Null { lhs: (**lhs).clone(), negated: false }],
+        Expr::Not(inner) => match inner.as_ref() {
+            Expr::IsNull(lhs) => vec![Atom::Null { lhs: (**lhs).clone(), negated: true }],
+            _ => vec![Atom::Other(e.clone())],
+        },
+        _ => vec![Atom::Other(e.clone())],
+    }
+}
+
+/// Orders two literals if they are comparable (same family).
+fn cmp_vals(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
+    let ok = matches!(
+        (a, b),
+        (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
+            | (Value::Text(_), Value::Text(_))
+            | (Value::Date(_), Value::Date(_))
+            | (Value::Bool(_), Value::Bool(_))
+    );
+    ok.then(|| a.cmp(b))
+}
+
+/// Does a non-null value `v` satisfy `op literal`?
+///
+/// A NULL on either side satisfies nothing: in SQL, every comparison
+/// involving NULL is UNKNOWN, so e.g. `x <> NULL` is never TRUE and a
+/// filter over it keeps no rows. Returning true here would let a report
+/// "imply" a meta-report filter that actually empties the meta-report.
+fn sat(v: &Value, op: BinOp, lit: &Value) -> bool {
+    use std::cmp::Ordering::*;
+    if v.is_null() || lit.is_null() {
+        return false;
+    }
+    match op {
+        BinOp::Eq => v == lit,
+        BinOp::Ne => v != lit,
+        _ => match cmp_vals(v, lit) {
+            Some(ord) => match op {
+                BinOp::Lt => ord == Less,
+                BinOp::Le => ord != Greater,
+                BinOp::Gt => ord == Greater,
+                BinOp::Ge => ord != Less,
+                _ => false,
+            },
+            None => false,
+        },
+    }
+}
+
+/// Sound implication test: does `r` (a fact about a row) imply `m`?
+///
+/// Both atoms must constrain the same left-hand expression; otherwise the
+/// answer is `false` (conservative). Note every satisfied comparison or
+/// IN atom implies `IS NOT NULL` (SQL comparisons are never TRUE on
+/// NULL).
+pub fn implies(r: &Atom, m: &Atom) -> bool {
+    use Atom::*;
+    // Syntactic identity always implies.
+    if r == m {
+        return true;
+    }
+    let same_lhs = |a: &Expr, b: &Expr| a == b;
+    match (r, m) {
+        (Cmp { lhs: rl, op: rop, val: rv }, Null { lhs: ml, negated: true })
+            if same_lhs(rl, ml) =>
+        {
+            // x op v TRUE ⇒ x not null, for every comparison op.
+            let _ = rop;
+            let _ = rv;
+            true
+        }
+        (In { lhs: rl, .. }, Null { lhs: ml, negated: true }) if same_lhs(rl, ml) => true,
+        (Cmp { lhs: rl, op: BinOp::Eq, val: rv }, m) => match m {
+            Cmp { lhs: ml, op: mop, val: mv } if same_lhs(rl, ml) => sat(rv, *mop, mv),
+            In { lhs: ml, vals } if same_lhs(rl, ml) => vals.contains(rv),
+            _ => false,
+        },
+        (Cmp { lhs: rl, op: rop, val: rv }, Cmp { lhs: ml, op: mop, val: mv })
+            if same_lhs(rl, ml) =>
+        {
+            implies_cmp(*rop, rv, *mop, mv)
+        }
+        (In { lhs: rl, vals: rvals }, m) => match m {
+            In { lhs: ml, vals: mvals } if same_lhs(rl, ml) => rvals.is_subset(mvals),
+            Cmp { lhs: ml, op, val } if same_lhs(rl, ml) => {
+                !rvals.is_empty() && rvals.iter().all(|v| sat(v, *op, val))
+            }
+            _ => false,
+        },
+        (Null { lhs: rl, negated: rn }, Null { lhs: ml, negated: mn }) => {
+            same_lhs(rl, ml) && rn == mn
+        }
+        _ => false,
+    }
+}
+
+/// `x rop rv` ⇒ `x mop mv` for ordered/equality operators.
+fn implies_cmp(rop: BinOp, rv: &Value, mop: BinOp, mv: &Value) -> bool {
+    use std::cmp::Ordering::*;
+    let ord = match cmp_vals(rv, mv) {
+        Some(o) => o,
+        None => return false,
+    };
+    match (rop, mop) {
+        // Upper bounds: x < rv / x <= rv.
+        (BinOp::Lt, BinOp::Lt) => ord != Greater,  // rv <= mv
+        (BinOp::Lt, BinOp::Le) => ord != Greater,  // x < rv <= mv ⇒ x < mv ⇒ x <= mv
+        (BinOp::Le, BinOp::Le) => ord != Greater,  // rv <= mv
+        (BinOp::Le, BinOp::Lt) => ord == Less,     // rv < mv
+        // Lower bounds: x > rv / x >= rv.
+        (BinOp::Gt, BinOp::Gt) => ord != Less,     // rv >= mv
+        (BinOp::Gt, BinOp::Ge) => ord != Less,
+        (BinOp::Ge, BinOp::Ge) => ord != Less,
+        (BinOp::Ge, BinOp::Gt) => ord == Greater,  // rv > mv
+        // Bounds imply ≠ when the excluded value is outside the range.
+        (BinOp::Lt, BinOp::Ne) => ord != Greater,  // x < rv <= mv ⇒ x != mv
+        (BinOp::Le, BinOp::Ne) => ord == Less,     // x <= rv < mv ⇒ x != mv
+        (BinOp::Gt, BinOp::Ne) => ord != Less,
+        (BinOp::Ge, BinOp::Ne) => ord == Greater,
+        // Equality of excluded values.
+        (BinOp::Ne, BinOp::Ne) => ord == Equal,
+        _ => false,
+    }
+}
+
+/// Does the conjunction `rs` imply every atom of `ms`?
+pub fn conjunction_implies(rs: &[Atom], ms: &[Atom]) -> Result<(), Atom> {
+    for m in ms {
+        // TRUE literals are vacuous.
+        if let Atom::Other(Expr::Lit(Value::Bool(true))) = m {
+            continue;
+        }
+        if !rs.iter().any(|r| implies(r, m)) {
+            return Err(m.clone());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    fn a(text: &str) -> Vec<Atom> {
+        bi_relation::expr::parse(text).unwrap().conjuncts().iter().flat_map(|c| atoms_of(c)).collect()
+    }
+
+    fn imp(r: &str, m: &str) -> bool {
+        let rs = a(r);
+        let ms = a(m);
+        conjunction_implies(&rs, &ms).is_ok()
+    }
+
+    #[test]
+    fn equality_and_membership() {
+        assert!(imp("x = 5", "x = 5"));
+        assert!(!imp("x = 5", "x = 6"));
+        assert!(imp("x = 5", "x <> 6"));
+        assert!(imp("x = 5", "x IN (4, 5)"));
+        assert!(!imp("x = 5", "x IN (4, 6)"));
+        assert!(imp("x = 5", "x >= 1"));
+        assert!(imp("x = 5", "x < 10"));
+        assert!(imp("x IN (2, 3)", "x IN (1, 2, 3, 4)"));
+        assert!(!imp("x IN (2, 5)", "x IN (1, 2, 3)"));
+        assert!(imp("x IN (2, 3)", "x < 10"));
+        assert!(imp("x IN (2, 3)", "x <> 5"));
+    }
+
+    #[test]
+    fn range_implication() {
+        assert!(imp("x < 5", "x < 5"));
+        assert!(imp("x < 5", "x < 7"));
+        assert!(imp("x < 5", "x <= 5"));
+        assert!(!imp("x <= 5", "x < 5"));
+        assert!(imp("x <= 4", "x < 5"));
+        assert!(imp("x > 5", "x > 3"));
+        assert!(imp("x >= 5", "x > 4"));
+        assert!(!imp("x >= 5", "x > 5"));
+        assert!(imp("x BETWEEN 2 AND 4", "x >= 1"));
+        assert!(imp("x BETWEEN 2 AND 4", "x <= 4"));
+        assert!(!imp("x BETWEEN 2 AND 9", "x <= 4"));
+        assert!(imp("x < 5", "x <> 9"));
+        assert!(!imp("x < 5", "x <> 3"));
+        assert!(imp("x <> 3", "x <> 3"));
+        // Dates compare too.
+        assert!(imp("d >= DATE '2007-01-01'", "d > DATE '2006-12-31'"));
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(imp("x = 5", "x IS NOT NULL"));
+        assert!(imp("x > 2", "x IS NOT NULL"));
+        assert!(imp("x IN (1)", "x IS NOT NULL"));
+        assert!(imp("x IS NULL", "x IS NULL"));
+        assert!(!imp("x IS NULL", "x IS NOT NULL"));
+        assert!(!imp("x IS NOT NULL", "x = 5"));
+    }
+
+    #[test]
+    fn different_lhs_never_implies() {
+        assert!(!imp("x = 5", "y = 5"));
+        assert!(!imp("x = 5", "y IS NOT NULL"));
+        // But conjunctions work per-atom.
+        assert!(imp("x = 5 AND y = 2", "y >= 2 AND x IN (5)"));
+    }
+
+    #[test]
+    fn literal_on_left_is_normalized() {
+        assert!(imp("5 = x", "x = 5"));
+        assert!(imp("5 > x", "x < 7"));
+        assert!(imp("5 <= x", "x >= 2"));
+    }
+
+    #[test]
+    fn other_atoms_need_syntactic_equality() {
+        assert!(imp("x = y", "x = y"));
+        assert!(!imp("x = y", "y = x"), "conservative: no commutativity reasoning");
+        assert!(imp("TRUE", "TRUE"));
+    }
+
+    #[test]
+    fn conjunction_reports_failing_atom() {
+        let rs = a("x = 5");
+        let ms = a("x = 5 AND z < 3");
+        let failed = conjunction_implies(&rs, &ms).unwrap_err();
+        assert!(matches!(failed, Atom::Cmp { .. }));
+    }
+
+    #[test]
+    fn cross_type_comparisons_never_imply() {
+        assert!(!imp("x = 5", "x < 'abc'"));
+        assert!(!imp("x IN (1, 'a')", "x < 2"));
+    }
+}

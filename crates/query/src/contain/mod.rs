@@ -1,0 +1,954 @@
+//! Report ⊆ meta-report derivability (paper §5).
+//!
+//! "Each time a new report is created or an existing one is modified,
+//! PLAs on the meta-reports are used to determine if the new report is
+//! privacy-compliant. This can be often done easily as the reports can,
+//! at least conceptually, be expressed as a subset or view over a
+//! meta-report." — this module makes that check concrete and *executable*:
+//! [`derive`] either proves a report derivable from a meta-report by
+//! constructing a [`Derivation`] — a rewrite of the report as a plan over
+//! the meta-report's output — or explains why not ([`NotDerivable`]).
+//!
+//! The check is **sound, not complete**: a returned `Derivation` really
+//! does recompute the report (property-tested in `tests/`), but some
+//! semantically-derivable reports are rejected. That is the right
+//! trade-off for a privacy gate.
+//!
+//! Wide meta-reports ("meta-reports typically contain wide tables", §5)
+//! join dimension tables the report may not need; [`RefIntegrity`]
+//! declares foreign keys so such extra joins can be pruned *losslessly*
+//! (an FK join to a unique key neither drops nor duplicates rows, given
+//! referential integrity — which the ETL layer validates).
+
+mod atoms;
+mod norm;
+
+pub use atoms::{atoms_of, conjunction_implies, Atom};
+pub use norm::{normalize, Norm, NormError, NotDerivable, OutCol, OutKind};
+pub(crate) use norm::replace_cols;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use bi_relation::expr::{col, lit, Expr, Func};
+use bi_types::Value;
+
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::exec::execute;
+use crate::plan::{scan, AggFunc, AggItem, Plan};
+
+/// Declared foreign keys with referential integrity: `(from table, from
+/// column) → (to table, unique column)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefIntegrity {
+    fks: BTreeSet<(String, String, String, String)>,
+}
+
+impl RefIntegrity {
+    /// No declared keys.
+    pub fn new() -> Self {
+        RefIntegrity::default()
+    }
+
+    /// Declares `from_table.from_col → to_table.to_col` where `to_col`
+    /// is unique in `to_table` and every `from_col` value appears there.
+    pub fn add_fk(
+        &mut self,
+        from_table: impl Into<String>,
+        from_col: impl Into<String>,
+        to_table: impl Into<String>,
+        to_col: impl Into<String>,
+    ) {
+        self.fks.insert((from_table.into(), from_col.into(), to_table.into(), to_col.into()));
+    }
+
+    /// Is `(from_table, from_col) → (to_table, to_col)` declared?
+    pub fn is_fk(&self, from: (&str, &str), to: (&str, &str)) -> bool {
+        self.fks.contains(&(from.0.to_string(), from.1.to_string(), to.0.to_string(), to.1.to_string()))
+    }
+
+    /// All declared foreign keys.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, &str, &str)> {
+        self.fks.iter().map(|(a, b, c, d)| (a.as_str(), b.as_str(), c.as_str(), d.as_str()))
+    }
+}
+
+/// Failure of [`derive`]: a hard query error or a containment verdict.
+#[derive(Debug)]
+pub enum DeriveError {
+    /// The plans themselves are broken (unknown relation, bad types, …).
+    Query(QueryError),
+    /// The report is not (provably) derivable from the meta-report.
+    NotDerivable(NotDerivable),
+}
+
+impl fmt::Display for DeriveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeriveError::Query(e) => write!(f, "{e}"),
+            DeriveError::NotDerivable(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeriveError {}
+
+impl From<NormError> for DeriveError {
+    fn from(e: NormError) -> Self {
+        match e {
+            NormError::Query(q) => DeriveError::Query(q),
+            NormError::Shape(s) => DeriveError::NotDerivable(s),
+        }
+    }
+}
+
+impl From<NotDerivable> for DeriveError {
+    fn from(e: NotDerivable) -> Self {
+        DeriveError::NotDerivable(e)
+    }
+}
+
+/// A proof that a report is derivable from a meta-report: the rewrite of
+/// the report as a plan over the meta-report's materialized output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Derivation {
+    /// Filters over meta output columns re-establishing the report's
+    /// selection (residual filters + extra join-pair equalities).
+    pub residual: Vec<Expr>,
+    /// Optional preparation projection (grain/argument expressions get
+    /// synthetic names before re-aggregation).
+    pub pre_project: Option<Vec<(String, Expr)>>,
+    /// Optional re-aggregation at the report's (coarser) grain.
+    pub agg: Option<(Vec<String>, Vec<AggItem>)>,
+    /// Final projection producing the report's output columns in order.
+    pub final_project: Vec<(String, Expr)>,
+    /// Whether the report eliminates duplicates.
+    pub distinct: bool,
+    /// The report's row limit, if any.
+    pub limit: Option<usize>,
+}
+
+impl Derivation {
+    /// Builds the executable rewrite: a plan over the relation named
+    /// `meta_name` (the materialized meta-report) computing the report.
+    pub fn rewrite_plan(&self, meta_name: &str) -> Plan {
+        let mut p = scan(meta_name);
+        if !self.residual.is_empty() {
+            p = p.filter(Expr::conjoin(self.residual.iter().cloned()));
+        }
+        if let Some(items) = &self.pre_project {
+            p = p.project(items.clone());
+        }
+        if let Some((group_by, aggs)) = &self.agg {
+            p = p.aggregate(group_by.clone(), aggs.clone());
+        }
+        p = p.project(self.final_project.clone());
+        if self.distinct {
+            p = p.distinct();
+        }
+        if let Some(n) = self.limit {
+            p = p.limit(n);
+        }
+        p
+    }
+}
+
+/// Is the report's result multiplicity-sensitive (would duplicate
+/// elimination in the meta-report corrupt it)?
+fn multiplicity_sensitive(n: &Norm) -> bool {
+    match &n.grain {
+        None => !n.distinct,
+        Some(_) => n.outputs.iter().any(|o| {
+            matches!(
+                o.kind,
+                OutKind::Agg(AggFunc::Count | AggFunc::Sum | AggFunc::Avg, _)
+            )
+        }),
+    }
+}
+
+/// Iteratively removes tables in `tables − target` that are joined by
+/// exactly one pair which is a declared FK *into* the removed table's
+/// unique key, and that `filter_tables` does not mention. Such joins are
+/// lossless under referential integrity, so dropping them preserves the
+/// remaining rows' multiplicities. Returns the surviving `(tables,
+/// pairs)`. Also used by meta-report synthesis to predict whether a wide
+/// meta-report still covers a narrower member.
+pub fn prune_extra_tables(
+    tables: &BTreeSet<String>,
+    join_pairs: &BTreeSet<(String, String)>,
+    target: &BTreeSet<String>,
+    filter_tables: &BTreeSet<String>,
+    refs: &RefIntegrity,
+) -> (BTreeSet<String>, BTreeSet<(String, String)>) {
+    let mut kept = tables.clone();
+    let mut pairs = join_pairs.clone();
+    loop {
+        let extra: Vec<String> = kept.difference(target).cloned().collect();
+        let mut pruned_one = false;
+        for t in extra {
+            if filter_tables.contains(&t) {
+                continue;
+            }
+            let touching: Vec<(String, String)> = pairs
+                .iter()
+                .filter(|(a, b)| {
+                    a.split_once('.').map(|(ta, _)| ta == t).unwrap_or(false)
+                        || b.split_once('.').map(|(tb, _)| tb == t).unwrap_or(false)
+                })
+                .cloned()
+                .collect();
+            if touching.len() != 1 {
+                continue;
+            }
+            let (a, b) = &touching[0];
+            let (at, ac) = a.split_once('.').unwrap_or(("", a));
+            let (bt, bc) = b.split_once('.').unwrap_or(("", b));
+            // Orient: the pruned table holds the unique (referenced) key.
+            let ok = if at == t && bt != t {
+                refs.is_fk((bt, bc), (at, ac))
+            } else if bt == t && at != t {
+                refs.is_fk((at, ac), (bt, bc))
+            } else {
+                false
+            };
+            if ok {
+                kept.remove(&t);
+                pairs.remove(&touching[0]);
+                pruned_one = true;
+                break;
+            }
+        }
+        if !pruned_one {
+            return (kept, pairs);
+        }
+    }
+}
+
+/// Base tables referenced by an expression over base-qualified columns.
+fn expr_tables(e: &Expr) -> BTreeSet<String> {
+    e.columns_used()
+        .into_iter()
+        .filter_map(|c| c.split_once('.').map(|(t, _)| t.to_string()))
+        .collect()
+}
+
+/// Proves (or refutes) that `report` is computable from `meta`'s output.
+pub fn derive(
+    report: &Plan,
+    meta: &Plan,
+    cat: &Catalog,
+    refs: &RefIntegrity,
+) -> Result<Derivation, DeriveError> {
+    let r = normalize(report, cat)?;
+    let m = normalize(meta, cat)?;
+    derive_norm(&r, &m, refs).map_err(Into::into)
+}
+
+/// Like [`derive`], but against a pre-normalized meta-report (see
+/// [`normalize`]). Lets a compliance gate normalize each approved
+/// meta-report once and re-use it for every incoming report — the gate
+/// then only pays one report-side normalization per check.
+pub fn derive_against_norm(
+    report: &Plan,
+    meta_norm: &Norm,
+    cat: &Catalog,
+    refs: &RefIntegrity,
+) -> Result<Derivation, DeriveError> {
+    let r = normalize(report, cat)?;
+    derive_norm(&r, meta_norm, refs).map_err(Into::into)
+}
+
+/// Fully pre-normalized variant: both sides already in SPJA form. The
+/// cheapest path when one report is gated against many meta-reports —
+/// normalize the report once, then run this per meta-report.
+pub fn derive_prepared(
+    report_norm: &Norm,
+    meta_norm: &Norm,
+    refs: &RefIntegrity,
+) -> Result<Derivation, NotDerivable> {
+    derive_norm(report_norm, meta_norm, refs)
+}
+
+fn derive_norm(r: &Norm, m: &Norm, refs: &RefIntegrity) -> Result<Derivation, NotDerivable> {
+    if m.limit.is_some() {
+        return Err(NotDerivable::Unsupported { reason: "meta-report with a row limit".into() });
+    }
+    // A report LIMIT selects rows by *position*, which depends on an
+    // ordering the normal form does not capture (normalization drops
+    // Sort, and even an unsorted limit depends on base-scan order the
+    // meta-report's materialization need not reproduce). A rewrite could
+    // therefore return a different N rows than the report — refuse.
+    if r.limit.is_some() {
+        return Err(NotDerivable::Unsupported {
+            reason: "report with a row limit (position-dependent selection)".into(),
+        });
+    }
+
+    // 1. Table coverage.
+    let missing: Vec<String> = r.tables.difference(&m.tables).cloned().collect();
+    if !missing.is_empty() {
+        return Err(NotDerivable::MissingTables { tables: missing });
+    }
+
+    // 2. Prune meta's extra tables along declared FKs (lossless joins).
+    let filter_tables: BTreeSet<String> = m.filters.iter().flat_map(expr_tables).collect();
+    let (kept, meta_pairs) =
+        prune_extra_tables(&m.tables, &m.join_pairs, &r.tables, &filter_tables, refs);
+    if kept != r.tables {
+        let extra: Vec<String> = kept.difference(&r.tables).cloned().collect();
+        return Err(NotDerivable::ExtraMetaTables { tables: extra });
+    }
+
+    // 3. Remaining meta join pairs must be joins the report also makes.
+    for p in &meta_pairs {
+        if !r.join_pairs.contains(p) {
+            return Err(NotDerivable::MetaMoreRestrictive {
+                conjunct: format!("{} = {}", p.0, p.1),
+            });
+        }
+    }
+
+    // 4. Meta filters must be implied by report filters.
+    let r_atoms: Vec<Atom> = r.filters.iter().flat_map(atoms_of).collect();
+    let m_atoms: Vec<Atom> = m.filters.iter().flat_map(atoms_of).collect();
+    if let Err(a) = conjunction_implies(&r_atoms, &m_atoms) {
+        return Err(NotDerivable::MetaMoreRestrictive { conjunct: format!("{a:?}") });
+    }
+
+    // 5. Exposure: map base expressions to meta output columns.
+    let plain_map: BTreeMap<String, &OutCol> = m
+        .outputs
+        .iter()
+        .filter(|o| matches!(o.kind, OutKind::Plain(_)))
+        .map(|o| {
+            let OutKind::Plain(e) = &o.kind else { unreachable!() };
+            (e.to_string(), o)
+        })
+        .collect();
+    let subst = |e: &Expr| -> Result<Expr, NotDerivable> { subst_into_meta(e, &plain_map) };
+
+    // 6. Residual filters: all report filters plus extra join equalities,
+    //    rewritten over meta outputs.
+    let mut residual = Vec::new();
+    for f in &r.filters {
+        residual.push(subst(f)?);
+    }
+    for p in r.join_pairs.difference(&meta_pairs) {
+        // Equality the meta-report did not apply; both sides must be
+        // exposed. (If the meta applied it, re-applying is unnecessary.)
+        // Note `meta_pairs` no longer contains pruned FK pairs; a report
+        // join duplicating a pruned FK join is also re-applied — harmless.
+        if m.join_pairs.contains(p) {
+            continue;
+        }
+        let l = subst(&Expr::Col(p.0.clone()))?;
+        let rr = subst(&Expr::Col(p.1.clone()))?;
+        residual.push(l.eq(rr));
+    }
+
+    // 7. Distinct semantics.
+    if m.distinct && m.grain.is_none() && multiplicity_sensitive(r) {
+        return Err(NotDerivable::DistinctMismatch);
+    }
+    // An aggregated meta-report that projected away part of its grain and
+    // then deduplicated has *merged groups*: e.g. grain (Drug, Disease)
+    // projected to (Drug, n) collapses equal-count diseases, so any
+    // re-aggregation over it undercounts. DISTINCT over an aggregate is
+    // only a no-op when every grain expression is still exposed.
+    if m.distinct {
+        if let Some(mg) = &m.grain {
+            if mg.iter().any(|g| m.plain_output_matching(g).is_none()) {
+                return Err(NotDerivable::DistinctMismatch);
+            }
+        }
+    }
+
+    // 8. Output construction by aggregation case.
+    match (&r.grain, &m.grain) {
+        (None, None) => {
+            let mut final_project = Vec::with_capacity(r.outputs.len());
+            for o in &r.outputs {
+                let OutKind::Plain(e) = &o.kind else {
+                    return Err(NotDerivable::Unsupported {
+                        reason: "aggregate output without grain".into(),
+                    });
+                };
+                final_project.push((o.name.clone(), subst(e)?));
+            }
+            Ok(Derivation {
+                residual,
+                pre_project: None,
+                agg: None,
+                final_project,
+                distinct: r.distinct,
+                limit: r.limit,
+            })
+        }
+        (Some(rg), None) => rebuild_aggregate(r, rg, residual, &subst, None),
+        (Some(rg), Some(mg)) => {
+            let rg_set: BTreeSet<String> = rg.iter().map(|e| e.to_string()).collect();
+            let mg_set: BTreeSet<String> = mg.iter().map(|e| e.to_string()).collect();
+            if rg_set == mg_set {
+                // Same grain: pass aggregates straight through.
+                let mut final_project = Vec::with_capacity(r.outputs.len());
+                for o in &r.outputs {
+                    match &o.kind {
+                        OutKind::Plain(e) => final_project.push((o.name.clone(), subst(e)?)),
+                        OutKind::Agg(f, arg) => {
+                            let found =
+                                m.agg_output_matching(*f, arg.as_ref()).ok_or_else(|| {
+                                    NotDerivable::AggNotDerivable {
+                                        agg: format!("{}({:?})", f.name(), arg),
+                                    }
+                                })?;
+                            final_project.push((o.name.clone(), col(&found.name)));
+                        }
+                    }
+                }
+                Ok(Derivation {
+                    residual,
+                    pre_project: None,
+                    agg: None,
+                    final_project,
+                    distinct: r.distinct,
+                    limit: r.limit,
+                })
+            } else {
+                // Coarser grain: re-aggregate the meta-report's groups.
+                rebuild_aggregate(r, rg, residual, &subst, Some(m))
+            }
+        }
+        (None, Some(_)) => {
+            // Raw report over aggregated meta: only grain-derived outputs,
+            // and duplicates differ unless the report is DISTINCT.
+            if !r.distinct {
+                return Err(NotDerivable::DistinctMismatch);
+            }
+            let mut final_project = Vec::with_capacity(r.outputs.len());
+            for o in &r.outputs {
+                let OutKind::Plain(e) = &o.kind else {
+                    return Err(NotDerivable::Unsupported {
+                        reason: "aggregate output without grain".into(),
+                    });
+                };
+                final_project.push((o.name.clone(), subst(e)?));
+            }
+            Ok(Derivation {
+                residual,
+                pre_project: None,
+                agg: None,
+                final_project,
+                distinct: true,
+                limit: r.limit,
+            })
+        }
+    }
+}
+
+/// Builds the pre-project + aggregate + final-project stages for a report
+/// that aggregates at grain `rg`. When `meta_agg` is `Some`, aggregates
+/// are derived from the meta-report's aggregate outputs (coarsening);
+/// when `None`, the meta-report is raw and aggregates are computed
+/// directly.
+fn rebuild_aggregate(
+    r: &Norm,
+    rg: &[Expr],
+    residual: Vec<Expr>,
+    subst: &impl Fn(&Expr) -> Result<Expr, NotDerivable>,
+    meta_agg: Option<&Norm>,
+) -> Result<Derivation, NotDerivable> {
+    let mut pre: Vec<(String, Expr)> = Vec::new();
+    let mut group_names: Vec<String> = Vec::new();
+    // Grain expressions become synthetic pre-projected columns.
+    let mut grain_name: BTreeMap<String, String> = BTreeMap::new();
+    for (i, g) in rg.iter().enumerate() {
+        let name = format!("__g{i}");
+        pre.push((name.clone(), subst(g)?));
+        group_names.push(name.clone());
+        grain_name.insert(g.to_string(), name);
+    }
+
+    let mut aggs: Vec<AggItem> = Vec::new();
+    // Final projection over (group names + agg output names).
+    let mut final_project: Vec<(String, Expr)> = Vec::with_capacity(r.outputs.len());
+    let mut next_arg = 0usize;
+    for o in &r.outputs {
+        match &o.kind {
+            OutKind::Plain(e) => {
+                let g = grain_name.get(&e.to_string()).ok_or_else(|| {
+                    NotDerivable::GrainTooCoarse { expr: e.to_string() }
+                })?;
+                final_project.push((o.name.clone(), col(g)));
+            }
+            OutKind::Agg(f, arg) => match meta_agg {
+                None => {
+                    // Raw meta: compute the aggregate directly.
+                    let arg_name = match arg {
+                        Some(a) => {
+                            let name = format!("__a{next_arg}");
+                            next_arg += 1;
+                            pre.push((name.clone(), subst(a)?));
+                            Some(name)
+                        }
+                        None => None,
+                    };
+                    aggs.push(AggItem { name: o.name.clone(), func: *f, arg: arg_name });
+                    final_project.push((o.name.clone(), col(&o.name)));
+                }
+                Some(m) => {
+                    derive_agg_from_meta(o, *f, arg.as_ref(), m, &mut pre, &mut aggs, &mut final_project, &mut next_arg)?;
+                }
+            },
+        }
+    }
+
+    Ok(Derivation {
+        residual,
+        pre_project: Some(pre),
+        agg: Some((group_names, aggs)),
+        final_project,
+        distinct: r.distinct,
+        limit: r.limit,
+    })
+}
+
+/// Derives one report aggregate from an aggregated meta-report
+/// (coarsening case): Count→Sum of counts, Sum→Sum of sums,
+/// Min/Max→Min/Max of minima/maxima, Avg→Sum(sum)/Sum(count).
+#[allow(clippy::too_many_arguments)]
+fn derive_agg_from_meta(
+    o: &OutCol,
+    f: AggFunc,
+    arg: Option<&Expr>,
+    m: &Norm,
+    pre: &mut Vec<(String, Expr)>,
+    aggs: &mut Vec<AggItem>,
+    final_project: &mut Vec<(String, Expr)>,
+    next_arg: &mut usize,
+) -> Result<(), NotDerivable> {
+    let fail = || NotDerivable::AggNotDerivable { agg: format!("{}({:?})", f.name(), arg) };
+    let mut push_agg =
+        |meta_out: &OutCol, func: AggFunc, out_name: String, pre: &mut Vec<(String, Expr)>| {
+            let arg_name = format!("__a{next_arg}");
+            *next_arg += 1;
+            pre.push((arg_name.clone(), col(&meta_out.name)));
+            aggs.push(AggItem { name: out_name, func, arg: Some(arg_name) });
+        };
+    match f {
+        AggFunc::Count => {
+            let meta_out = m.agg_output_matching(AggFunc::Count, arg).ok_or_else(fail)?;
+            push_agg(meta_out, AggFunc::Sum, o.name.clone(), pre);
+            final_project.push((o.name.clone(), col(&o.name)));
+        }
+        AggFunc::Sum => {
+            let meta_out = m.agg_output_matching(AggFunc::Sum, arg).ok_or_else(fail)?;
+            push_agg(meta_out, AggFunc::Sum, o.name.clone(), pre);
+            final_project.push((o.name.clone(), col(&o.name)));
+        }
+        AggFunc::Min => {
+            let meta_out = m.agg_output_matching(AggFunc::Min, arg).ok_or_else(fail)?;
+            push_agg(meta_out, AggFunc::Min, o.name.clone(), pre);
+            final_project.push((o.name.clone(), col(&o.name)));
+        }
+        AggFunc::Max => {
+            let meta_out = m.agg_output_matching(AggFunc::Max, arg).ok_or_else(fail)?;
+            push_agg(meta_out, AggFunc::Max, o.name.clone(), pre);
+            final_project.push((o.name.clone(), col(&o.name)));
+        }
+        AggFunc::Avg => {
+            // AVG(x) = SUM(sum_x) / SUM(count_x); count must count x
+            // specifically (AVG ignores NULLs, COUNT(*) does not).
+            let sum_out = m.agg_output_matching(AggFunc::Sum, arg).ok_or_else(fail)?;
+            let cnt_out = m.agg_output_matching(AggFunc::Count, arg).ok_or_else(fail)?;
+            let num = format!("__avg_num_{}", o.name);
+            let den = format!("__avg_den_{}", o.name);
+            push_agg(sum_out, AggFunc::Sum, num.clone(), pre);
+            push_agg(cnt_out, AggFunc::Sum, den.clone(), pre);
+            // Guard the division: a group whose values were all NULL has
+            // den = 0.
+            let expr = Expr::Func(
+                Func::If,
+                vec![
+                    col(&den).gt(lit(0)),
+                    Expr::Bin(
+                        bi_relation::BinOp::Div,
+                        Box::new(col(&num)),
+                        Box::new(col(&den)),
+                    ),
+                    Expr::Lit(Value::Null),
+                ],
+            );
+            final_project.push((o.name.clone(), expr));
+        }
+        AggFunc::CountDistinct => return Err(fail()),
+    }
+    Ok(())
+}
+
+/// Recursively rewrites `e` (over base-qualified columns) into an
+/// expression over meta output columns: a subtree equal to an exposed
+/// plain output becomes a column reference; literals pass through.
+fn subst_into_meta(
+    e: &Expr,
+    plain_map: &BTreeMap<String, &OutCol>,
+) -> Result<Expr, NotDerivable> {
+    if let Some(o) = plain_map.get(&e.to_string()) {
+        return Ok(col(&o.name));
+    }
+    Ok(match e {
+        Expr::Lit(_) => e.clone(),
+        Expr::Col(_) => {
+            return Err(NotDerivable::ColumnNotExposed { expr: e.to_string() });
+        }
+        Expr::Not(x) => Expr::Not(Box::new(subst_into_meta(x, plain_map)?)),
+        Expr::Neg(x) => Expr::Neg(Box::new(subst_into_meta(x, plain_map)?)),
+        Expr::IsNull(x) => Expr::IsNull(Box::new(subst_into_meta(x, plain_map)?)),
+        Expr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(subst_into_meta(l, plain_map)?),
+            Box::new(subst_into_meta(r, plain_map)?),
+        ),
+        Expr::Func(func, args) => Expr::Func(
+            *func,
+            args.iter().map(|a| subst_into_meta(a, plain_map)).collect::<Result<_, _>>()?,
+        ),
+        Expr::InList(x, vs) => {
+            Expr::InList(Box::new(subst_into_meta(x, plain_map)?), vs.clone())
+        }
+        Expr::Between(x, lo, hi) => Expr::Between(
+            Box::new(subst_into_meta(x, plain_map)?),
+            Box::new(subst_into_meta(lo, plain_map)?),
+            Box::new(subst_into_meta(hi, plain_map)?),
+        ),
+    })
+}
+
+/// Empirically validates a derivation: materializes the meta-report,
+/// runs the rewrite over it, and compares with the directly-executed
+/// report as multisets of rows (order-insensitive). Used by property
+/// tests; `true` means the proof checked out.
+pub fn validate_derivation(
+    report: &Plan,
+    meta: &Plan,
+    derivation: &Derivation,
+    cat: &Catalog,
+) -> Result<bool, QueryError> {
+    let mut meta_table = execute(meta, cat)?;
+    meta_table.set_name("__meta".to_string());
+    let mut cat2 = cat.clone();
+    cat2.put_table(meta_table);
+    let rewritten = execute(&derivation.rewrite_plan("__meta"), &cat2)?;
+    let direct = execute(report, cat)?;
+    if !rewritten.schema().union_compatible(direct.schema()) {
+        return Ok(false);
+    }
+    let mut a: Vec<_> = rewritten.rows().to_vec();
+    let mut b: Vec<_> = direct.rows().to_vec();
+    a.sort();
+    b.sort();
+    Ok(a == b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::tests::paper_catalog;
+    use crate::plan::SortKey;
+    use bi_relation::expr::lit;
+
+    fn check(report: &Plan, meta: &Plan, cat: &Catalog, refs: &RefIntegrity) -> Derivation {
+        let d = derive(report, meta, cat, refs).unwrap();
+        assert!(
+            validate_derivation(report, meta, &d, cat).unwrap(),
+            "derivation did not recompute the report\nreport: {report}\nmeta: {meta}\nderivation: {d:?}"
+        );
+        d
+    }
+
+    fn refuse(report: &Plan, meta: &Plan, cat: &Catalog, refs: &RefIntegrity) -> NotDerivable {
+        match derive(report, meta, cat, refs) {
+            Err(DeriveError::NotDerivable(n)) => n,
+            other => panic!("expected NotDerivable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn projection_subset_is_derivable() {
+        let cat = paper_catalog();
+        let meta = scan("Prescriptions").project_cols(&["Patient", "Drug", "Disease"]);
+        let report = scan("Prescriptions").project_cols(&["Drug", "Patient"]);
+        check(&report, &meta, &cat, &RefIntegrity::new());
+        // Missing column refuses.
+        let report2 = scan("Prescriptions").project_cols(&["Doctor"]);
+        assert!(matches!(
+            refuse(&report2, &meta, &cat, &RefIntegrity::new()),
+            NotDerivable::ColumnNotExposed { .. }
+        ));
+    }
+
+    #[test]
+    fn filter_implication_gates_derivability() {
+        let cat = paper_catalog();
+        let meta = scan("Prescriptions")
+            .filter(bi_relation::expr::col("Disease").ne(lit("HIV")))
+            .project_cols(&["Patient", "Drug", "Disease"]);
+        // More restrictive report: fine.
+        let report = scan("Prescriptions")
+            .filter(bi_relation::expr::col("Disease").eq(lit("asthma")))
+            .project_cols(&["Patient", "Drug"]);
+        check(&report, &meta, &cat, &RefIntegrity::new());
+        // Less restrictive report: refused (needs HIV rows meta lacks).
+        let report2 = scan("Prescriptions").project_cols(&["Patient", "Drug"]);
+        assert!(matches!(
+            refuse(&report2, &meta, &cat, &RefIntegrity::new()),
+            NotDerivable::MetaMoreRestrictive { .. }
+        ));
+    }
+
+    #[test]
+    fn aggregate_over_raw_meta() {
+        let cat = paper_catalog();
+        let meta = scan("Prescriptions").project_cols(&["Patient", "Drug", "Disease", "Date"]);
+        // The Fig. 4 drug-consumption report.
+        let report = scan("Prescriptions")
+            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")])
+            .sort(vec![SortKey::asc("Drug")]);
+        let d = check(&report, &meta, &cat, &RefIntegrity::new());
+        assert!(d.agg.is_some());
+    }
+
+    #[test]
+    fn coarsening_aggregates() {
+        let cat = paper_catalog();
+        // Meta at (Drug, Disease) grain with count + sum-like outputs.
+        let meta = scan("Prescriptions").aggregate(
+            vec!["Drug".into(), "Disease".into()],
+            vec![AggItem::count_star("n")],
+        );
+        // Report coarsens to Drug.
+        let report = scan("Prescriptions")
+            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("total")]);
+        let d = check(&report, &meta, &cat, &RefIntegrity::new());
+        let (_, aggs) = d.agg.as_ref().unwrap();
+        assert_eq!(aggs[0].func, AggFunc::Sum, "count coarsens to sum of counts");
+
+        // count_distinct cannot coarsen.
+        let report2 = scan("Prescriptions").aggregate(
+            vec!["Drug".into()],
+            vec![AggItem::new("p", AggFunc::CountDistinct, "Patient")],
+        );
+        assert!(matches!(
+            refuse(&report2, &meta, &cat, &RefIntegrity::new()),
+            NotDerivable::AggNotDerivable { .. } | NotDerivable::ColumnNotExposed { .. }
+        ));
+    }
+
+    #[test]
+    fn same_grain_passthrough_including_count_distinct() {
+        let cat = paper_catalog();
+        let meta = scan("Prescriptions").aggregate(
+            vec!["Drug".into()],
+            vec![
+                AggItem::count_star("n"),
+                AggItem::new("patients", AggFunc::CountDistinct, "Patient"),
+            ],
+        );
+        let report = scan("Prescriptions").aggregate(
+            vec!["Drug".into()],
+            vec![AggItem::new("who", AggFunc::CountDistinct, "Patient")],
+        );
+        let d = check(&report, &meta, &cat, &RefIntegrity::new());
+        assert!(d.agg.is_none(), "equal grain needs no re-aggregation");
+    }
+
+    #[test]
+    fn avg_derives_from_sum_and_count() {
+        let cat = paper_catalog();
+        let joined = || {
+            scan("Prescriptions").join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc")
+        };
+        let meta = joined().aggregate(
+            vec!["Disease".into()],
+            vec![
+                AggItem::new("sum_cost", AggFunc::Sum, "Cost"),
+                AggItem::new("cnt_cost", AggFunc::Count, "Cost"),
+            ],
+        );
+        let report = joined().aggregate(vec![], vec![AggItem::new("avg_cost", AggFunc::Avg, "Cost")]);
+        check(&report, &meta, &cat, &RefIntegrity::new());
+        // Without the count, avg is not derivable.
+        let meta2 = joined().aggregate(
+            vec!["Disease".into()],
+            vec![AggItem::new("sum_cost", AggFunc::Sum, "Cost")],
+        );
+        assert!(matches!(
+            refuse(&report, &meta2, &cat, &RefIntegrity::new()),
+            NotDerivable::AggNotDerivable { .. }
+        ));
+    }
+
+    #[test]
+    fn wide_meta_prunes_fk_joined_dimension() {
+        let cat = paper_catalog();
+        let mut refs = RefIntegrity::new();
+        refs.add_fk("Prescriptions", "Drug", "DrugCost", "Drug");
+        // Wide meta-report joins the cost dimension; the report ignores it.
+        let meta = scan("Prescriptions")
+            .join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc")
+            .project_cols(&["Patient", "Drug", "Disease", "Cost"]);
+        let report = scan("Prescriptions")
+            .aggregate(vec!["Disease".into()], vec![AggItem::count_star("n")]);
+        // NOTE: pruning is *claimed* lossless given RI; the paper catalog
+        // satisfies it (every prescribed drug has a cost), so the
+        // empirical validation must agree.
+        check(&report, &meta, &cat, &refs);
+        // Without the declared FK the extra table blocks derivation.
+        assert!(matches!(
+            refuse(&report, &meta, &cat, &RefIntegrity::new()),
+            NotDerivable::ExtraMetaTables { .. }
+        ));
+    }
+
+    #[test]
+    fn report_joins_more_than_meta_fails_on_tables() {
+        let cat = paper_catalog();
+        let meta = scan("Prescriptions").project_cols(&["Patient", "Drug"]);
+        let report = scan("Prescriptions")
+            .join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc")
+            .project_cols(&["Patient", "Cost"]);
+        assert!(matches!(
+            refuse(&report, &meta, &cat, &RefIntegrity::new()),
+            NotDerivable::MissingTables { .. }
+        ));
+    }
+
+    #[test]
+    fn distinct_semantics_enforced() {
+        let cat = paper_catalog();
+        let meta = scan("Prescriptions").project_cols(&["Patient", "Drug"]).distinct();
+        // Counting over a distinct meta is refused.
+        let report = scan("Prescriptions")
+            .project_cols(&["Patient", "Drug"])
+            .aggregate(vec!["Patient".into()], vec![AggItem::count_star("n")]);
+        assert!(matches!(
+            refuse(&report, &meta, &cat, &RefIntegrity::new()),
+            NotDerivable::DistinctMismatch
+        ));
+        // A distinct report over a distinct meta is fine.
+        let report2 = scan("Prescriptions").project_cols(&["Drug"]).distinct();
+        check(&report2, &meta, &cat, &RefIntegrity::new());
+        // Raw report over aggregated meta requires distinct.
+        let meta3 = scan("Prescriptions")
+            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
+        let report3 = scan("Prescriptions").project_cols(&["Drug"]);
+        assert!(matches!(
+            refuse(&report3, &meta3, &cat, &RefIntegrity::new()),
+            NotDerivable::DistinctMismatch
+        ));
+        let report4 = report3.distinct();
+        check(&report4, &meta3, &cat, &RefIntegrity::new());
+    }
+
+    #[test]
+    fn computed_grain_coarsening() {
+        let cat = paper_catalog();
+        let meta = scan("Prescriptions").project_cols(&["Drug", "Date", "Patient"]);
+        // Group by year(Date): computed grain over an exposed column.
+        let report = scan("Prescriptions")
+            .project(vec![
+                ("yr".to_string(), Expr::Func(Func::Year, vec![bi_relation::expr::col("Date")])),
+                ("Drug".to_string(), bi_relation::expr::col("Drug")),
+            ])
+            .aggregate(vec!["yr".into()], vec![AggItem::count_star("n")]);
+        check(&report, &meta, &cat, &RefIntegrity::new());
+    }
+
+    #[test]
+    fn residual_join_equality_applied() {
+        let cat = paper_catalog();
+        // Meta exposes both tables' columns without joining... that is not
+        // expressible (meta must join to combine); instead: meta joins on
+        // Drug, report additionally filters Patient = Doctor-equality is
+        // nonsense here, so test the IN-filter residual path instead.
+        let meta = scan("Prescriptions").project_cols(&["Patient", "Drug", "Disease"]);
+        let report = scan("Prescriptions")
+            .filter(Expr::InList(
+                Box::new(bi_relation::expr::col("Patient")),
+                vec!["Alice".into(), "Bob".into()],
+            ))
+            .project_cols(&["Patient", "Drug"]);
+        let d = check(&report, &meta, &cat, &RefIntegrity::new());
+        assert_eq!(d.residual.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod soundness_fix_tests {
+    //! Regression tests for the review findings on the containment
+    //! checker's soundness.
+
+    use super::*;
+    use crate::catalog::tests::paper_catalog;
+    use crate::plan::{scan, AggItem, SortKey};
+    use bi_relation::expr::{col, lit};
+
+    #[test]
+    fn null_literal_comparisons_never_imply() {
+        // Meta filter `Doctor <> NULL` is never TRUE: the meta-report is
+        // empty, so nothing may be proven derivable from it.
+        let cat = paper_catalog();
+        let meta = scan("Prescriptions")
+            .filter(col("Doctor").ne(Expr::Lit(Value::Null)))
+            .project_cols(&["Patient", "Doctor"]);
+        assert!(execute(&meta, &cat).unwrap().is_empty(), "x <> NULL keeps no rows");
+        let report = scan("Prescriptions")
+            .filter(col("Doctor").eq(lit("Luis")))
+            .project_cols(&["Patient"]);
+        assert!(matches!(
+            derive(&report, &meta, &cat, &RefIntegrity::new()),
+            Err(DeriveError::NotDerivable(NotDerivable::MetaMoreRestrictive { .. }))
+        ));
+    }
+
+    #[test]
+    fn report_limits_are_refused() {
+        // LIMIT selects by position; a rewrite over the meta-report's
+        // row order could return different rows.
+        let cat = paper_catalog();
+        let meta = scan("DrugCost").project_cols(&["Drug", "Cost"]);
+        let top1 = scan("DrugCost").sort(vec![SortKey::desc("Cost")]).limit(1);
+        assert!(matches!(
+            derive(&top1, &meta, &cat, &RefIntegrity::new()),
+            Err(DeriveError::NotDerivable(NotDerivable::Unsupported { .. }))
+        ));
+        let limit_then_distinct = scan("Prescriptions").project_cols(&["Drug"]).limit(5).distinct();
+        assert!(derive(&limit_then_distinct, &meta, &cat, &RefIntegrity::new()).is_err());
+    }
+
+    #[test]
+    fn distinct_meta_with_hidden_grain_is_refused() {
+        // Meta aggregated at (Drug, Disease), projected to (Drug, n),
+        // then DISTINCT: equal-count groups collapse, so SUM-of-counts
+        // over it would undercount.
+        let cat = paper_catalog();
+        let meta = scan("Prescriptions")
+            .aggregate(vec!["Drug".into(), "Disease".into()], vec![AggItem::count_star("n")])
+            .project_cols(&["Drug", "n"])
+            .distinct();
+        let report = scan("Prescriptions")
+            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("total")]);
+        assert!(matches!(
+            derive(&report, &meta, &cat, &RefIntegrity::new()),
+            Err(DeriveError::NotDerivable(NotDerivable::DistinctMismatch))
+        ));
+        // With the full grain still exposed, DISTINCT is a no-op and the
+        // coarsening goes through (and validates).
+        let meta_ok = scan("Prescriptions")
+            .aggregate(vec!["Drug".into(), "Disease".into()], vec![AggItem::count_star("n")])
+            .distinct();
+        let d = derive(&report, &meta_ok, &cat, &RefIntegrity::new()).unwrap();
+        assert!(validate_derivation(&report, &meta_ok, &d, &cat).unwrap());
+    }
+}

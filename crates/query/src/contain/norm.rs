@@ -1,0 +1,506 @@
+//! Normalization of plans into an SPJA form for containment checking.
+//!
+//! A plan is rewritten into: a set of base tables, equi-join pairs,
+//! filter conjuncts, outputs, and an optional aggregation grain — all
+//! expressed over *base-qualified* column names (`table.column`). Plans
+//! outside the supported shape (unions, self-joins, nested aggregation,
+//! filters over aggregates, …) are rejected with a reason; the containment
+//! check is conservative by design.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use bi_relation::expr::Expr;
+
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::plan::{AggFunc, Plan};
+
+/// Why a plan could not be normalized or a derivation could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NotDerivable {
+    /// The plan shape is outside the supported SPJA fragment.
+    Unsupported { reason: String },
+    /// The report scans base tables the meta-report does not cover.
+    MissingTables { tables: Vec<String> },
+    /// The meta-report joins extra tables that cannot be pruned
+    /// losslessly (no declared foreign key covers them).
+    ExtraMetaTables { tables: Vec<String> },
+    /// A meta-report filter could not be proven implied by the report's
+    /// filters — the meta-report may lack rows the report needs.
+    MetaMoreRestrictive { conjunct: String },
+    /// The report needs an expression the meta-report does not expose.
+    ColumnNotExposed { expr: String },
+    /// The report groups by an expression absent from the meta-report's
+    /// (coarser) grain.
+    GrainTooCoarse { expr: String },
+    /// A report aggregate is not derivable from the meta-report's
+    /// aggregates (e.g. `count_distinct` across a coarser grain).
+    AggNotDerivable { agg: String },
+    /// Duplicate-elimination semantics differ in a way that changes
+    /// multiplicities (meta is DISTINCT, report counts rows).
+    DistinctMismatch,
+}
+
+impl fmt::Display for NotDerivable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NotDerivable::Unsupported { reason } => write!(f, "unsupported plan shape: {reason}"),
+            NotDerivable::MissingTables { tables } => {
+                write!(f, "meta-report does not cover tables: {}", tables.join(", "))
+            }
+            NotDerivable::ExtraMetaTables { tables } => {
+                write!(f, "meta-report joins non-prunable extra tables: {}", tables.join(", "))
+            }
+            NotDerivable::MetaMoreRestrictive { conjunct } => {
+                write!(f, "meta-report filter not implied by report: {conjunct}")
+            }
+            NotDerivable::ColumnNotExposed { expr } => {
+                write!(f, "meta-report does not expose: {expr}")
+            }
+            NotDerivable::GrainTooCoarse { expr } => {
+                write!(f, "meta-report grain too coarse for group-by expression: {expr}")
+            }
+            NotDerivable::AggNotDerivable { agg } => {
+                write!(f, "aggregate not derivable from meta-report: {agg}")
+            }
+            NotDerivable::DistinctMismatch => {
+                f.write_str("distinct semantics differ between report and meta-report")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NotDerivable {}
+
+/// One output column of a normalized plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutKind {
+    /// A (possibly computed) row-level expression over base-qualified
+    /// columns.
+    Plain(Expr),
+    /// An aggregate over a base-qualified argument expression.
+    Agg(AggFunc, Option<Expr>),
+}
+
+/// A named normalized output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutCol {
+    pub name: String,
+    pub kind: OutKind,
+}
+
+/// The normalized SPJA form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Norm {
+    /// Base tables scanned (each at most once — self-joins rejected).
+    pub tables: BTreeSet<String>,
+    /// Equated base-qualified column pairs, each ordered lexicographically.
+    pub join_pairs: BTreeSet<(String, String)>,
+    /// Filter conjuncts over base-qualified columns (pre-aggregation).
+    pub filters: Vec<Expr>,
+    /// Output columns, in order.
+    pub outputs: Vec<OutCol>,
+    /// Aggregation grain (group-by expressions), if aggregated.
+    pub grain: Option<Vec<Expr>>,
+    /// Whether duplicates are eliminated.
+    pub distinct: bool,
+    /// Row limit, if any.
+    pub limit: Option<usize>,
+}
+
+impl Norm {
+    /// The output named `name`.
+    pub fn output(&self, name: &str) -> Option<&OutCol> {
+        self.outputs.iter().find(|o| o.name == name)
+    }
+
+    /// Finds a *plain* output whose expression equals `e`.
+    pub fn plain_output_matching(&self, e: &Expr) -> Option<&OutCol> {
+        self.outputs.iter().find(|o| matches!(&o.kind, OutKind::Plain(pe) if pe == e))
+    }
+
+    /// Finds an *aggregate* output matching `(func, arg)`.
+    pub fn agg_output_matching(&self, func: AggFunc, arg: Option<&Expr>) -> Option<&OutCol> {
+        self.outputs.iter().find(|o| match &o.kind {
+            OutKind::Agg(f, a) => *f == func && a.as_ref() == arg,
+            _ => false,
+        })
+    }
+}
+
+fn unsupported(reason: impl Into<String>) -> NotDerivable {
+    NotDerivable::Unsupported { reason: reason.into() }
+}
+
+/// Normalizes `plan` (after view inlining) into SPJA form.
+pub fn normalize(plan: &Plan, cat: &Catalog) -> Result<Norm, NormError> {
+    let inlined = cat.inline_views(plan).map_err(NormError::Query)?;
+    let mut state = walk(&inlined, cat)?;
+    // Sort/limit handling leaves outputs in `state`.
+    state.join_pairs = state
+        .join_pairs
+        .into_iter()
+        .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+        .collect();
+    Ok(state)
+}
+
+/// Normalization failure: either a hard query error (unknown relation)
+/// or a benign "shape not supported".
+#[derive(Debug)]
+pub enum NormError {
+    Query(QueryError),
+    Shape(NotDerivable),
+}
+
+impl From<QueryError> for NormError {
+    fn from(e: QueryError) -> Self {
+        NormError::Query(e)
+    }
+}
+
+impl From<NotDerivable> for NormError {
+    fn from(e: NotDerivable) -> Self {
+        NormError::Shape(e)
+    }
+}
+
+fn walk(plan: &Plan, cat: &Catalog) -> Result<Norm, NormError> {
+    Ok(match plan {
+        Plan::Scan { table } => {
+            let schema = cat.schema_of(table)?;
+            let outputs = schema
+                .columns()
+                .iter()
+                .map(|c| OutCol {
+                    name: c.name.clone(),
+                    kind: OutKind::Plain(Expr::Col(format!("{table}.{}", c.name))),
+                })
+                .collect();
+            Norm {
+                tables: std::iter::once(table.clone()).collect(),
+                join_pairs: BTreeSet::new(),
+                filters: Vec::new(),
+                outputs,
+                grain: None,
+                distinct: false,
+                limit: None,
+            }
+        }
+        Plan::Filter { input, pred } => {
+            let mut n = walk(input, cat)?;
+            if n.limit.is_some() {
+                return Err(unsupported("filter above limit").into());
+            }
+            let mapped = subst_expr(pred, &n)?;
+            if n.grain.is_some() {
+                // Post-aggregation filter: sound to push down only when it
+                // touches group-by expressions exclusively.
+                for c in pred.columns_used() {
+                    match n.output(&c).map(|o| &o.kind) {
+                        Some(OutKind::Plain(e))
+                            if n.grain.as_ref().is_some_and(|g| g.contains(e)) => {}
+                        _ => return Err(unsupported(format!("filter over aggregate output {c:?}")).into()),
+                    }
+                }
+            }
+            n.filters.extend(mapped.conjuncts().into_iter().cloned());
+            n
+        }
+        Plan::Project { input, items } => {
+            let mut n = walk(input, cat)?;
+            if n.limit.is_some() {
+                return Err(unsupported("projection above limit").into());
+            }
+            let mut outputs = Vec::with_capacity(items.len());
+            for (name, e) in items {
+                let kind = match e {
+                    Expr::Col(c) => {
+                        n.output(c)
+                            .ok_or_else(|| {
+                                NormError::Query(QueryError::Relation(
+                                    bi_types::TypeError::NoSuchColumn {
+                                        name: c.clone(),
+                                        schema: "normalized outputs".into(),
+                                    }
+                                    .into(),
+                                ))
+                            })?
+                            .kind
+                            .clone()
+                    }
+                    _ => OutKind::Plain(subst_expr(e, &n)?),
+                };
+                outputs.push(OutCol { name: name.clone(), kind });
+            }
+            n.outputs = outputs;
+            n
+        }
+        Plan::Join { left, right, kind, on, right_prefix } => {
+            if *kind != crate::plan::JoinKind::Inner {
+                return Err(unsupported("outer join").into());
+            }
+            let l = walk(left, cat)?;
+            let r = walk(right, cat)?;
+            if l.grain.is_some() || r.grain.is_some() {
+                return Err(unsupported("join over an aggregate").into());
+            }
+            if l.distinct || r.distinct {
+                return Err(unsupported("join over a distinct input").into());
+            }
+            if l.limit.is_some() || r.limit.is_some() {
+                return Err(unsupported("join over a limited input").into());
+            }
+            if !l.tables.is_disjoint(&r.tables) {
+                return Err(unsupported("self-join (table scanned twice)").into());
+            }
+            let left_names: BTreeSet<&String> = l.outputs.iter().map(|o| &o.name).collect();
+            let mut outputs = l.outputs.clone();
+            for o in &r.outputs {
+                let name = if left_names.contains(&o.name) {
+                    format!("{right_prefix}.{}", o.name)
+                } else {
+                    o.name.clone()
+                };
+                outputs.push(OutCol { name, kind: o.kind.clone() });
+            }
+            let mut join_pairs: BTreeSet<(String, String)> =
+                l.join_pairs.union(&r.join_pairs).cloned().collect();
+            for (lc, rc) in on {
+                let le = plain_col(&l, lc)?;
+                let re = plain_col(&r, rc)?;
+                match (le, re) {
+                    (Expr::Col(a), Expr::Col(b)) => {
+                        join_pairs.insert(if a <= b { (a, b) } else { (b, a) });
+                    }
+                    _ => return Err(unsupported("join key is a computed expression").into()),
+                }
+            }
+            Norm {
+                tables: l.tables.union(&r.tables).cloned().collect(),
+                join_pairs,
+                filters: l.filters.into_iter().chain(r.filters).collect(),
+                outputs,
+                grain: None,
+                distinct: false,
+                limit: None,
+            }
+        }
+        Plan::Aggregate { input, group_by, aggs } => {
+            let mut n = walk(input, cat)?;
+            if n.grain.is_some() {
+                return Err(unsupported("nested aggregation").into());
+            }
+            if n.limit.is_some() {
+                return Err(unsupported("aggregation above limit").into());
+            }
+            if n.distinct {
+                return Err(unsupported("aggregation over distinct input").into());
+            }
+            let mut grain = Vec::with_capacity(group_by.len());
+            let mut outputs = Vec::with_capacity(group_by.len() + aggs.len());
+            for g in group_by {
+                let e = plain_col(&n, g)?;
+                grain.push(e.clone());
+                outputs.push(OutCol { name: g.clone(), kind: OutKind::Plain(e) });
+            }
+            for a in aggs {
+                let arg = match &a.arg {
+                    Some(c) => Some(plain_col(&n, c)?),
+                    None => None,
+                };
+                outputs.push(OutCol { name: a.name.clone(), kind: OutKind::Agg(a.func, arg) });
+            }
+            n.grain = Some(grain);
+            n.outputs = outputs;
+            n
+        }
+        Plan::Union { .. } => return Err(unsupported("union").into()),
+        Plan::Distinct { input } => {
+            let mut n = walk(input, cat)?;
+            n.distinct = true;
+            n
+        }
+        Plan::Sort { input, .. } => walk(input, cat)?, // order is irrelevant to containment
+        Plan::Limit { input, n: k } => {
+            let mut n = walk(input, cat)?;
+            n.limit = Some(n.limit.map_or(*k, |prev| prev.min(*k)));
+            n
+        }
+    })
+}
+
+/// Resolves output `name` to its plain expression; aggregates are not
+/// plain.
+fn plain_col(n: &Norm, name: &str) -> Result<Expr, NormError> {
+    match n.output(name).map(|o| &o.kind) {
+        Some(OutKind::Plain(e)) => Ok(e.clone()),
+        Some(OutKind::Agg(..)) => {
+            Err(unsupported(format!("aggregate output {name:?} used as a plain column")).into())
+        }
+        None => Err(NormError::Query(QueryError::Relation(
+            bi_types::TypeError::NoSuchColumn { name: name.to_string(), schema: "normalized outputs".into() }
+                .into(),
+        ))),
+    }
+}
+
+/// Substitutes output names inside `e` with their plain expressions.
+fn subst_expr(e: &Expr, n: &Norm) -> Result<Expr, NormError> {
+    // Every referenced column must resolve to a plain output.
+    let mut err = None;
+    let mapped = e.map_columns(&|c| match n.output(c).map(|o| &o.kind) {
+        Some(OutKind::Plain(Expr::Col(q))) => q.clone(),
+        _ => {
+            // Mark for the second pass; map_columns cannot fail directly.
+            c.to_string()
+        }
+    });
+    // Second pass: replace columns that map to *computed* plain outputs,
+    // and reject aggregates/missing names.
+    let result = replace_cols(&mapped, &mut |c| match n.output(c).map(|o| &o.kind) {
+        Some(OutKind::Plain(pe)) => Some(pe.clone()),
+        Some(OutKind::Agg(..)) => {
+            err = Some(unsupported(format!("aggregate output {c:?} used in a row expression")));
+            None
+        }
+        None => {
+            // Already base-qualified by the first pass (contains a dot) —
+            // keep; otherwise it is unknown.
+            if c.contains('.') {
+                None
+            } else {
+                err = Some(unsupported(format!("unknown column {c:?} in expression")));
+                None
+            }
+        }
+    });
+    if let Some(e) = err {
+        return Err(e.into());
+    }
+    Ok(result)
+}
+
+/// Structurally replaces `Col` nodes via `f` (None keeps the node).
+pub(crate) fn replace_cols(e: &Expr, f: &mut impl FnMut(&str) -> Option<Expr>) -> Expr {
+    match e {
+        Expr::Col(c) => f(c).unwrap_or_else(|| e.clone()),
+        Expr::Lit(_) => e.clone(),
+        Expr::Not(x) => Expr::Not(Box::new(replace_cols(x, f))),
+        Expr::Neg(x) => Expr::Neg(Box::new(replace_cols(x, f))),
+        Expr::IsNull(x) => Expr::IsNull(Box::new(replace_cols(x, f))),
+        Expr::Bin(op, l, r) => {
+            Expr::Bin(*op, Box::new(replace_cols(l, f)), Box::new(replace_cols(r, f)))
+        }
+        Expr::Func(func, args) => {
+            Expr::Func(*func, args.iter().map(|a| replace_cols(a, f)).collect())
+        }
+        Expr::InList(x, vs) => Expr::InList(Box::new(replace_cols(x, f)), vs.clone()),
+        Expr::Between(x, lo, hi) => Expr::Between(
+            Box::new(replace_cols(x, f)),
+            Box::new(replace_cols(lo, f)),
+            Box::new(replace_cols(hi, f)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::tests::paper_catalog;
+    use crate::plan::{scan, AggItem};
+    use bi_relation::expr::{col, lit, Func};
+
+    fn qcol(s: &str) -> Expr {
+        Expr::Col(s.to_string())
+    }
+
+    #[test]
+    fn scan_normalizes_to_qualified_columns() {
+        let cat = paper_catalog();
+        let n = normalize(&scan("DrugCost"), &cat).unwrap();
+        assert_eq!(n.outputs.len(), 2);
+        assert_eq!(n.outputs[1].kind, OutKind::Plain(qcol("DrugCost.Cost")));
+        assert!(n.grain.is_none() && !n.distinct);
+    }
+
+    #[test]
+    fn filters_and_projections_substitute() {
+        let cat = paper_catalog();
+        let p = scan("Prescriptions")
+            .project(vec![
+                ("who".to_string(), col("Patient")),
+                ("yr".to_string(), Expr::Func(Func::Year, vec![col("Date")])),
+            ])
+            .filter(col("yr").eq(lit(2007)));
+        let n = normalize(&p, &cat).unwrap();
+        assert_eq!(n.filters.len(), 1);
+        assert_eq!(
+            n.filters[0],
+            Expr::Func(Func::Year, vec![qcol("Prescriptions.Date")]).eq(lit(2007))
+        );
+        assert_eq!(n.outputs[0].kind, OutKind::Plain(qcol("Prescriptions.Patient")));
+    }
+
+    #[test]
+    fn joins_collect_pairs_and_reject_self_joins() {
+        let cat = paper_catalog();
+        let p = scan("Prescriptions").join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc");
+        let n = normalize(&p, &cat).unwrap();
+        assert!(n
+            .join_pairs
+            .contains(&("DrugCost.Drug".to_string(), "Prescriptions.Drug".to_string())));
+        assert_eq!(n.tables.len(), 2);
+        // Output renaming matches the executor's rule.
+        assert!(n.output("dc.Drug").is_some());
+
+        let selfj = scan("Prescriptions").join(scan("Prescriptions"), vec![], "p2");
+        assert!(matches!(normalize(&selfj, &cat), Err(NormError::Shape(NotDerivable::Unsupported { .. }))));
+    }
+
+    #[test]
+    fn aggregation_sets_grain() {
+        let cat = paper_catalog();
+        let p = scan("Prescriptions")
+            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")]);
+        let n = normalize(&p, &cat).unwrap();
+        assert_eq!(n.grain.as_ref().unwrap(), &vec![qcol("Prescriptions.Drug")]);
+        assert_eq!(n.outputs[1].kind, OutKind::Agg(AggFunc::Count, None));
+        // Nested aggregation is rejected.
+        let p2 = p.aggregate(vec![], vec![AggItem::count_star("n")]);
+        assert!(matches!(normalize(&p2, &cat), Err(NormError::Shape(_))));
+    }
+
+    #[test]
+    fn post_agg_filter_on_group_col_ok_on_agg_not() {
+        let cat = paper_catalog();
+        let base = scan("Prescriptions")
+            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
+        let ok = base.clone().filter(col("Drug").eq(lit("DR")));
+        assert!(normalize(&ok, &cat).is_ok());
+        let bad = base.filter(col("n").gt(lit(1)));
+        assert!(matches!(normalize(&bad, &cat), Err(NormError::Shape(_))));
+    }
+
+    #[test]
+    fn unions_and_outer_joins_rejected() {
+        let cat = paper_catalog();
+        let u = scan("DrugCost").union(scan("DrugCost"));
+        assert!(matches!(normalize(&u, &cat), Err(NormError::Shape(_))));
+        let oj = scan("Prescriptions").left_join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc");
+        assert!(matches!(normalize(&oj, &cat), Err(NormError::Shape(_))));
+    }
+
+    #[test]
+    fn sort_ignored_limit_kept_distinct_flagged() {
+        let cat = paper_catalog();
+        let p = scan("DrugCost")
+            .distinct()
+            .sort(vec![crate::plan::SortKey::asc("Cost")])
+            .limit(3);
+        let n = normalize(&p, &cat).unwrap();
+        assert!(n.distinct);
+        assert_eq!(n.limit, Some(3));
+    }
+}

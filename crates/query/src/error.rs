@@ -1,0 +1,71 @@
+//! Errors for the query layer.
+
+use std::fmt;
+
+use bi_relation::RelationError;
+use bi_types::TypeError;
+
+/// Errors raised while planning or executing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Underlying relational/expression error.
+    Relation(RelationError),
+    /// Scan of a name that is neither a table nor a view.
+    UnknownRelation { name: String },
+    /// A view that (transitively) scans itself.
+    CyclicView { name: String },
+    /// A filter/join predicate that is not boolean-typed.
+    NonBooleanPredicate { expr: String },
+    /// An aggregate over a column missing from the input.
+    BadAggregate { reason: String },
+    /// Registering a table/view under a name already taken.
+    DuplicateName { name: String },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Relation(e) => write!(f, "{e}"),
+            QueryError::UnknownRelation { name } => write!(f, "unknown relation {name:?}"),
+            QueryError::CyclicView { name } => write!(f, "cyclic view definition {name:?}"),
+            QueryError::NonBooleanPredicate { expr } => {
+                write!(f, "predicate is not boolean: {expr}")
+            }
+            QueryError::BadAggregate { reason } => write!(f, "bad aggregate: {reason}"),
+            QueryError::DuplicateName { name } => write!(f, "name already registered: {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for QueryError {
+    fn from(e: RelationError) -> Self {
+        QueryError::Relation(e)
+    }
+}
+
+impl From<TypeError> for QueryError {
+    fn from(e: TypeError) -> Self {
+        QueryError::Relation(RelationError::Type(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(QueryError::UnknownRelation { name: "X".into() }.to_string().contains("X"));
+        let e: QueryError = RelationError::DivisionByZero.into();
+        assert!(e.to_string().contains("zero"));
+    }
+}

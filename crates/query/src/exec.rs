@@ -1,0 +1,394 @@
+//! Plan evaluation.
+//!
+//! A straightforward pull-free evaluator: each node materializes its
+//! result into a [`Table`]. Joins build a hash index on the right input;
+//! aggregation groups by hashing. This is the execution substrate under
+//! ETL, warehouse loading, and enforced report rendering.
+
+use bi_relation::Table;
+use bi_types::{Schema, Value};
+
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::plan::{agg_output_type, AggFunc, AggItem, JoinKind, Plan};
+
+/// Executes a plan against a catalog. Views are resolved transparently.
+pub fn execute(plan: &Plan, cat: &Catalog) -> Result<Table, QueryError> {
+    exec_guarded(plan, cat, &mut Vec::new())
+}
+
+fn exec_guarded(plan: &Plan, cat: &Catalog, stack: &mut Vec<String>) -> Result<Table, QueryError> {
+    match plan {
+        Plan::Scan { table } => {
+            if let Some(t) = cat.table(table) {
+                return Ok(t.clone());
+            }
+            let Some(view) = cat.view(table) else {
+                return Err(QueryError::UnknownRelation { name: table.clone() });
+            };
+            if stack.iter().any(|n| n == table) {
+                return Err(QueryError::CyclicView { name: table.clone() });
+            }
+            stack.push(table.clone());
+            let mut out = exec_guarded(view, cat, stack)?;
+            stack.pop();
+            out.set_name(table.clone());
+            Ok(out)
+        }
+        Plan::Filter { input, pred } => {
+            let t = exec_guarded(input, cat, stack)?;
+            Ok(t.filter(pred)?)
+        }
+        Plan::Project { input, items } => {
+            let t = exec_guarded(input, cat, stack)?;
+            Ok(t.map_rows(items)?)
+        }
+        Plan::Join { left, right, kind, on, right_prefix } => {
+            let lt = exec_guarded(left, cat, stack)?;
+            let rt = exec_guarded(right, cat, stack)?;
+            join(&lt, &rt, *kind, on, right_prefix)
+        }
+        Plan::Aggregate { input, group_by, aggs } => {
+            let t = exec_guarded(input, cat, stack)?;
+            aggregate(&t, group_by, aggs)
+        }
+        Plan::Union { left, right } => {
+            let lt = exec_guarded(left, cat, stack)?;
+            let rt = exec_guarded(right, cat, stack)?;
+            Ok(lt.union_all(&rt)?)
+        }
+        Plan::Distinct { input } => Ok(exec_guarded(input, cat, stack)?.distinct()),
+        Plan::Sort { input, keys } => {
+            let t = exec_guarded(input, cat, stack)?;
+            let cols: Vec<&str> = keys.iter().map(|k| k.column.as_str()).collect();
+            let desc: Vec<bool> = keys.iter().map(|k| k.descending).collect();
+            Ok(t.sort_by(&cols, &desc)?)
+        }
+        Plan::Limit { input, n } => {
+            let t = exec_guarded(input, cat, stack)?;
+            let rows: Vec<_> = t.rows().iter().take(*n).cloned().collect();
+            Ok(Table::from_rows(t.name().to_string(), t.schema().clone(), rows)?)
+        }
+    }
+}
+
+fn join(
+    left: &Table,
+    right: &Table,
+    kind: JoinKind,
+    on: &[(String, String)],
+    right_prefix: &str,
+) -> Result<Table, QueryError> {
+    let schema = left.schema().join(right.schema(), right_prefix)?;
+    // Left-join output must admit NULLs on the right side.
+    let schema = if kind == JoinKind::Left {
+        let mut cols = schema.columns().to_vec();
+        for c in cols.iter_mut().skip(left.schema().len()) {
+            c.nullable = true;
+        }
+        Schema::new(cols)?
+    } else {
+        schema
+    };
+
+    let left_keys: Vec<usize> =
+        on.iter().map(|(l, _)| left.schema().index_of(l)).collect::<Result<_, _>>()?;
+    let right_keys: Vec<usize> =
+        on.iter().map(|(_, r)| right.schema().index_of(r)).collect::<Result<_, _>>()?;
+
+    // Build a composite-key hash map over the right side. Rows with any
+    // NULL key never match (SQL equality).
+    use std::collections::HashMap;
+    let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (i, row) in right.rows().iter().enumerate() {
+        let key: Vec<Value> = right_keys.iter().map(|&c| row[c].clone()).collect();
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        index.entry(key).or_default().push(i);
+    }
+
+    let mut out = Table::new(left.name().to_string(), schema);
+    let right_width = right.schema().len();
+    for lrow in left.rows() {
+        let key: Vec<Value> = left_keys.iter().map(|&c| lrow[c].clone()).collect();
+        let matches: &[usize] =
+            if key.iter().any(Value::is_null) { &[] } else { index.get(&key).map(Vec::as_slice).unwrap_or(&[]) };
+        if matches.is_empty() {
+            if kind == JoinKind::Left {
+                let mut row = lrow.clone();
+                row.extend(std::iter::repeat_n(Value::Null, right_width));
+                out.push_row(row)?;
+            }
+            continue;
+        }
+        for &ri in matches {
+            let mut row = lrow.clone();
+            row.extend(right.rows()[ri].iter().cloned());
+            out.push_row(row)?;
+        }
+    }
+    Ok(out)
+}
+
+fn aggregate(input: &Table, group_by: &[String], aggs: &[AggItem]) -> Result<Table, QueryError> {
+    use bi_types::Column;
+    let mut cols = Vec::with_capacity(group_by.len() + aggs.len());
+    for g in group_by {
+        cols.push(input.schema().column(g)?.clone());
+    }
+    for a in aggs {
+        cols.push(Column::nullable(a.name.clone(), agg_output_type(a, input.schema())?));
+    }
+    let schema = Schema::new(cols)?;
+
+    let arg_idx: Vec<Option<usize>> = aggs
+        .iter()
+        .map(|a| a.arg.as_deref().map(|c| input.schema().index_of(c)).transpose())
+        .collect::<Result<_, _>>()?;
+
+    let groups: Vec<(Vec<Value>, Vec<usize>)> = if group_by.is_empty() {
+        // Global aggregate: exactly one group, even over an empty input.
+        vec![(Vec::new(), (0..input.len()).collect())]
+    } else {
+        let keys: Vec<&str> = group_by.iter().map(String::as_str).collect();
+        input.group_indices(&keys)?
+    };
+
+    let mut out = Table::new(input.name().to_string(), schema);
+    for (key, rows) in groups {
+        let mut row = key;
+        for (a, arg) in aggs.iter().zip(&arg_idx) {
+            row.push(eval_agg(a.func, input, &rows, *arg)?);
+        }
+        out.push_row(row)?;
+    }
+    Ok(out)
+}
+
+fn eval_agg(
+    func: AggFunc,
+    input: &Table,
+    rows: &[usize],
+    arg: Option<usize>,
+) -> Result<Value, QueryError> {
+    // Non-null argument values of the group, or None for COUNT(*).
+    let values = |arg: usize| {
+        rows.iter().map(move |&r| &input.rows()[r][arg]).filter(|v| !v.is_null())
+    };
+    Ok(match (func, arg) {
+        (AggFunc::Count, None) => Value::Int(rows.len() as i64),
+        (AggFunc::Count, Some(c)) => Value::Int(values(c).count() as i64),
+        (AggFunc::CountDistinct, Some(c)) => {
+            let set: std::collections::HashSet<&Value> = values(c).collect();
+            Value::Int(set.len() as i64)
+        }
+        (AggFunc::CountDistinct, None) => {
+            return Err(QueryError::BadAggregate { reason: "count_distinct requires an argument".into() })
+        }
+        (AggFunc::Sum, Some(c)) => {
+            let mut int_sum: i64 = 0;
+            let mut float_sum = 0.0f64;
+            let mut any = false;
+            let mut is_float = false;
+            for v in values(c) {
+                any = true;
+                match v {
+                    Value::Int(i) => {
+                        int_sum = int_sum
+                            .checked_add(*i)
+                            .ok_or(bi_relation::RelationError::Overflow { op: "sum" })?;
+                        float_sum += *i as f64;
+                    }
+                    Value::Float(f) => {
+                        is_float = true;
+                        float_sum += *f;
+                    }
+                    other => {
+                        return Err(QueryError::BadAggregate { reason: format!("sum over {other:?}") })
+                    }
+                }
+            }
+            if !any {
+                Value::Null
+            } else if is_float {
+                Value::Float(float_sum)
+            } else {
+                Value::Int(int_sum)
+            }
+        }
+        (AggFunc::Avg, Some(c)) => {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for v in values(c) {
+                sum += v.as_f64().map_err(|e| QueryError::Relation(e.into()))?;
+                n += 1;
+            }
+            if n == 0 {
+                Value::Null
+            } else {
+                Value::Float(sum / n as f64)
+            }
+        }
+        (AggFunc::Min, Some(c)) => values(c).min().cloned().unwrap_or(Value::Null),
+        (AggFunc::Max, Some(c)) => values(c).max().cloned().unwrap_or(Value::Null),
+        (f, None) => {
+            return Err(QueryError::BadAggregate { reason: format!("{} requires an argument", f.name()) })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::tests::paper_catalog;
+    use crate::plan::{scan, SortKey};
+    use bi_relation::expr::{col, lit};
+
+    #[test]
+    fn fig4_drug_consumption_report() {
+        // The paper's Fig. 4 report: drug → consumption (count).
+        let cat = paper_catalog();
+        let p = scan("Prescriptions")
+            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")])
+            .sort(vec![SortKey::asc("Drug")]);
+        let t = execute(&p, &cat).unwrap();
+        assert_eq!(t.len(), 4);
+        let dh = t.rows().iter().find(|r| r[0] == Value::from("DH")).unwrap();
+        assert_eq!(dh[1], Value::Int(1));
+        let dr = t.rows().iter().find(|r| r[0] == Value::from("DR")).unwrap();
+        assert_eq!(dr[1], Value::Int(2));
+    }
+
+    #[test]
+    fn join_prescriptions_with_cost() {
+        let cat = paper_catalog();
+        let p = scan("Prescriptions")
+            .join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc")
+            .project_cols(&["Patient", "Drug", "Cost"]);
+        let t = execute(&p, &cat).unwrap();
+        assert_eq!(t.len(), 5);
+        let alice_dh = t
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::from("Alice") && r[1] == Value::from("DH"))
+            .unwrap();
+        assert_eq!(alice_dh[2], Value::Int(60));
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let cat = paper_catalog();
+        // Familydoctor joined to prescriptions by (Patient, Doctor): Chris's
+        // prescription has a NULL doctor, so Chris's family-doctor row
+        // matches nothing.
+        let p = scan("Familydoctor").left_join(
+            scan("Prescriptions"),
+            vec![("Patient".into(), "Patient".into()), ("Doctor".into(), "Doctor".into())],
+            "p",
+        );
+        let t = execute(&p, &cat).unwrap();
+        let chris: Vec<_> = t.rows().iter().filter(|r| r[0] == Value::from("Chris")).collect();
+        assert_eq!(chris.len(), 1);
+        assert!(chris[0][2].is_null(), "unmatched right side padded with NULL");
+        // Inner join would drop Chris entirely.
+        let pi = scan("Familydoctor").join(
+            scan("Prescriptions"),
+            vec![("Patient".into(), "Patient".into()), ("Doctor".into(), "Doctor".into())],
+            "p",
+        );
+        let ti = execute(&pi, &cat).unwrap();
+        assert!(ti.rows().iter().all(|r| r[0] != Value::from("Chris")));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let cat = paper_catalog();
+        let p = scan("Prescriptions")
+            .filter(col("Patient").eq(lit("Nobody")))
+            .aggregate(vec![], vec![AggItem::count_star("n"), AggItem::new("s", AggFunc::Sum, "Drug")]);
+        // Sum over Text is a static type error.
+        assert!(execute(&p, &cat).is_err());
+        let p = scan("Prescriptions")
+            .filter(col("Patient").eq(lit("Nobody")))
+            .aggregate(vec![], vec![AggItem::count_star("n")]);
+        let t = execute(&p, &cat).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows()[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn aggregate_functions() {
+        let cat = paper_catalog();
+        let p = scan("DrugCost").aggregate(
+            vec![],
+            vec![
+                AggItem::new("total", AggFunc::Sum, "Cost"),
+                AggItem::new("mean", AggFunc::Avg, "Cost"),
+                AggItem::new("lo", AggFunc::Min, "Cost"),
+                AggItem::new("hi", AggFunc::Max, "Cost"),
+                AggItem::new("kinds", AggFunc::CountDistinct, "Cost"),
+            ],
+        );
+        let t = execute(&p, &cat).unwrap();
+        let r = &t.rows()[0];
+        assert_eq!(r[0], Value::Int(160));
+        assert_eq!(r[1], Value::Float(32.0));
+        assert_eq!(r[2], Value::Int(10));
+        assert_eq!(r[3], Value::Int(60));
+        assert_eq!(r[4], Value::Int(4));
+    }
+
+    #[test]
+    fn count_column_skips_nulls() {
+        let cat = paper_catalog();
+        let p = scan("Prescriptions")
+            .aggregate(vec![], vec![AggItem::new("doctors", AggFunc::Count, "Doctor")]);
+        let t = execute(&p, &cat).unwrap();
+        assert_eq!(t.rows()[0][0], Value::Int(4), "Chris's NULL doctor not counted");
+    }
+
+    #[test]
+    fn views_execute_transparently() {
+        let mut cat = paper_catalog();
+        cat.add_view("NonHiv", scan("Prescriptions").filter(col("Disease").ne(lit("HIV"))))
+            .unwrap();
+        let t = execute(&scan("NonHiv"), &cat).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.name(), "NonHiv");
+        // Cycles still error at execution.
+        cat.add_view("L1", scan("L2")).unwrap();
+        cat.add_view("L2", scan("L1")).unwrap();
+        assert!(matches!(execute(&scan("L1"), &cat), Err(QueryError::CyclicView { .. })));
+    }
+
+    #[test]
+    fn union_distinct_sort_limit() {
+        let cat = paper_catalog();
+        let drugs = scan("Prescriptions").project_cols(&["Drug"]);
+        let p = drugs
+            .clone()
+            .union(drugs)
+            .distinct()
+            .sort(vec![SortKey::desc("Drug")])
+            .limit(2);
+        let t = execute(&p, &cat).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[0][0], Value::from("DV"));
+        assert_eq!(t.rows()[1][0], Value::from("DR"));
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let cat = paper_catalog();
+        // Join Prescriptions to itself on Doctor: Chris's NULL doctor row
+        // must not match any row (including itself).
+        let p = scan("Prescriptions").project_cols(&["Patient", "Doctor"]).join(
+            scan("Prescriptions").project_cols(&["Doctor"]),
+            vec![("Doctor".into(), "Doctor".into())],
+            "r",
+        );
+        let t = execute(&p, &cat).unwrap();
+        assert!(t.rows().iter().all(|r| r[0] != Value::from("Chris")));
+    }
+}

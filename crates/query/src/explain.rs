@@ -1,0 +1,138 @@
+//! EXPLAIN-style plan rendering.
+//!
+//! The one-line `Display` for [`Plan`] suits logs; auditors and source
+//! owners reviewing a meta-report need the tree. [`explain`] renders an
+//! indented operator tree, optionally annotated with output schemas —
+//! this is what the elicitation workflow shows an owner when they ask
+//! "what exactly does this report compute?" (paper §5's provenance
+//! discussion made visual).
+
+use std::fmt::Write as _;
+
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::plan::{JoinKind, Plan};
+
+/// Renders the plan as an indented tree. When `cat` is provided, each
+/// node is annotated with its output schema.
+pub fn explain(plan: &Plan, cat: Option<&Catalog>) -> Result<String, QueryError> {
+    let mut out = String::new();
+    walk(plan, cat, 0, &mut out)?;
+    Ok(out)
+}
+
+fn line(out: &mut String, depth: usize, text: &str) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(text);
+    out.push('\n');
+}
+
+fn node_label(plan: &Plan) -> String {
+    match plan {
+        Plan::Scan { table } => format!("Scan {table}"),
+        Plan::Filter { pred, .. } => format!("Filter {pred}"),
+        Plan::Project { items, .. } => {
+            let mut parts = Vec::with_capacity(items.len());
+            for (n, e) in items {
+                if let bi_relation::Expr::Col(c) = e {
+                    if c == n {
+                        parts.push(n.clone());
+                        continue;
+                    }
+                }
+                parts.push(format!("{n} := {e}"));
+            }
+            format!("Project [{}]", parts.join(", "))
+        }
+        Plan::Join { kind, on, right_prefix, .. } => {
+            let conds: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+            let k = match kind {
+                JoinKind::Inner => "HashJoin",
+                JoinKind::Left => "LeftHashJoin",
+            };
+            format!("{k} on [{}] (right prefix {right_prefix:?})", conds.join(" AND "))
+        }
+        Plan::Aggregate { group_by, aggs, .. } => {
+            let a: Vec<String> = aggs
+                .iter()
+                .map(|x| format!("{} := {}({})", x.name, x.func.name(), x.arg.as_deref().unwrap_or("*")))
+                .collect();
+            format!("Aggregate by [{}] computing [{}]", group_by.join(", "), a.join(", "))
+        }
+        Plan::Union { .. } => "UnionAll".to_string(),
+        Plan::Distinct { .. } => "Distinct".to_string(),
+        Plan::Sort { keys, .. } => {
+            let k: Vec<String> = keys
+                .iter()
+                .map(|k| format!("{}{}", k.column, if k.descending { " DESC" } else { "" }))
+                .collect();
+            format!("Sort [{}]", k.join(", "))
+        }
+        Plan::Limit { n, .. } => format!("Limit {n}"),
+    }
+}
+
+fn walk(plan: &Plan, cat: Option<&Catalog>, depth: usize, out: &mut String) -> Result<(), QueryError> {
+    let mut label = node_label(plan);
+    if let Some(cat) = cat {
+        let schema = plan.schema(cat)?;
+        let _ = write!(label, "   → ({schema})");
+    }
+    line(out, depth, &label);
+    match plan {
+        Plan::Scan { .. } => {}
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Aggregate { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. } => walk(input, cat, depth + 1, out)?,
+        Plan::Join { left, right, .. } | Plan::Union { left, right } => {
+            walk(left, cat, depth + 1, out)?;
+            walk(right, cat, depth + 1, out)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::tests::paper_catalog;
+    use crate::plan::{scan, AggItem};
+    use bi_relation::expr::{col, lit};
+
+    #[test]
+    fn renders_an_indented_tree() {
+        let plan = scan("Prescriptions")
+            .filter(col("Disease").ne(lit("HIV")))
+            .join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc")
+            .aggregate(vec!["Disease".into()], vec![AggItem::count_star("n")]);
+        let s = explain(&plan, None).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("Aggregate by [Disease]"));
+        assert!(lines[1].starts_with("  HashJoin on [Drug = Drug]"));
+        assert!(lines[2].starts_with("    Filter Disease <> 'HIV'"));
+        assert!(lines[3].starts_with("      Scan Prescriptions"));
+        assert!(lines[4].starts_with("    Scan DrugCost"));
+    }
+
+    #[test]
+    fn schema_annotations_when_catalog_given() {
+        let cat = paper_catalog();
+        let plan = scan("DrugCost").project(vec![("drug".to_string(), col("Drug"))]);
+        let s = explain(&plan, Some(&cat)).unwrap();
+        assert!(s.contains("→ (drug: Text"), "{s}");
+        assert!(s.contains("Project [drug := Drug]"));
+        // Identity items print plainly.
+        let plan2 = scan("DrugCost").project_cols(&["Drug"]);
+        let s2 = explain(&plan2, Some(&cat)).unwrap();
+        assert!(s2.contains("Project [Drug]"));
+        // Unknown relations error with a catalog, render without one.
+        assert!(explain(&scan("Ghost"), Some(&cat)).is_err());
+        assert!(explain(&scan("Ghost"), None).is_ok());
+    }
+}

@@ -1,0 +1,488 @@
+//! The logical query algebra.
+
+use std::fmt;
+
+use bi_relation::Expr;
+use bi_types::{Column, DataType, Schema};
+
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+
+/// Aggregate functions supported by [`Plan::Aggregate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Row count (`COUNT(*)` when the argument is `None`, `COUNT(col)`
+    /// counting non-null values otherwise).
+    Count,
+    /// Count of distinct non-null values.
+    CountDistinct,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    /// The textual name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::CountDistinct => "count_distinct",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// One aggregate output: `name := func(arg)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggItem {
+    /// Output column name.
+    pub name: String,
+    pub func: AggFunc,
+    /// Input column; `None` only for `Count` (= `COUNT(*)`).
+    pub arg: Option<String>,
+}
+
+impl AggItem {
+    /// `name := func(arg)`.
+    pub fn new(name: impl Into<String>, func: AggFunc, arg: impl Into<String>) -> Self {
+        AggItem { name: name.into(), func, arg: Some(arg.into()) }
+    }
+
+    /// `name := COUNT(*)`.
+    pub fn count_star(name: impl Into<String>) -> Self {
+        AggItem { name: name.into(), func: AggFunc::Count, arg: None }
+    }
+}
+
+/// Join kinds (equi-joins only; the BI workloads in the paper are
+/// star-schema lookups and source integrations, all equi-joins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    Inner,
+    /// Left outer: unmatched left rows padded with NULLs.
+    Left,
+}
+
+/// A sort key: column name plus direction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SortKey {
+    pub column: String,
+    pub descending: bool,
+}
+
+impl SortKey {
+    /// Ascending key.
+    pub fn asc(column: impl Into<String>) -> Self {
+        SortKey { column: column.into(), descending: false }
+    }
+
+    /// Descending key.
+    pub fn desc(column: impl Into<String>) -> Self {
+        SortKey { column: column.into(), descending: true }
+    }
+}
+
+/// A logical query plan.
+///
+/// Plans are pure descriptions; [`crate::exec::execute`] evaluates them
+/// against a [`Catalog`], and [`Plan::schema`] infers the output schema
+/// without touching data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Scan a base table or view by name.
+    Scan { table: String },
+    /// Keep rows where `pred` evaluates to TRUE.
+    Filter { input: Box<Plan>, pred: Expr },
+    /// Computed projection: `(output name, expression)` pairs.
+    Project { input: Box<Plan>, items: Vec<(String, Expr)> },
+    /// Hash equi-join on `on = [(left_col, right_col), …]`. Columns of the
+    /// right input whose names clash with the left get prefixed with
+    /// `right_prefix` + `.`.
+    Join {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        kind: JoinKind,
+        on: Vec<(String, String)>,
+        right_prefix: String,
+    },
+    /// Hash aggregation over `group_by` with the given aggregates.
+    Aggregate { input: Box<Plan>, group_by: Vec<String>, aggs: Vec<AggItem> },
+    /// Bag union of union-compatible inputs.
+    Union { left: Box<Plan>, right: Box<Plan> },
+    /// Duplicate elimination.
+    Distinct { input: Box<Plan> },
+    /// Stable multi-key sort.
+    Sort { input: Box<Plan>, keys: Vec<SortKey> },
+    /// First `n` rows.
+    Limit { input: Box<Plan>, n: usize },
+}
+
+/// Shorthand for [`Plan::Scan`].
+pub fn scan(table: impl Into<String>) -> Plan {
+    Plan::Scan { table: table.into() }
+}
+
+impl Plan {
+    /// `Filter` on top of `self`.
+    pub fn filter(self, pred: Expr) -> Plan {
+        Plan::Filter { input: Box::new(self), pred }
+    }
+
+    /// Projection to plain columns (no computation, no renames).
+    pub fn project_cols(self, cols: &[&str]) -> Plan {
+        let items = cols.iter().map(|c| (c.to_string(), bi_relation::expr::col(*c))).collect();
+        Plan::Project { input: Box::new(self), items }
+    }
+
+    /// Computed projection.
+    pub fn project(self, items: Vec<(String, Expr)>) -> Plan {
+        Plan::Project { input: Box::new(self), items }
+    }
+
+    /// Inner equi-join.
+    pub fn join(self, right: Plan, on: Vec<(String, String)>, right_prefix: impl Into<String>) -> Plan {
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            kind: JoinKind::Inner,
+            on,
+            right_prefix: right_prefix.into(),
+        }
+    }
+
+    /// Left outer equi-join.
+    pub fn left_join(
+        self,
+        right: Plan,
+        on: Vec<(String, String)>,
+        right_prefix: impl Into<String>,
+    ) -> Plan {
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            kind: JoinKind::Left,
+            on,
+            right_prefix: right_prefix.into(),
+        }
+    }
+
+    /// Aggregation.
+    pub fn aggregate(self, group_by: Vec<String>, aggs: Vec<AggItem>) -> Plan {
+        Plan::Aggregate { input: Box::new(self), group_by, aggs }
+    }
+
+    /// Bag union.
+    pub fn union(self, right: Plan) -> Plan {
+        Plan::Union { left: Box::new(self), right: Box::new(right) }
+    }
+
+    /// Duplicate elimination.
+    pub fn distinct(self) -> Plan {
+        Plan::Distinct { input: Box::new(self) }
+    }
+
+    /// Sorting.
+    pub fn sort(self, keys: Vec<SortKey>) -> Plan {
+        Plan::Sort { input: Box::new(self), keys }
+    }
+
+    /// Row limit.
+    pub fn limit(self, n: usize) -> Plan {
+        Plan::Limit { input: Box::new(self), n }
+    }
+
+    /// Names of all base relations (tables or views) scanned.
+    pub fn scanned_relations(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk(&mut |p| {
+            if let Plan::Scan { table } = p {
+                out.push(table.as_str());
+            }
+        });
+        out
+    }
+
+    /// Depth-first pre-order traversal.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Plan)) {
+        f(self);
+        match self {
+            Plan::Scan { .. } => {}
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => input.walk(f),
+            Plan::Join { left, right, .. } | Plan::Union { left, right } => {
+                left.walk(f);
+                right.walk(f);
+            }
+        }
+    }
+
+    /// Infers the output schema against a catalog, type-checking
+    /// predicates and aggregates along the way.
+    pub fn schema(&self, cat: &Catalog) -> Result<Schema, QueryError> {
+        match self {
+            Plan::Scan { table } => cat.schema_of(table),
+            Plan::Filter { input, pred } => {
+                let s = input.schema(cat)?;
+                let t = pred.infer_type(&s)?;
+                if t != DataType::Bool {
+                    return Err(QueryError::NonBooleanPredicate { expr: pred.to_string() });
+                }
+                Ok(s)
+            }
+            Plan::Project { input, items } => {
+                let s = input.schema(cat)?;
+                let mut cols = Vec::with_capacity(items.len());
+                for (name, e) in items {
+                    let dt = e.infer_type(&s)?;
+                    // Plain column references keep their nullability.
+                    let nullable = match e {
+                        Expr::Col(c) => s.column(c)?.nullable,
+                        _ => true,
+                    };
+                    cols.push(Column { name: name.clone(), dtype: dt, nullable });
+                }
+                Ok(Schema::new(cols)?)
+            }
+            Plan::Join { left, right, kind, on, right_prefix } => {
+                let ls = left.schema(cat)?;
+                let rs = right.schema(cat)?;
+                for (lc, rc) in on {
+                    ls.index_of(lc)?;
+                    rs.index_of(rc)?;
+                }
+                let mut joined = ls.join(&rs, right_prefix)?;
+                if *kind == JoinKind::Left {
+                    // Right-side columns become nullable.
+                    let mut cols = joined.columns().to_vec();
+                    for c in cols.iter_mut().skip(ls.len()) {
+                        c.nullable = true;
+                    }
+                    joined = Schema::new(cols)?;
+                }
+                Ok(joined)
+            }
+            Plan::Aggregate { input, group_by, aggs } => {
+                let s = input.schema(cat)?;
+                let mut cols = Vec::with_capacity(group_by.len() + aggs.len());
+                for g in group_by {
+                    cols.push(s.column(g)?.clone());
+                }
+                for a in aggs {
+                    let dtype = agg_output_type(a, &s)?;
+                    cols.push(Column::nullable(a.name.clone(), dtype));
+                }
+                Ok(Schema::new(cols)?)
+            }
+            Plan::Union { left, right } => {
+                let ls = left.schema(cat)?;
+                let rs = right.schema(cat)?;
+                if !ls.union_compatible(&rs) {
+                    return Err(bi_types::TypeError::SchemaMismatch {
+                        reason: format!("union of [{ls}] and [{rs}]"),
+                    }
+                    .into());
+                }
+                // A column is nullable in the union if EITHER input can
+                // produce NULLs — returning the left schema verbatim
+                // would under-report nullability.
+                let cols = ls
+                    .columns()
+                    .iter()
+                    .zip(rs.columns())
+                    .map(|(l, r)| Column {
+                        name: l.name.clone(),
+                        dtype: l.dtype,
+                        nullable: l.nullable || r.nullable,
+                    })
+                    .collect();
+                Ok(Schema::new(cols)?)
+            }
+            Plan::Distinct { input } | Plan::Limit { input, .. } => input.schema(cat),
+            Plan::Sort { input, keys } => {
+                let s = input.schema(cat)?;
+                for k in keys {
+                    s.index_of(&k.column)?;
+                }
+                Ok(s)
+            }
+        }
+    }
+}
+
+/// The output type of an aggregate over the given input schema.
+pub(crate) fn agg_output_type(a: &AggItem, input: &Schema) -> Result<DataType, QueryError> {
+    let arg_type = match &a.arg {
+        Some(c) => Some(input.column(c)?.dtype),
+        None => None,
+    };
+    match a.func {
+        AggFunc::Count | AggFunc::CountDistinct => Ok(DataType::Int),
+        AggFunc::Avg => Ok(DataType::Float),
+        AggFunc::Sum => match arg_type {
+            Some(DataType::Int) => Ok(DataType::Int),
+            Some(DataType::Float) => Ok(DataType::Float),
+            Some(t) => Err(QueryError::BadAggregate { reason: format!("sum over {t}") }),
+            None => Err(QueryError::BadAggregate { reason: "sum requires an argument".into() }),
+        },
+        AggFunc::Min | AggFunc::Max => arg_type.ok_or_else(|| QueryError::BadAggregate {
+            reason: format!("{} requires an argument", a.func.name()),
+        }),
+    }
+}
+
+impl fmt::Display for Plan {
+    /// One-line plan summary used in audit logs and error messages.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plan::Scan { table } => write!(f, "scan({table})"),
+            Plan::Filter { input, pred } => write!(f, "filter[{pred}]({input})"),
+            Plan::Project { input, items } => {
+                let names: Vec<&str> = items.iter().map(|(n, _)| n.as_str()).collect();
+                write!(f, "project[{}]({input})", names.join(", "))
+            }
+            Plan::Join { left, right, kind, on, .. } => {
+                let conds: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                let k = if *kind == JoinKind::Left { "left_join" } else { "join" };
+                write!(f, "{k}[{}]({left}, {right})", conds.join(" AND "))
+            }
+            Plan::Aggregate { input, group_by, aggs } => {
+                let a: Vec<String> = aggs
+                    .iter()
+                    .map(|x| {
+                        format!(
+                            "{}:={}({})",
+                            x.name,
+                            x.func.name(),
+                            x.arg.as_deref().unwrap_or("*")
+                        )
+                    })
+                    .collect();
+                write!(f, "agg[by {}; {}]({input})", group_by.join(","), a.join(","))
+            }
+            Plan::Union { left, right } => write!(f, "union({left}, {right})"),
+            Plan::Distinct { input } => write!(f, "distinct({input})"),
+            Plan::Sort { input, keys } => {
+                let k: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{}{}", k.column, if k.descending { " desc" } else { "" }))
+                    .collect();
+                write!(f, "sort[{}]({input})", k.join(", "))
+            }
+            Plan::Limit { input, n } => write!(f, "limit[{n}]({input})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::tests::paper_catalog;
+    use bi_relation::expr::{col, lit};
+
+    #[test]
+    fn scan_schema_resolves() {
+        let cat = paper_catalog();
+        let s = scan("Prescriptions").schema(&cat).unwrap();
+        assert_eq!(s.names(), vec!["Patient", "Doctor", "Drug", "Disease", "Date"]);
+        assert!(scan("Nope").schema(&cat).is_err());
+    }
+
+    #[test]
+    fn filter_requires_boolean() {
+        let cat = paper_catalog();
+        let ok = scan("Prescriptions").filter(col("Disease").eq(lit("HIV")));
+        ok.schema(&cat).unwrap();
+        let bad = scan("Prescriptions").filter(col("Disease"));
+        assert!(matches!(bad.schema(&cat), Err(QueryError::NonBooleanPredicate { .. })));
+    }
+
+    #[test]
+    fn join_schema_prefixes_clashes() {
+        let cat = paper_catalog();
+        let p = scan("Prescriptions").join(
+            scan("DrugCost"),
+            vec![("Drug".into(), "Drug".into())],
+            "dc",
+        );
+        let s = p.schema(&cat).unwrap();
+        assert!(s.contains("dc.Drug"));
+        assert!(s.contains("Cost"));
+    }
+
+    #[test]
+    fn left_join_makes_right_nullable() {
+        let cat = paper_catalog();
+        let p = scan("Prescriptions").left_join(
+            scan("DrugCost"),
+            vec![("Drug".into(), "Drug".into())],
+            "dc",
+        );
+        let s = p.schema(&cat).unwrap();
+        assert!(s.column("Cost").unwrap().nullable);
+    }
+
+    #[test]
+    fn aggregate_schema_types() {
+        let cat = paper_catalog();
+        let p = scan("Prescriptions").aggregate(
+            vec!["Drug".into()],
+            vec![AggItem::count_star("Consumption")],
+        );
+        let s = p.schema(&cat).unwrap();
+        assert_eq!(s.names(), vec!["Drug", "Consumption"]);
+        assert_eq!(s.column("Consumption").unwrap().dtype, DataType::Int);
+
+        let bad = scan("Prescriptions")
+            .aggregate(vec![], vec![AggItem::new("s", AggFunc::Sum, "Disease")]);
+        assert!(matches!(bad.schema(&cat), Err(QueryError::BadAggregate { .. })));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let p = scan("Prescriptions")
+            .filter(col("Disease").ne(lit("HIV")))
+            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
+        let s = p.to_string();
+        assert!(s.contains("agg[by Drug; n:=count(*)]"));
+        assert!(s.contains("filter[Disease <> 'HIV']"));
+    }
+
+    #[test]
+    fn scanned_relations_collects() {
+        let p = scan("A").join(scan("B"), vec![], "b").union(scan("C").join(scan("B"), vec![], "b2"));
+        assert_eq!(p.scanned_relations(), vec!["A", "B", "C", "B"]);
+    }
+}
+
+#[cfg(test)]
+mod review_fix_tests {
+    use crate::catalog::tests::paper_catalog;
+    use crate::plan::scan;
+
+    #[test]
+    fn union_schema_merges_nullability() {
+        // Left side non-nullable, right side nullable (left join pads
+        // NULLs): the union schema must admit the NULLs.
+        let cat = paper_catalog();
+        let left = scan("DrugCost").project_cols(&["Drug", "Cost"]);
+        let right = scan("Prescriptions")
+            .left_join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc")
+            .project_cols(&["Drug", "Cost"]);
+        let u = left.union(right);
+        let s = u.schema(&cat).unwrap();
+        assert!(s.column("Cost").unwrap().nullable, "nullability must be OR'd across inputs");
+        // And execution conforms to the declared schema.
+        let t = crate::exec::execute(&u, &cat).unwrap();
+        for row in t.rows() {
+            s.check_row(row).unwrap();
+        }
+    }
+}

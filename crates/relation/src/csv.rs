@@ -1,0 +1,311 @@
+//! CSV import/export for tables.
+//!
+//! The BI provider exchanges extracts with source owners as flat files
+//! (the paper's data providers ship snapshots, not live connections).
+//! This is a small RFC-4180-style implementation: quoted fields, `""`
+//! escaping, embedded separators/newlines. Values are typed against a
+//! declared [`Schema`] on import; NULL is the empty unquoted field.
+
+use bi_types::{DataType, Date, Schema, Value};
+
+use crate::error::RelationError;
+use crate::table::Table;
+
+/// Serializes a table to CSV (header row included).
+///
+/// NULL exports as an *unquoted* empty field; a non-null empty text
+/// exports as `""` so the distinction round-trips.
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let names = table.schema().names();
+    write_record(&mut out, names.iter().map(|s| (s.to_string(), false)));
+    for row in table.rows() {
+        write_record(
+            &mut out,
+            row.iter().map(|v| {
+                if v.is_null() {
+                    (String::new(), false)
+                } else {
+                    let s = v.to_string();
+                    let force_quote = s.is_empty();
+                    (s, force_quote)
+                }
+            }),
+        );
+    }
+    out
+}
+
+fn write_record(out: &mut String, fields: impl Iterator<Item = (String, bool)>) {
+    let mut first = true;
+    for (f, force_quote) in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if force_quote || f.contains(',') || f.contains('"') || f.contains('\n') || f.contains('\r') {
+            out.push('"');
+            out.push_str(&f.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(&f);
+        }
+    }
+    out.push('\n');
+}
+
+/// Parses CSV text into a table with the given name and schema.
+///
+/// The header row must match the schema's column names exactly (order
+/// included). Empty unquoted fields become NULL; quoted empty fields
+/// become empty text.
+pub fn from_csv(name: &str, schema: Schema, text: &str) -> Result<Table, RelationError> {
+    let mut records = parse_records(text)?;
+    if records.is_empty() {
+        return Err(RelationError::Parse { message: "missing header row".into(), position: 0 });
+    }
+    let header = records.remove(0);
+    let expected: Vec<String> = schema.names().into_iter().map(String::from).collect();
+    let got: Vec<String> = header.into_iter().map(|(s, _)| s).collect();
+    if got != expected {
+        return Err(RelationError::Parse {
+            message: format!("header {got:?} does not match schema {expected:?}"),
+            position: 0,
+        });
+    }
+    let mut table = Table::new(name, schema);
+    for record in records {
+        if record.len() != table.schema().len() {
+            return Err(RelationError::Parse {
+                message: format!(
+                    "record has {} fields, schema has {}",
+                    record.len(),
+                    table.schema().len()
+                ),
+                position: 0,
+            });
+        }
+        let row: Vec<Value> = record
+            .into_iter()
+            .zip(table.schema().columns().to_vec())
+            .map(|((field, quoted), col)| parse_value(&field, quoted, col.dtype))
+            .collect::<Result<_, _>>()?;
+        table.push_row(row)?;
+    }
+    Ok(table)
+}
+
+/// Parses one field into a typed value. `quoted` distinguishes the
+/// empty string (quoted) from NULL (unquoted empty).
+fn parse_value(field: &str, quoted: bool, dtype: DataType) -> Result<Value, RelationError> {
+    if field.is_empty() && !quoted {
+        return Ok(Value::Null);
+    }
+    let bad = |msg: String| RelationError::Parse { message: msg, position: 0 };
+    Ok(match dtype {
+        DataType::Bool => match field {
+            "true" | "TRUE" | "True" => Value::Bool(true),
+            "false" | "FALSE" | "False" => Value::Bool(false),
+            other => return Err(bad(format!("bad bool {other:?}"))),
+        },
+        DataType::Int => {
+            Value::Int(field.parse().map_err(|_| bad(format!("bad int {field:?}")))?)
+        }
+        DataType::Float => {
+            Value::Float(field.parse().map_err(|_| bad(format!("bad float {field:?}")))?)
+        }
+        DataType::Text => Value::text(field),
+        DataType::Date => Value::Date(
+            Date::parse_flexible(field).map_err(|e| bad(format!("bad date {field:?}: {e}")))?,
+        ),
+    })
+}
+
+/// Splits CSV text into records of `(field, was_quoted)`.
+fn parse_records(text: &str) -> Result<Vec<Vec<(String, bool)>>, RelationError> {
+    let mut records = Vec::new();
+    let mut record: Vec<(String, bool)> = Vec::new();
+    let mut field = String::new();
+    let mut quoted = false;
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut pos = 0usize;
+    while let Some(c) = chars.next() {
+        pos += c.len_utf8();
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        pos += 1;
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' if field.is_empty() => {
+                in_quotes = true;
+                quoted = true;
+            }
+            '"' => {
+                return Err(RelationError::Parse {
+                    message: "quote inside unquoted field".into(),
+                    position: pos,
+                })
+            }
+            ',' => {
+                record.push((std::mem::take(&mut field), quoted));
+                quoted = false;
+            }
+            // CR is only a line-ending as part of CRLF; a bare CR is
+            // field data (silently deleting it would corrupt values).
+            '\r' => {
+                if chars.peek() != Some(&'\n') {
+                    field.push('\r');
+                }
+            }
+            '\n' => {
+                record.push((std::mem::take(&mut field), quoted));
+                quoted = false;
+                records.push(std::mem::take(&mut record));
+            }
+            other => field.push(other),
+        }
+    }
+    if in_quotes {
+        return Err(RelationError::Parse { message: "unterminated quoted field".into(), position: pos });
+    }
+    // A trailing field counts even when it is a lone quoted empty
+    // string (`""` with no newline) — `quoted` distinguishes it from
+    // true end-of-input.
+    if !field.is_empty() || !record.is_empty() || quoted {
+        record.push((field, quoted));
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_types::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("Patient", DataType::Text),
+            Column::nullable("Doctor", DataType::Text),
+            Column::new("Cost", DataType::Int),
+            Column::new("Date", DataType::Date),
+        ])
+        .unwrap()
+    }
+
+    fn sample() -> Table {
+        Table::from_rows(
+            "T",
+            schema(),
+            vec![
+                vec!["Alice".into(), "Luis".into(), 60.into(), Value::date("2007-02-12").unwrap()],
+                vec!["Chris, Jr.".into(), Value::Null, 30.into(), Value::date("2007-03-10").unwrap()],
+                vec!["Quote\"y".into(), "Multi\nline".into(), 10.into(), Value::date("2007-08-10").unwrap()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything_except_null_vs_empty() {
+        let t = sample();
+        let csv = to_csv(&t);
+        let back = from_csv("T", schema(), &csv).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.cell(0, "Patient").unwrap(), &Value::from("Alice"));
+        assert_eq!(back.cell(1, "Patient").unwrap(), &Value::from("Chris, Jr."));
+        assert!(back.cell(1, "Doctor").unwrap().is_null());
+        assert_eq!(back.cell(2, "Patient").unwrap(), &Value::from("Quote\"y"));
+        assert_eq!(back.cell(2, "Doctor").unwrap(), &Value::from("Multi\nline"));
+        assert_eq!(back.cell(0, "Date").unwrap(), &Value::date("2007-02-12").unwrap());
+    }
+
+    #[test]
+    fn quoting_rules() {
+        let t = sample();
+        let csv = to_csv(&t);
+        assert!(csv.starts_with("Patient,Doctor,Cost,Date\n"));
+        assert!(csv.contains("\"Chris, Jr.\""));
+        assert!(csv.contains("\"Quote\"\"y\""));
+        assert!(csv.contains("\"Multi\nline\""));
+        // Unquoted empty = NULL.
+        assert!(csv.contains("\"Chris, Jr.\",,30,"));
+    }
+
+    #[test]
+    fn header_and_arity_checked() {
+        let bad_header = "Who,Doctor,Cost,Date\nAlice,Luis,60,2007-02-12\n";
+        assert!(from_csv("T", schema(), bad_header).is_err());
+        let bad_arity = "Patient,Doctor,Cost,Date\nAlice,Luis,60\n";
+        assert!(from_csv("T", schema(), bad_arity).is_err());
+        assert!(from_csv("T", schema(), "").is_err());
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        let bad_int = "Patient,Doctor,Cost,Date\nAlice,Luis,sixty,2007-02-12\n";
+        assert!(from_csv("T", schema(), bad_int).is_err());
+        let bad_date = "Patient,Doctor,Cost,Date\nAlice,Luis,60,yesterday\n";
+        assert!(from_csv("T", schema(), bad_date).is_err());
+        // NULL in non-nullable Patient rejected by the schema check.
+        let bad_null = "Patient,Doctor,Cost,Date\n,Luis,60,2007-02-12\n";
+        assert!(from_csv("T", schema(), bad_null).is_err());
+    }
+
+    #[test]
+    fn paper_dates_accepted() {
+        let csv = "Patient,Doctor,Cost,Date\nAlice,Luis,60,12/02/2007\n";
+        let t = from_csv("T", schema(), csv).unwrap();
+        assert_eq!(t.cell(0, "Date").unwrap(), &Value::date("2007-02-12").unwrap());
+    }
+
+    #[test]
+    fn malformed_quotes_rejected() {
+        assert!(parse_records("a,b\"c\n").is_err());
+        assert!(parse_records("\"unterminated\n").is_err());
+    }
+}
+
+#[cfg(test)]
+mod review_fix_tests {
+    use super::*;
+    use bi_types::Column;
+
+    #[test]
+    fn bare_cr_is_field_data_and_crlf_is_a_line_ending() {
+        let schema = Schema::new(vec![Column::new("a", DataType::Text)]).unwrap();
+        // CRLF line endings parse like LF.
+        let t = from_csv("T", schema.clone(), "a\r\nx\r\ny\r\n").unwrap();
+        assert_eq!(t.len(), 2);
+        // A bare CR inside a quoted field survives.
+        let original = Table::from_rows(
+            "T",
+            schema.clone(),
+            vec![vec![Value::text("line\rcr")]],
+        )
+        .unwrap();
+        let back = from_csv("T", schema, &to_csv(&original)).unwrap();
+        assert_eq!(back.cell(0, "a").unwrap(), &Value::from("line\rcr"));
+    }
+
+    #[test]
+    fn trailing_quoted_empty_field_survives() {
+        let schema = Schema::new(vec![Column::new("a", DataType::Text)]).unwrap();
+        // No trailing newline, last record is a lone quoted empty text.
+        let t = from_csv("T", schema, "a\n\"\"").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.cell(0, "a").unwrap(), &Value::text(""));
+    }
+}

@@ -1,0 +1,73 @@
+//! Errors for the relational engine.
+
+use std::fmt;
+
+use bi_types::TypeError;
+
+/// Anything that can go wrong storing rows or evaluating expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A typing problem (bad column, inadmissible value, …).
+    Type(TypeError),
+    /// Arithmetic division by zero.
+    DivisionByZero,
+    /// Integer overflow in checked arithmetic.
+    Overflow { op: &'static str },
+    /// A function applied to the wrong number of arguments.
+    Arity { func: String, expected: usize, found: usize },
+    /// Values that cannot be ordered against each other (e.g. Text < Int).
+    Incomparable { left: String, right: String },
+    /// Expression-text parse failure.
+    Parse { message: String, position: usize },
+    /// A table operation referenced a missing table.
+    NoSuchTable { name: String },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::Type(e) => write!(f, "{e}"),
+            RelationError::DivisionByZero => f.write_str("division by zero"),
+            RelationError::Overflow { op } => write!(f, "integer overflow in {op}"),
+            RelationError::Arity { func, expected, found } => {
+                write!(f, "function {func} expects {expected} argument(s), got {found}")
+            }
+            RelationError::Incomparable { left, right } => {
+                write!(f, "cannot order {left} against {right}")
+            }
+            RelationError::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            RelationError::NoSuchTable { name } => write!(f, "no such table {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RelationError::Type(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TypeError> for RelationError {
+    fn from(e: TypeError) -> Self {
+        RelationError::Type(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_wraps() {
+        let e: RelationError = TypeError::DuplicateColumn { name: "x".into() }.into();
+        assert!(e.to_string().contains("duplicate"));
+        assert!(RelationError::DivisionByZero.to_string().contains("zero"));
+        let e = RelationError::Arity { func: "substr".into(), expected: 3, found: 1 };
+        assert!(e.to_string().contains("substr"));
+    }
+}

@@ -1,0 +1,973 @@
+//! Scalar expressions: AST, evaluation, typing, printing, parsing.
+//!
+//! Expressions are the lingua franca of the stack: query-plan filters,
+//! VPD-style rewrite predicates, and — centrally for the paper —
+//! *intensional* PLA conditions such as
+//! `Disease <> 'HIV'` ("medical examination results can be shown only for
+//! patients that are not HIV positive", §5). Three-valued SQL semantics:
+//! comparisons against NULL yield NULL, AND/OR are Kleene, and filters
+//! keep a row only when the predicate is exactly TRUE.
+
+mod parse;
+
+pub use parse::parse;
+
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+use std::fmt;
+
+use bi_types::{DataType, Schema, Value};
+
+use crate::error::RelationError;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Printing precedence (higher binds tighter).
+    fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div => 6,
+        }
+    }
+
+    /// True for `= <> < <= > >=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+}
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Func {
+    /// `year(date) -> Int`
+    Year,
+    /// `month(date) -> Int`
+    Month,
+    /// `quarter(date) -> Int`
+    Quarter,
+    /// `lower(text) -> Text`
+    Lower,
+    /// `upper(text) -> Text`
+    Upper,
+    /// `length(text) -> Int`
+    Length,
+    /// `abs(number) -> number`
+    Abs,
+    /// `coalesce(a, b, …) -> first non-null`
+    Coalesce,
+    /// `concat(a, b, …) -> Text`
+    Concat,
+    /// `substr(text, start, len) -> Text` (1-based start)
+    Substr,
+    /// `if(cond, a, b) -> a or b` — b when cond is FALSE or NULL.
+    /// The result type is a's type, which makes `if(…, col, NULL)` a
+    /// *type-preserving* column mask (used by the VPD-style rewriter).
+    If,
+    /// `nullif(a, b) -> NULL when a = b, else a` (type-preserving).
+    NullIf,
+}
+
+impl Func {
+    /// The textual (parser/printer) name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Func::Year => "year",
+            Func::Month => "month",
+            Func::Quarter => "quarter",
+            Func::Lower => "lower",
+            Func::Upper => "upper",
+            Func::Length => "length",
+            Func::Abs => "abs",
+            Func::Coalesce => "coalesce",
+            Func::Concat => "concat",
+            Func::Substr => "substr",
+            Func::If => "if",
+            Func::NullIf => "nullif",
+        }
+    }
+
+    /// Looks a function up by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<Func> {
+        match name.to_ascii_lowercase().as_str() {
+            "year" => Some(Func::Year),
+            "month" => Some(Func::Month),
+            "quarter" => Some(Func::Quarter),
+            "lower" => Some(Func::Lower),
+            "upper" => Some(Func::Upper),
+            "length" => Some(Func::Length),
+            "abs" => Some(Func::Abs),
+            "coalesce" => Some(Func::Coalesce),
+            "concat" => Some(Func::Concat),
+            "substr" => Some(Func::Substr),
+            "if" => Some(Func::If),
+            "nullif" => Some(Func::NullIf),
+            _ => None,
+        }
+    }
+
+    fn check_arity(self, found: usize) -> Result<(), RelationError> {
+        let expected = match self {
+            Func::Year | Func::Month | Func::Quarter | Func::Lower | Func::Upper | Func::Length | Func::Abs => 1,
+            Func::Substr | Func::If => 3,
+            Func::NullIf => 2,
+            Func::Coalesce | Func::Concat => {
+                if found == 0 {
+                    return Err(RelationError::Arity { func: self.name().into(), expected: 1, found });
+                }
+                return Ok(());
+            }
+        };
+        if found != expected {
+            return Err(RelationError::Arity { func: self.name().into(), expected, found });
+        }
+        Ok(())
+    }
+}
+
+/// A scalar expression over one row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Column reference by name.
+    Col(String),
+    /// Literal value.
+    Lit(Value),
+    /// Logical negation (Kleene: NOT NULL = NULL).
+    Not(Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// `e IS NULL` (never NULL itself).
+    IsNull(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Function application.
+    Func(Func, Vec<Expr>),
+    /// `e IN (v1, v2, …)` over literal values.
+    InList(Box<Expr>, Vec<Value>),
+    /// `lo <= e AND e <= hi`.
+    Between(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// Shorthand: a column reference.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::Col(name.into())
+}
+
+/// Shorthand: a literal.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Lit(v.into())
+}
+
+impl Expr {
+    fn bin(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self = rhs`
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Eq, rhs)
+    }
+
+    /// `self <> rhs`
+    pub fn ne(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ne, rhs)
+    }
+
+    /// `self < rhs`
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Lt, rhs)
+    }
+
+    /// `self <= rhs`
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Le, rhs)
+    }
+
+    /// `self > rhs`
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Gt, rhs)
+    }
+
+    /// `self >= rhs`
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ge, rhs)
+    }
+
+    /// `self AND rhs`
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::And, rhs)
+    }
+
+    /// `self OR rhs`
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Or, rhs)
+    }
+
+    /// `NOT self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `self IS NULL`
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+
+    /// The TRUE literal (neutral element for AND-chains).
+    pub fn true_lit() -> Expr {
+        Expr::Lit(Value::Bool(true))
+    }
+
+    /// All column names referenced by this expression.
+    pub fn columns_used(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Col(n) => {
+                out.insert(n.clone());
+            }
+            Expr::Lit(_) => {}
+            Expr::Not(e) | Expr::Neg(e) | Expr::IsNull(e) => e.collect_columns(out),
+            Expr::Bin(_, l, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            Expr::Func(_, args) => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+            Expr::InList(e, _) => e.collect_columns(out),
+            Expr::Between(e, lo, hi) => {
+                e.collect_columns(out);
+                lo.collect_columns(out);
+                hi.collect_columns(out);
+            }
+        }
+    }
+
+    /// Rewrites every column reference through `f` (used when a plan
+    /// renames columns under a predicate).
+    pub fn map_columns(&self, f: &impl Fn(&str) -> String) -> Expr {
+        match self {
+            Expr::Col(n) => Expr::Col(f(n)),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Not(e) => Expr::Not(Box::new(e.map_columns(f))),
+            Expr::Neg(e) => Expr::Neg(Box::new(e.map_columns(f))),
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.map_columns(f))),
+            Expr::Bin(op, l, r) => Expr::Bin(*op, Box::new(l.map_columns(f)), Box::new(r.map_columns(f))),
+            Expr::Func(func, args) => Expr::Func(*func, args.iter().map(|a| a.map_columns(f)).collect()),
+            Expr::InList(e, vs) => Expr::InList(Box::new(e.map_columns(f)), vs.clone()),
+            Expr::Between(e, lo, hi) => Expr::Between(
+                Box::new(e.map_columns(f)),
+                Box::new(lo.map_columns(f)),
+                Box::new(hi.map_columns(f)),
+            ),
+        }
+    }
+
+    /// Splits a conjunction into its atomic conjuncts (used by the
+    /// containment checker and the VPD rewriter).
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            if let Expr::Bin(BinOp::And, l, r) = e {
+                walk(l, out);
+                walk(r, out);
+            } else {
+                out.push(e);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Conjoins a list of predicates (empty list ⇒ TRUE).
+    pub fn conjoin(preds: impl IntoIterator<Item = Expr>) -> Expr {
+        let mut it = preds.into_iter();
+        match it.next() {
+            None => Expr::true_lit(),
+            Some(first) => it.fold(first, |acc, p| acc.and(p)),
+        }
+    }
+
+    /// Evaluates against a row; `Value::Null` encodes SQL's UNKNOWN.
+    pub fn eval(&self, schema: &Schema, row: &[Value]) -> Result<Value, RelationError> {
+        match self {
+            Expr::Col(name) => {
+                let i = schema.index_of(name)?;
+                Ok(row[i].clone())
+            }
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Not(e) => match e.eval(schema, row)? {
+                Value::Null => Ok(Value::Null),
+                v => Ok(Value::Bool(!v.as_bool()?)),
+            },
+            Expr::Neg(e) => match e.eval(schema, row)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => {
+                    i.checked_neg().map(Value::Int).ok_or(RelationError::Overflow { op: "neg" })
+                }
+                Value::Float(f) => Ok(Value::Float(-f)),
+                other => Err(bi_types::TypeError::mismatch(DataType::Float, other, "negation").into()),
+            },
+            Expr::IsNull(e) => Ok(Value::Bool(e.eval(schema, row)?.is_null())),
+            Expr::Bin(op, l, r) => eval_bin(*op, l, r, schema, row),
+            Expr::Func(f, args) => {
+                f.check_arity(args.len())?;
+                // `if` short-circuits: only the taken branch is evaluated.
+                if *f == Func::If {
+                    let cond = args[0].eval(schema, row)?;
+                    let taken = if !cond.is_null() && cond.as_bool()? { &args[1] } else { &args[2] };
+                    return taken.eval(schema, row);
+                }
+                let vals: Vec<Value> =
+                    args.iter().map(|a| a.eval(schema, row)).collect::<Result<_, _>>()?;
+                eval_func(*f, &vals)
+            }
+            Expr::InList(e, list) => {
+                let v = e.eval(schema, row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                if list.contains(&v) {
+                    return Ok(Value::Bool(true));
+                }
+                // SQL: `x IN (a, NULL)` with x ≠ a is UNKNOWN, not FALSE
+                // (x might equal the NULL member) — and therefore
+                // `x NOT IN (a, NULL)` must never be TRUE.
+                if list.iter().any(Value::is_null) {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Bool(false))
+            }
+            Expr::Between(e, lo, hi) => {
+                let v = e.eval(schema, row)?;
+                let lo = lo.eval(schema, row)?;
+                let hi = hi.eval(schema, row)?;
+                if v.is_null() || lo.is_null() || hi.is_null() {
+                    return Ok(Value::Null);
+                }
+                let ge = compare(&v, &lo)? != Ordering::Less;
+                let le = compare(&v, &hi)? != Ordering::Greater;
+                Ok(Value::Bool(ge && le))
+            }
+        }
+    }
+
+    /// Static result type against a schema. Column references must
+    /// resolve; NULL-ability is not tracked (derived columns are nullable).
+    pub fn infer_type(&self, schema: &Schema) -> Result<DataType, RelationError> {
+        match self {
+            Expr::Col(name) => Ok(schema.column(name)?.dtype),
+            Expr::Lit(v) => Ok(v.dtype().unwrap_or(DataType::Text)),
+            Expr::Not(_) | Expr::IsNull(_) | Expr::InList(..) | Expr::Between(..) => Ok(DataType::Bool),
+            Expr::Neg(e) => e.infer_type(schema),
+            Expr::Bin(op, l, r) => {
+                if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
+                    // Sides still need to type-check.
+                    l.infer_type(schema)?;
+                    r.infer_type(schema)?;
+                    Ok(DataType::Bool)
+                } else if matches!(op, BinOp::Div) {
+                    l.infer_type(schema)?;
+                    r.infer_type(schema)?;
+                    Ok(DataType::Float)
+                } else {
+                    let lt = l.infer_type(schema)?;
+                    let rt = r.infer_type(schema)?;
+                    if lt == DataType::Float || rt == DataType::Float {
+                        Ok(DataType::Float)
+                    } else {
+                        Ok(lt)
+                    }
+                }
+            }
+            Expr::Func(f, args) => {
+                f.check_arity(args.len())?;
+                for a in args {
+                    a.infer_type(schema)?;
+                }
+                Ok(match f {
+                    Func::Year | Func::Month | Func::Quarter | Func::Length => DataType::Int,
+                    Func::Lower | Func::Upper | Func::Concat | Func::Substr => DataType::Text,
+                    Func::Abs | Func::NullIf => args[0].infer_type(schema)?,
+                    // Branch-merging functions must UNIFY their branch
+                    // types: taking one branch's type would let eval
+                    // return values of a different type than declared.
+                    Func::Coalesce => unify_branch_types(schema, args)?,
+                    Func::If => unify_branch_types(schema, &args[1..])?,
+                })
+            }
+        }
+    }
+
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Bin(op, ..) => op.precedence(),
+            Expr::Not(_) => 3,
+            Expr::Between(..) | Expr::InList(..) | Expr::IsNull(_) => 4,
+            Expr::Neg(_) => 7,
+            _ => 8,
+        }
+    }
+}
+
+/// Unifies the static types of value-producing branches (`if`'s two
+/// arms, all of `coalesce`'s arguments): equal types unify to
+/// themselves, Int and Float widen to Float, and literal NULLs adopt
+/// the other branch's type. Anything else is a type error — better at
+/// planning time than a surprise value at run time.
+fn unify_branch_types(schema: &Schema, branches: &[Expr]) -> Result<DataType, RelationError> {
+    let mut unified: Option<DataType> = None;
+    for b in branches {
+        if matches!(b, Expr::Lit(Value::Null)) {
+            continue; // NULL fits any branch type
+        }
+        let t = b.infer_type(schema)?;
+        unified = Some(match unified {
+            None => t,
+            Some(u) if u == t => u,
+            Some(DataType::Int) if t == DataType::Float => DataType::Float,
+            Some(DataType::Float) if t == DataType::Int => DataType::Float,
+            Some(u) => {
+                return Err(bi_types::TypeError::mismatch(
+                    u,
+                    t,
+                    "branches of if/coalesce must have one type",
+                )
+                .into())
+            }
+        });
+    }
+    // All-NULL branches: give them the most permissive printable type.
+    Ok(unified.unwrap_or(DataType::Text))
+}
+
+/// Orders two non-null values, rejecting cross-type comparisons other
+/// than Int/Float.
+fn compare(l: &Value, r: &Value) -> Result<Ordering, RelationError> {
+    let comparable = matches!(
+        (l, r),
+        (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
+            | (Value::Text(_), Value::Text(_))
+            | (Value::Date(_), Value::Date(_))
+            | (Value::Bool(_), Value::Bool(_))
+    );
+    if !comparable {
+        return Err(RelationError::Incomparable { left: format!("{l:?}"), right: format!("{r:?}") });
+    }
+    Ok(l.cmp(r))
+}
+
+fn eval_bin(
+    op: BinOp,
+    l: &Expr,
+    r: &Expr,
+    schema: &Schema,
+    row: &[Value],
+) -> Result<Value, RelationError> {
+    // Kleene AND/OR must short-circuit around NULLs.
+    if matches!(op, BinOp::And | BinOp::Or) {
+        let lv = l.eval(schema, row)?;
+        let lb = if lv.is_null() { None } else { Some(lv.as_bool()?) };
+        match (op, lb) {
+            (BinOp::And, Some(false)) => return Ok(Value::Bool(false)),
+            (BinOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+            _ => {}
+        }
+        let rv = r.eval(schema, row)?;
+        let rb = if rv.is_null() { None } else { Some(rv.as_bool()?) };
+        return Ok(match (op, lb, rb) {
+            (BinOp::And, _, Some(false)) => Value::Bool(false),
+            (BinOp::Or, _, Some(true)) => Value::Bool(true),
+            (_, Some(a), Some(b)) => Value::Bool(if op == BinOp::And { a && b } else { a || b }),
+            _ => Value::Null,
+        });
+    }
+
+    let lv = l.eval(schema, row)?;
+    let rv = r.eval(schema, row)?;
+    if lv.is_null() || rv.is_null() {
+        return Ok(Value::Null);
+    }
+
+    if op.is_comparison() {
+        // Equality across any types is well-defined (distinct types are
+        // simply unequal); ordering requires comparability.
+        let ord = match op {
+            BinOp::Eq => return Ok(Value::Bool(lv == rv)),
+            BinOp::Ne => return Ok(Value::Bool(lv != rv)),
+            _ => compare(&lv, &rv)?,
+        };
+        let b = match op {
+            BinOp::Lt => ord == Ordering::Less,
+            BinOp::Le => ord != Ordering::Greater,
+            BinOp::Gt => ord == Ordering::Greater,
+            BinOp::Ge => ord != Ordering::Less,
+            _ => unreachable!("handled above"),
+        };
+        return Ok(Value::Bool(b));
+    }
+
+    // Arithmetic.
+    match (&lv, &rv) {
+        (Value::Int(a), Value::Int(b)) => {
+            let r = match op {
+                BinOp::Add => a.checked_add(*b).ok_or(RelationError::Overflow { op: "+" })?,
+                BinOp::Sub => a.checked_sub(*b).ok_or(RelationError::Overflow { op: "-" })?,
+                BinOp::Mul => a.checked_mul(*b).ok_or(RelationError::Overflow { op: "*" })?,
+                BinOp::Div => {
+                    if *b == 0 {
+                        return Err(RelationError::DivisionByZero);
+                    }
+                    return Ok(Value::Float(*a as f64 / *b as f64));
+                }
+                _ => unreachable!("logical ops handled above"),
+            };
+            Ok(Value::Int(r))
+        }
+        _ => {
+            let a = lv.as_f64()?;
+            let b = rv.as_f64()?;
+            let r = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(RelationError::DivisionByZero);
+                    }
+                    a / b
+                }
+                _ => unreachable!("logical ops handled above"),
+            };
+            Ok(Value::Float(r))
+        }
+    }
+}
+
+fn eval_func(f: Func, vals: &[Value]) -> Result<Value, RelationError> {
+    // Coalesce looks *past* NULLs; NULLIF has its own NULL rules
+    // (NULLIF(a, NULL) = a, because a = NULL is UNKNOWN, not TRUE).
+    if f == Func::Coalesce {
+        return Ok(vals.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null));
+    }
+    if f == Func::NullIf {
+        if !vals[0].is_null() && vals[0] == vals[1] {
+            return Ok(Value::Null);
+        }
+        return Ok(vals[0].clone());
+    }
+    if vals.iter().any(Value::is_null) {
+        return Ok(Value::Null);
+    }
+    match f {
+        Func::Year => Ok(Value::Int(vals[0].as_date()?.year() as i64)),
+        Func::Month => Ok(Value::Int(vals[0].as_date()?.month() as i64)),
+        Func::Quarter => Ok(Value::Int(vals[0].as_date()?.quarter() as i64)),
+        Func::Lower => Ok(Value::text(vals[0].as_text()?.to_lowercase())),
+        Func::Upper => Ok(Value::text(vals[0].as_text()?.to_uppercase())),
+        Func::Length => Ok(Value::Int(vals[0].as_text()?.chars().count() as i64)),
+        Func::Abs => match &vals[0] {
+            Value::Int(i) => i.checked_abs().map(Value::Int).ok_or(RelationError::Overflow { op: "abs" }),
+            Value::Float(x) => Ok(Value::Float(x.abs())),
+            other => Err(bi_types::TypeError::mismatch(DataType::Float, other, "abs").into()),
+        },
+        Func::Concat => {
+            let mut s = String::new();
+            for v in vals {
+                s.push_str(&v.to_string());
+            }
+            Ok(Value::Text(s))
+        }
+        Func::Substr => {
+            let s = vals[0].as_text()?;
+            let start = vals[1].as_int()?.max(1) as usize - 1;
+            let len = vals[2].as_int()?.max(0) as usize;
+            Ok(Value::text(s.chars().skip(start).take(len).collect::<String>()))
+        }
+        Func::Coalesce | Func::NullIf => unreachable!("handled above"),
+        // `if` short-circuits in Expr::eval and never reaches here.
+        Func::If => unreachable!("if() is evaluated (short-circuited) in Expr::eval"),
+    }
+}
+
+/// Quotes a literal for the textual form.
+fn fmt_literal(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Value::Null => f.write_str("NULL"),
+        Value::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+        Value::Int(i) => write!(f, "{i}"),
+        Value::Float(x) => {
+            if x.is_nan() {
+                f.write_str("nan")
+            } else if x.is_infinite() {
+                f.write_str(if *x > 0.0 { "inf" } else { "-inf" })
+            } else if x.fract() == 0.0 {
+                write!(f, "{x:.1}")
+            } else {
+                write!(f, "{x}")
+            }
+        }
+        Value::Text(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        Value::Date(d) => write!(f, "DATE '{d}'"),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn child(e: &Expr, parent_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            if e.precedence() < parent_prec {
+                write!(f, "({e})")
+            } else {
+                write!(f, "{e}")
+            }
+        }
+        match self {
+            Expr::Col(n) => f.write_str(n),
+            Expr::Lit(v) => fmt_literal(v, f),
+            Expr::Not(e) => {
+                f.write_str("NOT ")?;
+                child(e, 4, f)
+            }
+            Expr::Neg(e) => {
+                f.write_str("-")?;
+                child(e, 8, f)
+            }
+            Expr::IsNull(e) => {
+                child(e, 5, f)?;
+                f.write_str(" IS NULL")
+            }
+            Expr::Bin(op, l, r) => {
+                let p = op.precedence();
+                // Comparisons are non-associative in the grammar (one
+                // comparison suffix per level), so BOTH sides need
+                // strictly higher precedence; for the associative
+                // operators only the right side does (left-assoc).
+                let left_ctx = if op.is_comparison() { p + 1 } else { p };
+                child(l, left_ctx, f)?;
+                write!(f, " {} ", op.symbol())?;
+                child(r, p + 1, f)
+            }
+            Expr::Func(func, args) => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::InList(e, vs) => {
+                child(e, 5, f)?;
+                f.write_str(" IN (")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    fmt_literal(v, f)?;
+                }
+                f.write_str(")")
+            }
+            Expr::Between(e, lo, hi) => {
+                child(e, 5, f)?;
+                f.write_str(" BETWEEN ")?;
+                child(lo, 5, f)?;
+                f.write_str(" AND ")?;
+                child(hi, 5, f)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_types::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("Patient", DataType::Text),
+            Column::nullable("Doctor", DataType::Text),
+            Column::new("Cost", DataType::Int),
+            Column::new("Weight", DataType::Float),
+            Column::new("Date", DataType::Date),
+        ])
+        .unwrap()
+    }
+
+    fn row() -> Vec<Value> {
+        vec![
+            "Alice".into(),
+            Value::Null,
+            Value::Int(60),
+            Value::Float(2.5),
+            Value::date("2007-02-12").unwrap(),
+        ]
+    }
+
+    fn ev(e: &Expr) -> Value {
+        e.eval(&schema(), &row()).unwrap()
+    }
+
+    #[test]
+    fn columns_and_literals() {
+        assert_eq!(ev(&col("Patient")), Value::from("Alice"));
+        assert_eq!(ev(&lit(5)), Value::Int(5));
+        assert!(col("Nope").eval(&schema(), &row()).is_err());
+    }
+
+    #[test]
+    fn arithmetic_and_overflow() {
+        assert_eq!(ev(&lit(2).bin(BinOp::Add, lit(3))), Value::Int(5));
+        assert_eq!(ev(&col("Cost").bin(BinOp::Mul, lit(2))), Value::Int(120));
+        assert_eq!(ev(&lit(7).bin(BinOp::Div, lit(2))), Value::Float(3.5));
+        assert_eq!(ev(&col("Weight").bin(BinOp::Add, lit(1))), Value::Float(3.5));
+        assert_eq!(
+            lit(i64::MAX).bin(BinOp::Add, lit(1)).eval(&schema(), &row()),
+            Err(RelationError::Overflow { op: "+" })
+        );
+        assert_eq!(
+            lit(1).bin(BinOp::Div, lit(0)).eval(&schema(), &row()),
+            Err(RelationError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let null_cmp = col("Doctor").eq(lit("Luis"));
+        assert_eq!(ev(&null_cmp), Value::Null);
+        // FALSE AND NULL = FALSE; TRUE OR NULL = TRUE.
+        assert_eq!(ev(&lit(false).and(null_cmp.clone())), Value::Bool(false));
+        assert_eq!(ev(&lit(true).or(null_cmp.clone())), Value::Bool(true));
+        // TRUE AND NULL = NULL; FALSE OR NULL = NULL.
+        assert_eq!(ev(&lit(true).and(null_cmp.clone())), Value::Null);
+        assert_eq!(ev(&lit(false).or(null_cmp.clone())), Value::Null);
+        assert_eq!(ev(&null_cmp.not()), Value::Null);
+        assert_eq!(ev(&col("Doctor").is_null()), Value::Bool(true));
+        assert_eq!(ev(&col("Patient").is_null()), Value::Bool(false));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(ev(&col("Cost").ge(lit(60))), Value::Bool(true));
+        assert_eq!(ev(&col("Patient").lt(lit("Bob"))), Value::Bool(true));
+        assert_eq!(ev(&col("Patient").eq(lit(3))), Value::Bool(false), "cross-type eq is false");
+        assert!(col("Patient").lt(lit(3)).eval(&schema(), &row()).is_err(), "cross-type order errors");
+        let d = Expr::Lit(Value::date("2007-01-01").unwrap());
+        assert_eq!(ev(&col("Date").gt(d)), Value::Bool(true));
+    }
+
+    #[test]
+    fn in_list_and_between() {
+        let e = col("Patient").clone();
+        let inl = Expr::InList(Box::new(e), vec!["Alice".into(), "Bob".into()]);
+        assert_eq!(ev(&inl), Value::Bool(true));
+        let innull = Expr::InList(Box::new(col("Doctor")), vec!["Luis".into()]);
+        assert_eq!(ev(&innull), Value::Null);
+        let btw = Expr::Between(Box::new(col("Cost")), Box::new(lit(10)), Box::new(lit(100)));
+        assert_eq!(ev(&btw), Value::Bool(true));
+        let btw2 = Expr::Between(Box::new(col("Cost")), Box::new(lit(70)), Box::new(lit(100)));
+        assert_eq!(ev(&btw2), Value::Bool(false));
+    }
+
+    #[test]
+    fn functions() {
+        assert_eq!(ev(&Expr::Func(Func::Year, vec![col("Date")])), Value::Int(2007));
+        assert_eq!(ev(&Expr::Func(Func::Quarter, vec![col("Date")])), Value::Int(1));
+        assert_eq!(ev(&Expr::Func(Func::Upper, vec![col("Patient")])), Value::from("ALICE"));
+        assert_eq!(ev(&Expr::Func(Func::Length, vec![col("Patient")])), Value::Int(5));
+        assert_eq!(
+            ev(&Expr::Func(Func::Substr, vec![col("Patient"), lit(1), lit(3)])),
+            Value::from("Ali")
+        );
+        assert_eq!(
+            ev(&Expr::Func(Func::Coalesce, vec![col("Doctor"), lit("unknown")])),
+            Value::from("unknown")
+        );
+        assert_eq!(ev(&Expr::Func(Func::Lower, vec![col("Doctor")])), Value::Null, "null propagates");
+        assert!(matches!(
+            Expr::Func(Func::Substr, vec![col("Patient")]).eval(&schema(), &row()),
+            Err(RelationError::Arity { .. })
+        ));
+    }
+
+    #[test]
+    fn if_and_nullif_masking() {
+        // The type-preserving mask pattern used by the VPD rewriter:
+        // if(Disease-ok, Cost, NULL).
+        let mask = Expr::Func(Func::If, vec![col("Patient").eq(lit("Alice")), col("Cost"), Expr::Lit(Value::Null)]);
+        assert_eq!(ev(&mask), Value::Int(60));
+        assert_eq!(mask.infer_type(&schema()).unwrap(), DataType::Int);
+        let mask = Expr::Func(Func::If, vec![col("Patient").eq(lit("Bob")), col("Cost"), Expr::Lit(Value::Null)]);
+        assert_eq!(ev(&mask), Value::Null);
+        // NULL condition takes the else branch.
+        let mask = Expr::Func(Func::If, vec![col("Doctor").eq(lit("Luis")), col("Cost"), lit(-1)]);
+        assert_eq!(ev(&mask), Value::Int(-1));
+        // if() short-circuits: the untaken branch may even divide by zero.
+        let boom = lit(1).bin(BinOp::Div, lit(0));
+        let safe = Expr::Func(Func::If, vec![lit(true), col("Cost"), boom]);
+        assert_eq!(ev(&safe), Value::Int(60));
+
+        assert_eq!(ev(&Expr::Func(Func::NullIf, vec![col("Cost"), lit(60)])), Value::Null);
+        assert_eq!(ev(&Expr::Func(Func::NullIf, vec![col("Cost"), lit(10)])), Value::Int(60));
+        // NULLIF(a, NULL) = a; NULLIF(NULL, b) = NULL.
+        assert_eq!(ev(&Expr::Func(Func::NullIf, vec![col("Cost"), Expr::Lit(Value::Null)])), Value::Int(60));
+        assert_eq!(ev(&Expr::Func(Func::NullIf, vec![col("Doctor"), lit("x")])), Value::Null);
+        // Round-trips through the parser.
+        let e = parse("if(a = 1, b, nullif(c, 'x'))").unwrap();
+        assert_eq!(parse(&e.to_string()).unwrap(), e);
+    }
+
+    #[test]
+    fn type_inference() {
+        let s = schema();
+        assert_eq!(col("Cost").infer_type(&s).unwrap(), DataType::Int);
+        assert_eq!(col("Cost").bin(BinOp::Div, lit(2)).infer_type(&s).unwrap(), DataType::Float);
+        assert_eq!(col("Cost").bin(BinOp::Add, col("Weight")).infer_type(&s).unwrap(), DataType::Float);
+        assert_eq!(col("Cost").ge(lit(1)).infer_type(&s).unwrap(), DataType::Bool);
+        assert_eq!(Expr::Func(Func::Year, vec![col("Date")]).infer_type(&s).unwrap(), DataType::Int);
+        assert!(col("Missing").infer_type(&s).is_err());
+        assert!(col("Cost").eq(col("Missing")).infer_type(&s).is_err(), "both sides typed");
+    }
+
+    #[test]
+    fn conjuncts_and_conjoin() {
+        let e = col("a").eq(lit(1)).and(col("b").eq(lit(2)).and(col("c").eq(lit(3))));
+        assert_eq!(e.conjuncts().len(), 3);
+        let rebuilt = Expr::conjoin(e.conjuncts().into_iter().cloned());
+        assert_eq!(rebuilt.conjuncts().len(), 3);
+        assert_eq!(Expr::conjoin(std::iter::empty()), Expr::true_lit());
+    }
+
+    #[test]
+    fn columns_used_and_map() {
+        let e = col("Patient").eq(lit("x")).and(Expr::Func(Func::Year, vec![col("Date")]).eq(lit(2007)));
+        let used: Vec<String> = e.columns_used().into_iter().collect();
+        assert_eq!(used, vec!["Date".to_string(), "Patient".to_string()]);
+        let mapped = e.map_columns(&|c| format!("p.{c}"));
+        assert!(mapped.columns_used().contains("p.Patient"));
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = col("Disease").ne(lit("HIV")).and(col("Cost").ge(lit(10)).or(col("Doctor").is_null()));
+        assert_eq!(e.to_string(), "Disease <> 'HIV' AND (Cost >= 10 OR Doctor IS NULL)");
+        let e = Expr::Lit(Value::text("it's"));
+        assert_eq!(e.to_string(), "'it''s'");
+        let e = Expr::Neg(Box::new(col("Cost").bin(BinOp::Add, lit(1))));
+        assert_eq!(e.to_string(), "-(Cost + 1)");
+        let e = Expr::Lit(Value::Float(2.0));
+        assert_eq!(e.to_string(), "2.0");
+    }
+}
+
+#[cfg(test)]
+mod review_fix_tests {
+    use super::*;
+    use bi_types::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::nullable("a", DataType::Int),
+            Column::new("t", DataType::Text),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn in_list_with_null_member_is_three_valued() {
+        let s = schema();
+        let row = vec![Value::Int(5), "x".into()];
+        // Match: TRUE regardless of the NULL member.
+        let e = Expr::InList(Box::new(col("a")), vec![5.into(), Value::Null]);
+        assert_eq!(e.eval(&s, &row).unwrap(), Value::Bool(true));
+        // Non-match with a NULL member: UNKNOWN, so NOT IN is never TRUE.
+        let e = Expr::InList(Box::new(col("a")), vec![7.into(), Value::Null]);
+        assert_eq!(e.eval(&s, &row).unwrap(), Value::Null);
+        assert_eq!(e.clone().not().eval(&s, &row).unwrap(), Value::Null);
+        // Non-match without NULLs stays FALSE.
+        let e = Expr::InList(Box::new(col("a")), vec![7.into()]);
+        assert_eq!(e.eval(&s, &row).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn branch_types_must_unify() {
+        let s = schema();
+        // Divergent branches are a static error now.
+        let bad = Expr::Func(Func::If, vec![lit(true), col("a"), col("t")]);
+        assert!(bad.infer_type(&s).is_err());
+        let bad = Expr::Func(Func::Coalesce, vec![col("a"), col("t")]);
+        assert!(bad.infer_type(&s).is_err());
+        // NULL literals adopt the other branch's type (the mask pattern).
+        let mask = Expr::Func(Func::If, vec![lit(true), col("a"), Expr::Lit(Value::Null)]);
+        assert_eq!(mask.infer_type(&s).unwrap(), DataType::Int);
+        let c = Expr::Func(Func::Coalesce, vec![Expr::Lit(Value::Null), col("a")]);
+        assert_eq!(c.infer_type(&s).unwrap(), DataType::Int);
+        // Int/Float widen.
+        let w = Expr::Func(Func::If, vec![lit(true), col("a"), lit(1.5)]);
+        assert_eq!(w.infer_type(&s).unwrap(), DataType::Float);
+    }
+
+    #[test]
+    fn non_finite_floats_roundtrip_through_the_parser() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let e = Expr::Lit(Value::Float(v));
+            let printed = e.to_string();
+            let back = parse(&printed).unwrap();
+            match back {
+                Expr::Lit(Value::Float(x)) => {
+                    assert_eq!(x.is_nan(), v.is_nan());
+                    if !v.is_nan() {
+                        assert_eq!(x, v);
+                    }
+                }
+                other => panic!("{printed:?} reparsed as {other:?}"),
+            }
+        }
+        assert_eq!(parse("nan").unwrap().to_string(), "nan");
+        assert_eq!(parse("-inf").unwrap().to_string(), "-inf");
+    }
+}

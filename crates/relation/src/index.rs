@@ -1,0 +1,99 @@
+//! Hash indexes over table columns.
+//!
+//! Used by the hash joins in `bi-query`, by ETL entity resolution for
+//! blocking, and by source-level policy lookup (the Fig. 2 `Policies`
+//! metadata table is consulted per patient).
+
+use std::collections::HashMap;
+
+use bi_types::Value;
+
+use crate::error::RelationError;
+use crate::table::Table;
+
+/// An equality index: column value → row positions.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    column: String,
+    map: HashMap<Value, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Builds the index for `column` over `table`. NULLs are not indexed
+    /// (SQL equality never matches NULL).
+    pub fn build(table: &Table, column: &str) -> Result<Self, RelationError> {
+        let c = table.schema().index_of(column)?;
+        let mut map: HashMap<Value, Vec<usize>> = HashMap::new();
+        for (i, row) in table.rows().iter().enumerate() {
+            if !row[c].is_null() {
+                map.entry(row[c].clone()).or_default().push(i);
+            }
+        }
+        Ok(HashIndex { column: column.to_string(), map })
+    }
+
+    /// The indexed column name.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// Row positions whose indexed column equals `v` (empty for NULL).
+    pub fn get(&self, v: &Value) -> &[usize] {
+        if v.is_null() {
+            return &[];
+        }
+        self.map.get(v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct indexed keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_types::{Column, DataType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("Patient", DataType::Text),
+            Column::nullable("Doctor", DataType::Text),
+        ])
+        .unwrap();
+        Table::from_rows(
+            "t",
+            schema,
+            vec![
+                vec!["Alice".into(), "Luis".into()],
+                vec!["Chris".into(), Value::Null],
+                vec!["Alice".into(), "Luis".into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_key() {
+        let t = table();
+        let idx = HashIndex::build(&t, "Patient").unwrap();
+        assert_eq!(idx.get(&"Alice".into()), &[0, 2]);
+        assert_eq!(idx.get(&"Bob".into()), &[] as &[usize]);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.column(), "Patient");
+    }
+
+    #[test]
+    fn nulls_are_not_indexed() {
+        let t = table();
+        let idx = HashIndex::build(&t, "Doctor").unwrap();
+        assert_eq!(idx.get(&Value::Null), &[] as &[usize]);
+        assert_eq!(idx.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert!(HashIndex::build(&table(), "Nope").is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! # bi-relation — in-memory relational engine
+//!
+//! The storage and expression substrate under the whole `plabi` stack.
+//! Data sources, the ETL staging area, the warehouse, and rendered reports
+//! are all [`Table`]s; PLA conditions ("show exam results only for
+//! patients that are not HIV positive", paper §5) are [`expr::Expr`]
+//! trees evaluated against rows.
+//!
+//! Contents:
+//! * [`table`] — [`Table`]: a named, schema-checked grid of rows with
+//!   relational helpers (filter/project/sort/distinct/group);
+//! * [`expr`] — expression AST, SQL-style three-valued evaluation, static
+//!   type inference, a textual parser and a round-trippable printer;
+//! * [`index`] — hash indexes used by joins and policy lookups;
+//! * [`pretty`] — textual rendering of tables in the style of the paper's
+//!   Figs. 2–4;
+//! * [`error`] — the crate error type.
+
+pub mod csv;
+pub mod error;
+pub mod expr;
+pub mod index;
+pub mod pretty;
+pub mod table;
+
+pub use error::RelationError;
+pub use expr::{BinOp, Expr, Func};
+pub use index::HashIndex;
+pub use table::{Row, Table};

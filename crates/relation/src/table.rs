@@ -1,0 +1,361 @@
+//! Named, schema-checked tables.
+
+use std::collections::HashMap;
+
+use bi_types::{Schema, Value};
+
+use crate::error::RelationError;
+use crate::expr::Expr;
+
+/// A row is an ordered list of cell values matching a [`Schema`].
+pub type Row = Vec<Value>;
+
+/// A named relation: schema plus rows.
+///
+/// Every row admitted by [`Table::push_row`] is checked against the schema
+/// (arity, types, nullability), so a `Table` is well-typed by
+/// construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table { name: name.into(), schema, rows: Vec::new() }
+    }
+
+    /// Builds a table from pre-assembled rows, validating each.
+    pub fn from_rows(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: Vec<Row>,
+    ) -> Result<Self, RelationError> {
+        let mut t = Table::new(name, schema);
+        for r in rows {
+            t.push_row(r)?;
+        }
+        Ok(t)
+    }
+
+    /// Table name (used by catalogs and provenance tokens).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the table (ETL staging gives extracts fresh names).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row after validating it against the schema.
+    pub fn push_row(&mut self, row: Row) -> Result<(), RelationError> {
+        self.schema.check_row(&row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// The cell at (`row`, column `name`).
+    pub fn cell(&self, row: usize, name: &str) -> Result<&Value, RelationError> {
+        let c = self.schema.index_of(name)?;
+        Ok(&self.rows[row][c])
+    }
+
+    /// All values of one column, in row order.
+    pub fn column_values(&self, name: &str) -> Result<Vec<Value>, RelationError> {
+        let c = self.schema.index_of(name)?;
+        Ok(self.rows.iter().map(|r| r[c].clone()).collect())
+    }
+
+    /// Rows satisfying `pred` (SQL semantics: NULL ⇒ excluded).
+    pub fn filter(&self, pred: &Expr) -> Result<Table, RelationError> {
+        let mut out = Table::new(self.name.clone(), self.schema.clone());
+        for row in &self.rows {
+            if pred.eval(&self.schema, row)?.as_bool().unwrap_or(false) {
+                out.rows.push(row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Keeps only the named columns, in order.
+    pub fn project(&self, names: &[&str]) -> Result<Table, RelationError> {
+        let schema = self.schema.project(names)?;
+        let idxs: Vec<usize> =
+            names.iter().map(|n| self.schema.index_of(n)).collect::<Result<_, _>>()?;
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        Ok(Table { name: self.name.clone(), schema, rows })
+    }
+
+    /// Sorts by the named columns (all ascending when `desc` is empty;
+    /// otherwise `desc[i]` flips key `i`). Stable.
+    pub fn sort_by(&self, keys: &[&str], desc: &[bool]) -> Result<Table, RelationError> {
+        let idxs: Vec<usize> =
+            keys.iter().map(|n| self.schema.index_of(n)).collect::<Result<_, _>>()?;
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            for (k, &i) in idxs.iter().enumerate() {
+                let ord = a[i].cmp(&b[i]);
+                let ord = if desc.get(k).copied().unwrap_or(false) { ord.reverse() } else { ord };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(Table { name: self.name.clone(), schema: self.schema.clone(), rows })
+    }
+
+    /// Removes duplicate rows, keeping first occurrences.
+    pub fn distinct(&self) -> Table {
+        let mut seen = std::collections::HashSet::new();
+        let rows: Vec<Row> = self.rows.iter().filter(|r| seen.insert((*r).clone())).cloned().collect();
+        Table { name: self.name.clone(), schema: self.schema.clone(), rows }
+    }
+
+    /// Groups row indices by the values of the named columns.
+    ///
+    /// The returned pairs are ordered by first appearance of each key,
+    /// making downstream aggregation deterministic.
+    pub fn group_indices(&self, keys: &[&str]) -> Result<Vec<(Row, Vec<usize>)>, RelationError> {
+        let idxs: Vec<usize> =
+            keys.iter().map(|n| self.schema.index_of(n)).collect::<Result<_, _>>()?;
+        let mut order: Vec<Row> = Vec::new();
+        let mut groups: HashMap<Row, Vec<usize>> = HashMap::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            let key: Row = idxs.iter().map(|&c| row[c].clone()).collect();
+            groups
+                .entry(key.clone())
+                .or_insert_with(|| {
+                    order.push(key);
+                    Vec::new()
+                })
+                .push(i);
+        }
+        Ok(order.into_iter().map(|k| {
+            let v = groups.remove(&k).expect("group key present");
+            (k, v)
+        }).collect())
+    }
+
+    /// Appends all rows of `other` (must be union-compatible).
+    pub fn union_all(&self, other: &Table) -> Result<Table, RelationError> {
+        if !self.schema.union_compatible(other.schema()) {
+            return Err(bi_types::TypeError::SchemaMismatch {
+                reason: format!(
+                    "union of incompatible schemas [{}] and [{}]",
+                    self.schema,
+                    other.schema()
+                ),
+            }
+            .into());
+        }
+        let mut rows = self.rows.clone();
+        rows.extend(other.rows.iter().cloned());
+        // A column of the union is nullable when EITHER input's is —
+        // keeping the left schema verbatim would produce a table whose
+        // own schema rejects its right-side rows on re-validation.
+        let cols = self
+            .schema
+            .columns()
+            .iter()
+            .zip(other.schema().columns())
+            .map(|(l, r)| bi_types::Column {
+                name: l.name.clone(),
+                dtype: l.dtype,
+                nullable: l.nullable || r.nullable,
+            })
+            .collect();
+        let schema = Schema::new(cols)?;
+        Ok(Table { name: self.name.clone(), schema, rows })
+    }
+
+    /// Evaluates `exprs` per row into a new table with the given column
+    /// names (a computed projection: SELECT e1 AS n1, …).
+    pub fn map_rows(
+        &self,
+        items: &[(String, Expr)],
+    ) -> Result<Table, RelationError> {
+        use bi_types::Column;
+        let mut cols = Vec::with_capacity(items.len());
+        for (name, e) in items {
+            let dtype = e.infer_type(&self.schema)?;
+            cols.push(Column::nullable(name.clone(), dtype));
+        }
+        let schema = Schema::new(cols)?;
+        let mut rows = Vec::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let mut out = Vec::with_capacity(items.len());
+            for (_, e) in items {
+                out.push(e.eval(&self.schema, row)?);
+            }
+            rows.push(out);
+        }
+        Ok(Table { name: self.name.clone(), schema, rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use bi_types::{Column, DataType};
+
+    /// The paper's Fig. 2 `Prescriptions` relation, verbatim.
+    pub(crate) fn prescriptions() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("Patient", DataType::Text),
+            Column::nullable("Doctor", DataType::Text),
+            Column::new("Drug", DataType::Text),
+            Column::new("Disease", DataType::Text),
+            Column::new("Date", DataType::Date),
+        ])
+        .unwrap();
+        Table::from_rows(
+            "Prescriptions",
+            schema,
+            vec![
+                vec!["Alice".into(), "Luis".into(), "DH".into(), "HIV".into(), Value::date("12/02/2007").unwrap()],
+                vec!["Chris".into(), Value::Null, "DV".into(), "HIV".into(), Value::date("10/03/2007").unwrap()],
+                vec!["Bob".into(), "Anne".into(), "DR".into(), "asthma".into(), Value::date("10/08/2007").unwrap()],
+                vec!["Math".into(), "Mark".into(), "DM".into(), "diabetes".into(), Value::date("15/10/2007").unwrap()],
+                vec!["Alice".into(), "Luis".into(), "DR".into(), "asthma".into(), Value::date("15/04/2008").unwrap()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn push_row_validates() {
+        let mut t = prescriptions();
+        assert_eq!(t.len(), 5);
+        assert!(t.push_row(vec!["Eve".into()]).is_err());
+        assert!(t
+            .push_row(vec![Value::Null, Value::Null, "D".into(), "flu".into(), Value::date("2008-01-01").unwrap()])
+            .is_err());
+    }
+
+    #[test]
+    fn filter_by_disease() {
+        let t = prescriptions();
+        let hiv = t.filter(&col("Disease").eq(lit("HIV"))).unwrap();
+        assert_eq!(hiv.len(), 2);
+        assert_eq!(hiv.cell(0, "Patient").unwrap(), &Value::from("Alice"));
+    }
+
+    #[test]
+    fn filter_null_predicate_excludes() {
+        let t = prescriptions();
+        // Doctor = 'Luis' is NULL for Chris's row; NULL must exclude.
+        let luis = t.filter(&col("Doctor").eq(lit("Luis"))).unwrap();
+        assert_eq!(luis.len(), 2);
+    }
+
+    #[test]
+    fn project_and_cell() {
+        let t = prescriptions().project(&["Drug", "Patient"]).unwrap();
+        assert_eq!(t.schema().names(), vec!["Drug", "Patient"]);
+        assert_eq!(t.cell(1, "Drug").unwrap(), &Value::from("DV"));
+        assert!(t.cell(0, "Disease").is_err());
+    }
+
+    #[test]
+    fn sort_multi_key() {
+        let t = prescriptions().sort_by(&["Patient", "Date"], &[false, true]).unwrap();
+        assert_eq!(t.cell(0, "Patient").unwrap(), &Value::from("Alice"));
+        // Alice's later prescription first (Date descending).
+        assert_eq!(t.cell(0, "Drug").unwrap(), &Value::from("DR"));
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let t = prescriptions().project(&["Disease"]).unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.distinct().len(), 3);
+    }
+
+    #[test]
+    fn grouping_is_deterministic() {
+        let t = prescriptions();
+        let groups = t.group_indices(&["Disease"]).unwrap();
+        let keys: Vec<String> = groups.iter().map(|(k, _)| k[0].to_string()).collect();
+        assert_eq!(keys, vec!["HIV", "asthma", "diabetes"]);
+        assert_eq!(groups[0].1, vec![0, 1]);
+    }
+
+    #[test]
+    fn union_all_checks_compatibility() {
+        let t = prescriptions();
+        let u = t.union_all(&t).unwrap();
+        assert_eq!(u.len(), 10);
+        let p = t.project(&["Patient"]).unwrap();
+        assert!(t.union_all(&p).is_err());
+    }
+
+    #[test]
+    fn map_rows_computes() {
+        let t = prescriptions();
+        let out = t
+            .map_rows(&[
+                ("who".to_string(), col("Patient")),
+                ("year".to_string(), crate::expr::Expr::Func(crate::expr::Func::Year, vec![col("Date")])),
+            ])
+            .unwrap();
+        assert_eq!(out.schema().names(), vec!["who", "year"]);
+        assert_eq!(out.cell(0, "year").unwrap(), &Value::Int(2007));
+        assert_eq!(out.cell(4, "year").unwrap(), &Value::Int(2008));
+    }
+}
+
+#[cfg(test)]
+mod union_nullability_tests {
+    use super::*;
+    use bi_types::{Column, DataType, Schema};
+
+    #[test]
+    fn union_all_merges_nullability_so_result_revalidates() {
+        let left = Table::from_rows(
+            "L",
+            Schema::new(vec![Column::new("a", DataType::Text)]).unwrap(),
+            vec![vec!["x".into()]],
+        )
+        .unwrap();
+        let right = Table::from_rows(
+            "R",
+            Schema::new(vec![Column::nullable("a", DataType::Text)]).unwrap(),
+            vec![vec![Value::Null]],
+        )
+        .unwrap();
+        let u = left.union_all(&right).unwrap();
+        assert!(u.schema().column("a").unwrap().nullable);
+        // The union's own schema must accept every row it contains.
+        Table::from_rows("U", u.schema().clone(), u.rows().to_vec()).unwrap();
+    }
+}

@@ -1,0 +1,459 @@
+//! The compliance gate (paper §5).
+//!
+//! "Each time a new report is created or an existing one is modified,
+//! PLAs on the meta-reports are used to determine if the new report is
+//! privacy-compliant." [`check_report`] runs that gate:
+//!
+//! 1. **Coverage** — find an approved meta-report the report is
+//!    *derivable* from (conservative containment). A covered report
+//!    inherits the meta-report's elicited PLAs; an uncovered one needs a
+//!    new elicitation round with the source owners (the instability cost
+//!    Fig. 5 charges to report-level PLAs).
+//! 2. **Rule check** — statically check the report plan against the
+//!    combined policy of the covering meta-report's annotations (plus
+//!    any externally supplied documents), yielding violations and
+//!    run-time obligations.
+
+use std::collections::BTreeMap;
+
+use bi_pla::{check_plan, CombinedPolicy, Obligation, Violation};
+use bi_query::contain::{Derivation, NotDerivable, RefIntegrity};
+use bi_query::Catalog;
+use bi_types::{Date, ReportId, SourceId};
+
+use crate::meta::MetaReport;
+use crate::spec::ReportSpec;
+
+/// How (whether) a report is covered by the approved meta-reports.
+#[derive(Debug)]
+pub enum Coverage {
+    /// Derivable from this meta-report; the derivation is the proof.
+    Covered { meta: ReportId, derivation: Derivation },
+    /// No meta-report covers it: a fresh elicitation is required.
+    NotCovered { reasons: Vec<(ReportId, NotDerivable)> },
+}
+
+impl Coverage {
+    /// True when some meta-report covers the report.
+    pub fn is_covered(&self) -> bool {
+        matches!(self, Coverage::Covered { .. })
+    }
+}
+
+/// Outcome of the compliance gate.
+#[derive(Debug)]
+pub struct ComplianceResult {
+    pub coverage: Coverage,
+    pub violations: Vec<Violation>,
+    pub obligations: Vec<Obligation>,
+}
+
+impl ComplianceResult {
+    /// Compliant = covered by a meta-report and no rule violations.
+    pub fn is_compliant(&self) -> bool {
+        self.coverage.is_covered() && self.violations.is_empty()
+    }
+}
+
+/// A pre-normalized view of the approved meta-reports: normalizing each
+/// meta-report is done once here instead of on every gate run. Rebuild
+/// the index when the approved set changes.
+pub struct MetaIndex<'a> {
+    entries: Vec<(&'a MetaReport, bi_query::contain::Norm)>,
+    /// Approved meta-reports whose plan shape the normalizer rejects;
+    /// they can never cover anything and are reported once.
+    pub unsupported: Vec<(ReportId, NotDerivable)>,
+}
+
+impl<'a> MetaIndex<'a> {
+    /// Normalizes every *approved* meta-report.
+    pub fn build(metas: &'a [MetaReport], cat: &Catalog) -> Result<Self, bi_query::QueryError> {
+        let mut entries = Vec::new();
+        let mut unsupported = Vec::new();
+        for m in metas.iter().filter(|m| m.is_approved()) {
+            match bi_query::contain::normalize(&m.plan, cat) {
+                Ok(n) => entries.push((m, n)),
+                Err(bi_query::contain::NormError::Shape(s)) => unsupported.push((m.id.clone(), s)),
+                Err(bi_query::contain::NormError::Query(e)) => return Err(e),
+            }
+        }
+        Ok(MetaIndex { entries, unsupported })
+    }
+
+    /// Finds the first covering meta-report for a plan. The plan is
+    /// normalized once; each indexed meta-report re-uses its own
+    /// pre-computed normal form.
+    pub fn cover(
+        &self,
+        plan: &bi_query::Plan,
+        cat: &Catalog,
+        refs: &RefIntegrity,
+    ) -> Result<Coverage, bi_query::QueryError> {
+        let mut reasons: Vec<(ReportId, NotDerivable)> = self.unsupported.clone();
+        let report_norm = match bi_query::contain::normalize(plan, cat) {
+            Ok(n) => n,
+            Err(bi_query::contain::NormError::Shape(s)) => {
+                // The report itself is outside the SPJA fragment: no
+                // meta-report can cover it.
+                for (m, _) in &self.entries {
+                    reasons.push((m.id.clone(), s.clone()));
+                }
+                return Ok(Coverage::NotCovered { reasons });
+            }
+            Err(bi_query::contain::NormError::Query(e)) => return Err(e),
+        };
+        for (m, norm) in &self.entries {
+            match bi_query::contain::derive_prepared(&report_norm, norm, refs) {
+                Ok(d) => return Ok(Coverage::Covered { meta: m.id.clone(), derivation: d }),
+                Err(n) => reasons.push((m.id.clone(), n)),
+            }
+        }
+        Ok(Coverage::NotCovered { reasons })
+    }
+
+    /// The annotations of the meta-report with the given id.
+    pub fn annotations_of(&self, id: &ReportId) -> &[bi_pla::PlaDocument] {
+        self.entries
+            .iter()
+            .find(|(m, _)| &m.id == id)
+            .map(|(m, _)| m.annotations.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// Runs the gate for `report` against the approved `metas`.
+///
+/// `extra_docs` are PLA documents elicited elsewhere (e.g. source-level
+/// agreements that still bind); the covering meta-report's annotations
+/// are combined with them.
+pub fn check_report(
+    report: &ReportSpec,
+    metas: &[MetaReport],
+    cat: &Catalog,
+    refs: &RefIntegrity,
+    extra_docs: &[bi_pla::PlaDocument],
+    table_source: &BTreeMap<String, SourceId>,
+    today: Date,
+) -> Result<ComplianceResult, bi_query::QueryError> {
+    // 1. Coverage (meta-reports and the report each normalized once).
+    let index = MetaIndex::build(metas, cat)?;
+    let coverage = index.cover(&report.plan, cat, refs)?;
+
+    // 2. Rule check against the combined policy. EVERY approved
+    //    meta-report's annotations bind — agreements elicited on one
+    //    meta-report are commitments to the source owner, not scoped to
+    //    reports that happen to be covered by that particular view.
+    let mut docs: Vec<bi_pla::PlaDocument> = extra_docs.to_vec();
+    for m in metas.iter().filter(|m| m.is_approved()) {
+        docs.extend(m.annotations.iter().cloned());
+    }
+    let policy = CombinedPolicy::combine(&docs);
+    let outcome = check_plan(
+        &report.plan,
+        cat,
+        &policy,
+        &report.consumers,
+        table_source,
+        report.purpose.as_deref(),
+        today,
+    )?;
+
+    Ok(ComplianceResult {
+        coverage,
+        violations: outcome.violations,
+        obligations: outcome.obligations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_pla::{PlaDocument, PlaLevel, PlaRule};
+    use bi_query::plan::{scan, AggItem};
+    use bi_relation::expr::{col, lit};
+    use bi_relation::Table;
+    use bi_types::{Column, DataType, RoleId, Schema};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            Table::from_rows(
+                "FactPrescriptions",
+                Schema::new(vec![
+                    Column::new("Patient", DataType::Text),
+                    Column::new("Drug", DataType::Text),
+                    Column::new("Disease", DataType::Text),
+                ])
+                .unwrap(),
+                vec![
+                    vec!["Alice".into(), "DH".into(), "HIV".into()],
+                    vec!["Bob".into(), "DR".into(), "asthma".into()],
+                    vec!["Math".into(), "DM".into(), "diabetes".into()],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn meta() -> MetaReport {
+        MetaReport::new(
+            "m-presc",
+            "Prescription universe",
+            scan("FactPrescriptions").project_cols(&["Patient", "Drug", "Disease"]),
+        )
+        .with_annotation(
+            PlaDocument::new("hospital-m1", "hospital", PlaLevel::MetaReport).with_rule(
+                PlaRule::AttributeAccess {
+                    attribute: bi_pla::AttrRef::new("FactPrescriptions", "Patient"),
+                    allowed_roles: [RoleId::new("auditor")].into_iter().collect(),
+                    condition: None,
+                },
+            ),
+        )
+        .approved("hospital")
+    }
+
+    fn table_source() -> BTreeMap<String, SourceId> {
+        [("FactPrescriptions".to_string(), SourceId::new("hospital"))].into_iter().collect()
+    }
+
+    fn today() -> Date {
+        Date::new(2008, 6, 1).unwrap()
+    }
+
+    #[test]
+    fn covered_and_compliant() {
+        let report = ReportSpec::new(
+            "r1",
+            "Drug counts",
+            scan("FactPrescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]),
+            [RoleId::new("analyst")],
+        );
+        let res =
+            check_report(&report, &[meta()], &catalog(), &RefIntegrity::new(), &[], &table_source(), today())
+                .unwrap();
+        assert!(res.coverage.is_covered());
+        assert!(res.is_compliant(), "violations: {:?}", res.violations);
+    }
+
+    #[test]
+    fn covered_but_violating_roles() {
+        // Report shows Patient to analysts, but the meta-report's PLA
+        // grants Patient only to auditors.
+        let report = ReportSpec::new(
+            "r2",
+            "Patients",
+            scan("FactPrescriptions").project_cols(&["Patient", "Drug"]),
+            [RoleId::new("analyst")],
+        );
+        let res =
+            check_report(&report, &[meta()], &catalog(), &RefIntegrity::new(), &[], &table_source(), today())
+                .unwrap();
+        assert!(res.coverage.is_covered());
+        assert!(!res.is_compliant());
+        assert!(res.violations.iter().any(|v| v.kind == "attribute-access"));
+        // The same report for auditors is fine.
+        let report = ReportSpec::new(
+            "r2b",
+            "Patients",
+            scan("FactPrescriptions").project_cols(&["Patient", "Drug"]),
+            [RoleId::new("auditor")],
+        );
+        let res =
+            check_report(&report, &[meta()], &catalog(), &RefIntegrity::new(), &[], &table_source(), today())
+                .unwrap();
+        assert!(res.is_compliant());
+    }
+
+    #[test]
+    fn uncovered_reports_need_elicitation() {
+        // The meta-report filters nothing, but this report needs a column
+        // the meta does not expose? It exposes all three... use a meta
+        // restricted to non-HIV and a report over everything.
+        let restricted_meta = MetaReport::new(
+            "m-nonhiv",
+            "Non-HIV universe",
+            scan("FactPrescriptions")
+                .filter(col("Disease").ne(lit("HIV")))
+                .project_cols(&["Patient", "Drug"]),
+        )
+        .approved("hospital");
+        let report = ReportSpec::new(
+            "r3",
+            "All patients",
+            scan("FactPrescriptions").project_cols(&["Patient"]),
+            [RoleId::new("auditor")],
+        );
+        let res = check_report(
+            &report,
+            &[restricted_meta],
+            &catalog(),
+            &RefIntegrity::new(),
+            &[],
+            &table_source(),
+            today(),
+        )
+        .unwrap();
+        match &res.coverage {
+            Coverage::NotCovered { reasons } => {
+                assert_eq!(reasons.len(), 1);
+                assert!(matches!(reasons[0].1, NotDerivable::MetaMoreRestrictive { .. }));
+            }
+            other => panic!("expected NotCovered, got {other:?}"),
+        }
+        assert!(!res.is_compliant());
+    }
+
+    #[test]
+    fn unapproved_metas_do_not_cover() {
+        let mut m = meta();
+        m.approved_by.clear();
+        let report = ReportSpec::new(
+            "r4",
+            "Drugs",
+            scan("FactPrescriptions").project_cols(&["Drug"]),
+            [RoleId::new("auditor")],
+        );
+        let res =
+            check_report(&report, &[m], &catalog(), &RefIntegrity::new(), &[], &table_source(), today())
+                .unwrap();
+        assert!(!res.coverage.is_covered());
+    }
+
+    #[test]
+    fn extra_source_docs_still_bind() {
+        // A source-level retention rule binds even for covered reports.
+        let doc = PlaDocument::new("src", "hospital", PlaLevel::Source).with_rule(
+            PlaRule::AggregationThreshold { table: "FactPrescriptions".into(), min_group_size: 2 },
+        );
+        let report = ReportSpec::new(
+            "r5",
+            "Raw drugs",
+            scan("FactPrescriptions").project_cols(&["Drug"]),
+            [RoleId::new("auditor")],
+        );
+        let res =
+            check_report(&report, &[meta()], &catalog(), &RefIntegrity::new(), &[doc], &table_source(), today())
+                .unwrap();
+        assert!(res.coverage.is_covered());
+        assert!(res.violations.iter().any(|v| v.kind == "aggregation-threshold"));
+    }
+
+    #[test]
+    fn first_covering_meta_wins() {
+        let wide = meta();
+        let narrow = MetaReport::new(
+            "m-narrow",
+            "Drugs only",
+            scan("FactPrescriptions").project_cols(&["Drug"]),
+        )
+        .approved("hospital");
+        let report = ReportSpec::new(
+            "r6",
+            "Drugs",
+            scan("FactPrescriptions").project_cols(&["Drug"]),
+            [RoleId::new("auditor")],
+        );
+        // Order matters: the narrow meta listed first covers it first.
+        let res = check_report(
+            &report,
+            &[narrow, wide],
+            &catalog(),
+            &RefIntegrity::new(),
+            &[],
+            &table_source(),
+            today(),
+        )
+        .unwrap();
+        match &res.coverage {
+            Coverage::Covered { meta, .. } => assert_eq!(meta.as_str(), "m-narrow"),
+            other => panic!("expected coverage, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod meta_index_tests {
+    use super::*;
+    use bi_query::plan::{scan, AggItem};
+    use bi_relation::Table;
+    use bi_types::{Column, DataType, RoleId, Schema};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            Table::from_rows(
+                "Fact",
+                Schema::new(vec![
+                    Column::new("Drug", DataType::Text),
+                    Column::new("Disease", DataType::Text),
+                ])
+                .unwrap(),
+                vec![vec!["DH".into(), "HIV".into()], vec!["DR".into(), "asthma".into()]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat
+    }
+
+    #[test]
+    fn index_matches_unindexed_gate() {
+        let cat = catalog();
+        let metas = vec![
+            MetaReport::new("m-narrow", "drugs", scan("Fact").project_cols(&["Drug"]))
+                .approved("hospital"),
+            MetaReport::new("m-wide", "all", scan("Fact").project_cols(&["Drug", "Disease"]))
+                .approved("hospital"),
+            MetaReport::new("m-unapproved", "ghost", scan("Fact")),
+        ];
+        let idx = MetaIndex::build(&metas, &cat).unwrap();
+        assert!(idx.unsupported.is_empty());
+
+        let report = scan("Fact").aggregate(vec!["Disease".into()], vec![AggItem::count_star("n")]);
+        let cov = idx.cover(&report, &cat, &RefIntegrity::new()).unwrap();
+        match &cov {
+            Coverage::Covered { meta, .. } => assert_eq!(meta.as_str(), "m-wide"),
+            other => panic!("expected coverage, got {other:?}"),
+        }
+        // Same verdict as the unindexed path.
+        let spec = ReportSpec::new("r", "r", report, [RoleId::new("analyst")]);
+        let full = check_report(
+            &spec,
+            &metas,
+            &cat,
+            &RefIntegrity::new(),
+            &[],
+            &BTreeMap::new(),
+            Date::new(2008, 7, 1).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(cov.is_covered(), full.coverage.is_covered());
+
+        // Uncoverable plan reports reasons from every indexed meta.
+        let weird = scan("Fact").project_cols(&["Drug"]).union(scan("Fact").project_cols(&["Drug"]));
+        match idx.cover(&weird, &cat, &RefIntegrity::new()).unwrap() {
+            Coverage::NotCovered { reasons } => assert!(!reasons.is_empty()),
+            other => panic!("expected NotCovered, got {other:?}"),
+        }
+        // Annotation lookup by id.
+        assert!(idx.annotations_of(&ReportId::new("m-wide")).is_empty());
+        assert!(idx.annotations_of(&ReportId::new("nope")).is_empty());
+    }
+
+    #[test]
+    fn unsupported_metas_surface_once() {
+        let cat = catalog();
+        let metas = vec![
+            MetaReport::new("m-union", "u",
+                scan("Fact").project_cols(&["Drug"]).union(scan("Fact").project_cols(&["Drug"])))
+            .approved("hospital"),
+        ];
+        let idx = MetaIndex::build(&metas, &cat).unwrap();
+        assert_eq!(idx.unsupported.len(), 1);
+        let cov = idx.cover(&scan("Fact"), &cat, &RefIntegrity::new()).unwrap();
+        assert!(!cov.is_covered());
+    }
+}

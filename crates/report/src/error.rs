@@ -1,0 +1,89 @@
+//! Errors for the report layer.
+
+use std::fmt;
+
+use bi_pla::Violation;
+use bi_query::QueryError;
+
+/// Report-layer failures.
+#[derive(Debug)]
+pub enum ReportError {
+    /// Underlying query error.
+    Query(QueryError),
+    /// Rendering refused: the report violates PLAs.
+    NonCompliant { violations: Vec<Violation> },
+    /// Anonymization obligation could not be discharged (e.g. a
+    /// generalization hierarchy is missing for an attribute).
+    MissingHierarchy { attribute: String },
+    /// Anonymization failed.
+    Anon(bi_anonymize::AnonError),
+    /// Unknown report id.
+    UnknownReport { id: String },
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Query(e) => write!(f, "{e}"),
+            ReportError::NonCompliant { violations } => {
+                write!(f, "report is not PLA-compliant ({} violation(s)): ", violations.len())?;
+                for (i, v) in violations.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("; ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+            ReportError::MissingHierarchy { attribute } => {
+                write!(f, "no generalization hierarchy registered for {attribute}")
+            }
+            ReportError::Anon(e) => write!(f, "{e}"),
+            ReportError::UnknownReport { id } => write!(f, "unknown report {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<QueryError> for ReportError {
+    fn from(e: QueryError) -> Self {
+        ReportError::Query(e)
+    }
+}
+
+impl From<bi_relation::RelationError> for ReportError {
+    fn from(e: bi_relation::RelationError) -> Self {
+        ReportError::Query(QueryError::Relation(e))
+    }
+}
+
+impl From<bi_types::TypeError> for ReportError {
+    fn from(e: bi_types::TypeError) -> Self {
+        ReportError::Query(QueryError::Relation(bi_relation::RelationError::Type(e)))
+    }
+}
+
+impl From<bi_anonymize::AnonError> for ReportError {
+    fn from(e: bi_anonymize::AnonError) -> Self {
+        ReportError::Anon(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = ReportError::NonCompliant {
+            violations: vec![Violation {
+                kind: "attribute-access".into(),
+                description: "no".into(),
+                subject: "T.c".into(),
+            }],
+        };
+        assert!(e.to_string().contains("attribute-access"));
+        assert!(ReportError::MissingHierarchy { attribute: "T.c".into() }.to_string().contains("T.c"));
+    }
+}

@@ -1,0 +1,486 @@
+//! Meta-report synthesis (the §5 design challenge).
+//!
+//! "One of the main challenges in the development of meta-reports … is
+//! the identification and implementation of a minimal yet exhaustive set
+//! of meta-reports" at "an adequate level of granularity". Given a report
+//! portfolio, [`synthesize_meta_reports`]:
+//!
+//! 1. normalizes each report to its SPJA footprint (tables, join pairs,
+//!    referenced base columns);
+//! 2. clusters reports by footprint; a [`GranularityKnob`] controls how
+//!    aggressively clusters merge (1.0 ⇒ one meta-report per distinct
+//!    footprint, 0.0 ⇒ one universe-wide meta-report — "the data
+//!    warehouse can be viewed as a particularly complex case of
+//!    meta-reports");
+//! 3. emits one *raw wide view* per cluster: the joined base tables
+//!    projecting every referenced column. Raw views cover aggregated
+//!    member reports through the containment checker's re-aggregation
+//!    path, so the generated set provably covers its portfolio (E6
+//!    asserts this).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bi_query::contain::{normalize, NormError, OutKind, RefIntegrity};
+use bi_query::plan::{scan, Plan};
+use bi_query::Catalog;
+use bi_relation::expr::col;
+use bi_types::ReportId;
+
+use crate::meta::MetaReport;
+use crate::spec::ReportSpec;
+
+/// How close the generated meta-reports sit to the warehouse (0.0) or
+/// the reports (1.0): clusters merge while the Jaccard similarity of
+/// their base-table sets is ≥ `merge_overlap` *and* their join pairs
+/// agree on shared tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GranularityKnob {
+    pub merge_overlap: f64,
+}
+
+impl GranularityKnob {
+    /// One meta-report per distinct footprint.
+    pub fn per_footprint() -> Self {
+        GranularityKnob { merge_overlap: 1.0 }
+    }
+
+    /// A single universe meta-report (when join-compatible).
+    pub fn universe() -> Self {
+        GranularityKnob { merge_overlap: 0.0 }
+    }
+}
+
+/// The synthesis outcome.
+#[derive(Debug)]
+pub struct SynthesisOutcome {
+    pub metas: Vec<MetaReport>,
+    /// Reports whose plan shape the normalizer does not support; they
+    /// cannot be covered and need individual elicitation.
+    pub unsupported: Vec<ReportId>,
+}
+
+#[derive(Debug, Clone)]
+struct Cluster {
+    tables: BTreeSet<String>,
+    pairs: BTreeSet<(String, String)>,
+    /// Base-qualified columns any member references.
+    columns: BTreeSet<(String, String)>,
+    members: Vec<ReportId>,
+    /// Distinct member table footprints — merging must keep each
+    /// FK-prunable from the merged table set, or coverage breaks.
+    member_footprints: Vec<BTreeSet<String>>,
+}
+
+impl Cluster {
+    fn jaccard(&self, other: &Cluster) -> f64 {
+        let inter = self.tables.intersection(&other.tables).count() as f64;
+        let union = self.tables.union(&other.tables).count() as f64;
+        if union == 0.0 {
+            return 1.0;
+        }
+        inter / union
+    }
+
+    /// Join pairs must agree on shared tables, or merging would produce
+    /// a meta-report more restrictive than some member.
+    fn pairs_compatible(&self, other: &Cluster) -> bool {
+        let shared: BTreeSet<&String> = self.tables.intersection(&other.tables).collect();
+        let within_shared = |pairs: &BTreeSet<(String, String)>| -> BTreeSet<(String, String)> {
+            pairs
+                .iter()
+                .filter(|(a, b)| {
+                    let ta = a.split_once('.').map(|(t, _)| t).unwrap_or("");
+                    let tb = b.split_once('.').map(|(t, _)| t).unwrap_or("");
+                    shared.contains(&ta.to_string()) && shared.contains(&tb.to_string())
+                })
+                .cloned()
+                .collect()
+        };
+        within_shared(&self.pairs) == within_shared(&other.pairs)
+    }
+
+    fn merge(&mut self, other: Cluster) {
+        self.tables.extend(other.tables);
+        self.pairs.extend(other.pairs);
+        self.columns.extend(other.columns);
+        self.members.extend(other.members);
+        for fp in other.member_footprints {
+            if !self.member_footprints.contains(&fp) {
+                self.member_footprints.push(fp);
+            }
+        }
+    }
+
+    /// Would every member of both clusters still be covered after a
+    /// merge? Each member footprint must be reachable from the merged
+    /// table set by lossless FK pruning of the extra tables.
+    fn merge_preserves_coverage(&self, other: &Cluster, refs: &RefIntegrity) -> bool {
+        let tables: BTreeSet<String> = self.tables.union(&other.tables).cloned().collect();
+        let pairs: BTreeSet<(String, String)> = self.pairs.union(&other.pairs).cloned().collect();
+        let empty = BTreeSet::new();
+        self.member_footprints
+            .iter()
+            .chain(other.member_footprints.iter())
+            .all(|fp| {
+                let (kept, _) =
+                    bi_query::contain::prune_extra_tables(&tables, &pairs, fp, &empty, refs);
+                &kept == fp
+            })
+    }
+}
+
+/// Base-qualified columns referenced anywhere in a normalized report.
+fn referenced_columns(n: &bi_query::contain::Norm) -> BTreeSet<(String, String)> {
+    let mut cols: BTreeSet<(String, String)> = BTreeSet::new();
+    let add_expr = |e: &bi_relation::Expr, cols: &mut BTreeSet<(String, String)>| {
+        for c in e.columns_used() {
+            if let Some((t, cc)) = c.split_once('.') {
+                cols.insert((t.to_string(), cc.to_string()));
+            }
+        }
+    };
+    for o in &n.outputs {
+        match &o.kind {
+            OutKind::Plain(e) => add_expr(e, &mut cols),
+            OutKind::Agg(_, Some(a)) => add_expr(a, &mut cols),
+            OutKind::Agg(_, None) => {}
+        }
+    }
+    for f in &n.filters {
+        add_expr(f, &mut cols);
+    }
+    if let Some(g) = &n.grain {
+        for e in g {
+            add_expr(e, &mut cols);
+        }
+    }
+    for (a, b) in &n.join_pairs {
+        for q in [a, b] {
+            if let Some((t, c)) = q.split_once('.') {
+                cols.insert((t.to_string(), c.to_string()));
+            }
+        }
+    }
+    cols
+}
+
+/// Builds the wide raw view for one cluster: per-table projections of
+/// the needed columns (renamed `table_column` to avoid clashes), joined
+/// along the cluster's pairs. Returns one plan per connected component.
+fn build_wide_plans(cluster: &Cluster) -> Vec<Plan> {
+    // Columns needed per table: referenced ∪ join-key columns.
+    let mut per_table: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (t, c) in &cluster.columns {
+        per_table.entry(t.as_str()).or_default().insert(c.as_str());
+    }
+    for t in &cluster.tables {
+        per_table.entry(t.as_str()).or_default();
+    }
+
+    let projected = |t: &str| -> Plan {
+        let cols = per_table.get(t).cloned().unwrap_or_default();
+        let items: Vec<(String, bi_relation::Expr)> = cols
+            .iter()
+            .map(|c| (format!("{t}_{c}"), col(*c)))
+            .collect();
+        if items.is_empty() {
+            scan(t)
+        } else {
+            scan(t).project(items)
+        }
+    };
+
+    // Connected components over tables via pairs.
+    let mut remaining: BTreeSet<&str> = cluster.tables.iter().map(String::as_str).collect();
+    let table_of = |q: &str| q.split_once('.').map(|(t, _)| t.to_string()).unwrap_or_default();
+    let mut plans = Vec::new();
+    while let Some(&start) = remaining.iter().next() {
+        remaining.remove(start);
+        let mut component: Vec<String> = vec![start.to_string()];
+        let mut plan = projected(start);
+        let mut used_pairs: BTreeSet<&(String, String)> = BTreeSet::new();
+        loop {
+            // Find a pair connecting the component to a remaining table.
+            let next = cluster.pairs.iter().find(|p| {
+                if used_pairs.contains(p) {
+                    return false;
+                }
+                let (ta, tb) = (table_of(&p.0), table_of(&p.1));
+                (component.contains(&ta) && remaining.contains(tb.as_str()))
+                    || (component.contains(&tb) && remaining.contains(ta.as_str()))
+            });
+            let Some(pair) = next else { break };
+            used_pairs.insert(pair);
+            let (ta, tb) = (table_of(&pair.0), table_of(&pair.1));
+            let (inside_q, outside_q, outside_t) = if component.contains(&ta) {
+                (&pair.0, &pair.1, tb)
+            } else {
+                (&pair.1, &pair.0, ta)
+            };
+            // Qualified names map to the renamed projection columns.
+            let rename = |q: &str| q.replace('.', "_");
+            plan = plan.join(
+                projected(&outside_t),
+                vec![(rename(inside_q), rename(outside_q))],
+                format!("j{}", component.len()),
+            );
+            remaining.remove(outside_t.as_str());
+            component.push(outside_t);
+        }
+        plans.push(plan);
+    }
+    plans
+}
+
+/// Synthesizes meta-reports covering the portfolio.
+pub fn synthesize_meta_reports(
+    reports: &[ReportSpec],
+    cat: &Catalog,
+    refs: &RefIntegrity,
+    knob: GranularityKnob,
+) -> Result<SynthesisOutcome, bi_query::QueryError> {
+    // 1. Normalize.
+    let mut clusters: Vec<Cluster> = Vec::new();
+    let mut unsupported = Vec::new();
+    for r in reports {
+        let n = match normalize(&r.plan, cat) {
+            Ok(n) => n,
+            Err(NormError::Shape(_)) => {
+                unsupported.push(r.id.clone());
+                continue;
+            }
+            Err(NormError::Query(e)) => return Err(e),
+        };
+        let c = Cluster {
+            tables: n.tables.clone(),
+            pairs: n.join_pairs.clone(),
+            columns: referenced_columns(&n),
+            members: vec![r.id.clone()],
+            member_footprints: vec![n.tables.clone()],
+        };
+        // Exact-footprint grouping first.
+        match clusters
+            .iter_mut()
+            .find(|x| x.tables == c.tables && x.pairs == c.pairs)
+        {
+            Some(x) => x.merge(c),
+            None => clusters.push(c),
+        }
+    }
+
+    // 2. Agglomerative merging under the knob.
+    loop {
+        let mut best: Option<(usize, usize)> = None;
+        'outer: for i in 0..clusters.len() {
+            for j in i + 1..clusters.len() {
+                if clusters[i].jaccard(&clusters[j]) >= knob.merge_overlap
+                    && clusters[i].pairs_compatible(&clusters[j])
+                    && clusters[i].merge_preserves_coverage(&clusters[j], refs)
+                {
+                    best = Some((i, j));
+                    break 'outer;
+                }
+            }
+        }
+        match best {
+            Some((i, j)) => {
+                let c = clusters.remove(j);
+                clusters[i].merge(c);
+            }
+            None => break,
+        }
+    }
+
+    // 3. Emit wide views (one per connected component per cluster).
+    let mut metas = Vec::new();
+    for (ci, cluster) in clusters.iter().enumerate() {
+        for (pi, plan) in build_wide_plans(cluster).into_iter().enumerate() {
+            let id = format!("meta-{ci}-{pi}");
+            let tables: Vec<&str> = cluster.tables.iter().map(String::as_str).collect();
+            metas.push(MetaReport::new(
+                id,
+                format!("Universe over {}", tables.join(" ⋈ ")),
+                plan,
+            ));
+        }
+    }
+    Ok(SynthesisOutcome { metas, unsupported })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_query::contain::{derive, RefIntegrity};
+    use bi_query::plan::AggItem;
+    use bi_relation::expr::lit;
+    use bi_relation::Table;
+    use bi_types::{Column, DataType, RoleId, Schema};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table(
+            Table::from_rows(
+                "Fact",
+                Schema::new(vec![
+                    Column::new("Patient", DataType::Text),
+                    Column::new("Drug", DataType::Text),
+                    Column::new("Cost", DataType::Int),
+                ])
+                .unwrap(),
+                vec![
+                    vec!["Alice".into(), "DH".into(), 60.into()],
+                    vec!["Bob".into(), "DR".into(), 10.into()],
+                    vec!["Alice".into(), "DR".into(), 10.into()],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat.add_table(
+            Table::from_rows(
+                "DimDrug",
+                Schema::new(vec![
+                    Column::new("Key", DataType::Text),
+                    Column::new("Family", DataType::Text),
+                ])
+                .unwrap(),
+                vec![
+                    vec!["DH".into(), "antiviral".into()],
+                    vec!["DR".into(), "respiratory".into()],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn refs() -> RefIntegrity {
+        let mut r = RefIntegrity::new();
+        r.add_fk("Fact", "Drug", "DimDrug", "Key");
+        r
+    }
+
+    fn portfolio() -> Vec<ReportSpec> {
+        let roles = [RoleId::new("analyst")];
+        vec![
+            ReportSpec::new(
+                "r-drug-count",
+                "Counts per drug",
+                scan("Fact").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]),
+                roles.clone(),
+            ),
+            ReportSpec::new(
+                "r-patient-spend",
+                "Spend per patient",
+                scan("Fact").aggregate(
+                    vec!["Patient".into()],
+                    vec![AggItem::new("spend", bi_query::AggFunc::Sum, "Cost")],
+                ),
+                roles.clone(),
+            ),
+            ReportSpec::new(
+                "r-family",
+                "Counts per family",
+                scan("Fact")
+                    .join(scan("DimDrug"), vec![("Drug".into(), "Key".into())], "d")
+                    .aggregate(vec!["Family".into()], vec![AggItem::count_star("n")]),
+                roles.clone(),
+            ),
+            ReportSpec::new(
+                "r-cheap",
+                "Cheap drugs",
+                scan("Fact").filter(col("Cost").lt(lit(50))).project_cols(&["Drug", "Cost"]),
+                roles,
+            ),
+        ]
+    }
+
+    #[test]
+    fn per_footprint_covers_every_report() {
+        let cat = catalog();
+        let out =
+            synthesize_meta_reports(&portfolio(), &cat, &refs(), GranularityKnob::per_footprint()).unwrap();
+        assert!(out.unsupported.is_empty());
+        // Footprints: {Fact} (three reports) and {Fact, DimDrug}.
+        assert_eq!(out.metas.len(), 2);
+        for r in portfolio() {
+            let covered = out.metas.iter().any(|m| derive(&r.plan, &m.plan, &cat, &refs()).is_ok());
+            assert!(covered, "report {} not covered", r.id);
+        }
+    }
+
+    #[test]
+    fn universe_knob_merges_into_one() {
+        let cat = catalog();
+        let out = synthesize_meta_reports(&portfolio(), &cat, &refs(), GranularityKnob::universe()).unwrap();
+        assert_eq!(out.metas.len(), 1, "everything joins into the universe");
+        // With declared FKs, the universe still covers the Fact-only
+        // reports (lossless pruning).
+        for r in portfolio() {
+            let covered = out.metas.iter().any(|m| derive(&r.plan, &m.plan, &cat, &refs()).is_ok());
+            assert!(covered, "report {} not covered by the universe", r.id);
+        }
+        // Without FKs, Fact-only reports are NOT covered by the wide
+        // universe — exactly why declared RI matters.
+        let r = &portfolio()[0];
+        assert!(derive(&r.plan, &out.metas[0].plan, &cat, &RefIntegrity::new()).is_err());
+        // And the synthesizer knows it: with no declared FKs it refuses
+        // the coverage-breaking merge even at the universe knob.
+        let cautious =
+            synthesize_meta_reports(&portfolio(), &cat, &RefIntegrity::new(), GranularityKnob::universe())
+                .unwrap();
+        assert_eq!(cautious.metas.len(), 2, "no lossless merge without FKs");
+        for r in portfolio() {
+            let covered = cautious
+                .metas
+                .iter()
+                .any(|m| derive(&r.plan, &m.plan, &cat, &RefIntegrity::new()).is_ok());
+            assert!(covered, "report {} lost coverage", r.id);
+        }
+    }
+
+    #[test]
+    fn unsupported_shapes_reported() {
+        let cat = catalog();
+        let weird = ReportSpec::new(
+            "r-union",
+            "Union",
+            scan("Fact").project_cols(&["Drug"]).union(scan("Fact").project_cols(&["Drug"])),
+            [RoleId::new("analyst")],
+        );
+        let out = synthesize_meta_reports(&[weird], &cat, &refs(), GranularityKnob::per_footprint()).unwrap();
+        assert_eq!(out.unsupported.len(), 1);
+        assert!(out.metas.is_empty());
+    }
+
+    #[test]
+    fn meta_titles_and_ids_are_stable() {
+        let cat = catalog();
+        let out =
+            synthesize_meta_reports(&portfolio(), &cat, &refs(), GranularityKnob::per_footprint()).unwrap();
+        let mut ids: Vec<&str> = out.metas.iter().map(|m| m.id.as_str()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec!["meta-0-0", "meta-1-0"]);
+        assert!(out.metas.iter().any(|m| m.title.contains("Fact")));
+    }
+
+    #[test]
+    fn knob_monotonicity() {
+        // Lower thresholds can only reduce (or keep) the meta count.
+        let cat = catalog();
+        let n_fine = synthesize_meta_reports(&portfolio(), &cat, &refs(), GranularityKnob { merge_overlap: 1.0 })
+            .unwrap()
+            .metas
+            .len();
+        let n_mid = synthesize_meta_reports(&portfolio(), &cat, &refs(), GranularityKnob { merge_overlap: 0.5 })
+            .unwrap()
+            .metas
+            .len();
+        let n_coarse = synthesize_meta_reports(&portfolio(), &cat, &refs(), GranularityKnob { merge_overlap: 0.0 })
+            .unwrap()
+            .metas
+            .len();
+        assert!(n_fine >= n_mid && n_mid >= n_coarse);
+    }
+}

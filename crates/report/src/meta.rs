@@ -1,0 +1,72 @@
+//! Meta-reports: approved wide views carrying PLA annotations.
+
+use bi_pla::PlaDocument;
+use bi_query::Plan;
+use bi_types::{ReportId, SourceId};
+
+/// A meta-report (paper §5): a table/view over the warehouse, discussed
+/// with and approved by the source owners, on which PLAs are elicited.
+/// "They are not expected to be materialized or to be used as
+/// intermediate steps in the generation of the actual reports" — they
+/// are the *reference* against which reports are compliance-checked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaReport {
+    pub id: ReportId,
+    pub title: String,
+    /// The wide view over the warehouse.
+    pub plan: Plan,
+    /// PLA documents elicited on this meta-report.
+    pub annotations: Vec<PlaDocument>,
+    /// Source owners who approved it.
+    pub approved_by: Vec<SourceId>,
+}
+
+impl MetaReport {
+    /// A new, not-yet-annotated meta-report.
+    pub fn new(id: impl Into<ReportId>, title: impl Into<String>, plan: Plan) -> Self {
+        MetaReport {
+            id: id.into(),
+            title: title.into(),
+            plan,
+            annotations: Vec::new(),
+            approved_by: Vec::new(),
+        }
+    }
+
+    /// Attaches an elicited PLA document.
+    pub fn with_annotation(mut self, doc: PlaDocument) -> Self {
+        self.annotations.push(doc);
+        self
+    }
+
+    /// Records a source owner's approval.
+    pub fn approved(mut self, source: impl Into<SourceId>) -> Self {
+        self.approved_by.push(source.into());
+        self
+    }
+
+    /// Is the meta-report approved by every listed owner it needs?
+    /// (Unapproved meta-reports cannot cover reports.)
+    pub fn is_approved(&self) -> bool {
+        !self.approved_by.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_pla::PlaLevel;
+    use bi_query::plan::scan;
+
+    #[test]
+    fn approval_flow() {
+        let m = MetaReport::new("m1", "Prescription universe", scan("FactPrescriptions"));
+        assert!(!m.is_approved());
+        let m = m
+            .with_annotation(PlaDocument::new("h1", "hospital", PlaLevel::MetaReport))
+            .approved("hospital");
+        assert!(m.is_approved());
+        assert_eq!(m.annotations.len(), 1);
+        assert_eq!(m.approved_by, vec![SourceId::new("hospital")]);
+    }
+}

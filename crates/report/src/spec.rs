@@ -1,0 +1,63 @@
+//! Report definitions.
+
+use std::collections::BTreeSet;
+
+use bi_query::Plan;
+use bi_types::{ReportId, RoleId};
+
+/// A report: a named plan over the warehouse delivered to consumers
+/// holding one of the listed roles, for a declared purpose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportSpec {
+    pub id: ReportId,
+    pub title: String,
+    pub plan: Plan,
+    /// Roles this report is delivered to.
+    pub consumers: BTreeSet<RoleId>,
+    /// Declared purpose (checked against PLA purpose limitations).
+    pub purpose: Option<String>,
+}
+
+impl ReportSpec {
+    /// A new report for the given roles.
+    pub fn new(
+        id: impl Into<ReportId>,
+        title: impl Into<String>,
+        plan: Plan,
+        consumers: impl IntoIterator<Item = RoleId>,
+    ) -> Self {
+        ReportSpec {
+            id: id.into(),
+            title: title.into(),
+            plan,
+            consumers: consumers.into_iter().collect(),
+            purpose: None,
+        }
+    }
+
+    /// Declares the purpose.
+    pub fn for_purpose(mut self, purpose: impl Into<String>) -> Self {
+        self.purpose = Some(purpose.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_query::plan::scan;
+
+    #[test]
+    fn construction() {
+        let r = ReportSpec::new(
+            "r1",
+            "Drug consumption",
+            scan("FactPrescriptions"),
+            [RoleId::new("analyst")],
+        )
+        .for_purpose("quality");
+        assert_eq!(r.id.as_str(), "r1");
+        assert_eq!(r.purpose.as_deref(), Some("quality"));
+        assert!(r.consumers.contains(&RoleId::new("analyst")));
+    }
+}

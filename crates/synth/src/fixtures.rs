@@ -1,0 +1,153 @@
+//! The paper's figure tables, verbatim.
+//!
+//! Figs. 2(b), 3(b) and 4(b) print five concrete relations; these
+//! constructors reproduce them cell for cell. Examples and experiment E1
+//! render them back out.
+
+use bi_relation::Table;
+use bi_types::{Column, DataType, Schema, Value};
+
+fn date(s: &str) -> Value {
+    Value::date(s).expect("fixture dates are valid")
+}
+
+/// Fig. 2/3/4: the `Prescriptions` relation.
+pub fn prescriptions() -> Table {
+    let schema = Schema::new(vec![
+        Column::new("Patient", DataType::Text),
+        Column::nullable("Doctor", DataType::Text),
+        Column::new("Drug", DataType::Text),
+        Column::new("Disease", DataType::Text),
+        Column::new("Date", DataType::Date),
+    ])
+    .expect("fixture schema");
+    Table::from_rows(
+        "Prescriptions",
+        schema,
+        vec![
+            vec!["Alice".into(), "Luis".into(), "DH".into(), "HIV".into(), date("12/02/2007")],
+            vec!["Chris".into(), Value::Null, "DV".into(), "HIV".into(), date("10/03/2007")],
+            vec!["Bob".into(), "Anne".into(), "DR".into(), "asthma".into(), date("10/08/2007")],
+            vec!["Math".into(), "Mark".into(), "DM".into(), "diabetes".into(), date("15/10/2007")],
+            vec!["Alice".into(), "Luis".into(), "DR".into(), "asthma".into(), date("15/04/2008")],
+        ],
+    )
+    .expect("fixture rows")
+}
+
+/// Fig. 2(b): the `Policies` privacy-metadata relation.
+pub fn policies() -> Table {
+    let schema = Schema::new(vec![
+        Column::new("Patient", DataType::Text),
+        Column::new("ShowName", DataType::Text),
+        Column::new("ShowDisease", DataType::Text),
+    ])
+    .expect("fixture schema");
+    Table::from_rows(
+        "Policies",
+        schema,
+        vec![
+            vec!["Alice".into(), "yes".into(), "no".into()],
+            vec!["Bob".into(), "yes".into(), "no".into()],
+            vec!["Math".into(), "no".into(), "no".into()],
+            vec!["Chris".into(), "yes".into(), "yes".into()],
+        ],
+    )
+    .expect("fixture rows")
+}
+
+/// Fig. 3(b): the `Familydoctor` relation.
+pub fn familydoctor() -> Table {
+    let schema = Schema::new(vec![
+        Column::new("Patient", DataType::Text),
+        Column::new("Doctor", DataType::Text),
+    ])
+    .expect("fixture schema");
+    Table::from_rows(
+        "Familydoctor",
+        schema,
+        vec![
+            vec!["Alice".into(), "Luis".into()],
+            vec!["Chris".into(), "Anne".into()],
+            vec!["Bob".into(), "Anne".into()],
+            vec!["Math".into(), "Mark".into()],
+        ],
+    )
+    .expect("fixture rows")
+}
+
+/// Fig. 3(b): the `Drug Cost` relation.
+pub fn drug_cost() -> Table {
+    let schema = Schema::new(vec![
+        Column::new("Drug", DataType::Text),
+        Column::new("Cost", DataType::Int),
+    ])
+    .expect("fixture schema");
+    Table::from_rows(
+        "DrugCost",
+        schema,
+        vec![
+            vec!["DD".into(), 50.into()],
+            vec!["DM".into(), 10.into()],
+            vec!["DH".into(), 60.into()],
+            vec!["DV".into(), 30.into()],
+            vec!["DR".into(), 10.into()],
+        ],
+    )
+    .expect("fixture rows")
+}
+
+/// Fig. 4(b): the `Drug consumption` report.
+pub fn drug_consumption() -> Table {
+    let schema = Schema::new(vec![
+        Column::new("Drug", DataType::Text),
+        Column::new("Consumption", DataType::Int),
+    ])
+    .expect("fixture schema");
+    Table::from_rows(
+        "Drug consumption",
+        schema,
+        vec![
+            vec!["DH".into(), 20.into()],
+            vec!["DV".into(), 28.into()],
+            vec!["DR".into(), 89.into()],
+            vec!["DM".into(), 2.into()],
+        ],
+    )
+    .expect("fixture rows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_the_paper() {
+        assert_eq!(prescriptions().len(), 5);
+        assert_eq!(policies().len(), 4);
+        assert_eq!(familydoctor().len(), 4);
+        assert_eq!(drug_cost().len(), 5);
+        assert_eq!(drug_consumption().len(), 4);
+    }
+
+    #[test]
+    fn chris_has_no_doctor() {
+        let p = prescriptions();
+        let chris = p.rows().iter().find(|r| r[0] == Value::from("Chris")).unwrap();
+        assert!(chris[1].is_null());
+    }
+
+    #[test]
+    fn fig4_report_renders_as_in_the_paper() {
+        let s = bi_relation::pretty::render(&drug_consumption());
+        assert!(s.starts_with("Drug | Consumption\n"));
+        assert!(s.contains("DR   | 89\n"));
+    }
+
+    #[test]
+    fn math_opted_out_of_name_disclosure() {
+        let p = policies();
+        let math = p.rows().iter().find(|r| r[0] == Value::from("Math")).unwrap();
+        assert_eq!(math[1], Value::from("no"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Value pools and taxonomies for the health-care scenario.
+
+/// Patient/doctor given names (Trentino-flavoured, as in the paper's
+/// running example).
+pub const FIRST_NAMES: &[&str] = &[
+    "Alice", "Bob", "Chris", "Math", "Anna", "Luca", "Marco", "Giulia", "Sara", "Paolo",
+    "Elena", "Franco", "Marta", "Nico", "Irene", "Dario", "Carla", "Enzo", "Lia", "Omar",
+    "Piera", "Rita", "Sandro", "Tilde", "Ugo", "Vera", "Walter", "Ylenia", "Zeno", "Bruna",
+];
+
+/// Surnames.
+pub const SURNAMES: &[&str] = &[
+    "Rossi", "Bianchi", "Ferrari", "Russo", "Gallo", "Costa", "Fontana", "Conti", "Ricci",
+    "Bruno", "Moretti", "Barbieri", "Lombardi", "Giordano", "Rinaldi", "Colombo", "Mancini",
+    "Longo", "Leone", "Martinelli",
+];
+
+/// Doctors (family doctors and hospital physicians).
+pub const DOCTORS: &[&str] = &[
+    "Luis", "Anne", "Mark", "Greta", "Ivan", "Nadia", "Oscar", "Petra", "Quirin", "Rosa",
+];
+
+/// `(drug code, drug name, family, unit cost)`.
+pub const DRUGS: &[(&str, &str, &str, i64)] = &[
+    ("DH", "Haldrix", "antiviral", 60),
+    ("DV", "Virex", "antiviral", 30),
+    ("DR", "Respira", "respiratory", 10),
+    ("DM", "Metfor", "metabolic", 10),
+    ("DD", "Dolorin", "analgesic", 50),
+    ("DA", "Asmaril", "respiratory", 25),
+    ("DC", "Cardiol", "cardiovascular", 45),
+    ("DI", "Insulex", "metabolic", 55),
+    ("DP", "Pressan", "cardiovascular", 20),
+    ("DT", "Tranquil", "neurological", 35),
+];
+
+/// `(disease, family, weight)` — weight drives prescription frequency.
+pub const DISEASES: &[(&str, &str, u32)] = &[
+    ("HIV", "infectious", 2),
+    ("hepatitis", "infectious", 3),
+    ("asthma", "respiratory", 10),
+    ("bronchitis", "respiratory", 8),
+    ("diabetes", "metabolic", 7),
+    ("obesity", "metabolic", 5),
+    ("hypertension", "cardiovascular", 12),
+    ("arrhythmia", "cardiovascular", 4),
+    ("migraine", "neurological", 6),
+    ("epilepsy", "neurological", 2),
+];
+
+/// Which drug families treat which disease families (for plausible
+/// prescriptions).
+pub const TREATMENT_MAP: &[(&str, &str)] = &[
+    ("infectious", "antiviral"),
+    ("respiratory", "respiratory"),
+    ("metabolic", "metabolic"),
+    ("cardiovascular", "cardiovascular"),
+    ("neurological", "neurological"),
+    ("neurological", "analgesic"),
+];
+
+/// Municipalities of the province.
+pub const MUNICIPALITIES: &[&str] = &[
+    "Trento", "Rovereto", "Pergine", "Arco", "Riva", "Mori", "Lavis", "Ala", "Cles", "Borgo",
+];
+
+/// Laboratory test types.
+pub const LAB_TESTS: &[&str] =
+    &["CD4", "glycemia", "spirometry", "ECG", "EEG", "lipid panel", "viral load", "HbA1c"];
+
+/// Disease → family edges for building a generalization hierarchy
+/// (consumed by `bi-anonymize`'s categorical builder downstream).
+pub fn disease_hierarchy_edges() -> Vec<(String, String)> {
+    DISEASES.iter().map(|(d, f, _)| (d.to_string(), f.to_string())).collect()
+}
+
+/// Drug → family edges.
+pub fn drug_hierarchy_edges() -> Vec<(String, String)> {
+    DRUGS.iter().map(|(code, _, f, _)| (code.to_string(), f.to_string())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn pools_are_nonempty_and_unique() {
+        assert!(FIRST_NAMES.len() >= 20);
+        assert_eq!(FIRST_NAMES.iter().collect::<HashSet<_>>().len(), FIRST_NAMES.len());
+        assert_eq!(DRUGS.iter().map(|d| d.0).collect::<HashSet<_>>().len(), DRUGS.len());
+        assert_eq!(DISEASES.iter().map(|d| d.0).collect::<HashSet<_>>().len(), DISEASES.len());
+    }
+
+    #[test]
+    fn every_disease_family_has_a_treating_drug_family() {
+        let drug_families: HashSet<&str> = DRUGS.iter().map(|d| d.2).collect();
+        for (df, _, _) in DISEASES {
+            let _ = df;
+        }
+        for (disease_family, drug_family) in TREATMENT_MAP {
+            assert!(drug_families.contains(drug_family), "{drug_family} missing for {disease_family}");
+        }
+        let mapped: HashSet<&str> = TREATMENT_MAP.iter().map(|(df, _)| *df).collect();
+        for (_, family, _) in DISEASES {
+            assert!(mapped.contains(family), "disease family {family} untreatable");
+        }
+    }
+
+    #[test]
+    fn hierarchy_edges_cover_domains() {
+        assert_eq!(disease_hierarchy_edges().len(), DISEASES.len());
+        assert_eq!(drug_hierarchy_edges().len(), DRUGS.len());
+    }
+}

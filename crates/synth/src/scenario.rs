@@ -1,0 +1,359 @@
+//! The multi-source scenario generator (paper Fig. 1).
+//!
+//! Generates five sources:
+//!
+//! * **hospital** — `Prescriptions(Patient, Doctor, Drug, Disease, Date)`
+//!   (≈2% missing doctors, like Chris's row in Fig. 2);
+//! * **laboratory** — `LabTests(Person, Test, Result, Date)` where
+//!   `Person` carries spelling variants of patient names (≈10%), so
+//!   entity resolution has real work;
+//! * **familydoctor** — `Familydoctor(Patient, Doctor)`;
+//! * **municipality** — `Residents(Patient, Municipality, BirthYear)`;
+//! * **health-agency** — `DrugRegistry(Drug, DrugName, Family)` and
+//!   `DrugCost(Drug, Cost)`.
+//!
+//! Referential integrity holds by construction: every prescribed drug
+//! exists in the registry and the cost list — the guarantee the
+//! containment checker's FK pruning builds on.
+
+use std::collections::BTreeMap;
+
+use bi_query::Catalog;
+use bi_relation::Table;
+use bi_types::{Column, DataType, Date, Schema, SourceId, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::names;
+
+/// Generator knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioConfig {
+    pub seed: u64,
+    pub patients: usize,
+    pub prescriptions: usize,
+    pub lab_tests: usize,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig { seed: 42, patients: 200, prescriptions: 1000, lab_tests: 400 }
+    }
+}
+
+impl ScenarioConfig {
+    /// Scales row counts by `factor` (used by benchmark sweeps).
+    pub fn scaled(self, factor: usize) -> Self {
+        ScenarioConfig {
+            patients: self.patients * factor,
+            prescriptions: self.prescriptions * factor,
+            lab_tests: self.lab_tests * factor,
+            ..self
+        }
+    }
+}
+
+/// The generated scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// One catalog per source, keyed by the Fig. 1 actor.
+    pub sources: BTreeMap<SourceId, Catalog>,
+    /// Which source owns each table (for join-permission checks).
+    pub table_source: BTreeMap<String, SourceId>,
+    /// Declared foreign keys with referential integrity.
+    pub foreign_keys: Vec<(String, String, String, String)>,
+    /// All generated patient names (canonical spellings).
+    pub patients: Vec<String>,
+}
+
+impl Scenario {
+    /// Generates the scenario.
+    pub fn generate(config: ScenarioConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Canonical patient names: First Surname, unique.
+        let mut patients = Vec::with_capacity(config.patients);
+        let mut seen = std::collections::HashSet::new();
+        while patients.len() < config.patients {
+            let f = names::FIRST_NAMES.choose(&mut rng).expect("pool non-empty");
+            let s = names::SURNAMES.choose(&mut rng).expect("pool non-empty");
+            let n = format!("{f} {s}");
+            let n = if seen.contains(&n) { format!("{n} {}", patients.len()) } else { n };
+            seen.insert(n.clone());
+            patients.push(n);
+        }
+
+        // Per-patient stable attributes.
+        let diseases: Vec<&(&str, &str, u32)> = names::DISEASES.iter().collect();
+        let total_w: u32 = diseases.iter().map(|d| d.2).sum();
+        let mut patient_disease = Vec::with_capacity(patients.len());
+        let mut patient_doctor = Vec::with_capacity(patients.len());
+        let mut patient_town = Vec::with_capacity(patients.len());
+        let mut patient_birth = Vec::with_capacity(patients.len());
+        for _ in 0..patients.len() {
+            let mut roll = rng.gen_range(0..total_w);
+            let mut chosen = diseases[0];
+            for d in &diseases {
+                if roll < d.2 {
+                    chosen = d;
+                    break;
+                }
+                roll -= d.2;
+            }
+            patient_disease.push(*chosen);
+            patient_doctor.push(*names::DOCTORS.choose(&mut rng).expect("pool non-empty"));
+            patient_town.push(*names::MUNICIPALITIES.choose(&mut rng).expect("pool non-empty"));
+            patient_birth.push(rng.gen_range(1930..2005) as i64);
+        }
+
+        // Drugs treating a disease family.
+        let drugs_for = |family: &str| -> Vec<&(&str, &str, &str, i64)> {
+            let allowed: Vec<&str> = names::TREATMENT_MAP
+                .iter()
+                .filter(|(df, _)| *df == family)
+                .map(|(_, drugf)| *drugf)
+                .collect();
+            names::DRUGS.iter().filter(|d| allowed.contains(&d.2)).collect()
+        };
+
+        let rand_date = |rng: &mut StdRng| -> Date {
+            let start = Date::new(2006, 1, 1).expect("valid").days_from_epoch();
+            let end = Date::new(2008, 6, 30).expect("valid").days_from_epoch();
+            Date::from_days_from_epoch(rng.gen_range(start..=end)).expect("in range")
+        };
+
+        // Hospital: Prescriptions.
+        let presc_schema = Schema::new(vec![
+            Column::new("Patient", DataType::Text),
+            Column::nullable("Doctor", DataType::Text),
+            Column::new("Drug", DataType::Text),
+            Column::new("Disease", DataType::Text),
+            Column::new("Date", DataType::Date),
+        ])
+        .expect("schema");
+        let mut prescriptions = Table::new("Prescriptions", presc_schema);
+        for _ in 0..config.prescriptions {
+            let pi = rng.gen_range(0..patients.len());
+            let (disease, family, _) = patient_disease[pi];
+            let options = drugs_for(family);
+            let drug = options.choose(&mut rng).expect("every family treatable");
+            let doctor: Value = if rng.gen_bool(0.02) {
+                Value::Null
+            } else {
+                patient_doctor[pi].into()
+            };
+            prescriptions
+                .push_row(vec![
+                    patients[pi].clone().into(),
+                    doctor,
+                    drug.0.into(),
+                    (*disease).into(),
+                    rand_date(&mut rng).into(),
+                ])
+                .expect("row conforms");
+        }
+
+        // Laboratory: LabTests with name variants.
+        let lab_schema = Schema::new(vec![
+            Column::new("Person", DataType::Text),
+            Column::new("Test", DataType::Text),
+            Column::new("Result", DataType::Float),
+            Column::new("Date", DataType::Date),
+        ])
+        .expect("schema");
+        let mut lab = Table::new("LabTests", lab_schema);
+        for _ in 0..config.lab_tests {
+            let pi = rng.gen_range(0..patients.len());
+            let name = if rng.gen_bool(0.10) {
+                misspell(&patients[pi], &mut rng)
+            } else {
+                patients[pi].clone()
+            };
+            lab.push_row(vec![
+                name.into(),
+                (*names::LAB_TESTS.choose(&mut rng).expect("pool non-empty")).into(),
+                Value::Float((rng.gen_range(10..900) as f64) / 10.0),
+                rand_date(&mut rng).into(),
+            ])
+            .expect("row conforms");
+        }
+
+        // Family doctor registry.
+        let fd_schema = Schema::new(vec![
+            Column::new("Patient", DataType::Text),
+            Column::new("Doctor", DataType::Text),
+        ])
+        .expect("schema");
+        let mut familydoctor = Table::new("Familydoctor", fd_schema);
+        for (pi, p) in patients.iter().enumerate() {
+            familydoctor
+                .push_row(vec![p.clone().into(), patient_doctor[pi].into()])
+                .expect("row conforms");
+        }
+
+        // Municipality registry.
+        let res_schema = Schema::new(vec![
+            Column::new("Patient", DataType::Text),
+            Column::new("Municipality", DataType::Text),
+            Column::new("BirthYear", DataType::Int),
+        ])
+        .expect("schema");
+        let mut residents = Table::new("Residents", res_schema);
+        for (pi, p) in patients.iter().enumerate() {
+            residents
+                .push_row(vec![p.clone().into(), patient_town[pi].into(), patient_birth[pi].into()])
+                .expect("row conforms");
+        }
+
+        // Health agency: registry + costs.
+        let reg_schema = Schema::new(vec![
+            Column::new("Drug", DataType::Text),
+            Column::new("DrugName", DataType::Text),
+            Column::new("Family", DataType::Text),
+        ])
+        .expect("schema");
+        let mut registry = Table::new("DrugRegistry", reg_schema);
+        let cost_schema = Schema::new(vec![
+            Column::new("Drug", DataType::Text),
+            Column::new("Cost", DataType::Int),
+        ])
+        .expect("schema");
+        let mut drug_cost = Table::new("DrugCost", cost_schema);
+        for (code, name, family, cost) in names::DRUGS {
+            registry
+                .push_row(vec![(*code).into(), (*name).into(), (*family).into()])
+                .expect("row conforms");
+            drug_cost.push_row(vec![(*code).into(), (*cost).into()]).expect("row conforms");
+        }
+
+        // Assemble source catalogs.
+        let mut sources: BTreeMap<SourceId, Catalog> = BTreeMap::new();
+        let mut table_source: BTreeMap<String, SourceId> = BTreeMap::new();
+        let add = |source: &str, table: Table, sources: &mut BTreeMap<SourceId, Catalog>, ts: &mut BTreeMap<String, SourceId>| {
+            let sid = SourceId::new(source);
+            ts.insert(table.name().to_string(), sid.clone());
+            sources.entry(sid).or_default().add_table(table).expect("unique names");
+        };
+        add("hospital", prescriptions, &mut sources, &mut table_source);
+        add("laboratory", lab, &mut sources, &mut table_source);
+        add("familydoctor", familydoctor, &mut sources, &mut table_source);
+        add("municipality", residents, &mut sources, &mut table_source);
+        add("health-agency", registry, &mut sources, &mut table_source);
+        add("health-agency", drug_cost, &mut sources, &mut table_source);
+
+        let foreign_keys = vec![
+            ("Prescriptions".into(), "Drug".into(), "DrugRegistry".into(), "Drug".into()),
+            ("Prescriptions".into(), "Drug".into(), "DrugCost".into(), "Drug".into()),
+        ];
+
+        Scenario { sources, table_source, foreign_keys, patients }
+    }
+
+    /// The catalog of one source.
+    pub fn source(&self, name: &str) -> Option<&Catalog> {
+        self.sources.get(&SourceId::new(name))
+    }
+}
+
+/// Introduces a realistic spelling variant: drop/duplicate/replace one
+/// letter.
+fn misspell(name: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = name.chars().collect();
+    if chars.len() < 4 {
+        return name.to_string();
+    }
+    let i = rng.gen_range(1..chars.len() - 1);
+    let mut out: Vec<char> = chars.clone();
+    match rng.gen_range(0..3) {
+        0 => {
+            out.remove(i);
+        }
+        1 => out.insert(i, chars[i]),
+        _ => out[i] = if chars[i] == 'a' { 'e' } else { 'a' },
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Scenario::generate(ScenarioConfig::default());
+        let b = Scenario::generate(ScenarioConfig::default());
+        assert_eq!(
+            a.source("hospital").unwrap().table("Prescriptions").unwrap(),
+            b.source("hospital").unwrap().table("Prescriptions").unwrap()
+        );
+        let c = Scenario::generate(ScenarioConfig { seed: 7, ..Default::default() });
+        assert_ne!(
+            a.source("hospital").unwrap().table("Prescriptions").unwrap(),
+            c.source("hospital").unwrap().table("Prescriptions").unwrap()
+        );
+    }
+
+    #[test]
+    fn sizes_respect_config() {
+        let s = Scenario::generate(ScenarioConfig {
+            patients: 50,
+            prescriptions: 300,
+            lab_tests: 120,
+            ..Default::default()
+        });
+        assert_eq!(s.patients.len(), 50);
+        assert_eq!(s.source("hospital").unwrap().table("Prescriptions").unwrap().len(), 300);
+        assert_eq!(s.source("laboratory").unwrap().table("LabTests").unwrap().len(), 120);
+        assert_eq!(s.source("familydoctor").unwrap().table("Familydoctor").unwrap().len(), 50);
+        assert_eq!(s.source("municipality").unwrap().table("Residents").unwrap().len(), 50);
+    }
+
+    #[test]
+    fn referential_integrity_holds() {
+        let s = Scenario::generate(ScenarioConfig::default());
+        // Every prescribed drug exists in registry and cost list.
+        let presc = s.source("hospital").unwrap().table("Prescriptions").unwrap();
+        let registry = s.source("health-agency").unwrap().table("DrugRegistry").unwrap();
+        let keys: std::collections::HashSet<Value> =
+            registry.column_values("Drug").unwrap().into_iter().collect();
+        for v in presc.column_values("Drug").unwrap() {
+            assert!(keys.contains(&v), "dangling drug {v}");
+        }
+        assert_eq!(s.foreign_keys.len(), 2);
+    }
+
+    #[test]
+    fn lab_names_contain_variants() {
+        let s = Scenario::generate(ScenarioConfig::default());
+        let canonical: std::collections::HashSet<&String> = s.patients.iter().collect();
+        let lab = s.source("laboratory").unwrap().table("LabTests").unwrap();
+        let variants = lab
+            .column_values("Person")
+            .unwrap()
+            .iter()
+            .filter(|v| !canonical.contains(&v.to_string()))
+            .count();
+        assert!(variants > 10, "expected spelling variants, found {variants}");
+        assert!(variants < lab.len() / 2, "most names stay canonical");
+    }
+
+    #[test]
+    fn disease_distribution_follows_weights() {
+        let s = Scenario::generate(ScenarioConfig { prescriptions: 5000, ..Default::default() });
+        let presc = s.source("hospital").unwrap().table("Prescriptions").unwrap();
+        let vals = presc.column_values("Disease").unwrap();
+        let count = |d: &str| vals.iter().filter(|v| **v == Value::from(d)).count();
+        // hypertension (weight 12) should dominate epilepsy (weight 2).
+        assert!(count("hypertension") > count("epilepsy"));
+    }
+
+    #[test]
+    fn table_source_attribution_complete() {
+        let s = Scenario::generate(ScenarioConfig::default());
+        for t in ["Prescriptions", "LabTests", "Familydoctor", "Residents", "DrugRegistry", "DrugCost"] {
+            assert!(s.table_source.contains_key(t), "missing attribution for {t}");
+        }
+        assert_eq!(s.table_source["Prescriptions"], SourceId::new("hospital"));
+    }
+}

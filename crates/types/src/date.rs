@@ -1,0 +1,233 @@
+//! A minimal proleptic-Gregorian calendar date.
+//!
+//! The paper's running example (Fig. 2–4) stores prescription dates such as
+//! `12/02/2007`; retention rules in PLAs ("keep at most N days") and the
+//! warehouse time dimension both need date arithmetic. We implement the
+//! small slice we need rather than pulling in a calendar crate (the
+//! approved dependency list has none).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::TypeError;
+
+/// A calendar date (proleptic Gregorian), valid for years `1..=9999`.
+///
+/// Ordering is chronological. The canonical textual form is ISO-8601
+/// (`YYYY-MM-DD`); [`Date::parse_flexible`] additionally accepts the
+/// `DD/MM/YYYY` form used in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    year: i16,
+    month: u8,
+    day: u8,
+}
+
+const DAYS_IN_MONTH: [u8; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// Cumulative days before each month in a non-leap year.
+const CUM_DAYS: [u32; 12] = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334];
+
+fn is_leap(year: i16) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i16, month: u8) -> u8 {
+    if month == 2 && is_leap(year) {
+        29
+    } else {
+        DAYS_IN_MONTH[(month - 1) as usize]
+    }
+}
+
+impl Date {
+    /// Builds a date, validating month and day ranges.
+    pub fn new(year: i16, month: u8, day: u8) -> Result<Self, TypeError> {
+        if !(1..=9999).contains(&year)
+            || !(1..=12).contains(&month)
+            || day == 0
+            || day > days_in_month(year, month)
+        {
+            return Err(TypeError::InvalidDate { year: year as i32, month, day });
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// Year component.
+    pub fn year(&self) -> i16 {
+        self.year
+    }
+
+    /// Month component (1–12).
+    pub fn month(&self) -> u8 {
+        self.month
+    }
+
+    /// Day-of-month component (1-based).
+    pub fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// Calendar quarter (1–4); used by warehouse time hierarchies.
+    pub fn quarter(&self) -> u8 {
+        (self.month - 1) / 3 + 1
+    }
+
+    /// Number of days since 0001-01-01 (day 0). Total order ⇔ chronology.
+    pub fn days_from_epoch(&self) -> i64 {
+        let y = self.year as i64 - 1;
+        let leap_days = y / 4 - y / 100 + y / 400;
+        let mut days = y * 365 + leap_days;
+        days += CUM_DAYS[(self.month - 1) as usize] as i64;
+        if self.month > 2 && is_leap(self.year) {
+            days += 1;
+        }
+        days + (self.day as i64 - 1)
+    }
+
+    /// Inverse of [`days_from_epoch`](Self::days_from_epoch).
+    pub fn from_days_from_epoch(mut days: i64) -> Result<Self, TypeError> {
+        if days < 0 {
+            return Err(TypeError::InvalidDate { year: 0, month: 1, day: 1 });
+        }
+        // 400-year cycles have a fixed day count.
+        const DAYS_400: i64 = 146_097;
+        let cycles = days / DAYS_400;
+        days %= DAYS_400;
+        let mut year: i64 = 1 + cycles * 400;
+        loop {
+            let len = if is_leap(year as i16) { 366 } else { 365 };
+            if days < len {
+                break;
+            }
+            days -= len;
+            year += 1;
+        }
+        if year > 9999 {
+            return Err(TypeError::InvalidDate { year: year as i32, month: 1, day: 1 });
+        }
+        let mut month = 1u8;
+        loop {
+            let len = days_in_month(year as i16, month) as i64;
+            if days < len {
+                break;
+            }
+            days -= len;
+            month += 1;
+        }
+        Date::new(year as i16, month, days as u8 + 1)
+    }
+
+    /// The date `n` days later (negative `n` means earlier). Overflowing
+    /// arithmetic or leaving the supported year range is an error, never
+    /// a panic.
+    pub fn plus_days(&self, n: i64) -> Result<Self, TypeError> {
+        let days = self
+            .days_from_epoch()
+            .checked_add(n)
+            .ok_or(TypeError::InvalidDate { year: 0, month: 1, day: 1 })?;
+        Self::from_days_from_epoch(days)
+    }
+
+    /// Signed distance in days (`self - other`).
+    pub fn days_since(&self, other: &Date) -> i64 {
+        self.days_from_epoch() - other.days_from_epoch()
+    }
+
+    /// Parses either ISO-8601 `YYYY-MM-DD` or the paper's `DD/MM/YYYY`.
+    pub fn parse_flexible(s: &str) -> Result<Self, TypeError> {
+        if s.contains('/') {
+            let parts: Vec<&str> = s.split('/').collect();
+            if parts.len() == 3 {
+                let day = parts[0].parse().map_err(|_| TypeError::date_parse(s))?;
+                let month = parts[1].parse().map_err(|_| TypeError::date_parse(s))?;
+                let year = parts[2].parse().map_err(|_| TypeError::date_parse(s))?;
+                return Date::new(year, month, day);
+            }
+            return Err(TypeError::date_parse(s));
+        }
+        s.parse()
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+impl FromStr for Date {
+    type Err = TypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split('-').collect();
+        if parts.len() != 3 {
+            return Err(TypeError::date_parse(s));
+        }
+        let year = parts[0].parse().map_err(|_| TypeError::date_parse(s))?;
+        let month = parts[1].parse().map_err(|_| TypeError::date_parse(s))?;
+        let day = parts[2].parse().map_err(|_| TypeError::date_parse(s))?;
+        Date::new(year, month, day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_accessors() {
+        let d = Date::new(2007, 2, 12).unwrap();
+        assert_eq!((d.year(), d.month(), d.day()), (2007, 2, 12));
+        assert_eq!(d.quarter(), 1);
+        assert_eq!(Date::new(2007, 10, 15).unwrap().quarter(), 4);
+    }
+
+    #[test]
+    fn rejects_invalid_dates() {
+        assert!(Date::new(2007, 2, 29).is_err()); // 2007 not leap
+        assert!(Date::new(2008, 2, 29).is_ok()); // 2008 leap
+        assert!(Date::new(2000, 2, 29).is_ok()); // 400-rule leap
+        assert!(Date::new(1900, 2, 29).is_err()); // 100-rule non-leap
+        assert!(Date::new(2007, 13, 1).is_err());
+        assert!(Date::new(2007, 0, 1).is_err());
+        assert!(Date::new(2007, 4, 31).is_err());
+        assert!(Date::new(0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let a = Date::new(2007, 2, 12).unwrap();
+        let b = Date::new(2007, 3, 10).unwrap();
+        let c = Date::new(2008, 1, 1).unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn epoch_roundtrip() {
+        for &(y, m, d) in &[(1, 1, 1), (2000, 2, 29), (2007, 12, 31), (9999, 12, 31), (1970, 1, 1)] {
+            let date = Date::new(y, m, d).unwrap();
+            let back = Date::from_days_from_epoch(date.days_from_epoch()).unwrap();
+            assert_eq!(date, back, "roundtrip failed for {date}");
+        }
+    }
+
+    #[test]
+    fn day_arithmetic() {
+        let d = Date::new(2007, 12, 31).unwrap();
+        assert_eq!(d.plus_days(1).unwrap(), Date::new(2008, 1, 1).unwrap());
+        assert_eq!(d.plus_days(-365).unwrap(), Date::new(2006, 12, 31).unwrap());
+        assert_eq!(Date::new(2008, 3, 1).unwrap().days_since(&Date::new(2008, 2, 1).unwrap()), 29);
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let d: Date = "2007-02-12".parse().unwrap();
+        assert_eq!(d.to_string(), "2007-02-12");
+        // Paper figures use DD/MM/YYYY.
+        assert_eq!(Date::parse_flexible("12/02/2007").unwrap(), d);
+        assert!(Date::parse_flexible("12/02").is_err());
+        assert!("2007-2".parse::<Date>().is_err());
+        assert!("xxxx-02-12".parse::<Date>().is_err());
+    }
+}

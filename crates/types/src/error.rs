@@ -1,0 +1,70 @@
+//! Error vocabulary for the type layer.
+
+use std::fmt;
+
+use crate::value::DataType;
+
+/// Errors raised by the shared type layer: bad dates, type mismatches,
+/// unknown columns, and literal-parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A calendar-invalid (year, month, day) combination.
+    InvalidDate { year: i32, month: u8, day: u8 },
+    /// A textual date that does not match a supported format.
+    DateParse { input: String },
+    /// An operation received a value of the wrong type.
+    TypeMismatch { expected: DataType, found: String, context: String },
+    /// A column name not present in a schema.
+    NoSuchColumn { name: String, schema: String },
+    /// Two schemas that were required to agree do not.
+    SchemaMismatch { reason: String },
+    /// A duplicate column name where uniqueness is required.
+    DuplicateColumn { name: String },
+}
+
+impl TypeError {
+    pub(crate) fn date_parse(input: &str) -> Self {
+        TypeError::DateParse { input: input.to_string() }
+    }
+
+    /// Convenience constructor for mismatches discovered while evaluating.
+    pub fn mismatch(expected: DataType, found: impl fmt::Display, context: impl Into<String>) -> Self {
+        TypeError::TypeMismatch { expected, found: found.to_string(), context: context.into() }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::InvalidDate { year, month, day } => {
+                write!(f, "invalid date {year:04}-{month:02}-{day:02}")
+            }
+            TypeError::DateParse { input } => write!(f, "cannot parse date from {input:?}"),
+            TypeError::TypeMismatch { expected, found, context } => {
+                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            }
+            TypeError::NoSuchColumn { name, schema } => {
+                write!(f, "no column {name:?} in schema [{schema}]")
+            }
+            TypeError::SchemaMismatch { reason } => write!(f, "schema mismatch: {reason}"),
+            TypeError::DuplicateColumn { name } => write!(f, "duplicate column {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TypeError::InvalidDate { year: 2007, month: 2, day: 30 };
+        assert_eq!(e.to_string(), "invalid date 2007-02-30");
+        let e = TypeError::mismatch(DataType::Int, "\"abc\"", "aggregation");
+        assert!(e.to_string().contains("expected Int"));
+        let e = TypeError::NoSuchColumn { name: "Drug".into(), schema: "Patient, Doctor".into() };
+        assert!(e.to_string().contains("Drug"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # bi-types — shared kernel for the `plabi` workspace
+//!
+//! Foundational vocabulary shared by every other crate in the
+//! reproduction of *Engineering Privacy Requirements in Business
+//! Intelligence Applications* (Chiasera et al., SDM 2008):
+//!
+//! * [`Value`] / [`DataType`] — the dynamically-typed cell values flowing
+//!   from data sources through ETL, the warehouse, and into reports;
+//! * [`Date`] — a small proleptic-Gregorian calendar date (the paper's
+//!   example relations are keyed by prescription dates);
+//! * [`Schema`] / [`Column`] — relation schemas;
+//! * identifier newtypes ([`SourceId`], [`RoleId`], …) naming the actors of
+//!   the outsourced-BI scenario of the paper's Fig. 1;
+//! * [`TypeError`] — the error vocabulary for typing mistakes.
+//!
+//! Everything here is deliberately dependency-free so the whole workspace
+//! builds bottom-up from this crate.
+
+pub mod date;
+pub mod error;
+pub mod ids;
+pub mod schema;
+pub mod value;
+
+pub use date::Date;
+pub use error::TypeError;
+pub use ids::{ConsumerId, PlaId, ReportId, RoleId, SourceId};
+pub use schema::{Column, Schema};
+pub use value::{DataType, Value};

@@ -1,0 +1,266 @@
+//! Relation schemas.
+
+use std::fmt;
+
+use crate::error::TypeError;
+use crate::value::{DataType, Value};
+
+/// One column of a relation: a name, a type, and nullability.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Column {
+    pub name: String,
+    pub dtype: DataType,
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A non-nullable column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column { name: name.into(), dtype, nullable: false }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, dtype: DataType) -> Self {
+        Column { name: name.into(), dtype, nullable: true }
+    }
+
+    /// Checks that `v` may be stored in this column.
+    pub fn admits(&self, v: &Value) -> bool {
+        if v.is_null() {
+            self.nullable
+        } else {
+            v.conforms_to(self.dtype)
+        }
+    }
+}
+
+/// An ordered list of uniquely-named columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate column names.
+    pub fn new(columns: Vec<Column>) -> Result<Self, TypeError> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(TypeError::DuplicateColumn { name: c.name.clone() });
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// The empty schema (zero columns).
+    pub fn empty() -> Self {
+        Schema { columns: Vec::new() }
+    }
+
+    /// All columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Position of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize, TypeError> {
+        self.columns.iter().position(|c| c.name == name).ok_or_else(|| TypeError::NoSuchColumn {
+            name: name.to_string(),
+            schema: self.to_string(),
+        })
+    }
+
+    /// The column named `name`.
+    pub fn column(&self, name: &str) -> Result<&Column, TypeError> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// True iff a column with that name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.columns.iter().any(|c| c.name == name)
+    }
+
+    /// A new schema keeping only `names`, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema, TypeError> {
+        let mut cols = Vec::with_capacity(names.len());
+        for n in names {
+            cols.push(self.column(n)?.clone());
+        }
+        Schema::new(cols)
+    }
+
+    /// Concatenation for joins; duplicate names on the right get a prefix.
+    pub fn join(&self, right: &Schema, right_prefix: &str) -> Result<Schema, TypeError> {
+        let mut cols = self.columns.clone();
+        for c in right.columns() {
+            let mut c = c.clone();
+            if self.contains(&c.name) {
+                c.name = format!("{right_prefix}.{}", c.name);
+            }
+            cols.push(c);
+        }
+        Schema::new(cols)
+    }
+
+    /// Renames column `old` to `new`.
+    pub fn rename(&self, old: &str, new: &str) -> Result<Schema, TypeError> {
+        let idx = self.index_of(old)?;
+        let mut cols = self.columns.clone();
+        cols[idx].name = new.to_string();
+        Schema::new(cols)
+    }
+
+    /// Checks `row` against arity and per-column admissibility.
+    pub fn check_row(&self, row: &[Value]) -> Result<(), TypeError> {
+        if row.len() != self.columns.len() {
+            return Err(TypeError::SchemaMismatch {
+                reason: format!("row arity {} != schema arity {}", row.len(), self.columns.len()),
+            });
+        }
+        for (c, v) in self.columns.iter().zip(row) {
+            if !c.admits(v) {
+                return Err(TypeError::SchemaMismatch {
+                    reason: format!("value {v:?} not admissible in column {:?} ({})", c.name, c.dtype),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// True when both schemas have identical names and types in order
+    /// (nullability may differ) — the union-compatibility test.
+    pub fn union_compatible(&self, other: &Schema) -> bool {
+        self.columns.len() == other.columns.len()
+            && self
+                .columns
+                .iter()
+                .zip(other.columns.iter())
+                .all(|(a, b)| a.name == b.name && a.dtype == b.dtype)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in &self.columns {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            write!(f, "{}: {}{}", c.name, c.dtype, if c.nullable { "?" } else { "" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prescriptions() -> Schema {
+        // Fig. 2's Prescriptions relation.
+        Schema::new(vec![
+            Column::new("Patient", DataType::Text),
+            Column::nullable("Doctor", DataType::Text),
+            Column::new("Drug", DataType::Text),
+            Column::new("Disease", DataType::Text),
+            Column::new("Date", DataType::Date),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Column::new("Patient", DataType::Text),
+            Column::new("Patient", DataType::Int),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, TypeError::DuplicateColumn { .. }));
+    }
+
+    #[test]
+    fn lookup_and_projection() {
+        let s = prescriptions();
+        assert_eq!(s.index_of("Drug").unwrap(), 2);
+        assert!(s.index_of("Cost").is_err());
+        let p = s.project(&["Drug", "Patient"]).unwrap();
+        assert_eq!(p.names(), vec!["Drug", "Patient"]);
+        assert!(s.project(&["Nope"]).is_err());
+    }
+
+    #[test]
+    fn row_checking() {
+        let s = prescriptions();
+        let ok = vec![
+            Value::from("Alice"),
+            Value::from("Luis"),
+            Value::from("DH"),
+            Value::from("HIV"),
+            Value::date("12/02/2007").unwrap(),
+        ];
+        s.check_row(&ok).unwrap();
+        // Nullable doctor (patient Chris in the paper's figure).
+        let with_null =
+            vec![Value::from("Chris"), Value::Null, Value::from("DV"), Value::from("HIV"), Value::date("10/03/2007").unwrap()];
+        s.check_row(&with_null).unwrap();
+        // Null in non-nullable Patient is rejected.
+        let bad = vec![Value::Null, Value::Null, Value::from("DV"), Value::from("HIV"), Value::date("10/03/2007").unwrap()];
+        assert!(s.check_row(&bad).is_err());
+        // Wrong arity.
+        assert!(s.check_row(&[Value::from("Alice")]).is_err());
+        // Wrong type.
+        let wrong =
+            vec![Value::Int(1), Value::Null, Value::from("DV"), Value::from("HIV"), Value::date("10/03/2007").unwrap()];
+        assert!(s.check_row(&wrong).is_err());
+    }
+
+    #[test]
+    fn join_prefixes_duplicates() {
+        let left = prescriptions();
+        let right = Schema::new(vec![
+            Column::new("Drug", DataType::Text),
+            Column::new("Cost", DataType::Int),
+        ])
+        .unwrap();
+        let j = left.join(&right, "r").unwrap();
+        assert!(j.contains("r.Drug"));
+        assert!(j.contains("Cost"));
+        assert_eq!(j.len(), 7);
+    }
+
+    #[test]
+    fn union_compatibility_ignores_nullability() {
+        let a = prescriptions();
+        let mut cols = a.columns().to_vec();
+        cols[1].nullable = false;
+        let b = Schema::new(cols).unwrap();
+        assert!(a.union_compatible(&b));
+        let c = a.rename("Drug", "Medicine").unwrap();
+        assert!(!a.union_compatible(&c));
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Schema::new(vec![
+            Column::new("Drug", DataType::Text),
+            Column::nullable("Cost", DataType::Int),
+        ])
+        .unwrap();
+        assert_eq!(s.to_string(), "Drug: Text, Cost: Int?");
+    }
+}

@@ -1,0 +1,346 @@
+//! Dynamically-typed cell values.
+//!
+//! Every relation flowing through the BI pipeline — source extracts,
+//! staging tables, warehouse facts, report rows — is a grid of [`Value`]s.
+//! `Value` implements a *total* order and `Eq`/`Hash` (NaN is normalized)
+//! so values can be grouped, joined and sorted without panicking, which a
+//! database engine needs far more than IEEE fidelity.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::date::Date;
+use crate::error::TypeError;
+
+/// The static type of a [`Value`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DataType {
+    Bool,
+    Int,
+    Float,
+    Text,
+    Date,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "Bool",
+            DataType::Int => "Int",
+            DataType::Float => "Float",
+            DataType::Text => "Text",
+            DataType::Date => "Date",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single cell value.
+///
+/// `Null` is a first-class member (SQL-style missing data is pervasive in
+/// the paper's health-care sources — e.g. the missing doctor for patient
+/// Chris in Fig. 2's `Prescriptions` table).
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Date(Date),
+}
+
+impl Value {
+    /// Text constructor accepting anything string-like.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// Parses an ISO or `DD/MM/YYYY` date into a `Value::Date`.
+    pub fn date(s: &str) -> Result<Self, TypeError> {
+        Ok(Value::Date(Date::parse_flexible(s)?))
+    }
+
+    /// The value's type, or `None` for `Null`.
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// True iff the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extracts a bool or reports a mismatch.
+    pub fn as_bool(&self) -> Result<bool, TypeError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(TypeError::mismatch(DataType::Bool, other, "as_bool")),
+        }
+    }
+
+    /// Extracts an integer or reports a mismatch.
+    pub fn as_int(&self) -> Result<i64, TypeError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(TypeError::mismatch(DataType::Int, other, "as_int")),
+        }
+    }
+
+    /// Numeric view: ints widen to f64, floats pass through.
+    pub fn as_f64(&self) -> Result<f64, TypeError> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            other => Err(TypeError::mismatch(DataType::Float, other, "as_f64")),
+        }
+    }
+
+    /// Extracts text or reports a mismatch.
+    pub fn as_text(&self) -> Result<&str, TypeError> {
+        match self {
+            Value::Text(s) => Ok(s),
+            other => Err(TypeError::mismatch(DataType::Text, other, "as_text")),
+        }
+    }
+
+    /// Extracts a date or reports a mismatch.
+    pub fn as_date(&self) -> Result<Date, TypeError> {
+        match self {
+            Value::Date(d) => Ok(*d),
+            other => Err(TypeError::mismatch(DataType::Date, other, "as_date")),
+        }
+    }
+
+    /// Whether this value is an instance of `dtype` (`Null` matches any).
+    pub fn conforms_to(&self, dtype: DataType) -> bool {
+        match self.dtype() {
+            None => true,
+            Some(t) => t == dtype || (t == DataType::Int && dtype == DataType::Float),
+        }
+    }
+
+    /// Normalizes NaN to a single bit pattern so Eq/Hash are coherent.
+    fn float_key(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else if f == 0.0 {
+            0.0f64.to_bits() // collapse -0.0 and +0.0
+        } else {
+            f.to_bits()
+        }
+    }
+
+    /// Normalizes -0.0 to 0.0 and every NaN to one canonical NaN so that
+    /// `Ord`, `Eq`, and `Hash` all agree.
+    fn norm_float(f: f64) -> f64 {
+        if f.is_nan() {
+            f64::NAN
+        } else if f == 0.0 {
+            0.0
+        } else {
+            f
+        }
+    }
+
+    /// Rank used to totally order values of different types:
+    /// Null < Bool < numeric < Text < Date.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Text(_) => 3,
+            Value::Date(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => Value::norm_float(*a).total_cmp(&Value::norm_float(*b)),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(&Value::norm_float(*b)),
+            (Float(a), Int(b)) => Value::norm_float(*a).total_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Float hash identically when numerically equal, so
+            // `Int(2) == Float(2.0)` stays consistent with Hash.
+            Value::Int(i) => {
+                2u8.hash(state);
+                Value::float_key(*i as f64).hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                Value::float_key(*f).hash(state);
+            }
+            Value::Text(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                4u8.hash(state);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str(""),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => f.write_str(s),
+            Value::Date(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<Date> for Value {
+    fn from(d: Date) -> Self {
+        Value::Date(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn accessors_and_mismatches() {
+        assert_eq!(Value::Int(3).as_int().unwrap(), 3);
+        assert_eq!(Value::Int(3).as_f64().unwrap(), 3.0);
+        assert_eq!(Value::Float(2.5).as_f64().unwrap(), 2.5);
+        assert_eq!(Value::from("HIV").as_text().unwrap(), "HIV");
+        assert!(Value::from("HIV").as_int().is_err());
+        assert!(Value::Null.as_bool().is_err());
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn cross_type_numeric_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn total_order_across_types() {
+        let mut vs = [Value::from("b"),
+            Value::Null,
+            Value::Int(1),
+            Value::Bool(true),
+            Value::date("2007-02-12").unwrap()];
+        vs.sort();
+        assert!(vs[0].is_null());
+        assert_eq!(vs[1], Value::Bool(true));
+        assert_eq!(vs[2], Value::Int(1));
+        assert_eq!(vs[3], Value::from("b"));
+    }
+
+    #[test]
+    fn nan_and_negative_zero_are_coherent() {
+        let nan1 = Value::Float(f64::NAN);
+        let nan2 = Value::Float(-f64::NAN);
+        assert_eq!(nan1.cmp(&nan2) == Ordering::Equal, nan1 == nan2);
+        assert_eq!(Value::Float(0.0), Value::Float(-0.0));
+        let mut m = HashMap::new();
+        m.insert(Value::Float(-0.0), 1);
+        assert_eq!(m.get(&Value::Float(0.0)), Some(&1));
+        m.insert(Value::Int(2), 7);
+        assert_eq!(m.get(&Value::Float(2.0)), Some(&7), "Int/Float hash-consistent");
+    }
+
+    #[test]
+    fn conforms_to_widens_ints() {
+        assert!(Value::Int(1).conforms_to(DataType::Float));
+        assert!(Value::Null.conforms_to(DataType::Date));
+        assert!(!Value::from("x").conforms_to(DataType::Int));
+    }
+
+    #[test]
+    fn display_matches_paper_figures() {
+        assert_eq!(Value::from("Alice").to_string(), "Alice");
+        assert_eq!(Value::date("12/02/2007").unwrap().to_string(), "2007-02-12");
+        assert_eq!(Value::Null.to_string(), "");
+    }
+}

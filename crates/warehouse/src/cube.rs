@@ -1,0 +1,261 @@
+//! OLAP cube queries over a star schema.
+//!
+//! A [`CubeQuery`] names a fact, the dimension levels to group by, the
+//! measures to aggregate, and slice filters. [`CubeQuery::plan`] compiles
+//! it to a `bi-query` plan (fact ⋈ dimensions → filter → aggregate), so
+//! everything downstream — execution, provenance, PLA checking,
+//! meta-report containment — works on cubes for free.
+
+use bi_query::plan::{scan, AggFunc, AggItem, Plan};
+use bi_relation::expr::{col, Expr};
+use bi_types::Value;
+
+use crate::error::WarehouseError;
+use crate::star::Warehouse;
+
+/// One group-by axis: `(dimension, level)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Axis {
+    pub dimension: String,
+    pub level: String,
+}
+
+/// One aggregated measure: output name, function, measure name. The
+/// special measure `"*"` with [`AggFunc::Count`] counts fact rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasureAgg {
+    pub name: String,
+    pub func: AggFunc,
+    pub measure: String,
+}
+
+/// A cube query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubeQuery {
+    pub fact: String,
+    pub axes: Vec<Axis>,
+    pub measures: Vec<MeasureAgg>,
+    /// Slice/dice predicates over level columns or fact columns.
+    pub filters: Vec<Expr>,
+}
+
+impl CubeQuery {
+    /// A query over `fact` with no axes, measures, or filters yet.
+    pub fn on(fact: impl Into<String>) -> Self {
+        CubeQuery { fact: fact.into(), axes: Vec::new(), measures: Vec::new(), filters: Vec::new() }
+    }
+
+    /// Adds a group-by axis.
+    pub fn by(mut self, dimension: impl Into<String>, level: impl Into<String>) -> Self {
+        self.axes.push(Axis { dimension: dimension.into(), level: level.into() });
+        self
+    }
+
+    /// Adds an aggregated measure.
+    pub fn measure(
+        mut self,
+        name: impl Into<String>,
+        func: AggFunc,
+        measure: impl Into<String>,
+    ) -> Self {
+        self.measures.push(MeasureAgg { name: name.into(), func, measure: measure.into() });
+        self
+    }
+
+    /// Adds a fact-row count output.
+    pub fn count(self, name: impl Into<String>) -> Self {
+        self.measure(name, AggFunc::Count, "*")
+    }
+
+    /// Adds a slice/dice filter.
+    pub fn slice(mut self, filter: Expr) -> Self {
+        self.filters.push(filter);
+        self
+    }
+
+    /// **Roll up**: replace a dimension's axis by a coarser level.
+    pub fn rollup(mut self, dimension: &str, to_level: impl Into<String>) -> Self {
+        for a in &mut self.axes {
+            if a.dimension == dimension {
+                a.level = to_level.into();
+                return self;
+            }
+        }
+        self.axes.push(Axis { dimension: dimension.to_string(), level: to_level.into() });
+        self
+    }
+
+    /// **Drill down**: same mechanics as rollup, towards a finer level.
+    pub fn drill_down(self, dimension: &str, to_level: impl Into<String>) -> Self {
+        self.rollup(dimension, to_level)
+    }
+
+    /// **Dice**: keep only the given member values on a level column.
+    pub fn dice(self, level_column: &str, members: Vec<Value>) -> Self {
+        self.slice(Expr::InList(Box::new(col(level_column)), members))
+    }
+
+    /// Compiles to a logical plan against the warehouse.
+    ///
+    /// The fact scans first; each referenced dimension joins via its FK;
+    /// filters apply; then grouping by level columns with the measure
+    /// aggregates.
+    pub fn plan(&self, w: &Warehouse) -> Result<Plan, WarehouseError> {
+        let fact = w.fact(&self.fact)?;
+        let mut p = scan(&fact.table);
+        // Join each dimension used by an axis exactly once.
+        let mut joined: Vec<&str> = Vec::new();
+        for a in &self.axes {
+            if joined.contains(&a.dimension.as_str()) {
+                continue;
+            }
+            let dim = w.dimension(&a.dimension)?;
+            let fk = fact.fk_for(&a.dimension)?;
+            p = p.join(
+                scan(&dim.table),
+                vec![(fk.to_string(), dim.key.clone())],
+                dim.name.to_lowercase(),
+            );
+            joined.push(a.dimension.as_str());
+        }
+        for f in &self.filters {
+            p = p.filter(f.clone());
+        }
+        let mut group_by = Vec::with_capacity(self.axes.len());
+        for a in &self.axes {
+            let dim = w.dimension(&a.dimension)?;
+            group_by.push(dim.level_column(&a.level)?.to_string());
+        }
+        let mut aggs = Vec::with_capacity(self.measures.len());
+        for m in &self.measures {
+            if m.measure == "*" {
+                if m.func != AggFunc::Count {
+                    return Err(WarehouseError::BadParams {
+                        reason: format!("measure '*' only supports count, got {}", m.func.name()),
+                    });
+                }
+                aggs.push(AggItem::count_star(m.name.clone()));
+            } else {
+                let column = fact.measure_column(&m.measure)?;
+                aggs.push(AggItem::new(m.name.clone(), m.func, column));
+            }
+        }
+        Ok(p.aggregate(group_by, aggs))
+    }
+
+    /// Compiles and executes in one step.
+    pub fn execute(&self, w: &Warehouse) -> Result<bi_relation::Table, WarehouseError> {
+        let plan = self.plan(w)?;
+        Ok(w.execute(&plan)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::star::tests::small_star;
+    use bi_relation::expr::lit;
+
+    #[test]
+    fn drug_consumption_cube() {
+        // The paper's Fig. 4 report as a cube: drug × count.
+        let w = small_star();
+        let q = CubeQuery::on("Prescriptions").by("Drug", "Drug").count("Consumption");
+        let t = q.execute(&w).unwrap();
+        assert_eq!(t.len(), 4);
+        let respira = t.rows().iter().find(|r| r[0] == Value::from("Respira")).unwrap();
+        assert_eq!(respira[1], Value::Int(2));
+    }
+
+    #[test]
+    fn rollup_to_family_and_year() {
+        let w = small_star();
+        let fine = CubeQuery::on("Prescriptions")
+            .by("Drug", "Drug")
+            .by("Time", "Month")
+            .measure("Spend", AggFunc::Sum, "Cost");
+        let t_fine = fine.clone().execute(&w).unwrap();
+        assert_eq!(t_fine.len(), 5);
+        let coarse = fine.rollup("Drug", "Family").rollup("Time", "Year");
+        let t = coarse.execute(&w).unwrap();
+        // (antiviral,2007), (respiratory,2007), (metabolic,2007), (respiratory,2008).
+        assert_eq!(t.len(), 4);
+        let av = t
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::from("antiviral") && r[1] == Value::Int(2007))
+            .unwrap();
+        assert_eq!(av[2], Value::Int(90));
+    }
+
+    #[test]
+    fn slice_and_dice() {
+        let w = small_star();
+        let q = CubeQuery::on("Prescriptions")
+            .by("Time", "Quarter")
+            .count("n")
+            .slice(col("Year").eq(lit(2007)));
+        let t = q.execute(&w).unwrap();
+        assert_eq!(t.len(), 3, "Q1, Q3, Q4 of 2007");
+        let diced = CubeQuery::on("Prescriptions")
+            .by("Drug", "Family")
+            .count("n")
+            .dice("DrugFamily", vec!["antiviral".into()]);
+        let t = diced.execute(&w).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows()[0][1], Value::Int(2));
+    }
+
+    #[test]
+    fn multiple_measures_and_drilldown() {
+        let w = small_star();
+        let q = CubeQuery::on("Prescriptions")
+            .by("Time", "Year")
+            .measure("Spend", AggFunc::Sum, "Cost")
+            .measure("AvgCost", AggFunc::Avg, "Cost")
+            .count("n");
+        let t = q.clone().execute(&w).unwrap();
+        let y2007 = t.rows().iter().find(|r| r[0] == Value::Int(2007)).unwrap();
+        assert_eq!(y2007[1], Value::Int(110));
+        assert_eq!(y2007[3], Value::Int(4));
+        // Drill down Year → Month.
+        let t = q.drill_down("Time", "Month").execute(&w).unwrap();
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn bad_references_fail_cleanly() {
+        let w = small_star();
+        assert!(CubeQuery::on("Ghost").count("n").plan(&w).is_err());
+        assert!(CubeQuery::on("Prescriptions").by("Ghost", "X").count("n").plan(&w).is_err());
+        assert!(CubeQuery::on("Prescriptions").by("Time", "Week").count("n").plan(&w).is_err());
+        assert!(CubeQuery::on("Prescriptions")
+            .measure("x", AggFunc::Sum, "Ghost")
+            .plan(&w)
+            .is_err());
+        assert!(CubeQuery::on("Prescriptions")
+            .measure("x", AggFunc::Sum, "*")
+            .plan(&w)
+            .is_err());
+    }
+
+    #[test]
+    fn cube_plans_compose_with_containment() {
+        // A cube at (Drug, Month) grain serves as a meta-report for the
+        // Family-level cube — exercised end-to-end via bi-query.
+        let w = small_star();
+        let meta = CubeQuery::on("Prescriptions")
+            .by("Drug", "Family")
+            .by("Time", "Year")
+            .count("n")
+            .plan(&w)
+            .unwrap();
+        let report = CubeQuery::on("Prescriptions")
+            .by("Drug", "Family")
+            .count("total")
+            .plan(&w)
+            .unwrap();
+        let d = bi_query::contain::derive(&report, &meta, w.catalog(), w.refs()).unwrap();
+        assert!(bi_query::contain::validate_derivation(&report, &meta, &d, w.catalog()).unwrap());
+    }
+}

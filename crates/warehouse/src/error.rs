@@ -1,0 +1,65 @@
+//! Errors for the warehouse layer.
+
+use std::fmt;
+
+use bi_query::QueryError;
+
+/// Warehouse failures.
+#[derive(Debug)]
+pub enum WarehouseError {
+    /// Underlying query error.
+    Query(QueryError),
+    /// Unknown dimension / fact / level / measure name.
+    UnknownElement { kind: &'static str, name: String },
+    /// A fact table binding references a dimension that was never
+    /// registered.
+    DanglingBinding { fact: String, dimension: String },
+    /// Bad parameters (k = 0 for the guard, …).
+    BadParams { reason: String },
+}
+
+impl fmt::Display for WarehouseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarehouseError::Query(e) => write!(f, "{e}"),
+            WarehouseError::UnknownElement { kind, name } => write!(f, "unknown {kind} {name:?}"),
+            WarehouseError::DanglingBinding { fact, dimension } => {
+                write!(f, "fact {fact:?} binds unregistered dimension {dimension:?}")
+            }
+            WarehouseError::BadParams { reason } => write!(f, "bad parameters: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WarehouseError {}
+
+impl From<QueryError> for WarehouseError {
+    fn from(e: QueryError) -> Self {
+        WarehouseError::Query(e)
+    }
+}
+
+impl From<bi_relation::RelationError> for WarehouseError {
+    fn from(e: bi_relation::RelationError) -> Self {
+        WarehouseError::Query(QueryError::Relation(e))
+    }
+}
+
+impl From<bi_types::TypeError> for WarehouseError {
+    fn from(e: bi_types::TypeError) -> Self {
+        WarehouseError::Query(QueryError::Relation(bi_relation::RelationError::Type(e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = WarehouseError::UnknownElement { kind: "dimension", name: "Time".into() };
+        assert!(e.to_string().contains("Time"));
+        let e = WarehouseError::DanglingBinding { fact: "F".into(), dimension: "D".into() };
+        assert!(e.to_string().contains("unregistered"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Enforcement's other half (paper §2.iv): monitoring, third-party
+//! auditing, and provenance-backed dispute resolution.
+//!
+//! A few reports are delivered; then (a) the hospital tightens its PLA
+//! and the auditor's re-check flags past deliveries that today's policy
+//! would refuse, and (b) the hospital claims "patient names leaked" and
+//! where-provenance pinpoints exactly which deliveries exposed them, in
+//! which cells.
+//!
+//! Run with: `cargo run --example auditing_dispute`
+
+use plabi::prelude::*;
+
+fn main() {
+    let scenario = Scenario::generate(ScenarioConfig {
+        patients: 40,
+        prescriptions: 250,
+        lab_tests: 0,
+        ..Default::default()
+    });
+    let mut system = BiSystem::new(Date::new(2008, 7, 1).expect("valid date"));
+    for (sid, cat) in &scenario.sources {
+        system.register_source(sid.clone(), cat.clone());
+    }
+
+    // Initial (permissive) PLA: only purpose limitation.
+    system
+        .add_pla_text(
+            r#"pla "hospital-v1" source hospital version 1 level meta-report {
+  purpose quality;
+}"#,
+        )
+        .expect("PLA parses");
+
+    let pipeline = Pipeline::new("nightly")
+        .step(
+            "e",
+            EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "s".into(),
+            },
+        )
+        .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "FactPrescriptions".into() });
+    system.run_etl(&pipeline, Some("quality")).expect("compliant pipeline");
+
+    system.add_meta_report(
+        MetaReport::new(
+            "m1",
+            "Prescription universe",
+            scan("FactPrescriptions").project_cols(&["Patient", "Drug", "Disease"]),
+        )
+        .approved("hospital"),
+    );
+    system.subjects_mut().grant("ada@agency", "analyst");
+
+    // Three deliveries: drug counts, per-patient counts, disease counts.
+    for (id, plan) in [
+        (
+            "r-drug",
+            scan("FactPrescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]),
+        ),
+        (
+            "r-patient",
+            scan("FactPrescriptions")
+                .aggregate(vec!["Patient".into()], vec![AggItem::count_star("n")]),
+        ),
+        (
+            "r-disease",
+            scan("FactPrescriptions")
+                .aggregate(vec!["Disease".into()], vec![AggItem::count_star("n")]),
+        ),
+    ] {
+        system.define_report(
+            ReportSpec::new(id, id, plan, [RoleId::new("analyst")]).for_purpose("quality"),
+        );
+        system.deliver(&id.into(), &"ada@agency".into()).expect("compliant at the time");
+    }
+    println!("delivered {} report(s) under the v1 agreement\n", system.audit_log().deliveries().count());
+
+    // ---- (a) Policy drift: the hospital tightens its PLA. ----
+    system
+        .add_pla_text(
+            r#"pla "hospital-v2" source hospital version 2 level meta-report {
+  allow attribute FactPrescriptions.Patient to auditor;
+  purpose quality;
+}"#,
+        )
+        .expect("PLA parses");
+    let findings = system.recheck().expect("recheck runs");
+    println!("auditor re-check under the v2 agreement: {} finding(s)", findings.len());
+    for f in &findings {
+        println!("  seq {} report {}:", f.seq, f.report);
+        for v in &f.violations {
+            println!("    {v}");
+        }
+    }
+
+    // ---- (b) Dispute: which deliveries exposed patient names? ----
+    println!("\ndispute: who exposed FactPrescriptions.Patient?");
+    let exposures = system.dispute("FactPrescriptions", "Patient").expect("dispute runs");
+    for e in &exposures {
+        let direct: Vec<&(usize, String)> =
+            e.cells.iter().filter(|(_, c)| c == "Patient").collect();
+        println!(
+            "  seq {} report {}: {} witnessing cell(s), {} showing the name directly",
+            e.seq,
+            e.report,
+            e.cells.len(),
+            direct.len()
+        );
+    }
+    let direct_exposers: Vec<&str> = exposures
+        .iter()
+        .filter(|e| e.cells.iter().any(|(_, c)| c == "Patient"))
+        .map(|e| e.report.as_str())
+        .collect();
+    println!("\nreports showing patient names directly: {direct_exposers:?}");
+}

@@ -1,0 +1,77 @@
+//! §6 methodology: converging to a PLA set through owner sessions.
+//!
+//! Simulates elicitation meetings with a hospital whose privacy
+//! requirements are latent (they surface only when the owner is shown a
+//! concrete attribute), comparing the *wide-first* proposal strategy
+//! (put the whole source schema on the table — the §3 instinct) against
+//! *minimal-first* (propose only what the report portfolio needs — the
+//! §5 meta-report instinct).
+//!
+//! Run with: `cargo run --example elicitation_negotiation`
+
+use std::collections::BTreeSet;
+
+use plabi::core::negotiation::{compare_strategies, OwnerModel, Stance};
+use plabi::pla::AttrRef;
+use plabi::prelude::*;
+use plabi::relation::expr::{col, lit};
+
+fn main() {
+    let attr = |c: &str| AttrRef::new("Prescriptions", c);
+
+    // The hospital's latent requirements — unknown to the BI provider
+    // until the attribute is discussed.
+    let owner = OwnerModel {
+        source: "hospital".into(),
+        stances: [
+            (attr("Patient"), Stance::Forbid),
+            (attr("SocialSecurityNo"), Stance::Forbid),
+            (
+                attr("Doctor"),
+                Stance::RestrictRoles { roles: [RoleId::new("auditor")].into_iter().collect() },
+            ),
+            (
+                attr("Disease"),
+                Stance::RequireCondition { condition: col("Disease").ne(lit("HIV")) },
+            ),
+            (attr("Drug"), Stance::RequireAggregation { k: 5 }),
+            (attr("Ward"), Stance::RequireAggregation { k: 10 }),
+        ]
+        .into_iter()
+        .collect(),
+        attention_span: 2, // issues per meeting
+    };
+
+    // The full source surface vs what the current reports actually use.
+    let all: BTreeSet<AttrRef> = [
+        "Patient", "SocialSecurityNo", "Doctor", "Disease", "Drug", "Date", "Ward", "Bed",
+        "Insurer", "AdmissionNo", "Severity", "Notes",
+    ]
+    .iter()
+    .map(|c| attr(c))
+    .collect();
+    let needed: BTreeSet<AttrRef> =
+        ["Drug", "Disease", "Date"].iter().map(|c| attr(c)).collect();
+
+    let (wide, minimal) = compare_strategies(&all, &needed, &owner);
+
+    println!("strategy       meetings  dropped  rules  wasted-exposure");
+    println!("---------------------------------------------------------");
+    println!(
+        "wide-first     {:>8}  {:>7}  {:>5}  {:>15}",
+        wide.rounds,
+        wide.dropped.len(),
+        wide.document.rules.len(),
+        wide.wasted_exposure
+    );
+    println!(
+        "minimal-first  {:>8}  {:>7}  {:>5}  {:>15}",
+        minimal.rounds,
+        minimal.dropped.len(),
+        minimal.document.rules.len(),
+        minimal.wasted_exposure
+    );
+
+    println!("\nminimal-first agreement (the DSL document the owner signs):\n");
+    println!("{}", minimal.document);
+}

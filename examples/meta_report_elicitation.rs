@@ -1,0 +1,145 @@
+//! The §5 elicitation workflow around meta-reports:
+//!
+//! 1. the BI provider synthesizes candidate meta-reports from the
+//!    current report portfolio (with the granularity knob);
+//! 2. the source owners annotate them with PLAs (the textual DSL) and
+//!    approve;
+//! 3. every new or modified report is gated: derivable from an approved
+//!    meta-report → inherits its PLAs; not derivable → a fresh
+//!    elicitation round is required.
+//!
+//! Run with: `cargo run --example meta_report_elicitation`
+
+use plabi::pla;
+use plabi::prelude::*;
+use plabi::query::contain::RefIntegrity;
+use plabi::report::comply::{check_report, Coverage};
+use plabi::report::generate::{synthesize_meta_reports, GranularityKnob};
+
+fn main() {
+    let scenario = Scenario::generate(ScenarioConfig {
+        patients: 60,
+        prescriptions: 400,
+        lab_tests: 0,
+        ..Default::default()
+    });
+    let mut cat = Catalog::new();
+    {
+        let t = "Prescriptions";
+        cat.add_table(scenario.source("hospital").expect("generated").table(t).expect("generated").clone())
+            .expect("fresh catalog");
+    }
+    cat.add_table(
+        scenario.source("health-agency").expect("generated").table("DrugRegistry").expect("generated").clone(),
+    )
+    .expect("fresh catalog");
+    let mut refs = RefIntegrity::new();
+    refs.add_fk("Prescriptions", "Drug", "DrugRegistry", "Drug");
+
+    // ---- 1. The current portfolio. ----
+    let roles = [RoleId::new("analyst")];
+    let portfolio = vec![
+        ReportSpec::new(
+            "r-drug",
+            "Consumption per drug",
+            scan("Prescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]),
+            roles.clone(),
+        ),
+        ReportSpec::new(
+            "r-disease",
+            "Cases per disease",
+            scan("Prescriptions").aggregate(vec!["Disease".into()], vec![AggItem::count_star("n")]),
+            roles.clone(),
+        ),
+        ReportSpec::new(
+            "r-family",
+            "Consumption per drug family",
+            scan("Prescriptions")
+                .join(scan("DrugRegistry"), vec![("Drug".into(), "Drug".into())], "reg")
+                .aggregate(vec!["Family".into()], vec![AggItem::count_star("n")]),
+            roles.clone(),
+        ),
+    ];
+
+    // ---- 2. Synthesize candidate meta-reports. ----
+    for knob in [GranularityKnob::per_footprint(), GranularityKnob::universe()] {
+        let out = synthesize_meta_reports(&portfolio, &cat, &refs, knob).expect("synthesis runs");
+        println!(
+            "knob overlap={:.2}: {} meta-report(s)",
+            knob.merge_overlap,
+            out.metas.len()
+        );
+        for m in &out.metas {
+            println!("  {} — {}", m.id, m.title);
+            println!("    columns: {}", m.plan.schema(&cat).expect("plan valid"));
+        }
+    }
+    println!();
+
+    // ---- 3. Owners annotate and approve the universe meta-report. ----
+    let out = synthesize_meta_reports(&portfolio, &cat, &refs, GranularityKnob::universe())
+        .expect("synthesis runs");
+    let hospital_pla = pla::dsl::parse_document(
+        r#"pla "hospital-meta" source hospital version 1 level meta-report {
+  require aggregation Prescriptions min 3;
+  allow attribute Prescriptions.Doctor to auditor;
+  purpose quality;
+}"#,
+    )
+    .expect("DSL parses");
+    let metas: Vec<MetaReport> = out
+        .metas
+        .into_iter()
+        .map(|m| m.with_annotation(hospital_pla.clone()).approved("hospital"))
+        .collect();
+    println!("approved {} annotated meta-report(s)\n", metas.len());
+
+    // ---- 4. Gate new reports against the approved meta-reports. ----
+    let today = Date::new(2008, 7, 1).expect("valid date");
+    let table_source = scenario.table_source.clone();
+    let gate = |report: &ReportSpec| {
+        let res = check_report(report, &metas, &cat, &refs, &[], &table_source, today)
+            .expect("gate runs");
+        match &res.coverage {
+            Coverage::Covered { meta, .. } => println!(
+                "  {:<14} covered by {:<10} violations={} obligations={}",
+                report.id,
+                meta.as_str(),
+                res.violations.len(),
+                res.obligations.len()
+            ),
+            Coverage::NotCovered { reasons } => {
+                println!("  {:<14} NOT covered — new elicitation round needed:", report.id);
+                for (mid, why) in reasons {
+                    println!("      vs {}: {}", mid, why);
+                }
+            }
+        }
+    };
+
+    println!("gating new reports:");
+    // A coarsening of an existing report: covered, no new elicitation.
+    gate(&ReportSpec::new(
+        "r-fam-coarse",
+        "Families, filtered",
+        scan("Prescriptions")
+            .join(scan("DrugRegistry"), vec![("Drug".into(), "Drug".into())], "reg")
+            .filter(col("Family").ne(lit("antiviral")))
+            .aggregate(vec!["Family".into()], vec![AggItem::count_star("n")]),
+        roles.clone(),
+    ));
+    // Uses a column the owners never saw: not covered.
+    gate(&ReportSpec::new(
+        "r-doctor",
+        "Per doctor",
+        scan("Prescriptions").aggregate(vec!["Doctor".into()], vec![AggItem::count_star("n")]),
+        roles.clone(),
+    ));
+    // Covered but violating the inherited PLA (raw rows).
+    gate(&ReportSpec::new(
+        "r-raw",
+        "Raw drugs",
+        scan("Prescriptions").project_cols(&["Drug"]),
+        roles,
+    ));
+}

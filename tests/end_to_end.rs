@@ -1,0 +1,299 @@
+//! Cross-crate integration tests: the full Fig. 1 scenario driven
+//! through the `BiSystem` facade, exercising every subsystem together.
+
+use plabi::pla;
+use plabi::prelude::*;
+use plabi::warehouse::{CubeQuery, DimLevel, Dimension, FactTable};
+
+fn today() -> Date {
+    Date::new(2008, 7, 1).unwrap()
+}
+
+/// Builds the standard deployment used by several tests.
+fn deployment(prescriptions: usize) -> BiSystem {
+    let scenario = Scenario::generate(ScenarioConfig {
+        patients: 60,
+        prescriptions,
+        lab_tests: 100,
+        ..Default::default()
+    });
+    let mut sys = BiSystem::new(today());
+    for (sid, cat) in &scenario.sources {
+        sys.register_source(sid.clone(), cat.clone());
+    }
+    sys.add_pla_text(
+        r#"
+pla "hospital" source hospital version 1 level meta-report {
+  require aggregation FactPrescriptions min 2;
+  allow integration by hospital;
+  purpose quality;
+}
+pla "laboratory" source laboratory version 1 level source {
+  allow integration by laboratory;
+}
+"#,
+    )
+    .unwrap();
+    let pipeline = Pipeline::new("nightly")
+        .step("e1", EtlOp::Extract {
+            source: "hospital".into(),
+            table: "Prescriptions".into(),
+            as_name: "sp".into(),
+        })
+        .step("e2", EtlOp::Extract {
+            source: "health-agency".into(),
+            table: "DrugRegistry".into(),
+            as_name: "sr".into(),
+        })
+        .step("l1", EtlOp::Load { table: "sp".into(), warehouse_table: "FactPrescriptions".into() })
+        .step("l2", EtlOp::Load { table: "sr".into(), warehouse_table: "DimDrug".into() });
+    sys.run_etl(&pipeline, Some("quality")).unwrap();
+
+    sys.warehouse_mut().add_dimension(Dimension {
+        name: "Drug".into(),
+        table: "DimDrug".into(),
+        key: "Drug".into(),
+        levels: vec![
+            DimLevel { name: "Drug".into(), column: "DrugName".into() },
+            DimLevel { name: "Family".into(), column: "Family".into() },
+        ],
+    });
+    sys.warehouse_mut()
+        .add_fact(FactTable {
+            name: "Prescriptions".into(),
+            table: "FactPrescriptions".into(),
+            dims: vec![("Drug".into(), "Drug".into())],
+            measures: vec![],
+        })
+        .unwrap();
+
+    sys.add_meta_report(
+        MetaReport::new(
+            "m-universe",
+            "Prescription universe",
+            scan("FactPrescriptions").project_cols(&["Patient", "Drug", "Disease", "Date"]),
+        )
+        .approved("hospital"),
+    );
+    sys.subjects_mut().grant("ada", "analyst");
+    sys
+}
+
+#[test]
+fn etl_warehouse_cube_report_audit_chain() {
+    let mut sys = deployment(400);
+
+    // A cube query compiled to a plan serves directly as a report.
+    let cube_plan = CubeQuery::on("Prescriptions")
+        .by("Drug", "Family")
+        .count("n")
+        .plan(sys.warehouse())
+        .unwrap();
+    sys.define_report(
+        ReportSpec::new("r-family", "By family", cube_plan, [RoleId::new("analyst")])
+            .for_purpose("quality"),
+    );
+
+    // The cube joins DimDrug, which the meta-report does not cover —
+    // but the warehouse FKs made the wide join losslessly prunable the
+    // *other* way; here the report has MORE tables, so it is NOT covered
+    // and the gate reports it.
+    let gate = sys.check(&"r-family".into()).unwrap();
+    assert!(!gate.coverage.is_covered());
+
+    // Widen the meta-report (a new elicitation round) and re-check.
+    sys.add_meta_report(
+        MetaReport::new(
+            "m-wide",
+            "Prescriptions with drug registry",
+            scan("FactPrescriptions")
+                .join(scan("DimDrug"), vec![("Drug".into(), "Drug".into())], "reg")
+                .project_cols(&["Patient", "Drug", "Disease", "DrugName", "Family"]),
+        )
+        .approved("hospital")
+        .approved("health-agency"),
+    );
+    let gate = sys.check(&"r-family".into()).unwrap();
+    assert!(gate.coverage.is_covered(), "wide meta now covers the cube");
+    assert!(gate.is_compliant());
+
+    // Deliver and audit.
+    let out = sys.deliver(&"r-family".into(), &"ada".into()).unwrap();
+    assert!(!out.table.is_empty());
+    assert_eq!(sys.audit_log().deliveries().count(), 1);
+    assert!(sys.recheck().unwrap().is_empty());
+}
+
+#[test]
+fn cross_level_equivalence_source_vs_report_enforcement() {
+    // The same row restriction enforced (a) at the source boundary
+    // during ETL and (b) at report rendering must yield identical
+    // visible data — the continuum is about *where*, not *what*.
+    let scenario = Scenario::generate(ScenarioConfig {
+        patients: 40,
+        prescriptions: 300,
+        lab_tests: 0,
+        ..Default::default()
+    });
+
+    let restriction = "Disease <> 'HIV'";
+    let mk_pipeline = || {
+        Pipeline::new("p")
+            .step("e", EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "s".into(),
+            })
+            .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "Fact".into() })
+    };
+    let report_plan =
+        scan("Fact").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
+
+    // (a) Source-level: restriction on the *source* table name.
+    let mut sys_a = BiSystem::new(today());
+    for (sid, cat) in &scenario.sources {
+        sys_a.register_source(sid.clone(), cat.clone());
+    }
+    sys_a
+        .add_pla_text(&format!(
+            "pla \"h\" source hospital version 1 level source {{\n  restrict rows Prescriptions when {restriction};\n}}"
+        ))
+        .unwrap();
+    sys_a.run_etl(&mk_pipeline(), None).unwrap();
+    sys_a.add_meta_report(
+        MetaReport::new("m", "u", scan("Fact").project_cols(&["Drug", "Disease"])).approved("hospital"),
+    );
+    sys_a.define_report(ReportSpec::new("r", "r", report_plan.clone(), [RoleId::new("analyst")]));
+    sys_a.subjects_mut().grant("ada", "analyst");
+    let a = sys_a.deliver(&"r".into(), &"ada".into()).unwrap();
+
+    // (b) Report-level: restriction on the *warehouse* table name.
+    let mut sys_b = BiSystem::new(today());
+    for (sid, cat) in &scenario.sources {
+        sys_b.register_source(sid.clone(), cat.clone());
+    }
+    sys_b
+        .add_pla_text(&format!(
+            "pla \"h\" source hospital version 1 level report {{\n  restrict rows Fact when {restriction};\n}}"
+        ))
+        .unwrap();
+    sys_b.run_etl(&mk_pipeline(), None).unwrap();
+    sys_b.add_meta_report(
+        MetaReport::new("m", "u", scan("Fact").project_cols(&["Drug", "Disease"])).approved("hospital"),
+    );
+    sys_b.define_report(ReportSpec::new("r", "r", report_plan, [RoleId::new("analyst")]));
+    sys_b.subjects_mut().grant("ada", "analyst");
+    let b = sys_b.deliver(&"r".into(), &"ada".into()).unwrap();
+
+    let mut ra = a.table.rows().to_vec();
+    let mut rb = b.table.rows().to_vec();
+    ra.sort();
+    rb.sort();
+    assert_eq!(ra, rb, "source-level and report-level enforcement agree");
+}
+
+#[test]
+fn retention_is_enforced_wherever_the_data_flows() {
+    let scenario = Scenario::generate(ScenarioConfig {
+        patients: 40,
+        prescriptions: 400,
+        lab_tests: 0,
+        ..Default::default()
+    });
+    let mut sys = BiSystem::new(today());
+    for (sid, cat) in &scenario.sources {
+        sys.register_source(sid.clone(), cat.clone());
+    }
+    // 200-day retention on the source table: ETL extraction filters.
+    sys.add_pla_text(
+        "pla \"h\" source hospital version 1 level source {\n  retain Prescriptions.Date for 200 days;\n}",
+    )
+    .unwrap();
+    let pipeline = Pipeline::new("p")
+        .step("e", EtlOp::Extract {
+            source: "hospital".into(),
+            table: "Prescriptions".into(),
+            as_name: "s".into(),
+        })
+        .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "Fact".into() });
+    sys.run_etl(&pipeline, None).unwrap();
+    let cutoff = today().plus_days(-200).unwrap();
+    let fact = sys.warehouse().catalog().table("Fact").unwrap();
+    assert!(!fact.is_empty(), "some prescriptions are recent enough");
+    for row in fact.rows() {
+        let d = row[4].as_date().unwrap();
+        assert!(d >= cutoff, "retention violated: {d}");
+    }
+}
+
+#[test]
+fn join_prohibition_blocks_report_combining_sources() {
+    let mut sys = deployment(200);
+    // The municipality forbids joining with the hospital.
+    sys.add_pla(
+        PlaDocument::new("mun", "municipality", PlaLevel::Source).with_rule(PlaRule::JoinPermission {
+            left_source: "municipality".into(),
+            right_source: "hospital".into(),
+            allowed: false,
+        }),
+    );
+    // Load residents next to the facts.
+    let pipeline = Pipeline::new("res")
+        .step("e", EtlOp::Extract {
+            source: "municipality".into(),
+            table: "Residents".into(),
+            as_name: "sr".into(),
+        })
+        .step("l", EtlOp::Load { table: "sr".into(), warehouse_table: "DimResident".into() });
+    sys.run_etl(&pipeline, None).unwrap();
+
+    sys.define_report(ReportSpec::new(
+        "r-combine",
+        "Prescriptions by municipality",
+        scan("FactPrescriptions")
+            .join(scan("DimResident"), vec![("Patient".into(), "Patient".into())], "res")
+            .aggregate(vec!["Municipality".into()], vec![AggItem::count_star("n")]),
+        [RoleId::new("analyst")],
+    ));
+    let gate = sys.check(&"r-combine".into()).unwrap();
+    assert!(gate.violations.iter().any(|v| v.kind == "join-permission"));
+    assert!(sys.deliver(&"r-combine".into(), &"ada".into()).is_err());
+    assert_eq!(sys.audit_log().refusal_count(), 1);
+}
+
+#[test]
+fn pla_dsl_documents_round_trip_through_the_system() {
+    let text = r#"pla "hospital" source hospital version 3 level meta-report {
+  allow attribute FactPrescriptions.Doctor to auditor when Disease <> 'HIV';
+  require aggregation FactPrescriptions min 4;
+  anonymize FactPrescriptions.Patient with pseudonym;
+  forbid join hospital with laboratory;
+  retain FactPrescriptions.Date for 365 days;
+  purpose quality;
+}"#;
+    let doc = pla::dsl::parse_document(text).unwrap();
+    let printed = doc.to_string();
+    let reparsed = pla::dsl::parse_document(&printed).unwrap();
+    assert_eq!(doc, reparsed);
+    assert_eq!(doc.version, 3);
+    assert_eq!(doc.rules.len(), 6);
+}
+
+#[test]
+fn provenance_tracks_through_etl_and_reporting() {
+    use plabi::provenance::{pexecute, Lineage, ProvCatalog};
+    let sys = deployment(150);
+    let plan = scan("FactPrescriptions")
+        .aggregate(vec!["Disease".into()], vec![AggItem::count_star("n")]);
+    let pcat = ProvCatalog::new(sys.warehouse().catalog());
+    let annotated = pexecute(&plan, &pcat).unwrap();
+    let lineage = Lineage::build(&annotated);
+    assert!(lineage.exposes_column("FactPrescriptions", "Disease"));
+    // COUNT(*) carries conservative why-provenance: Doctor is witnessed,
+    // but only ever through the count column — never shown directly.
+    let doctor_cells = lineage.cells_from_column("FactPrescriptions", "Doctor");
+    assert!(doctor_cells.iter().all(|(_, c)| c == "n"));
+    // Values agree with the plain executor.
+    let plain = plabi::query::execute(&plan, sys.warehouse().catalog()).unwrap();
+    assert_eq!(plain.rows(), annotated.table().rows());
+}
