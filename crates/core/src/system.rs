@@ -2,12 +2,13 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use bi_audit::{AuditLog, Outcome};
 use bi_etl::{check_pipeline, run_pipeline, EtlReport, Pipeline};
-use bi_pla::{CombinedPolicy, PlaDocument, SubjectRegistry, Violation};
+use bi_pla::{CheckProgram, CombinedPolicy, PlaDocument, SubjectRegistry, Violation};
 use bi_query::Catalog;
-use bi_report::{check_report, render_enforced, ComplianceResult, EngineConfig, EnforcedReport, MetaReport, ReportSpec};
+use bi_report::{render_checked, ComplianceResult, EngineConfig, EnforcedReport, MetaIndex, MetaReport, ReportSpec};
 use bi_types::{ConsumerId, Date, ReportId, SourceId};
 use bi_warehouse::Warehouse;
 
@@ -61,6 +62,19 @@ impl From<bi_query::QueryError> for SystemError {
     }
 }
 
+/// Epoch-keyed cache of the combined policies. The epoch counts PLA
+/// mutations; a cached entry is valid only while its epoch matches the
+/// system's current one, so any `add_pla` / `add_pla_text` /
+/// `add_meta_report` invalidates it without touching the cache itself.
+struct PolicyCache {
+    epoch: u64,
+    /// Every document + every meta-report annotation ([`BiSystem::policy`]).
+    full: Arc<CombinedPolicy>,
+    /// Documents + annotations of *approved* meta-reports only — the
+    /// policy the compliance gate binds.
+    gate: Arc<CombinedPolicy>,
+}
+
 /// The whole outsourced-BI deployment: sources + PLAs + ETL + warehouse
 /// + meta-reports + reports + enforcement + audit.
 pub struct BiSystem {
@@ -72,11 +86,14 @@ pub struct BiSystem {
     documents: Vec<PlaDocument>,
     warehouse: Warehouse,
     metas: Vec<MetaReport>,
-    reports: BTreeMap<ReportId, ReportSpec>,
+    reports: BTreeMap<ReportId, Arc<ReportSpec>>,
     subjects: SubjectRegistry,
     log: AuditLog,
     engine: EngineConfig,
     today: Date,
+    /// Bumped on every PLA mutation; keys [`PolicyCache`].
+    policy_epoch: u64,
+    policy_cache: Mutex<Option<PolicyCache>>,
 }
 
 impl BiSystem {
@@ -94,6 +111,8 @@ impl BiSystem {
             log: AuditLog::new(),
             engine: EngineConfig::default(),
             today,
+            policy_epoch: 0,
+            policy_cache: Mutex::new(None),
         }
     }
 
@@ -111,6 +130,7 @@ impl BiSystem {
     /// Registers a PLA document (from any level).
     pub fn add_pla(&mut self, doc: PlaDocument) {
         self.documents.push(doc);
+        self.policy_epoch += 1;
     }
 
     /// Parses and registers PLA documents from DSL text.
@@ -118,17 +138,58 @@ impl BiSystem {
         let docs = bi_pla::dsl::parse_documents(text)?;
         let n = docs.len();
         self.documents.extend(docs);
+        self.policy_epoch += 1;
         Ok(n)
     }
 
-    /// The combined (most-restrictive-wins) policy over every document
-    /// registered so far, including meta-report annotations.
-    pub fn policy(&self) -> CombinedPolicy {
-        let mut docs = self.documents.clone();
-        for m in &self.metas {
-            docs.extend(m.annotations.iter().cloned());
+    /// Both combined policies, recombining only when a PLA mutation has
+    /// bumped the epoch since the last call.
+    fn policies(&self) -> (Arc<CombinedPolicy>, Arc<CombinedPolicy>) {
+        let mut cache = self.policy_cache.lock().unwrap();
+        if let Some(c) = cache.as_ref() {
+            if c.epoch == self.policy_epoch {
+                return (Arc::clone(&c.full), Arc::clone(&c.gate));
+            }
         }
-        CombinedPolicy::combine(&docs)
+        let full_docs: Vec<PlaDocument> = self
+            .documents
+            .iter()
+            .chain(self.metas.iter().flat_map(|m| m.annotations.iter()))
+            .cloned()
+            .collect();
+        let gate_docs: Vec<PlaDocument> = self
+            .documents
+            .iter()
+            .chain(
+                self.metas
+                    .iter()
+                    .filter(|m| m.is_approved())
+                    .flat_map(|m| m.annotations.iter()),
+            )
+            .cloned()
+            .collect();
+        let full = Arc::new(CombinedPolicy::combine(&full_docs));
+        let gate = Arc::new(CombinedPolicy::combine(&gate_docs));
+        *cache = Some(PolicyCache {
+            epoch: self.policy_epoch,
+            full: Arc::clone(&full),
+            gate: Arc::clone(&gate),
+        });
+        (full, gate)
+    }
+
+    /// The combined (most-restrictive-wins) policy over every document
+    /// registered so far, including meta-report annotations. Cached:
+    /// repeated calls share one combination until the next PLA mutation
+    /// (`add_pla`, `add_pla_text`, `add_meta_report`) invalidates it.
+    pub fn policy(&self) -> Arc<CombinedPolicy> {
+        self.policies().0
+    }
+
+    /// The policy the compliance gate binds: documents + annotations of
+    /// approved meta-reports only.
+    fn gate_policy(&self) -> Arc<CombinedPolicy> {
+        self.policies().1
     }
 
     /// Consumer/role registry.
@@ -165,7 +226,7 @@ impl BiSystem {
         if !violations.is_empty() {
             return Err(SystemError::PipelineViolations(violations));
         }
-        let report = run_pipeline(pipeline, &self.sources, Some(&policy), self.today)?;
+        let report = run_pipeline(pipeline, &self.sources, Some(&*policy), self.today)?;
         // Validate referential integrity over a staging copy FIRST: a
         // failure must leave the warehouse exactly as it was, not half
         // loaded.
@@ -192,6 +253,7 @@ impl BiSystem {
     /// Registers an approved meta-report.
     pub fn add_meta_report(&mut self, meta: MetaReport) {
         self.metas.push(meta);
+        self.policy_epoch += 1;
     }
 
     /// Approved meta-reports.
@@ -199,9 +261,11 @@ impl BiSystem {
         &self.metas
     }
 
-    /// Defines (or replaces) a report.
+    /// Defines (or replaces) a report. Stored behind an [`Arc`] so
+    /// delivery can hold the spec while mutating the audit log, without
+    /// deep-copying the plan.
     pub fn define_report(&mut self, report: ReportSpec) {
-        self.reports.insert(report.id.clone(), report);
+        self.reports.insert(report.id.clone(), Arc::new(report));
     }
 
     /// Removes a report definition.
@@ -211,7 +275,7 @@ impl BiSystem {
 
     /// All defined reports.
     pub fn reports(&self) -> impl Iterator<Item = &ReportSpec> {
-        self.reports.values()
+        self.reports.values().map(Arc::as_ref)
     }
 
     /// Join-permission violations across the FULL source attribution of
@@ -252,16 +316,19 @@ impl BiSystem {
     pub fn check(&self, id: &ReportId) -> Result<ComplianceResult, SystemError> {
         let report =
             self.reports.get(id).ok_or_else(|| SystemError::UnknownReport(id.clone()))?;
-        let mut result = check_report(
-            report,
-            &self.metas,
-            self.warehouse.catalog(),
-            self.warehouse.refs(),
-            &self.documents,
-            &self.table_source,
-            self.today,
-        )
-        .map_err(SystemError::from)?;
+        let cat = self.warehouse.catalog();
+        // 1. Coverage: find an approved meta-report the plan derives from.
+        let index = MetaIndex::build(&self.metas, cat).map_err(SystemError::from)?;
+        let coverage = index.cover(&report.plan, cat, self.warehouse.refs())?;
+        // 2. Rule check: compile the plan once against the (cached) gate
+        //    policy, then run it for the report's declared consumers.
+        let outcome = CheckProgram::compile(&report.plan, cat, &self.gate_policy(), &self.table_source)?
+            .run(&report.consumers, report.purpose.as_deref(), self.today)?;
+        let mut result = ComplianceResult {
+            coverage,
+            violations: outcome.violations,
+            obligations: outcome.obligations,
+        };
         let extra = self.multi_source_violations(&report.plan, &self.policy())?;
         for v in extra {
             if !result.violations.contains(&v) {
@@ -278,11 +345,9 @@ impl BiSystem {
         id: &ReportId,
         consumer: &ConsumerId,
     ) -> Result<EnforcedReport, SystemError> {
-        let report = self
-            .reports
-            .get(id)
-            .ok_or_else(|| SystemError::UnknownReport(id.clone()))?
-            .clone();
+        let report = Arc::clone(
+            self.reports.get(id).ok_or_else(|| SystemError::UnknownReport(id.clone()))?,
+        );
         let roles: BTreeSet<_> = self.subjects.roles_of(consumer);
         // The consumer must hold one of the report's declared roles; the
         // effective roles for PLA checks are the intersection.
@@ -303,64 +368,53 @@ impl BiSystem {
             });
         }
         upfront.extend(self.multi_source_violations(&report.plan, &policy)?);
-        if !upfront.is_empty() {
-            self.log.record(
-                self.today,
-                consumer.clone(),
-                effective.clone(),
-                id.clone(),
-                report.plan.clone(),
-                report.purpose.clone(),
-                Vec::new(),
-                Outcome::Refused { violations: upfront.clone() },
-            );
-            return Err(SystemError::Report(bi_report::ReportError::NonCompliant {
-                violations: upfront,
-            }));
-        }
-        let mut spec = report.clone();
-        spec.consumers = effective;
 
-        let result = render_enforced(
-            &spec,
-            self.warehouse.catalog(),
-            &policy,
-            &self.table_source,
-            &self.engine,
-            self.today,
-        );
-        match result {
-            Ok(enforced) => {
-                self.log.record(
-                    self.today,
-                    consumer.clone(),
-                    spec.consumers.clone(),
-                    id.clone(),
-                    report.plan.clone(),
-                    report.purpose.clone(),
-                    enforced.applied.clone(),
-                    Outcome::Delivered {
-                        rows: enforced.table.len(),
-                        suppressed_groups: enforced.suppressed_groups,
-                    },
-                );
-                Ok(enforced)
+        // Compliance + enforcement: compile the plan's check program
+        // once, run it for this consumer's effective roles, render under
+        // the resulting obligations.
+        let result: Result<EnforcedReport, bi_report::ReportError> = if !upfront.is_empty() {
+            Err(bi_report::ReportError::NonCompliant { violations: upfront })
+        } else {
+            CheckProgram::compile(&report.plan, self.warehouse.catalog(), &policy, &self.table_source)
+                .and_then(|program| program.run(&effective, report.purpose.as_deref(), self.today))
+                .map_err(bi_report::ReportError::from)
+                .and_then(|outcome| {
+                    render_checked(&report, self.warehouse.catalog(), outcome, &self.engine)
+                })
+        };
+        // Journal the outcome. Compliance refusals are logged for the
+        // auditor; other errors (unknown tables, bad plans) are not
+        // deliveries and bypass the journal, exactly as before.
+        let result = match result {
+            Err(e) if !matches!(e, bi_report::ReportError::NonCompliant { .. }) => {
+                return Err(SystemError::Report(e))
             }
+            other => other,
+        };
+        let (applied, outcome) = match &result {
+            Ok(enforced) => (
+                enforced.applied.clone(),
+                Outcome::Delivered {
+                    rows: enforced.table.len(),
+                    suppressed_groups: enforced.suppressed_groups,
+                },
+            ),
             Err(bi_report::ReportError::NonCompliant { violations }) => {
-                self.log.record(
-                    self.today,
-                    consumer.clone(),
-                    spec.consumers.clone(),
-                    id.clone(),
-                    report.plan.clone(),
-                    report.purpose.clone(),
-                    Vec::new(),
-                    Outcome::Refused { violations: violations.clone() },
-                );
-                Err(SystemError::Report(bi_report::ReportError::NonCompliant { violations }))
+                (Vec::new(), Outcome::Refused { violations: violations.clone() })
             }
-            Err(e) => Err(SystemError::Report(e)),
-        }
+            Err(_) => unreachable!("non-compliance is the only error reaching the journal"),
+        };
+        self.log.record(
+            self.today,
+            consumer.clone(),
+            effective,
+            id.clone(),
+            report.plan.clone(),
+            report.purpose.clone(),
+            applied,
+            outcome,
+        );
+        result.map_err(SystemError::Report)
     }
 
     /// Lints every registered PLA document (including meta-report
@@ -390,11 +444,9 @@ impl BiSystem {
             .map(|d| d.id.clone())
             .chain(self.metas.iter().flat_map(|m| m.annotations.iter().map(|d| d.id.clone())))
             .collect();
-        let spec = self
-            .reports
-            .get(id)
-            .ok_or_else(|| SystemError::UnknownReport(id.clone()))?
-            .clone();
+        let spec = Arc::clone(
+            self.reports.get(id).ok_or_else(|| SystemError::UnknownReport(id.clone()))?,
+        );
         let enforced = self.deliver(id, consumer)?;
         Ok(bi_report::render::delivery_document(&spec, &enforced, consumer, self.today, &binding))
     }
@@ -447,8 +499,8 @@ mod tests {
             ..Default::default()
         });
         let mut sys = BiSystem::new(today());
-        for (sid, cat) in &scenario.sources {
-            sys.register_source(sid.clone(), cat.clone());
+        for (sid, cat) in scenario.sources {
+            sys.register_source(sid, cat);
         }
         sys.add_pla_text(
             r#"pla "hospital-1" source hospital version 1 level meta-report {
@@ -549,6 +601,52 @@ mod tests {
         ));
     }
 
+    /// The combined policy is cached between PLA mutations: repeated
+    /// `policy()` calls share one combination, and every mutation path
+    /// (`add_pla`, `add_pla_text`, `add_meta_report`) invalidates it.
+    #[test]
+    fn policy_cache_is_invalidated_by_pla_mutations() {
+        let mut sys = BiSystem::new(today());
+        let p1 = sys.policy();
+        let p2 = sys.policy();
+        assert!(std::sync::Arc::ptr_eq(&p1, &p2), "no mutation: cache hit shares the policy");
+        assert!(p1.may_join(&"hospital".into(), &"laboratory".into()));
+
+        sys.add_pla(
+            PlaDocument::new("ban", "municipality", PlaLevel::Source).with_rule(
+                PlaRule::JoinPermission {
+                    left_source: "hospital".into(),
+                    right_source: "laboratory".into(),
+                    allowed: false,
+                },
+            ),
+        );
+        let p3 = sys.policy();
+        assert!(!std::sync::Arc::ptr_eq(&p1, &p3), "add_pla invalidates the cache");
+        assert!(!p3.may_join(&"hospital".into(), &"laboratory".into()));
+        assert!(
+            p1.may_join(&"hospital".into(), &"laboratory".into()),
+            "handles taken before the mutation keep the old combination"
+        );
+
+        sys.add_pla_text(
+            r#"pla "txt" source hospital version 1 level source {
+  forbid join hospital with municipality;
+}"#,
+        )
+        .unwrap();
+        let p4 = sys.policy();
+        assert!(!std::sync::Arc::ptr_eq(&p3, &p4), "add_pla_text invalidates the cache");
+        assert!(!p4.may_join(&"hospital".into(), &"municipality".into()));
+
+        sys.add_meta_report(
+            MetaReport::new("m-cache", "u", scan("FactPrescriptions").project_cols(&["Drug"]))
+                .approved("hospital"),
+        );
+        let p5 = sys.policy();
+        assert!(!std::sync::Arc::ptr_eq(&p4, &p5), "add_meta_report invalidates the cache");
+    }
+
     #[test]
     fn unknown_reports_and_consumers() {
         let mut sys = build_system();
@@ -594,8 +692,8 @@ mod lint_and_document_tests {
             ..Default::default()
         });
         let mut sys = BiSystem::new(Date::new(2008, 7, 1).unwrap());
-        for (sid, cat) in &scenario.sources {
-            sys.register_source(sid.clone(), cat.clone());
+        for (sid, cat) in scenario.sources {
+            sys.register_source(sid, cat);
         }
         sys.add_pla_text(
             r#"pla "typo" source hospital version 1 level meta-report {
@@ -626,8 +724,8 @@ mod lint_and_document_tests {
             ..Default::default()
         });
         let mut sys = BiSystem::new(Date::new(2008, 7, 1).unwrap());
-        for (sid, cat) in &scenario.sources {
-            sys.register_source(sid.clone(), cat.clone());
+        for (sid, cat) in scenario.sources {
+            sys.register_source(sid, cat);
         }
         sys.add_pla_text(
             r#"pla "hospital-1" source hospital version 1 level meta-report {
@@ -684,8 +782,8 @@ mod multi_source_tests {
             ..Default::default()
         });
         let mut sys = BiSystem::new(Date::new(2008, 7, 1).unwrap());
-        for (sid, cat) in &scenario.sources {
-            sys.register_source(sid.clone(), cat.clone());
+        for (sid, cat) in scenario.sources {
+            sys.register_source(sid, cat);
         }
         // Integration granted (the link itself is allowed)…
         sys.add_pla_text(
@@ -758,8 +856,8 @@ mod multi_source_tests {
             ..Default::default()
         });
         let mut sys = BiSystem::new(Date::new(2008, 7, 1).unwrap());
-        for (sid, cat) in &scenario.sources {
-            sys.register_source(sid.clone(), cat.clone());
+        for (sid, cat) in scenario.sources {
+            sys.register_source(sid, cat);
         }
         // Declare an FK the loaded data will violate: facts reference a
         // registry we deliberately empty before loading.

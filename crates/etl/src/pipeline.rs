@@ -227,7 +227,7 @@ fn execute_step(
             for row in t.rows() {
                 let mut r = row.clone();
                 if let Value::Text(s) = &row[c] {
-                    if let Some(to) = map.get(s.as_str()) {
+                    if let Some(to) = map.get(&**s) {
                         r[c] = Value::text(*to);
                         touched += 1;
                     }

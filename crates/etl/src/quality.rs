@@ -167,6 +167,7 @@ pub fn canonicalize_column(
     for row in table.rows() {
         let mut r = row.clone();
         if let Value::Text(s) = &row[c] {
+            let s: &str = s;
             let target = match mapping.get(s) {
                 Some(t) => t.clone(),
                 None => {
@@ -174,17 +175,17 @@ pub fn canonicalize_column(
                     let t = match found {
                         Some(k) => k,
                         None => {
-                            canon.push(s.clone());
-                            s.clone()
+                            canon.push(s.to_string());
+                            s.to_string()
                         }
                     };
-                    mapping.insert(s.clone(), t.clone());
+                    mapping.insert(s.to_string(), t.clone());
                     t
                 }
             };
-            if &target != s {
+            if target != s {
                 replaced += 1;
-                r[c] = Value::Text(target);
+                r[c] = Value::text(target);
             }
         }
         out.push_row(r)?;

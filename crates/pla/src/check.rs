@@ -6,8 +6,18 @@
 //! through run-time [`Obligation`]s the enforcement engine must apply
 //! (masks, k-suppression, anonymization, retention filters). A plan with
 //! no violations + discharged obligations is compliant.
+//!
+//! Checking is split into two phases. [`CheckProgram::compile`] resolves
+//! everything that depends only on the *plan, catalog, and policy* —
+//! origin analysis, view inlining, join-permission pairs, aggregation
+//! shape — into a flat list of ops. [`CheckProgram::run`] then evaluates
+//! the per-consumer inputs (roles, purpose, date) against those ops.
+//! A program is immutable and `Send + Sync` behind `Arc`, so one compile
+//! serves every consumer and delivery of the same report under the same
+//! policy epoch.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use bi_query::{origins, Catalog, Plan, QueryError};
 use bi_relation::expr::Expr;
@@ -82,14 +92,230 @@ fn every_scan_aggregated(plan: &Plan, table: &str) -> bool {
     }
 }
 
-/// Checks `plan` against `policy` for a consumer holding `roles`, run
-/// for `purpose` on `today`'s date. `table_source` maps base tables to
-/// their owning sources (for join-permission checks).
+/// One precompiled check step. Ops either fire unconditionally (the
+/// plan/policy analysis already decided the outcome) or gate on the
+/// run-time inputs: roles, purpose, evaluation date.
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    /// Compile-time analysis already proved this violation.
+    Violate(Violation),
+    /// Compile-time analysis already produced this obligation.
+    Obligate(Obligation),
+    /// Reject any run whose declared purpose is outside `allowed`
+    /// (`None` = unconstrained; runs without a purpose always pass).
+    PurposeGate { allowed: Option<BTreeSet<String>> },
+    /// Role-gated attribute access: disjoint roles violate; permitted
+    /// roles incur one intensional mask obligation per condition.
+    AttributeGate { attribute: AttrRef, allowed_roles: BTreeSet<RoleId>, conditions: Vec<Expr> },
+    /// Retention limit: at run time, filter `table` to rows whose
+    /// `attribute` is within `max_age_days` of the evaluation date.
+    RetentionFilter { table: String, attribute: String, max_age_days: i64 },
+}
+
+/// A compiled compliance check: the plan-, catalog-, and policy-dependent
+/// analysis of [`check_plan`] frozen into an immutable op list.
 ///
-/// Tables missing from `table_source` take no part in join-permission
-/// checking — keep the attribution map complete (BiSystem maintains it
-/// for registered sources and ETL loads, and additionally checks the
-/// full multi-source attribution of combined warehouse tables).
+/// Compile once per (plan, policy) epoch with [`CheckProgram::compile`],
+/// then evaluate per consumer/delivery with [`CheckProgram::run`] — the
+/// run phase touches no catalog and allocates only the outcome. Programs
+/// are cheaply clonable (`Arc`-shared) and `Send + Sync`.
+#[derive(Debug, Clone)]
+pub struct CheckProgram {
+    ops: Arc<Vec<Op>>,
+}
+
+impl CheckProgram {
+    /// Analyzes `plan` against `policy`, resolving origins, view
+    /// inlining, join permissions, and aggregation shape into ops.
+    /// `table_source` maps base tables to their owning sources (for
+    /// join-permission checks).
+    ///
+    /// Tables missing from `table_source` take no part in
+    /// join-permission checking — keep the attribution map complete
+    /// (BiSystem maintains it for registered sources and ETL loads, and
+    /// additionally checks the full multi-source attribution of combined
+    /// warehouse tables).
+    pub fn compile(
+        plan: &Plan,
+        cat: &Catalog,
+        policy: &CombinedPolicy,
+        table_source: &BTreeMap<String, SourceId>,
+    ) -> Result<CheckProgram, QueryError> {
+        let mut ops = Vec::new();
+
+        // Purpose limitation: resolved against the run's purpose later.
+        ops.push(Op::PurposeGate { allowed: policy.allowed_purposes().cloned() });
+
+        let o = origins::origins(plan, cat)?;
+
+        // Join permissions: any pair of distinct sources whose tables
+        // are combined by this plan.
+        let sources: BTreeSet<&SourceId> =
+            o.tables.iter().filter_map(|t| table_source.get(t)).collect();
+        let srcs: Vec<&SourceId> = sources.into_iter().collect();
+        for i in 0..srcs.len() {
+            for j in i + 1..srcs.len() {
+                if !policy.may_join(srcs[i], srcs[j]) {
+                    ops.push(Op::Violate(Violation {
+                        kind: "join-permission".into(),
+                        description: "plan combines data of sources whose join is prohibited"
+                            .into(),
+                        subject: format!("{} ⋈ {}", srcs[i], srcs[j]),
+                    }));
+                }
+            }
+        }
+
+        // Attribute access over everything the plan touches (outputs and
+        // conditions both reveal data). Role resolution happens at run.
+        for (t, c) in o.all_origins() {
+            let attr = AttrRef::new(t, c);
+            if let Some(r) = policy.attribute_restriction(&attr) {
+                ops.push(Op::AttributeGate {
+                    attribute: attr,
+                    allowed_roles: r.allowed_roles.clone(),
+                    conditions: r.conditions.clone(),
+                });
+            }
+        }
+
+        // Aggregation thresholds: a plan exposing a thresholded table's
+        // rows *unaggregated* is a violation; an aggregated exposure
+        // incurs a run-time group-size obligation. "Aggregated" must
+        // hold per table: every scan of the thresholded table needs an
+        // Aggregate ancestor — an unrelated aggregate elsewhere in the
+        // plan (the other branch of a join or union) must not launder
+        // raw rows through the check.
+        let inlined = cat.inline_views(plan)?;
+        for (table, k) in policy.thresholded_tables() {
+            if !o.tables.contains(table) || k <= 1 {
+                continue;
+            }
+            if every_scan_aggregated(&inlined, table) {
+                ops.push(Op::Obligate(Obligation::EnforceMinGroup {
+                    table: table.to_string(),
+                    k,
+                }));
+            } else {
+                ops.push(Op::Violate(Violation {
+                    kind: "aggregation-threshold".into(),
+                    description: format!(
+                        "table requires aggregation with groups of at least {k}, but the plan exposes raw rows"
+                    ),
+                    subject: table.to_string(),
+                }));
+            }
+        }
+
+        // Row restrictions and retention limits per touched table; the
+        // retention cutoff depends on the evaluation date, so it stays a
+        // run-time op.
+        for t in &o.tables {
+            if let Some(f) = policy.row_filter(t) {
+                ops.push(Op::Obligate(Obligation::FilterRows { table: t.clone(), condition: f }));
+            }
+            for (attr, days) in policy.retentions(t) {
+                ops.push(Op::RetentionFilter {
+                    table: t.clone(),
+                    attribute: attr.to_string(),
+                    max_age_days: days,
+                });
+            }
+        }
+        for (attr, method) in policy.anonymized_attributes() {
+            let touched = o.all_origins().contains(&(attr.table.clone(), attr.column.clone()));
+            if touched {
+                ops.push(Op::Obligate(Obligation::Anonymize {
+                    attribute: attr.clone(),
+                    method: method.clone(),
+                }));
+            }
+        }
+
+        Ok(CheckProgram { ops: Arc::new(ops) })
+    }
+
+    /// Number of compiled ops (diagnostics).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the program performs no checks at all.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Evaluates the compiled ops for a consumer holding `roles`,
+    /// running for `purpose` on `today`'s date.
+    pub fn run(
+        &self,
+        roles: &BTreeSet<RoleId>,
+        purpose: Option<&str>,
+        today: Date,
+    ) -> Result<CheckOutcome, QueryError> {
+        let mut out = CheckOutcome::default();
+        for op in self.ops.iter() {
+            match op {
+                Op::Violate(v) => out.violations.push(v.clone()),
+                Op::Obligate(o) => out.obligations.push(o.clone()),
+                Op::PurposeGate { allowed } => {
+                    if let Some(p) = purpose {
+                        let ok = match allowed {
+                            None => true,
+                            Some(set) => set.contains(p),
+                        };
+                        if !ok {
+                            out.violations.push(Violation {
+                                kind: "purpose".into(),
+                                description: format!(
+                                    "purpose {p:?} is not among the allowed purposes"
+                                ),
+                                subject: p.to_string(),
+                            });
+                        }
+                    }
+                }
+                Op::AttributeGate { attribute, allowed_roles, conditions } => {
+                    if allowed_roles.is_disjoint(roles) {
+                        out.violations.push(Violation {
+                            kind: "attribute-access".into(),
+                            description: format!(
+                                "consumer roles {:?} not in allowed set {:?}",
+                                roles.iter().map(|r| r.as_str()).collect::<Vec<_>>(),
+                                allowed_roles.iter().map(|r| r.as_str()).collect::<Vec<_>>()
+                            ),
+                            subject: attribute.to_string(),
+                        });
+                    } else {
+                        for cond in conditions {
+                            out.obligations.push(Obligation::MaskAttribute {
+                                attribute: attribute.clone(),
+                                condition: cond.clone(),
+                            });
+                        }
+                    }
+                }
+                Op::RetentionFilter { table, attribute, max_age_days } => {
+                    let cutoff = today
+                        .plus_days(-max_age_days)
+                        .map_err(|e| QueryError::Relation(e.into()))?;
+                    out.obligations.push(Obligation::FilterRows {
+                        table: table.clone(),
+                        condition: bi_relation::expr::col(attribute).ge(Expr::Lit(cutoff.into())),
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Checks `plan` against `policy` for a consumer holding `roles`, run
+/// for `purpose` on `today`'s date: one-shot compile + run.
+///
+/// Callers that check the same plan repeatedly (BiSystem's
+/// `check`/`deliver`) should compile a [`CheckProgram`] once and `run`
+/// it per consumer instead.
 pub fn check_plan(
     plan: &Plan,
     cat: &Catalog,
@@ -99,111 +325,7 @@ pub fn check_plan(
     purpose: Option<&str>,
     today: Date,
 ) -> Result<CheckOutcome, QueryError> {
-    let mut out = CheckOutcome::default();
-
-    // Purpose limitation.
-    if let Some(p) = purpose {
-        if !policy.purpose_allowed(p) {
-            out.violations.push(Violation {
-                kind: "purpose".into(),
-                description: format!("purpose {p:?} is not among the allowed purposes"),
-                subject: p.to_string(),
-            });
-        }
-    }
-
-    let o = origins::origins(plan, cat)?;
-
-    // Join permissions: any pair of distinct sources whose tables are
-    // combined by this plan.
-    let sources: BTreeSet<&SourceId> =
-        o.tables.iter().filter_map(|t| table_source.get(t)).collect();
-    let srcs: Vec<&SourceId> = sources.into_iter().collect();
-    for i in 0..srcs.len() {
-        for j in i + 1..srcs.len() {
-            if !policy.may_join(srcs[i], srcs[j]) {
-                out.violations.push(Violation {
-                    kind: "join-permission".into(),
-                    description: "plan combines data of sources whose join is prohibited".into(),
-                    subject: format!("{} ⋈ {}", srcs[i], srcs[j]),
-                });
-            }
-        }
-    }
-
-    // Attribute access over everything the plan touches (outputs and
-    // conditions both reveal data).
-    for (t, c) in o.all_origins() {
-        let attr = AttrRef::new(t, c);
-        if let Some(r) = policy.attribute_restriction(&attr) {
-            if r.allowed_roles.is_disjoint(roles) {
-                out.violations.push(Violation {
-                    kind: "attribute-access".into(),
-                    description: format!(
-                        "consumer roles {:?} not in allowed set {:?}",
-                        roles.iter().map(|r| r.as_str()).collect::<Vec<_>>(),
-                        r.allowed_roles.iter().map(|r| r.as_str()).collect::<Vec<_>>()
-                    ),
-                    subject: attr.to_string(),
-                });
-            } else {
-                for cond in &r.conditions {
-                    out.obligations.push(Obligation::MaskAttribute {
-                        attribute: attr.clone(),
-                        condition: cond.clone(),
-                    });
-                }
-            }
-        }
-    }
-
-    // Aggregation thresholds: a plan exposing a thresholded table's rows
-    // *unaggregated* is a violation; an aggregated exposure incurs a
-    // run-time group-size obligation. "Aggregated" must hold per table:
-    // every scan of the thresholded table needs an Aggregate ancestor —
-    // an unrelated aggregate elsewhere in the plan (the other branch of
-    // a join or union) must not launder raw rows through the check.
-    let inlined = cat.inline_views(plan)?;
-    for (table, k) in policy.thresholded_tables() {
-        if !o.tables.contains(table) || k <= 1 {
-            continue;
-        }
-        if every_scan_aggregated(&inlined, table) {
-            out.obligations.push(Obligation::EnforceMinGroup { table: table.to_string(), k });
-        } else {
-            out.violations.push(Violation {
-                kind: "aggregation-threshold".into(),
-                description: format!(
-                    "table requires aggregation with groups of at least {k}, but the plan exposes raw rows"
-                ),
-                subject: table.to_string(),
-            });
-        }
-    }
-
-    // Row restrictions, retention, anonymization: run-time obligations.
-    for t in &o.tables {
-        if let Some(f) = policy.row_filter(t) {
-            out.obligations.push(Obligation::FilterRows { table: t.clone(), condition: f });
-        }
-        for (attr, days) in policy.retentions(t) {
-            let cutoff = today.plus_days(-days).map_err(|e| QueryError::Relation(e.into()))?;
-            out.obligations.push(Obligation::FilterRows {
-                table: t.clone(),
-                condition: bi_relation::expr::col(attr)
-                    .ge(Expr::Lit(cutoff.into())),
-            });
-        }
-    }
-    for (attr, method) in policy.anonymized_attributes() {
-        let touched = o.all_origins().contains(&(attr.table.clone(), attr.column.clone()));
-        if touched {
-            out.obligations
-                .push(Obligation::Anonymize { attribute: attr.clone(), method: method.clone() });
-        }
-    }
-
-    Ok(out)
+    CheckProgram::compile(plan, cat, policy, table_source)?.run(roles, purpose, today)
 }
 
 #[cfg(test)]

@@ -312,6 +312,12 @@ impl CombinedPolicy {
             Some(set) => set.contains(purpose),
         }
     }
+
+    /// The combined allowed-purpose set; `None` when no document
+    /// constrained purposes.
+    pub fn allowed_purposes(&self) -> Option<&BTreeSet<String>> {
+        self.purposes.as_ref()
+    }
 }
 
 #[cfg(test)]

@@ -42,7 +42,7 @@ pub mod lint;
 pub mod rule;
 pub mod subject;
 
-pub use check::{check_plan, Obligation, Violation};
+pub use check::{check_plan, CheckOutcome, CheckProgram, Obligation, Violation};
 pub use combine::{CombinedPolicy, Conflict};
 pub use document::{PlaDocument, PlaLevel};
 pub use error::PlaError;

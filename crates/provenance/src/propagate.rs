@@ -300,7 +300,7 @@ fn paggregate(
 
     // Annotations: recompute groups with the same deterministic grouping.
     let keys: Vec<&str> = group_by.iter().map(String::as_str).collect();
-    let groups: Vec<(Vec<Value>, Vec<usize>)> = if group_by.is_empty() {
+    let groups: Vec<(Vec<&Value>, Vec<usize>)> = if group_by.is_empty() {
         vec![(Vec::new(), (0..g.table.len()).collect())]
     } else {
         g.table.group_indices(&keys).map_err(QueryError::from)?

@@ -147,7 +147,7 @@ fn aggregate(input: &Table, group_by: &[String], aggs: &[AggItem]) -> Result<Tab
         .map(|a| a.arg.as_deref().map(|c| input.schema().index_of(c)).transpose())
         .collect::<Result<_, _>>()?;
 
-    let groups: Vec<(Vec<Value>, Vec<usize>)> = if group_by.is_empty() {
+    let groups: Vec<(Vec<&Value>, Vec<usize>)> = if group_by.is_empty() {
         // Global aggregate: exactly one group, even over an empty input.
         vec![(Vec::new(), (0..input.len()).collect())]
     } else {
@@ -157,7 +157,7 @@ fn aggregate(input: &Table, group_by: &[String], aggs: &[AggItem]) -> Result<Tab
 
     let mut out = Table::new(input.name().to_string(), schema);
     for (key, rows) in groups {
-        let mut row = key;
+        let mut row: Vec<Value> = key.into_iter().cloned().collect();
         for (a, arg) in aggs.iter().zip(&arg_idx) {
             row.push(eval_agg(a.func, input, &rows, *arg)?);
         }

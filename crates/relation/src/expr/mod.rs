@@ -619,7 +619,7 @@ fn eval_func(f: Func, vals: &[Value]) -> Result<Value, RelationError> {
             for v in vals {
                 s.push_str(&v.to_string());
             }
-            Ok(Value::Text(s))
+            Ok(Value::text(s))
         }
         Func::Substr => {
             let s = vals[0].as_text()?;

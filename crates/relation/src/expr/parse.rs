@@ -392,7 +392,7 @@ impl Parser {
         match self.next() {
             Some(Tok::Int(i)) => Ok(Value::Int(i)),
             Some(Tok::Float(f)) => Ok(Value::Float(f)),
-            Some(Tok::Str(s)) => Ok(Value::Text(s)),
+            Some(Tok::Str(s)) => Ok(Value::text(s)),
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("NULL") => Ok(Value::Null),
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("TRUE") => Ok(Value::Bool(true)),
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("FALSE") => Ok(Value::Bool(false)),

@@ -1,6 +1,7 @@
 //! Named, schema-checked tables.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bi_types::{Schema, Value};
 
@@ -15,30 +16,37 @@ pub type Row = Vec<Value>;
 /// Every row admitted by [`Table::push_row`] is checked against the schema
 /// (arity, types, nullability), so a `Table` is well-typed by
 /// construction.
+///
+/// Both the schema and the row storage live behind `Arc`, so cloning a
+/// table — which the warehouse, ETL staging, and report delivery all do —
+/// is two reference-count bumps, not a deep copy. Mutation goes through
+/// [`Arc::make_mut`], giving copy-on-write semantics: a derived clone that
+/// is later mutated detaches without disturbing its parent.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     name: String,
-    schema: Schema,
-    rows: Vec<Row>,
+    schema: Arc<Schema>,
+    rows: Arc<Vec<Row>>,
 }
 
 impl Table {
-    /// An empty table.
-    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        Table { name: name.into(), schema, rows: Vec::new() }
+    /// An empty table. Accepts either a bare [`Schema`] or a shared
+    /// `Arc<Schema>`; pass the latter to reuse an existing allocation.
+    pub fn new(name: impl Into<String>, schema: impl Into<Arc<Schema>>) -> Self {
+        Table { name: name.into(), schema: schema.into(), rows: Arc::new(Vec::new()) }
     }
 
     /// Builds a table from pre-assembled rows, validating each.
     pub fn from_rows(
         name: impl Into<String>,
-        schema: Schema,
+        schema: impl Into<Arc<Schema>>,
         rows: Vec<Row>,
     ) -> Result<Self, RelationError> {
-        let mut t = Table::new(name, schema);
-        for r in rows {
-            t.push_row(r)?;
+        let schema = schema.into();
+        for r in &rows {
+            schema.check_row(r)?;
         }
-        Ok(t)
+        Ok(Table { name: name.into(), schema, rows: Arc::new(rows) })
     }
 
     /// Table name (used by catalogs and provenance tokens).
@@ -56,9 +64,20 @@ impl Table {
         &self.schema
     }
 
+    /// The schema, sharing the existing allocation.
+    pub fn schema_shared(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
     /// All rows.
     pub fn rows(&self) -> &[Row] {
         &self.rows
+    }
+
+    /// True when `self` and `other` share the same row storage (no copy
+    /// has happened between them). Diagnostic aid for the CoW layer.
+    pub fn shares_rows_with(&self, other: &Table) -> bool {
+        Arc::ptr_eq(&self.rows, &other.rows)
     }
 
     /// Number of rows.
@@ -72,9 +91,12 @@ impl Table {
     }
 
     /// Appends a row after validating it against the schema.
+    ///
+    /// Copy-on-write: when the row storage is shared with another table,
+    /// this detaches a private copy first.
     pub fn push_row(&mut self, row: Row) -> Result<(), RelationError> {
         self.schema.check_row(&row)?;
-        self.rows.push(row);
+        Arc::make_mut(&mut self.rows).push(row);
         Ok(())
     }
 
@@ -92,13 +114,19 @@ impl Table {
 
     /// Rows satisfying `pred` (SQL semantics: NULL ⇒ excluded).
     pub fn filter(&self, pred: &Expr) -> Result<Table, RelationError> {
-        let mut out = Table::new(self.name.clone(), self.schema.clone());
-        for row in &self.rows {
+        let mut rows = Vec::new();
+        let mut kept_all = true;
+        for row in self.rows.iter() {
             if pred.eval(&self.schema, row)?.as_bool().unwrap_or(false) {
-                out.rows.push(row.clone());
+                rows.push(row.clone());
+            } else {
+                kept_all = false;
             }
         }
-        Ok(out)
+        // When nothing was filtered out, share the parent's storage
+        // instead of materializing an identical copy.
+        let rows = if kept_all { Arc::clone(&self.rows) } else { Arc::new(rows) };
+        Ok(Table { name: self.name.clone(), schema: Arc::clone(&self.schema), rows })
     }
 
     /// Keeps only the named columns, in order.
@@ -111,7 +139,7 @@ impl Table {
             .iter()
             .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
             .collect();
-        Ok(Table { name: self.name.clone(), schema, rows })
+        Ok(Table { name: self.name.clone(), schema: Arc::new(schema), rows: Arc::new(rows) })
     }
 
     /// Sorts by the named columns (all ascending when `desc` is empty;
@@ -119,7 +147,7 @@ impl Table {
     pub fn sort_by(&self, keys: &[&str], desc: &[bool]) -> Result<Table, RelationError> {
         let idxs: Vec<usize> =
             keys.iter().map(|n| self.schema.index_of(n)).collect::<Result<_, _>>()?;
-        let mut rows = self.rows.clone();
+        let mut rows = (*self.rows).clone();
         rows.sort_by(|a, b| {
             for (k, &i) in idxs.iter().enumerate() {
                 let ord = a[i].cmp(&b[i]);
@@ -130,39 +158,38 @@ impl Table {
             }
             std::cmp::Ordering::Equal
         });
-        Ok(Table { name: self.name.clone(), schema: self.schema.clone(), rows })
+        Ok(Table { name: self.name.clone(), schema: Arc::clone(&self.schema), rows: Arc::new(rows) })
     }
 
     /// Removes duplicate rows, keeping first occurrences.
     pub fn distinct(&self) -> Table {
         let mut seen = std::collections::HashSet::new();
         let rows: Vec<Row> = self.rows.iter().filter(|r| seen.insert((*r).clone())).cloned().collect();
-        Table { name: self.name.clone(), schema: self.schema.clone(), rows }
+        let rows = if rows.len() == self.rows.len() { Arc::clone(&self.rows) } else { Arc::new(rows) };
+        Table { name: self.name.clone(), schema: Arc::clone(&self.schema), rows }
     }
 
     /// Groups row indices by the values of the named columns.
     ///
-    /// The returned pairs are ordered by first appearance of each key,
-    /// making downstream aggregation deterministic.
-    pub fn group_indices(&self, keys: &[&str]) -> Result<Vec<(Row, Vec<usize>)>, RelationError> {
+    /// Keys are borrowed from the table rather than cloned; callers that
+    /// need owned key rows clone the (cheap, `Arc`-interned) values. The
+    /// returned pairs are ordered by first appearance of each key, making
+    /// downstream aggregation deterministic.
+    #[allow(clippy::type_complexity)]
+    pub fn group_indices(&self, keys: &[&str]) -> Result<Vec<(Vec<&Value>, Vec<usize>)>, RelationError> {
         let idxs: Vec<usize> =
             keys.iter().map(|n| self.schema.index_of(n)).collect::<Result<_, _>>()?;
-        let mut order: Vec<Row> = Vec::new();
-        let mut groups: HashMap<Row, Vec<usize>> = HashMap::new();
+        let mut slots: HashMap<Vec<&Value>, usize> = HashMap::new();
+        let mut out: Vec<(Vec<&Value>, Vec<usize>)> = Vec::new();
         for (i, row) in self.rows.iter().enumerate() {
-            let key: Row = idxs.iter().map(|&c| row[c].clone()).collect();
-            groups
-                .entry(key.clone())
-                .or_insert_with(|| {
-                    order.push(key);
-                    Vec::new()
-                })
-                .push(i);
+            let key: Vec<&Value> = idxs.iter().map(|&c| &row[c]).collect();
+            let slot = *slots.entry(key.clone()).or_insert_with(|| {
+                out.push((key, Vec::new()));
+                out.len() - 1
+            });
+            out[slot].1.push(i);
         }
-        Ok(order.into_iter().map(|k| {
-            let v = groups.remove(&k).expect("group key present");
-            (k, v)
-        }).collect())
+        Ok(out)
     }
 
     /// Appends all rows of `other` (must be union-compatible).
@@ -177,7 +204,7 @@ impl Table {
             }
             .into());
         }
-        let mut rows = self.rows.clone();
+        let mut rows = (*self.rows).clone();
         rows.extend(other.rows.iter().cloned());
         // A column of the union is nullable when EITHER input's is —
         // keeping the left schema verbatim would produce a table whose
@@ -194,7 +221,7 @@ impl Table {
             })
             .collect();
         let schema = Schema::new(cols)?;
-        Ok(Table { name: self.name.clone(), schema, rows })
+        Ok(Table { name: self.name.clone(), schema: Arc::new(schema), rows: Arc::new(rows) })
     }
 
     /// Evaluates `exprs` per row into a new table with the given column
@@ -211,14 +238,14 @@ impl Table {
         }
         let schema = Schema::new(cols)?;
         let mut rows = Vec::with_capacity(self.rows.len());
-        for row in &self.rows {
+        for row in self.rows.iter() {
             let mut out = Vec::with_capacity(items.len());
             for (_, e) in items {
                 out.push(e.eval(&self.schema, row)?);
             }
             rows.push(out);
         }
-        Ok(Table { name: self.name.clone(), schema, rows })
+        Ok(Table { name: self.name.clone(), schema: Arc::new(schema), rows: Arc::new(rows) })
     }
 }
 

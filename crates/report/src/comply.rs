@@ -16,7 +16,7 @@
 
 use std::collections::BTreeMap;
 
-use bi_pla::{check_plan, CombinedPolicy, Obligation, Violation};
+use bi_pla::{CheckProgram, CombinedPolicy, Obligation, Violation};
 use bi_query::contain::{Derivation, NotDerivable, RefIntegrity};
 use bi_query::Catalog;
 use bi_types::{Date, ReportId, SourceId};
@@ -148,15 +148,8 @@ pub fn check_report(
         docs.extend(m.annotations.iter().cloned());
     }
     let policy = CombinedPolicy::combine(&docs);
-    let outcome = check_plan(
-        &report.plan,
-        cat,
-        &policy,
-        &report.consumers,
-        table_source,
-        report.purpose.as_deref(),
-        today,
-    )?;
+    let outcome = CheckProgram::compile(&report.plan, cat, &policy, table_source)?
+        .run(&report.consumers, report.purpose.as_deref(), today)?;
 
     Ok(ComplianceResult {
         coverage,

@@ -22,7 +22,7 @@
 use std::collections::BTreeMap;
 
 use bi_anonymize::{Hierarchy, Pseudonymizer};
-use bi_pla::{check_plan, AnonMethod, CombinedPolicy, Obligation};
+use bi_pla::{AnonMethod, CheckOutcome, CheckProgram, CombinedPolicy, Obligation};
 use bi_query::plan::{AggItem, Plan};
 use bi_query::rewrite::{MaskAction, ScanPolicy};
 use bi_query::{origins, Catalog, QueryError};
@@ -81,6 +81,12 @@ fn topmost_aggregate(plan: &Plan) -> Option<(&Vec<String>, &Vec<AggItem>)> {
 }
 
 /// Executes `report` with full PLA enforcement.
+///
+/// Convenience wrapper: compiles the plan's check program, runs it for
+/// the report's declared consumers, and renders under the resulting
+/// obligations. Callers that already hold a [`CheckOutcome`] (e.g. from
+/// a cached [`CheckProgram`] run for a specific consumer's effective
+/// roles) should use [`render_checked`] directly.
 pub fn render_enforced(
     report: &ReportSpec,
     cat: &Catalog,
@@ -89,15 +95,20 @@ pub fn render_enforced(
     config: &EngineConfig,
     today: Date,
 ) -> Result<EnforcedReport, ReportError> {
-    let outcome = check_plan(
-        &report.plan,
-        cat,
-        policy,
-        &report.consumers,
-        table_source,
-        report.purpose.as_deref(),
-        today,
-    )?;
+    let outcome = CheckProgram::compile(&report.plan, cat, policy, table_source)?
+        .run(&report.consumers, report.purpose.as_deref(), today)?;
+    render_checked(report, cat, outcome, config)
+}
+
+/// Renders `report` under an already-computed check outcome: refuses on
+/// violations, then discharges every run-time obligation. The policy,
+/// table attribution, and business date are all baked into `outcome`.
+pub fn render_checked(
+    report: &ReportSpec,
+    cat: &Catalog,
+    outcome: CheckOutcome,
+    config: &EngineConfig,
+) -> Result<EnforcedReport, ReportError> {
     if !outcome.violations.is_empty() {
         return Err(ReportError::NonCompliant { violations: outcome.violations });
     }
@@ -325,7 +336,7 @@ fn regroup_generalized(
     let mut out = Table::new(table.name().to_string(), table.schema().clone());
     let base = group_by.len();
     for (key, rows) in groups {
-        let mut row = key;
+        let mut row: Vec<Value> = key.into_iter().cloned().collect();
         for (ai, a) in aggs.iter().enumerate() {
             let cells = rows.iter().map(|&r| &table.rows()[r][base + ai]);
             let merged = match a.func {

@@ -9,6 +9,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::date::Date;
 use crate::error::TypeError;
@@ -41,19 +42,23 @@ impl fmt::Display for DataType {
 /// `Null` is a first-class member (SQL-style missing data is pervasive in
 /// the paper's health-care sources — e.g. the missing doctor for patient
 /// Chris in Fig. 2's `Prescriptions` table).
+///
+/// Text payloads are interned behind `Arc<str>`, so cloning a text cell —
+/// and therefore cloning rows, tables, and catalogs — is a reference-count
+/// bump rather than a heap copy, and values can be shared across threads.
 #[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Bool(bool),
     Int(i64),
     Float(f64),
-    Text(String),
+    Text(Arc<str>),
     Date(Date),
 }
 
 impl Value {
     /// Text constructor accepting anything string-like.
-    pub fn text(s: impl Into<String>) -> Self {
+    pub fn text(s: impl Into<Arc<str>>) -> Self {
         Value::Text(s.into())
     }
 
@@ -107,8 +112,16 @@ impl Value {
     /// Extracts text or reports a mismatch.
     pub fn as_text(&self) -> Result<&str, TypeError> {
         match self {
-            Value::Text(s) => Ok(s),
+            Value::Text(s) => Ok(s.as_ref()),
             other => Err(TypeError::mismatch(DataType::Text, other, "as_text")),
+        }
+    }
+
+    /// Shares the interned text payload, or reports a mismatch.
+    pub fn as_shared_text(&self) -> Result<Arc<str>, TypeError> {
+        match self {
+            Value::Text(s) => Ok(Arc::clone(s)),
+            other => Err(TypeError::mismatch(DataType::Text, other, "as_shared_text")),
         }
     }
 
@@ -264,12 +277,18 @@ impl From<f64> for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Text(s.to_string())
+        Value::Text(Arc::from(s))
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
+        Value::Text(Arc::from(s))
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(s: Arc<str>) -> Self {
         Value::Text(s)
     }
 }

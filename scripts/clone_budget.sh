@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Clone-budget guard for the shared-ownership data layer.
+#
+# The Arc/CoW refactor cut deep copies out of the facade, the ETL
+# pipeline, and the report engine (seed baseline: system.rs had 41
+# `.clone()` sites). This script fails when the number of `.clone()`
+# call sites in those hot paths creeps back up, so accidental deep
+# copies show up in CI instead of in profiles.
+#
+# Budgets are the current counts; lower them when you remove clones.
+#
+# Usage: scripts/clone_budget.sh [--clippy]
+#   --clippy  also run `cargo clippy --workspace -- -D warnings`
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+declare -A BUDGET=(
+  [crates/core/src/system.rs]=20
+  [crates/etl/src/pipeline.rs]=25
+  [crates/report/src/engine.rs]=28
+)
+
+fail=0
+for file in "${!BUDGET[@]}"; do
+  count=$(grep -c '\.clone()' "$file" || true)
+  budget=${BUDGET[$file]}
+  if [ "$count" -gt "$budget" ]; then
+    echo "FAIL  $file: $count clone() sites (budget $budget)" >&2
+    fail=1
+  else
+    echo "ok    $file: $count clone() sites (budget $budget)"
+  fi
+done
+
+if [ "${1:-}" = "--clippy" ]; then
+  echo "running clippy gate..."
+  cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "clone budget exceeded — use Arc sharing (Table/Schema/Value are cheap to share) instead of deep copies" >&2
+  exit 1
+fi
+echo "clone budget OK"

@@ -575,3 +575,122 @@ proptest! {
         }
     }
 }
+
+// ---------- shared-ownership data layer (Arc rows + CoW) ----------
+
+fn small_table_strategy() -> impl Strategy<Value = Table> {
+    prop::collection::vec(
+        (
+            -20i64..20,
+            "[a-c]{0,2}",
+            prop_oneof![Just(Value::Null), (-5i64..5).prop_map(Value::Int)],
+        ),
+        0..24,
+    )
+    .prop_map(|rows| {
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("t", DataType::Text),
+            Column::nullable("n", DataType::Int),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<Value>> = rows
+            .into_iter()
+            .map(|(a, t, n)| vec![Value::Int(a), Value::text(t), n])
+            .collect();
+        Table::from_rows("T", schema, rows).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `filter` keeps exactly the rows whose predicate evaluates to TRUE
+    /// (SQL semantics: NULL excluded) — bit-identical to a row-by-row
+    /// re-evaluation — and shares the parent's storage when nothing was
+    /// filtered out.
+    #[test]
+    fn filter_matches_rowwise_semantics(t in small_table_strategy(), th in -25i64..25) {
+        let pred = expr::col("a").ge(expr::lit(th));
+        let out = t.filter(&pred).unwrap();
+        let expected: Vec<Vec<Value>> = t
+            .rows()
+            .iter()
+            .filter(|r| pred.eval(t.schema(), r).unwrap().as_bool().unwrap_or(false))
+            .cloned()
+            .collect();
+        prop_assert_eq!(out.rows(), expected.as_slice());
+        prop_assert_eq!(out.schema().names(), t.schema().names());
+        if out.len() == t.len() {
+            prop_assert!(out.shares_rows_with(&t), "a full keep must share storage");
+        } else {
+            prop_assert!(!out.shares_rows_with(&t));
+        }
+        // An always-true predicate always takes the sharing fast path.
+        let all = t.filter(&expr::lit(true)).unwrap();
+        prop_assert!(all.shares_rows_with(&t));
+    }
+
+    /// `project` is exactly column-wise extraction, in the asked order.
+    #[test]
+    fn project_matches_columnwise_extraction(t in small_table_strategy()) {
+        let out = t.project(&["t", "a"]).unwrap();
+        let expected: Vec<Vec<Value>> = t
+            .rows()
+            .iter()
+            .map(|r| vec![r[1].clone(), r[0].clone()])
+            .collect();
+        prop_assert_eq!(out.rows(), expected.as_slice());
+        prop_assert_eq!(out.schema().names(), vec!["t", "a"]);
+    }
+
+    /// `distinct` keeps first occurrences in order; a duplicate-free
+    /// table shares its parent's storage instead of copying it.
+    #[test]
+    fn distinct_keeps_first_occurrences(t in small_table_strategy()) {
+        let out = t.distinct();
+        let mut seen = std::collections::HashSet::new();
+        let expected: Vec<Vec<Value>> = t
+            .rows()
+            .iter()
+            .filter(|r| seen.insert((*r).clone()))
+            .cloned()
+            .collect();
+        prop_assert_eq!(out.rows(), expected.as_slice());
+        if out.len() == t.len() {
+            prop_assert!(out.shares_rows_with(&t), "no duplicates: storage is shared");
+        } else {
+            prop_assert!(!out.shares_rows_with(&t));
+        }
+    }
+
+    /// `union_all` is concatenation, left rows first.
+    #[test]
+    fn union_all_is_concatenation(t in small_table_strategy(), u in small_table_strategy()) {
+        let out = t.union_all(&u).unwrap();
+        let mut expected = t.rows().to_vec();
+        expected.extend(u.rows().iter().cloned());
+        prop_assert_eq!(out.rows(), expected.as_slice());
+        prop_assert_eq!(out.schema().names(), t.schema().names());
+    }
+
+    /// Copy-on-write aliasing: mutating a derived table (a clone or a
+    /// storage-sharing filter result) never mutates the parent.
+    #[test]
+    fn cow_mutation_never_touches_parent(t in small_table_strategy()) {
+        let snapshot = t.rows().to_vec();
+        // A plain clone shares storage until one side mutates.
+        let mut copy = t.clone();
+        prop_assert!(copy.shares_rows_with(&t));
+        copy.push_row(vec![Value::Int(99), Value::text("zz"), Value::Null]).unwrap();
+        prop_assert!(!copy.shares_rows_with(&t), "mutation must unshare");
+        prop_assert_eq!(t.rows(), snapshot.as_slice());
+        prop_assert_eq!(copy.len(), t.len() + 1);
+        // Same through a derived table that took the sharing fast path.
+        let mut derived = t.filter(&expr::lit(true)).unwrap();
+        prop_assert!(derived.shares_rows_with(&t));
+        derived.push_row(vec![Value::Int(-99), Value::text("q"), Value::Null]).unwrap();
+        prop_assert!(!derived.shares_rows_with(&t));
+        prop_assert_eq!(t.rows(), snapshot.as_slice(), "parent rows never change");
+    }
+}

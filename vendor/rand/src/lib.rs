@@ -1,0 +1,249 @@
+//! Minimal, dependency-free stand-in for the `rand` 0.8 API surface used
+//! by this workspace.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `rand` crate cannot be fetched. This crate vendors exactly the subset
+//! the workspace consumes — `StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::{gen_range, gen_bool}`, and `seq::SliceRandom::{choose,
+//! shuffle}` — backed by a splitmix64 generator. Streams are
+//! deterministic per seed (which is all the workspace's tests assert);
+//! they do not bit-match upstream `rand`.
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators. Only `seed_from_u64` is provided; the workspace
+/// never seeds from byte arrays.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_from(&mut |max| gen_u64_below(self, max))
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Uniform value in `[0, bound)`; `bound` must be non-zero.
+fn gen_u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Rejection sampling to avoid modulo bias on wide bounds.
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let x = rng.next_u64();
+        if x <= zone {
+            return x % bound;
+        }
+    }
+}
+
+/// Map a word to `[0, 1)` with 53 bits of precision.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+pub mod distributions {
+    //! Range-sampling support for `Rng::gen_range`.
+
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that can be sampled uniformly. `draw(max)` yields a
+    /// uniform `u64` in `[0, max)`.
+    pub trait SampleRange<T> {
+        fn sample_from(self, draw: &mut dyn FnMut(u64) -> u64) -> T;
+    }
+
+    /// Element types `gen_range` can sample. Mirrors upstream `rand`'s
+    /// structure: ONE blanket `SampleRange` impl per range type keeps the
+    /// element type unified during inference, so expressions such as
+    /// `38_000 + rng.gen_range(0..40)` infer `i64` from context instead
+    /// of falling back to `i32` among per-type impl candidates.
+    pub trait SampleUniform: Copy + PartialOrd {
+        fn sample_between(draw: &mut dyn FnMut(u64) -> u64, lo: Self, hi: Self, inclusive: bool) -> Self;
+    }
+
+    macro_rules! int_sample_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between(draw: &mut dyn FnMut(u64) -> u64, lo: $t, hi: $t, inclusive: bool) -> $t {
+                    if inclusive {
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span = (hi as i128 - lo as i128) as u64;
+                        if span == u64::MAX {
+                            return draw(u64::MAX) as $t; // full-width range
+                        }
+                        (lo as i128 + draw(span + 1) as i128) as $t
+                    } else {
+                        assert!(lo < hi, "gen_range: empty range");
+                        let span = (hi as i128 - lo as i128) as u64;
+                        (lo as i128 + draw(span) as i128) as $t
+                    }
+                }
+            }
+        )*};
+    }
+    int_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl SampleUniform for f64 {
+        fn sample_between(draw: &mut dyn FnMut(u64) -> u64, lo: f64, hi: f64, inclusive: bool) -> f64 {
+            if inclusive {
+                assert!(lo <= hi, "gen_range: empty range");
+            } else {
+                assert!(lo < hi, "gen_range: empty range");
+            }
+            let unit = super::unit_f64(draw(u64::MAX));
+            lo + unit * (hi - lo)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_from(self, draw: &mut dyn FnMut(u64) -> u64) -> T {
+            T::sample_between(draw, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_from(self, draw: &mut dyn FnMut(u64) -> u64) -> T {
+            T::sample_between(draw, *self.start(), *self.end(), true)
+        }
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand`'s
+    /// `StdRng`. Small state, full 64-bit output, passes the statistical
+    /// needs of the synthetic-data and noise tests.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Pre-mix the seed so that small consecutive seeds (0, 1, 2…)
+            // start from well-separated states.
+            let mut rng = StdRng { state: state ^ 0x5851_F42D_4C95_7F2D };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+pub mod seq {
+    use super::{gen_u64_below, Rng};
+
+    /// Slice sampling and shuffling.
+    pub trait SliceRandom {
+        type Item;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[gen_u64_below(rng, self.len() as u64) as usize])
+            }
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                let j = gen_u64_below(rng, (i + 1) as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v = rng.gen_range(-50..50);
+            assert!((-50..50).contains(&v));
+            let u = rng.gen_range(3usize..=9);
+            assert!((3..=9).contains(&u));
+            let f = rng.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.1)).count();
+        assert!((800..1200).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_covers() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<i32> = (0..20).collect();
+        rng.gen_bool(0.5);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(*[1, 2, 3].choose(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}
