@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use bi_exec::ExecConfig;
 use bi_relation::Table;
 use bi_types::{Column, DataType, Schema, Value};
 
@@ -36,7 +37,27 @@ pub fn generalize_table(
     hierarchies: &[Hierarchy],
     levels: &[usize],
 ) -> Result<Table, AnonError> {
-    assert_eq!(hierarchies.len(), levels.len(), "levels parallel to hierarchies");
+    generalize_table_with(table, hierarchies, levels, &ExecConfig::serial())
+}
+
+/// [`generalize_table`] with a parallelism configuration: rows are
+/// generalized in morsels and reassembled in row order, so the result
+/// is identical at any thread count.
+pub fn generalize_table_with(
+    table: &Table,
+    hierarchies: &[Hierarchy],
+    levels: &[usize],
+    cfg: &ExecConfig,
+) -> Result<Table, AnonError> {
+    if hierarchies.len() != levels.len() {
+        return Err(AnonError::BadParams {
+            reason: format!(
+                "levels must be parallel to hierarchies: {} levels for {} hierarchies",
+                levels.len(),
+                hierarchies.len()
+            ),
+        });
+    }
     let qi_idx: Vec<usize> = hierarchies
         .iter()
         .map(|h| table.schema().index_of(h.name()))
@@ -54,15 +75,22 @@ pub fn generalize_table(
         })
         .collect();
     let schema = Schema::new(cols).map_err(AnonError::from)?;
-    let mut out = Table::new(table.name().to_string(), schema);
-    for row in table.rows() {
+    let generalize_row = |row: &Vec<Value>| -> Result<Vec<Value>, AnonError> {
         let mut r = row.clone();
         for (hi, &ci) in qi_idx.iter().enumerate() {
             r[ci] = hierarchies[hi].apply(&row[ci], levels[hi])?;
         }
-        out.push_row(r).map_err(AnonError::from)?;
+        Ok(r)
+    };
+    if cfg.is_serial() {
+        let mut out = Table::new(table.name().to_string(), schema);
+        for row in table.rows() {
+            out.push_row(generalize_row(row)?).map_err(AnonError::from)?;
+        }
+        return Ok(out);
     }
-    Ok(out)
+    let rows = bi_exec::try_par_map(cfg, table.rows(), generalize_row)?;
+    Table::from_rows(table.name().to_string(), schema, rows).map_err(AnonError::from)
 }
 
 /// Partitions row indices into QI-equivalence classes.
@@ -123,6 +151,23 @@ pub fn kanonymize(
     k: usize,
     max_suppress: usize,
 ) -> Result<AnonResult, AnonError> {
+    kanonymize_with(table, hierarchies, k, max_suppress, &ExecConfig::serial())
+}
+
+/// [`kanonymize`] with a parallelism configuration.
+///
+/// The lattice is still searched breadth-first by total height, but all
+/// nodes *of the same height* are evaluated concurrently; the winner is
+/// the first satisfying node in enumeration order, so the chosen levels,
+/// the anonymized table, and `nodes_examined` are identical to the
+/// serial search at any thread count.
+pub fn kanonymize_with(
+    table: &Table,
+    hierarchies: &[Hierarchy],
+    k: usize,
+    max_suppress: usize,
+    cfg: &ExecConfig,
+) -> Result<AnonResult, AnonError> {
     if k == 0 {
         return Err(AnonError::BadParams { reason: "k must be at least 1".into() });
     }
@@ -130,38 +175,71 @@ pub fn kanonymize(
         return Err(AnonError::BadParams { reason: "at least one quasi-identifier required".into() });
     }
     let maxima: Vec<usize> = hierarchies.iter().map(Hierarchy::max_level).collect();
-    let mut best_violations = usize::MAX;
 
-    for (node_idx, node) in nodes_by_height(&maxima).into_iter().enumerate() {
-        let nodes_examined = node_idx + 1;
-        let gen = generalize_table(table, hierarchies, &node)?;
+    // Count of rows in undersized equivalence classes at `node`.
+    let violations_at = |node: &Vec<usize>| -> Result<usize, AnonError> {
+        let gen = generalize_table(table, hierarchies, node)?;
         let qi_idx: Vec<usize> = hierarchies
             .iter()
             .map(|h| gen.schema().index_of(h.name()))
             .collect::<Result<_, _>>()
             .map_err(|e| AnonError::Relation(e.into()))?;
         let classes = equivalence_classes(&gen, &qi_idx);
-        let violating: usize =
-            classes.values().filter(|rows| rows.len() < k).map(Vec::len).sum();
-        best_violations = best_violations.min(violating);
-        if violating <= max_suppress {
-            // Suppress the undersized classes and return.
-            let keep: std::collections::HashSet<usize> = classes
-                .values()
-                .filter(|rows| rows.len() >= k)
-                .flat_map(|rows| rows.iter().copied())
-                .collect();
-            let rows: Vec<_> = gen
-                .rows()
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| keep.contains(i))
-                .map(|(_, r)| r.clone())
-                .collect();
-            let out = Table::from_rows(gen.name().to_string(), gen.schema().clone(), rows)
-                .map_err(AnonError::from)?;
-            return Ok(AnonResult { table: out, levels: node, suppressed: violating, nodes_examined });
+        Ok(classes.values().filter(|rows| rows.len() < k).map(Vec::len).sum())
+    };
+
+    // Builds the winning result (suppressing undersized classes).
+    let accept = |node: Vec<usize>, violating: usize, nodes_examined: usize| {
+        let gen = generalize_table_with(table, hierarchies, &node, cfg)?;
+        let qi_idx: Vec<usize> = hierarchies
+            .iter()
+            .map(|h| gen.schema().index_of(h.name()))
+            .collect::<Result<_, _>>()
+            .map_err(|e| AnonError::Relation(e.into()))?;
+        let classes = equivalence_classes(&gen, &qi_idx);
+        let keep: std::collections::HashSet<usize> = classes
+            .values()
+            .filter(|rows| rows.len() >= k)
+            .flat_map(|rows| rows.iter().copied())
+            .collect();
+        let rows: Vec<_> = gen
+            .rows()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep.contains(i))
+            .map(|(_, r)| r.clone())
+            .collect();
+        let out = Table::from_rows(gen.name().to_string(), gen.schema().clone(), rows)
+            .map_err(AnonError::from)?;
+        Ok(AnonResult { table: out, levels: node, suppressed: violating, nodes_examined })
+    };
+
+    let mut best_violations = usize::MAX;
+    if cfg.is_serial() {
+        for (node_idx, node) in nodes_by_height(&maxima).into_iter().enumerate() {
+            let violating = violations_at(&node)?;
+            best_violations = best_violations.min(violating);
+            if violating <= max_suppress {
+                return accept(node, violating, node_idx + 1);
+            }
         }
+        return Err(AnonError::Unsatisfiable { k, best_violations });
+    }
+
+    // Parallel: one wave of workers per lattice height.
+    let total: usize = maxima.iter().sum();
+    let mut examined_before = 0usize;
+    for h in 0..=total {
+        let mut nodes: Vec<Vec<usize>> = Vec::new();
+        push_nodes_with_sum(&maxima, h, &mut Vec::new(), &mut nodes);
+        let evals: Vec<usize> = bi_exec::try_par_map(cfg, &nodes, violations_at)?;
+        for (idx, &violating) in evals.iter().enumerate() {
+            best_violations = best_violations.min(violating);
+            if violating <= max_suppress {
+                return accept(nodes.swap_remove(idx), violating, examined_before + idx + 1);
+            }
+        }
+        examined_before += nodes.len();
     }
     Err(AnonError::Unsatisfiable { k, best_violations })
 }
@@ -283,6 +361,57 @@ mod tests {
         let t = patients();
         assert!(matches!(kanonymize(&t, &hiers(), 0, 0), Err(AnonError::BadParams { .. })));
         assert!(matches!(kanonymize(&t, &[], 2, 0), Err(AnonError::BadParams { .. })));
+    }
+
+    /// Mismatched `levels`/`hierarchies` used to `assert_eq!`-panic;
+    /// library paths must return typed errors instead.
+    #[test]
+    fn mismatched_levels_are_a_typed_error_not_a_panic() {
+        let t = patients();
+        let err = generalize_table(&t, &hiers(), &[0]).unwrap_err();
+        assert!(matches!(err, AnonError::BadParams { .. }));
+        assert!(err.to_string().contains("parallel to hierarchies"));
+        let err = generalize_table(&t, &hiers(), &[0, 0, 0]).unwrap_err();
+        assert!(matches!(err, AnonError::BadParams { .. }));
+    }
+
+    /// The parallel lattice search picks the same node, produces the
+    /// same table, and reports the same search effort as the serial one.
+    #[test]
+    fn parallel_lattice_search_matches_serial() {
+        let mut t = patients();
+        t.push_row(vec!["HIV".into(), 99.into(), "DH".into()]).unwrap();
+        for (k, sup) in [(2, 0), (2, 1), (3, 0), (1, 0)] {
+            let serial = kanonymize(&t, &hiers(), k, sup);
+            for threads in [2, 8] {
+                let cfg = ExecConfig::with_threads(threads);
+                let par = kanonymize_with(&t, &hiers(), k, sup, &cfg);
+                match (&serial, &par) {
+                    (Ok(s), Ok(p)) => {
+                        assert_eq!(s.levels, p.levels, "k={k} threads={threads}");
+                        assert_eq!(s.suppressed, p.suppressed);
+                        assert_eq!(s.nodes_examined, p.nodes_examined);
+                        assert_eq!(s.table.rows(), p.table.rows());
+                    }
+                    (Err(se), Err(pe)) => assert_eq!(se, pe),
+                    other => panic!("serial/parallel disagree: {other:?}"),
+                }
+            }
+        }
+        // Unsatisfiable cases agree too (same best_violations).
+        let se = kanonymize(&t, &hiers(), 8, 0).unwrap_err();
+        let pe = kanonymize_with(&t, &hiers(), 8, 0, &ExecConfig::with_threads(4)).unwrap_err();
+        assert_eq!(se, pe);
+    }
+
+    #[test]
+    fn parallel_generalize_matches_serial() {
+        let t = patients();
+        let serial = generalize_table(&t, &hiers(), &[1, 1]).unwrap();
+        let par =
+            generalize_table_with(&t, &hiers(), &[1, 1], &ExecConfig::with_threads(8)).unwrap();
+        assert_eq!(serial.rows(), par.rows());
+        assert_eq!(serial.schema(), par.schema());
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub mod pseudo;
 
 pub use error::AnonError;
 pub use hierarchy::Hierarchy;
-pub use kanon::{kanonymize, AnonResult};
+pub use kanon::{kanonymize, kanonymize_with, AnonResult};
 pub use ldiv::{enforce_l_diversity, is_l_diverse};
-pub use mondrian::mondrian;
+pub use mondrian::{mondrian, mondrian_with};
 pub use perturb::laplace_perturb;
 pub use pseudo::Pseudonymizer;

@@ -8,6 +8,7 @@
 //! is typically far lower than full-domain generalization — experiment E7
 //! measures exactly that.
 
+use bi_exec::ExecConfig;
 use bi_relation::Table;
 use bi_types::{Column, DataType, Schema, Value};
 
@@ -54,6 +55,21 @@ fn range_label(vals: &[f64], is_date: bool) -> String {
 /// position on the axis). QI columns become Text range labels; all other
 /// columns pass through unchanged.
 pub fn mondrian(table: &Table, qi: &[&str], k: usize) -> Result<Table, AnonError> {
+    mondrian_with(table, qi, k, &ExecConfig::serial())
+}
+
+/// [`mondrian`] with an execution configuration. The recursive median-cut
+/// tree is evaluated wave by wave: every open partition of the current
+/// frontier is cut concurrently, and each split replaces its parent
+/// *in place* in the ordered frontier — so the final leaf order is
+/// exactly the serial depth-first order, and `threads = 1` reproduces
+/// the serial engine byte for byte.
+pub fn mondrian_with(
+    table: &Table,
+    qi: &[&str],
+    k: usize,
+    cfg: &ExecConfig,
+) -> Result<Table, AnonError> {
     if k == 0 {
         return Err(AnonError::BadParams { reason: "k must be at least 1".into() });
     }
@@ -91,9 +107,14 @@ pub fn mondrian(table: &Table, qi: &[&str], k: usize) -> Result<Table, AnonError
     }
 
     // Recursive median cuts over index ranges into `coords`.
-    let mut partitions: Vec<Vec<usize>> = Vec::new(); // indices into `live`
     let all: Vec<usize> = (0..live.len()).collect();
-    split(&all, &coords, k, &mut partitions);
+    let partitions: Vec<Vec<usize>> = if cfg.is_serial() {
+        let mut partitions = Vec::new(); // indices into `live`
+        split(&all, &coords, k, &mut partitions);
+        partitions
+    } else {
+        split_parallel(all, &coords, k, cfg)
+    };
 
     // Emit: QI columns become Text labels per partition.
     let cols: Vec<Column> = table
@@ -130,15 +151,11 @@ pub fn mondrian(table: &Table, qi: &[&str], k: usize) -> Result<Table, AnonError
     Ok(out)
 }
 
-fn split(part: &[usize], coords: &[Vec<f64>], k: usize, out: &mut Vec<Vec<usize>>) {
-    if part.len() < 2 * k {
-        if !part.is_empty() {
-            out.push(part.to_vec());
-        }
-        return;
-    }
+/// Finds an allowable median cut of `part`, trying the widest normalized
+/// axis first. Returns the (left, right) halves, or `None` when no
+/// dimension admits a cut that keeps both halves at `k` rows or more.
+fn try_cut(part: &[usize], coords: &[Vec<f64>], k: usize) -> Option<(Vec<usize>, Vec<usize>)> {
     let dims = coords.first().map(Vec::len).unwrap_or(0);
-    // Widest normalized range first; try other dims if the cut fails.
     let mut order: Vec<usize> = (0..dims).collect();
     let width = |d: usize| {
         let mut lo = f64::INFINITY;
@@ -159,13 +176,86 @@ fn split(part: &[usize], coords: &[Vec<f64>], k: usize, out: &mut Vec<Vec<usize>
         let lhs: Vec<usize> = sorted.iter().copied().filter(|&p| coords[p][d] < median).collect();
         let rhs: Vec<usize> = sorted.iter().copied().filter(|&p| coords[p][d] >= median).collect();
         if lhs.len() >= k && rhs.len() >= k {
-            split(&lhs, coords, k, out);
-            split(&rhs, coords, k, out);
-            return;
+            return Some((lhs, rhs));
         }
     }
-    // No allowable cut on any dimension: this is a final partition.
-    out.push(part.to_vec());
+    None
+}
+
+fn split(part: &[usize], coords: &[Vec<f64>], k: usize, out: &mut Vec<Vec<usize>>) {
+    if part.len() < 2 * k {
+        if !part.is_empty() {
+            out.push(part.to_vec());
+        }
+        return;
+    }
+    match try_cut(part, coords, k) {
+        Some((lhs, rhs)) => {
+            split(&lhs, coords, k, out);
+            split(&rhs, coords, k, out);
+        }
+        // No allowable cut on any dimension: this is a final partition.
+        None => out.push(part.to_vec()),
+    }
+}
+
+/// Wave-based evaluation of the cut tree. The frontier is an ordered
+/// list of partitions; one wave cuts every still-open partition in
+/// parallel and splices each (left, right) pair into its parent's slot.
+/// In-place expansion of an ordered frontier yields leaves in exactly
+/// the depth-first order of [`split`].
+fn split_parallel(
+    all: Vec<usize>,
+    coords: &[Vec<f64>],
+    k: usize,
+    cfg: &ExecConfig,
+) -> Vec<Vec<usize>> {
+    enum Slot {
+        Done(Vec<usize>),
+        Open(Vec<usize>),
+    }
+    let mut frontier: Vec<Slot> = vec![Slot::Open(all)];
+    loop {
+        let open: Vec<Vec<usize>> = frontier
+            .iter()
+            .filter_map(|s| match s {
+                Slot::Open(p) => Some(p.clone()),
+                Slot::Done(_) => None,
+            })
+            .collect();
+        if open.is_empty() {
+            break;
+        }
+        let cuts = bi_exec::par_map(cfg, &open, |p| {
+            if p.len() < 2 * k {
+                None
+            } else {
+                try_cut(p, coords, k)
+            }
+        });
+        let mut cut_iter = cuts.into_iter();
+        let mut next = Vec::with_capacity(frontier.len() + 1);
+        for slot in frontier {
+            match slot {
+                Slot::Done(p) => next.push(Slot::Done(p)),
+                Slot::Open(p) => match cut_iter.next().expect("one cut per open slot") {
+                    Some((lhs, rhs)) => {
+                        next.push(Slot::Open(lhs));
+                        next.push(Slot::Open(rhs));
+                    }
+                    None => next.push(Slot::Done(p)),
+                },
+            }
+        }
+        frontier = next;
+    }
+    frontier
+        .into_iter()
+        .map(|s| match s {
+            Slot::Done(p) | Slot::Open(p) => p,
+        })
+        .filter(|p| !p.is_empty())
+        .collect()
 }
 
 #[cfg(test)]
@@ -260,5 +350,35 @@ mod tests {
     fn too_few_rows_unsatisfiable() {
         let t = ages();
         assert!(matches!(mondrian(&t, &["Age"], 9), Err(AnonError::Unsatisfiable { .. })));
+    }
+
+    /// Wave-parallel partitioning must reproduce the serial recursion's
+    /// partitions — same rows, same labels, same output order.
+    #[test]
+    fn parallel_partitioning_matches_serial() {
+        let schema = Schema::new(vec![
+            Column::new("Age", DataType::Int),
+            Column::new("Zip", DataType::Int),
+            Column::new("Disease", DataType::Text),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..500)
+            .map(|i: i64| {
+                vec![
+                    Value::Int(20 + (i * 7) % 60),
+                    Value::Int(38000 + (i * 13) % 200),
+                    Value::text(format!("d{}", i % 5)),
+                ]
+            })
+            .collect();
+        let t = Table::from_rows("T", schema, rows).unwrap();
+        for k in [2, 5, 25] {
+            let serial = mondrian(&t, &["Age", "Zip"], k).unwrap();
+            for threads in [2, 8] {
+                let cfg = ExecConfig::with_threads(threads);
+                let par = mondrian_with(&t, &["Age", "Zip"], k, &cfg).unwrap();
+                assert_eq!(serial.rows(), par.rows(), "k={k} threads={threads}");
+            }
+        }
     }
 }

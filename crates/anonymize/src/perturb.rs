@@ -52,7 +52,15 @@ pub fn laplace_perturb<R: Rng + ?Sized>(
             Value::Float(f) => {
                 r[c] = Value::Float(*f + laplace(rng, scale));
             }
-            _ => unreachable!("type checked above"),
+            other => {
+                // The schema says Int/Float, but a row disagrees — a typed
+                // error beats a panic if a caller ever hands us such a table.
+                return Err(AnonError::BadParams {
+                    reason: format!(
+                        "column {column} declared {dtype:?} but holds {other:?}"
+                    ),
+                });
+            }
         }
         out.push_row(r).map_err(AnonError::from)?;
     }

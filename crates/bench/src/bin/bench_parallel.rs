@@ -1,0 +1,125 @@
+//! Serial vs parallel executor timings on synthetic tables.
+//!
+//! Times the two operators the morsel-driven executor parallelizes —
+//! partitioned hash join and grouped aggregation — at several table
+//! sizes, verifies the parallel output is *identical* to the serial one,
+//! and writes `BENCH_parallel.json` for `scripts/bench_smoke.sh`.
+//!
+//! Usage: `cargo run --release -p bi-bench --bin bench_parallel --
+//! [--quick] [--out PATH]`. `--quick` drops the 1M-row size so the
+//! smoke script stays fast.
+
+use std::time::Instant;
+
+use bi_core::exec::ExecConfig;
+use bi_core::query::plan::{scan, AggItem};
+use bi_core::query::{execute_with, Catalog};
+use bi_core::relation::Table;
+use bi_core::types::{Column, DataType, Schema, Value};
+
+/// Fact(K, G, V) with a NULL join key every 97th row, plus Dim(K, W).
+fn catalog(rows: usize) -> Catalog {
+    let fact_schema = Schema::new(vec![
+        Column::nullable("K", DataType::Int),
+        Column::new("G", DataType::Text),
+        Column::new("V", DataType::Int),
+    ])
+    .unwrap();
+    let fact_rows: Vec<Vec<Value>> = (0..rows)
+        .map(|i| {
+            let k = if i % 97 == 0 { Value::Null } else { Value::Int((i as i64 * 31) % 400) };
+            vec![k, Value::text(format!("g{}", i % 64)), Value::Int(i as i64 % 1000)]
+        })
+        .collect();
+    let dim_schema =
+        Schema::new(vec![Column::new("K", DataType::Int), Column::new("W", DataType::Int)])
+            .unwrap();
+    let dim_rows: Vec<Vec<Value>> =
+        (0..400i64).map(|k| vec![Value::Int(k), Value::Int(k * 7)]).collect();
+    let mut cat = Catalog::new();
+    cat.add_table(Table::from_rows("Fact", fact_schema, fact_rows).unwrap()).unwrap();
+    cat.add_table(Table::from_rows("Dim", dim_schema, dim_rows).unwrap()).unwrap();
+    cat
+}
+
+/// Best-of-N wall time in milliseconds, plus the output for comparison.
+fn time_plan(
+    plan: &bi_core::query::Plan,
+    cat: &Catalog,
+    cfg: &ExecConfig,
+    iters: usize,
+) -> (f64, Table) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        let table = execute_with(plan, cat, cfg).expect("bench plan executes");
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(table);
+    }
+    (best, out.expect("at least one iteration"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+
+    let sizes: &[usize] =
+        if quick { &[10_000, 100_000] } else { &[10_000, 100_000, 1_000_000] };
+    let serial = ExecConfig::serial();
+    let parallel = ExecConfig::auto();
+    let cores =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let join_plan = scan("Fact").join(scan("Dim"), vec![("K".into(), "K".into())], "d");
+    let agg_plan = scan("Fact").aggregate(
+        vec!["G".into()],
+        vec![
+            AggItem::count_star("n"),
+            AggItem::new("total", bi_core::query::AggFunc::Sum, "V"),
+        ],
+    );
+
+    let mut size_entries = Vec::new();
+    for &rows in sizes {
+        let cat = catalog(rows);
+        let iters = if rows >= 1_000_000 { 2 } else { 3 };
+        let mut op_entries = Vec::new();
+        let mut serial_total = 0.0;
+        let mut parallel_total = 0.0;
+        for (name, plan) in [("join", &join_plan), ("aggregate", &agg_plan)] {
+            let (s_ms, s_out) = time_plan(plan, &cat, &serial, iters);
+            let (p_ms, p_out) = time_plan(plan, &cat, &parallel, iters);
+            assert_eq!(s_out.rows(), p_out.rows(), "{name}@{rows}: outputs diverge");
+            assert_eq!(s_out.name(), p_out.name(), "{name}@{rows}: names diverge");
+            serial_total += s_ms;
+            parallel_total += p_ms;
+            eprintln!(
+                "{rows:>8} rows  {name:<9} serial {s_ms:8.2} ms  parallel {p_ms:8.2} ms  x{:.2}",
+                s_ms / p_ms
+            );
+            op_entries.push(format!(
+                r#"{{"op":"{name}","serial_ms":{s_ms:.3},"parallel_ms":{p_ms:.3},"speedup":{:.3}}}"#,
+                s_ms / p_ms
+            ));
+        }
+        size_entries.push(format!(
+            r#"{{"rows":{rows},"serial_ms":{serial_total:.3},"parallel_ms":{parallel_total:.3},"speedup":{:.3},"ops":[{}]}}"#,
+            serial_total / parallel_total,
+            op_entries.join(",")
+        ));
+    }
+
+    let json = format!(
+        "{{\"threads\":{},\"cores\":{cores},\"quick\":{quick},\"sizes\":[{}]}}\n",
+        parallel.threads,
+        size_entries.join(",")
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_parallel.json");
+    eprintln!("wrote {out_path} (threads={}, cores={cores})", parallel.threads);
+}

@@ -32,6 +32,7 @@ pub use system::{BiSystem, SystemError};
 pub use bi_anonymize as anonymize;
 pub use bi_audit as audit;
 pub use bi_etl as etl;
+pub use bi_exec as exec;
 pub use bi_pla as pla;
 pub use bi_provenance as provenance;
 pub use bi_query as query;

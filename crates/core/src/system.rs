@@ -5,11 +5,11 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 
 use bi_audit::{AuditLog, Outcome};
-use bi_etl::{check_pipeline, run_pipeline, EtlReport, Pipeline};
+use bi_etl::{check_pipeline, run_pipeline_with, EtlReport, Pipeline};
 use bi_pla::{CheckProgram, CombinedPolicy, PlaDocument, SubjectRegistry, Violation};
 use bi_query::Catalog;
 use bi_report::{render_checked, ComplianceResult, EngineConfig, EnforcedReport, MetaIndex, MetaReport, ReportSpec};
-use bi_types::{ConsumerId, Date, ReportId, SourceId};
+use bi_types::{ConsumerId, Date, ReportId, RoleId, SourceId};
 use bi_warehouse::Warehouse;
 
 /// Errors surfaced by the facade.
@@ -73,6 +73,15 @@ struct PolicyCache {
     /// Documents + annotations of *approved* meta-reports only — the
     /// policy the compliance gate binds.
     gate: Arc<CombinedPolicy>,
+}
+
+/// One gate-and-enforce outcome, rendered but not yet journaled.
+/// Produced by [`BiSystem::render_one`] under `&self`, consumed by the
+/// serialized journal append.
+struct RenderedDelivery {
+    report: Arc<ReportSpec>,
+    effective: BTreeSet<RoleId>,
+    result: Result<EnforcedReport, bi_report::ReportError>,
 }
 
 /// The whole outsourced-BI deployment: sources + PLAs + ETL + warehouse
@@ -226,7 +235,8 @@ impl BiSystem {
         if !violations.is_empty() {
             return Err(SystemError::PipelineViolations(violations));
         }
-        let report = run_pipeline(pipeline, &self.sources, Some(&*policy), self.today)?;
+        let report =
+            run_pipeline_with(pipeline, &self.sources, Some(&*policy), self.today, &self.engine.exec)?;
         // Validate referential integrity over a staging copy FIRST: a
         // failure must leave the warehouse exactly as it was, not half
         // loaded.
@@ -338,13 +348,20 @@ impl BiSystem {
         Ok(result)
     }
 
-    /// Delivers a report to a consumer: compliance gate + enforcement +
-    /// audit logging. Refusals are logged too.
-    pub fn deliver(
-        &mut self,
+    /// Everything [`BiSystem::deliver`] does short of the journal append:
+    /// resolve the report, intersect roles, gate, enforce. Takes `&self`
+    /// and an explicit policy snapshot, so a batch can render many
+    /// requests concurrently.
+    ///
+    /// The outer `Err` holds errors that are not deliveries (unknown
+    /// report, bad plans) and bypass the journal; the inner `Err` is a
+    /// compliance refusal, which the journal records.
+    fn render_one(
+        &self,
         id: &ReportId,
         consumer: &ConsumerId,
-    ) -> Result<EnforcedReport, SystemError> {
+        policy: &CombinedPolicy,
+    ) -> Result<RenderedDelivery, SystemError> {
         let report = Arc::clone(
             self.reports.get(id).ok_or_else(|| SystemError::UnknownReport(id.clone()))?,
         );
@@ -352,7 +369,6 @@ impl BiSystem {
         // The consumer must hold one of the report's declared roles; the
         // effective roles for PLA checks are the intersection.
         let effective: BTreeSet<_> = roles.intersection(&report.consumers).cloned().collect();
-        let policy = self.policy();
         // A consumer holding NONE of the report's declared roles is
         // refused outright — the role list is the distribution list,
         // regardless of whether any attribute is role-restricted. The
@@ -367,7 +383,7 @@ impl BiSystem {
                 subject: id.to_string(),
             });
         }
-        upfront.extend(self.multi_source_violations(&report.plan, &policy)?);
+        upfront.extend(self.multi_source_violations(&report.plan, policy)?);
 
         // Compliance + enforcement: compile the plan's check program
         // once, run it for this consumer's effective roles, render under
@@ -375,23 +391,32 @@ impl BiSystem {
         let result: Result<EnforcedReport, bi_report::ReportError> = if !upfront.is_empty() {
             Err(bi_report::ReportError::NonCompliant { violations: upfront })
         } else {
-            CheckProgram::compile(&report.plan, self.warehouse.catalog(), &policy, &self.table_source)
+            CheckProgram::compile(&report.plan, self.warehouse.catalog(), policy, &self.table_source)
                 .and_then(|program| program.run(&effective, report.purpose.as_deref(), self.today))
                 .map_err(bi_report::ReportError::from)
                 .and_then(|outcome| {
                     render_checked(&report, self.warehouse.catalog(), outcome, &self.engine)
                 })
         };
-        // Journal the outcome. Compliance refusals are logged for the
-        // auditor; other errors (unknown tables, bad plans) are not
-        // deliveries and bypass the journal, exactly as before.
-        let result = match result {
+        // Compliance refusals are journaled for the auditor; other errors
+        // (unknown tables, bad plans) are not deliveries and bypass the
+        // journal, exactly as before.
+        match result {
             Err(e) if !matches!(e, bi_report::ReportError::NonCompliant { .. }) => {
-                return Err(SystemError::Report(e))
+                Err(SystemError::Report(e))
             }
-            other => other,
-        };
-        let (applied, outcome) = match &result {
+            result => Ok(RenderedDelivery { report, effective, result }),
+        }
+    }
+
+    /// Appends one rendered delivery (or refusal) to the audit journal,
+    /// handing the result back to the caller.
+    fn journal_delivery(
+        &mut self,
+        consumer: &ConsumerId,
+        rendered: RenderedDelivery,
+    ) -> Result<EnforcedReport, bi_report::ReportError> {
+        let (applied, outcome) = match &rendered.result {
             Ok(enforced) => (
                 enforced.applied.clone(),
                 Outcome::Delivered {
@@ -407,14 +432,54 @@ impl BiSystem {
         self.log.record(
             self.today,
             consumer.clone(),
-            effective,
-            id.clone(),
-            report.plan.clone(),
-            report.purpose.clone(),
+            rendered.effective,
+            rendered.report.id.clone(),
+            rendered.report.plan.clone(),
+            rendered.report.purpose.clone(),
             applied,
             outcome,
         );
-        result.map_err(SystemError::Report)
+        rendered.result
+    }
+
+    /// Delivers a report to a consumer: compliance gate + enforcement +
+    /// audit logging. Refusals are logged too.
+    pub fn deliver(
+        &mut self,
+        id: &ReportId,
+        consumer: &ConsumerId,
+    ) -> Result<EnforcedReport, SystemError> {
+        let policy = self.policy();
+        let rendered = self.render_one(id, consumer, &policy)?;
+        self.journal_delivery(consumer, rendered).map_err(SystemError::Report)
+    }
+
+    /// Delivers many `(report, consumer)` pairs under ONE policy
+    /// snapshot, rendering them concurrently on the engine's
+    /// [`ExecConfig`](bi_exec::ExecConfig) (`engine_mut().exec`).
+    ///
+    /// Rendering is a read-only fan-out over `&self`; only the audit
+    /// journal append is serialized, in request order, after every
+    /// render has finished — so journal sequence numbers, like the
+    /// returned results, line up with `requests` regardless of thread
+    /// count, and a mid-batch PLA mutation is impossible by construction.
+    pub fn deliver_batch(
+        &mut self,
+        requests: &[(ReportId, ConsumerId)],
+    ) -> Vec<Result<EnforcedReport, SystemError>> {
+        let policy = self.policy();
+        let cfg = self.engine.exec;
+        let rendered: Vec<Result<RenderedDelivery, SystemError>> =
+            bi_exec::par_map(&cfg, requests, |(id, consumer)| {
+                self.render_one(id, consumer, &policy)
+            });
+        rendered
+            .into_iter()
+            .zip(requests)
+            .map(|(r, (_, consumer))| {
+                self.journal_delivery(consumer, r?).map_err(SystemError::Report)
+            })
+            .collect()
     }
 
     /// Lints every registered PLA document (including meta-report
@@ -565,6 +630,73 @@ mod tests {
         let err = sys.deliver(&ReportId::new("r-raw"), &ConsumerId::new("alice@agency"));
         assert!(matches!(err, Err(SystemError::Report(bi_report::ReportError::NonCompliant { .. }))));
         assert_eq!(sys.audit_log().refusal_count(), 1);
+    }
+
+    /// `deliver_batch` must behave exactly like a serial loop of
+    /// `deliver` calls — same results in request order, same journal —
+    /// for any thread count.
+    #[test]
+    fn deliver_batch_matches_serial_deliveries() {
+        let define = |sys: &mut BiSystem| {
+            sys.define_report(ReportSpec::new(
+                "r-consumption",
+                "Drug consumption",
+                scan("FactPrescriptions")
+                    .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")]),
+                [RoleId::new("analyst")],
+            ));
+            sys.define_report(ReportSpec::new(
+                "r-raw",
+                "Raw rows",
+                scan("FactPrescriptions").project_cols(&["Patient", "Disease"]),
+                [RoleId::new("analyst")],
+            ));
+        };
+        let requests: Vec<(ReportId, ConsumerId)> = vec![
+            (ReportId::new("r-consumption"), ConsumerId::new("alice@agency")),
+            (ReportId::new("r-raw"), ConsumerId::new("alice@agency")),
+            (ReportId::new("r-ghost"), ConsumerId::new("alice@agency")),
+            (ReportId::new("r-consumption"), ConsumerId::new("nobody@nowhere")),
+            (ReportId::new("r-consumption"), ConsumerId::new("alice@agency")),
+        ];
+
+        let mut serial_sys = build_system();
+        define(&mut serial_sys);
+        let serial: Vec<_> =
+            requests.iter().map(|(id, c)| serial_sys.deliver(id, c)).collect();
+
+        for threads in [1, 4] {
+            let mut sys = build_system();
+            define(&mut sys);
+            sys.engine_mut().exec = bi_exec::ExecConfig::with_threads(threads);
+            let batch = sys.deliver_batch(&requests);
+            assert_eq!(batch.len(), serial.len());
+            for (i, (b, s)) in batch.iter().zip(&serial).enumerate() {
+                match (b, s) {
+                    (Ok(be), Ok(se)) => {
+                        assert_eq!(be.table.rows(), se.table.rows(), "request {i}");
+                        assert_eq!(be.applied, se.applied);
+                    }
+                    (Err(be), Err(se)) => {
+                        assert_eq!(be.to_string(), se.to_string(), "request {i}")
+                    }
+                    other => panic!("request {i}: batch/serial disagree: {other:?}"),
+                }
+            }
+            // Journal: same deliveries, refusals, and entry order (the
+            // unknown report bypasses the journal in both modes).
+            assert_eq!(
+                sys.audit_log().deliveries().count(),
+                serial_sys.audit_log().deliveries().count(),
+                "threads={threads}"
+            );
+            assert_eq!(sys.audit_log().refusal_count(), serial_sys.audit_log().refusal_count());
+            let order: Vec<_> =
+                sys.audit_log().deliveries().map(|e| e.report.to_string()).collect();
+            let serial_order: Vec<_> =
+                serial_sys.audit_log().deliveries().map(|e| e.report.to_string()).collect();
+            assert_eq!(order, serial_order, "threads={threads}");
+        }
     }
 
     #[test]

@@ -27,5 +27,5 @@ pub mod staging;
 
 pub use check::check_pipeline;
 pub use error::EtlError;
-pub use pipeline::{run_pipeline, EtlOp, EtlReport, Pipeline, Step};
+pub use pipeline::{run_pipeline, run_pipeline_with, EtlOp, EtlReport, Pipeline, Step};
 pub use staging::Staging;

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use bi_exec::ExecConfig;
 use bi_pla::CombinedPolicy;
 use bi_query::Catalog;
 use bi_relation::expr::Expr;
@@ -146,6 +147,19 @@ pub fn run_pipeline(
     policy: Option<&CombinedPolicy>,
     today: Date,
 ) -> Result<EtlReport, EtlError> {
+    run_pipeline_with(pipeline, sources, policy, today, &ExecConfig::serial())
+}
+
+/// [`run_pipeline`] with an execution configuration: combining steps
+/// (`Join`) run on the parallel executor. Output tables are identical
+/// for every thread count.
+pub fn run_pipeline_with(
+    pipeline: &Pipeline,
+    sources: &BTreeMap<SourceId, Catalog>,
+    policy: Option<&CombinedPolicy>,
+    today: Date,
+    cfg: &ExecConfig,
+) -> Result<EtlReport, EtlError> {
     // The runner enforces the policy it was given in full: the static
     // join/integration checks run here too, so a caller that skips
     // `check_pipeline` cannot execute a combining step the PLAs forbid.
@@ -160,7 +174,7 @@ pub fn run_pipeline(
     let mut steps = Vec::new();
 
     for step in &pipeline.steps {
-        let report = execute_step(step, sources, policy, today, &mut staging, &mut loaded)?;
+        let report = execute_step(step, sources, policy, today, cfg, &mut staging, &mut loaded)?;
         steps.push(report);
     }
     Ok(EtlReport { staging, loaded, steps })
@@ -171,6 +185,7 @@ fn execute_step(
     sources: &BTreeMap<SourceId, Catalog>,
     policy: Option<&CombinedPolicy>,
     today: Date,
+    cfg: &ExecConfig,
     staging: &mut Staging,
     loaded: &mut Vec<(Table, Vec<SourceId>)>,
 ) -> Result<StepReport, EtlError> {
@@ -285,7 +300,7 @@ fn execute_step(
                 on.clone(),
                 "r",
             );
-            let mut joined = bi_query::execute(&plan, &cat)?;
+            let mut joined = bi_query::execute_with(&plan, &cat, cfg)?;
             joined.set_name(out.clone());
             rows_out = joined.len();
             let mut srcs = staging.sources_of(left).to_vec();

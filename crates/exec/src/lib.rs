@@ -1,0 +1,325 @@
+//! # bi-exec — std-only morsel-driven parallel execution substrate
+//!
+//! The crate registry is unreachable in this build environment, so there
+//! is no `rayon`; this is the minimal scoped-thread-pool substrate the
+//! rest of the stack shares. The design follows the morsel-driven
+//! parallelism of Leis et al.: inputs are split into contiguous *morsels*
+//! (cache-friendly chunks), idle workers claim the next morsel from an
+//! atomic counter, and per-morsel outputs are reassembled **in morsel
+//! order**, so a parallel run produces exactly the same output as the
+//! serial left-to-right loop it replaces.
+//!
+//! Everything shared between workers is borrowed (`&[T]`, `&F`) under
+//! [`std::thread::scope`]; the data layer's `Arc`-backed tables and
+//! `Arc<CombinedPolicy>` snapshots make those borrows cheap and `Sync`.
+//!
+//! Invariants every helper upholds:
+//!
+//! * **Determinism** — outputs are ordered by morsel index, never by
+//!   completion order. `threads = 1` (the default) runs inline on the
+//!   caller's thread with no pool at all, byte-identical to a plain loop.
+//! * **Error discipline** — the `try_*` variants cancel outstanding
+//!   morsels and return the error of the *lowest-indexed* failing morsel,
+//!   matching what the serial loop would have reported first.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Default rows per morsel for row-level data-parallel loops. Large
+/// enough that the claim counter is uncontended, small enough that a
+/// dozen workers stay busy on mid-size tables.
+pub const MORSEL_ROWS: usize = 4096;
+
+/// How work is spread across threads. The single gate for every
+/// parallel code path in the workspace: `threads = 1` reproduces the
+/// serial engine exactly (no pool, no reordering), `threads = 0` asks
+/// for one worker per available core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Number of worker threads. `1` = serial inline execution.
+    pub threads: usize,
+}
+
+impl ExecConfig {
+    /// Serial execution on the caller's thread (the default).
+    pub const fn serial() -> Self {
+        ExecConfig { threads: 1 }
+    }
+
+    /// One worker per available core (falls back to serial when the
+    /// parallelism cannot be determined).
+    pub fn auto() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        ExecConfig { threads }
+    }
+
+    /// A fixed thread count; `0` means [`ExecConfig::auto`].
+    pub fn with_threads(threads: usize) -> Self {
+        if threads == 0 {
+            Self::auto()
+        } else {
+            ExecConfig { threads }
+        }
+    }
+
+    /// True when this configuration runs everything inline.
+    pub fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// Workers actually worth spawning for `tasks` units of work.
+    fn workers_for(&self, tasks: usize) -> usize {
+        self.threads.min(tasks).max(1)
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+/// Applies `f` to contiguous morsels of `items`, returning one output
+/// per morsel **in morsel order**. `f` receives the offset of the morsel
+/// within `items` and the morsel slice. Workers claim morsels from a
+/// shared counter, so a slow morsel never stalls the others.
+pub fn par_chunks<T, U, F>(cfg: &ExecConfig, items: &[T], morsel: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    let morsel = morsel.max(1);
+    let n_morsels = items.len().div_ceil(morsel);
+    let workers = cfg.workers_for(n_morsels);
+    if workers <= 1 {
+        return items.chunks(morsel).enumerate().map(|(i, c)| f(i * morsel, c)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<U>> = std::iter::repeat_with(|| None).take(n_morsels).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let m = next.fetch_add(1, Ordering::Relaxed);
+                        if m >= n_morsels {
+                            break;
+                        }
+                        let start = m * morsel;
+                        let end = (start + morsel).min(items.len());
+                        local.push((m, f(start, &items[start..end])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            // A worker can only fail by panicking inside `f`; re-raise.
+            for (m, u) in h.join().expect("bi-exec worker panicked") {
+                out[m] = Some(u);
+            }
+        }
+    });
+    out.into_iter().map(|o| o.expect("every morsel claimed exactly once")).collect()
+}
+
+/// Fallible [`par_chunks`]: the first error (by morsel index, matching
+/// the serial loop) cancels the remaining morsels and is returned.
+pub fn try_par_chunks<T, U, E, F>(
+    cfg: &ExecConfig,
+    items: &[T],
+    morsel: usize,
+    f: F,
+) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &[T]) -> Result<U, E> + Sync,
+{
+    let morsel = morsel.max(1);
+    let n_morsels = items.len().div_ceil(morsel);
+    let workers = cfg.workers_for(n_morsels);
+    if workers <= 1 {
+        return items.chunks(morsel).enumerate().map(|(i, c)| f(i * morsel, c)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let mut out: Vec<Option<U>> = std::iter::repeat_with(|| None).take(n_morsels).collect();
+    let mut first_err: Option<(usize, E)> = None;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    let mut err: Option<(usize, E)> = None;
+                    while !failed.load(Ordering::Relaxed) {
+                        let m = next.fetch_add(1, Ordering::Relaxed);
+                        if m >= n_morsels {
+                            break;
+                        }
+                        let start = m * morsel;
+                        let end = (start + morsel).min(items.len());
+                        match f(start, &items[start..end]) {
+                            Ok(u) => local.push((m, u)),
+                            Err(e) => {
+                                err = Some((m, e));
+                                failed.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    (local, err)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (local, err) = h.join().expect("bi-exec worker panicked");
+            for (m, u) in local {
+                out[m] = Some(u);
+            }
+            if let Some((m, e)) = err {
+                if first_err.as_ref().is_none_or(|(fm, _)| m < *fm) {
+                    first_err = Some((m, e));
+                }
+            }
+        }
+    });
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    Ok(out.into_iter().map(|o| o.expect("no error, so every morsel completed")).collect())
+}
+
+/// Morsel width that keeps `workers × 8` morsels in flight for
+/// element-wise maps — enough slack that uneven task costs balance out.
+fn auto_morsel(cfg: &ExecConfig, len: usize) -> usize {
+    len.div_ceil(cfg.workers_for(len).max(1) * 8).max(1)
+}
+
+/// Applies `f` to each element, returning outputs in input order.
+pub fn par_map<T, U, F>(cfg: &ExecConfig, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let morsel = auto_morsel(cfg, items.len());
+    par_chunks(cfg, items, morsel, |_, chunk| chunk.iter().map(&f).collect::<Vec<U>>())
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Fallible [`par_map`]; error discipline as in [`try_par_chunks`].
+pub fn try_par_map<T, U, E, F>(cfg: &ExecConfig, items: &[T], f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    let morsel = auto_morsel(cfg, items.len());
+    Ok(try_par_chunks(cfg, items, morsel, |_, chunk| {
+        chunk.iter().map(&f).collect::<Result<Vec<U>, E>>()
+    })?
+    .into_iter()
+    .flatten()
+    .collect())
+}
+
+/// A deterministic 64-bit hash for partitioned operators (hash join,
+/// parallel group-by). [`std::collections::hash_map::DefaultHasher`]
+/// with its fixed default keys: stable within a process run, which is
+/// all partition assignment needs.
+pub fn stable_hash<H: std::hash::Hash + ?Sized>(value: &H) -> u64 {
+    use std::hash::Hasher;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Partition count for hash-partitioned operators: a power of two with
+/// a few partitions per worker so claim imbalance evens out.
+pub fn partition_count(cfg: &ExecConfig) -> usize {
+    (cfg.threads.max(1) * 4).next_power_of_two().min(64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_to_serial() {
+        assert!(ExecConfig::default().is_serial());
+        assert!(ExecConfig::serial().is_serial());
+        assert!(ExecConfig::with_threads(1).is_serial());
+        assert!(ExecConfig::with_threads(0).threads >= 1);
+        assert_eq!(ExecConfig::with_threads(8).threads, 8);
+    }
+
+    #[test]
+    fn par_chunks_preserves_morsel_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 8] {
+            let cfg = ExecConfig::with_threads(threads);
+            let sums = par_chunks(&cfg, &items, 7, |off, chunk| {
+                (off, chunk.iter().sum::<usize>())
+            });
+            let serial: Vec<(usize, usize)> = items
+                .chunks(7)
+                .enumerate()
+                .map(|(i, c)| (i * 7, c.iter().sum()))
+                .collect();
+            assert_eq!(sums, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<i64> = (-500..500).collect();
+        let serial: Vec<i64> = items.iter().map(|x| x * x - 1).collect();
+        for threads in [1, 2, 8] {
+            let cfg = ExecConfig::with_threads(threads);
+            assert_eq!(par_map(&cfg, &items, |x| x * x - 1), serial);
+        }
+    }
+
+    #[test]
+    fn try_par_map_reports_first_error() {
+        let items: Vec<i64> = (0..10_000).collect();
+        for threads in [1, 2, 8] {
+            let cfg = ExecConfig::with_threads(threads);
+            let r: Result<Vec<i64>, String> = try_par_map(&cfg, &items, |&x| {
+                if x >= 137 {
+                    Err(format!("boom at {x}"))
+                } else {
+                    Ok(x)
+                }
+            });
+            // With morsels claimed in order and the lowest-indexed failure
+            // reported, the error is stable across thread counts.
+            assert_eq!(r.unwrap_err(), "boom at 137", "threads={threads}");
+            let ok: Result<Vec<i64>, String> = try_par_map(&cfg, &items, |&x| Ok(x + 1));
+            assert_eq!(ok.unwrap(), (1..=10_000).collect::<Vec<i64>>());
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let none: Vec<u32> = Vec::new();
+        let cfg = ExecConfig::with_threads(4);
+        assert!(par_map(&cfg, &none, |x| *x).is_empty());
+        assert!(par_chunks(&cfg, &none, 16, |_, c| c.len()).is_empty());
+        let r: Result<Vec<u32>, ()> = try_par_map(&cfg, &none, |x| Ok(*x));
+        assert!(r.unwrap().is_empty());
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic() {
+        assert_eq!(stable_hash("abc"), stable_hash("abc"));
+        assert_ne!(stable_hash("abc"), stable_hash("abd"));
+        assert!(partition_count(&ExecConfig::with_threads(3)).is_power_of_two());
+    }
+}

@@ -249,7 +249,9 @@ fn pjoin(
         }
     }
     let right_width = r.table.schema().len();
-    let mut table = Table::new(l.table.name().to_string(), schema);
+    // Same naming rule as the plain executor: `A⋈A` must not collide
+    // with `A` in downstream catalogs.
+    let mut table = Table::new(bi_query::exec::join_output_name(&l.table, &r.table), schema);
     let mut anns = Vec::new();
     for (li, lrow) in l.table.rows().iter().enumerate() {
         let key: Vec<Value> = lk.iter().map(|&c| lrow[c].clone()).collect();
@@ -440,6 +442,22 @@ mod tests {
         assert!(cost_ann.contains(&ProvToken::new("DrugCost", 0, "Cost")));
         let pat_ann = at.cell_annotation(0, "Patient").unwrap();
         assert!(pat_ann.contains(&ProvToken::new("Prescriptions", 0, "Patient")));
+    }
+
+    /// Regression: the join output used to be named after the left input,
+    /// so a self-join's provenance grid collided with its own base table.
+    /// The name must match the plain executor's `left⋈right`.
+    #[test]
+    fn join_output_name_matches_plain_executor() {
+        let cat = catalog();
+        let pcat = ProvCatalog::new(&cat);
+        let p = scan("Prescriptions")
+            .join(scan("Prescriptions"), vec![("Drug".into(), "Drug".into())], "r");
+        let at = pexecute(&p, &pcat).unwrap();
+        let plain = bi_query::execute(&p, &cat).unwrap();
+        assert_eq!(at.table().name(), "Prescriptions⋈Prescriptions");
+        assert_eq!(at.table().name(), plain.name());
+        assert_eq!(at.table().rows(), plain.rows());
     }
 
     #[test]

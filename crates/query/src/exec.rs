@@ -4,7 +4,15 @@
 //! result into a [`Table`]. Joins build a hash index on the right input;
 //! aggregation groups by hashing. This is the execution substrate under
 //! ETL, warehouse loading, and enforced report rendering.
+//!
+//! [`execute_with`] takes a [`bi_exec::ExecConfig`]: above a row
+//! threshold, joins switch to a partitioned build + morsel-driven probe
+//! and aggregation to hash-partitioned grouping, both reassembled in
+//! morsel/first-appearance order so the result (rows *and* row order) is
+//! identical to the serial engine at any thread count. `threads = 1`
+//! runs the original serial code paths untouched.
 
+use bi_exec::ExecConfig;
 use bi_relation::Table;
 use bi_types::{Schema, Value};
 
@@ -12,12 +20,26 @@ use crate::catalog::Catalog;
 use crate::error::QueryError;
 use crate::plan::{agg_output_type, AggFunc, AggItem, JoinKind, Plan};
 
+/// Inputs smaller than this stay on the serial operators even when the
+/// config allows parallelism: below it, partitioning overhead dominates.
+const PARALLEL_ROW_THRESHOLD: usize = 4096;
+
 /// Executes a plan against a catalog. Views are resolved transparently.
 pub fn execute(plan: &Plan, cat: &Catalog) -> Result<Table, QueryError> {
-    exec_guarded(plan, cat, &mut Vec::new())
+    execute_with(plan, cat, &ExecConfig::serial())
 }
 
-fn exec_guarded(plan: &Plan, cat: &Catalog, stack: &mut Vec<String>) -> Result<Table, QueryError> {
+/// Executes a plan with the given parallelism configuration.
+pub fn execute_with(plan: &Plan, cat: &Catalog, cfg: &ExecConfig) -> Result<Table, QueryError> {
+    exec_guarded(plan, cat, cfg, &mut Vec::new())
+}
+
+fn exec_guarded(
+    plan: &Plan,
+    cat: &Catalog,
+    cfg: &ExecConfig,
+    stack: &mut Vec<String>,
+) -> Result<Table, QueryError> {
     match plan {
         Plan::Scan { table } => {
             if let Some(t) = cat.table(table) {
@@ -30,45 +52,88 @@ fn exec_guarded(plan: &Plan, cat: &Catalog, stack: &mut Vec<String>) -> Result<T
                 return Err(QueryError::CyclicView { name: table.clone() });
             }
             stack.push(table.clone());
-            let mut out = exec_guarded(view, cat, stack)?;
+            let mut out = exec_guarded(view, cat, cfg, stack)?;
             stack.pop();
             out.set_name(table.clone());
             Ok(out)
         }
         Plan::Filter { input, pred } => {
-            let t = exec_guarded(input, cat, stack)?;
+            let t = exec_guarded(input, cat, cfg, stack)?;
             Ok(t.filter(pred)?)
         }
         Plan::Project { input, items } => {
-            let t = exec_guarded(input, cat, stack)?;
+            let t = exec_guarded(input, cat, cfg, stack)?;
             Ok(t.map_rows(items)?)
         }
         Plan::Join { left, right, kind, on, right_prefix } => {
-            let lt = exec_guarded(left, cat, stack)?;
-            let rt = exec_guarded(right, cat, stack)?;
-            join(&lt, &rt, *kind, on, right_prefix)
+            let lt = exec_guarded(left, cat, cfg, stack)?;
+            let rt = exec_guarded(right, cat, cfg, stack)?;
+            join_with(&lt, &rt, *kind, on, right_prefix, cfg)
         }
         Plan::Aggregate { input, group_by, aggs } => {
-            let t = exec_guarded(input, cat, stack)?;
-            aggregate(&t, group_by, aggs)
+            let t = exec_guarded(input, cat, cfg, stack)?;
+            aggregate_with(&t, group_by, aggs, cfg)
         }
         Plan::Union { left, right } => {
-            let lt = exec_guarded(left, cat, stack)?;
-            let rt = exec_guarded(right, cat, stack)?;
+            let lt = exec_guarded(left, cat, cfg, stack)?;
+            let rt = exec_guarded(right, cat, cfg, stack)?;
             Ok(lt.union_all(&rt)?)
         }
-        Plan::Distinct { input } => Ok(exec_guarded(input, cat, stack)?.distinct()),
+        Plan::Distinct { input } => Ok(exec_guarded(input, cat, cfg, stack)?.distinct()),
         Plan::Sort { input, keys } => {
-            let t = exec_guarded(input, cat, stack)?;
+            let t = exec_guarded(input, cat, cfg, stack)?;
             let cols: Vec<&str> = keys.iter().map(|k| k.column.as_str()).collect();
             let desc: Vec<bool> = keys.iter().map(|k| k.descending).collect();
             Ok(t.sort_by(&cols, &desc)?)
         }
         Plan::Limit { input, n } => {
-            let t = exec_guarded(input, cat, stack)?;
+            let t = exec_guarded(input, cat, cfg, stack)?;
             let rows: Vec<_> = t.rows().iter().take(*n).cloned().collect();
             Ok(Table::from_rows(t.name().to_string(), t.schema().clone(), rows)?)
         }
+    }
+}
+
+/// Output name of a join: both inputs, so chained joins and self-joins
+/// stay distinguishable in catalogs and provenance (naming the output
+/// after the left input alone made `A ⋈ A` collide with `A`).
+pub fn join_output_name(left: &Table, right: &Table) -> String {
+    format!("{}⋈{}", left.name(), right.name())
+}
+
+/// Join output schema: left ⊕ prefixed right, right side nullable for
+/// left joins.
+fn join_schema(
+    left: &Table,
+    right: &Table,
+    kind: JoinKind,
+    right_prefix: &str,
+) -> Result<Schema, QueryError> {
+    let schema = left.schema().join(right.schema(), right_prefix)?;
+    // Left-join output must admit NULLs on the right side.
+    if kind == JoinKind::Left {
+        let mut cols = schema.columns().to_vec();
+        for c in cols.iter_mut().skip(left.schema().len()) {
+            c.nullable = true;
+        }
+        Ok(Schema::new(cols)?)
+    } else {
+        Ok(schema)
+    }
+}
+
+fn join_with(
+    left: &Table,
+    right: &Table,
+    kind: JoinKind,
+    on: &[(String, String)],
+    right_prefix: &str,
+    cfg: &ExecConfig,
+) -> Result<Table, QueryError> {
+    if cfg.is_serial() || left.len() + right.len() < PARALLEL_ROW_THRESHOLD {
+        join(left, right, kind, on, right_prefix)
+    } else {
+        join_parallel(left, right, kind, on, right_prefix, cfg)
     }
 }
 
@@ -79,18 +144,7 @@ fn join(
     on: &[(String, String)],
     right_prefix: &str,
 ) -> Result<Table, QueryError> {
-    let schema = left.schema().join(right.schema(), right_prefix)?;
-    // Left-join output must admit NULLs on the right side.
-    let schema = if kind == JoinKind::Left {
-        let mut cols = schema.columns().to_vec();
-        for c in cols.iter_mut().skip(left.schema().len()) {
-            c.nullable = true;
-        }
-        Schema::new(cols)?
-    } else {
-        schema
-    };
-
+    let schema = join_schema(left, right, kind, right_prefix)?;
     let left_keys: Vec<usize> =
         on.iter().map(|(l, _)| left.schema().index_of(l)).collect::<Result<_, _>>()?;
     let right_keys: Vec<usize> =
@@ -108,7 +162,7 @@ fn join(
         index.entry(key).or_default().push(i);
     }
 
-    let mut out = Table::new(left.name().to_string(), schema);
+    let mut out = Table::new(join_output_name(left, right), schema);
     let right_width = right.schema().len();
     for lrow in left.rows() {
         let key: Vec<Value> = left_keys.iter().map(|&c| lrow[c].clone()).collect();
@@ -131,7 +185,120 @@ fn join(
     Ok(out)
 }
 
-fn aggregate(input: &Table, group_by: &[String], aggs: &[AggItem]) -> Result<Table, QueryError> {
+/// Partitioned hash-join build + morsel-driven probe.
+///
+/// Build: the right side is scanned in parallel morsels, each emitting
+/// `(partition, row index)` pairs; per-partition hash maps are then
+/// built in parallel, with the morsel outputs visited in morsel order so
+/// every per-key match list stays ascending — exactly the insertion
+/// order of the serial build. Probe: left morsels probe independently
+/// (each partition map is read-only by then) and their output row blocks
+/// are concatenated in morsel order, so the final row order equals the
+/// serial nested emit.
+fn join_parallel(
+    left: &Table,
+    right: &Table,
+    kind: JoinKind,
+    on: &[(String, String)],
+    right_prefix: &str,
+    cfg: &ExecConfig,
+) -> Result<Table, QueryError> {
+    use std::collections::HashMap;
+    let schema = join_schema(left, right, kind, right_prefix)?;
+    let left_keys: Vec<usize> =
+        on.iter().map(|(l, _)| left.schema().index_of(l)).collect::<Result<_, _>>()?;
+    let right_keys: Vec<usize> =
+        on.iter().map(|(_, r)| right.schema().index_of(r)).collect::<Result<_, _>>()?;
+
+    let p = bi_exec::partition_count(cfg);
+    let key_of = |row: &[Value], keys: &[usize]| -> Vec<Value> {
+        keys.iter().map(|&c| row[c].clone()).collect()
+    };
+
+    // Build phase 1: morsel-parallel partitioning of the right side.
+    let partitioned: Vec<Vec<Vec<usize>>> =
+        bi_exec::par_chunks(cfg, right.rows(), bi_exec::MORSEL_ROWS, |offset, chunk| {
+            let mut parts: Vec<Vec<usize>> = vec![Vec::new(); p];
+            for (i, row) in chunk.iter().enumerate() {
+                let key = key_of(row, &right_keys);
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                parts[(bi_exec::stable_hash(&key) as usize) & (p - 1)].push(offset + i);
+            }
+            parts
+        });
+
+    // Build phase 2: one hash map per partition, built in parallel.
+    let part_ids: Vec<usize> = (0..p).collect();
+    let indexes: Vec<HashMap<Vec<Value>, Vec<usize>>> = bi_exec::par_map(cfg, &part_ids, |&pi| {
+        let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for morsel in &partitioned {
+            for &ri in &morsel[pi] {
+                index.entry(key_of(&right.rows()[ri], &right_keys)).or_default().push(ri);
+            }
+        }
+        index
+    });
+
+    // Probe: morsel-driven over the left side.
+    let right_width = right.schema().len();
+    let blocks: Vec<Vec<Vec<Value>>> =
+        bi_exec::par_chunks(cfg, left.rows(), bi_exec::MORSEL_ROWS, |_, chunk| {
+            let mut rows: Vec<Vec<Value>> = Vec::new();
+            for lrow in chunk {
+                let key = key_of(lrow, &left_keys);
+                let matches: &[usize] = if key.iter().any(Value::is_null) {
+                    &[]
+                } else {
+                    indexes[(bi_exec::stable_hash(&key) as usize) & (p - 1)]
+                        .get(&key)
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                };
+                if matches.is_empty() {
+                    if kind == JoinKind::Left {
+                        let mut row = lrow.clone();
+                        row.extend(std::iter::repeat_n(Value::Null, right_width));
+                        rows.push(row);
+                    }
+                    continue;
+                }
+                for &ri in matches {
+                    let mut row = lrow.clone();
+                    row.extend(right.rows()[ri].iter().cloned());
+                    rows.push(row);
+                }
+            }
+            rows
+        });
+    let rows: Vec<Vec<Value>> = blocks.into_iter().flatten().collect();
+    Ok(Table::from_rows(join_output_name(left, right), schema, rows)?)
+}
+
+fn aggregate_with(
+    input: &Table,
+    group_by: &[String],
+    aggs: &[AggItem],
+    cfg: &ExecConfig,
+) -> Result<Table, QueryError> {
+    // Global aggregates accumulate floats in row order (`Avg`, float
+    // `Sum`); chunked partial aggregation would change the rounding, so
+    // only grouped aggregation goes parallel — each group still
+    // accumulates its own rows in row order.
+    if cfg.is_serial() || group_by.is_empty() || input.len() < PARALLEL_ROW_THRESHOLD {
+        aggregate(input, group_by, aggs)
+    } else {
+        aggregate_parallel(input, group_by, aggs, cfg)
+    }
+}
+
+/// Output schema + aggregate argument indices, shared by both engines.
+fn aggregate_header(
+    input: &Table,
+    group_by: &[String],
+    aggs: &[AggItem],
+) -> Result<(Schema, Vec<Option<usize>>), QueryError> {
     use bi_types::Column;
     let mut cols = Vec::with_capacity(group_by.len() + aggs.len());
     for g in group_by {
@@ -141,11 +308,15 @@ fn aggregate(input: &Table, group_by: &[String], aggs: &[AggItem]) -> Result<Tab
         cols.push(Column::nullable(a.name.clone(), agg_output_type(a, input.schema())?));
     }
     let schema = Schema::new(cols)?;
-
     let arg_idx: Vec<Option<usize>> = aggs
         .iter()
         .map(|a| a.arg.as_deref().map(|c| input.schema().index_of(c)).transpose())
         .collect::<Result<_, _>>()?;
+    Ok((schema, arg_idx))
+}
+
+fn aggregate(input: &Table, group_by: &[String], aggs: &[AggItem]) -> Result<Table, QueryError> {
+    let (schema, arg_idx) = aggregate_header(input, group_by, aggs)?;
 
     let groups: Vec<(Vec<&Value>, Vec<usize>)> = if group_by.is_empty() {
         // Global aggregate: exactly one group, even over an empty input.
@@ -164,6 +335,76 @@ fn aggregate(input: &Table, group_by: &[String], aggs: &[AggItem]) -> Result<Tab
         out.push_row(row)?;
     }
     Ok(out)
+}
+
+/// Hash-partitioned parallel group-by.
+///
+/// Rows are partitioned by group-key hash in parallel morsels; each
+/// partition then builds its groups by visiting morsel outputs in morsel
+/// order (so row index lists stay ascending). Groups from all partitions
+/// are merged and sorted by first-appearance row index, recovering the
+/// exact group order of the serial engine, and aggregate evaluation
+/// fans out over the groups.
+fn aggregate_parallel(
+    input: &Table,
+    group_by: &[String],
+    aggs: &[AggItem],
+    cfg: &ExecConfig,
+) -> Result<Table, QueryError> {
+    use std::collections::HashMap;
+    let (schema, arg_idx) = aggregate_header(input, group_by, aggs)?;
+    let key_idx: Vec<usize> =
+        group_by.iter().map(|g| input.schema().index_of(g)).collect::<Result<_, _>>()?;
+
+    let p = bi_exec::partition_count(cfg);
+    let key_of = |ri: usize| -> Vec<&Value> {
+        key_idx.iter().map(|&c| &input.rows()[ri][c]).collect()
+    };
+
+    // Phase 1: morsel-parallel partitioning by key hash.
+    let partitioned: Vec<Vec<Vec<usize>>> =
+        bi_exec::par_chunks(cfg, input.rows(), bi_exec::MORSEL_ROWS, |offset, chunk| {
+            let mut parts: Vec<Vec<usize>> = vec![Vec::new(); p];
+            for (i, row) in chunk.iter().enumerate() {
+                let key: Vec<&Value> = key_idx.iter().map(|&c| &row[c]).collect();
+                parts[(bi_exec::stable_hash(&key) as usize) & (p - 1)].push(offset + i);
+            }
+            parts
+        });
+
+    // Phase 2: per-partition grouping. Equal keys share a hash and land
+    // in one partition, so partitions group independently. `(first row
+    // index, member rows)` per group; members ascend because morsel
+    // outputs are visited in morsel order.
+    let part_ids: Vec<usize> = (0..p).collect();
+    let by_partition: Vec<Vec<(usize, Vec<usize>)>> = bi_exec::par_map(cfg, &part_ids, |&pi| {
+        let mut slots: HashMap<Vec<&Value>, usize> = HashMap::new();
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for morsel in &partitioned {
+            for &ri in &morsel[pi] {
+                let slot = *slots.entry(key_of(ri)).or_insert_with(|| {
+                    groups.push((ri, Vec::new()));
+                    groups.len() - 1
+                });
+                groups[slot].1.push(ri);
+            }
+        }
+        groups
+    });
+
+    // Phase 3: global first-appearance order, as the serial engine emits.
+    let mut groups: Vec<(usize, Vec<usize>)> = by_partition.into_iter().flatten().collect();
+    groups.sort_unstable_by_key(|(first, _)| *first);
+
+    // Phase 4: parallel aggregate evaluation per group.
+    let rows: Vec<Vec<Value>> = bi_exec::try_par_map(cfg, &groups, |(first, members)| {
+        let mut row: Vec<Value> = key_of(*first).into_iter().cloned().collect();
+        for (a, arg) in aggs.iter().zip(&arg_idx) {
+            row.push(eval_agg(a.func, input, members, *arg)?);
+        }
+        Ok::<_, QueryError>(row)
+    })?;
+    Ok(Table::from_rows(input.name().to_string(), schema, rows)?)
 }
 
 fn eval_agg(
@@ -376,6 +617,104 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.rows()[0][0], Value::from("DV"));
         assert_eq!(t.rows()[1][0], Value::from("DR"));
+    }
+
+    #[test]
+    fn join_output_names_are_distinct() {
+        let cat = paper_catalog();
+        // Self-join: the output must not collide with the input name.
+        let p = scan("Prescriptions").project_cols(&["Patient", "Drug"]).join(
+            scan("Prescriptions").project_cols(&["Drug"]),
+            vec![("Drug".into(), "Drug".into())],
+            "r",
+        );
+        let t = execute(&p, &cat).unwrap();
+        assert_eq!(t.name(), "Prescriptions⋈Prescriptions");
+        // Chained joins accumulate both sides.
+        let p = scan("Prescriptions")
+            .join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc");
+        let t = execute(&p, &cat).unwrap();
+        assert_eq!(t.name(), "Prescriptions⋈DrugCost");
+    }
+
+    /// Large synthetic input so join + aggregate actually cross
+    /// [`PARALLEL_ROW_THRESHOLD`] and exercise the partitioned paths.
+    fn big_catalog(rows: usize) -> Catalog {
+        use bi_types::{Column, DataType};
+        let fact_schema = Schema::new(vec![
+            Column::new("K", DataType::Int),
+            Column::new("G", DataType::Text),
+            Column::nullable("V", DataType::Int),
+        ])
+        .unwrap();
+        let fact_rows: Vec<Vec<Value>> = (0..rows)
+            .map(|i| {
+                let v = if i % 97 == 0 { Value::Null } else { Value::Int((i % 1000) as i64) };
+                vec![
+                    Value::Int((i % 500) as i64),
+                    Value::text(format!("g{}", i % 37)),
+                    v,
+                ]
+            })
+            .collect();
+        let dim_schema = Schema::new(vec![
+            Column::new("K", DataType::Int),
+            Column::new("Label", DataType::Text),
+        ])
+        .unwrap();
+        let dim_rows: Vec<Vec<Value>> =
+            (0..400).map(|i| vec![Value::Int(i), Value::text(format!("d{i}"))]).collect();
+        let mut cat = Catalog::new();
+        cat.put_table(Table::from_rows("Fact", fact_schema, fact_rows).unwrap());
+        cat.put_table(Table::from_rows("Dim", dim_schema, dim_rows).unwrap());
+        cat
+    }
+
+    #[test]
+    fn parallel_join_and_aggregate_match_serial_exactly() {
+        let cat = big_catalog(10_000);
+        let plan = scan("Fact")
+            .join(scan("Dim"), vec![("K".into(), "K".into())], "d")
+            .aggregate(
+                vec!["G".into()],
+                vec![
+                    AggItem::count_star("n"),
+                    AggItem::new("s", AggFunc::Sum, "V"),
+                    AggItem::new("lo", AggFunc::Min, "V"),
+                ],
+            );
+        let serial = execute(&plan, &cat).unwrap();
+        for threads in [2, 4, 8] {
+            let par = execute_with(&plan, &cat, &ExecConfig::with_threads(threads)).unwrap();
+            // Not just the same row set: the same rows in the same order.
+            assert_eq!(par.schema(), serial.schema(), "threads={threads}");
+            assert_eq!(par.rows(), serial.rows(), "threads={threads}");
+            assert_eq!(par.name(), serial.name(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_left_join_matches_serial_exactly() {
+        let cat = big_catalog(8_000);
+        // Dim covers K ∈ [0, 400); K ∈ [400, 500) pads NULLs.
+        let plan = scan("Fact").left_join(scan("Dim"), vec![("K".into(), "K".into())], "d");
+        let serial = execute(&plan, &cat).unwrap();
+        let par = execute_with(&plan, &cat, &ExecConfig::with_threads(8)).unwrap();
+        assert_eq!(par.rows(), serial.rows());
+        assert!(serial.rows().iter().any(|r| r[3].is_null()), "unmatched keys padded");
+    }
+
+    #[test]
+    fn parallel_aggregate_error_matches_serial() {
+        let cat = big_catalog(10_000);
+        // Sum over Text is rejected at schema inference in both engines.
+        let plan = scan("Fact").aggregate(
+            vec!["G".into()],
+            vec![AggItem::new("bad", AggFunc::Sum, "G")],
+        );
+        let serial = execute(&plan, &cat).unwrap_err();
+        let par = execute_with(&plan, &cat, &ExecConfig::with_threads(8)).unwrap_err();
+        assert_eq!(par, serial);
     }
 
     #[test]

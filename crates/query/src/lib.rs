@@ -30,7 +30,7 @@ pub mod rewrite;
 
 pub use catalog::Catalog;
 pub use error::QueryError;
-pub use exec::execute;
+pub use exec::{execute, execute_with};
 pub use explain::explain;
 pub use optimize::optimize;
 pub use origins::{ColumnOrigins, Origin};

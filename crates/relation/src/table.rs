@@ -29,6 +29,14 @@ pub struct Table {
     rows: Arc<Vec<Row>>,
 }
 
+/// Tables are shared by reference across `bi-exec` worker threads
+/// (partitioned joins, batch delivery), so thread-safety is part of the
+/// type's contract, not an accident of its current fields.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<Table>();
+};
+
 impl Table {
     /// An empty table. Accepts either a bare [`Schema`] or a shared
     /// `Arc<Schema>`; pass the latter to reuse an existing allocation.

@@ -22,6 +22,7 @@
 use std::collections::BTreeMap;
 
 use bi_anonymize::{Hierarchy, Pseudonymizer};
+use bi_exec::ExecConfig;
 use bi_pla::{AnonMethod, CheckOutcome, CheckProgram, CombinedPolicy, Obligation};
 use bi_query::plan::{AggItem, Plan};
 use bi_query::rewrite::{MaskAction, ScanPolicy};
@@ -48,6 +49,9 @@ pub struct EngineConfig {
     /// rollup total could difference it back, so the smallest surviving
     /// sibling is hidden too.
     pub complementary_guard: bool,
+    /// How the rewritten plan executes. Defaults to serial; any thread
+    /// count produces byte-identical report tables (see `bi-exec`).
+    pub exec: ExecConfig,
 }
 
 /// An enforced, deliverable report table plus the audit trail of what
@@ -174,7 +178,7 @@ pub fn render_checked(
     // 3. Rewrite and execute.
     let policies: Vec<ScanPolicy> = scan_policies.into_values().collect();
     let rewritten = bi_query::rewrite::apply(&plan, &policies, cat)?;
-    let mut table = bi_query::execute(&rewritten, cat)?;
+    let mut table = bi_query::execute_with(&rewritten, cat, &config.exec)?;
 
     // 4. Apply the k-threshold (optionally with the differencing guard)
     //    and drop the guard column.

@@ -27,3 +27,18 @@ pub use error::TypeError;
 pub use ids::{ConsumerId, PlaId, ReportId, RoleId, SourceId};
 pub use schema::{Column, Schema};
 pub use value::{DataType, Value};
+
+/// The kernel types cross worker threads in `bi-exec`'s morsel-driven
+/// operators, so `Send + Sync` is part of their public contract — assert
+/// it at compile time rather than discovering a regression (e.g. an `Rc`
+/// slipping into [`Value`]) deep inside a parallel call site.
+const _: () = {
+    const fn assert_sync_send<T: Sync + Send>() {}
+    assert_sync_send::<Value>();
+    assert_sync_send::<DataType>();
+    assert_sync_send::<Date>();
+    assert_sync_send::<Schema>();
+    assert_sync_send::<Column>();
+    assert_sync_send::<TypeError>();
+    assert_sync_send::<(ConsumerId, PlaId, ReportId, RoleId, SourceId)>();
+};

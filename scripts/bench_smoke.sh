@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Smoke test for the parallel executor benchmark.
+#
+# Runs `bench_parallel --quick`, validates that BENCH_parallel.json is
+# well-formed, and enforces two gates on the largest measured size:
+#
+#   * parallel must not be slower than serial beyond a noise tolerance
+#     (1.25x when the box resolves to a single worker, where "parallel"
+#     IS the serial path plus config plumbing; 1.10x otherwise);
+#   * with >= 4 workers available, the ISSUE's >= 2x speedup must hold.
+#
+# Usage: scripts/bench_smoke.sh [--full]
+#   --full  benchmark the 1M-row size too (slower)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE_FLAG="--quick"
+if [ "${1:-}" = "--full" ]; then
+  MODE_FLAG=""
+fi
+
+OUT="BENCH_parallel.json"
+# shellcheck disable=SC2086
+cargo run --release -q -p bi-bench --bin bench_parallel -- $MODE_FLAG --out "$OUT"
+
+python3 - "$OUT" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+threads = data["threads"]
+sizes = data["sizes"]
+assert threads >= 1, "threads must be positive"
+assert sizes, "at least one size measured"
+for s in sizes:
+    assert s["serial_ms"] > 0 and s["parallel_ms"] > 0, f"non-positive timing: {s}"
+    for op in s["ops"]:
+        assert op["op"] in ("join", "aggregate"), f"unknown op: {op}"
+
+largest = max(sizes, key=lambda s: s["rows"])
+serial, parallel = largest["serial_ms"], largest["parallel_ms"]
+tolerance = 1.25 if threads == 1 else 1.10
+if parallel > serial * tolerance:
+    sys.exit(
+        f"FAIL: parallel {parallel:.2f} ms > serial {serial:.2f} ms "
+        f"x{tolerance} at {largest['rows']} rows (threads={threads})"
+    )
+if threads >= 4 and largest["speedup"] < 2.0:
+    sys.exit(
+        f"FAIL: speedup {largest['speedup']:.2f} < 2.0 at "
+        f"{largest['rows']} rows with {threads} threads"
+    )
+print(
+    f"bench smoke OK: {len(sizes)} size(s), threads={threads}, "
+    f"largest {largest['rows']} rows: serial {serial:.2f} ms, "
+    f"parallel {parallel:.2f} ms (x{largest['speedup']:.2f})"
+)
+PY

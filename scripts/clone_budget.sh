@@ -19,6 +19,13 @@ declare -A BUDGET=(
   [crates/core/src/system.rs]=20
   [crates/etl/src/pipeline.rs]=25
   [crates/report/src/engine.rs]=28
+  # bi-exec call sites: parallel operators must share via Arc/borrows,
+  # not clone per worker. bi-exec itself moves morsel outputs, never
+  # clones.
+  [crates/query/src/exec.rs]=16
+  [crates/anonymize/src/kanon.rs]=7
+  [crates/anonymize/src/mondrian.rs]=5
+  [crates/exec/src/lib.rs]=0
 )
 
 fail=0

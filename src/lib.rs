@@ -18,6 +18,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`types`] | `bi-types` | values, dates, schemas, ids |
+//! | [`exec`] | `bi-exec` | morsel-driven parallel execution substrate |
 //! | [`relation`] | `bi-relation` | tables, expressions (3-valued logic), parser |
 //! | [`query`] | `bi-query` | plans, views, execution, VPD rewriting, containment |
 //! | [`provenance`] | `bi-provenance` | where-provenance, lineage queries |
@@ -74,7 +75,7 @@
 
 pub use bi_core as core;
 pub use bi_core::{
-    anonymize, audit, etl, pla, provenance, query, relation, report, types, warehouse,
+    anonymize, audit, etl, exec, pla, provenance, query, relation, report, types, warehouse,
 };
 pub use bi_core::{simulate_continuum, BiSystem, ContinuumParams, ElicitationCost, LevelOutcome, SystemError};
 pub use bi_synth as synth;
