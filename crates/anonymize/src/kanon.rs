@@ -106,6 +106,65 @@ fn equivalence_classes(
     classes
 }
 
+/// Columnar QI classing: each QI column collapses to dense `u32`
+/// equivalence codes (`Value`-equality classes; NULLs form one class),
+/// and per-row code tuples pack mixed-radix into a single `u64` key when
+/// the cardinality product fits — class assignment becomes integer
+/// hashing instead of `Vec<Value>` clone-and-hash per row. Returns
+/// `None` when the table declines columnar conversion; callers then use
+/// [`equivalence_classes`]. Class membership is identical either way
+/// (all consumers are order-independent: they only look at sizes and
+/// row-index membership).
+fn equivalence_classes_columnar(table: &Table, qi_idx: &[usize]) -> Option<Vec<Vec<usize>>> {
+    use bi_relation::ColumnChunk;
+    let chunk = ColumnChunk::from_table_cols(table, qi_idx).ok()?;
+    let coded: Vec<(Vec<u32>, u32)> = qi_idx
+        .iter()
+        .map(|&c| chunk.column(c).expect("QI column materialized").dense_codes())
+        .collect();
+    let mut product: u128 = 1;
+    for (_, card) in &coded {
+        product = product.saturating_mul((*card).max(1) as u128);
+    }
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    if product <= u64::MAX as u128 {
+        let mut slots: HashMap<u64, usize> = HashMap::new();
+        for i in 0..table.len() {
+            let mut key: u64 = 0;
+            for (codes, card) in &coded {
+                key = key * (*card).max(1) as u64 + codes[i] as u64;
+            }
+            let slot = *slots.entry(key).or_insert_with(|| {
+                classes.push(Vec::new());
+                classes.len() - 1
+            });
+            classes[slot].push(i);
+        }
+    } else {
+        let mut slots: HashMap<Vec<u32>, usize> = HashMap::new();
+        for i in 0..table.len() {
+            let key: Vec<u32> = coded.iter().map(|(codes, _)| codes[i]).collect();
+            let slot = *slots.entry(key).or_insert_with(|| {
+                classes.push(Vec::new());
+                classes.len() - 1
+            });
+            classes[slot].push(i);
+        }
+    }
+    Some(classes)
+}
+
+/// QI-equivalence classes as plain index groups, columnar when the
+/// config asks for it and the table converts.
+fn class_groups_with(table: &Table, qi_idx: &[usize], cfg: &ExecConfig) -> Vec<Vec<usize>> {
+    if cfg.columnar {
+        if let Some(classes) = equivalence_classes_columnar(table, qi_idx) {
+            return classes;
+        }
+    }
+    equivalence_classes(table, qi_idx).into_values().collect()
+}
+
 /// Enumerates lattice nodes in ascending total height (BFS by sum).
 fn nodes_by_height(maxima: &[usize]) -> Vec<Vec<usize>> {
     let total: usize = maxima.iter().sum();
@@ -184,8 +243,8 @@ pub fn kanonymize_with(
             .map(|h| gen.schema().index_of(h.name()))
             .collect::<Result<_, _>>()
             .map_err(|e| AnonError::Relation(e.into()))?;
-        let classes = equivalence_classes(&gen, &qi_idx);
-        Ok(classes.values().filter(|rows| rows.len() < k).map(Vec::len).sum())
+        let classes = class_groups_with(&gen, &qi_idx, cfg);
+        Ok(classes.iter().filter(|rows| rows.len() < k).map(|rows| rows.len()).sum())
     };
 
     // Builds the winning result (suppressing undersized classes).
@@ -196,9 +255,9 @@ pub fn kanonymize_with(
             .map(|h| gen.schema().index_of(h.name()))
             .collect::<Result<_, _>>()
             .map_err(|e| AnonError::Relation(e.into()))?;
-        let classes = equivalence_classes(&gen, &qi_idx);
+        let classes = class_groups_with(&gen, &qi_idx, cfg);
         let keep: std::collections::HashSet<usize> = classes
-            .values()
+            .iter()
             .filter(|rows| rows.len() >= k)
             .flat_map(|rows| rows.iter().copied())
             .collect();
@@ -246,12 +305,23 @@ pub fn kanonymize_with(
 
 /// Checks k-anonymity of a table over the given QI columns.
 pub fn is_k_anonymous(table: &Table, qi: &[&str], k: usize) -> Result<bool, AnonError> {
+    is_k_anonymous_with(table, qi, k, &ExecConfig::serial())
+}
+
+/// [`is_k_anonymous`] with an execution configuration: a columnar
+/// config classes rows by dense QI codes instead of `Vec<Value>` keys.
+pub fn is_k_anonymous_with(
+    table: &Table,
+    qi: &[&str],
+    k: usize,
+    cfg: &ExecConfig,
+) -> Result<bool, AnonError> {
     let qi_idx: Vec<usize> = qi
         .iter()
         .map(|c| table.schema().index_of(c))
         .collect::<Result<_, _>>()
         .map_err(|e| AnonError::Relation(e.into()))?;
-    Ok(equivalence_classes(table, &qi_idx).values().all(|rows| rows.len() >= k))
+    Ok(class_groups_with(table, &qi_idx, cfg).iter().all(|rows| rows.len() >= k))
 }
 
 #[cfg(test)]
@@ -412,6 +482,38 @@ mod tests {
             generalize_table_with(&t, &hiers(), &[1, 1], &ExecConfig::with_threads(8)).unwrap();
         assert_eq!(serial.rows(), par.rows());
         assert_eq!(serial.schema(), par.schema());
+    }
+
+    /// Dense-code classing must produce the same class partition as
+    /// `Vec<Value>` keying — same sizes, same member sets — and the
+    /// whole k-anonymization must return an identical result under a
+    /// columnar config.
+    #[test]
+    fn columnar_classes_match_row_classes() {
+        let mut t = patients();
+        t.push_row(vec!["HIV".into(), 34.into(), "DH".into()]).unwrap();
+        let qi_idx = vec![0usize, 1];
+        let mut row_classes: Vec<Vec<usize>> =
+            equivalence_classes(&t, &qi_idx).into_values().collect();
+        let mut col_classes = equivalence_classes_columnar(&t, &qi_idx).unwrap();
+        for c in row_classes.iter_mut().chain(col_classes.iter_mut()) {
+            c.sort_unstable();
+        }
+        row_classes.sort();
+        col_classes.sort();
+        assert_eq!(row_classes, col_classes);
+
+        let serial = kanonymize(&t, &hiers(), 2, 1).unwrap();
+        for threads in [1, 2, 8] {
+            let cfg = ExecConfig::with_threads(threads).with_columnar(true);
+            let columnar = kanonymize_with(&t, &hiers(), 2, 1, &cfg).unwrap();
+            assert_eq!(columnar.levels, serial.levels, "threads={threads}");
+            assert_eq!(columnar.suppressed, serial.suppressed);
+            assert_eq!(columnar.nodes_examined, serial.nodes_examined);
+            assert_eq!(columnar.table.rows(), serial.table.rows());
+        }
+        assert!(is_k_anonymous_with(&serial.table, &["Disease", "Age"], 2, &ExecConfig::columnar())
+            .unwrap());
     }
 
     #[test]

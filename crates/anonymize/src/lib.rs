@@ -34,7 +34,7 @@ pub mod pseudo;
 
 pub use error::AnonError;
 pub use hierarchy::Hierarchy;
-pub use kanon::{kanonymize, kanonymize_with, AnonResult};
+pub use kanon::{is_k_anonymous, is_k_anonymous_with, kanonymize, kanonymize_with, AnonResult};
 pub use ldiv::{enforce_l_diversity, is_l_diverse};
 pub use mondrian::{mondrian, mondrian_with};
 pub use perturb::laplace_perturb;

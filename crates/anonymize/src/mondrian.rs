@@ -93,15 +93,12 @@ pub fn mondrian_with(
     }
 
     // Row positions with complete QI values.
-    let mut live: Vec<usize> = Vec::new();
-    let mut coords: Vec<Vec<f64>> = Vec::new(); // per live row, per QI axis
-    for (i, row) in table.rows().iter().enumerate() {
-        let c: Option<Vec<f64>> = qi_idx.iter().map(|&q| axis(&row[q])).collect();
-        if let Some(c) = c {
-            live.push(i);
-            coords.push(c);
-        }
+    let (live, coords) = if cfg.columnar {
+        coords_columnar(table, &qi_idx)
+    } else {
+        None
     }
+    .unwrap_or_else(|| coords_rowwise(table, &qi_idx));
     if live.len() < k && !live.is_empty() {
         return Err(AnonError::Unsatisfiable { k, best_violations: live.len() });
     }
@@ -149,6 +146,57 @@ pub fn mondrian_with(
         }
     }
     Ok(out)
+}
+
+/// Row-at-a-time extraction of QI axis coordinates: `(live row
+/// positions, per-live-row coordinate vectors)`; rows with any NULL QI
+/// cell are dropped (no position on the axis).
+fn coords_rowwise(table: &Table, qi_idx: &[usize]) -> (Vec<usize>, Vec<Vec<f64>>) {
+    let mut live: Vec<usize> = Vec::new();
+    let mut coords: Vec<Vec<f64>> = Vec::new();
+    for (i, row) in table.rows().iter().enumerate() {
+        let c: Option<Vec<f64>> = qi_idx.iter().map(|&q| axis(&row[q])).collect();
+        if let Some(c) = c {
+            live.push(i);
+            coords.push(c);
+        }
+    }
+    (live, coords)
+}
+
+/// Columnar twin of [`coords_rowwise`]: each QI column converts to one
+/// typed vector and maps to its axis in a single pass (no per-cell
+/// `Value` match), with NULL-row suppression driven by the validity
+/// bitmaps. Produces exactly the per-row results of [`axis`] — raw
+/// `f64`s for Float columns, `as f64` for Int, epoch days for Date.
+/// Returns `None` when the table declines columnar conversion.
+fn coords_columnar(table: &Table, qi_idx: &[usize]) -> Option<(Vec<usize>, Vec<Vec<f64>>)> {
+    use bi_relation::{ColumnData, ColumnChunk};
+    let chunk = ColumnChunk::from_table_cols(table, qi_idx).ok()?;
+    let mut axis_vals: Vec<Vec<f64>> = Vec::with_capacity(qi_idx.len());
+    let mut validities = Vec::with_capacity(qi_idx.len());
+    for &c in qi_idx {
+        let col = chunk.column(c).expect("QI column materialized");
+        let vals: Vec<f64> = match &col.data {
+            ColumnData::Int(d) => d.iter().map(|&i| i as f64).collect(),
+            ColumnData::Float(d) => d.clone(),
+            ColumnData::Date(d) => d.iter().map(|x| x.days_from_epoch() as f64).collect(),
+            // Text/Bool QI columns were already rejected as NotOrdered.
+            _ => return None,
+        };
+        axis_vals.push(vals);
+        validities.push(&col.validity);
+    }
+    let mut live: Vec<usize> = Vec::new();
+    let mut coords: Vec<Vec<f64>> = Vec::new();
+    for i in 0..table.len() {
+        if validities.iter().any(|v| v.is_null(i)) {
+            continue;
+        }
+        live.push(i);
+        coords.push(axis_vals.iter().map(|a| a[i]).collect());
+    }
+    Some((live, coords))
 }
 
 /// Finds an allowable median cut of `part`, trying the widest normalized
@@ -350,6 +398,45 @@ mod tests {
     fn too_few_rows_unsatisfiable() {
         let t = ages();
         assert!(matches!(mondrian(&t, &["Age"], 9), Err(AnonError::Unsatisfiable { .. })));
+    }
+
+    /// Columnar coordinate extraction must reproduce the row path —
+    /// including NULL-row suppression and Date/Float axes — so the whole
+    /// anonymization is byte-identical under a columnar config.
+    #[test]
+    fn columnar_coords_match_rowwise() {
+        let schema = Schema::new(vec![
+            Column::nullable("Age", DataType::Int),
+            Column::new("Score", DataType::Float),
+            Column::new("When", DataType::Date),
+            Column::new("Disease", DataType::Text),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..60)
+            .map(|i: i64| {
+                let age = if i % 13 == 0 { Value::Null } else { Value::Int(20 + (i * 7) % 50) };
+                vec![
+                    age,
+                    Value::Float((i % 11) as f64 / 2.0),
+                    Value::Date(
+                        bi_types::Date::from_days_from_epoch(13_000 + (i * 3) % 400).unwrap(),
+                    ),
+                    Value::text(format!("d{}", i % 4)),
+                ]
+            })
+            .collect();
+        let t = Table::from_rows("M", schema, rows).unwrap();
+        let qi = ["Age", "Score", "When"];
+        let qi_idx: Vec<usize> =
+            qi.iter().map(|c| t.schema().index_of(c).unwrap()).collect();
+        assert_eq!(coords_columnar(&t, &qi_idx).unwrap(), coords_rowwise(&t, &qi_idx));
+        let serial = mondrian(&t, &qi, 3).unwrap();
+        for threads in [1, 2, 8] {
+            let cfg = ExecConfig::with_threads(threads).with_columnar(true);
+            let columnar = mondrian_with(&t, &qi, 3, &cfg).unwrap();
+            assert_eq!(columnar.rows(), serial.rows(), "threads={threads}");
+            assert_eq!(columnar.schema(), serial.schema());
+        }
     }
 
     /// Wave-parallel partitioning must reproduce the serial recursion's

@@ -1,9 +1,10 @@
 //! Serial vs parallel executor timings on synthetic tables.
 //!
-//! Times the two operators the morsel-driven executor parallelizes —
-//! partitioned hash join and grouped aggregation — at several table
-//! sizes, verifies the parallel output is *identical* to the serial one,
-//! and writes `BENCH_parallel.json` for `scripts/bench_smoke.sh`.
+//! Sweeps thread counts {1, 2, 4, 8} over the four operators the
+//! morsel-driven executor touches — scan, predicate filter, partitioned
+//! hash join and grouped aggregation — at several table sizes, verifies
+//! every parallel output is *identical* to the serial one, and writes
+//! `BENCH_parallel.json` for `scripts/bench_smoke.sh`.
 //!
 //! Usage: `cargo run --release -p bi-bench --bin bench_parallel --
 //! [--quick] [--out PATH]`. `--quick` drops the 1M-row size so the
@@ -14,8 +15,11 @@ use std::time::Instant;
 use bi_core::exec::ExecConfig;
 use bi_core::query::plan::{scan, AggItem};
 use bi_core::query::{execute_with, Catalog};
+use bi_core::relation::expr::{col, lit};
 use bi_core::relation::Table;
 use bi_core::types::{Column, DataType, Schema, Value};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// Fact(K, G, V) with a NULL join key every 97th row, plus Dim(K, W).
 fn catalog(rows: usize) -> Catalog {
@@ -50,14 +54,16 @@ fn time_plan(
     iters: usize,
 ) -> (f64, Table) {
     let mut best = f64::INFINITY;
-    let mut out = None;
+    // Untimed warm-up so the first configuration measured does not pay
+    // the allocator's first-touch cost for the output table.
+    let mut out = execute_with(plan, cat, cfg).expect("bench plan executes");
     for _ in 0..iters.max(1) {
         let t0 = Instant::now();
         let table = execute_with(plan, cat, cfg).expect("bench plan executes");
         best = best.min(t0.elapsed().as_secs_f64() * 1e3);
-        out = Some(table);
+        out = table;
     }
-    (best, out.expect("at least one iteration"))
+    (best, out)
 }
 
 fn main() {
@@ -72,10 +78,12 @@ fn main() {
     let sizes: &[usize] =
         if quick { &[10_000, 100_000] } else { &[10_000, 100_000, 1_000_000] };
     let serial = ExecConfig::serial();
-    let parallel = ExecConfig::auto();
     let cores =
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
+    let scan_plan = scan("Fact");
+    let filter_plan =
+        scan("Fact").filter(col("V").ge(lit(250)).and(col("G").ne(lit("g7"))));
     let join_plan = scan("Fact").join(scan("Dim"), vec![("K".into(), "K".into())], "d");
     let agg_plan = scan("Fact").aggregate(
         vec!["G".into()],
@@ -84,42 +92,50 @@ fn main() {
             AggItem::new("total", bi_core::query::AggFunc::Sum, "V"),
         ],
     );
+    let ops: [(&str, &bi_core::query::Plan); 4] = [
+        ("scan", &scan_plan),
+        ("filter", &filter_plan),
+        ("join", &join_plan),
+        ("aggregate", &agg_plan),
+    ];
 
     let mut size_entries = Vec::new();
     for &rows in sizes {
         let cat = catalog(rows);
         let iters = if rows >= 1_000_000 { 2 } else { 3 };
         let mut op_entries = Vec::new();
-        let mut serial_total = 0.0;
-        let mut parallel_total = 0.0;
-        for (name, plan) in [("join", &join_plan), ("aggregate", &agg_plan)] {
+        for (name, plan) in ops {
             let (s_ms, s_out) = time_plan(plan, &cat, &serial, iters);
-            let (p_ms, p_out) = time_plan(plan, &cat, &parallel, iters);
-            assert_eq!(s_out.rows(), p_out.rows(), "{name}@{rows}: outputs diverge");
-            assert_eq!(s_out.name(), p_out.name(), "{name}@{rows}: names diverge");
-            serial_total += s_ms;
-            parallel_total += p_ms;
-            eprintln!(
-                "{rows:>8} rows  {name:<9} serial {s_ms:8.2} ms  parallel {p_ms:8.2} ms  x{:.2}",
-                s_ms / p_ms
-            );
+            let mut thread_entries = Vec::new();
+            for n in THREAD_COUNTS {
+                let cfg = ExecConfig::with_threads(n);
+                let (p_ms, p_out) = time_plan(plan, &cat, &cfg, iters);
+                assert_eq!(s_out.rows(), p_out.rows(), "{name}@{rows}x{n}: outputs diverge");
+                assert_eq!(s_out.name(), p_out.name(), "{name}@{rows}x{n}: names diverge");
+                eprintln!(
+                    "{rows:>8} rows  {name:<9} serial {s_ms:8.2} ms  {n} thread(s) {p_ms:8.2} ms  x{:.2}",
+                    s_ms / p_ms
+                );
+                thread_entries.push(format!(
+                    r#"{{"threads":{n},"ms":{p_ms:.3},"speedup":{:.3}}}"#,
+                    s_ms / p_ms
+                ));
+            }
             op_entries.push(format!(
-                r#"{{"op":"{name}","serial_ms":{s_ms:.3},"parallel_ms":{p_ms:.3},"speedup":{:.3}}}"#,
-                s_ms / p_ms
+                r#"{{"op":"{name}","serial_ms":{s_ms:.3},"by_threads":[{}]}}"#,
+                thread_entries.join(",")
             ));
         }
         size_entries.push(format!(
-            r#"{{"rows":{rows},"serial_ms":{serial_total:.3},"parallel_ms":{parallel_total:.3},"speedup":{:.3},"ops":[{}]}}"#,
-            serial_total / parallel_total,
+            r#"{{"rows":{rows},"ops":[{}]}}"#,
             op_entries.join(",")
         ));
     }
 
     let json = format!(
-        "{{\"threads\":{},\"cores\":{cores},\"quick\":{quick},\"sizes\":[{}]}}\n",
-        parallel.threads,
+        "{{\"thread_counts\":[1,2,4,8],\"cores\":{cores},\"quick\":{quick},\"sizes\":[{}]}}\n",
         size_entries.join(",")
     );
     std::fs::write(&out_path, &json).expect("write BENCH_parallel.json");
-    eprintln!("wrote {out_path} (threads={}, cores={cores})", parallel.threads);
+    eprintln!("wrote {out_path} (cores={cores})");
 }

@@ -238,7 +238,9 @@ fn execute_step(
             let c = t.schema().index_of(column)?;
             let map: BTreeMap<&str, &str> =
                 mapping.iter().map(|(f, to)| (f.as_str(), to.as_str())).collect();
-            let mut out = Table::new(t.name().to_string(), t.schema().clone());
+            // Text-to-text remapping keeps every row well-typed, so the
+            // staging table is rebuilt without per-row re-validation.
+            let mut rows = Vec::with_capacity(t.len());
             for row in t.rows() {
                 let mut r = row.clone();
                 if let Value::Text(s) = &row[c] {
@@ -247,8 +249,9 @@ fn execute_step(
                         touched += 1;
                     }
                 }
-                out.push_row(r)?;
+                rows.push(r);
             }
+            let out = Table::from_rows_trusted(t.name().to_string(), t.schema_shared(), rows);
             rows_out = out.len();
             let srcs = staging.sources_of(table).to_vec();
             staging.put(out, srcs);

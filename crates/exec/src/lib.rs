@@ -29,27 +29,35 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 /// dozen workers stay busy on mid-size tables.
 pub const MORSEL_ROWS: usize = 4096;
 
-/// How work is spread across threads. The single gate for every
-/// parallel code path in the workspace: `threads = 1` reproduces the
-/// serial engine exactly (no pool, no reordering), `threads = 0` asks
-/// for one worker per available core.
+/// How work is spread across threads, and which operator
+/// implementations run. The single gate for every parallel code path in
+/// the workspace: `threads = 1` reproduces the serial engine exactly
+/// (no pool, no reordering), `threads = 0` asks for one worker per
+/// available core. `columnar = true` additionally lets operators that
+/// have a vectorized implementation (filter kernels, dictionary-code
+/// joins and group-bys) run it; the row-at-a-time engine remains the
+/// oracle, and every columnar operator is required to produce
+/// byte-identical output or decline and fall back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecConfig {
     /// Number of worker threads. `1` = serial inline execution.
     pub threads: usize,
+    /// Allow vectorized columnar operators. `false` = row engine only.
+    pub columnar: bool,
 }
 
 impl ExecConfig {
-    /// Serial execution on the caller's thread (the default).
+    /// Serial row-at-a-time execution on the caller's thread (the
+    /// default, and the oracle every other configuration must match).
     pub const fn serial() -> Self {
-        ExecConfig { threads: 1 }
+        ExecConfig { threads: 1, columnar: false }
     }
 
     /// One worker per available core (falls back to serial when the
     /// parallelism cannot be determined).
     pub fn auto() -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        ExecConfig { threads }
+        ExecConfig { threads, columnar: false }
     }
 
     /// A fixed thread count; `0` means [`ExecConfig::auto`].
@@ -57,8 +65,19 @@ impl ExecConfig {
         if threads == 0 {
             Self::auto()
         } else {
-            ExecConfig { threads }
+            ExecConfig { threads, columnar: false }
         }
+    }
+
+    /// Single-threaded execution with columnar operators enabled.
+    pub const fn columnar() -> Self {
+        ExecConfig { threads: 1, columnar: true }
+    }
+
+    /// Builder: the same thread configuration with columnar operators
+    /// switched on or off.
+    pub const fn with_columnar(self, columnar: bool) -> Self {
+        ExecConfig { columnar, ..self }
     }
 
     /// True when this configuration runs everything inline.
@@ -192,6 +211,53 @@ where
     Ok(out.into_iter().map(|o| o.expect("no error, so every morsel completed")).collect())
 }
 
+/// Applies `f` to contiguous index ranges `[start, end)` of a
+/// `len`-element domain, returning one output per range **in range
+/// order**. The columnar twin of [`par_chunks`]: when the data lives in
+/// column vectors rather than a row slice, morsels are ranges into the
+/// chunk, not sub-slices of rows. Workers claim ranges from a shared
+/// counter exactly as in [`par_chunks`], so determinism and ordering
+/// guarantees are identical.
+pub fn par_ranges<U, F>(cfg: &ExecConfig, len: usize, morsel: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize, usize) -> U + Sync,
+{
+    let morsel = morsel.max(1);
+    let n_morsels = len.div_ceil(morsel);
+    let workers = cfg.workers_for(n_morsels);
+    if workers <= 1 {
+        return (0..n_morsels)
+            .map(|m| f(m * morsel, ((m + 1) * morsel).min(len)))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<U>> = std::iter::repeat_with(|| None).take(n_morsels).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let m = next.fetch_add(1, Ordering::Relaxed);
+                        if m >= n_morsels {
+                            break;
+                        }
+                        local.push((m, f(m * morsel, ((m + 1) * morsel).min(len))));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (m, u) in h.join().expect("bi-exec worker panicked") {
+                out[m] = Some(u);
+            }
+        }
+    });
+    out.into_iter().map(|o| o.expect("every range claimed exactly once")).collect()
+}
+
 /// Morsel width that keeps `workers × 8` morsels in flight for
 /// element-wise maps — enough slack that uneven task costs balance out.
 fn auto_morsel(cfg: &ExecConfig, len: usize) -> usize {
@@ -273,6 +339,29 @@ mod tests {
                 .map(|(i, c)| (i * 7, c.iter().sum()))
                 .collect();
             assert_eq!(sums, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn columnar_flag_composes_with_thread_counts() {
+        assert!(!ExecConfig::serial().columnar);
+        assert!(ExecConfig::columnar().columnar);
+        assert!(ExecConfig::columnar().is_serial());
+        let cfg = ExecConfig::with_threads(4).with_columnar(true);
+        assert_eq!(cfg.threads, 4);
+        assert!(cfg.columnar);
+        assert!(!cfg.with_columnar(false).columnar);
+    }
+
+    #[test]
+    fn par_ranges_covers_domain_in_order() {
+        for threads in [1, 2, 8] {
+            let cfg = ExecConfig::with_threads(threads);
+            let ranges = par_ranges(&cfg, 1000, 64, |s, e| (s, e));
+            let serial: Vec<(usize, usize)> =
+                (0..1000usize.div_ceil(64)).map(|m| (m * 64, ((m + 1) * 64).min(1000))).collect();
+            assert_eq!(ranges, serial, "threads={threads}");
+            assert!(par_ranges(&cfg, 0, 64, |s, e| (s, e)).is_empty());
         }
     }
 

@@ -514,6 +514,43 @@ mod tests {
         )));
     }
 
+    /// Every `FilterRows` condition the checker emits — row restrictions
+    /// verbatim and retention cutoffs synthesized as `attr >= date` —
+    /// must compile to a columnar kernel against the table it filters.
+    /// The report engine pushes these obligations into the plan as
+    /// `Plan::Filter` nodes, so this is what guarantees PLA enforcement
+    /// runs on the vectorized path (never silently falling back to the
+    /// row engine) whenever the execution config asks for columnar.
+    #[test]
+    fn emitted_filter_conditions_compile_to_columnar_kernels() {
+        let doc = PlaDocument::new("h2", "hospital", PlaLevel::Source)
+            .with_rule(PlaRule::Retention {
+                table: "Prescriptions".into(),
+                date_attribute: "Date".into(),
+                max_age_days: 365,
+            })
+            .with_rule(PlaRule::RowRestriction {
+                table: "Prescriptions".into(),
+                condition: col("Patient").ne(lit("Math")).and(col("Disease").ne(lit("HIV"))),
+            });
+        let policy = CombinedPolicy::combine(&[doc]);
+        let cat = catalog();
+        let p = scan("Prescriptions").aggregate(vec![], vec![AggItem::count_star("n")]);
+        let out = check_plan(&p, &cat, &policy, &roles(&[]), &sources(), None, today()).unwrap();
+        let mut filters = 0;
+        for o in &out.obligations {
+            if let Obligation::FilterRows { table, condition } = o {
+                filters += 1;
+                let schema = cat.table(table).unwrap().schema();
+                assert!(
+                    bi_relation::CompiledPredicate::compile(condition, schema).is_some(),
+                    "PLA condition must vectorize: {condition}"
+                );
+            }
+        }
+        assert_eq!(filters, 2, "row restriction + retention cutoff");
+    }
+
     #[test]
     fn anonymization_obligation_only_when_touched() {
         let doc = PlaDocument::new("h3", "hospital", PlaLevel::Source).with_rule(PlaRule::Anonymize {

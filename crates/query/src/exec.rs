@@ -11,6 +11,16 @@
 //! morsel/first-appearance order so the result (rows *and* row order) is
 //! identical to the serial engine at any thread count. `threads = 1`
 //! runs the original serial code paths untouched.
+//!
+//! With `ExecConfig::columnar` set, operators first try columnar
+//! kernels: filters compile to vectorized predicates over
+//! [`bi_relation::ColumnChunk`]s, single-key equality joins hash `u64`
+//! keyspaces (dictionary codes for text — one string lookup per
+//! *distinct* value, pure integer compares per row), and single-column
+//! group-bys use dense equivalence codes instead of `Value` hashing.
+//! Every columnar operator either produces a byte-identical result
+//! (rows, order, schema, name) or declines and falls back to the row
+//! engine, so the row path remains the oracle.
 
 use bi_exec::ExecConfig;
 use bi_relation::Table;
@@ -59,6 +69,11 @@ fn exec_guarded(
         }
         Plan::Filter { input, pred } => {
             let t = exec_guarded(input, cat, cfg, stack)?;
+            if cfg.columnar {
+                if let Some(out) = bi_relation::filter_columnar(&t, pred, cfg) {
+                    return Ok(out);
+                }
+            }
             Ok(t.filter(pred)?)
         }
         Plan::Project { input, items } => {
@@ -88,8 +103,9 @@ fn exec_guarded(
         }
         Plan::Limit { input, n } => {
             let t = exec_guarded(input, cat, cfg, stack)?;
+            // A prefix of an already-validated table needs no re-check.
             let rows: Vec<_> = t.rows().iter().take(*n).cloned().collect();
-            Ok(Table::from_rows(t.name().to_string(), t.schema().clone(), rows)?)
+            Ok(Table::from_rows_trusted(t.name().to_string(), t.schema_shared(), rows))
         }
     }
 }
@@ -130,11 +146,172 @@ fn join_with(
     right_prefix: &str,
     cfg: &ExecConfig,
 ) -> Result<Table, QueryError> {
+    if cfg.columnar {
+        if let Some(out) = join_columnar(left, right, kind, on, right_prefix, cfg)? {
+            return Ok(out);
+        }
+    }
     if cfg.is_serial() || left.len() + right.len() < PARALLEL_ROW_THRESHOLD {
         join(left, right, kind, on, right_prefix)
     } else {
         join_parallel(left, right, kind, on, right_prefix, cfg)
     }
+}
+
+/// Encodes one side's join-key column into a `u64` keyspace shared by
+/// both sides, `None` per row for NULL (never matches). Returns `None`
+/// for text columns (they take the dictionary-translation path).
+///
+/// `float_space` selects `f64` `float_key` encoding — required whenever
+/// the *other* side is a Float column, because `Int(a) = Float(b)`
+/// compares in `f64` space (mirroring `Value::cmp`).
+fn join_keys_u64(col: &bi_relation::ChunkColumn, float_space: bool) -> Option<Vec<Option<u64>>> {
+    use bi_relation::ColumnData;
+    let v = &col.validity;
+    let mk = |i: usize, raw: u64| if v.is_null(i) { None } else { Some(raw) };
+    Some(match &col.data {
+        ColumnData::Int(d) => d
+            .iter()
+            .enumerate()
+            .map(|(i, x)| mk(i, if float_space { Value::float_key(*x as f64) } else { *x as u64 }))
+            .collect(),
+        ColumnData::Float(d) => {
+            d.iter().enumerate().map(|(i, x)| mk(i, Value::float_key(*x))).collect()
+        }
+        ColumnData::Date(d) => {
+            d.iter().enumerate().map(|(i, x)| mk(i, x.days_from_epoch() as u64)).collect()
+        }
+        ColumnData::Bool(d) => d.iter().enumerate().map(|(i, x)| mk(i, *x as u64)).collect(),
+        ColumnData::Text { .. } => return None,
+    })
+}
+
+/// Morsel-driven probe + emit shared by the columnar join paths.
+/// `matches_of(i)` yields the matching right-row indices for left row
+/// `i`, ascending — the same order the serial probe emits.
+fn emit_join_rows<'a, F>(
+    left: &Table,
+    right: &Table,
+    schema: Schema,
+    kind: JoinKind,
+    cfg: &ExecConfig,
+    matches_of: F,
+) -> Table
+where
+    F: Fn(usize) -> &'a [u32] + Sync,
+{
+    let right_width = right.schema().len();
+    let blocks: Vec<Vec<Vec<Value>>> =
+        bi_exec::par_ranges(cfg, left.len(), bi_exec::MORSEL_ROWS, |s, e| {
+            let mut rows: Vec<Vec<Value>> = Vec::new();
+            for i in s..e {
+                let matches = matches_of(i);
+                if matches.is_empty() {
+                    if kind == JoinKind::Left {
+                        let mut row = left.rows()[i].clone();
+                        row.extend(std::iter::repeat_n(Value::Null, right_width));
+                        rows.push(row);
+                    }
+                    continue;
+                }
+                for &ri in matches {
+                    let mut row = left.rows()[i].clone();
+                    row.extend(right.rows()[ri as usize].iter().cloned());
+                    rows.push(row);
+                }
+            }
+            rows
+        });
+    let rows: Vec<Vec<Value>> = blocks.into_iter().flatten().collect();
+    Table::from_rows_trusted(join_output_name(left, right), schema, rows)
+}
+
+/// Columnar single-key equality join. Text keys join on dictionary
+/// codes: the left dictionary is translated into right codes once (one
+/// string lookup per *distinct* left value), then the probe is pure
+/// `u32` indexing into per-code match lists — no per-row hashing or
+/// string compares. Other key types hash a `u64` keyspace. Returns
+/// `Ok(None)` — fall back to the row engines — for multi-key or
+/// cross-typed joins and for tables that decline columnar conversion;
+/// otherwise the result is byte-identical to the serial [`join`].
+fn join_columnar(
+    left: &Table,
+    right: &Table,
+    kind: JoinKind,
+    on: &[(String, String)],
+    right_prefix: &str,
+    cfg: &ExecConfig,
+) -> Result<Option<Table>, QueryError> {
+    use bi_relation::{ColumnChunk, ColumnData};
+    use bi_types::DataType;
+    if on.len() != 1 {
+        return Ok(None);
+    }
+    // Same error order as the serial path: schema first, then keys.
+    let schema = join_schema(left, right, kind, right_prefix)?;
+    let lk = left.schema().index_of(&on[0].0)?;
+    let rk = right.schema().index_of(&on[0].1)?;
+    let (lt, rt) = (left.schema().columns()[lk].dtype, right.schema().columns()[rk].dtype);
+    let numeric = |t: DataType| matches!(t, DataType::Int | DataType::Float);
+    if lt != rt && !(numeric(lt) && numeric(rt)) {
+        // Cross-typed keys never compare equal; not worth a kernel.
+        return Ok(None);
+    }
+    let Ok(lchunk) = ColumnChunk::from_table_cols(left, &[lk]) else { return Ok(None) };
+    let Ok(rchunk) = ColumnChunk::from_table_cols(right, &[rk]) else { return Ok(None) };
+    let lcol = lchunk.column(lk).expect("key column materialized");
+    let rcol = rchunk.column(rk).expect("key column materialized");
+
+    if let (
+        ColumnData::Text { codes: lcodes, dict: ldict },
+        ColumnData::Text { codes: rcodes, dict: rdict },
+    ) = (&lcol.data, &rcol.data)
+    {
+        // Match lists per right code, ascending by construction.
+        let mut by_code: Vec<Vec<u32>> = vec![Vec::new(); rdict.len()];
+        for (i, &c) in rcodes.iter().enumerate() {
+            if !rcol.validity.is_null(i) {
+                by_code[c as usize].push(i as u32);
+            }
+        }
+        // Left code → right code translation (u32::MAX = no such string;
+        // codes are dense, so a real code never reaches u32::MAX).
+        const NO_MATCH: u32 = u32::MAX;
+        let trans: Vec<u32> = (0..ldict.len() as u32)
+            .map(|lc| rdict.code_of(ldict.get(lc)).unwrap_or(NO_MATCH))
+            .collect();
+        let empty: &[u32] = &[];
+        let matches_of = |i: usize| -> &[u32] {
+            if lcol.validity.is_null(i) {
+                return empty;
+            }
+            match trans[lcodes[i] as usize] {
+                NO_MATCH => empty,
+                rc => &by_code[rc as usize],
+            }
+        };
+        return Ok(Some(emit_join_rows(left, right, schema, kind, cfg, matches_of)));
+    }
+
+    // Non-text keys: one shared u64 keyspace (f64 `float_key` space as
+    // soon as either side is Float).
+    let float_space = lt == DataType::Float || rt == DataType::Float;
+    let (Some(lkeys), Some(rkeys)) =
+        (join_keys_u64(lcol, float_space), join_keys_u64(rcol, float_space))
+    else {
+        return Ok(None);
+    };
+    let mut index: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
+    for (i, k) in rkeys.iter().enumerate() {
+        if let Some(k) = k {
+            index.entry(*k).or_default().push(i as u32);
+        }
+    }
+    let empty: &[u32] = &[];
+    let matches_of = |i: usize| -> &[u32] {
+        lkeys[i].and_then(|k| index.get(&k)).map(Vec::as_slice).unwrap_or(empty)
+    };
+    Ok(Some(emit_join_rows(left, right, schema, kind, cfg, matches_of)))
 }
 
 fn join(
@@ -273,7 +450,9 @@ fn join_parallel(
             rows
         });
     let rows: Vec<Vec<Value>> = blocks.into_iter().flatten().collect();
-    Ok(Table::from_rows(join_output_name(left, right), schema, rows)?)
+    // Probe outputs splice two validated tables under the joined schema;
+    // re-validating every row would cost O(rows × cols) for nothing.
+    Ok(Table::from_rows_trusted(join_output_name(left, right), schema, rows))
 }
 
 fn aggregate_with(
@@ -286,11 +465,55 @@ fn aggregate_with(
     // `Sum`); chunked partial aggregation would change the rounding, so
     // only grouped aggregation goes parallel — each group still
     // accumulates its own rows in row order.
+    if cfg.columnar && !group_by.is_empty() {
+        if let Some(out) = aggregate_columnar(input, group_by, aggs)? {
+            return Ok(out);
+        }
+    }
     if cfg.is_serial() || group_by.is_empty() || input.len() < PARALLEL_ROW_THRESHOLD {
         aggregate(input, group_by, aggs)
     } else {
         aggregate_parallel(input, group_by, aggs, cfg)
     }
+}
+
+/// Columnar single-column group-by: group keys become dense `u32`
+/// equivalence codes (one dictionary/hash probe per *distinct* value for
+/// text, plain integer classing otherwise), so grouping is a vector
+/// scatter instead of per-row `Value` hashing. Codes are assigned in
+/// first-appearance order, which is exactly the group order the serial
+/// engine emits. Aggregate evaluation reuses [`eval_agg`] on the same
+/// member lists, so results — including error cases — are identical.
+/// Returns `Ok(None)` for multi-column keys or tables that decline
+/// columnar conversion.
+fn aggregate_columnar(
+    input: &Table,
+    group_by: &[String],
+    aggs: &[AggItem],
+) -> Result<Option<Table>, QueryError> {
+    use bi_relation::ColumnChunk;
+    if group_by.len() != 1 {
+        return Ok(None);
+    }
+    let (schema, arg_idx) = aggregate_header(input, group_by, aggs)?;
+    let key_col = input.schema().index_of(&group_by[0])?;
+    let Ok(chunk) = ColumnChunk::from_table_cols(input, &[key_col]) else { return Ok(None) };
+    let (codes, card) = chunk.column(key_col).expect("key column materialized").dense_codes();
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); card as usize];
+    for (i, &c) in codes.iter().enumerate() {
+        groups[c as usize].push(i);
+    }
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
+    for members in &groups {
+        // The serial engine emits the *first* row's key value verbatim
+        // (matters for Value-equal but distinct bytes, e.g. -0.0/0.0).
+        let mut row: Vec<Value> = vec![input.rows()[members[0]][key_col].clone()];
+        for (a, arg) in aggs.iter().zip(&arg_idx) {
+            row.push(eval_agg(a.func, input, members, *arg)?);
+        }
+        rows.push(row);
+    }
+    Ok(Some(Table::from_rows_trusted(input.name().to_string(), schema, rows)))
 }
 
 /// Output schema + aggregate argument indices, shared by both engines.
@@ -404,7 +627,9 @@ fn aggregate_parallel(
         }
         Ok::<_, QueryError>(row)
     })?;
-    Ok(Table::from_rows(input.name().to_string(), schema, rows)?)
+    // Keys come from validated input rows and aggregates are nullable by
+    // schema construction — no re-validation needed.
+    Ok(Table::from_rows_trusted(input.name().to_string(), schema, rows))
 }
 
 fn eval_agg(
@@ -715,6 +940,71 @@ mod tests {
         let serial = execute(&plan, &cat).unwrap_err();
         let par = execute_with(&plan, &cat, &ExecConfig::with_threads(8)).unwrap_err();
         assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn columnar_pipeline_matches_serial_exactly() {
+        let cat = big_catalog(10_000);
+        // Filter + dictionary-code join + dense-code group-by, all on
+        // the columnar paths; `V` has NULLs every 97th row.
+        let plan = scan("Fact")
+            .filter(col("V").ge(lit(250)).or(col("V").is_null()))
+            .join(scan("Dim"), vec![("K".into(), "K".into())], "d")
+            .aggregate(
+                vec!["G".into()],
+                vec![
+                    AggItem::count_star("n"),
+                    AggItem::new("s", AggFunc::Sum, "V"),
+                    AggItem::new("hi", AggFunc::Max, "V"),
+                ],
+            );
+        let serial = execute(&plan, &cat).unwrap();
+        for threads in [1, 2, 8] {
+            let cfg = ExecConfig::with_threads(threads).with_columnar(true);
+            let par = execute_with(&plan, &cat, &cfg).unwrap();
+            assert_eq!(par.schema(), serial.schema(), "threads={threads}");
+            assert_eq!(par.rows(), serial.rows(), "threads={threads}");
+            assert_eq!(par.name(), serial.name(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn columnar_text_key_join_matches_serial() {
+        let cat = paper_catalog();
+        let cfg = ExecConfig::columnar();
+        for plan in [
+            // Text-key inner join on the paper's tables.
+            scan("Prescriptions")
+                .join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc"),
+            // Left join with NULL keys: Chris's NULL doctor matches nothing.
+            scan("Prescriptions").project_cols(&["Patient", "Doctor"]).left_join(
+                scan("Prescriptions").project_cols(&["Doctor"]),
+                vec![("Doctor".into(), "Doctor".into())],
+                "r",
+            ),
+            // Multi-key joins decline to the row engine; result matches.
+            scan("Familydoctor").left_join(
+                scan("Prescriptions"),
+                vec![("Patient".into(), "Patient".into()), ("Doctor".into(), "Doctor".into())],
+                "p",
+            ),
+        ] {
+            let serial = execute(&plan, &cat).unwrap();
+            let columnar = execute_with(&plan, &cat, &cfg).unwrap();
+            assert_eq!(columnar.rows(), serial.rows());
+            assert_eq!(columnar.schema(), serial.schema());
+            assert_eq!(columnar.name(), serial.name());
+        }
+    }
+
+    #[test]
+    fn columnar_aggregate_errors_match_serial() {
+        let cat = big_catalog(5_000);
+        let plan = scan("Fact")
+            .aggregate(vec!["G".into()], vec![AggItem::new("bad", AggFunc::Sum, "G")]);
+        let serial = execute(&plan, &cat).unwrap_err();
+        let columnar = execute_with(&plan, &cat, &ExecConfig::columnar()).unwrap_err();
+        assert_eq!(columnar, serial);
     }
 
     #[test]

@@ -11,11 +11,16 @@
 //!   relational helpers (filter/project/sort/distinct/group);
 //! * [`expr`] — expression AST, SQL-style three-valued evaluation, static
 //!   type inference, a textual parser and a round-trippable printer;
+//! * [`column`] — columnar chunks ([`column::ColumnChunk`]): typed
+//!   column vectors with validity bitmaps and dictionary-encoded text,
+//!   plus vectorized predicate kernels ([`column::kernel`]) that
+//!   evaluate a whole morsel per call;
 //! * [`index`] — hash indexes used by joins and policy lookups;
 //! * [`pretty`] — textual rendering of tables in the style of the paper's
 //!   Figs. 2–4;
 //! * [`error`] — the crate error type.
 
+pub mod column;
 pub mod csv;
 pub mod error;
 pub mod expr;
@@ -23,6 +28,8 @@ pub mod index;
 pub mod pretty;
 pub mod table;
 
+pub use column::kernel::{filter_columnar, BoolMask, CompiledPredicate};
+pub use column::{Column as ChunkColumn, ColumnChunk, ColumnData, ColumnarError, Dictionary};
 pub use error::RelationError;
 pub use expr::{BinOp, Expr, Func};
 pub use index::HashIndex;

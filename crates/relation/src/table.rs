@@ -57,6 +57,31 @@ impl Table {
         Ok(Table { name: name.into(), schema, rows: Arc::new(rows) })
     }
 
+    /// Builds a table from rows that are well-typed *by construction* —
+    /// e.g. survivors of a filter over an already-validated table, or
+    /// join outputs assembled from two validated inputs — skipping the
+    /// O(rows × cols) re-validation of [`Table::from_rows`].
+    ///
+    /// Debug builds still check every row, so a caller that feeds this
+    /// unvalidated data fails loudly under `cargo test` rather than
+    /// corrupting the well-typed-by-construction invariant silently.
+    pub fn from_rows_trusted(
+        name: impl Into<String>,
+        schema: impl Into<Arc<Schema>>,
+        rows: Vec<Row>,
+    ) -> Self {
+        let schema = schema.into();
+        #[cfg(debug_assertions)]
+        for r in &rows {
+            debug_assert!(
+                schema.check_row(r).is_ok(),
+                "from_rows_trusted fed an ill-typed row: {:?}",
+                schema.check_row(r)
+            );
+        }
+        Table { name: name.into(), schema, rows: Arc::new(rows) }
+    }
+
     /// Table name (used by catalogs and provenance tokens).
     pub fn name(&self) -> &str {
         &self.name

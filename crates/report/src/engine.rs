@@ -423,13 +423,15 @@ fn apply_anon(
                 })
                 .collect();
             let schema = Schema::new(cols)?;
-            let mut out = Table::new(table.name().to_string(), schema);
+            // Hierarchy output is Text-or-NULL and the column is now
+            // nullable Text, so the rebuilt rows need no re-validation.
+            let mut rows = Vec::with_capacity(table.len());
             for row in table.rows() {
                 let mut r = row.clone();
                 r[c] = h.apply(&row[c], *level)?;
-                out.push_row(r)?;
+                rows.push(r);
             }
-            Ok(out)
+            Ok(Table::from_rows_trusted(table.name().to_string(), schema, rows))
         }
         AnonMethod::Noise { scale } => {
             let c = table.schema().index_of(column)?;
@@ -442,7 +444,9 @@ fn apply_anon(
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
             }
             let mut rng = StdRng::seed_from_u64(config.noise_seed ^ h);
-            let mut out = Table::new(table.name().to_string(), table.schema().clone());
+            // Noise keeps each cell's type (Int→Int, Float→Float), so
+            // the perturbed rows stay valid under the original schema.
+            let mut rows = Vec::with_capacity(table.len());
             for row in table.rows() {
                 let mut r = row.clone();
                 match &row[c] {
@@ -452,9 +456,9 @@ fn apply_anon(
                     Value::Float(f) => r[c] = Value::Float(f + laplace(&mut rng, *scale)),
                     _ => {}
                 }
-                out.push_row(r)?;
+                rows.push(r);
             }
-            Ok(out)
+            Ok(Table::from_rows_trusted(table.name().to_string(), table.schema_shared(), rows))
         }
         AnonMethod::Suppress => unreachable!("suppress handled at scan level"),
     }
@@ -542,6 +546,39 @@ mod tests {
             render_enforced(&raw, &catalog(), &p, &table_source(), &EngineConfig::default(), today()),
             Err(ReportError::NonCompliant { .. })
         ));
+    }
+
+    /// Columnar execution threads through `EngineConfig::exec` into the
+    /// VPD-rewritten plan — including the `Plan::Filter` node that the
+    /// PLA row restriction becomes — and must deliver a byte-identical
+    /// report.
+    #[test]
+    fn columnar_exec_config_renders_identical_reports() {
+        let report = ReportSpec::new(
+            "r",
+            "Drug counts",
+            scan("FactPrescriptions")
+                .aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]),
+            [RoleId::new("analyst")],
+        );
+        let p = policy(vec![PlaRule::RowRestriction {
+            table: "FactPrescriptions".into(),
+            condition: col("Disease").ne(lit("HIV")),
+        }]);
+        let serial =
+            render_enforced(&report, &catalog(), &p, &table_source(), &EngineConfig::default(), today())
+                .unwrap();
+        for threads in [1, 2, 8] {
+            let config = EngineConfig {
+                exec: ExecConfig::with_threads(threads).with_columnar(true),
+                ..Default::default()
+            };
+            let columnar =
+                render_enforced(&report, &catalog(), &p, &table_source(), &config, today()).unwrap();
+            assert_eq!(columnar.table.rows(), serial.table.rows(), "threads={threads}");
+            assert_eq!(columnar.table.schema(), serial.table.schema());
+            assert_eq!(columnar.suppressed_groups, serial.suppressed_groups);
+        }
     }
 
     #[test]

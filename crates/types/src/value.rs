@@ -142,7 +142,11 @@ impl Value {
     }
 
     /// Normalizes NaN to a single bit pattern so Eq/Hash are coherent.
-    fn float_key(f: f64) -> u64 {
+    ///
+    /// Public because columnar kernels (`bi-relation`'s `column` module)
+    /// must replicate `Value`'s equality in typed `f64` vectors: two
+    /// floats are `Value`-equal exactly when their `float_key`s match.
+    pub fn float_key(f: f64) -> u64 {
         if f.is_nan() {
             f64::NAN.to_bits()
         } else if f == 0.0 {
@@ -153,8 +157,10 @@ impl Value {
     }
 
     /// Normalizes -0.0 to 0.0 and every NaN to one canonical NaN so that
-    /// `Ord`, `Eq`, and `Hash` all agree.
-    fn norm_float(f: f64) -> f64 {
+    /// `Ord`, `Eq`, and `Hash` all agree. Public for the same reason as
+    /// [`Value::float_key`]: vectorized comparisons must order floats
+    /// exactly as `Value::cmp` does.
+    pub fn norm_float(f: f64) -> f64 {
         if f.is_nan() {
             f64::NAN
         } else if f == 0.0 {
