@@ -118,10 +118,12 @@ fn equivalence_classes(
 fn equivalence_classes_columnar(table: &Table, qi_idx: &[usize]) -> Option<Vec<Vec<usize>>> {
     use bi_relation::ColumnChunk;
     let chunk = ColumnChunk::from_table_cols(table, qi_idx).ok()?;
-    let coded: Vec<(Vec<u32>, u32)> = qi_idx
-        .iter()
-        .map(|&c| chunk.column(c).expect("QI column materialized").dense_codes())
-        .collect();
+    let mut coded: Vec<(Vec<u32>, u32)> = Vec::with_capacity(qi_idx.len());
+    for &c in qi_idx {
+        // Conversion materialized exactly these columns; decline to the
+        // row path rather than abort if that invariant ever breaks.
+        coded.push(chunk.column(c)?.dense_codes());
+    }
     let mut product: u128 = 1;
     for (_, card) in &coded {
         product = product.saturating_mul((*card).max(1) as u128);
@@ -154,15 +156,18 @@ fn equivalence_classes_columnar(table: &Table, qi_idx: &[usize]) -> Option<Vec<V
     Some(classes)
 }
 
-/// QI-equivalence classes as plain index groups, columnar when the
-/// config asks for it and the table converts.
-fn class_groups_with(table: &Table, qi_idx: &[usize], cfg: &ExecConfig) -> Vec<Vec<usize>> {
+/// QI-equivalence classes as plain index groups — columnar when the
+/// config asks for it and the table converts — plus whether dense
+/// columnar codes served the classing, so callers on deterministic
+/// paths can count it (the speculative lattice evaluations must not, or
+/// snapshot counters would depend on the thread count).
+fn classed_groups(table: &Table, qi_idx: &[usize], cfg: &ExecConfig) -> (Vec<Vec<usize>>, bool) {
     if cfg.columnar {
         if let Some(classes) = equivalence_classes_columnar(table, qi_idx) {
-            return classes;
+            return (classes, true);
         }
     }
-    equivalence_classes(table, qi_idx).into_values().collect()
+    (equivalence_classes(table, qi_idx).into_values().collect(), false)
 }
 
 /// Enumerates lattice nodes in ascending total height (BFS by sum).
@@ -233,29 +238,35 @@ pub fn kanonymize_with(
     if hierarchies.is_empty() {
         return Err(AnonError::BadParams { reason: "at least one quasi-identifier required".into() });
     }
+    let _span = cfg.obs.span(bi_exec::SpanKind::AnonKanonymize);
     let maxima: Vec<usize> = hierarchies.iter().map(Hierarchy::max_level).collect();
 
-    // Count of rows in undersized equivalence classes at `node`.
-    let violations_at = |node: &Vec<usize>| -> Result<usize, AnonError> {
+    // Evaluates one lattice node: generalize, class, count rows in
+    // undersized classes. A node that fits the suppression budget also
+    // returns its generalized table and classes, so `accept` reuses
+    // them instead of re-generalizing and re-converting the winning
+    // node to chunks a second time.
+    type Satisfying = (Table, Vec<Vec<usize>>, bool);
+    let evaluate = |node: &Vec<usize>| -> Result<(usize, Option<Satisfying>), AnonError> {
         let gen = generalize_table(table, hierarchies, node)?;
         let qi_idx: Vec<usize> = hierarchies
             .iter()
             .map(|h| gen.schema().index_of(h.name()))
             .collect::<Result<_, _>>()
             .map_err(|e| AnonError::Relation(e.into()))?;
-        let classes = class_groups_with(&gen, &qi_idx, cfg);
-        Ok(classes.iter().filter(|rows| rows.len() < k).map(|rows| rows.len()).sum())
+        let (classes, columnar) = classed_groups(&gen, &qi_idx, cfg);
+        let violating =
+            classes.iter().filter(|rows| rows.len() < k).map(|rows| rows.len()).sum::<usize>();
+        let payload = (violating <= max_suppress).then_some((gen, classes, columnar));
+        Ok((violating, payload))
     };
 
-    // Builds the winning result (suppressing undersized classes).
-    let accept = |node: Vec<usize>, violating: usize, nodes_examined: usize| {
-        let gen = generalize_table_with(table, hierarchies, &node, cfg)?;
-        let qi_idx: Vec<usize> = hierarchies
-            .iter()
-            .map(|h| gen.schema().index_of(h.name()))
-            .collect::<Result<_, _>>()
-            .map_err(|e| AnonError::Relation(e.into()))?;
-        let classes = class_groups_with(&gen, &qi_idx, cfg);
+    // Builds the winning result (suppressing undersized classes) from
+    // the winning node's own evaluation.
+    let accept = |(gen, classes, columnar): Satisfying,
+                  node: Vec<usize>,
+                  violating: usize,
+                  nodes_examined: usize| {
         let keep: std::collections::HashSet<usize> = classes
             .iter()
             .filter(|rows| rows.len() >= k)
@@ -270,16 +281,29 @@ pub fn kanonymize_with(
             .collect();
         let out = Table::from_rows(gen.name().to_string(), gen.schema().clone(), rows)
             .map_err(AnonError::from)?;
+        // Counters derive from the accepted result only — the parallel
+        // waves evaluate speculative nodes the serial search never
+        // reaches, so per-evaluation counting would vary by thread
+        // count. Waves visited = heights 0..=chosen height.
+        let obs = &cfg.obs;
+        obs.add(bi_exec::Counter::AnonLatticeNodes, nodes_examined as u64);
+        obs.add(bi_exec::Counter::AnonLatticeWaves, node.iter().sum::<usize>() as u64 + 1);
+        obs.add(bi_exec::Counter::AnonSuppressedRows, violating as u64);
+        obs.count(if columnar {
+            bi_exec::Counter::AnonQiColumnar
+        } else {
+            bi_exec::Counter::AnonQiRow
+        });
         Ok(AnonResult { table: out, levels: node, suppressed: violating, nodes_examined })
     };
 
     let mut best_violations = usize::MAX;
     if cfg.is_serial() {
         for (node_idx, node) in nodes_by_height(&maxima).into_iter().enumerate() {
-            let violating = violations_at(&node)?;
+            let (violating, payload) = evaluate(&node)?;
             best_violations = best_violations.min(violating);
-            if violating <= max_suppress {
-                return accept(node, violating, node_idx + 1);
+            if let Some(sat) = payload {
+                return accept(sat, node, violating, node_idx + 1);
             }
         }
         return Err(AnonError::Unsatisfiable { k, best_violations });
@@ -291,11 +315,12 @@ pub fn kanonymize_with(
     for h in 0..=total {
         let mut nodes: Vec<Vec<usize>> = Vec::new();
         push_nodes_with_sum(&maxima, h, &mut Vec::new(), &mut nodes);
-        let evals: Vec<usize> = bi_exec::try_par_map(cfg, &nodes, violations_at)?;
-        for (idx, &violating) in evals.iter().enumerate() {
+        let evals: Vec<(usize, Option<Satisfying>)> =
+            bi_exec::try_par_map(cfg, &nodes, evaluate)?;
+        for (idx, (violating, payload)) in evals.into_iter().enumerate() {
             best_violations = best_violations.min(violating);
-            if violating <= max_suppress {
-                return accept(nodes.swap_remove(idx), violating, examined_before + idx + 1);
+            if let Some(sat) = payload {
+                return accept(sat, nodes.swap_remove(idx), violating, examined_before + idx + 1);
             }
         }
         examined_before += nodes.len();
@@ -321,7 +346,13 @@ pub fn is_k_anonymous_with(
         .map(|c| table.schema().index_of(c))
         .collect::<Result<_, _>>()
         .map_err(|e| AnonError::Relation(e.into()))?;
-    Ok(class_groups_with(table, &qi_idx, cfg).iter().all(|rows| rows.len() >= k))
+    let (classes, columnar) = classed_groups(table, &qi_idx, cfg);
+    cfg.obs.count(if columnar {
+        bi_exec::Counter::AnonQiColumnar
+    } else {
+        bi_exec::Counter::AnonQiRow
+    });
+    Ok(classes.iter().all(|rows| rows.len() >= k))
 }
 
 #[cfg(test)]

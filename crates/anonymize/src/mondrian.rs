@@ -92,13 +92,15 @@ pub fn mondrian_with(
         }
     }
 
+    let _span = cfg.obs.span(bi_exec::SpanKind::AnonMondrian);
     // Row positions with complete QI values.
-    let (live, coords) = if cfg.columnar {
-        coords_columnar(table, &qi_idx)
+    let columnar_coords = if cfg.columnar { coords_columnar(table, &qi_idx) } else { None };
+    cfg.obs.count(if columnar_coords.is_some() {
+        bi_exec::Counter::AnonQiColumnar
     } else {
-        None
-    }
-    .unwrap_or_else(|| coords_rowwise(table, &qi_idx));
+        bi_exec::Counter::AnonQiRow
+    });
+    let (live, coords) = columnar_coords.unwrap_or_else(|| coords_rowwise(table, &qi_idx));
     if live.len() < k && !live.is_empty() {
         return Err(AnonError::Unsatisfiable { k, best_violations: live.len() });
     }
@@ -112,6 +114,11 @@ pub fn mondrian_with(
     } else {
         split_parallel(all, &coords, k, cfg)
     };
+    // Each committed cut splits one partition in two, so starting from
+    // one open partition: cuts = partitions − 1. Deriving the count
+    // from the result keeps it identical at any thread count.
+    cfg.obs.add(bi_exec::Counter::AnonMondrianPartitions, partitions.len() as u64);
+    cfg.obs.add(bi_exec::Counter::AnonMondrianCuts, partitions.len().saturating_sub(1) as u64);
 
     // Emit: QI columns become Text labels per partition.
     let cols: Vec<Column> = table
@@ -176,7 +183,9 @@ fn coords_columnar(table: &Table, qi_idx: &[usize]) -> Option<(Vec<usize>, Vec<V
     let mut axis_vals: Vec<Vec<f64>> = Vec::with_capacity(qi_idx.len());
     let mut validities = Vec::with_capacity(qi_idx.len());
     for &c in qi_idx {
-        let col = chunk.column(c).expect("QI column materialized");
+        // Conversion materialized exactly these columns; fall back to
+        // the row path rather than abort if that invariant ever breaks.
+        let col = chunk.column(c)?;
         let vals: Vec<f64> = match &col.data {
             ColumnData::Int(d) => d.iter().map(|&i| i as f64).collect(),
             ColumnData::Float(d) => d.clone(),

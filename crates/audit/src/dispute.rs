@@ -107,6 +107,7 @@ mod tests {
                 None,
                 vec![],
                 Outcome::Delivered { rows: 1, suppressed_groups: 0 },
+                crate::log::Provenance::default(),
             );
         }
         log

@@ -21,7 +21,8 @@ pub mod log;
 pub mod monitor;
 pub mod recheck;
 
+pub use bi_obs::TraceId;
 pub use dispute::{exposures_of_attribute, responsible_deliveries, Exposure};
-pub use log::{AuditEntry, AuditLog, Outcome};
+pub use log::{AuditEntry, AuditLog, Outcome, Provenance};
 pub use monitor::{monitor, Alert, MonitorConfig};
-pub use recheck::{recheck_log, AuditFinding};
+pub use recheck::{recheck_log, recheck_log_with_snapshots, AuditFinding};

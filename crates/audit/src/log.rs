@@ -2,6 +2,7 @@
 
 use std::collections::BTreeSet;
 
+use bi_obs::TraceId;
 use bi_pla::Violation;
 use bi_query::Plan;
 use bi_types::{ConsumerId, Date, ReportId, RoleId};
@@ -13,6 +14,33 @@ pub enum Outcome {
     Delivered { rows: usize, suppressed_groups: usize },
     /// Refused by the compliance gate.
     Refused { violations: Vec<Violation> },
+}
+
+/// Where a journal entry came from: which compiled-policy snapshot
+/// served the request and the engine-assigned trace identifier. The
+/// epoch lets [`crate::recheck`] replay an entry against the policy
+/// that actually served it (not just today's); the trace links the
+/// entry to the execution spans the engine recorded for the delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Provenance {
+    /// Policy-cache epoch at the time of delivery.
+    pub policy_epoch: u64,
+    /// Engine trace identifier for this request.
+    pub trace: TraceId,
+}
+
+impl Provenance {
+    pub fn new(policy_epoch: u64, trace: TraceId) -> Self {
+        Self { policy_epoch, trace }
+    }
+}
+
+impl Default for Provenance {
+    /// Epoch 0, trace 0 — for callers (tests, offline tooling) that
+    /// journal outside a live engine.
+    fn default() -> Self {
+        Self { policy_epoch: 0, trace: TraceId::new(0) }
+    }
 }
 
 /// One journal entry.
@@ -31,6 +59,8 @@ pub struct AuditEntry {
     /// Enforcement actions applied by the engine.
     pub actions: Vec<String>,
     pub outcome: Outcome,
+    /// Policy epoch + trace id of the serving engine.
+    pub provenance: Provenance,
 }
 
 /// Append-only journal.
@@ -58,6 +88,7 @@ impl AuditLog {
         purpose: Option<String>,
         actions: Vec<String>,
         outcome: Outcome,
+        provenance: Provenance,
     ) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -71,6 +102,7 @@ impl AuditLog {
             purpose,
             actions,
             outcome,
+            provenance,
         });
         seq
     }
@@ -96,6 +128,12 @@ impl AuditLog {
     /// Delivered entries only.
     pub fn deliveries(&self) -> impl Iterator<Item = &AuditEntry> {
         self.entries.iter().filter(|e| matches!(e.outcome, Outcome::Delivered { .. }))
+    }
+
+    /// The entry journaled under `trace`, if any. Trace ids are
+    /// engine-unique per process, so at most one entry matches.
+    pub fn find_trace(&self, trace: TraceId) -> Option<&AuditEntry> {
+        self.entries.iter().find(|e| e.provenance.trace == trace)
     }
 
     /// Number of refusals (a cheap health signal for monitoring).
@@ -129,6 +167,7 @@ mod tests {
                     }],
                 }
             },
+            Provenance::new(3, TraceId::new(100 + log.entries().len() as u64)),
         )
     }
 
@@ -144,5 +183,16 @@ mod tests {
         assert_eq!(log.for_consumer(&ConsumerId::new("bob")).count(), 1);
         assert_eq!(log.deliveries().count(), 2);
         assert_eq!(log.refusal_count(), 1);
+    }
+
+    #[test]
+    fn traces_resolve_to_their_entry() {
+        let mut log = AuditLog::new();
+        entry(&mut log, "r1", "alice", true);
+        entry(&mut log, "r2", "bob", false);
+        let hit = log.find_trace(TraceId::new(101)).expect("journaled trace resolves");
+        assert_eq!(hit.seq, 1);
+        assert_eq!(hit.provenance.policy_epoch, 3);
+        assert!(log.find_trace(TraceId::new(999)).is_none());
     }
 }

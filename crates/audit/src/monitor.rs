@@ -123,6 +123,7 @@ mod tests {
             None,
             vec![],
             outcome,
+            crate::log::Provenance::default(),
         );
     }
 

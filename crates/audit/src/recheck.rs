@@ -9,17 +9,23 @@
 
 use std::collections::BTreeMap;
 
+use bi_obs::TraceId;
 use bi_pla::{check_plan, CombinedPolicy, Violation};
 use bi_query::{Catalog, QueryError};
 use bi_types::SourceId;
 
 use crate::log::{AuditLog, Outcome};
 
-/// One delivered entry that fails today's policy.
+/// One delivered entry that fails the policy it was replayed against.
 #[derive(Debug, Clone)]
 pub struct AuditFinding {
     pub seq: u64,
     pub report: bi_types::ReportId,
+    /// Engine trace of the offending delivery (links back to the
+    /// journal entry and the execution spans recorded for it).
+    pub trace: TraceId,
+    /// Policy epoch the entry was journaled under.
+    pub policy_epoch: u64,
     pub violations: Vec<Violation>,
 }
 
@@ -30,17 +36,43 @@ pub fn recheck_log(
     policy: &CombinedPolicy,
     table_source: &BTreeMap<String, SourceId>,
 ) -> Result<Vec<AuditFinding>, QueryError> {
+    recheck_log_with_snapshots(log, cat, policy, &BTreeMap::new(), table_source)
+}
+
+/// Replays all deliveries, checking each against the policy snapshot
+/// whose epoch the entry was journaled under.
+///
+/// `snapshots` maps policy-cache epochs to the combined policy that was
+/// live at that epoch (the engine facade keeps this history). Entries
+/// whose epoch has no snapshot fall back to `current` — that is also
+/// how [`recheck_log`] gets its "does yesterday's delivery still pass
+/// today?" drift semantics, with an empty snapshot map.
+///
+/// A finding against a *snapshot* means the engine mis-enforced at
+/// delivery time (an enforcement bug); a finding against `current` only
+/// means the policy tightened since (drift). Recording the epoch in the
+/// journal is what lets an auditor tell the two apart.
+pub fn recheck_log_with_snapshots(
+    log: &AuditLog,
+    cat: &Catalog,
+    current: &CombinedPolicy,
+    snapshots: &BTreeMap<u64, CombinedPolicy>,
+    table_source: &BTreeMap<String, SourceId>,
+) -> Result<Vec<AuditFinding>, QueryError> {
     let mut findings = Vec::new();
     for e in log.entries() {
         if !matches!(e.outcome, Outcome::Delivered { .. }) {
             continue;
         }
+        let policy = snapshots.get(&e.provenance.policy_epoch).unwrap_or(current);
         let outcome =
             check_plan(&e.plan, cat, policy, &e.roles, table_source, e.purpose.as_deref(), e.when)?;
         if !outcome.violations.is_empty() {
             findings.push(AuditFinding {
                 seq: e.seq,
                 report: e.report.clone(),
+                trace: e.provenance.trace,
+                policy_epoch: e.provenance.policy_epoch,
                 violations: outcome.violations,
             });
         }
@@ -51,6 +83,7 @@ pub fn recheck_log(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::log::Provenance;
     use bi_pla::{PlaDocument, PlaLevel, PlaRule};
     use bi_query::plan::scan;
     use bi_relation::Table;
@@ -81,6 +114,7 @@ mod tests {
             None,
             vec![],
             Outcome::Delivered { rows: 3, suppressed_groups: 0 },
+            Provenance::new(1, TraceId::new(11)),
         );
         log.record(
             Date::new(2008, 1, 2).unwrap(),
@@ -91,6 +125,7 @@ mod tests {
             None,
             vec![],
             Outcome::Delivered { rows: 3, suppressed_groups: 0 },
+            Provenance::new(2, TraceId::new(12)),
         );
         log
     }
@@ -117,7 +152,48 @@ mod tests {
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].report.as_str(), "r1");
         assert_eq!(findings[0].seq, 0);
+        assert_eq!(findings[0].trace, TraceId::new(11), "finding carries the delivery trace");
+        assert_eq!(findings[0].policy_epoch, 1);
         assert!(findings[0].violations.iter().any(|v| v.kind == "attribute-access"));
+        // The trace resolves back to the journal entry it came from.
+        let entry = log.find_trace(findings[0].trace).unwrap();
+        assert_eq!(entry.seq, findings[0].seq);
+    }
+
+    #[test]
+    fn snapshot_epoch_distinguishes_bug_from_drift() {
+        let log = delivered_log();
+        let cat = catalog();
+        let sources: BTreeMap<String, SourceId> =
+            [("T".to_string(), SourceId::new("hospital"))].into_iter().collect();
+        let tightened = CombinedPolicy::combine(&[PlaDocument::new(
+            "h2",
+            "hospital",
+            PlaLevel::MetaReport,
+        )
+        .with_rule(PlaRule::AttributeAccess {
+            attribute: bi_pla::AttrRef::new("T", "Patient"),
+            allowed_roles: [RoleId::new("auditor")].into_iter().collect(),
+            condition: None,
+        })]);
+        // Replayed against the (empty) policies that actually served the
+        // entries, nothing fails: the policy merely tightened since —
+        // drift, not an enforcement bug.
+        let snapshots: BTreeMap<u64, CombinedPolicy> = [
+            (1, CombinedPolicy::combine(&[])),
+            (2, CombinedPolicy::combine(&[])),
+        ]
+        .into_iter()
+        .collect();
+        let at_delivery =
+            recheck_log_with_snapshots(&log, &cat, &tightened, &snapshots, &sources).unwrap();
+        assert!(at_delivery.is_empty(), "served-policy replay is clean");
+        // Entries whose epoch has no snapshot fall back to the current
+        // policy and surface the drift.
+        let drifted =
+            recheck_log_with_snapshots(&log, &cat, &tightened, &BTreeMap::new(), &sources).unwrap();
+        assert_eq!(drifted.len(), 1);
+        assert_eq!(drifted[0].policy_epoch, 1);
     }
 
     #[test]
@@ -132,6 +208,7 @@ mod tests {
             None,
             vec![],
             Outcome::Refused { violations: vec![] },
+            Provenance::default(),
         );
         let cat = catalog();
         let sources = BTreeMap::new();

@@ -7,7 +7,7 @@
 //! re-executions plus an index probe, independent of journal size for
 //! one entry and linear for the whole journal.
 
-use bi_core::audit::{responsible_deliveries, AuditLog, Outcome};
+use bi_core::audit::{responsible_deliveries, AuditLog, Outcome, Provenance};
 use bi_core::provenance::{pexecute, Lineage, ProvCatalog};
 use bi_core::query::plan::{scan, AggItem};
 use bi_core::query::{execute, Catalog};
@@ -73,6 +73,7 @@ fn bench(c: &mut Criterion) {
             None,
             vec![],
             Outcome::Delivered { rows: 10, suppressed_groups: 0 },
+            Provenance::default(),
         );
     }
     let exposures = responsible_deliveries(&log, &cat, "Prescriptions", "Patient").unwrap();

@@ -17,6 +17,11 @@
 //! Re-exports the whole workspace so downstream users depend on one
 //! crate.
 
+// Panics are not an acceptable failure mode in the facade: lock
+// poisoning is absorbed, map lookups degrade or carry typed errors.
+// Tests may still unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod continuum;
 pub mod elicitation;
 pub mod negotiation;

@@ -100,7 +100,10 @@ pub fn export_deployment(
     let tables_dir = dir.join("tables");
     fs::create_dir_all(&tables_dir)?;
     for name in catalog.table_names() {
-        let table = catalog.table(name).expect("listed tables exist");
+        // `table_names` and `table` come from the same map, so a miss
+        // can't happen — but a missing entry is merely a skipped export,
+        // never worth a panic.
+        let Some(table) = catalog.table(name) else { continue };
         fs::write(tables_dir.join(format!("{name}.csv")), csv::to_csv(table))?;
         fs::write(tables_dir.join(format!("{name}.schema")), schema_text(table.schema()))?;
     }

@@ -2,9 +2,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
-use bi_audit::{AuditLog, Outcome};
+use bi_audit::{AuditLog, Outcome, Provenance};
+use bi_exec::{Counter, SpanKind, TraceId};
 use bi_etl::{check_pipeline, run_pipeline_with, EtlReport, Pipeline};
 use bi_pla::{CheckProgram, CombinedPolicy, PlaDocument, SubjectRegistry, Violation};
 use bi_query::Catalog;
@@ -75,6 +76,16 @@ struct PolicyCache {
     gate: Arc<CombinedPolicy>,
 }
 
+/// Cache plus the epoch-keyed history of combined policies. The history
+/// outlives cache invalidation: every epoch whose policy ever served a
+/// request keeps its snapshot, so [`BiSystem::recheck_at_delivery`] can
+/// replay a journal entry against the exact policy that gated it.
+#[derive(Default)]
+struct PolicyCacheState {
+    current: Option<PolicyCache>,
+    history: BTreeMap<u64, Arc<CombinedPolicy>>,
+}
+
 /// One gate-and-enforce outcome, rendered but not yet journaled.
 /// Produced by [`BiSystem::render_one`] under `&self`, consumed by the
 /// serialized journal append.
@@ -102,7 +113,10 @@ pub struct BiSystem {
     today: Date,
     /// Bumped on every PLA mutation; keys [`PolicyCache`].
     policy_epoch: u64,
-    policy_cache: Mutex<Option<PolicyCache>>,
+    policy_cache: Mutex<PolicyCacheState>,
+    /// Next delivery trace number; trace 0 is reserved for entries
+    /// journaled outside a live engine ([`Provenance::default`]).
+    next_trace: u64,
 }
 
 impl BiSystem {
@@ -121,8 +135,16 @@ impl BiSystem {
             engine: EngineConfig::default(),
             today,
             policy_epoch: 0,
-            policy_cache: Mutex::new(None),
+            policy_cache: Mutex::new(PolicyCacheState::default()),
+            next_trace: 1,
         }
+    }
+
+    /// Assigns the next delivery trace id (request order).
+    fn next_trace(&mut self) -> TraceId {
+        let t = TraceId::new(self.next_trace);
+        self.next_trace += 1;
+        t
     }
 
     /// Registers a data source with its catalog; table names are
@@ -154,12 +176,14 @@ impl BiSystem {
     /// Both combined policies, recombining only when a PLA mutation has
     /// bumped the epoch since the last call.
     fn policies(&self) -> (Arc<CombinedPolicy>, Arc<CombinedPolicy>) {
-        let mut cache = self.policy_cache.lock().unwrap();
-        if let Some(c) = cache.as_ref() {
+        let mut cache = self.policy_cache.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(c) = cache.current.as_ref() {
             if c.epoch == self.policy_epoch {
+                self.engine.exec.obs.count(Counter::PolicyCacheHit);
                 return (Arc::clone(&c.full), Arc::clone(&c.gate));
             }
         }
+        self.engine.exec.obs.count(Counter::PolicyCacheMiss);
         let full_docs: Vec<PlaDocument> = self
             .documents
             .iter()
@@ -179,7 +203,8 @@ impl BiSystem {
             .collect();
         let full = Arc::new(CombinedPolicy::combine(&full_docs));
         let gate = Arc::new(CombinedPolicy::combine(&gate_docs));
-        *cache = Some(PolicyCache {
+        cache.history.insert(self.policy_epoch, Arc::clone(&full));
+        cache.current = Some(PolicyCache {
             epoch: self.policy_epoch,
             full: Arc::clone(&full),
             gate: Arc::clone(&gate),
@@ -414,8 +439,10 @@ impl BiSystem {
     fn journal_delivery(
         &mut self,
         consumer: &ConsumerId,
+        trace: TraceId,
         rendered: RenderedDelivery,
     ) -> Result<EnforcedReport, bi_report::ReportError> {
+        let obs = self.engine.exec.obs.clone();
         let (applied, outcome) = match &rendered.result {
             Ok(enforced) => (
                 enforced.applied.clone(),
@@ -427,8 +454,18 @@ impl BiSystem {
             Err(bi_report::ReportError::NonCompliant { violations }) => {
                 (Vec::new(), Outcome::Refused { violations: violations.clone() })
             }
-            Err(_) => unreachable!("non-compliance is the only error reaching the journal"),
+            // `render_one` keeps every other error out of the journal;
+            // should one slip through, hand it back un-journaled rather
+            // than taking the whole delivery loop down.
+            Err(_) => {
+                obs.count(Counter::DeliverErrors);
+                return rendered.result;
+            }
         };
+        match &outcome {
+            Outcome::Delivered { .. } => obs.count(Counter::DeliverDelivered),
+            Outcome::Refused { .. } => obs.count(Counter::DeliverRefused),
+        }
         self.log.record(
             self.today,
             consumer.clone(),
@@ -438,7 +475,10 @@ impl BiSystem {
             rendered.report.purpose.clone(),
             applied,
             outcome,
+            Provenance::new(self.policy_epoch, trace),
         );
+        obs.count(Counter::AuditAppends);
+        obs.trace(trace);
         rendered.result
     }
 
@@ -449,9 +489,22 @@ impl BiSystem {
         id: &ReportId,
         consumer: &ConsumerId,
     ) -> Result<EnforcedReport, SystemError> {
+        let trace = self.next_trace();
+        let obs = self.engine.exec.obs.clone();
+        obs.count(Counter::DeliverRequests);
         let policy = self.policy();
-        let rendered = self.render_one(id, consumer, &policy)?;
-        self.journal_delivery(consumer, rendered).map_err(SystemError::Report)
+        let rendered = {
+            let _span = obs.span(SpanKind::DeliverRender);
+            self.render_one(id, consumer, &policy)
+        };
+        let rendered = match rendered {
+            Ok(r) => r,
+            Err(e) => {
+                obs.count(Counter::DeliverErrors);
+                return Err(e);
+            }
+        };
+        self.journal_delivery(consumer, trace, rendered).map_err(SystemError::Report)
     }
 
     /// Delivers many `(report, consumer)` pairs under ONE policy
@@ -467,17 +520,30 @@ impl BiSystem {
         &mut self,
         requests: &[(ReportId, ConsumerId)],
     ) -> Vec<Result<EnforcedReport, SystemError>> {
+        let obs = self.engine.exec.obs.clone();
+        let _batch_span = obs.span(SpanKind::DeliverBatch);
+        // Trace ids are assigned up front, in request order, so the
+        // id ↔ request pairing is independent of render scheduling.
+        let traces: Vec<TraceId> = requests.iter().map(|_| self.next_trace()).collect();
+        obs.add(Counter::DeliverRequests, requests.len() as u64);
         let policy = self.policy();
-        let cfg = self.engine.exec;
+        let cfg = self.engine.exec.clone();
         let rendered: Vec<Result<RenderedDelivery, SystemError>> =
             bi_exec::par_map(&cfg, requests, |(id, consumer)| {
+                let _span = cfg.obs.span(SpanKind::DeliverRender);
                 self.render_one(id, consumer, &policy)
             });
         rendered
             .into_iter()
-            .zip(requests)
-            .map(|(r, (_, consumer))| {
-                self.journal_delivery(consumer, r?).map_err(SystemError::Report)
+            .zip(requests.iter().zip(traces))
+            .map(|(r, ((_, consumer), trace))| match r {
+                Ok(rendered) => {
+                    self.journal_delivery(consumer, trace, rendered).map_err(SystemError::Report)
+                }
+                Err(e) => {
+                    obs.count(Counter::DeliverErrors);
+                    Err(e)
+                }
             })
             .collect()
     }
@@ -517,9 +583,35 @@ impl BiSystem {
     }
 
     /// Third-party audit: replay all deliveries against today's policy.
+    /// Findings here mean *drift* — entries that no longer pass because
+    /// the policy tightened since delivery (or an enforcement bug; use
+    /// [`BiSystem::recheck_at_delivery`] to tell the two apart).
     pub fn recheck(&self) -> Result<Vec<bi_audit::AuditFinding>, SystemError> {
+        let _span = self.engine.exec.obs.span(SpanKind::AuditRecheck);
         bi_audit::recheck_log(&self.log, self.warehouse.catalog(), &self.policy(), &self.table_source)
             .map_err(SystemError::from)
+    }
+
+    /// Third-party audit: replay each delivery against the policy
+    /// snapshot whose epoch it was journaled under (the policy that
+    /// actually served the request). A finding here is an enforcement
+    /// bug at delivery time, not post-hoc policy drift. Entries whose
+    /// epoch predates the kept history fall back to today's policy.
+    pub fn recheck_at_delivery(&self) -> Result<Vec<bi_audit::AuditFinding>, SystemError> {
+        let _span = self.engine.exec.obs.span(SpanKind::AuditRecheck);
+        let current = self.policy();
+        let snapshots: BTreeMap<u64, CombinedPolicy> = {
+            let cache = self.policy_cache.lock().unwrap_or_else(PoisonError::into_inner);
+            cache.history.iter().map(|(epoch, p)| (*epoch, (**p).clone())).collect()
+        };
+        bi_audit::recheck_log_with_snapshots(
+            &self.log,
+            self.warehouse.catalog(),
+            &current,
+            &snapshots,
+            &self.table_source,
+        )
+        .map_err(SystemError::from)
     }
 
     /// Dispute resolution: which deliveries exposed `table.column`?

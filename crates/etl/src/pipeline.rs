@@ -169,12 +169,20 @@ pub fn run_pipeline_with(
             return Err(EtlError::PolicyViolation { violations });
         }
     }
+    let _span = cfg.obs.span(bi_exec::SpanKind::EtlPipeline);
     let mut staging = Staging::new();
     let mut loaded = Vec::new();
     let mut steps = Vec::new();
 
     for step in &pipeline.steps {
+        let step_span = cfg.obs.span(bi_exec::SpanKind::EtlStep);
         let report = execute_step(step, sources, policy, today, cfg, &mut staging, &mut loaded)?;
+        drop(step_span);
+        cfg.obs.count(bi_exec::Counter::EtlSteps);
+        cfg.obs.add(bi_exec::Counter::EtlRowsOut, report.rows_out as u64);
+        if matches!(step.op, EtlOp::Load { .. }) {
+            cfg.obs.count(bi_exec::Counter::EtlLoads);
+        }
         steps.push(report);
     }
     Ok(EtlReport { staging, loaded, steps })

@@ -24,6 +24,8 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+pub use bi_obs::{Counter, Obs, ObsSnapshot, Span, SpanKind, SpanStat, TraceId};
+
 /// Default rows per morsel for row-level data-parallel loops. Large
 /// enough that the claim counter is uncontended, small enough that a
 /// dozen workers stay busy on mid-size tables.
@@ -38,26 +40,43 @@ pub const MORSEL_ROWS: usize = 4096;
 /// joins and group-bys) run it; the row-at-a-time engine remains the
 /// oracle, and every columnar operator is required to produce
 /// byte-identical output or decline and fall back.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The config also carries the [`Obs`] recorder handle every operator
+/// reports into. The handle is an `Option<Arc<_>>` internally, so the
+/// default (disabled) config stays trivially cheap to clone and the
+/// recorder never influences what the engine computes — equality
+/// deliberately compares only `threads` and `columnar`.
+#[derive(Debug, Clone)]
 pub struct ExecConfig {
     /// Number of worker threads. `1` = serial inline execution.
     pub threads: usize,
     /// Allow vectorized columnar operators. `false` = row engine only.
     pub columnar: bool,
+    /// Observability recorder; [`Obs::disabled`] (the default) is a
+    /// true no-op on every hot path.
+    pub obs: Obs,
 }
+
+impl PartialEq for ExecConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads && self.columnar == other.columnar
+    }
+}
+
+impl Eq for ExecConfig {}
 
 impl ExecConfig {
     /// Serial row-at-a-time execution on the caller's thread (the
     /// default, and the oracle every other configuration must match).
     pub const fn serial() -> Self {
-        ExecConfig { threads: 1, columnar: false }
+        ExecConfig { threads: 1, columnar: false, obs: Obs::disabled() }
     }
 
     /// One worker per available core (falls back to serial when the
     /// parallelism cannot be determined).
     pub fn auto() -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        ExecConfig { threads, columnar: false }
+        ExecConfig { threads, ..Self::serial() }
     }
 
     /// A fixed thread count; `0` means [`ExecConfig::auto`].
@@ -65,19 +84,25 @@ impl ExecConfig {
         if threads == 0 {
             Self::auto()
         } else {
-            ExecConfig { threads, columnar: false }
+            ExecConfig { threads, ..Self::serial() }
         }
     }
 
     /// Single-threaded execution with columnar operators enabled.
     pub const fn columnar() -> Self {
-        ExecConfig { threads: 1, columnar: true }
+        ExecConfig { threads: 1, columnar: true, obs: Obs::disabled() }
     }
 
     /// Builder: the same thread configuration with columnar operators
     /// switched on or off.
-    pub const fn with_columnar(self, columnar: bool) -> Self {
+    pub fn with_columnar(self, columnar: bool) -> Self {
         ExecConfig { columnar, ..self }
+    }
+
+    /// Builder: the same execution shape reporting into `obs`. Pass
+    /// [`Obs::enabled`] to record, [`Obs::disabled`] to stop.
+    pub fn with_obs(self, obs: Obs) -> Self {
+        ExecConfig { obs, ..self }
     }
 
     /// True when this configuration runs everything inline.

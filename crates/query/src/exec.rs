@@ -41,6 +41,7 @@ pub fn execute(plan: &Plan, cat: &Catalog) -> Result<Table, QueryError> {
 
 /// Executes a plan with the given parallelism configuration.
 pub fn execute_with(plan: &Plan, cat: &Catalog, cfg: &ExecConfig) -> Result<Table, QueryError> {
+    let _span = cfg.obs.span(bi_exec::SpanKind::QueryExecute);
     exec_guarded(plan, cat, cfg, &mut Vec::new())
 }
 
@@ -50,8 +51,10 @@ fn exec_guarded(
     cfg: &ExecConfig,
     stack: &mut Vec<String>,
 ) -> Result<Table, QueryError> {
+    use bi_exec::Counter;
     match plan {
         Plan::Scan { table } => {
+            cfg.obs.count(Counter::QueryScan);
             if let Some(t) = cat.table(table) {
                 return Ok(t.clone());
             }
@@ -69,6 +72,8 @@ fn exec_guarded(
         }
         Plan::Filter { input, pred } => {
             let t = exec_guarded(input, cat, cfg, stack)?;
+            cfg.obs.count(Counter::QueryFilter);
+            let _span = cfg.obs.span(bi_exec::SpanKind::QueryFilter);
             if cfg.columnar {
                 if let Some(out) = bi_relation::filter_columnar(&t, pred, cfg) {
                     return Ok(out);
@@ -77,31 +82,41 @@ fn exec_guarded(
             Ok(t.filter(pred)?)
         }
         Plan::Project { input, items } => {
+            cfg.obs.count(Counter::QueryProject);
             let t = exec_guarded(input, cat, cfg, stack)?;
             Ok(t.map_rows(items)?)
         }
         Plan::Join { left, right, kind, on, right_prefix } => {
             let lt = exec_guarded(left, cat, cfg, stack)?;
             let rt = exec_guarded(right, cat, cfg, stack)?;
+            cfg.obs.count(Counter::QueryJoin);
             join_with(&lt, &rt, *kind, on, right_prefix, cfg)
         }
         Plan::Aggregate { input, group_by, aggs } => {
             let t = exec_guarded(input, cat, cfg, stack)?;
+            cfg.obs.count(Counter::QueryAggregate);
+            let _span = cfg.obs.span(bi_exec::SpanKind::QueryAggregate);
             aggregate_with(&t, group_by, aggs, cfg)
         }
         Plan::Union { left, right } => {
+            cfg.obs.count(Counter::QueryUnion);
             let lt = exec_guarded(left, cat, cfg, stack)?;
             let rt = exec_guarded(right, cat, cfg, stack)?;
             Ok(lt.union_all(&rt)?)
         }
-        Plan::Distinct { input } => Ok(exec_guarded(input, cat, cfg, stack)?.distinct()),
+        Plan::Distinct { input } => {
+            cfg.obs.count(Counter::QueryDistinct);
+            Ok(exec_guarded(input, cat, cfg, stack)?.distinct())
+        }
         Plan::Sort { input, keys } => {
+            cfg.obs.count(Counter::QuerySort);
             let t = exec_guarded(input, cat, cfg, stack)?;
             let cols: Vec<&str> = keys.iter().map(|k| k.column.as_str()).collect();
             let desc: Vec<bool> = keys.iter().map(|k| k.descending).collect();
             Ok(t.sort_by(&cols, &desc)?)
         }
         Plan::Limit { input, n } => {
+            cfg.obs.count(Counter::QueryLimit);
             let t = exec_guarded(input, cat, cfg, stack)?;
             // A prefix of an already-validated table needs no re-check.
             let rows: Vec<_> = t.rows().iter().take(*n).cloned().collect();
@@ -152,7 +167,7 @@ fn join_with(
         }
     }
     if cfg.is_serial() || left.len() + right.len() < PARALLEL_ROW_THRESHOLD {
-        join(left, right, kind, on, right_prefix)
+        join(left, right, kind, on, right_prefix, cfg)
     } else {
         join_parallel(left, right, kind, on, right_prefix, cfg)
     }
@@ -242,9 +257,11 @@ fn join_columnar(
     right_prefix: &str,
     cfg: &ExecConfig,
 ) -> Result<Option<Table>, QueryError> {
+    use bi_exec::Counter;
     use bi_relation::{ColumnChunk, ColumnData};
     use bi_types::DataType;
     if on.len() != 1 {
+        cfg.obs.count(Counter::ColumnarJoinDeclineShape);
         return Ok(None);
     }
     // Same error order as the serial path: schema first, then keys.
@@ -255,18 +272,40 @@ fn join_columnar(
     let numeric = |t: DataType| matches!(t, DataType::Int | DataType::Float);
     if lt != rt && !(numeric(lt) && numeric(rt)) {
         // Cross-typed keys never compare equal; not worth a kernel.
+        cfg.obs.count(Counter::ColumnarJoinDeclineShape);
         return Ok(None);
     }
-    let Ok(lchunk) = ColumnChunk::from_table_cols(left, &[lk]) else { return Ok(None) };
-    let Ok(rchunk) = ColumnChunk::from_table_cols(right, &[rk]) else { return Ok(None) };
-    let lcol = lchunk.column(lk).expect("key column materialized");
-    let rcol = rchunk.column(rk).expect("key column materialized");
+    let lchunk = match ColumnChunk::from_table_cols(left, &[lk]) {
+        Ok(c) => c,
+        Err(e) => {
+            cfg.obs.count(e.counter());
+            cfg.obs.count(Counter::ColumnarJoinDeclineConvert);
+            return Ok(None);
+        }
+    };
+    let rchunk = match ColumnChunk::from_table_cols(right, &[rk]) {
+        Ok(c) => c,
+        Err(e) => {
+            cfg.obs.count(e.counter());
+            cfg.obs.count(Counter::ColumnarJoinDeclineConvert);
+            return Ok(None);
+        }
+    };
+    cfg.obs.add(Counter::ColumnarConvert, 2);
+    // The conversions above materialized exactly these columns; decline
+    // to the row engine rather than abort if that invariant ever breaks.
+    let (Some(lcol), Some(rcol)) = (lchunk.column(lk), rchunk.column(rk)) else {
+        cfg.obs.count(Counter::ColumnarJoinDeclineShape);
+        return Ok(None);
+    };
 
     if let (
         ColumnData::Text { codes: lcodes, dict: ldict },
         ColumnData::Text { codes: rcodes, dict: rdict },
     ) = (&lcol.data, &rcol.data)
     {
+        cfg.obs.count(Counter::ColumnarJoinHit);
+        let build_span = cfg.obs.span(bi_exec::SpanKind::QueryJoinBuild);
         // Match lists per right code, ascending by construction.
         let mut by_code: Vec<Vec<u32>> = vec![Vec::new(); rdict.len()];
         for (i, &c) in rcodes.iter().enumerate() {
@@ -280,6 +319,8 @@ fn join_columnar(
         let trans: Vec<u32> = (0..ldict.len() as u32)
             .map(|lc| rdict.code_of(ldict.get(lc)).unwrap_or(NO_MATCH))
             .collect();
+        drop(build_span);
+        let _probe_span = cfg.obs.span(bi_exec::SpanKind::QueryJoinProbe);
         let empty: &[u32] = &[];
         let matches_of = |i: usize| -> &[u32] {
             if lcol.validity.is_null(i) {
@@ -299,14 +340,19 @@ fn join_columnar(
     let (Some(lkeys), Some(rkeys)) =
         (join_keys_u64(lcol, float_space), join_keys_u64(rcol, float_space))
     else {
+        cfg.obs.count(Counter::ColumnarJoinDeclineShape);
         return Ok(None);
     };
+    cfg.obs.count(Counter::ColumnarJoinHit);
+    let build_span = cfg.obs.span(bi_exec::SpanKind::QueryJoinBuild);
     let mut index: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
     for (i, k) in rkeys.iter().enumerate() {
         if let Some(k) = k {
             index.entry(*k).or_default().push(i as u32);
         }
     }
+    drop(build_span);
+    let _probe_span = cfg.obs.span(bi_exec::SpanKind::QueryJoinProbe);
     let empty: &[u32] = &[];
     let matches_of = |i: usize| -> &[u32] {
         lkeys[i].and_then(|k| index.get(&k)).map(Vec::as_slice).unwrap_or(empty)
@@ -320,6 +366,7 @@ fn join(
     kind: JoinKind,
     on: &[(String, String)],
     right_prefix: &str,
+    cfg: &ExecConfig,
 ) -> Result<Table, QueryError> {
     let schema = join_schema(left, right, kind, right_prefix)?;
     let left_keys: Vec<usize> =
@@ -330,6 +377,7 @@ fn join(
     // Build a composite-key hash map over the right side. Rows with any
     // NULL key never match (SQL equality).
     use std::collections::HashMap;
+    let build_span = cfg.obs.span(bi_exec::SpanKind::QueryJoinBuild);
     let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
     for (i, row) in right.rows().iter().enumerate() {
         let key: Vec<Value> = right_keys.iter().map(|&c| row[c].clone()).collect();
@@ -338,7 +386,9 @@ fn join(
         }
         index.entry(key).or_default().push(i);
     }
+    drop(build_span);
 
+    let _probe_span = cfg.obs.span(bi_exec::SpanKind::QueryJoinProbe);
     let mut out = Table::new(join_output_name(left, right), schema);
     let right_width = right.schema().len();
     for lrow in left.rows() {
@@ -393,6 +443,7 @@ fn join_parallel(
     };
 
     // Build phase 1: morsel-parallel partitioning of the right side.
+    let build_span = cfg.obs.span(bi_exec::SpanKind::QueryJoinBuild);
     let partitioned: Vec<Vec<Vec<usize>>> =
         bi_exec::par_chunks(cfg, right.rows(), bi_exec::MORSEL_ROWS, |offset, chunk| {
             let mut parts: Vec<Vec<usize>> = vec![Vec::new(); p];
@@ -417,8 +468,10 @@ fn join_parallel(
         }
         index
     });
+    drop(build_span);
 
     // Probe: morsel-driven over the left side.
+    let _probe_span = cfg.obs.span(bi_exec::SpanKind::QueryJoinProbe);
     let right_width = right.schema().len();
     let blocks: Vec<Vec<Vec<Value>>> =
         bi_exec::par_chunks(cfg, left.rows(), bi_exec::MORSEL_ROWS, |_, chunk| {
@@ -466,7 +519,7 @@ fn aggregate_with(
     // only grouped aggregation goes parallel — each group still
     // accumulates its own rows in row order.
     if cfg.columnar && !group_by.is_empty() {
-        if let Some(out) = aggregate_columnar(input, group_by, aggs)? {
+        if let Some(out) = aggregate_columnar(input, group_by, aggs, cfg)? {
             return Ok(out);
         }
     }
@@ -490,15 +543,33 @@ fn aggregate_columnar(
     input: &Table,
     group_by: &[String],
     aggs: &[AggItem],
+    cfg: &ExecConfig,
 ) -> Result<Option<Table>, QueryError> {
+    use bi_exec::Counter;
     use bi_relation::ColumnChunk;
     if group_by.len() != 1 {
+        cfg.obs.count(Counter::ColumnarGroupByDeclineShape);
         return Ok(None);
     }
     let (schema, arg_idx) = aggregate_header(input, group_by, aggs)?;
     let key_col = input.schema().index_of(&group_by[0])?;
-    let Ok(chunk) = ColumnChunk::from_table_cols(input, &[key_col]) else { return Ok(None) };
-    let (codes, card) = chunk.column(key_col).expect("key column materialized").dense_codes();
+    let chunk = match ColumnChunk::from_table_cols(input, &[key_col]) {
+        Ok(c) => c,
+        Err(e) => {
+            cfg.obs.count(e.counter());
+            cfg.obs.count(Counter::ColumnarGroupByDeclineConvert);
+            return Ok(None);
+        }
+    };
+    // The conversion materialized exactly this column; decline to the
+    // row engine rather than abort if that invariant ever breaks.
+    let Some(key) = chunk.column(key_col) else {
+        cfg.obs.count(Counter::ColumnarGroupByDeclineShape);
+        return Ok(None);
+    };
+    cfg.obs.count(Counter::ColumnarConvert);
+    cfg.obs.count(Counter::ColumnarGroupByHit);
+    let (codes, card) = key.dense_codes();
     let mut groups: Vec<Vec<usize>> = vec![Vec::new(); card as usize];
     for (i, &c) in codes.iter().enumerate() {
         groups[c as usize].push(i);
@@ -1019,5 +1090,73 @@ mod tests {
         );
         let t = execute(&p, &cat).unwrap();
         assert!(t.rows().iter().all(|r| r[0] != Value::from("Chris")));
+    }
+
+    /// Regression: the columnar join used to `expect` its key columns
+    /// out of the converted chunks. Malformed join keys must surface
+    /// the same typed error as the serial engine — never a panic.
+    #[test]
+    fn malformed_join_keys_error_identically_under_columnar() {
+        let cat = paper_catalog();
+        for on in [
+            vec![("NoSuchLeft".to_string(), "Drug".to_string())],
+            vec![("Drug".to_string(), "NoSuchRight".to_string())],
+        ] {
+            let p = scan("Prescriptions").join(scan("DrugCost"), on, "dc");
+            let serial = execute(&p, &cat).unwrap_err();
+            let columnar = execute_with(&p, &cat, &ExecConfig::columnar()).unwrap_err();
+            assert_eq!(columnar, serial);
+        }
+    }
+
+    /// Regression: the columnar group-by used to `expect` its key
+    /// column; a missing grouping column is a typed error in both
+    /// engines.
+    #[test]
+    fn malformed_group_by_errors_identically_under_columnar() {
+        let cat = paper_catalog();
+        let p = scan("Prescriptions")
+            .aggregate(vec!["Ghost".into()], vec![AggItem::count_star("n")]);
+        let serial = execute(&p, &cat).unwrap_err();
+        let columnar = execute_with(&p, &cat, &ExecConfig::columnar()).unwrap_err();
+        assert_eq!(columnar, serial);
+    }
+
+    /// Columnar declines are not silent: the obs layer records the
+    /// decline reason, and the row-engine fallback still runs the
+    /// operator (join build/probe spans recorded exactly once).
+    #[test]
+    fn columnar_declines_surface_as_obs_counters() {
+        let cat = paper_catalog();
+        let obs = bi_exec::Obs::enabled();
+        let cfg = ExecConfig::columnar().with_obs(obs.clone());
+        // Two join keys: outside the single-key kernel's shape.
+        let p = scan("Familydoctor").join(
+            scan("Prescriptions"),
+            vec![("Patient".into(), "Patient".into()), ("Doctor".into(), "Doctor".into())],
+            "p",
+        );
+        let observed = execute_with(&p, &cat, &cfg).unwrap();
+        assert_eq!(observed, execute(&p, &cat).unwrap(), "decline falls back byte-identically");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters.get("columnar.join.decline.shape"), Some(&1));
+        assert_eq!(snap.counters.get("query.op.join"), Some(&1));
+        assert_eq!(snap.spans.get("query.join.build").map(|s| s.count), Some(1));
+        assert_eq!(snap.spans.get("query.join.probe").map(|s| s.count), Some(1));
+    }
+
+    /// A served columnar operator converts each input exactly once —
+    /// `columnar.convert` counts conversions, so a join is exactly 2.
+    #[test]
+    fn columnar_join_converts_each_side_once() {
+        let cat = paper_catalog();
+        let obs = bi_exec::Obs::enabled();
+        let cfg = ExecConfig::columnar().with_obs(obs.clone());
+        let p = scan("Prescriptions")
+            .join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc");
+        execute_with(&p, &cat, &cfg).unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters.get("columnar.join.hit"), Some(&1));
+        assert_eq!(snap.counters.get("columnar.convert"), Some(&2));
     }
 }

@@ -18,6 +18,11 @@
 //!   a subset/view of a meta-report (paper §5)? Returns an executable
 //!   [`contain::Derivation`] rewrite as the proof.
 
+// Panics are not an acceptable failure mode on the delivery path: every
+// lookup either has a typed error or degrades (e.g. columnar → row
+// fallback). Tests may still unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod catalog;
 pub mod contain;
 pub mod error;

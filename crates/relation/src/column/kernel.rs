@@ -704,9 +704,24 @@ pub fn filter_columnar_with_dict_limit(
     cfg: &ExecConfig,
     dict_limit: u32,
 ) -> Option<Table> {
-    let compiled = CompiledPredicate::compile(pred, table.schema())?;
-    let chunk =
-        ColumnChunk::from_table_cols_with_dict_limit(table, compiled.columns(), dict_limit).ok()?;
+    let Some(compiled) = CompiledPredicate::compile(pred, table.schema()) else {
+        cfg.obs.count(bi_exec::Counter::ColumnarFilterDeclineCompile);
+        return None;
+    };
+    let chunk = match ColumnChunk::from_table_cols_with_dict_limit(
+        table,
+        compiled.columns(),
+        dict_limit,
+    ) {
+        Ok(chunk) => chunk,
+        Err(e) => {
+            cfg.obs.count(e.counter());
+            cfg.obs.count(bi_exec::Counter::ColumnarFilterDeclineConvert);
+            return None;
+        }
+    };
+    cfg.obs.count(bi_exec::Counter::ColumnarConvert);
+    cfg.obs.count(bi_exec::Counter::ColumnarFilterHit);
     let sels: Vec<Vec<u32>> =
         bi_exec::par_ranges(cfg, table.len(), bi_exec::MORSEL_ROWS, |s, e| {
             compiled.eval_range(&chunk, s, e).selected(s as u32)

@@ -68,6 +68,20 @@ impl std::fmt::Display for ColumnarError {
 
 impl std::error::Error for ColumnarError {}
 
+impl ColumnarError {
+    /// The obs counter recording this decline reason, so fallbacks are
+    /// visible instead of silent (every caller that swallows a decline
+    /// with `.ok()?` should `cfg.obs.count(err.counter())` first).
+    pub fn counter(&self) -> bi_exec::Counter {
+        match self {
+            ColumnarError::MixedNumeric { .. } => bi_exec::Counter::ColumnarDeclineMixedNumeric,
+            ColumnarError::DictOverflow { .. } => bi_exec::Counter::ColumnarDeclineDictOverflow,
+            ColumnarError::NoSuchColumn { .. } => bi_exec::Counter::ColumnarDeclineNoSuchColumn,
+            ColumnarError::TooManyRows { .. } => bi_exec::Counter::ColumnarDeclineTooManyRows,
+        }
+    }
+}
+
 /// Null positions of one column: a bitmap allocated lazily, so the
 /// common all-valid column costs one `Option` check per access.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]

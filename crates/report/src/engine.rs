@@ -117,6 +117,9 @@ pub fn render_checked(
         return Err(ReportError::NonCompliant { violations: outcome.violations });
     }
 
+    let _span = config.exec.obs.span(bi_exec::SpanKind::ReportRender);
+    config.exec.obs.count(bi_exec::Counter::ReportRenders);
+
     let mut applied: Vec<String> = Vec::new();
 
     // 1. Scan-level policies from the obligations.
@@ -261,6 +264,11 @@ pub fn render_checked(
             applied.push(note);
         }
     }
+
+    config
+        .exec
+        .obs
+        .add(bi_exec::Counter::ReportSuppressedGroups, suppressed_groups as u64);
 
     Ok(EnforcedReport { table, applied, suppressed_groups })
 }

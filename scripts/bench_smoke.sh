@@ -13,7 +13,13 @@
 #     parallel speedup at some swept thread count <= cores;
 #   * the vectorized filter must beat the row-at-a-time engine at the
 #     largest columnar size (>= 1.2x), and the dictionary-code join and
-#     dense-code group-by must not lose to the row path.
+#     dense-code group-by must not lose to the row path;
+#   * obs-disabled overhead: the engine carries the observability layer
+#     (bi-obs) on every hot path, but a disabled recorder must be a true
+#     no-op — the fresh columnar timings are compared against the
+#     committed BENCH_columnar.json baseline (sizes present in both) and
+#     must stay within a 1.5x noise envelope before the baseline is
+#     overwritten.
 #
 # Usage: scripts/bench_smoke.sh [--full]
 #   --full  benchmark the 1M-row size too (slower)
@@ -30,12 +36,22 @@ fi
 
 PAR_OUT="BENCH_parallel.json"
 COL_OUT="BENCH_columnar.json"
+
+# Preserve the committed columnar baseline for the obs-overhead gate
+# before the fresh run overwrites it.
+COL_BASELINE=""
+if [ -f "$COL_OUT" ]; then
+  COL_BASELINE="$(mktemp)"
+  cp "$COL_OUT" "$COL_BASELINE"
+  trap 'rm -f "$COL_BASELINE"' EXIT
+fi
+
 # shellcheck disable=SC2086
 cargo run --release -q -p bi-bench --bin bench_parallel -- $MODE_FLAG --out "$PAR_OUT"
 # shellcheck disable=SC2086
 cargo run --release -q -p bi-bench --bin bench_columnar -- $COL_FLAG --out "$COL_OUT"
 
-python3 - "$PAR_OUT" "$COL_OUT" <<'PY'
+python3 - "$PAR_OUT" "$COL_OUT" "$COL_BASELINE" <<'PY'
 import json
 import sys
 
@@ -105,4 +121,34 @@ for op in largest["ops"]:
         )
 speedups = ", ".join(f"{o['op']} x{o['speedup']:.2f}" for o in largest["ops"])
 print(f"columnar smoke OK: largest {largest['rows']} rows: {speedups}")
+
+# Obs-disabled overhead gate: fresh timings vs the committed baseline.
+# A disabled recorder is Option::None all the way down — no atomics, no
+# clock reads — so the fresh numbers must sit within measurement noise
+# of the pre-run baseline at every size both runs measured.
+if len(sys.argv) > 3 and sys.argv[3]:
+    with open(sys.argv[3]) as f:
+        base = json.load(f)
+    base_sizes = {s["rows"]: {o["op"]: o for o in s["ops"]} for s in base["sizes"]}
+    TOLERANCE = 1.5
+    compared = 0
+    for s in col["sizes"]:
+        if s["rows"] not in base_sizes:
+            continue
+        for op in s["ops"]:
+            ref = base_sizes[s["rows"]].get(op["op"])
+            if ref is None or ref["columnar_ms"] < 1.0:
+                continue  # too fast to time reliably
+            compared += 1
+            if op["columnar_ms"] > ref["columnar_ms"] * TOLERANCE:
+                sys.exit(
+                    f"FAIL: obs-disabled {op['op']} at {s['rows']} rows took "
+                    f"{op['columnar_ms']:.2f} ms vs baseline "
+                    f"{ref['columnar_ms']:.2f} ms (x{TOLERANCE} noise budget) — "
+                    f"the observability layer is not free when disabled"
+                )
+    if compared:
+        print(f"obs-disabled overhead OK: {compared} op timing(s) within x{TOLERANCE} of baseline")
+    else:
+        print("obs-disabled overhead: no comparable baseline sizes (skipped)")
 PY
