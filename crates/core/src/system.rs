@@ -84,6 +84,18 @@ struct PolicyCache {
 struct PolicyCacheState {
     current: Option<PolicyCache>,
     history: BTreeMap<u64, Arc<CombinedPolicy>>,
+    /// Compiled [`CheckProgram`]s per report, keyed `gate?`: the gate
+    /// policy (approved meta-reports only) compiles differently from the
+    /// full delivery policy. Entries are valid only while both the
+    /// policy epoch and the data epoch they were compiled under match.
+    programs: BTreeMap<(ReportId, bool), CachedProgram>,
+}
+
+/// One cached compiled check program with its validity key.
+struct CachedProgram {
+    policy_epoch: u64,
+    data_epoch: u64,
+    program: CheckProgram,
 }
 
 /// One gate-and-enforce outcome, rendered but not yet journaled.
@@ -113,6 +125,10 @@ pub struct BiSystem {
     today: Date,
     /// Bumped on every PLA mutation; keys [`PolicyCache`].
     policy_epoch: u64,
+    /// Bumped whenever the warehouse catalog or source attribution can
+    /// change (source registration, ETL loads, mutable warehouse
+    /// access); keys [`CachedProgram`] together with the policy epoch.
+    data_epoch: u64,
     policy_cache: Mutex<PolicyCacheState>,
     /// Next delivery trace number; trace 0 is reserved for entries
     /// journaled outside a live engine ([`Provenance::default`]).
@@ -135,6 +151,7 @@ impl BiSystem {
             engine: EngineConfig::default(),
             today,
             policy_epoch: 0,
+            data_epoch: 0,
             policy_cache: Mutex::new(PolicyCacheState::default()),
             next_trace: 1,
         }
@@ -156,6 +173,7 @@ impl BiSystem {
             self.table_sources_all.insert(t.to_string(), vec![sid.clone()]);
         }
         self.sources.insert(sid, catalog);
+        self.data_epoch += 1;
     }
 
     /// Registers a PLA document (from any level).
@@ -241,8 +259,11 @@ impl BiSystem {
         &self.warehouse
     }
 
-    /// Mutable warehouse access (dimension/fact registration).
+    /// Mutable warehouse access (dimension/fact registration). Bumps the
+    /// data epoch: the caller may change the catalog, which compiled
+    /// check programs depend on.
     pub fn warehouse_mut(&mut self) -> &mut Warehouse {
+        self.data_epoch += 1;
         &mut self.warehouse
     }
 
@@ -282,6 +303,7 @@ impl BiSystem {
             self.table_sources_all.insert(table.name().to_string(), srcs.clone());
             self.warehouse.load_table(table.clone());
         }
+        self.data_epoch += 1;
         Ok(report)
     }
 
@@ -300,12 +322,62 @@ impl BiSystem {
     /// delivery can hold the spec while mutating the audit log, without
     /// deep-copying the plan.
     pub fn define_report(&mut self, report: ReportSpec) {
+        self.evict_programs(&report.id);
         self.reports.insert(report.id.clone(), Arc::new(report));
     }
 
     /// Removes a report definition.
     pub fn remove_report(&mut self, id: &ReportId) -> bool {
+        self.evict_programs(id);
         self.reports.remove(id).is_some()
+    }
+
+    /// Drops the cached check programs of one report (both policy
+    /// flavors) — its plan is being replaced or removed.
+    fn evict_programs(&mut self, id: &ReportId) {
+        let cache = self.policy_cache.get_mut().unwrap_or_else(PoisonError::into_inner);
+        cache.programs.remove(&(id.clone(), false));
+        cache.programs.remove(&(id.clone(), true));
+    }
+
+    /// Compiled check program for `report` under `policy`, cached per
+    /// (policy epoch, data epoch): one compile serves every consumer and
+    /// delivery of the report until a PLA mutation, a data load, or a
+    /// report redefinition invalidates it. `gate` keys the two policy
+    /// flavors separately ([`BiSystem::gate_policy`] vs the full
+    /// delivery policy) — callers must pass the flavor matching the
+    /// policy they hand in.
+    fn check_program(
+        &self,
+        report: &ReportSpec,
+        policy: &CombinedPolicy,
+        gate: bool,
+    ) -> Result<CheckProgram, bi_query::QueryError> {
+        let key = (report.id.clone(), gate);
+        {
+            let cache = self.policy_cache.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(c) = cache.programs.get(&key) {
+                if c.policy_epoch == self.policy_epoch && c.data_epoch == self.data_epoch {
+                    self.engine.exec.obs.count(Counter::CheckProgramCacheHit);
+                    return Ok(c.program.clone());
+                }
+            }
+        }
+        // Compile outside the lock: a batch render's first concurrent
+        // misses may compile redundantly, but never block each other.
+        self.engine.exec.obs.count(Counter::CheckProgramCacheMiss);
+        let program =
+            CheckProgram::compile(&report.plan, self.warehouse.catalog(), policy, &self.table_source)?;
+        let mut cache = self.policy_cache.lock().unwrap_or_else(PoisonError::into_inner);
+        cache.programs.insert(
+            key,
+            CachedProgram {
+                policy_epoch: self.policy_epoch,
+                data_epoch: self.data_epoch,
+                program: program.clone(),
+            },
+        );
+        Ok(program)
     }
 
     /// All defined reports.
@@ -355,9 +427,11 @@ impl BiSystem {
         // 1. Coverage: find an approved meta-report the plan derives from.
         let index = MetaIndex::build(&self.metas, cat).map_err(SystemError::from)?;
         let coverage = index.cover(&report.plan, cat, self.warehouse.refs())?;
-        // 2. Rule check: compile the plan once against the (cached) gate
-        //    policy, then run it for the report's declared consumers.
-        let outcome = CheckProgram::compile(&report.plan, cat, &self.gate_policy(), &self.table_source)?
+        // 2. Rule check: the compiled program is cached per (policy
+        //    epoch, data epoch), so repeated checks and deliveries of
+        //    the same report share one compile.
+        let outcome = self
+            .check_program(report, &self.gate_policy(), true)?
             .run(&report.consumers, report.purpose.as_deref(), self.today)?;
         let mut result = ComplianceResult {
             coverage,
@@ -410,13 +484,14 @@ impl BiSystem {
         }
         upfront.extend(self.multi_source_violations(&report.plan, policy)?);
 
-        // Compliance + enforcement: compile the plan's check program
-        // once, run it for this consumer's effective roles, render under
-        // the resulting obligations.
+        // Compliance + enforcement: fetch the plan's compiled check
+        // program (cached across consumers and deliveries of this
+        // report), run it for this consumer's effective roles, render
+        // under the resulting obligations.
         let result: Result<EnforcedReport, bi_report::ReportError> = if !upfront.is_empty() {
             Err(bi_report::ReportError::NonCompliant { violations: upfront })
         } else {
-            CheckProgram::compile(&report.plan, self.warehouse.catalog(), policy, &self.table_source)
+            self.check_program(&report, policy, false)
                 .and_then(|program| program.run(&effective, report.purpose.as_deref(), self.today))
                 .map_err(bi_report::ReportError::from)
                 .and_then(|outcome| {
@@ -869,6 +944,57 @@ mod tests {
         );
         let p5 = sys.policy();
         assert!(!std::sync::Arc::ptr_eq(&p4, &p5), "add_meta_report invalidates the cache");
+    }
+
+    /// Compiled check programs are cached per (policy epoch, data
+    /// epoch): repeated deliveries of one report compile once, and every
+    /// path that can change the compile inputs — PLA mutations, ETL
+    /// loads, report redefinition — forces a recompile.
+    #[test]
+    fn check_program_cache_hits_and_invalidates() {
+        let mut sys = build_system();
+        let obs = bi_exec::Obs::enabled();
+        sys.engine_mut().exec = bi_exec::ExecConfig::serial().with_obs(obs.clone());
+        sys.define_report(ReportSpec::new(
+            "r-consumption",
+            "Drug consumption",
+            scan("FactPrescriptions")
+                .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")]),
+            [RoleId::new("analyst")],
+        ));
+        let id = ReportId::new("r-consumption");
+        let alice = ConsumerId::new("alice@agency");
+        let misses = |obs: &bi_exec::Obs| {
+            obs.snapshot().counters.get("check.program.cache.miss").copied().unwrap_or(0)
+        };
+
+        sys.deliver(&id, &alice).unwrap();
+        let after_first = misses(&obs);
+        assert!(after_first >= 1, "first delivery compiles");
+        sys.deliver(&id, &alice).unwrap();
+        sys.deliver(&id, &alice).unwrap();
+        assert_eq!(misses(&obs), after_first, "repeat deliveries reuse the compile");
+        assert!(
+            obs.snapshot().counters.get("check.program.cache.hit").copied().unwrap_or(0) >= 2,
+            "repeat deliveries hit the cache"
+        );
+
+        // A PLA mutation bumps the policy epoch → recompile.
+        sys.add_pla(PlaDocument::new("noop", "hospital", PlaLevel::Source));
+        sys.deliver(&id, &alice).unwrap();
+        let after_pla = misses(&obs);
+        assert!(after_pla > after_first, "PLA mutation invalidates the program cache");
+
+        // Redefining the report evicts its entries → recompile.
+        sys.define_report(ReportSpec::new(
+            "r-consumption",
+            "Drug consumption v2",
+            scan("FactPrescriptions")
+                .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")]),
+            [RoleId::new("analyst")],
+        ));
+        sys.deliver(&id, &alice).unwrap();
+        assert!(misses(&obs) > after_pla, "report redefinition invalidates the program cache");
     }
 
     #[test]

@@ -224,7 +224,7 @@ fn execute_step(
                 }
                 for f in filters {
                     let before = extracted.len();
-                    extracted = extracted.filter(&f)?;
+                    extracted = bi_relation::filter_scalar(&extracted, &f, cfg)?;
                     touched += before - extracted.len();
                 }
             }
@@ -235,7 +235,7 @@ fn execute_step(
         EtlOp::FilterRows { table, pred } => {
             let t = staging.get(table, sid)?;
             let before = t.len();
-            let filtered = t.filter(pred)?;
+            let filtered = bi_relation::filter_scalar(t, pred, cfg)?;
             touched = before - filtered.len();
             rows_out = filtered.len();
             let srcs = staging.sources_of(table).to_vec();
@@ -281,7 +281,7 @@ fn execute_step(
                 .map(|c| (c.name.clone(), bi_relation::expr::col(&c.name)))
                 .collect();
             items.push((column.clone(), expr.clone()));
-            let mut out = t.map_rows(&items)?;
+            let mut out = bi_relation::project_scalar(t, &items, cfg)?;
             out.set_name(t.name().to_string());
             rows_out = out.len();
             let srcs = staging.sources_of(table).to_vec();

@@ -101,6 +101,13 @@ counters! {
     ColumnarGroupByDeclineConvert => "columnar.groupby.decline.convert",
     /// One successful `Table → ColumnChunk` conversion.
     ColumnarConvert => "columnar.convert",
+    /// One expression compiled to a scalar-VM program.
+    VmCompile => "vm.compile",
+    /// One compiled program executed over a table (operator-level; the
+    /// count is identical at any thread count).
+    VmExec => "vm.exec",
+    /// Program compilation declined; the recursive walker served.
+    VmFallback => "vm.fallback",
     /// Conversion declined: Float column holding Int values.
     ColumnarDeclineMixedNumeric => "columnar.decline.mixed-numeric",
     /// Conversion declined: text dictionary code space exhausted.
@@ -145,6 +152,11 @@ counters! {
     PolicyCacheHit => "policy.cache.hit",
     /// Combined-policy cache misses (recombinations).
     PolicyCacheMiss => "policy.cache.miss",
+    /// Compiled check-program cache hits (one compile per report and
+    /// policy/data epoch serves every consumer and delivery).
+    CheckProgramCacheHit => "check.program.cache.hit",
+    /// Compiled check-program cache misses (compilations).
+    CheckProgramCacheMiss => "check.program.cache.miss",
     /// Audit journal entries appended.
     AuditAppends => "audit.journal.appends",
 }

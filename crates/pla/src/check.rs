@@ -168,13 +168,16 @@ impl CheckProgram {
 
         // Attribute access over everything the plan touches (outputs and
         // conditions both reveal data). Role resolution happens at run.
+        // Conditions are constant-folded here: the obligation predicate
+        // is evaluated per row at enforcement time, so shrinking it once
+        // at compile time pays off on every delivery.
         for (t, c) in o.all_origins() {
             let attr = AttrRef::new(t, c);
             if let Some(r) = policy.attribute_restriction(&attr) {
                 ops.push(Op::AttributeGate {
                     attribute: attr,
                     allowed_roles: r.allowed_roles.clone(),
-                    conditions: r.conditions.clone(),
+                    conditions: r.conditions.iter().map(bi_relation::fold).collect(),
                 });
             }
         }
@@ -209,10 +212,16 @@ impl CheckProgram {
 
         // Row restrictions and retention limits per touched table; the
         // retention cutoff depends on the evaluation date, so it stays a
-        // run-time op.
+        // run-time op. Row-restriction predicates combined from several
+        // PLAs often carry constant subtrees (e.g. a vacuous `TRUE AND`
+        // leg from a permissive document) — fold them once here rather
+        // than on every row of every delivery.
         for t in &o.tables {
             if let Some(f) = policy.row_filter(t) {
-                ops.push(Op::Obligate(Obligation::FilterRows { table: t.clone(), condition: f }));
+                ops.push(Op::Obligate(Obligation::FilterRows {
+                    table: t.clone(),
+                    condition: bi_relation::fold(&f),
+                }));
             }
             for (attr, days) in policy.retentions(t) {
                 ops.push(Op::RetentionFilter {
@@ -546,9 +555,46 @@ mod tests {
                     bi_relation::CompiledPredicate::compile(condition, schema).is_some(),
                     "PLA condition must vectorize: {condition}"
                 );
+                assert!(
+                    bi_relation::Program::compile(condition, schema).is_ok(),
+                    "PLA condition must compile to the scalar VM: {condition}"
+                );
             }
         }
         assert_eq!(filters, 2, "row restriction + retention cutoff");
+    }
+
+    /// Obligation predicates are constant-folded when the check program
+    /// is compiled, so per-delivery enforcement evaluates the smallest
+    /// equivalent expression — the folded form, not the authored one.
+    #[test]
+    fn obligation_predicates_are_folded_at_compile_time() {
+        let doc = PlaDocument::new("h4", "hospital", PlaLevel::Source)
+            .with_rule(PlaRule::RowRestriction {
+                table: "Prescriptions".into(),
+                // `1 < 2` is decidable now; only the column test survives.
+                condition: col("Patient").ne(lit("Math")).and(lit(1).lt(lit(2))),
+            })
+            .with_rule(PlaRule::AttributeAccess {
+                attribute: AttrRef::new("Prescriptions", "Doctor"),
+                allowed_roles: [RoleId::new("auditor")].into_iter().collect(),
+                condition: Some(col("Disease").ne(lit("HIV")).or(lit(2).lt(lit(1)))),
+            });
+        let policy = CombinedPolicy::combine(&[doc]);
+        let cat = catalog();
+        let p = scan("Prescriptions").project_cols(&["Doctor", "Drug"]);
+        let out =
+            check_plan(&p, &cat, &policy, &roles(&["auditor"]), &sources(), None, today()).unwrap();
+        assert!(out.obligations.iter().any(|o| matches!(
+            o,
+            Obligation::FilterRows { condition, .. }
+                if *condition == col("Patient").ne(lit("Math")).and(lit(true))
+        )));
+        assert!(out.obligations.iter().any(|o| matches!(
+            o,
+            Obligation::MaskAttribute { condition, .. }
+                if *condition == col("Disease").ne(lit("HIV")).or(lit(false))
+        )));
     }
 
     #[test]

@@ -34,9 +34,10 @@ use crate::rule::{AnonMethod, AttrRef, PlaRule};
 /// Parses exactly one document.
 pub fn parse_document(text: &str) -> Result<PlaDocument, PlaError> {
     let docs = parse_documents(text)?;
-    match docs.len() {
-        1 => Ok(docs.into_iter().next().expect("length checked")),
-        n => Err(PlaError::Parse { message: format!("expected exactly 1 document, found {n}"), line: 1 }),
+    let n = docs.len();
+    match docs.into_iter().next() {
+        Some(doc) if n == 1 => Ok(doc),
+        _ => Err(PlaError::Parse { message: format!("expected exactly 1 document, found {n}"), line: 1 }),
     }
 }
 

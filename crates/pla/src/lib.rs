@@ -33,6 +33,8 @@
 //!   "language for annotations and PLAs" §6 calls for);
 //! * [`subject`] — consumers and their roles.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod check;
 pub mod combine;
 pub mod document;

@@ -91,14 +91,19 @@ fn walk(plan: &Plan, pcat: &ProvCatalog<'_>) -> Result<PGrid, QueryError> {
         Plan::Filter { input, pred } => {
             let g = walk(input, pcat)?;
             let schema = g.table.schema().clone();
+            // Compile the predicate once for the whole pass; compilation
+            // declines (e.g. unknown column behind a short-circuit) fall
+            // back to the recursive walker per row.
+            let program = bi_relation::Program::compile(pred, &schema).ok();
+            let mut vm = bi_relation::Vm::new();
             let mut table = Table::new(g.table.name().to_string(), schema.clone());
             let mut anns = Vec::new();
             for (row, ann) in g.table.rows().iter().zip(g.anns.iter()) {
-                let keep = pred
-                    .eval(&schema, row)
-                    .map_err(QueryError::from)?
-                    .as_bool()
-                    .unwrap_or(false);
+                let v = match &program {
+                    Some(p) => vm.run(p, row),
+                    None => pred.eval(&schema, row),
+                };
+                let keep = v.map_err(QueryError::from)?.as_bool().unwrap_or(false);
                 if keep {
                     table.push_row(row.clone())?;
                     anns.push(ann.clone());

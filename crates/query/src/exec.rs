@@ -21,6 +21,13 @@
 //! Every columnar operator either produces a byte-identical result
 //! (rows, order, schema, name) or declines and falls back to the row
 //! engine, so the row path remains the oracle.
+//!
+//! Row-at-a-time scalar evaluation (filters that the columnar kernels
+//! decline, and all projections) goes through the expression bytecode
+//! VM via [`bi_relation::filter_scalar`] / [`bi_relation::project_scalar`]:
+//! predicates compile once per operator and execute without recursion
+//! or per-row allocation, falling back to the recursive walker only
+//! when compilation declines.
 
 use bi_exec::ExecConfig;
 use bi_relation::Table;
@@ -79,12 +86,12 @@ fn exec_guarded(
                     return Ok(out);
                 }
             }
-            Ok(t.filter(pred)?)
+            Ok(bi_relation::filter_scalar(&t, pred, cfg)?)
         }
         Plan::Project { input, items } => {
             cfg.obs.count(Counter::QueryProject);
             let t = exec_guarded(input, cat, cfg, stack)?;
-            Ok(t.map_rows(items)?)
+            Ok(bi_relation::project_scalar(&t, items, cfg)?)
         }
         Plan::Join { left, right, kind, on, right_prefix } => {
             let lt = exec_guarded(left, cat, cfg, stack)?;

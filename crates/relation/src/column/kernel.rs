@@ -23,7 +23,7 @@ use std::sync::Arc;
 use bi_exec::ExecConfig;
 use bi_types::{DataType, Date, Schema, Value};
 
-use crate::expr::{BinOp, Expr};
+use crate::expr::{fold, BinOp, Expr};
 use crate::table::Table;
 
 use super::{Column, ColumnChunk, ColumnData, Validity};
@@ -251,9 +251,15 @@ impl CompiledPredicate {
     /// Lowers `pred` against `schema`, or declines (`None`) when any
     /// node is unsupported or could error at runtime. Callers must fall
     /// back to the row engine on `None`.
+    ///
+    /// Shares the scalar VM's front end: the tree is [`fold`]-normalized
+    /// first (constant subtrees become literals, dead branches behind
+    /// literal guards disappear), then lowered to bitmask kernels — one
+    /// compiler front end, two backends.
     pub fn compile(pred: &Expr, schema: &Schema) -> Option<CompiledPredicate> {
+        let pred = fold(pred);
         let mut cols = std::collections::BTreeSet::new();
-        let root = compile_node(pred, schema, &mut cols)?;
+        let root = compile_node(&pred, schema, &mut cols)?;
         Some(CompiledPredicate { root, cols: cols.into_iter().collect() })
     }
 
@@ -326,9 +332,7 @@ fn compile_node(
                     if a.is_null() || b.is_null() {
                         return Some(Node::Const(None));
                     }
-                    if op.is_ordering()
-                        && !orderable(a.dtype().expect("non-null"), b.dtype().expect("non-null"))
-                    {
+                    if op.is_ordering() && !orderable(a.dtype()?, b.dtype()?) {
                         return None;
                     }
                     Some(Node::Const(Some(op.test(a.cmp(b)))))
@@ -370,9 +374,7 @@ fn compile_node(
                 return Some(Node::Const(None));
             }
             let ct = schema.columns()[i].dtype;
-            if !orderable(ct, lo.dtype().expect("non-null"))
-                || !orderable(ct, hi.dtype().expect("non-null"))
-            {
+            if !orderable(ct, lo.dtype()?) || !orderable(ct, hi.dtype()?) {
                 return None; // row engine raises Incomparable
             }
             cols.insert(i);
@@ -394,7 +396,7 @@ fn compile_cmp_lit(
         // `col op NULL` is UNKNOWN for every row.
         return Some(Node::Const(None));
     }
-    if op.is_ordering() && !orderable(schema.columns()[i].dtype, lit.dtype().expect("non-null")) {
+    if op.is_ordering() && !orderable(schema.columns()[i].dtype, lit.dtype()?) {
         return None; // row engine raises Incomparable per row
     }
     cols.insert(i);
@@ -483,7 +485,9 @@ fn cmp_mask<T>(
 
 fn eval_node(node: &Node, chunk: &ColumnChunk, start: usize, end: usize) -> BoolMask {
     let len = end - start;
-    let col = |c: usize| -> &Column { chunk.column(c).expect("compiled column materialized") };
+    let col = |c: usize| -> &Column {
+        chunk.column(c).unwrap_or_else(|| unreachable!("compiled column materialized"))
+    };
     match node {
         Node::Const(v) => BoolMask::constant(len, *v),
         Node::BoolCol(c) => {

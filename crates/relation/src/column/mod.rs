@@ -358,8 +358,11 @@ impl ColumnChunk {
     /// conversion). Rows come back byte-identical to the source table:
     /// same variants, same interned text allocations.
     pub fn to_table(&self) -> Table {
-        let cols: Vec<&Column> =
-            self.cols.iter().map(|c| c.as_ref().expect("to_table requires a full chunk")).collect();
+        let cols: Vec<&Column> = self
+            .cols
+            .iter()
+            .map(|c| c.as_ref().unwrap_or_else(|| unreachable!("to_table requires a full chunk")))
+            .collect();
         let rows: Vec<Vec<Value>> =
             (0..self.len).map(|i| cols.iter().map(|c| c.value(i)).collect()).collect();
         Table::from_rows_trusted(self.name.clone(), Arc::clone(&self.schema), rows)
@@ -430,8 +433,11 @@ fn build_column(
             ColumnData::Text { codes, dict: Arc::new(dict) }
         }
         DataType::Date => {
-            let mut v =
-                vec![Date::from_days_from_epoch(0).expect("epoch is a valid date"); n];
+            let mut v = vec![
+                Date::from_days_from_epoch(0)
+                    .unwrap_or_else(|_| unreachable!("epoch is a valid date"));
+                n
+            ];
             for (i, row) in table.rows().iter().enumerate() {
                 match &row[c] {
                     Value::Date(d) => v[i] = *d,

@@ -21,6 +21,14 @@ pub enum RelationError {
     Parse { message: String, position: usize },
     /// A table operation referenced a missing table.
     NoSuchTable { name: String },
+    /// Expression nesting beyond the parser's depth limit (adversarial
+    /// inputs would otherwise overflow the stack of the recursive
+    /// descent parser — or of any recursive consumer downstream).
+    TooDeep { limit: usize },
+    /// An invariant the engine itself guarantees was violated (a bug,
+    /// not a user error); surfaced as an error instead of a panic so
+    /// enforcement paths stay total.
+    Internal { message: &'static str },
 }
 
 impl fmt::Display for RelationError {
@@ -39,6 +47,10 @@ impl fmt::Display for RelationError {
                 write!(f, "parse error at byte {position}: {message}")
             }
             RelationError::NoSuchTable { name } => write!(f, "no such table {name:?}"),
+            RelationError::TooDeep { limit } => {
+                write!(f, "expression nesting exceeds the depth limit of {limit}")
+            }
+            RelationError::Internal { message } => write!(f, "internal invariant violated: {message}"),
         }
     }
 }

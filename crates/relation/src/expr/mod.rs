@@ -9,8 +9,10 @@
 //! keep a row only when the predicate is exactly TRUE.
 
 mod parse;
+mod vm;
 
 pub use parse::parse;
+pub use vm::{fold, Program, Vm};
 
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
@@ -339,18 +341,8 @@ impl Expr {
                 Ok(row[i].clone())
             }
             Expr::Lit(v) => Ok(v.clone()),
-            Expr::Not(e) => match e.eval(schema, row)? {
-                Value::Null => Ok(Value::Null),
-                v => Ok(Value::Bool(!v.as_bool()?)),
-            },
-            Expr::Neg(e) => match e.eval(schema, row)? {
-                Value::Null => Ok(Value::Null),
-                Value::Int(i) => {
-                    i.checked_neg().map(Value::Int).ok_or(RelationError::Overflow { op: "neg" })
-                }
-                Value::Float(f) => Ok(Value::Float(-f)),
-                other => Err(bi_types::TypeError::mismatch(DataType::Float, other, "negation").into()),
-            },
+            Expr::Not(e) => not_value(e.eval(schema, row)?),
+            Expr::Neg(e) => neg_value(e.eval(schema, row)?),
             Expr::IsNull(e) => Ok(Value::Bool(e.eval(schema, row)?.is_null())),
             Expr::Bin(op, l, r) => eval_bin(*op, l, r, schema, row),
             Expr::Func(f, args) => {
@@ -367,30 +359,14 @@ impl Expr {
             }
             Expr::InList(e, list) => {
                 let v = e.eval(schema, row)?;
-                if v.is_null() {
-                    return Ok(Value::Null);
-                }
-                if list.contains(&v) {
-                    return Ok(Value::Bool(true));
-                }
-                // SQL: `x IN (a, NULL)` with x ≠ a is UNKNOWN, not FALSE
-                // (x might equal the NULL member) — and therefore
-                // `x NOT IN (a, NULL)` must never be TRUE.
-                if list.iter().any(Value::is_null) {
-                    return Ok(Value::Null);
-                }
-                Ok(Value::Bool(false))
+                let has_null = list.iter().any(Value::is_null);
+                Ok(in_list_value(&v, list, has_null))
             }
             Expr::Between(e, lo, hi) => {
                 let v = e.eval(schema, row)?;
                 let lo = lo.eval(schema, row)?;
                 let hi = hi.eval(schema, row)?;
-                if v.is_null() || lo.is_null() || hi.is_null() {
-                    return Ok(Value::Null);
-                }
-                let ge = compare(&v, &lo)? != Ordering::Less;
-                let le = compare(&v, &hi)? != Ordering::Greater;
-                Ok(Value::Bool(ge && le))
+                between_scalar(&v, &lo, &hi)
             }
         }
     }
@@ -517,17 +493,78 @@ fn eval_bin(
             _ => {}
         }
         let rv = r.eval(schema, row)?;
-        let rb = if rv.is_null() { None } else { Some(rv.as_bool()?) };
-        return Ok(match (op, lb, rb) {
-            (BinOp::And, _, Some(false)) => Value::Bool(false),
-            (BinOp::Or, _, Some(true)) => Value::Bool(true),
-            (_, Some(a), Some(b)) => Value::Bool(if op == BinOp::And { a && b } else { a || b }),
-            _ => Value::Null,
-        });
+        return logic_merge(op, &lv, &rv);
     }
 
     let lv = l.eval(schema, row)?;
     let rv = r.eval(schema, row)?;
+    bin_scalar(op, &lv, &rv)
+}
+
+/// Kleene merge of two already-evaluated logic operands (the no-short-
+/// circuit tail of AND/OR). Shared by the oracle and the VM's `Logic`
+/// op; a non-bool operand is a type error, NULL is UNKNOWN.
+fn logic_merge(op: BinOp, lv: &Value, rv: &Value) -> Result<Value, RelationError> {
+    let lb = if lv.is_null() { None } else { Some(lv.as_bool()?) };
+    let rb = if rv.is_null() { None } else { Some(rv.as_bool()?) };
+    Ok(match (op, lb, rb) {
+        (BinOp::And, _, Some(false)) | (BinOp::And, Some(false), _) => Value::Bool(false),
+        (BinOp::Or, _, Some(true)) | (BinOp::Or, Some(true), _) => Value::Bool(true),
+        (_, Some(a), Some(b)) => Value::Bool(if op == BinOp::And { a && b } else { a || b }),
+        _ => Value::Null,
+    })
+}
+
+/// Kleene NOT over an evaluated operand (shared oracle/VM kernel).
+fn not_value(v: Value) -> Result<Value, RelationError> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        v => Ok(Value::Bool(!v.as_bool()?)),
+    }
+}
+
+/// Arithmetic negation over an evaluated operand (shared kernel).
+fn neg_value(v: Value) -> Result<Value, RelationError> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        Value::Int(i) => i.checked_neg().map(Value::Int).ok_or(RelationError::Overflow { op: "neg" }),
+        Value::Float(f) => Ok(Value::Float(-f)),
+        other => Err(bi_types::TypeError::mismatch(DataType::Float, &other, "negation").into()),
+    }
+}
+
+/// `IN`-list membership over an evaluated scrutinee (shared kernel).
+/// SQL: `x IN (a, NULL)` with `x ≠ a` is UNKNOWN, not FALSE (x might
+/// equal the NULL member) — so `x NOT IN (a, NULL)` is never TRUE.
+fn in_list_value(v: &Value, list: &[Value], has_null: bool) -> Value {
+    if v.is_null() {
+        return Value::Null;
+    }
+    if list.contains(v) {
+        return Value::Bool(true);
+    }
+    if has_null {
+        return Value::Null;
+    }
+    Value::Bool(false)
+}
+
+/// `BETWEEN` over three evaluated operands (shared kernel): NULL
+/// anywhere is UNKNOWN, then both bounds compare under `compare`.
+fn between_scalar(v: &Value, lo: &Value, hi: &Value) -> Result<Value, RelationError> {
+    if v.is_null() || lo.is_null() || hi.is_null() {
+        return Ok(Value::Null);
+    }
+    let ge = compare(v, lo)? != Ordering::Less;
+    let le = compare(v, hi)? != Ordering::Greater;
+    Ok(Value::Bool(ge && le))
+}
+
+/// Non-logical binary operator over two evaluated operands: the single
+/// scalar kernel behind both `Expr::eval` and the VM's `Bin` ops. Takes
+/// references so the VM's fused ops can feed it row cells and pool
+/// constants directly, without cloning either operand onto the stack.
+fn bin_scalar(op: BinOp, lv: &Value, rv: &Value) -> Result<Value, RelationError> {
     if lv.is_null() || rv.is_null() {
         return Ok(Value::Null);
     }
@@ -538,7 +575,7 @@ fn eval_bin(
         let ord = match op {
             BinOp::Eq => return Ok(Value::Bool(lv == rv)),
             BinOp::Ne => return Ok(Value::Bool(lv != rv)),
-            _ => compare(&lv, &rv)?,
+            _ => compare(lv, rv)?,
         };
         let b = match op {
             BinOp::Lt => ord == Ordering::Less,
@@ -551,7 +588,7 @@ fn eval_bin(
     }
 
     // Arithmetic.
-    match (&lv, &rv) {
+    match (lv, rv) {
         (Value::Int(a), Value::Int(b)) => {
             let r = match op {
                 BinOp::Add => a.checked_add(*b).ok_or(RelationError::Overflow { op: "+" })?,

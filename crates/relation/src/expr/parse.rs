@@ -26,10 +26,22 @@ use crate::error::RelationError;
 
 use super::{BinOp, Expr, Func};
 
+/// Deepest allowed expression nesting. The parser is recursive descent,
+/// and everything downstream of it (evaluation, compilation, printing)
+/// recurses over the tree too — an adversarial input like 10k opening
+/// parentheses or a `NOT NOT NOT …` chain must come back as a typed
+/// [`RelationError::TooDeep`], not a stack overflow. Flat chains
+/// (`a AND b AND c AND …`) are parsed iteratively and stay unbounded.
+///
+/// Each nesting level costs several parser frames (one per precedence
+/// tier), so the limit is sized to fit comfortably inside a default
+/// 2 MiB thread stack even in unoptimized builds.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses the textual expression form.
 pub fn parse(input: &str) -> Result<Expr, RelationError> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0, input_len: input.len() };
+    let mut p = Parser { tokens, pos: 0, input_len: input.len(), depth: 0 };
     let e = p.parse_or()?;
     if p.pos < p.tokens.len() {
         return Err(p.error(format!("unexpected trailing token {:?}", p.tokens[p.pos].kind)));
@@ -192,12 +204,26 @@ struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     input_len: usize,
+    /// Current recursion depth; bounded by [`MAX_DEPTH`]. Incremented
+    /// at every grammar point that can recurse unboundedly (`parse_or`
+    /// for parenthesized/argument subexpressions, and the
+    /// self-recursive `NOT` / unary-minus chains).
+    depth: usize,
 }
 
 impl Parser {
     fn error(&self, message: String) -> RelationError {
         let position = self.tokens.get(self.pos).map(|t| t.offset).unwrap_or(self.input_len);
         RelationError::Parse { message, position }
+    }
+
+    /// Bumps the recursion depth, rejecting pathological nesting.
+    fn enter(&mut self) -> Result<(), RelationError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(RelationError::TooDeep { limit: MAX_DEPTH });
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -250,6 +276,13 @@ impl Parser {
     }
 
     fn parse_or(&mut self) -> Result<Expr, RelationError> {
+        self.enter()?;
+        let out = self.parse_or_body();
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_or_body(&mut self) -> Result<Expr, RelationError> {
         let mut e = self.parse_and()?;
         while self.eat_kw("OR") {
             let r = self.parse_and()?;
@@ -269,7 +302,10 @@ impl Parser {
 
     fn parse_not(&mut self) -> Result<Expr, RelationError> {
         if self.eat_kw("NOT") {
-            Ok(self.parse_not()?.not())
+            self.enter()?;
+            let inner = self.parse_not();
+            self.depth -= 1;
+            Ok(inner?.not())
         } else {
             self.parse_cmp()
         }
@@ -368,7 +404,10 @@ impl Parser {
 
     fn parse_unary(&mut self) -> Result<Expr, RelationError> {
         if self.eat_sym("-") {
-            let inner = self.parse_unary()?;
+            self.enter()?;
+            let inner = self.parse_unary();
+            self.depth -= 1;
+            let inner = inner?;
             // Fold negation into numeric literals so `-1` parses as the
             // literal -1 (which is also how it prints).
             return Ok(match inner {
@@ -571,5 +610,37 @@ mod tests {
         ] {
             roundtrip(text);
         }
+    }
+
+    /// Adversarially deep inputs must come back as a typed error, not a
+    /// parser stack overflow (regression for the nesting-depth limit).
+    #[test]
+    fn pathological_nesting_is_a_typed_error() {
+        let deep_parens = format!("{}x{}", "(".repeat(10_000), ")".repeat(10_000));
+        assert_eq!(parse(&deep_parens), Err(RelationError::TooDeep { limit: MAX_DEPTH }));
+
+        let deep_not = format!("{}x", "NOT ".repeat(10_000));
+        assert_eq!(parse(&deep_not), Err(RelationError::TooDeep { limit: MAX_DEPTH }));
+
+        let deep_neg = format!("{}x", "-".repeat(10_000));
+        assert_eq!(parse(&deep_neg), Err(RelationError::TooDeep { limit: MAX_DEPTH }));
+
+        let deep_calls = format!("{}x{}", "abs(".repeat(10_000), ")".repeat(10_000));
+        assert_eq!(parse(&deep_calls), Err(RelationError::TooDeep { limit: MAX_DEPTH }));
+    }
+
+    /// Reasonable nesting stays well inside the limit, and *flat*
+    /// chains are unbounded (they parse iteratively).
+    #[test]
+    fn sane_nesting_and_flat_chains_still_parse() {
+        let nested = format!("{}x{}", "(".repeat(MAX_DEPTH / 2), ")".repeat(MAX_DEPTH / 2));
+        assert!(parse(&nested).is_ok());
+
+        let mut flat = String::from("a = 1");
+        for _ in 0..10_000 {
+            flat.push_str(" AND a = 1");
+        }
+        let e = parse(&flat).unwrap();
+        assert_eq!(e.conjuncts().len(), 10_001);
     }
 }

@@ -10,7 +10,11 @@
 //! * [`table`] — [`Table`]: a named, schema-checked grid of rows with
 //!   relational helpers (filter/project/sort/distinct/group);
 //! * [`expr`] — expression AST, SQL-style three-valued evaluation, static
-//!   type inference, a textual parser and a round-trippable printer;
+//!   type inference, a textual parser and a round-trippable printer, and
+//!   the stack-based bytecode VM ([`expr::Program`]/[`expr::Vm`]) that
+//!   every hot evaluation path compiles through;
+//! * [`scalar`] — morsel-parallel, [`bi_exec::ExecConfig`]-aware filter
+//!   and projection over compiled programs;
 //! * [`column`] — columnar chunks ([`column::ColumnChunk`]): typed
 //!   column vectors with validity bitmaps and dictionary-encoded text,
 //!   plus vectorized predicate kernels ([`column::kernel`]) that
@@ -20,17 +24,21 @@
 //!   Figs. 2–4;
 //! * [`error`] — the crate error type.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod column;
 pub mod csv;
 pub mod error;
 pub mod expr;
 pub mod index;
 pub mod pretty;
+pub mod scalar;
 pub mod table;
 
 pub use column::kernel::{filter_columnar, BoolMask, CompiledPredicate};
 pub use column::{Column as ChunkColumn, ColumnChunk, ColumnData, ColumnarError, Dictionary};
 pub use error::RelationError;
-pub use expr::{BinOp, Expr, Func};
+pub use expr::{fold, BinOp, Expr, Func, Program, Vm};
 pub use index::HashIndex;
+pub use scalar::{filter_scalar, project_scalar};
 pub use table::{Row, Table};

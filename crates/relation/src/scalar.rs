@@ -1,0 +1,200 @@
+//! Morsel-parallel scalar evaluation over compiled [`Program`]s.
+//!
+//! The executor-facing twins of [`crate::filter_columnar`]: the same
+//! compile-once front end, but the scalar VM backend — which never
+//! declines on *types* (any expression the oracle can evaluate, the VM
+//! can run), only on compilation itself (unknown column, bad arity).
+//! Work is split into [`bi_exec::MORSEL_ROWS`] morsels under
+//! `cfg.threads`; each worker runs its own [`Vm`] over the shared
+//! program, and error discipline matches the serial walk exactly (the
+//! lowest-indexed morsel's error wins, which is the serial first
+//! error).
+//!
+//! Counters (when `cfg.obs` is enabled): `vm.compile` per program
+//! compiled, `vm.exec` per operator run over a table, `vm.fallback`
+//! when compilation declined and the recursive walker served instead.
+
+use std::sync::Arc;
+
+use bi_exec::{Counter, ExecConfig};
+
+use crate::error::RelationError;
+use crate::expr::{Expr, Program, Vm};
+use crate::table::{Row, Table};
+
+/// [`Table::filter`] with a [`bi_exec::ExecConfig`]: compile once, run
+/// the scalar VM over row morsels in parallel. Declines of the compiler
+/// fall back to the (serial) recursive walker, preserving legacy
+/// behaviour exactly; results are byte-identical to the serial path at
+/// any thread count, including the storage-sharing fast path when every
+/// row survives.
+pub fn filter_scalar(table: &Table, pred: &Expr, cfg: &ExecConfig) -> Result<Table, RelationError> {
+    let program = match Program::compile(pred, table.schema()) {
+        Ok(p) => p,
+        Err(_) => {
+            cfg.obs.count(Counter::VmFallback);
+            return table.filter(pred);
+        }
+    };
+    cfg.obs.count(Counter::VmCompile);
+    cfg.obs.count(Counter::VmExec);
+    let kept: Vec<Vec<Row>> =
+        bi_exec::try_par_chunks(cfg, table.rows(), bi_exec::MORSEL_ROWS, |_, rows| {
+            let mut vm = Vm::new();
+            let mut out = Vec::new();
+            for row in rows {
+                if vm.run(&program, row)?.as_bool().unwrap_or(false) {
+                    out.push(row.clone());
+                }
+            }
+            Ok::<_, RelationError>(out)
+        })?;
+    let n: usize = kept.iter().map(Vec::len).sum();
+    if n == table.len() {
+        // Same storage-sharing fast path as the serial filter.
+        return Ok(table.clone());
+    }
+    let mut rows = Vec::with_capacity(n);
+    for chunk in kept {
+        rows.extend(chunk);
+    }
+    Ok(Table::from_rows_trusted(table.name().to_string(), table.schema_shared(), rows))
+}
+
+/// [`Table::map_rows`] with a [`bi_exec::ExecConfig`]: every projection
+/// item compiles once, then all items evaluate per row across parallel
+/// morsels. If *any* item declines to compile, the whole projection
+/// falls back to the serial walker so evaluation order (and the first
+/// error) matches legacy behaviour.
+pub fn project_scalar(
+    table: &Table,
+    items: &[(String, Expr)],
+    cfg: &ExecConfig,
+) -> Result<Table, RelationError> {
+    let schema = table.map_rows_schema(items)?;
+    let programs: Vec<Program> = match items
+        .iter()
+        .map(|(_, e)| Program::compile(e, table.schema()))
+        .collect::<Result<_, RelationError>>()
+    {
+        Ok(ps) => ps,
+        Err(_) => {
+            cfg.obs.count(Counter::VmFallback);
+            return table.map_rows(items);
+        }
+    };
+    cfg.obs.add(Counter::VmCompile, programs.len() as u64);
+    cfg.obs.count(Counter::VmExec);
+    let chunks: Vec<Vec<Row>> =
+        bi_exec::try_par_chunks(cfg, table.rows(), bi_exec::MORSEL_ROWS, |_, rows| {
+            let mut vm = Vm::new();
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut cells = Vec::with_capacity(programs.len());
+                for p in &programs {
+                    cells.push(vm.run(p, row)?);
+                }
+                out.push(cells);
+            }
+            Ok::<_, RelationError>(out)
+        })?;
+    let mut rows = Vec::with_capacity(table.len());
+    for chunk in chunks {
+        rows.extend(chunk);
+    }
+    Ok(Table::from_rows_trusted(table.name().to_string(), Arc::new(schema), rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use bi_types::{Column, DataType, Schema, Value};
+
+    fn table(n: i64) -> Table {
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::nullable("g", DataType::Text),
+        ])
+        .unwrap();
+        let rows = (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    if i % 7 == 0 { Value::Null } else { Value::text(format!("g{}", i % 3)) },
+                ]
+            })
+            .collect();
+        Table::from_rows("T", schema, rows).unwrap()
+    }
+
+    #[test]
+    fn parallel_filter_matches_serial_at_any_thread_count() {
+        let t = table(10_000);
+        let pred = col("k").ge(lit(100)).and(col("g").eq(lit("g1")).or(col("g").is_null()));
+        let serial = t.filter(&pred).unwrap();
+        for threads in [1, 2, 8] {
+            let cfg = ExecConfig::with_threads(threads);
+            let got = filter_scalar(&t, &pred, &cfg).unwrap();
+            assert_eq!(got.rows(), serial.rows(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn keep_all_shares_storage() {
+        let t = table(5000);
+        let cfg = ExecConfig::with_threads(4);
+        let got = filter_scalar(&t, &col("k").ge(lit(-1)), &cfg).unwrap();
+        assert!(got.shares_rows_with(&t));
+    }
+
+    #[test]
+    fn parallel_error_is_the_serial_first_error() {
+        let t = table(9000);
+        // Divides by zero only at k = 8191 — deep in a later morsel.
+        let boom = Expr::Bin(crate::expr::BinOp::Div, Box::new(lit(1)), Box::new(lit(0)));
+        let pred = Expr::Func(
+            crate::expr::Func::If,
+            vec![col("k").eq(lit(8191)), boom.gt(lit(0)), lit(false)],
+        );
+        let serial = t.filter(&pred).unwrap_err();
+        for threads in [2, 8] {
+            let cfg = ExecConfig::with_threads(threads);
+            assert_eq!(filter_scalar(&t, &pred, &cfg).unwrap_err(), serial);
+        }
+    }
+
+    #[test]
+    fn compile_decline_falls_back_and_counts() {
+        let t = table(64);
+        let cfg = ExecConfig::serial().with_obs(bi_exec::Obs::enabled());
+        // Unknown column behind a short-circuit the folder cannot prove:
+        // `k >= 0` holds on every row, so the walker never resolves
+        // `nope` and the fallback succeeds where compilation declines.
+        let pred = col("k").ge(lit(0)).or(col("nope").eq(lit(1)));
+        let got = filter_scalar(&t, &pred, &cfg).unwrap();
+        assert_eq!(got.len(), t.len());
+        let snap = cfg.obs.snapshot();
+        assert_eq!(snap.counters.get("vm.fallback"), Some(&1));
+        assert_eq!(snap.counters.get("vm.compile"), None);
+    }
+
+    #[test]
+    fn parallel_project_matches_serial() {
+        let t = table(10_000);
+        let items = vec![
+            (
+                "k2".to_string(),
+                Expr::Bin(crate::expr::BinOp::Mul, Box::new(col("k")), Box::new(lit(2))),
+            ),
+            ("tag".to_string(), Expr::Func(crate::expr::Func::Coalesce, vec![col("g"), lit("?")])),
+        ];
+        let serial = t.map_rows(&items).unwrap();
+        for threads in [1, 2, 8] {
+            let cfg = ExecConfig::with_threads(threads);
+            let got = project_scalar(&t, &items, &cfg).unwrap();
+            assert_eq!(got.rows(), serial.rows(), "threads={threads}");
+            assert_eq!(got.schema(), serial.schema());
+        }
+    }
+}

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Smoke test for the parallel and columnar executor benchmarks.
+# Smoke test for the parallel, columnar and expression-VM benchmarks.
 #
 # Runs `bench_parallel --quick` (thread sweep over scan/filter/join/
-# aggregate) and `bench_columnar` (row vs vectorized at one thread),
-# validates both JSON artifacts, and enforces the gates:
+# aggregate), `bench_columnar` (row vs vectorized at one thread) and
+# `bench_vm` (recursive walker vs bytecode VM vs columnar), validates
+# the JSON artifacts, and enforces the gates:
 #
 #   * per op at the largest size, the 1-thread run must stay within a
 #     noise tolerance of serial (it IS the serial path plus config
@@ -14,6 +15,9 @@
 #   * the vectorized filter must beat the row-at-a-time engine at the
 #     largest columnar size (>= 1.2x), and the dictionary-code join and
 #     dense-code group-by must not lose to the row path;
+#   * the bytecode VM must beat the recursive AST walker by >= 1.5x on
+#     the 100k-row (or larger) filter and project workloads, and must
+#     never lose to it on any workload at the largest size;
 #   * obs-disabled overhead: the engine carries the observability layer
 #     (bi-obs) on every hot path, but a disabled recorder must be a true
 #     no-op — the fresh columnar timings are compared against the
@@ -36,6 +40,7 @@ fi
 
 PAR_OUT="BENCH_parallel.json"
 COL_OUT="BENCH_columnar.json"
+VM_OUT="BENCH_vm.json"
 
 # Preserve the committed columnar baseline for the obs-overhead gate
 # before the fresh run overwrites it.
@@ -50,8 +55,10 @@ fi
 cargo run --release -q -p bi-bench --bin bench_parallel -- $MODE_FLAG --out "$PAR_OUT"
 # shellcheck disable=SC2086
 cargo run --release -q -p bi-bench --bin bench_columnar -- $COL_FLAG --out "$COL_OUT"
+# shellcheck disable=SC2086
+cargo run --release -q -p bi-bench --bin bench_vm -- $COL_FLAG --out "$VM_OUT"
 
-python3 - "$PAR_OUT" "$COL_OUT" "$COL_BASELINE" <<'PY'
+python3 - "$PAR_OUT" "$COL_OUT" "$COL_BASELINE" "$VM_OUT" <<'PY'
 import json
 import sys
 
@@ -151,4 +158,35 @@ if len(sys.argv) > 3 and sys.argv[3]:
         print(f"obs-disabled overhead OK: {compared} op timing(s) within x{TOLERANCE} of baseline")
     else:
         print("obs-disabled overhead: no comparable baseline sizes (skipped)")
+
+with open(sys.argv[4]) as f:
+    vm = json.load(f)
+
+assert vm["threads"] == 1, "VM bench must be single-threaded"
+assert vm["sizes"], "at least one VM size measured"
+VM_OPS = ("filter", "obligation", "project")
+for s in vm["sizes"]:
+    ops = {o["op"] for o in s["ops"]}
+    assert ops == set(VM_OPS), f"VM bench ops {ops} at {s['rows']} rows"
+    for op in s["ops"]:
+        assert op["ast_ms"] > 0 and op["vm_ms"] > 0, f"bad VM timing: {op}"
+        if op["columnar_ms"] is not None:
+            assert op["columnar_ms"] > 0, f"bad columnar timing: {op}"
+
+largest = max(vm["sizes"], key=lambda s: s["rows"])
+assert largest["rows"] >= 100_000, "VM bench must measure >= 100k rows"
+# The ISSUE gate: the VM beats the recursive walker by >= 1.5x on the
+# filter and project workloads at the largest size, and never loses on
+# any workload.
+vm_gates = {"filter": 1.5, "obligation": 1.0, "project": 1.5}
+for op in largest["ops"]:
+    need = vm_gates[op["op"]]
+    if op["speedup"] < need:
+        sys.exit(
+            f"FAIL: VM {op['op']} speedup {op['speedup']:.2f} < {need} at "
+            f"{largest['rows']} rows (ast {op['ast_ms']:.2f} ms, "
+            f"vm {op['vm_ms']:.2f} ms)"
+        )
+speedups = ", ".join(f"{o['op']} x{o['speedup']:.2f}" for o in largest["ops"])
+print(f"vm smoke OK: largest {largest['rows']} rows: {speedups}")
 PY
