@@ -52,6 +52,12 @@ pub struct ExecConfig {
     pub threads: usize,
     /// Allow vectorized columnar operators. `false` = row engine only.
     pub columnar: bool,
+    /// Treat `threads` as exact rather than a cap: skip the
+    /// [`effective_parallelism`] clamp in [`ExecConfig::effective_threads`].
+    /// Oracle tests and benches use this to exercise the parallel
+    /// operators deterministically on any host, including a 1-core CI
+    /// box where the cost model would otherwise always pick serial.
+    pub pinned: bool,
     /// Observability recorder; [`Obs::disabled`] (the default) is a
     /// true no-op on every hot path.
     pub obs: Obs,
@@ -59,8 +65,20 @@ pub struct ExecConfig {
 
 impl PartialEq for ExecConfig {
     fn eq(&self, other: &Self) -> bool {
-        self.threads == other.threads && self.columnar == other.columnar
+        self.threads == other.threads
+            && self.columnar == other.columnar
+            && self.pinned == other.pinned
     }
+}
+
+/// Worker threads the host can actually run at once, read once per
+/// process. `available_parallelism` can fail (unsupported platform,
+/// restricted cgroup introspection); fall back to 1 — claiming *less*
+/// parallelism than exists only costs speed, claiming more re-creates
+/// the oversubscription regression this clamp removes.
+pub fn effective_parallelism() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
 impl Eq for ExecConfig {}
@@ -69,7 +87,7 @@ impl ExecConfig {
     /// Serial row-at-a-time execution on the caller's thread (the
     /// default, and the oracle every other configuration must match).
     pub const fn serial() -> Self {
-        ExecConfig { threads: 1, columnar: false, obs: Obs::disabled() }
+        ExecConfig { threads: 1, columnar: false, pinned: false, obs: Obs::disabled() }
     }
 
     /// One worker per available core (falls back to serial when the
@@ -90,7 +108,27 @@ impl ExecConfig {
 
     /// Single-threaded execution with columnar operators enabled.
     pub const fn columnar() -> Self {
-        ExecConfig { threads: 1, columnar: true, obs: Obs::disabled() }
+        ExecConfig { threads: 1, columnar: true, pinned: false, obs: Obs::disabled() }
+    }
+
+    /// Builder: treat the thread count as exact, bypassing the
+    /// host-core clamp (see the `pinned` field). For tests and benches.
+    pub fn with_pinned_threads(self, pinned: bool) -> Self {
+        ExecConfig { pinned, ..self }
+    }
+
+    /// Threads the cost model should plan for: the requested count
+    /// clamped by what the host can actually run in parallel
+    /// ([`effective_parallelism`]), unless `pinned`. A request for 8
+    /// threads on a 1-core host plans as serial — fanning out past the
+    /// hardware is how the original parallel regression happened.
+    pub fn effective_threads(&self) -> usize {
+        let t = self.threads.max(1);
+        if self.pinned {
+            t
+        } else {
+            t.min(effective_parallelism())
+        }
     }
 
     /// Builder: the same thread configuration with columnar operators
@@ -110,9 +148,12 @@ impl ExecConfig {
         self.threads <= 1
     }
 
-    /// Workers actually worth spawning for `tasks` units of work.
+    /// Workers actually worth spawning for `tasks` units of work:
+    /// effective threads (host-clamped unless pinned), never more than
+    /// the tasks. Spawning past the hardware buys contention, not
+    /// concurrency — the morsel helpers run inline at one worker.
     fn workers_for(&self, tasks: usize) -> usize {
-        self.threads.min(tasks).max(1)
+        self.effective_threads().min(tasks).max(1)
     }
 }
 
@@ -332,9 +373,18 @@ pub fn stable_hash<H: std::hash::Hash + ?Sized>(value: &H) -> u64 {
 }
 
 /// Partition count for hash-partitioned operators: a power of two with
-/// a few partitions per worker so claim imbalance evens out.
+/// a few partitions per worker so claim imbalance evens out. Sized from
+/// [`ExecConfig::effective_threads`], not the raw request — partitioning
+/// for 8 workers on a 1-core host multiplies scheduling overhead with
+/// zero added parallelism (the bench regression this PR fixes). With one
+/// effective core the count is 1: the partitioned operators collapse to
+/// a single serial pass.
 pub fn partition_count(cfg: &ExecConfig) -> usize {
-    (cfg.threads.max(1) * 4).next_power_of_two().min(64)
+    let workers = cfg.effective_threads();
+    if workers <= 1 {
+        return 1;
+    }
+    (workers * 4).next_power_of_two().min(64)
 }
 
 #[cfg(test)]
@@ -354,7 +404,8 @@ mod tests {
     fn par_chunks_preserves_morsel_order() {
         let items: Vec<usize> = (0..1000).collect();
         for threads in [1, 2, 8] {
-            let cfg = ExecConfig::with_threads(threads);
+            // Pinned: exercise real workers even on single-core hosts.
+            let cfg = ExecConfig::with_threads(threads).with_pinned_threads(true);
             let sums = par_chunks(&cfg, &items, 7, |off, chunk| {
                 (off, chunk.iter().sum::<usize>())
             });
@@ -381,7 +432,8 @@ mod tests {
     #[test]
     fn par_ranges_covers_domain_in_order() {
         for threads in [1, 2, 8] {
-            let cfg = ExecConfig::with_threads(threads);
+            // Pinned: exercise real workers even on single-core hosts.
+            let cfg = ExecConfig::with_threads(threads).with_pinned_threads(true);
             let ranges = par_ranges(&cfg, 1000, 64, |s, e| (s, e));
             let serial: Vec<(usize, usize)> =
                 (0..1000usize.div_ceil(64)).map(|m| (m * 64, ((m + 1) * 64).min(1000))).collect();
@@ -395,7 +447,8 @@ mod tests {
         let items: Vec<i64> = (-500..500).collect();
         let serial: Vec<i64> = items.iter().map(|x| x * x - 1).collect();
         for threads in [1, 2, 8] {
-            let cfg = ExecConfig::with_threads(threads);
+            // Pinned: exercise real workers even on single-core hosts.
+            let cfg = ExecConfig::with_threads(threads).with_pinned_threads(true);
             assert_eq!(par_map(&cfg, &items, |x| x * x - 1), serial);
         }
     }
@@ -404,7 +457,8 @@ mod tests {
     fn try_par_map_reports_first_error() {
         let items: Vec<i64> = (0..10_000).collect();
         for threads in [1, 2, 8] {
-            let cfg = ExecConfig::with_threads(threads);
+            // Pinned: exercise real workers even on single-core hosts.
+            let cfg = ExecConfig::with_threads(threads).with_pinned_threads(true);
             let r: Result<Vec<i64>, String> = try_par_map(&cfg, &items, |&x| {
                 if x >= 137 {
                     Err(format!("boom at {x}"))
@@ -435,5 +489,24 @@ mod tests {
         assert_eq!(stable_hash("abc"), stable_hash("abc"));
         assert_ne!(stable_hash("abc"), stable_hash("abd"));
         assert!(partition_count(&ExecConfig::with_threads(3)).is_power_of_two());
+    }
+
+    #[test]
+    fn effective_threads_clamps_by_host_cores() {
+        let cores = effective_parallelism();
+        assert!(cores >= 1);
+        // Unpinned: the host clamp applies.
+        assert_eq!(ExecConfig::with_threads(1).effective_threads(), 1);
+        assert_eq!(ExecConfig::with_threads(usize::MAX).effective_threads(), cores);
+        // Pinned: the request is exact, regardless of hardware.
+        let pinned = ExecConfig::with_threads(8).with_pinned_threads(true);
+        assert_eq!(pinned.effective_threads(), 8);
+        assert_eq!(partition_count(&pinned), 32);
+        // One effective core ⇒ one partition: serial collapse, no fan-out.
+        let serial = ExecConfig::serial();
+        assert_eq!(partition_count(&serial), 1);
+        // Partition count never exceeds the 64-partition ceiling.
+        let wide = ExecConfig::with_threads(1000).with_pinned_threads(true);
+        assert_eq!(partition_count(&wide), 64);
     }
 }

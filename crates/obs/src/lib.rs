@@ -89,16 +89,20 @@ counters! {
     ColumnarFilterDeclineConvert => "columnar.filter.decline.convert",
     /// Dictionary-code / u64-key join served the operator.
     ColumnarJoinHit => "columnar.join.hit",
-    /// Join shape unsupported (multi-key, cross-typed); row fallback.
+    /// Join shape unsupported (cross-typed keys); row fallback.
     ColumnarJoinDeclineShape => "columnar.join.decline.shape",
     /// A join input declined chunk conversion; row fallback.
     ColumnarJoinDeclineConvert => "columnar.join.decline.convert",
     /// Dense-code group-by served the operator.
     ColumnarGroupByHit => "columnar.groupby.hit",
-    /// Group-by shape unsupported (multi-column key); row fallback.
+    /// Group-by shape unsupported (empty key, invariant break); row fallback.
     ColumnarGroupByDeclineShape => "columnar.groupby.decline.shape",
     /// Group-by input declined chunk conversion; row fallback.
     ColumnarGroupByDeclineConvert => "columnar.groupby.decline.convert",
+    /// Typed sort/top-k kernel served the operator.
+    ColumnarSortHit => "columnar.sort.hit",
+    /// Sort input declined chunk conversion; row fallback.
+    ColumnarSortDeclineConvert => "columnar.sort.decline.convert",
     /// One successful `Table → ColumnChunk` conversion.
     ColumnarConvert => "columnar.convert",
     /// One expression compiled to a scalar-VM program.
@@ -159,6 +163,31 @@ counters! {
     CheckProgramCacheMiss => "check.program.cache.miss",
     /// Audit journal entries appended.
     AuditAppends => "audit.journal.appends",
+    /// Version-keyed column cache served a chunk column without a
+    /// row scan (strategy counter — excluded from snapshot equality).
+    ChunkCacheHit => "chunk.cache.hit",
+    /// Version-keyed column cache built and stored a chunk column
+    /// (strategy counter — excluded from snapshot equality).
+    ChunkCacheMiss => "chunk.cache.miss",
+    /// Cost model ran an operator on the serial row engine (strategy
+    /// counter — excluded from snapshot equality).
+    PlanChoiceSerial => "plan.choice.serial",
+    /// Cost model ran an operator morsel-parallel (strategy counter —
+    /// excluded from snapshot equality).
+    PlanChoiceParallel => "plan.choice.parallel",
+    /// A vectorized columnar kernel served an operator (strategy
+    /// counter — excluded from snapshot equality).
+    PlanChoiceColumnar => "plan.choice.columnar",
+}
+
+/// True for *strategy* counters: they describe which engine the cost
+/// model picked or whether the column cache was warm — decisions that
+/// legitimately vary with host parallelism and process history. Workload
+/// counters (everything else) are decided by the query/policy shape
+/// alone. [`ObsSnapshot`] equality compares only workload counters, so
+/// the determinism contract survives adaptive execution.
+pub fn is_strategy_counter(name: &str) -> bool {
+    name.starts_with("chunk.cache.") || name.starts_with("plan.choice.")
 }
 
 /// Declares the closed span set: enum + names + static taxonomy depth.
@@ -380,10 +409,12 @@ pub struct SpanStat {
 
 /// The drained, deterministic view of a recorder.
 ///
-/// Equality (and hashing of the [`fmt::Display`] form) covers counters,
-/// span *counts* and trace ids; span durations are carried but never
-/// compared, so `snapshot_a == snapshot_b` is meaningful across runs
-/// and thread counts.
+/// Equality (and hashing of the [`fmt::Display`] form) covers workload
+/// counters, span *counts* and trace ids; span durations and *strategy*
+/// counters (`chunk.cache.*`, `plan.choice.*` — see
+/// [`is_strategy_counter`]) are carried but never compared, so
+/// `snapshot_a == snapshot_b` is meaningful across runs, thread counts
+/// and hosts with different core counts.
 #[derive(Debug, Clone, Default)]
 pub struct ObsSnapshot {
     /// Non-zero counters by stable name.
@@ -394,9 +425,17 @@ pub struct ObsSnapshot {
     pub traces: Vec<TraceId>,
 }
 
+impl ObsSnapshot {
+    /// Workload counters only — strategy counters (cache warmth, cost
+    /// model choices) are metadata, like span nanos.
+    fn semantic_counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().filter(|(n, _)| !is_strategy_counter(n)).map(|(n, v)| (*n, *v))
+    }
+}
+
 impl PartialEq for ObsSnapshot {
     fn eq(&self, other: &Self) -> bool {
-        self.counters == other.counters
+        self.semantic_counters().eq(other.semantic_counters())
             && self.traces == other.traces
             && self.spans.len() == other.spans.len()
             && self
@@ -509,6 +548,27 @@ mod tests {
             }
         });
         assert_eq!(obs.snapshot().counters.get("query.op.filter"), Some(&8000));
+    }
+
+    #[test]
+    fn strategy_counters_do_not_break_equality() {
+        assert!(is_strategy_counter("chunk.cache.hit"));
+        assert!(is_strategy_counter("plan.choice.serial"));
+        assert!(!is_strategy_counter("query.op.scan"));
+        let a = Obs::enabled();
+        let b = Obs::enabled();
+        for obs in [&a, &b] {
+            obs.count(Counter::QueryAggregate);
+        }
+        // Different cache warmth / planner choices: still equal.
+        a.count(Counter::ChunkCacheHit);
+        b.add(Counter::ChunkCacheMiss, 3);
+        a.count(Counter::PlanChoiceSerial);
+        b.count(Counter::PlanChoiceParallel);
+        assert_eq!(a.snapshot(), b.snapshot());
+        // Workload counters still distinguish.
+        b.count(Counter::QueryAggregate);
+        assert_ne!(a.snapshot(), b.snapshot());
     }
 
     #[test]

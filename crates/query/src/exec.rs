@@ -5,19 +5,28 @@
 //! aggregation groups by hashing. This is the execution substrate under
 //! ETL, warehouse loading, and enforced report rendering.
 //!
-//! [`execute_with`] takes a [`bi_exec::ExecConfig`]: above a row
-//! threshold, joins switch to a partitioned build + morsel-driven probe
-//! and aggregation to hash-partitioned grouping, both reassembled in
-//! morsel/first-appearance order so the result (rows *and* row order) is
-//! identical to the serial engine at any thread count. `threads = 1`
-//! runs the original serial code paths untouched.
+//! [`execute_with`] takes a [`bi_exec::ExecConfig`], but the config's
+//! knobs are requests, not commands: a per-operator cost model
+//! ([`crate::cost`]) picks serial, morsel-parallel, or columnar
+//! execution from input row counts, estimated group cardinality, and
+//! *effective* hardware parallelism (`threads` clamped by the host's
+//! core count unless pinned). Parallel operators — partitioned join
+//! build + morsel-driven probe, hash-partitioned grouping — reassemble
+//! in morsel/first-appearance order so the result (rows *and* row
+//! order) is identical to the serial engine at any thread count. Every
+//! decision is counted (`plan.choice.{serial,parallel,columnar}`).
 //!
 //! With `ExecConfig::columnar` set, operators first try columnar
 //! kernels: filters compile to vectorized predicates over
-//! [`bi_relation::ColumnChunk`]s, single-key equality joins hash `u64`
-//! keyspaces (dictionary codes for text — one string lookup per
-//! *distinct* value, pure integer compares per row), and single-column
-//! group-bys use dense equivalence codes instead of `Value` hashing.
+//! [`bi_relation::ColumnChunk`]s, equality joins (any key count) hash
+//! `u64` keyspaces (dictionary codes for text — one string lookup per
+//! *distinct* value, pure integer compares per row), group-bys use
+//! dense equivalence codes instead of `Value` hashing with vectorized
+//! aggregate kernels over the typed columns, and sorts (including
+//! fused `Limit(Sort(…))` top-k) order typed vectors through
+//! [`bi_relation::sort_permutation`]. Chunk conversions are served from
+//! the process-wide version-keyed column cache, so repeated renders of
+//! an unchanged warehouse convert nothing (`chunk.cache.hit/miss`).
 //! Every columnar operator either produces a byte-identical result
 //! (rows, order, schema, name) or declines and falls back to the row
 //! engine, so the row path remains the oracle.
@@ -34,12 +43,9 @@ use bi_relation::Table;
 use bi_types::{Schema, Value};
 
 use crate::catalog::Catalog;
+use crate::cost::{self, EngineChoice, CARDINALITY_SAMPLE, PARALLEL_ROW_THRESHOLD};
 use crate::error::QueryError;
-use crate::plan::{agg_output_type, AggFunc, AggItem, JoinKind, Plan};
-
-/// Inputs smaller than this stay on the serial operators even when the
-/// config allows parallelism: below it, partitioning overhead dominates.
-const PARALLEL_ROW_THRESHOLD: usize = 4096;
+use crate::plan::{agg_output_type, AggFunc, AggItem, JoinKind, Plan, SortKey};
 
 /// Executes a plan against a catalog. Views are resolved transparently.
 pub fn execute(plan: &Plan, cat: &Catalog) -> Result<Table, QueryError> {
@@ -118,18 +124,79 @@ fn exec_guarded(
         Plan::Sort { input, keys } => {
             cfg.obs.count(Counter::QuerySort);
             let t = exec_guarded(input, cat, cfg, stack)?;
-            let cols: Vec<&str> = keys.iter().map(|k| k.column.as_str()).collect();
-            let desc: Vec<bool> = keys.iter().map(|k| k.descending).collect();
-            Ok(t.sort_by(&cols, &desc)?)
+            sort_with(&t, keys, None, cfg)
         }
         Plan::Limit { input, n } => {
             cfg.obs.count(Counter::QueryLimit);
+            // Fuse `Limit(Sort(…))` into a top-k: the sort kernel then
+            // partitions out the k smallest instead of ordering all rows.
+            if cfg.columnar {
+                if let Plan::Sort { input: sort_input, keys } = input.as_ref() {
+                    cfg.obs.count(Counter::QuerySort);
+                    let t = exec_guarded(sort_input, cat, cfg, stack)?;
+                    return sort_with(&t, keys, Some(*n), cfg);
+                }
+            }
             let t = exec_guarded(input, cat, cfg, stack)?;
             // A prefix of an already-validated table needs no re-check.
             let rows: Vec<_> = t.rows().iter().take(*n).cloned().collect();
             Ok(Table::from_rows_trusted(t.name().to_string(), t.schema_shared(), rows))
         }
     }
+}
+
+/// Sort (optionally truncated to `limit` rows) via the columnar
+/// permutation kernel when the config allows and the key columns
+/// convert, the row engine's stable `Value` sort otherwise. Both paths
+/// produce identical rows: the kernel reproduces `Table::sort_by`'s
+/// comparator and stability exactly, and key-resolution errors fall to
+/// the row engine so they surface identically.
+fn sort_with(
+    t: &Table,
+    keys: &[SortKey],
+    limit: Option<usize>,
+    cfg: &ExecConfig,
+) -> Result<Table, QueryError> {
+    use bi_exec::Counter;
+    if cfg.columnar {
+        let idxs: Result<Vec<usize>, _> =
+            keys.iter().map(|k| t.schema().index_of(&k.column)).collect();
+        if let Ok(idxs) = idxs {
+            match bi_relation::ColumnChunk::from_table_cols_cached(t, &idxs, &cfg.obs) {
+                Ok(chunk) => {
+                    cfg.obs.count(Counter::ColumnarConvert);
+                    let spec: Vec<(usize, bool)> =
+                        idxs.iter().zip(keys).map(|(&c, k)| (c, k.descending)).collect();
+                    if let Some(perm) = bi_relation::sort_permutation(&chunk, &spec, limit) {
+                        cfg.obs.count(Counter::ColumnarSortHit);
+                        cfg.obs.count(Counter::PlanChoiceColumnar);
+                        let rows: Vec<Vec<Value>> =
+                            perm.iter().map(|&i| t.rows()[i as usize].clone()).collect();
+                        return Ok(Table::from_rows_trusted(
+                            t.name().to_string(),
+                            t.schema_shared(),
+                            rows,
+                        ));
+                    }
+                }
+                Err(e) => {
+                    cfg.obs.count(e.counter());
+                    cfg.obs.count(Counter::ColumnarSortDeclineConvert);
+                }
+            }
+        }
+    }
+    cfg.obs.count(Counter::PlanChoiceSerial);
+    let cols: Vec<&str> = keys.iter().map(|k| k.column.as_str()).collect();
+    let desc: Vec<bool> = keys.iter().map(|k| k.descending).collect();
+    let sorted = t.sort_by(&cols, &desc)?;
+    Ok(match limit {
+        None => sorted,
+        Some(n) => {
+            let rows: Vec<_> = sorted.rows().iter().take(n).cloned().collect();
+            Table::from_rows_trusted(sorted.name().to_string(), sorted.schema_shared(), rows)
+        }
+    })
 }
 
 /// Output name of a join: both inputs, so chained joins and self-joins
@@ -168,15 +235,22 @@ fn join_with(
     right_prefix: &str,
     cfg: &ExecConfig,
 ) -> Result<Table, QueryError> {
+    use bi_exec::Counter;
     if cfg.columnar {
         if let Some(out) = join_columnar(left, right, kind, on, right_prefix, cfg)? {
+            cfg.obs.count(Counter::PlanChoiceColumnar);
             return Ok(out);
         }
     }
-    if cfg.is_serial() || left.len() + right.len() < PARALLEL_ROW_THRESHOLD {
-        join(left, right, kind, on, right_prefix, cfg)
-    } else {
-        join_parallel(left, right, kind, on, right_prefix, cfg)
+    match cost::join_choice(left.len(), right.len(), cfg.effective_threads()) {
+        EngineChoice::Serial => {
+            cfg.obs.count(Counter::PlanChoiceSerial);
+            join(left, right, kind, on, right_prefix, cfg)
+        }
+        EngineChoice::Parallel => {
+            cfg.obs.count(Counter::PlanChoiceParallel);
+            join_parallel(left, right, kind, on, right_prefix, cfg)
+        }
     }
 }
 
@@ -248,14 +322,54 @@ where
     Table::from_rows_trusted(join_output_name(left, right), schema, rows)
 }
 
-/// Columnar single-key equality join. Text keys join on dictionary
-/// codes: the left dictionary is translated into right codes once (one
-/// string lookup per *distinct* left value), then the probe is pure
-/// `u32` indexing into per-code match lists — no per-row hashing or
-/// string compares. Other key types hash a `u64` keyspace. Returns
-/// `Ok(None)` — fall back to the row engines — for multi-key or
-/// cross-typed joins and for tables that decline columnar conversion;
-/// otherwise the result is byte-identical to the serial [`join`].
+/// Encodes one key-column pair into a shared per-position `u64`
+/// keyspace, `None` per row for NULL (never matches). Text pairs
+/// translate left dictionary codes into the right dictionary once (one
+/// string lookup per *distinct* left value); `u64::MAX` marks a string
+/// absent from the right side — right codes are dense `u32`s, so the
+/// sentinel can never collide with a real right encoding. Other types
+/// go through [`join_keys_u64`], in `f64` `float_key` space as soon as
+/// either side is Float (mirroring `Value::cmp`).
+fn encode_key_pair(
+    lcol: &bi_relation::ChunkColumn,
+    rcol: &bi_relation::ChunkColumn,
+) -> Option<(Vec<Option<u64>>, Vec<Option<u64>>)> {
+    use bi_relation::ColumnData;
+    if let (
+        ColumnData::Text { codes: lcodes, dict: ldict },
+        ColumnData::Text { codes: rcodes, dict: rdict },
+    ) = (&lcol.data, &rcol.data)
+    {
+        const NO_MATCH: u64 = u64::MAX;
+        let trans: Vec<u64> = (0..ldict.len() as u32)
+            .map(|lc| rdict.code_of(ldict.get(lc)).map(|c| c as u64).unwrap_or(NO_MATCH))
+            .collect();
+        let l = lcodes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if lcol.validity.is_null(i) { None } else { Some(trans[c as usize]) })
+            .collect();
+        let r = rcodes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| if rcol.validity.is_null(i) { None } else { Some(c as u64) })
+            .collect();
+        return Some((l, r));
+    }
+    let float_space = matches!(lcol.data, ColumnData::Float(_))
+        || matches!(rcol.data, ColumnData::Float(_));
+    Some((join_keys_u64(lcol, float_space)?, join_keys_u64(rcol, float_space)?))
+}
+
+/// Columnar equality join, any number of key pairs. Single text keys
+/// take the fastest path — the probe is pure `u32` indexing into
+/// per-code match lists, no per-row hashing or string compares. Single
+/// non-text keys hash a `u64` keyspace; multi-key joins hash composite
+/// per-pair `u64` encodings. Key columns are served from the
+/// version-keyed chunk cache. Returns `Ok(None)` — fall back to the
+/// row engines — for cross-typed keys and for tables that decline
+/// columnar conversion; otherwise the result is byte-identical to the
+/// serial [`join`].
 fn join_columnar(
     left: &Table,
     right: &Table,
@@ -267,22 +381,26 @@ fn join_columnar(
     use bi_exec::Counter;
     use bi_relation::{ColumnChunk, ColumnData};
     use bi_types::DataType;
-    if on.len() != 1 {
+    if on.is_empty() {
         cfg.obs.count(Counter::ColumnarJoinDeclineShape);
         return Ok(None);
     }
     // Same error order as the serial path: schema first, then keys.
     let schema = join_schema(left, right, kind, right_prefix)?;
-    let lk = left.schema().index_of(&on[0].0)?;
-    let rk = right.schema().index_of(&on[0].1)?;
-    let (lt, rt) = (left.schema().columns()[lk].dtype, right.schema().columns()[rk].dtype);
+    let lks: Vec<usize> =
+        on.iter().map(|(l, _)| left.schema().index_of(l)).collect::<Result<_, _>>()?;
+    let rks: Vec<usize> =
+        on.iter().map(|(_, r)| right.schema().index_of(r)).collect::<Result<_, _>>()?;
     let numeric = |t: DataType| matches!(t, DataType::Int | DataType::Float);
-    if lt != rt && !(numeric(lt) && numeric(rt)) {
-        // Cross-typed keys never compare equal; not worth a kernel.
-        cfg.obs.count(Counter::ColumnarJoinDeclineShape);
-        return Ok(None);
+    for (&lk, &rk) in lks.iter().zip(&rks) {
+        let (lt, rt) = (left.schema().columns()[lk].dtype, right.schema().columns()[rk].dtype);
+        if lt != rt && !(numeric(lt) && numeric(rt)) {
+            // Cross-typed keys never compare equal; not worth a kernel.
+            cfg.obs.count(Counter::ColumnarJoinDeclineShape);
+            return Ok(None);
+        }
     }
-    let lchunk = match ColumnChunk::from_table_cols(left, &[lk]) {
+    let lchunk = match ColumnChunk::from_table_cols_cached(left, &lks, &cfg.obs) {
         Ok(c) => c,
         Err(e) => {
             cfg.obs.count(e.counter());
@@ -290,7 +408,7 @@ fn join_columnar(
             return Ok(None);
         }
     };
-    let rchunk = match ColumnChunk::from_table_cols(right, &[rk]) {
+    let rchunk = match ColumnChunk::from_table_cols_cached(right, &rks, &cfg.obs) {
         Ok(c) => c,
         Err(e) => {
             cfg.obs.count(e.counter());
@@ -298,71 +416,117 @@ fn join_columnar(
             return Ok(None);
         }
     };
+    // One chunk obtained per side, cached or not.
     cfg.obs.add(Counter::ColumnarConvert, 2);
-    // The conversions above materialized exactly these columns; decline
-    // to the row engine rather than abort if that invariant ever breaks.
-    let (Some(lcol), Some(rcol)) = (lchunk.column(lk), rchunk.column(rk)) else {
-        cfg.obs.count(Counter::ColumnarJoinDeclineShape);
-        return Ok(None);
-    };
 
-    if let (
-        ColumnData::Text { codes: lcodes, dict: ldict },
-        ColumnData::Text { codes: rcodes, dict: rdict },
-    ) = (&lcol.data, &rcol.data)
-    {
+    if on.len() == 1 {
+        // The conversions above materialized exactly these columns;
+        // decline to the row engine rather than abort if that invariant
+        // ever breaks.
+        let (Some(lcol), Some(rcol)) = (lchunk.column(lks[0]), rchunk.column(rks[0])) else {
+            cfg.obs.count(Counter::ColumnarJoinDeclineShape);
+            return Ok(None);
+        };
+
+        if let (
+            ColumnData::Text { codes: lcodes, dict: ldict },
+            ColumnData::Text { codes: rcodes, dict: rdict },
+        ) = (&lcol.data, &rcol.data)
+        {
+            cfg.obs.count(Counter::ColumnarJoinHit);
+            let build_span = cfg.obs.span(bi_exec::SpanKind::QueryJoinBuild);
+            // Match lists per right code, ascending by construction.
+            let mut by_code: Vec<Vec<u32>> = vec![Vec::new(); rdict.len()];
+            for (i, &c) in rcodes.iter().enumerate() {
+                if !rcol.validity.is_null(i) {
+                    by_code[c as usize].push(i as u32);
+                }
+            }
+            // Left code → right code translation (u32::MAX = no such
+            // string; codes are dense, so a real code never reaches it).
+            const NO_MATCH: u32 = u32::MAX;
+            let trans: Vec<u32> = (0..ldict.len() as u32)
+                .map(|lc| rdict.code_of(ldict.get(lc)).unwrap_or(NO_MATCH))
+                .collect();
+            drop(build_span);
+            let _probe_span = cfg.obs.span(bi_exec::SpanKind::QueryJoinProbe);
+            let empty: &[u32] = &[];
+            let matches_of = |i: usize| -> &[u32] {
+                if lcol.validity.is_null(i) {
+                    return empty;
+                }
+                match trans[lcodes[i] as usize] {
+                    NO_MATCH => empty,
+                    rc => &by_code[rc as usize],
+                }
+            };
+            return Ok(Some(emit_join_rows(left, right, schema, kind, cfg, matches_of)));
+        }
+
+        // Non-text keys: one shared u64 keyspace (f64 `float_key` space
+        // as soon as either side is Float).
+        let float_space = matches!(lcol.data, ColumnData::Float(_))
+            || matches!(rcol.data, ColumnData::Float(_));
+        let (Some(lkeys), Some(rkeys)) =
+            (join_keys_u64(lcol, float_space), join_keys_u64(rcol, float_space))
+        else {
+            cfg.obs.count(Counter::ColumnarJoinDeclineShape);
+            return Ok(None);
+        };
         cfg.obs.count(Counter::ColumnarJoinHit);
         let build_span = cfg.obs.span(bi_exec::SpanKind::QueryJoinBuild);
-        // Match lists per right code, ascending by construction.
-        let mut by_code: Vec<Vec<u32>> = vec![Vec::new(); rdict.len()];
-        for (i, &c) in rcodes.iter().enumerate() {
-            if !rcol.validity.is_null(i) {
-                by_code[c as usize].push(i as u32);
+        let mut index: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
+        for (i, k) in rkeys.iter().enumerate() {
+            if let Some(k) = k {
+                index.entry(*k).or_default().push(i as u32);
             }
         }
-        // Left code → right code translation (u32::MAX = no such string;
-        // codes are dense, so a real code never reaches u32::MAX).
-        const NO_MATCH: u32 = u32::MAX;
-        let trans: Vec<u32> = (0..ldict.len() as u32)
-            .map(|lc| rdict.code_of(ldict.get(lc)).unwrap_or(NO_MATCH))
-            .collect();
         drop(build_span);
         let _probe_span = cfg.obs.span(bi_exec::SpanKind::QueryJoinProbe);
         let empty: &[u32] = &[];
         let matches_of = |i: usize| -> &[u32] {
-            if lcol.validity.is_null(i) {
-                return empty;
-            }
-            match trans[lcodes[i] as usize] {
-                NO_MATCH => empty,
-                rc => &by_code[rc as usize],
-            }
+            lkeys[i].and_then(|k| index.get(&k)).map(Vec::as_slice).unwrap_or(empty)
         };
         return Ok(Some(emit_join_rows(left, right, schema, kind, cfg, matches_of)));
     }
 
-    // Non-text keys: one shared u64 keyspace (f64 `float_key` space as
-    // soon as either side is Float).
-    let float_space = lt == DataType::Float || rt == DataType::Float;
-    let (Some(lkeys), Some(rkeys)) =
-        (join_keys_u64(lcol, float_space), join_keys_u64(rcol, float_space))
-    else {
-        cfg.obs.count(Counter::ColumnarJoinDeclineShape);
-        return Ok(None);
-    };
+    // Multi-key: composite keys from per-pair u64 encodings. A NULL in
+    // any position disqualifies the row (SQL equality), matching the
+    // serial build/probe exactly.
+    let mut lenc: Vec<Vec<Option<u64>>> = Vec::with_capacity(on.len());
+    let mut renc: Vec<Vec<Option<u64>>> = Vec::with_capacity(on.len());
+    for (&lk, &rk) in lks.iter().zip(&rks) {
+        let (Some(lcol), Some(rcol)) = (lchunk.column(lk), rchunk.column(rk)) else {
+            cfg.obs.count(Counter::ColumnarJoinDeclineShape);
+            return Ok(None);
+        };
+        let Some((l, r)) = encode_key_pair(lcol, rcol) else {
+            cfg.obs.count(Counter::ColumnarJoinDeclineShape);
+            return Ok(None);
+        };
+        lenc.push(l);
+        renc.push(r);
+    }
     cfg.obs.count(Counter::ColumnarJoinHit);
     let build_span = cfg.obs.span(bi_exec::SpanKind::QueryJoinBuild);
-    let mut index: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
-    for (i, k) in rkeys.iter().enumerate() {
-        if let Some(k) = k {
-            index.entry(*k).or_default().push(i as u32);
+    let composite = |encs: &[Vec<Option<u64>>], i: usize| -> Option<Vec<u64>> {
+        encs.iter().map(|e| e[i]).collect()
+    };
+    let mut index: std::collections::HashMap<Vec<u64>, Vec<u32>> =
+        std::collections::HashMap::new();
+    for i in 0..right.len() {
+        if let Some(key) = composite(&renc, i) {
+            index.entry(key).or_default().push(i as u32);
         }
     }
     drop(build_span);
     let _probe_span = cfg.obs.span(bi_exec::SpanKind::QueryJoinProbe);
     let empty: &[u32] = &[];
     let matches_of = |i: usize| -> &[u32] {
-        lkeys[i].and_then(|k| index.get(&k)).map(Vec::as_slice).unwrap_or(empty)
+        composite(&lenc, i)
+            .and_then(|k| index.get(&k))
+            .map(Vec::as_slice)
+            .unwrap_or(empty)
     };
     Ok(Some(emit_join_rows(left, right, schema, kind, cfg, matches_of)))
 }
@@ -521,31 +685,72 @@ fn aggregate_with(
     aggs: &[AggItem],
     cfg: &ExecConfig,
 ) -> Result<Table, QueryError> {
+    use bi_exec::Counter;
     // Global aggregates accumulate floats in row order (`Avg`, float
     // `Sum`); chunked partial aggregation would change the rounding, so
     // only grouped aggregation goes parallel — each group still
     // accumulates its own rows in row order.
     if cfg.columnar && !group_by.is_empty() {
         if let Some(out) = aggregate_columnar(input, group_by, aggs, cfg)? {
+            cfg.obs.count(Counter::PlanChoiceColumnar);
             return Ok(out);
         }
     }
-    if cfg.is_serial() || group_by.is_empty() || input.len() < PARALLEL_ROW_THRESHOLD {
-        aggregate(input, group_by, aggs)
+    let eff = cfg.effective_threads();
+    let choice = if group_by.is_empty() || eff <= 1 || input.len() < PARALLEL_ROW_THRESHOLD {
+        EngineChoice::Serial
+    } else if let Some(est) = estimate_groups(input, group_by) {
+        cost::aggregate_choice(input.len(), est, eff)
     } else {
-        aggregate_parallel(input, group_by, aggs, cfg)
+        // A group-by column failed to resolve; the serial path surfaces
+        // the error in the same order the parallel engine would.
+        EngineChoice::Serial
+    };
+    match choice {
+        EngineChoice::Serial => {
+            cfg.obs.count(Counter::PlanChoiceSerial);
+            aggregate(input, group_by, aggs)
+        }
+        EngineChoice::Parallel => {
+            cfg.obs.count(Counter::PlanChoiceParallel);
+            aggregate_parallel(input, group_by, aggs, cfg)
+        }
     }
 }
 
-/// Columnar single-column group-by: group keys become dense `u32`
-/// equivalence codes (one dictionary/hash probe per *distinct* value for
-/// text, plain integer classing otherwise), so grouping is a vector
-/// scatter instead of per-row `Value` hashing. Codes are assigned in
-/// first-appearance order, which is exactly the group order the serial
-/// engine emits. Aggregate evaluation reuses [`eval_agg`] on the same
-/// member lists, so results — including error cases — are identical.
-/// Returns `Ok(None)` for multi-column keys or tables that decline
-/// columnar conversion.
+/// Estimated group cardinality from a strided sample of the key
+/// columns, scaled by [`cost::scale_cardinality`]. `None` when a key
+/// column does not resolve (the caller falls back to the serial engine,
+/// which surfaces the error). O([`CARDINALITY_SAMPLE`]) regardless of
+/// input size.
+fn estimate_groups(input: &Table, group_by: &[String]) -> Option<usize> {
+    let key_idx: Vec<usize> =
+        group_by.iter().map(|g| input.schema().index_of(g).ok()).collect::<Option<_>>()?;
+    let n = input.len();
+    let stride = (n / CARDINALITY_SAMPLE).max(1);
+    let mut seen: std::collections::HashSet<Vec<&Value>> = std::collections::HashSet::new();
+    let mut sampled = 0usize;
+    let mut i = 0usize;
+    while i < n {
+        seen.insert(key_idx.iter().map(|&c| &input.rows()[i][c]).collect());
+        sampled += 1;
+        i += stride;
+    }
+    Some(cost::scale_cardinality(seen.len(), sampled, n))
+}
+
+/// Columnar group-by, any number of key columns: group keys become
+/// dense `u32` equivalence codes (one dictionary/hash probe per
+/// *distinct* value for text, plain integer classing otherwise), so
+/// grouping is a vector scatter instead of per-row `Value` hashing.
+/// Multi-column keys fold per-column codes into composite codes, still
+/// assigned in first-appearance order — exactly the group order the
+/// serial engine emits. Aggregates run on vectorized kernels over the
+/// typed argument columns when one applies ([`eval_agg_columnar`]),
+/// falling back to [`eval_agg`] per aggregate otherwise, so results —
+/// including error cases — are identical. Key and argument columns are
+/// served from the version-keyed chunk cache. Returns `Ok(None)` for
+/// tables that decline columnar conversion of the key columns.
 fn aggregate_columnar(
     input: &Table,
     group_by: &[String],
@@ -554,13 +759,14 @@ fn aggregate_columnar(
 ) -> Result<Option<Table>, QueryError> {
     use bi_exec::Counter;
     use bi_relation::ColumnChunk;
-    if group_by.len() != 1 {
+    if group_by.is_empty() {
         cfg.obs.count(Counter::ColumnarGroupByDeclineShape);
         return Ok(None);
     }
     let (schema, arg_idx) = aggregate_header(input, group_by, aggs)?;
-    let key_col = input.schema().index_of(&group_by[0])?;
-    let chunk = match ColumnChunk::from_table_cols(input, &[key_col]) {
+    let key_cols: Vec<usize> =
+        group_by.iter().map(|g| input.schema().index_of(g)).collect::<Result<_, _>>()?;
+    let chunk = match ColumnChunk::from_table_cols_cached(input, &key_cols, &cfg.obs) {
         Ok(c) => c,
         Err(e) => {
             cfg.obs.count(e.counter());
@@ -568,30 +774,204 @@ fn aggregate_columnar(
             return Ok(None);
         }
     };
-    // The conversion materialized exactly this column; decline to the
+    // The conversion materialized exactly these columns; decline to the
     // row engine rather than abort if that invariant ever breaks.
-    let Some(key) = chunk.column(key_col) else {
+    let key_data: Option<Vec<&bi_relation::ChunkColumn>> =
+        key_cols.iter().map(|&c| chunk.column(c)).collect();
+    let Some(key_data) = key_data else {
         cfg.obs.count(Counter::ColumnarGroupByDeclineShape);
         return Ok(None);
     };
     cfg.obs.count(Counter::ColumnarConvert);
     cfg.obs.count(Counter::ColumnarGroupByHit);
-    let (codes, card) = key.dense_codes();
+
+    // Composite dense codes: fold one key column at a time, reassigning
+    // codes in first-appearance order of the (prefix, next) pair. Each
+    // fold is one u64-keyed hash pass; after the last, equal codes ⇔
+    // equal composite keys and code order = first-appearance order.
+    let (mut codes, mut card) = key_data[0].dense_codes();
+    for key in &key_data[1..] {
+        let (next_codes, next_card) = key.dense_codes();
+        let mut map: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        let mut next = 0u32;
+        for (c, &nc) in codes.iter_mut().zip(&next_codes) {
+            let folded = *c as u64 * next_card as u64 + nc as u64;
+            *c = *map.entry(folded).or_insert_with(|| {
+                let v = next;
+                next += 1;
+                v
+            });
+        }
+        card = next;
+    }
     let mut groups: Vec<Vec<usize>> = vec![Vec::new(); card as usize];
     for (i, &c) in codes.iter().enumerate() {
         groups[c as usize].push(i);
     }
+
+    // Argument columns for the vectorized kernels, from the same cache.
+    // A column that declines conversion only sends *its* aggregates to
+    // the row fallback; `ColumnarConvert` still counts one conversion
+    // per operator (the key chunk) so served-operator counts stay
+    // comparable across kernel generations.
+    let arg_chunks: Vec<Option<ColumnChunk>> = arg_idx
+        .iter()
+        .map(|arg| {
+            let c = (*arg)?;
+            match ColumnChunk::from_table_cols_cached(input, &[c], &cfg.obs) {
+                Ok(ch) => Some(ch),
+                Err(e) => {
+                    cfg.obs.count(e.counter());
+                    None
+                }
+            }
+        })
+        .collect();
+
     let mut rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
     for members in &groups {
-        // The serial engine emits the *first* row's key value verbatim
+        // The serial engine emits the *first* row's key values verbatim
         // (matters for Value-equal but distinct bytes, e.g. -0.0/0.0).
-        let mut row: Vec<Value> = vec![input.rows()[members[0]][key_col].clone()];
-        for (a, arg) in aggs.iter().zip(&arg_idx) {
-            row.push(eval_agg(a.func, input, members, *arg)?);
+        let mut row: Vec<Value> =
+            key_cols.iter().map(|&c| input.rows()[members[0]][c].clone()).collect();
+        for ((a, arg), arg_chunk) in aggs.iter().zip(&arg_idx).zip(&arg_chunks) {
+            let kernel = match (arg_chunk, arg) {
+                (Some(ch), Some(c)) => {
+                    ch.column(*c).and_then(|col| eval_agg_columnar(a.func, col, members))
+                }
+                _ => None,
+            };
+            row.push(match kernel {
+                Some(v) => v?,
+                None => eval_agg(a.func, input, members, *arg)?,
+            });
         }
         rows.push(row);
     }
     Ok(Some(Table::from_rows_trusted(input.name().to_string(), schema, rows)))
+}
+
+/// `Value::cmp` of cells `i` and `j` of one typed column (both valid).
+fn cmp_cells(data: &bi_relation::ColumnData, i: usize, j: usize) -> std::cmp::Ordering {
+    use bi_relation::ColumnData;
+    match data {
+        ColumnData::Bool(v) => v[i].cmp(&v[j]),
+        ColumnData::Int(v) => v[i].cmp(&v[j]),
+        ColumnData::Float(v) => Value::norm_float(v[i]).total_cmp(&Value::norm_float(v[j])),
+        ColumnData::Date(v) => v[i].cmp(&v[j]),
+        ColumnData::Text { codes, dict } => dict.get(codes[i]).cmp(dict.get(codes[j])),
+    }
+}
+
+/// Vectorized aggregate over one group's members of a typed column.
+/// Returns `None` when no kernel applies — the caller falls back to
+/// [`eval_agg`], which also owns every error message — and otherwise
+/// replicates [`eval_agg`]'s semantics bit for bit: NULL skipping,
+/// row-order float accumulation, `checked_add` overflow with the same
+/// error, `Value`-equality distinctness, first-minimum/last-maximum
+/// selection (`Iterator::min`/`max`), empty-group `Null`.
+fn eval_agg_columnar(
+    func: AggFunc,
+    col: &bi_relation::ChunkColumn,
+    members: &[usize],
+) -> Option<Result<Value, QueryError>> {
+    use bi_relation::ColumnData;
+    let valid = |i: usize| !col.validity.is_null(i);
+    Some(match (func, &col.data) {
+        (AggFunc::Count, _) => {
+            Ok(Value::Int(members.iter().filter(|&&i| valid(i)).count() as i64))
+        }
+        (AggFunc::CountDistinct, data) => {
+            let mut set: std::collections::HashSet<u64> = std::collections::HashSet::new();
+            for &i in members {
+                if !valid(i) {
+                    continue;
+                }
+                // Injective per type; floats via `float_key` so NaN and
+                // ±0.0 collapse exactly as `Value` equality does.
+                set.insert(match data {
+                    ColumnData::Bool(v) => v[i] as u64,
+                    ColumnData::Int(v) => v[i] as u64,
+                    ColumnData::Float(v) => Value::float_key(v[i]),
+                    ColumnData::Date(v) => v[i].days_from_epoch() as u64,
+                    ColumnData::Text { codes, .. } => codes[i] as u64,
+                });
+            }
+            Ok(Value::Int(set.len() as i64))
+        }
+        (AggFunc::Sum, ColumnData::Int(v)) => {
+            let mut sum = 0i64;
+            let mut any = false;
+            for &i in members {
+                if !valid(i) {
+                    continue;
+                }
+                any = true;
+                sum = match sum.checked_add(v[i]) {
+                    Some(s) => s,
+                    None => {
+                        return Some(Err(bi_relation::RelationError::Overflow { op: "sum" }.into()))
+                    }
+                };
+            }
+            Ok(if any { Value::Int(sum) } else { Value::Null })
+        }
+        (AggFunc::Sum, ColumnData::Float(v)) => {
+            let mut sum = 0.0f64;
+            let mut any = false;
+            for &i in members {
+                if valid(i) {
+                    any = true;
+                    sum += v[i];
+                }
+            }
+            Ok(if any { Value::Float(sum) } else { Value::Null })
+        }
+        (AggFunc::Avg, ColumnData::Int(v)) => {
+            let mut sum = 0.0f64;
+            let mut n = 0usize;
+            for &i in members {
+                if valid(i) {
+                    sum += v[i] as f64;
+                    n += 1;
+                }
+            }
+            Ok(if n == 0 { Value::Null } else { Value::Float(sum / n as f64) })
+        }
+        (AggFunc::Avg, ColumnData::Float(v)) => {
+            let mut sum = 0.0f64;
+            let mut n = 0usize;
+            for &i in members {
+                if valid(i) {
+                    sum += v[i];
+                    n += 1;
+                }
+            }
+            Ok(if n == 0 { Value::Null } else { Value::Float(sum / n as f64) })
+        }
+        (AggFunc::Min, data) | (AggFunc::Max, data) => {
+            let is_max = func == AggFunc::Max;
+            let mut best: Option<usize> = None;
+            for &i in members {
+                if !valid(i) {
+                    continue;
+                }
+                best = Some(match best {
+                    None => i,
+                    Some(b) => {
+                        let ord = cmp_cells(data, i, b);
+                        // min keeps the first minimum (strict <); max
+                        // keeps the last maximum (≥).
+                        let replace =
+                            if is_max { ord.is_ge() } else { ord.is_lt() };
+                        if replace { i } else { b }
+                    }
+                });
+            }
+            Ok(best.map(|i| col.value(i)).unwrap_or(Value::Null))
+        }
+        _ => return None,
+    })
 }
 
 /// Output schema + aggregate argument indices, shared by both engines.
@@ -988,7 +1368,10 @@ mod tests {
             );
         let serial = execute(&plan, &cat).unwrap();
         for threads in [2, 4, 8] {
-            let par = execute_with(&plan, &cat, &ExecConfig::with_threads(threads)).unwrap();
+            // Pinned: exercise the partitioned engines even on hosts
+            // with fewer cores than `threads`.
+            let cfg = ExecConfig::with_threads(threads).with_pinned_threads(true);
+            let par = execute_with(&plan, &cat, &cfg).unwrap();
             // Not just the same row set: the same rows in the same order.
             assert_eq!(par.schema(), serial.schema(), "threads={threads}");
             assert_eq!(par.rows(), serial.rows(), "threads={threads}");
@@ -1002,7 +1385,8 @@ mod tests {
         // Dim covers K ∈ [0, 400); K ∈ [400, 500) pads NULLs.
         let plan = scan("Fact").left_join(scan("Dim"), vec![("K".into(), "K".into())], "d");
         let serial = execute(&plan, &cat).unwrap();
-        let par = execute_with(&plan, &cat, &ExecConfig::with_threads(8)).unwrap();
+        let cfg = ExecConfig::with_threads(8).with_pinned_threads(true);
+        let par = execute_with(&plan, &cat, &cfg).unwrap();
         assert_eq!(par.rows(), serial.rows());
         assert!(serial.rows().iter().any(|r| r[3].is_null()), "unmatched keys padded");
     }
@@ -1016,7 +1400,8 @@ mod tests {
             vec![AggItem::new("bad", AggFunc::Sum, "G")],
         );
         let serial = execute(&plan, &cat).unwrap_err();
-        let par = execute_with(&plan, &cat, &ExecConfig::with_threads(8)).unwrap_err();
+        let cfg = ExecConfig::with_threads(8).with_pinned_threads(true);
+        let par = execute_with(&plan, &cat, &cfg).unwrap_err();
         assert_eq!(par, serial);
     }
 
@@ -1038,7 +1423,8 @@ mod tests {
             );
         let serial = execute(&plan, &cat).unwrap();
         for threads in [1, 2, 8] {
-            let cfg = ExecConfig::with_threads(threads).with_columnar(true);
+            let cfg =
+                ExecConfig::with_threads(threads).with_columnar(true).with_pinned_threads(true);
             let par = execute_with(&plan, &cat, &cfg).unwrap();
             assert_eq!(par.schema(), serial.schema(), "threads={threads}");
             assert_eq!(par.rows(), serial.rows(), "threads={threads}");
@@ -1060,7 +1446,7 @@ mod tests {
                 vec![("Doctor".into(), "Doctor".into())],
                 "r",
             ),
-            // Multi-key joins decline to the row engine; result matches.
+            // Multi-key joins take the composite-key kernel; result matches.
             scan("Familydoctor").left_join(
                 scan("Prescriptions"),
                 vec![("Patient".into(), "Patient".into()), ("Doctor".into(), "Doctor".into())],
@@ -1137,11 +1523,12 @@ mod tests {
         let cat = paper_catalog();
         let obs = bi_exec::Obs::enabled();
         let cfg = ExecConfig::columnar().with_obs(obs.clone());
-        // Two join keys: outside the single-key kernel's shape.
-        let p = scan("Familydoctor").join(
-            scan("Prescriptions"),
-            vec![("Patient".into(), "Patient".into()), ("Doctor".into(), "Doctor".into())],
-            "p",
+        // A cross-typed key (Text = Int) is outside every join kernel's
+        // shape — such keys never compare equal.
+        let p = scan("Prescriptions").join(
+            scan("DrugCost"),
+            vec![("Drug".into(), "Drug".into()), ("Patient".into(), "Cost".into())],
+            "dc",
         );
         let observed = execute_with(&p, &cat, &cfg).unwrap();
         assert_eq!(observed, execute(&p, &cat).unwrap(), "decline falls back byte-identically");
@@ -1150,6 +1537,149 @@ mod tests {
         assert_eq!(snap.counters.get("query.op.join"), Some(&1));
         assert_eq!(snap.spans.get("query.join.build").map(|s| s.count), Some(1));
         assert_eq!(snap.spans.get("query.join.probe").map(|s| s.count), Some(1));
+    }
+
+    /// Multi-key joins are served by the composite-key kernel — no
+    /// shape decline — and match the row engine byte for byte.
+    #[test]
+    fn columnar_multi_key_join_hits_kernel() {
+        let cat = paper_catalog();
+        let obs = bi_exec::Obs::enabled();
+        let cfg = ExecConfig::columnar().with_obs(obs.clone());
+        // Two text keys with a NULL (Chris's doctor): NULL in any key
+        // position must disqualify the row, as in the serial engine.
+        let p = scan("Familydoctor").left_join(
+            scan("Prescriptions"),
+            vec![("Patient".into(), "Patient".into()), ("Doctor".into(), "Doctor".into())],
+            "p",
+        );
+        let columnar = execute_with(&p, &cat, &cfg).unwrap();
+        let serial = execute(&p, &cat).unwrap();
+        assert_eq!(columnar.rows(), serial.rows());
+        assert_eq!(columnar.schema(), serial.schema());
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters.get("columnar.join.hit"), Some(&1));
+        assert_eq!(snap.counters.get("columnar.join.decline.shape"), None);
+    }
+
+    /// Mixed text+int multi-key self-join through the composite kernel.
+    #[test]
+    fn columnar_mixed_type_multi_key_join_matches_serial() {
+        let cat = big_catalog(5_000);
+        let p = scan("Fact").project_cols(&["K", "G"]).join(
+            scan("Fact"),
+            vec![("K".into(), "K".into()), ("G".into(), "G".into())],
+            "r",
+        );
+        let serial = execute(&p, &cat).unwrap();
+        let columnar = execute_with(&p, &cat, &ExecConfig::columnar()).unwrap();
+        assert_eq!(columnar.rows(), serial.rows());
+        assert_eq!(columnar.name(), serial.name());
+    }
+
+    /// Multi-column group-by with vectorized aggregate kernels over
+    /// every aggregate function, NULLs included, against the serial
+    /// oracle.
+    #[test]
+    fn columnar_multi_column_group_by_matches_serial() {
+        use bi_types::{Column, DataType};
+        let schema = Schema::new(vec![
+            Column::new("A", DataType::Text),
+            Column::new("B", DataType::Int),
+            Column::nullable("F", DataType::Float),
+            Column::nullable("N", DataType::Int),
+        ])
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..3_000i64)
+            .map(|i| {
+                let f = match (i % 11, i % 17) {
+                    (0, _) => Value::Null,
+                    (_, 0) => Value::Float(f64::NAN),
+                    _ if i % 19 == 0 => Value::Float(-0.0),
+                    _ => Value::Float((i % 13) as f64 * 0.5),
+                };
+                let n = if i % 23 == 0 { Value::Null } else { Value::Int(i % 31) };
+                vec![Value::text(format!("a{}", i % 7)), Value::Int(i % 5), f, n]
+            })
+            .collect();
+        let mut cat = Catalog::new();
+        cat.put_table(Table::from_rows("M", schema, rows).unwrap());
+        let plan = scan("M").aggregate(
+            vec!["A".into(), "B".into()],
+            vec![
+                AggItem::count_star("n"),
+                AggItem::new("cn", AggFunc::Count, "N"),
+                AggItem::new("sn", AggFunc::Sum, "N"),
+                AggItem::new("sf", AggFunc::Sum, "F"),
+                AggItem::new("af", AggFunc::Avg, "F"),
+                AggItem::new("lo", AggFunc::Min, "F"),
+                AggItem::new("hi", AggFunc::Max, "N"),
+                AggItem::new("df", AggFunc::CountDistinct, "F"),
+                AggItem::new("da", AggFunc::CountDistinct, "A"),
+            ],
+        );
+        let serial = execute(&plan, &cat).unwrap();
+        assert_eq!(serial.len(), 35, "7 × 5 composite groups");
+        let obs = bi_exec::Obs::enabled();
+        let cfg = ExecConfig::columnar().with_obs(obs.clone());
+        let columnar = execute_with(&plan, &cat, &cfg).unwrap();
+        assert_eq!(columnar.schema(), serial.schema());
+        assert_eq!(columnar.rows(), serial.rows());
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters.get("columnar.groupby.hit"), Some(&1));
+        assert_eq!(snap.counters.get("columnar.groupby.decline.shape"), None);
+    }
+
+    /// Columnar sort and the fused `Limit(Sort(…))` top-k match the
+    /// row engine's stable sort at every limit.
+    #[test]
+    fn columnar_sort_and_top_k_match_serial() {
+        let cat = big_catalog(3_000);
+        let sort_keys = vec![SortKey::desc("G"), SortKey::asc("V")];
+        let sorted = scan("Fact").sort(sort_keys.clone());
+        let serial = execute(&sorted, &cat).unwrap();
+        let obs = bi_exec::Obs::enabled();
+        let cfg = ExecConfig::columnar().with_obs(obs.clone());
+        let columnar = execute_with(&sorted, &cat, &cfg).unwrap();
+        assert_eq!(columnar.rows(), serial.rows());
+        assert_eq!(columnar.name(), serial.name());
+        assert_eq!(obs.snapshot().counters.get("columnar.sort.hit"), Some(&1));
+        for limit in [0, 1, 17, 3_000, 5_000] {
+            let plan = scan("Fact").sort(sort_keys.clone()).limit(limit);
+            let serial = execute(&plan, &cat).unwrap();
+            let columnar = execute_with(&plan, &cat, &ExecConfig::columnar()).unwrap();
+            assert_eq!(columnar.rows(), serial.rows(), "limit={limit}");
+            assert_eq!(columnar.name(), serial.name(), "limit={limit}");
+        }
+    }
+
+    /// The regression this PR fixes: partitioning a group-by whose key
+    /// is (nearly) unique per row buys nothing and costs plenty. The
+    /// cost model must pin such aggregations to the serial engine even
+    /// with threads pinned wide open — and still partition genuinely
+    /// low-cardinality keys.
+    #[test]
+    fn planner_pins_serial_for_high_cardinality_keys() {
+        use bi_types::{Column, DataType};
+        let schema = Schema::new(vec![Column::new("Id", DataType::Int)]).unwrap();
+        let rows: Vec<Vec<Value>> = (0..10_000i64).map(|i| vec![Value::Int(i)]).collect();
+        let mut cat = Catalog::new();
+        cat.put_table(Table::from_rows("U", schema, rows).unwrap());
+        let plan = scan("U").aggregate(vec!["Id".into()], vec![AggItem::count_star("n")]);
+        let obs = bi_exec::Obs::enabled();
+        let cfg = ExecConfig::with_threads(8).with_pinned_threads(true).with_obs(obs.clone());
+        let t = execute_with(&plan, &cat, &cfg).unwrap();
+        assert_eq!(t.len(), 10_000);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters.get("plan.choice.serial"), Some(&1));
+        assert_eq!(snap.counters.get("plan.choice.parallel"), None);
+
+        let cat = big_catalog(10_000);
+        let plan = scan("Fact").aggregate(vec!["G".into()], vec![AggItem::count_star("n")]);
+        let obs = bi_exec::Obs::enabled();
+        let cfg = ExecConfig::with_threads(8).with_pinned_threads(true).with_obs(obs.clone());
+        execute_with(&plan, &cat, &cfg).unwrap();
+        assert_eq!(obs.snapshot().counters.get("plan.choice.parallel"), Some(&1));
     }
 
     /// A served columnar operator converts each input exactly once —

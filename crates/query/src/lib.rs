@@ -25,6 +25,7 @@
 
 pub mod catalog;
 pub mod contain;
+pub mod cost;
 pub mod error;
 pub mod exec;
 pub mod explain;

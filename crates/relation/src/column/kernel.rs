@@ -712,11 +712,15 @@ pub fn filter_columnar_with_dict_limit(
         cfg.obs.count(bi_exec::Counter::ColumnarFilterDeclineCompile);
         return None;
     };
-    let chunk = match ColumnChunk::from_table_cols_with_dict_limit(
-        table,
-        compiled.columns(),
-        dict_limit,
-    ) {
+    // The default configuration goes through the version-keyed column
+    // cache; injected dictionary limits (test-only) stay uncached so
+    // their declines never pollute shared state.
+    let converted = if dict_limit == u32::MAX {
+        ColumnChunk::from_table_cols_cached(table, compiled.columns(), &cfg.obs)
+    } else {
+        ColumnChunk::from_table_cols_with_dict_limit(table, compiled.columns(), dict_limit)
+    };
+    let chunk = match converted {
         Ok(chunk) => chunk,
         Err(e) => {
             cfg.obs.count(e.counter());

@@ -23,7 +23,9 @@
 //!   makes the caller fall back to the row engine rather than risk a
 //!   divergent answer.
 
+pub mod cache;
 pub mod kernel;
+pub mod sort;
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -296,7 +298,7 @@ impl Column {
 pub struct ColumnChunk {
     name: String,
     schema: Arc<Schema>,
-    cols: Vec<Option<Column>>,
+    cols: Vec<Option<Arc<Column>>>,
     len: usize,
 }
 
@@ -323,12 +325,38 @@ impl ColumnChunk {
             return Err(ColumnarError::TooManyRows { rows: table.len() });
         }
         let schema = table.schema_shared();
-        let mut cols: Vec<Option<Column>> = vec![None; schema.len()];
+        let mut cols: Vec<Option<Arc<Column>>> = vec![None; schema.len()];
         for &c in wanted {
             let Some(col) = schema.columns().get(c) else {
                 return Err(ColumnarError::NoSuchColumn { index: c });
             };
-            cols[c] = Some(build_column(table, c, col.dtype, &col.name, dict_limit)?);
+            cols[c] = Some(Arc::new(build_column(table, c, col.dtype, &col.name, dict_limit)?));
+        }
+        Ok(ColumnChunk { name: table.name().to_string(), schema, cols, len: table.len() })
+    }
+
+    /// [`ColumnChunk::from_table_cols`] through the process-wide
+    /// version-keyed column cache (see [`cache`]): columns already
+    /// converted for this table's storage version are shared, not
+    /// rebuilt. Hits and misses are reported per column on `obs`
+    /// (`chunk.cache.hit` / `chunk.cache.miss`). Only the default
+    /// (unlimited) dictionary configuration is cacheable; callers that
+    /// inject test dictionary limits must use the uncached path.
+    pub fn from_table_cols_cached(
+        table: &Table,
+        wanted: &[usize],
+        obs: &bi_exec::Obs,
+    ) -> Result<Self, ColumnarError> {
+        if table.len() > u32::MAX as usize {
+            return Err(ColumnarError::TooManyRows { rows: table.len() });
+        }
+        let schema = table.schema_shared();
+        let mut cols: Vec<Option<Arc<Column>>> = vec![None; schema.len()];
+        for &c in wanted {
+            if schema.columns().get(c).is_none() {
+                return Err(ColumnarError::NoSuchColumn { index: c });
+            }
+            cols[c] = Some(cache::cached_column(table, c, obs)?);
         }
         Ok(ColumnChunk { name: table.name().to_string(), schema, cols, len: table.len() })
     }
@@ -351,7 +379,13 @@ impl ColumnChunk {
     /// The materialized column at schema position `c`, if it was
     /// requested at conversion time.
     pub fn column(&self, c: usize) -> Option<&Column> {
-        self.cols.get(c).and_then(Option::as_ref)
+        self.cols.get(c).and_then(|o| o.as_deref())
+    }
+
+    /// Like [`ColumnChunk::column`], but sharing ownership — aggregate
+    /// kernels hold columns across morsel boundaries this way.
+    pub fn column_shared(&self, c: usize) -> Option<Arc<Column>> {
+        self.cols.get(c).and_then(|o| o.as_ref().map(Arc::clone))
     }
 
     /// Materializes the chunk back into a row table (requires a full
@@ -361,7 +395,7 @@ impl ColumnChunk {
         let cols: Vec<&Column> = self
             .cols
             .iter()
-            .map(|c| c.as_ref().unwrap_or_else(|| unreachable!("to_table requires a full chunk")))
+            .map(|c| c.as_deref().unwrap_or_else(|| unreachable!("to_table requires a full chunk")))
             .collect();
         let rows: Vec<Vec<Value>> =
             (0..self.len).map(|i| cols.iter().map(|c| c.value(i)).collect()).collect();
@@ -370,7 +404,7 @@ impl ColumnChunk {
 }
 
 /// Transposes one column of a row table into typed storage.
-fn build_column(
+pub(crate) fn build_column(
     table: &Table,
     c: usize,
     dtype: DataType,

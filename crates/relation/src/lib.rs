@@ -36,6 +36,7 @@ pub mod scalar;
 pub mod table;
 
 pub use column::kernel::{filter_columnar, BoolMask, CompiledPredicate};
+pub use column::sort::sort_permutation;
 pub use column::{Column as ChunkColumn, ColumnChunk, ColumnData, ColumnarError, Dictionary};
 pub use error::RelationError;
 pub use expr::{fold, BinOp, Expr, Func, Program, Vm};

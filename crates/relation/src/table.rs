@@ -22,11 +22,35 @@ pub type Row = Vec<Value>;
 /// is two reference-count bumps, not a deep copy. Mutation goes through
 /// [`Arc::make_mut`], giving copy-on-write semantics: a derived clone that
 /// is later mutated detaches without disturbing its parent.
-#[derive(Debug, Clone, PartialEq)]
+/// Each distinct row-storage *content* gets a process-unique version
+/// number: fresh storage draws a new one, CoW mutation draws a new one,
+/// and the storage-sharing fast paths (filter that keeps everything,
+/// distinct with no duplicates, plain clones) carry the version along
+/// with the `Arc`. `version A == version B ⇒ identical rows`, which is
+/// exactly the invariant the column-chunk cache needs as a key.
+#[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Arc<Schema>,
     rows: Arc<Vec<Row>>,
+    version: u64,
+}
+
+/// Semantic equality: name, schema and row contents. The storage
+/// version is an identity stamp, not data — two independently built
+/// tables with identical rows compare equal despite distinct versions.
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.schema == other.schema && self.rows == other.rows
+    }
+}
+
+/// Allocates the next storage version. Relaxed is enough: the counter
+/// only needs uniqueness, and the `Arc` handoff of the rows it stamps
+/// already orders the contents.
+fn next_version() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Tables are shared by reference across `bi-exec` worker threads
@@ -41,7 +65,7 @@ impl Table {
     /// An empty table. Accepts either a bare [`Schema`] or a shared
     /// `Arc<Schema>`; pass the latter to reuse an existing allocation.
     pub fn new(name: impl Into<String>, schema: impl Into<Arc<Schema>>) -> Self {
-        Table { name: name.into(), schema: schema.into(), rows: Arc::new(Vec::new()) }
+        Table { name: name.into(), schema: schema.into(), rows: Arc::new(Vec::new()), version: next_version() }
     }
 
     /// Builds a table from pre-assembled rows, validating each.
@@ -54,7 +78,7 @@ impl Table {
         for r in &rows {
             schema.check_row(r)?;
         }
-        Ok(Table { name: name.into(), schema, rows: Arc::new(rows) })
+        Ok(Table { name: name.into(), schema, rows: Arc::new(rows), version: next_version() })
     }
 
     /// Builds a table from rows that are well-typed *by construction* —
@@ -79,7 +103,7 @@ impl Table {
                 schema.check_row(r)
             );
         }
-        Table { name: name.into(), schema, rows: Arc::new(rows) }
+        Table { name: name.into(), schema, rows: Arc::new(rows), version: next_version() }
     }
 
     /// Table name (used by catalogs and provenance tokens).
@@ -113,6 +137,14 @@ impl Table {
         Arc::ptr_eq(&self.rows, &other.rows)
     }
 
+    /// The storage version stamp: process-unique per distinct row
+    /// content. Equal versions imply identical rows (the converse need
+    /// not hold), which makes the version a sound cache key for derived
+    /// artifacts like column chunks.
+    pub fn storage_version(&self) -> u64 {
+        self.version
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -130,6 +162,9 @@ impl Table {
     pub fn push_row(&mut self, row: Row) -> Result<(), RelationError> {
         self.schema.check_row(&row)?;
         Arc::make_mut(&mut self.rows).push(row);
+        // The storage content changed: any cached per-version artifact
+        // (column chunks) must stop matching this table.
+        self.version = next_version();
         Ok(())
     }
 
@@ -182,8 +217,12 @@ impl Table {
         }
         // When nothing was filtered out, share the parent's storage
         // instead of materializing an identical copy.
-        let rows = if kept_all { Arc::clone(&self.rows) } else { Arc::new(rows) };
-        Ok(Table { name: self.name.clone(), schema: Arc::clone(&self.schema), rows })
+        let (rows, version) = if kept_all {
+            (Arc::clone(&self.rows), self.version)
+        } else {
+            (Arc::new(rows), next_version())
+        };
+        Ok(Table { name: self.name.clone(), schema: Arc::clone(&self.schema), rows, version })
     }
 
     /// Keeps only the named columns, in order.
@@ -196,7 +235,12 @@ impl Table {
             .iter()
             .map(|r| idxs.iter().map(|&i| r[i].clone()).collect())
             .collect();
-        Ok(Table { name: self.name.clone(), schema: Arc::new(schema), rows: Arc::new(rows) })
+        Ok(Table {
+            name: self.name.clone(),
+            schema: Arc::new(schema),
+            rows: Arc::new(rows),
+            version: next_version(),
+        })
     }
 
     /// Sorts by the named columns (all ascending when `desc` is empty;
@@ -215,15 +259,24 @@ impl Table {
             }
             std::cmp::Ordering::Equal
         });
-        Ok(Table { name: self.name.clone(), schema: Arc::clone(&self.schema), rows: Arc::new(rows) })
+        Ok(Table {
+            name: self.name.clone(),
+            schema: Arc::clone(&self.schema),
+            rows: Arc::new(rows),
+            version: next_version(),
+        })
     }
 
     /// Removes duplicate rows, keeping first occurrences.
     pub fn distinct(&self) -> Table {
         let mut seen = std::collections::HashSet::new();
         let rows: Vec<Row> = self.rows.iter().filter(|r| seen.insert((*r).clone())).cloned().collect();
-        let rows = if rows.len() == self.rows.len() { Arc::clone(&self.rows) } else { Arc::new(rows) };
-        Table { name: self.name.clone(), schema: Arc::clone(&self.schema), rows }
+        let (rows, version) = if rows.len() == self.rows.len() {
+            (Arc::clone(&self.rows), self.version)
+        } else {
+            (Arc::new(rows), next_version())
+        };
+        Table { name: self.name.clone(), schema: Arc::clone(&self.schema), rows, version }
     }
 
     /// Groups row indices by the values of the named columns.
@@ -278,7 +331,12 @@ impl Table {
             })
             .collect();
         let schema = Schema::new(cols)?;
-        Ok(Table { name: self.name.clone(), schema: Arc::new(schema), rows: Arc::new(rows) })
+        Ok(Table {
+            name: self.name.clone(),
+            schema: Arc::new(schema),
+            rows: Arc::new(rows),
+            version: next_version(),
+        })
     }
 
     /// Evaluates `exprs` per row into a new table with the given column
@@ -317,7 +375,12 @@ impl Table {
                 }
             }
         }
-        Ok(Table { name: self.name.clone(), schema: Arc::new(schema), rows: Arc::new(rows) })
+        Ok(Table {
+            name: self.name.clone(),
+            schema: Arc::new(schema),
+            rows: Arc::new(rows),
+            version: next_version(),
+        })
     }
 
     /// The result schema of [`Table::map_rows`]: every derived column
@@ -419,6 +482,43 @@ mod tests {
         let keys: Vec<String> = groups.iter().map(|(k, _)| k[0].to_string()).collect();
         assert_eq!(keys, vec!["HIV", "asthma", "diabetes"]);
         assert_eq!(groups[0].1, vec![0, 1]);
+    }
+
+    #[test]
+    fn storage_versions_track_content() {
+        let t = prescriptions();
+        // Clones and storage-sharing derivations keep the version …
+        let clone = t.clone();
+        assert_eq!(t.storage_version(), clone.storage_version());
+        let all = t.filter(&lit(true)).unwrap();
+        assert!(all.shares_rows_with(&t));
+        assert_eq!(all.storage_version(), t.storage_version());
+        let distinct = t.distinct();
+        assert!(distinct.shares_rows_with(&t));
+        assert_eq!(distinct.storage_version(), t.storage_version());
+        // … new storage gets a new version …
+        let sorted = t.sort_by(&["Patient"], &[]).unwrap();
+        assert_ne!(sorted.storage_version(), t.storage_version());
+        let some = t.filter(&col("Disease").eq(lit("HIV"))).unwrap();
+        assert_ne!(some.storage_version(), t.storage_version());
+        // … and CoW mutation bumps it while the parent keeps its own.
+        let before = t.storage_version();
+        let mut mutated = t.clone();
+        mutated
+            .push_row(vec![
+                "Eve".into(),
+                Value::Null,
+                "DX".into(),
+                "flu".into(),
+                Value::date("01/01/2008").unwrap(),
+            ])
+            .unwrap();
+        assert_ne!(mutated.storage_version(), before);
+        assert_eq!(t.storage_version(), before);
+        // Equality is semantic: identical content, distinct versions.
+        let rebuilt = prescriptions();
+        assert_ne!(rebuilt.storage_version(), t.storage_version());
+        assert_eq!(rebuilt, t);
     }
 
     #[test]

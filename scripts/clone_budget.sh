@@ -16,15 +16,19 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 declare -A BUDGET=(
-  [crates/core/src/system.rs]=20
+  # Re-baselined after the obs and VM-cache layers landed: the growth
+  # from 20 is ReportId/Obs-handle/Arc-program clones (cheap by
+  # construction), one of them in tests. Table storage is never cloned.
+  [crates/core/src/system.rs]=31
   [crates/etl/src/pipeline.rs]=24
   [crates/report/src/engine.rs]=27
   # bi-exec call sites: parallel operators must share via Arc/borrows,
   # not clone per worker. bi-exec itself moves morsel outputs, never
-  # clones. The two extra sites in query/exec.rs are the columnar
-  # join/aggregate late-materialization (cloning *surviving* rows is
-  # the byte-identity contract, not an accident).
-  [crates/query/src/exec.rs]=18
+  # clones. Non-test exec.rs stays at 18: two columnar join/aggregate
+  # late-materialization sites (cloning *surviving* rows is the
+  # byte-identity contract, not an accident). The other 10 sites are in
+  # #[cfg(test)] oracle fixtures.
+  [crates/query/src/exec.rs]=28
   [crates/anonymize/src/kanon.rs]=7
   [crates/anonymize/src/mondrian.rs]=6
   [crates/exec/src/lib.rs]=0
@@ -32,6 +36,11 @@ declare -A BUDGET=(
   # vectors; kernels must operate on codes/primitives, never on Values.
   [crates/relation/src/column/mod.rs]=2
   [crates/relation/src/column/kernel.rs]=5
+  # Chunk cache: one Arc clone on hit, one on insert — cache paths must
+  # never deep-copy column data. The planner is pure arithmetic.
+  [crates/relation/src/column/cache.rs]=2
+  [crates/relation/src/column/sort.rs]=1
+  [crates/query/src/cost.rs]=0
 )
 
 fail=0

@@ -131,7 +131,7 @@ proptest! {
         let t = mixed_table(&rows);
         let oracle = t.filter(&pred).expect("generated predicates are well-typed");
         for threads in THREADS {
-            let cfg = ExecConfig::with_threads(threads).with_columnar(true);
+            let cfg = ExecConfig::with_threads(threads).with_pinned_threads(true).with_columnar(true);
             // Declining (`None`) is always allowed; the engine falls back.
             if let Some(out) = filter_columnar(&t, &pred, &cfg) {
                 prop_assert_eq!(out.rows(), oracle.rows(), "threads={}", threads);
@@ -151,7 +151,7 @@ proptest! {
         let plan = scan("Mixed").filter(pred);
         let serial = execute(&plan, &cat).unwrap();
         for threads in THREADS {
-            let cfg = ExecConfig::with_threads(threads).with_columnar(true);
+            let cfg = ExecConfig::with_threads(threads).with_pinned_threads(true).with_columnar(true);
             let out = execute_with(&plan, &cat, &cfg).unwrap();
             prop_assert_eq!(serial.rows(), out.rows(), "threads={}", threads);
             prop_assert_eq!(serial.schema(), out.schema());
@@ -189,7 +189,7 @@ proptest! {
         for plan in [&inner, &left] {
             let serial = execute(plan, &cat).unwrap();
             for threads in THREADS {
-                let cfg = ExecConfig::with_threads(threads).with_columnar(true);
+                let cfg = ExecConfig::with_threads(threads).with_pinned_threads(true).with_columnar(true);
                 let out = execute_with(plan, &cat, &cfg).unwrap();
                 prop_assert_eq!(serial.rows(), out.rows(), "threads={}", threads);
                 prop_assert_eq!(serial.schema(), out.schema());
@@ -214,7 +214,7 @@ proptest! {
         );
         let serial = execute(&agg, &cat).unwrap();
         for threads in THREADS {
-            let cfg = ExecConfig::with_threads(threads).with_columnar(true);
+            let cfg = ExecConfig::with_threads(threads).with_pinned_threads(true).with_columnar(true);
             let out = execute_with(&agg, &cat, &cfg).unwrap();
             prop_assert_eq!(serial.rows(), out.rows(), "threads={}", threads);
             prop_assert_eq!(serial.schema(), out.schema());
@@ -236,7 +236,7 @@ proptest! {
         let hiers = vec![Hierarchy::numeric("Age", vec![10.0, 40.0]).unwrap()];
         let serial = kanon::kanonymize(&t, &hiers, k, 1);
         for threads in THREADS {
-            let cfg = ExecConfig::with_threads(threads).with_columnar(true);
+            let cfg = ExecConfig::with_threads(threads).with_pinned_threads(true).with_columnar(true);
             match (&serial, &kanon::kanonymize_with(&t, &hiers, k, 1, &cfg)) {
                 (Ok(s), Ok(c)) => {
                     prop_assert_eq!(&s.levels, &c.levels, "threads={}", threads);
@@ -251,13 +251,13 @@ proptest! {
         let qi = ["Age", "Admitted"];
         let serial_ok = kanon::is_k_anonymous(&t, &qi, k).unwrap();
         for threads in THREADS {
-            let cfg = ExecConfig::with_threads(threads).with_columnar(true);
+            let cfg = ExecConfig::with_threads(threads).with_pinned_threads(true).with_columnar(true);
             prop_assert_eq!(serial_ok, kanon::is_k_anonymous_with(&t, &qi, k, &cfg).unwrap());
         }
 
         let serial_m = mondrian::mondrian(&t, &["Age", "Admitted"], k);
         for threads in THREADS {
-            let cfg = ExecConfig::with_threads(threads).with_columnar(true);
+            let cfg = ExecConfig::with_threads(threads).with_pinned_threads(true).with_columnar(true);
             match (&serial_m, &mondrian::mondrian_with(&t, &["Age", "Admitted"], k, &cfg)) {
                 (Ok(s), Ok(c)) => prop_assert_eq!(s.rows(), c.rows(), "threads={}", threads),
                 (Err(se), Err(ce)) => prop_assert_eq!(se, ce),

@@ -60,7 +60,7 @@ fn fact_catalog(rows: &[(Option<i64>, u8, i64)]) -> Catalog {
 fn assert_plan_parallel_identical(plan: &Plan, cat: &Catalog) {
     let serial = execute(plan, cat).unwrap();
     for threads in THREADS {
-        let par = execute_with(plan, cat, &ExecConfig::with_threads(threads)).unwrap();
+        let par = execute_with(plan, cat, &ExecConfig::with_threads(threads).with_pinned_threads(true)).unwrap();
         assert_eq!(serial.rows(), par.rows(), "threads={threads}");
         assert_eq!(serial.schema(), par.schema(), "threads={threads}");
         assert_eq!(serial.name(), par.name(), "threads={threads}");
@@ -138,7 +138,7 @@ proptest! {
         ];
         let serial = kanon::kanonymize(&t, &hiers, k, 1);
         for threads in THREADS {
-            let cfg = ExecConfig::with_threads(threads);
+            let cfg = ExecConfig::with_threads(threads).with_pinned_threads(true);
             match (&serial, &kanon::kanonymize_with(&t, &hiers, k, 1, &cfg)) {
                 (Ok(s), Ok(p)) => {
                     prop_assert_eq!(&s.levels, &p.levels, "threads={}", threads);
@@ -152,7 +152,7 @@ proptest! {
 
         let serial_m = mondrian::mondrian(&t, &["Age"], k);
         for threads in THREADS {
-            let cfg = ExecConfig::with_threads(threads);
+            let cfg = ExecConfig::with_threads(threads).with_pinned_threads(true);
             match (&serial_m, &mondrian::mondrian_with(&t, &["Age"], k, &cfg)) {
                 (Ok(s), Ok(p)) => prop_assert_eq!(s.rows(), p.rows(), "threads={}", threads),
                 (Err(se), Err(pe)) => prop_assert_eq!(se, pe),
@@ -245,7 +245,7 @@ fn deliver_batch_ordering_is_deterministic() {
     for threads in THREADS {
         for _run in 0..2 {
             let mut sys = build();
-            sys.engine_mut().exec = ExecConfig::with_threads(threads);
+            sys.engine_mut().exec = ExecConfig::with_threads(threads).with_pinned_threads(true);
             let got: Vec<String> = sys
                 .deliver_batch(&requests)
                 .iter()

@@ -209,7 +209,7 @@ proptest! {
             }
         }
         for threads in [1usize, 2, 8] {
-            let cfg = ExecConfig::with_threads(threads);
+            let cfg = ExecConfig::with_threads(threads).with_pinned_threads(true);
             let got = filter_scalar(&t, &e, &cfg);
             match (&first_err, got) {
                 (Some(expected), Err(actual)) => prop_assert_eq!(expected, &actual, "threads: {}", threads),
