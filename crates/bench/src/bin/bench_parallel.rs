@@ -103,6 +103,7 @@ fn plan_choice(plan: &bi_core::query::Plan, cat: &Catalog, cfg: &ExecConfig) -> 
     execute_with(plan, cat, &observed).expect("bench plan executes");
     let snap = obs.snapshot();
     for (counter, label) in [
+        ("plan.choice.pipeline", "pipeline"),
         ("plan.choice.columnar", "columnar"),
         ("plan.choice.parallel", "parallel"),
         ("plan.choice.serial", "serial"),
@@ -189,6 +190,41 @@ fn repeated_render(rows: usize) -> String {
     )
 }
 
+/// Obligation-shaped deep plan — Filter → Project → GroupBy, the chain
+/// PLA row restrictions and retention cutoffs rewrite reports into —
+/// timed at one thread so the speedup isolates fusion, not parallelism:
+/// the fused morsel pipeline versus the same columnar engine running
+/// operator-at-a-time (`with_pipeline(false)`), outputs verified
+/// identical.
+fn deep_plan_bench(rows: usize) -> String {
+    let cat = catalog(rows);
+    let plan = scan("Fact")
+        .filter(col("V").ge(lit(250)).and(col("K").is_null().not()))
+        .project(vec![("G".to_string(), col("G")), ("V".to_string(), col("V"))])
+        .aggregate(
+            vec!["G".into()],
+            vec![
+                AggItem::count_star("n"),
+                AggItem::new("total", bi_core::query::AggFunc::Sum, "V"),
+            ],
+        );
+    let columnar = ExecConfig::with_threads(1).with_columnar(true).with_pipeline(false);
+    let fused = ExecConfig::with_threads(1).with_columnar(true);
+    let (c_ms, c_out) = time_plan(&plan, &cat, &columnar);
+    let (p_ms, p_out) = time_plan(&plan, &cat, &fused);
+    assert_eq!(c_out.rows(), p_out.rows(), "deep plan @{rows}: outputs diverge");
+    assert_eq!(c_out.schema(), p_out.schema(), "deep plan @{rows}: schemas diverge");
+    let choice = plan_choice(&plan, &cat, &fused);
+    let speedup = c_ms / p_ms;
+    eprintln!(
+        "{rows:>8} rows  deep plan: columnar {c_ms:8.3} ms  pipeline {p_ms:8.3} ms  \
+         x{speedup:.2}  [{choice}]"
+    );
+    format!(
+        r#"{{"rows":{rows},"columnar_ms":{c_ms:.4},"pipeline_ms":{p_ms:.4},"speedup":{speedup:.3},"choice":"{choice}"}}"#
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -215,18 +251,21 @@ fn main() {
             AggItem::new("total", bi_core::query::AggFunc::Sum, "V"),
         ],
     );
-    let ops: [(&str, &bi_core::query::Plan); 4] = [
-        ("scan", &scan_plan),
-        ("filter", &filter_plan),
-        ("join", &join_plan),
-        ("aggregate", &agg_plan),
+    // `materialize:false` ops do no per-row work (a scan of a base table
+    // is an Arc bump); their "timings" are catalog-lookup overhead and
+    // the smoke script must not gate speedups on them.
+    let ops: [(&str, &bi_core::query::Plan, bool); 4] = [
+        ("scan", &scan_plan, false),
+        ("filter", &filter_plan, true),
+        ("join", &join_plan, true),
+        ("aggregate", &agg_plan, true),
     ];
 
     let mut size_entries = Vec::new();
     for &rows in sizes {
         let cat = catalog(rows);
         let mut op_entries = Vec::new();
-        for (name, plan) in ops {
+        for (name, plan, materialize) in ops {
             let (s_ms, s_out) = time_plan(plan, &cat, &serial);
             let mut thread_entries = Vec::new();
             for n in THREAD_COUNTS {
@@ -252,7 +291,7 @@ fn main() {
                 ));
             }
             op_entries.push(format!(
-                r#"{{"op":"{name}","serial_ms":{s_ms:.4},"serial_rows_per_s":{:.0},"by_threads":[{}]}}"#,
+                r#"{{"op":"{name}","materialize":{materialize},"serial_ms":{s_ms:.4},"serial_rows_per_s":{:.0},"by_threads":[{}]}}"#,
                 throughput(rows, s_ms),
                 thread_entries.join(",")
             ));
@@ -263,11 +302,13 @@ fn main() {
         ));
     }
 
+    let deep_entries: Vec<String> = sizes.iter().map(|&rows| deep_plan_bench(rows)).collect();
     let render = repeated_render(if quick { 100_000 } else { 1_000_000 });
 
     let json = format!(
-        "{{\"thread_counts\":[1,2,4,8],\"cores\":{cores},\"quick\":{quick},\"sizes\":[{}],\"repeated_render\":{render}}}\n",
-        size_entries.join(",")
+        "{{\"thread_counts\":[1,2,4,8],\"cores\":{cores},\"quick\":{quick},\"sizes\":[{}],\"deep_plan\":[{}],\"repeated_render\":{render}}}\n",
+        size_entries.join(","),
+        deep_entries.join(",")
     );
     std::fs::write(&out_path, &json).expect("write BENCH_parallel.json");
     eprintln!("wrote {out_path} (cores={cores})");

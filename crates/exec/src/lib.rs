@@ -52,6 +52,11 @@ pub struct ExecConfig {
     pub threads: usize,
     /// Allow vectorized columnar operators. `false` = row engine only.
     pub columnar: bool,
+    /// Allow fused pipeline execution of operator chains (requires
+    /// `columnar`). `false` pins operator-at-a-time execution — the
+    /// decline target and the baseline the pipeline executor is
+    /// benchmarked against.
+    pub pipeline: bool,
     /// Treat `threads` as exact rather than a cap: skip the
     /// [`effective_parallelism`] clamp in [`ExecConfig::effective_threads`].
     /// Oracle tests and benches use this to exercise the parallel
@@ -67,6 +72,7 @@ impl PartialEq for ExecConfig {
     fn eq(&self, other: &Self) -> bool {
         self.threads == other.threads
             && self.columnar == other.columnar
+            && self.pipeline == other.pipeline
             && self.pinned == other.pinned
     }
 }
@@ -87,7 +93,7 @@ impl ExecConfig {
     /// Serial row-at-a-time execution on the caller's thread (the
     /// default, and the oracle every other configuration must match).
     pub const fn serial() -> Self {
-        ExecConfig { threads: 1, columnar: false, pinned: false, obs: Obs::disabled() }
+        ExecConfig { threads: 1, columnar: false, pipeline: true, pinned: false, obs: Obs::disabled() }
     }
 
     /// One worker per available core (falls back to serial when the
@@ -108,7 +114,14 @@ impl ExecConfig {
 
     /// Single-threaded execution with columnar operators enabled.
     pub const fn columnar() -> Self {
-        ExecConfig { threads: 1, columnar: true, pinned: false, obs: Obs::disabled() }
+        ExecConfig { threads: 1, columnar: true, pipeline: true, pinned: false, obs: Obs::disabled() }
+    }
+
+    /// Builder: the same configuration with fused pipeline execution
+    /// switched on or off. Off = operator-at-a-time only (the pipeline
+    /// executor's decline target and bench baseline).
+    pub fn with_pipeline(self, pipeline: bool) -> Self {
+        ExecConfig { pipeline, ..self }
     }
 
     /// Builder: treat the thread count as exact, bypassing the
@@ -324,6 +337,77 @@ where
     out.into_iter().map(|o| o.expect("every range claimed exactly once")).collect()
 }
 
+/// Fallible [`par_ranges`]: the first error (by range index, matching
+/// the serial loop) cancels the remaining ranges and is returned. The
+/// pipeline executor drives fused operator chains through this — each
+/// range is one morsel pushed through every chained operator, and the
+/// lowest-index error discipline keeps fused errors deterministic at
+/// any thread count.
+pub fn try_par_ranges<U, E, F>(
+    cfg: &ExecConfig,
+    len: usize,
+    morsel: usize,
+    f: F,
+) -> Result<Vec<U>, E>
+where
+    U: Send,
+    E: Send,
+    F: Fn(usize, usize) -> Result<U, E> + Sync,
+{
+    let morsel = morsel.max(1);
+    let n_morsels = len.div_ceil(morsel);
+    let workers = cfg.workers_for(n_morsels);
+    if workers <= 1 {
+        return (0..n_morsels)
+            .map(|m| f(m * morsel, ((m + 1) * morsel).min(len)))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let mut out: Vec<Option<U>> = std::iter::repeat_with(|| None).take(n_morsels).collect();
+    let mut first_err: Option<(usize, E)> = None;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    let mut err: Option<(usize, E)> = None;
+                    while !failed.load(Ordering::Relaxed) {
+                        let m = next.fetch_add(1, Ordering::Relaxed);
+                        if m >= n_morsels {
+                            break;
+                        }
+                        match f(m * morsel, ((m + 1) * morsel).min(len)) {
+                            Ok(u) => local.push((m, u)),
+                            Err(e) => {
+                                err = Some((m, e));
+                                failed.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    (local, err)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (local, err) = h.join().expect("bi-exec worker panicked");
+            for (m, u) in local {
+                out[m] = Some(u);
+            }
+            if let Some((m, e)) = err {
+                if first_err.as_ref().is_none_or(|(fm, _)| m < *fm) {
+                    first_err = Some((m, e));
+                }
+            }
+        }
+    });
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    Ok(out.into_iter().map(|o| o.expect("no error, so every range completed")).collect())
+}
+
 /// Morsel width that keeps `workers × 8` morsels in flight for
 /// element-wise maps — enough slack that uneven task costs balance out.
 fn auto_morsel(cfg: &ExecConfig, len: usize) -> usize {
@@ -472,6 +556,41 @@ mod tests {
             let ok: Result<Vec<i64>, String> = try_par_map(&cfg, &items, |&x| Ok(x + 1));
             assert_eq!(ok.unwrap(), (1..=10_000).collect::<Vec<i64>>());
         }
+    }
+
+    #[test]
+    fn try_par_ranges_reports_lowest_index_error() {
+        for threads in [1, 2, 8] {
+            // Pinned: exercise real workers even on single-core hosts.
+            let cfg = ExecConfig::with_threads(threads).with_pinned_threads(true);
+            let r: Result<Vec<usize>, String> = try_par_ranges(&cfg, 10_000, 64, |s, e| {
+                if s >= 4096 {
+                    Err(format!("boom at {s}"))
+                } else {
+                    Ok(e - s)
+                }
+            });
+            assert_eq!(r.unwrap_err(), "boom at 4096", "threads={threads}");
+            let ok: Result<Vec<(usize, usize)>, ()> =
+                try_par_ranges(&cfg, 1000, 64, |s, e| Ok((s, e)));
+            let serial: Vec<(usize, usize)> =
+                (0..1000usize.div_ceil(64)).map(|m| (m * 64, ((m + 1) * 64).min(1000))).collect();
+            assert_eq!(ok.unwrap(), serial, "threads={threads}");
+            let none: Result<Vec<usize>, ()> = try_par_ranges(&cfg, 0, 64, |s, _| Ok(s));
+            assert!(none.unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn pipeline_flag_defaults_on_and_composes() {
+        assert!(ExecConfig::serial().pipeline);
+        assert!(ExecConfig::columnar().pipeline);
+        let cfg = ExecConfig::columnar().with_pipeline(false);
+        assert!(!cfg.pipeline);
+        assert!(cfg.columnar);
+        // The flag participates in config equality (it changes which
+        // engine runs, even though results are byte-identical).
+        assert_ne!(ExecConfig::columnar(), ExecConfig::columnar().with_pipeline(false));
     }
 
     #[test]

@@ -178,6 +178,25 @@ counters! {
     /// A vectorized columnar kernel served an operator (strategy
     /// counter — excluded from snapshot equality).
     PlanChoiceColumnar => "plan.choice.columnar",
+    /// A fused pipeline served an operator chain in one morsel pass
+    /// (strategy counter — excluded from snapshot equality).
+    PlanChoicePipeline => "plan.choice.pipeline",
+    /// Pipeline decomposition found a fusible chain but an operator in
+    /// it declined stage compilation (VM or kernel); the chain ran
+    /// operator-at-a-time instead.
+    PipelineDeclineCompile => "pipeline.decline.compile",
+    /// A fused chain's kernel filters needed a chunk conversion that
+    /// declined; the chain ran operator-at-a-time instead.
+    PipelineDeclineConvert => "pipeline.decline.convert",
+    /// A fused chain's sink shape is not supported by partial-aggregate
+    /// states (e.g. a malformed aggregate the oracle must error on);
+    /// the chain ran operator-at-a-time instead.
+    PipelineDeclineShape => "pipeline.decline.shape",
+    /// A fused run surfaced an error; the chain re-ran operator-at-a-
+    /// time over the same source so the oracle's first error (which can
+    /// differ under stage-major vs morsel-major evaluation order) is
+    /// the one reported. Never an error path by itself.
+    PipelineFallbackError => "pipeline.fallback.error",
 }
 
 /// True for *strategy* counters: they describe which engine the cost
@@ -235,6 +254,9 @@ spans! {
     QueryJoinProbe => ("query.join.probe", 4),
     /// One aggregation operator.
     QueryAggregate => ("query.aggregate", 4),
+    /// One fused pipeline pass (a whole Filter/Project/Aggregate/Limit
+    /// chain pushed through morsels in a single sweep).
+    QueryPipeline => ("query.pipeline", 4),
     /// One ETL pipeline run.
     EtlPipeline => ("etl.pipeline", 0),
     /// One ETL step.

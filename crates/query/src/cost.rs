@@ -75,6 +75,35 @@ pub fn aggregate_choice(rows: usize, est_groups: usize, effective_threads: usize
     }
 }
 
+/// Whether to fuse an operator chain into a single-pass pipeline or
+/// materialize between operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineChoice {
+    /// Push morsels through the whole chain in one sweep.
+    Fuse,
+    /// Run operator-at-a-time (each node materializes a `Table`).
+    Materialize,
+}
+
+/// Pipeline-vs-materialize for a chain of `fused_ops` fusible operators
+/// (Filter/Project stages plus a terminal Aggregate/Limit sink).
+///
+/// Fusion's win is the intermediate `Table`s it skips — there are
+/// `fused_ops - 1` of them. A single operator has nothing to skip, and
+/// the operator-at-a-time engine has per-operator fast paths (keep-all
+/// storage sharing, dense-code group-by) that a one-stage pipeline
+/// would merely re-implement, so chains shorter than two materialize.
+/// Row counts deliberately play no part: the decision must be knowable
+/// before the source executes, and per-chunk fusion overhead is
+/// amortized by the same morsel that pays it.
+pub fn pipeline_choice(fused_ops: usize) -> PipelineChoice {
+    if fused_ops >= 2 {
+        PipelineChoice::Fuse
+    } else {
+        PipelineChoice::Materialize
+    }
+}
+
 /// Scales a sample's distinct count to the whole input.
 ///
 /// When the sample is mostly distinct (`2 × distinct ≥ sampled`) the key
@@ -123,6 +152,16 @@ mod tests {
         // Small inputs and single-threaded hosts never partition.
         assert_eq!(aggregate_choice(100, 2, 8), EngineChoice::Serial);
         assert_eq!(aggregate_choice(100_000, 370, 1), EngineChoice::Serial);
+    }
+
+    #[test]
+    fn pipelines_fuse_only_real_chains() {
+        assert_eq!(pipeline_choice(0), PipelineChoice::Materialize);
+        // A lone operator has no intermediate to skip.
+        assert_eq!(pipeline_choice(1), PipelineChoice::Materialize);
+        // Filter→Aggregate and deeper: fuse.
+        assert_eq!(pipeline_choice(2), PipelineChoice::Fuse);
+        assert_eq!(pipeline_choice(5), PipelineChoice::Fuse);
     }
 
     #[test]

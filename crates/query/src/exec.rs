@@ -58,13 +58,21 @@ pub fn execute_with(plan: &Plan, cat: &Catalog, cfg: &ExecConfig) -> Result<Tabl
     exec_guarded(plan, cat, cfg, &mut Vec::new())
 }
 
-fn exec_guarded(
+pub(crate) fn exec_guarded(
     plan: &Plan,
     cat: &Catalog,
     cfg: &ExecConfig,
     stack: &mut Vec<String>,
 ) -> Result<Table, QueryError> {
     use bi_exec::Counter;
+    // Fusible Filter/Project/{Aggregate,Limit} chains go through the
+    // push-based pipeline executor first; it declines (with a counted
+    // reason) back to the operator-at-a-time engine below.
+    if cfg.columnar && cfg.pipeline {
+        if let Some(result) = crate::pipeline::try_fused(plan, cat, cfg, stack) {
+            return result;
+        }
+    }
     match plan {
         Plan::Scan { table } => {
             cfg.obs.count(Counter::QueryScan);
@@ -85,19 +93,11 @@ fn exec_guarded(
         }
         Plan::Filter { input, pred } => {
             let t = exec_guarded(input, cat, cfg, stack)?;
-            cfg.obs.count(Counter::QueryFilter);
-            let _span = cfg.obs.span(bi_exec::SpanKind::QueryFilter);
-            if cfg.columnar {
-                if let Some(out) = bi_relation::filter_columnar(&t, pred, cfg) {
-                    return Ok(out);
-                }
-            }
-            Ok(bi_relation::filter_scalar(&t, pred, cfg)?)
+            filter_op(&t, pred, cfg)
         }
         Plan::Project { input, items } => {
-            cfg.obs.count(Counter::QueryProject);
             let t = exec_guarded(input, cat, cfg, stack)?;
-            Ok(bi_relation::project_scalar(&t, items, cfg)?)
+            project_op(&t, items, cfg)
         }
         Plan::Join { left, right, kind, on, right_prefix } => {
             let lt = exec_guarded(left, cat, cfg, stack)?;
@@ -107,9 +107,7 @@ fn exec_guarded(
         }
         Plan::Aggregate { input, group_by, aggs } => {
             let t = exec_guarded(input, cat, cfg, stack)?;
-            cfg.obs.count(Counter::QueryAggregate);
-            let _span = cfg.obs.span(bi_exec::SpanKind::QueryAggregate);
-            aggregate_with(&t, group_by, aggs, cfg)
+            aggregate_op(&t, group_by, aggs, cfg)
         }
         Plan::Union { left, right } => {
             cfg.obs.count(Counter::QueryUnion);
@@ -127,22 +125,77 @@ fn exec_guarded(
             sort_with(&t, keys, None, cfg)
         }
         Plan::Limit { input, n } => {
-            cfg.obs.count(Counter::QueryLimit);
             // Fuse `Limit(Sort(…))` into a top-k: the sort kernel then
             // partitions out the k smallest instead of ordering all rows.
             if cfg.columnar {
                 if let Plan::Sort { input: sort_input, keys } = input.as_ref() {
+                    cfg.obs.count(Counter::QueryLimit);
                     cfg.obs.count(Counter::QuerySort);
                     let t = exec_guarded(sort_input, cat, cfg, stack)?;
                     return sort_with(&t, keys, Some(*n), cfg);
                 }
             }
             let t = exec_guarded(input, cat, cfg, stack)?;
-            // A prefix of an already-validated table needs no re-check.
-            let rows: Vec<_> = t.rows().iter().take(*n).cloned().collect();
-            Ok(Table::from_rows_trusted(t.name().to_string(), t.schema_shared(), rows))
+            limit_op(&t, *n, cfg)
         }
     }
+}
+
+/// The Filter operator over a materialized input: columnar kernel first
+/// (when the config allows), scalar VM otherwise. Also used by the
+/// pipeline executor's operator-at-a-time fallback, so declines there
+/// count and behave exactly like the tree walk. The engine that served
+/// the filter is recorded (`plan.choice.columnar` / `plan.choice.serial`)
+/// so benches see a concrete decision for every operator.
+pub(crate) fn filter_op(
+    t: &Table,
+    pred: &bi_relation::Expr,
+    cfg: &ExecConfig,
+) -> Result<Table, QueryError> {
+    use bi_exec::Counter;
+    cfg.obs.count(Counter::QueryFilter);
+    let _span = cfg.obs.span(bi_exec::SpanKind::QueryFilter);
+    if cfg.columnar {
+        if let Some(out) = bi_relation::filter_columnar(t, pred, cfg) {
+            cfg.obs.count(Counter::PlanChoiceColumnar);
+            return Ok(out);
+        }
+    }
+    cfg.obs.count(Counter::PlanChoiceSerial);
+    Ok(bi_relation::filter_scalar(t, pred, cfg)?)
+}
+
+/// The Project operator over a materialized input (all projections are
+/// scalar-VM evaluated). Shared with the pipeline fallback.
+pub(crate) fn project_op(
+    t: &Table,
+    items: &[(String, bi_relation::Expr)],
+    cfg: &ExecConfig,
+) -> Result<Table, QueryError> {
+    cfg.obs.count(bi_exec::Counter::QueryProject);
+    Ok(bi_relation::project_scalar(t, items, cfg)?)
+}
+
+/// The Aggregate operator over a materialized input. Shared with the
+/// pipeline fallback.
+pub(crate) fn aggregate_op(
+    t: &Table,
+    group_by: &[String],
+    aggs: &[AggItem],
+    cfg: &ExecConfig,
+) -> Result<Table, QueryError> {
+    cfg.obs.count(bi_exec::Counter::QueryAggregate);
+    let _span = cfg.obs.span(bi_exec::SpanKind::QueryAggregate);
+    aggregate_with(t, group_by, aggs, cfg)
+}
+
+/// The plain (non-top-k) Limit operator over a materialized input.
+/// Shared with the pipeline fallback.
+pub(crate) fn limit_op(t: &Table, n: usize, cfg: &ExecConfig) -> Result<Table, QueryError> {
+    cfg.obs.count(bi_exec::Counter::QueryLimit);
+    // A prefix of an already-validated table needs no re-check.
+    let rows: Vec<_> = t.rows().iter().take(n).cloned().collect();
+    Ok(Table::from_rows_trusted(t.name().to_string(), t.schema_shared(), rows))
 }
 
 /// Sort (optionally truncated to `limit` rows) via the columnar
@@ -763,7 +816,7 @@ fn aggregate_columnar(
         cfg.obs.count(Counter::ColumnarGroupByDeclineShape);
         return Ok(None);
     }
-    let (schema, arg_idx) = aggregate_header(input, group_by, aggs)?;
+    let (schema, arg_idx) = aggregate_header(input.schema(), group_by, aggs)?;
     let key_cols: Vec<usize> =
         group_by.iter().map(|g| input.schema().index_of(g)).collect::<Result<_, _>>()?;
     let chunk = match ColumnChunk::from_table_cols_cached(input, &key_cols, &cfg.obs) {
@@ -974,30 +1027,33 @@ fn eval_agg_columnar(
     })
 }
 
-/// Output schema + aggregate argument indices, shared by both engines.
-fn aggregate_header(
-    input: &Table,
+/// Output schema + aggregate argument indices, shared by every
+/// aggregation engine (serial, parallel, columnar, fused pipeline).
+/// Takes the input *schema* only, so the pipeline can plan a fused
+/// aggregate before the chain below it has produced any table.
+pub(crate) fn aggregate_header(
+    input: &Schema,
     group_by: &[String],
     aggs: &[AggItem],
 ) -> Result<(Schema, Vec<Option<usize>>), QueryError> {
     use bi_types::Column;
     let mut cols = Vec::with_capacity(group_by.len() + aggs.len());
     for g in group_by {
-        cols.push(input.schema().column(g)?.clone());
+        cols.push(input.column(g)?.clone());
     }
     for a in aggs {
-        cols.push(Column::nullable(a.name.clone(), agg_output_type(a, input.schema())?));
+        cols.push(Column::nullable(a.name.clone(), agg_output_type(a, input)?));
     }
     let schema = Schema::new(cols)?;
     let arg_idx: Vec<Option<usize>> = aggs
         .iter()
-        .map(|a| a.arg.as_deref().map(|c| input.schema().index_of(c)).transpose())
+        .map(|a| a.arg.as_deref().map(|c| input.index_of(c)).transpose())
         .collect::<Result<_, _>>()?;
     Ok((schema, arg_idx))
 }
 
 fn aggregate(input: &Table, group_by: &[String], aggs: &[AggItem]) -> Result<Table, QueryError> {
-    let (schema, arg_idx) = aggregate_header(input, group_by, aggs)?;
+    let (schema, arg_idx) = aggregate_header(input.schema(), group_by, aggs)?;
 
     let groups: Vec<(Vec<&Value>, Vec<usize>)> = if group_by.is_empty() {
         // Global aggregate: exactly one group, even over an empty input.
@@ -1033,7 +1089,7 @@ fn aggregate_parallel(
     cfg: &ExecConfig,
 ) -> Result<Table, QueryError> {
     use std::collections::HashMap;
-    let (schema, arg_idx) = aggregate_header(input, group_by, aggs)?;
+    let (schema, arg_idx) = aggregate_header(input.schema(), group_by, aggs)?;
     let key_idx: Vec<usize> =
         group_by.iter().map(|g| input.schema().index_of(g)).collect::<Result<_, _>>()?;
 
@@ -1097,25 +1153,42 @@ fn eval_agg(
     arg: Option<usize>,
 ) -> Result<Value, QueryError> {
     // Non-null argument values of the group, or None for COUNT(*).
-    let values = |arg: usize| {
-        rows.iter().map(move |&r| &input.rows()[r][arg]).filter(|v| !v.is_null())
-    };
-    Ok(match (func, arg) {
-        (AggFunc::Count, None) => Value::Int(rows.len() as i64),
-        (AggFunc::Count, Some(c)) => Value::Int(values(c).count() as i64),
-        (AggFunc::CountDistinct, Some(c)) => {
-            let set: std::collections::HashSet<&Value> = values(c).collect();
+    let values = arg.map(|c| {
+        rows.iter().map(move |&r| &input.rows()[r][c]).filter(|v: &&Value| !v.is_null())
+    });
+    eval_agg_values(func, rows.len(), values)
+}
+
+/// One aggregate over a group, given the group's member-row count and
+/// its non-null argument values in row order. The single source of
+/// truth for aggregate semantics: [`eval_agg`] feeds it table rows, the
+/// fused pipeline feeds it retained per-group values, and both get
+/// byte-identical results *and errors* (including `Sum`'s int/float
+/// promotion and `checked_add` overflow order).
+pub(crate) fn eval_agg_values<'a, I>(
+    func: AggFunc,
+    n_rows: usize,
+    values: Option<I>,
+) -> Result<Value, QueryError>
+where
+    I: Iterator<Item = &'a Value>,
+{
+    Ok(match (func, values) {
+        (AggFunc::Count, None) => Value::Int(n_rows as i64),
+        (AggFunc::Count, Some(vals)) => Value::Int(vals.count() as i64),
+        (AggFunc::CountDistinct, Some(vals)) => {
+            let set: std::collections::HashSet<&Value> = vals.collect();
             Value::Int(set.len() as i64)
         }
         (AggFunc::CountDistinct, None) => {
             return Err(QueryError::BadAggregate { reason: "count_distinct requires an argument".into() })
         }
-        (AggFunc::Sum, Some(c)) => {
+        (AggFunc::Sum, Some(vals)) => {
             let mut int_sum: i64 = 0;
             let mut float_sum = 0.0f64;
             let mut any = false;
             let mut is_float = false;
-            for v in values(c) {
+            for v in vals {
                 any = true;
                 match v {
                     Value::Int(i) => {
@@ -1141,10 +1214,10 @@ fn eval_agg(
                 Value::Int(int_sum)
             }
         }
-        (AggFunc::Avg, Some(c)) => {
+        (AggFunc::Avg, Some(vals)) => {
             let mut sum = 0.0;
             let mut n = 0usize;
-            for v in values(c) {
+            for v in vals {
                 sum += v.as_f64().map_err(|e| QueryError::Relation(e.into()))?;
                 n += 1;
             }
@@ -1154,8 +1227,8 @@ fn eval_agg(
                 Value::Float(sum / n as f64)
             }
         }
-        (AggFunc::Min, Some(c)) => values(c).min().cloned().unwrap_or(Value::Null),
-        (AggFunc::Max, Some(c)) => values(c).max().cloned().unwrap_or(Value::Null),
+        (AggFunc::Min, Some(vals)) => vals.min().cloned().unwrap_or(Value::Null),
+        (AggFunc::Max, Some(vals)) => vals.max().cloned().unwrap_or(Value::Null),
         (f, None) => {
             return Err(QueryError::BadAggregate { reason: format!("{} requires an argument", f.name()) })
         }

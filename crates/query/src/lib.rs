@@ -31,6 +31,7 @@ pub mod exec;
 pub mod explain;
 pub mod optimize;
 pub mod origins;
+pub mod pipeline;
 pub mod plan;
 pub mod rewrite;
 

@@ -1,0 +1,1131 @@
+//! Push-based fused pipeline execution.
+//!
+//! The operator-at-a-time evaluator in [`crate::exec`] materializes a
+//! full [`Table`] between every plan node: a Filter→Project→Aggregate
+//! chain touches each row three times and allocates two intermediate
+//! tables (plus a fresh columnar conversion per operator). This module
+//! decomposes a plan at its *pipeline breakers* — join build sides,
+//! full aggregation, sort — and streams morsels through the fused
+//! non-breaking chain in a single pass:
+//!
+//! * **Filters** run as vectorized predicate kernels over the source's
+//!   (cached) [`ColumnChunk`] when they compile, scalar-VM programs
+//!   otherwise. Survivors travel as a selection vector — no row is
+//!   copied just to be dropped by the next stage.
+//! * **Projections** compile to VM programs against the statically
+//!   inferred intermediate schema ([`bi_relation::project_schema`]) and
+//!   materialize only the rows that survived every filter below them
+//!   (late materialization). A *trailing* projection of bare column
+//!   references — the pruning shape PLA rewrites produce — never
+//!   materializes at all: it compiles to a column remap the sink
+//!   applies (an aggregate folds it into its key/argument indices), so
+//!   survivors stream from source storage straight into the sink.
+//! * A terminal **Aggregate** folds each morsel into partial per-group
+//!   states that merge in morsel order; a terminal **Limit** stops
+//!   early when every stage is an infallible kernel.
+//!
+//! Parallelism rides the existing morsel substrate
+//! ([`bi_exec::try_par_ranges`]): deterministic morsel order, lowest-
+//! index error discipline, thread-local partial-aggregate states merged
+//! in morsel order — so results are byte-identical at any thread count.
+//!
+//! The operator-at-a-time engine remains the byte-identity oracle and
+//! the decline target. The ladder has three rungs, every one counted:
+//!
+//! * `pipeline.decline.compile` — a stage didn't compile (the walker
+//!   or a header error owns the semantics);
+//! * `pipeline.decline.convert` — the source declined columnar
+//!   conversion for the kernel columns;
+//! * `pipeline.decline.shape` — an aggregate the partial states can't
+//!   reproduce bit-for-bit (non-numeric `sum`/`avg`, missing argument).
+//!
+//! Declines discovered *before* the source runs return `None` and the
+//! caller's match arms execute the plan as always. Declines after the
+//! source is in hand (and any fused evaluation error —
+//! `pipeline.fallback.error`) re-run just the chain operator-at-a-time
+//! over that source, so the source never executes twice and every error
+//! is the oracle's error, verbatim.
+//!
+//! Fused evaluation is stage-major per morsel while the oracle is
+//! operator-major over the whole input; both evaluate every stage over
+//! exactly the same surviving rows, so *whether* an error occurs is
+//! identical — only which error comes first can differ. That is why the
+//! error fallback re-runs instead of surfacing the fused error.
+
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use bi_exec::{Counter, ExecConfig};
+use bi_relation::{ColumnChunk, CompiledPredicate, Expr, Program, RelationError, Table, Vm};
+use bi_types::{DataType, Schema, Value};
+
+use crate::catalog::Catalog;
+use crate::cost::{self, PipelineChoice};
+use crate::error::QueryError;
+use crate::exec;
+use crate::plan::{AggFunc, AggItem, Plan};
+
+/// Attempts fused execution of `plan`. `None` means "not a candidate"
+/// (no fusible chain, or the cost model says materialize) and the
+/// caller proceeds operator-at-a-time; `Some` is a complete result —
+/// possibly via a counted decline to the operator-at-a-time chain over
+/// the already-executed source.
+pub(crate) fn try_fused(
+    plan: &Plan,
+    cat: &Catalog,
+    cfg: &ExecConfig,
+    stack: &mut Vec<String>,
+) -> Option<Result<Table, QueryError>> {
+    let chain = decompose(plan)?;
+    if cost::pipeline_choice(chain.fused_ops()) == PipelineChoice::Materialize {
+        return None;
+    }
+    // The source (scan, join, …) executes through the normal evaluator,
+    // which counts its own operators and may itself fuse a deeper chain.
+    let src = match exec::exec_guarded(chain.source, cat, cfg, stack) {
+        Ok(t) => t,
+        Err(e) => return Some(Err(e)),
+    };
+    Some(run_chain(src, &chain, cfg))
+}
+
+// ---------------------------------------------------------------------
+// Plan decomposition
+// ---------------------------------------------------------------------
+
+enum ChainOp<'p> {
+    Filter(&'p Expr),
+    Project(&'p [(String, Expr)]),
+}
+
+enum Sink<'p> {
+    /// The chain's output is the result (root is a Filter/Project).
+    Materialize,
+    /// Terminal `Limit n` over the chain.
+    Limit(usize),
+    /// Terminal full aggregation (a pipeline breaker, absorbed as the
+    /// sink: partial states stream, only the group table materializes).
+    Aggregate { group_by: &'p [String], aggs: &'p [AggItem] },
+}
+
+struct Chain<'p> {
+    /// Fusible stages bottom-up: `ops[0]` sees source rows.
+    ops: Vec<ChainOp<'p>>,
+    sink: Sink<'p>,
+    /// First non-fusible node under the chain (pipeline breaker).
+    source: &'p Plan,
+}
+
+impl Chain<'_> {
+    fn fused_ops(&self) -> usize {
+        self.ops.len() + usize::from(!matches!(self.sink, Sink::Materialize))
+    }
+}
+
+/// Splits a plan into (chain, sink, source) at the topmost breaker.
+/// `Limit(Sort(…))` is deliberately *not* captured: the sort kernel's
+/// top-k fusion in the operator-at-a-time engine handles it.
+fn decompose(plan: &Plan) -> Option<Chain<'_>> {
+    let (sink, top) = match plan {
+        Plan::Aggregate { input, group_by, aggs } => {
+            (Sink::Aggregate { group_by, aggs }, input.as_ref())
+        }
+        Plan::Limit { input, n }
+            if matches!(input.as_ref(), Plan::Filter { .. } | Plan::Project { .. }) =>
+        {
+            (Sink::Limit(*n), input.as_ref())
+        }
+        Plan::Filter { .. } | Plan::Project { .. } => (Sink::Materialize, plan),
+        _ => return None,
+    };
+    let mut ops = Vec::new();
+    let mut cur = top;
+    loop {
+        match cur {
+            Plan::Filter { input, pred } => {
+                ops.push(ChainOp::Filter(pred));
+                cur = input.as_ref();
+            }
+            Plan::Project { input, items } => {
+                ops.push(ChainOp::Project(items));
+                cur = input.as_ref();
+            }
+            source => {
+                ops.reverse();
+                return Some(Chain { ops, sink, source });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage compilation
+// ---------------------------------------------------------------------
+
+enum Stage {
+    /// Vectorized predicate over the source chunk (pre-projection only).
+    Kernel(CompiledPredicate),
+    /// Scalar-VM predicate over whatever rows reach it.
+    VmFilter(Program),
+    /// Scalar-VM projection; materializes its survivors.
+    VmProject(Vec<Program>),
+}
+
+enum CompiledSink {
+    Materialize,
+    Limit(usize),
+    Aggregate(AggSink),
+}
+
+struct Compiled {
+    stages: Vec<Stage>,
+    /// Union of source columns the kernel stages read (one conversion).
+    kernel_cols: Vec<usize>,
+    /// Schema of rows leaving the last stage.
+    final_schema: Arc<Schema>,
+    has_project: bool,
+    /// A trailing bare-column projection, as output→input column
+    /// indices over the rows leaving the last *stage*. An aggregate
+    /// sink consumes it at compile time (indices composed away);
+    /// materialize/limit sinks apply it while emitting rows.
+    remap: Option<Vec<usize>>,
+    sink: CompiledSink,
+}
+
+/// Compiles every stage against the *evolving* schema (each projection
+/// replaces it). Any stage that doesn't compile declines the whole
+/// chain — the operator-at-a-time fallback owns walker semantics and
+/// error surfaces.
+fn compile(chain: &Chain, src_schema: Arc<Schema>) -> Result<Compiled, Counter> {
+    let mut schema = src_schema;
+    let mut has_project = false;
+    let mut stages = Vec::with_capacity(chain.ops.len());
+    let mut kernel_cols = std::collections::BTreeSet::new();
+    let mut remap: Option<Vec<usize>> = None;
+    for (idx, op) in chain.ops.iter().enumerate() {
+        match op {
+            ChainOp::Filter(pred) => {
+                if !has_project {
+                    if let Some(k) = CompiledPredicate::compile(pred, &schema) {
+                        kernel_cols.extend(k.columns().iter().copied());
+                        stages.push(Stage::Kernel(k));
+                        continue;
+                    }
+                }
+                match Program::compile(pred, &schema) {
+                    Ok(p) => stages.push(Stage::VmFilter(p)),
+                    Err(_) => return Err(Counter::PipelineDeclineCompile),
+                }
+            }
+            ChainOp::Project(items) => {
+                let out = match bi_relation::project_schema(&schema, items) {
+                    Ok(s) => Arc::new(s),
+                    // The oracle's projection raises the same inference
+                    // error; declining surfaces it verbatim.
+                    Err(_) => return Err(Counter::PipelineDeclineCompile),
+                };
+                // A trailing projection of bare column references (the
+                // pruning/rename shape) needs no evaluation: it becomes
+                // a remap the sink applies, and the rows below it stay
+                // unmaterialized.
+                if idx + 1 == chain.ops.len() {
+                    let map: Option<Vec<usize>> = items
+                        .iter()
+                        .map(|(_, e)| match e {
+                            Expr::Col(name) => schema.index_of(name).ok(),
+                            _ => None,
+                        })
+                        .collect();
+                    if let Some(map) = map {
+                        remap = Some(map);
+                        schema = out;
+                        has_project = true;
+                        continue;
+                    }
+                }
+                let programs: Result<Vec<Program>, RelationError> =
+                    items.iter().map(|(_, e)| Program::compile(e, &schema)).collect();
+                match programs {
+                    Ok(ps) => stages.push(Stage::VmProject(ps)),
+                    Err(_) => return Err(Counter::PipelineDeclineCompile),
+                }
+                schema = out;
+                has_project = true;
+            }
+        }
+    }
+    let sink = match chain.sink {
+        Sink::Materialize => CompiledSink::Materialize,
+        Sink::Limit(n) => CompiledSink::Limit(n),
+        Sink::Aggregate { group_by, aggs } => {
+            let mut agg = compile_agg(&schema, group_by, aggs)?;
+            // Compose a trailing remap into the key/argument indices:
+            // the fold then reads source (or last-materialized) rows
+            // directly and the projection costs nothing per row.
+            if let Some(map) = remap.take() {
+                for k in &mut agg.key_idx {
+                    *k = map[*k];
+                }
+                for s in &mut agg.specs {
+                    if let Some(a) = &mut s.arg {
+                        *a = map[*a];
+                    }
+                }
+            }
+            CompiledSink::Aggregate(agg)
+        }
+    };
+    Ok(Compiled {
+        stages,
+        kernel_cols: kernel_cols.into_iter().collect(),
+        final_schema: schema,
+        has_project,
+        remap,
+        sink,
+    })
+}
+
+/// How one aggregate accumulates across morsels.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PartialKind {
+    /// `COUNT(*)` — member rows.
+    CountStar,
+    /// `COUNT(col)` — non-null arguments.
+    Count,
+    /// `COUNT(DISTINCT col)` — set union.
+    Distinct,
+    /// Integer `SUM` with the oracle's per-prefix `checked_add`
+    /// overflow semantics (tracked exactly via `i128` prefix extremes).
+    SumInt,
+    /// First minimum (`Iterator::min` keeps the first).
+    Min,
+    /// Last maximum (`Iterator::max` keeps the last).
+    Max,
+    /// Retain the group's non-null values in row order and replay
+    /// [`exec::eval_agg_values`] at finalize — bit-exact row-order
+    /// float accumulation for `AVG` and float `SUM`.
+    Retained,
+}
+
+struct AggSpec {
+    func: AggFunc,
+    arg: Option<usize>,
+    kind: PartialKind,
+}
+
+struct AggSink {
+    schema: Arc<Schema>,
+    /// Group-key columns in the chain's final schema.
+    key_idx: Vec<usize>,
+    specs: Vec<AggSpec>,
+}
+
+fn compile_agg(
+    schema: &Arc<Schema>,
+    group_by: &[String],
+    aggs: &[AggItem],
+) -> Result<AggSink, Counter> {
+    // The oracle raises header errors (unknown column, bad output type)
+    // before touching any row; delegating reproduces them exactly.
+    let Ok((out_schema, arg_idx)) = exec::aggregate_header(schema, group_by, aggs) else {
+        return Err(Counter::PipelineDeclineShape);
+    };
+    let Ok(key_idx) = group_by
+        .iter()
+        .map(|g| schema.index_of(g))
+        .collect::<Result<Vec<usize>, bi_types::TypeError>>()
+    else {
+        return Err(Counter::PipelineDeclineShape);
+    };
+    let mut specs = Vec::with_capacity(aggs.len());
+    for (a, arg) in aggs.iter().zip(&arg_idx) {
+        let kind = match (a.func, arg) {
+            (AggFunc::Count, None) => PartialKind::CountStar,
+            (AggFunc::Count, Some(_)) => PartialKind::Count,
+            (AggFunc::CountDistinct, Some(_)) => PartialKind::Distinct,
+            (AggFunc::Min, Some(_)) => PartialKind::Min,
+            (AggFunc::Max, Some(_)) => PartialKind::Max,
+            (AggFunc::Sum, Some(c)) => match schema.columns()[*c].dtype {
+                DataType::Int => PartialKind::SumInt,
+                // A Float-typed column may legally hold Int values
+                // (all-Int groups sum with integer overflow semantics),
+                // so float sums replay the oracle verbatim.
+                DataType::Float => PartialKind::Retained,
+                // Non-numeric sums error per *non-empty* group in the
+                // oracle — and succeed over zero groups. Shape decline.
+                _ => return Err(Counter::PipelineDeclineShape),
+            },
+            (AggFunc::Avg, Some(c)) => match schema.columns()[*c].dtype {
+                DataType::Int | DataType::Float => PartialKind::Retained,
+                _ => return Err(Counter::PipelineDeclineShape),
+            },
+            // Missing arguments error per group in the oracle; zero
+            // groups succeed. Only the oracle can tell them apart.
+            (_, None) => return Err(Counter::PipelineDeclineShape),
+        };
+        specs.push(AggSpec { func: a.func, arg: *arg, kind });
+    }
+    Ok(AggSink { schema: Arc::new(out_schema), key_idx, specs })
+}
+
+// ---------------------------------------------------------------------
+// Fused evaluation
+// ---------------------------------------------------------------------
+
+/// Fused-evaluation failure. Either kind routes to the counted
+/// operator-at-a-time fallback; neither ever reaches the caller.
+#[derive(Debug)]
+enum PipeErr {
+    /// A real evaluation error. The oracle errors too (it evaluates
+    /// every stage over the same surviving rows), but stage-major vs
+    /// operator-major order may pick a different *first* error — so the
+    /// fused error is discarded and the fallback re-runs to surface the
+    /// oracle's, verbatim.
+    Query,
+    /// Data contradicted a static assumption (e.g. a non-Int value in
+    /// an Int column of a trusted table). The oracle handles it.
+    Degrade,
+}
+
+impl From<RelationError> for PipeErr {
+    fn from(_: RelationError) -> Self {
+        PipeErr::Query
+    }
+}
+
+/// Rows of one morsel as they move through the stages.
+enum MorselRows {
+    /// Every row in `[start, end)` of the source.
+    All,
+    /// Surviving source-row indices, ascending (late materialization).
+    Sel(Vec<u32>),
+    /// Projected rows of the survivors.
+    Mat(Vec<Vec<Value>>),
+}
+
+fn run_chain(src: Table, chain: &Chain, cfg: &ExecConfig) -> Result<Table, QueryError> {
+    let compiled = match compile(chain, src.schema_shared()) {
+        Ok(c) => c,
+        Err(decline) => {
+            cfg.obs.count(decline);
+            return run_ops(src, chain, cfg);
+        }
+    };
+    let chunk = if compiled.kernel_cols.is_empty() {
+        None
+    } else {
+        match ColumnChunk::from_table_cols_cached(&src, &compiled.kernel_cols, &cfg.obs) {
+            Ok(c) => {
+                cfg.obs.count(Counter::ColumnarConvert);
+                Some(c)
+            }
+            Err(e) => {
+                cfg.obs.count(e.counter());
+                cfg.obs.count(Counter::PipelineDeclineConvert);
+                return run_ops(src, chain, cfg);
+            }
+        }
+    };
+    let fused = {
+        let _span = cfg.obs.span(bi_exec::SpanKind::QueryPipeline);
+        execute_fused(&src, &compiled, chunk.as_ref(), cfg)
+    };
+    match fused {
+        Ok(out) => {
+            cfg.obs.count(Counter::PlanChoicePipeline);
+            count_ops(chain, cfg);
+            Ok(out)
+        }
+        Err(_) => {
+            cfg.obs.count(Counter::PipelineFallbackError);
+            run_ops(src, chain, cfg)
+        }
+    }
+}
+
+/// The decline/fallback target: the chain, operator-at-a-time, over the
+/// already-executed source — through the exact helpers the tree walk
+/// uses, so counters, engine choices, and errors are the oracle's.
+fn run_ops(src: Table, chain: &Chain, cfg: &ExecConfig) -> Result<Table, QueryError> {
+    let mut t = src;
+    for op in &chain.ops {
+        t = match op {
+            ChainOp::Filter(pred) => exec::filter_op(&t, pred, cfg)?,
+            ChainOp::Project(items) => exec::project_op(&t, items, cfg)?,
+        };
+    }
+    match chain.sink {
+        Sink::Materialize => Ok(t),
+        Sink::Limit(n) => exec::limit_op(&t, n, cfg),
+        Sink::Aggregate { group_by, aggs } => exec::aggregate_op(&t, group_by, aggs, cfg),
+    }
+}
+
+/// Per-operator counters/spans for a fused chain, so workload totals
+/// match the operator-at-a-time engine exactly.
+fn count_ops(chain: &Chain, cfg: &ExecConfig) {
+    for op in &chain.ops {
+        match op {
+            ChainOp::Filter(_) => {
+                cfg.obs.count(Counter::QueryFilter);
+                drop(cfg.obs.span(bi_exec::SpanKind::QueryFilter));
+            }
+            ChainOp::Project(_) => cfg.obs.count(Counter::QueryProject),
+        }
+    }
+    match chain.sink {
+        Sink::Materialize => {}
+        Sink::Limit(_) => cfg.obs.count(Counter::QueryLimit),
+        Sink::Aggregate { .. } => {
+            cfg.obs.count(Counter::QueryAggregate);
+            drop(cfg.obs.span(bi_exec::SpanKind::QueryAggregate));
+        }
+    }
+}
+
+fn execute_fused(
+    src: &Table,
+    compiled: &Compiled,
+    chunk: Option<&ColumnChunk>,
+    cfg: &ExecConfig,
+) -> Result<Table, PipeErr> {
+    match &compiled.sink {
+        CompiledSink::Aggregate(sink) => fused_aggregate(src, compiled, sink, chunk, cfg),
+        CompiledSink::Limit(n) => fused_limit(src, compiled, chunk, *n, cfg),
+        CompiledSink::Materialize => fused_materialize(src, compiled, chunk, cfg),
+    }
+}
+
+/// One morsel through every stage. Selection vectors pass through
+/// filters unmaterialized; the first projection materializes survivors.
+fn push_morsel(
+    src: &Table,
+    stages: &[Stage],
+    chunk: Option<&ColumnChunk>,
+    start: usize,
+    end: usize,
+) -> Result<MorselRows, PipeErr> {
+    let mut vm = Vm::new();
+    let mut state = MorselRows::All;
+    for stage in stages {
+        state = match stage {
+            Stage::Kernel(k) => {
+                let Some(chunk) = chunk else { return Err(PipeErr::Degrade) };
+                let mask = k.eval_range(chunk, start, end);
+                match state {
+                    MorselRows::All => MorselRows::Sel(mask.selected(start as u32)),
+                    MorselRows::Sel(mut sel) => {
+                        sel.retain(|&i| mask.is_true(i as usize - start));
+                        MorselRows::Sel(sel)
+                    }
+                    // Kernels never compile after a projection.
+                    MorselRows::Mat(_) => return Err(PipeErr::Degrade),
+                }
+            }
+            Stage::VmFilter(p) => match state {
+                MorselRows::All => {
+                    let mut sel = Vec::new();
+                    for i in start..end {
+                        if vm.run(p, &src.rows()[i])?.as_bool().unwrap_or(false) {
+                            sel.push(i as u32);
+                        }
+                    }
+                    MorselRows::Sel(sel)
+                }
+                MorselRows::Sel(sel) => {
+                    let mut out = Vec::with_capacity(sel.len());
+                    for i in sel {
+                        if vm.run(p, &src.rows()[i as usize])?.as_bool().unwrap_or(false) {
+                            out.push(i);
+                        }
+                    }
+                    MorselRows::Sel(out)
+                }
+                MorselRows::Mat(rows) => {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        if vm.run(p, &row)?.as_bool().unwrap_or(false) {
+                            out.push(row);
+                        }
+                    }
+                    MorselRows::Mat(out)
+                }
+            },
+            Stage::VmProject(programs) => {
+                let mut project = |row: &[Value]| -> Result<Vec<Value>, PipeErr> {
+                    let mut cells = Vec::with_capacity(programs.len());
+                    for p in programs {
+                        cells.push(vm.run(p, row)?);
+                    }
+                    Ok(cells)
+                };
+                MorselRows::Mat(match state {
+                    MorselRows::All => {
+                        let mut out = Vec::with_capacity(end - start);
+                        for i in start..end {
+                            out.push(project(&src.rows()[i])?);
+                        }
+                        out
+                    }
+                    MorselRows::Sel(sel) => {
+                        let mut out = Vec::with_capacity(sel.len());
+                        for &i in &sel {
+                            out.push(project(&src.rows()[i as usize])?);
+                        }
+                        out
+                    }
+                    MorselRows::Mat(rows) => {
+                        let mut out = Vec::with_capacity(rows.len());
+                        for row in rows {
+                            out.push(project(&row)?);
+                        }
+                        out
+                    }
+                })
+            }
+        };
+    }
+    Ok(state)
+}
+
+fn morsel_ranges(len: usize) -> impl Iterator<Item = (usize, usize)> {
+    (0..len)
+        .step_by(bi_exec::MORSEL_ROWS)
+        .map(move |s| (s, (s + bi_exec::MORSEL_ROWS).min(len)))
+}
+
+fn fused_materialize(
+    src: &Table,
+    compiled: &Compiled,
+    chunk: Option<&ColumnChunk>,
+    cfg: &ExecConfig,
+) -> Result<Table, PipeErr> {
+    let per: Vec<MorselRows> =
+        bi_exec::try_par_ranges(cfg, src.len(), bi_exec::MORSEL_ROWS, |s, e| {
+            push_morsel(src, &compiled.stages, chunk, s, e)
+        })?;
+    if !compiled.has_project {
+        let kept: usize = per
+            .iter()
+            .zip(morsel_ranges(src.len()))
+            .map(|(m, (s, e))| match m {
+                MorselRows::All => e - s,
+                MorselRows::Sel(sel) => sel.len(),
+                MorselRows::Mat(rows) => rows.len(),
+            })
+            .sum();
+        if kept == src.len() {
+            // Every filter kept every row: share storage, exactly as
+            // each operator-at-a-time filter's keep-all fast path does.
+            return Ok(src.clone());
+        }
+    }
+    let remap = compiled.remap.as_deref();
+    let emit = |row: &[Value]| -> Vec<Value> {
+        match remap {
+            Some(map) => map.iter().map(|&j| row[j].clone()).collect(),
+            None => row.to_vec(),
+        }
+    };
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for (m, (s, e)) in per.into_iter().zip(morsel_ranges(src.len())) {
+        match m {
+            MorselRows::All => rows.extend(src.rows()[s..e].iter().map(|r| emit(r))),
+            MorselRows::Sel(sel) => {
+                rows.extend(sel.iter().map(|&i| emit(&src.rows()[i as usize])));
+            }
+            MorselRows::Mat(mat) => match remap {
+                Some(_) => rows.extend(mat.iter().map(|r| emit(r))),
+                None => rows.extend(mat),
+            },
+        }
+    }
+    let schema =
+        if compiled.has_project { compiled.final_schema.clone() } else { src.schema_shared() };
+    Ok(Table::from_rows_trusted(src.name().to_string(), schema, rows))
+}
+
+fn fused_limit(
+    src: &Table,
+    compiled: &Compiled,
+    chunk: Option<&ColumnChunk>,
+    n: usize,
+    cfg: &ExecConfig,
+) -> Result<Table, PipeErr> {
+    let schema =
+        if compiled.has_project { compiled.final_schema.clone() } else { src.schema_shared() };
+    if n == 0 {
+        return Ok(Table::from_rows_trusted(src.name().to_string(), schema, Vec::new()));
+    }
+    let all_kernel = compiled.stages.iter().all(|s| matches!(s, Stage::Kernel(_)));
+    let remap = compiled.remap.as_deref();
+    let emit = |row: &[Value]| -> Vec<Value> {
+        match remap {
+            Some(map) => map.iter().map(|&j| row[j].clone()).collect(),
+            None => row.to_vec(),
+        }
+    };
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(n.min(src.len()));
+    if all_kernel {
+        // Kernels (and a remap) are pure and infallible: stopping after
+        // `n` survivors cannot suppress an error the oracle would raise.
+        'morsels: for (s, e) in morsel_ranges(src.len()) {
+            match push_morsel(src, &compiled.stages, chunk, s, e)? {
+                MorselRows::All => {
+                    for i in s..e {
+                        rows.push(emit(&src.rows()[i]));
+                        if rows.len() >= n {
+                            break 'morsels;
+                        }
+                    }
+                }
+                MorselRows::Sel(sel) => {
+                    for &i in &sel {
+                        rows.push(emit(&src.rows()[i as usize]));
+                        if rows.len() >= n {
+                            break 'morsels;
+                        }
+                    }
+                }
+                MorselRows::Mat(_) => return Err(PipeErr::Degrade),
+            }
+        }
+    } else {
+        // A fallible stage must see every row — the oracle's Limit
+        // fully materializes its input — so errors surface identically.
+        let per: Vec<MorselRows> =
+            bi_exec::try_par_ranges(cfg, src.len(), bi_exec::MORSEL_ROWS, |s, e| {
+                push_morsel(src, &compiled.stages, chunk, s, e)
+            })?;
+        'collect: for (m, (s, e)) in per.into_iter().zip(morsel_ranges(src.len())) {
+            let push = |row: Vec<Value>, rows: &mut Vec<Vec<Value>>| -> bool {
+                rows.push(row);
+                rows.len() >= n
+            };
+            match m {
+                MorselRows::All => {
+                    for i in s..e {
+                        if push(emit(&src.rows()[i]), &mut rows) {
+                            break 'collect;
+                        }
+                    }
+                }
+                MorselRows::Sel(sel) => {
+                    for &i in &sel {
+                        if push(emit(&src.rows()[i as usize]), &mut rows) {
+                            break 'collect;
+                        }
+                    }
+                }
+                MorselRows::Mat(mat) => {
+                    for row in mat {
+                        let row = match remap {
+                            Some(_) => emit(&row),
+                            None => row,
+                        };
+                        if push(row, &mut rows) {
+                            break 'collect;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(Table::from_rows_trusted(src.name().to_string(), schema, rows))
+}
+
+// ---------------------------------------------------------------------
+// Partial aggregation
+// ---------------------------------------------------------------------
+
+/// One aggregate's accumulated state for one group.
+enum PAgg {
+    Count(u64),
+    Distinct(HashSet<Value>),
+    /// Running sum plus the min/max *prefix* sums in `i128`: the oracle
+    /// `checked_add`s in `i64`, so it overflows iff any prefix leaves
+    /// `i64` — e.g. `[i64::MAX, 1, -1]` errors even though the total
+    /// fits. Prefix extremes compose across morsels by offsetting the
+    /// right side's extremes by the left side's total.
+    SumInt { sum: i128, lo: i128, hi: i128, any: bool },
+    Best(Option<Value>),
+    Retained(Vec<Value>),
+}
+
+impl PAgg {
+    fn init(kind: PartialKind) -> PAgg {
+        match kind {
+            PartialKind::CountStar | PartialKind::Count => PAgg::Count(0),
+            PartialKind::Distinct => PAgg::Distinct(HashSet::new()),
+            PartialKind::SumInt => PAgg::SumInt { sum: 0, lo: 0, hi: 0, any: false },
+            PartialKind::Min | PartialKind::Max => PAgg::Best(None),
+            PartialKind::Retained => PAgg::Retained(Vec::new()),
+        }
+    }
+
+    fn update(&mut self, kind: PartialKind, cell: Option<&Value>) -> Result<(), PipeErr> {
+        let valid = cell.filter(|v| !v.is_null());
+        match self {
+            PAgg::Count(nn) => {
+                if kind == PartialKind::CountStar || valid.is_some() {
+                    *nn += 1;
+                }
+            }
+            PAgg::Distinct(set) => {
+                if let Some(v) = valid {
+                    if !set.contains(v) {
+                        set.insert(v.clone());
+                    }
+                }
+            }
+            PAgg::SumInt { sum, lo, hi, any } => {
+                if let Some(v) = valid {
+                    let Value::Int(i) = v else {
+                        // A non-Int value in an Int-typed column: data
+                        // drifted from the schema under a trusted
+                        // constructor. The oracle's dynamic dispatch
+                        // handles it; the fused engine steps aside.
+                        return Err(PipeErr::Degrade);
+                    };
+                    *sum += i128::from(*i);
+                    *lo = (*lo).min(*sum);
+                    *hi = (*hi).max(*sum);
+                    *any = true;
+                }
+            }
+            PAgg::Best(best) => {
+                if let Some(v) = valid {
+                    let replace = match (&best, kind) {
+                        (None, _) => true,
+                        // First minimum wins ties (strict `<`)…
+                        (Some(b), PartialKind::Min) => v.cmp(b) == Ordering::Less,
+                        // …last maximum wins ties (`>=`).
+                        (Some(b), _) => v.cmp(b) != Ordering::Less,
+                    };
+                    if replace {
+                        *best = Some(v.clone());
+                    }
+                }
+            }
+            PAgg::Retained(vals) => {
+                if let Some(v) = valid {
+                    vals.push(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges `other` (a strictly later morsel's state) into `self`.
+    fn merge(&mut self, other: PAgg, kind: PartialKind) {
+        match (self, other) {
+            (PAgg::Count(a), PAgg::Count(b)) => *a += b,
+            (PAgg::Distinct(a), PAgg::Distinct(b)) => a.extend(b),
+            (
+                PAgg::SumInt { sum, lo, hi, any },
+                PAgg::SumInt { sum: bsum, lo: blo, hi: bhi, any: bany },
+            ) => {
+                if bany {
+                    *lo = (*lo).min(*sum + blo);
+                    *hi = (*hi).max(*sum + bhi);
+                    *sum += bsum;
+                    *any = true;
+                }
+            }
+            (PAgg::Best(a), PAgg::Best(Some(b))) => {
+                let replace = match (&a, kind) {
+                    (None, _) => true,
+                    (Some(av), PartialKind::Min) => b.cmp(av) == Ordering::Less,
+                    (Some(av), _) => b.cmp(av) != Ordering::Less,
+                };
+                if replace {
+                    *a = Some(b);
+                }
+            }
+            (PAgg::Best(_), PAgg::Best(None)) => {}
+            (PAgg::Retained(a), PAgg::Retained(b)) => a.extend(b),
+            _ => debug_assert!(false, "partial-aggregate kinds never mix"),
+        }
+    }
+
+    fn finalize(self, func: AggFunc) -> Result<Value, QueryError> {
+        Ok(match self {
+            PAgg::Count(n) => Value::Int(n as i64),
+            PAgg::Distinct(set) => Value::Int(set.len() as i64),
+            PAgg::SumInt { sum, lo, hi, any } => {
+                if !any {
+                    Value::Null
+                } else if lo < i128::from(i64::MIN) || hi > i128::from(i64::MAX) {
+                    return Err(RelationError::Overflow { op: "sum" }.into());
+                } else {
+                    Value::Int(sum as i64)
+                }
+            }
+            PAgg::Best(best) => best.unwrap_or(Value::Null),
+            PAgg::Retained(vals) => exec::eval_agg_values(func, 0, Some(vals.iter()))?,
+        })
+    }
+}
+
+/// One group's first-encountered key cells (verbatim bytes — matters
+/// for `Value`-equal but distinct representations like `-0.0`/`0.0`)
+/// plus one partial state per aggregate.
+struct Group {
+    key: Vec<Value>,
+    aggs: Vec<PAgg>,
+}
+
+impl Group {
+    fn fresh(sink: &AggSink, key: Vec<Value>) -> Group {
+        Group { key, aggs: sink.specs.iter().map(|s| PAgg::init(s.kind)).collect() }
+    }
+}
+
+/// Folds one morsel's surviving rows into per-group partial states, in
+/// row order, groups in first-appearance order. Group probing hashes
+/// the key cells in place (no per-row key allocation); cells are cloned
+/// only when a new group opens.
+fn fold_groups(
+    state: &MorselRows,
+    src: &Table,
+    start: usize,
+    end: usize,
+    sink: &AggSink,
+) -> Result<Vec<Group>, PipeErr> {
+    let mut groups: Vec<Group> = Vec::new();
+    let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut visit = |row: &[Value]| -> Result<(), PipeErr> {
+        let slot = if sink.key_idx.is_empty() {
+            if groups.is_empty() {
+                groups.push(Group::fresh(sink, Vec::new()));
+            }
+            0
+        } else {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            for &c in &sink.key_idx {
+                row[c].hash(&mut h);
+            }
+            let cands = by_hash.entry(h.finish()).or_default();
+            let found = cands.iter().copied().find(|&g| {
+                groups[g].key.iter().zip(&sink.key_idx).all(|(k, &c)| *k == row[c])
+            });
+            match found {
+                Some(g) => g,
+                None => {
+                    let g = groups.len();
+                    let key = sink.key_idx.iter().map(|&c| row[c].clone()).collect();
+                    groups.push(Group::fresh(sink, key));
+                    cands.push(g);
+                    g
+                }
+            }
+        };
+        let group = &mut groups[slot];
+        for (spec, p) in sink.specs.iter().zip(&mut group.aggs) {
+            p.update(spec.kind, spec.arg.map(|c| &row[c]))?;
+        }
+        Ok(())
+    };
+    match state {
+        MorselRows::All => {
+            for i in start..end {
+                visit(&src.rows()[i])?;
+            }
+        }
+        MorselRows::Sel(sel) => {
+            for &i in sel {
+                visit(&src.rows()[i as usize])?;
+            }
+        }
+        MorselRows::Mat(rows) => {
+            for row in rows {
+                visit(row)?;
+            }
+        }
+    }
+    Ok(groups)
+}
+
+fn fused_aggregate(
+    src: &Table,
+    compiled: &Compiled,
+    sink: &AggSink,
+    chunk: Option<&ColumnChunk>,
+    cfg: &ExecConfig,
+) -> Result<Table, PipeErr> {
+    let per: Vec<Vec<Group>> =
+        bi_exec::try_par_ranges(cfg, src.len(), bi_exec::MORSEL_ROWS, |s, e| {
+            let m = push_morsel(src, &compiled.stages, chunk, s, e)?;
+            fold_groups(&m, src, s, e, sink)
+        })?;
+    // Merge thread-local states in morsel order: global group order is
+    // first appearance in row order — exactly the serial engine's.
+    let mut groups: Vec<Group> = Vec::new();
+    let mut by_key: HashMap<Vec<Value>, usize> = HashMap::new();
+    for mg in per.into_iter().flatten() {
+        match by_key.get(mg.key.as_slice()) {
+            Some(&g) => {
+                for (spec, (p, q)) in
+                    sink.specs.iter().zip(groups[g].aggs.iter_mut().zip(mg.aggs))
+                {
+                    p.merge(q, spec.kind);
+                }
+            }
+            None => {
+                by_key.insert(mg.key.clone(), groups.len());
+                groups.push(mg);
+            }
+        }
+    }
+    if groups.is_empty() && sink.key_idx.is_empty() {
+        // A global aggregate over zero rows still emits one row.
+        groups.push(Group::fresh(sink, Vec::new()));
+    }
+    // Validating construction in group order — the serial engine's
+    // `Table::new` + `push_row`, so even validation errors match.
+    let mut out = Table::new(src.name().to_string(), sink.schema.clone());
+    for g in groups {
+        let mut row = g.key;
+        for (spec, p) in sink.specs.iter().zip(g.aggs) {
+            row.push(p.finalize(spec.func).map_err(|_| PipeErr::Query)?);
+        }
+        out.push_row(row).map_err(PipeErr::from)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::scan;
+    use bi_relation::expr::{col, lit};
+
+    #[test]
+    fn decompose_finds_chains_and_breakers() {
+        let chain = scan("T")
+            .filter(col("a").ge(lit(1)))
+            .project(vec![("a".into(), col("a"))])
+            .aggregate(vec!["a".into()], vec![AggItem::count_star("n")]);
+        let d = decompose(&chain).unwrap();
+        assert_eq!(d.ops.len(), 2);
+        assert!(matches!(d.ops[0], ChainOp::Filter(_)));
+        assert!(matches!(d.ops[1], ChainOp::Project(_)));
+        assert!(matches!(d.sink, Sink::Aggregate { .. }));
+        assert!(matches!(d.source, Plan::Scan { .. }));
+        assert_eq!(d.fused_ops(), 3);
+
+        // Bare aggregate over a scan: nothing to fuse with.
+        let bare = scan("T").aggregate(vec![], vec![AggItem::count_star("n")]);
+        assert_eq!(decompose(&bare).unwrap().fused_ops(), 1);
+
+        // Limit(Sort) stays with the top-k fusion, not the pipeline.
+        let topk = scan("T").sort(vec![crate::plan::SortKey::asc("a")]).limit(5);
+        assert!(decompose(&topk).is_none());
+
+        // Limit over a filter chains.
+        let lim = scan("T").filter(col("a").ge(lit(1))).limit(5);
+        let d = decompose(&lim).unwrap();
+        assert_eq!(d.fused_ops(), 2);
+        assert!(matches!(d.sink, Sink::Limit(5)));
+    }
+
+    #[test]
+    fn trailing_identity_projection_compiles_to_a_remap() {
+        use bi_types::{Column, DataType};
+        // Filter → prune-and-reorder Project → GroupBy: the obligation
+        // shape. The projection must cost zero stages — the aggregate's
+        // indices point straight at source columns.
+        let plan = scan("T")
+            .filter(col("v").ge(lit(1)))
+            .project(vec![("g".into(), col("g")), ("v".into(), col("v"))])
+            .aggregate(vec!["g".into()], vec![AggItem::new("s", AggFunc::Sum, "v")]);
+        let chain = decompose(&plan).unwrap();
+        let schema = Arc::new(
+            Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("g", DataType::Text),
+                Column::new("v", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        let compiled = compile(&chain, schema).unwrap();
+        assert_eq!(compiled.stages.len(), 1, "filter only; the projection is a remap");
+        assert!(compiled.remap.is_none(), "the aggregate sink consumes the remap");
+        let CompiledSink::Aggregate(agg) = &compiled.sink else {
+            panic!("aggregate sink expected");
+        };
+        assert_eq!(agg.key_idx, vec![1], "g in the *source* schema");
+        assert_eq!(agg.specs[0].arg, Some(2), "v in the *source* schema");
+
+        // A computed projection still compiles to a VM stage.
+        let plan = scan("T")
+            .project(vec![("g".into(), col("g").eq(lit("x")))])
+            .aggregate(vec![], vec![AggItem::count_star("n")]);
+        let chain = decompose(&plan).unwrap();
+        let schema =
+            Arc::new(Schema::new(vec![Column::new("g", DataType::Text)]).unwrap());
+        let compiled = compile(&chain, schema).unwrap();
+        assert_eq!(compiled.stages.len(), 1);
+        assert!(matches!(compiled.stages[0], Stage::VmProject(_)));
+    }
+
+    #[test]
+    fn sum_int_prefix_extremes_reproduce_checked_add() {
+        // [i64::MAX, 1, -1] sums to i64::MAX but the oracle's
+        // checked_add overflows at the second element.
+        let mut p = PAgg::init(PartialKind::SumInt);
+        for v in [Value::Int(i64::MAX), Value::Int(1), Value::Int(-1)] {
+            p.update(PartialKind::SumInt, Some(&v)).unwrap();
+        }
+        assert!(p.finalize(AggFunc::Sum).is_err());
+
+        // The same holds when the overflow happens across a merge.
+        let mut a = PAgg::init(PartialKind::SumInt);
+        a.update(PartialKind::SumInt, Some(&Value::Int(i64::MAX))).unwrap();
+        let mut b = PAgg::init(PartialKind::SumInt);
+        b.update(PartialKind::SumInt, Some(&Value::Int(1))).unwrap();
+        b.update(PartialKind::SumInt, Some(&Value::Int(-1))).unwrap();
+        a.merge(b, PartialKind::SumInt);
+        assert!(a.finalize(AggFunc::Sum).is_err());
+
+        // In-range prefixes merge to the exact sum.
+        let mut a = PAgg::init(PartialKind::SumInt);
+        a.update(PartialKind::SumInt, Some(&Value::Int(40))).unwrap();
+        let mut b = PAgg::init(PartialKind::SumInt);
+        b.update(PartialKind::SumInt, Some(&Value::Int(2))).unwrap();
+        a.merge(b, PartialKind::SumInt);
+        assert_eq!(a.finalize(AggFunc::Sum).unwrap(), Value::Int(42));
+
+        // All-null group: Null, not 0.
+        let p = PAgg::init(PartialKind::SumInt);
+        assert_eq!(p.finalize(AggFunc::Sum).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn min_keeps_first_and_max_keeps_last() {
+        // Two Value-equal but byte-distinct floats: 0.0 and -0.0.
+        let pos = Value::Float(0.0);
+        let neg = Value::Float(-0.0);
+        assert_eq!(pos.cmp(&neg), Ordering::Equal);
+
+        let mut mn = PAgg::init(PartialKind::Min);
+        mn.update(PartialKind::Min, Some(&pos)).unwrap();
+        mn.update(PartialKind::Min, Some(&neg)).unwrap();
+        // Iterator::min keeps the first of equals.
+        match mn.finalize(AggFunc::Min).unwrap() {
+            Value::Float(f) => assert!(f.is_sign_positive()),
+            other => panic!("expected float, got {other:?}"),
+        }
+
+        let mut mx = PAgg::init(PartialKind::Max);
+        mx.update(PartialKind::Max, Some(&pos)).unwrap();
+        mx.update(PartialKind::Max, Some(&neg)).unwrap();
+        // Iterator::max keeps the last of equals.
+        match mx.finalize(AggFunc::Max).unwrap() {
+            Value::Float(f) => assert!(f.is_sign_negative()),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+}

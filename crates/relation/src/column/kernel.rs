@@ -131,6 +131,16 @@ impl BoolMask {
         self.truth.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Whether local row `j` is exactly TRUE (UNKNOWN rows are not).
+    /// The pipeline executor's selection-vector pass-through uses this
+    /// to intersect a later kernel's mask with an existing selection
+    /// instead of eagerly compacting rows between filters.
+    #[inline]
+    pub fn is_true(&self, j: usize) -> bool {
+        debug_assert!(j < self.len);
+        (self.truth[j / 64] >> (j % 64)) & 1 == 1
+    }
+
     /// The selection vector: absolute indices (`base` + local offset)
     /// of exactly-TRUE rows, ascending.
     pub fn selected(&self, base: u32) -> Vec<u32> {

@@ -41,5 +41,5 @@ pub use column::{Column as ChunkColumn, ColumnChunk, ColumnData, ColumnarError, 
 pub use error::RelationError;
 pub use expr::{fold, BinOp, Expr, Func, Program, Vm};
 pub use index::HashIndex;
-pub use scalar::{filter_scalar, project_scalar};
+pub use scalar::{filter_scalar, project_scalar, project_schema};
 pub use table::{Row, Table};

@@ -17,10 +17,26 @@
 use std::sync::Arc;
 
 use bi_exec::{Counter, ExecConfig};
+use bi_types::Schema;
 
 use crate::error::RelationError;
 use crate::expr::{Expr, Program, Vm};
 use crate::table::{Row, Table};
+
+/// The output schema of a projection over `schema`: every derived
+/// column is nullable at its statically inferred type. This is the
+/// schema [`Table::map_rows`] / [`project_scalar`] produce; the
+/// pipeline executor uses it to compile later stages against a
+/// projection's output without materializing the intermediate table.
+pub fn project_schema(schema: &Schema, items: &[(String, Expr)]) -> Result<Schema, RelationError> {
+    use bi_types::Column;
+    let mut cols = Vec::with_capacity(items.len());
+    for (name, e) in items {
+        let dtype = e.infer_type(schema)?;
+        cols.push(Column::nullable(name.clone(), dtype));
+    }
+    Ok(Schema::new(cols)?)
+}
 
 /// [`Table::filter`] with a [`bi_exec::ExecConfig`]: compile once, run
 /// the scalar VM over row morsels in parallel. Declines of the compiler

@@ -386,13 +386,7 @@ impl Table {
     /// The result schema of [`Table::map_rows`]: every derived column
     /// is nullable at its statically inferred type.
     pub(crate) fn map_rows_schema(&self, items: &[(String, Expr)]) -> Result<Schema, RelationError> {
-        use bi_types::Column;
-        let mut cols = Vec::with_capacity(items.len());
-        for (name, e) in items {
-            let dtype = e.infer_type(&self.schema)?;
-            cols.push(Column::nullable(name.clone(), dtype));
-        }
-        Ok(Schema::new(cols)?)
+        crate::scalar::project_schema(&self.schema, items)
     }
 }
 

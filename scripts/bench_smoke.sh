@@ -18,6 +18,13 @@
 #     overhead on hosts without the cores to back them;
 #   * with >= 4 cores, join+aggregate must reach the ISSUE's >= 2x
 #     parallel speedup at some swept thread count <= cores;
+#   * ops marked `materialize:false` (a scan is an Arc bump, not per-row
+#     work) are exempt from every speedup gate, and every materializing
+#     op must report the planner's actual engine choice — never "none";
+#   * the fused morsel pipeline must beat the same columnar engine run
+#     operator-at-a-time by >= 1.3x on the obligation-shaped deep plan
+#     (Filter -> Project -> GroupBy) at 100k rows and one thread, and
+#     the planner must report "pipeline" for it;
 #   * the repeated-render section must show the version-keyed chunk
 #     cache working: warm hits > 0, no warm misses, and a warm render
 #     >= 1.3x faster than a cold one;
@@ -80,11 +87,12 @@ cores = par["cores"]
 assert cores >= 1, "cores must be positive"
 assert par["thread_counts"] == [1, 2, 4, 8], f"bad sweep: {par['thread_counts']}"
 assert par["sizes"], "at least one size measured"
-CHOICES = ("serial", "parallel", "columnar", "none")
+CHOICES = ("serial", "parallel", "columnar", "pipeline", "none")
 for s in par["sizes"]:
     assert s["ops"], f"no ops at {s['rows']} rows"
     for op in s["ops"]:
         assert op["op"] in OPS, f"unknown op: {op}"
+        assert isinstance(op["materialize"], bool), f"missing materialize flag: {op}"
         # Batched timing: even an Arc-bump scan must report a real
         # positive per-op time now, never 0.000 ms.
         assert op["serial_ms"] > 0, f"untimed serial op: {op}"
@@ -95,6 +103,14 @@ for s in par["sizes"]:
             assert e["ms"] > 0, f"untimed point: {op['op']} {e}"
             assert e["rows_per_s"] > 0, f"missing throughput: {op['op']} {e}"
             assert e["choice"] in CHOICES, f"bad planner choice: {op['op']} {e}"
+            # Every materializing op does per-row work some engine must
+            # own; only a no-op scan may report no planner choice.
+            if op["materialize"] and e["choice"] == "none":
+                sys.exit(
+                    f"FAIL: {op['op']} at {s['rows']} rows x {e['threads']} "
+                    f"threads reported no planner choice — every "
+                    f"materializing op must record the engine that ran it"
+                )
             # The no-regression gate, at every size and thread count.
             # Planner-serial points are exactly 1.0 (same measurement);
             # measured parallel points get a 5% noise allowance but must
@@ -109,8 +125,10 @@ for s in par["sizes"]:
 
 largest = max(par["sizes"], key=lambda s: s["rows"])
 for op in largest["ops"]:
+    if not op["materialize"]:
+        continue  # no per-row work: timings are lookup overhead, not speedups
     if op["serial_ms"] < 1.0:
-        continue  # too fast to time reliably (scan is an Arc bump)
+        continue  # too fast to time reliably
     one = next(e for e in op["by_threads"] if e["threads"] == 1)
     if one["ms"] > op["serial_ms"] * 1.35:
         sys.exit(
@@ -130,6 +148,31 @@ print(
     f"parallel smoke OK: {len(par['sizes'])} size(s), cores={cores}, "
     f"largest {largest['rows']} rows"
 )
+
+# Fused-pipeline gate: the obligation-shaped deep plan (Filter ->
+# Project -> GroupBy) at one thread, fused vs the same columnar engine
+# operator-at-a-time. One thread isolates fusion from parallelism.
+deep = par["deep_plan"]
+assert deep, "deep-plan section missing"
+for d in deep:
+    assert d["columnar_ms"] > 0 and d["pipeline_ms"] > 0, f"untimed deep plan: {d}"
+    assert d["choice"] in CHOICES, f"bad deep-plan choice: {d}"
+gated = next((d for d in deep if d["rows"] == 100_000), None)
+assert gated is not None, "deep plan must measure 100k rows"
+if gated["choice"] != "pipeline":
+    sys.exit(
+        f"FAIL: deep plan at 100k rows ran as '{gated['choice']}', "
+        f"not through the fused pipeline"
+    )
+if gated["speedup"] < 1.3:
+    sys.exit(
+        f"FAIL: fused deep plan x{gated['speedup']:.2f} < 1.3 over "
+        f"operator-at-a-time columnar at 100k rows / 1 thread "
+        f"(columnar {gated['columnar_ms']:.2f} ms, "
+        f"pipeline {gated['pipeline_ms']:.2f} ms)"
+    )
+deep_str = ", ".join(f"{d['rows']} rows x{d['speedup']:.2f}" for d in deep)
+print(f"pipeline smoke OK: deep plan {deep_str}")
 
 # Version-keyed chunk-cache gate: a warm render of an unchanged
 # warehouse must actually hit the cache and be measurably faster.

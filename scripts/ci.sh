@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# The full local gate, in the order a reviewer would want failures
+# surfaced: does it build, is it correct, is it clean, does it copy,
+# is it fast.
+#
+#   1. release build (the bench binaries need it anyway);
+#   2. the root integration suites plus every crate's unit tests;
+#   3. clippy over all targets — the crates' own
+#      `deny(clippy::unwrap_used, clippy::expect_used)` attributes make
+#      panic paths hard errors here;
+#   4. the clone budget (no deep copies creeping into hot paths);
+#   5. the quick benchmark smoke with all perf gates (parallel,
+#      columnar, VM, fused pipeline, chunk cache, obs overhead).
+#
+# Usage: scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+cargo test --workspace -q
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets
+
+echo "== clone budget =="
+scripts/clone_budget.sh
+
+echo "== benchmark smoke =="
+scripts/bench_smoke.sh
+
+echo "ci OK"

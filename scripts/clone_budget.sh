@@ -29,6 +29,10 @@ declare -A BUDGET=(
   # byte-identity contract, not an accident). The other 10 sites are in
   # #[cfg(test)] oracle fixtures.
   [crates/query/src/exec.rs]=28
+  # Fused pipeline: clones only survivors (late materialization — the
+  # emit/remap paths) and first-encountered group keys/values in the
+  # partial-aggregate states. Selection vectors, not rows, cross stages.
+  [crates/query/src/pipeline.rs]=11
   [crates/anonymize/src/kanon.rs]=7
   [crates/anonymize/src/mondrian.rs]=6
   [crates/exec/src/lib.rs]=0
