@@ -25,6 +25,8 @@
 pub mod continuum;
 pub mod elicitation;
 pub mod negotiation;
+mod render_cache;
+mod scheduler;
 pub mod storage;
 pub mod system;
 

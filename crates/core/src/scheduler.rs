@@ -1,0 +1,216 @@
+//! Batch delivery scheduling: fold a request list into
+//! enforcement-equivalence groups.
+//!
+//! `deliver_batch` used to render every `(report, consumer)` pair from
+//! scratch. But the gate and the report engine never look at the
+//! consumer identity — only at the *effective role set* (consumer roles
+//! ∩ report distribution list), the policy epoch, and the data the plan
+//! reads. Most of a real batch's consumers share a handful of role
+//! profiles, so their renders are byte-identical. The scheduler groups
+//! requests by [`EnforcementKey`] **before** the parallel fan-out: one
+//! representative render (or one cross-batch cache hit) serves every
+//! member, and the per-consumer journal entries are appended afterwards
+//! in request order, exactly as a serial loop would have.
+//!
+//! Grouping is pure bookkeeping over resolved state — it takes closures
+//! for resolution, role lookup and key computation so it stays
+//! unit-testable without a full [`crate::system::BiSystem`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use bi_pla::EnforcementKey;
+use bi_report::{RenderOutcome, ReportSpec};
+use bi_types::{ConsumerId, ReportId, RoleId};
+
+/// One gate-and-enforce outcome, rendered but not yet journaled.
+/// Produced under `&self`, shareable across every request in its
+/// equivalence group (and across batches via the render cache), and
+/// consumed — by reference — by the serialized journal append.
+pub(crate) struct RenderedDelivery {
+    pub report: Arc<ReportSpec>,
+    pub effective: BTreeSet<RoleId>,
+    pub outcome: RenderOutcome,
+}
+
+/// Where a request landed after grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Slot {
+    /// The report id resolved to nothing; the request errors without a
+    /// render.
+    Unknown,
+    /// Index into [`GroupedBatch::groups`].
+    Group(usize),
+}
+
+/// One enforcement-equivalence class of a batch: every member request
+/// shares the same render.
+pub(crate) struct Group {
+    pub report: Arc<ReportSpec>,
+    pub effective: BTreeSet<RoleId>,
+    /// `None` when sharing is off or the key could not be computed
+    /// (plan errors): the group is solo and never touches the cache.
+    pub key: Option<EnforcementKey>,
+    /// Request indices served by this group, in request order.
+    pub members: Vec<usize>,
+}
+
+/// The scheduling decision for one batch: a per-request slot vector
+/// (parallel to `requests`) plus the groups to render.
+pub(crate) struct GroupedBatch {
+    pub slots: Vec<Slot>,
+    pub groups: Vec<Group>,
+}
+
+/// Folds `requests` into enforcement-equivalence groups.
+///
+/// * `resolve` — report id → spec (`None` = unknown report);
+/// * `roles_of` — consumer → held roles (the effective set is the
+///   intersection with the report's declared consumers, computed here
+///   so every caller agrees with the gate);
+/// * `key_of` — report + effective roles → [`EnforcementKey`], `None`
+///   when the key cannot be computed (the request renders solo).
+///
+/// With `share` off every request gets its own key-less group — the
+/// unshared baseline renders exactly like the old per-request fan-out.
+pub(crate) fn group_requests<R, L, K>(
+    requests: &[(ReportId, ConsumerId)],
+    share: bool,
+    mut resolve: R,
+    mut roles_of: L,
+    mut key_of: K,
+) -> GroupedBatch
+where
+    R: FnMut(&ReportId) -> Option<Arc<ReportSpec>>,
+    L: FnMut(&ConsumerId) -> BTreeSet<RoleId>,
+    K: FnMut(&ReportSpec, &BTreeSet<RoleId>) -> Option<EnforcementKey>,
+{
+    let mut slots = Vec::with_capacity(requests.len());
+    let mut groups: Vec<Group> = Vec::new();
+    let mut by_key: BTreeMap<EnforcementKey, usize> = BTreeMap::new();
+    for (i, (id, consumer)) in requests.iter().enumerate() {
+        let Some(report) = resolve(id) else {
+            slots.push(Slot::Unknown);
+            continue;
+        };
+        let roles = roles_of(consumer);
+        let effective: BTreeSet<RoleId> =
+            roles.intersection(&report.consumers).cloned().collect();
+        let key = if share { key_of(&report, &effective) } else { None };
+        let gi = match key {
+            Some(k) => {
+                if let Some(&gi) = by_key.get(&k) {
+                    groups[gi].members.push(i);
+                    gi
+                } else {
+                    let gi = groups.len();
+                    by_key.insert(k.clone(), gi);
+                    groups.push(Group { report, effective, key: Some(k), members: vec![i] });
+                    gi
+                }
+            }
+            None => {
+                let gi = groups.len();
+                groups.push(Group { report, effective, key: None, members: vec![i] });
+                gi
+            }
+        };
+        slots.push(Slot::Group(gi));
+    }
+    GroupedBatch { slots, groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_query::plan::scan;
+
+    fn spec(id: &str, roles: &[&str]) -> Arc<ReportSpec> {
+        Arc::new(ReportSpec::new(
+            id,
+            id,
+            scan("T"),
+            roles.iter().map(|r| RoleId::new(*r)).collect::<Vec<_>>(),
+        ))
+    }
+
+    fn key(report: &ReportSpec, effective: &BTreeSet<RoleId>) -> Option<EnforcementKey> {
+        Some(EnforcementKey::new(
+            report.id.clone(),
+            effective,
+            report.purpose.as_deref(),
+            1,
+            vec![("T".into(), 7)],
+        ))
+    }
+
+    fn run(requests: &[(ReportId, ConsumerId)], share: bool) -> GroupedBatch {
+        let specs = [spec("a", &["analyst"]), spec("b", &["analyst", "auditor"])];
+        group_requests(
+            requests,
+            share,
+            |id| specs.iter().find(|s| &s.id == id).map(Arc::clone),
+            |c| {
+                let mut roles = BTreeSet::new();
+                if c.as_str().starts_with("analyst") {
+                    roles.insert(RoleId::new("analyst"));
+                }
+                if c.as_str().starts_with("auditor") {
+                    roles.insert(RoleId::new("auditor"));
+                }
+                roles
+            },
+            key,
+        )
+    }
+
+    fn req(id: &str, c: &str) -> (ReportId, ConsumerId) {
+        (ReportId::new(id), ConsumerId::new(c))
+    }
+
+    #[test]
+    fn equivalent_requests_collapse_and_slots_stay_aligned() {
+        let requests =
+            [req("a", "analyst-1"), req("ghost", "x"), req("a", "analyst-2"), req("b", "analyst-1")];
+        let g = run(&requests, true);
+        assert_eq!(g.slots.len(), 4);
+        assert_eq!(g.slots[0], Slot::Group(0));
+        assert_eq!(g.slots[1], Slot::Unknown);
+        assert_eq!(g.slots[2], Slot::Group(0), "same report + same effective roles share");
+        assert_eq!(g.slots[3], Slot::Group(1), "different report renders separately");
+        assert_eq!(g.groups.len(), 2);
+        assert_eq!(g.groups[0].members, vec![0, 2]);
+        assert_eq!(g.groups[1].members, vec![3]);
+        assert!(g.groups.iter().all(|gr| gr.key.is_some()));
+    }
+
+    #[test]
+    fn different_effective_roles_split_groups() {
+        // Same report, but auditor-1 intersects to a different role set
+        // than analyst-1 — the gate may decide differently, no sharing.
+        let requests = [req("b", "analyst-1"), req("b", "auditor-1")];
+        let g = run(&requests, true);
+        assert_eq!(g.groups.len(), 2);
+        // A roleless stranger refuses under an empty effective set —
+        // shared with other strangers, split from the members.
+        let g = run(&[req("b", "nobody-1"), req("b", "nobody-2"), req("b", "analyst-1")], true);
+        assert_eq!(g.groups.len(), 2);
+        assert_eq!(g.groups[0].members, vec![0, 1]);
+        assert!(g.groups[0].effective.is_empty());
+    }
+
+    #[test]
+    fn sharing_off_renders_every_request_solo() {
+        let requests = [req("a", "analyst-1"), req("a", "analyst-1"), req("a", "analyst-1")];
+        let g = run(&requests, false);
+        assert_eq!(g.groups.len(), 3);
+        assert!(g.groups.iter().all(|gr| gr.key.is_none() && gr.members.len() == 1));
+    }
+
+    #[test]
+    fn empty_batch_produces_nothing() {
+        let g = run(&[], true);
+        assert!(g.slots.is_empty());
+        assert!(g.groups.is_empty());
+    }
+}

@@ -7,11 +7,14 @@ use std::sync::{Arc, Mutex, PoisonError};
 use bi_audit::{AuditLog, Outcome, Provenance};
 use bi_exec::{Counter, SpanKind, TraceId};
 use bi_etl::{check_pipeline, run_pipeline_with, EtlReport, Pipeline};
-use bi_pla::{CheckProgram, CombinedPolicy, PlaDocument, SubjectRegistry, Violation};
+use bi_pla::{CheckProgram, CombinedPolicy, EnforcementKey, PlaDocument, SubjectRegistry, Violation};
 use bi_query::Catalog;
-use bi_report::{render_checked, ComplianceResult, EngineConfig, EnforcedReport, MetaIndex, MetaReport, ReportSpec};
+use bi_report::{render_checked, ComplianceResult, EngineConfig, EnforcedReport, MetaIndex, MetaReport, RenderOutcome, ReportSpec};
 use bi_types::{ConsumerId, Date, ReportId, RoleId, SourceId};
 use bi_warehouse::Warehouse;
+
+use crate::render_cache::{RenderCache, DEFAULT_CAPACITY as DEFAULT_RENDER_CACHE_CAPACITY};
+use crate::scheduler::{self, RenderedDelivery, Slot};
 
 /// Errors surfaced by the facade.
 #[derive(Debug)]
@@ -89,6 +92,10 @@ struct PolicyCacheState {
     /// full delivery policy. Entries are valid only while both the
     /// policy epoch and the data epoch they were compiled under match.
     programs: BTreeMap<(ReportId, bool), CachedProgram>,
+    /// PLA-id binding list for delivery documents, rebuilt only when a
+    /// PLA mutation bumps the epoch (it is derived from `documents` +
+    /// meta-report annotations, exactly what the epoch counts).
+    binding: Option<(u64, Arc<Vec<bi_types::PlaId>>)>,
 }
 
 /// One cached compiled check program with its validity key.
@@ -96,15 +103,6 @@ struct CachedProgram {
     policy_epoch: u64,
     data_epoch: u64,
     program: CheckProgram,
-}
-
-/// One gate-and-enforce outcome, rendered but not yet journaled.
-/// Produced by [`BiSystem::render_one`] under `&self`, consumed by the
-/// serialized journal append.
-struct RenderedDelivery {
-    report: Arc<ReportSpec>,
-    effective: BTreeSet<RoleId>,
-    result: Result<EnforcedReport, bi_report::ReportError>,
 }
 
 /// The whole outsourced-BI deployment: sources + PLAs + ETL + warehouse
@@ -133,6 +131,11 @@ pub struct BiSystem {
     /// Next delivery trace number; trace 0 is reserved for entries
     /// journaled outside a live engine ([`Provenance::default`]).
     next_trace: u64,
+    /// Collapse enforcement-equivalent requests in `deliver_batch` to
+    /// one shared render (on by default; see [`crate::scheduler`]).
+    share_renders: bool,
+    /// Cross-batch render cache keyed by [`EnforcementKey`].
+    render_cache: RenderCache,
 }
 
 impl BiSystem {
@@ -154,7 +157,25 @@ impl BiSystem {
             data_epoch: 0,
             policy_cache: Mutex::new(PolicyCacheState::default()),
             next_trace: 1,
+            share_renders: true,
+            render_cache: RenderCache::new(DEFAULT_RENDER_CACHE_CAPACITY),
         }
+    }
+
+    /// Enables or disables cross-consumer render sharing in
+    /// [`BiSystem::deliver_batch`] (on by default). Off, every request
+    /// renders individually — the baseline the shared scheduler is
+    /// benchmarked against.
+    pub fn set_render_sharing(&mut self, share: bool) {
+        self.share_renders = share;
+    }
+
+    /// Bounds the cross-batch render cache, in cached renders; `0`
+    /// disables it (shrinking evicts immediately). Sharing *within* one
+    /// batch is unaffected — see [`BiSystem::set_render_sharing`].
+    pub fn set_render_cache_capacity(&mut self, capacity: usize) {
+        let obs = self.engine.exec.obs.clone();
+        self.render_cache.set_capacity(capacity, &obs);
     }
 
     /// Assigns the next delivery trace id (request order).
@@ -174,6 +195,9 @@ impl BiSystem {
         }
         self.sources.insert(sid, catalog);
         self.data_epoch += 1;
+        // Source attribution feeds join-permission checks but is not
+        // part of the enforcement key — drop cached renders outright.
+        self.render_cache.clear();
     }
 
     /// Registers a PLA document (from any level).
@@ -249,8 +273,11 @@ impl BiSystem {
         &mut self.subjects
     }
 
-    /// Engine configuration (pseudonym keys, hierarchies).
+    /// Engine configuration (pseudonym keys, hierarchies). Engine knobs
+    /// change render output without bumping any epoch the enforcement
+    /// key sees, so handing out mutable access drops cached renders.
     pub fn engine_mut(&mut self) -> &mut EngineConfig {
+        self.render_cache.clear();
         &mut self.engine
     }
 
@@ -264,6 +291,10 @@ impl BiSystem {
     /// check programs depend on.
     pub fn warehouse_mut(&mut self) -> &mut Warehouse {
         self.data_epoch += 1;
+        // Table content changes re-key naturally (storage versions),
+        // but schema/refs surgery through this handle might not; keep
+        // the invariant simple and drop cached renders.
+        self.render_cache.clear();
         &mut self.warehouse
     }
 
@@ -323,12 +354,14 @@ impl BiSystem {
     /// deep-copying the plan.
     pub fn define_report(&mut self, report: ReportSpec) {
         self.evict_programs(&report.id);
+        self.render_cache.evict_report(&report.id);
         self.reports.insert(report.id.clone(), Arc::new(report));
     }
 
     /// Removes a report definition.
     pub fn remove_report(&mut self, id: &ReportId) -> bool {
         self.evict_programs(id);
+        self.render_cache.evict_report(id);
         self.reports.remove(id).is_some()
     }
 
@@ -447,27 +480,31 @@ impl BiSystem {
         Ok(result)
     }
 
+    /// The effective role set the gate sees: the consumer's held roles
+    /// intersected with the report's declared distribution list. The
+    /// whole enforcement pipeline depends on the consumer only through
+    /// this set — which is what makes renders shareable.
+    fn effective_roles(&self, report: &ReportSpec, consumer: &ConsumerId) -> BTreeSet<RoleId> {
+        let roles = self.subjects.roles_of(consumer);
+        roles.intersection(&report.consumers).cloned().collect()
+    }
+
     /// Everything [`BiSystem::deliver`] does short of the journal append:
-    /// resolve the report, intersect roles, gate, enforce. Takes `&self`
-    /// and an explicit policy snapshot, so a batch can render many
-    /// requests concurrently.
+    /// gate, enforce, render. Takes `&self`, an explicit policy snapshot
+    /// and a pre-computed effective role set — never the consumer's
+    /// identity — so a batch can render one representative per
+    /// equivalence group concurrently and share the outcome.
     ///
-    /// The outer `Err` holds errors that are not deliveries (unknown
-    /// report, bad plans) and bypass the journal; the inner `Err` is a
-    /// compliance refusal, which the journal records.
+    /// `Err` holds errors that are not deliveries (bad plans, unknown
+    /// tables) and bypass the journal; a compliance refusal is a
+    /// *success* here ([`RenderOutcome::Refused`]), which the journal
+    /// records per consumer.
     fn render_one(
         &self,
-        id: &ReportId,
-        consumer: &ConsumerId,
+        report: &Arc<ReportSpec>,
+        effective: &BTreeSet<RoleId>,
         policy: &CombinedPolicy,
     ) -> Result<RenderedDelivery, SystemError> {
-        let report = Arc::clone(
-            self.reports.get(id).ok_or_else(|| SystemError::UnknownReport(id.clone()))?,
-        );
-        let roles: BTreeSet<_> = self.subjects.roles_of(consumer);
-        // The consumer must hold one of the report's declared roles; the
-        // effective roles for PLA checks are the intersection.
-        let effective: BTreeSet<_> = roles.intersection(&report.consumers).cloned().collect();
         // A consumer holding NONE of the report's declared roles is
         // refused outright — the role list is the distribution list,
         // regardless of whether any attribute is role-restricted. The
@@ -476,65 +513,58 @@ impl BiSystem {
         if effective.is_empty() && !report.consumers.is_empty() {
             upfront.push(Violation {
                 kind: "distribution".into(),
-                description: format!(
-                    "consumer {consumer} holds none of the report's roles"
-                ),
-                subject: id.to_string(),
+                description: "consumer holds none of the report's declared roles".into(),
+                subject: report.id.to_string(),
             });
         }
         upfront.extend(self.multi_source_violations(&report.plan, policy)?);
 
         // Compliance + enforcement: fetch the plan's compiled check
         // program (cached across consumers and deliveries of this
-        // report), run it for this consumer's effective roles, render
-        // under the resulting obligations.
+        // report), run it for the effective roles, render under the
+        // resulting obligations.
         let result: Result<EnforcedReport, bi_report::ReportError> = if !upfront.is_empty() {
             Err(bi_report::ReportError::NonCompliant { violations: upfront })
         } else {
-            self.check_program(&report, policy, false)
-                .and_then(|program| program.run(&effective, report.purpose.as_deref(), self.today))
+            self.check_program(report, policy, false)
+                .and_then(|program| program.run(effective, report.purpose.as_deref(), self.today))
                 .map_err(bi_report::ReportError::from)
                 .and_then(|outcome| {
-                    render_checked(&report, self.warehouse.catalog(), outcome, &self.engine)
+                    render_checked(report, self.warehouse.catalog(), outcome, &self.engine)
                 })
         };
-        // Compliance refusals are journaled for the auditor; other errors
-        // (unknown tables, bad plans) are not deliveries and bypass the
-        // journal, exactly as before.
-        match result {
-            Err(e) if !matches!(e, bi_report::ReportError::NonCompliant { .. }) => {
-                Err(SystemError::Report(e))
-            }
-            result => Ok(RenderedDelivery { report, effective, result }),
-        }
+        // Compliance refusals fold into the shareable outcome; other
+        // errors (unknown tables, bad plans) are not deliveries and
+        // bypass the journal, exactly as before.
+        let outcome = RenderOutcome::from_result(result).map_err(SystemError::Report)?;
+        Ok(RenderedDelivery {
+            report: Arc::clone(report),
+            effective: effective.clone(),
+            outcome,
+        })
     }
 
     /// Appends one rendered delivery (or refusal) to the audit journal,
-    /// handing the result back to the caller.
+    /// handing the per-consumer result back to the caller. Borrows the
+    /// render: a shared outcome is journaled once per group member, each
+    /// under its own consumer and trace id.
     fn journal_delivery(
         &mut self,
         consumer: &ConsumerId,
         trace: TraceId,
-        rendered: RenderedDelivery,
+        rendered: &RenderedDelivery,
     ) -> Result<EnforcedReport, bi_report::ReportError> {
         let obs = self.engine.exec.obs.clone();
-        let (applied, outcome) = match &rendered.result {
-            Ok(enforced) => (
+        let (applied, outcome) = match &rendered.outcome {
+            RenderOutcome::Delivered(enforced) => (
                 enforced.applied.clone(),
                 Outcome::Delivered {
                     rows: enforced.table.len(),
                     suppressed_groups: enforced.suppressed_groups,
                 },
             ),
-            Err(bi_report::ReportError::NonCompliant { violations }) => {
+            RenderOutcome::Refused(violations) => {
                 (Vec::new(), Outcome::Refused { violations: violations.clone() })
-            }
-            // `render_one` keeps every other error out of the journal;
-            // should one slip through, hand it back un-journaled rather
-            // than taking the whole delivery loop down.
-            Err(_) => {
-                obs.count(Counter::DeliverErrors);
-                return rendered.result;
             }
         };
         match &outcome {
@@ -544,7 +574,7 @@ impl BiSystem {
         self.log.record(
             self.today,
             consumer.clone(),
-            rendered.effective,
+            rendered.effective.clone(),
             rendered.report.id.clone(),
             rendered.report.plan.clone(),
             rendered.report.purpose.clone(),
@@ -554,7 +584,7 @@ impl BiSystem {
         );
         obs.count(Counter::AuditAppends);
         obs.trace(trace);
-        rendered.result
+        rendered.outcome.to_result()
     }
 
     /// Delivers a report to a consumer: compliance gate + enforcement +
@@ -564,33 +594,58 @@ impl BiSystem {
         id: &ReportId,
         consumer: &ConsumerId,
     ) -> Result<EnforcedReport, SystemError> {
+        match self.reports.get(id).map(Arc::clone) {
+            Some(report) => self.deliver_resolved(&report, consumer),
+            None => {
+                let _ = self.next_trace();
+                let obs = &self.engine.exec.obs;
+                obs.count(Counter::DeliverRequests);
+                obs.count(Counter::DeliverErrors);
+                Err(SystemError::UnknownReport(id.clone()))
+            }
+        }
+    }
+
+    /// The serial delivery path for an already-resolved report: one
+    /// trace, one render, one journal append.
+    fn deliver_resolved(
+        &mut self,
+        report: &Arc<ReportSpec>,
+        consumer: &ConsumerId,
+    ) -> Result<EnforcedReport, SystemError> {
         let trace = self.next_trace();
         let obs = self.engine.exec.obs.clone();
         obs.count(Counter::DeliverRequests);
         let policy = self.policy();
         let rendered = {
             let _span = obs.span(SpanKind::DeliverRender);
-            self.render_one(id, consumer, &policy)
+            let effective = self.effective_roles(report, consumer);
+            self.render_one(report, &effective, &policy)
         };
-        let rendered = match rendered {
-            Ok(r) => r,
+        match rendered {
+            Ok(r) => self.journal_delivery(consumer, trace, &r).map_err(SystemError::Report),
             Err(e) => {
                 obs.count(Counter::DeliverErrors);
-                return Err(e);
+                Err(e)
             }
-        };
-        self.journal_delivery(consumer, trace, rendered).map_err(SystemError::Report)
+        }
     }
 
     /// Delivers many `(report, consumer)` pairs under ONE policy
     /// snapshot, rendering them concurrently on the engine's
     /// [`ExecConfig`](bi_exec::ExecConfig) (`engine_mut().exec`).
     ///
-    /// Rendering is a read-only fan-out over `&self`; only the audit
-    /// journal append is serialized, in request order, after every
-    /// render has finished — so journal sequence numbers, like the
-    /// returned results, line up with `requests` regardless of thread
-    /// count, and a mid-batch PLA mutation is impossible by construction.
+    /// Requests are first folded into *enforcement-equivalence groups*
+    /// (same report, same effective role set, same policy epoch, same
+    /// source storage versions — see [`EnforcementKey`]): the gate and
+    /// the engine never look at the consumer's identity, so one
+    /// representative render serves every member of a group, and a
+    /// bounded cross-batch cache serves repeat groups without rendering
+    /// at all. Unique renders still fan out in parallel over `&self`;
+    /// the audit journal append stays serialized in request order, so
+    /// journal sequence numbers, trace ids and the returned results line
+    /// up with `requests` regardless of thread count or sharing, and a
+    /// mid-batch PLA mutation is impossible by construction.
     pub fn deliver_batch(
         &mut self,
         requests: &[(ReportId, ConsumerId)],
@@ -603,21 +658,119 @@ impl BiSystem {
         obs.add(Counter::DeliverRequests, requests.len() as u64);
         let policy = self.policy();
         let cfg = self.engine.exec.clone();
-        let rendered: Vec<Result<RenderedDelivery, SystemError>> =
-            bi_exec::par_map(&cfg, requests, |(id, consumer)| {
+
+        // Phase 1 (serial): resolve + group by enforcement key. Source
+        // versions are looked up once per distinct report, not per
+        // request.
+        let mut versions: BTreeMap<ReportId, Option<Vec<(String, u64)>>> = BTreeMap::new();
+        let grouped = scheduler::group_requests(
+            requests,
+            self.share_renders,
+            |id| self.reports.get(id).map(Arc::clone),
+            |consumer| self.subjects.roles_of(consumer),
+            |report, effective| {
+                let v = versions.entry(report.id.clone()).or_insert_with(|| {
+                    bi_query::source_versions(&report.plan, self.warehouse.catalog()).ok()
+                });
+                v.as_ref().map(|sv| {
+                    EnforcementKey::new(
+                        report.id.clone(),
+                        effective,
+                        report.purpose.as_deref(),
+                        self.policy_epoch,
+                        sv.clone(),
+                    )
+                })
+            },
+        );
+
+        // Phase 2 (serial): probe the cross-batch render cache. A hit
+        // serves the whole group without rendering.
+        let mut outcomes: Vec<Option<Arc<RenderedDelivery>>> = Vec::new();
+        let mut from_cache: Vec<bool> = Vec::new();
+        for g in &grouped.groups {
+            let hit = g.key.as_ref().and_then(|k| self.render_cache.get(k, &obs));
+            from_cache.push(hit.is_some());
+            outcomes.push(hit);
+        }
+
+        // Phase 3 (parallel): render one representative per unserved
+        // group, fanning out over `&self`.
+        let need: Vec<usize> =
+            (0..grouped.groups.len()).filter(|&gi| outcomes[gi].is_none()).collect();
+        let fresh: Vec<Result<RenderedDelivery, SystemError>> =
+            bi_exec::par_map(&cfg, &need, |&gi| {
+                let g = &grouped.groups[gi];
                 let _span = cfg.obs.span(SpanKind::DeliverRender);
-                self.render_one(id, consumer, &policy)
+                self.render_one(&g.report, &g.effective, &policy)
             });
-        rendered
-            .into_iter()
-            .zip(requests.iter().zip(traces))
-            .map(|(r, ((_, consumer), trace))| match r {
-                Ok(rendered) => {
-                    self.journal_delivery(consumer, trace, rendered).map_err(SystemError::Report)
+
+        // Phase 4 (serial): commit fresh renders — share them with the
+        // cache and count unique/shared work.
+        let mut failures: Vec<Option<SystemError>> = Vec::new();
+        failures.resize_with(grouped.groups.len(), || None);
+        for (&gi, rendered) in need.iter().zip(fresh) {
+            match rendered {
+                Ok(r) => {
+                    obs.count(Counter::DeliverRenderUnique);
+                    let shared = Arc::new(r);
+                    if let Some(k) = &grouped.groups[gi].key {
+                        self.render_cache.insert(k.clone(), Arc::clone(&shared), &obs);
+                    }
+                    outcomes[gi] = Some(shared);
                 }
-                Err(e) => {
+                Err(e) => failures[gi] = Some(e),
+            }
+        }
+        let shared_total: u64 = grouped
+            .groups
+            .iter()
+            .enumerate()
+            .filter(|&(gi, _)| outcomes[gi].is_some())
+            .map(|(gi, g)| (g.members.len() - usize::from(!from_cache[gi])) as u64)
+            .sum();
+        if shared_total > 0 {
+            obs.add(Counter::DeliverRenderShared, shared_total);
+        }
+
+        // Phase 5 (serial): journal per consumer, in request order.
+        // Errors are not shareable (not `Clone`): the first member of a
+        // failed group takes the stored error, later members re-render
+        // individually — exactly the work a serial loop would have done.
+        requests
+            .iter()
+            .zip(grouped.slots.iter().zip(traces))
+            .map(|((id, consumer), (slot, trace))| match *slot {
+                Slot::Unknown => {
                     obs.count(Counter::DeliverErrors);
-                    Err(e)
+                    Err(SystemError::UnknownReport(id.clone()))
+                }
+                Slot::Group(gi) => {
+                    if let Some(shared) = &outcomes[gi] {
+                        let shared = Arc::clone(shared);
+                        return self
+                            .journal_delivery(consumer, trace, &shared)
+                            .map_err(SystemError::Report);
+                    }
+                    if let Some(e) = failures[gi].take() {
+                        obs.count(Counter::DeliverErrors);
+                        return Err(e);
+                    }
+                    let g = &grouped.groups[gi];
+                    let rendered = {
+                        let _span = obs.span(SpanKind::DeliverRender);
+                        self.render_one(&g.report, &g.effective, &policy)
+                    };
+                    match rendered {
+                        Ok(r) => {
+                            obs.count(Counter::DeliverRenderUnique);
+                            self.journal_delivery(consumer, trace, &r).map_err(SystemError::Report)
+                        }
+                        Err(e) => {
+                            obs.count(Counter::DeliverErrors);
+                            Err(e)
+                        }
+                    }
                 }
             })
             .collect()
@@ -637,23 +790,43 @@ impl BiSystem {
         out
     }
 
+    /// The PLA-id binding shown on delivery documents (every registered
+    /// document plus meta-report annotations). Rebuilt only when a PLA
+    /// mutation bumps the policy epoch; served from the policy cache
+    /// otherwise.
+    fn pla_binding(&self) -> Arc<Vec<bi_types::PlaId>> {
+        let mut cache = self.policy_cache.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some((epoch, binding)) = &cache.binding {
+            if *epoch == self.policy_epoch {
+                return Arc::clone(binding);
+            }
+        }
+        let binding: Arc<Vec<bi_types::PlaId>> = Arc::new(
+            self.documents
+                .iter()
+                .map(|d| d.id.clone())
+                .chain(self.metas.iter().flat_map(|m| m.annotations.iter().map(|d| d.id.clone())))
+                .collect(),
+        );
+        cache.binding = Some((self.policy_epoch, Arc::clone(&binding)));
+        binding
+    }
+
     /// Delivers a report and renders the consumer-facing delivery
-    /// document (table + audit context) in one step.
+    /// document (table + audit context) in one step. The report is
+    /// resolved once and the PLA binding comes cached per policy epoch.
     pub fn deliver_document(
         &mut self,
         id: &ReportId,
         consumer: &ConsumerId,
     ) -> Result<String, SystemError> {
-        let binding: Vec<bi_types::PlaId> = self
-            .documents
-            .iter()
-            .map(|d| d.id.clone())
-            .chain(self.metas.iter().flat_map(|m| m.annotations.iter().map(|d| d.id.clone())))
-            .collect();
-        let spec = Arc::clone(
-            self.reports.get(id).ok_or_else(|| SystemError::UnknownReport(id.clone()))?,
-        );
-        let enforced = self.deliver(id, consumer)?;
+        let spec = self
+            .reports
+            .get(id)
+            .map(Arc::clone)
+            .ok_or_else(|| SystemError::UnknownReport(id.clone()))?;
+        let enforced = self.deliver_resolved(&spec, consumer)?;
+        let binding = self.pla_binding();
         Ok(bi_report::render::delivery_document(&spec, &enforced, consumer, self.today, &binding))
     }
 

@@ -45,7 +45,9 @@ pub const MORSEL_ROWS: usize = 4096;
 /// reports into. The handle is an `Option<Arc<_>>` internally, so the
 /// default (disabled) config stays trivially cheap to clone and the
 /// recorder never influences what the engine computes — equality
-/// deliberately compares only `threads` and `columnar`.
+/// deliberately compares only the execution *shape* (`threads`,
+/// `columnar`, `pipeline`, `pinned`), never the recorder or cache
+/// bounds.
 #[derive(Debug, Clone)]
 pub struct ExecConfig {
     /// Number of worker threads. `1` = serial inline execution.
@@ -63,10 +65,20 @@ pub struct ExecConfig {
     /// operators deterministically on any host, including a 1-core CI
     /// box where the cost model would otherwise always pick serial.
     pub pinned: bool,
+    /// Bound on the process-wide version-keyed column chunk cache, in
+    /// cached columns. `0` disables caching entirely (every conversion
+    /// rebuilds). Like `obs`, this is a strategy knob — it can change
+    /// which counters fire, never what the engine computes — so it is
+    /// excluded from equality.
+    pub chunk_cache_capacity: usize,
     /// Observability recorder; [`Obs::disabled`] (the default) is a
     /// true no-op on every hot path.
     pub obs: Obs,
 }
+
+/// Default bound on the version-keyed column chunk cache (in cached
+/// columns) — the value `ExecConfig::serial()`/`columnar()` start from.
+pub const DEFAULT_CHUNK_CACHE_CAPACITY: usize = 512;
 
 impl PartialEq for ExecConfig {
     fn eq(&self, other: &Self) -> bool {
@@ -93,7 +105,14 @@ impl ExecConfig {
     /// Serial row-at-a-time execution on the caller's thread (the
     /// default, and the oracle every other configuration must match).
     pub const fn serial() -> Self {
-        ExecConfig { threads: 1, columnar: false, pipeline: true, pinned: false, obs: Obs::disabled() }
+        ExecConfig {
+            threads: 1,
+            columnar: false,
+            pipeline: true,
+            pinned: false,
+            chunk_cache_capacity: DEFAULT_CHUNK_CACHE_CAPACITY,
+            obs: Obs::disabled(),
+        }
     }
 
     /// One worker per available core (falls back to serial when the
@@ -114,7 +133,14 @@ impl ExecConfig {
 
     /// Single-threaded execution with columnar operators enabled.
     pub const fn columnar() -> Self {
-        ExecConfig { threads: 1, columnar: true, pipeline: true, pinned: false, obs: Obs::disabled() }
+        ExecConfig {
+            threads: 1,
+            columnar: true,
+            pipeline: true,
+            pinned: false,
+            chunk_cache_capacity: DEFAULT_CHUNK_CACHE_CAPACITY,
+            obs: Obs::disabled(),
+        }
     }
 
     /// Builder: the same configuration with fused pipeline execution
@@ -154,6 +180,12 @@ impl ExecConfig {
     /// [`Obs::enabled`] to record, [`Obs::disabled`] to stop.
     pub fn with_obs(self, obs: Obs) -> Self {
         ExecConfig { obs, ..self }
+    }
+
+    /// Builder: the same execution shape with a different bound on the
+    /// version-keyed column chunk cache. `0` disables caching.
+    pub fn with_chunk_cache_capacity(self, chunk_cache_capacity: usize) -> Self {
+        ExecConfig { chunk_cache_capacity, ..self }
     }
 
     /// True when this configuration runs everything inline.

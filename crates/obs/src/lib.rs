@@ -197,6 +197,21 @@ counters! {
     /// differ under stage-major vs morsel-major evaluation order) is
     /// the one reported. Never an error path by itself.
     PipelineFallbackError => "pipeline.fallback.error",
+    /// A batch delivery group actually rendered (gate + enforce ran
+    /// once for the whole equivalence class).
+    DeliverRenderUnique => "deliver.render.unique",
+    /// A batch request served by another request's render — same
+    /// enforcement-equivalence key, no render of its own.
+    DeliverRenderShared => "deliver.render.shared",
+    /// Cross-batch render cache served a whole group without rendering
+    /// (strategy counter — excluded from snapshot equality).
+    RenderCacheHit => "render.cache.hit",
+    /// Cross-batch render cache had no entry for a group's key
+    /// (strategy counter — excluded from snapshot equality).
+    RenderCacheMiss => "render.cache.miss",
+    /// Render-cache entries dropped to respect the capacity bound
+    /// (strategy counter — excluded from snapshot equality).
+    RenderCacheEvict => "render.cache.evict",
 }
 
 /// True for *strategy* counters: they describe which engine the cost
@@ -206,7 +221,9 @@ counters! {
 /// alone. [`ObsSnapshot`] equality compares only workload counters, so
 /// the determinism contract survives adaptive execution.
 pub fn is_strategy_counter(name: &str) -> bool {
-    name.starts_with("chunk.cache.") || name.starts_with("plan.choice.")
+    name.starts_with("chunk.cache.")
+        || name.starts_with("plan.choice.")
+        || name.starts_with("render.cache.")
 }
 
 /// Declares the closed span set: enum + names + static taxonomy depth.
@@ -576,7 +593,11 @@ mod tests {
     fn strategy_counters_do_not_break_equality() {
         assert!(is_strategy_counter("chunk.cache.hit"));
         assert!(is_strategy_counter("plan.choice.serial"));
+        assert!(is_strategy_counter("render.cache.hit"));
+        assert!(is_strategy_counter("render.cache.evict"));
         assert!(!is_strategy_counter("query.op.scan"));
+        assert!(!is_strategy_counter("deliver.render.unique"));
+        assert!(!is_strategy_counter("deliver.render.shared"));
         let a = Obs::enabled();
         let b = Obs::enabled();
         for obs in [&a, &b] {

@@ -1,0 +1,139 @@
+//! Enforcement-equivalence fingerprints.
+//!
+//! Two delivery requests are *enforcement-equivalent* when every input
+//! the compliance gate and the report engine consult is identical:
+//!
+//! * the **report** — fixes the plan, purpose, declared role scope and
+//!   engine knobs bound to the definition;
+//! * the **effective role set** — the intersection of the consumer's
+//!   roles with the report's declared consumers. The gate never looks
+//!   at the consumer identity itself, only at this set (and the
+//!   journal, which is per-consumer, is written outside the render);
+//! * the **policy epoch** — the combined policy and every compiled
+//!   check program are cached per epoch, so equal epochs mean the very
+//!   same policy object decides both requests;
+//! * the **source storage versions** — one `(table, version)` pair per
+//!   base table the plan reads. Versions are process-unique per
+//!   row-storage content, so equal vectors imply the render scans
+//!   identical rows.
+//!
+//! Requests sharing an [`EnforcementKey`] therefore produce the same
+//! gate outcome and byte-identical enforced tables — render once,
+//! share the result (refusals share under the same key). The key is a
+//! **structured exact value**, not a hash: a fingerprint collision in a
+//! privacy gate would deliver someone else's report, so we spend a few
+//! allocations on full comparison instead.
+
+use std::collections::BTreeSet;
+
+use bi_types::{ReportId, RoleId};
+
+/// Canonical fingerprint of everything enforcement consults for one
+/// delivery request. `Ord`/`Hash` so it can key group maps and the
+/// cross-batch render cache.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EnforcementKey {
+    report: ReportId,
+    /// Effective roles, sorted (canonical: built from a `BTreeSet`).
+    roles: Vec<RoleId>,
+    purpose: Option<String>,
+    policy_epoch: u64,
+    /// `(base table, storage version)` sorted by table name.
+    source_versions: Vec<(String, u64)>,
+}
+
+impl EnforcementKey {
+    /// Builds the canonical key. `effective` is the consumer's roles
+    /// intersected with the report's declared consumers;
+    /// `source_versions` is the plan's base-table version vector (any
+    /// order — it is canonicalized here).
+    pub fn new(
+        report: ReportId,
+        effective: &BTreeSet<RoleId>,
+        purpose: Option<&str>,
+        policy_epoch: u64,
+        mut source_versions: Vec<(String, u64)>,
+    ) -> Self {
+        source_versions.sort();
+        source_versions.dedup();
+        EnforcementKey {
+            report,
+            roles: effective.iter().cloned().collect(),
+            purpose: purpose.map(str::to_string),
+            policy_epoch,
+            source_versions,
+        }
+    }
+
+    /// The report this key fingerprints — eviction by report id walks
+    /// cache keys through this accessor.
+    pub fn report(&self) -> &ReportId {
+        &self.report
+    }
+
+    /// The policy epoch baked into the key.
+    pub fn policy_epoch(&self) -> u64 {
+        self.policy_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roles(names: &[&str]) -> BTreeSet<RoleId> {
+        names.iter().map(|n| RoleId::new(*n)).collect()
+    }
+
+    #[test]
+    fn key_is_canonical_in_role_and_version_order() {
+        let a = EnforcementKey::new(
+            ReportId::new("r"),
+            &roles(&["analyst", "auditor"]),
+            Some("care"),
+            3,
+            vec![("b".into(), 2), ("a".into(), 1)],
+        );
+        let b = EnforcementKey::new(
+            ReportId::new("r"),
+            &roles(&["auditor", "analyst"]),
+            Some("care"),
+            3,
+            vec![("a".into(), 1), ("b".into(), 2), ("a".into(), 1)],
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_component_distinguishes() {
+        let base = |purpose: Option<&str>, epoch: u64, vs: Vec<(String, u64)>| {
+            EnforcementKey::new(ReportId::new("r"), &roles(&["analyst"]), purpose, epoch, vs)
+        };
+        let k = base(Some("care"), 1, vec![("t".into(), 1)]);
+        assert_ne!(k, base(None, 1, vec![("t".into(), 1)]));
+        assert_ne!(k, base(Some("care"), 2, vec![("t".into(), 1)]));
+        assert_ne!(k, base(Some("care"), 1, vec![("t".into(), 2)]));
+        assert_ne!(
+            k,
+            EnforcementKey::new(
+                ReportId::new("r"),
+                &roles(&["auditor"]),
+                Some("care"),
+                1,
+                vec![("t".into(), 1)],
+            )
+        );
+        assert_ne!(
+            k,
+            EnforcementKey::new(
+                ReportId::new("r2"),
+                &roles(&["analyst"]),
+                Some("care"),
+                1,
+                vec![("t".into(), 1)],
+            )
+        );
+        assert_eq!(k.report(), &ReportId::new("r"));
+        assert_eq!(k.policy_epoch(), 1);
+    }
+}

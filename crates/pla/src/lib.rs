@@ -40,6 +40,7 @@ pub mod combine;
 pub mod document;
 pub mod dsl;
 pub mod error;
+pub mod fingerprint;
 pub mod lint;
 pub mod rule;
 pub mod subject;
@@ -48,6 +49,7 @@ pub use check::{check_plan, CheckOutcome, CheckProgram, Obligation, Violation};
 pub use combine::{CombinedPolicy, Conflict};
 pub use document::{PlaDocument, PlaLevel};
 pub use error::PlaError;
+pub use fingerprint::EnforcementKey;
 pub use lint::{lint_document, LintWarning};
 pub use rule::{AnonMethod, AttrRef, PlaRule};
 pub use subject::SubjectRegistry;

@@ -215,7 +215,7 @@ fn sort_with(
         let idxs: Result<Vec<usize>, _> =
             keys.iter().map(|k| t.schema().index_of(&k.column)).collect();
         if let Ok(idxs) = idxs {
-            match bi_relation::ColumnChunk::from_table_cols_cached(t, &idxs, &cfg.obs) {
+            match bi_relation::ColumnChunk::from_table_cols_cached(t, &idxs, cfg) {
                 Ok(chunk) => {
                     cfg.obs.count(Counter::ColumnarConvert);
                     let spec: Vec<(usize, bool)> =
@@ -453,7 +453,7 @@ fn join_columnar(
             return Ok(None);
         }
     }
-    let lchunk = match ColumnChunk::from_table_cols_cached(left, &lks, &cfg.obs) {
+    let lchunk = match ColumnChunk::from_table_cols_cached(left, &lks, cfg) {
         Ok(c) => c,
         Err(e) => {
             cfg.obs.count(e.counter());
@@ -461,7 +461,7 @@ fn join_columnar(
             return Ok(None);
         }
     };
-    let rchunk = match ColumnChunk::from_table_cols_cached(right, &rks, &cfg.obs) {
+    let rchunk = match ColumnChunk::from_table_cols_cached(right, &rks, cfg) {
         Ok(c) => c,
         Err(e) => {
             cfg.obs.count(e.counter());
@@ -819,7 +819,7 @@ fn aggregate_columnar(
     let (schema, arg_idx) = aggregate_header(input.schema(), group_by, aggs)?;
     let key_cols: Vec<usize> =
         group_by.iter().map(|g| input.schema().index_of(g)).collect::<Result<_, _>>()?;
-    let chunk = match ColumnChunk::from_table_cols_cached(input, &key_cols, &cfg.obs) {
+    let chunk = match ColumnChunk::from_table_cols_cached(input, &key_cols, cfg) {
         Ok(c) => c,
         Err(e) => {
             cfg.obs.count(e.counter());
@@ -871,7 +871,7 @@ fn aggregate_columnar(
         .iter()
         .map(|arg| {
             let c = (*arg)?;
-            match ColumnChunk::from_table_cols_cached(input, &[c], &cfg.obs) {
+            match ColumnChunk::from_table_cols_cached(input, &[c], cfg) {
                 Ok(ch) => Some(ch),
                 Err(e) => {
                     cfg.obs.count(e.counter());

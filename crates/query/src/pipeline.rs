@@ -416,7 +416,7 @@ fn run_chain(src: Table, chain: &Chain, cfg: &ExecConfig) -> Result<Table, Query
     let chunk = if compiled.kernel_cols.is_empty() {
         None
     } else {
-        match ColumnChunk::from_table_cols_cached(&src, &compiled.kernel_cols, &cfg.obs) {
+        match ColumnChunk::from_table_cols_cached(&src, &compiled.kernel_cols, cfg) {
             Ok(c) => {
                 cfg.obs.count(Counter::ColumnarConvert);
                 Some(c)

@@ -22,6 +22,12 @@
 //! the cache; test paths that inject tiny dictionary limits use the
 //! uncached constructors so their declines never pollute shared state.
 //!
+//! The bound is not baked in: callers thread
+//! [`bi_exec::ExecConfig::chunk_cache_capacity`] through (default 512 —
+//! a few hundred entries cover every base table and hot derived table
+//! of a working set many times over, while bounding memory when ETL
+//! churns versions). Capacity `0` disables caching entirely.
+//!
 //! Hits and misses are counted per column (`chunk.cache.hit/miss`).
 //! Both are *strategy* counters, excluded from [`bi_obs::ObsSnapshot`]
 //! equality: warmth depends on process history, not query shape.
@@ -35,12 +41,6 @@ use bi_exec::{Counter, Obs};
 use super::{build_column, Column, ColumnarError};
 use crate::table::Table;
 
-/// Cached columns kept across the whole process. Each entry is one
-/// column of one table version — a few hundred covers every base table
-/// and hot derived table of a working set many times over, while
-/// bounding memory when ETL churns versions.
-const CAPACITY: usize = 512;
-
 struct Entry {
     res: Result<Arc<Column>, ColumnarError>,
     /// Last-touch tick for LRU eviction.
@@ -53,25 +53,43 @@ struct Inner {
     tick: u64,
 }
 
-fn lock() -> MutexGuard<'static, Inner> {
+fn global() -> &'static Mutex<Inner> {
     static CACHE: OnceLock<Mutex<Inner>> = OnceLock::new();
-    CACHE
-        .get_or_init(|| Mutex::new(Inner::default()))
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
+    CACHE.get_or_init(|| Mutex::new(Inner::default()))
+}
+
+fn lock_in(cache: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    cache.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The column at schema position `c` of `table`, served from the cache
 /// when this storage version was converted before, built (and cached —
-/// including declines) otherwise.
+/// including declines) otherwise. `capacity` bounds the cache (in
+/// cached columns); `0` disables it — every call builds uncached and no
+/// cache counters fire. Callers thread it from
+/// [`bi_exec::ExecConfig::chunk_cache_capacity`].
 pub(crate) fn cached_column(
     table: &Table,
     c: usize,
     obs: &Obs,
+    capacity: usize,
 ) -> Result<Arc<Column>, ColumnarError> {
+    cached_column_in(global(), table, c, obs, capacity)
+}
+
+fn cached_column_in(
+    cache: &Mutex<Inner>,
+    table: &Table,
+    c: usize,
+    obs: &Obs,
+    capacity: usize,
+) -> Result<Arc<Column>, ColumnarError> {
+    if capacity == 0 {
+        return build(table, c).map(Arc::new);
+    }
     let key = (table.storage_version(), c);
     {
-        let mut inner = lock();
+        let mut inner = lock_in(cache);
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(e) = inner.map.get_mut(&key) {
@@ -83,22 +101,25 @@ pub(crate) fn cached_column(
     // Build outside the lock: conversion is O(rows) and must not stall
     // concurrent deliveries. Two threads racing on the same cold key
     // both build; the inserts agree (the version pins the content).
-    let col = table
-        .schema()
-        .columns()
-        .get(c)
-        .ok_or(ColumnarError::NoSuchColumn { index: c })
-        .and_then(|sc| build_column(table, c, sc.dtype, &sc.name, u32::MAX));
-    let res = col.map(Arc::new);
+    let res = build(table, c).map(Arc::new);
     obs.count(Counter::ChunkCacheMiss);
-    let mut inner = lock();
+    let mut inner = lock_in(cache);
     inner.tick += 1;
     let tick = inner.tick;
-    if inner.map.len() >= CAPACITY {
+    if inner.map.len() >= capacity {
         evict_oldest(&mut inner);
     }
     inner.map.insert(key, Entry { res: res.clone(), stamp: tick });
     res
+}
+
+fn build(table: &Table, c: usize) -> Result<Column, ColumnarError> {
+    table
+        .schema()
+        .columns()
+        .get(c)
+        .ok_or(ColumnarError::NoSuchColumn { index: c })
+        .and_then(|sc| build_column(table, c, sc.dtype, &sc.name, u32::MAX))
 }
 
 /// Drops the least-recently-touched eighth of the cache so insertions
@@ -113,20 +134,25 @@ fn evict_oldest(inner: &mut Inner) {
 /// Empties the cache. Benches use this to measure cold-vs-warm renders;
 /// production never needs it (version keys make invalidation automatic).
 pub fn clear() {
-    let mut inner = lock();
+    let mut inner = lock_in(global());
     inner.map.clear();
 }
 
 /// Number of cached columns (diagnostics and tests).
 pub fn len() -> usize {
-    lock().map.len()
+    lock_in(global()).map.len()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::column::{ColumnChunk, ColumnData};
+    use bi_exec::{ExecConfig, DEFAULT_CHUNK_CACHE_CAPACITY};
     use bi_types::{Column as SchemaColumn, DataType, Schema, Value};
+
+    fn observed_cfg() -> ExecConfig {
+        ExecConfig::serial().with_obs(Obs::enabled())
+    }
 
     fn table(rows: &[i64]) -> Table {
         let schema = Schema::new(vec![
@@ -145,13 +171,13 @@ mod tests {
     #[test]
     fn second_conversion_hits_and_shares() {
         let t = table(&[1, 2, 3, 4]);
-        let obs = Obs::enabled();
-        let a = ColumnChunk::from_table_cols_cached(&t, &[0, 1], &obs).unwrap();
-        let cold = obs.snapshot();
+        let cfg = observed_cfg();
+        let a = ColumnChunk::from_table_cols_cached(&t, &[0, 1], &cfg).unwrap();
+        let cold = cfg.obs.snapshot();
         assert_eq!(cold.counters.get("chunk.cache.miss"), Some(&2));
         assert_eq!(cold.counters.get("chunk.cache.hit"), None);
-        let b = ColumnChunk::from_table_cols_cached(&t, &[0, 1], &obs).unwrap();
-        let warm = obs.snapshot();
+        let b = ColumnChunk::from_table_cols_cached(&t, &[0, 1], &cfg).unwrap();
+        let warm = cfg.obs.snapshot();
         assert_eq!(warm.counters.get("chunk.cache.miss"), Some(&2));
         assert_eq!(warm.counters.get("chunk.cache.hit"), Some(&2));
         // The hit shares the very same column allocation.
@@ -162,10 +188,10 @@ mod tests {
     #[test]
     fn mutation_invalidates_by_version() {
         let mut t = table(&[1, 2, 3]);
-        let obs = Obs::enabled();
-        let a = ColumnChunk::from_table_cols_cached(&t, &[0], &obs).unwrap();
+        let cfg = observed_cfg();
+        let a = ColumnChunk::from_table_cols_cached(&t, &[0], &cfg).unwrap();
         t.push_row(vec![Value::Int(9), "s9".into()]).unwrap();
-        let b = ColumnChunk::from_table_cols_cached(&t, &[0], &obs).unwrap();
+        let b = ColumnChunk::from_table_cols_cached(&t, &[0], &cfg).unwrap();
         // The stale 3-row column must not serve the 4-row table.
         assert_eq!(a.len(), 3);
         assert_eq!(b.len(), 4);
@@ -173,7 +199,7 @@ mod tests {
             panic!("expected int column");
         };
         assert_eq!(v.as_slice(), &[1, 2, 3, 9]);
-        assert_eq!(obs.snapshot().counters.get("chunk.cache.hit"), None);
+        assert_eq!(cfg.obs.snapshot().counters.get("chunk.cache.hit"), None);
     }
 
     #[test]
@@ -184,8 +210,9 @@ mod tests {
                 .unwrap();
         let obs = Obs::enabled();
         let expect = ColumnarError::MixedNumeric { column: "f".into() };
-        assert_eq!(cached_column(&t, 0, &obs).unwrap_err(), expect);
-        assert_eq!(cached_column(&t, 0, &obs).unwrap_err(), expect);
+        let cap = DEFAULT_CHUNK_CACHE_CAPACITY;
+        assert_eq!(cached_column(&t, 0, &obs, cap).unwrap_err(), expect);
+        assert_eq!(cached_column(&t, 0, &obs, cap).unwrap_err(), expect);
         let snap = obs.snapshot();
         assert_eq!(snap.counters.get("chunk.cache.miss"), Some(&1));
         assert_eq!(snap.counters.get("chunk.cache.hit"), Some(&1));
@@ -195,11 +222,64 @@ mod tests {
     fn eviction_bounds_the_cache() {
         clear();
         let obs = Obs::disabled();
-        for i in 0..(CAPACITY + 64) {
+        let cap = DEFAULT_CHUNK_CACHE_CAPACITY;
+        for i in 0..(cap + 64) {
             let t = table(&[i as i64]);
-            let _ = cached_column(&t, 0, &obs);
+            let _ = cached_column(&t, 0, &obs, cap);
         }
-        assert!(len() <= CAPACITY, "cache grew past capacity: {}", len());
+        assert!(len() <= cap, "cache grew past capacity: {}", len());
         assert!(len() > 0);
+    }
+
+    #[test]
+    fn tiny_capacity_evicts_lru_and_never_serves_stale() {
+        // Private cache instance: the process-wide one is shared with
+        // concurrently running tests, so exact LRU assertions would race.
+        let cache = Mutex::new(Inner::default());
+        let obs = Obs::enabled();
+        let (t1, t2, t3) = (table(&[1]), table(&[2]), table(&[3]));
+        cached_column_in(&cache, &t1, 0, &obs, 2).unwrap();
+        cached_column_in(&cache, &t2, 0, &obs, 2).unwrap();
+        // Touch t1 so t2 becomes the LRU victim, then overflow.
+        cached_column_in(&cache, &t1, 0, &obs, 2).unwrap();
+        cached_column_in(&cache, &t3, 0, &obs, 2).unwrap();
+        assert!(lock_in(&cache).map.len() <= 2, "capacity-2 cache overflowed");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters.get("chunk.cache.miss"), Some(&3));
+        assert_eq!(snap.counters.get("chunk.cache.hit"), Some(&1));
+        // t1 (recently touched) survived; t2 (LRU) did not.
+        cached_column_in(&cache, &t1, 0, &obs, 2).unwrap();
+        cached_column_in(&cache, &t2, 0, &obs, 2).unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counters.get("chunk.cache.hit"), Some(&2));
+        assert_eq!(snap.counters.get("chunk.cache.miss"), Some(&4));
+        // Mutation draws a fresh storage version, so even a capacity-2
+        // cache can never serve stale rows.
+        let mut t = table(&[7, 8]);
+        let a = cached_column_in(&cache, &t, 0, &obs, 2).unwrap();
+        t.push_row(vec![Value::Int(9), "s9".into()]).unwrap();
+        let b = cached_column_in(&cache, &t, 0, &obs, 2).unwrap();
+        let (ColumnData::Int(va), ColumnData::Int(vb)) = (&a.data, &b.data) else {
+            panic!("expected int columns");
+        };
+        assert_eq!(va.as_slice(), &[7, 8]);
+        assert_eq!(vb.as_slice(), &[7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = Mutex::new(Inner::default());
+        let obs = Obs::enabled();
+        let t = table(&[1, 2]);
+        let a = cached_column_in(&cache, &t, 0, &obs, 0).unwrap();
+        let b = cached_column_in(&cache, &t, 0, &obs, 0).unwrap();
+        // Nothing stored, nothing counted, results still correct.
+        assert_eq!(lock_in(&cache).map.len(), 0);
+        assert!(obs.snapshot().counters.is_empty());
+        assert!(!Arc::ptr_eq(&a, &b));
+        let (ColumnData::Int(va), ColumnData::Int(vb)) = (&a.data, &b.data) else {
+            panic!("expected int columns");
+        };
+        assert_eq!(va.as_slice(), vb.as_slice());
     }
 }

@@ -726,7 +726,7 @@ pub fn filter_columnar_with_dict_limit(
     // cache; injected dictionary limits (test-only) stay uncached so
     // their declines never pollute shared state.
     let converted = if dict_limit == u32::MAX {
-        ColumnChunk::from_table_cols_cached(table, compiled.columns(), &cfg.obs)
+        ColumnChunk::from_table_cols_cached(table, compiled.columns(), cfg)
     } else {
         ColumnChunk::from_table_cols_with_dict_limit(table, compiled.columns(), dict_limit)
     };

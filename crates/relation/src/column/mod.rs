@@ -338,15 +338,20 @@ impl ColumnChunk {
     /// [`ColumnChunk::from_table_cols`] through the process-wide
     /// version-keyed column cache (see [`cache`]): columns already
     /// converted for this table's storage version are shared, not
-    /// rebuilt. Hits and misses are reported per column on `obs`
-    /// (`chunk.cache.hit` / `chunk.cache.miss`). Only the default
-    /// (unlimited) dictionary configuration is cacheable; callers that
-    /// inject test dictionary limits must use the uncached path.
+    /// rebuilt. Hits and misses are reported per column on `cfg.obs`
+    /// (`chunk.cache.hit` / `chunk.cache.miss`); the cache bound comes
+    /// from `cfg.chunk_cache_capacity` (`0` bypasses the cache). Only
+    /// the default (unlimited) dictionary configuration is cacheable;
+    /// callers that inject test dictionary limits must use the uncached
+    /// path.
     pub fn from_table_cols_cached(
         table: &Table,
         wanted: &[usize],
-        obs: &bi_exec::Obs,
+        cfg: &bi_exec::ExecConfig,
     ) -> Result<Self, ColumnarError> {
+        if cfg.chunk_cache_capacity == 0 {
+            return Self::from_table_cols(table, wanted);
+        }
         if table.len() > u32::MAX as usize {
             return Err(ColumnarError::TooManyRows { rows: table.len() });
         }
@@ -356,7 +361,7 @@ impl ColumnChunk {
             if schema.columns().get(c).is_none() {
                 return Err(ColumnarError::NoSuchColumn { index: c });
             }
-            cols[c] = Some(cache::cached_column(table, c, obs)?);
+            cols[c] = Some(cache::cached_column(table, c, &cfg.obs, cfg.chunk_cache_capacity)?);
         }
         Ok(ColumnChunk { name: table.name().to_string(), schema, cols, len: table.len() })
     }

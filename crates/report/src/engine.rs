@@ -65,6 +65,45 @@ pub struct EnforcedReport {
     pub suppressed_groups: usize,
 }
 
+/// A gate-and-enforce outcome in shareable form: the two *journalable*
+/// results of rendering a report for an effective role set. Unlike
+/// `Result<EnforcedReport, ReportError>` this type is `Clone` — a
+/// refusal carries only its violations — so one render can serve every
+/// enforcement-equivalent request in a batch and live in a cross-batch
+/// cache (`EnforcedReport` tables are Arc-backed CoW; cloning shares
+/// row storage, never copies it).
+#[derive(Debug, Clone)]
+pub enum RenderOutcome {
+    /// The gate passed and enforcement produced a deliverable table.
+    Delivered(EnforcedReport),
+    /// The gate refused; the violations are the journaled evidence.
+    Refused(Vec<bi_pla::Violation>),
+}
+
+impl RenderOutcome {
+    /// Folds a render result into shareable form. Only the compliance
+    /// refusal is journalable; any other error stays an `Err` for the
+    /// caller to surface un-shared.
+    pub fn from_result(result: Result<EnforcedReport, ReportError>) -> Result<Self, ReportError> {
+        match result {
+            Ok(enforced) => Ok(RenderOutcome::Delivered(enforced)),
+            Err(ReportError::NonCompliant { violations }) => Ok(RenderOutcome::Refused(violations)),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The per-consumer view of the shared outcome — exactly what a
+    /// serial render would have returned.
+    pub fn to_result(&self) -> Result<EnforcedReport, ReportError> {
+        match self {
+            RenderOutcome::Delivered(enforced) => Ok(enforced.clone()),
+            RenderOutcome::Refused(violations) => {
+                Err(ReportError::NonCompliant { violations: violations.clone() })
+            }
+        }
+    }
+}
+
 /// Hidden guard column for k-threshold enforcement.
 const K_GUARD: &str = "__k_guard";
 

@@ -39,7 +39,14 @@
 #     no-op — the fresh columnar timings are compared against the
 #     committed BENCH_columnar.json baseline (sizes present in both) and
 #     must stay within a 1.5x noise envelope before the baseline is
-#     overwritten.
+#     overwritten;
+#   * shared-render batch delivery (`bench_batch`): grouping equivalent
+#     requests must beat the unshared per-request fan-out by >= 3x on a
+#     20-profile batch with shared renders actually recorded
+#     (deliver.render.shared > 0), the identical warm batch must hit the
+#     cross-batch render cache, and after a storage-rebuilding ETL
+#     commit the cache must go quiet (zero hits) with the re-rendered
+#     batch matching the serial oracle (no stale serves).
 #
 # Usage: scripts/bench_smoke.sh [--full]
 #   --full  benchmark the 1M-row size too (slower)
@@ -57,6 +64,7 @@ fi
 PAR_OUT="BENCH_parallel.json"
 COL_OUT="BENCH_columnar.json"
 VM_OUT="BENCH_vm.json"
+BATCH_OUT="BENCH_batch.json"
 
 # Preserve the committed columnar baseline for the obs-overhead gate
 # before the fresh run overwrites it.
@@ -73,8 +81,10 @@ cargo run --release -q -p bi-bench --bin bench_parallel -- $MODE_FLAG --out "$PA
 cargo run --release -q -p bi-bench --bin bench_columnar -- $COL_FLAG --out "$COL_OUT"
 # shellcheck disable=SC2086
 cargo run --release -q -p bi-bench --bin bench_vm -- $COL_FLAG --out "$VM_OUT"
+# shellcheck disable=SC2086
+cargo run --release -q -p bi-bench --bin bench_batch -- $MODE_FLAG --out "$BATCH_OUT"
 
-python3 - "$PAR_OUT" "$COL_OUT" "$COL_BASELINE" "$VM_OUT" <<'PY'
+python3 - "$PAR_OUT" "$COL_OUT" "$COL_BASELINE" "$VM_OUT" "$BATCH_OUT" <<'PY'
 import json
 import sys
 
@@ -279,4 +289,43 @@ for op in largest["ops"]:
         )
 speedups = ", ".join(f"{o['op']} x{o['speedup']:.2f}" for o in largest["ops"])
 print(f"vm smoke OK: largest {largest['rows']} rows: {speedups}")
+
+with open(sys.argv[5]) as f:
+    batch = json.load(f)
+
+assert batch["requests"] > 0 and batch["profiles"] > 0, f"empty batch bench: {batch}"
+assert batch["unshared_ms"] > 0 and batch["shared_cold_ms"] > 0, f"untimed batch: {batch}"
+# One render per profile, the rest shared — the scheduler must actually
+# collapse the batch, not just not-crash.
+if batch["render_shared"] <= 0:
+    sys.exit(f"FAIL: batch delivery recorded no shared renders: {batch}")
+if batch["render_unique"] > batch["profiles"]:
+    sys.exit(
+        f"FAIL: {batch['render_unique']} unique renders for "
+        f"{batch['profiles']} profiles — equivalent requests did not collapse"
+    )
+if batch["speedup"] < 3.0:
+    sys.exit(
+        f"FAIL: shared batch delivery x{batch['speedup']:.2f} < 3.0 over the "
+        f"unshared fan-out ({batch['requests']} requests, "
+        f"unshared {batch['unshared_ms']:.1f} ms, "
+        f"shared {batch['shared_cold_ms']:.1f} ms)"
+    )
+# Cross-batch render cache: the identical warm batch hits; a
+# storage-rebuilding ETL commit re-keys everything (zero hits) and the
+# re-render matches the serial oracle.
+if batch["warm_cache_hits"] <= 0:
+    sys.exit(f"FAIL: warm batch recorded no render-cache hits: {batch}")
+if batch["post_etl_cache_hits"] != 0:
+    sys.exit(
+        f"FAIL: {batch['post_etl_cache_hits']} render-cache hit(s) after a "
+        f"storage-rebuilding ETL commit — the enforcement key missed an input"
+    )
+if batch["post_etl_stale"]:
+    sys.exit("FAIL: post-ETL batch diverged from the serial oracle (stale render served)")
+print(
+    f"batch smoke OK: {batch['requests']} requests / {batch['profiles']} profiles "
+    f"x{batch['speedup']:.2f} cold, x{batch['warm_speedup']:.2f} warm "
+    f"({batch['warm_cache_hits']} warm hits, 0 post-ETL hits)"
+)
 PY

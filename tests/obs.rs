@@ -112,9 +112,13 @@ fn snapshots_are_identical_across_thread_counts() {
     assert_eq!(base.counters.get("deliver.refused"), Some(&2));
     assert_eq!(base.counters.get("deliver.errors"), Some(&1));
     assert_eq!(base.counters.get("audit.journal.appends"), Some(&4));
-    // Render spans: one per request; batch span: one.
-    assert_eq!(base.spans.get("deliver.render").map(|s| s.count), Some(5));
+    // Render spans: one per equivalence group, not per request — the
+    // two alice/r-consumption requests share one render, the ghost
+    // never renders. 3 groups render, 1 request rides along shared.
+    assert_eq!(base.spans.get("deliver.render").map(|s| s.count), Some(3));
     assert_eq!(base.spans.get("deliver.batch").map(|s| s.count), Some(1));
+    assert_eq!(base.counters.get("deliver.render.unique"), Some(&3));
+    assert_eq!(base.counters.get("deliver.render.shared"), Some(&1));
     // Traces journaled in request order, skipping the ghost (trace 3).
     let nums: Vec<u64> = base.traces.iter().map(|t| t.value()).collect();
     assert_eq!(nums, vec![1, 2, 4, 5]);
