@@ -66,9 +66,15 @@ mod tests {
 
     #[test]
     fn displays() {
-        let e = AnonError::Unsatisfiable { k: 5, best_violations: 3 };
+        let e = AnonError::Unsatisfiable {
+            k: 5,
+            best_violations: 3,
+        };
         assert!(e.to_string().contains("k=5"));
-        let e = AnonError::NotInHierarchy { value: "flu".into(), hierarchy: "disease".into() };
+        let e = AnonError::NotInHierarchy {
+            value: "flu".into(),
+            hierarchy: "disease".into(),
+        };
         assert!(e.to_string().contains("flu"));
     }
 }

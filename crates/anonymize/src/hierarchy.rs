@@ -22,7 +22,11 @@ use crate::error::AnonError;
 pub enum Hierarchy {
     /// Explicit taxonomy: every leaf has a chain of ancestors. All chains
     /// are padded to the same height; the top is always `*`.
-    Categorical { name: String, chains: HashMap<String, Vec<String>>, height: usize },
+    Categorical {
+        name: String,
+        chains: HashMap<String, Vec<String>>,
+        height: usize,
+    },
     /// Fixed-width bins, one width per level (ascending). Values render
     /// as `[lo,hi)` intervals; the level above the last width is `*`.
     Numeric { name: String, widths: Vec<f64> },
@@ -87,7 +91,11 @@ impl CategoricalBuilder {
                 chain.insert(chain.len() - 1, root);
             }
         }
-        Ok(Hierarchy::Categorical { name, chains, height: max_height })
+        Ok(Hierarchy::Categorical {
+            name,
+            chains,
+            height: max_height,
+        })
     }
 }
 
@@ -95,12 +103,19 @@ impl Hierarchy {
     /// A numeric binning ladder with the given ascending widths.
     pub fn numeric(name: impl Into<String>, widths: Vec<f64>) -> Result<Self, AnonError> {
         if widths.is_empty() || widths.iter().any(|w| *w <= 0.0) {
-            return Err(AnonError::BadParams { reason: "numeric widths must be positive".into() });
+            return Err(AnonError::BadParams {
+                reason: "numeric widths must be positive".into(),
+            });
         }
         if widths.windows(2).any(|w| w[1] <= w[0]) {
-            return Err(AnonError::BadParams { reason: "numeric widths must be ascending".into() });
+            return Err(AnonError::BadParams {
+                reason: "numeric widths must be ascending".into(),
+            });
         }
-        Ok(Hierarchy::Numeric { name: name.into(), widths })
+        Ok(Hierarchy::Numeric {
+            name: name.into(),
+            widths,
+        })
     }
 
     /// The calendar ladder.
@@ -184,11 +199,20 @@ mod tests {
         let h = disease();
         assert_eq!(h.max_level(), 2);
         assert_eq!(h.apply(&"HIV".into(), 0).unwrap(), Value::from("HIV"));
-        assert_eq!(h.apply(&"HIV".into(), 1).unwrap(), Value::from("infectious"));
+        assert_eq!(
+            h.apply(&"HIV".into(), 1).unwrap(),
+            Value::from("infectious")
+        );
         assert_eq!(h.apply(&"HIV".into(), 2).unwrap(), Value::from("*"));
-        assert_eq!(h.apply(&"asthma".into(), 1).unwrap(), Value::from("respiratory"));
+        assert_eq!(
+            h.apply(&"asthma".into(), 1).unwrap(),
+            Value::from("respiratory")
+        );
         // Parents are domain values too.
-        assert_eq!(h.apply(&"infectious".into(), 1).unwrap(), Value::from("infectious"));
+        assert_eq!(
+            h.apply(&"infectious".into(), 1).unwrap(),
+            Value::from("infectious")
+        );
         assert!(matches!(
             h.apply(&"flu".into(), 1),
             Err(AnonError::NotInHierarchy { .. })
@@ -214,7 +238,10 @@ mod tests {
 
     #[test]
     fn cycles_rejected() {
-        let r = CategoricalBuilder::new().edge("a", "b").edge("b", "a").build("bad");
+        let r = CategoricalBuilder::new()
+            .edge("a", "b")
+            .edge("b", "a")
+            .build("bad");
         assert!(matches!(r, Err(AnonError::BadParams { .. })));
     }
 
@@ -224,7 +251,10 @@ mod tests {
         assert_eq!(h.max_level(), 3);
         assert_eq!(h.apply(&Value::Int(37), 1).unwrap(), Value::from("[30,40)"));
         assert_eq!(h.apply(&Value::Int(37), 2).unwrap(), Value::from("[0,50)"));
-        assert_eq!(h.apply(&Value::Int(60), 2).unwrap(), Value::from("[50,100)"));
+        assert_eq!(
+            h.apply(&Value::Int(60), 2).unwrap(),
+            Value::from("[50,100)")
+        );
         assert_eq!(h.apply(&Value::Int(60), 3).unwrap(), Value::from("*"));
         assert!(Hierarchy::numeric("bad", vec![50.0, 10.0]).is_err());
         assert!(Hierarchy::numeric("bad", vec![]).is_err());

@@ -85,7 +85,8 @@ pub fn generalize_table_with(
     if cfg.is_serial() {
         let mut out = Table::new(table.name().to_string(), schema);
         for row in table.rows() {
-            out.push_row(generalize_row(row)?).map_err(AnonError::from)?;
+            out.push_row(generalize_row(row)?)
+                .map_err(AnonError::from)?;
         }
         return Ok(out);
     }
@@ -94,10 +95,7 @@ pub fn generalize_table_with(
 }
 
 /// Partitions row indices into QI-equivalence classes.
-fn equivalence_classes(
-    table: &Table,
-    qi_idx: &[usize],
-) -> HashMap<Vec<Value>, Vec<usize>> {
+fn equivalence_classes(table: &Table, qi_idx: &[usize]) -> HashMap<Vec<Value>, Vec<usize>> {
     let mut classes: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
     for (i, row) in table.rows().iter().enumerate() {
         let key: Vec<Value> = qi_idx.iter().map(|&c| row[c].clone()).collect();
@@ -167,7 +165,10 @@ fn classed_groups(table: &Table, qi_idx: &[usize], cfg: &ExecConfig) -> (Vec<Vec
             return (classes, true);
         }
     }
-    (equivalence_classes(table, qi_idx).into_values().collect(), false)
+    (
+        equivalence_classes(table, qi_idx).into_values().collect(),
+        false,
+    )
 }
 
 /// Enumerates lattice nodes in ascending total height (BFS by sum).
@@ -233,10 +234,14 @@ pub fn kanonymize_with(
     cfg: &ExecConfig,
 ) -> Result<AnonResult, AnonError> {
     if k == 0 {
-        return Err(AnonError::BadParams { reason: "k must be at least 1".into() });
+        return Err(AnonError::BadParams {
+            reason: "k must be at least 1".into(),
+        });
     }
     if hierarchies.is_empty() {
-        return Err(AnonError::BadParams { reason: "at least one quasi-identifier required".into() });
+        return Err(AnonError::BadParams {
+            reason: "at least one quasi-identifier required".into(),
+        });
     }
     let _span = cfg.obs.span(bi_exec::SpanKind::AnonKanonymize);
     let maxima: Vec<usize> = hierarchies.iter().map(Hierarchy::max_level).collect();
@@ -255,8 +260,11 @@ pub fn kanonymize_with(
             .collect::<Result<_, _>>()
             .map_err(|e| AnonError::Relation(e.into()))?;
         let (classes, columnar) = classed_groups(&gen, &qi_idx, cfg);
-        let violating =
-            classes.iter().filter(|rows| rows.len() < k).map(|rows| rows.len()).sum::<usize>();
+        let violating = classes
+            .iter()
+            .filter(|rows| rows.len() < k)
+            .map(|rows| rows.len())
+            .sum::<usize>();
         let payload = (violating <= max_suppress).then_some((gen, classes, columnar));
         Ok((violating, payload))
     };
@@ -287,14 +295,22 @@ pub fn kanonymize_with(
         // count. Waves visited = heights 0..=chosen height.
         let obs = &cfg.obs;
         obs.add(bi_exec::Counter::AnonLatticeNodes, nodes_examined as u64);
-        obs.add(bi_exec::Counter::AnonLatticeWaves, node.iter().sum::<usize>() as u64 + 1);
+        obs.add(
+            bi_exec::Counter::AnonLatticeWaves,
+            node.iter().sum::<usize>() as u64 + 1,
+        );
         obs.add(bi_exec::Counter::AnonSuppressedRows, violating as u64);
         obs.count(if columnar {
             bi_exec::Counter::AnonQiColumnar
         } else {
             bi_exec::Counter::AnonQiRow
         });
-        Ok(AnonResult { table: out, levels: node, suppressed: violating, nodes_examined })
+        Ok(AnonResult {
+            table: out,
+            levels: node,
+            suppressed: violating,
+            nodes_examined,
+        })
     };
 
     let mut best_violations = usize::MAX;
@@ -315,12 +331,16 @@ pub fn kanonymize_with(
     for h in 0..=total {
         let mut nodes: Vec<Vec<usize>> = Vec::new();
         push_nodes_with_sum(&maxima, h, &mut Vec::new(), &mut nodes);
-        let evals: Vec<(usize, Option<Satisfying>)> =
-            bi_exec::try_par_map(cfg, &nodes, evaluate)?;
+        let evals: Vec<(usize, Option<Satisfying>)> = bi_exec::try_par_map(cfg, &nodes, evaluate)?;
         for (idx, (violating, payload)) in evals.into_iter().enumerate() {
             best_violations = best_violations.min(violating);
             if let Some(sat) = payload {
-                return accept(sat, nodes.swap_remove(idx), violating, examined_before + idx + 1);
+                return accept(
+                    sat,
+                    nodes.swap_remove(idx),
+                    violating,
+                    examined_before + idx + 1,
+                );
             }
         }
         examined_before += nodes.len();
@@ -401,7 +421,11 @@ mod tests {
         assert_eq!(res.table.column_values("Drug").unwrap().len(), 6);
         // Some generalization happened but not total suppression.
         assert!(res.levels.iter().sum::<usize>() >= 1);
-        assert!(res.levels.iter().zip(hiers().iter()).any(|(l, h)| *l < h.max_level()));
+        assert!(res
+            .levels
+            .iter()
+            .zip(hiers().iter())
+            .any(|(l, h)| *l < h.max_level()));
         assert!(res.nodes_examined >= 1);
     }
 
@@ -428,13 +452,17 @@ mod tests {
     fn suppression_budget_reduces_generalization() {
         let mut t = patients();
         // One outlier that would force heavy generalization.
-        t.push_row(vec!["HIV".into(), 99.into(), "DH".into()]).unwrap();
+        t.push_row(vec!["HIV".into(), 99.into(), "DH".into()])
+            .unwrap();
         let no_budget = kanonymize(&t, &hiers(), 2, 0).unwrap();
         let with_budget = kanonymize(&t, &hiers(), 2, 1).unwrap();
         assert!(with_budget.suppressed <= 1);
         let h_no: usize = no_budget.levels.iter().sum();
         let h_with: usize = with_budget.levels.iter().sum();
-        assert!(h_with <= h_no, "budget must not increase generalization height");
+        assert!(
+            h_with <= h_no,
+            "budget must not increase generalization height"
+        );
     }
 
     #[test]
@@ -460,8 +488,14 @@ mod tests {
     #[test]
     fn bad_params_rejected() {
         let t = patients();
-        assert!(matches!(kanonymize(&t, &hiers(), 0, 0), Err(AnonError::BadParams { .. })));
-        assert!(matches!(kanonymize(&t, &[], 2, 0), Err(AnonError::BadParams { .. })));
+        assert!(matches!(
+            kanonymize(&t, &hiers(), 0, 0),
+            Err(AnonError::BadParams { .. })
+        ));
+        assert!(matches!(
+            kanonymize(&t, &[], 2, 0),
+            Err(AnonError::BadParams { .. })
+        ));
     }
 
     /// Mismatched `levels`/`hierarchies` used to `assert_eq!`-panic;
@@ -481,7 +515,8 @@ mod tests {
     #[test]
     fn parallel_lattice_search_matches_serial() {
         let mut t = patients();
-        t.push_row(vec!["HIV".into(), 99.into(), "DH".into()]).unwrap();
+        t.push_row(vec!["HIV".into(), 99.into(), "DH".into()])
+            .unwrap();
         for (k, sup) in [(2, 0), (2, 1), (3, 0), (1, 0)] {
             let serial = kanonymize(&t, &hiers(), k, sup);
             for threads in [2, 8] {
@@ -522,7 +557,8 @@ mod tests {
     #[test]
     fn columnar_classes_match_row_classes() {
         let mut t = patients();
-        t.push_row(vec!["HIV".into(), 34.into(), "DH".into()]).unwrap();
+        t.push_row(vec!["HIV".into(), 34.into(), "DH".into()])
+            .unwrap();
         let qi_idx = vec![0usize, 1];
         let mut row_classes: Vec<Vec<usize>> =
             equivalence_classes(&t, &qi_idx).into_values().collect();
@@ -543,8 +579,13 @@ mod tests {
             assert_eq!(columnar.nodes_examined, serial.nodes_examined);
             assert_eq!(columnar.table.rows(), serial.table.rows());
         }
-        assert!(is_k_anonymous_with(&serial.table, &["Disease", "Age"], 2, &ExecConfig::columnar())
-            .unwrap());
+        assert!(is_k_anonymous_with(
+            &serial.table,
+            &["Disease", "Age"],
+            2,
+            &ExecConfig::columnar()
+        )
+        .unwrap());
     }
 
     #[test]

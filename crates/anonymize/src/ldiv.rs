@@ -47,7 +47,9 @@ pub fn is_l_diverse(
     l: usize,
 ) -> Result<bool, AnonError> {
     if l == 0 {
-        return Err(AnonError::BadParams { reason: "l must be at least 1".into() });
+        return Err(AnonError::BadParams {
+            reason: "l must be at least 1".into(),
+        });
     }
     Ok(classes_with_sensitive(table, qi, sensitive)?
         .values()
@@ -63,7 +65,9 @@ pub fn enforce_l_diversity(
     l: usize,
 ) -> Result<(Table, usize), AnonError> {
     if l == 0 {
-        return Err(AnonError::BadParams { reason: "l must be at least 1".into() });
+        return Err(AnonError::BadParams {
+            reason: "l must be at least 1".into(),
+        });
     }
     let classes = classes_with_sensitive(table, qi, sensitive)?;
     let keep: HashSet<usize> = classes

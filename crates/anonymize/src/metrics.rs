@@ -34,7 +34,9 @@ pub fn discernibility(
 /// (`C_avg` of the Mondrian paper). 1.0 is ideal.
 pub fn avg_class_ratio(table: &Table, qi: &[&str], k: usize) -> Result<f64, AnonError> {
     if k == 0 {
-        return Err(AnonError::BadParams { reason: "k must be at least 1".into() });
+        return Err(AnonError::BadParams {
+            reason: "k must be at least 1".into(),
+        });
     }
     let qi_idx: Vec<usize> = qi
         .iter()
@@ -111,7 +113,10 @@ mod tests {
     fn precision_loss_ranges() {
         let h = CategoricalBuilder::new().edge("x", "y").build("H").unwrap();
         assert_eq!(precision_loss(&[0], std::slice::from_ref(&h)), 0.0);
-        assert_eq!(precision_loss(&[h.max_level()], std::slice::from_ref(&h)), 1.0);
+        assert_eq!(
+            precision_loss(&[h.max_level()], std::slice::from_ref(&h)),
+            1.0
+        );
         let mid = precision_loss(&[1], &[h]);
         assert!(mid > 0.0 && mid < 1.0);
         assert_eq!(precision_loss(&[], &[]), 0.0);

@@ -71,10 +71,14 @@ pub fn mondrian_with(
     cfg: &ExecConfig,
 ) -> Result<Table, AnonError> {
     if k == 0 {
-        return Err(AnonError::BadParams { reason: "k must be at least 1".into() });
+        return Err(AnonError::BadParams {
+            reason: "k must be at least 1".into(),
+        });
     }
     if qi.is_empty() {
-        return Err(AnonError::BadParams { reason: "at least one quasi-identifier required".into() });
+        return Err(AnonError::BadParams {
+            reason: "at least one quasi-identifier required".into(),
+        });
     }
     let qi_idx: Vec<usize> = qi
         .iter()
@@ -88,13 +92,19 @@ pub fn mondrian_with(
     for (&c, name) in qi_idx.iter().zip(qi) {
         let dt = table.schema().columns()[c].dtype;
         if !matches!(dt, DataType::Int | DataType::Float | DataType::Date) {
-            return Err(AnonError::NotOrdered { column: name.to_string() });
+            return Err(AnonError::NotOrdered {
+                column: name.to_string(),
+            });
         }
     }
 
     let _span = cfg.obs.span(bi_exec::SpanKind::AnonMondrian);
     // Row positions with complete QI values.
-    let columnar_coords = if cfg.columnar { coords_columnar(table, &qi_idx) } else { None };
+    let columnar_coords = if cfg.columnar {
+        coords_columnar(table, &qi_idx)
+    } else {
+        None
+    };
     cfg.obs.count(if columnar_coords.is_some() {
         bi_exec::Counter::AnonQiColumnar
     } else {
@@ -102,7 +112,10 @@ pub fn mondrian_with(
     });
     let (live, coords) = columnar_coords.unwrap_or_else(|| coords_rowwise(table, &qi_idx));
     if live.len() < k && !live.is_empty() {
-        return Err(AnonError::Unsatisfiable { k, best_violations: live.len() });
+        return Err(AnonError::Unsatisfiable {
+            k,
+            best_violations: live.len(),
+        });
     }
 
     // Recursive median cuts over index ranges into `coords`.
@@ -117,8 +130,14 @@ pub fn mondrian_with(
     // Each committed cut splits one partition in two, so starting from
     // one open partition: cuts = partitions − 1. Deriving the count
     // from the result keeps it identical at any thread count.
-    cfg.obs.add(bi_exec::Counter::AnonMondrianPartitions, partitions.len() as u64);
-    cfg.obs.add(bi_exec::Counter::AnonMondrianCuts, partitions.len().saturating_sub(1) as u64);
+    cfg.obs.add(
+        bi_exec::Counter::AnonMondrianPartitions,
+        partitions.len() as u64,
+    );
+    cfg.obs.add(
+        bi_exec::Counter::AnonMondrianCuts,
+        partitions.len().saturating_sub(1) as u64,
+    );
 
     // Emit: QI columns become Text labels per partition.
     let cols: Vec<Column> = table
@@ -178,7 +197,7 @@ fn coords_rowwise(table: &Table, qi_idx: &[usize]) -> (Vec<usize>, Vec<Vec<f64>>
 /// `f64`s for Float columns, `as f64` for Int, epoch days for Date.
 /// Returns `None` when the table declines columnar conversion.
 fn coords_columnar(table: &Table, qi_idx: &[usize]) -> Option<(Vec<usize>, Vec<Vec<f64>>)> {
-    use bi_relation::{ColumnData, ColumnChunk};
+    use bi_relation::{ColumnChunk, ColumnData};
     let chunk = ColumnChunk::from_table_cols(table, qi_idx).ok()?;
     let mut axis_vals: Vec<Vec<f64>> = Vec::with_capacity(qi_idx.len());
     let mut validities = Vec::with_capacity(qi_idx.len());
@@ -230,8 +249,16 @@ fn try_cut(part: &[usize], coords: &[Vec<f64>], k: usize) -> Option<(Vec<usize>,
         sorted.sort_by(|&a, &b| coords[a][d].total_cmp(&coords[b][d]));
         let median = coords[sorted[sorted.len() / 2]][d];
         // Strict split: left < median ≤ right keeps duplicates together.
-        let lhs: Vec<usize> = sorted.iter().copied().filter(|&p| coords[p][d] < median).collect();
-        let rhs: Vec<usize> = sorted.iter().copied().filter(|&p| coords[p][d] >= median).collect();
+        let lhs: Vec<usize> = sorted
+            .iter()
+            .copied()
+            .filter(|&p| coords[p][d] < median)
+            .collect();
+        let rhs: Vec<usize> = sorted
+            .iter()
+            .copied()
+            .filter(|&p| coords[p][d] >= median)
+            .collect();
         if lhs.len() >= k && rhs.len() >= k {
             return Some((lhs, rhs));
         }
@@ -357,9 +384,7 @@ mod tests {
     #[test]
     fn k2_produces_finer_ranges_than_k4() {
         let t = ages();
-        let count_classes = |t: &Table| {
-            t.project(&["Age", "Zip"]).unwrap().distinct().len()
-        };
+        let count_classes = |t: &Table| t.project(&["Age", "Zip"]).unwrap().distinct().len();
         let a2 = mondrian(&t, &["Age", "Zip"], 2).unwrap();
         let a4 = mondrian(&t, &["Age", "Zip"], 4).unwrap();
         assert!(count_classes(&a2) >= count_classes(&a4));
@@ -398,7 +423,10 @@ mod tests {
     #[test]
     fn text_qi_rejected_and_bad_params() {
         let t = ages();
-        assert!(matches!(mondrian(&t, &["Disease"], 2), Err(AnonError::NotOrdered { .. })));
+        assert!(matches!(
+            mondrian(&t, &["Disease"], 2),
+            Err(AnonError::NotOrdered { .. })
+        ));
         assert!(mondrian(&t, &["Age"], 0).is_err());
         assert!(mondrian(&t, &[], 2).is_err());
     }
@@ -406,7 +434,10 @@ mod tests {
     #[test]
     fn too_few_rows_unsatisfiable() {
         let t = ages();
-        assert!(matches!(mondrian(&t, &["Age"], 9), Err(AnonError::Unsatisfiable { .. })));
+        assert!(matches!(
+            mondrian(&t, &["Age"], 9),
+            Err(AnonError::Unsatisfiable { .. })
+        ));
     }
 
     /// Columnar coordinate extraction must reproduce the row path —
@@ -423,7 +454,11 @@ mod tests {
         .unwrap();
         let rows: Vec<Vec<Value>> = (0..60)
             .map(|i: i64| {
-                let age = if i % 13 == 0 { Value::Null } else { Value::Int(20 + (i * 7) % 50) };
+                let age = if i % 13 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(20 + (i * 7) % 50)
+                };
                 vec![
                     age,
                     Value::Float((i % 11) as f64 / 2.0),
@@ -436,9 +471,11 @@ mod tests {
             .collect();
         let t = Table::from_rows("M", schema, rows).unwrap();
         let qi = ["Age", "Score", "When"];
-        let qi_idx: Vec<usize> =
-            qi.iter().map(|c| t.schema().index_of(c).unwrap()).collect();
-        assert_eq!(coords_columnar(&t, &qi_idx).unwrap(), coords_rowwise(&t, &qi_idx));
+        let qi_idx: Vec<usize> = qi.iter().map(|c| t.schema().index_of(c).unwrap()).collect();
+        assert_eq!(
+            coords_columnar(&t, &qi_idx).unwrap(),
+            coords_rowwise(&t, &qi_idx)
+        );
         let serial = mondrian(&t, &qi, 3).unwrap();
         for threads in [1, 2, 8] {
             let cfg = ExecConfig::with_threads(threads).with_columnar(true);

@@ -30,7 +30,9 @@ pub fn laplace_perturb<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Table, AnonError> {
     if scale <= 0.0 || !scale.is_finite() {
-        return Err(AnonError::BadParams { reason: format!("scale must be positive, got {scale}") });
+        return Err(AnonError::BadParams {
+            reason: format!("scale must be positive, got {scale}"),
+        });
     }
     let c = table
         .schema()
@@ -38,7 +40,9 @@ pub fn laplace_perturb<R: Rng + ?Sized>(
         .map_err(|e| AnonError::Relation(e.into()))?;
     let dtype = table.schema().columns()[c].dtype;
     if !matches!(dtype, DataType::Int | DataType::Float) {
-        return Err(AnonError::NotOrdered { column: column.to_string() });
+        return Err(AnonError::NotOrdered {
+            column: column.to_string(),
+        });
     }
     let mut out = Table::new(table.name().to_string(), table.schema().clone());
     for row in table.rows() {
@@ -56,9 +60,7 @@ pub fn laplace_perturb<R: Rng + ?Sized>(
                 // The schema says Int/Float, but a row disagrees — a typed
                 // error beats a panic if a caller ever hands us such a table.
                 return Err(AnonError::BadParams {
-                    reason: format!(
-                        "column {column} declared {dtype:?} but holds {other:?}"
-                    ),
+                    reason: format!("column {column} declared {dtype:?} but holds {other:?}"),
                 });
             }
         }
@@ -71,7 +73,11 @@ pub fn laplace_perturb<R: Rng + ?Sized>(
 /// the distribution-preservation check used in tests and E7.
 pub fn column_stats(table: &Table, column: &str) -> Result<(f64, f64), AnonError> {
     let vals = table.column_values(column).map_err(AnonError::from)?;
-    let xs: Vec<f64> = vals.iter().filter(|v| !v.is_null()).map(|v| v.as_f64().unwrap_or(0.0)).collect();
+    let xs: Vec<f64> = vals
+        .iter()
+        .filter(|v| !v.is_null())
+        .map(|v| v.as_f64().unwrap_or(0.0))
+        .collect();
     if xs.is_empty() {
         return Ok((0.0, 0.0));
     }
@@ -94,7 +100,12 @@ mod tests {
         ])
         .unwrap();
         let rows = (0..n)
-            .map(|i| vec![Value::text(format!("D{i}")), Value::Int(10 + (i as i64 % 50))])
+            .map(|i| {
+                vec![
+                    Value::text(format!("D{i}")),
+                    Value::Int(10 + (i as i64 % 50)),
+                ]
+            })
             .collect();
         Table::from_rows("C", schema, rows).unwrap()
     }
@@ -128,7 +139,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let noisy = laplace_perturb(&t, "Cost", 3.0, &mut rng).unwrap();
         assert_eq!(noisy.schema(), t.schema());
-        assert_eq!(noisy.column_values("Drug").unwrap(), t.column_values("Drug").unwrap());
+        assert_eq!(
+            noisy.column_values("Drug").unwrap(),
+            t.column_values("Drug").unwrap()
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub struct Pseudonymizer {
 impl Pseudonymizer {
     /// A pseudonymizer with the given secret key and token prefix.
     pub fn new(key: u64, prefix: impl Into<String>) -> Self {
-        Pseudonymizer { key, prefix: prefix.into() }
+        Pseudonymizer {
+            key,
+            prefix: prefix.into(),
+        }
     }
 
     /// The stable pseudonym of one value (NULL stays NULL).
@@ -54,7 +57,11 @@ impl Pseudonymizer {
             .enumerate()
             .map(|(i, col)| {
                 if i == c {
-                    Column { name: col.name.clone(), dtype: DataType::Text, nullable: col.nullable }
+                    Column {
+                        name: col.name.clone(),
+                        dtype: DataType::Text,
+                        nullable: col.nullable,
+                    }
                 } else {
                     col.clone()
                 }

@@ -41,7 +41,10 @@ pub fn exposures_of_attribute(
     let pcat = ProvCatalog::new(cat);
     let annotated = pexecute(plan, &pcat)?;
     let lineage = Lineage::build(&annotated);
-    Ok(lineage.cells_from_column(table, column).into_iter().collect())
+    Ok(lineage
+        .cells_from_column(table, column)
+        .into_iter()
+        .collect())
 }
 
 /// Scans the whole journal: every delivered entry whose output exposed
@@ -59,7 +62,11 @@ pub fn responsible_deliveries(
         }
         let cells = exposures_of_attribute(&e.plan, cat, table, column)?;
         if !cells.is_empty() {
-            out.push(Exposure { seq: e.seq, report: e.report.clone(), cells });
+            out.push(Exposure {
+                seq: e.seq,
+                report: e.report.clone(),
+                cells,
+            });
         }
     }
     Ok(out)
@@ -106,7 +113,10 @@ mod tests {
                 plan,
                 None,
                 vec![],
-                Outcome::Delivered { rows: 1, suppressed_groups: 0 },
+                Outcome::Delivered {
+                    rows: 1,
+                    suppressed_groups: 0,
+                },
                 crate::log::Provenance::default(),
             );
         }
@@ -118,7 +128,10 @@ mod tests {
         let cat = catalog();
         let log = log_with(vec![
             ("r-drugs", scan("Prescriptions").project_cols(&["Drug"])),
-            ("r-patients", scan("Prescriptions").project_cols(&["Patient", "Drug"])),
+            (
+                "r-patients",
+                scan("Prescriptions").project_cols(&["Patient", "Drug"]),
+            ),
         ]);
         let exposures = responsible_deliveries(&log, &cat, "Prescriptions", "Patient").unwrap();
         assert_eq!(exposures.len(), 1);
@@ -132,8 +145,7 @@ mod tests {
         let cat = catalog();
         let log = log_with(vec![(
             "r-agg",
-            scan("Prescriptions")
-                .aggregate(vec!["Disease".into()], vec![AggItem::count_star("n")]),
+            scan("Prescriptions").aggregate(vec!["Disease".into()], vec![AggItem::count_star("n")]),
         )]);
         let exposures = responsible_deliveries(&log, &cat, "Prescriptions", "Disease").unwrap();
         assert_eq!(exposures.len(), 1);
@@ -149,13 +161,21 @@ mod tests {
     #[test]
     fn single_plan_helper() {
         let cat = catalog();
-        let cells =
-            exposures_of_attribute(&scan("Prescriptions").project_cols(&["Drug"]), &cat, "Prescriptions", "Drug")
-                .unwrap();
+        let cells = exposures_of_attribute(
+            &scan("Prescriptions").project_cols(&["Drug"]),
+            &cat,
+            "Prescriptions",
+            "Drug",
+        )
+        .unwrap();
         assert_eq!(cells.len(), 2);
-        let cells =
-            exposures_of_attribute(&scan("Prescriptions").project_cols(&["Drug"]), &cat, "Prescriptions", "Patient")
-                .unwrap();
+        let cells = exposures_of_attribute(
+            &scan("Prescriptions").project_cols(&["Drug"]),
+            &cat,
+            "Prescriptions",
+            "Patient",
+        )
+        .unwrap();
         assert!(cells.is_empty());
     }
 }

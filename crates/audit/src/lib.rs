@@ -10,8 +10,10 @@
 //! * [`log`] — an append-only journal of every report delivery or
 //!   refusal: who, what plan, which enforcement actions, what outcome;
 //! * [`recheck`] — post-hoc re-checking of delivered reports against the
-//!   *current* policy: catches both enforcement bugs and policy drift
-//!   (a PLA tightened after a report shipped);
+//!   policy snapshot *and data versions* journaled at delivery time
+//!   (falling back, flagged, to current state when a snapshot aged out):
+//!   distinguishes enforcement bugs from policy drift (a PLA tightened
+//!   after a report shipped);
 //! * [`dispute`] — provenance-backed responsibility attribution: given a
 //!   leaked source attribute, find every logged delivery that exposed
 //!   it and the exact report cells that did.
@@ -25,4 +27,7 @@ pub use bi_obs::TraceId;
 pub use dispute::{exposures_of_attribute, responsible_deliveries, Exposure};
 pub use log::{AuditEntry, AuditLog, Outcome, Provenance};
 pub use monitor::{monitor, Alert, MonitorConfig};
-pub use recheck::{recheck_log, recheck_log_with_snapshots, AuditFinding};
+pub use recheck::{
+    catalog_at_versions, recheck_log, recheck_log_at_versions, recheck_log_with_snapshots,
+    AuditFinding, SnapshotFidelity, VersionResolver,
+};

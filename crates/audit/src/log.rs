@@ -11,35 +11,60 @@ use bi_types::{ConsumerId, Date, ReportId, RoleId};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Outcome {
     /// Rendered and handed to the consumer.
-    Delivered { rows: usize, suppressed_groups: usize },
+    Delivered {
+        rows: usize,
+        suppressed_groups: usize,
+    },
     /// Refused by the compliance gate.
     Refused { violations: Vec<Violation> },
 }
 
 /// Where a journal entry came from: which compiled-policy snapshot
-/// served the request and the engine-assigned trace identifier. The
-/// epoch lets [`crate::recheck`] replay an entry against the policy
-/// that actually served it (not just today's); the trace links the
-/// entry to the execution spans the engine recorded for the delivery.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// served the request, which table data versions its plan read, and
+/// the engine-assigned trace identifier. The epoch and version vector
+/// let [`crate::recheck`] replay an entry against the policy *and the
+/// data* that actually served it (not just today's); the trace links
+/// the entry to the execution spans the engine recorded for the
+/// delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Provenance {
     /// Policy-cache epoch at the time of delivery.
     pub policy_epoch: u64,
     /// Engine trace identifier for this request.
     pub trace: TraceId,
+    /// Sorted `(base table, data version)` pairs of every table the
+    /// plan read at render time — the data half of the provenance.
+    /// Data versions are warehouse-assigned and deterministic per
+    /// workload (first load = 1), so the vector is byte-comparable
+    /// across processes and survives WAL recovery. Empty for entries
+    /// journaled outside a live engine.
+    pub source_versions: Vec<(String, u64)>,
 }
 
 impl Provenance {
     pub fn new(policy_epoch: u64, trace: TraceId) -> Self {
-        Self { policy_epoch, trace }
+        Self {
+            policy_epoch,
+            trace,
+            source_versions: Vec::new(),
+        }
+    }
+
+    /// Attaches the source data versions the render read
+    /// (canonicalized: sorted by table name, deduped).
+    pub fn with_sources(mut self, mut source_versions: Vec<(String, u64)>) -> Self {
+        source_versions.sort();
+        source_versions.dedup();
+        self.source_versions = source_versions;
+        self
     }
 }
 
 impl Default for Provenance {
-    /// Epoch 0, trace 0 — for callers (tests, offline tooling) that
-    /// journal outside a live engine.
+    /// Epoch 0, trace 0, no versions — for callers (tests, offline
+    /// tooling) that journal outside a live engine.
     fn default() -> Self {
-        Self { policy_epoch: 0, trace: TraceId::new(0) }
+        Self::new(0, TraceId::new(0))
     }
 }
 
@@ -127,7 +152,9 @@ impl AuditLog {
 
     /// Delivered entries only.
     pub fn deliveries(&self) -> impl Iterator<Item = &AuditEntry> {
-        self.entries.iter().filter(|e| matches!(e.outcome, Outcome::Delivered { .. }))
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.outcome, Outcome::Delivered { .. }))
     }
 
     /// The entry journaled under `trace`, if any. Trace ids are
@@ -138,7 +165,10 @@ impl AuditLog {
 
     /// Number of refusals (a cheap health signal for monitoring).
     pub fn refusal_count(&self) -> usize {
-        self.entries.iter().filter(|e| matches!(e.outcome, Outcome::Refused { .. })).count()
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.outcome, Outcome::Refused { .. }))
+            .count()
     }
 }
 
@@ -157,7 +187,10 @@ mod tests {
             Some("quality".into()),
             vec!["filter rows of T: x > 0".into()],
             if delivered {
-                Outcome::Delivered { rows: 10, suppressed_groups: 1 }
+                Outcome::Delivered {
+                    rows: 10,
+                    suppressed_groups: 1,
+                }
             } else {
                 Outcome::Refused {
                     violations: vec![Violation {
@@ -190,7 +223,9 @@ mod tests {
         let mut log = AuditLog::new();
         entry(&mut log, "r1", "alice", true);
         entry(&mut log, "r2", "bob", false);
-        let hit = log.find_trace(TraceId::new(101)).expect("journaled trace resolves");
+        let hit = log
+            .find_trace(TraceId::new(101))
+            .expect("journaled trace resolves");
         assert_eq!(hit.seq, 1);
         assert_eq!(hit.provenance.policy_epoch, 3);
         assert!(log.find_trace(TraceId::new(999)).is_none());

@@ -23,12 +23,24 @@ use crate::log::{AuditLog, Outcome};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Alert {
     /// Consumer exceeded the refusal threshold.
-    RefusalSpike { consumer: ConsumerId, refusals: usize },
+    RefusalSpike {
+        consumer: ConsumerId,
+        refusals: usize,
+    },
     /// A delivery suppressed more than the tolerated fraction of groups.
-    SuppressionPressure { report: ReportId, seq: u64, suppressed: usize, delivered: usize },
+    SuppressionPressure {
+        report: ReportId,
+        seq: u64,
+        suppressed: usize,
+        delivered: usize,
+    },
     /// Same report delivered to the same consumer more than `count`
     /// times on one business date.
-    RepeatProbing { consumer: ConsumerId, report: ReportId, count: usize },
+    RepeatProbing {
+        consumer: ConsumerId,
+        report: ReportId,
+        count: usize,
+    },
 }
 
 /// Monitoring thresholds.
@@ -44,7 +56,11 @@ pub struct MonitorConfig {
 
 impl Default for MonitorConfig {
     fn default() -> Self {
-        MonitorConfig { max_refusals: 3, max_suppressed_fraction: 0.5, max_repeats_per_day: 5 }
+        MonitorConfig {
+            max_refusals: 3,
+            max_suppressed_fraction: 0.5,
+            max_repeats_per_day: 5,
+        }
     }
 }
 
@@ -62,15 +78,24 @@ pub fn monitor(log: &AuditLog, config: &MonitorConfig) -> Vec<Alert> {
     }
     for (consumer, n) in refusals {
         if n >= config.max_refusals {
-            alerts.push(Alert::RefusalSpike { consumer: consumer.clone(), refusals: n });
+            alerts.push(Alert::RefusalSpike {
+                consumer: consumer.clone(),
+                refusals: n,
+            });
         }
     }
 
     // Suppression pressure.
     for e in log.entries() {
-        if let Outcome::Delivered { rows, suppressed_groups } = e.outcome {
+        if let Outcome::Delivered {
+            rows,
+            suppressed_groups,
+        } = e.outcome
+        {
             let total = rows + suppressed_groups;
-            if total > 0 && suppressed_groups as f64 / total as f64 >= config.max_suppressed_fraction {
+            if total > 0
+                && suppressed_groups as f64 / total as f64 >= config.max_suppressed_fraction
+            {
                 alerts.push(Alert::SuppressionPressure {
                     report: e.report.clone(),
                     seq: e.seq,
@@ -85,7 +110,9 @@ pub fn monitor(log: &AuditLog, config: &MonitorConfig) -> Vec<Alert> {
     let mut repeats: BTreeMap<(&ConsumerId, &ReportId, String), usize> = BTreeMap::new();
     for e in log.entries() {
         if matches!(e.outcome, Outcome::Delivered { .. }) {
-            *repeats.entry((&e.consumer, &e.report, e.when.to_string())).or_insert(0) += 1;
+            *repeats
+                .entry((&e.consumer, &e.report, e.when.to_string()))
+                .or_insert(0) += 1;
         }
     }
     for ((consumer, report, _), n) in repeats {
@@ -108,12 +135,7 @@ mod tests {
     use bi_query::plan::scan;
     use bi_types::{Date, RoleId};
 
-    fn record(
-        log: &mut AuditLog,
-        consumer: &str,
-        report: &str,
-        outcome: Outcome,
-    ) {
+    fn record(log: &mut AuditLog, consumer: &str, report: &str, outcome: Outcome) {
         log.record(
             Date::new(2008, 7, 1).unwrap(),
             ConsumerId::new(consumer),
@@ -147,19 +169,43 @@ mod tests {
         let alerts = monitor(&log, &MonitorConfig::default());
         assert_eq!(
             alerts,
-            vec![Alert::RefusalSpike { consumer: ConsumerId::new("mallory"), refusals: 3 }]
+            vec![Alert::RefusalSpike {
+                consumer: ConsumerId::new("mallory"),
+                refusals: 3
+            }]
         );
     }
 
     #[test]
     fn suppression_pressure_detected() {
         let mut log = AuditLog::new();
-        record(&mut log, "ada", "r-tight", Outcome::Delivered { rows: 2, suppressed_groups: 8 });
-        record(&mut log, "ada", "r-fine", Outcome::Delivered { rows: 50, suppressed_groups: 1 });
+        record(
+            &mut log,
+            "ada",
+            "r-tight",
+            Outcome::Delivered {
+                rows: 2,
+                suppressed_groups: 8,
+            },
+        );
+        record(
+            &mut log,
+            "ada",
+            "r-fine",
+            Outcome::Delivered {
+                rows: 50,
+                suppressed_groups: 1,
+            },
+        );
         let alerts = monitor(&log, &MonitorConfig::default());
         assert_eq!(alerts.len(), 1);
         match &alerts[0] {
-            Alert::SuppressionPressure { report, suppressed, delivered, .. } => {
+            Alert::SuppressionPressure {
+                report,
+                suppressed,
+                delivered,
+                ..
+            } => {
                 assert_eq!(report.as_str(), "r-tight");
                 assert_eq!((*suppressed, *delivered), (8, 2));
             }
@@ -171,10 +217,26 @@ mod tests {
     fn repeat_probing_detected() {
         let mut log = AuditLog::new();
         for _ in 0..5 {
-            record(&mut log, "mallory", "r1", Outcome::Delivered { rows: 3, suppressed_groups: 0 });
+            record(
+                &mut log,
+                "mallory",
+                "r1",
+                Outcome::Delivered {
+                    rows: 3,
+                    suppressed_groups: 0,
+                },
+            );
         }
         for _ in 0..4 {
-            record(&mut log, "ada", "r1", Outcome::Delivered { rows: 3, suppressed_groups: 0 });
+            record(
+                &mut log,
+                "ada",
+                "r1",
+                Outcome::Delivered {
+                    rows: 3,
+                    suppressed_groups: 0,
+                },
+            );
         }
         let alerts = monitor(&log, &MonitorConfig::default());
         assert_eq!(alerts.len(), 1);
@@ -187,7 +249,15 @@ mod tests {
     #[test]
     fn quiet_journal_raises_nothing() {
         let mut log = AuditLog::new();
-        record(&mut log, "ada", "r1", Outcome::Delivered { rows: 30, suppressed_groups: 0 });
+        record(
+            &mut log,
+            "ada",
+            "r1",
+            Outcome::Delivered {
+                rows: 30,
+                suppressed_groups: 0,
+            },
+        );
         record(&mut log, "ada", "r2", refused());
         assert!(monitor(&log, &MonitorConfig::default()).is_empty());
     }
@@ -196,7 +266,10 @@ mod tests {
     fn thresholds_are_configurable() {
         let mut log = AuditLog::new();
         record(&mut log, "ada", "r1", refused());
-        let strict = MonitorConfig { max_refusals: 1, ..Default::default() };
+        let strict = MonitorConfig {
+            max_refusals: 1,
+            ..Default::default()
+        };
         assert_eq!(monitor(&log, &strict).len(), 1);
     }
 }

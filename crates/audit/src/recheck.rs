@@ -6,15 +6,43 @@
 //! entry of the journal against the current combined policy and reports
 //! any that would violate it today — catching enforcement bugs and
 //! agreements that tightened after delivery.
+//!
+//! Faithful replay needs the *conditions of delivery*, and both halves
+//! are journaled in the entry's [`crate::log::Provenance`]: the policy
+//! epoch (resolved against the engine's epoch-keyed snapshot history)
+//! and the source data versions (resolved against an MVCC table
+//! history). Either snapshot can age out of its bounded history; the
+//! recheck then falls back to current state and **flags** the fallback
+//! ([`SnapshotFidelity::FellBackToCurrent`]) so an enforcement bug is
+//! never misattributed as drift — or vice versa — silently.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use bi_obs::TraceId;
 use bi_pla::{check_plan, CombinedPolicy, Violation};
 use bi_query::{Catalog, QueryError};
+use bi_relation::Table;
 use bi_types::SourceId;
 
 use crate::log::{AuditLog, Outcome};
+
+/// How faithfully a recheck reproduced one side (policy or data) of the
+/// conditions that served a delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotFidelity {
+    /// The journaled snapshot was available and used.
+    Exact,
+    /// The snapshot aged out of its bounded history (or was never
+    /// journaled); the recheck used current state instead. Findings
+    /// carrying this flag may be drift rather than enforcement bugs.
+    FellBackToCurrent,
+}
+
+/// A resolver from `(table, data version)` to the rows the table
+/// held at that version — typically the warehouse MVCC history.
+/// `None` means the version aged out (the recheck falls back, flagged).
+pub type VersionResolver<'a> = dyn Fn(&str, u64) -> Option<Table> + 'a;
 
 /// One delivered entry that fails the policy it was replayed against.
 #[derive(Debug, Clone)]
@@ -27,6 +55,10 @@ pub struct AuditFinding {
     /// Policy epoch the entry was journaled under.
     pub policy_epoch: u64,
     pub violations: Vec<Violation>,
+    /// Whether the policy used was the journaled epoch's snapshot.
+    pub policy_snapshot: SnapshotFidelity,
+    /// Whether every source table resolved at its journaled version.
+    pub data_snapshot: SnapshotFidelity,
 }
 
 /// Replays all deliveries in the journal against `policy`.
@@ -43,9 +75,11 @@ pub fn recheck_log(
 /// whose epoch the entry was journaled under.
 ///
 /// `snapshots` maps policy-cache epochs to the combined policy that was
-/// live at that epoch (the engine facade keeps this history). Entries
-/// whose epoch has no snapshot fall back to `current` — that is also
-/// how [`recheck_log`] gets its "does yesterday's delivery still pass
+/// live at that epoch (the engine facade keeps this history,
+/// Arc-shared — no policies are copied). Entries whose epoch has no
+/// snapshot fall back to `current`, flagged
+/// [`SnapshotFidelity::FellBackToCurrent`] — that is also how
+/// [`recheck_log`] gets its "does yesterday's delivery still pass
 /// today?" drift semantics, with an empty snapshot map.
 ///
 /// A finding against a *snapshot* means the engine mis-enforced at
@@ -56,17 +90,94 @@ pub fn recheck_log_with_snapshots(
     log: &AuditLog,
     cat: &Catalog,
     current: &CombinedPolicy,
-    snapshots: &BTreeMap<u64, CombinedPolicy>,
+    snapshots: &BTreeMap<u64, Arc<CombinedPolicy>>,
     table_source: &BTreeMap<String, SourceId>,
+) -> Result<Vec<AuditFinding>, QueryError> {
+    recheck_log_at_versions(log, cat, current, snapshots, table_source, &|_, _| None)
+}
+
+/// Builds the catalog a journaled entry should be rechecked against:
+/// the current catalog with every journaled `(table, version)` that no
+/// longer matches live storage overlaid from `resolve`. Every version
+/// goes through the resolver (data versions are warehouse-assigned, so
+/// only the resolver knows which one is live); a resolved table whose
+/// row storage is the live table's needs no overlay. Returns `None` for
+/// the catalog when current state already matches (no clone), and the
+/// data-side fidelity: [`SnapshotFidelity::FellBackToCurrent`] when the
+/// entry journaled no versions or any version was unresolvable.
+pub fn catalog_at_versions(
+    cat: &Catalog,
+    versions: &[(String, u64)],
+    resolve: &VersionResolver<'_>,
+) -> (Option<Catalog>, SnapshotFidelity) {
+    if versions.is_empty() {
+        return (None, SnapshotFidelity::FellBackToCurrent);
+    }
+    let mut overlay: Vec<Table> = Vec::new();
+    let mut fidelity = SnapshotFidelity::Exact;
+    for (name, version) in versions {
+        match resolve(name, *version) {
+            // Storage versions identify row storage within this
+            // process: equal means the live catalog already serves the
+            // journaled rows, so overlaying would only force a clone.
+            Some(t)
+                if cat
+                    .table(name)
+                    .is_some_and(|live| live.storage_version() == t.storage_version()) => {}
+            Some(t) => overlay.push(t),
+            None => fidelity = SnapshotFidelity::FellBackToCurrent,
+        }
+    }
+    if overlay.is_empty() {
+        (None, fidelity)
+    } else {
+        let mut versioned = cat.clone();
+        for t in overlay {
+            versioned.put_table(t);
+        }
+        (Some(versioned), fidelity)
+    }
+}
+
+/// Replays all deliveries against the policy epoch *and the data
+/// versions* each entry was journaled under: full time travel.
+///
+/// `resolve(table, version)` returns the table's rows as of `version`
+/// (typically `Warehouse::table_at` backed by the MVCC history), or
+/// `None` when that version has aged out of the retention bound. Per
+/// entry, any table whose journaled version no longer matches live
+/// storage is overlaid from the resolver; unresolvable versions (and
+/// entries journaled without versions) fall back to current data,
+/// flagged on the finding's `data_snapshot`.
+pub fn recheck_log_at_versions(
+    log: &AuditLog,
+    cat: &Catalog,
+    current: &CombinedPolicy,
+    snapshots: &BTreeMap<u64, Arc<CombinedPolicy>>,
+    table_source: &BTreeMap<String, SourceId>,
+    resolve: &VersionResolver<'_>,
 ) -> Result<Vec<AuditFinding>, QueryError> {
     let mut findings = Vec::new();
     for e in log.entries() {
         if !matches!(e.outcome, Outcome::Delivered { .. }) {
             continue;
         }
-        let policy = snapshots.get(&e.provenance.policy_epoch).unwrap_or(current);
-        let outcome =
-            check_plan(&e.plan, cat, policy, &e.roles, table_source, e.purpose.as_deref(), e.when)?;
+        let (policy, policy_snapshot) = match snapshots.get(&e.provenance.policy_epoch) {
+            Some(p) => (&**p, SnapshotFidelity::Exact),
+            None => (current, SnapshotFidelity::FellBackToCurrent),
+        };
+        let (versioned, data_snapshot) =
+            catalog_at_versions(cat, &e.provenance.source_versions, resolve);
+        let entry_cat = versioned.as_ref().unwrap_or(cat);
+        let outcome = check_plan(
+            &e.plan,
+            entry_cat,
+            policy,
+            &e.roles,
+            table_source,
+            e.purpose.as_deref(),
+            e.when,
+        )?;
         if !outcome.violations.is_empty() {
             findings.push(AuditFinding {
                 seq: e.seq,
@@ -74,6 +185,8 @@ pub fn recheck_log_with_snapshots(
                 trace: e.provenance.trace,
                 policy_epoch: e.provenance.policy_epoch,
                 violations: outcome.violations,
+                policy_snapshot,
+                data_snapshot,
             });
         }
     }
@@ -86,7 +199,6 @@ mod tests {
     use crate::log::Provenance;
     use bi_pla::{PlaDocument, PlaLevel, PlaRule};
     use bi_query::plan::scan;
-    use bi_relation::Table;
     use bi_types::{Column, ConsumerId, DataType, Date, ReportId, RoleId, Schema};
 
     fn catalog() -> Catalog {
@@ -113,7 +225,10 @@ mod tests {
             scan("T").project_cols(&["Patient"]),
             None,
             vec![],
-            Outcome::Delivered { rows: 3, suppressed_groups: 0 },
+            Outcome::Delivered {
+                rows: 3,
+                suppressed_groups: 0,
+            },
             Provenance::new(1, TraceId::new(11)),
         );
         log.record(
@@ -124,37 +239,49 @@ mod tests {
             scan("T").project_cols(&["Drug"]),
             None,
             vec![],
-            Outcome::Delivered { rows: 3, suppressed_groups: 0 },
+            Outcome::Delivered {
+                rows: 3,
+                suppressed_groups: 0,
+            },
             Provenance::new(2, TraceId::new(12)),
         );
         log
+    }
+
+    fn restrictive_policy() -> CombinedPolicy {
+        CombinedPolicy::combine(&[PlaDocument::new("h2", "hospital", PlaLevel::MetaReport)
+            .with_rule(PlaRule::AttributeAccess {
+                attribute: bi_pla::AttrRef::new("T", "Patient"),
+                allowed_roles: [RoleId::new("auditor")].into_iter().collect(),
+                condition: None,
+            })])
     }
 
     #[test]
     fn policy_drift_detected() {
         let log = delivered_log();
         let cat = catalog();
-        let sources: BTreeMap<String, SourceId> =
-            [("T".to_string(), SourceId::new("hospital"))].into_iter().collect();
+        let sources: BTreeMap<String, SourceId> = [("T".to_string(), SourceId::new("hospital"))]
+            .into_iter()
+            .collect();
         // Under the empty policy nothing fails.
         let clean = recheck_log(&log, &cat, &CombinedPolicy::combine(&[]), &sources).unwrap();
         assert!(clean.is_empty());
         // The hospital later restricts Patient to auditors only.
-        let doc = PlaDocument::new("h2", "hospital", PlaLevel::MetaReport).with_rule(
-            PlaRule::AttributeAccess {
-                attribute: bi_pla::AttrRef::new("T", "Patient"),
-                allowed_roles: [RoleId::new("auditor")].into_iter().collect(),
-                condition: None,
-            },
-        );
-        let policy = CombinedPolicy::combine(&[doc]);
-        let findings = recheck_log(&log, &cat, &policy, &sources).unwrap();
+        let findings = recheck_log(&log, &cat, &restrictive_policy(), &sources).unwrap();
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].report.as_str(), "r1");
         assert_eq!(findings[0].seq, 0);
-        assert_eq!(findings[0].trace, TraceId::new(11), "finding carries the delivery trace");
+        assert_eq!(
+            findings[0].trace,
+            TraceId::new(11),
+            "finding carries the delivery trace"
+        );
         assert_eq!(findings[0].policy_epoch, 1);
-        assert!(findings[0].violations.iter().any(|v| v.kind == "attribute-access"));
+        assert!(findings[0]
+            .violations
+            .iter()
+            .any(|v| v.kind == "attribute-access"));
         // The trace resolves back to the journal entry it came from.
         let entry = log.find_trace(findings[0].trace).unwrap();
         assert_eq!(entry.seq, findings[0].seq);
@@ -164,24 +291,16 @@ mod tests {
     fn snapshot_epoch_distinguishes_bug_from_drift() {
         let log = delivered_log();
         let cat = catalog();
-        let sources: BTreeMap<String, SourceId> =
-            [("T".to_string(), SourceId::new("hospital"))].into_iter().collect();
-        let tightened = CombinedPolicy::combine(&[PlaDocument::new(
-            "h2",
-            "hospital",
-            PlaLevel::MetaReport,
-        )
-        .with_rule(PlaRule::AttributeAccess {
-            attribute: bi_pla::AttrRef::new("T", "Patient"),
-            allowed_roles: [RoleId::new("auditor")].into_iter().collect(),
-            condition: None,
-        })]);
+        let sources: BTreeMap<String, SourceId> = [("T".to_string(), SourceId::new("hospital"))]
+            .into_iter()
+            .collect();
+        let tightened = restrictive_policy();
         // Replayed against the (empty) policies that actually served the
         // entries, nothing fails: the policy merely tightened since —
         // drift, not an enforcement bug.
-        let snapshots: BTreeMap<u64, CombinedPolicy> = [
-            (1, CombinedPolicy::combine(&[])),
-            (2, CombinedPolicy::combine(&[])),
+        let snapshots: BTreeMap<u64, Arc<CombinedPolicy>> = [
+            (1, Arc::new(CombinedPolicy::combine(&[]))),
+            (2, Arc::new(CombinedPolicy::combine(&[]))),
         ]
         .into_iter()
         .collect();
@@ -189,11 +308,128 @@ mod tests {
             recheck_log_with_snapshots(&log, &cat, &tightened, &snapshots, &sources).unwrap();
         assert!(at_delivery.is_empty(), "served-policy replay is clean");
         // Entries whose epoch has no snapshot fall back to the current
-        // policy and surface the drift.
+        // policy and surface the drift — FLAGGED, so the auditor knows
+        // the finding may be drift rather than an enforcement bug.
         let drifted =
             recheck_log_with_snapshots(&log, &cat, &tightened, &BTreeMap::new(), &sources).unwrap();
         assert_eq!(drifted.len(), 1);
         assert_eq!(drifted[0].policy_epoch, 1);
+        assert_eq!(
+            drifted[0].policy_snapshot,
+            SnapshotFidelity::FellBackToCurrent
+        );
+        // With the snapshot present the same finding would be Exact.
+        let partial: BTreeMap<u64, Arc<CombinedPolicy>> =
+            [(1, Arc::new(tightened.clone()))].into_iter().collect();
+        let exact = recheck_log_with_snapshots(&log, &cat, &tightened, &partial, &sources).unwrap();
+        assert_eq!(exact[0].policy_snapshot, SnapshotFidelity::Exact);
+    }
+
+    #[test]
+    fn data_versions_resolve_through_the_resolver() {
+        let mut log = AuditLog::new();
+        // Journaled against version 7 of T — whose schema at the time
+        // had a Patient column the current table no longer has.
+        log.record(
+            Date::new(2008, 1, 1).unwrap(),
+            ConsumerId::new("alice"),
+            [RoleId::new("analyst")].into_iter().collect(),
+            ReportId::new("r1"),
+            scan("T").project_cols(&["Patient"]),
+            None,
+            vec![],
+            Outcome::Delivered {
+                rows: 3,
+                suppressed_groups: 0,
+            },
+            Provenance::new(1, TraceId::new(11)).with_sources(vec![("T".into(), 7)]),
+        );
+        // Current catalog: T was reloaded without the Patient column —
+        // replaying against it would error (unknown column).
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new(
+            "T",
+            Schema::new(vec![Column::new("Drug", DataType::Text)]).unwrap(),
+        ))
+        .unwrap();
+        let sources: BTreeMap<String, SourceId> = [("T".to_string(), SourceId::new("hospital"))]
+            .into_iter()
+            .collect();
+        let old = Table::new(
+            "T",
+            Schema::new(vec![
+                Column::new("Patient", DataType::Text),
+                Column::new("Drug", DataType::Text),
+            ])
+            .unwrap(),
+        );
+        // With the resolver supplying version 7, the recheck replays the
+        // historical schema: the restrictive policy fires, Exact on the
+        // data side.
+        let findings = recheck_log_at_versions(
+            &log,
+            &cat,
+            &restrictive_policy(),
+            &BTreeMap::new(),
+            &sources,
+            &|name, v| (name == "T" && v == 7).then(|| old.clone()),
+        )
+        .unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].data_snapshot, SnapshotFidelity::Exact);
+        // Version aged out → replay falls back to current data, where
+        // the Patient column no longer exists — and the verdict silently
+        // flips to clean. This is exactly the post-ETL replay bug the
+        // journaled versions exist to prevent.
+        let fallback = recheck_log_at_versions(
+            &log,
+            &cat,
+            &restrictive_policy(),
+            &BTreeMap::new(),
+            &sources,
+            &|_, _| None,
+        )
+        .unwrap();
+        assert!(
+            fallback.is_empty(),
+            "current-data replay misses the historical exposure"
+        );
+    }
+
+    #[test]
+    fn entries_without_versions_flag_data_fallback() {
+        let log = delivered_log(); // journaled with no source versions
+        let cat = catalog();
+        let sources: BTreeMap<String, SourceId> = [("T".to_string(), SourceId::new("hospital"))]
+            .into_iter()
+            .collect();
+        let findings = recheck_log_at_versions(
+            &log,
+            &cat,
+            &restrictive_policy(),
+            &BTreeMap::new(),
+            &sources,
+            &|_, _| None,
+        )
+        .unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(
+            findings[0].data_snapshot,
+            SnapshotFidelity::FellBackToCurrent
+        );
+    }
+
+    #[test]
+    fn matching_live_versions_are_exact_without_cloning() {
+        let cat = catalog();
+        // The resolver serves data version 1 from the same row storage
+        // the live catalog holds (the MVCC history Arc-shares it) — the
+        // recheck recognizes that and skips the overlay clone.
+        let live = cat.table("T").unwrap().clone();
+        let (versioned, fidelity) =
+            catalog_at_versions(&cat, &[("T".into(), 1)], &|_, _| Some(live.clone()));
+        assert!(versioned.is_none(), "live match needs no overlay catalog");
+        assert_eq!(fidelity, SnapshotFidelity::Exact);
     }
 
     #[test]

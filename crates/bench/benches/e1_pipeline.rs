@@ -26,13 +26,22 @@ fn build_and_deliver(scenario: &Scenario) -> usize {
     )
     .unwrap();
     let pipeline = Pipeline::new("nightly")
-        .step("e", EtlOp::Extract {
-            source: "hospital".into(),
-            table: "Prescriptions".into(),
-            as_name: "s".into(),
-        })
+        .step(
+            "e",
+            EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "s".into(),
+            },
+        )
         .step("d", EtlOp::Deduplicate { table: "s".into() })
-        .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "FactPrescriptions".into() });
+        .step(
+            "l",
+            EtlOp::Load {
+                table: "s".into(),
+                warehouse_table: "FactPrescriptions".into(),
+            },
+        );
     sys.run_etl(&pipeline, Some("quality")).unwrap();
     sys.add_meta_report(
         MetaReport::new(
@@ -47,7 +56,8 @@ fn build_and_deliver(scenario: &Scenario) -> usize {
         ReportSpec::new(
             "r",
             "consumption",
-            scan("FactPrescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]),
+            scan("FactPrescriptions")
+                .aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]),
             [RoleId::new("analyst")],
         )
         .for_purpose("quality"),

@@ -26,11 +26,25 @@ fn catalog() -> Catalog {
         ..Default::default()
     });
     let mut cat = Catalog::new();
-    cat.add_table(scenario.source("hospital").unwrap().table("Prescriptions").unwrap().clone())
-        .unwrap();
+    cat.add_table(
+        scenario
+            .source("hospital")
+            .unwrap()
+            .table("Prescriptions")
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
     // BirthYear for the anonymized-export path.
-    cat.add_table(scenario.source("municipality").unwrap().table("Residents").unwrap().clone())
-        .unwrap();
+    cat.add_table(
+        scenario
+            .source("municipality")
+            .unwrap()
+            .table("Residents")
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
     cat
 }
 
@@ -57,9 +71,15 @@ fn bench(c: &mut Criterion) {
     let rewritten = apply(&report, &[mk_policy()], &cat).unwrap();
 
     let mut group = c.benchmark_group("e2_source");
-    group.bench_function("baseline_unrestricted", |b| b.iter(|| execute(&report, &cat).unwrap()));
-    group.bench_function("view_enforced", |b| b.iter(|| execute(&view_report, &cat).unwrap()));
-    group.bench_function("vpd_rewrite_enforced", |b| b.iter(|| execute(&rewritten, &cat).unwrap()));
+    group.bench_function("baseline_unrestricted", |b| {
+        b.iter(|| execute(&report, &cat).unwrap())
+    });
+    group.bench_function("view_enforced", |b| {
+        b.iter(|| execute(&view_report, &cat).unwrap())
+    });
+    group.bench_function("vpd_rewrite_enforced", |b| {
+        b.iter(|| execute(&rewritten, &cat).unwrap())
+    });
     group.bench_function("vpd_rewrite_cost_only", |b| {
         b.iter(|| apply(&report, &[mk_policy()], &cat).unwrap())
     });

@@ -20,7 +20,10 @@ fn policy() -> CombinedPolicy {
             right_source: "s1".into(),
             allowed: false,
         })
-        .with_rule(PlaRule::IntegrationPermission { source: "s0".into(), allowed: true });
+        .with_rule(PlaRule::IntegrationPermission {
+            source: "s0".into(),
+            allowed: true,
+        });
     CombinedPolicy::combine(&[doc])
 }
 
@@ -30,7 +33,11 @@ fn pipeline_with(steps: usize) -> Pipeline {
         let src = format!("s{}", i % 4);
         p = p.step(
             format!("e{i}"),
-            EtlOp::Extract { source: src.into(), table: "T".into(), as_name: format!("t{i}") },
+            EtlOp::Extract {
+                source: src.into(),
+                table: "T".into(),
+                as_name: format!("t{i}"),
+            },
         );
         if i >= 2 && i % 3 == 0 {
             p = p.step(
@@ -73,7 +80,10 @@ fn bench(c: &mut Criterion) {
     for &steps in &[10usize, 40, 160] {
         let p = pipeline_with(steps);
         let v = check_pipeline(&p, &pol, Some("quality"));
-        eprintln!("  pipeline steps={steps:>4} -> violations found={}", v.len());
+        eprintln!(
+            "  pipeline steps={steps:>4} -> violations found={}",
+            v.len()
+        );
         group.bench_with_input(BenchmarkId::new("check_pipeline", steps), &p, |b, p| {
             b.iter(|| check_pipeline(p, &pol, Some("quality")))
         });

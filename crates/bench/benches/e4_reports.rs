@@ -27,9 +27,18 @@ fn setup() -> (Catalog, BTreeMap<String, SourceId>) {
         ..Default::default()
     });
     let mut cat = Catalog::new();
-    cat.add_table(scenario.source("hospital").unwrap().table("Prescriptions").unwrap().clone())
-        .unwrap();
-    let ts = [("Prescriptions".to_string(), SourceId::new("hospital"))].into_iter().collect();
+    cat.add_table(
+        scenario
+            .source("hospital")
+            .unwrap()
+            .table("Prescriptions")
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
+    let ts = [("Prescriptions".to_string(), SourceId::new("hospital"))]
+        .into_iter()
+        .collect();
     (cat, ts)
 }
 
@@ -43,7 +52,10 @@ fn bench(c: &mut Criterion) {
         [RoleId::new("analyst")],
     );
     let doc = PlaDocument::new("h", "hospital", PlaLevel::MetaReport)
-        .with_rule(PlaRule::AggregationThreshold { table: "Prescriptions".into(), min_group_size: 5 })
+        .with_rule(PlaRule::AggregationThreshold {
+            table: "Prescriptions".into(),
+            min_group_size: 5,
+        })
         .with_rule(PlaRule::RowRestriction {
             table: "Prescriptions".into(),
             condition: col("Disease").ne(lit("HIV")),
@@ -57,7 +69,9 @@ fn bench(c: &mut Criterion) {
     let config = EngineConfig::default();
 
     let mut group = c.benchmark_group("e4_reports");
-    group.bench_function("unenforced_execute", |b| b.iter(|| execute(&report.plan, &cat).unwrap()));
+    group.bench_function("unenforced_execute", |b| {
+        b.iter(|| execute(&report.plan, &cat).unwrap())
+    });
     group.bench_function("enforced_render", |b| {
         b.iter(|| render_enforced(&report, &cat, &policy, &table_source, &config, today).unwrap())
     });
@@ -79,16 +93,38 @@ fn bench(c: &mut Criterion) {
                 MetaReport::new(format!("m{i}"), format!("meta {i}"), plan).approved("hospital")
             })
             .collect();
-        let res =
-            check_report(&report, &metas, &cat, &RefIntegrity::new(), &[], &table_source, today)
-                .unwrap();
-        eprintln!("  metas={n_metas:>3} -> covered={}", res.coverage.is_covered());
-        group.bench_with_input(BenchmarkId::new("compliance_gate", n_metas), &metas, |b, metas| {
-            b.iter(|| {
-                check_report(&report, metas, &cat, &RefIntegrity::new(), &[], &table_source, today)
+        let res = check_report(
+            &report,
+            &metas,
+            &cat,
+            &RefIntegrity::new(),
+            &[],
+            &table_source,
+            today,
+        )
+        .unwrap();
+        eprintln!(
+            "  metas={n_metas:>3} -> covered={}",
+            res.coverage.is_covered()
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compliance_gate", n_metas),
+            &metas,
+            |b, metas| {
+                b.iter(|| {
+                    check_report(
+                        &report,
+                        metas,
+                        &cat,
+                        &RefIntegrity::new(),
+                        &[],
+                        &table_source,
+                        today,
+                    )
                     .unwrap()
-            })
-        });
+                })
+            },
+        );
     }
     group.finish();
 }

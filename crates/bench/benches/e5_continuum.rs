@@ -23,10 +23,24 @@ fn setup() -> (Catalog, ReportUniverse, RefIntegrity) {
         ..Default::default()
     });
     let mut cat = Catalog::new();
-    cat.add_table(scenario.source("hospital").unwrap().table("Prescriptions").unwrap().clone())
-        .unwrap();
-    cat.add_table(scenario.source("health-agency").unwrap().table("DrugRegistry").unwrap().clone())
-        .unwrap();
+    cat.add_table(
+        scenario
+            .source("hospital")
+            .unwrap()
+            .table("Prescriptions")
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
+    cat.add_table(
+        scenario
+            .source("health-agency")
+            .unwrap()
+            .table("DrugRegistry")
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
     let mut refs = RefIntegrity::new();
     refs.add_fk("Prescriptions", "Drug", "DrugRegistry", "Drug");
     let universe = ReportUniverse {
@@ -37,7 +51,12 @@ fn setup() -> (Catalog, ReportUniverse, RefIntegrity) {
                 measure_cols: vec![],
                 filter_cols: vec![(
                     "Disease".into(),
-                    vec!["HIV".into(), "asthma".into(), "hypertension".into(), "diabetes".into()],
+                    vec![
+                        "HIV".into(),
+                        "asthma".into(),
+                        "hypertension".into(),
+                        "diabetes".into(),
+                    ],
                 )],
             },
             TableDesc {
@@ -50,7 +69,12 @@ fn setup() -> (Catalog, ReportUniverse, RefIntegrity) {
                 )],
             },
         ],
-        joins: vec![("Prescriptions".into(), "Drug".into(), "DrugRegistry".into(), "Drug".into())],
+        joins: vec![(
+            "Prescriptions".into(),
+            "Drug".into(),
+            "DrugRegistry".into(),
+            "Drug".into(),
+        )],
         roles: vec![RoleId::new("analyst")],
     };
     (cat, universe, refs)
@@ -61,7 +85,12 @@ fn bench(c: &mut Criterion) {
 
     // The headline table (printed once).
     let params = ContinuumParams {
-        workload: WorkloadParams { initial_reports: 12, epochs: 12, events_per_epoch: 4, ..Default::default() },
+        workload: WorkloadParams {
+            initial_reports: 12,
+            epochs: 12,
+            events_per_epoch: 4,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let outcomes = simulate_continuum(&cat, &universe, &refs, &params).unwrap();

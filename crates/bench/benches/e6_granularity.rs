@@ -27,8 +27,14 @@ fn setup() -> (Catalog, ReportUniverse, RefIntegrity) {
         ..Default::default()
     });
     let mut cat = Catalog::new();
-    for (src, t) in [("hospital", "Prescriptions"), ("health-agency", "DrugRegistry"), ("health-agency", "DrugCost"), ("municipality", "Residents")] {
-        cat.add_table(scenario.source(src).unwrap().table(t).unwrap().clone()).unwrap();
+    for (src, t) in [
+        ("hospital", "Prescriptions"),
+        ("health-agency", "DrugRegistry"),
+        ("health-agency", "DrugCost"),
+        ("municipality", "Residents"),
+    ] {
+        cat.add_table(scenario.source(src).unwrap().table(t).unwrap().clone())
+            .unwrap();
     }
     let mut refs = RefIntegrity::new();
     refs.add_fk("Prescriptions", "Drug", "DrugRegistry", "Drug");
@@ -40,7 +46,10 @@ fn setup() -> (Catalog, ReportUniverse, RefIntegrity) {
                 name: "Prescriptions".into(),
                 group_cols: vec!["Drug".into(), "Disease".into(), "Doctor".into()],
                 measure_cols: vec![],
-                filter_cols: vec![("Disease".into(), vec!["HIV".into(), "asthma".into(), "hypertension".into()])],
+                filter_cols: vec![(
+                    "Disease".into(),
+                    vec!["HIV".into(), "asthma".into(), "hypertension".into()],
+                )],
             },
             TableDesc {
                 name: "DrugRegistry".into(),
@@ -62,9 +71,24 @@ fn setup() -> (Catalog, ReportUniverse, RefIntegrity) {
             },
         ],
         joins: vec![
-            ("Prescriptions".into(), "Drug".into(), "DrugRegistry".into(), "Drug".into()),
-            ("Prescriptions".into(), "Drug".into(), "DrugCost".into(), "Drug".into()),
-            ("Prescriptions".into(), "Patient".into(), "Residents".into(), "Patient".into()),
+            (
+                "Prescriptions".into(),
+                "Drug".into(),
+                "DrugRegistry".into(),
+                "Drug".into(),
+            ),
+            (
+                "Prescriptions".into(),
+                "Drug".into(),
+                "DrugCost".into(),
+                "Drug".into(),
+            ),
+            (
+                "Prescriptions".into(),
+                "Patient".into(),
+                "Residents".into(),
+                "Patient".into(),
+            ),
         ],
         roles: vec![RoleId::new("analyst")],
     };
@@ -73,16 +97,32 @@ fn setup() -> (Catalog, ReportUniverse, RefIntegrity) {
 
 fn bench(c: &mut Criterion) {
     let (cat, universe, refs) = setup();
-    let workload = WorkloadParams { initial_reports: 16, epochs: 10, events_per_epoch: 4, ..Default::default() };
+    let workload = WorkloadParams {
+        initial_reports: 16,
+        epochs: 10,
+        events_per_epoch: 4,
+        ..Default::default()
+    };
 
     eprintln!("\nE6: granularity sweep (overlap → metas / init cols / re-elicit / stability)");
     for overlap in [1.0f64, 0.75, 0.5, 0.25, 0.0] {
-        let knob = GranularityKnob { merge_overlap: overlap };
+        let knob = GranularityKnob {
+            merge_overlap: overlap,
+        };
         let w = EvolutionWorkload::generate(workload, &universe);
-        let metas = synthesize_meta_reports(&w.initial, &cat, &refs, knob).unwrap().metas;
-        let params = ContinuumParams { workload, knob, ..Default::default() };
+        let metas = synthesize_meta_reports(&w.initial, &cat, &refs, knob)
+            .unwrap()
+            .metas;
+        let params = ContinuumParams {
+            workload,
+            knob,
+            ..Default::default()
+        };
         let outcomes = simulate_continuum(&cat, &universe, &refs, &params).unwrap();
-        let meta = outcomes.iter().find(|o| o.level == PlaLevel::MetaReport).unwrap();
+        let meta = outcomes
+            .iter()
+            .find(|o| o.level == PlaLevel::MetaReport)
+            .unwrap();
         eprintln!(
             "  overlap={overlap:>4.2}: metas={:>2} init_cols={:>3} re_elicit={:>2} stability={:.2}",
             metas.len(),
@@ -93,12 +133,17 @@ fn bench(c: &mut Criterion) {
     }
 
     let w = EvolutionWorkload::generate(
-        WorkloadParams { initial_reports: 30, ..workload },
+        WorkloadParams {
+            initial_reports: 30,
+            ..workload
+        },
         &universe,
     );
     let mut group = c.benchmark_group("e6_granularity");
     for overlap in [1.0f64, 0.5, 0.0] {
-        let knob = GranularityKnob { merge_overlap: overlap };
+        let knob = GranularityKnob {
+            merge_overlap: overlap,
+        };
         group.bench_with_input(
             BenchmarkId::new("synthesize_30_reports", format!("{overlap:.2}")),
             &knob,

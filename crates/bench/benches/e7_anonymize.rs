@@ -7,11 +7,11 @@
 //! loss (discernibility) and scales better; aggregate error from
 //! perturbation shrinks with table size.
 
+use bi_core::anonymize::kanon::is_k_anonymous;
+use bi_core::anonymize::perturb::column_stats;
 use bi_core::anonymize::{
     enforce_l_diversity, kanonymize, laplace_perturb, metrics, mondrian, Hierarchy,
 };
-use bi_core::anonymize::kanon::is_k_anonymous;
-use bi_core::anonymize::perturb::column_stats;
 use bi_core::relation::Table;
 use bi_core::types::{Column, DataType, Schema, Value};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -53,7 +53,9 @@ fn bench(c: &mut Criterion) {
     let t = patients(2_000, 7);
     for &k in &[2usize, 5, 10] {
         let full = kanonymize(&t, &hiers(), k, 20).unwrap();
-        let dm_full = metrics::discernibility(&full.table, &["Age", "Zip"], full.suppressed, t.len()).unwrap();
+        let dm_full =
+            metrics::discernibility(&full.table, &["Age", "Zip"], full.suppressed, t.len())
+                .unwrap();
         let mond = mondrian(&t, &["Age", "Zip"], k).unwrap();
         assert!(is_k_anonymous(&mond, &["Age", "Zip"], k).unwrap());
         let dm_mond = metrics::discernibility(&mond, &["Age", "Zip"], 0, t.len()).unwrap();

@@ -23,10 +23,24 @@ fn catalog(prescriptions: usize) -> Catalog {
         ..Default::default()
     });
     let mut cat = Catalog::new();
-    cat.add_table(scenario.source("hospital").unwrap().table("Prescriptions").unwrap().clone())
-        .unwrap();
-    cat.add_table(scenario.source("health-agency").unwrap().table("DrugCost").unwrap().clone())
-        .unwrap();
+    cat.add_table(
+        scenario
+            .source("hospital")
+            .unwrap()
+            .table("Prescriptions")
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
+    cat.add_table(
+        scenario
+            .source("health-agency")
+            .unwrap()
+            .table("DrugCost")
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
     cat
 }
 
@@ -39,20 +53,30 @@ fn bench(c: &mut Criterion) {
         let plan = scan("Prescriptions")
             .join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc")
             .aggregate(vec!["Disease".into()], vec![AggItem::count_star("cnt")]);
-        group.bench_with_input(BenchmarkId::new("plain_execute", n), &(&plan, &cat), |b, (p, cat)| {
-            b.iter(|| execute(p, cat).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("provenance_execute", n), &(&plan, &cat), |b, (p, cat)| {
-            b.iter(|| {
+        group.bench_with_input(
+            BenchmarkId::new("plain_execute", n),
+            &(&plan, &cat),
+            |b, (p, cat)| b.iter(|| execute(p, cat).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("provenance_execute", n),
+            &(&plan, &cat),
+            |b, (p, cat)| {
+                b.iter(|| {
+                    let pcat = ProvCatalog::new(cat);
+                    pexecute(p, &pcat).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lineage_index", n),
+            &(&plan, &cat),
+            |b, (p, cat)| {
                 let pcat = ProvCatalog::new(cat);
-                pexecute(p, &pcat).unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("lineage_index", n), &(&plan, &cat), |b, (p, cat)| {
-            let pcat = ProvCatalog::new(cat);
-            let at = pexecute(p, &pcat).unwrap();
-            b.iter(|| Lineage::build(&at))
-        });
+                let at = pexecute(p, &pcat).unwrap();
+                b.iter(|| Lineage::build(&at))
+            },
+        );
     }
 
     // Dispute resolution over a journal of 20 deliveries.
@@ -62,7 +86,9 @@ fn bench(c: &mut Criterion) {
         let plan = if i % 2 == 0 {
             scan("Prescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")])
         } else {
-            scan("Prescriptions").project_cols(&["Patient", "Drug"]).distinct()
+            scan("Prescriptions")
+                .project_cols(&["Patient", "Drug"])
+                .distinct()
         };
         log.record(
             Date::new(2008, 7, 1).unwrap(),
@@ -72,7 +98,10 @@ fn bench(c: &mut Criterion) {
             plan,
             None,
             vec![],
-            Outcome::Delivered { rows: 10, suppressed_groups: 0 },
+            Outcome::Delivered {
+                rows: 10,
+                suppressed_groups: 0,
+            },
             Provenance::default(),
         );
     }

@@ -37,17 +37,33 @@ use bi_synth::{Scenario, ScenarioConfig};
 const PROFILES: usize = 20;
 
 fn etl(step_tag: &str, derive: bool) -> Pipeline {
-    let mut p = Pipeline::new(step_tag).step("e", EtlOp::Extract {
-        source: "hospital".into(),
-        table: "Prescriptions".into(),
-        as_name: "s".into(),
-    });
+    let mut p = Pipeline::new(step_tag).step(
+        "e",
+        EtlOp::Extract {
+            source: "hospital".into(),
+            table: "Prescriptions".into(),
+            as_name: "s".into(),
+        },
+    );
     if derive {
         // Rebuilds the row storage, bumping the storage version the
         // enforcement key fingerprints.
-        p = p.step("d", EtlOp::Derive { table: "s".into(), column: "Loaded".into(), expr: lit(1) });
+        p = p.step(
+            "d",
+            EtlOp::Derive {
+                table: "s".into(),
+                column: "Loaded".into(),
+                expr: lit(1),
+            },
+        );
     }
-    p.step("l", EtlOp::Load { table: "s".into(), warehouse_table: "FactPrescriptions".into() })
+    p.step(
+        "l",
+        EtlOp::Load {
+            table: "s".into(),
+            warehouse_table: "FactPrescriptions".into(),
+        },
+    )
 }
 
 /// The deployment: one hospital source ETL'd into the warehouse, one
@@ -70,7 +86,8 @@ fn build(consumers: usize, prescriptions: usize) -> BiSystem {
 }"#,
     )
     .expect("bench PLA parses");
-    sys.run_etl(&etl("nightly", false), Some("quality")).expect("bench ETL loads");
+    sys.run_etl(&etl("nightly", false), Some("quality"))
+        .expect("bench ETL loads");
     let groups = ["Drug", "Disease", "Date", "Patient"];
     for i in 0..PROFILES {
         // Each profile gets its own plan: a distinct (vacuous) filter so
@@ -78,7 +95,10 @@ fn build(consumers: usize, prescriptions: usize) -> BiSystem {
         // column so outputs differ across profiles.
         let plan = scan("FactPrescriptions")
             .filter(col("Disease").ne(lit(format!("no-such-disease-{i:02}"))))
-            .aggregate(vec![groups[i % groups.len()].into()], vec![AggItem::count_star("N")]);
+            .aggregate(
+                vec![groups[i % groups.len()].into()],
+                vec![AggItem::count_star("N")],
+            );
         sys.define_report(ReportSpec::new(
             format!("rep-{i:02}"),
             format!("Profile {i:02} rollup"),
@@ -87,7 +107,8 @@ fn build(consumers: usize, prescriptions: usize) -> BiSystem {
         ));
     }
     for c in 0..consumers {
-        sys.subjects_mut().grant(format!("consumer-{c}"), format!("role-{:02}", c % PROFILES));
+        sys.subjects_mut()
+            .grant(format!("consumer-{c}"), format!("role-{:02}", c % PROFILES));
     }
     sys
 }
@@ -128,7 +149,9 @@ fn main() {
 
     let consumers = if quick { 2_000 } else { 10_000 };
     let prescriptions = if quick { 1_000 } else { 4_000 };
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let threads = cores.min(8);
     let cfg = ExecConfig::with_threads(threads);
     let reqs = requests(consumers);
@@ -155,8 +178,16 @@ fn main() {
 
     // Sharing must be invisible in the results.
     let reference = fingerprints(&unshared_out);
-    assert_eq!(reference, fingerprints(&shared_out), "shared cold diverged from unshared");
-    assert_eq!(reference, fingerprints(&warm_out), "shared warm diverged from unshared");
+    assert_eq!(
+        reference,
+        fingerprints(&shared_out),
+        "shared cold diverged from unshared"
+    );
+    assert_eq!(
+        reference,
+        fingerprints(&warm_out),
+        "shared warm diverged from unshared"
+    );
 
     // Counters on a separate observed system (untimed): cold batch,
     // warm batch, then a storage-rebuilding ETL commit and a third
@@ -166,8 +197,16 @@ fn main() {
     counted.engine_mut().exec = cfg.clone().with_obs(obs.clone());
     let _ = counted.deliver_batch(&reqs);
     let cold_snap = obs.snapshot();
-    let render_unique = cold_snap.counters.get("deliver.render.unique").copied().unwrap_or(0);
-    let render_shared = cold_snap.counters.get("deliver.render.shared").copied().unwrap_or(0);
+    let render_unique = cold_snap
+        .counters
+        .get("deliver.render.unique")
+        .copied()
+        .unwrap_or(0);
+    let render_shared = cold_snap
+        .counters
+        .get("deliver.render.shared")
+        .copied()
+        .unwrap_or(0);
     let _ = counted.deliver_batch(&reqs);
     let warm_hits = obs
         .snapshot()
@@ -175,10 +214,23 @@ fn main() {
         .get("render.cache.hit")
         .copied()
         .unwrap_or(0)
-        .saturating_sub(cold_snap.counters.get("render.cache.hit").copied().unwrap_or(0));
+        .saturating_sub(
+            cold_snap
+                .counters
+                .get("render.cache.hit")
+                .copied()
+                .unwrap_or(0),
+        );
 
-    counted.run_etl(&etl("nightly-rebuild", true), Some("quality")).expect("bench ETL reloads");
-    let pre_etl_hits = obs.snapshot().counters.get("render.cache.hit").copied().unwrap_or(0);
+    counted
+        .run_etl(&etl("nightly-rebuild", true), Some("quality"))
+        .expect("bench ETL reloads");
+    let pre_etl_hits = obs
+        .snapshot()
+        .counters
+        .get("render.cache.hit")
+        .copied()
+        .unwrap_or(0);
     let post_etl_out = counted.deliver_batch(&reqs);
     let post_etl_hits = obs
         .snapshot()

@@ -32,21 +32,33 @@ fn catalog(rows: usize) -> Catalog {
     .unwrap();
     let fact_rows: Vec<Vec<Value>> = (0..rows)
         .map(|i| {
-            let k = if i % 97 == 0 { Value::Null } else { Value::Int((i as i64 * 31) % 400) };
-            let g = if i % 113 == 0 { Value::Null } else { Value::text(format!("g{}", i % 64)) };
+            let k = if i % 97 == 0 {
+                Value::Null
+            } else {
+                Value::Int((i as i64 * 31) % 400)
+            };
+            let g = if i % 113 == 0 {
+                Value::Null
+            } else {
+                Value::text(format!("g{}", i % 64))
+            };
             vec![k, g, Value::Int(i as i64 % 1000)]
         })
         .collect();
-    let dim_schema =
-        Schema::new(vec![Column::new("G", DataType::Text), Column::new("W", DataType::Int)])
-            .unwrap();
+    let dim_schema = Schema::new(vec![
+        Column::new("G", DataType::Text),
+        Column::new("W", DataType::Int),
+    ])
+    .unwrap();
     let dim_rows: Vec<Vec<Value>> = (0..64i64)
         .step_by(4)
         .map(|g| vec![Value::text(format!("g{g}")), Value::Int(g * 7)])
         .collect();
     let mut cat = Catalog::new();
-    cat.add_table(Table::from_rows("Fact", fact_schema, fact_rows).unwrap()).unwrap();
-    cat.add_table(Table::from_rows("DimG", dim_schema, dim_rows).unwrap()).unwrap();
+    cat.add_table(Table::from_rows("Fact", fact_schema, fact_rows).unwrap())
+        .unwrap();
+    cat.add_table(Table::from_rows("DimG", dim_schema, dim_rows).unwrap())
+        .unwrap();
     cat
 }
 
@@ -79,15 +91,18 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_columnar.json".to_string());
 
-    let sizes: &[usize] =
-        if full { &[10_000, 100_000, 1_000_000] } else { &[10_000, 100_000] };
+    let sizes: &[usize] = if full {
+        &[10_000, 100_000, 1_000_000]
+    } else {
+        &[10_000, 100_000]
+    };
     let row_cfg = ExecConfig::serial();
     let col_cfg = ExecConfig::columnar();
-    let cores =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
-    let filter_plan =
-        scan("Fact").filter(col("V").ge(lit(250)).and(col("G").ne(lit("g7"))));
+    let filter_plan = scan("Fact").filter(col("V").ge(lit(250)).and(col("G").ne(lit("g7"))));
     let join_plan = scan("Fact").join(scan("DimG"), vec![("G".into(), "G".into())], "d");
     let agg_plan = scan("Fact").aggregate(
         vec!["G".into()],
@@ -96,8 +111,11 @@ fn main() {
             AggItem::new("total", bi_core::query::AggFunc::Sum, "V"),
         ],
     );
-    let ops: [(&str, &bi_core::query::Plan); 3] =
-        [("filter", &filter_plan), ("join", &join_plan), ("aggregate", &agg_plan)];
+    let ops: [(&str, &bi_core::query::Plan); 3] = [
+        ("filter", &filter_plan),
+        ("join", &join_plan),
+        ("aggregate", &agg_plan),
+    ];
 
     let mut size_entries = Vec::new();
     for &rows in sizes {
@@ -109,7 +127,11 @@ fn main() {
             let (c_ms, c_out) = time_plan(plan, &cat, &col_cfg, iters);
             assert_eq!(r_out.rows(), c_out.rows(), "{name}@{rows}: outputs diverge");
             assert_eq!(r_out.name(), c_out.name(), "{name}@{rows}: names diverge");
-            assert_eq!(r_out.schema(), c_out.schema(), "{name}@{rows}: schemas diverge");
+            assert_eq!(
+                r_out.schema(),
+                c_out.schema(),
+                "{name}@{rows}: schemas diverge"
+            );
             eprintln!(
                 "{rows:>8} rows  {name:<9} row {r_ms:8.2} ms  columnar {c_ms:8.2} ms  x{:.2}",
                 r_ms / c_ms
@@ -119,7 +141,10 @@ fn main() {
                 r_ms / c_ms
             ));
         }
-        size_entries.push(format!(r#"{{"rows":{rows},"ops":[{}]}}"#, op_entries.join(",")));
+        size_entries.push(format!(
+            r#"{{"rows":{rows},"ops":[{}]}}"#,
+            op_entries.join(",")
+        ));
     }
 
     let json = format!(

@@ -52,18 +52,31 @@ fn catalog(rows: usize) -> Catalog {
     .unwrap();
     let fact_rows: Vec<Vec<Value>> = (0..rows)
         .map(|i| {
-            let k = if i % 97 == 0 { Value::Null } else { Value::Int((i as i64 * 31) % 400) };
-            vec![k, Value::text(format!("segment-{:03}", i % 64)), Value::Int(i as i64 % 1000)]
+            let k = if i % 97 == 0 {
+                Value::Null
+            } else {
+                Value::Int((i as i64 * 31) % 400)
+            };
+            vec![
+                k,
+                Value::text(format!("segment-{:03}", i % 64)),
+                Value::Int(i as i64 % 1000),
+            ]
         })
         .collect();
-    let dim_schema =
-        Schema::new(vec![Column::new("K", DataType::Int), Column::new("W", DataType::Int)])
-            .unwrap();
-    let dim_rows: Vec<Vec<Value>> =
-        (0..400i64).map(|k| vec![Value::Int(k), Value::Int(k * 7)]).collect();
+    let dim_schema = Schema::new(vec![
+        Column::new("K", DataType::Int),
+        Column::new("W", DataType::Int),
+    ])
+    .unwrap();
+    let dim_rows: Vec<Vec<Value>> = (0..400i64)
+        .map(|k| vec![Value::Int(k), Value::Int(k * 7)])
+        .collect();
     let mut cat = Catalog::new();
-    cat.add_table(Table::from_rows("Fact", fact_schema, fact_rows).unwrap()).unwrap();
-    cat.add_table(Table::from_rows("Dim", dim_schema, dim_rows).unwrap()).unwrap();
+    cat.add_table(Table::from_rows("Fact", fact_schema, fact_rows).unwrap())
+        .unwrap();
+    cat.add_table(Table::from_rows("Dim", dim_schema, dim_rows).unwrap())
+        .unwrap();
     cat
 }
 
@@ -143,7 +156,9 @@ fn repeated_render(rows: usize) -> String {
             vec!["G".into(), "K".into()],
             vec![AggItem::new("spread", bi_core::query::AggFunc::Min, "V")],
         ),
-        scan("Fact").sort(vec![SortKey::desc("V"), SortKey::asc("G")]).limit(50),
+        scan("Fact")
+            .sort(vec![SortKey::desc("V"), SortKey::asc("G")])
+            .limit(50),
     ];
     let cfg = ExecConfig::columnar();
     let render = |cfg: &ExecConfig| {
@@ -200,7 +215,10 @@ fn deep_plan_bench(rows: usize) -> String {
     let cat = catalog(rows);
     let plan = scan("Fact")
         .filter(col("V").ge(lit(250)).and(col("K").is_null().not()))
-        .project(vec![("G".to_string(), col("G")), ("V".to_string(), col("V"))])
+        .project(vec![
+            ("G".to_string(), col("G")),
+            ("V".to_string(), col("V")),
+        ])
         .aggregate(
             vec!["G".into()],
             vec![
@@ -208,12 +226,22 @@ fn deep_plan_bench(rows: usize) -> String {
                 AggItem::new("total", bi_core::query::AggFunc::Sum, "V"),
             ],
         );
-    let columnar = ExecConfig::with_threads(1).with_columnar(true).with_pipeline(false);
+    let columnar = ExecConfig::with_threads(1)
+        .with_columnar(true)
+        .with_pipeline(false);
     let fused = ExecConfig::with_threads(1).with_columnar(true);
     let (c_ms, c_out) = time_plan(&plan, &cat, &columnar);
     let (p_ms, p_out) = time_plan(&plan, &cat, &fused);
-    assert_eq!(c_out.rows(), p_out.rows(), "deep plan @{rows}: outputs diverge");
-    assert_eq!(c_out.schema(), p_out.schema(), "deep plan @{rows}: schemas diverge");
+    assert_eq!(
+        c_out.rows(),
+        p_out.rows(),
+        "deep plan @{rows}: outputs diverge"
+    );
+    assert_eq!(
+        c_out.schema(),
+        p_out.schema(),
+        "deep plan @{rows}: schemas diverge"
+    );
     let choice = plan_choice(&plan, &cat, &fused);
     let speedup = c_ms / p_ms;
     eprintln!(
@@ -234,11 +262,15 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_parallel.json".to_string());
 
-    let sizes: &[usize] =
-        if quick { &[10_000, 100_000] } else { &[10_000, 100_000, 1_000_000] };
+    let sizes: &[usize] = if quick {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
     let serial = ExecConfig::serial();
-    let cores =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let scan_plan = scan("Fact");
     let filter_plan =
@@ -275,8 +307,16 @@ fn main() {
                 // measured; re-timing it would only report noise.
                 let (p_ms, speedup) = if choice == "parallel" {
                     let (p_ms, p_out) = time_plan(plan, &cat, &cfg);
-                    assert_eq!(s_out.rows(), p_out.rows(), "{name}@{rows}x{n}: outputs diverge");
-                    assert_eq!(s_out.name(), p_out.name(), "{name}@{rows}x{n}: names diverge");
+                    assert_eq!(
+                        s_out.rows(),
+                        p_out.rows(),
+                        "{name}@{rows}x{n}: outputs diverge"
+                    );
+                    assert_eq!(
+                        s_out.name(),
+                        p_out.name(),
+                        "{name}@{rows}x{n}: names diverge"
+                    );
                     (p_ms, s_ms / p_ms)
                 } else {
                     (s_ms, 1.0)

@@ -41,8 +41,12 @@ fn fact(rows: usize) -> Table {
             } else {
                 Value::text(diseases[i % diseases.len()])
             };
-            let date = Date::new(1998 + (i % 12) as i16, 1 + (i % 12) as u8, 1 + (i % 28) as u8)
-                .expect("day <= 28 always valid");
+            let date = Date::new(
+                1998 + (i % 12) as i16,
+                1 + (i % 12) as u8,
+                1 + (i % 28) as u8,
+            )
+            .expect("day <= 28 always valid");
             vec![
                 Value::text(format!("p{}", i % 997)),
                 disease,
@@ -73,7 +77,9 @@ fn ast_filter(t: &Table, pred: &Expr) -> Table {
         .rows()
         .iter()
         .filter(|row| {
-            pred.eval(t.schema(), row).map(|v| v.as_bool().unwrap_or(false)).unwrap_or(false)
+            pred.eval(t.schema(), row)
+                .map(|v| v.as_bool().unwrap_or(false))
+                .unwrap_or(false)
         })
         .cloned()
         .collect();
@@ -87,7 +93,10 @@ fn ast_project(t: &Table, items: &[(String, Expr)]) -> Vec<Vec<Value>> {
         .map(|row| {
             items
                 .iter()
-                .map(|(_, e)| e.eval(t.schema(), row).expect("bench expressions are well-typed"))
+                .map(|(_, e)| {
+                    e.eval(t.schema(), row)
+                        .expect("bench expressions are well-typed")
+                })
                 .collect()
         })
         .collect()
@@ -109,13 +118,21 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_vm.json".to_string());
 
-    let sizes: &[usize] = if full { &[10_000, 100_000, 1_000_000] } else { &[10_000, 100_000] };
+    let sizes: &[usize] = if full {
+        &[10_000, 100_000, 1_000_000]
+    } else {
+        &[10_000, 100_000]
+    };
     let cfg = ExecConfig::serial();
     let col_cfg = ExecConfig::columnar();
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     // Report-style filter: measure threshold plus sensitive-value guard.
-    let filter_pred = col("Cost").ge(lit(250)).and(col("Disease").ne(lit("Measles")));
+    let filter_pred = col("Cost")
+        .ge(lit(250))
+        .and(col("Disease").ne(lit("Measles")));
     // Report-style derivation: a passthrough, an adjusted measure and a
     // threshold flag. (Text-producing functions like `lower()` are
     // allocation-bound — every backend pays the same per-row string
@@ -144,7 +161,10 @@ fn main() {
                 Box::new(col("Cost")),
             ),
         ),
-        ("High".into(), col("Cost").ge(lit(500)).and(col("Disease").ne(lit("HIV")))),
+        (
+            "High".into(),
+            col("Cost").ge(lit(500)).and(col("Disease").ne(lit("HIV"))),
+        ),
     ];
     // What a PLA check emits for a VPD row restriction plus a retention
     // cutoff (`attr >= today - max_age`), conjoined.
@@ -161,9 +181,14 @@ fn main() {
         let mut results: Vec<OpResult> = Vec::new();
         for (op, pred) in [("filter", &filter_pred), ("obligation", &obligation_pred)] {
             let (ast_ms, ast_out) = time_best(iters, || ast_filter(&t, pred));
-            let (vm_ms, vm_out) =
-                time_best(iters, || filter_scalar(&t, pred, &cfg).expect("bench filter executes"));
-            assert_eq!(ast_out.rows(), vm_out.rows(), "{op}@{rows}: VM diverges from the walker");
+            let (vm_ms, vm_out) = time_best(iters, || {
+                filter_scalar(&t, pred, &cfg).expect("bench filter executes")
+            });
+            assert_eq!(
+                ast_out.rows(),
+                vm_out.rows(),
+                "{op}@{rows}: VM diverges from the walker"
+            );
             let columnar_ms = filter_columnar(&t, pred, &col_cfg).map(|first| {
                 let (ms, out) = time_best(iters, || {
                     filter_columnar(&t, pred, &col_cfg).expect("columnar path compiled once")
@@ -176,7 +201,12 @@ fn main() {
                 );
                 ms
             });
-            results.push(OpResult { op, ast_ms, vm_ms, columnar_ms });
+            results.push(OpResult {
+                op,
+                ast_ms,
+                vm_ms,
+                columnar_ms,
+            });
         }
         {
             let (ast_ms, ast_out) = time_best(iters, || ast_project(&t, &project_items));
@@ -188,7 +218,12 @@ fn main() {
                 vm_out.rows(),
                 "project@{rows}: VM diverges from the walker"
             );
-            results.push(OpResult { op: "project", ast_ms, vm_ms, columnar_ms: None });
+            results.push(OpResult {
+                op: "project",
+                ast_ms,
+                vm_ms,
+                columnar_ms: None,
+            });
         }
 
         for r in results {
@@ -203,8 +238,10 @@ fn main() {
                 ast = r.ast_ms,
                 vm = r.vm_ms,
             );
-            let col_json =
-                r.columnar_ms.map(|ms| format!("{ms:.3}")).unwrap_or_else(|| "null".into());
+            let col_json = r
+                .columnar_ms
+                .map(|ms| format!("{ms:.3}"))
+                .unwrap_or_else(|| "null".into());
             op_entries.push(format!(
                 r#"{{"op":"{op}","ast_ms":{ast:.3},"vm_ms":{vm:.3},"speedup":{speedup:.3},"columnar_ms":{col_json}}}"#,
                 op = r.op,
@@ -212,7 +249,10 @@ fn main() {
                 vm = r.vm_ms,
             ));
         }
-        size_entries.push(format!(r#"{{"rows":{rows},"ops":[{}]}}"#, op_entries.join(",")));
+        size_entries.push(format!(
+            r#"{{"rows":{rows},"ops":[{}]}}"#,
+            op_entries.join(",")
+        ));
     }
 
     let json = format!(

@@ -106,8 +106,9 @@ pub fn simulate_continuum(
     let initial_metas = synthesize_meta_reports(&workload.initial, cat, refs, params.knob)?;
     // Every elicitation round ends with the owners signing off, so
     // synthesized meta-reports count as approved in the simulation.
-    let approve =
-        |ms: Vec<MetaReport>| -> Vec<MetaReport> { ms.into_iter().map(|m| m.approved("owners")).collect() };
+    let approve = |ms: Vec<MetaReport>| -> Vec<MetaReport> {
+        ms.into_iter().map(|m| m.approved("owners")).collect()
+    };
     let mut metas: Vec<MetaReport> = approve(initial_metas.metas);
     let mut meta_level = LevelOutcome {
         level: PlaLevel::MetaReport,
@@ -209,7 +210,12 @@ pub fn simulate_continuum(
     }
     meta_level.over_engineering = over_engineering_ratio(&meta_surface, &final_plans, cat)?;
 
-    Ok(vec![source_level, warehouse_level, meta_level, report_level])
+    Ok(vec![
+        source_level,
+        warehouse_level,
+        meta_level,
+        report_level,
+    ])
 }
 
 #[cfg(test)]
@@ -226,10 +232,24 @@ mod tests {
         });
         // Warehouse: load Prescriptions and the drug registry directly.
         let mut cat = Catalog::new();
-        cat.add_table(scenario.source("hospital").unwrap().table("Prescriptions").unwrap().clone())
-            .unwrap();
-        cat.add_table(scenario.source("health-agency").unwrap().table("DrugRegistry").unwrap().clone())
-            .unwrap();
+        cat.add_table(
+            scenario
+                .source("hospital")
+                .unwrap()
+                .table("Prescriptions")
+                .unwrap()
+                .clone(),
+        )
+        .unwrap();
+        cat.add_table(
+            scenario
+                .source("health-agency")
+                .unwrap()
+                .table("DrugRegistry")
+                .unwrap()
+                .clone(),
+        )
+        .unwrap();
         let mut refs = RefIntegrity::new();
         refs.add_fk("Prescriptions", "Drug", "DrugRegistry", "Drug");
         let universe = ReportUniverse {
@@ -250,7 +270,12 @@ mod tests {
                     filter_cols: vec![],
                 },
             ],
-            joins: vec![("Prescriptions".into(), "Drug".into(), "DrugRegistry".into(), "Drug".into())],
+            joins: vec![(
+                "Prescriptions".into(),
+                "Drug".into(),
+                "DrugRegistry".into(),
+                "Drug".into(),
+            )],
             roles: vec![bi_types::RoleId::new("analyst")],
         };
         (cat, universe, refs)
@@ -280,12 +305,21 @@ mod tests {
         assert!(source.stability >= dwh.stability);
         assert!(dwh.stability >= meta.stability);
         assert!(meta.stability >= report.stability);
-        assert!(report.re_elicitations > 0, "report churn forces re-elicitation");
+        assert!(
+            report.re_elicitations > 0,
+            "report churn forces re-elicitation"
+        );
 
         // Initial elicitation effort decreases source → report-side
         // (Fig. 5, left axis: ease of elicitation increases).
         assert!(source.initial.schema_elements > dwh.initial.schema_elements);
-        assert!(dwh.initial.schema_elements >= meta.initial.schema_elements.min(report.initial.schema_elements));
+        assert!(
+            dwh.initial.schema_elements
+                >= meta
+                    .initial
+                    .schema_elements
+                    .min(report.initial.schema_elements)
+        );
 
         // Over-engineering: source ≥ warehouse ≥ meta ≥ report = 0 (§5:
         // "there is no risk of over-engineering").
@@ -308,15 +342,24 @@ mod tests {
             ..Default::default()
         };
         let outcomes = simulate_continuum(&cat, &universe, &refs, &params).unwrap();
-        let meta = outcomes.iter().find(|o| o.level == PlaLevel::MetaReport).unwrap();
-        let report = outcomes.iter().find(|o| o.level == PlaLevel::Report).unwrap();
+        let meta = outcomes
+            .iter()
+            .find(|o| o.level == PlaLevel::MetaReport)
+            .unwrap();
+        let report = outcomes
+            .iter()
+            .find(|o| o.level == PlaLevel::Report)
+            .unwrap();
         assert!(
             meta.re_elicitations < report.re_elicitations,
             "meta {} vs report {}",
             meta.re_elicitations,
             report.re_elicitations
         );
-        assert!(meta.total_schema_elements() < report.total_schema_elements() + report.initial.schema_elements);
+        assert!(
+            meta.total_schema_elements()
+                < report.total_schema_elements() + report.initial.schema_elements
+        );
     }
 
     #[test]
@@ -329,13 +372,21 @@ mod tests {
                 events_per_epoch: 3,
                 ..Default::default()
             },
-            knob: GranularityKnob { merge_overlap: overlap },
+            knob: GranularityKnob {
+                merge_overlap: overlap,
+            },
             ..Default::default()
         };
         let fine = simulate_continuum(&cat, &universe, &refs, &mk(1.0)).unwrap();
         let coarse = simulate_continuum(&cat, &universe, &refs, &mk(0.0)).unwrap();
-        let fine_meta = fine.iter().find(|o| o.level == PlaLevel::MetaReport).unwrap();
-        let coarse_meta = coarse.iter().find(|o| o.level == PlaLevel::MetaReport).unwrap();
+        let fine_meta = fine
+            .iter()
+            .find(|o| o.level == PlaLevel::MetaReport)
+            .unwrap();
+        let coarse_meta = coarse
+            .iter()
+            .find(|o| o.level == PlaLevel::MetaReport)
+            .unwrap();
         assert!(
             coarse_meta.re_elicitations <= fine_meta.re_elicitations,
             "a universe meta-report absorbs more churn"

@@ -30,9 +30,7 @@ impl ElicitationCost {
 /// Cost of eliciting on raw source schemas (§3): every column of every
 /// table of every source is on the table — including ones the BI
 /// application will never use (the paper's "over-engineering" risk).
-pub fn source_level_cost<'a>(
-    sources: impl IntoIterator<Item = &'a Catalog>,
-) -> ElicitationCost {
+pub fn source_level_cost<'a>(sources: impl IntoIterator<Item = &'a Catalog>) -> ElicitationCost {
     let mut schema_elements = 0;
     let mut artifacts = 0;
     for cat in sources {
@@ -43,7 +41,10 @@ pub fn source_level_cost<'a>(
             }
         }
     }
-    ElicitationCost { schema_elements, artifacts }
+    ElicitationCost {
+        schema_elements,
+        artifacts,
+    }
 }
 
 /// Cost of eliciting on the warehouse schema (§4): the loaded tables.
@@ -64,7 +65,10 @@ pub fn plans_cost<'a>(
         artifacts += 1;
         schema_elements += p.schema(cat)?.len();
     }
-    Ok(ElicitationCost { schema_elements, artifacts })
+    Ok(ElicitationCost {
+        schema_elements,
+        artifacts,
+    })
 }
 
 /// Over-engineering ratio (§3): the fraction of elicited source columns
@@ -164,6 +168,9 @@ mod tests {
         // Only Prescriptions.Drug used → 4/5 wasted.
         assert!((ratio - 0.8).abs() < 1e-9);
         // Empty surface is trivially fine.
-        assert_eq!(over_engineering_ratio(&BTreeSet::new(), &[&report], &cat).unwrap(), 0.0);
+        assert_eq!(
+            over_engineering_ratio(&BTreeSet::new(), &[&report], &cat).unwrap(),
+            0.0
+        );
     }
 }

@@ -29,12 +29,14 @@ mod render_cache;
 mod scheduler;
 pub mod storage;
 pub mod system;
+pub mod wal;
 
 pub use continuum::{simulate_continuum, ContinuumParams, LevelOutcome};
 pub use elicitation::ElicitationCost;
 pub use negotiation::{compare_strategies, negotiate, NegotiationOutcome, OwnerModel, Stance};
 pub use storage::{export_deployment, import_deployment, StorageError};
-pub use system::{BiSystem, SystemError};
+pub use system::{BiSystem, ReplayedDelivery, SystemError};
+pub use wal::{read_wal, WalError, WalReadout, WalRecord, WalWriter};
 
 pub use bi_anonymize as anonymize;
 pub use bi_audit as audit;

@@ -82,7 +82,10 @@ pub fn negotiate(
     owner: &OwnerModel,
     document_id: &str,
 ) -> NegotiationOutcome {
-    assert!(owner.attention_span >= 1, "owners notice at least one thing per session");
+    assert!(
+        owner.attention_span >= 1,
+        "owners notice at least one thing per session"
+    );
     let mut remaining: BTreeSet<AttrRef> = proposal.clone();
     let mut handled: BTreeSet<AttrRef> = BTreeSet::new();
     let mut dropped = BTreeSet::new();
@@ -97,7 +100,10 @@ pub fn negotiate(
             .filter(|a| !handled.contains(*a))
             .filter_map(|a| match owner.stance(a) {
                 Stance::Allow => None,
-                s => Some(Objection { attribute: a.clone(), stance: s.clone() }),
+                s => Some(Objection {
+                    attribute: a.clone(),
+                    stance: s.clone(),
+                }),
             })
             .take(owner.attention_span)
             .collect();
@@ -145,7 +151,12 @@ pub fn negotiate(
         .iter()
         .filter(|a| matches!(owner.stance(a), Stance::Allow))
         .count();
-    NegotiationOutcome { rounds, dropped, document: doc, wasted_exposure }
+    NegotiationOutcome {
+        rounds,
+        dropped,
+        document: doc,
+        wasted_exposure,
+    }
 }
 
 /// Compares the wide-first and minimal-first strategies against the
@@ -175,12 +186,18 @@ mod tests {
             source: "hospital".into(),
             stances: [
                 (attr("Patient"), Stance::Forbid),
-                (attr("Doctor"), Stance::RestrictRoles {
-                    roles: [RoleId::new("auditor")].into_iter().collect(),
-                }),
-                (attr("Disease"), Stance::RequireCondition {
-                    condition: col("Disease").ne(lit("HIV")),
-                }),
+                (
+                    attr("Doctor"),
+                    Stance::RestrictRoles {
+                        roles: [RoleId::new("auditor")].into_iter().collect(),
+                    },
+                ),
+                (
+                    attr("Disease"),
+                    Stance::RequireCondition {
+                        condition: col("Disease").ne(lit("HIV")),
+                    },
+                ),
                 (attr("Drug"), Stance::RequireAggregation { k: 5 }),
             ]
             .into_iter()
@@ -202,11 +219,13 @@ mod tests {
         assert_eq!(out.dropped, attrs(&["Patient"]));
         assert_eq!(out.document.rules.len(), 3);
         assert_eq!(out.wasted_exposure, 1, "Date carried no requirement");
-        assert!(out
-            .document
-            .rules
-            .iter()
-            .any(|r| matches!(r, PlaRule::AggregationThreshold { min_group_size: 5, .. })));
+        assert!(out.document.rules.iter().any(|r| matches!(
+            r,
+            PlaRule::AggregationThreshold {
+                min_group_size: 5,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -214,7 +233,10 @@ mod tests {
         let proposal = attrs(&["Patient", "Doctor", "Disease", "Drug"]);
         let slow = negotiate(&proposal, &owner(1), "slow");
         let fast = negotiate(&proposal, &owner(4), "fast");
-        assert_eq!(slow.rounds, 5, "4 objections, one per session, plus sign-off");
+        assert_eq!(
+            slow.rounds, 5,
+            "4 objections, one per session, plus sign-off"
+        );
         assert_eq!(fast.rounds, 2);
         // The agreements are the same either way.
         assert_eq!(slow.document.rules.len(), fast.document.rules.len());
@@ -225,7 +247,9 @@ mod tests {
     fn minimal_first_beats_wide_first() {
         // Wide proposal includes columns the portfolio never needs; the
         // owner still has to look at them.
-        let all = attrs(&["Patient", "Doctor", "Disease", "Drug", "Date", "Ward", "Bed", "Insurer"]);
+        let all = attrs(&[
+            "Patient", "Doctor", "Disease", "Drug", "Date", "Ward", "Bed", "Insurer",
+        ]);
         let needed = attrs(&["Drug", "Disease"]);
         let (wide, minimal) = compare_strategies(&all, &needed, &owner(1));
         assert!(minimal.rounds <= wide.rounds);
@@ -245,7 +269,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one thing")]
     fn zero_attention_is_rejected() {
-        let o = OwnerModel { source: "s".into(), stances: BTreeMap::new(), attention_span: 0 };
+        let o = OwnerModel {
+            source: "s".into(),
+            stances: BTreeMap::new(),
+            attention_span: 0,
+        };
         negotiate(&BTreeSet::new(), &o, "t");
     }
 }

@@ -53,7 +53,11 @@ pub(crate) struct RenderCache {
 
 impl RenderCache {
     pub fn new(capacity: usize) -> Self {
-        RenderCache { capacity, tick: 0, map: BTreeMap::new() }
+        RenderCache {
+            capacity,
+            tick: 0,
+            map: BTreeMap::new(),
+        }
     }
 
     /// Rebounds the cache; `0` disables it. Shrinking evicts
@@ -145,9 +149,15 @@ mod tests {
 
     fn rendered(report: &str) -> Arc<RenderedDelivery> {
         Arc::new(RenderedDelivery {
-            report: Arc::new(bi_report::ReportSpec::new(report, report, scan("T"), [RoleId::new("analyst")])),
+            report: Arc::new(bi_report::ReportSpec::new(
+                report,
+                report,
+                scan("T"),
+                [RoleId::new("analyst")],
+            )),
             effective: BTreeSet::new(),
             outcome: RenderOutcome::Refused(vec![]),
+            source_versions: vec![("T".into(), 7)],
         })
     }
 
@@ -188,7 +198,10 @@ mod tests {
         assert!(cache.get(&key("a", 1, 1), &obs).is_some());
         cache.insert(key("c", 1, 1), rendered("c"), &obs);
         assert!(cache.len() <= 2);
-        assert!(cache.get(&key("a", 1, 1), &obs).is_some(), "recently used survives");
+        assert!(
+            cache.get(&key("a", 1, 1), &obs).is_some(),
+            "recently used survives"
+        );
         assert!(cache.get(&key("b", 1, 1), &obs).is_none(), "LRU evicted");
         assert_eq!(obs.snapshot().counters.get("render.cache.evict"), Some(&1));
     }
@@ -214,7 +227,10 @@ mod tests {
         cache.insert(key("a", 1, 1), rendered("a"), &obs);
         assert!(cache.get(&key("a", 1, 1), &obs).is_none());
         assert_eq!(cache.len(), 0);
-        assert!(obs.snapshot().counters.is_empty(), "disabled cache counts nothing");
+        assert!(
+            obs.snapshot().counters.is_empty(),
+            "disabled cache counts nothing"
+        );
         // Shrinking to zero drops existing entries.
         let mut cache = RenderCache::new(4);
         cache.insert(key("a", 1, 1), rendered("a"), &obs);

@@ -31,6 +31,9 @@ pub(crate) struct RenderedDelivery {
     pub report: Arc<ReportSpec>,
     pub effective: BTreeSet<RoleId>,
     pub outcome: RenderOutcome,
+    /// Sorted `(base table, warehouse data version)` pairs the render
+    /// read — journaled as the data half of each member's provenance.
+    pub source_versions: Vec<(String, u64)>,
 }
 
 /// Where a request landed after grouping.
@@ -94,9 +97,12 @@ where
             continue;
         };
         let roles = roles_of(consumer);
-        let effective: BTreeSet<RoleId> =
-            roles.intersection(&report.consumers).cloned().collect();
-        let key = if share { key_of(&report, &effective) } else { None };
+        let effective: BTreeSet<RoleId> = roles.intersection(&report.consumers).cloned().collect();
+        let key = if share {
+            key_of(&report, &effective)
+        } else {
+            None
+        };
         let gi = match key {
             Some(k) => {
                 if let Some(&gi) = by_key.get(&k) {
@@ -105,13 +111,23 @@ where
                 } else {
                     let gi = groups.len();
                     by_key.insert(k.clone(), gi);
-                    groups.push(Group { report, effective, key: Some(k), members: vec![i] });
+                    groups.push(Group {
+                        report,
+                        effective,
+                        key: Some(k),
+                        members: vec![i],
+                    });
                     gi
                 }
             }
             None => {
                 let gi = groups.len();
-                groups.push(Group { report, effective, key: None, members: vec![i] });
+                groups.push(Group {
+                    report,
+                    effective,
+                    key: None,
+                    members: vec![i],
+                });
                 gi
             }
         };
@@ -170,14 +186,26 @@ mod tests {
 
     #[test]
     fn equivalent_requests_collapse_and_slots_stay_aligned() {
-        let requests =
-            [req("a", "analyst-1"), req("ghost", "x"), req("a", "analyst-2"), req("b", "analyst-1")];
+        let requests = [
+            req("a", "analyst-1"),
+            req("ghost", "x"),
+            req("a", "analyst-2"),
+            req("b", "analyst-1"),
+        ];
         let g = run(&requests, true);
         assert_eq!(g.slots.len(), 4);
         assert_eq!(g.slots[0], Slot::Group(0));
         assert_eq!(g.slots[1], Slot::Unknown);
-        assert_eq!(g.slots[2], Slot::Group(0), "same report + same effective roles share");
-        assert_eq!(g.slots[3], Slot::Group(1), "different report renders separately");
+        assert_eq!(
+            g.slots[2],
+            Slot::Group(0),
+            "same report + same effective roles share"
+        );
+        assert_eq!(
+            g.slots[3],
+            Slot::Group(1),
+            "different report renders separately"
+        );
         assert_eq!(g.groups.len(), 2);
         assert_eq!(g.groups[0].members, vec![0, 2]);
         assert_eq!(g.groups[1].members, vec![3]);
@@ -193,7 +221,14 @@ mod tests {
         assert_eq!(g.groups.len(), 2);
         // A roleless stranger refuses under an empty effective set —
         // shared with other strangers, split from the members.
-        let g = run(&[req("b", "nobody-1"), req("b", "nobody-2"), req("b", "analyst-1")], true);
+        let g = run(
+            &[
+                req("b", "nobody-1"),
+                req("b", "nobody-2"),
+                req("b", "analyst-1"),
+            ],
+            true,
+        );
         assert_eq!(g.groups.len(), 2);
         assert_eq!(g.groups[0].members, vec![0, 1]);
         assert!(g.groups[0].effective.is_empty());
@@ -201,10 +236,17 @@ mod tests {
 
     #[test]
     fn sharing_off_renders_every_request_solo() {
-        let requests = [req("a", "analyst-1"), req("a", "analyst-1"), req("a", "analyst-1")];
+        let requests = [
+            req("a", "analyst-1"),
+            req("a", "analyst-1"),
+            req("a", "analyst-1"),
+        ];
         let g = run(&requests, false);
         assert_eq!(g.groups.len(), 3);
-        assert!(g.groups.iter().all(|gr| gr.key.is_none() && gr.members.len() == 1));
+        assert!(g
+            .groups
+            .iter()
+            .all(|gr| gr.key.is_none() && gr.members.len() == 1));
     }
 
     #[test]

@@ -29,7 +29,10 @@ use bi_types::{Column, DataType, Schema};
 pub enum StorageError {
     Io(io::Error),
     /// Malformed schema / CSV / PLA content.
-    Format { file: String, message: String },
+    Format {
+        file: String,
+        message: String,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -50,7 +53,10 @@ impl From<io::Error> for StorageError {
 }
 
 fn format_err(file: &Path, message: impl std::fmt::Display) -> StorageError {
-    StorageError::Format { file: file.display().to_string(), message: message.to_string() }
+    StorageError::Format {
+        file: file.display().to_string(),
+        message: message.to_string(),
+    }
 }
 
 /// Serializes a schema: one `name:Type` line per column, `?` marks
@@ -58,7 +64,13 @@ fn format_err(file: &Path, message: impl std::fmt::Display) -> StorageError {
 fn schema_text(schema: &Schema) -> String {
     let mut out = String::new();
     for c in schema.columns() {
-        let _ = writeln!(out, "{}:{}{}", c.name, c.dtype, if c.nullable { "?" } else { "" });
+        let _ = writeln!(
+            out,
+            "{}:{}{}",
+            c.name,
+            c.dtype,
+            if c.nullable { "?" } else { "" }
+        );
     }
     out
 }
@@ -85,7 +97,11 @@ fn parse_schema(text: &str, file: &Path) -> Result<Schema, StorageError> {
             "Date" => DataType::Date,
             other => return Err(format_err(file, format!("unknown type {other:?}"))),
         };
-        cols.push(if nullable { Column::nullable(name, dtype) } else { Column::new(name, dtype) });
+        cols.push(if nullable {
+            Column::nullable(name, dtype)
+        } else {
+            Column::new(name, dtype)
+        });
     }
     Schema::new(cols).map_err(|e| format_err(file, e))
 }
@@ -103,9 +119,14 @@ pub fn export_deployment(
         // `table_names` and `table` come from the same map, so a miss
         // can't happen — but a missing entry is merely a skipped export,
         // never worth a panic.
-        let Some(table) = catalog.table(name) else { continue };
+        let Some(table) = catalog.table(name) else {
+            continue;
+        };
         fs::write(tables_dir.join(format!("{name}.csv")), csv::to_csv(table))?;
-        fs::write(tables_dir.join(format!("{name}.schema")), schema_text(table.schema()))?;
+        fs::write(
+            tables_dir.join(format!("{name}.schema")),
+            schema_text(table.schema()),
+        )?;
     }
     let mut plas = String::new();
     for (i, d) in documents.iter().enumerate() {
@@ -176,10 +197,15 @@ mod tests {
     fn docs() -> Vec<PlaDocument> {
         vec![
             PlaDocument::new("hospital-1", "hospital", PlaLevel::MetaReport).with_rule(
-                PlaRule::AggregationThreshold { table: "Prescriptions".into(), min_group_size: 5 },
+                PlaRule::AggregationThreshold {
+                    table: "Prescriptions".into(),
+                    min_group_size: 5,
+                },
             ),
             PlaDocument::new("agency-1", "health-agency", PlaLevel::Source).with_rule(
-                PlaRule::Purpose { allowed: ["quality".to_string()].into_iter().collect() },
+                PlaRule::Purpose {
+                    allowed: ["quality".to_string()].into_iter().collect(),
+                },
             ),
         ]
     }
@@ -222,7 +248,11 @@ mod tests {
     fn corrupted_files_error_with_path() {
         let dir = tmpdir("corrupt");
         export_deployment(&dir, &catalog(), &docs()).unwrap();
-        fs::write(dir.join("tables/DrugCost.csv"), "Drug,Cost\nDH,notanumber\n").unwrap();
+        fs::write(
+            dir.join("tables/DrugCost.csv"),
+            "Drug,Cost\nDH,notanumber\n",
+        )
+        .unwrap();
         let err = import_deployment(&dir).unwrap_err();
         assert!(err.to_string().contains("DrugCost.csv"));
         fs::remove_dir_all(&dir).unwrap();
@@ -242,7 +272,10 @@ mod tests {
         let (cat3, _) = import_deployment(&dir).unwrap();
         assert_eq!(cat3.table("DrugCost").unwrap().len(), 6);
         // Untouched table unchanged.
-        assert_eq!(cat3.table("Prescriptions").unwrap(), cat.table("Prescriptions").unwrap());
+        assert_eq!(
+            cat3.table("Prescriptions").unwrap(),
+            cat.table("Prescriptions").unwrap()
+        );
         cat = cat3;
         let _ = cat;
         fs::remove_dir_all(&dir).unwrap();

@@ -2,19 +2,31 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::path::Path;
 use std::sync::{Arc, Mutex, PoisonError};
 
-use bi_audit::{AuditLog, Outcome, Provenance};
-use bi_exec::{Counter, SpanKind, TraceId};
+use bi_audit::{AuditLog, Outcome, Provenance, SnapshotFidelity};
 use bi_etl::{check_pipeline, run_pipeline_with, EtlReport, Pipeline};
-use bi_pla::{CheckProgram, CombinedPolicy, EnforcementKey, PlaDocument, SubjectRegistry, Violation};
+use bi_exec::{Counter, SpanKind, TraceId};
+use bi_pla::{
+    CheckProgram, CombinedPolicy, EnforcementKey, PlaDocument, SubjectRegistry, Violation,
+};
 use bi_query::Catalog;
-use bi_report::{render_checked, ComplianceResult, EngineConfig, EnforcedReport, MetaIndex, MetaReport, RenderOutcome, ReportSpec};
+use bi_report::{
+    render_checked, ComplianceResult, EnforcedReport, EngineConfig, MetaIndex, MetaReport,
+    RenderOutcome, ReportSpec,
+};
 use bi_types::{ConsumerId, Date, ReportId, RoleId, SourceId};
-use bi_warehouse::Warehouse;
+use bi_warehouse::{Warehouse, WarehouseSnapshot};
 
 use crate::render_cache::{RenderCache, DEFAULT_CAPACITY as DEFAULT_RENDER_CACHE_CAPACITY};
 use crate::scheduler::{self, RenderedDelivery, Slot};
+use crate::wal::{self, EtlTable, WalError, WalRecord, WalWriter};
+
+/// Policy snapshots kept in the epoch-keyed history by default. Each is
+/// one `Arc` plus the combined policy (small); the bound only matters
+/// for systems whose PLAs churn for years within one process.
+pub const DEFAULT_POLICY_HISTORY_RETENTION: usize = 1024;
 
 /// Errors surfaced by the facade.
 #[derive(Debug)]
@@ -40,7 +52,11 @@ impl fmt::Display for SystemError {
             SystemError::Query(e) => write!(f, "{e}"),
             SystemError::UnknownReport(id) => write!(f, "unknown report {id}"),
             SystemError::BrokenIntegrity(vs) => {
-                write!(f, "declared referential integrity violated ({} finding(s))", vs.len())
+                write!(
+                    f,
+                    "declared referential integrity violated ({} finding(s))",
+                    vs.len()
+                )
             }
         }
     }
@@ -136,12 +152,18 @@ pub struct BiSystem {
     share_renders: bool,
     /// Cross-batch render cache keyed by [`EnforcementKey`].
     render_cache: RenderCache,
+    /// Write-ahead log, when [`BiSystem::enable_wal`] attached one.
+    /// `None` during WAL replay (recovery must not re-log itself) and
+    /// after an append error (logging stops, serving continues).
+    wal: Option<WalWriter>,
+    /// Bound on the epoch-keyed policy-snapshot history.
+    policy_history_retain: usize,
 }
 
 impl BiSystem {
     /// A fresh system at the given business date.
     pub fn new(today: Date) -> Self {
-        BiSystem {
+        let sys = BiSystem {
             sources: BTreeMap::new(),
             table_source: BTreeMap::new(),
             table_sources_all: BTreeMap::new(),
@@ -159,7 +181,14 @@ impl BiSystem {
             next_trace: 1,
             share_renders: true,
             render_cache: RenderCache::new(DEFAULT_RENDER_CACHE_CAPACITY),
-        }
+            wal: None,
+            policy_history_retain: DEFAULT_POLICY_HISTORY_RETENTION,
+        };
+        // Epoch 0 (the empty policy) goes into the history eagerly, like
+        // every later epoch: entries journaled before the first PLA must
+        // recheck against what actually gated them.
+        sys.snapshot_policies();
+        sys
     }
 
     /// Enables or disables cross-consumer render sharing in
@@ -189,21 +218,34 @@ impl BiSystem {
     /// attributed to the source for join-permission checks.
     pub fn register_source(&mut self, source: impl Into<SourceId>, catalog: Catalog) {
         let sid = source.into();
+        let logged = WalRecord::RegisterSource {
+            source: sid.clone(),
+            tables: catalog
+                .table_names()
+                .iter()
+                .filter_map(|t| catalog.table(t).cloned())
+                .collect(),
+        };
         for t in catalog.table_names() {
             self.table_source.insert(t.to_string(), sid.clone());
-            self.table_sources_all.insert(t.to_string(), vec![sid.clone()]);
+            self.table_sources_all
+                .insert(t.to_string(), vec![sid.clone()]);
         }
         self.sources.insert(sid, catalog);
         self.data_epoch += 1;
         // Source attribution feeds join-permission checks but is not
         // part of the enforcement key — drop cached renders outright.
         self.render_cache.clear();
+        self.wal_append(logged);
     }
 
     /// Registers a PLA document (from any level).
     pub fn add_pla(&mut self, doc: PlaDocument) {
+        let dsl = doc.to_string();
         self.documents.push(doc);
         self.policy_epoch += 1;
+        self.wal_append(WalRecord::AddPla { dsl });
+        self.snapshot_policies();
     }
 
     /// Parses and registers PLA documents from DSL text.
@@ -212,13 +254,49 @@ impl BiSystem {
         let n = docs.len();
         self.documents.extend(docs);
         self.policy_epoch += 1;
+        // The WAL keeps the caller's text verbatim — replay re-parses
+        // exactly what was registered, one epoch bump per call.
+        self.wal_append(WalRecord::AddPla {
+            dsl: text.to_string(),
+        });
+        self.snapshot_policies();
         Ok(n)
+    }
+
+    /// Eagerly records the current epoch's combined policy in the
+    /// snapshot history. Called by every policy mutation path (and at
+    /// construction), so the history holds EVERY epoch the system ever
+    /// sat at — not just the epochs that happened to serve a request
+    /// before the next mutation. Without this, a delivery journaled
+    /// after two back-to-back `add_pla` calls would reference an epoch
+    /// whose policy was never combined, and a later recheck would fall
+    /// back to current policy for an entry whose serving conditions
+    /// were perfectly knowable.
+    fn snapshot_policies(&self) {
+        let _ = self.policies();
+    }
+
+    /// Bounds the epoch-keyed policy-snapshot history (at least 1),
+    /// evicting oldest epochs immediately. Rechecks of entries whose
+    /// epoch aged out fall back — flagged — to the current policy.
+    pub fn set_policy_history_retention(&mut self, retain: usize) {
+        self.policy_history_retain = retain.max(1);
+        let cache = self
+            .policy_cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        while cache.history.len() > self.policy_history_retain {
+            cache.history.pop_first();
+        }
     }
 
     /// Both combined policies, recombining only when a PLA mutation has
     /// bumped the epoch since the last call.
     fn policies(&self) -> (Arc<CombinedPolicy>, Arc<CombinedPolicy>) {
-        let mut cache = self.policy_cache.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut cache = self
+            .policy_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if let Some(c) = cache.current.as_ref() {
             if c.epoch == self.policy_epoch {
                 self.engine.exec.obs.count(Counter::PolicyCacheHit);
@@ -246,6 +324,9 @@ impl BiSystem {
         let full = Arc::new(CombinedPolicy::combine(&full_docs));
         let gate = Arc::new(CombinedPolicy::combine(&gate_docs));
         cache.history.insert(self.policy_epoch, Arc::clone(&full));
+        while cache.history.len() > self.policy_history_retain {
+            cache.history.pop_first();
+        }
         cache.current = Some(PolicyCache {
             epoch: self.policy_epoch,
             full: Arc::clone(&full),
@@ -306,14 +387,23 @@ impl BiSystem {
     /// Statically checks and runs an ETL pipeline with source-level
     /// enforcement; loads its outputs into the warehouse and validates
     /// declared referential integrity over the loaded tables.
-    pub fn run_etl(&mut self, pipeline: &Pipeline, purpose: Option<&str>) -> Result<EtlReport, SystemError> {
+    pub fn run_etl(
+        &mut self,
+        pipeline: &Pipeline,
+        purpose: Option<&str>,
+    ) -> Result<EtlReport, SystemError> {
         let policy = self.policy();
         let violations = check_pipeline(pipeline, &policy, purpose);
         if !violations.is_empty() {
             return Err(SystemError::PipelineViolations(violations));
         }
-        let report =
-            run_pipeline_with(pipeline, &self.sources, Some(&*policy), self.today, &self.engine.exec)?;
+        let report = run_pipeline_with(
+            pipeline,
+            &self.sources,
+            Some(&*policy),
+            self.today,
+            &self.engine.exec,
+        )?;
         // Validate referential integrity over a staging copy FIRST: a
         // failure must leave the warehouse exactly as it was, not half
         // loaded.
@@ -325,23 +415,52 @@ impl BiSystem {
         if !ri.is_empty() {
             return Err(SystemError::BrokenIntegrity(ri));
         }
+        let mut evicted: u64 = 0;
         for (table, srcs) in &report.loaded {
             // Primary attribution for the per-table map, full attribution
             // for join-permission checks across combined tables.
             if let Some(first) = srcs.first() {
-                self.table_source.insert(table.name().to_string(), first.clone());
+                self.table_source
+                    .insert(table.name().to_string(), first.clone());
             }
-            self.table_sources_all.insert(table.name().to_string(), srcs.clone());
-            self.warehouse.load_table(table.clone());
+            self.table_sources_all
+                .insert(table.name().to_string(), srcs.clone());
+            evicted += self.warehouse.load_table(table.clone()) as u64;
         }
         self.data_epoch += 1;
+        if evicted > 0 {
+            self.engine
+                .exec
+                .obs
+                .add(Counter::MvccVersionsEvicted, evicted);
+        }
+        self.wal_append(WalRecord::EtlCommit {
+            tables: report
+                .loaded
+                .iter()
+                .map(|(table, srcs)| EtlTable {
+                    table: table.clone(),
+                    version: self.warehouse.data_version(table.name()).unwrap_or(0),
+                    sources: srcs.clone(),
+                })
+                .collect(),
+        });
         Ok(report)
     }
 
     /// Registers an approved meta-report.
     pub fn add_meta_report(&mut self, meta: MetaReport) {
+        let logged = WalRecord::AddMeta {
+            id: meta.id.clone(),
+            title: meta.title.clone(),
+            plan: meta.plan.clone(),
+            annotations: meta.annotations.iter().map(|d| d.to_string()).collect(),
+            approved_by: meta.approved_by.clone(),
+        };
         self.metas.push(meta);
         self.policy_epoch += 1;
+        self.wal_append(logged);
+        self.snapshot_policies();
     }
 
     /// Approved meta-reports.
@@ -355,6 +474,13 @@ impl BiSystem {
     pub fn define_report(&mut self, report: ReportSpec) {
         self.evict_programs(&report.id);
         self.render_cache.evict_report(&report.id);
+        self.wal_append(WalRecord::DefineReport {
+            id: report.id.clone(),
+            title: report.title.clone(),
+            plan: report.plan.clone(),
+            consumers: report.consumers.iter().cloned().collect(),
+            purpose: report.purpose.clone(),
+        });
         self.reports.insert(report.id.clone(), Arc::new(report));
     }
 
@@ -362,13 +488,32 @@ impl BiSystem {
     pub fn remove_report(&mut self, id: &ReportId) -> bool {
         self.evict_programs(id);
         self.render_cache.evict_report(id);
-        self.reports.remove(id).is_some()
+        let removed = self.reports.remove(id).is_some();
+        if removed {
+            self.wal_append(WalRecord::RemoveReport { id: id.clone() });
+        }
+        removed
+    }
+
+    /// Grants `role` to `consumer` — the WAL-logged path; recovery
+    /// replays these. [`BiSystem::subjects_mut`] still hands out the raw
+    /// registry, but mutations through it (like those through
+    /// `warehouse_mut` / `engine_mut`) bypass the log and will not
+    /// survive [`BiSystem::recover`].
+    pub fn grant(&mut self, consumer: impl Into<ConsumerId>, role: impl Into<RoleId>) {
+        let consumer = consumer.into();
+        let role = role.into();
+        self.subjects.grant(consumer.clone(), role.clone());
+        self.wal_append(WalRecord::Grant { consumer, role });
     }
 
     /// Drops the cached check programs of one report (both policy
     /// flavors) — its plan is being replaced or removed.
     fn evict_programs(&mut self, id: &ReportId) {
-        let cache = self.policy_cache.get_mut().unwrap_or_else(PoisonError::into_inner);
+        let cache = self
+            .policy_cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
         cache.programs.remove(&(id.clone(), false));
         cache.programs.remove(&(id.clone(), true));
     }
@@ -385,10 +530,14 @@ impl BiSystem {
         report: &ReportSpec,
         policy: &CombinedPolicy,
         gate: bool,
+        cat: &Catalog,
     ) -> Result<CheckProgram, bi_query::QueryError> {
         let key = (report.id.clone(), gate);
         {
-            let cache = self.policy_cache.lock().unwrap_or_else(PoisonError::into_inner);
+            let cache = self
+                .policy_cache
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if let Some(c) = cache.programs.get(&key) {
                 if c.policy_epoch == self.policy_epoch && c.data_epoch == self.data_epoch {
                     self.engine.exec.obs.count(Counter::CheckProgramCacheHit);
@@ -399,9 +548,11 @@ impl BiSystem {
         // Compile outside the lock: a batch render's first concurrent
         // misses may compile redundantly, but never block each other.
         self.engine.exec.obs.count(Counter::CheckProgramCacheMiss);
-        let program =
-            CheckProgram::compile(&report.plan, self.warehouse.catalog(), policy, &self.table_source)?;
-        let mut cache = self.policy_cache.lock().unwrap_or_else(PoisonError::into_inner);
+        let program = CheckProgram::compile(&report.plan, cat, policy, &self.table_source)?;
+        let mut cache = self
+            .policy_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         cache.programs.insert(
             key,
             CachedProgram {
@@ -426,9 +577,9 @@ impl BiSystem {
         &self,
         plan: &bi_query::Plan,
         policy: &CombinedPolicy,
+        cat: &Catalog,
     ) -> Result<Vec<Violation>, SystemError> {
-        let o = bi_query::origins::origins(plan, self.warehouse.catalog())
-            .map_err(SystemError::from)?;
+        let o = bi_query::origins::origins(plan, cat).map_err(SystemError::from)?;
         let mut sources: BTreeSet<&SourceId> = BTreeSet::new();
         for t in &o.tables {
             if let Some(all) = self.table_sources_all.get(t) {
@@ -454,8 +605,10 @@ impl BiSystem {
 
     /// Runs the compliance gate for a report (coverage + rule check).
     pub fn check(&self, id: &ReportId) -> Result<ComplianceResult, SystemError> {
-        let report =
-            self.reports.get(id).ok_or_else(|| SystemError::UnknownReport(id.clone()))?;
+        let report = self
+            .reports
+            .get(id)
+            .ok_or_else(|| SystemError::UnknownReport(id.clone()))?;
         let cat = self.warehouse.catalog();
         // 1. Coverage: find an approved meta-report the plan derives from.
         let index = MetaIndex::build(&self.metas, cat).map_err(SystemError::from)?;
@@ -464,14 +617,14 @@ impl BiSystem {
         //    epoch, data epoch), so repeated checks and deliveries of
         //    the same report share one compile.
         let outcome = self
-            .check_program(report, &self.gate_policy(), true)?
+            .check_program(report, &self.gate_policy(), true, cat)?
             .run(&report.consumers, report.purpose.as_deref(), self.today)?;
         let mut result = ComplianceResult {
             coverage,
             violations: outcome.violations,
             obligations: outcome.obligations,
         };
-        let extra = self.multi_source_violations(&report.plan, &self.policy())?;
+        let extra = self.multi_source_violations(&report.plan, &self.policy(), cat)?;
         for v in extra {
             if !result.violations.contains(&v) {
                 result.violations.push(v);
@@ -504,7 +657,9 @@ impl BiSystem {
         report: &Arc<ReportSpec>,
         effective: &BTreeSet<RoleId>,
         policy: &CombinedPolicy,
+        snap: &WarehouseSnapshot,
     ) -> Result<RenderedDelivery, SystemError> {
+        let cat = snap.catalog();
         // A consumer holding NONE of the report's declared roles is
         // refused outright — the role list is the distribution list,
         // regardless of whether any attribute is role-restricted. The
@@ -517,21 +672,21 @@ impl BiSystem {
                 subject: report.id.to_string(),
             });
         }
-        upfront.extend(self.multi_source_violations(&report.plan, policy)?);
+        upfront.extend(self.multi_source_violations(&report.plan, policy, cat)?);
 
         // Compliance + enforcement: fetch the plan's compiled check
         // program (cached across consumers and deliveries of this
         // report), run it for the effective roles, render under the
         // resulting obligations.
         let result: Result<EnforcedReport, bi_report::ReportError> = if !upfront.is_empty() {
-            Err(bi_report::ReportError::NonCompliant { violations: upfront })
+            Err(bi_report::ReportError::NonCompliant {
+                violations: upfront,
+            })
         } else {
-            self.check_program(report, policy, false)
+            self.check_program(report, policy, false, cat)
                 .and_then(|program| program.run(effective, report.purpose.as_deref(), self.today))
                 .map_err(bi_report::ReportError::from)
-                .and_then(|outcome| {
-                    render_checked(report, self.warehouse.catalog(), outcome, &self.engine)
-                })
+                .and_then(|outcome| render_checked(report, cat, outcome, &self.engine))
         };
         // Compliance refusals fold into the shareable outcome; other
         // errors (unknown tables, bad plans) are not deliveries and
@@ -541,6 +696,25 @@ impl BiSystem {
             report: Arc::clone(report),
             effective: effective.clone(),
             outcome,
+            // The data half of the provenance: the pinned *data*
+            // versions of every base table this render (or refusal)
+            // read. Deliberately not the raw storage versions — those
+            // are process-unique allocation ids (fine for the in-process
+            // render-cache key, useless in a durable journal): data
+            // versions replay identically across processes and after
+            // WAL recovery. Version 0 marks a table the warehouse never
+            // loaded (a view or a raw catalog write); a recheck of such
+            // an entry falls back, flagged, to current data.
+            source_versions: bi_query::source_versions(&report.plan, cat)
+                .map(|v| {
+                    v.into_iter()
+                        .map(|(name, _)| {
+                            let version = snap.data_version(&name);
+                            (name, version)
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
         })
     }
 
@@ -563,9 +737,12 @@ impl BiSystem {
                     suppressed_groups: enforced.suppressed_groups,
                 },
             ),
-            RenderOutcome::Refused(violations) => {
-                (Vec::new(), Outcome::Refused { violations: violations.clone() })
-            }
+            RenderOutcome::Refused(violations) => (
+                Vec::new(),
+                Outcome::Refused {
+                    violations: violations.clone(),
+                },
+            ),
         };
         match &outcome {
             Outcome::Delivered { .. } => obs.count(Counter::DeliverDelivered),
@@ -580,10 +757,19 @@ impl BiSystem {
             rendered.report.purpose.clone(),
             applied,
             outcome,
-            Provenance::new(self.policy_epoch, trace),
+            Provenance::new(self.policy_epoch, trace)
+                .with_sources(rendered.source_versions.clone()),
         );
         obs.count(Counter::AuditAppends);
         obs.trace(trace);
+        if self.wal.is_some() {
+            if let Some(entry) = self.log.entries().last() {
+                let logged = WalRecord::Delivery {
+                    entry: entry.clone(),
+                };
+                self.wal_append(logged);
+            }
+        }
         rendered.outcome.to_result()
     }
 
@@ -617,13 +803,17 @@ impl BiSystem {
         let obs = self.engine.exec.obs.clone();
         obs.count(Counter::DeliverRequests);
         let policy = self.policy();
+        // Pin the data snapshot the whole request is served from.
+        let snapshot = self.warehouse.snapshot();
         let rendered = {
             let _span = obs.span(SpanKind::DeliverRender);
             let effective = self.effective_roles(report, consumer);
-            self.render_one(report, &effective, &policy)
+            self.render_one(report, &effective, &policy, &snapshot)
         };
         match rendered {
-            Ok(r) => self.journal_delivery(consumer, trace, &r).map_err(SystemError::Report),
+            Ok(r) => self
+                .journal_delivery(consumer, trace, &r)
+                .map_err(SystemError::Report),
             Err(e) => {
                 obs.count(Counter::DeliverErrors);
                 Err(e)
@@ -658,6 +848,10 @@ impl BiSystem {
         obs.add(Counter::DeliverRequests, requests.len() as u64);
         let policy = self.policy();
         let cfg = self.engine.exec.clone();
+        // Pin ONE data snapshot for the whole batch: every group's key,
+        // render and journaled provenance read the same table versions,
+        // whatever happens to the live warehouse meanwhile.
+        let snapshot = self.warehouse.snapshot();
 
         // Phase 1 (serial): resolve + group by enforcement key. Source
         // versions are looked up once per distinct report, not per
@@ -670,7 +864,7 @@ impl BiSystem {
             |consumer| self.subjects.roles_of(consumer),
             |report, effective| {
                 let v = versions.entry(report.id.clone()).or_insert_with(|| {
-                    bi_query::source_versions(&report.plan, self.warehouse.catalog()).ok()
+                    bi_query::source_versions(&report.plan, snapshot.catalog()).ok()
                 });
                 v.as_ref().map(|sv| {
                     EnforcementKey::new(
@@ -696,13 +890,14 @@ impl BiSystem {
 
         // Phase 3 (parallel): render one representative per unserved
         // group, fanning out over `&self`.
-        let need: Vec<usize> =
-            (0..grouped.groups.len()).filter(|&gi| outcomes[gi].is_none()).collect();
+        let need: Vec<usize> = (0..grouped.groups.len())
+            .filter(|&gi| outcomes[gi].is_none())
+            .collect();
         let fresh: Vec<Result<RenderedDelivery, SystemError>> =
             bi_exec::par_map(&cfg, &need, |&gi| {
                 let g = &grouped.groups[gi];
                 let _span = cfg.obs.span(SpanKind::DeliverRender);
-                self.render_one(&g.report, &g.effective, &policy)
+                self.render_one(&g.report, &g.effective, &policy, &snapshot)
             });
 
         // Phase 4 (serial): commit fresh renders — share them with the
@@ -715,7 +910,8 @@ impl BiSystem {
                     obs.count(Counter::DeliverRenderUnique);
                     let shared = Arc::new(r);
                     if let Some(k) = &grouped.groups[gi].key {
-                        self.render_cache.insert(k.clone(), Arc::clone(&shared), &obs);
+                        self.render_cache
+                            .insert(k.clone(), Arc::clone(&shared), &obs);
                     }
                     outcomes[gi] = Some(shared);
                 }
@@ -759,12 +955,13 @@ impl BiSystem {
                     let g = &grouped.groups[gi];
                     let rendered = {
                         let _span = obs.span(SpanKind::DeliverRender);
-                        self.render_one(&g.report, &g.effective, &policy)
+                        self.render_one(&g.report, &g.effective, &policy, &snapshot)
                     };
                     match rendered {
                         Ok(r) => {
                             obs.count(Counter::DeliverRenderUnique);
-                            self.journal_delivery(consumer, trace, &r).map_err(SystemError::Report)
+                            self.journal_delivery(consumer, trace, &r)
+                                .map_err(SystemError::Report)
                         }
                         Err(e) => {
                             obs.count(Counter::DeliverErrors);
@@ -795,7 +992,10 @@ impl BiSystem {
     /// mutation bumps the policy epoch; served from the policy cache
     /// otherwise.
     fn pla_binding(&self) -> Arc<Vec<bi_types::PlaId>> {
-        let mut cache = self.policy_cache.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut cache = self
+            .policy_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if let Some((epoch, binding)) = &cache.binding {
             if *epoch == self.policy_epoch {
                 return Arc::clone(binding);
@@ -805,7 +1005,11 @@ impl BiSystem {
             self.documents
                 .iter()
                 .map(|d| d.id.clone())
-                .chain(self.metas.iter().flat_map(|m| m.annotations.iter().map(|d| d.id.clone())))
+                .chain(
+                    self.metas
+                        .iter()
+                        .flat_map(|m| m.annotations.iter().map(|d| d.id.clone())),
+                )
                 .collect(),
         );
         cache.binding = Some((self.policy_epoch, Arc::clone(&binding)));
@@ -827,7 +1031,9 @@ impl BiSystem {
             .ok_or_else(|| SystemError::UnknownReport(id.clone()))?;
         let enforced = self.deliver_resolved(&spec, consumer)?;
         let binding = self.pla_binding();
-        Ok(bi_report::render::delivery_document(&spec, &enforced, consumer, self.today, &binding))
+        Ok(bi_report::render::delivery_document(
+            &spec, &enforced, consumer, self.today, &binding,
+        ))
     }
 
     /// Third-party audit: replay all deliveries against today's policy.
@@ -836,30 +1042,140 @@ impl BiSystem {
     /// [`BiSystem::recheck_at_delivery`] to tell the two apart).
     pub fn recheck(&self) -> Result<Vec<bi_audit::AuditFinding>, SystemError> {
         let _span = self.engine.exec.obs.span(SpanKind::AuditRecheck);
-        bi_audit::recheck_log(&self.log, self.warehouse.catalog(), &self.policy(), &self.table_source)
-            .map_err(SystemError::from)
+        bi_audit::recheck_log(
+            &self.log,
+            self.warehouse.catalog(),
+            &self.policy(),
+            &self.table_source,
+        )
+        .map_err(SystemError::from)
+    }
+
+    /// The epoch-keyed policy snapshot history, Arc-shared — no policy
+    /// is copied to hand it to the audit layer.
+    fn policy_snapshots(&self) -> BTreeMap<u64, Arc<CombinedPolicy>> {
+        let cache = self
+            .policy_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        cache.history.clone()
     }
 
     /// Third-party audit: replay each delivery against the policy
-    /// snapshot whose epoch it was journaled under (the policy that
-    /// actually served the request). A finding here is an enforcement
-    /// bug at delivery time, not post-hoc policy drift. Entries whose
-    /// epoch predates the kept history fall back to today's policy.
+    /// snapshot whose epoch it was journaled under AND the table storage
+    /// versions its plan read — the conditions that actually served the
+    /// request. A finding here is an enforcement bug at delivery time,
+    /// not post-hoc policy drift, and not an artifact of ETL having
+    /// reloaded the warehouse since. Entries whose policy epoch or data
+    /// versions aged out of the bounded histories fall back to current
+    /// state, flagged on the finding
+    /// ([`bi_audit::SnapshotFidelity::FellBackToCurrent`]).
     pub fn recheck_at_delivery(&self) -> Result<Vec<bi_audit::AuditFinding>, SystemError> {
         let _span = self.engine.exec.obs.span(SpanKind::AuditRecheck);
         let current = self.policy();
-        let snapshots: BTreeMap<u64, CombinedPolicy> = {
-            let cache = self.policy_cache.lock().unwrap_or_else(PoisonError::into_inner);
-            cache.history.iter().map(|(epoch, p)| (*epoch, (**p).clone())).collect()
+        let snapshots = self.policy_snapshots();
+        let obs = &self.engine.exec.obs;
+        let resolve = |name: &str, version: u64| {
+            let hit = self.warehouse.table_at(name, version).cloned();
+            obs.count(if hit.is_some() {
+                Counter::MvccResolveExact
+            } else {
+                Counter::MvccResolveFallback
+            });
+            hit
         };
-        bi_audit::recheck_log_with_snapshots(
+        bi_audit::recheck_log_at_versions(
             &self.log,
             self.warehouse.catalog(),
             &current,
             &snapshots,
             &self.table_source,
+            &resolve,
         )
         .map_err(SystemError::from)
+    }
+
+    /// Full audit replay: re-runs the gate AND the render of every
+    /// *delivered* journal entry at its journaled policy epoch and data
+    /// versions, and compares the re-rendered outcome with what the
+    /// journal says was handed out. `matches_journal == false` on an
+    /// exact-snapshot replay means the journal and the engine disagree —
+    /// the strongest enforcement-bug signal the audit layer offers;
+    /// on a flagged fallback it may just mean the snapshots aged out.
+    ///
+    /// Replays are independent, so they fan out on the engine's
+    /// [`ExecConfig`](bi_exec::ExecConfig); results come back in journal
+    /// order regardless of thread count.
+    pub fn replay_at_delivery(&self) -> Result<Vec<ReplayedDelivery>, SystemError> {
+        let obs = self.engine.exec.obs.clone();
+        let _span = obs.span(SpanKind::AuditReplay);
+        let current = self.policy();
+        let snapshots = self.policy_snapshots();
+        let cat = self.warehouse.catalog();
+        let cfg = self.engine.exec.clone();
+        let entries: Vec<&bi_audit::AuditEntry> = self.log.deliveries().collect();
+        let replayed: Vec<Result<ReplayedDelivery, SystemError>> =
+            bi_exec::par_map(&cfg, &entries, |e| {
+                let (policy, policy_snapshot) = match snapshots.get(&e.provenance.policy_epoch) {
+                    Some(p) => (&**p, SnapshotFidelity::Exact),
+                    None => (&*current, SnapshotFidelity::FellBackToCurrent),
+                };
+                let resolve = |name: &str, version: u64| {
+                    let hit = self.warehouse.table_at(name, version).cloned();
+                    obs.count(if hit.is_some() {
+                        Counter::MvccResolveExact
+                    } else {
+                        Counter::MvccResolveFallback
+                    });
+                    hit
+                };
+                let (versioned, data_snapshot) =
+                    bi_audit::catalog_at_versions(cat, &e.provenance.source_versions, &resolve);
+                let entry_cat = versioned.as_ref().unwrap_or(cat);
+                // Rebuild the serving conditions from the journal alone:
+                // the exact plan, the journaled effective roles as the
+                // distribution list, the journaled purpose and date.
+                let outcome = CheckProgram::compile(&e.plan, entry_cat, policy, &self.table_source)
+                    .and_then(|p| p.run(&e.roles, e.purpose.as_deref(), e.when))
+                    .map_err(SystemError::from)?;
+                let mut spec = ReportSpec::new(
+                    e.report.clone(),
+                    "",
+                    e.plan.clone(),
+                    e.roles.iter().cloned().collect::<Vec<_>>(),
+                );
+                if let Some(p) = &e.purpose {
+                    spec = spec.for_purpose(p.clone());
+                }
+                let rendered = RenderOutcome::from_result(render_checked(
+                    &spec,
+                    entry_cat,
+                    outcome,
+                    &self.engine,
+                ))
+                .map_err(SystemError::Report)?;
+                let matches_journal = match (&rendered, &e.outcome) {
+                    (
+                        RenderOutcome::Delivered(r),
+                        Outcome::Delivered {
+                            rows,
+                            suppressed_groups,
+                        },
+                    ) => r.table.len() == *rows && r.suppressed_groups == *suppressed_groups,
+                    (RenderOutcome::Refused(_), Outcome::Refused { .. }) => true,
+                    _ => false,
+                };
+                Ok(ReplayedDelivery {
+                    seq: e.seq,
+                    trace: e.provenance.trace,
+                    report: e.report.clone(),
+                    outcome: rendered,
+                    matches_journal,
+                    policy_snapshot,
+                    data_snapshot,
+                })
+            });
+        replayed.into_iter().collect()
     }
 
     /// Dispute resolution: which deliveries exposed `table.column`?
@@ -868,6 +1184,9 @@ impl BiSystem {
         table: &str,
         column: &str,
     ) -> Result<Vec<bi_audit::Exposure>, SystemError> {
+        let obs = &self.engine.exec.obs;
+        let _span = obs.span(SpanKind::AuditDispute);
+        obs.count(Counter::AuditDisputes);
         bi_audit::responsible_deliveries(&self.log, self.warehouse.catalog(), table, column)
             .map_err(SystemError::from)
     }
@@ -881,6 +1200,215 @@ impl BiSystem {
     pub fn today(&self) -> Date {
         self.today
     }
+
+    /// Appends `rec` to the WAL, if one is attached. An append failure
+    /// stops logging (the writer is dropped) but never the system: the
+    /// in-memory deployment keeps serving, and the failure is visible on
+    /// the `wal.append.errors` counter.
+    fn wal_append(&mut self, rec: WalRecord) {
+        let Some(w) = self.wal.as_mut() else { return };
+        let obs = &self.engine.exec.obs;
+        match w.append(&rec) {
+            Ok(bytes) => {
+                obs.count(Counter::WalAppends);
+                obs.add(Counter::WalBytes, bytes);
+            }
+            Err(_) => {
+                obs.count(Counter::WalAppendErrors);
+                self.wal = None;
+            }
+        }
+    }
+
+    /// Attaches a write-ahead log at `path` (truncating any existing
+    /// file). From here on, every state mutation — source registration,
+    /// PLA additions, ETL commits, report definitions, grants via
+    /// [`BiSystem::grant`], and every journal append — is logged, and
+    /// [`BiSystem::recover`] rebuilds an equivalent system from the file
+    /// alone.
+    ///
+    /// Call this on a *fresh* system: state accumulated before the call
+    /// is not retro-logged. Mutations through the raw handles
+    /// (`subjects_mut`, `warehouse_mut`, `engine_mut`) bypass the log;
+    /// a recovered system will not have them, and rechecks of entries
+    /// depending on them fall back, flagged.
+    pub fn enable_wal(&mut self, path: &Path) -> Result<(), WalError> {
+        let mut writer = WalWriter::create(path)?;
+        writer.append(&WalRecord::Init { today: self.today })?;
+        self.wal = Some(writer);
+        Ok(())
+    }
+
+    /// Whether a WAL is currently attached and healthy.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Rebuilds a system from its write-ahead log: replays every logged
+    /// mutation in order through the same code paths the live system
+    /// used, so policy epochs, data epochs, the audit journal, the
+    /// policy-snapshot history and the MVCC data-version history all
+    /// come back — [`BiSystem::recheck_at_delivery`] after recovery
+    /// resolves the same snapshots it would have before the restart.
+    ///
+    /// ETL commits are replayed from the logged rows (pipelines are not
+    /// re-run). Data versions are warehouse-assigned and deterministic,
+    /// so replaying the loads in order reassigns exactly the versions
+    /// the log's delivery provenance references — verified per commit,
+    /// with a [`WalError::Replay`] on any divergence.
+    ///
+    /// A torn trailing record (crash mid-append) is truncated, not
+    /// fatal; the recovered system resumes logging at the valid prefix.
+    pub fn recover(path: &Path) -> Result<BiSystem, WalError> {
+        let readout = wal::read_wal(path)?;
+        let mut records = readout.records.into_iter();
+        let today = match records.next() {
+            Some(WalRecord::Init { today }) => today,
+            _ => {
+                return Err(WalError::Replay {
+                    message: "log does not start with an Init record".into(),
+                })
+            }
+        };
+        let mut sys = BiSystem::new(today);
+        let obs = sys.engine.exec.obs.clone();
+        let _span = obs.span(SpanKind::WalRecover);
+        let mut max_trace = 0u64;
+        for rec in records {
+            match rec {
+                WalRecord::Init { .. } => {
+                    return Err(WalError::Replay {
+                        message: "unexpected second Init record".into(),
+                    })
+                }
+                WalRecord::RegisterSource { source, tables } => {
+                    let mut cat = Catalog::new();
+                    for t in tables {
+                        cat.put_table(t);
+                    }
+                    sys.register_source(source, cat);
+                }
+                WalRecord::AddPla { dsl } => {
+                    sys.add_pla_text(&dsl).map_err(|e| WalError::Replay {
+                        message: format!("journaled PLA no longer parses: {e}"),
+                    })?;
+                }
+                WalRecord::AddMeta {
+                    id,
+                    title,
+                    plan,
+                    annotations,
+                    approved_by,
+                } => {
+                    let mut meta = MetaReport::new(id, title, plan);
+                    for text in annotations {
+                        let docs =
+                            bi_pla::dsl::parse_documents(&text).map_err(|e| WalError::Replay {
+                                message: format!("journaled annotation no longer parses: {e}"),
+                            })?;
+                        for d in docs {
+                            meta = meta.with_annotation(d);
+                        }
+                    }
+                    for s in approved_by {
+                        meta = meta.approved(s);
+                    }
+                    sys.add_meta_report(meta);
+                }
+                WalRecord::DefineReport {
+                    id,
+                    title,
+                    plan,
+                    consumers,
+                    purpose,
+                } => {
+                    let mut spec = ReportSpec::new(id, title, plan, consumers);
+                    if let Some(p) = purpose {
+                        spec = spec.for_purpose(p);
+                    }
+                    sys.define_report(spec);
+                }
+                WalRecord::RemoveReport { id } => {
+                    sys.remove_report(&id);
+                }
+                WalRecord::Grant { consumer, role } => {
+                    sys.grant(consumer, role);
+                }
+                WalRecord::EtlCommit { tables } => {
+                    for t in tables {
+                        let name = t.table.name().to_string();
+                        if let Some(first) = t.sources.first() {
+                            sys.table_source.insert(name.clone(), first.clone());
+                        }
+                        sys.table_sources_all.insert(name.clone(), t.sources);
+                        sys.warehouse.load_table(t.table);
+                        // Replayed loads must reassign the journaled
+                        // data versions, or every provenance reference
+                        // into this table is off.
+                        let replayed = sys.warehouse.data_version(&name).unwrap_or(0);
+                        if replayed != t.version {
+                            return Err(WalError::Replay {
+                                message: format!(
+                                    "data version mismatch for {name}: logged {} replayed as {replayed}",
+                                    t.version
+                                ),
+                            });
+                        }
+                    }
+                    sys.data_epoch += 1;
+                }
+                WalRecord::Delivery { entry } => {
+                    max_trace = max_trace.max(entry.provenance.trace.value());
+                    let seq = sys.log.record(
+                        entry.when,
+                        entry.consumer,
+                        entry.roles,
+                        entry.report,
+                        entry.plan,
+                        entry.purpose,
+                        entry.actions,
+                        entry.outcome,
+                        entry.provenance,
+                    );
+                    if seq != entry.seq {
+                        return Err(WalError::Replay {
+                            message: format!(
+                                "journal sequence mismatch: logged seq {} replayed as {seq}",
+                                entry.seq
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        sys.next_trace = sys.next_trace.max(max_trace + 1);
+        // Resume logging where the valid prefix ends, truncating any
+        // torn tail the reader skipped.
+        sys.wal = Some(WalWriter::append_at(path, readout.valid_len)?);
+        Ok(sys)
+    }
+}
+
+/// One journal entry re-executed by [`BiSystem::replay_at_delivery`]:
+/// the re-rendered outcome at the journaled policy epoch and data
+/// versions, whether it matches what the journal recorded, and how
+/// faithful each snapshot half was.
+#[derive(Debug)]
+pub struct ReplayedDelivery {
+    /// Journal sequence number of the replayed entry.
+    pub seq: u64,
+    /// Delivery trace of the replayed entry.
+    pub trace: TraceId,
+    pub report: ReportId,
+    /// The re-rendered outcome (full table for deliveries).
+    pub outcome: RenderOutcome,
+    /// True when the replay reproduces the journaled outcome: same
+    /// delivered row and suppressed-group counts, or refused again.
+    pub matches_journal: bool,
+    /// Whether the journaled policy epoch's snapshot was available.
+    pub policy_snapshot: SnapshotFidelity,
+    /// Whether every journaled source version resolved.
+    pub data_snapshot: SnapshotFidelity,
 }
 
 #[cfg(test)]
@@ -917,12 +1445,21 @@ mod tests {
         .unwrap();
 
         let pipeline = Pipeline::new("nightly")
-            .step("e1", EtlOp::Extract {
-                source: "hospital".into(),
-                table: "Prescriptions".into(),
-                as_name: "stg".into(),
-            })
-            .step("l1", EtlOp::Load { table: "stg".into(), warehouse_table: "FactPrescriptions".into() });
+            .step(
+                "e1",
+                EtlOp::Extract {
+                    source: "hospital".into(),
+                    table: "Prescriptions".into(),
+                    as_name: "stg".into(),
+                },
+            )
+            .step(
+                "l1",
+                EtlOp::Load {
+                    table: "stg".into(),
+                    warehouse_table: "FactPrescriptions".into(),
+                },
+            );
         sys.run_etl(&pipeline, Some("quality")).unwrap();
 
         sys.add_meta_report(
@@ -943,14 +1480,21 @@ mod tests {
         sys.define_report(ReportSpec::new(
             "r-consumption",
             "Drug consumption",
-            scan("FactPrescriptions")
-                .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")]),
+            scan("FactPrescriptions").aggregate(
+                vec!["Drug".into()],
+                vec![AggItem::count_star("Consumption")],
+            ),
             [RoleId::new("analyst")],
         ));
         let check = sys.check(&ReportId::new("r-consumption")).unwrap();
         assert!(check.is_compliant(), "violations: {:?}", check.violations);
 
-        let delivered = sys.deliver(&ReportId::new("r-consumption"), &ConsumerId::new("alice@agency")).unwrap();
+        let delivered = sys
+            .deliver(
+                &ReportId::new("r-consumption"),
+                &ConsumerId::new("alice@agency"),
+            )
+            .unwrap();
         assert!(!delivered.table.is_empty());
         assert_eq!(sys.audit_log().deliveries().count(), 1);
         assert!(sys.recheck().unwrap().is_empty());
@@ -968,7 +1512,12 @@ mod tests {
             [RoleId::new("analyst")],
         ));
         let err = sys.deliver(&ReportId::new("r-raw"), &ConsumerId::new("alice@agency"));
-        assert!(matches!(err, Err(SystemError::Report(bi_report::ReportError::NonCompliant { .. }))));
+        assert!(matches!(
+            err,
+            Err(SystemError::Report(
+                bi_report::ReportError::NonCompliant { .. }
+            ))
+        ));
         assert_eq!(sys.audit_log().refusal_count(), 1);
     }
 
@@ -981,8 +1530,10 @@ mod tests {
             sys.define_report(ReportSpec::new(
                 "r-consumption",
                 "Drug consumption",
-                scan("FactPrescriptions")
-                    .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")]),
+                scan("FactPrescriptions").aggregate(
+                    vec!["Drug".into()],
+                    vec![AggItem::count_star("Consumption")],
+                ),
                 [RoleId::new("analyst")],
             ));
             sys.define_report(ReportSpec::new(
@@ -993,17 +1544,28 @@ mod tests {
             ));
         };
         let requests: Vec<(ReportId, ConsumerId)> = vec![
-            (ReportId::new("r-consumption"), ConsumerId::new("alice@agency")),
+            (
+                ReportId::new("r-consumption"),
+                ConsumerId::new("alice@agency"),
+            ),
             (ReportId::new("r-raw"), ConsumerId::new("alice@agency")),
             (ReportId::new("r-ghost"), ConsumerId::new("alice@agency")),
-            (ReportId::new("r-consumption"), ConsumerId::new("nobody@nowhere")),
-            (ReportId::new("r-consumption"), ConsumerId::new("alice@agency")),
+            (
+                ReportId::new("r-consumption"),
+                ConsumerId::new("nobody@nowhere"),
+            ),
+            (
+                ReportId::new("r-consumption"),
+                ConsumerId::new("alice@agency"),
+            ),
         ];
 
         let mut serial_sys = build_system();
         define(&mut serial_sys);
-        let serial: Vec<_> =
-            requests.iter().map(|(id, c)| serial_sys.deliver(id, c)).collect();
+        let serial: Vec<_> = requests
+            .iter()
+            .map(|(id, c)| serial_sys.deliver(id, c))
+            .collect();
 
         for threads in [1, 4] {
             let mut sys = build_system();
@@ -1030,11 +1592,20 @@ mod tests {
                 serial_sys.audit_log().deliveries().count(),
                 "threads={threads}"
             );
-            assert_eq!(sys.audit_log().refusal_count(), serial_sys.audit_log().refusal_count());
-            let order: Vec<_> =
-                sys.audit_log().deliveries().map(|e| e.report.to_string()).collect();
-            let serial_order: Vec<_> =
-                serial_sys.audit_log().deliveries().map(|e| e.report.to_string()).collect();
+            assert_eq!(
+                sys.audit_log().refusal_count(),
+                serial_sys.audit_log().refusal_count()
+            );
+            let order: Vec<_> = sys
+                .audit_log()
+                .deliveries()
+                .map(|e| e.report.to_string())
+                .collect();
+            let serial_order: Vec<_> = serial_sys
+                .audit_log()
+                .deliveries()
+                .map(|e| e.report.to_string())
+                .collect();
             assert_eq!(order, serial_order, "threads={threads}");
         }
     }
@@ -1043,30 +1614,41 @@ mod tests {
     fn pipeline_violations_block_etl() {
         let mut sys = build_system();
         sys.add_pla(
-            PlaDocument::new("lab-1", "laboratory", PlaLevel::Source).with_rule(PlaRule::JoinPermission {
-                left_source: "hospital".into(),
-                right_source: "laboratory".into(),
-                allowed: false,
-            }),
+            PlaDocument::new("lab-1", "laboratory", PlaLevel::Source).with_rule(
+                PlaRule::JoinPermission {
+                    left_source: "hospital".into(),
+                    right_source: "laboratory".into(),
+                    allowed: false,
+                },
+            ),
         );
         let pipeline = Pipeline::new("linking")
-            .step("e1", EtlOp::Extract {
-                source: "hospital".into(),
-                table: "Prescriptions".into(),
-                as_name: "a".into(),
-            })
-            .step("e2", EtlOp::Extract {
-                source: "laboratory".into(),
-                table: "LabTests".into(),
-                as_name: "b".into(),
-            })
-            .step("er", EtlOp::EntityResolution {
-                left: "a".into(),
-                right: "b".into(),
-                on: vec![("Patient".into(), "Person".into())],
-                threshold: 0.9,
-                out: "linked".into(),
-            });
+            .step(
+                "e1",
+                EtlOp::Extract {
+                    source: "hospital".into(),
+                    table: "Prescriptions".into(),
+                    as_name: "a".into(),
+                },
+            )
+            .step(
+                "e2",
+                EtlOp::Extract {
+                    source: "laboratory".into(),
+                    table: "LabTests".into(),
+                    as_name: "b".into(),
+                },
+            )
+            .step(
+                "er",
+                EtlOp::EntityResolution {
+                    left: "a".into(),
+                    right: "b".into(),
+                    on: vec![("Patient".into(), "Person".into())],
+                    threshold: 0.9,
+                    out: "linked".into(),
+                },
+            );
         assert!(matches!(
             sys.run_etl(&pipeline, None),
             Err(SystemError::PipelineViolations(_))
@@ -1081,7 +1663,10 @@ mod tests {
         let mut sys = BiSystem::new(today());
         let p1 = sys.policy();
         let p2 = sys.policy();
-        assert!(std::sync::Arc::ptr_eq(&p1, &p2), "no mutation: cache hit shares the policy");
+        assert!(
+            std::sync::Arc::ptr_eq(&p1, &p2),
+            "no mutation: cache hit shares the policy"
+        );
         assert!(p1.may_join(&"hospital".into(), &"laboratory".into()));
 
         sys.add_pla(
@@ -1094,7 +1679,10 @@ mod tests {
             ),
         );
         let p3 = sys.policy();
-        assert!(!std::sync::Arc::ptr_eq(&p1, &p3), "add_pla invalidates the cache");
+        assert!(
+            !std::sync::Arc::ptr_eq(&p1, &p3),
+            "add_pla invalidates the cache"
+        );
         assert!(!p3.may_join(&"hospital".into(), &"laboratory".into()));
         assert!(
             p1.may_join(&"hospital".into(), &"laboratory".into()),
@@ -1108,15 +1696,25 @@ mod tests {
         )
         .unwrap();
         let p4 = sys.policy();
-        assert!(!std::sync::Arc::ptr_eq(&p3, &p4), "add_pla_text invalidates the cache");
+        assert!(
+            !std::sync::Arc::ptr_eq(&p3, &p4),
+            "add_pla_text invalidates the cache"
+        );
         assert!(!p4.may_join(&"hospital".into(), &"municipality".into()));
 
         sys.add_meta_report(
-            MetaReport::new("m-cache", "u", scan("FactPrescriptions").project_cols(&["Drug"]))
-                .approved("hospital"),
+            MetaReport::new(
+                "m-cache",
+                "u",
+                scan("FactPrescriptions").project_cols(&["Drug"]),
+            )
+            .approved("hospital"),
         );
         let p5 = sys.policy();
-        assert!(!std::sync::Arc::ptr_eq(&p4, &p5), "add_meta_report invalidates the cache");
+        assert!(
+            !std::sync::Arc::ptr_eq(&p4, &p5),
+            "add_meta_report invalidates the cache"
+        );
     }
 
     /// Compiled check programs are cached per (policy epoch, data
@@ -1131,14 +1729,20 @@ mod tests {
         sys.define_report(ReportSpec::new(
             "r-consumption",
             "Drug consumption",
-            scan("FactPrescriptions")
-                .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")]),
+            scan("FactPrescriptions").aggregate(
+                vec!["Drug".into()],
+                vec![AggItem::count_star("Consumption")],
+            ),
             [RoleId::new("analyst")],
         ));
         let id = ReportId::new("r-consumption");
         let alice = ConsumerId::new("alice@agency");
         let misses = |obs: &bi_exec::Obs| {
-            obs.snapshot().counters.get("check.program.cache.miss").copied().unwrap_or(0)
+            obs.snapshot()
+                .counters
+                .get("check.program.cache.miss")
+                .copied()
+                .unwrap_or(0)
         };
 
         sys.deliver(&id, &alice).unwrap();
@@ -1146,9 +1750,18 @@ mod tests {
         assert!(after_first >= 1, "first delivery compiles");
         sys.deliver(&id, &alice).unwrap();
         sys.deliver(&id, &alice).unwrap();
-        assert_eq!(misses(&obs), after_first, "repeat deliveries reuse the compile");
+        assert_eq!(
+            misses(&obs),
+            after_first,
+            "repeat deliveries reuse the compile"
+        );
         assert!(
-            obs.snapshot().counters.get("check.program.cache.hit").copied().unwrap_or(0) >= 2,
+            obs.snapshot()
+                .counters
+                .get("check.program.cache.hit")
+                .copied()
+                .unwrap_or(0)
+                >= 2,
             "repeat deliveries hit the cache"
         );
 
@@ -1156,18 +1769,26 @@ mod tests {
         sys.add_pla(PlaDocument::new("noop", "hospital", PlaLevel::Source));
         sys.deliver(&id, &alice).unwrap();
         let after_pla = misses(&obs);
-        assert!(after_pla > after_first, "PLA mutation invalidates the program cache");
+        assert!(
+            after_pla > after_first,
+            "PLA mutation invalidates the program cache"
+        );
 
         // Redefining the report evicts its entries → recompile.
         sys.define_report(ReportSpec::new(
             "r-consumption",
             "Drug consumption v2",
-            scan("FactPrescriptions")
-                .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")]),
+            scan("FactPrescriptions").aggregate(
+                vec!["Drug".into()],
+                vec![AggItem::count_star("Consumption")],
+            ),
             [RoleId::new("analyst")],
         ));
         sys.deliver(&id, &alice).unwrap();
-        assert!(misses(&obs) > after_pla, "report redefinition invalidates the program cache");
+        assert!(
+            misses(&obs) > after_pla,
+            "report redefinition invalidates the program cache"
+        );
     }
 
     #[test]
@@ -1183,19 +1804,24 @@ mod tests {
         sys.define_report(ReportSpec::new(
             "r-c",
             "Counts",
-            scan("FactPrescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]),
+            scan("FactPrescriptions")
+                .aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]),
             [RoleId::new("analyst")],
         ));
         let refusals_before = sys.audit_log().refusal_count();
         let out = sys.deliver(&ReportId::new("r-c"), &ConsumerId::new("stranger"));
         assert!(matches!(
             out,
-            Err(SystemError::Report(bi_report::ReportError::NonCompliant { .. }))
+            Err(SystemError::Report(
+                bi_report::ReportError::NonCompliant { .. }
+            ))
         ));
         assert_eq!(sys.audit_log().refusal_count(), refusals_before + 1);
         // A consumer holding the role is served.
         sys.subjects_mut().grant("member", "analyst");
-        assert!(sys.deliver(&ReportId::new("r-c"), &ConsumerId::new("member")).is_ok());
+        assert!(sys
+            .deliver(&ReportId::new("r-c"), &ConsumerId::new("member"))
+            .is_ok());
     }
 }
 
@@ -1225,12 +1851,21 @@ mod lint_and_document_tests {
         )
         .unwrap();
         let pipeline = Pipeline::new("p")
-            .step("e", EtlOp::Extract {
-                source: "hospital".into(),
-                table: "Prescriptions".into(),
-                as_name: "s".into(),
-            })
-            .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "FactPrescriptions".into() });
+            .step(
+                "e",
+                EtlOp::Extract {
+                    source: "hospital".into(),
+                    table: "Prescriptions".into(),
+                    as_name: "s".into(),
+                },
+            )
+            .step(
+                "l",
+                EtlOp::Load {
+                    table: "s".into(),
+                    warehouse_table: "FactPrescriptions".into(),
+                },
+            );
         sys.run_etl(&pipeline, None).unwrap();
         let warnings = sys.lint_plas();
         assert_eq!(warnings.len(), 1);
@@ -1257,12 +1892,21 @@ mod lint_and_document_tests {
         )
         .unwrap();
         let pipeline = Pipeline::new("p")
-            .step("e", EtlOp::Extract {
-                source: "hospital".into(),
-                table: "Prescriptions".into(),
-                as_name: "s".into(),
-            })
-            .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "Fact".into() });
+            .step(
+                "e",
+                EtlOp::Extract {
+                    source: "hospital".into(),
+                    table: "Prescriptions".into(),
+                    as_name: "s".into(),
+                },
+            )
+            .step(
+                "l",
+                EtlOp::Load {
+                    table: "s".into(),
+                    warehouse_table: "Fact".into(),
+                },
+            );
         sys.run_etl(&pipeline, None).unwrap();
         sys.add_meta_report(
             MetaReport::new("m", "u", scan("Fact").project_cols(&["Drug"])).approved("hospital"),
@@ -1282,7 +1926,11 @@ mod lint_and_document_tests {
         assert!(doc.contains("FOR     ada on 2008-07-01"));
         assert!(doc.contains("UNDER   hospital-1"));
         assert!(doc.contains("Drug | n"));
-        assert_eq!(sys.audit_log().deliveries().count(), 1, "delivery is journaled");
+        assert_eq!(
+            sys.audit_log().deliveries().count(),
+            1,
+            "delivery is journaled"
+        );
     }
 }
 
@@ -1317,24 +1965,39 @@ mod multi_source_tests {
         )
         .unwrap();
         let pipeline = Pipeline::new("link")
-            .step("e1", EtlOp::Extract {
-                source: "hospital".into(),
-                table: "Prescriptions".into(),
-                as_name: "p".into(),
-            })
-            .step("e2", EtlOp::Extract {
-                source: "laboratory".into(),
-                table: "LabTests".into(),
-                as_name: "l".into(),
-            })
-            .step("er", EtlOp::EntityResolution {
-                left: "p".into(),
-                right: "l".into(),
-                on: vec![("Patient".into(), "Person".into())],
-                threshold: 0.95,
-                out: "linked".into(),
-            })
-            .step("load", EtlOp::Load { table: "linked".into(), warehouse_table: "FactLinked".into() });
+            .step(
+                "e1",
+                EtlOp::Extract {
+                    source: "hospital".into(),
+                    table: "Prescriptions".into(),
+                    as_name: "p".into(),
+                },
+            )
+            .step(
+                "e2",
+                EtlOp::Extract {
+                    source: "laboratory".into(),
+                    table: "LabTests".into(),
+                    as_name: "l".into(),
+                },
+            )
+            .step(
+                "er",
+                EtlOp::EntityResolution {
+                    left: "p".into(),
+                    right: "l".into(),
+                    on: vec![("Patient".into(), "Person".into())],
+                    threshold: 0.95,
+                    out: "linked".into(),
+                },
+            )
+            .step(
+                "load",
+                EtlOp::Load {
+                    table: "linked".into(),
+                    warehouse_table: "FactLinked".into(),
+                },
+            );
         sys.run_etl(&pipeline, None).unwrap();
 
         sys.add_meta_report(
@@ -1389,7 +2052,10 @@ mod multi_source_tests {
             name: "Drug".into(),
             table: "DimDrug".into(),
             key: "Drug".into(),
-            levels: vec![DimLevel { name: "Drug".into(), column: "DrugName".into() }],
+            levels: vec![DimLevel {
+                name: "Drug".into(),
+                column: "DrugName".into(),
+            }],
         });
         sys.warehouse_mut()
             .add_fact(FactTable {
@@ -1401,26 +2067,50 @@ mod multi_source_tests {
             .unwrap();
         // Load an EMPTY DimDrug alongside the fact: every fact drug dangles.
         let pipeline = Pipeline::new("bad")
-            .step("e", EtlOp::Extract {
-                source: "hospital".into(),
-                table: "Prescriptions".into(),
-                as_name: "s".into(),
-            })
-            .step("f", EtlOp::FilterRows {
-                table: "s".into(),
-                pred: bi_relation::expr::lit(true),
-            })
-            .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "Fact".into() })
-            .step("e2", EtlOp::Extract {
-                source: "health-agency".into(),
-                table: "DrugRegistry".into(),
-                as_name: "r".into(),
-            })
-            .step("f2", EtlOp::FilterRows {
-                table: "r".into(),
-                pred: bi_relation::expr::lit(false), // empties the dimension
-            })
-            .step("l2", EtlOp::Load { table: "r".into(), warehouse_table: "DimDrug".into() });
+            .step(
+                "e",
+                EtlOp::Extract {
+                    source: "hospital".into(),
+                    table: "Prescriptions".into(),
+                    as_name: "s".into(),
+                },
+            )
+            .step(
+                "f",
+                EtlOp::FilterRows {
+                    table: "s".into(),
+                    pred: bi_relation::expr::lit(true),
+                },
+            )
+            .step(
+                "l",
+                EtlOp::Load {
+                    table: "s".into(),
+                    warehouse_table: "Fact".into(),
+                },
+            )
+            .step(
+                "e2",
+                EtlOp::Extract {
+                    source: "health-agency".into(),
+                    table: "DrugRegistry".into(),
+                    as_name: "r".into(),
+                },
+            )
+            .step(
+                "f2",
+                EtlOp::FilterRows {
+                    table: "r".into(),
+                    pred: bi_relation::expr::lit(false), // empties the dimension
+                },
+            )
+            .step(
+                "l2",
+                EtlOp::Load {
+                    table: "r".into(),
+                    warehouse_table: "DimDrug".into(),
+                },
+            );
         let err = sys.run_etl(&pipeline, None);
         assert!(matches!(err, Err(SystemError::BrokenIntegrity(_))));
         // Nothing was committed — not even the fact table.

@@ -39,26 +39,28 @@ pub fn check_pipeline(
         }
     }
 
-    let check_combination = |step_id: &str,
-                                 left: &[SourceId],
-                                 right: &[SourceId],
-                                 violations: &mut Vec<Violation>| {
-        for a in left {
-            for b in right {
-                if a != b && !policy.may_join(a, b) {
-                    violations.push(Violation {
-                        kind: "join-permission".into(),
-                        description: format!("step {step_id} combines sources whose join is prohibited"),
-                        subject: format!("{a} ⋈ {b}"),
-                    });
+    let check_combination =
+        |step_id: &str, left: &[SourceId], right: &[SourceId], violations: &mut Vec<Violation>| {
+            for a in left {
+                for b in right {
+                    if a != b && !policy.may_join(a, b) {
+                        violations.push(Violation {
+                            kind: "join-permission".into(),
+                            description: format!(
+                                "step {step_id} combines sources whose join is prohibited"
+                            ),
+                            subject: format!("{a} ⋈ {b}"),
+                        });
+                    }
                 }
             }
-        }
-    };
+        };
 
     for step in &pipeline.steps {
         match &step.op {
-            EtlOp::Extract { source, as_name, .. } => {
+            EtlOp::Extract {
+                source, as_name, ..
+            } => {
                 feeds.insert(as_name.clone(), vec![source.clone()]);
             }
             EtlOp::FilterRows { table, .. }
@@ -70,7 +72,9 @@ pub fn check_pipeline(
                 // error, not a policy question.
                 let _ = table;
             }
-            EtlOp::Join { left, right, out, .. } => {
+            EtlOp::Join {
+                left, right, out, ..
+            } => {
                 let l = feeds.get(left).cloned().unwrap_or_default();
                 let r = feeds.get(right).cloned().unwrap_or_default();
                 check_combination(&step.id, &l, &r, &mut violations);
@@ -82,7 +86,9 @@ pub fn check_pipeline(
                 }
                 feeds.insert(out.clone(), merged);
             }
-            EtlOp::EntityResolution { left, right, out, .. } => {
+            EtlOp::EntityResolution {
+                left, right, out, ..
+            } => {
                 let l = feeds.get(left).cloned().unwrap_or_default();
                 let r = feeds.get(right).cloned().unwrap_or_default();
                 check_combination(&step.id, &l, &r, &mut violations);
@@ -132,26 +138,27 @@ mod tests {
     fn extract(step: &str, source: &str, as_name: &str) -> (String, EtlOp) {
         (
             step.to_string(),
-            EtlOp::Extract { source: source.into(), table: "T".into(), as_name: as_name.into() },
+            EtlOp::Extract {
+                source: source.into(),
+                table: "T".into(),
+                as_name: as_name.into(),
+            },
         )
     }
 
     fn er_pipeline() -> Pipeline {
         let (i1, e1) = extract("e1", "hospital", "a");
         let (i2, e2) = extract("e2", "laboratory", "b");
-        Pipeline::new("er")
-            .step(i1, e1)
-            .step(i2, e2)
-            .step(
-                "er",
-                EtlOp::EntityResolution {
-                    left: "a".into(),
-                    right: "b".into(),
-                    on: vec![("Patient".into(), "Person".into())],
-                    threshold: 0.9,
-                    out: "linked".into(),
-                },
-            )
+        Pipeline::new("er").step(i1, e1).step(i2, e2).step(
+            "er",
+            EtlOp::EntityResolution {
+                left: "a".into(),
+                right: "b".into(),
+                on: vec![("Patient".into(), "Person".into())],
+                threshold: 0.9,
+                out: "linked".into(),
+            },
+        )
     }
 
     #[test]
@@ -159,30 +166,50 @@ mod tests {
         // No grants: both sources flagged.
         let policy = CombinedPolicy::combine(&[]);
         let v = check_pipeline(&er_pipeline(), &policy, None);
-        assert_eq!(v.iter().filter(|v| v.kind == "integration-permission").count(), 2);
+        assert_eq!(
+            v.iter()
+                .filter(|v| v.kind == "integration-permission")
+                .count(),
+            2
+        );
 
         // One grant: the other still flagged.
-        let doc = PlaDocument::new("h", "hospital", PlaLevel::Source)
-            .with_rule(PlaRule::IntegrationPermission { source: "hospital".into(), allowed: true });
+        let doc = PlaDocument::new("h", "hospital", PlaLevel::Source).with_rule(
+            PlaRule::IntegrationPermission {
+                source: "hospital".into(),
+                allowed: true,
+            },
+        );
         let policy = CombinedPolicy::combine(std::slice::from_ref(&doc));
         let v = check_pipeline(&er_pipeline(), &policy, None);
-        assert_eq!(v.iter().filter(|v| v.kind == "integration-permission").count(), 1);
+        assert_eq!(
+            v.iter()
+                .filter(|v| v.kind == "integration-permission")
+                .count(),
+            1
+        );
         assert_eq!(v[0].subject, "laboratory");
 
         // Both grants: clean.
-        let doc2 = PlaDocument::new("l", "laboratory", PlaLevel::Source)
-            .with_rule(PlaRule::IntegrationPermission { source: "laboratory".into(), allowed: true });
+        let doc2 = PlaDocument::new("l", "laboratory", PlaLevel::Source).with_rule(
+            PlaRule::IntegrationPermission {
+                source: "laboratory".into(),
+                allowed: true,
+            },
+        );
         let policy = CombinedPolicy::combine(&[doc, doc2]);
         assert!(check_pipeline(&er_pipeline(), &policy, None).is_empty());
     }
 
     #[test]
     fn join_prohibition_propagates_through_staging() {
-        let doc = PlaDocument::new("h", "hospital", PlaLevel::Source).with_rule(PlaRule::JoinPermission {
-            left_source: "hospital".into(),
-            right_source: "municipality".into(),
-            allowed: false,
-        });
+        let doc = PlaDocument::new("h", "hospital", PlaLevel::Source).with_rule(
+            PlaRule::JoinPermission {
+                left_source: "hospital".into(),
+                right_source: "municipality".into(),
+                allowed: false,
+            },
+        );
         let policy = CombinedPolicy::combine(&[doc]);
         let (i1, e1) = extract("e1", "hospital", "a");
         let (i2, e2) = extract("e2", "municipality", "b");
@@ -193,8 +220,24 @@ mod tests {
             .step(i1, e1)
             .step(i2, e2)
             .step(i3, e3)
-            .step("j1", EtlOp::Join { left: "a".into(), right: "c".into(), on: vec![], out: "ac".into() })
-            .step("j2", EtlOp::Join { left: "ac".into(), right: "b".into(), on: vec![], out: "acb".into() });
+            .step(
+                "j1",
+                EtlOp::Join {
+                    left: "a".into(),
+                    right: "c".into(),
+                    on: vec![],
+                    out: "ac".into(),
+                },
+            )
+            .step(
+                "j2",
+                EtlOp::Join {
+                    left: "ac".into(),
+                    right: "b".into(),
+                    on: vec![],
+                    out: "acb".into(),
+                },
+            );
         let v = check_pipeline(&p, &policy, None);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].kind, "join-permission");
@@ -213,7 +256,10 @@ mod tests {
         let v = check_pipeline(&p, &policy, Some("marketing"));
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].kind, "purpose");
-        assert!(check_pipeline(&p, &policy, None).is_empty(), "no declared purpose, no check");
+        assert!(
+            check_pipeline(&p, &policy, None).is_empty(),
+            "no declared purpose, no check"
+        );
     }
 
     #[test]
@@ -231,6 +277,9 @@ mod tests {
                 out: "o".into(),
             },
         );
-        assert!(check_pipeline(&p, &policy, None).is_empty(), "cleaning your own data is fine");
+        assert!(
+            check_pipeline(&p, &policy, None).is_empty(),
+            "cleaning your own data is fine"
+        );
     }
 }

@@ -71,7 +71,10 @@ mod tests {
 
     #[test]
     fn displays() {
-        let e = EtlError::NoSuchStagingTable { name: "T".into(), step: "s1".into() };
+        let e = EtlError::NoSuchStagingTable {
+            name: "T".into(),
+            step: "s1".into(),
+        };
         assert!(e.to_string().contains("staging table"));
         let e = EtlError::PolicyViolation {
             violations: vec![bi_pla::Violation {

@@ -19,20 +19,41 @@ pub enum EtlOp {
     /// Copy `table` from `source`'s catalog into staging as `as_name`.
     /// Source-level enforcement (row restrictions, retention) applies
     /// here when a policy is passed to the runner.
-    Extract { source: SourceId, table: String, as_name: String },
+    Extract {
+        source: SourceId,
+        table: String,
+        as_name: String,
+    },
     /// Keep only rows satisfying `pred`.
     FilterRows { table: String, pred: Expr },
     /// Replace coded values (`from` → `to`) in a text column.
-    Standardize { table: String, column: String, mapping: Vec<(String, String)> },
+    Standardize {
+        table: String,
+        column: String,
+        mapping: Vec<(String, String)>,
+    },
     /// Canonicalize near-duplicate spellings in a text column
     /// (Jaro-Winkler ≥ `threshold` maps to the first-seen spelling).
-    FuzzyCanonicalize { table: String, column: String, threshold: f64 },
+    FuzzyCanonicalize {
+        table: String,
+        column: String,
+        threshold: f64,
+    },
     /// Add a computed column.
-    Derive { table: String, column: String, expr: Expr },
+    Derive {
+        table: String,
+        column: String,
+        expr: Expr,
+    },
     /// Remove exactly-duplicate rows.
     Deduplicate { table: String },
     /// Exact equi-join of two staged tables into `out`.
-    Join { left: String, right: String, on: Vec<(String, String)>, out: String },
+    Join {
+        left: String,
+        right: String,
+        on: Vec<(String, String)>,
+        out: String,
+    },
     /// Entity resolution: fuzzy-join `left` and `right` on text key
     /// pairs with Jaro-Winkler ≥ `threshold`, producing `out`.
     /// Requires *integration permission* from every involved source.
@@ -44,7 +65,10 @@ pub enum EtlOp {
         out: String,
     },
     /// Publish a staged table to the warehouse under `warehouse_table`.
-    Load { table: String, warehouse_table: String },
+    Load {
+        table: String,
+        warehouse_table: String,
+    },
 }
 
 impl EtlOp {
@@ -77,7 +101,11 @@ pub struct Step {
 impl Step {
     /// An unannotated step.
     pub fn new(id: impl Into<String>, op: EtlOp) -> Self {
-        Step { id: id.into(), op, note: None }
+        Step {
+            id: id.into(),
+            op,
+            note: None,
+        }
     }
 
     /// Attaches an elicitation note.
@@ -97,7 +125,10 @@ pub struct Pipeline {
 impl Pipeline {
     /// An empty pipeline.
     pub fn new(name: impl Into<String>) -> Self {
-        Pipeline { name: name.into(), steps: Vec::new() }
+        Pipeline {
+            name: name.into(),
+            steps: Vec::new(),
+        }
     }
 
     /// Appends a step (builder-style).
@@ -107,7 +138,12 @@ impl Pipeline {
     }
 
     /// Appends an annotated step.
-    pub fn annotated_step(mut self, id: impl Into<String>, op: EtlOp, note: impl Into<String>) -> Self {
+    pub fn annotated_step(
+        mut self,
+        id: impl Into<String>,
+        op: EtlOp,
+        note: impl Into<String>,
+    ) -> Self {
         self.steps.push(Step::new(id, op).with_note(note));
         self
     }
@@ -179,13 +215,18 @@ pub fn run_pipeline_with(
         let report = execute_step(step, sources, policy, today, cfg, &mut staging, &mut loaded)?;
         drop(step_span);
         cfg.obs.count(bi_exec::Counter::EtlSteps);
-        cfg.obs.add(bi_exec::Counter::EtlRowsOut, report.rows_out as u64);
+        cfg.obs
+            .add(bi_exec::Counter::EtlRowsOut, report.rows_out as u64);
         if matches!(step.op, EtlOp::Load { .. }) {
             cfg.obs.count(bi_exec::Counter::EtlLoads);
         }
         steps.push(report);
     }
-    Ok(EtlReport { staging, loaded, steps })
+    Ok(EtlReport {
+        staging,
+        loaded,
+        steps,
+    })
 }
 
 fn execute_step(
@@ -201,15 +242,21 @@ fn execute_step(
     let mut touched = 0usize;
     let rows_out;
     match &step.op {
-        EtlOp::Extract { source, table, as_name } => {
+        EtlOp::Extract {
+            source,
+            table,
+            as_name,
+        } => {
             let cat = sources.get(source).ok_or_else(|| EtlError::NoSuchSource {
                 source: source.to_string(),
                 step: sid.clone(),
             })?;
-            let t = cat.table(table).ok_or_else(|| EtlError::NoSuchStagingTable {
-                name: table.clone(),
-                step: sid.clone(),
-            })?;
+            let t = cat
+                .table(table)
+                .ok_or_else(|| EtlError::NoSuchStagingTable {
+                    name: table.clone(),
+                    step: sid.clone(),
+                })?;
             let mut extracted = t.clone();
             if let Some(p) = policy {
                 // Source-level enforcement at the extraction boundary.
@@ -219,8 +266,7 @@ fn execute_step(
                 }
                 for (attr, days) in p.retentions(table) {
                     let cutoff = today.plus_days(-days)?;
-                    filters
-                        .push(bi_relation::expr::col(attr).ge(Expr::Lit(cutoff.into())));
+                    filters.push(bi_relation::expr::col(attr).ge(Expr::Lit(cutoff.into())));
                 }
                 for f in filters {
                     let before = extracted.len();
@@ -241,11 +287,17 @@ fn execute_step(
             let srcs = staging.sources_of(table).to_vec();
             staging.put(filtered, srcs);
         }
-        EtlOp::Standardize { table, column, mapping } => {
+        EtlOp::Standardize {
+            table,
+            column,
+            mapping,
+        } => {
             let t = staging.get(table, sid)?;
             let c = t.schema().index_of(column)?;
-            let map: BTreeMap<&str, &str> =
-                mapping.iter().map(|(f, to)| (f.as_str(), to.as_str())).collect();
+            let map: BTreeMap<&str, &str> = mapping
+                .iter()
+                .map(|(f, to)| (f.as_str(), to.as_str()))
+                .collect();
             // Text-to-text remapping keeps every row well-typed, so the
             // staging table is rebuilt without per-row re-validation.
             let mut rows = Vec::with_capacity(t.len());
@@ -264,7 +316,11 @@ fn execute_step(
             let srcs = staging.sources_of(table).to_vec();
             staging.put(out, srcs);
         }
-        EtlOp::FuzzyCanonicalize { table, column, threshold } => {
+        EtlOp::FuzzyCanonicalize {
+            table,
+            column,
+            threshold,
+        } => {
             let t = staging.get(table, sid)?;
             let (fixed, replaced) = quality::canonicalize_column(t, column, *threshold)?;
             touched = replaced;
@@ -272,7 +328,11 @@ fn execute_step(
             let srcs = staging.sources_of(table).to_vec();
             staging.put(fixed, srcs);
         }
-        EtlOp::Derive { table, column, expr } => {
+        EtlOp::Derive {
+            table,
+            column,
+            expr,
+        } => {
             let t = staging.get(table, sid)?;
             let mut items: Vec<(String, Expr)> = t
                 .schema()
@@ -296,7 +356,12 @@ fn execute_step(
             let srcs = staging.sources_of(table).to_vec();
             staging.put(out, srcs);
         }
-        EtlOp::Join { left, right, on, out } => {
+        EtlOp::Join {
+            left,
+            right,
+            on,
+            out,
+        } => {
             let lt = staging.get(left, sid)?.clone();
             let rt = staging.get(right, sid)?.clone();
             let mut cat = Catalog::new();
@@ -306,11 +371,8 @@ fn execute_step(
             r2.set_name("__r".to_string());
             cat.add_table(l2)?;
             cat.add_table(r2)?;
-            let plan = bi_query::plan::scan("__l").join(
-                bi_query::plan::scan("__r"),
-                on.clone(),
-                "r",
-            );
+            let plan =
+                bi_query::plan::scan("__l").join(bi_query::plan::scan("__r"), on.clone(), "r");
             let mut joined = bi_query::execute_with(&plan, &cat, cfg)?;
             joined.set_name(out.clone());
             rows_out = joined.len();
@@ -322,7 +384,13 @@ fn execute_step(
             }
             staging.put(joined, srcs);
         }
-        EtlOp::EntityResolution { left, right, on, threshold, out } => {
+        EtlOp::EntityResolution {
+            left,
+            right,
+            on,
+            threshold,
+            out,
+        } => {
             if !(0.0..=1.0).contains(threshold) {
                 return Err(EtlError::BadStep {
                     step: sid.clone(),
@@ -341,7 +409,10 @@ fn execute_step(
             }
             staging.put(joined, srcs);
         }
-        EtlOp::Load { table, warehouse_table } => {
+        EtlOp::Load {
+            table,
+            warehouse_table,
+        } => {
             let t = staging.get(table, sid)?;
             let mut published = t.clone();
             published.set_name(warehouse_table.clone());
@@ -349,7 +420,12 @@ fn execute_step(
             loaded.push((published, staging.sources_of(table).to_vec()));
         }
     }
-    Ok(StepReport { step_id: sid.clone(), op: step.op.tag(), rows_out, touched })
+    Ok(StepReport {
+        step_id: sid.clone(),
+        op: step.op.tag(),
+        rows_out,
+        touched,
+    })
 }
 
 /// Fuzzy equi-join: rows match when every `on` text pair has
@@ -364,16 +440,26 @@ fn fuzzy_join(
     step: &str,
 ) -> Result<Table, EtlError> {
     if on.is_empty() {
-        return Err(EtlError::BadStep { step: step.to_string(), reason: "entity resolution requires key pairs".into() });
+        return Err(EtlError::BadStep {
+            step: step.to_string(),
+            reason: "entity resolution requires key pairs".into(),
+        });
     }
-    let lk: Vec<usize> =
-        on.iter().map(|(a, _)| left.schema().index_of(a)).collect::<Result<_, _>>()?;
-    let rk: Vec<usize> =
-        on.iter().map(|(_, b)| right.schema().index_of(b)).collect::<Result<_, _>>()?;
+    let lk: Vec<usize> = on
+        .iter()
+        .map(|(a, _)| left.schema().index_of(a))
+        .collect::<Result<_, _>>()?;
+    let rk: Vec<usize> = on
+        .iter()
+        .map(|(_, b)| right.schema().index_of(b))
+        .collect::<Result<_, _>>()?;
     let mut schema = left.schema().join(right.schema(), "r")?;
     {
         let mut cols = schema.columns().to_vec();
-        cols.push(bi_types::Column::new("__similarity", bi_types::DataType::Float));
+        cols.push(bi_types::Column::new(
+            "__similarity",
+            bi_types::DataType::Float,
+        ));
         schema = bi_types::Schema::new(cols)?;
     }
     let mut out = Table::new(out_name.to_string(), schema);
@@ -422,9 +508,21 @@ mod tests {
                 ])
                 .unwrap(),
                 vec![
-                    vec!["Alice".into(), "DH".into(), Value::date("2007-02-12").unwrap()],
-                    vec!["Bob".into(), "DR".into(), Value::date("2006-01-01").unwrap()],
-                    vec!["Math".into(), "DM".into(), Value::date("2007-10-15").unwrap()],
+                    vec![
+                        "Alice".into(),
+                        "DH".into(),
+                        Value::date("2007-02-12").unwrap(),
+                    ],
+                    vec![
+                        "Bob".into(),
+                        "DR".into(),
+                        Value::date("2006-01-01").unwrap(),
+                    ],
+                    vec![
+                        "Math".into(),
+                        "DM".into(),
+                        Value::date("2007-10-15").unwrap(),
+                    ],
                 ],
             )
             .unwrap(),
@@ -470,9 +568,28 @@ mod tests {
     #[test]
     fn extract_transform_load() {
         let p = Pipeline::new("basic")
-            .step("e1", EtlOp::Extract { source: "hospital".into(), table: "Prescriptions".into(), as_name: "stg_presc".into() })
-            .step("f1", EtlOp::FilterRows { table: "stg_presc".into(), pred: col("Patient").ne(lit("Math")) })
-            .step("l1", EtlOp::Load { table: "stg_presc".into(), warehouse_table: "FactPrescriptions".into() });
+            .step(
+                "e1",
+                EtlOp::Extract {
+                    source: "hospital".into(),
+                    table: "Prescriptions".into(),
+                    as_name: "stg_presc".into(),
+                },
+            )
+            .step(
+                "f1",
+                EtlOp::FilterRows {
+                    table: "stg_presc".into(),
+                    pred: col("Patient").ne(lit("Math")),
+                },
+            )
+            .step(
+                "l1",
+                EtlOp::Load {
+                    table: "stg_presc".into(),
+                    warehouse_table: "FactPrescriptions".into(),
+                },
+            );
         let r = run_pipeline(&p, &sources(), None, today()).unwrap();
         assert_eq!(r.loaded.len(), 1);
         let (t, srcs) = &r.loaded[0];
@@ -498,7 +615,11 @@ mod tests {
         let policy = CombinedPolicy::combine(&[doc]);
         let p = Pipeline::new("enforced").step(
             "e1",
-            EtlOp::Extract { source: "hospital".into(), table: "Prescriptions".into(), as_name: "s".into() },
+            EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "s".into(),
+            },
         );
         let r = run_pipeline(&p, &sources(), Some(&policy), today()).unwrap();
         let t = r.staging.get("s", "check").unwrap();
@@ -513,17 +634,30 @@ mod tests {
     #[test]
     fn standardize_derive_dedup() {
         let p = Pipeline::new("t")
-            .step("e", EtlOp::Extract { source: "hospital".into(), table: "Prescriptions".into(), as_name: "s".into() })
-            .step("std", EtlOp::Standardize {
-                table: "s".into(),
-                column: "Drug".into(),
-                mapping: vec![("DH".into(), "DH-01".into())],
-            })
-            .step("d", EtlOp::Derive {
-                table: "s".into(),
-                column: "Year".into(),
-                expr: bi_relation::Expr::Func(bi_relation::Func::Year, vec![col("Date")]),
-            })
+            .step(
+                "e",
+                EtlOp::Extract {
+                    source: "hospital".into(),
+                    table: "Prescriptions".into(),
+                    as_name: "s".into(),
+                },
+            )
+            .step(
+                "std",
+                EtlOp::Standardize {
+                    table: "s".into(),
+                    column: "Drug".into(),
+                    mapping: vec![("DH".into(), "DH-01".into())],
+                },
+            )
+            .step(
+                "d",
+                EtlOp::Derive {
+                    table: "s".into(),
+                    column: "Year".into(),
+                    expr: bi_relation::Expr::Func(bi_relation::Func::Year, vec![col("Date")]),
+                },
+            )
             .step("dd", EtlOp::Deduplicate { table: "s".into() });
         let r = run_pipeline(&p, &sources(), None, today()).unwrap();
         let t = r.staging.get("s", "x").unwrap();
@@ -536,15 +670,32 @@ mod tests {
     #[test]
     fn entity_resolution_fuzzy_matches() {
         let p = Pipeline::new("er")
-            .step("e1", EtlOp::Extract { source: "hospital".into(), table: "Prescriptions".into(), as_name: "presc".into() })
-            .step("e2", EtlOp::Extract { source: "laboratory".into(), table: "Tests".into(), as_name: "tests".into() })
-            .step("er", EtlOp::EntityResolution {
-                left: "presc".into(),
-                right: "tests".into(),
-                on: vec![("Patient".into(), "Person".into())],
-                threshold: 0.85,
-                out: "linked".into(),
-            });
+            .step(
+                "e1",
+                EtlOp::Extract {
+                    source: "hospital".into(),
+                    table: "Prescriptions".into(),
+                    as_name: "presc".into(),
+                },
+            )
+            .step(
+                "e2",
+                EtlOp::Extract {
+                    source: "laboratory".into(),
+                    table: "Tests".into(),
+                    as_name: "tests".into(),
+                },
+            )
+            .step(
+                "er",
+                EtlOp::EntityResolution {
+                    left: "presc".into(),
+                    right: "tests".into(),
+                    on: vec![("Patient".into(), "Person".into())],
+                    threshold: 0.85,
+                    out: "linked".into(),
+                },
+            );
         let r = run_pipeline(&p, &sources(), None, today()).unwrap();
         let linked = r.staging.get("linked", "x").unwrap();
         // Alice↔Alicia (fuzzy) and Bob↔Bob (exact) match; Math matches nothing.
@@ -554,41 +705,100 @@ mod tests {
         assert_eq!(srcs.len(), 2, "combined table carries both sources");
         // Exact-join variant finds only Bob.
         let p2 = Pipeline::new("ej")
-            .step("e1", EtlOp::Extract { source: "hospital".into(), table: "Prescriptions".into(), as_name: "presc".into() })
-            .step("e2", EtlOp::Extract { source: "laboratory".into(), table: "Tests".into(), as_name: "tests".into() })
-            .step("j", EtlOp::Join {
-                left: "presc".into(),
-                right: "tests".into(),
-                on: vec![("Patient".into(), "Person".into())],
-                out: "joined".into(),
-            });
+            .step(
+                "e1",
+                EtlOp::Extract {
+                    source: "hospital".into(),
+                    table: "Prescriptions".into(),
+                    as_name: "presc".into(),
+                },
+            )
+            .step(
+                "e2",
+                EtlOp::Extract {
+                    source: "laboratory".into(),
+                    table: "Tests".into(),
+                    as_name: "tests".into(),
+                },
+            )
+            .step(
+                "j",
+                EtlOp::Join {
+                    left: "presc".into(),
+                    right: "tests".into(),
+                    on: vec![("Patient".into(), "Person".into())],
+                    out: "joined".into(),
+                },
+            );
         let r2 = run_pipeline(&p2, &sources(), None, today()).unwrap();
         assert_eq!(r2.staging.get("joined", "x").unwrap().len(), 1);
     }
 
     #[test]
     fn missing_references_error() {
-        let p = Pipeline::new("bad").step("f", EtlOp::FilterRows { table: "ghost".into(), pred: lit(true) });
+        let p = Pipeline::new("bad").step(
+            "f",
+            EtlOp::FilterRows {
+                table: "ghost".into(),
+                pred: lit(true),
+            },
+        );
         assert!(matches!(
             run_pipeline(&p, &sources(), None, today()),
             Err(EtlError::NoSuchStagingTable { .. })
         ));
-        let p = Pipeline::new("bad2").step("e", EtlOp::Extract { source: "mars".into(), table: "T".into(), as_name: "s".into() });
-        assert!(matches!(run_pipeline(&p, &sources(), None, today()), Err(EtlError::NoSuchSource { .. })));
+        let p = Pipeline::new("bad2").step(
+            "e",
+            EtlOp::Extract {
+                source: "mars".into(),
+                table: "T".into(),
+                as_name: "s".into(),
+            },
+        );
+        assert!(matches!(
+            run_pipeline(&p, &sources(), None, today()),
+            Err(EtlError::NoSuchSource { .. })
+        ));
         let p = Pipeline::new("bad3")
-            .step("e1", EtlOp::Extract { source: "hospital".into(), table: "Prescriptions".into(), as_name: "a".into() })
-            .step("er", EtlOp::EntityResolution { left: "a".into(), right: "a".into(), on: vec![], threshold: 0.9, out: "o".into() });
-        assert!(matches!(run_pipeline(&p, &sources(), None, today()), Err(EtlError::BadStep { .. })));
+            .step(
+                "e1",
+                EtlOp::Extract {
+                    source: "hospital".into(),
+                    table: "Prescriptions".into(),
+                    as_name: "a".into(),
+                },
+            )
+            .step(
+                "er",
+                EtlOp::EntityResolution {
+                    left: "a".into(),
+                    right: "a".into(),
+                    on: vec![],
+                    threshold: 0.9,
+                    out: "o".into(),
+                },
+            );
+        assert!(matches!(
+            run_pipeline(&p, &sources(), None, today()),
+            Err(EtlError::BadStep { .. })
+        ));
     }
 
     #[test]
     fn annotated_steps_keep_notes() {
         let p = Pipeline::new("n").annotated_step(
             "e",
-            EtlOp::Extract { source: "hospital".into(), table: "Prescriptions".into(), as_name: "s".into() },
+            EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "s".into(),
+            },
             "shown to the hospital during elicitation",
         );
-        assert_eq!(p.steps[0].note.as_deref(), Some("shown to the hospital during elicitation"));
+        assert_eq!(
+            p.steps[0].note.as_deref(),
+            Some("shown to the hospital during elicitation")
+        );
     }
 }
 
@@ -598,23 +808,63 @@ impl std::fmt::Display for EtlOp {
     /// such flows").
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EtlOp::Extract { source, table, as_name } => {
+            EtlOp::Extract {
+                source,
+                table,
+                as_name,
+            } => {
                 write!(f, "extract {table} from {source} as {as_name}")
             }
-            EtlOp::FilterRows { table, pred } => write!(f, "filter {table} keeping rows where {pred}"),
-            EtlOp::Standardize { table, column, mapping } => {
-                write!(f, "standardize {table}.{column} ({} code(s))", mapping.len())
+            EtlOp::FilterRows { table, pred } => {
+                write!(f, "filter {table} keeping rows where {pred}")
             }
-            EtlOp::FuzzyCanonicalize { table, column, threshold } => {
-                write!(f, "canonicalize spellings in {table}.{column} (similarity ≥ {threshold})")
+            EtlOp::Standardize {
+                table,
+                column,
+                mapping,
+            } => {
+                write!(
+                    f,
+                    "standardize {table}.{column} ({} code(s))",
+                    mapping.len()
+                )
             }
-            EtlOp::Derive { table, column, expr } => write!(f, "derive {table}.{column} := {expr}"),
+            EtlOp::FuzzyCanonicalize {
+                table,
+                column,
+                threshold,
+            } => {
+                write!(
+                    f,
+                    "canonicalize spellings in {table}.{column} (similarity ≥ {threshold})"
+                )
+            }
+            EtlOp::Derive {
+                table,
+                column,
+                expr,
+            } => write!(f, "derive {table}.{column} := {expr}"),
             EtlOp::Deduplicate { table } => write!(f, "deduplicate {table}"),
-            EtlOp::Join { left, right, on, out } => {
+            EtlOp::Join {
+                left,
+                right,
+                on,
+                out,
+            } => {
                 let conds: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
-                write!(f, "join {left} with {right} on {} into {out}", conds.join(" AND "))
+                write!(
+                    f,
+                    "join {left} with {right} on {} into {out}",
+                    conds.join(" AND ")
+                )
             }
-            EtlOp::EntityResolution { left, right, on, threshold, out } => {
+            EtlOp::EntityResolution {
+                left,
+                right,
+                on,
+                threshold,
+                out,
+            } => {
                 let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l} ≈ {r}")).collect();
                 write!(
                     f,
@@ -622,7 +872,10 @@ impl std::fmt::Display for EtlOp {
                     keys.join(", ")
                 )
             }
-            EtlOp::Load { table, warehouse_table } => {
+            EtlOp::Load {
+                table,
+                warehouse_table,
+            } => {
                 write!(f, "load {table} into warehouse table {warehouse_table}")
             }
         }
@@ -661,7 +914,13 @@ mod display_tests {
                 },
                 "only data covered by the consent forms",
             )
-            .step("f1", EtlOp::FilterRows { table: "stg".into(), pred: col("Disease").ne(lit("HIV")) })
+            .step(
+                "f1",
+                EtlOp::FilterRows {
+                    table: "stg".into(),
+                    pred: col("Disease").ne(lit("HIV")),
+                },
+            )
             .step(
                 "er",
                 EtlOp::EntityResolution {
@@ -672,13 +931,21 @@ mod display_tests {
                     out: "linked".into(),
                 },
             )
-            .step("l", EtlOp::Load { table: "linked".into(), warehouse_table: "Fact".into() });
+            .step(
+                "l",
+                EtlOp::Load {
+                    table: "linked".into(),
+                    warehouse_table: "Fact".into(),
+                },
+            );
         let s = p.to_string();
         assert!(s.starts_with("ETL PIPELINE nightly\n"));
         assert!(s.contains("1. [e1] extract Prescriptions from hospital as stg"));
         assert!(s.contains("note: only data covered by the consent forms"));
         assert!(s.contains("filter stg keeping rows where Disease <> 'HIV'"));
-        assert!(s.contains("link stg with lab matching Patient ≈ Person (similarity ≥ 0.9) into linked"));
+        assert!(s.contains(
+            "link stg with lab matching Patient ≈ Person (similarity ≥ 0.9) into linked"
+        ));
         assert!(s.contains("4. [l] load linked into warehouse table Fact"));
     }
 }

@@ -62,9 +62,18 @@ pub fn jaro(a: &str, b: &str) -> f64 {
     if m == 0 {
         return 0.0;
     }
-    let matches_b: Vec<char> =
-        b.iter().zip(&match_flags_b).filter(|(_, &f)| f).map(|(c, _)| *c).collect();
-    let t = matches_a.iter().zip(&matches_b).filter(|(x, y)| x != y).count() as f64 / 2.0;
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(&match_flags_b)
+        .filter(|(_, &f)| f)
+        .map(|(c, _)| *c)
+        .collect();
+    let t = matches_a
+        .iter()
+        .zip(&matches_b)
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
     let m = m as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
 }
@@ -72,7 +81,12 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// Jaro-Winkler similarity (common-prefix boost, standard p = 0.1).
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let j = jaro(a, b);
-    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count();
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
     j + prefix as f64 * 0.1 * (1.0 - j)
 }
 
@@ -171,7 +185,10 @@ pub fn canonicalize_column(
             let target = match mapping.get(s) {
                 Some(t) => t.clone(),
                 None => {
-                    let found = canon.iter().find(|k| jaro_winkler(k, s) >= threshold).cloned();
+                    let found = canon
+                        .iter()
+                        .find(|k| jaro_winkler(k, s) >= threshold)
+                        .cloned();
                     let t = match found {
                         Some(k) => k,
                         None => {
@@ -222,7 +239,12 @@ mod tests {
         let t = Table::from_rows(
             "T",
             Schema::new(vec![Column::nullable("x", DataType::Int)]).unwrap(),
-            vec![vec![Value::Int(1)], vec![Value::Null], vec![Value::Null], vec![Value::Int(2)]],
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Null],
+                vec![Value::Null],
+                vec![Value::Int(2)],
+            ],
         )
         .unwrap();
         assert_eq!(null_ratio(&t, "x").unwrap(), 0.5);

@@ -32,7 +32,10 @@ impl Staging {
     pub fn get(&self, name: &str, step: &str) -> Result<&Table, EtlError> {
         self.tables
             .get(name)
-            .ok_or_else(|| EtlError::NoSuchStagingTable { name: name.to_string(), step: step.to_string() })
+            .ok_or_else(|| EtlError::NoSuchStagingTable {
+                name: name.to_string(),
+                step: step.to_string(),
+            })
     }
 
     /// Owning sources of a staged table (empty when unknown).
@@ -64,12 +67,18 @@ mod tests {
     #[test]
     fn put_get_sources() {
         let mut s = Staging::new();
-        let t = Table::new("X", Schema::new(vec![Column::new("a", DataType::Int)]).unwrap());
+        let t = Table::new(
+            "X",
+            Schema::new(vec![Column::new("a", DataType::Int)]).unwrap(),
+        );
         s.put(t, vec![SourceId::new("hospital")]);
         assert_eq!(s.len(), 1);
         assert!(!s.is_empty());
         assert!(s.get("X", "step").is_ok());
-        assert!(matches!(s.get("Y", "step"), Err(EtlError::NoSuchStagingTable { .. })));
+        assert!(matches!(
+            s.get("Y", "step"),
+            Err(EtlError::NoSuchStagingTable { .. })
+        ));
         assert_eq!(s.sources_of("X"), &[SourceId::new("hospital")]);
         assert!(s.sources_of("Y").is_empty());
         assert_eq!(s.names(), vec!["X"]);

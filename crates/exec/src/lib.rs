@@ -96,7 +96,11 @@ impl PartialEq for ExecConfig {
 /// the oversubscription regression this clamp removes.
 pub fn effective_parallelism() -> usize {
     static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *CORES.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 impl Eq for ExecConfig {}
@@ -118,8 +122,13 @@ impl ExecConfig {
     /// One worker per available core (falls back to serial when the
     /// parallelism cannot be determined).
     pub fn auto() -> Self {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        ExecConfig { threads, ..Self::serial() }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ExecConfig {
+            threads,
+            ..Self::serial()
+        }
     }
 
     /// A fixed thread count; `0` means [`ExecConfig::auto`].
@@ -127,7 +136,10 @@ impl ExecConfig {
         if threads == 0 {
             Self::auto()
         } else {
-            ExecConfig { threads, ..Self::serial() }
+            ExecConfig {
+                threads,
+                ..Self::serial()
+            }
         }
     }
 
@@ -185,7 +197,10 @@ impl ExecConfig {
     /// Builder: the same execution shape with a different bound on the
     /// version-keyed column chunk cache. `0` disables caching.
     pub fn with_chunk_cache_capacity(self, chunk_cache_capacity: usize) -> Self {
-        ExecConfig { chunk_cache_capacity, ..self }
+        ExecConfig {
+            chunk_cache_capacity,
+            ..self
+        }
     }
 
     /// True when this configuration runs everything inline.
@@ -222,7 +237,11 @@ where
     let n_morsels = items.len().div_ceil(morsel);
     let workers = cfg.workers_for(n_morsels);
     if workers <= 1 {
-        return items.chunks(morsel).enumerate().map(|(i, c)| f(i * morsel, c)).collect();
+        return items
+            .chunks(morsel)
+            .enumerate()
+            .map(|(i, c)| f(i * morsel, c))
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let mut out: Vec<Option<U>> = std::iter::repeat_with(|| None).take(n_morsels).collect();
@@ -251,7 +270,9 @@ where
             }
         }
     });
-    out.into_iter().map(|o| o.expect("every morsel claimed exactly once")).collect()
+    out.into_iter()
+        .map(|o| o.expect("every morsel claimed exactly once"))
+        .collect()
 }
 
 /// Fallible [`par_chunks`]: the first error (by morsel index, matching
@@ -272,7 +293,11 @@ where
     let n_morsels = items.len().div_ceil(morsel);
     let workers = cfg.workers_for(n_morsels);
     if workers <= 1 {
-        return items.chunks(morsel).enumerate().map(|(i, c)| f(i * morsel, c)).collect();
+        return items
+            .chunks(morsel)
+            .enumerate()
+            .map(|(i, c)| f(i * morsel, c))
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
@@ -319,7 +344,10 @@ where
     if let Some((_, e)) = first_err {
         return Err(e);
     }
-    Ok(out.into_iter().map(|o| o.expect("no error, so every morsel completed")).collect())
+    Ok(out
+        .into_iter()
+        .map(|o| o.expect("no error, so every morsel completed"))
+        .collect())
 }
 
 /// Applies `f` to contiguous index ranges `[start, end)` of a
@@ -366,7 +394,9 @@ where
             }
         }
     });
-    out.into_iter().map(|o| o.expect("every range claimed exactly once")).collect()
+    out.into_iter()
+        .map(|o| o.expect("every range claimed exactly once"))
+        .collect()
 }
 
 /// Fallible [`par_ranges`]: the first error (by range index, matching
@@ -437,7 +467,10 @@ where
     if let Some((_, e)) = first_err {
         return Err(e);
     }
-    Ok(out.into_iter().map(|o| o.expect("no error, so every range completed")).collect())
+    Ok(out
+        .into_iter()
+        .map(|o| o.expect("no error, so every range completed"))
+        .collect())
 }
 
 /// Morsel width that keeps `workers × 8` morsels in flight for
@@ -454,10 +487,12 @@ where
     F: Fn(&T) -> U + Sync,
 {
     let morsel = auto_morsel(cfg, items.len());
-    par_chunks(cfg, items, morsel, |_, chunk| chunk.iter().map(&f).collect::<Vec<U>>())
-        .into_iter()
-        .flatten()
-        .collect()
+    par_chunks(cfg, items, morsel, |_, chunk| {
+        chunk.iter().map(&f).collect::<Vec<U>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Fallible [`par_map`]; error discipline as in [`try_par_chunks`].
@@ -551,8 +586,9 @@ mod tests {
             // Pinned: exercise real workers even on single-core hosts.
             let cfg = ExecConfig::with_threads(threads).with_pinned_threads(true);
             let ranges = par_ranges(&cfg, 1000, 64, |s, e| (s, e));
-            let serial: Vec<(usize, usize)> =
-                (0..1000usize.div_ceil(64)).map(|m| (m * 64, ((m + 1) * 64).min(1000))).collect();
+            let serial: Vec<(usize, usize)> = (0..1000usize.div_ceil(64))
+                .map(|m| (m * 64, ((m + 1) * 64).min(1000)))
+                .collect();
             assert_eq!(ranges, serial, "threads={threads}");
             assert!(par_ranges(&cfg, 0, 64, |s, e| (s, e)).is_empty());
         }
@@ -605,8 +641,9 @@ mod tests {
             assert_eq!(r.unwrap_err(), "boom at 4096", "threads={threads}");
             let ok: Result<Vec<(usize, usize)>, ()> =
                 try_par_ranges(&cfg, 1000, 64, |s, e| Ok((s, e)));
-            let serial: Vec<(usize, usize)> =
-                (0..1000usize.div_ceil(64)).map(|m| (m * 64, ((m + 1) * 64).min(1000))).collect();
+            let serial: Vec<(usize, usize)> = (0..1000usize.div_ceil(64))
+                .map(|m| (m * 64, ((m + 1) * 64).min(1000)))
+                .collect();
             assert_eq!(ok.unwrap(), serial, "threads={threads}");
             let none: Result<Vec<usize>, ()> = try_par_ranges(&cfg, 0, 64, |s, _| Ok(s));
             assert!(none.unwrap().is_empty());
@@ -622,7 +659,10 @@ mod tests {
         assert!(cfg.columnar);
         // The flag participates in config equality (it changes which
         // engine runs, even though results are byte-identical).
-        assert_ne!(ExecConfig::columnar(), ExecConfig::columnar().with_pipeline(false));
+        assert_ne!(
+            ExecConfig::columnar(),
+            ExecConfig::columnar().with_pipeline(false)
+        );
     }
 
     #[test]
@@ -648,7 +688,10 @@ mod tests {
         assert!(cores >= 1);
         // Unpinned: the host clamp applies.
         assert_eq!(ExecConfig::with_threads(1).effective_threads(), 1);
-        assert_eq!(ExecConfig::with_threads(usize::MAX).effective_threads(), cores);
+        assert_eq!(
+            ExecConfig::with_threads(usize::MAX).effective_threads(),
+            cores
+        );
         // Pinned: the request is exact, regardless of hardware.
         let pinned = ExecConfig::with_threads(8).with_pinned_threads(true);
         assert_eq!(pinned.effective_threads(), 8);

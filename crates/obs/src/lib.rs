@@ -212,6 +212,25 @@ counters! {
     /// Render-cache entries dropped to respect the capacity bound
     /// (strategy counter — excluded from snapshot equality).
     RenderCacheEvict => "render.cache.evict",
+    /// Table versions evicted from the MVCC history to respect the
+    /// retention bound.
+    MvccVersionsEvicted => "mvcc.versions.evicted",
+    /// Audit replays that resolved every journaled source version from
+    /// the MVCC history (or live storage) — exact time travel.
+    MvccResolveExact => "mvcc.resolve.exact",
+    /// Audit replays where a journaled version had aged out and the
+    /// replay fell back, flagged, to current data.
+    MvccResolveFallback => "mvcc.resolve.fallback",
+    /// Records appended to the write-ahead log.
+    WalAppends => "wal.appends",
+    /// Bytes appended to the write-ahead log (frame + payload).
+    WalBytes => "wal.bytes",
+    /// WAL appends that failed at the I/O layer; logging stops (the
+    /// in-memory system keeps serving) so the counter is a host signal,
+    /// not workload-determined (excluded from snapshot equality).
+    WalAppendErrors => "wal.append.errors",
+    /// Dispute-resolution queries answered from the journal.
+    AuditDisputes => "audit.disputes",
 }
 
 /// True for *strategy* counters: they describe which engine the cost
@@ -224,6 +243,7 @@ pub fn is_strategy_counter(name: &str) -> bool {
     name.starts_with("chunk.cache.")
         || name.starts_with("plan.choice.")
         || name.starts_with("render.cache.")
+        || name == "wal.append.errors"
 }
 
 /// Declares the closed span set: enum + names + static taxonomy depth.
@@ -284,6 +304,13 @@ spans! {
     AnonMondrian => ("anonymize.mondrian", 0),
     /// One journal recheck pass.
     AuditRecheck => ("audit.recheck", 0),
+    /// One journal replay pass (full render re-execution at journaled
+    /// policy epochs and data versions).
+    AuditReplay => ("audit.replay", 0),
+    /// One dispute-resolution query over the journal.
+    AuditDispute => ("audit.dispute", 0),
+    /// One WAL recovery (rebuild of a system from its log).
+    WalRecover => ("wal.recover", 0),
 }
 
 /// A per-delivery trace identifier. Assigned by the system facade in
@@ -348,7 +375,9 @@ impl Obs {
 
     /// A fresh enabled recorder.
     pub fn enabled() -> Self {
-        Obs { inner: Some(Arc::new(Inner::new())) }
+        Obs {
+            inner: Some(Arc::new(Inner::new())),
+        }
     }
 
     /// True when events are being recorded.
@@ -375,14 +404,23 @@ impl Obs {
     /// reading the clock.
     #[inline]
     pub fn span(&self, kind: SpanKind) -> Span<'_> {
-        Span { rec: self.inner.as_deref().map(|inner| (inner, kind, Instant::now())) }
+        Span {
+            rec: self
+                .inner
+                .as_deref()
+                .map(|inner| (inner, kind, Instant::now())),
+        }
     }
 
     /// Records a delivery trace id (request order is the caller's
     /// responsibility; the system facade assigns ids before fan-out).
     pub fn trace(&self, t: TraceId) {
         if let Some(inner) = &self.inner {
-            inner.traces.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(t);
+            inner
+                .traces
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(t);
         }
     }
 
@@ -390,7 +428,9 @@ impl Obs {
     /// keeps counting; `snapshot` is a read, not a reset.
     pub fn snapshot(&self) -> ObsSnapshot {
         let mut snap = ObsSnapshot::default();
-        let Some(inner) = &self.inner else { return snap };
+        let Some(inner) = &self.inner else {
+            return snap;
+        };
         for &c in Counter::ALL {
             let v = inner.counters[c as usize].load(Ordering::Relaxed);
             if v != 0 {
@@ -404,18 +444,30 @@ impl Obs {
                 snap.spans.insert(k.name(), SpanStat { count, nanos });
             }
         }
-        snap.traces =
-            inner.traces.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+        snap.traces = inner
+            .traces
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
         snap
     }
 
     /// Zeroes every counter, span stat and recorded trace.
     pub fn reset(&self) {
         if let Some(inner) = &self.inner {
-            for a in inner.counters.iter().chain(&inner.span_count).chain(&inner.span_nanos) {
+            for a in inner
+                .counters
+                .iter()
+                .chain(&inner.span_count)
+                .chain(&inner.span_nanos)
+            {
                 a.store(0, Ordering::Relaxed);
             }
-            inner.traces.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+            inner
+                .traces
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clear();
         }
     }
 }
@@ -468,7 +520,10 @@ impl ObsSnapshot {
     /// Workload counters only — strategy counters (cache warmth, cost
     /// model choices) are metadata, like span nanos.
     fn semantic_counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().filter(|(n, _)| !is_strategy_counter(n)).map(|(n, v)| (*n, *v))
+        self.counters
+            .iter()
+            .filter(|(n, _)| !is_strategy_counter(n))
+            .map(|(n, v)| (*n, *v))
     }
 }
 
@@ -595,9 +650,12 @@ mod tests {
         assert!(is_strategy_counter("plan.choice.serial"));
         assert!(is_strategy_counter("render.cache.hit"));
         assert!(is_strategy_counter("render.cache.evict"));
+        assert!(is_strategy_counter("wal.append.errors"));
         assert!(!is_strategy_counter("query.op.scan"));
         assert!(!is_strategy_counter("deliver.render.unique"));
         assert!(!is_strategy_counter("deliver.render.shared"));
+        assert!(!is_strategy_counter("wal.appends"));
+        assert!(!is_strategy_counter("mvcc.resolve.exact"));
         let a = Obs::enabled();
         let b = Obs::enabled();
         for obs in [&a, &b] {

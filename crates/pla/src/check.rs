@@ -56,7 +56,10 @@ pub enum Obligation {
     /// `table`.
     EnforceMinGroup { table: String, k: usize },
     /// Anonymize `attribute` with `method` before exposure.
-    Anonymize { attribute: AttrRef, method: AnonMethod },
+    Anonymize {
+        attribute: AttrRef,
+        method: AnonMethod,
+    },
 }
 
 /// The outcome of a static check.
@@ -106,10 +109,18 @@ enum Op {
     PurposeGate { allowed: Option<BTreeSet<String>> },
     /// Role-gated attribute access: disjoint roles violate; permitted
     /// roles incur one intensional mask obligation per condition.
-    AttributeGate { attribute: AttrRef, allowed_roles: BTreeSet<RoleId>, conditions: Vec<Expr> },
+    AttributeGate {
+        attribute: AttrRef,
+        allowed_roles: BTreeSet<RoleId>,
+        conditions: Vec<Expr>,
+    },
     /// Retention limit: at run time, filter `table` to rows whose
     /// `attribute` is within `max_age_days` of the evaluation date.
-    RetentionFilter { table: String, attribute: String, max_age_days: i64 },
+    RetentionFilter {
+        table: String,
+        attribute: String,
+        max_age_days: i64,
+    },
 }
 
 /// A compiled compliance check: the plan-, catalog-, and policy-dependent
@@ -144,14 +155,19 @@ impl CheckProgram {
         let mut ops = Vec::new();
 
         // Purpose limitation: resolved against the run's purpose later.
-        ops.push(Op::PurposeGate { allowed: policy.allowed_purposes().cloned() });
+        ops.push(Op::PurposeGate {
+            allowed: policy.allowed_purposes().cloned(),
+        });
 
         let o = origins::origins(plan, cat)?;
 
         // Join permissions: any pair of distinct sources whose tables
         // are combined by this plan.
-        let sources: BTreeSet<&SourceId> =
-            o.tables.iter().filter_map(|t| table_source.get(t)).collect();
+        let sources: BTreeSet<&SourceId> = o
+            .tables
+            .iter()
+            .filter_map(|t| table_source.get(t))
+            .collect();
         let srcs: Vec<&SourceId> = sources.into_iter().collect();
         for i in 0..srcs.len() {
             for j in i + 1..srcs.len() {
@@ -232,7 +248,9 @@ impl CheckProgram {
             }
         }
         for (attr, method) in policy.anonymized_attributes() {
-            let touched = o.all_origins().contains(&(attr.table.clone(), attr.column.clone()));
+            let touched = o
+                .all_origins()
+                .contains(&(attr.table.clone(), attr.column.clone()));
             if touched {
                 ops.push(Op::Obligate(Obligation::Anonymize {
                     attribute: attr.clone(),
@@ -284,7 +302,11 @@ impl CheckProgram {
                         }
                     }
                 }
-                Op::AttributeGate { attribute, allowed_roles, conditions } => {
+                Op::AttributeGate {
+                    attribute,
+                    allowed_roles,
+                    conditions,
+                } => {
                     if allowed_roles.is_disjoint(roles) {
                         out.violations.push(Violation {
                             kind: "attribute-access".into(),
@@ -304,7 +326,11 @@ impl CheckProgram {
                         }
                     }
                 }
-                Op::RetentionFilter { table, attribute, max_age_days } => {
+                Op::RetentionFilter {
+                    table,
+                    attribute,
+                    max_age_days,
+                } => {
                     let cutoff = today
                         .plus_days(-max_age_days)
                         .map_err(|e| QueryError::Relation(e.into()))?;
@@ -431,10 +457,28 @@ mod tests {
         let cat = catalog();
         let p = scan("Prescriptions").project_cols(&["Doctor", "Drug"]);
         // Analyst may not see Doctor.
-        let out = check_plan(&p, &cat, &policy(), &roles(&["analyst"]), &sources(), None, today()).unwrap();
+        let out = check_plan(
+            &p,
+            &cat,
+            &policy(),
+            &roles(&["analyst"]),
+            &sources(),
+            None,
+            today(),
+        )
+        .unwrap();
         assert!(out.violations.iter().any(|v| v.kind == "attribute-access"));
         // Auditor may — but gets the intensional mask obligation.
-        let out = check_plan(&p, &cat, &policy(), &roles(&["auditor"]), &sources(), None, today()).unwrap();
+        let out = check_plan(
+            &p,
+            &cat,
+            &policy(),
+            &roles(&["auditor"]),
+            &sources(),
+            None,
+            today(),
+        )
+        .unwrap();
         assert!(out.violations.iter().all(|v| v.kind != "attribute-access"));
         assert!(out
             .obligations
@@ -446,9 +490,23 @@ mod tests {
     fn filters_reveal_attributes_too() {
         let cat = catalog();
         // Doctor only appears in the WHERE clause — still checked.
-        let p = scan("Prescriptions").filter(col("Doctor").eq(lit("Luis"))).project_cols(&["Drug"]);
-        let out = check_plan(&p, &cat, &policy(), &roles(&["analyst"]), &sources(), None, today()).unwrap();
-        assert!(out.violations.iter().any(|v| v.kind == "attribute-access" && v.subject.contains("Doctor")));
+        let p = scan("Prescriptions")
+            .filter(col("Doctor").eq(lit("Luis")))
+            .project_cols(&["Drug"]);
+        let out = check_plan(
+            &p,
+            &cat,
+            &policy(),
+            &roles(&["analyst"]),
+            &sources(),
+            None,
+            today(),
+        )
+        .unwrap();
+        assert!(out
+            .violations
+            .iter()
+            .any(|v| v.kind == "attribute-access" && v.subject.contains("Doctor")));
     }
 
     #[test]
@@ -459,11 +517,29 @@ mod tests {
             vec![("Patient".into(), "Patient".into())],
             "lab",
         );
-        let out = check_plan(&p, &cat, &policy(), &roles(&["auditor"]), &sources(), None, today()).unwrap();
+        let out = check_plan(
+            &p,
+            &cat,
+            &policy(),
+            &roles(&["auditor"]),
+            &sources(),
+            None,
+            today(),
+        )
+        .unwrap();
         assert!(out.violations.iter().any(|v| v.kind == "join-permission"));
         // A plan over one source alone is fine.
         let p = scan("LabResults");
-        let out = check_plan(&p, &cat, &policy(), &roles(&["auditor"]), &sources(), None, today()).unwrap();
+        let out = check_plan(
+            &p,
+            &cat,
+            &policy(),
+            &roles(&["auditor"]),
+            &sources(),
+            None,
+            today(),
+        )
+        .unwrap();
         assert!(out.violations.iter().all(|v| v.kind != "join-permission"));
     }
 
@@ -471,13 +547,37 @@ mod tests {
     fn aggregation_threshold_raw_vs_aggregated() {
         let cat = catalog();
         let raw = scan("Prescriptions").project_cols(&["Drug"]);
-        let out = check_plan(&raw, &cat, &policy(), &roles(&["analyst"]), &sources(), None, today()).unwrap();
-        assert!(out.violations.iter().any(|v| v.kind == "aggregation-threshold"));
+        let out = check_plan(
+            &raw,
+            &cat,
+            &policy(),
+            &roles(&["analyst"]),
+            &sources(),
+            None,
+            today(),
+        )
+        .unwrap();
+        assert!(out
+            .violations
+            .iter()
+            .any(|v| v.kind == "aggregation-threshold"));
 
-        let agg = scan("Prescriptions")
-            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
-        let out = check_plan(&agg, &cat, &policy(), &roles(&["analyst"]), &sources(), None, today()).unwrap();
-        assert!(out.violations.iter().all(|v| v.kind != "aggregation-threshold"));
+        let agg =
+            scan("Prescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
+        let out = check_plan(
+            &agg,
+            &cat,
+            &policy(),
+            &roles(&["analyst"]),
+            &sources(),
+            None,
+            today(),
+        )
+        .unwrap();
+        assert!(out
+            .violations
+            .iter()
+            .all(|v| v.kind != "aggregation-threshold"));
         assert!(out
             .obligations
             .iter()
@@ -488,9 +588,27 @@ mod tests {
     fn purpose_limitation() {
         let cat = catalog();
         let p = scan("Prescriptions").aggregate(vec![], vec![AggItem::count_star("n")]);
-        let ok = check_plan(&p, &cat, &policy(), &roles(&[]), &sources(), Some("quality"), today()).unwrap();
+        let ok = check_plan(
+            &p,
+            &cat,
+            &policy(),
+            &roles(&[]),
+            &sources(),
+            Some("quality"),
+            today(),
+        )
+        .unwrap();
         assert!(ok.violations.iter().all(|v| v.kind != "purpose"));
-        let bad = check_plan(&p, &cat, &policy(), &roles(&[]), &sources(), Some("marketing"), today()).unwrap();
+        let bad = check_plan(
+            &p,
+            &cat,
+            &policy(),
+            &roles(&[]),
+            &sources(),
+            Some("marketing"),
+            today(),
+        )
+        .unwrap();
         assert!(bad.violations.iter().any(|v| v.kind == "purpose"));
     }
 
@@ -540,7 +658,9 @@ mod tests {
             })
             .with_rule(PlaRule::RowRestriction {
                 table: "Prescriptions".into(),
-                condition: col("Patient").ne(lit("Math")).and(col("Disease").ne(lit("HIV"))),
+                condition: col("Patient")
+                    .ne(lit("Math"))
+                    .and(col("Disease").ne(lit("HIV"))),
             });
         let policy = CombinedPolicy::combine(&[doc]);
         let cat = catalog();
@@ -583,8 +703,16 @@ mod tests {
         let policy = CombinedPolicy::combine(&[doc]);
         let cat = catalog();
         let p = scan("Prescriptions").project_cols(&["Doctor", "Drug"]);
-        let out =
-            check_plan(&p, &cat, &policy, &roles(&["auditor"]), &sources(), None, today()).unwrap();
+        let out = check_plan(
+            &p,
+            &cat,
+            &policy,
+            &roles(&["auditor"]),
+            &sources(),
+            None,
+            today(),
+        )
+        .unwrap();
         assert!(out.obligations.iter().any(|o| matches!(
             o,
             Obligation::FilterRows { condition, .. }
@@ -599,18 +727,43 @@ mod tests {
 
     #[test]
     fn anonymization_obligation_only_when_touched() {
-        let doc = PlaDocument::new("h3", "hospital", PlaLevel::Source).with_rule(PlaRule::Anonymize {
-            attribute: AttrRef::new("Prescriptions", "Patient"),
-            method: AnonMethod::Pseudonymize,
-        });
+        let doc =
+            PlaDocument::new("h3", "hospital", PlaLevel::Source).with_rule(PlaRule::Anonymize {
+                attribute: AttrRef::new("Prescriptions", "Patient"),
+                method: AnonMethod::Pseudonymize,
+            });
         let policy = CombinedPolicy::combine(&[doc]);
         let cat = catalog();
         let touching = scan("Prescriptions").project_cols(&["Patient"]);
-        let out = check_plan(&touching, &cat, &policy, &roles(&[]), &sources(), None, today()).unwrap();
-        assert!(out.obligations.iter().any(|o| matches!(o, Obligation::Anonymize { .. })));
+        let out = check_plan(
+            &touching,
+            &cat,
+            &policy,
+            &roles(&[]),
+            &sources(),
+            None,
+            today(),
+        )
+        .unwrap();
+        assert!(out
+            .obligations
+            .iter()
+            .any(|o| matches!(o, Obligation::Anonymize { .. })));
         let not_touching = scan("Prescriptions").project_cols(&["Drug"]);
-        let out = check_plan(&not_touching, &cat, &policy, &roles(&[]), &sources(), None, today()).unwrap();
-        assert!(out.obligations.iter().all(|o| !matches!(o, Obligation::Anonymize { .. })));
+        let out = check_plan(
+            &not_touching,
+            &cat,
+            &policy,
+            &roles(&[]),
+            &sources(),
+            None,
+            today(),
+        )
+        .unwrap();
+        assert!(out
+            .obligations
+            .iter()
+            .all(|o| !matches!(o, Obligation::Anonymize { .. })));
     }
 }
 
@@ -644,7 +797,10 @@ mod aggregation_laundering_tests {
         ))
         .unwrap();
         let doc = PlaDocument::new("d", "s", PlaLevel::MetaReport).with_rule(
-            PlaRule::AggregationThreshold { table: "Protected".into(), min_group_size: 5 },
+            PlaRule::AggregationThreshold {
+                table: "Protected".into(),
+                min_group_size: 5,
+            },
         );
         let policy = CombinedPolicy::combine(&[doc]);
         let laundered = scan("Protected").join(
@@ -663,12 +819,14 @@ mod aggregation_laundering_tests {
         )
         .unwrap();
         assert!(
-            out.violations.iter().any(|v| v.kind == "aggregation-threshold"),
+            out.violations
+                .iter()
+                .any(|v| v.kind == "aggregation-threshold"),
             "raw Protected rows leak through the join"
         );
         // Aggregating the protected side itself is fine.
-        let proper = scan("Protected")
-            .aggregate(vec!["Key".into()], vec![AggItem::count_star("n")]);
+        let proper =
+            scan("Protected").aggregate(vec!["Key".into()], vec![AggItem::count_star("n")]);
         let out = check_plan(
             &proper,
             &cat,
@@ -680,6 +838,9 @@ mod aggregation_laundering_tests {
         )
         .unwrap();
         assert!(out.violations.is_empty());
-        assert!(out.obligations.iter().any(|o| matches!(o, Obligation::EnforceMinGroup { .. })));
+        assert!(out
+            .obligations
+            .iter()
+            .any(|o| matches!(o, Obligation::EnforceMinGroup { .. })));
     }
 }

@@ -79,7 +79,9 @@ fn anon_strength(m: &AnonMethod) -> u8 {
 fn stronger(a: AnonMethod, b: AnonMethod) -> AnonMethod {
     match (&a, &b) {
         (AnonMethod::Generalize { level: la }, AnonMethod::Generalize { level: lb }) => {
-            AnonMethod::Generalize { level: (*la).max(*lb) }
+            AnonMethod::Generalize {
+                level: (*la).max(*lb),
+            }
         }
         (AnonMethod::Noise { scale: sa }, AnonMethod::Noise { scale: sb }) => {
             AnonMethod::Noise { scale: sa.max(*sb) }
@@ -108,44 +110,52 @@ impl CombinedPolicy {
 
     fn absorb(&mut self, rule: &PlaRule, doc: &PlaId) {
         match rule {
-            PlaRule::AttributeAccess { attribute, allowed_roles, condition } => {
-                match self.attributes.get_mut(attribute) {
-                    None => {
-                        self.attributes.insert(
-                            attribute.clone(),
-                            AttrRestriction {
-                                allowed_roles: allowed_roles.clone(),
-                                conditions: condition.iter().cloned().collect(),
-                                documents: vec![doc.clone()],
-                            },
-                        );
+            PlaRule::AttributeAccess {
+                attribute,
+                allowed_roles,
+                condition,
+            } => match self.attributes.get_mut(attribute) {
+                None => {
+                    self.attributes.insert(
+                        attribute.clone(),
+                        AttrRestriction {
+                            allowed_roles: allowed_roles.clone(),
+                            conditions: condition.iter().cloned().collect(),
+                            documents: vec![doc.clone()],
+                        },
+                    );
+                }
+                Some(existing) => {
+                    existing.allowed_roles = existing
+                        .allowed_roles
+                        .intersection(allowed_roles)
+                        .cloned()
+                        .collect();
+                    if let Some(c) = condition {
+                        existing.conditions.push(c.clone());
                     }
-                    Some(existing) => {
-                        existing.allowed_roles =
-                            existing.allowed_roles.intersection(allowed_roles).cloned().collect();
-                        if let Some(c) = condition {
-                            existing.conditions.push(c.clone());
-                        }
-                        existing.documents.push(doc.clone());
-                        if existing.allowed_roles.is_empty() {
-                            self.conflicts.push(Conflict {
-                                kind: "attribute-access".into(),
-                                description: format!(
-                                    "role intersection for {attribute} is empty — nobody may see it"
-                                ),
-                                documents: existing.documents.clone(),
-                            });
-                        }
+                    existing.documents.push(doc.clone());
+                    if existing.allowed_roles.is_empty() {
+                        self.conflicts.push(Conflict {
+                            kind: "attribute-access".into(),
+                            description: format!(
+                                "role intersection for {attribute} is empty — nobody may see it"
+                            ),
+                            documents: existing.documents.clone(),
+                        });
                     }
                 }
-            }
+            },
             PlaRule::RowRestriction { table, condition } => {
                 self.row_restrictions
                     .entry(table.clone())
                     .or_default()
                     .push((condition.clone(), doc.clone()));
             }
-            PlaRule::AggregationThreshold { table, min_group_size } => {
+            PlaRule::AggregationThreshold {
+                table,
+                min_group_size,
+            } => {
                 let entry = self
                     .min_group
                     .entry(table.clone())
@@ -154,19 +164,26 @@ impl CombinedPolicy {
                     *entry = (*min_group_size, doc.clone());
                 }
             }
-            PlaRule::Anonymize { attribute, method } => {
-                match self.anonymize.remove(attribute) {
-                    None => {
-                        self.anonymize.insert(attribute.clone(), (method.clone(), doc.clone()));
-                    }
-                    Some((prev, prev_doc)) => {
-                        let merged = stronger(prev.clone(), method.clone());
-                        let owner = if merged == prev { prev_doc } else { doc.clone() };
-                        self.anonymize.insert(attribute.clone(), (merged, owner));
-                    }
+            PlaRule::Anonymize { attribute, method } => match self.anonymize.remove(attribute) {
+                None => {
+                    self.anonymize
+                        .insert(attribute.clone(), (method.clone(), doc.clone()));
                 }
-            }
-            PlaRule::JoinPermission { left_source, right_source, allowed } => {
+                Some((prev, prev_doc)) => {
+                    let merged = stronger(prev.clone(), method.clone());
+                    let owner = if merged == prev {
+                        prev_doc
+                    } else {
+                        doc.clone()
+                    };
+                    self.anonymize.insert(attribute.clone(), (merged, owner));
+                }
+            },
+            PlaRule::JoinPermission {
+                left_source,
+                right_source,
+                allowed,
+            } => {
                 let key = Self::pair(left_source, right_source);
                 match self.join.get(&key) {
                     None => {
@@ -204,9 +221,16 @@ impl CombinedPolicy {
                     Some(_) => {}
                 }
             }
-            PlaRule::Retention { table, date_attribute, max_age_days } => {
+            PlaRule::Retention {
+                table,
+                date_attribute,
+                max_age_days,
+            } => {
                 let entries = self.retention.entry(table.clone()).or_default();
-                match entries.iter_mut().find(|(attr, _, _)| attr == date_attribute) {
+                match entries
+                    .iter_mut()
+                    .find(|(attr, _, _)| attr == date_attribute)
+                {
                     Some((_, days, owner)) => {
                         // Same attribute: shortest period wins.
                         if *max_age_days < *days {
@@ -330,10 +354,15 @@ mod tests {
         PlaDocument::new("hospital-v1", "hospital", PlaLevel::Report)
             .with_rule(PlaRule::AttributeAccess {
                 attribute: AttrRef::new("Prescriptions", "Doctor"),
-                allowed_roles: [RoleId::new("analyst"), RoleId::new("auditor")].into_iter().collect(),
+                allowed_roles: [RoleId::new("analyst"), RoleId::new("auditor")]
+                    .into_iter()
+                    .collect(),
                 condition: Some(col("Disease").ne(lit("HIV"))),
             })
-            .with_rule(PlaRule::AggregationThreshold { table: "Prescriptions".into(), min_group_size: 3 })
+            .with_rule(PlaRule::AggregationThreshold {
+                table: "Prescriptions".into(),
+                min_group_size: 3,
+            })
             .with_rule(PlaRule::JoinPermission {
                 left_source: "hospital".into(),
                 right_source: "laboratory".into(),
@@ -345,7 +374,9 @@ mod tests {
                 max_age_days: 730,
             })
             .with_rule(PlaRule::Purpose {
-                allowed: ["reimbursement".to_string(), "quality".to_string()].into_iter().collect(),
+                allowed: ["reimbursement".to_string(), "quality".to_string()]
+                    .into_iter()
+                    .collect(),
             })
     }
 
@@ -356,23 +387,33 @@ mod tests {
                 allowed_roles: [RoleId::new("auditor")].into_iter().collect(),
                 condition: None,
             })
-            .with_rule(PlaRule::AggregationThreshold { table: "Prescriptions".into(), min_group_size: 5 })
+            .with_rule(PlaRule::AggregationThreshold {
+                table: "Prescriptions".into(),
+                min_group_size: 5,
+            })
             .with_rule(PlaRule::Retention {
                 table: "Prescriptions".into(),
                 date_attribute: "Date".into(),
                 max_age_days: 365,
             })
             .with_rule(PlaRule::Purpose {
-                allowed: ["quality".to_string(), "planning".to_string()].into_iter().collect(),
+                allowed: ["quality".to_string(), "planning".to_string()]
+                    .into_iter()
+                    .collect(),
             })
-            .with_rule(PlaRule::IntegrationPermission { source: "health-agency".into(), allowed: true })
+            .with_rule(PlaRule::IntegrationPermission {
+                source: "health-agency".into(),
+                allowed: true,
+            })
     }
 
     #[test]
     fn most_restrictive_wins() {
         let p = CombinedPolicy::combine(&[hospital(), agency()]);
         // Roles intersect.
-        let r = p.attribute_restriction(&AttrRef::new("Prescriptions", "Doctor")).unwrap();
+        let r = p
+            .attribute_restriction(&AttrRef::new("Prescriptions", "Doctor"))
+            .unwrap();
         assert_eq!(r.allowed_roles.len(), 1);
         assert!(r.allowed_roles.contains(&RoleId::new("auditor")));
         assert_eq!(r.conditions.len(), 1);
@@ -389,16 +430,18 @@ mod tests {
 
     #[test]
     fn join_conflicts_resolve_to_forbidden() {
-        let allow = PlaDocument::new("a", "s1", PlaLevel::Source).with_rule(PlaRule::JoinPermission {
-            left_source: "s1".into(),
-            right_source: "s2".into(),
-            allowed: true,
-        });
-        let forbid = PlaDocument::new("b", "s2", PlaLevel::Source).with_rule(PlaRule::JoinPermission {
-            left_source: "s2".into(),
-            right_source: "s1".into(),
-            allowed: false,
-        });
+        let allow =
+            PlaDocument::new("a", "s1", PlaLevel::Source).with_rule(PlaRule::JoinPermission {
+                left_source: "s1".into(),
+                right_source: "s2".into(),
+                allowed: true,
+            });
+        let forbid =
+            PlaDocument::new("b", "s2", PlaLevel::Source).with_rule(PlaRule::JoinPermission {
+                left_source: "s2".into(),
+                right_source: "s1".into(),
+                allowed: false,
+            });
         let p = CombinedPolicy::combine(&[allow, forbid]);
         assert!(!p.may_join(&"s1".into(), &"s2".into()));
         assert_eq!(p.conflicts().len(), 1);
@@ -412,7 +455,10 @@ mod tests {
     fn integration_denied_by_default() {
         let p = CombinedPolicy::combine(&[hospital(), agency()]);
         assert!(p.may_integrate(&"health-agency".into()));
-        assert!(!p.may_integrate(&"hospital".into()), "no grant, no integration");
+        assert!(
+            !p.may_integrate(&"hospital".into()),
+            "no grant, no integration"
+        );
     }
 
     #[test]
@@ -426,13 +472,19 @@ mod tests {
             method: AnonMethod::Generalize { level: 3 },
         });
         let p = CombinedPolicy::combine(&[d1.clone(), d2]);
-        assert_eq!(p.anonymization(&AttrRef::new("T", "x")), Some(&AnonMethod::Generalize { level: 3 }));
+        assert_eq!(
+            p.anonymization(&AttrRef::new("T", "x")),
+            Some(&AnonMethod::Generalize { level: 3 })
+        );
         let d3 = PlaDocument::new("d3", "s", PlaLevel::Source).with_rule(PlaRule::Anonymize {
             attribute: AttrRef::new("T", "x"),
             method: AnonMethod::Suppress,
         });
         let p = CombinedPolicy::combine(&[d1, d3]);
-        assert_eq!(p.anonymization(&AttrRef::new("T", "x")), Some(&AnonMethod::Suppress));
+        assert_eq!(
+            p.anonymization(&AttrRef::new("T", "x")),
+            Some(&AnonMethod::Suppress)
+        );
     }
 
     #[test]

@@ -23,8 +23,12 @@ pub enum PlaLevel {
 
 impl PlaLevel {
     /// All levels, source-first.
-    pub const ALL: [PlaLevel; 4] =
-        [PlaLevel::Source, PlaLevel::Warehouse, PlaLevel::MetaReport, PlaLevel::Report];
+    pub const ALL: [PlaLevel; 4] = [
+        PlaLevel::Source,
+        PlaLevel::Warehouse,
+        PlaLevel::MetaReport,
+        PlaLevel::Report,
+    ];
 
     /// The DSL keyword.
     pub fn name(self) -> &'static str {
@@ -68,7 +72,13 @@ pub struct PlaDocument {
 impl PlaDocument {
     /// A new version-1 document.
     pub fn new(id: impl Into<PlaId>, source: impl Into<SourceId>, level: PlaLevel) -> Self {
-        PlaDocument { id: id.into(), source: source.into(), version: 1, level, rules: Vec::new() }
+        PlaDocument {
+            id: id.into(),
+            source: source.into(),
+            version: 1,
+            level,
+            rules: Vec::new(),
+        }
     }
 
     /// Appends a rule (builder-style).
@@ -119,7 +129,10 @@ mod tests {
                 attribute: AttrRef::new("Prescriptions", "Patient"),
                 method: AnonMethod::Pseudonymize,
             })
-            .with_rule(PlaRule::IntegrationPermission { source: "hospital".into(), allowed: true });
+            .with_rule(PlaRule::IntegrationPermission {
+                source: "hospital".into(),
+                allowed: true,
+            });
         assert_eq!(doc.rules.len(), 3);
         assert_eq!(doc.rules_for_table("Prescriptions").count(), 2);
         assert_eq!(doc.rules_for_table("DrugCost").count(), 0);
@@ -140,7 +153,10 @@ mod tests {
     #[test]
     fn display_is_a_dsl_document() {
         let doc = PlaDocument::new("h1", "hospital", PlaLevel::MetaReport).with_rule(
-            PlaRule::AggregationThreshold { table: "T".into(), min_group_size: 3 },
+            PlaRule::AggregationThreshold {
+                table: "T".into(),
+                min_group_size: 3,
+            },
         );
         let s = doc.to_string();
         assert!(s.starts_with("pla \"h1\" source hospital version 1 level meta-report {"));

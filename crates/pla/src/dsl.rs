@@ -37,7 +37,10 @@ pub fn parse_document(text: &str) -> Result<PlaDocument, PlaError> {
     let n = docs.len();
     match docs.into_iter().next() {
         Some(doc) if n == 1 => Ok(doc),
-        _ => Err(PlaError::Parse { message: format!("expected exactly 1 document, found {n}"), line: 1 }),
+        _ => Err(PlaError::Parse {
+            message: format!("expected exactly 1 document, found {n}"),
+            line: 1,
+        }),
     }
 }
 
@@ -90,8 +93,13 @@ fn strip_comments(text: &str) -> String {
 
 /// Parses one `pla … { … }`; returns (document, remaining text, lines used).
 fn parse_one(text: &str, line0: usize) -> Result<(PlaDocument, &str, usize), PlaError> {
-    let err = |msg: &str| PlaError::Parse { message: msg.to_string(), line: line0 };
-    let brace = text.find('{').ok_or_else(|| err("expected '{' after document header"))?;
+    let err = |msg: &str| PlaError::Parse {
+        message: msg.to_string(),
+        line: line0,
+    };
+    let brace = text
+        .find('{')
+        .ok_or_else(|| err("expected '{' after document header"))?;
     let header = &text[..brace];
     let mut toks = header.split_whitespace();
     if toks.next() != Some("pla") {
@@ -117,8 +125,8 @@ fn parse_one(text: &str, line0: usize) -> Result<(PlaDocument, &str, usize), Pla
         return Err(err("expected 'level'"));
     }
     let level_tok = toks.next().ok_or_else(|| err("expected level"))?;
-    let level = PlaLevel::by_name(level_tok)
-        .ok_or_else(|| err(&format!("unknown level {level_tok:?}")))?;
+    let level =
+        PlaLevel::by_name(level_tok).ok_or_else(|| err(&format!("unknown level {level_tok:?}")))?;
     if toks.next().is_some() {
         return Err(err("unexpected tokens before '{'"));
     }
@@ -200,8 +208,9 @@ fn parse_attr(tok: &str, line: usize) -> Result<AttrRef, PlaError> {
 }
 
 fn parse_condition(text: &str) -> Result<bi_relation::Expr, PlaError> {
-    bi_relation::expr::parse(text.trim())
-        .map_err(|e| PlaError::Condition { message: e.to_string() })
+    bi_relation::expr::parse(text.trim()).map_err(|e| PlaError::Condition {
+        message: e.to_string(),
+    })
 }
 
 /// Splits a statement at the first ` when ` outside quotes.
@@ -243,19 +252,30 @@ fn parse_rule(stmt: &str, line: usize) -> Result<PlaRule, PlaError> {
                 return Err(err("expected at least one role".into()));
             }
             let condition = when.map(parse_condition).transpose()?;
-            Ok(PlaRule::AttributeAccess { attribute, allowed_roles, condition })
+            Ok(PlaRule::AttributeAccess {
+                attribute,
+                allowed_roles,
+                condition,
+            })
         }
         ["restrict", "rows", table] => {
             let w = when.ok_or_else(|| err("restrict rows requires 'when <condition>'".into()))?;
-            Ok(PlaRule::RowRestriction { table: table.to_string(), condition: parse_condition(w)? })
+            Ok(PlaRule::RowRestriction {
+                table: table.to_string(),
+                condition: parse_condition(w)?,
+            })
         }
         ["require", "aggregation", table, "min", k] => {
-            let min_group_size: usize =
-                k.parse().map_err(|_| err(format!("bad group size {k:?}")))?;
+            let min_group_size: usize = k
+                .parse()
+                .map_err(|_| err(format!("bad group size {k:?}")))?;
             if min_group_size == 0 {
                 return Err(err("minimum group size must be at least 1".into()));
             }
-            Ok(PlaRule::AggregationThreshold { table: table.to_string(), min_group_size })
+            Ok(PlaRule::AggregationThreshold {
+                table: table.to_string(),
+                min_group_size,
+            })
         }
         ["anonymize", attr, "with", rest @ ..] => {
             let attribute = parse_attr(attr, line)?;
@@ -283,12 +303,16 @@ fn parse_rule(stmt: &str, line: usize) -> Result<PlaRule, PlaError> {
             allowed: *verb == "allow",
         }),
         [verb @ ("allow" | "forbid"), "integration", "by", s] => {
-            Ok(PlaRule::IntegrationPermission { source: (*s).into(), allowed: *verb == "allow" })
+            Ok(PlaRule::IntegrationPermission {
+                source: (*s).into(),
+                allowed: *verb == "allow",
+            })
         }
         ["retain", attr, "for", days, "days"] => {
             let a = parse_attr(attr, line)?;
-            let max_age_days: i64 =
-                days.parse().map_err(|_| err(format!("bad day count {days:?}")))?;
+            let max_age_days: i64 = days
+                .parse()
+                .map_err(|_| err(format!("bad day count {days:?}")))?;
             if max_age_days <= 0 {
                 return Err(err("retention must be a positive number of days".into()));
             }
@@ -345,7 +369,11 @@ pla "hospital-2008" source hospital version 2 level meta-report {
         assert_eq!(doc.level, PlaLevel::MetaReport);
         assert_eq!(doc.rules.len(), 12);
         match &doc.rules[0] {
-            PlaRule::AttributeAccess { attribute, allowed_roles, condition } => {
+            PlaRule::AttributeAccess {
+                attribute,
+                allowed_roles,
+                condition,
+            } => {
                 assert_eq!(attribute, &AttrRef::new("Prescriptions", "Doctor"));
                 assert_eq!(allowed_roles.len(), 2);
                 assert_eq!(condition.as_ref().unwrap().to_string(), "Disease <> 'HIV'");
@@ -353,7 +381,10 @@ pla "hospital-2008" source hospital version 2 level meta-report {
             other => panic!("wrong rule: {other:?}"),
         }
         match &doc.rules[5] {
-            PlaRule::Anonymize { method: AnonMethod::Noise { scale }, .. } => {
+            PlaRule::Anonymize {
+                method: AnonMethod::Noise { scale },
+                ..
+            } => {
                 assert_eq!(*scale, 5.5)
             }
             other => panic!("wrong rule: {other:?}"),
@@ -374,7 +405,10 @@ pla "hospital-2008" source hospital version 2 level meta-report {
         let docs = parse_documents(&two).unwrap();
         assert_eq!(docs.len(), 2);
         assert_eq!(docs[1].source.as_str(), "laboratory");
-        assert!(parse_document(&two).is_err(), "parse_document wants exactly one");
+        assert!(
+            parse_document(&two).is_err(),
+            "parse_document wants exactly one"
+        );
     }
 
     #[test]
@@ -400,30 +434,40 @@ pla "hospital-2008" source hospital version 2 level meta-report {
             }
             other => panic!("wrong error: {other:?}"),
         }
-        assert!(parse_document("pla x source s version 1 level report {}").is_err(), "unquoted id");
+        assert!(
+            parse_document("pla x source s version 1 level report {}").is_err(),
+            "unquoted id"
+        );
         assert!(parse_document("pla \"x\" source s version 1 level nowhere {}").is_err());
-        assert!(parse_document("pla \"x\" source s version 1 level report {").is_err(), "no close");
         assert!(
-            parse_document("pla \"x\" source s version 1 level report { require aggregation T min 0; }")
-                .is_err()
+            parse_document("pla \"x\" source s version 1 level report {").is_err(),
+            "no close"
         );
+        assert!(parse_document(
+            "pla \"x\" source s version 1 level report { require aggregation T min 0; }"
+        )
+        .is_err());
+        assert!(parse_document(
+            "pla \"x\" source s version 1 level report { retain T.d for -3 days; }"
+        )
+        .is_err());
         assert!(
-            parse_document("pla \"x\" source s version 1 level report { retain T.d for -3 days; }")
-                .is_err()
-        );
-        assert!(
-            parse_document("pla \"x\" source s version 1 level report { restrict rows T; }").is_err(),
+            parse_document("pla \"x\" source s version 1 level report { restrict rows T; }")
+                .is_err(),
             "restrict needs when"
         );
-        assert!(
-            parse_document("pla \"x\" source s version 1 level report { anonymize T.c with rot13; }")
-                .is_err()
-        );
+        assert!(parse_document(
+            "pla \"x\" source s version 1 level report { anonymize T.c with rot13; }"
+        )
+        .is_err());
     }
 
     #[test]
     fn bad_condition_reports_condition_error() {
         let text = "pla \"x\" source s version 1 level report {\n  restrict rows T when a = ;\n}";
-        assert!(matches!(parse_document(text), Err(PlaError::Condition { .. })));
+        assert!(matches!(
+            parse_document(text),
+            Err(PlaError::Condition { .. })
+        ));
     }
 }

@@ -16,7 +16,9 @@ pub enum PlaError {
 impl fmt::Display for PlaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlaError::Parse { message, line } => write!(f, "PLA parse error (line {line}): {message}"),
+            PlaError::Parse { message, line } => {
+                write!(f, "PLA parse error (line {line}): {message}")
+            }
             PlaError::Condition { message } => write!(f, "PLA condition error: {message}"),
             PlaError::BadRule { reason } => write!(f, "invalid PLA rule: {reason}"),
         }
@@ -31,7 +33,10 @@ mod tests {
 
     #[test]
     fn displays() {
-        let e = PlaError::Parse { message: "expected ';'".into(), line: 3 };
+        let e = PlaError::Parse {
+            message: "expected ';'".into(),
+            line: 3,
+        };
         assert!(e.to_string().contains("line 3"));
     }
 }

@@ -33,17 +33,22 @@ impl fmt::Display for LintWarning {
 pub fn lint_document(doc: &PlaDocument, cat: &Catalog) -> Vec<LintWarning> {
     let mut warnings = Vec::new();
     let mut warn = |rule_index: usize, message: String| {
-        warnings.push(LintWarning { rule_index, message });
+        warnings.push(LintWarning {
+            rule_index,
+            message,
+        });
     };
 
     let table_exists = |t: &str| cat.schema_of(t).is_ok();
-    let column_exists = |t: &str, c: &str| {
-        cat.schema_of(t).map(|s| s.contains(c)).unwrap_or(false)
-    };
+    let column_exists = |t: &str, c: &str| cat.schema_of(t).map(|s| s.contains(c)).unwrap_or(false);
 
     for (i, rule) in doc.rules.iter().enumerate() {
         match rule {
-            PlaRule::AttributeAccess { attribute, condition, allowed_roles } => {
+            PlaRule::AttributeAccess {
+                attribute,
+                condition,
+                allowed_roles,
+            } => {
                 if allowed_roles.is_empty() {
                     warn(i, "empty role set means nobody may ever see the attribute (and the DSL cannot express it)".to_string());
                 }
@@ -54,21 +59,31 @@ pub fn lint_document(doc: &PlaDocument, cat: &Catalog) -> Vec<LintWarning> {
                 }
                 if let (Some(cond), Ok(schema)) = (condition, cat.schema_of(&attribute.table)) {
                     if let Err(e) = cond.infer_type(&schema) {
-                        warn(i, format!("condition does not type-check against {:?}: {e}", attribute.table));
+                        warn(
+                            i,
+                            format!(
+                                "condition does not type-check against {:?}: {e}",
+                                attribute.table
+                            ),
+                        );
                     }
                 }
             }
-            PlaRule::RowRestriction { table, condition } => {
-                match cat.schema_of(table) {
-                    Err(_) => warn(i, format!("unknown table {table:?}")),
-                    Ok(schema) => {
-                        if let Err(e) = condition.infer_type(&schema) {
-                            warn(i, format!("condition does not type-check against {table:?}: {e}"));
-                        }
+            PlaRule::RowRestriction { table, condition } => match cat.schema_of(table) {
+                Err(_) => warn(i, format!("unknown table {table:?}")),
+                Ok(schema) => {
+                    if let Err(e) = condition.infer_type(&schema) {
+                        warn(
+                            i,
+                            format!("condition does not type-check against {table:?}: {e}"),
+                        );
                     }
                 }
-            }
-            PlaRule::AggregationThreshold { table, min_group_size } => {
+            },
+            PlaRule::AggregationThreshold {
+                table,
+                min_group_size,
+            } => {
                 if !table_exists(table) {
                     warn(i, format!("unknown table {table:?}"));
                 }
@@ -83,27 +98,40 @@ pub fn lint_document(doc: &PlaDocument, cat: &Catalog) -> Vec<LintWarning> {
                     warn(i, format!("unknown column {attribute}"));
                 }
             }
-            PlaRule::JoinPermission { left_source, right_source, .. } => {
+            PlaRule::JoinPermission {
+                left_source,
+                right_source,
+                ..
+            } => {
                 if left_source == right_source {
-                    warn(i, format!("join permission of {left_source} with itself is vacuous"));
+                    warn(
+                        i,
+                        format!("join permission of {left_source} with itself is vacuous"),
+                    );
                 }
             }
             PlaRule::IntegrationPermission { .. } => {}
-            PlaRule::Retention { table, date_attribute, .. } => {
+            PlaRule::Retention {
+                table,
+                date_attribute,
+                ..
+            } => {
                 if !table_exists(table) {
                     warn(i, format!("unknown table {table:?}"));
                 } else {
-                    if let Ok(schema) = cat.schema_of(table) { match schema.column(date_attribute) {
-                        Err(_) => warn(i, format!("unknown column {table}.{date_attribute}")),
-                        Ok(col) if col.dtype != bi_types::DataType::Date => warn(
-                            i,
-                            format!(
-                                "retention attribute {table}.{date_attribute} is {}, not Date",
-                                col.dtype
+                    if let Ok(schema) = cat.schema_of(table) {
+                        match schema.column(date_attribute) {
+                            Err(_) => warn(i, format!("unknown column {table}.{date_attribute}")),
+                            Ok(col) if col.dtype != bi_types::DataType::Date => warn(
+                                i,
+                                format!(
+                                    "retention attribute {table}.{date_attribute} is {}, not Date",
+                                    col.dtype
+                                ),
                             ),
-                        ),
-                        Ok(_) => {}
-                    } }
+                            Ok(_) => {}
+                        }
+                    }
                 }
             }
             PlaRule::Purpose { allowed } => {
@@ -155,7 +183,10 @@ mod tests {
                 allowed_roles: [RoleId::new("auditor")].into_iter().collect(),
                 condition: Some(col("Disease").ne(lit("HIV"))),
             },
-            PlaRule::AggregationThreshold { table: "Prescriptions".into(), min_group_size: 5 },
+            PlaRule::AggregationThreshold {
+                table: "Prescriptions".into(),
+                min_group_size: 5,
+            },
             PlaRule::Retention {
                 table: "Prescriptions".into(),
                 date_attribute: "Date".into(),
@@ -205,13 +236,18 @@ mod tests {
     #[test]
     fn degenerate_rules_flagged() {
         let d = doc(vec![
-            PlaRule::AggregationThreshold { table: "Prescriptions".into(), min_group_size: 1 },
+            PlaRule::AggregationThreshold {
+                table: "Prescriptions".into(),
+                min_group_size: 1,
+            },
             PlaRule::JoinPermission {
                 left_source: "hospital".into(),
                 right_source: "hospital".into(),
                 allowed: false,
             },
-            PlaRule::Purpose { allowed: Default::default() },
+            PlaRule::Purpose {
+                allowed: Default::default(),
+            },
         ]);
         let warnings = lint_document(&d, &catalog());
         assert_eq!(warnings.len(), 3);

@@ -16,7 +16,10 @@ pub struct AttrRef {
 impl AttrRef {
     /// `table.column`.
     pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
-        AttrRef { table: table.into(), column: column.into() }
+        AttrRef {
+            table: table.into(),
+            column: column.into(),
+        }
     }
 }
 
@@ -70,17 +73,31 @@ pub enum PlaRule {
     RowRestriction { table: String, condition: Expr },
     /// (ii) Values originating from `table` may only be shown in groups
     /// of at least `min_group_size` base rows.
-    AggregationThreshold { table: String, min_group_size: usize },
+    AggregationThreshold {
+        table: String,
+        min_group_size: usize,
+    },
     /// (iii) `attribute` must be anonymized with `method` before showing.
-    Anonymize { attribute: AttrRef, method: AnonMethod },
+    Anonymize {
+        attribute: AttrRef,
+        method: AnonMethod,
+    },
     /// (iv) Joining data of these two sources is permitted/prohibited.
-    JoinPermission { left_source: SourceId, right_source: SourceId, allowed: bool },
+    JoinPermission {
+        left_source: SourceId,
+        right_source: SourceId,
+        allowed: bool,
+    },
     /// (v) `source`'s data may (not) be used to clean/resolve other
     /// owners' data.
     IntegrationPermission { source: SourceId, allowed: bool },
     /// Rows of `table` older than `max_age_days` (by `date_attribute`)
     /// must not be used.
-    Retention { table: String, date_attribute: String, max_age_days: i64 },
+    Retention {
+        table: String,
+        date_attribute: String,
+        max_age_days: i64,
+    },
     /// Data may be used only for these purposes.
     Purpose { allowed: BTreeSet<String> },
 }
@@ -115,7 +132,12 @@ impl PlaRule {
 
     /// The retention rule as a row filter relative to `today`.
     pub fn retention_filter(&self, today: bi_types::Date) -> Option<Expr> {
-        if let PlaRule::Retention { date_attribute, max_age_days, .. } = self {
+        if let PlaRule::Retention {
+            date_attribute,
+            max_age_days,
+            ..
+        } = self
+        {
             let cutoff = today.plus_days(-*max_age_days).ok()?;
             Some(bi_relation::expr::col(date_attribute.clone()).ge(Expr::Lit(cutoff.into())))
         } else {
@@ -133,7 +155,11 @@ impl fmt::Display for PlaRule {
     /// [`crate::lint::lint_document`].
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlaRule::AttributeAccess { attribute, allowed_roles, condition } => {
+            PlaRule::AttributeAccess {
+                attribute,
+                allowed_roles,
+                condition,
+            } => {
                 let roles: Vec<&str> = allowed_roles.iter().map(|r| r.as_str()).collect();
                 write!(f, "allow attribute {attribute} to {}", roles.join(", "))?;
                 if let Some(c) = condition {
@@ -144,13 +170,20 @@ impl fmt::Display for PlaRule {
             PlaRule::RowRestriction { table, condition } => {
                 write!(f, "restrict rows {table} when {condition}")
             }
-            PlaRule::AggregationThreshold { table, min_group_size } => {
+            PlaRule::AggregationThreshold {
+                table,
+                min_group_size,
+            } => {
                 write!(f, "require aggregation {table} min {min_group_size}")
             }
             PlaRule::Anonymize { attribute, method } => {
                 write!(f, "anonymize {attribute} with {method}")
             }
-            PlaRule::JoinPermission { left_source, right_source, allowed } => {
+            PlaRule::JoinPermission {
+                left_source,
+                right_source,
+                allowed,
+            } => {
                 let verb = if *allowed { "allow" } else { "forbid" };
                 write!(f, "{verb} join {left_source} with {right_source}")
             }
@@ -158,7 +191,11 @@ impl fmt::Display for PlaRule {
                 let verb = if *allowed { "allow" } else { "forbid" };
                 write!(f, "{verb} integration by {source}")
             }
-            PlaRule::Retention { table, date_attribute, max_age_days } => {
+            PlaRule::Retention {
+                table,
+                date_attribute,
+                max_age_days,
+            } => {
                 write!(f, "retain {table}.{date_attribute} for {max_age_days} days")
             }
             PlaRule::Purpose { allowed } => {
@@ -195,20 +232,28 @@ mod tests {
     fn display_forms_match_dsl() {
         let r = PlaRule::AttributeAccess {
             attribute: AttrRef::new("Prescriptions", "Doctor"),
-            allowed_roles: [RoleId::new("analyst"), RoleId::new("auditor")].into_iter().collect(),
+            allowed_roles: [RoleId::new("analyst"), RoleId::new("auditor")]
+                .into_iter()
+                .collect(),
             condition: Some(col("Disease").ne(lit("HIV"))),
         };
         assert_eq!(
             r.to_string(),
             "allow attribute Prescriptions.Doctor to analyst, auditor when Disease <> 'HIV'"
         );
-        let r = PlaRule::AggregationThreshold { table: "Prescriptions".into(), min_group_size: 5 };
+        let r = PlaRule::AggregationThreshold {
+            table: "Prescriptions".into(),
+            min_group_size: 5,
+        };
         assert_eq!(r.to_string(), "require aggregation Prescriptions min 5");
         let r = PlaRule::Anonymize {
             attribute: AttrRef::new("Prescriptions", "Patient"),
             method: AnonMethod::Pseudonymize,
         };
-        assert_eq!(r.to_string(), "anonymize Prescriptions.Patient with pseudonym");
+        assert_eq!(
+            r.to_string(),
+            "anonymize Prescriptions.Patient with pseudonym"
+        );
         let r = PlaRule::Retention {
             table: "Prescriptions".into(),
             date_attribute: "Date".into(),
@@ -227,7 +272,9 @@ mod tests {
         let today = bi_types::Date::new(2008, 5, 1).unwrap();
         let f = r.retention_filter(today).unwrap();
         assert_eq!(f.to_string(), "Date >= DATE '2008-04-01'");
-        let j = PlaRule::Purpose { allowed: BTreeSet::new() };
+        let j = PlaRule::Purpose {
+            allowed: BTreeSet::new(),
+        };
         assert!(j.retention_filter(today).is_none());
     }
 }

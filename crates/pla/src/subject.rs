@@ -22,12 +22,18 @@ impl SubjectRegistry {
 
     /// Grants `role` to `consumer` (creating the consumer if new).
     pub fn grant(&mut self, consumer: impl Into<ConsumerId>, role: impl Into<RoleId>) {
-        self.roles.entry(consumer.into()).or_default().insert(role.into());
+        self.roles
+            .entry(consumer.into())
+            .or_default()
+            .insert(role.into());
     }
 
     /// Revokes a role; true if it was held.
     pub fn revoke(&mut self, consumer: &ConsumerId, role: &RoleId) -> bool {
-        self.roles.get_mut(consumer).map(|s| s.remove(role)).unwrap_or(false)
+        self.roles
+            .get_mut(consumer)
+            .map(|s| s.remove(role))
+            .unwrap_or(false)
     }
 
     /// The consumer's roles (empty if unknown).

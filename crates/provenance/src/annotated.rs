@@ -22,8 +22,12 @@ impl AnnotatedTable {
     /// `(table_name, r, column_name)`.
     pub fn annotate_base(table: Table) -> Self {
         let name = table.name().to_string();
-        let cols: Vec<String> =
-            table.schema().columns().iter().map(|c| c.name.clone()).collect();
+        let cols: Vec<String> = table
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
         let annotations = (0..table.len())
             .map(|r| {
                 cols.iter()
@@ -78,7 +82,11 @@ impl AnnotatedTable {
     /// Union of all annotations in the table: the complete source
     /// footprint of this (intermediate) result.
     pub fn all_tokens(&self) -> AnnSet {
-        self.annotations.iter().flatten().flat_map(|s| s.iter().cloned()).collect()
+        self.annotations
+            .iter()
+            .flatten()
+            .flat_map(|s| s.iter().cloned())
+            .collect()
     }
 }
 
@@ -95,7 +103,10 @@ mod tests {
                 Column::new("b", DataType::Text),
             ])
             .unwrap(),
-            vec![vec![Value::Int(1), "x".into()], vec![Value::Int(2), "y".into()]],
+            vec![
+                vec![Value::Int(1), "x".into()],
+                vec![Value::Int(2), "y".into()],
+            ],
         )
         .unwrap()
     }
@@ -115,7 +126,10 @@ mod tests {
         assert!(AnnotatedTable::from_parts(t.clone(), vec![]).is_err());
         let bad_width = vec![vec![AnnSet::new()], vec![AnnSet::new()]];
         assert!(AnnotatedTable::from_parts(t.clone(), bad_width).is_err());
-        let ok = vec![vec![AnnSet::new(), AnnSet::new()], vec![AnnSet::new(), AnnSet::new()]];
+        let ok = vec![
+            vec![AnnSet::new(), AnnSet::new()],
+            vec![AnnSet::new(), AnnSet::new()],
+        ];
         assert!(AnnotatedTable::from_parts(t, ok).is_ok());
     }
 

@@ -27,8 +27,13 @@ impl Lineage {
     pub fn build(at: &AnnotatedTable) -> Self {
         let mut forward: BTreeMap<ProvToken, BTreeSet<Cell>> = BTreeMap::new();
         let mut by_table: BTreeMap<String, BTreeSet<Cell>> = BTreeMap::new();
-        let names: Vec<String> =
-            at.table().schema().columns().iter().map(|c| c.name.clone()).collect();
+        let names: Vec<String> = at
+            .table()
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
         for (r, row_ann) in at.annotations().iter().enumerate() {
             for (c, ann) in row_ann.iter().enumerate() {
                 for tok in ann {
@@ -67,7 +72,9 @@ impl Lineage {
 
     /// Does any cell of the result derive from `table.column`?
     pub fn exposes_column(&self, table: &str, column: &str) -> bool {
-        self.forward.keys().any(|t| t.table == table && t.column == column)
+        self.forward
+            .keys()
+            .any(|t| t.table == table && t.column == column)
     }
 }
 
@@ -95,10 +102,7 @@ mod tests {
                     Column::new("v", DataType::Text),
                 ])
                 .unwrap(),
-                vec![
-                    vec![1.into(), "a".into()],
-                    vec![2.into(), "b".into()],
-                ],
+                vec![vec![1.into(), "a".into()], vec![2.into(), "b".into()]],
             )
             .unwrap(),
         )

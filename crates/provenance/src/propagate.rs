@@ -37,7 +37,10 @@ pub struct ProvCatalog<'a> {
 impl<'a> ProvCatalog<'a> {
     /// A provenance catalog where every base table is self-annotated.
     pub fn new(catalog: &'a Catalog) -> Self {
-        ProvCatalog { catalog, pre_annotated: HashMap::new() }
+        ProvCatalog {
+            catalog,
+            pre_annotated: HashMap::new(),
+        }
     }
 
     /// Registers an already-annotated table under its name; scans of that
@@ -60,15 +63,19 @@ struct PGrid {
 
 impl PGrid {
     fn from_annotated(at: &AnnotatedTable) -> Self {
-        PGrid { table: at.table().clone(), anns: at.annotations().to_vec() }
+        PGrid {
+            table: at.table().clone(),
+            anns: at.annotations().to_vec(),
+        }
     }
 }
 
 /// Executes `plan` with provenance propagation.
 pub fn pexecute(plan: &Plan, pcat: &ProvCatalog<'_>) -> Result<AnnotatedTable, QueryError> {
     let g = walk(plan, pcat)?;
-    AnnotatedTable::from_parts(g.table, g.anns)
-        .map_err(|m| QueryError::BadAggregate { reason: format!("internal provenance shape error: {m}") })
+    AnnotatedTable::from_parts(g.table, g.anns).map_err(|m| QueryError::BadAggregate {
+        reason: format!("internal provenance shape error: {m}"),
+    })
 }
 
 fn walk(plan: &Plan, pcat: &ProvCatalog<'_>) -> Result<PGrid, QueryError> {
@@ -78,11 +85,15 @@ fn walk(plan: &Plan, pcat: &ProvCatalog<'_>) -> Result<PGrid, QueryError> {
                 return Ok(PGrid::from_annotated(at));
             }
             if let Some(t) = pcat.catalog.table(table) {
-                return Ok(PGrid::from_annotated(&AnnotatedTable::annotate_base(t.clone())));
+                return Ok(PGrid::from_annotated(&AnnotatedTable::annotate_base(
+                    t.clone(),
+                )));
             }
             // Views: propagate through the body.
             let Some(body) = pcat.catalog.view(table) else {
-                return Err(QueryError::UnknownRelation { name: table.clone() });
+                return Err(QueryError::UnknownRelation {
+                    name: table.clone(),
+                });
             };
             let mut g = walk(body, pcat)?;
             g.table.set_name(table.clone());
@@ -142,12 +153,22 @@ fn walk(plan: &Plan, pcat: &ProvCatalog<'_>) -> Result<PGrid, QueryError> {
                 .collect();
             Ok(PGrid { table, anns })
         }
-        Plan::Join { left, right, kind, on, right_prefix } => {
+        Plan::Join {
+            left,
+            right,
+            kind,
+            on,
+            right_prefix,
+        } => {
             let l = walk(left, pcat)?;
             let r = walk(right, pcat)?;
             pjoin(&l, &r, *kind, on, right_prefix)
         }
-        Plan::Aggregate { input, group_by, aggs } => {
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let g = walk(input, pcat)?;
             paggregate(&g, group_by, aggs, pcat)
         }
@@ -192,7 +213,11 @@ fn walk(plan: &Plan, pcat: &ProvCatalog<'_>) -> Result<PGrid, QueryError> {
             order.sort_by(|&a, &b| {
                 for (ki, &c) in idxs.iter().enumerate() {
                     let ord = g.table.rows()[a][c].cmp(&g.table.rows()[b][c]);
-                    let ord = if keys[ki].descending { ord.reverse() } else { ord };
+                    let ord = if keys[ki].descending {
+                        ord.reverse()
+                    } else {
+                        ord
+                    };
                     if !ord.is_eq() {
                         return ord;
                     }
@@ -210,7 +235,8 @@ fn walk(plan: &Plan, pcat: &ProvCatalog<'_>) -> Result<PGrid, QueryError> {
         Plan::Limit { input, n } => {
             let g = walk(input, pcat)?;
             let rows: Vec<_> = g.table.rows().iter().take(*n).cloned().collect();
-            let table = Table::from_rows(g.table.name().to_string(), g.table.schema().clone(), rows)?;
+            let table =
+                Table::from_rows(g.table.name().to_string(), g.table.schema().clone(), rows)?;
             let anns = g.anns.into_iter().take(*n).collect();
             Ok(PGrid { table, anns })
         }
@@ -300,8 +326,7 @@ fn paggregate(
     let mut input = g.table.clone();
     input.set_name("__prov_agg_input".to_string());
     tmp.add_table(input)?;
-    let plan = bi_query::plan::scan("__prov_agg_input")
-        .aggregate(group_by.to_vec(), aggs.to_vec());
+    let plan = bi_query::plan::scan("__prov_agg_input").aggregate(group_by.to_vec(), aggs.to_vec());
     let result = bi_query::execute(&plan, &tmp)?;
     let _ = pcat;
 
@@ -319,7 +344,12 @@ fn paggregate(
         .map_err(QueryError::from)?;
     let acols: Vec<Option<usize>> = aggs
         .iter()
-        .map(|a| a.arg.as_deref().map(|c| g.table.schema().index_of(c)).transpose())
+        .map(|a| {
+            a.arg
+                .as_deref()
+                .map(|c| g.table.schema().index_of(c))
+                .transpose()
+        })
         .collect::<Result<_, _>>()
         .map_err(QueryError::from)?;
 
@@ -440,7 +470,11 @@ mod tests {
     fn join_concatenates_annotations() {
         let cat = catalog();
         let pcat = ProvCatalog::new(&cat);
-        let p = scan("Prescriptions").join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc");
+        let p = scan("Prescriptions").join(
+            scan("DrugCost"),
+            vec![("Drug".into(), "Drug".into())],
+            "dc",
+        );
         let at = pexecute(&p, &pcat).unwrap();
         assert_eq!(at.table().len(), 3);
         let cost_ann = at.cell_annotation(0, "Cost").unwrap();
@@ -456,8 +490,11 @@ mod tests {
     fn join_output_name_matches_plain_executor() {
         let cat = catalog();
         let pcat = ProvCatalog::new(&cat);
-        let p = scan("Prescriptions")
-            .join(scan("Prescriptions"), vec![("Drug".into(), "Drug".into())], "r");
+        let p = scan("Prescriptions").join(
+            scan("Prescriptions"),
+            vec![("Drug".into(), "Drug".into())],
+            "r",
+        );
         let at = pexecute(&p, &pcat).unwrap();
         let plain = bi_query::execute(&p, &cat).unwrap();
         assert_eq!(at.table().name(), "Prescriptions⋈Prescriptions");
@@ -469,8 +506,8 @@ mod tests {
     fn aggregate_collects_group_provenance() {
         let cat = catalog();
         let pcat = ProvCatalog::new(&cat);
-        let p = scan("Prescriptions")
-            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
+        let p =
+            scan("Prescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
         let at = pexecute(&p, &pcat).unwrap();
         // DR group contains source rows 1 and 2.
         let dr_row = at
@@ -512,7 +549,10 @@ mod tests {
         let pcat = ProvCatalog::new(&cat);
         let p = scan("Prescriptions")
             .join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc")
-            .aggregate(vec!["Patient".into()], vec![AggItem::new("spend", bi_query::AggFunc::Sum, "Cost")])
+            .aggregate(
+                vec!["Patient".into()],
+                vec![AggItem::new("spend", bi_query::AggFunc::Sum, "Cost")],
+            )
             .sort(vec![bi_query::SortKey::asc("Patient")]);
         let plain = bi_query::execute(&p, &cat).unwrap();
         let annotated = pexecute(&p, &pcat).unwrap();
@@ -524,7 +564,11 @@ mod tests {
         let cat = catalog();
         let pcat = ProvCatalog::new(&cat);
         // Stage 1: staging extract.
-        let stage1 = pexecute(&scan("Prescriptions").project_cols(&["Patient", "Drug"]), &pcat).unwrap();
+        let stage1 = pexecute(
+            &scan("Prescriptions").project_cols(&["Patient", "Drug"]),
+            &pcat,
+        )
+        .unwrap();
         let mut staged = stage1.table().clone();
         staged.set_name("Staged".to_string());
         let stage1 = AnnotatedTable::from_parts(staged, stage1.annotations().to_vec()).unwrap();
@@ -532,7 +576,11 @@ mod tests {
         let mut cat2 = cat.clone();
         cat2.add_table(stage1.table().clone()).unwrap();
         let pcat2 = ProvCatalog::new(&cat2).with_annotated(&stage1);
-        let at = pexecute(&scan("Staged").filter(col("Patient").eq(lit("Bob"))), &pcat2).unwrap();
+        let at = pexecute(
+            &scan("Staged").filter(col("Patient").eq(lit("Bob"))),
+            &pcat2,
+        )
+        .unwrap();
         let ann = at.cell_annotation(0, "Drug").unwrap();
         assert!(
             ann.contains(&ProvToken::new("Prescriptions", 1, "Drug")),

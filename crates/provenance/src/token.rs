@@ -17,7 +17,11 @@ pub struct ProvToken {
 impl ProvToken {
     /// A token for `table[row].column`.
     pub fn new(table: impl Into<String>, row: usize, column: impl Into<String>) -> Self {
-        ProvToken { table: table.into(), row, column: column.into() }
+        ProvToken {
+            table: table.into(),
+            row,
+            column: column.into(),
+        }
     }
 }
 

@@ -90,10 +90,14 @@ impl Catalog {
             return Ok(t.schema().clone());
         }
         let Some(view) = self.views.get(name) else {
-            return Err(QueryError::UnknownRelation { name: name.to_string() });
+            return Err(QueryError::UnknownRelation {
+                name: name.to_string(),
+            });
         };
         if stack.iter().any(|n| n == name) {
-            return Err(QueryError::CyclicView { name: name.to_string() });
+            return Err(QueryError::CyclicView {
+                name: name.to_string(),
+            });
         }
         stack.push(name.to_string());
         // Schema inference of the view body may re-enter for nested views;
@@ -139,7 +143,9 @@ impl Catalog {
             Plan::Scan { table } => {
                 if let Some(body) = self.views.get(table) {
                     if stack.iter().any(|n| n == table) {
-                        return Err(QueryError::CyclicView { name: table.clone() });
+                        return Err(QueryError::CyclicView {
+                            name: table.clone(),
+                        });
                     }
                     stack.push(table.clone());
                     let inlined = self.inline_guarded(body, stack)?;
@@ -148,7 +154,9 @@ impl Catalog {
                 } else if self.tables.contains_key(table) {
                     plan.clone()
                 } else {
-                    return Err(QueryError::UnknownRelation { name: table.clone() });
+                    return Err(QueryError::UnknownRelation {
+                        name: table.clone(),
+                    });
                 }
             }
             Plan::Filter { input, pred } => Plan::Filter {
@@ -159,14 +167,24 @@ impl Catalog {
                 input: Box::new(self.inline_guarded(input, stack)?),
                 items: items.clone(),
             },
-            Plan::Join { left, right, kind, on, right_prefix } => Plan::Join {
+            Plan::Join {
+                left,
+                right,
+                kind,
+                on,
+                right_prefix,
+            } => Plan::Join {
                 left: Box::new(self.inline_guarded(left, stack)?),
                 right: Box::new(self.inline_guarded(right, stack)?),
                 kind: *kind,
                 on: on.clone(),
                 right_prefix: right_prefix.clone(),
             },
-            Plan::Aggregate { input, group_by, aggs } => Plan::Aggregate {
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => Plan::Aggregate {
                 input: Box::new(self.inline_guarded(input, stack)?),
                 group_by: group_by.clone(),
                 aggs: aggs.clone(),
@@ -175,16 +193,17 @@ impl Catalog {
                 left: Box::new(self.inline_guarded(left, stack)?),
                 right: Box::new(self.inline_guarded(right, stack)?),
             },
-            Plan::Distinct { input } => {
-                Plan::Distinct { input: Box::new(self.inline_guarded(input, stack)?) }
-            }
+            Plan::Distinct { input } => Plan::Distinct {
+                input: Box::new(self.inline_guarded(input, stack)?),
+            },
             Plan::Sort { input, keys } => Plan::Sort {
                 input: Box::new(self.inline_guarded(input, stack)?),
                 keys: keys.clone(),
             },
-            Plan::Limit { input, n } => {
-                Plan::Limit { input: Box::new(self.inline_guarded(input, stack)?), n: *n }
-            }
+            Plan::Limit { input, n } => Plan::Limit {
+                input: Box::new(self.inline_guarded(input, stack)?),
+                n: *n,
+            },
         })
     }
 }
@@ -212,11 +231,41 @@ pub(crate) mod tests {
             ])
             .unwrap(),
             vec![
-                vec!["Alice".into(), "Luis".into(), "DH".into(), "HIV".into(), Value::date("12/02/2007").unwrap()],
-                vec!["Chris".into(), Value::Null, "DV".into(), "HIV".into(), Value::date("10/03/2007").unwrap()],
-                vec!["Bob".into(), "Anne".into(), "DR".into(), "asthma".into(), Value::date("10/08/2007").unwrap()],
-                vec!["Math".into(), "Mark".into(), "DM".into(), "diabetes".into(), Value::date("15/10/2007").unwrap()],
-                vec!["Alice".into(), "Luis".into(), "DR".into(), "asthma".into(), Value::date("15/04/2008").unwrap()],
+                vec![
+                    "Alice".into(),
+                    "Luis".into(),
+                    "DH".into(),
+                    "HIV".into(),
+                    Value::date("12/02/2007").unwrap(),
+                ],
+                vec![
+                    "Chris".into(),
+                    Value::Null,
+                    "DV".into(),
+                    "HIV".into(),
+                    Value::date("10/03/2007").unwrap(),
+                ],
+                vec![
+                    "Bob".into(),
+                    "Anne".into(),
+                    "DR".into(),
+                    "asthma".into(),
+                    Value::date("10/08/2007").unwrap(),
+                ],
+                vec![
+                    "Math".into(),
+                    "Mark".into(),
+                    "DM".into(),
+                    "diabetes".into(),
+                    Value::date("15/10/2007").unwrap(),
+                ],
+                vec![
+                    "Alice".into(),
+                    "Luis".into(),
+                    "DR".into(),
+                    "asthma".into(),
+                    Value::date("15/04/2008").unwrap(),
+                ],
             ],
         )
         .unwrap();
@@ -264,19 +313,26 @@ pub(crate) mod tests {
     fn duplicate_names_rejected() {
         let mut cat = paper_catalog();
         let t = cat.table("DrugCost").unwrap().clone();
-        assert!(matches!(cat.add_table(t), Err(QueryError::DuplicateName { .. })));
+        assert!(matches!(
+            cat.add_table(t),
+            Err(QueryError::DuplicateName { .. })
+        ));
         assert!(cat.add_view("DrugCost", scan("Prescriptions")).is_err());
     }
 
     #[test]
     fn view_schema_resolves() {
         let mut cat = paper_catalog();
-        cat.add_view("NonHiv", scan("Prescriptions").filter(col("Disease").ne(lit("HIV"))))
-            .unwrap();
+        cat.add_view(
+            "NonHiv",
+            scan("Prescriptions").filter(col("Disease").ne(lit("HIV"))),
+        )
+        .unwrap();
         let s = cat.schema_of("NonHiv").unwrap();
         assert_eq!(s.len(), 5);
         // Views over views.
-        cat.add_view("NonHivDrugs", scan("NonHiv").project_cols(&["Drug"])).unwrap();
+        cat.add_view("NonHivDrugs", scan("NonHiv").project_cols(&["Drug"]))
+            .unwrap();
         assert_eq!(cat.schema_of("NonHivDrugs").unwrap().names(), vec!["Drug"]);
     }
 
@@ -285,15 +341,24 @@ pub(crate) mod tests {
         let mut cat = Catalog::new();
         cat.add_view("A", scan("B")).unwrap();
         cat.add_view("B", scan("A")).unwrap();
-        assert!(matches!(cat.schema_of("A"), Err(QueryError::CyclicView { .. })));
-        assert!(matches!(cat.inline_views(&scan("A")), Err(QueryError::CyclicView { .. })));
+        assert!(matches!(
+            cat.schema_of("A"),
+            Err(QueryError::CyclicView { .. })
+        ));
+        assert!(matches!(
+            cat.inline_views(&scan("A")),
+            Err(QueryError::CyclicView { .. })
+        ));
     }
 
     #[test]
     fn inline_views_substitutes_bodies() {
         let mut cat = paper_catalog();
-        cat.add_view("NonHiv", scan("Prescriptions").filter(col("Disease").ne(lit("HIV"))))
-            .unwrap();
+        cat.add_view(
+            "NonHiv",
+            scan("Prescriptions").filter(col("Disease").ne(lit("HIV"))),
+        )
+        .unwrap();
         let plan = scan("NonHiv").project_cols(&["Patient"]);
         let inlined = cat.inline_views(&plan).unwrap();
         assert_eq!(inlined.scanned_relations(), vec!["Prescriptions"]);
@@ -303,7 +368,10 @@ pub(crate) mod tests {
     #[test]
     fn remove_and_names() {
         let mut cat = paper_catalog();
-        assert_eq!(cat.table_names(), vec!["DrugCost", "Familydoctor", "Prescriptions"]);
+        assert_eq!(
+            cat.table_names(),
+            vec!["DrugCost", "Familydoctor", "Prescriptions"]
+        );
         assert!(cat.remove("DrugCost"));
         assert!(!cat.remove("DrugCost"));
         assert_eq!(cat.table_names().len(), 2);

@@ -41,26 +41,51 @@ pub fn atoms_of(e: &Expr) -> Vec<Atom> {
     match e {
         Expr::Bin(op, l, r) if op.is_comparison() => match (l.as_ref(), r.as_ref()) {
             (lhs, Expr::Lit(v)) if !matches!(lhs, Expr::Lit(_)) => {
-                vec![Atom::Cmp { lhs: lhs.clone(), op: *op, val: v.clone() }]
+                vec![Atom::Cmp {
+                    lhs: lhs.clone(),
+                    op: *op,
+                    val: v.clone(),
+                }]
             }
             (Expr::Lit(v), rhs) => {
-                vec![Atom::Cmp { lhs: rhs.clone(), op: flip(*op), val: v.clone() }]
+                vec![Atom::Cmp {
+                    lhs: rhs.clone(),
+                    op: flip(*op),
+                    val: v.clone(),
+                }]
             }
             _ => vec![Atom::Other(e.clone())],
         },
         Expr::InList(lhs, vs) => {
-            vec![Atom::In { lhs: (**lhs).clone(), vals: vs.iter().cloned().collect() }]
+            vec![Atom::In {
+                lhs: (**lhs).clone(),
+                vals: vs.iter().cloned().collect(),
+            }]
         }
         Expr::Between(lhs, lo, hi) => match (lo.as_ref(), hi.as_ref()) {
             (Expr::Lit(a), Expr::Lit(b)) => vec![
-                Atom::Cmp { lhs: (**lhs).clone(), op: BinOp::Ge, val: a.clone() },
-                Atom::Cmp { lhs: (**lhs).clone(), op: BinOp::Le, val: b.clone() },
+                Atom::Cmp {
+                    lhs: (**lhs).clone(),
+                    op: BinOp::Ge,
+                    val: a.clone(),
+                },
+                Atom::Cmp {
+                    lhs: (**lhs).clone(),
+                    op: BinOp::Le,
+                    val: b.clone(),
+                },
             ],
             _ => vec![Atom::Other(e.clone())],
         },
-        Expr::IsNull(lhs) => vec![Atom::Null { lhs: (**lhs).clone(), negated: false }],
+        Expr::IsNull(lhs) => vec![Atom::Null {
+            lhs: (**lhs).clone(),
+            negated: false,
+        }],
         Expr::Not(inner) => match inner.as_ref() {
-            Expr::IsNull(lhs) => vec![Atom::Null { lhs: (**lhs).clone(), negated: true }],
+            Expr::IsNull(lhs) => vec![Atom::Null {
+                lhs: (**lhs).clone(),
+                negated: true,
+            }],
             _ => vec![Atom::Other(e.clone())],
         },
         _ => vec![Atom::Other(e.clone())],
@@ -71,8 +96,10 @@ pub fn atoms_of(e: &Expr) -> Vec<Atom> {
 fn cmp_vals(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
     let ok = matches!(
         (a, b),
-        (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
-            | (Value::Text(_), Value::Text(_))
+        (
+            Value::Int(_) | Value::Float(_),
+            Value::Int(_) | Value::Float(_)
+        ) | (Value::Text(_), Value::Text(_))
             | (Value::Date(_), Value::Date(_))
             | (Value::Bool(_), Value::Bool(_))
     );
@@ -120,35 +147,83 @@ pub fn implies(r: &Atom, m: &Atom) -> bool {
     }
     let same_lhs = |a: &Expr, b: &Expr| a == b;
     match (r, m) {
-        (Cmp { lhs: rl, op: rop, val: rv }, Null { lhs: ml, negated: true })
-            if same_lhs(rl, ml) =>
-        {
+        (
+            Cmp {
+                lhs: rl,
+                op: rop,
+                val: rv,
+            },
+            Null {
+                lhs: ml,
+                negated: true,
+            },
+        ) if same_lhs(rl, ml) => {
             // x op v TRUE ⇒ x not null, for every comparison op.
             let _ = rop;
             let _ = rv;
             true
         }
-        (In { lhs: rl, .. }, Null { lhs: ml, negated: true }) if same_lhs(rl, ml) => true,
-        (Cmp { lhs: rl, op: BinOp::Eq, val: rv }, m) => match m {
-            Cmp { lhs: ml, op: mop, val: mv } if same_lhs(rl, ml) => sat(rv, *mop, mv),
+        (
+            In { lhs: rl, .. },
+            Null {
+                lhs: ml,
+                negated: true,
+            },
+        ) if same_lhs(rl, ml) => true,
+        (
+            Cmp {
+                lhs: rl,
+                op: BinOp::Eq,
+                val: rv,
+            },
+            m,
+        ) => match m {
+            Cmp {
+                lhs: ml,
+                op: mop,
+                val: mv,
+            } if same_lhs(rl, ml) => sat(rv, *mop, mv),
             In { lhs: ml, vals } if same_lhs(rl, ml) => vals.contains(rv),
             _ => false,
         },
-        (Cmp { lhs: rl, op: rop, val: rv }, Cmp { lhs: ml, op: mop, val: mv })
-            if same_lhs(rl, ml) =>
-        {
-            implies_cmp(*rop, rv, *mop, mv)
-        }
-        (In { lhs: rl, vals: rvals }, m) => match m {
-            In { lhs: ml, vals: mvals } if same_lhs(rl, ml) => rvals.is_subset(mvals),
+        (
+            Cmp {
+                lhs: rl,
+                op: rop,
+                val: rv,
+            },
+            Cmp {
+                lhs: ml,
+                op: mop,
+                val: mv,
+            },
+        ) if same_lhs(rl, ml) => implies_cmp(*rop, rv, *mop, mv),
+        (
+            In {
+                lhs: rl,
+                vals: rvals,
+            },
+            m,
+        ) => match m {
+            In {
+                lhs: ml,
+                vals: mvals,
+            } if same_lhs(rl, ml) => rvals.is_subset(mvals),
             Cmp { lhs: ml, op, val } if same_lhs(rl, ml) => {
                 !rvals.is_empty() && rvals.iter().all(|v| sat(v, *op, val))
             }
             _ => false,
         },
-        (Null { lhs: rl, negated: rn }, Null { lhs: ml, negated: mn }) => {
-            same_lhs(rl, ml) && rn == mn
-        }
+        (
+            Null {
+                lhs: rl,
+                negated: rn,
+            },
+            Null {
+                lhs: ml,
+                negated: mn,
+            },
+        ) => same_lhs(rl, ml) && rn == mn,
         _ => false,
     }
 }
@@ -162,18 +237,18 @@ fn implies_cmp(rop: BinOp, rv: &Value, mop: BinOp, mv: &Value) -> bool {
     };
     match (rop, mop) {
         // Upper bounds: x < rv / x <= rv.
-        (BinOp::Lt, BinOp::Lt) => ord != Greater,  // rv <= mv
-        (BinOp::Lt, BinOp::Le) => ord != Greater,  // x < rv <= mv ⇒ x < mv ⇒ x <= mv
-        (BinOp::Le, BinOp::Le) => ord != Greater,  // rv <= mv
-        (BinOp::Le, BinOp::Lt) => ord == Less,     // rv < mv
+        (BinOp::Lt, BinOp::Lt) => ord != Greater, // rv <= mv
+        (BinOp::Lt, BinOp::Le) => ord != Greater, // x < rv <= mv ⇒ x < mv ⇒ x <= mv
+        (BinOp::Le, BinOp::Le) => ord != Greater, // rv <= mv
+        (BinOp::Le, BinOp::Lt) => ord == Less,    // rv < mv
         // Lower bounds: x > rv / x >= rv.
-        (BinOp::Gt, BinOp::Gt) => ord != Less,     // rv >= mv
+        (BinOp::Gt, BinOp::Gt) => ord != Less, // rv >= mv
         (BinOp::Gt, BinOp::Ge) => ord != Less,
         (BinOp::Ge, BinOp::Ge) => ord != Less,
-        (BinOp::Ge, BinOp::Gt) => ord == Greater,  // rv > mv
+        (BinOp::Ge, BinOp::Gt) => ord == Greater, // rv > mv
         // Bounds imply ≠ when the excluded value is outside the range.
-        (BinOp::Lt, BinOp::Ne) => ord != Greater,  // x < rv <= mv ⇒ x != mv
-        (BinOp::Le, BinOp::Ne) => ord == Less,     // x <= rv < mv ⇒ x != mv
+        (BinOp::Lt, BinOp::Ne) => ord != Greater, // x < rv <= mv ⇒ x != mv
+        (BinOp::Le, BinOp::Ne) => ord == Less,    // x <= rv < mv ⇒ x != mv
         (BinOp::Gt, BinOp::Ne) => ord != Less,
         (BinOp::Ge, BinOp::Ne) => ord == Greater,
         // Equality of excluded values.
@@ -199,10 +274,14 @@ pub fn conjunction_implies(rs: &[Atom], ms: &[Atom]) -> Result<(), Atom> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn a(text: &str) -> Vec<Atom> {
-        bi_relation::expr::parse(text).unwrap().conjuncts().iter().flat_map(|c| atoms_of(c)).collect()
+        bi_relation::expr::parse(text)
+            .unwrap()
+            .conjuncts()
+            .iter()
+            .flat_map(|c| atoms_of(c))
+            .collect()
     }
 
     fn imp(r: &str, m: &str) -> bool {
@@ -274,7 +353,10 @@ mod tests {
     #[test]
     fn other_atoms_need_syntactic_equality() {
         assert!(imp("x = y", "x = y"));
-        assert!(!imp("x = y", "y = x"), "conservative: no commutativity reasoning");
+        assert!(
+            !imp("x = y", "y = x"),
+            "conservative: no commutativity reasoning"
+        );
         assert!(imp("TRUE", "TRUE"));
     }
 

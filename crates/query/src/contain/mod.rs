@@ -24,8 +24,8 @@ mod atoms;
 mod norm;
 
 pub use atoms::{atoms_of, conjunction_implies, Atom};
-pub use norm::{normalize, Norm, NormError, NotDerivable, OutCol, OutKind};
 pub(crate) use norm::replace_cols;
+pub use norm::{normalize, Norm, NormError, NotDerivable, OutCol, OutKind};
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -60,17 +60,29 @@ impl RefIntegrity {
         to_table: impl Into<String>,
         to_col: impl Into<String>,
     ) {
-        self.fks.insert((from_table.into(), from_col.into(), to_table.into(), to_col.into()));
+        self.fks.insert((
+            from_table.into(),
+            from_col.into(),
+            to_table.into(),
+            to_col.into(),
+        ));
     }
 
     /// Is `(from_table, from_col) → (to_table, to_col)` declared?
     pub fn is_fk(&self, from: (&str, &str), to: (&str, &str)) -> bool {
-        self.fks.contains(&(from.0.to_string(), from.1.to_string(), to.0.to_string(), to.1.to_string()))
+        self.fks.contains(&(
+            from.0.to_string(),
+            from.1.to_string(),
+            to.0.to_string(),
+            to.1.to_string(),
+        ))
     }
 
     /// All declared foreign keys.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str, &str, &str)> {
-        self.fks.iter().map(|(a, b, c, d)| (a.as_str(), b.as_str(), c.as_str(), d.as_str()))
+        self.fks
+            .iter()
+            .map(|(a, b, c, d)| (a.as_str(), b.as_str(), c.as_str(), d.as_str()))
     }
 }
 
@@ -273,7 +285,9 @@ pub fn derive_prepared(
 
 fn derive_norm(r: &Norm, m: &Norm, refs: &RefIntegrity) -> Result<Derivation, NotDerivable> {
     if m.limit.is_some() {
-        return Err(NotDerivable::Unsupported { reason: "meta-report with a row limit".into() });
+        return Err(NotDerivable::Unsupported {
+            reason: "meta-report with a row limit".into(),
+        });
     }
     // A report LIMIT selects rows by *position*, which depends on an
     // ordering the normal form does not capture (normalization drops
@@ -314,7 +328,9 @@ fn derive_norm(r: &Norm, m: &Norm, refs: &RefIntegrity) -> Result<Derivation, No
     let r_atoms: Vec<Atom> = r.filters.iter().flat_map(atoms_of).collect();
     let m_atoms: Vec<Atom> = m.filters.iter().flat_map(atoms_of).collect();
     if let Err(a) = conjunction_implies(&r_atoms, &m_atoms) {
-        return Err(NotDerivable::MetaMoreRestrictive { conjunct: format!("{a:?}") });
+        return Err(NotDerivable::MetaMoreRestrictive {
+            conjunct: format!("{a:?}"),
+        });
     }
 
     // 5. Exposure: map base expressions to meta output columns.
@@ -323,7 +339,9 @@ fn derive_norm(r: &Norm, m: &Norm, refs: &RefIntegrity) -> Result<Derivation, No
         .iter()
         .filter(|o| matches!(o.kind, OutKind::Plain(_)))
         .map(|o| {
-            let OutKind::Plain(e) = &o.kind else { unreachable!() };
+            let OutKind::Plain(e) = &o.kind else {
+                unreachable!()
+            };
             (e.to_string(), o)
         })
         .collect();
@@ -477,9 +495,12 @@ fn rebuild_aggregate(
     for o in &r.outputs {
         match &o.kind {
             OutKind::Plain(e) => {
-                let g = grain_name.get(&e.to_string()).ok_or_else(|| {
-                    NotDerivable::GrainTooCoarse { expr: e.to_string() }
-                })?;
+                let g =
+                    grain_name
+                        .get(&e.to_string())
+                        .ok_or_else(|| NotDerivable::GrainTooCoarse {
+                            expr: e.to_string(),
+                        })?;
                 final_project.push((o.name.clone(), col(g)));
             }
             OutKind::Agg(f, arg) => match meta_agg {
@@ -494,11 +515,24 @@ fn rebuild_aggregate(
                         }
                         None => None,
                     };
-                    aggs.push(AggItem { name: o.name.clone(), func: *f, arg: arg_name });
+                    aggs.push(AggItem {
+                        name: o.name.clone(),
+                        func: *f,
+                        arg: arg_name,
+                    });
                     final_project.push((o.name.clone(), col(&o.name)));
                 }
                 Some(m) => {
-                    derive_agg_from_meta(o, *f, arg.as_ref(), m, &mut pre, &mut aggs, &mut final_project, &mut next_arg)?;
+                    derive_agg_from_meta(
+                        o,
+                        *f,
+                        arg.as_ref(),
+                        m,
+                        &mut pre,
+                        &mut aggs,
+                        &mut final_project,
+                        &mut next_arg,
+                    )?;
                 }
             },
         }
@@ -528,17 +562,25 @@ fn derive_agg_from_meta(
     final_project: &mut Vec<(String, Expr)>,
     next_arg: &mut usize,
 ) -> Result<(), NotDerivable> {
-    let fail = || NotDerivable::AggNotDerivable { agg: format!("{}({:?})", f.name(), arg) };
+    let fail = || NotDerivable::AggNotDerivable {
+        agg: format!("{}({:?})", f.name(), arg),
+    };
     let mut push_agg =
         |meta_out: &OutCol, func: AggFunc, out_name: String, pre: &mut Vec<(String, Expr)>| {
             let arg_name = format!("__a{next_arg}");
             *next_arg += 1;
             pre.push((arg_name.clone(), col(&meta_out.name)));
-            aggs.push(AggItem { name: out_name, func, arg: Some(arg_name) });
+            aggs.push(AggItem {
+                name: out_name,
+                func,
+                arg: Some(arg_name),
+            });
         };
     match f {
         AggFunc::Count => {
-            let meta_out = m.agg_output_matching(AggFunc::Count, arg).ok_or_else(fail)?;
+            let meta_out = m
+                .agg_output_matching(AggFunc::Count, arg)
+                .ok_or_else(fail)?;
             push_agg(meta_out, AggFunc::Sum, o.name.clone(), pre);
             final_project.push((o.name.clone(), col(&o.name)));
         }
@@ -561,7 +603,9 @@ fn derive_agg_from_meta(
             // AVG(x) = SUM(sum_x) / SUM(count_x); count must count x
             // specifically (AVG ignores NULLs, COUNT(*) does not).
             let sum_out = m.agg_output_matching(AggFunc::Sum, arg).ok_or_else(fail)?;
-            let cnt_out = m.agg_output_matching(AggFunc::Count, arg).ok_or_else(fail)?;
+            let cnt_out = m
+                .agg_output_matching(AggFunc::Count, arg)
+                .ok_or_else(fail)?;
             let num = format!("__avg_num_{}", o.name);
             let den = format!("__avg_den_{}", o.name);
             push_agg(sum_out, AggFunc::Sum, num.clone(), pre);
@@ -590,17 +634,16 @@ fn derive_agg_from_meta(
 /// Recursively rewrites `e` (over base-qualified columns) into an
 /// expression over meta output columns: a subtree equal to an exposed
 /// plain output becomes a column reference; literals pass through.
-fn subst_into_meta(
-    e: &Expr,
-    plain_map: &BTreeMap<String, &OutCol>,
-) -> Result<Expr, NotDerivable> {
+fn subst_into_meta(e: &Expr, plain_map: &BTreeMap<String, &OutCol>) -> Result<Expr, NotDerivable> {
     if let Some(o) = plain_map.get(&e.to_string()) {
         return Ok(col(&o.name));
     }
     Ok(match e {
         Expr::Lit(_) => e.clone(),
         Expr::Col(_) => {
-            return Err(NotDerivable::ColumnNotExposed { expr: e.to_string() });
+            return Err(NotDerivable::ColumnNotExposed {
+                expr: e.to_string(),
+            });
         }
         Expr::Not(x) => Expr::Not(Box::new(subst_into_meta(x, plain_map)?)),
         Expr::Neg(x) => Expr::Neg(Box::new(subst_into_meta(x, plain_map)?)),
@@ -612,11 +655,11 @@ fn subst_into_meta(
         ),
         Expr::Func(func, args) => Expr::Func(
             *func,
-            args.iter().map(|a| subst_into_meta(a, plain_map)).collect::<Result<_, _>>()?,
+            args.iter()
+                .map(|a| subst_into_meta(a, plain_map))
+                .collect::<Result<_, _>>()?,
         ),
-        Expr::InList(x, vs) => {
-            Expr::InList(Box::new(subst_into_meta(x, plain_map)?), vs.clone())
-        }
+        Expr::InList(x, vs) => Expr::InList(Box::new(subst_into_meta(x, plain_map)?), vs.clone()),
         Expr::Between(x, lo, hi) => Expr::Between(
             Box::new(subst_into_meta(x, plain_map)?),
             Box::new(subst_into_meta(lo, plain_map)?),
@@ -713,7 +756,10 @@ mod tests {
         let meta = scan("Prescriptions").project_cols(&["Patient", "Drug", "Disease", "Date"]);
         // The Fig. 4 drug-consumption report.
         let report = scan("Prescriptions")
-            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")])
+            .aggregate(
+                vec!["Drug".into()],
+                vec![AggItem::count_star("Consumption")],
+            )
             .sort(vec![SortKey::asc("Drug")]);
         let d = check(&report, &meta, &cat, &RefIntegrity::new());
         assert!(d.agg.is_some());
@@ -732,7 +778,11 @@ mod tests {
             .aggregate(vec!["Drug".into()], vec![AggItem::count_star("total")]);
         let d = check(&report, &meta, &cat, &RefIntegrity::new());
         let (_, aggs) = d.agg.as_ref().unwrap();
-        assert_eq!(aggs[0].func, AggFunc::Sum, "count coarsens to sum of counts");
+        assert_eq!(
+            aggs[0].func,
+            AggFunc::Sum,
+            "count coarsens to sum of counts"
+        );
 
         // count_distinct cannot coarsen.
         let report2 = scan("Prescriptions").aggregate(
@@ -776,7 +826,8 @@ mod tests {
                 AggItem::new("cnt_cost", AggFunc::Count, "Cost"),
             ],
         );
-        let report = joined().aggregate(vec![], vec![AggItem::new("avg_cost", AggFunc::Avg, "Cost")]);
+        let report =
+            joined().aggregate(vec![], vec![AggItem::new("avg_cost", AggFunc::Avg, "Cost")]);
         check(&report, &meta, &cat, &RefIntegrity::new());
         // Without the count, avg is not derivable.
         let meta2 = joined().aggregate(
@@ -798,8 +849,8 @@ mod tests {
         let meta = scan("Prescriptions")
             .join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc")
             .project_cols(&["Patient", "Drug", "Disease", "Cost"]);
-        let report = scan("Prescriptions")
-            .aggregate(vec!["Disease".into()], vec![AggItem::count_star("n")]);
+        let report =
+            scan("Prescriptions").aggregate(vec!["Disease".into()], vec![AggItem::count_star("n")]);
         // NOTE: pruning is *claimed* lossless given RI; the paper catalog
         // satisfies it (every prescribed drug has a cost), so the
         // empirical validation must agree.
@@ -827,7 +878,9 @@ mod tests {
     #[test]
     fn distinct_semantics_enforced() {
         let cat = paper_catalog();
-        let meta = scan("Prescriptions").project_cols(&["Patient", "Drug"]).distinct();
+        let meta = scan("Prescriptions")
+            .project_cols(&["Patient", "Drug"])
+            .distinct();
         // Counting over a distinct meta is refused.
         let report = scan("Prescriptions")
             .project_cols(&["Patient", "Drug"])
@@ -840,8 +893,8 @@ mod tests {
         let report2 = scan("Prescriptions").project_cols(&["Drug"]).distinct();
         check(&report2, &meta, &cat, &RefIntegrity::new());
         // Raw report over aggregated meta requires distinct.
-        let meta3 = scan("Prescriptions")
-            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
+        let meta3 =
+            scan("Prescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
         let report3 = scan("Prescriptions").project_cols(&["Drug"]);
         assert!(matches!(
             refuse(&report3, &meta3, &cat, &RefIntegrity::new()),
@@ -858,7 +911,10 @@ mod tests {
         // Group by year(Date): computed grain over an exposed column.
         let report = scan("Prescriptions")
             .project(vec![
-                ("yr".to_string(), Expr::Func(Func::Year, vec![bi_relation::expr::col("Date")])),
+                (
+                    "yr".to_string(),
+                    Expr::Func(Func::Year, vec![bi_relation::expr::col("Date")]),
+                ),
                 ("Drug".to_string(), bi_relation::expr::col("Drug")),
             ])
             .aggregate(vec!["yr".into()], vec![AggItem::count_star("n")]);
@@ -902,13 +958,18 @@ mod soundness_fix_tests {
         let meta = scan("Prescriptions")
             .filter(col("Doctor").ne(Expr::Lit(Value::Null)))
             .project_cols(&["Patient", "Doctor"]);
-        assert!(execute(&meta, &cat).unwrap().is_empty(), "x <> NULL keeps no rows");
+        assert!(
+            execute(&meta, &cat).unwrap().is_empty(),
+            "x <> NULL keeps no rows"
+        );
         let report = scan("Prescriptions")
             .filter(col("Doctor").eq(lit("Luis")))
             .project_cols(&["Patient"]);
         assert!(matches!(
             derive(&report, &meta, &cat, &RefIntegrity::new()),
-            Err(DeriveError::NotDerivable(NotDerivable::MetaMoreRestrictive { .. }))
+            Err(DeriveError::NotDerivable(
+                NotDerivable::MetaMoreRestrictive { .. }
+            ))
         ));
     }
 
@@ -923,7 +984,10 @@ mod soundness_fix_tests {
             derive(&top1, &meta, &cat, &RefIntegrity::new()),
             Err(DeriveError::NotDerivable(NotDerivable::Unsupported { .. }))
         ));
-        let limit_then_distinct = scan("Prescriptions").project_cols(&["Drug"]).limit(5).distinct();
+        let limit_then_distinct = scan("Prescriptions")
+            .project_cols(&["Drug"])
+            .limit(5)
+            .distinct();
         assert!(derive(&limit_then_distinct, &meta, &cat, &RefIntegrity::new()).is_err());
     }
 
@@ -934,7 +998,10 @@ mod soundness_fix_tests {
         // over it would undercount.
         let cat = paper_catalog();
         let meta = scan("Prescriptions")
-            .aggregate(vec!["Drug".into(), "Disease".into()], vec![AggItem::count_star("n")])
+            .aggregate(
+                vec!["Drug".into(), "Disease".into()],
+                vec![AggItem::count_star("n")],
+            )
             .project_cols(&["Drug", "n"])
             .distinct();
         let report = scan("Prescriptions")
@@ -946,7 +1013,10 @@ mod soundness_fix_tests {
         // With the full grain still exposed, DISTINCT is a no-op and the
         // coarsening goes through (and validates).
         let meta_ok = scan("Prescriptions")
-            .aggregate(vec!["Drug".into(), "Disease".into()], vec![AggItem::count_star("n")])
+            .aggregate(
+                vec!["Drug".into(), "Disease".into()],
+                vec![AggItem::count_star("n")],
+            )
             .distinct();
         let d = derive(&report, &meta_ok, &cat, &RefIntegrity::new()).unwrap();
         assert!(validate_derivation(&report, &meta_ok, &d, &cat).unwrap());

@@ -47,10 +47,18 @@ impl fmt::Display for NotDerivable {
         match self {
             NotDerivable::Unsupported { reason } => write!(f, "unsupported plan shape: {reason}"),
             NotDerivable::MissingTables { tables } => {
-                write!(f, "meta-report does not cover tables: {}", tables.join(", "))
+                write!(
+                    f,
+                    "meta-report does not cover tables: {}",
+                    tables.join(", ")
+                )
             }
             NotDerivable::ExtraMetaTables { tables } => {
-                write!(f, "meta-report joins non-prunable extra tables: {}", tables.join(", "))
+                write!(
+                    f,
+                    "meta-report joins non-prunable extra tables: {}",
+                    tables.join(", ")
+                )
             }
             NotDerivable::MetaMoreRestrictive { conjunct } => {
                 write!(f, "meta-report filter not implied by report: {conjunct}")
@@ -59,7 +67,10 @@ impl fmt::Display for NotDerivable {
                 write!(f, "meta-report does not expose: {expr}")
             }
             NotDerivable::GrainTooCoarse { expr } => {
-                write!(f, "meta-report grain too coarse for group-by expression: {expr}")
+                write!(
+                    f,
+                    "meta-report grain too coarse for group-by expression: {expr}"
+                )
             }
             NotDerivable::AggNotDerivable { agg } => {
                 write!(f, "aggregate not derivable from meta-report: {agg}")
@@ -117,7 +128,9 @@ impl Norm {
 
     /// Finds a *plain* output whose expression equals `e`.
     pub fn plain_output_matching(&self, e: &Expr) -> Option<&OutCol> {
-        self.outputs.iter().find(|o| matches!(&o.kind, OutKind::Plain(pe) if pe == e))
+        self.outputs
+            .iter()
+            .find(|o| matches!(&o.kind, OutKind::Plain(pe) if pe == e))
     }
 
     /// Finds an *aggregate* output matching `(func, arg)`.
@@ -130,7 +143,9 @@ impl Norm {
 }
 
 fn unsupported(reason: impl Into<String>) -> NotDerivable {
-    NotDerivable::Unsupported { reason: reason.into() }
+    NotDerivable::Unsupported {
+        reason: reason.into(),
+    }
 }
 
 /// Normalizes `plan` (after view inlining) into SPJA form.
@@ -201,7 +216,11 @@ fn walk(plan: &Plan, cat: &Catalog) -> Result<Norm, NormError> {
                     match n.output(&c).map(|o| &o.kind) {
                         Some(OutKind::Plain(e))
                             if n.grain.as_ref().is_some_and(|g| g.contains(e)) => {}
-                        _ => return Err(unsupported(format!("filter over aggregate output {c:?}")).into()),
+                        _ => {
+                            return Err(
+                                unsupported(format!("filter over aggregate output {c:?}")).into()
+                            )
+                        }
                     }
                 }
             }
@@ -216,28 +235,36 @@ fn walk(plan: &Plan, cat: &Catalog) -> Result<Norm, NormError> {
             let mut outputs = Vec::with_capacity(items.len());
             for (name, e) in items {
                 let kind = match e {
-                    Expr::Col(c) => {
-                        n.output(c)
-                            .ok_or_else(|| {
-                                NormError::Query(QueryError::Relation(
-                                    bi_types::TypeError::NoSuchColumn {
-                                        name: c.clone(),
-                                        schema: "normalized outputs".into(),
-                                    }
-                                    .into(),
-                                ))
-                            })?
-                            .kind
-                            .clone()
-                    }
+                    Expr::Col(c) => n
+                        .output(c)
+                        .ok_or_else(|| {
+                            NormError::Query(QueryError::Relation(
+                                bi_types::TypeError::NoSuchColumn {
+                                    name: c.clone(),
+                                    schema: "normalized outputs".into(),
+                                }
+                                .into(),
+                            ))
+                        })?
+                        .kind
+                        .clone(),
                     _ => OutKind::Plain(subst_expr(e, &n)?),
                 };
-                outputs.push(OutCol { name: name.clone(), kind });
+                outputs.push(OutCol {
+                    name: name.clone(),
+                    kind,
+                });
             }
             n.outputs = outputs;
             n
         }
-        Plan::Join { left, right, kind, on, right_prefix } => {
+        Plan::Join {
+            left,
+            right,
+            kind,
+            on,
+            right_prefix,
+        } => {
             if *kind != crate::plan::JoinKind::Inner {
                 return Err(unsupported("outer join").into());
             }
@@ -263,7 +290,10 @@ fn walk(plan: &Plan, cat: &Catalog) -> Result<Norm, NormError> {
                 } else {
                     o.name.clone()
                 };
-                outputs.push(OutCol { name, kind: o.kind.clone() });
+                outputs.push(OutCol {
+                    name,
+                    kind: o.kind.clone(),
+                });
             }
             let mut join_pairs: BTreeSet<(String, String)> =
                 l.join_pairs.union(&r.join_pairs).cloned().collect();
@@ -287,7 +317,11 @@ fn walk(plan: &Plan, cat: &Catalog) -> Result<Norm, NormError> {
                 limit: None,
             }
         }
-        Plan::Aggregate { input, group_by, aggs } => {
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let mut n = walk(input, cat)?;
             if n.grain.is_some() {
                 return Err(unsupported("nested aggregation").into());
@@ -303,14 +337,20 @@ fn walk(plan: &Plan, cat: &Catalog) -> Result<Norm, NormError> {
             for g in group_by {
                 let e = plain_col(&n, g)?;
                 grain.push(e.clone());
-                outputs.push(OutCol { name: g.clone(), kind: OutKind::Plain(e) });
+                outputs.push(OutCol {
+                    name: g.clone(),
+                    kind: OutKind::Plain(e),
+                });
             }
             for a in aggs {
                 let arg = match &a.arg {
                     Some(c) => Some(plain_col(&n, c)?),
                     None => None,
                 };
-                outputs.push(OutCol { name: a.name.clone(), kind: OutKind::Agg(a.func, arg) });
+                outputs.push(OutCol {
+                    name: a.name.clone(),
+                    kind: OutKind::Agg(a.func, arg),
+                });
             }
             n.grain = Some(grain);
             n.outputs = outputs;
@@ -340,8 +380,11 @@ fn plain_col(n: &Norm, name: &str) -> Result<Expr, NormError> {
             Err(unsupported(format!("aggregate output {name:?} used as a plain column")).into())
         }
         None => Err(NormError::Query(QueryError::Relation(
-            bi_types::TypeError::NoSuchColumn { name: name.to_string(), schema: "normalized outputs".into() }
-                .into(),
+            bi_types::TypeError::NoSuchColumn {
+                name: name.to_string(),
+                schema: "normalized outputs".into(),
+            }
+            .into(),
         ))),
     }
 }
@@ -362,7 +405,9 @@ fn subst_expr(e: &Expr, n: &Norm) -> Result<Expr, NormError> {
     let result = replace_cols(&mapped, &mut |c| match n.output(c).map(|o| &o.kind) {
         Some(OutKind::Plain(pe)) => Some(pe.clone()),
         Some(OutKind::Agg(..)) => {
-            err = Some(unsupported(format!("aggregate output {c:?} used in a row expression")));
+            err = Some(unsupported(format!(
+                "aggregate output {c:?} used in a row expression"
+            )));
             None
         }
         None => {
@@ -390,9 +435,11 @@ pub(crate) fn replace_cols(e: &Expr, f: &mut impl FnMut(&str) -> Option<Expr>) -
         Expr::Not(x) => Expr::Not(Box::new(replace_cols(x, f))),
         Expr::Neg(x) => Expr::Neg(Box::new(replace_cols(x, f))),
         Expr::IsNull(x) => Expr::IsNull(Box::new(replace_cols(x, f))),
-        Expr::Bin(op, l, r) => {
-            Expr::Bin(*op, Box::new(replace_cols(l, f)), Box::new(replace_cols(r, f)))
-        }
+        Expr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(replace_cols(l, f)),
+            Box::new(replace_cols(r, f)),
+        ),
         Expr::Func(func, args) => {
             Expr::Func(*func, args.iter().map(|a| replace_cols(a, f)).collect())
         }
@@ -440,30 +487,43 @@ mod tests {
             n.filters[0],
             Expr::Func(Func::Year, vec![qcol("Prescriptions.Date")]).eq(lit(2007))
         );
-        assert_eq!(n.outputs[0].kind, OutKind::Plain(qcol("Prescriptions.Patient")));
+        assert_eq!(
+            n.outputs[0].kind,
+            OutKind::Plain(qcol("Prescriptions.Patient"))
+        );
     }
 
     #[test]
     fn joins_collect_pairs_and_reject_self_joins() {
         let cat = paper_catalog();
-        let p = scan("Prescriptions").join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc");
+        let p = scan("Prescriptions").join(
+            scan("DrugCost"),
+            vec![("Drug".into(), "Drug".into())],
+            "dc",
+        );
         let n = normalize(&p, &cat).unwrap();
-        assert!(n
-            .join_pairs
-            .contains(&("DrugCost.Drug".to_string(), "Prescriptions.Drug".to_string())));
+        assert!(n.join_pairs.contains(&(
+            "DrugCost.Drug".to_string(),
+            "Prescriptions.Drug".to_string()
+        )));
         assert_eq!(n.tables.len(), 2);
         // Output renaming matches the executor's rule.
         assert!(n.output("dc.Drug").is_some());
 
         let selfj = scan("Prescriptions").join(scan("Prescriptions"), vec![], "p2");
-        assert!(matches!(normalize(&selfj, &cat), Err(NormError::Shape(NotDerivable::Unsupported { .. }))));
+        assert!(matches!(
+            normalize(&selfj, &cat),
+            Err(NormError::Shape(NotDerivable::Unsupported { .. }))
+        ));
     }
 
     #[test]
     fn aggregation_sets_grain() {
         let cat = paper_catalog();
-        let p = scan("Prescriptions")
-            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")]);
+        let p = scan("Prescriptions").aggregate(
+            vec!["Drug".into()],
+            vec![AggItem::count_star("Consumption")],
+        );
         let n = normalize(&p, &cat).unwrap();
         assert_eq!(n.grain.as_ref().unwrap(), &vec![qcol("Prescriptions.Drug")]);
         assert_eq!(n.outputs[1].kind, OutKind::Agg(AggFunc::Count, None));
@@ -475,8 +535,8 @@ mod tests {
     #[test]
     fn post_agg_filter_on_group_col_ok_on_agg_not() {
         let cat = paper_catalog();
-        let base = scan("Prescriptions")
-            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
+        let base =
+            scan("Prescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
         let ok = base.clone().filter(col("Drug").eq(lit("DR")));
         assert!(normalize(&ok, &cat).is_ok());
         let bad = base.filter(col("n").gt(lit(1)));
@@ -488,7 +548,11 @@ mod tests {
         let cat = paper_catalog();
         let u = scan("DrugCost").union(scan("DrugCost"));
         assert!(matches!(normalize(&u, &cat), Err(NormError::Shape(_))));
-        let oj = scan("Prescriptions").left_join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc");
+        let oj = scan("Prescriptions").left_join(
+            scan("DrugCost"),
+            vec![("Drug".into(), "Drug".into())],
+            "dc",
+        );
         assert!(matches!(normalize(&oj, &cat), Err(NormError::Shape(_))));
     }
 

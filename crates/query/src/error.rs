@@ -64,7 +64,9 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(QueryError::UnknownRelation { name: "X".into() }.to_string().contains("X"));
+        assert!(QueryError::UnknownRelation { name: "X".into() }
+            .to_string()
+            .contains("X"));
         let e: QueryError = RelationError::DivisionByZero.into();
         assert!(e.to_string().contains("zero"));
     }

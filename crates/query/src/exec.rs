@@ -80,10 +80,14 @@ pub(crate) fn exec_guarded(
                 return Ok(t.clone());
             }
             let Some(view) = cat.view(table) else {
-                return Err(QueryError::UnknownRelation { name: table.clone() });
+                return Err(QueryError::UnknownRelation {
+                    name: table.clone(),
+                });
             };
             if stack.iter().any(|n| n == table) {
-                return Err(QueryError::CyclicView { name: table.clone() });
+                return Err(QueryError::CyclicView {
+                    name: table.clone(),
+                });
             }
             stack.push(table.clone());
             let mut out = exec_guarded(view, cat, cfg, stack)?;
@@ -99,13 +103,23 @@ pub(crate) fn exec_guarded(
             let t = exec_guarded(input, cat, cfg, stack)?;
             project_op(&t, items, cfg)
         }
-        Plan::Join { left, right, kind, on, right_prefix } => {
+        Plan::Join {
+            left,
+            right,
+            kind,
+            on,
+            right_prefix,
+        } => {
             let lt = exec_guarded(left, cat, cfg, stack)?;
             let rt = exec_guarded(right, cat, cfg, stack)?;
             cfg.obs.count(Counter::QueryJoin);
             join_with(&lt, &rt, *kind, on, right_prefix, cfg)
         }
-        Plan::Aggregate { input, group_by, aggs } => {
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let t = exec_guarded(input, cat, cfg, stack)?;
             aggregate_op(&t, group_by, aggs, cfg)
         }
@@ -128,7 +142,11 @@ pub(crate) fn exec_guarded(
             // Fuse `Limit(Sort(…))` into a top-k: the sort kernel then
             // partitions out the k smallest instead of ordering all rows.
             if cfg.columnar {
-                if let Plan::Sort { input: sort_input, keys } = input.as_ref() {
+                if let Plan::Sort {
+                    input: sort_input,
+                    keys,
+                } = input.as_ref()
+                {
                     cfg.obs.count(Counter::QueryLimit);
                     cfg.obs.count(Counter::QuerySort);
                     let t = exec_guarded(sort_input, cat, cfg, stack)?;
@@ -195,7 +213,11 @@ pub(crate) fn limit_op(t: &Table, n: usize, cfg: &ExecConfig) -> Result<Table, Q
     cfg.obs.count(bi_exec::Counter::QueryLimit);
     // A prefix of an already-validated table needs no re-check.
     let rows: Vec<_> = t.rows().iter().take(n).cloned().collect();
-    Ok(Table::from_rows_trusted(t.name().to_string(), t.schema_shared(), rows))
+    Ok(Table::from_rows_trusted(
+        t.name().to_string(),
+        t.schema_shared(),
+        rows,
+    ))
 }
 
 /// Sort (optionally truncated to `limit` rows) via the columnar
@@ -212,14 +234,19 @@ fn sort_with(
 ) -> Result<Table, QueryError> {
     use bi_exec::Counter;
     if cfg.columnar {
-        let idxs: Result<Vec<usize>, _> =
-            keys.iter().map(|k| t.schema().index_of(&k.column)).collect();
+        let idxs: Result<Vec<usize>, _> = keys
+            .iter()
+            .map(|k| t.schema().index_of(&k.column))
+            .collect();
         if let Ok(idxs) = idxs {
             match bi_relation::ColumnChunk::from_table_cols_cached(t, &idxs, cfg) {
                 Ok(chunk) => {
                     cfg.obs.count(Counter::ColumnarConvert);
-                    let spec: Vec<(usize, bool)> =
-                        idxs.iter().zip(keys).map(|(&c, k)| (c, k.descending)).collect();
+                    let spec: Vec<(usize, bool)> = idxs
+                        .iter()
+                        .zip(keys)
+                        .map(|(&c, k)| (c, k.descending))
+                        .collect();
                     if let Some(perm) = bi_relation::sort_permutation(&chunk, &spec, limit) {
                         cfg.obs.count(Counter::ColumnarSortHit);
                         cfg.obs.count(Counter::PlanChoiceColumnar);
@@ -322,15 +349,32 @@ fn join_keys_u64(col: &bi_relation::ChunkColumn, float_space: bool) -> Option<Ve
         ColumnData::Int(d) => d
             .iter()
             .enumerate()
-            .map(|(i, x)| mk(i, if float_space { Value::float_key(*x as f64) } else { *x as u64 }))
+            .map(|(i, x)| {
+                mk(
+                    i,
+                    if float_space {
+                        Value::float_key(*x as f64)
+                    } else {
+                        *x as u64
+                    },
+                )
+            })
             .collect(),
-        ColumnData::Float(d) => {
-            d.iter().enumerate().map(|(i, x)| mk(i, Value::float_key(*x))).collect()
-        }
-        ColumnData::Date(d) => {
-            d.iter().enumerate().map(|(i, x)| mk(i, x.days_from_epoch() as u64)).collect()
-        }
-        ColumnData::Bool(d) => d.iter().enumerate().map(|(i, x)| mk(i, *x as u64)).collect(),
+        ColumnData::Float(d) => d
+            .iter()
+            .enumerate()
+            .map(|(i, x)| mk(i, Value::float_key(*x)))
+            .collect(),
+        ColumnData::Date(d) => d
+            .iter()
+            .enumerate()
+            .map(|(i, x)| mk(i, x.days_from_epoch() as u64))
+            .collect(),
+        ColumnData::Bool(d) => d
+            .iter()
+            .enumerate()
+            .map(|(i, x)| mk(i, *x as u64))
+            .collect(),
         ColumnData::Text { .. } => return None,
     })
 }
@@ -389,29 +433,55 @@ fn encode_key_pair(
 ) -> Option<(Vec<Option<u64>>, Vec<Option<u64>>)> {
     use bi_relation::ColumnData;
     if let (
-        ColumnData::Text { codes: lcodes, dict: ldict },
-        ColumnData::Text { codes: rcodes, dict: rdict },
+        ColumnData::Text {
+            codes: lcodes,
+            dict: ldict,
+        },
+        ColumnData::Text {
+            codes: rcodes,
+            dict: rdict,
+        },
     ) = (&lcol.data, &rcol.data)
     {
         const NO_MATCH: u64 = u64::MAX;
         let trans: Vec<u64> = (0..ldict.len() as u32)
-            .map(|lc| rdict.code_of(ldict.get(lc)).map(|c| c as u64).unwrap_or(NO_MATCH))
+            .map(|lc| {
+                rdict
+                    .code_of(ldict.get(lc))
+                    .map(|c| c as u64)
+                    .unwrap_or(NO_MATCH)
+            })
             .collect();
         let l = lcodes
             .iter()
             .enumerate()
-            .map(|(i, &c)| if lcol.validity.is_null(i) { None } else { Some(trans[c as usize]) })
+            .map(|(i, &c)| {
+                if lcol.validity.is_null(i) {
+                    None
+                } else {
+                    Some(trans[c as usize])
+                }
+            })
             .collect();
         let r = rcodes
             .iter()
             .enumerate()
-            .map(|(i, &c)| if rcol.validity.is_null(i) { None } else { Some(c as u64) })
+            .map(|(i, &c)| {
+                if rcol.validity.is_null(i) {
+                    None
+                } else {
+                    Some(c as u64)
+                }
+            })
             .collect();
         return Some((l, r));
     }
-    let float_space = matches!(lcol.data, ColumnData::Float(_))
-        || matches!(rcol.data, ColumnData::Float(_));
-    Some((join_keys_u64(lcol, float_space)?, join_keys_u64(rcol, float_space)?))
+    let float_space =
+        matches!(lcol.data, ColumnData::Float(_)) || matches!(rcol.data, ColumnData::Float(_));
+    Some((
+        join_keys_u64(lcol, float_space)?,
+        join_keys_u64(rcol, float_space)?,
+    ))
 }
 
 /// Columnar equality join, any number of key pairs. Single text keys
@@ -440,13 +510,20 @@ fn join_columnar(
     }
     // Same error order as the serial path: schema first, then keys.
     let schema = join_schema(left, right, kind, right_prefix)?;
-    let lks: Vec<usize> =
-        on.iter().map(|(l, _)| left.schema().index_of(l)).collect::<Result<_, _>>()?;
-    let rks: Vec<usize> =
-        on.iter().map(|(_, r)| right.schema().index_of(r)).collect::<Result<_, _>>()?;
+    let lks: Vec<usize> = on
+        .iter()
+        .map(|(l, _)| left.schema().index_of(l))
+        .collect::<Result<_, _>>()?;
+    let rks: Vec<usize> = on
+        .iter()
+        .map(|(_, r)| right.schema().index_of(r))
+        .collect::<Result<_, _>>()?;
     let numeric = |t: DataType| matches!(t, DataType::Int | DataType::Float);
     for (&lk, &rk) in lks.iter().zip(&rks) {
-        let (lt, rt) = (left.schema().columns()[lk].dtype, right.schema().columns()[rk].dtype);
+        let (lt, rt) = (
+            left.schema().columns()[lk].dtype,
+            right.schema().columns()[rk].dtype,
+        );
         if lt != rt && !(numeric(lt) && numeric(rt)) {
             // Cross-typed keys never compare equal; not worth a kernel.
             cfg.obs.count(Counter::ColumnarJoinDeclineShape);
@@ -482,8 +559,14 @@ fn join_columnar(
         };
 
         if let (
-            ColumnData::Text { codes: lcodes, dict: ldict },
-            ColumnData::Text { codes: rcodes, dict: rdict },
+            ColumnData::Text {
+                codes: lcodes,
+                dict: ldict,
+            },
+            ColumnData::Text {
+                codes: rcodes,
+                dict: rdict,
+            },
         ) = (&lcol.data, &rcol.data)
         {
             cfg.obs.count(Counter::ColumnarJoinHit);
@@ -513,16 +596,19 @@ fn join_columnar(
                     rc => &by_code[rc as usize],
                 }
             };
-            return Ok(Some(emit_join_rows(left, right, schema, kind, cfg, matches_of)));
+            return Ok(Some(emit_join_rows(
+                left, right, schema, kind, cfg, matches_of,
+            )));
         }
 
         // Non-text keys: one shared u64 keyspace (f64 `float_key` space
         // as soon as either side is Float).
-        let float_space = matches!(lcol.data, ColumnData::Float(_))
-            || matches!(rcol.data, ColumnData::Float(_));
-        let (Some(lkeys), Some(rkeys)) =
-            (join_keys_u64(lcol, float_space), join_keys_u64(rcol, float_space))
-        else {
+        let float_space =
+            matches!(lcol.data, ColumnData::Float(_)) || matches!(rcol.data, ColumnData::Float(_));
+        let (Some(lkeys), Some(rkeys)) = (
+            join_keys_u64(lcol, float_space),
+            join_keys_u64(rcol, float_space),
+        ) else {
             cfg.obs.count(Counter::ColumnarJoinDeclineShape);
             return Ok(None);
         };
@@ -538,9 +624,14 @@ fn join_columnar(
         let _probe_span = cfg.obs.span(bi_exec::SpanKind::QueryJoinProbe);
         let empty: &[u32] = &[];
         let matches_of = |i: usize| -> &[u32] {
-            lkeys[i].and_then(|k| index.get(&k)).map(Vec::as_slice).unwrap_or(empty)
+            lkeys[i]
+                .and_then(|k| index.get(&k))
+                .map(Vec::as_slice)
+                .unwrap_or(empty)
         };
-        return Ok(Some(emit_join_rows(left, right, schema, kind, cfg, matches_of)));
+        return Ok(Some(emit_join_rows(
+            left, right, schema, kind, cfg, matches_of,
+        )));
     }
 
     // Multi-key: composite keys from per-pair u64 encodings. A NULL in
@@ -565,8 +656,7 @@ fn join_columnar(
     let composite = |encs: &[Vec<Option<u64>>], i: usize| -> Option<Vec<u64>> {
         encs.iter().map(|e| e[i]).collect()
     };
-    let mut index: std::collections::HashMap<Vec<u64>, Vec<u32>> =
-        std::collections::HashMap::new();
+    let mut index: std::collections::HashMap<Vec<u64>, Vec<u32>> = std::collections::HashMap::new();
     for i in 0..right.len() {
         if let Some(key) = composite(&renc, i) {
             index.entry(key).or_default().push(i as u32);
@@ -581,7 +671,9 @@ fn join_columnar(
             .map(Vec::as_slice)
             .unwrap_or(empty)
     };
-    Ok(Some(emit_join_rows(left, right, schema, kind, cfg, matches_of)))
+    Ok(Some(emit_join_rows(
+        left, right, schema, kind, cfg, matches_of,
+    )))
 }
 
 fn join(
@@ -593,10 +685,14 @@ fn join(
     cfg: &ExecConfig,
 ) -> Result<Table, QueryError> {
     let schema = join_schema(left, right, kind, right_prefix)?;
-    let left_keys: Vec<usize> =
-        on.iter().map(|(l, _)| left.schema().index_of(l)).collect::<Result<_, _>>()?;
-    let right_keys: Vec<usize> =
-        on.iter().map(|(_, r)| right.schema().index_of(r)).collect::<Result<_, _>>()?;
+    let left_keys: Vec<usize> = on
+        .iter()
+        .map(|(l, _)| left.schema().index_of(l))
+        .collect::<Result<_, _>>()?;
+    let right_keys: Vec<usize> = on
+        .iter()
+        .map(|(_, r)| right.schema().index_of(r))
+        .collect::<Result<_, _>>()?;
 
     // Build a composite-key hash map over the right side. Rows with any
     // NULL key never match (SQL equality).
@@ -617,8 +713,11 @@ fn join(
     let right_width = right.schema().len();
     for lrow in left.rows() {
         let key: Vec<Value> = left_keys.iter().map(|&c| lrow[c].clone()).collect();
-        let matches: &[usize] =
-            if key.iter().any(Value::is_null) { &[] } else { index.get(&key).map(Vec::as_slice).unwrap_or(&[]) };
+        let matches: &[usize] = if key.iter().any(Value::is_null) {
+            &[]
+        } else {
+            index.get(&key).map(Vec::as_slice).unwrap_or(&[])
+        };
         if matches.is_empty() {
             if kind == JoinKind::Left {
                 let mut row = lrow.clone();
@@ -656,10 +755,14 @@ fn join_parallel(
 ) -> Result<Table, QueryError> {
     use std::collections::HashMap;
     let schema = join_schema(left, right, kind, right_prefix)?;
-    let left_keys: Vec<usize> =
-        on.iter().map(|(l, _)| left.schema().index_of(l)).collect::<Result<_, _>>()?;
-    let right_keys: Vec<usize> =
-        on.iter().map(|(_, r)| right.schema().index_of(r)).collect::<Result<_, _>>()?;
+    let left_keys: Vec<usize> = on
+        .iter()
+        .map(|(l, _)| left.schema().index_of(l))
+        .collect::<Result<_, _>>()?;
+    let right_keys: Vec<usize> = on
+        .iter()
+        .map(|(_, r)| right.schema().index_of(r))
+        .collect::<Result<_, _>>()?;
 
     let p = bi_exec::partition_count(cfg);
     let key_of = |row: &[Value], keys: &[usize]| -> Vec<Value> {
@@ -687,7 +790,10 @@ fn join_parallel(
         let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
         for morsel in &partitioned {
             for &ri in &morsel[pi] {
-                index.entry(key_of(&right.rows()[ri], &right_keys)).or_default().push(ri);
+                index
+                    .entry(key_of(&right.rows()[ri], &right_keys))
+                    .or_default()
+                    .push(ri);
             }
         }
         index
@@ -729,7 +835,11 @@ fn join_parallel(
     let rows: Vec<Vec<Value>> = blocks.into_iter().flatten().collect();
     // Probe outputs splice two validated tables under the joined schema;
     // re-validating every row would cost O(rows × cols) for nothing.
-    Ok(Table::from_rows_trusted(join_output_name(left, right), schema, rows))
+    Ok(Table::from_rows_trusted(
+        join_output_name(left, right),
+        schema,
+        rows,
+    ))
 }
 
 fn aggregate_with(
@@ -777,8 +887,10 @@ fn aggregate_with(
 /// which surfaces the error). O([`CARDINALITY_SAMPLE`]) regardless of
 /// input size.
 fn estimate_groups(input: &Table, group_by: &[String]) -> Option<usize> {
-    let key_idx: Vec<usize> =
-        group_by.iter().map(|g| input.schema().index_of(g).ok()).collect::<Option<_>>()?;
+    let key_idx: Vec<usize> = group_by
+        .iter()
+        .map(|g| input.schema().index_of(g).ok())
+        .collect::<Option<_>>()?;
     let n = input.len();
     let stride = (n / CARDINALITY_SAMPLE).max(1);
     let mut seen: std::collections::HashSet<Vec<&Value>> = std::collections::HashSet::new();
@@ -817,8 +929,10 @@ fn aggregate_columnar(
         return Ok(None);
     }
     let (schema, arg_idx) = aggregate_header(input.schema(), group_by, aggs)?;
-    let key_cols: Vec<usize> =
-        group_by.iter().map(|g| input.schema().index_of(g)).collect::<Result<_, _>>()?;
+    let key_cols: Vec<usize> = group_by
+        .iter()
+        .map(|g| input.schema().index_of(g))
+        .collect::<Result<_, _>>()?;
     let chunk = match ColumnChunk::from_table_cols_cached(input, &key_cols, cfg) {
         Ok(c) => c,
         Err(e) => {
@@ -885,13 +999,15 @@ fn aggregate_columnar(
     for members in &groups {
         // The serial engine emits the *first* row's key values verbatim
         // (matters for Value-equal but distinct bytes, e.g. -0.0/0.0).
-        let mut row: Vec<Value> =
-            key_cols.iter().map(|&c| input.rows()[members[0]][c].clone()).collect();
+        let mut row: Vec<Value> = key_cols
+            .iter()
+            .map(|&c| input.rows()[members[0]][c].clone())
+            .collect();
         for ((a, arg), arg_chunk) in aggs.iter().zip(&arg_idx).zip(&arg_chunks) {
             let kernel = match (arg_chunk, arg) {
-                (Some(ch), Some(c)) => {
-                    ch.column(*c).and_then(|col| eval_agg_columnar(a.func, col, members))
-                }
+                (Some(ch), Some(c)) => ch
+                    .column(*c)
+                    .and_then(|col| eval_agg_columnar(a.func, col, members)),
                 _ => None,
             };
             row.push(match kernel {
@@ -901,7 +1017,11 @@ fn aggregate_columnar(
         }
         rows.push(row);
     }
-    Ok(Some(Table::from_rows_trusted(input.name().to_string(), schema, rows)))
+    Ok(Some(Table::from_rows_trusted(
+        input.name().to_string(),
+        schema,
+        rows,
+    )))
 }
 
 /// `Value::cmp` of cells `i` and `j` of one typed column (both valid).
@@ -931,9 +1051,9 @@ fn eval_agg_columnar(
     use bi_relation::ColumnData;
     let valid = |i: usize| !col.validity.is_null(i);
     Some(match (func, &col.data) {
-        (AggFunc::Count, _) => {
-            Ok(Value::Int(members.iter().filter(|&&i| valid(i)).count() as i64))
-        }
+        (AggFunc::Count, _) => Ok(Value::Int(
+            members.iter().filter(|&&i| valid(i)).count() as i64
+        )),
         (AggFunc::CountDistinct, data) => {
             let mut set: std::collections::HashSet<u64> = std::collections::HashSet::new();
             for &i in members {
@@ -963,7 +1083,9 @@ fn eval_agg_columnar(
                 sum = match sum.checked_add(v[i]) {
                     Some(s) => s,
                     None => {
-                        return Some(Err(bi_relation::RelationError::Overflow { op: "sum" }.into()))
+                        return Some(Err(
+                            bi_relation::RelationError::Overflow { op: "sum" }.into()
+                        ))
                     }
                 };
             }
@@ -989,7 +1111,11 @@ fn eval_agg_columnar(
                     n += 1;
                 }
             }
-            Ok(if n == 0 { Value::Null } else { Value::Float(sum / n as f64) })
+            Ok(if n == 0 {
+                Value::Null
+            } else {
+                Value::Float(sum / n as f64)
+            })
         }
         (AggFunc::Avg, ColumnData::Float(v)) => {
             let mut sum = 0.0f64;
@@ -1000,7 +1126,11 @@ fn eval_agg_columnar(
                     n += 1;
                 }
             }
-            Ok(if n == 0 { Value::Null } else { Value::Float(sum / n as f64) })
+            Ok(if n == 0 {
+                Value::Null
+            } else {
+                Value::Float(sum / n as f64)
+            })
         }
         (AggFunc::Min, data) | (AggFunc::Max, data) => {
             let is_max = func == AggFunc::Max;
@@ -1015,9 +1145,12 @@ fn eval_agg_columnar(
                         let ord = cmp_cells(data, i, b);
                         // min keeps the first minimum (strict <); max
                         // keeps the last maximum (≥).
-                        let replace =
-                            if is_max { ord.is_ge() } else { ord.is_lt() };
-                        if replace { i } else { b }
+                        let replace = if is_max { ord.is_ge() } else { ord.is_lt() };
+                        if replace {
+                            i
+                        } else {
+                            b
+                        }
                     }
                 });
             }
@@ -1090,13 +1223,14 @@ fn aggregate_parallel(
 ) -> Result<Table, QueryError> {
     use std::collections::HashMap;
     let (schema, arg_idx) = aggregate_header(input.schema(), group_by, aggs)?;
-    let key_idx: Vec<usize> =
-        group_by.iter().map(|g| input.schema().index_of(g)).collect::<Result<_, _>>()?;
+    let key_idx: Vec<usize> = group_by
+        .iter()
+        .map(|g| input.schema().index_of(g))
+        .collect::<Result<_, _>>()?;
 
     let p = bi_exec::partition_count(cfg);
-    let key_of = |ri: usize| -> Vec<&Value> {
-        key_idx.iter().map(|&c| &input.rows()[ri][c]).collect()
-    };
+    let key_of =
+        |ri: usize| -> Vec<&Value> { key_idx.iter().map(|&c| &input.rows()[ri][c]).collect() };
 
     // Phase 1: morsel-parallel partitioning by key hash.
     let partitioned: Vec<Vec<Vec<usize>>> =
@@ -1143,7 +1277,11 @@ fn aggregate_parallel(
     })?;
     // Keys come from validated input rows and aggregates are nullable by
     // schema construction — no re-validation needed.
-    Ok(Table::from_rows_trusted(input.name().to_string(), schema, rows))
+    Ok(Table::from_rows_trusted(
+        input.name().to_string(),
+        schema,
+        rows,
+    ))
 }
 
 fn eval_agg(
@@ -1154,7 +1292,9 @@ fn eval_agg(
 ) -> Result<Value, QueryError> {
     // Non-null argument values of the group, or None for COUNT(*).
     let values = arg.map(|c| {
-        rows.iter().map(move |&r| &input.rows()[r][c]).filter(|v: &&Value| !v.is_null())
+        rows.iter()
+            .map(move |&r| &input.rows()[r][c])
+            .filter(|v: &&Value| !v.is_null())
     });
     eval_agg_values(func, rows.len(), values)
 }
@@ -1181,7 +1321,9 @@ where
             Value::Int(set.len() as i64)
         }
         (AggFunc::CountDistinct, None) => {
-            return Err(QueryError::BadAggregate { reason: "count_distinct requires an argument".into() })
+            return Err(QueryError::BadAggregate {
+                reason: "count_distinct requires an argument".into(),
+            })
         }
         (AggFunc::Sum, Some(vals)) => {
             let mut int_sum: i64 = 0;
@@ -1202,7 +1344,9 @@ where
                         float_sum += *f;
                     }
                     other => {
-                        return Err(QueryError::BadAggregate { reason: format!("sum over {other:?}") })
+                        return Err(QueryError::BadAggregate {
+                            reason: format!("sum over {other:?}"),
+                        })
                     }
                 }
             }
@@ -1230,7 +1374,9 @@ where
         (AggFunc::Min, Some(vals)) => vals.min().cloned().unwrap_or(Value::Null),
         (AggFunc::Max, Some(vals)) => vals.max().cloned().unwrap_or(Value::Null),
         (f, None) => {
-            return Err(QueryError::BadAggregate { reason: format!("{} requires an argument", f.name()) })
+            return Err(QueryError::BadAggregate {
+                reason: format!("{} requires an argument", f.name()),
+            })
         }
     })
 }
@@ -1247,7 +1393,10 @@ mod tests {
         // The paper's Fig. 4 report: drug → consumption (count).
         let cat = paper_catalog();
         let p = scan("Prescriptions")
-            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")])
+            .aggregate(
+                vec!["Drug".into()],
+                vec![AggItem::count_star("Consumption")],
+            )
             .sort(vec![SortKey::asc("Drug")]);
         let t = execute(&p, &cat).unwrap();
         assert_eq!(t.len(), 4);
@@ -1281,17 +1430,30 @@ mod tests {
         // matches nothing.
         let p = scan("Familydoctor").left_join(
             scan("Prescriptions"),
-            vec![("Patient".into(), "Patient".into()), ("Doctor".into(), "Doctor".into())],
+            vec![
+                ("Patient".into(), "Patient".into()),
+                ("Doctor".into(), "Doctor".into()),
+            ],
             "p",
         );
         let t = execute(&p, &cat).unwrap();
-        let chris: Vec<_> = t.rows().iter().filter(|r| r[0] == Value::from("Chris")).collect();
+        let chris: Vec<_> = t
+            .rows()
+            .iter()
+            .filter(|r| r[0] == Value::from("Chris"))
+            .collect();
         assert_eq!(chris.len(), 1);
-        assert!(chris[0][2].is_null(), "unmatched right side padded with NULL");
+        assert!(
+            chris[0][2].is_null(),
+            "unmatched right side padded with NULL"
+        );
         // Inner join would drop Chris entirely.
         let pi = scan("Familydoctor").join(
             scan("Prescriptions"),
-            vec![("Patient".into(), "Patient".into()), ("Doctor".into(), "Doctor".into())],
+            vec![
+                ("Patient".into(), "Patient".into()),
+                ("Doctor".into(), "Doctor".into()),
+            ],
             "p",
         );
         let ti = execute(&pi, &cat).unwrap();
@@ -1303,7 +1465,13 @@ mod tests {
         let cat = paper_catalog();
         let p = scan("Prescriptions")
             .filter(col("Patient").eq(lit("Nobody")))
-            .aggregate(vec![], vec![AggItem::count_star("n"), AggItem::new("s", AggFunc::Sum, "Drug")]);
+            .aggregate(
+                vec![],
+                vec![
+                    AggItem::count_star("n"),
+                    AggItem::new("s", AggFunc::Sum, "Drug"),
+                ],
+            );
         // Sum over Text is a static type error.
         assert!(execute(&p, &cat).is_err());
         let p = scan("Prescriptions")
@@ -1339,24 +1507,36 @@ mod tests {
     #[test]
     fn count_column_skips_nulls() {
         let cat = paper_catalog();
-        let p = scan("Prescriptions")
-            .aggregate(vec![], vec![AggItem::new("doctors", AggFunc::Count, "Doctor")]);
+        let p = scan("Prescriptions").aggregate(
+            vec![],
+            vec![AggItem::new("doctors", AggFunc::Count, "Doctor")],
+        );
         let t = execute(&p, &cat).unwrap();
-        assert_eq!(t.rows()[0][0], Value::Int(4), "Chris's NULL doctor not counted");
+        assert_eq!(
+            t.rows()[0][0],
+            Value::Int(4),
+            "Chris's NULL doctor not counted"
+        );
     }
 
     #[test]
     fn views_execute_transparently() {
         let mut cat = paper_catalog();
-        cat.add_view("NonHiv", scan("Prescriptions").filter(col("Disease").ne(lit("HIV"))))
-            .unwrap();
+        cat.add_view(
+            "NonHiv",
+            scan("Prescriptions").filter(col("Disease").ne(lit("HIV"))),
+        )
+        .unwrap();
         let t = execute(&scan("NonHiv"), &cat).unwrap();
         assert_eq!(t.len(), 3);
         assert_eq!(t.name(), "NonHiv");
         // Cycles still error at execution.
         cat.add_view("L1", scan("L2")).unwrap();
         cat.add_view("L2", scan("L1")).unwrap();
-        assert!(matches!(execute(&scan("L1"), &cat), Err(QueryError::CyclicView { .. })));
+        assert!(matches!(
+            execute(&scan("L1"), &cat),
+            Err(QueryError::CyclicView { .. })
+        ));
     }
 
     #[test]
@@ -1379,16 +1559,21 @@ mod tests {
     fn join_output_names_are_distinct() {
         let cat = paper_catalog();
         // Self-join: the output must not collide with the input name.
-        let p = scan("Prescriptions").project_cols(&["Patient", "Drug"]).join(
-            scan("Prescriptions").project_cols(&["Drug"]),
-            vec![("Drug".into(), "Drug".into())],
-            "r",
-        );
+        let p = scan("Prescriptions")
+            .project_cols(&["Patient", "Drug"])
+            .join(
+                scan("Prescriptions").project_cols(&["Drug"]),
+                vec![("Drug".into(), "Drug".into())],
+                "r",
+            );
         let t = execute(&p, &cat).unwrap();
         assert_eq!(t.name(), "Prescriptions⋈Prescriptions");
         // Chained joins accumulate both sides.
-        let p = scan("Prescriptions")
-            .join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc");
+        let p = scan("Prescriptions").join(
+            scan("DrugCost"),
+            vec![("Drug".into(), "Drug".into())],
+            "dc",
+        );
         let t = execute(&p, &cat).unwrap();
         assert_eq!(t.name(), "Prescriptions⋈DrugCost");
     }
@@ -1405,7 +1590,11 @@ mod tests {
         .unwrap();
         let fact_rows: Vec<Vec<Value>> = (0..rows)
             .map(|i| {
-                let v = if i % 97 == 0 { Value::Null } else { Value::Int((i % 1000) as i64) };
+                let v = if i % 97 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int((i % 1000) as i64)
+                };
                 vec![
                     Value::Int((i % 500) as i64),
                     Value::text(format!("g{}", i % 37)),
@@ -1418,8 +1607,9 @@ mod tests {
             Column::new("Label", DataType::Text),
         ])
         .unwrap();
-        let dim_rows: Vec<Vec<Value>> =
-            (0..400).map(|i| vec![Value::Int(i), Value::text(format!("d{i}"))]).collect();
+        let dim_rows: Vec<Vec<Value>> = (0..400)
+            .map(|i| vec![Value::Int(i), Value::text(format!("d{i}"))])
+            .collect();
         let mut cat = Catalog::new();
         cat.put_table(Table::from_rows("Fact", fact_schema, fact_rows).unwrap());
         cat.put_table(Table::from_rows("Dim", dim_schema, dim_rows).unwrap());
@@ -1461,7 +1651,10 @@ mod tests {
         let cfg = ExecConfig::with_threads(8).with_pinned_threads(true);
         let par = execute_with(&plan, &cat, &cfg).unwrap();
         assert_eq!(par.rows(), serial.rows());
-        assert!(serial.rows().iter().any(|r| r[3].is_null()), "unmatched keys padded");
+        assert!(
+            serial.rows().iter().any(|r| r[3].is_null()),
+            "unmatched keys padded"
+        );
     }
 
     #[test]
@@ -1496,8 +1689,9 @@ mod tests {
             );
         let serial = execute(&plan, &cat).unwrap();
         for threads in [1, 2, 8] {
-            let cfg =
-                ExecConfig::with_threads(threads).with_columnar(true).with_pinned_threads(true);
+            let cfg = ExecConfig::with_threads(threads)
+                .with_columnar(true)
+                .with_pinned_threads(true);
             let par = execute_with(&plan, &cat, &cfg).unwrap();
             assert_eq!(par.schema(), serial.schema(), "threads={threads}");
             assert_eq!(par.rows(), serial.rows(), "threads={threads}");
@@ -1511,18 +1705,26 @@ mod tests {
         let cfg = ExecConfig::columnar();
         for plan in [
             // Text-key inner join on the paper's tables.
-            scan("Prescriptions")
-                .join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc"),
-            // Left join with NULL keys: Chris's NULL doctor matches nothing.
-            scan("Prescriptions").project_cols(&["Patient", "Doctor"]).left_join(
-                scan("Prescriptions").project_cols(&["Doctor"]),
-                vec![("Doctor".into(), "Doctor".into())],
-                "r",
+            scan("Prescriptions").join(
+                scan("DrugCost"),
+                vec![("Drug".into(), "Drug".into())],
+                "dc",
             ),
+            // Left join with NULL keys: Chris's NULL doctor matches nothing.
+            scan("Prescriptions")
+                .project_cols(&["Patient", "Doctor"])
+                .left_join(
+                    scan("Prescriptions").project_cols(&["Doctor"]),
+                    vec![("Doctor".into(), "Doctor".into())],
+                    "r",
+                ),
             // Multi-key joins take the composite-key kernel; result matches.
             scan("Familydoctor").left_join(
                 scan("Prescriptions"),
-                vec![("Patient".into(), "Patient".into()), ("Doctor".into(), "Doctor".into())],
+                vec![
+                    ("Patient".into(), "Patient".into()),
+                    ("Doctor".into(), "Doctor".into()),
+                ],
                 "p",
             ),
         ] {
@@ -1537,8 +1739,10 @@ mod tests {
     #[test]
     fn columnar_aggregate_errors_match_serial() {
         let cat = big_catalog(5_000);
-        let plan = scan("Fact")
-            .aggregate(vec!["G".into()], vec![AggItem::new("bad", AggFunc::Sum, "G")]);
+        let plan = scan("Fact").aggregate(
+            vec!["G".into()],
+            vec![AggItem::new("bad", AggFunc::Sum, "G")],
+        );
         let serial = execute(&plan, &cat).unwrap_err();
         let columnar = execute_with(&plan, &cat, &ExecConfig::columnar()).unwrap_err();
         assert_eq!(columnar, serial);
@@ -1549,11 +1753,13 @@ mod tests {
         let cat = paper_catalog();
         // Join Prescriptions to itself on Doctor: Chris's NULL doctor row
         // must not match any row (including itself).
-        let p = scan("Prescriptions").project_cols(&["Patient", "Doctor"]).join(
-            scan("Prescriptions").project_cols(&["Doctor"]),
-            vec![("Doctor".into(), "Doctor".into())],
-            "r",
-        );
+        let p = scan("Prescriptions")
+            .project_cols(&["Patient", "Doctor"])
+            .join(
+                scan("Prescriptions").project_cols(&["Doctor"]),
+                vec![("Doctor".into(), "Doctor".into())],
+                "r",
+            );
         let t = execute(&p, &cat).unwrap();
         assert!(t.rows().iter().all(|r| r[0] != Value::from("Chris")));
     }
@@ -1581,8 +1787,8 @@ mod tests {
     #[test]
     fn malformed_group_by_errors_identically_under_columnar() {
         let cat = paper_catalog();
-        let p = scan("Prescriptions")
-            .aggregate(vec!["Ghost".into()], vec![AggItem::count_star("n")]);
+        let p =
+            scan("Prescriptions").aggregate(vec!["Ghost".into()], vec![AggItem::count_star("n")]);
         let serial = execute(&p, &cat).unwrap_err();
         let columnar = execute_with(&p, &cat, &ExecConfig::columnar()).unwrap_err();
         assert_eq!(columnar, serial);
@@ -1600,11 +1806,18 @@ mod tests {
         // shape — such keys never compare equal.
         let p = scan("Prescriptions").join(
             scan("DrugCost"),
-            vec![("Drug".into(), "Drug".into()), ("Patient".into(), "Cost".into())],
+            vec![
+                ("Drug".into(), "Drug".into()),
+                ("Patient".into(), "Cost".into()),
+            ],
             "dc",
         );
         let observed = execute_with(&p, &cat, &cfg).unwrap();
-        assert_eq!(observed, execute(&p, &cat).unwrap(), "decline falls back byte-identically");
+        assert_eq!(
+            observed,
+            execute(&p, &cat).unwrap(),
+            "decline falls back byte-identically"
+        );
         let snap = obs.snapshot();
         assert_eq!(snap.counters.get("columnar.join.decline.shape"), Some(&1));
         assert_eq!(snap.counters.get("query.op.join"), Some(&1));
@@ -1623,7 +1836,10 @@ mod tests {
         // position must disqualify the row, as in the serial engine.
         let p = scan("Familydoctor").left_join(
             scan("Prescriptions"),
-            vec![("Patient".into(), "Patient".into()), ("Doctor".into(), "Doctor".into())],
+            vec![
+                ("Patient".into(), "Patient".into()),
+                ("Doctor".into(), "Doctor".into()),
+            ],
             "p",
         );
         let columnar = execute_with(&p, &cat, &cfg).unwrap();
@@ -1671,7 +1887,11 @@ mod tests {
                     _ if i % 19 == 0 => Value::Float(-0.0),
                     _ => Value::Float((i % 13) as f64 * 0.5),
                 };
-                let n = if i % 23 == 0 { Value::Null } else { Value::Int(i % 31) };
+                let n = if i % 23 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 31)
+                };
                 vec![Value::text(format!("a{}", i % 7)), Value::Int(i % 5), f, n]
             })
             .collect();
@@ -1740,7 +1960,9 @@ mod tests {
         cat.put_table(Table::from_rows("U", schema, rows).unwrap());
         let plan = scan("U").aggregate(vec!["Id".into()], vec![AggItem::count_star("n")]);
         let obs = bi_exec::Obs::enabled();
-        let cfg = ExecConfig::with_threads(8).with_pinned_threads(true).with_obs(obs.clone());
+        let cfg = ExecConfig::with_threads(8)
+            .with_pinned_threads(true)
+            .with_obs(obs.clone());
         let t = execute_with(&plan, &cat, &cfg).unwrap();
         assert_eq!(t.len(), 10_000);
         let snap = obs.snapshot();
@@ -1750,9 +1972,14 @@ mod tests {
         let cat = big_catalog(10_000);
         let plan = scan("Fact").aggregate(vec!["G".into()], vec![AggItem::count_star("n")]);
         let obs = bi_exec::Obs::enabled();
-        let cfg = ExecConfig::with_threads(8).with_pinned_threads(true).with_obs(obs.clone());
+        let cfg = ExecConfig::with_threads(8)
+            .with_pinned_threads(true)
+            .with_obs(obs.clone());
         execute_with(&plan, &cat, &cfg).unwrap();
-        assert_eq!(obs.snapshot().counters.get("plan.choice.parallel"), Some(&1));
+        assert_eq!(
+            obs.snapshot().counters.get("plan.choice.parallel"),
+            Some(&1)
+        );
     }
 
     /// A served columnar operator converts each input exactly once —
@@ -1762,8 +1989,11 @@ mod tests {
         let cat = paper_catalog();
         let obs = bi_exec::Obs::enabled();
         let cfg = ExecConfig::columnar().with_obs(obs.clone());
-        let p = scan("Prescriptions")
-            .join(scan("DrugCost"), vec![("Drug".into(), "Drug".into())], "dc");
+        let p = scan("Prescriptions").join(
+            scan("DrugCost"),
+            vec![("Drug".into(), "Drug".into())],
+            "dc",
+        );
         execute_with(&p, &cat, &cfg).unwrap();
         let snap = obs.snapshot();
         assert_eq!(snap.counters.get("columnar.join.hit"), Some(&1));

@@ -46,20 +46,39 @@ fn node_label(plan: &Plan) -> String {
             }
             format!("Project [{}]", parts.join(", "))
         }
-        Plan::Join { kind, on, right_prefix, .. } => {
+        Plan::Join {
+            kind,
+            on,
+            right_prefix,
+            ..
+        } => {
             let conds: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
             let k = match kind {
                 JoinKind::Inner => "HashJoin",
                 JoinKind::Left => "LeftHashJoin",
             };
-            format!("{k} on [{}] (right prefix {right_prefix:?})", conds.join(" AND "))
+            format!(
+                "{k} on [{}] (right prefix {right_prefix:?})",
+                conds.join(" AND ")
+            )
         }
         Plan::Aggregate { group_by, aggs, .. } => {
             let a: Vec<String> = aggs
                 .iter()
-                .map(|x| format!("{} := {}({})", x.name, x.func.name(), x.arg.as_deref().unwrap_or("*")))
+                .map(|x| {
+                    format!(
+                        "{} := {}({})",
+                        x.name,
+                        x.func.name(),
+                        x.arg.as_deref().unwrap_or("*")
+                    )
+                })
                 .collect();
-            format!("Aggregate by [{}] computing [{}]", group_by.join(", "), a.join(", "))
+            format!(
+                "Aggregate by [{}] computing [{}]",
+                group_by.join(", "),
+                a.join(", ")
+            )
         }
         Plan::Union { .. } => "UnionAll".to_string(),
         Plan::Distinct { .. } => "Distinct".to_string(),
@@ -74,7 +93,12 @@ fn node_label(plan: &Plan) -> String {
     }
 }
 
-fn walk(plan: &Plan, cat: Option<&Catalog>, depth: usize, out: &mut String) -> Result<(), QueryError> {
+fn walk(
+    plan: &Plan,
+    cat: Option<&Catalog>,
+    depth: usize,
+    out: &mut String,
+) -> Result<(), QueryError> {
     let mut label = node_label(plan);
     if let Some(cat) = cat {
         let schema = plan.schema(cat)?;

@@ -59,9 +59,7 @@ fn may_eval_error(e: &Expr) -> bool {
         Expr::Func(f, args) => {
             matches!(f, bi_relation::Func::Abs) || args.iter().any(may_eval_error)
         }
-        Expr::Between(x, lo, hi) => {
-            may_eval_error(x) || may_eval_error(lo) || may_eval_error(hi)
-        }
+        Expr::Between(x, lo, hi) => may_eval_error(x) || may_eval_error(lo) || may_eval_error(hi),
     }
 }
 
@@ -100,15 +98,27 @@ fn pushdown(plan: Plan, mut pending: Vec<Expr>, cat: &Catalog) -> Result<Plan, Q
                     }
                 }
                 let substituted = crate::contain::replace_cols(&c, &mut |name| {
-                    items.iter().find(|(n, _)| n == name).map(|(_, def)| def.clone())
+                    items
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, def)| def.clone())
                 });
                 below.push(substituted);
             }
             let inner = pushdown(*input, below, cat)?;
-            let projected = Plan::Project { input: Box::new(inner), items };
+            let projected = Plan::Project {
+                input: Box::new(inner),
+                items,
+            };
             Ok(wrap_filters(projected, above))
         }
-        Plan::Join { left, right, kind, on, right_prefix } => {
+        Plan::Join {
+            left,
+            right,
+            kind,
+            on,
+            right_prefix,
+        } => {
             // Column ownership: resolve against each side's schema using
             // the executor's naming rule (right-side clashes prefixed).
             let ls = left.schema(cat)?;
@@ -170,7 +180,11 @@ fn pushdown(plan: Plan, mut pending: Vec<Expr>, cat: &Catalog) -> Result<Plan, Q
             };
             Ok(wrap_filters(joined, above))
         }
-        Plan::Aggregate { input, group_by, aggs } => {
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             // Conjuncts over group-by columns commute with grouping.
             // A *global* aggregate (empty group-by) emits one row even on
             // empty input, so nothing may be pushed below it — a pushed
@@ -186,27 +200,45 @@ fn pushdown(plan: Plan, mut pending: Vec<Expr>, cat: &Catalog) -> Result<Plan, Q
                 }
             }
             let inner = pushdown(*input, below, cat)?;
-            let agg = Plan::Aggregate { input: Box::new(inner), group_by, aggs };
+            let agg = Plan::Aggregate {
+                input: Box::new(inner),
+                group_by,
+                aggs,
+            };
             Ok(wrap_filters(agg, above))
         }
         Plan::Distinct { input } => {
             let inner = pushdown(*input, pending, cat)?;
-            Ok(Plan::Distinct { input: Box::new(inner) })
+            Ok(Plan::Distinct {
+                input: Box::new(inner),
+            })
         }
         Plan::Sort { input, keys } => {
             let inner = pushdown(*input, pending, cat)?;
-            Ok(Plan::Sort { input: Box::new(inner), keys })
+            Ok(Plan::Sort {
+                input: Box::new(inner),
+                keys,
+            })
         }
         Plan::Limit { input, n } => {
             // Filters do NOT commute with LIMIT; stop pushing here.
             let inner = pushdown(*input, Vec::new(), cat)?;
-            Ok(wrap_filters(Plan::Limit { input: Box::new(inner), n }, pending))
+            Ok(wrap_filters(
+                Plan::Limit {
+                    input: Box::new(inner),
+                    n,
+                },
+                pending,
+            ))
         }
         Plan::Union { left, right } => {
             // Filters distribute over union (same column names both sides).
             let l = pushdown(*left, pending.clone(), cat)?;
             let r = pushdown(*right, pending, cat)?;
-            Ok(Plan::Union { left: Box::new(l), right: Box::new(r) })
+            Ok(Plan::Union {
+                left: Box::new(l),
+                right: Box::new(r),
+            })
         }
         Plan::Scan { .. } => Ok(wrap_filters(plan, pending)),
     }
@@ -222,7 +254,11 @@ fn wrap_filters(plan: Plan, conjuncts: Vec<Expr>) -> Plan {
 
 /// Projection pruning: `needed` is the set of output columns an ancestor
 /// requires (`None` = all). Inserts narrowing projections above scans.
-fn prune(plan: &Plan, needed: Option<&BTreeSet<String>>, cat: &Catalog) -> Result<Plan, QueryError> {
+fn prune(
+    plan: &Plan,
+    needed: Option<&BTreeSet<String>>,
+    cat: &Catalog,
+) -> Result<Plan, QueryError> {
     match plan {
         Plan::Scan { table } => {
             let schema = cat.schema_of(table)?;
@@ -248,15 +284,21 @@ fn prune(plan: &Plan, needed: Option<&BTreeSet<String>>, cat: &Catalog) -> Resul
                 n.extend(pred.columns_used());
             }
             let inner = prune(input, need.as_ref(), cat)?;
-            Ok(Plan::Filter { input: Box::new(inner), pred: pred.clone() })
+            Ok(Plan::Filter {
+                input: Box::new(inner),
+                pred: pred.clone(),
+            })
         }
         Plan::Project { input, items } => {
             // Keep only items an ancestor needs; require their inputs.
             let kept: Vec<(String, Expr)> = match needed {
                 None => items.clone(),
                 Some(need) => {
-                    let kept: Vec<_> =
-                        items.iter().filter(|(n, _)| need.contains(n)).cloned().collect();
+                    let kept: Vec<_> = items
+                        .iter()
+                        .filter(|(n, _)| need.contains(n))
+                        .cloned()
+                        .collect();
                     // Never emit a zero-column projection.
                     if kept.is_empty() {
                         items.clone()
@@ -270,9 +312,18 @@ fn prune(plan: &Plan, needed: Option<&BTreeSet<String>>, cat: &Catalog) -> Resul
                 need_below.extend(e.columns_used());
             }
             let inner = prune(input, Some(&need_below), cat)?;
-            Ok(Plan::Project { input: Box::new(inner), items: kept })
+            Ok(Plan::Project {
+                input: Box::new(inner),
+                items: kept,
+            })
         }
-        Plan::Join { left, right, kind, on, right_prefix } => {
+        Plan::Join {
+            left,
+            right,
+            kind,
+            on,
+            right_prefix,
+        } => {
             let ls = left.schema(cat)?;
             let rs = right.schema(cat)?;
             // Required output columns map back to side-local names.
@@ -319,7 +370,11 @@ fn prune(plan: &Plan, needed: Option<&BTreeSet<String>>, cat: &Catalog) -> Resul
                 right_prefix: right_prefix.clone(),
             })
         }
-        Plan::Aggregate { input, group_by, aggs } => {
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let mut need = BTreeSet::new();
             need.extend(group_by.iter().cloned());
             for a in aggs {
@@ -346,24 +401,33 @@ fn prune(plan: &Plan, needed: Option<&BTreeSet<String>>, cat: &Catalog) -> Resul
             // outputs on both sides identically — conservatively skip.
             let l = prune(left, None, cat)?;
             let r = prune(right, None, cat)?;
-            Ok(Plan::Union { left: Box::new(l), right: Box::new(r) })
+            Ok(Plan::Union {
+                left: Box::new(l),
+                right: Box::new(r),
+            })
         }
         Plan::Distinct { input } => {
             // DISTINCT dedups over ALL its input columns; narrowing the
             // input would change which rows count as duplicates and thus
             // the output multiset. Pruning stops here.
-            Ok(Plan::Distinct { input: Box::new(prune(input, None, cat)?) })
+            Ok(Plan::Distinct {
+                input: Box::new(prune(input, None, cat)?),
+            })
         }
         Plan::Sort { input, keys } => {
             let mut need = needed.cloned();
             if let Some(n) = &mut need {
                 n.extend(keys.iter().map(|k| k.column.clone()));
             }
-            Ok(Plan::Sort { input: Box::new(prune(input, need.as_ref(), cat)?), keys: keys.clone() })
+            Ok(Plan::Sort {
+                input: Box::new(prune(input, need.as_ref(), cat)?),
+                keys: keys.clone(),
+            })
         }
-        Plan::Limit { input, n } => {
-            Ok(Plan::Limit { input: Box::new(prune(input, needed, cat)?), n: *n })
-        }
+        Plan::Limit { input, n } => Ok(Plan::Limit {
+            input: Box::new(prune(input, needed, cat)?),
+            n: *n,
+        }),
     }
 }
 
@@ -385,7 +449,10 @@ mod tests {
         let mut rb = b.rows().to_vec();
         ra.sort();
         rb.sort();
-        assert_eq!(ra, rb, "optimize changed semantics\noriginal:  {plan}\noptimized: {optimized}");
+        assert_eq!(
+            ra, rb,
+            "optimize changed semantics\noriginal:  {plan}\noptimized: {optimized}"
+        );
         assert_eq!(a.schema().names(), b.schema().names(), "schema changed");
     }
 
@@ -405,7 +472,10 @@ mod tests {
             s.starts_with("project"),
             "filter pushed below projection: {s}"
         );
-        assert!(s.contains("filter[Disease = 'HIV']"), "substituted through the rename: {s}");
+        assert!(
+            s.contains("filter[Disease = 'HIV']"),
+            "substituted through the rename: {s}"
+        );
         assert_equivalent(&plan, &cat);
     }
 
@@ -433,7 +503,10 @@ mod tests {
             .left_join(scan("DrugCost"), vec![], "dc")
             .filter(col("Cost").is_null().not());
         let optimized = optimize(&plan, &cat).unwrap();
-        assert!(optimized.to_string().starts_with("filter"), "right-side predicate kept above the left join");
+        assert!(
+            optimized.to_string().starts_with("filter"),
+            "right-side predicate kept above the left join"
+        );
         assert_equivalent(&plan, &cat);
     }
 
@@ -445,7 +518,10 @@ mod tests {
             .filter(col("Drug").ne(lit("DM")));
         let optimized = optimize(&plan, &cat).unwrap();
         let s = optimized.to_string();
-        assert!(s.starts_with("agg"), "filter moved below the aggregate: {s}");
+        assert!(
+            s.starts_with("agg"),
+            "filter moved below the aggregate: {s}"
+        );
         assert_equivalent(&plan, &cat);
         // Filters over aggregate outputs must NOT move.
         let plan2 = scan("Prescriptions")
@@ -464,15 +540,18 @@ mod tests {
             .limit(2)
             .filter(col("Disease").eq(lit("HIV")));
         let optimized = optimize(&plan, &cat).unwrap();
-        assert!(optimized.to_string().starts_with("filter"), "filter must stay above limit");
+        assert!(
+            optimized.to_string().starts_with("filter"),
+            "filter must stay above limit"
+        );
         assert_equivalent(&plan, &cat);
     }
 
     #[test]
     fn scans_are_pruned_to_needed_columns() {
         let cat = paper_catalog();
-        let plan = scan("Prescriptions")
-            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
+        let plan =
+            scan("Prescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
         let optimized = optimize(&plan, &cat).unwrap();
         let s = optimized.to_string();
         assert!(s.contains("project[Drug]"), "scan narrowed to Drug: {s}");
@@ -482,8 +561,11 @@ mod tests {
     #[test]
     fn union_and_views_survive() {
         let mut cat = paper_catalog();
-        cat.add_view("NonHiv", scan("Prescriptions").filter(col("Disease").ne(lit("HIV"))))
-            .unwrap();
+        cat.add_view(
+            "NonHiv",
+            scan("Prescriptions").filter(col("Disease").ne(lit("HIV"))),
+        )
+        .unwrap();
         let plan = scan("NonHiv")
             .project_cols(&["Drug"])
             .union(scan("Prescriptions").project_cols(&["Drug"]))
@@ -584,7 +666,6 @@ mod review_fix_tests {
     }
 }
 
-
 #[cfg(test)]
 mod review_fix_tests_2 {
     use super::*;
@@ -602,11 +683,19 @@ mod review_fix_tests_2 {
         let pred = Expr::Bin(
             BinOp::Div,
             Box::new(lit(60)),
-            Box::new(Expr::Bin(BinOp::Sub, Box::new(col("Cost")), Box::new(lit(50)))),
+            Box::new(Expr::Bin(
+                BinOp::Sub,
+                Box::new(col("Cost")),
+                Box::new(lit(50)),
+            )),
         )
         .gt(lit(0));
         let plan = scan("DrugCost")
-            .join(scan("Prescriptions"), vec![("Drug".into(), "Drug".into())], "p")
+            .join(
+                scan("Prescriptions"),
+                vec![("Drug".into(), "Drug".into())],
+                "p",
+            )
             .filter(pred);
         let direct = execute(&plan, &cat).unwrap();
         assert!(!direct.is_empty());
@@ -617,14 +706,21 @@ mod review_fix_tests_2 {
         a.sort();
         b.sort();
         assert_eq!(a, b);
-        assert!(optimized.to_string().starts_with("filter"), "division stays above the join: {optimized}");
+        assert!(
+            optimized.to_string().starts_with("filter"),
+            "division stays above the join: {optimized}"
+        );
     }
 
     #[test]
     fn safe_predicates_still_push() {
         let cat = paper_catalog();
         let plan = scan("DrugCost")
-            .join(scan("Prescriptions"), vec![("Drug".into(), "Drug".into())], "p")
+            .join(
+                scan("Prescriptions"),
+                vec![("Drug".into(), "Drug".into())],
+                "p",
+            )
             .filter(col("Cost").gt(lit(20)));
         let optimized = optimize(&plan, &cat).unwrap();
         assert!(optimized.to_string().starts_with("join"), "{optimized}");
@@ -633,10 +729,19 @@ mod review_fix_tests_2 {
     #[test]
     fn may_eval_error_classification() {
         assert!(!may_eval_error(&col("a").gt(lit(5))));
-        assert!(!may_eval_error(&Expr::InList(Box::new(col("a")), vec![1.into()])));
+        assert!(!may_eval_error(&Expr::InList(
+            Box::new(col("a")),
+            vec![1.into()]
+        )));
         assert!(!may_eval_error(&col("a").is_null().not()));
-        assert!(may_eval_error(&Expr::Bin(BinOp::Div, Box::new(col("a")), Box::new(lit(2)))));
-        assert!(may_eval_error(&Expr::Bin(BinOp::Add, Box::new(col("a")), Box::new(lit(2))).gt(lit(0))));
+        assert!(may_eval_error(&Expr::Bin(
+            BinOp::Div,
+            Box::new(col("a")),
+            Box::new(lit(2))
+        )));
+        assert!(may_eval_error(
+            &Expr::Bin(BinOp::Add, Box::new(col("a")), Box::new(lit(2))).gt(lit(0))
+        ));
         assert!(may_eval_error(&Expr::Neg(Box::new(col("a")))));
     }
 }

@@ -37,12 +37,18 @@ pub struct ColumnOrigins {
 impl ColumnOrigins {
     /// Origins of the named output column.
     pub fn of(&self, output: &str) -> Option<&BTreeSet<Origin>> {
-        self.outputs.iter().find(|(n, _)| n == output).map(|(_, o)| o)
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == output)
+            .map(|(_, o)| o)
     }
 
     /// Union of all output origins (not including condition origins).
     pub fn all_output_origins(&self) -> BTreeSet<Origin> {
-        self.outputs.iter().flat_map(|(_, o)| o.iter().cloned()).collect()
+        self.outputs
+            .iter()
+            .flat_map(|(_, o)| o.iter().cloned())
+            .collect()
     }
 
     /// Union of output and condition origins: everything the plan
@@ -76,7 +82,12 @@ pub fn source_versions(plan: &Plan, cat: &Catalog) -> Result<Vec<(String, u64)>,
     let o = origins(plan, cat)?;
     Ok(o.tables
         .iter()
-        .map(|t| (t.clone(), cat.table(t).map_or(0, bi_relation::Table::storage_version)))
+        .map(|t| {
+            (
+                t.clone(),
+                cat.table(t).map_or(0, bi_relation::Table::storage_version),
+            )
+        })
         .collect())
 }
 
@@ -126,7 +137,13 @@ fn analyze(plan: &Plan, cat: &Catalog) -> Result<ColumnOrigins, QueryError> {
                 condition_origins: inner.condition_origins,
             }
         }
-        Plan::Join { left, right, on, right_prefix, .. } => {
+        Plan::Join {
+            left,
+            right,
+            on,
+            right_prefix,
+            ..
+        } => {
             let l = analyze(left, cat)?;
             let r = analyze(right, cat)?;
             let left_names: BTreeSet<&String> = l.outputs.iter().map(|(n, _)| n).collect();
@@ -151,9 +168,17 @@ fn analyze(plan: &Plan, cat: &Catalog) -> Result<ColumnOrigins, QueryError> {
                     condition_origins.extend(o.iter().cloned());
                 }
             }
-            ColumnOrigins { outputs, tables, condition_origins }
+            ColumnOrigins {
+                outputs,
+                tables,
+                condition_origins,
+            }
         }
-        Plan::Aggregate { input, group_by, aggs } => {
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let inner = analyze(input, cat)?;
             let mut outputs = Vec::with_capacity(group_by.len() + aggs.len());
             for g in group_by {
@@ -190,7 +215,11 @@ fn analyze(plan: &Plan, cat: &Catalog) -> Result<ColumnOrigins, QueryError> {
             tables.extend(r.tables);
             let mut condition_origins = l.condition_origins;
             condition_origins.extend(r.condition_origins);
-            ColumnOrigins { outputs, tables, condition_origins }
+            ColumnOrigins {
+                outputs,
+                tables,
+                condition_origins,
+            }
         }
         Plan::Distinct { input } | Plan::Limit { input, .. } => analyze(input, cat)?,
         Plan::Sort { input, keys } => {
@@ -223,7 +252,10 @@ mod tests {
     fn scan_origins_are_identity() {
         let cat = paper_catalog();
         let o = origins(&scan("DrugCost"), &cat).unwrap();
-        assert_eq!(o.of("Cost").unwrap().iter().next().unwrap(), &origin("DrugCost", "Cost"));
+        assert_eq!(
+            o.of("Cost").unwrap().iter().next().unwrap(),
+            &origin("DrugCost", "Cost")
+        );
         assert!(o.tables.contains("DrugCost"));
         assert!(o.condition_origins.is_empty());
     }
@@ -240,7 +272,10 @@ mod tests {
         ]);
         let o = origins(&p, &cat).unwrap();
         assert_eq!(o.of("who").unwrap().len(), 1);
-        assert!(o.of("who").unwrap().contains(&origin("Prescriptions", "Patient")));
+        assert!(o
+            .of("who")
+            .unwrap()
+            .contains(&origin("Prescriptions", "Patient")));
         let tag = o.of("tag").unwrap();
         assert!(tag.contains(&origin("Prescriptions", "Drug")));
         assert!(tag.contains(&origin("Prescriptions", "Disease")));
@@ -256,10 +291,18 @@ mod tests {
             .filter(col("Disease").ne(lit("HIV")))
             .project_cols(&["Patient", "Drug"]);
         let o = origins(&p, &cat).unwrap();
-        assert!(o.all_output_origins().contains(&origin("Prescriptions", "Patient")));
-        assert!(!o.all_output_origins().contains(&origin("Prescriptions", "Disease")));
-        assert!(o.condition_origins.contains(&origin("Prescriptions", "Disease")));
-        assert!(o.all_origins().contains(&origin("Prescriptions", "Disease")));
+        assert!(o
+            .all_output_origins()
+            .contains(&origin("Prescriptions", "Patient")));
+        assert!(!o
+            .all_output_origins()
+            .contains(&origin("Prescriptions", "Disease")));
+        assert!(o
+            .condition_origins
+            .contains(&origin("Prescriptions", "Disease")));
+        assert!(o
+            .all_origins()
+            .contains(&origin("Prescriptions", "Disease")));
     }
 
     #[test]
@@ -271,10 +314,15 @@ mod tests {
             "dc",
         );
         let o = origins(&p, &cat).unwrap();
-        assert!(o.of("dc.Drug").unwrap().contains(&origin("DrugCost", "Drug")));
+        assert!(o
+            .of("dc.Drug")
+            .unwrap()
+            .contains(&origin("DrugCost", "Drug")));
         assert!(o.of("Cost").unwrap().contains(&origin("DrugCost", "Cost")));
         // Join keys are condition origins from both sides.
-        assert!(o.condition_origins.contains(&origin("Prescriptions", "Drug")));
+        assert!(o
+            .condition_origins
+            .contains(&origin("Prescriptions", "Drug")));
         assert!(o.condition_origins.contains(&origin("DrugCost", "Drug")));
         assert_eq!(o.tables.len(), 2);
     }
@@ -287,8 +335,14 @@ mod tests {
             vec![AggItem::count_star("Consumption")],
         );
         let o = origins(&p, &cat).unwrap();
-        assert!(o.of("Drug").unwrap().contains(&origin("Prescriptions", "Drug")));
-        assert!(o.of("Consumption").unwrap().is_empty(), "count(*) reveals no attribute");
+        assert!(o
+            .of("Drug")
+            .unwrap()
+            .contains(&origin("Prescriptions", "Drug")));
+        assert!(
+            o.of("Consumption").unwrap().is_empty(),
+            "count(*) reveals no attribute"
+        );
     }
 
     #[test]
@@ -302,7 +356,9 @@ mod tests {
         let o = origins(&scan("NonHiv").project_cols(&["Patient"]), &cat).unwrap();
         assert!(o.tables.contains("Prescriptions"));
         assert!(!o.tables.contains("NonHiv"));
-        assert!(o.condition_origins.contains(&origin("Prescriptions", "Disease")));
+        assert!(o
+            .condition_origins
+            .contains(&origin("Prescriptions", "Disease")));
     }
 
     #[test]

@@ -107,7 +107,10 @@ enum Sink<'p> {
     Limit(usize),
     /// Terminal full aggregation (a pipeline breaker, absorbed as the
     /// sink: partial states stream, only the group table materializes).
-    Aggregate { group_by: &'p [String], aggs: &'p [AggItem] },
+    Aggregate {
+        group_by: &'p [String],
+        aggs: &'p [AggItem],
+    },
 }
 
 struct Chain<'p> {
@@ -129,9 +132,11 @@ impl Chain<'_> {
 /// top-k fusion in the operator-at-a-time engine handles it.
 fn decompose(plan: &Plan) -> Option<Chain<'_>> {
     let (sink, top) = match plan {
-        Plan::Aggregate { input, group_by, aggs } => {
-            (Sink::Aggregate { group_by, aggs }, input.as_ref())
-        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => (Sink::Aggregate { group_by, aggs }, input.as_ref()),
         Plan::Limit { input, n }
             if matches!(input.as_ref(), Plan::Filter { .. } | Plan::Project { .. }) =>
         {
@@ -245,8 +250,10 @@ fn compile(chain: &Chain, src_schema: Arc<Schema>) -> Result<Compiled, Counter> 
                         continue;
                     }
                 }
-                let programs: Result<Vec<Program>, RelationError> =
-                    items.iter().map(|(_, e)| Program::compile(e, &schema)).collect();
+                let programs: Result<Vec<Program>, RelationError> = items
+                    .iter()
+                    .map(|(_, e)| Program::compile(e, &schema))
+                    .collect();
                 match programs {
                     Ok(ps) => stages.push(Stage::VmProject(ps)),
                     Err(_) => return Err(Counter::PipelineDeclineCompile),
@@ -365,9 +372,17 @@ fn compile_agg(
             // groups succeed. Only the oracle can tell them apart.
             (_, None) => return Err(Counter::PipelineDeclineShape),
         };
-        specs.push(AggSpec { func: a.func, arg: *arg, kind });
+        specs.push(AggSpec {
+            func: a.func,
+            arg: *arg,
+            kind,
+        });
     }
-    Ok(AggSink { schema: Arc::new(out_schema), key_idx, specs })
+    Ok(AggSink {
+        schema: Arc::new(out_schema),
+        key_idx,
+        specs,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -512,7 +527,9 @@ fn push_morsel(
     for stage in stages {
         state = match stage {
             Stage::Kernel(k) => {
-                let Some(chunk) = chunk else { return Err(PipeErr::Degrade) };
+                let Some(chunk) = chunk else {
+                    return Err(PipeErr::Degrade);
+                };
                 let mask = k.eval_range(chunk, start, end);
                 match state {
                     MorselRows::All => MorselRows::Sel(mask.selected(start as u32)),
@@ -537,7 +554,11 @@ fn push_morsel(
                 MorselRows::Sel(sel) => {
                     let mut out = Vec::with_capacity(sel.len());
                     for i in sel {
-                        if vm.run(p, &src.rows()[i as usize])?.as_bool().unwrap_or(false) {
+                        if vm
+                            .run(p, &src.rows()[i as usize])?
+                            .as_bool()
+                            .unwrap_or(false)
+                        {
                             out.push(i);
                         }
                     }
@@ -642,9 +663,16 @@ fn fused_materialize(
             },
         }
     }
-    let schema =
-        if compiled.has_project { compiled.final_schema.clone() } else { src.schema_shared() };
-    Ok(Table::from_rows_trusted(src.name().to_string(), schema, rows))
+    let schema = if compiled.has_project {
+        compiled.final_schema.clone()
+    } else {
+        src.schema_shared()
+    };
+    Ok(Table::from_rows_trusted(
+        src.name().to_string(),
+        schema,
+        rows,
+    ))
 }
 
 fn fused_limit(
@@ -654,12 +682,22 @@ fn fused_limit(
     n: usize,
     cfg: &ExecConfig,
 ) -> Result<Table, PipeErr> {
-    let schema =
-        if compiled.has_project { compiled.final_schema.clone() } else { src.schema_shared() };
+    let schema = if compiled.has_project {
+        compiled.final_schema.clone()
+    } else {
+        src.schema_shared()
+    };
     if n == 0 {
-        return Ok(Table::from_rows_trusted(src.name().to_string(), schema, Vec::new()));
+        return Ok(Table::from_rows_trusted(
+            src.name().to_string(),
+            schema,
+            Vec::new(),
+        ));
     }
-    let all_kernel = compiled.stages.iter().all(|s| matches!(s, Stage::Kernel(_)));
+    let all_kernel = compiled
+        .stages
+        .iter()
+        .all(|s| matches!(s, Stage::Kernel(_)));
     let remap = compiled.remap.as_deref();
     let emit = |row: &[Value]| -> Vec<Value> {
         match remap {
@@ -733,7 +771,11 @@ fn fused_limit(
             }
         }
     }
-    Ok(Table::from_rows_trusted(src.name().to_string(), schema, rows))
+    Ok(Table::from_rows_trusted(
+        src.name().to_string(),
+        schema,
+        rows,
+    ))
 }
 
 // ---------------------------------------------------------------------
@@ -749,7 +791,12 @@ enum PAgg {
     /// `i64` — e.g. `[i64::MAX, 1, -1]` errors even though the total
     /// fits. Prefix extremes compose across morsels by offsetting the
     /// right side's extremes by the left side's total.
-    SumInt { sum: i128, lo: i128, hi: i128, any: bool },
+    SumInt {
+        sum: i128,
+        lo: i128,
+        hi: i128,
+        any: bool,
+    },
     Best(Option<Value>),
     Retained(Vec<Value>),
 }
@@ -759,7 +806,12 @@ impl PAgg {
         match kind {
             PartialKind::CountStar | PartialKind::Count => PAgg::Count(0),
             PartialKind::Distinct => PAgg::Distinct(HashSet::new()),
-            PartialKind::SumInt => PAgg::SumInt { sum: 0, lo: 0, hi: 0, any: false },
+            PartialKind::SumInt => PAgg::SumInt {
+                sum: 0,
+                lo: 0,
+                hi: 0,
+                any: false,
+            },
             PartialKind::Min | PartialKind::Max => PAgg::Best(None),
             PartialKind::Retained => PAgg::Retained(Vec::new()),
         }
@@ -825,7 +877,12 @@ impl PAgg {
             (PAgg::Distinct(a), PAgg::Distinct(b)) => a.extend(b),
             (
                 PAgg::SumInt { sum, lo, hi, any },
-                PAgg::SumInt { sum: bsum, lo: blo, hi: bhi, any: bany },
+                PAgg::SumInt {
+                    sum: bsum,
+                    lo: blo,
+                    hi: bhi,
+                    any: bany,
+                },
             ) => {
                 if bany {
                     *lo = (*lo).min(*sum + blo);
@@ -879,7 +936,10 @@ struct Group {
 
 impl Group {
     fn fresh(sink: &AggSink, key: Vec<Value>) -> Group {
-        Group { key, aggs: sink.specs.iter().map(|s| PAgg::init(s.kind)).collect() }
+        Group {
+            key,
+            aggs: sink.specs.iter().map(|s| PAgg::init(s.kind)).collect(),
+        }
     }
 }
 
@@ -909,7 +969,11 @@ fn fold_groups(
             }
             let cands = by_hash.entry(h.finish()).or_default();
             let found = cands.iter().copied().find(|&g| {
-                groups[g].key.iter().zip(&sink.key_idx).all(|(k, &c)| *k == row[c])
+                groups[g]
+                    .key
+                    .iter()
+                    .zip(&sink.key_idx)
+                    .all(|(k, &c)| *k == row[c])
             });
             match found {
                 Some(g) => g,
@@ -967,8 +1031,10 @@ fn fused_aggregate(
     for mg in per.into_iter().flatten() {
         match by_key.get(mg.key.as_slice()) {
             Some(&g) => {
-                for (spec, (p, q)) in
-                    sink.specs.iter().zip(groups[g].aggs.iter_mut().zip(mg.aggs))
+                for (spec, (p, q)) in sink
+                    .specs
+                    .iter()
+                    .zip(groups[g].aggs.iter_mut().zip(mg.aggs))
                 {
                     p.merge(q, spec.kind);
                 }
@@ -1021,7 +1087,9 @@ mod tests {
         assert_eq!(decompose(&bare).unwrap().fused_ops(), 1);
 
         // Limit(Sort) stays with the top-k fusion, not the pipeline.
-        let topk = scan("T").sort(vec![crate::plan::SortKey::asc("a")]).limit(5);
+        let topk = scan("T")
+            .sort(vec![crate::plan::SortKey::asc("a")])
+            .limit(5);
         assert!(decompose(&topk).is_none());
 
         // Limit over a filter chains.
@@ -1051,8 +1119,15 @@ mod tests {
             .unwrap(),
         );
         let compiled = compile(&chain, schema).unwrap();
-        assert_eq!(compiled.stages.len(), 1, "filter only; the projection is a remap");
-        assert!(compiled.remap.is_none(), "the aggregate sink consumes the remap");
+        assert_eq!(
+            compiled.stages.len(),
+            1,
+            "filter only; the projection is a remap"
+        );
+        assert!(
+            compiled.remap.is_none(),
+            "the aggregate sink consumes the remap"
+        );
         let CompiledSink::Aggregate(agg) = &compiled.sink else {
             panic!("aggregate sink expected");
         };
@@ -1064,8 +1139,7 @@ mod tests {
             .project(vec![("g".into(), col("g").eq(lit("x")))])
             .aggregate(vec![], vec![AggItem::count_star("n")]);
         let chain = decompose(&plan).unwrap();
-        let schema =
-            Arc::new(Schema::new(vec![Column::new("g", DataType::Text)]).unwrap());
+        let schema = Arc::new(Schema::new(vec![Column::new("g", DataType::Text)]).unwrap());
         let compiled = compile(&chain, schema).unwrap();
         assert_eq!(compiled.stages.len(), 1);
         assert!(matches!(compiled.stages[0], Stage::VmProject(_)));
@@ -1083,16 +1157,19 @@ mod tests {
 
         // The same holds when the overflow happens across a merge.
         let mut a = PAgg::init(PartialKind::SumInt);
-        a.update(PartialKind::SumInt, Some(&Value::Int(i64::MAX))).unwrap();
+        a.update(PartialKind::SumInt, Some(&Value::Int(i64::MAX)))
+            .unwrap();
         let mut b = PAgg::init(PartialKind::SumInt);
         b.update(PartialKind::SumInt, Some(&Value::Int(1))).unwrap();
-        b.update(PartialKind::SumInt, Some(&Value::Int(-1))).unwrap();
+        b.update(PartialKind::SumInt, Some(&Value::Int(-1)))
+            .unwrap();
         a.merge(b, PartialKind::SumInt);
         assert!(a.finalize(AggFunc::Sum).is_err());
 
         // In-range prefixes merge to the exact sum.
         let mut a = PAgg::init(PartialKind::SumInt);
-        a.update(PartialKind::SumInt, Some(&Value::Int(40))).unwrap();
+        a.update(PartialKind::SumInt, Some(&Value::Int(40)))
+            .unwrap();
         let mut b = PAgg::init(PartialKind::SumInt);
         b.update(PartialKind::SumInt, Some(&Value::Int(2))).unwrap();
         a.merge(b, PartialKind::SumInt);

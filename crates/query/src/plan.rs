@@ -49,12 +49,20 @@ pub struct AggItem {
 impl AggItem {
     /// `name := func(arg)`.
     pub fn new(name: impl Into<String>, func: AggFunc, arg: impl Into<String>) -> Self {
-        AggItem { name: name.into(), func, arg: Some(arg.into()) }
+        AggItem {
+            name: name.into(),
+            func,
+            arg: Some(arg.into()),
+        }
     }
 
     /// `name := COUNT(*)`.
     pub fn count_star(name: impl Into<String>) -> Self {
-        AggItem { name: name.into(), func: AggFunc::Count, arg: None }
+        AggItem {
+            name: name.into(),
+            func: AggFunc::Count,
+            arg: None,
+        }
     }
 }
 
@@ -77,12 +85,18 @@ pub struct SortKey {
 impl SortKey {
     /// Ascending key.
     pub fn asc(column: impl Into<String>) -> Self {
-        SortKey { column: column.into(), descending: false }
+        SortKey {
+            column: column.into(),
+            descending: false,
+        }
     }
 
     /// Descending key.
     pub fn desc(column: impl Into<String>) -> Self {
-        SortKey { column: column.into(), descending: true }
+        SortKey {
+            column: column.into(),
+            descending: true,
+        }
     }
 }
 
@@ -98,7 +112,10 @@ pub enum Plan {
     /// Keep rows where `pred` evaluates to TRUE.
     Filter { input: Box<Plan>, pred: Expr },
     /// Computed projection: `(output name, expression)` pairs.
-    Project { input: Box<Plan>, items: Vec<(String, Expr)> },
+    Project {
+        input: Box<Plan>,
+        items: Vec<(String, Expr)>,
+    },
     /// Hash equi-join on `on = [(left_col, right_col), …]`. Columns of the
     /// right input whose names clash with the left get prefixed with
     /// `right_prefix` + `.`.
@@ -110,41 +127,67 @@ pub enum Plan {
         right_prefix: String,
     },
     /// Hash aggregation over `group_by` with the given aggregates.
-    Aggregate { input: Box<Plan>, group_by: Vec<String>, aggs: Vec<AggItem> },
+    Aggregate {
+        input: Box<Plan>,
+        group_by: Vec<String>,
+        aggs: Vec<AggItem>,
+    },
     /// Bag union of union-compatible inputs.
     Union { left: Box<Plan>, right: Box<Plan> },
     /// Duplicate elimination.
     Distinct { input: Box<Plan> },
     /// Stable multi-key sort.
-    Sort { input: Box<Plan>, keys: Vec<SortKey> },
+    Sort {
+        input: Box<Plan>,
+        keys: Vec<SortKey>,
+    },
     /// First `n` rows.
     Limit { input: Box<Plan>, n: usize },
 }
 
 /// Shorthand for [`Plan::Scan`].
 pub fn scan(table: impl Into<String>) -> Plan {
-    Plan::Scan { table: table.into() }
+    Plan::Scan {
+        table: table.into(),
+    }
 }
 
 impl Plan {
     /// `Filter` on top of `self`.
     pub fn filter(self, pred: Expr) -> Plan {
-        Plan::Filter { input: Box::new(self), pred }
+        Plan::Filter {
+            input: Box::new(self),
+            pred,
+        }
     }
 
     /// Projection to plain columns (no computation, no renames).
     pub fn project_cols(self, cols: &[&str]) -> Plan {
-        let items = cols.iter().map(|c| (c.to_string(), bi_relation::expr::col(*c))).collect();
-        Plan::Project { input: Box::new(self), items }
+        let items = cols
+            .iter()
+            .map(|c| (c.to_string(), bi_relation::expr::col(*c)))
+            .collect();
+        Plan::Project {
+            input: Box::new(self),
+            items,
+        }
     }
 
     /// Computed projection.
     pub fn project(self, items: Vec<(String, Expr)>) -> Plan {
-        Plan::Project { input: Box::new(self), items }
+        Plan::Project {
+            input: Box::new(self),
+            items,
+        }
     }
 
     /// Inner equi-join.
-    pub fn join(self, right: Plan, on: Vec<(String, String)>, right_prefix: impl Into<String>) -> Plan {
+    pub fn join(
+        self,
+        right: Plan,
+        on: Vec<(String, String)>,
+        right_prefix: impl Into<String>,
+    ) -> Plan {
         Plan::Join {
             left: Box::new(self),
             right: Box::new(right),
@@ -172,27 +215,42 @@ impl Plan {
 
     /// Aggregation.
     pub fn aggregate(self, group_by: Vec<String>, aggs: Vec<AggItem>) -> Plan {
-        Plan::Aggregate { input: Box::new(self), group_by, aggs }
+        Plan::Aggregate {
+            input: Box::new(self),
+            group_by,
+            aggs,
+        }
     }
 
     /// Bag union.
     pub fn union(self, right: Plan) -> Plan {
-        Plan::Union { left: Box::new(self), right: Box::new(right) }
+        Plan::Union {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
     }
 
     /// Duplicate elimination.
     pub fn distinct(self) -> Plan {
-        Plan::Distinct { input: Box::new(self) }
+        Plan::Distinct {
+            input: Box::new(self),
+        }
     }
 
     /// Sorting.
     pub fn sort(self, keys: Vec<SortKey>) -> Plan {
-        Plan::Sort { input: Box::new(self), keys }
+        Plan::Sort {
+            input: Box::new(self),
+            keys,
+        }
     }
 
     /// Row limit.
     pub fn limit(self, n: usize) -> Plan {
-        Plan::Limit { input: Box::new(self), n }
+        Plan::Limit {
+            input: Box::new(self),
+            n,
+        }
     }
 
     /// Names of all base relations (tables or views) scanned.
@@ -233,7 +291,9 @@ impl Plan {
                 let s = input.schema(cat)?;
                 let t = pred.infer_type(&s)?;
                 if t != DataType::Bool {
-                    return Err(QueryError::NonBooleanPredicate { expr: pred.to_string() });
+                    return Err(QueryError::NonBooleanPredicate {
+                        expr: pred.to_string(),
+                    });
                 }
                 Ok(s)
             }
@@ -247,11 +307,21 @@ impl Plan {
                         Expr::Col(c) => s.column(c)?.nullable,
                         _ => true,
                     };
-                    cols.push(Column { name: name.clone(), dtype: dt, nullable });
+                    cols.push(Column {
+                        name: name.clone(),
+                        dtype: dt,
+                        nullable,
+                    });
                 }
                 Ok(Schema::new(cols)?)
             }
-            Plan::Join { left, right, kind, on, right_prefix } => {
+            Plan::Join {
+                left,
+                right,
+                kind,
+                on,
+                right_prefix,
+            } => {
                 let ls = left.schema(cat)?;
                 let rs = right.schema(cat)?;
                 for (lc, rc) in on {
@@ -269,7 +339,11 @@ impl Plan {
                 }
                 Ok(joined)
             }
-            Plan::Aggregate { input, group_by, aggs } => {
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let s = input.schema(cat)?;
                 let mut cols = Vec::with_capacity(group_by.len() + aggs.len());
                 for g in group_by {
@@ -329,8 +403,12 @@ pub(crate) fn agg_output_type(a: &AggItem, input: &Schema) -> Result<DataType, Q
         AggFunc::Sum => match arg_type {
             Some(DataType::Int) => Ok(DataType::Int),
             Some(DataType::Float) => Ok(DataType::Float),
-            Some(t) => Err(QueryError::BadAggregate { reason: format!("sum over {t}") }),
-            None => Err(QueryError::BadAggregate { reason: "sum requires an argument".into() }),
+            Some(t) => Err(QueryError::BadAggregate {
+                reason: format!("sum over {t}"),
+            }),
+            None => Err(QueryError::BadAggregate {
+                reason: "sum requires an argument".into(),
+            }),
         },
         AggFunc::Min | AggFunc::Max => arg_type.ok_or_else(|| QueryError::BadAggregate {
             reason: format!("{} requires an argument", a.func.name()),
@@ -348,12 +426,26 @@ impl fmt::Display for Plan {
                 let names: Vec<&str> = items.iter().map(|(n, _)| n.as_str()).collect();
                 write!(f, "project[{}]({input})", names.join(", "))
             }
-            Plan::Join { left, right, kind, on, .. } => {
+            Plan::Join {
+                left,
+                right,
+                kind,
+                on,
+                ..
+            } => {
                 let conds: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
-                let k = if *kind == JoinKind::Left { "left_join" } else { "join" };
+                let k = if *kind == JoinKind::Left {
+                    "left_join"
+                } else {
+                    "join"
+                };
                 write!(f, "{k}[{}]({left}, {right})", conds.join(" AND "))
             }
-            Plan::Aggregate { input, group_by, aggs } => {
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let a: Vec<String> = aggs
                     .iter()
                     .map(|x| {
@@ -365,7 +457,12 @@ impl fmt::Display for Plan {
                         )
                     })
                     .collect();
-                write!(f, "agg[by {}; {}]({input})", group_by.join(","), a.join(","))
+                write!(
+                    f,
+                    "agg[by {}; {}]({input})",
+                    group_by.join(","),
+                    a.join(",")
+                )
             }
             Plan::Union { left, right } => write!(f, "union({left}, {right})"),
             Plan::Distinct { input } => write!(f, "distinct({input})"),
@@ -391,7 +488,10 @@ mod tests {
     fn scan_schema_resolves() {
         let cat = paper_catalog();
         let s = scan("Prescriptions").schema(&cat).unwrap();
-        assert_eq!(s.names(), vec!["Patient", "Doctor", "Drug", "Disease", "Date"]);
+        assert_eq!(
+            s.names(),
+            vec!["Patient", "Doctor", "Drug", "Disease", "Date"]
+        );
         assert!(scan("Nope").schema(&cat).is_err());
     }
 
@@ -401,7 +501,10 @@ mod tests {
         let ok = scan("Prescriptions").filter(col("Disease").eq(lit("HIV")));
         ok.schema(&cat).unwrap();
         let bad = scan("Prescriptions").filter(col("Disease"));
-        assert!(matches!(bad.schema(&cat), Err(QueryError::NonBooleanPredicate { .. })));
+        assert!(matches!(
+            bad.schema(&cat),
+            Err(QueryError::NonBooleanPredicate { .. })
+        ));
     }
 
     #[test]
@@ -442,7 +545,10 @@ mod tests {
 
         let bad = scan("Prescriptions")
             .aggregate(vec![], vec![AggItem::new("s", AggFunc::Sum, "Disease")]);
-        assert!(matches!(bad.schema(&cat), Err(QueryError::BadAggregate { .. })));
+        assert!(matches!(
+            bad.schema(&cat),
+            Err(QueryError::BadAggregate { .. })
+        ));
     }
 
     #[test]
@@ -457,7 +563,10 @@ mod tests {
 
     #[test]
     fn scanned_relations_collects() {
-        let p = scan("A").join(scan("B"), vec![], "b").union(scan("C").join(scan("B"), vec![], "b2"));
+        let p =
+            scan("A")
+                .join(scan("B"), vec![], "b")
+                .union(scan("C").join(scan("B"), vec![], "b2"));
         assert_eq!(p.scanned_relations(), vec!["A", "B", "C", "B"]);
     }
 }
@@ -478,7 +587,10 @@ mod review_fix_tests {
             .project_cols(&["Drug", "Cost"]);
         let u = left.union(right);
         let s = u.schema(&cat).unwrap();
-        assert!(s.column("Cost").unwrap().nullable, "nullability must be OR'd across inputs");
+        assert!(
+            s.column("Cost").unwrap().nullable,
+            "nullability must be OR'd across inputs"
+        );
         // And execution conforms to the declared schema.
         let t = crate::exec::execute(&u, &cat).unwrap();
         for row in t.rows() {

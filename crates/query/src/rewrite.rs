@@ -46,7 +46,11 @@ pub struct ScanPolicy {
 impl ScanPolicy {
     /// A policy with no restrictions (useful as a builder seed).
     pub fn for_table(table: impl Into<String>) -> Self {
-        ScanPolicy { table: table.into(), row_restriction: None, masks: Vec::new() }
+        ScanPolicy {
+            table: table.into(),
+            row_restriction: None,
+            masks: Vec::new(),
+        }
     }
 
     /// Adds a row restriction (AND-ed with any existing one).
@@ -106,14 +110,24 @@ fn rewrite(plan: &Plan, policies: &[ScanPolicy], cat: &Catalog) -> Result<Plan, 
             input: Box::new(rewrite(input, policies, cat)?),
             items: items.clone(),
         },
-        Plan::Join { left, right, kind, on, right_prefix } => Plan::Join {
+        Plan::Join {
+            left,
+            right,
+            kind,
+            on,
+            right_prefix,
+        } => Plan::Join {
             left: Box::new(rewrite(left, policies, cat)?),
             right: Box::new(rewrite(right, policies, cat)?),
             kind: *kind,
             on: on.clone(),
             right_prefix: right_prefix.clone(),
         },
-        Plan::Aggregate { input, group_by, aggs } => Plan::Aggregate {
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Plan::Aggregate {
             input: Box::new(rewrite(input, policies, cat)?),
             group_by: group_by.clone(),
             aggs: aggs.clone(),
@@ -122,14 +136,17 @@ fn rewrite(plan: &Plan, policies: &[ScanPolicy], cat: &Catalog) -> Result<Plan, 
             left: Box::new(rewrite(left, policies, cat)?),
             right: Box::new(rewrite(right, policies, cat)?),
         },
-        Plan::Distinct { input } => Plan::Distinct { input: Box::new(rewrite(input, policies, cat)?) },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(rewrite(input, policies, cat)?),
+        },
         Plan::Sort { input, keys } => Plan::Sort {
             input: Box::new(rewrite(input, policies, cat)?),
             keys: keys.clone(),
         },
-        Plan::Limit { input, n } => {
-            Plan::Limit { input: Box::new(rewrite(input, policies, cat)?), n: *n }
-        }
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(rewrite(input, policies, cat)?),
+            n: *n,
+        },
     })
 }
 
@@ -209,7 +226,11 @@ fn compose_masks(column: &str, actions: &[&MaskAction]) -> Expr {
     if actions.iter().any(|a| matches!(a, MaskAction::Nullify)) {
         return Expr::Func(
             Func::If,
-            vec![Expr::Lit(Value::Bool(false)), col(column), Expr::Lit(Value::Null)],
+            vec![
+                Expr::Lit(Value::Bool(false)),
+                col(column),
+                Expr::Lit(Value::Null),
+            ],
         );
     }
     let shown = actions
@@ -249,7 +270,8 @@ mod tests {
         let cat = paper_catalog();
         // Fig. 2(b)'s Policies: Math has ShowName = no — model it as a
         // row restriction dropping Math entirely.
-        let pol = ScanPolicy::for_table("Prescriptions").restrict_rows(col("Patient").ne(lit("Math")));
+        let pol =
+            ScanPolicy::for_table("Prescriptions").restrict_rows(col("Patient").ne(lit("Math")));
         let p = apply(&scan("Prescriptions"), &[pol], &cat).unwrap();
         let t = execute(&p, &cat).unwrap();
         assert_eq!(t.len(), 4);
@@ -261,7 +283,10 @@ mod tests {
         let cat = paper_catalog();
         let pol = ScanPolicy::for_table("DrugCost").mask("Cost", MaskAction::Nullify);
         let p = apply(
-            &scan("DrugCost").aggregate(vec![], vec![AggItem::new("total", crate::plan::AggFunc::Sum, "Cost")]),
+            &scan("DrugCost").aggregate(
+                vec![],
+                vec![AggItem::new("total", crate::plan::AggFunc::Sum, "Cost")],
+            ),
             &[pol],
             &cat,
         )
@@ -275,8 +300,10 @@ mod tests {
     fn show_when_is_the_papers_intensional_rule() {
         let cat = paper_catalog();
         // §5: show the Doctor only for patients that are not HIV positive.
-        let pol = ScanPolicy::for_table("Prescriptions")
-            .mask("Doctor", MaskAction::ShowWhen(col("Disease").ne(lit("HIV"))));
+        let pol = ScanPolicy::for_table("Prescriptions").mask(
+            "Doctor",
+            MaskAction::ShowWhen(col("Disease").ne(lit("HIV"))),
+        );
         let p = apply(&scan("Prescriptions"), &[pol], &cat).unwrap();
         let t = execute(&p, &cat).unwrap();
         assert_eq!(t.len(), 5, "rows stay; cells are masked");
@@ -285,7 +312,11 @@ mod tests {
                 assert!(r[1].is_null(), "HIV rows lose the doctor");
             }
         }
-        let bob = t.rows().iter().find(|r| r[0] == Value::from("Bob")).unwrap();
+        let bob = t
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::from("Bob"))
+            .unwrap();
         assert_eq!(bob[1], Value::from("Anne"), "non-HIV rows keep it");
     }
 
@@ -305,16 +336,24 @@ mod tests {
     #[test]
     fn policies_reach_scans_under_views_and_joins() {
         let mut cat = paper_catalog();
-        cat.add_view("CostView", scan("Prescriptions").join(
-            scan("DrugCost"),
-            vec![("Drug".into(), "Drug".into())],
-            "dc",
-        ))
+        cat.add_view(
+            "CostView",
+            scan("Prescriptions").join(
+                scan("DrugCost"),
+                vec![("Drug".into(), "Drug".into())],
+                "dc",
+            ),
+        )
         .unwrap();
-        let pol = ScanPolicy::for_table("Prescriptions").restrict_rows(col("Disease").ne(lit("HIV")));
+        let pol =
+            ScanPolicy::for_table("Prescriptions").restrict_rows(col("Disease").ne(lit("HIV")));
         let p = apply(&scan("CostView"), &[pol], &cat).unwrap();
         let t = execute(&p, &cat).unwrap();
-        assert_eq!(t.len(), 3, "HIV prescriptions filtered even under view+join");
+        assert_eq!(
+            t.len(),
+            3,
+            "HIV prescriptions filtered even under view+join"
+        );
     }
 
     #[test]
@@ -329,7 +368,8 @@ mod tests {
     #[test]
     fn unrelated_tables_untouched() {
         let cat = paper_catalog();
-        let pol = ScanPolicy::for_table("Familydoctor").restrict_rows(col("Patient").ne(lit("Alice")));
+        let pol =
+            ScanPolicy::for_table("Familydoctor").restrict_rows(col("Patient").ne(lit("Alice")));
         let before = execute(&scan("DrugCost"), &cat).unwrap();
         let p = apply(&scan("DrugCost"), &[pol], &cat).unwrap();
         let after = execute(&p, &cat).unwrap();
@@ -349,8 +389,11 @@ mod review_fix_tests {
         // A policy on a view would silently enforce nothing after view
         // inlining — it must be a loud error instead.
         let mut cat = paper_catalog();
-        cat.add_view("CostView", scan("Prescriptions").filter(col("Disease").ne(lit("HIV"))))
-            .unwrap();
+        cat.add_view(
+            "CostView",
+            scan("Prescriptions").filter(col("Disease").ne(lit("HIV"))),
+        )
+        .unwrap();
         let pol = ScanPolicy::for_table("CostView").restrict_rows(col("Disease").ne(lit("HIV")));
         let err = apply(&scan("CostView"), &[pol], &cat).unwrap_err();
         assert!(err.to_string().contains("base tables"), "{err}");
@@ -370,8 +413,10 @@ mod review_fix_tests_2 {
     fn show_when_conditions_validate_at_rewrite_time() {
         let cat = paper_catalog();
         // Typo'd column inside the intensional condition: loud failure.
-        let pol = ScanPolicy::for_table("Prescriptions")
-            .mask("Doctor", MaskAction::ShowWhen(col("Desease").ne(lit("HIV"))));
+        let pol = ScanPolicy::for_table("Prescriptions").mask(
+            "Doctor",
+            MaskAction::ShowWhen(col("Desease").ne(lit("HIV"))),
+        );
         assert!(apply(&scan("Prescriptions"), &[pol], &cat).is_err());
     }
 
@@ -379,10 +424,12 @@ mod review_fix_tests_2 {
     fn inadmissible_mask_constants_refused() {
         let cat = paper_catalog();
         // Text constant on the Int Cost column: loud failure.
-        let pol = ScanPolicy::for_table("DrugCost").mask("Cost", MaskAction::Constant("***".into()));
+        let pol =
+            ScanPolicy::for_table("DrugCost").mask("Cost", MaskAction::Constant("***".into()));
         assert!(apply(&scan("DrugCost"), &[pol], &cat).is_err());
         // Admissible constant still works.
-        let pol = ScanPolicy::for_table("DrugCost").mask("Cost", MaskAction::Constant(Value::Int(0)));
+        let pol =
+            ScanPolicy::for_table("DrugCost").mask("Cost", MaskAction::Constant(Value::Int(0)));
         let p = apply(&scan("DrugCost"), &[pol], &cat).unwrap();
         let t = crate::exec::execute(&p, &cat).unwrap();
         assert!(t.rows().iter().all(|r| r[1] == Value::Int(0)));
@@ -403,20 +450,34 @@ mod mask_composition_tests {
         // for the value to show (most restrictive combination).
         let cat = paper_catalog();
         let pol = ScanPolicy::for_table("Prescriptions")
-            .mask("Doctor", MaskAction::ShowWhen(col("Disease").ne(lit("HIV"))))
-            .mask("Doctor", MaskAction::ShowWhen(col("Patient").ne(lit("Bob"))));
+            .mask(
+                "Doctor",
+                MaskAction::ShowWhen(col("Disease").ne(lit("HIV"))),
+            )
+            .mask(
+                "Doctor",
+                MaskAction::ShowWhen(col("Patient").ne(lit("Bob"))),
+            );
         let p = apply(&scan("Prescriptions"), &[pol], &cat).unwrap();
         let t = execute(&p, &cat).unwrap();
         for r in t.rows() {
             let hiv = r[3] == Value::from("HIV");
             let bob = r[0] == Value::from("Bob");
-            assert_eq!(r[1].is_null() || hiv || bob, r[1].is_null() , "masked iff either condition fails");
+            assert_eq!(
+                r[1].is_null() || hiv || bob,
+                r[1].is_null(),
+                "masked iff either condition fails"
+            );
             if hiv || bob {
                 assert!(r[1].is_null(), "row {r:?} must be masked");
             }
         }
         // Math's row (diabetes, not Bob) keeps the doctor.
-        let math = t.rows().iter().find(|r| r[0] == Value::from("Math")).unwrap();
+        let math = t
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::from("Math"))
+            .unwrap();
         assert_eq!(math[1], Value::from("Mark"));
     }
 
@@ -424,7 +485,10 @@ mod mask_composition_tests {
     fn nullify_dominates_other_masks() {
         let cat = paper_catalog();
         let pol = ScanPolicy::for_table("Prescriptions")
-            .mask("Doctor", MaskAction::ShowWhen(col("Disease").ne(lit("HIV"))))
+            .mask(
+                "Doctor",
+                MaskAction::ShowWhen(col("Disease").ne(lit("HIV"))),
+            )
             .mask("Doctor", MaskAction::Nullify);
         let p = apply(&scan("Prescriptions"), &[pol], &cat).unwrap();
         let t = execute(&p, &cat).unwrap();
@@ -436,7 +500,10 @@ mod mask_composition_tests {
         let cat = paper_catalog();
         let pol = ScanPolicy::for_table("Prescriptions")
             .mask("Patient", MaskAction::Constant("***".into()))
-            .mask("Patient", MaskAction::ShowWhen(col("Disease").ne(lit("HIV"))));
+            .mask(
+                "Patient",
+                MaskAction::ShowWhen(col("Disease").ne(lit("HIV"))),
+            );
         let p = apply(&scan("Prescriptions"), &[pol], &cat).unwrap();
         let t = execute(&p, &cat).unwrap();
         for r in t.rows() {

@@ -33,8 +33,8 @@
 //! equality: warmth depends on process history, not query shape.
 
 use std::collections::HashMap;
-use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use std::sync::Arc;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 use bi_exec::{Counter, Obs};
 
@@ -109,7 +109,13 @@ fn cached_column_in(
     if inner.map.len() >= capacity {
         evict_oldest(&mut inner);
     }
-    inner.map.insert(key, Entry { res: res.clone(), stamp: tick });
+    inner.map.insert(
+        key,
+        Entry {
+            res: res.clone(),
+            stamp: tick,
+        },
+    );
     res
 }
 
@@ -163,7 +169,9 @@ mod tests {
         Table::from_rows(
             "T",
             schema,
-            rows.iter().map(|&x| vec![Value::Int(x), Value::text(format!("s{}", x % 3))]).collect(),
+            rows.iter()
+                .map(|&x| vec![Value::Int(x), Value::text(format!("s{}", x % 3))])
+                .collect(),
         )
         .unwrap()
     }
@@ -181,7 +189,10 @@ mod tests {
         assert_eq!(warm.counters.get("chunk.cache.miss"), Some(&2));
         assert_eq!(warm.counters.get("chunk.cache.hit"), Some(&2));
         // The hit shares the very same column allocation.
-        assert!(Arc::ptr_eq(&a.column_shared(0).unwrap(), &b.column_shared(0).unwrap()));
+        assert!(Arc::ptr_eq(
+            &a.column_shared(0).unwrap(),
+            &b.column_shared(0).unwrap()
+        ));
         assert_eq!(b.to_table().rows(), t.rows());
     }
 
@@ -205,9 +216,12 @@ mod tests {
     #[test]
     fn declines_are_cached_per_version() {
         let schema = Schema::new(vec![SchemaColumn::new("f", DataType::Float)]).unwrap();
-        let t =
-            Table::from_rows("F", schema, vec![vec![Value::Float(0.5)], vec![Value::Int(1)]])
-                .unwrap();
+        let t = Table::from_rows(
+            "F",
+            schema,
+            vec![vec![Value::Float(0.5)], vec![Value::Int(1)]],
+        )
+        .unwrap();
         let obs = Obs::enabled();
         let expect = ColumnarError::MixedNumeric { column: "f".into() };
         let cap = DEFAULT_CHUNK_CACHE_CAPACITY;
@@ -243,7 +257,10 @@ mod tests {
         // Touch t1 so t2 becomes the LRU victim, then overflow.
         cached_column_in(&cache, &t1, 0, &obs, 2).unwrap();
         cached_column_in(&cache, &t3, 0, &obs, 2).unwrap();
-        assert!(lock_in(&cache).map.len() <= 2, "capacity-2 cache overflowed");
+        assert!(
+            lock_in(&cache).map.len() <= 2,
+            "capacity-2 cache overflowed"
+        );
         let snap = obs.snapshot();
         assert_eq!(snap.counters.get("chunk.cache.miss"), Some(&3));
         assert_eq!(snap.counters.get("chunk.cache.hit"), Some(&1));

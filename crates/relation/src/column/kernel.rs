@@ -44,7 +44,11 @@ impl BoolMask {
 
     /// All rows UNKNOWN.
     fn unknown(len: usize) -> Self {
-        BoolMask { truth: vec![0; Self::words(len)], known: vec![0; Self::words(len)], len }
+        BoolMask {
+            truth: vec![0; Self::words(len)],
+            known: vec![0; Self::words(len)],
+            len,
+        }
     }
 
     /// Every row the same constant (`None` = UNKNOWN).
@@ -214,13 +218,25 @@ impl CmpOp {
 enum ListPrep {
     /// Int column: exact `i64` members plus the `f64`-space keys of
     /// Float members (`Int(a) = Float(b)` compares in `f64` space).
-    Ints { exact: HashSet<i64>, fkeys: HashSet<u64> },
+    Ints {
+        exact: HashSet<i64>,
+        fkeys: HashSet<u64>,
+    },
     /// Float column: all numeric members collapse to `float_key` space.
-    Floats { keys: HashSet<u64> },
+    Floats {
+        keys: HashSet<u64>,
+    },
     /// Text column: members resolve to dictionary codes per chunk.
-    Texts { items: Vec<Arc<str>> },
-    Dates { set: HashSet<Date> },
-    Bools { has_true: bool, has_false: bool },
+    Texts {
+        items: Vec<Arc<str>>,
+    },
+    Dates {
+        set: HashSet<Date>,
+    },
+    Bools {
+        has_true: bool,
+        has_false: bool,
+    },
 }
 
 /// One compiled kernel node.
@@ -230,14 +246,30 @@ enum Node {
     /// A bare `Bool` column used as a predicate.
     BoolCol(usize),
     IsNull(usize),
-    CmpLit { col: usize, op: CmpOp, lit: Value },
-    CmpCol { a: usize, b: usize, op: CmpOp },
-    InList { col: usize, prep: ListPrep, has_null: bool },
+    CmpLit {
+        col: usize,
+        op: CmpOp,
+        lit: Value,
+    },
+    CmpCol {
+        a: usize,
+        b: usize,
+        op: CmpOp,
+    },
+    InList {
+        col: usize,
+        prep: ListPrep,
+        has_null: bool,
+    },
     /// `lo <= col <= hi` with literal, non-null, comparable bounds
     /// (kept as one node: `BETWEEN` is UNKNOWN — not FALSE — whenever
     /// any operand is NULL, which a Kleene AND of two comparisons
     /// would not reproduce).
-    Between { col: usize, lo: Value, hi: Value },
+    Between {
+        col: usize,
+        lo: Value,
+        hi: Value,
+    },
     Not(Box<Node>),
     And(Box<Node>, Box<Node>),
     Or(Box<Node>, Box<Node>),
@@ -270,7 +302,10 @@ impl CompiledPredicate {
         let pred = fold(pred);
         let mut cols = std::collections::BTreeSet::new();
         let root = compile_node(&pred, schema, &mut cols)?;
-        Some(CompiledPredicate { root, cols: cols.into_iter().collect() })
+        Some(CompiledPredicate {
+            root,
+            cols: cols.into_iter().collect(),
+        })
     }
 
     /// Schema positions of every column the kernels read (the set a
@@ -356,7 +391,11 @@ fn compile_node(
                 cols.insert(i);
                 let has_null = list.iter().any(Value::is_null);
                 let prep = prep_list(schema.columns()[i].dtype, list);
-                Some(Node::InList { col: i, prep, has_null })
+                Some(Node::InList {
+                    col: i,
+                    prep,
+                    has_null,
+                })
             }
             Expr::Lit(v) => {
                 if v.is_null() {
@@ -388,7 +427,11 @@ fn compile_node(
                 return None; // row engine raises Incomparable
             }
             cols.insert(i);
-            Some(Node::Between { col: i, lo: lo.clone(), hi: hi.clone() })
+            Some(Node::Between {
+                col: i,
+                lo: lo.clone(),
+                hi: hi.clone(),
+            })
         }
         Expr::Neg(_) | Expr::Func(..) => None,
     }
@@ -410,7 +453,11 @@ fn compile_cmp_lit(
         return None; // row engine raises Incomparable per row
     }
     cols.insert(i);
-    Some(Node::CmpLit { col: i, op, lit: lit.clone() })
+    Some(Node::CmpLit {
+        col: i,
+        op,
+        lit: lit.clone(),
+    })
 }
 
 fn prep_list(dtype: DataType, list: &[Value]) -> ListPrep {
@@ -458,7 +505,13 @@ fn prep_list(dtype: DataType, list: &[Value]) -> ListPrep {
         DataType::Date => {
             let set = list
                 .iter()
-                .filter_map(|v| if let Value::Date(d) = v { Some(*d) } else { None })
+                .filter_map(|v| {
+                    if let Value::Date(d) = v {
+                        Some(*d)
+                    } else {
+                        None
+                    }
+                })
                 .collect();
             ListPrep::Dates { set }
         }
@@ -496,13 +549,17 @@ fn cmp_mask<T>(
 fn eval_node(node: &Node, chunk: &ColumnChunk, start: usize, end: usize) -> BoolMask {
     let len = end - start;
     let col = |c: usize| -> &Column {
-        chunk.column(c).unwrap_or_else(|| unreachable!("compiled column materialized"))
+        chunk
+            .column(c)
+            .unwrap_or_else(|| unreachable!("compiled column materialized"))
     };
     match node {
         Node::Const(v) => BoolMask::constant(len, *v),
         Node::BoolCol(c) => {
             let col = col(*c);
-            let ColumnData::Bool(data) = &col.data else { unreachable!("typed by compile") };
+            let ColumnData::Bool(data) = &col.data else {
+                unreachable!("typed by compile")
+            };
             cmp_mask(start, end, &col.validity, data, |b| *b)
         }
         Node::IsNull(c) => {
@@ -511,9 +568,11 @@ fn eval_node(node: &Node, chunk: &ColumnChunk, start: usize, end: usize) -> Bool
         }
         Node::CmpLit { col: c, op, lit } => eval_cmp_lit(col(*c), *op, lit, start, end),
         Node::CmpCol { a, b, op } => eval_cmp_col(col(*a), col(*b), *op, start, end),
-        Node::InList { col: c, prep, has_null } => {
-            eval_in_list(col(*c), prep, *has_null, start, end)
-        }
+        Node::InList {
+            col: c,
+            prep,
+            has_null,
+        } => eval_in_list(col(*c), prep, *has_null, start, end),
         Node::Between { col: c, lo, hi } => {
             // Exact BETWEEN tri-state: both bounds are non-null literals
             // (compile guarantees), so a row is UNKNOWN iff its cell is
@@ -555,7 +614,9 @@ fn eval_cmp_lit(col: &Column, op: CmpOp, lit: &Value, start: usize, end: usize) 
         }
         (ColumnData::Float(data), Value::Int(b)) => {
             let bf = *b as f64;
-            cmp_mask(start, end, v, data, |x| op.test(Value::norm_float(*x).total_cmp(&bf)))
+            cmp_mask(start, end, v, data, |x| {
+                op.test(Value::norm_float(*x).total_cmp(&bf))
+            })
         }
         (ColumnData::Float(data), Value::Float(f)) => {
             let nf = Value::norm_float(*f);
@@ -569,15 +630,20 @@ fn eval_cmp_lit(col: &Column, op: CmpOp, lit: &Value, start: usize, end: usize) 
                 // u32 compares.
                 let lit_code = dict.code_of(s);
                 cmp_mask(start, end, v, codes, |c| match lit_code {
-                    Some(lc) => op.test(if *c == lc { Ordering::Equal } else { Ordering::Less }),
+                    Some(lc) => op.test(if *c == lc {
+                        Ordering::Equal
+                    } else {
+                        Ordering::Less
+                    }),
                     None => op == CmpOp::Ne,
                 })
             }
             _ => {
                 // Ordering against a literal: one string compare per
                 // *distinct* value (code LUT), not per row.
-                let lut: Vec<bool> =
-                    (0..dict.len()).map(|c| op.test(dict.get(c as u32).as_ref().cmp(&**s))).collect();
+                let lut: Vec<bool> = (0..dict.len())
+                    .map(|c| op.test(dict.get(c as u32).as_ref().cmp(&**s)))
+                    .collect();
                 cmp_mask(start, end, v, codes, |c| lut[*c as usize])
             }
         },
@@ -621,27 +687,38 @@ fn eval_cmp_col(a: &Column, b: &Column, op: CmpOp, start: usize, end: usize) -> 
         };
     }
     match (&a.data, &b.data) {
-        (ColumnData::Int(da), ColumnData::Int(db)) => pairwise!(da, db, |x: &i64, y: &i64| x.cmp(y)),
+        (ColumnData::Int(da), ColumnData::Int(db)) => {
+            pairwise!(da, db, |x: &i64, y: &i64| x.cmp(y))
+        }
         (ColumnData::Int(da), ColumnData::Float(db)) => {
-            pairwise!(da, db, |x: &i64, y: &f64| (*x as f64).total_cmp(&Value::norm_float(*y)))
+            pairwise!(da, db, |x: &i64, y: &f64| (*x as f64)
+                .total_cmp(&Value::norm_float(*y)))
         }
         (ColumnData::Float(da), ColumnData::Int(db)) => {
-            pairwise!(da, db, |x: &f64, y: &i64| Value::norm_float(*x).total_cmp(&(*y as f64)))
+            pairwise!(da, db, |x: &f64, y: &i64| Value::norm_float(*x)
+                .total_cmp(&(*y as f64)))
         }
         (ColumnData::Float(da), ColumnData::Float(db)) => {
             pairwise!(da, db, |x: &f64, y: &f64| Value::norm_float(*x)
                 .total_cmp(&Value::norm_float(*y)))
         }
-        (ColumnData::Text { codes: ca, dict: da }, ColumnData::Text { codes: cb, dict: db }) => {
-            BoolMask::from_fn(len, |j| {
-                let i = start + j;
-                if valid(i) {
-                    Some(op.test(da.get(ca[i]).cmp(db.get(cb[i]))))
-                } else {
-                    None
-                }
-            })
-        }
+        (
+            ColumnData::Text {
+                codes: ca,
+                dict: da,
+            },
+            ColumnData::Text {
+                codes: cb,
+                dict: db,
+            },
+        ) => BoolMask::from_fn(len, |j| {
+            let i = start + j;
+            if valid(i) {
+                Some(op.test(da.get(ca[i]).cmp(db.get(cb[i]))))
+            } else {
+                None
+            }
+        }),
         (ColumnData::Date(da), ColumnData::Date(db)) => {
             pairwise!(da, db, |x: &Date, y: &Date| x.cmp(y))
         }
@@ -652,12 +729,24 @@ fn eval_cmp_col(a: &Column, b: &Column, op: CmpOp, start: usize, end: usize) -> 
         (_, _) => {
             debug_assert!(!op.is_ordering());
             let const_result = op == CmpOp::Ne;
-            BoolMask::from_fn(len, |j| if valid(start + j) { Some(const_result) } else { None })
+            BoolMask::from_fn(len, |j| {
+                if valid(start + j) {
+                    Some(const_result)
+                } else {
+                    None
+                }
+            })
         }
     }
 }
 
-fn eval_in_list(col: &Column, prep: &ListPrep, has_null: bool, start: usize, end: usize) -> BoolMask {
+fn eval_in_list(
+    col: &Column,
+    prep: &ListPrep,
+    has_null: bool,
+    start: usize,
+    end: usize,
+) -> BoolMask {
     let v = &col.validity;
     // SQL: a non-matching row is UNKNOWN (not FALSE) when the list has
     // a NULL member — the row *might* equal it.
@@ -679,20 +768,26 @@ fn eval_in_list(col: &Column, prep: &ListPrep, has_null: bool, start: usize, end
     match (&col.data, prep) {
         (ColumnData::Int(data), ListPrep::Ints { exact, fkeys }) => {
             membership!(data, |x: &i64| exact.contains(x)
-                || (!fkeys.is_empty() && fkeys.contains(&Value::float_key(*x as f64))))
+                || (!fkeys.is_empty()
+                    && fkeys.contains(&Value::float_key(*x as f64))))
         }
         (ColumnData::Float(data), ListPrep::Floats { keys }) => {
             membership!(data, |x: &f64| keys.contains(&Value::float_key(*x)))
         }
         (ColumnData::Text { codes, dict }, ListPrep::Texts { items }) => {
-            let code_set: HashSet<u32> =
-                items.iter().filter_map(|s| dict.code_of(s)).collect();
+            let code_set: HashSet<u32> = items.iter().filter_map(|s| dict.code_of(s)).collect();
             membership!(codes, |c: &u32| code_set.contains(c))
         }
         (ColumnData::Date(data), ListPrep::Dates { set }) => {
             membership!(data, |d: &Date| set.contains(d))
         }
-        (ColumnData::Bool(data), ListPrep::Bools { has_true, has_false }) => {
+        (
+            ColumnData::Bool(data),
+            ListPrep::Bools {
+                has_true,
+                has_false,
+            },
+        ) => {
             membership!(data, |b: &bool| if *b { *has_true } else { *has_false })
         }
         _ => unreachable!("prep built from the column's dtype"),
@@ -719,7 +814,8 @@ pub fn filter_columnar_with_dict_limit(
     dict_limit: u32,
 ) -> Option<Table> {
     let Some(compiled) = CompiledPredicate::compile(pred, table.schema()) else {
-        cfg.obs.count(bi_exec::Counter::ColumnarFilterDeclineCompile);
+        cfg.obs
+            .count(bi_exec::Counter::ColumnarFilterDeclineCompile);
         return None;
     };
     // The default configuration goes through the version-keyed column
@@ -734,7 +830,8 @@ pub fn filter_columnar_with_dict_limit(
         Ok(chunk) => chunk,
         Err(e) => {
             cfg.obs.count(e.counter());
-            cfg.obs.count(bi_exec::Counter::ColumnarFilterDeclineConvert);
+            cfg.obs
+                .count(bi_exec::Counter::ColumnarFilterDeclineConvert);
             return None;
         }
     };
@@ -755,7 +852,11 @@ pub fn filter_columnar_with_dict_limit(
             rows.push(table.rows()[i as usize].clone());
         }
     }
-    Some(Table::from_rows_trusted(table.name().to_string(), table.schema_shared(), rows))
+    Some(Table::from_rows_trusted(
+        table.name().to_string(),
+        table.schema_shared(),
+        rows,
+    ))
 }
 
 #[cfg(test)]
@@ -778,11 +879,41 @@ mod tests {
             "T",
             schema,
             vec![
-                vec!["alice".into(), Value::Int(34), Value::Float(1.5), Value::Bool(true), day("2007-02-12")],
-                vec!["bob".into(), Value::Null, Value::Float(-0.0), Value::Bool(false), day("2007-03-10")],
-                vec!["carol".into(), Value::Int(7), Value::Null, Value::Null, day("2008-04-15")],
-                vec!["alice".into(), Value::Int(-2), Value::Float(f64::NAN), Value::Bool(true), day("2007-08-10")],
-                vec!["dave".into(), Value::Int(34), Value::Float(2.0), Value::Bool(false), day("2007-10-15")],
+                vec![
+                    "alice".into(),
+                    Value::Int(34),
+                    Value::Float(1.5),
+                    Value::Bool(true),
+                    day("2007-02-12"),
+                ],
+                vec![
+                    "bob".into(),
+                    Value::Null,
+                    Value::Float(-0.0),
+                    Value::Bool(false),
+                    day("2007-03-10"),
+                ],
+                vec![
+                    "carol".into(),
+                    Value::Int(7),
+                    Value::Null,
+                    Value::Null,
+                    day("2008-04-15"),
+                ],
+                vec![
+                    "alice".into(),
+                    Value::Int(-2),
+                    Value::Float(f64::NAN),
+                    Value::Bool(true),
+                    day("2007-08-10"),
+                ],
+                vec![
+                    "dave".into(),
+                    Value::Int(34),
+                    Value::Float(2.0),
+                    Value::Bool(false),
+                    day("2007-10-15"),
+                ],
             ],
         )
         .unwrap()
@@ -841,11 +972,19 @@ mod tests {
             col("age").eq(Expr::Lit(Value::Null)).not(),
             col("ok").not(),
             Expr::Between(Box::new(col("age")), Box::new(lit(0)), Box::new(lit(40))),
-            Expr::Between(Box::new(col("age")), Box::new(lit(0)), Box::new(Expr::Lit(Value::Null))).not(),
+            Expr::Between(
+                Box::new(col("age")),
+                Box::new(lit(0)),
+                Box::new(Expr::Lit(Value::Null)),
+            )
+            .not(),
             Expr::InList(Box::new(col("name")), vec!["alice".into(), "dave".into()]),
             Expr::InList(Box::new(col("age")), vec![Value::Int(7), Value::Null]).not(),
             Expr::InList(Box::new(col("age")), vec![Value::Float(34.0)]),
-            Expr::InList(Box::new(col("score")), vec![Value::Int(2), Value::Float(0.0)]),
+            Expr::InList(
+                Box::new(col("score")),
+                vec![Value::Int(2), Value::Float(0.0)],
+            ),
         ] {
             assert_matches_oracle(&t, &pred);
         }

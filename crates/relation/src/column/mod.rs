@@ -58,7 +58,10 @@ impl std::fmt::Display for ColumnarError {
                 write!(f, "column {column:?} mixes Int values into a Float column")
             }
             ColumnarError::DictOverflow { column } => {
-                write!(f, "dictionary for column {column:?} overflowed its code space")
+                write!(
+                    f,
+                    "dictionary for column {column:?} overflowed its code space"
+                )
             }
             ColumnarError::NoSuchColumn { index } => write!(f, "no column at index {index}"),
             ColumnarError::TooManyRows { rows } => {
@@ -112,7 +115,9 @@ impl Validity {
     /// Marks row `i` as NULL.
     pub fn set_null(&mut self, i: usize) {
         debug_assert!(i < self.len);
-        let words = self.nulls.get_or_insert_with(|| vec![0u64; self.len.div_ceil(64)]);
+        let words = self
+            .nulls
+            .get_or_insert_with(|| vec![0u64; self.len.div_ceil(64)]);
         words[i / 64] |= 1u64 << (i % 64);
     }
 
@@ -166,7 +171,11 @@ impl Dictionary {
     /// exercise the >`u32::MAX`-distinct-strings fallback without
     /// materializing four billion strings.
     pub fn with_limit(limit: u32) -> Self {
-        Dictionary { strings: Vec::new(), lookup: HashMap::new(), limit }
+        Dictionary {
+            strings: Vec::new(),
+            lookup: HashMap::new(),
+            limit,
+        }
     }
 
     /// Number of distinct strings interned.
@@ -214,7 +223,10 @@ pub enum ColumnData {
     Int(Vec<i64>),
     Float(Vec<f64>),
     /// Dictionary-encoded text: `codes[i]` indexes into `dict`.
-    Text { codes: Vec<u32>, dict: Arc<Dictionary> },
+    Text {
+        codes: Vec<u32>,
+        dict: Arc<Dictionary>,
+    },
     Date(Vec<Date>),
 }
 
@@ -277,7 +289,10 @@ impl Column {
             // -0.0 normalized).
             ColumnData::Float(v) => assign!(v, |f: &f64| Value::float_key(*f)),
             ColumnData::Date(v) => assign!(v, |d: &Date| *d),
-            ColumnData::Text { codes: dict_codes, dict: _ } => {
+            ColumnData::Text {
+                codes: dict_codes,
+                dict: _,
+            } => {
                 // Dictionary codes are already dense equivalence codes;
                 // re-map to keep first-appearance order uniform with the
                 // other branches (a dictionary shared across chunks may
@@ -330,9 +345,16 @@ impl ColumnChunk {
             let Some(col) = schema.columns().get(c) else {
                 return Err(ColumnarError::NoSuchColumn { index: c });
             };
-            cols[c] = Some(Arc::new(build_column(table, c, col.dtype, &col.name, dict_limit)?));
+            cols[c] = Some(Arc::new(build_column(
+                table, c, col.dtype, &col.name, dict_limit,
+            )?));
         }
-        Ok(ColumnChunk { name: table.name().to_string(), schema, cols, len: table.len() })
+        Ok(ColumnChunk {
+            name: table.name().to_string(),
+            schema,
+            cols,
+            len: table.len(),
+        })
     }
 
     /// [`ColumnChunk::from_table_cols`] through the process-wide
@@ -361,9 +383,19 @@ impl ColumnChunk {
             if schema.columns().get(c).is_none() {
                 return Err(ColumnarError::NoSuchColumn { index: c });
             }
-            cols[c] = Some(cache::cached_column(table, c, &cfg.obs, cfg.chunk_cache_capacity)?);
+            cols[c] = Some(cache::cached_column(
+                table,
+                c,
+                &cfg.obs,
+                cfg.chunk_cache_capacity,
+            )?);
         }
-        Ok(ColumnChunk { name: table.name().to_string(), schema, cols, len: table.len() })
+        Ok(ColumnChunk {
+            name: table.name().to_string(),
+            schema,
+            cols,
+            len: table.len(),
+        })
     }
 
     /// Number of rows.
@@ -400,10 +432,14 @@ impl ColumnChunk {
         let cols: Vec<&Column> = self
             .cols
             .iter()
-            .map(|c| c.as_deref().unwrap_or_else(|| unreachable!("to_table requires a full chunk")))
+            .map(|c| {
+                c.as_deref()
+                    .unwrap_or_else(|| unreachable!("to_table requires a full chunk"))
+            })
             .collect();
-        let rows: Vec<Vec<Value>> =
-            (0..self.len).map(|i| cols.iter().map(|c| c.value(i)).collect()).collect();
+        let rows: Vec<Vec<Value>> = (0..self.len)
+            .map(|i| cols.iter().map(|c| c.value(i)).collect())
+            .collect();
         Table::from_rows_trusted(self.name.clone(), Arc::clone(&self.schema), rows)
     }
 }
@@ -448,7 +484,9 @@ pub(crate) fn build_column(
                     // engine; widening it here would change the variant
                     // a round-trip (or a group-by key) reproduces.
                     Value::Int(_) => {
-                        return Err(ColumnarError::MixedNumeric { column: name.to_string() })
+                        return Err(ColumnarError::MixedNumeric {
+                            column: name.to_string(),
+                        })
                     }
                     _ => validity.set_null(i),
                 }
@@ -463,13 +501,18 @@ pub(crate) fn build_column(
                     Value::Text(s) => match dict.intern(s) {
                         Some(code) => codes[i] = code,
                         None => {
-                            return Err(ColumnarError::DictOverflow { column: name.to_string() })
+                            return Err(ColumnarError::DictOverflow {
+                                column: name.to_string(),
+                            })
                         }
                     },
                     _ => validity.set_null(i),
                 }
             }
-            ColumnData::Text { codes, dict: Arc::new(dict) }
+            ColumnData::Text {
+                codes,
+                dict: Arc::new(dict),
+            }
         }
         DataType::Date => {
             let mut v = vec![
@@ -506,9 +549,24 @@ mod tests {
             "M",
             schema,
             vec![
-                vec!["a".into(), Value::Int(1), Value::Float(0.5), Value::date("2007-02-12").unwrap()],
-                vec!["b".into(), Value::Null, Value::Null, Value::date("2008-04-15").unwrap()],
-                vec!["a".into(), Value::Int(-3), Value::Float(-0.0), Value::date("2007-02-12").unwrap()],
+                vec![
+                    "a".into(),
+                    Value::Int(1),
+                    Value::Float(0.5),
+                    Value::date("2007-02-12").unwrap(),
+                ],
+                vec![
+                    "b".into(),
+                    Value::Null,
+                    Value::Null,
+                    Value::date("2008-04-15").unwrap(),
+                ],
+                vec![
+                    "a".into(),
+                    Value::Int(-3),
+                    Value::Float(-0.0),
+                    Value::date("2007-02-12").unwrap(),
+                ],
             ],
         )
         .unwrap()
@@ -533,7 +591,11 @@ mod tests {
     fn dictionary_encodes_first_appearance_order() {
         let t = mixed_table();
         let chunk = ColumnChunk::from_table_cols(&t, &[0]).unwrap();
-        let Some(Column { data: ColumnData::Text { codes, dict }, .. }) = chunk.column(0) else {
+        let Some(Column {
+            data: ColumnData::Text { codes, dict },
+            ..
+        }) = chunk.column(0)
+        else {
             panic!("expected a text column");
         };
         assert_eq!(codes, &[0, 1, 0]);
@@ -567,7 +629,12 @@ mod tests {
         let t3 = Table::from_rows(
             "T",
             t.schema().clone(),
-            vec![vec!["a".into()], vec!["b".into()], vec!["c".into()], vec!["a".into()]],
+            vec![
+                vec!["a".into()],
+                vec!["b".into()],
+                vec!["c".into()],
+                vec!["a".into()],
+            ],
         )
         .unwrap();
         assert!(ColumnChunk::from_table_cols_with_dict_limit(&t3, &[0], 3).is_ok());

@@ -36,7 +36,10 @@ enum KeyData<'a> {
     Float(&'a [f64]),
     /// `rank[code]` is the code's position in lexicographic order of
     /// the dictionary, so comparing ranks compares strings.
-    TextRank { codes: &'a [u32], rank: Vec<u32> },
+    TextRank {
+        codes: &'a [u32],
+        rank: Vec<u32>,
+    },
     Date(&'a [bi_types::Date]),
 }
 
@@ -56,7 +59,11 @@ fn key_col(col: &Column, desc: bool) -> SortKeyCol<'_> {
             KeyData::TextRank { codes, rank }
         }
     };
-    SortKeyCol { data, validity: &col.validity, desc }
+    SortKeyCol {
+        data,
+        validity: &col.validity,
+        desc,
+    }
 }
 
 impl SortKeyCol<'_> {
@@ -74,9 +81,7 @@ impl SortKeyCol<'_> {
         match &self.data {
             KeyData::Bool(v) => v[i].cmp(&v[j]),
             KeyData::Int(v) => v[i].cmp(&v[j]),
-            KeyData::Float(v) => {
-                Value::norm_float(v[i]).total_cmp(&Value::norm_float(v[j]))
-            }
+            KeyData::Float(v) => Value::norm_float(v[i]).total_cmp(&Value::norm_float(v[j])),
             KeyData::TextRank { codes, rank } => {
                 rank[codes[i] as usize].cmp(&rank[codes[j] as usize])
             }
@@ -94,8 +99,10 @@ pub fn sort_permutation(
     keys: &[(usize, bool)],
     limit: Option<usize>,
 ) -> Option<Vec<u32>> {
-    let key_cols: Vec<SortKeyCol<'_>> =
-        keys.iter().map(|&(c, desc)| chunk.column(c).map(|col| key_col(col, desc))).collect::<Option<_>>()?;
+    let key_cols: Vec<SortKeyCol<'_>> = keys
+        .iter()
+        .map(|&(c, desc)| chunk.column(c).map(|col| key_col(col, desc)))
+        .collect::<Option<_>>()?;
     let n = chunk.len();
     let mut perm: Vec<u32> = (0..n as u32).collect();
     let cmp = |a: &u32, b: &u32| {

@@ -43,7 +43,8 @@ fn write_record(out: &mut String, fields: impl Iterator<Item = (String, bool)>) 
             out.push(',');
         }
         first = false;
-        if force_quote || f.contains(',') || f.contains('"') || f.contains('\n') || f.contains('\r') {
+        if force_quote || f.contains(',') || f.contains('"') || f.contains('\n') || f.contains('\r')
+        {
             out.push('"');
             out.push_str(&f.replace('"', "\"\""));
             out.push('"');
@@ -62,7 +63,10 @@ fn write_record(out: &mut String, fields: impl Iterator<Item = (String, bool)>) 
 pub fn from_csv(name: &str, schema: Schema, text: &str) -> Result<Table, RelationError> {
     let mut records = parse_records(text)?;
     if records.is_empty() {
-        return Err(RelationError::Parse { message: "missing header row".into(), position: 0 });
+        return Err(RelationError::Parse {
+            message: "missing header row".into(),
+            position: 0,
+        });
     }
     let header = records.remove(0);
     let expected: Vec<String> = schema.names().into_iter().map(String::from).collect();
@@ -101,19 +105,26 @@ fn parse_value(field: &str, quoted: bool, dtype: DataType) -> Result<Value, Rela
     if field.is_empty() && !quoted {
         return Ok(Value::Null);
     }
-    let bad = |msg: String| RelationError::Parse { message: msg, position: 0 };
+    let bad = |msg: String| RelationError::Parse {
+        message: msg,
+        position: 0,
+    };
     Ok(match dtype {
         DataType::Bool => match field {
             "true" | "TRUE" | "True" => Value::Bool(true),
             "false" | "FALSE" | "False" => Value::Bool(false),
             other => return Err(bad(format!("bad bool {other:?}"))),
         },
-        DataType::Int => {
-            Value::Int(field.parse().map_err(|_| bad(format!("bad int {field:?}")))?)
-        }
-        DataType::Float => {
-            Value::Float(field.parse().map_err(|_| bad(format!("bad float {field:?}")))?)
-        }
+        DataType::Int => Value::Int(
+            field
+                .parse()
+                .map_err(|_| bad(format!("bad int {field:?}")))?,
+        ),
+        DataType::Float => Value::Float(
+            field
+                .parse()
+                .map_err(|_| bad(format!("bad float {field:?}")))?,
+        ),
         DataType::Text => Value::text(field),
         DataType::Date => Value::Date(
             Date::parse_flexible(field).map_err(|e| bad(format!("bad date {field:?}: {e}")))?,
@@ -178,7 +189,10 @@ fn parse_records(text: &str) -> Result<Vec<Vec<(String, bool)>>, RelationError> 
         }
     }
     if in_quotes {
-        return Err(RelationError::Parse { message: "unterminated quoted field".into(), position: pos });
+        return Err(RelationError::Parse {
+            message: "unterminated quoted field".into(),
+            position: pos,
+        });
     }
     // A trailing field counts even when it is a lone quoted empty
     // string (`""` with no newline) — `quoted` distinguishes it from
@@ -210,9 +224,24 @@ mod tests {
             "T",
             schema(),
             vec![
-                vec!["Alice".into(), "Luis".into(), 60.into(), Value::date("2007-02-12").unwrap()],
-                vec!["Chris, Jr.".into(), Value::Null, 30.into(), Value::date("2007-03-10").unwrap()],
-                vec!["Quote\"y".into(), "Multi\nline".into(), 10.into(), Value::date("2007-08-10").unwrap()],
+                vec![
+                    "Alice".into(),
+                    "Luis".into(),
+                    60.into(),
+                    Value::date("2007-02-12").unwrap(),
+                ],
+                vec![
+                    "Chris, Jr.".into(),
+                    Value::Null,
+                    30.into(),
+                    Value::date("2007-03-10").unwrap(),
+                ],
+                vec![
+                    "Quote\"y".into(),
+                    "Multi\nline".into(),
+                    10.into(),
+                    Value::date("2007-08-10").unwrap(),
+                ],
             ],
         )
         .unwrap()
@@ -229,7 +258,10 @@ mod tests {
         assert!(back.cell(1, "Doctor").unwrap().is_null());
         assert_eq!(back.cell(2, "Patient").unwrap(), &Value::from("Quote\"y"));
         assert_eq!(back.cell(2, "Doctor").unwrap(), &Value::from("Multi\nline"));
-        assert_eq!(back.cell(0, "Date").unwrap(), &Value::date("2007-02-12").unwrap());
+        assert_eq!(
+            back.cell(0, "Date").unwrap(),
+            &Value::date("2007-02-12").unwrap()
+        );
     }
 
     #[test]
@@ -268,7 +300,10 @@ mod tests {
     fn paper_dates_accepted() {
         let csv = "Patient,Doctor,Cost,Date\nAlice,Luis,60,12/02/2007\n";
         let t = from_csv("T", schema(), csv).unwrap();
-        assert_eq!(t.cell(0, "Date").unwrap(), &Value::date("2007-02-12").unwrap());
+        assert_eq!(
+            t.cell(0, "Date").unwrap(),
+            &Value::date("2007-02-12").unwrap()
+        );
     }
 
     #[test]
@@ -290,12 +325,8 @@ mod review_fix_tests {
         let t = from_csv("T", schema.clone(), "a\r\nx\r\ny\r\n").unwrap();
         assert_eq!(t.len(), 2);
         // A bare CR inside a quoted field survives.
-        let original = Table::from_rows(
-            "T",
-            schema.clone(),
-            vec![vec![Value::text("line\rcr")]],
-        )
-        .unwrap();
+        let original =
+            Table::from_rows("T", schema.clone(), vec![vec![Value::text("line\rcr")]]).unwrap();
         let back = from_csv("T", schema, &to_csv(&original)).unwrap();
         assert_eq!(back.cell(0, "a").unwrap(), &Value::from("line\rcr"));
     }

@@ -14,7 +14,11 @@ pub enum RelationError {
     /// Integer overflow in checked arithmetic.
     Overflow { op: &'static str },
     /// A function applied to the wrong number of arguments.
-    Arity { func: String, expected: usize, found: usize },
+    Arity {
+        func: String,
+        expected: usize,
+        found: usize,
+    },
     /// Values that cannot be ordered against each other (e.g. Text < Int).
     Incomparable { left: String, right: String },
     /// Expression-text parse failure.
@@ -37,8 +41,15 @@ impl fmt::Display for RelationError {
             RelationError::Type(e) => write!(f, "{e}"),
             RelationError::DivisionByZero => f.write_str("division by zero"),
             RelationError::Overflow { op } => write!(f, "integer overflow in {op}"),
-            RelationError::Arity { func, expected, found } => {
-                write!(f, "function {func} expects {expected} argument(s), got {found}")
+            RelationError::Arity {
+                func,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "function {func} expects {expected} argument(s), got {found}"
+                )
             }
             RelationError::Incomparable { left, right } => {
                 write!(f, "cannot order {left} against {right}")
@@ -50,7 +61,9 @@ impl fmt::Display for RelationError {
             RelationError::TooDeep { limit } => {
                 write!(f, "expression nesting exceeds the depth limit of {limit}")
             }
-            RelationError::Internal { message } => write!(f, "internal invariant violated: {message}"),
+            RelationError::Internal { message } => {
+                write!(f, "internal invariant violated: {message}")
+            }
         }
     }
 }
@@ -79,7 +92,11 @@ mod tests {
         let e: RelationError = TypeError::DuplicateColumn { name: "x".into() }.into();
         assert!(e.to_string().contains("duplicate"));
         assert!(RelationError::DivisionByZero.to_string().contains("zero"));
-        let e = RelationError::Arity { func: "substr".into(), expected: 3, found: 1 };
+        let e = RelationError::Arity {
+            func: "substr".into(),
+            expected: 3,
+            found: 1,
+        };
         assert!(e.to_string().contains("substr"));
     }
 }

@@ -53,7 +53,10 @@ impl BinOp {
 
     /// True for `= <> < <= > >=`.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     fn symbol(self) -> &'static str {
@@ -145,18 +148,32 @@ impl Func {
 
     fn check_arity(self, found: usize) -> Result<(), RelationError> {
         let expected = match self {
-            Func::Year | Func::Month | Func::Quarter | Func::Lower | Func::Upper | Func::Length | Func::Abs => 1,
+            Func::Year
+            | Func::Month
+            | Func::Quarter
+            | Func::Lower
+            | Func::Upper
+            | Func::Length
+            | Func::Abs => 1,
             Func::Substr | Func::If => 3,
             Func::NullIf => 2,
             Func::Coalesce | Func::Concat => {
                 if found == 0 {
-                    return Err(RelationError::Arity { func: self.name().into(), expected: 1, found });
+                    return Err(RelationError::Arity {
+                        func: self.name().into(),
+                        expected: 1,
+                        found,
+                    });
                 }
                 return Ok(());
             }
         };
         if found != expected {
-            return Err(RelationError::Arity { func: self.name().into(), expected, found });
+            return Err(RelationError::Arity {
+                func: self.name().into(),
+                expected,
+                found,
+            });
         }
         Ok(())
     }
@@ -297,8 +314,12 @@ impl Expr {
             Expr::Not(e) => Expr::Not(Box::new(e.map_columns(f))),
             Expr::Neg(e) => Expr::Neg(Box::new(e.map_columns(f))),
             Expr::IsNull(e) => Expr::IsNull(Box::new(e.map_columns(f))),
-            Expr::Bin(op, l, r) => Expr::Bin(*op, Box::new(l.map_columns(f)), Box::new(r.map_columns(f))),
-            Expr::Func(func, args) => Expr::Func(*func, args.iter().map(|a| a.map_columns(f)).collect()),
+            Expr::Bin(op, l, r) => {
+                Expr::Bin(*op, Box::new(l.map_columns(f)), Box::new(r.map_columns(f)))
+            }
+            Expr::Func(func, args) => {
+                Expr::Func(*func, args.iter().map(|a| a.map_columns(f)).collect())
+            }
             Expr::InList(e, vs) => Expr::InList(Box::new(e.map_columns(f)), vs.clone()),
             Expr::Between(e, lo, hi) => Expr::Between(
                 Box::new(e.map_columns(f)),
@@ -350,11 +371,17 @@ impl Expr {
                 // `if` short-circuits: only the taken branch is evaluated.
                 if *f == Func::If {
                     let cond = args[0].eval(schema, row)?;
-                    let taken = if !cond.is_null() && cond.as_bool()? { &args[1] } else { &args[2] };
+                    let taken = if !cond.is_null() && cond.as_bool()? {
+                        &args[1]
+                    } else {
+                        &args[2]
+                    };
                     return taken.eval(schema, row);
                 }
-                let vals: Vec<Value> =
-                    args.iter().map(|a| a.eval(schema, row)).collect::<Result<_, _>>()?;
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| a.eval(schema, row))
+                    .collect::<Result<_, _>>()?;
                 eval_func(*f, &vals)
             }
             Expr::InList(e, list) => {
@@ -377,7 +404,9 @@ impl Expr {
         match self {
             Expr::Col(name) => Ok(schema.column(name)?.dtype),
             Expr::Lit(v) => Ok(v.dtype().unwrap_or(DataType::Text)),
-            Expr::Not(_) | Expr::IsNull(_) | Expr::InList(..) | Expr::Between(..) => Ok(DataType::Bool),
+            Expr::Not(_) | Expr::IsNull(_) | Expr::InList(..) | Expr::Between(..) => {
+                Ok(DataType::Bool)
+            }
             Expr::Neg(e) => e.infer_type(schema),
             Expr::Bin(op, l, r) => {
                 if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
@@ -465,13 +494,18 @@ fn unify_branch_types(schema: &Schema, branches: &[Expr]) -> Result<DataType, Re
 fn compare(l: &Value, r: &Value) -> Result<Ordering, RelationError> {
     let comparable = matches!(
         (l, r),
-        (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
-            | (Value::Text(_), Value::Text(_))
+        (
+            Value::Int(_) | Value::Float(_),
+            Value::Int(_) | Value::Float(_)
+        ) | (Value::Text(_), Value::Text(_))
             | (Value::Date(_), Value::Date(_))
             | (Value::Bool(_), Value::Bool(_))
     );
     if !comparable {
-        return Err(RelationError::Incomparable { left: format!("{l:?}"), right: format!("{r:?}") });
+        return Err(RelationError::Incomparable {
+            left: format!("{l:?}"),
+            right: format!("{r:?}"),
+        });
     }
     Ok(l.cmp(r))
 }
@@ -486,7 +520,11 @@ fn eval_bin(
     // Kleene AND/OR must short-circuit around NULLs.
     if matches!(op, BinOp::And | BinOp::Or) {
         let lv = l.eval(schema, row)?;
-        let lb = if lv.is_null() { None } else { Some(lv.as_bool()?) };
+        let lb = if lv.is_null() {
+            None
+        } else {
+            Some(lv.as_bool()?)
+        };
         match (op, lb) {
             (BinOp::And, Some(false)) => return Ok(Value::Bool(false)),
             (BinOp::Or, Some(true)) => return Ok(Value::Bool(true)),
@@ -505,8 +543,16 @@ fn eval_bin(
 /// circuit tail of AND/OR). Shared by the oracle and the VM's `Logic`
 /// op; a non-bool operand is a type error, NULL is UNKNOWN.
 fn logic_merge(op: BinOp, lv: &Value, rv: &Value) -> Result<Value, RelationError> {
-    let lb = if lv.is_null() { None } else { Some(lv.as_bool()?) };
-    let rb = if rv.is_null() { None } else { Some(rv.as_bool()?) };
+    let lb = if lv.is_null() {
+        None
+    } else {
+        Some(lv.as_bool()?)
+    };
+    let rb = if rv.is_null() {
+        None
+    } else {
+        Some(rv.as_bool()?)
+    };
     Ok(match (op, lb, rb) {
         (BinOp::And, _, Some(false)) | (BinOp::And, Some(false), _) => Value::Bool(false),
         (BinOp::Or, _, Some(true)) | (BinOp::Or, Some(true), _) => Value::Bool(true),
@@ -527,7 +573,10 @@ fn not_value(v: Value) -> Result<Value, RelationError> {
 fn neg_value(v: Value) -> Result<Value, RelationError> {
     match v {
         Value::Null => Ok(Value::Null),
-        Value::Int(i) => i.checked_neg().map(Value::Int).ok_or(RelationError::Overflow { op: "neg" }),
+        Value::Int(i) => i
+            .checked_neg()
+            .map(Value::Int)
+            .ok_or(RelationError::Overflow { op: "neg" }),
         Value::Float(f) => Ok(Value::Float(-f)),
         other => Err(bi_types::TypeError::mismatch(DataType::Float, &other, "negation").into()),
     }
@@ -591,9 +640,15 @@ fn bin_scalar(op: BinOp, lv: &Value, rv: &Value) -> Result<Value, RelationError>
     match (lv, rv) {
         (Value::Int(a), Value::Int(b)) => {
             let r = match op {
-                BinOp::Add => a.checked_add(*b).ok_or(RelationError::Overflow { op: "+" })?,
-                BinOp::Sub => a.checked_sub(*b).ok_or(RelationError::Overflow { op: "-" })?,
-                BinOp::Mul => a.checked_mul(*b).ok_or(RelationError::Overflow { op: "*" })?,
+                BinOp::Add => a
+                    .checked_add(*b)
+                    .ok_or(RelationError::Overflow { op: "+" })?,
+                BinOp::Sub => a
+                    .checked_sub(*b)
+                    .ok_or(RelationError::Overflow { op: "-" })?,
+                BinOp::Mul => a
+                    .checked_mul(*b)
+                    .ok_or(RelationError::Overflow { op: "*" })?,
                 BinOp::Div => {
                     if *b == 0 {
                         return Err(RelationError::DivisionByZero);
@@ -628,7 +683,11 @@ fn eval_func(f: Func, vals: &[Value]) -> Result<Value, RelationError> {
     // Coalesce looks *past* NULLs; NULLIF has its own NULL rules
     // (NULLIF(a, NULL) = a, because a = NULL is UNKNOWN, not TRUE).
     if f == Func::Coalesce {
-        return Ok(vals.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null));
+        return Ok(vals
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null));
     }
     if f == Func::NullIf {
         if !vals[0].is_null() && vals[0] == vals[1] {
@@ -647,7 +706,10 @@ fn eval_func(f: Func, vals: &[Value]) -> Result<Value, RelationError> {
         Func::Upper => Ok(Value::text(vals[0].as_text()?.to_uppercase())),
         Func::Length => Ok(Value::Int(vals[0].as_text()?.chars().count() as i64)),
         Func::Abs => match &vals[0] {
-            Value::Int(i) => i.checked_abs().map(Value::Int).ok_or(RelationError::Overflow { op: "abs" }),
+            Value::Int(i) => i
+                .checked_abs()
+                .map(Value::Int)
+                .ok_or(RelationError::Overflow { op: "abs" }),
             Value::Float(x) => Ok(Value::Float(x.abs())),
             other => Err(bi_types::TypeError::mismatch(DataType::Float, other, "abs").into()),
         },
@@ -662,7 +724,9 @@ fn eval_func(f: Func, vals: &[Value]) -> Result<Value, RelationError> {
             let s = vals[0].as_text()?;
             let start = vals[1].as_int()?.max(1) as usize - 1;
             let len = vals[2].as_int()?.max(0) as usize;
-            Ok(Value::text(s.chars().skip(start).take(len).collect::<String>()))
+            Ok(Value::text(
+                s.chars().skip(start).take(len).collect::<String>(),
+            ))
         }
         Func::Coalesce | Func::NullIf => unreachable!("handled above"),
         // `if` short-circuits in Expr::eval and never reaches here.
@@ -801,9 +865,14 @@ mod tests {
         assert_eq!(ev(&lit(2).bin(BinOp::Add, lit(3))), Value::Int(5));
         assert_eq!(ev(&col("Cost").bin(BinOp::Mul, lit(2))), Value::Int(120));
         assert_eq!(ev(&lit(7).bin(BinOp::Div, lit(2))), Value::Float(3.5));
-        assert_eq!(ev(&col("Weight").bin(BinOp::Add, lit(1))), Value::Float(3.5));
         assert_eq!(
-            lit(i64::MAX).bin(BinOp::Add, lit(1)).eval(&schema(), &row()),
+            ev(&col("Weight").bin(BinOp::Add, lit(1))),
+            Value::Float(3.5)
+        );
+        assert_eq!(
+            lit(i64::MAX)
+                .bin(BinOp::Add, lit(1))
+                .eval(&schema(), &row()),
             Err(RelationError::Overflow { op: "+" })
         );
         assert_eq!(
@@ -831,8 +900,15 @@ mod tests {
     fn comparisons() {
         assert_eq!(ev(&col("Cost").ge(lit(60))), Value::Bool(true));
         assert_eq!(ev(&col("Patient").lt(lit("Bob"))), Value::Bool(true));
-        assert_eq!(ev(&col("Patient").eq(lit(3))), Value::Bool(false), "cross-type eq is false");
-        assert!(col("Patient").lt(lit(3)).eval(&schema(), &row()).is_err(), "cross-type order errors");
+        assert_eq!(
+            ev(&col("Patient").eq(lit(3))),
+            Value::Bool(false),
+            "cross-type eq is false"
+        );
+        assert!(
+            col("Patient").lt(lit(3)).eval(&schema(), &row()).is_err(),
+            "cross-type order errors"
+        );
         let d = Expr::Lit(Value::date("2007-01-01").unwrap());
         assert_eq!(ev(&col("Date").gt(d)), Value::Bool(true));
     }
@@ -852,19 +928,41 @@ mod tests {
 
     #[test]
     fn functions() {
-        assert_eq!(ev(&Expr::Func(Func::Year, vec![col("Date")])), Value::Int(2007));
-        assert_eq!(ev(&Expr::Func(Func::Quarter, vec![col("Date")])), Value::Int(1));
-        assert_eq!(ev(&Expr::Func(Func::Upper, vec![col("Patient")])), Value::from("ALICE"));
-        assert_eq!(ev(&Expr::Func(Func::Length, vec![col("Patient")])), Value::Int(5));
         assert_eq!(
-            ev(&Expr::Func(Func::Substr, vec![col("Patient"), lit(1), lit(3)])),
+            ev(&Expr::Func(Func::Year, vec![col("Date")])),
+            Value::Int(2007)
+        );
+        assert_eq!(
+            ev(&Expr::Func(Func::Quarter, vec![col("Date")])),
+            Value::Int(1)
+        );
+        assert_eq!(
+            ev(&Expr::Func(Func::Upper, vec![col("Patient")])),
+            Value::from("ALICE")
+        );
+        assert_eq!(
+            ev(&Expr::Func(Func::Length, vec![col("Patient")])),
+            Value::Int(5)
+        );
+        assert_eq!(
+            ev(&Expr::Func(
+                Func::Substr,
+                vec![col("Patient"), lit(1), lit(3)]
+            )),
             Value::from("Ali")
         );
         assert_eq!(
-            ev(&Expr::Func(Func::Coalesce, vec![col("Doctor"), lit("unknown")])),
+            ev(&Expr::Func(
+                Func::Coalesce,
+                vec![col("Doctor"), lit("unknown")]
+            )),
             Value::from("unknown")
         );
-        assert_eq!(ev(&Expr::Func(Func::Lower, vec![col("Doctor")])), Value::Null, "null propagates");
+        assert_eq!(
+            ev(&Expr::Func(Func::Lower, vec![col("Doctor")])),
+            Value::Null,
+            "null propagates"
+        );
         assert!(matches!(
             Expr::Func(Func::Substr, vec![col("Patient")]).eval(&schema(), &row()),
             Err(RelationError::Arity { .. })
@@ -875,24 +973,56 @@ mod tests {
     fn if_and_nullif_masking() {
         // The type-preserving mask pattern used by the VPD rewriter:
         // if(Disease-ok, Cost, NULL).
-        let mask = Expr::Func(Func::If, vec![col("Patient").eq(lit("Alice")), col("Cost"), Expr::Lit(Value::Null)]);
+        let mask = Expr::Func(
+            Func::If,
+            vec![
+                col("Patient").eq(lit("Alice")),
+                col("Cost"),
+                Expr::Lit(Value::Null),
+            ],
+        );
         assert_eq!(ev(&mask), Value::Int(60));
         assert_eq!(mask.infer_type(&schema()).unwrap(), DataType::Int);
-        let mask = Expr::Func(Func::If, vec![col("Patient").eq(lit("Bob")), col("Cost"), Expr::Lit(Value::Null)]);
+        let mask = Expr::Func(
+            Func::If,
+            vec![
+                col("Patient").eq(lit("Bob")),
+                col("Cost"),
+                Expr::Lit(Value::Null),
+            ],
+        );
         assert_eq!(ev(&mask), Value::Null);
         // NULL condition takes the else branch.
-        let mask = Expr::Func(Func::If, vec![col("Doctor").eq(lit("Luis")), col("Cost"), lit(-1)]);
+        let mask = Expr::Func(
+            Func::If,
+            vec![col("Doctor").eq(lit("Luis")), col("Cost"), lit(-1)],
+        );
         assert_eq!(ev(&mask), Value::Int(-1));
         // if() short-circuits: the untaken branch may even divide by zero.
         let boom = lit(1).bin(BinOp::Div, lit(0));
         let safe = Expr::Func(Func::If, vec![lit(true), col("Cost"), boom]);
         assert_eq!(ev(&safe), Value::Int(60));
 
-        assert_eq!(ev(&Expr::Func(Func::NullIf, vec![col("Cost"), lit(60)])), Value::Null);
-        assert_eq!(ev(&Expr::Func(Func::NullIf, vec![col("Cost"), lit(10)])), Value::Int(60));
+        assert_eq!(
+            ev(&Expr::Func(Func::NullIf, vec![col("Cost"), lit(60)])),
+            Value::Null
+        );
+        assert_eq!(
+            ev(&Expr::Func(Func::NullIf, vec![col("Cost"), lit(10)])),
+            Value::Int(60)
+        );
         // NULLIF(a, NULL) = a; NULLIF(NULL, b) = NULL.
-        assert_eq!(ev(&Expr::Func(Func::NullIf, vec![col("Cost"), Expr::Lit(Value::Null)])), Value::Int(60));
-        assert_eq!(ev(&Expr::Func(Func::NullIf, vec![col("Doctor"), lit("x")])), Value::Null);
+        assert_eq!(
+            ev(&Expr::Func(
+                Func::NullIf,
+                vec![col("Cost"), Expr::Lit(Value::Null)]
+            )),
+            Value::Int(60)
+        );
+        assert_eq!(
+            ev(&Expr::Func(Func::NullIf, vec![col("Doctor"), lit("x")])),
+            Value::Null
+        );
         // Round-trips through the parser.
         let e = parse("if(a = 1, b, nullif(c, 'x'))").unwrap();
         assert_eq!(parse(&e.to_string()).unwrap(), e);
@@ -902,17 +1032,39 @@ mod tests {
     fn type_inference() {
         let s = schema();
         assert_eq!(col("Cost").infer_type(&s).unwrap(), DataType::Int);
-        assert_eq!(col("Cost").bin(BinOp::Div, lit(2)).infer_type(&s).unwrap(), DataType::Float);
-        assert_eq!(col("Cost").bin(BinOp::Add, col("Weight")).infer_type(&s).unwrap(), DataType::Float);
-        assert_eq!(col("Cost").ge(lit(1)).infer_type(&s).unwrap(), DataType::Bool);
-        assert_eq!(Expr::Func(Func::Year, vec![col("Date")]).infer_type(&s).unwrap(), DataType::Int);
+        assert_eq!(
+            col("Cost").bin(BinOp::Div, lit(2)).infer_type(&s).unwrap(),
+            DataType::Float
+        );
+        assert_eq!(
+            col("Cost")
+                .bin(BinOp::Add, col("Weight"))
+                .infer_type(&s)
+                .unwrap(),
+            DataType::Float
+        );
+        assert_eq!(
+            col("Cost").ge(lit(1)).infer_type(&s).unwrap(),
+            DataType::Bool
+        );
+        assert_eq!(
+            Expr::Func(Func::Year, vec![col("Date")])
+                .infer_type(&s)
+                .unwrap(),
+            DataType::Int
+        );
         assert!(col("Missing").infer_type(&s).is_err());
-        assert!(col("Cost").eq(col("Missing")).infer_type(&s).is_err(), "both sides typed");
+        assert!(
+            col("Cost").eq(col("Missing")).infer_type(&s).is_err(),
+            "both sides typed"
+        );
     }
 
     #[test]
     fn conjuncts_and_conjoin() {
-        let e = col("a").eq(lit(1)).and(col("b").eq(lit(2)).and(col("c").eq(lit(3))));
+        let e = col("a")
+            .eq(lit(1))
+            .and(col("b").eq(lit(2)).and(col("c").eq(lit(3))));
         assert_eq!(e.conjuncts().len(), 3);
         let rebuilt = Expr::conjoin(e.conjuncts().into_iter().cloned());
         assert_eq!(rebuilt.conjuncts().len(), 3);
@@ -921,7 +1073,9 @@ mod tests {
 
     #[test]
     fn columns_used_and_map() {
-        let e = col("Patient").eq(lit("x")).and(Expr::Func(Func::Year, vec![col("Date")]).eq(lit(2007)));
+        let e = col("Patient")
+            .eq(lit("x"))
+            .and(Expr::Func(Func::Year, vec![col("Date")]).eq(lit(2007)));
         let used: Vec<String> = e.columns_used().into_iter().collect();
         assert_eq!(used, vec!["Date".to_string(), "Patient".to_string()]);
         let mapped = e.map_columns(&|c| format!("p.{c}"));
@@ -930,8 +1084,13 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let e = col("Disease").ne(lit("HIV")).and(col("Cost").ge(lit(10)).or(col("Doctor").is_null()));
-        assert_eq!(e.to_string(), "Disease <> 'HIV' AND (Cost >= 10 OR Doctor IS NULL)");
+        let e = col("Disease")
+            .ne(lit("HIV"))
+            .and(col("Cost").ge(lit(10)).or(col("Doctor").is_null()));
+        assert_eq!(
+            e.to_string(),
+            "Disease <> 'HIV' AND (Cost >= 10 OR Doctor IS NULL)"
+        );
         let e = Expr::Lit(Value::text("it's"));
         assert_eq!(e.to_string(), "'it''s'");
         let e = Expr::Neg(Box::new(col("Cost").bin(BinOp::Add, lit(1))));

@@ -41,10 +41,18 @@ pub const MAX_DEPTH: usize = 128;
 /// Parses the textual expression form.
 pub fn parse(input: &str) -> Result<Expr, RelationError> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0, input_len: input.len(), depth: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+        depth: 0,
+    };
     let e = p.parse_or()?;
     if p.pos < p.tokens.len() {
-        return Err(p.error(format!("unexpected trailing token {:?}", p.tokens[p.pos].kind)));
+        return Err(p.error(format!(
+            "unexpected trailing token {:?}",
+            p.tokens[p.pos].kind
+        )));
     }
     Ok(e)
 }
@@ -87,36 +95,60 @@ fn lex(input: &str) -> Result<Vec<Token>, RelationError> {
                     '/' => "/",
                     _ => "=",
                 };
-                out.push(Token { kind: Tok::Sym(sym), offset });
+                out.push(Token {
+                    kind: Tok::Sym(sym),
+                    offset,
+                });
                 i += 1;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: Tok::Sym("<="), offset });
+                    out.push(Token {
+                        kind: Tok::Sym("<="),
+                        offset,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Token { kind: Tok::Sym("<>"), offset });
+                    out.push(Token {
+                        kind: Tok::Sym("<>"),
+                        offset,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: Tok::Sym("<"), offset });
+                    out.push(Token {
+                        kind: Tok::Sym("<"),
+                        offset,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: Tok::Sym(">="), offset });
+                    out.push(Token {
+                        kind: Tok::Sym(">="),
+                        offset,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: Tok::Sym(">"), offset });
+                    out.push(Token {
+                        kind: Tok::Sym(">"),
+                        offset,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: Tok::Sym("<>"), offset });
+                    out.push(Token {
+                        kind: Tok::Sym("<>"),
+                        offset,
+                    });
                     i += 2;
                 } else {
-                    return Err(RelationError::Parse { message: "lone '!'".into(), position: i });
+                    return Err(RelationError::Parse {
+                        message: "lone '!'".into(),
+                        position: i,
+                    });
                 }
             }
             '\'' => {
@@ -147,7 +179,10 @@ fn lex(input: &str) -> Result<Vec<Token>, RelationError> {
                         }
                     }
                 }
-                out.push(Token { kind: Tok::Str(s), offset });
+                out.push(Token {
+                    kind: Tok::Str(s),
+                    offset,
+                });
             }
             c if c.is_ascii_digit() => {
                 let start = i;
@@ -155,7 +190,12 @@ fn lex(input: &str) -> Result<Vec<Token>, RelationError> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit()) {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())
+                {
                     is_float = true;
                     i += 1;
                     while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
@@ -187,7 +227,10 @@ fn lex(input: &str) -> Result<Vec<Token>, RelationError> {
                         break;
                     }
                 }
-                out.push(Token { kind: Tok::Ident(input[start..i].to_string()), offset });
+                out.push(Token {
+                    kind: Tok::Ident(input[start..i].to_string()),
+                    offset,
+                });
             }
             other => {
                 return Err(RelationError::Parse {
@@ -213,7 +256,11 @@ struct Parser {
 
 impl Parser {
     fn error(&self, message: String) -> RelationError {
-        let position = self.tokens.get(self.pos).map(|t| t.offset).unwrap_or(self.input_len);
+        let position = self
+            .tokens
+            .get(self.pos)
+            .map(|t| t.offset)
+            .unwrap_or(self.input_len);
         RelationError::Parse { message, position }
     }
 
@@ -436,9 +483,7 @@ impl Parser {
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("TRUE") => Ok(Value::Bool(true)),
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("FALSE") => Ok(Value::Bool(false)),
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("nan") => Ok(Value::Float(f64::NAN)),
-            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("inf") => {
-                Ok(Value::Float(f64::INFINITY))
-            }
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("inf") => Ok(Value::Float(f64::INFINITY)),
             Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("DATE") => {
                 let txt = match self.next() {
                     Some(Tok::Str(t)) => t,
@@ -446,12 +491,18 @@ impl Parser {
                 };
                 let d: Date = Date::parse_flexible(&txt).map_err(|e| RelationError::Parse {
                     message: e.to_string(),
-                    position: self.tokens.get(self.pos.saturating_sub(1)).map(|t| t.offset).unwrap_or(0),
+                    position: self
+                        .tokens
+                        .get(self.pos.saturating_sub(1))
+                        .map(|t| t.offset)
+                        .unwrap_or(0),
                 })?;
                 Ok(Value::Date(d))
             }
             other => {
-                let what = other.map(|t| format!("{t:?}")).unwrap_or_else(|| "end of input".to_string());
+                let what = other
+                    .map(|t| format!("{t:?}"))
+                    .unwrap_or_else(|| "end of input".to_string());
                 Err(self.error(format!("expected literal, found {what}")))
             }
         }
@@ -472,7 +523,10 @@ impl Parser {
                 // when a string follows — plain `Date` is a legal column
                 // name (the paper's Prescriptions relation has one).
                 let date_literal = s.eq_ignore_ascii_case("DATE")
-                    && matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(Tok::Str(_)));
+                    && matches!(
+                        self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                        Some(Tok::Str(_))
+                    );
                 if s.eq_ignore_ascii_case("NULL")
                     || s.eq_ignore_ascii_case("TRUE")
                     || s.eq_ignore_ascii_case("FALSE")
@@ -502,7 +556,9 @@ impl Parser {
                 Ok(Expr::Col(s))
             }
             other => {
-                let what = other.map(|t| format!("{t:?}")).unwrap_or_else(|| "end of input".to_string());
+                let what = other
+                    .map(|t| format!("{t:?}"))
+                    .unwrap_or_else(|| "end of input".to_string());
                 Err(self.error(format!("expected expression, found {what}")))
             }
         }
@@ -518,7 +574,10 @@ mod tests {
         let e = parse(text).unwrap();
         let printed = e.to_string();
         let e2 = parse(&printed).unwrap();
-        assert_eq!(e, e2, "print/parse roundtrip failed for {text:?} -> {printed:?}");
+        assert_eq!(
+            e, e2,
+            "print/parse roundtrip failed for {text:?} -> {printed:?}"
+        );
     }
 
     #[test]
@@ -533,9 +592,20 @@ mod tests {
     fn precedence_and_grouping() {
         let e = parse("a = 1 OR b = 2 AND c = 3").unwrap();
         // AND binds tighter than OR.
-        assert_eq!(e, col("a").eq(lit(1)).or(col("b").eq(lit(2)).and(col("c").eq(lit(3)))));
+        assert_eq!(
+            e,
+            col("a")
+                .eq(lit(1))
+                .or(col("b").eq(lit(2)).and(col("c").eq(lit(3))))
+        );
         let e = parse("(a = 1 OR b = 2) AND c = 3").unwrap();
-        assert_eq!(e, col("a").eq(lit(1)).or(col("b").eq(lit(2))).and(col("c").eq(lit(3))));
+        assert_eq!(
+            e,
+            col("a")
+                .eq(lit(1))
+                .or(col("b").eq(lit(2)))
+                .and(col("c").eq(lit(3)))
+        );
         let e = parse("1 + 2 * 3").unwrap();
         assert_eq!(e, lit(1).bin(BinOp::Add, lit(2).bin(BinOp::Mul, lit(3))));
     }
@@ -554,19 +624,37 @@ mod tests {
         // Negation folds into numeric literals (canonical form).
         assert_eq!(parse("-4").unwrap(), lit(-4));
         assert_eq!(parse("-4.5").unwrap(), Expr::Lit(Value::Float(-4.5)));
-        assert_eq!(parse("-x").unwrap(), Expr::Neg(Box::new(Expr::Col("x".into()))));
+        assert_eq!(
+            parse("-x").unwrap(),
+            Expr::Neg(Box::new(Expr::Col("x".into())))
+        );
     }
 
     #[test]
     fn is_null_in_between() {
         assert_eq!(parse("Doctor IS NULL").unwrap(), col("Doctor").is_null());
-        assert_eq!(parse("Doctor IS NOT NULL").unwrap(), col("Doctor").is_null().not());
+        assert_eq!(
+            parse("Doctor IS NOT NULL").unwrap(),
+            col("Doctor").is_null().not()
+        );
         let e = parse("Disease IN ('HIV', 'hepatitis')").unwrap();
-        assert_eq!(e, Expr::InList(Box::new(col("Disease")), vec!["HIV".into(), "hepatitis".into()]));
+        assert_eq!(
+            e,
+            Expr::InList(
+                Box::new(col("Disease")),
+                vec!["HIV".into(), "hepatitis".into()]
+            )
+        );
         let e = parse("Disease NOT IN ('HIV')").unwrap();
-        assert_eq!(e, Expr::InList(Box::new(col("Disease")), vec!["HIV".into()]).not());
+        assert_eq!(
+            e,
+            Expr::InList(Box::new(col("Disease")), vec!["HIV".into()]).not()
+        );
         let e = parse("Cost BETWEEN 10 AND 60").unwrap();
-        assert_eq!(e, Expr::Between(Box::new(col("Cost")), Box::new(lit(10)), Box::new(lit(60))));
+        assert_eq!(
+            e,
+            Expr::Between(Box::new(col("Cost")), Box::new(lit(10)), Box::new(lit(60)))
+        );
         let e = parse("Cost NOT BETWEEN 10 AND 60 AND x = 1").unwrap();
         assert_eq!(
             e,
@@ -582,8 +670,14 @@ mod tests {
         assert_eq!(e, Expr::Func(Func::Year, vec![col("p.Date")]).eq(lit(2007)));
         assert!(parse("nosuchfn(x)").is_err());
         let e = parse("coalesce(Doctor, 'unknown')").unwrap();
-        assert_eq!(e, Expr::Func(Func::Coalesce, vec![col("Doctor"), lit("unknown")]));
-        assert_eq!(parse("substr(Name, 1, 3)").unwrap().to_string(), "substr(Name, 1, 3)");
+        assert_eq!(
+            e,
+            Expr::Func(Func::Coalesce, vec![col("Doctor"), lit("unknown")])
+        );
+        assert_eq!(
+            parse("substr(Name, 1, 3)").unwrap().to_string(),
+            "substr(Name, 1, 3)"
+        );
     }
 
     #[test]
@@ -617,23 +711,39 @@ mod tests {
     #[test]
     fn pathological_nesting_is_a_typed_error() {
         let deep_parens = format!("{}x{}", "(".repeat(10_000), ")".repeat(10_000));
-        assert_eq!(parse(&deep_parens), Err(RelationError::TooDeep { limit: MAX_DEPTH }));
+        assert_eq!(
+            parse(&deep_parens),
+            Err(RelationError::TooDeep { limit: MAX_DEPTH })
+        );
 
         let deep_not = format!("{}x", "NOT ".repeat(10_000));
-        assert_eq!(parse(&deep_not), Err(RelationError::TooDeep { limit: MAX_DEPTH }));
+        assert_eq!(
+            parse(&deep_not),
+            Err(RelationError::TooDeep { limit: MAX_DEPTH })
+        );
 
         let deep_neg = format!("{}x", "-".repeat(10_000));
-        assert_eq!(parse(&deep_neg), Err(RelationError::TooDeep { limit: MAX_DEPTH }));
+        assert_eq!(
+            parse(&deep_neg),
+            Err(RelationError::TooDeep { limit: MAX_DEPTH })
+        );
 
         let deep_calls = format!("{}x{}", "abs(".repeat(10_000), ")".repeat(10_000));
-        assert_eq!(parse(&deep_calls), Err(RelationError::TooDeep { limit: MAX_DEPTH }));
+        assert_eq!(
+            parse(&deep_calls),
+            Err(RelationError::TooDeep { limit: MAX_DEPTH })
+        );
     }
 
     /// Reasonable nesting stays well inside the limit, and *flat*
     /// chains are unbounded (they parse iteratively).
     #[test]
     fn sane_nesting_and_flat_chains_still_parse() {
-        let nested = format!("{}x{}", "(".repeat(MAX_DEPTH / 2), ")".repeat(MAX_DEPTH / 2));
+        let nested = format!(
+            "{}x{}",
+            "(".repeat(MAX_DEPTH / 2),
+            ")".repeat(MAX_DEPTH / 2)
+        );
         assert!(parse(&nested).is_ok());
 
         let mut flat = String::from("a = 1");

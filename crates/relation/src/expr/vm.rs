@@ -122,7 +122,10 @@ impl Program {
         let stack_need = c.emit(&folded)?;
         Ok(Program {
             ops: Arc::new(c.ops),
-            pool: Arc::new(Pool { consts: c.consts, lists: c.lists }),
+            pool: Arc::new(Pool {
+                consts: c.consts,
+                lists: c.lists,
+            }),
             stack_need,
         })
     }
@@ -159,7 +162,9 @@ pub struct Vm {
 
 #[cold]
 fn corrupt() -> RelationError {
-    RelationError::Internal { message: "expression VM stack underflow" }
+    RelationError::Internal {
+        message: "expression VM stack underflow",
+    }
 }
 
 impl Vm {
@@ -231,7 +236,11 @@ impl Vm {
                     *lv = v;
                 }
                 Op::Call(f, n) => {
-                    let start = self.stack.len().checked_sub(*n as usize).ok_or_else(corrupt)?;
+                    let start = self
+                        .stack
+                        .len()
+                        .checked_sub(*n as usize)
+                        .ok_or_else(corrupt)?;
                     let v = super::eval_func(*f, &self.stack[start..])?;
                     self.stack.truncate(start);
                     self.stack.push(v);
@@ -239,7 +248,8 @@ impl Vm {
                 Op::InList(i) => {
                     let v = self.pop()?;
                     let lp = pool.lists.get(*i as usize).ok_or_else(corrupt)?;
-                    self.stack.push(super::in_list_value(&v, &lp.items, lp.has_null));
+                    self.stack
+                        .push(super::in_list_value(&v, &lp.items, lp.has_null));
                 }
                 Op::Between => {
                     let hi = self.pop()?;
@@ -347,7 +357,11 @@ impl Compiler<'_> {
             Expr::Bin(op @ (BinOp::And | BinOp::Or), l, r) => {
                 let nl = self.emit(l)?;
                 let probe = self.ops.len();
-                self.ops.push(if *op == BinOp::And { Op::AndProbe(0) } else { Op::OrProbe(0) });
+                self.ops.push(if *op == BinOp::And {
+                    Op::AndProbe(0)
+                } else {
+                    Op::OrProbe(0)
+                });
                 let nr = self.emit(r)?;
                 self.ops.push(Op::Logic(*op));
                 let end = self.ops.len() as u32;
@@ -407,8 +421,9 @@ impl Compiler<'_> {
                     self.patch(jump, end);
                     nc.max(nt).max(ne)
                 } else {
-                    let argc = u16::try_from(args.len())
-                        .map_err(|_| RelationError::Internal { message: "function argument list too long" })?;
+                    let argc = u16::try_from(args.len()).map_err(|_| RelationError::Internal {
+                        message: "function argument list too long",
+                    })?;
                     let mut need = 0usize;
                     for (i, a) in args.iter().enumerate() {
                         need = need.max(i + self.emit(a)?);
@@ -470,7 +485,9 @@ pub fn fold(e: &Expr) -> Expr {
             // A literal Bool left side cannot error, so the oracle
             // decides AND/OR on it without touching the right side.
             match (op, &l) {
-                (BinOp::And, Expr::Lit(Value::Bool(false))) => return Expr::Lit(Value::Bool(false)),
+                (BinOp::And, Expr::Lit(Value::Bool(false))) => {
+                    return Expr::Lit(Value::Bool(false))
+                }
                 (BinOp::Or, Expr::Lit(Value::Bool(true))) => return Expr::Lit(Value::Bool(true)),
                 _ => {}
             }

@@ -29,7 +29,10 @@ impl HashIndex {
                 map.entry(row[c].clone()).or_default().push(i);
             }
         }
-        Ok(HashIndex { column: column.to_string(), map })
+        Ok(HashIndex {
+            column: column.to_string(),
+            map,
+        })
     }
 
     /// The indexed column name.

@@ -44,12 +44,19 @@ pub fn render(table: &Table) -> String {
         }
         out.push('\n');
     };
-    fmt_row(&names.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &mut out);
+    fmt_row(
+        &names.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &mut out,
+    );
     for (i, w) in widths.iter().enumerate() {
         if i > 0 {
             out.push('+');
         }
-        let extra = if i == 0 || i + 1 == widths.len() { 1 } else { 2 };
+        let extra = if i == 0 || i + 1 == widths.len() {
+            1
+        } else {
+            2
+        };
         for _ in 0..w + extra {
             out.push('-');
         }
@@ -106,12 +113,7 @@ mod tests {
             Column::nullable("Doctor", DataType::Text),
         ])
         .unwrap();
-        let t = Table::from_rows(
-            "t",
-            schema,
-            vec![vec!["Chris".into(), Value::Null]],
-        )
-        .unwrap();
+        let t = Table::from_rows("t", schema, vec![vec!["Chris".into(), Value::Null]]).unwrap();
         let s = render(&t);
         // "Chris" padded to the "Patient" header width, then an empty cell.
         assert!(s.contains("Chris   | \n"), "got: {s:?}");

@@ -74,7 +74,11 @@ pub fn filter_scalar(table: &Table, pred: &Expr, cfg: &ExecConfig) -> Result<Tab
     for chunk in kept {
         rows.extend(chunk);
     }
-    Ok(Table::from_rows_trusted(table.name().to_string(), table.schema_shared(), rows))
+    Ok(Table::from_rows_trusted(
+        table.name().to_string(),
+        table.schema_shared(),
+        rows,
+    ))
 }
 
 /// [`Table::map_rows`] with a [`bi_exec::ExecConfig`]: every projection
@@ -118,7 +122,11 @@ pub fn project_scalar(
     for chunk in chunks {
         rows.extend(chunk);
     }
-    Ok(Table::from_rows_trusted(table.name().to_string(), Arc::new(schema), rows))
+    Ok(Table::from_rows_trusted(
+        table.name().to_string(),
+        Arc::new(schema),
+        rows,
+    ))
 }
 
 #[cfg(test)]
@@ -137,7 +145,11 @@ mod tests {
             .map(|i| {
                 vec![
                     Value::Int(i),
-                    if i % 7 == 0 { Value::Null } else { Value::text(format!("g{}", i % 3)) },
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::text(format!("g{}", i % 3))
+                    },
                 ]
             })
             .collect();
@@ -147,7 +159,9 @@ mod tests {
     #[test]
     fn parallel_filter_matches_serial_at_any_thread_count() {
         let t = table(10_000);
-        let pred = col("k").ge(lit(100)).and(col("g").eq(lit("g1")).or(col("g").is_null()));
+        let pred = col("k")
+            .ge(lit(100))
+            .and(col("g").eq(lit("g1")).or(col("g").is_null()));
         let serial = t.filter(&pred).unwrap();
         for threads in [1, 2, 8] {
             let cfg = ExecConfig::with_threads(threads);
@@ -201,9 +215,16 @@ mod tests {
         let items = vec![
             (
                 "k2".to_string(),
-                Expr::Bin(crate::expr::BinOp::Mul, Box::new(col("k")), Box::new(lit(2))),
+                Expr::Bin(
+                    crate::expr::BinOp::Mul,
+                    Box::new(col("k")),
+                    Box::new(lit(2)),
+                ),
             ),
-            ("tag".to_string(), Expr::Func(crate::expr::Func::Coalesce, vec![col("g"), lit("?")])),
+            (
+                "tag".to_string(),
+                Expr::Func(crate::expr::Func::Coalesce, vec![col("g"), lit("?")]),
+            ),
         ];
         let serial = t.map_rows(&items).unwrap();
         for threads in [1, 2, 8] {

@@ -65,7 +65,12 @@ impl Table {
     /// An empty table. Accepts either a bare [`Schema`] or a shared
     /// `Arc<Schema>`; pass the latter to reuse an existing allocation.
     pub fn new(name: impl Into<String>, schema: impl Into<Arc<Schema>>) -> Self {
-        Table { name: name.into(), schema: schema.into(), rows: Arc::new(Vec::new()), version: next_version() }
+        Table {
+            name: name.into(),
+            schema: schema.into(),
+            rows: Arc::new(Vec::new()),
+            version: next_version(),
+        }
     }
 
     /// Builds a table from pre-assembled rows, validating each.
@@ -78,7 +83,12 @@ impl Table {
         for r in &rows {
             schema.check_row(r)?;
         }
-        Ok(Table { name: name.into(), schema, rows: Arc::new(rows), version: next_version() })
+        Ok(Table {
+            name: name.into(),
+            schema,
+            rows: Arc::new(rows),
+            version: next_version(),
+        })
     }
 
     /// Builds a table from rows that are well-typed *by construction* —
@@ -103,7 +113,12 @@ impl Table {
                 schema.check_row(r)
             );
         }
-        Table { name: name.into(), schema, rows: Arc::new(rows), version: next_version() }
+        Table {
+            name: name.into(),
+            schema,
+            rows: Arc::new(rows),
+            version: next_version(),
+        }
     }
 
     /// Table name (used by catalogs and provenance tokens).
@@ -194,9 +209,9 @@ impl Table {
                 let mut vm = Vm::new();
                 self.filter_rows(|row| Ok(vm.run(&p, row)?.as_bool().unwrap_or(false)))
             }
-            Err(_) => self.filter_rows(|row| {
-                Ok(pred.eval(&self.schema, row)?.as_bool().unwrap_or(false))
-            }),
+            Err(_) => {
+                self.filter_rows(|row| Ok(pred.eval(&self.schema, row)?.as_bool().unwrap_or(false)))
+            }
         }
     }
 
@@ -222,14 +237,21 @@ impl Table {
         } else {
             (Arc::new(rows), next_version())
         };
-        Ok(Table { name: self.name.clone(), schema: Arc::clone(&self.schema), rows, version })
+        Ok(Table {
+            name: self.name.clone(),
+            schema: Arc::clone(&self.schema),
+            rows,
+            version,
+        })
     }
 
     /// Keeps only the named columns, in order.
     pub fn project(&self, names: &[&str]) -> Result<Table, RelationError> {
         let schema = self.schema.project(names)?;
-        let idxs: Vec<usize> =
-            names.iter().map(|n| self.schema.index_of(n)).collect::<Result<_, _>>()?;
+        let idxs: Vec<usize> = names
+            .iter()
+            .map(|n| self.schema.index_of(n))
+            .collect::<Result<_, _>>()?;
         let rows = self
             .rows
             .iter()
@@ -246,13 +268,19 @@ impl Table {
     /// Sorts by the named columns (all ascending when `desc` is empty;
     /// otherwise `desc[i]` flips key `i`). Stable.
     pub fn sort_by(&self, keys: &[&str], desc: &[bool]) -> Result<Table, RelationError> {
-        let idxs: Vec<usize> =
-            keys.iter().map(|n| self.schema.index_of(n)).collect::<Result<_, _>>()?;
+        let idxs: Vec<usize> = keys
+            .iter()
+            .map(|n| self.schema.index_of(n))
+            .collect::<Result<_, _>>()?;
         let mut rows = (*self.rows).clone();
         rows.sort_by(|a, b| {
             for (k, &i) in idxs.iter().enumerate() {
                 let ord = a[i].cmp(&b[i]);
-                let ord = if desc.get(k).copied().unwrap_or(false) { ord.reverse() } else { ord };
+                let ord = if desc.get(k).copied().unwrap_or(false) {
+                    ord.reverse()
+                } else {
+                    ord
+                };
                 if !ord.is_eq() {
                     return ord;
                 }
@@ -270,13 +298,23 @@ impl Table {
     /// Removes duplicate rows, keeping first occurrences.
     pub fn distinct(&self) -> Table {
         let mut seen = std::collections::HashSet::new();
-        let rows: Vec<Row> = self.rows.iter().filter(|r| seen.insert((*r).clone())).cloned().collect();
+        let rows: Vec<Row> = self
+            .rows
+            .iter()
+            .filter(|r| seen.insert((*r).clone()))
+            .cloned()
+            .collect();
         let (rows, version) = if rows.len() == self.rows.len() {
             (Arc::clone(&self.rows), self.version)
         } else {
             (Arc::new(rows), next_version())
         };
-        Table { name: self.name.clone(), schema: Arc::clone(&self.schema), rows, version }
+        Table {
+            name: self.name.clone(),
+            schema: Arc::clone(&self.schema),
+            rows,
+            version,
+        }
     }
 
     /// Groups row indices by the values of the named columns.
@@ -286,9 +324,14 @@ impl Table {
     /// returned pairs are ordered by first appearance of each key, making
     /// downstream aggregation deterministic.
     #[allow(clippy::type_complexity)]
-    pub fn group_indices(&self, keys: &[&str]) -> Result<Vec<(Vec<&Value>, Vec<usize>)>, RelationError> {
-        let idxs: Vec<usize> =
-            keys.iter().map(|n| self.schema.index_of(n)).collect::<Result<_, _>>()?;
+    pub fn group_indices(
+        &self,
+        keys: &[&str],
+    ) -> Result<Vec<(Vec<&Value>, Vec<usize>)>, RelationError> {
+        let idxs: Vec<usize> = keys
+            .iter()
+            .map(|n| self.schema.index_of(n))
+            .collect::<Result<_, _>>()?;
         let mut slots: HashMap<Vec<&Value>, usize> = HashMap::new();
         let mut out: Vec<(Vec<&Value>, Vec<usize>)> = Vec::new();
         for (i, row) in self.rows.iter().enumerate() {
@@ -346,13 +389,12 @@ impl Table {
     /// declines to compile, the whole projection falls back to the
     /// recursive walker so per-row evaluation order (and thus which
     /// error surfaces first) matches legacy behaviour exactly.
-    pub fn map_rows(
-        &self,
-        items: &[(String, Expr)],
-    ) -> Result<Table, RelationError> {
+    pub fn map_rows(&self, items: &[(String, Expr)]) -> Result<Table, RelationError> {
         let schema = self.map_rows_schema(items)?;
-        let programs: Result<Vec<Program>, RelationError> =
-            items.iter().map(|(_, e)| Program::compile(e, &self.schema)).collect();
+        let programs: Result<Vec<Program>, RelationError> = items
+            .iter()
+            .map(|(_, e)| Program::compile(e, &self.schema))
+            .collect();
         let mut rows = Vec::with_capacity(self.rows.len());
         match programs {
             Ok(programs) => {
@@ -385,7 +427,10 @@ impl Table {
 
     /// The result schema of [`Table::map_rows`]: every derived column
     /// is nullable at its statically inferred type.
-    pub(crate) fn map_rows_schema(&self, items: &[(String, Expr)]) -> Result<Schema, RelationError> {
+    pub(crate) fn map_rows_schema(
+        &self,
+        items: &[(String, Expr)],
+    ) -> Result<Schema, RelationError> {
         crate::scalar::project_schema(&self.schema, items)
     }
 }
@@ -410,11 +455,41 @@ mod tests {
             "Prescriptions",
             schema,
             vec![
-                vec!["Alice".into(), "Luis".into(), "DH".into(), "HIV".into(), Value::date("12/02/2007").unwrap()],
-                vec!["Chris".into(), Value::Null, "DV".into(), "HIV".into(), Value::date("10/03/2007").unwrap()],
-                vec!["Bob".into(), "Anne".into(), "DR".into(), "asthma".into(), Value::date("10/08/2007").unwrap()],
-                vec!["Math".into(), "Mark".into(), "DM".into(), "diabetes".into(), Value::date("15/10/2007").unwrap()],
-                vec!["Alice".into(), "Luis".into(), "DR".into(), "asthma".into(), Value::date("15/04/2008").unwrap()],
+                vec![
+                    "Alice".into(),
+                    "Luis".into(),
+                    "DH".into(),
+                    "HIV".into(),
+                    Value::date("12/02/2007").unwrap(),
+                ],
+                vec![
+                    "Chris".into(),
+                    Value::Null,
+                    "DV".into(),
+                    "HIV".into(),
+                    Value::date("10/03/2007").unwrap(),
+                ],
+                vec![
+                    "Bob".into(),
+                    "Anne".into(),
+                    "DR".into(),
+                    "asthma".into(),
+                    Value::date("10/08/2007").unwrap(),
+                ],
+                vec![
+                    "Math".into(),
+                    "Mark".into(),
+                    "DM".into(),
+                    "diabetes".into(),
+                    Value::date("15/10/2007").unwrap(),
+                ],
+                vec![
+                    "Alice".into(),
+                    "Luis".into(),
+                    "DR".into(),
+                    "asthma".into(),
+                    Value::date("15/04/2008").unwrap(),
+                ],
             ],
         )
         .unwrap()
@@ -426,7 +501,13 @@ mod tests {
         assert_eq!(t.len(), 5);
         assert!(t.push_row(vec!["Eve".into()]).is_err());
         assert!(t
-            .push_row(vec![Value::Null, Value::Null, "D".into(), "flu".into(), Value::date("2008-01-01").unwrap()])
+            .push_row(vec![
+                Value::Null,
+                Value::Null,
+                "D".into(),
+                "flu".into(),
+                Value::date("2008-01-01").unwrap()
+            ])
             .is_err());
     }
 
@@ -456,7 +537,9 @@ mod tests {
 
     #[test]
     fn sort_multi_key() {
-        let t = prescriptions().sort_by(&["Patient", "Date"], &[false, true]).unwrap();
+        let t = prescriptions()
+            .sort_by(&["Patient", "Date"], &[false, true])
+            .unwrap();
         assert_eq!(t.cell(0, "Patient").unwrap(), &Value::from("Alice"));
         // Alice's later prescription first (Date descending).
         assert_eq!(t.cell(0, "Drug").unwrap(), &Value::from("DR"));
@@ -530,7 +613,10 @@ mod tests {
         let out = t
             .map_rows(&[
                 ("who".to_string(), col("Patient")),
-                ("year".to_string(), crate::expr::Expr::Func(crate::expr::Func::Year, vec![col("Date")])),
+                (
+                    "year".to_string(),
+                    crate::expr::Expr::Func(crate::expr::Func::Year, vec![col("Date")]),
+                ),
             ])
             .unwrap();
         assert_eq!(out.schema().names(), vec!["who", "year"]);

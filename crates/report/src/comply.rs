@@ -28,9 +28,14 @@ use crate::spec::ReportSpec;
 #[derive(Debug)]
 pub enum Coverage {
     /// Derivable from this meta-report; the derivation is the proof.
-    Covered { meta: ReportId, derivation: Derivation },
+    Covered {
+        meta: ReportId,
+        derivation: Derivation,
+    },
     /// No meta-report covers it: a fresh elicitation is required.
-    NotCovered { reasons: Vec<(ReportId, NotDerivable)> },
+    NotCovered {
+        reasons: Vec<(ReportId, NotDerivable)>,
+    },
 }
 
 impl Coverage {
@@ -77,7 +82,10 @@ impl<'a> MetaIndex<'a> {
                 Err(bi_query::contain::NormError::Query(e)) => return Err(e),
             }
         }
-        Ok(MetaIndex { entries, unsupported })
+        Ok(MetaIndex {
+            entries,
+            unsupported,
+        })
     }
 
     /// Finds the first covering meta-report for a plan. The plan is
@@ -104,7 +112,12 @@ impl<'a> MetaIndex<'a> {
         };
         for (m, norm) in &self.entries {
             match bi_query::contain::derive_prepared(&report_norm, norm, refs) {
-                Ok(d) => return Ok(Coverage::Covered { meta: m.id.clone(), derivation: d }),
+                Ok(d) => {
+                    return Ok(Coverage::Covered {
+                        meta: m.id.clone(),
+                        derivation: d,
+                    })
+                }
                 Err(n) => reasons.push((m.id.clone(), n)),
             }
         }
@@ -148,8 +161,11 @@ pub fn check_report(
         docs.extend(m.annotations.iter().cloned());
     }
     let policy = CombinedPolicy::combine(&docs);
-    let outcome = CheckProgram::compile(&report.plan, cat, &policy, table_source)?
-        .run(&report.consumers, report.purpose.as_deref(), today)?;
+    let outcome = CheckProgram::compile(&report.plan, cat, &policy, table_source)?.run(
+        &report.consumers,
+        report.purpose.as_deref(),
+        today,
+    )?;
 
     Ok(ComplianceResult {
         coverage,
@@ -209,7 +225,9 @@ mod tests {
     }
 
     fn table_source() -> BTreeMap<String, SourceId> {
-        [("FactPrescriptions".to_string(), SourceId::new("hospital"))].into_iter().collect()
+        [("FactPrescriptions".to_string(), SourceId::new("hospital"))]
+            .into_iter()
+            .collect()
     }
 
     fn today() -> Date {
@@ -221,12 +239,20 @@ mod tests {
         let report = ReportSpec::new(
             "r1",
             "Drug counts",
-            scan("FactPrescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]),
+            scan("FactPrescriptions")
+                .aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]),
             [RoleId::new("analyst")],
         );
-        let res =
-            check_report(&report, &[meta()], &catalog(), &RefIntegrity::new(), &[], &table_source(), today())
-                .unwrap();
+        let res = check_report(
+            &report,
+            &[meta()],
+            &catalog(),
+            &RefIntegrity::new(),
+            &[],
+            &table_source(),
+            today(),
+        )
+        .unwrap();
         assert!(res.coverage.is_covered());
         assert!(res.is_compliant(), "violations: {:?}", res.violations);
     }
@@ -241,9 +267,16 @@ mod tests {
             scan("FactPrescriptions").project_cols(&["Patient", "Drug"]),
             [RoleId::new("analyst")],
         );
-        let res =
-            check_report(&report, &[meta()], &catalog(), &RefIntegrity::new(), &[], &table_source(), today())
-                .unwrap();
+        let res = check_report(
+            &report,
+            &[meta()],
+            &catalog(),
+            &RefIntegrity::new(),
+            &[],
+            &table_source(),
+            today(),
+        )
+        .unwrap();
         assert!(res.coverage.is_covered());
         assert!(!res.is_compliant());
         assert!(res.violations.iter().any(|v| v.kind == "attribute-access"));
@@ -254,9 +287,16 @@ mod tests {
             scan("FactPrescriptions").project_cols(&["Patient", "Drug"]),
             [RoleId::new("auditor")],
         );
-        let res =
-            check_report(&report, &[meta()], &catalog(), &RefIntegrity::new(), &[], &table_source(), today())
-                .unwrap();
+        let res = check_report(
+            &report,
+            &[meta()],
+            &catalog(),
+            &RefIntegrity::new(),
+            &[],
+            &table_source(),
+            today(),
+        )
+        .unwrap();
         assert!(res.is_compliant());
     }
 
@@ -292,7 +332,10 @@ mod tests {
         match &res.coverage {
             Coverage::NotCovered { reasons } => {
                 assert_eq!(reasons.len(), 1);
-                assert!(matches!(reasons[0].1, NotDerivable::MetaMoreRestrictive { .. }));
+                assert!(matches!(
+                    reasons[0].1,
+                    NotDerivable::MetaMoreRestrictive { .. }
+                ));
             }
             other => panic!("expected NotCovered, got {other:?}"),
         }
@@ -309,9 +352,16 @@ mod tests {
             scan("FactPrescriptions").project_cols(&["Drug"]),
             [RoleId::new("auditor")],
         );
-        let res =
-            check_report(&report, &[m], &catalog(), &RefIntegrity::new(), &[], &table_source(), today())
-                .unwrap();
+        let res = check_report(
+            &report,
+            &[m],
+            &catalog(),
+            &RefIntegrity::new(),
+            &[],
+            &table_source(),
+            today(),
+        )
+        .unwrap();
         assert!(!res.coverage.is_covered());
     }
 
@@ -319,7 +369,10 @@ mod tests {
     fn extra_source_docs_still_bind() {
         // A source-level retention rule binds even for covered reports.
         let doc = PlaDocument::new("src", "hospital", PlaLevel::Source).with_rule(
-            PlaRule::AggregationThreshold { table: "FactPrescriptions".into(), min_group_size: 2 },
+            PlaRule::AggregationThreshold {
+                table: "FactPrescriptions".into(),
+                min_group_size: 2,
+            },
         );
         let report = ReportSpec::new(
             "r5",
@@ -327,11 +380,21 @@ mod tests {
             scan("FactPrescriptions").project_cols(&["Drug"]),
             [RoleId::new("auditor")],
         );
-        let res =
-            check_report(&report, &[meta()], &catalog(), &RefIntegrity::new(), &[doc], &table_source(), today())
-                .unwrap();
+        let res = check_report(
+            &report,
+            &[meta()],
+            &catalog(),
+            &RefIntegrity::new(),
+            &[doc],
+            &table_source(),
+            today(),
+        )
+        .unwrap();
         assert!(res.coverage.is_covered());
-        assert!(res.violations.iter().any(|v| v.kind == "aggregation-threshold"));
+        assert!(res
+            .violations
+            .iter()
+            .any(|v| v.kind == "aggregation-threshold"));
     }
 
     #[test]
@@ -384,7 +447,10 @@ mod meta_index_tests {
                     Column::new("Disease", DataType::Text),
                 ])
                 .unwrap(),
-                vec![vec!["DH".into(), "HIV".into()], vec!["DR".into(), "asthma".into()]],
+                vec![
+                    vec!["DH".into(), "HIV".into()],
+                    vec!["DR".into(), "asthma".into()],
+                ],
             )
             .unwrap(),
         )
@@ -398,8 +464,12 @@ mod meta_index_tests {
         let metas = vec![
             MetaReport::new("m-narrow", "drugs", scan("Fact").project_cols(&["Drug"]))
                 .approved("hospital"),
-            MetaReport::new("m-wide", "all", scan("Fact").project_cols(&["Drug", "Disease"]))
-                .approved("hospital"),
+            MetaReport::new(
+                "m-wide",
+                "all",
+                scan("Fact").project_cols(&["Drug", "Disease"]),
+            )
+            .approved("hospital"),
             MetaReport::new("m-unapproved", "ghost", scan("Fact")),
         ];
         let idx = MetaIndex::build(&metas, &cat).unwrap();
@@ -426,7 +496,9 @@ mod meta_index_tests {
         assert_eq!(cov.is_covered(), full.coverage.is_covered());
 
         // Uncoverable plan reports reasons from every indexed meta.
-        let weird = scan("Fact").project_cols(&["Drug"]).union(scan("Fact").project_cols(&["Drug"]));
+        let weird = scan("Fact")
+            .project_cols(&["Drug"])
+            .union(scan("Fact").project_cols(&["Drug"]));
         match idx.cover(&weird, &cat, &RefIntegrity::new()).unwrap() {
             Coverage::NotCovered { reasons } => assert!(!reasons.is_empty()),
             other => panic!("expected NotCovered, got {other:?}"),
@@ -439,14 +511,19 @@ mod meta_index_tests {
     #[test]
     fn unsupported_metas_surface_once() {
         let cat = catalog();
-        let metas = vec![
-            MetaReport::new("m-union", "u",
-                scan("Fact").project_cols(&["Drug"]).union(scan("Fact").project_cols(&["Drug"])))
-            .approved("hospital"),
-        ];
+        let metas = vec![MetaReport::new(
+            "m-union",
+            "u",
+            scan("Fact")
+                .project_cols(&["Drug"])
+                .union(scan("Fact").project_cols(&["Drug"])),
+        )
+        .approved("hospital")];
         let idx = MetaIndex::build(&metas, &cat).unwrap();
         assert_eq!(idx.unsupported.len(), 1);
-        let cov = idx.cover(&scan("Fact"), &cat, &RefIntegrity::new()).unwrap();
+        let cov = idx
+            .cover(&scan("Fact"), &cat, &RefIntegrity::new())
+            .unwrap();
         assert!(!cov.is_covered());
     }
 }

@@ -97,9 +97,9 @@ impl RenderOutcome {
     pub fn to_result(&self) -> Result<EnforcedReport, ReportError> {
         match self {
             RenderOutcome::Delivered(enforced) => Ok(enforced.clone()),
-            RenderOutcome::Refused(violations) => {
-                Err(ReportError::NonCompliant { violations: violations.clone() })
-            }
+            RenderOutcome::Refused(violations) => Err(ReportError::NonCompliant {
+                violations: violations.clone(),
+            }),
         }
     }
 }
@@ -138,8 +138,11 @@ pub fn render_enforced(
     config: &EngineConfig,
     today: Date,
 ) -> Result<EnforcedReport, ReportError> {
-    let outcome = CheckProgram::compile(&report.plan, cat, policy, table_source)?
-        .run(&report.consumers, report.purpose.as_deref(), today)?;
+    let outcome = CheckProgram::compile(&report.plan, cat, policy, table_source)?.run(
+        &report.consumers,
+        report.purpose.as_deref(),
+        today,
+    )?;
     render_checked(report, cat, outcome, config)
 }
 
@@ -153,7 +156,9 @@ pub fn render_checked(
     config: &EngineConfig,
 ) -> Result<EnforcedReport, ReportError> {
     if !outcome.violations.is_empty() {
-        return Err(ReportError::NonCompliant { violations: outcome.violations });
+        return Err(ReportError::NonCompliant {
+            violations: outcome.violations,
+        });
     }
 
     let _span = config.exec.obs.span(bi_exec::SpanKind::ReportRender);
@@ -174,13 +179,17 @@ pub fn render_checked(
                 *p = p.clone().restrict_rows(condition.clone());
                 applied.push(format!("filter rows of {table}: {condition}"));
             }
-            Obligation::MaskAttribute { attribute, condition } => {
+            Obligation::MaskAttribute {
+                attribute,
+                condition,
+            } => {
                 let p = scan_policies
                     .entry(attribute.table.clone())
                     .or_insert_with(|| ScanPolicy::for_table(attribute.table.clone()));
-                *p = p
-                    .clone()
-                    .mask(attribute.column.clone(), MaskAction::ShowWhen(condition.clone()));
+                *p = p.clone().mask(
+                    attribute.column.clone(),
+                    MaskAction::ShowWhen(condition.clone()),
+                );
                 applied.push(format!("mask {attribute} unless {condition}"));
             }
             Obligation::EnforceMinGroup { table, k } => {
@@ -192,7 +201,9 @@ pub fn render_checked(
                     let p = scan_policies
                         .entry(attribute.table.clone())
                         .or_insert_with(|| ScanPolicy::for_table(attribute.table.clone()));
-                    *p = p.clone().mask(attribute.column.clone(), MaskAction::Nullify);
+                    *p = p
+                        .clone()
+                        .mask(attribute.column.clone(), MaskAction::Nullify);
                     applied.push(format!("suppress {attribute}"));
                 }
                 other => {
@@ -230,20 +241,24 @@ pub fn render_checked(
         // column of the topmost aggregate, if it survived to the output.
         // The aggregate's measure outputs must not be part of the
         // sibling-family key.
-        let (detail_col, measure_cols): (Option<String>, Vec<String>) = if config.complementary_guard {
-            match topmost_aggregate(&report.plan) {
-                Some((group_by, aggs)) => (
-                    group_by.last().filter(|c| table.schema().contains(c)).cloned(),
-                    aggs.iter()
-                        .map(|a| a.name.clone())
-                        .filter(|n| table.schema().contains(n))
-                        .collect(),
-                ),
-                None => (None, Vec::new()),
-            }
-        } else {
-            (None, Vec::new())
-        };
+        let (detail_col, measure_cols): (Option<String>, Vec<String>) =
+            if config.complementary_guard {
+                match topmost_aggregate(&report.plan) {
+                    Some((group_by, aggs)) => (
+                        group_by
+                            .last()
+                            .filter(|c| table.schema().contains(c))
+                            .cloned(),
+                        aggs.iter()
+                            .map(|a| a.name.clone())
+                            .filter(|n| table.schema().contains(n))
+                            .collect(),
+                    ),
+                    None => (None, Vec::new()),
+                }
+            } else {
+                (None, Vec::new())
+            };
         let measure_refs: Vec<&str> = measure_cols.iter().map(String::as_str).collect();
         let guarded_cube = bi_warehouse::authz::guard_cube_with_measures(
             &table,
@@ -265,8 +280,12 @@ pub fn render_checked(
             ));
         }
         let kept = guarded_cube.table;
-        let names: Vec<&str> =
-            kept.schema().names().into_iter().filter(|n| *n != K_GUARD).collect();
+        let names: Vec<&str> = kept
+            .schema()
+            .names()
+            .into_iter()
+            .filter(|n| *n != K_GUARD)
+            .collect();
         table = kept.project(&names)?;
     }
 
@@ -298,18 +317,23 @@ pub fn render_checked(
     //    groups coincide; left as-is their multiplicities leak the finer
     //    grain. Re-merge such groups when the aggregates permit it.
     if !generalized_cols.is_empty() {
-        if let Some((merged, note)) = regroup_generalized(&table, &report.plan, &generalized_cols)? {
+        if let Some((merged, note)) = regroup_generalized(&table, &report.plan, &generalized_cols)?
+        {
             table = merged;
             applied.push(note);
         }
     }
 
-    config
-        .exec
-        .obs
-        .add(bi_exec::Counter::ReportSuppressedGroups, suppressed_groups as u64);
+    config.exec.obs.add(
+        bi_exec::Counter::ReportSuppressedGroups,
+        suppressed_groups as u64,
+    );
 
-    Ok(EnforcedReport { table, applied, suppressed_groups })
+    Ok(EnforcedReport {
+        table,
+        applied,
+        suppressed_groups,
+    })
 }
 
 /// Adds the hidden `COUNT(*)` guard to the topmost aggregate, threading
@@ -318,28 +342,48 @@ pub fn render_checked(
 /// it.
 fn augment_with_guard(plan: &Plan) -> Option<Plan> {
     match plan {
-        Plan::Aggregate { input, group_by, aggs } => {
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let mut aggs = aggs.clone();
             aggs.push(AggItem::count_star(K_GUARD));
-            Some(Plan::Aggregate { input: input.clone(), group_by: group_by.clone(), aggs })
+            Some(Plan::Aggregate {
+                input: input.clone(),
+                group_by: group_by.clone(),
+                aggs,
+            })
         }
         Plan::Project { input, items } => {
             let inner = augment_with_guard(input)?;
             let mut items = items.clone();
             items.push((K_GUARD.to_string(), bi_relation::expr::col(K_GUARD)));
-            Some(Plan::Project { input: Box::new(inner), items })
+            Some(Plan::Project {
+                input: Box::new(inner),
+                items,
+            })
         }
         Plan::Filter { input, pred } => {
             let inner = augment_with_guard(input)?;
-            Some(Plan::Filter { input: Box::new(inner), pred: pred.clone() })
+            Some(Plan::Filter {
+                input: Box::new(inner),
+                pred: pred.clone(),
+            })
         }
         Plan::Sort { input, keys } => {
             let inner = augment_with_guard(input)?;
-            Some(Plan::Sort { input: Box::new(inner), keys: keys.clone() })
+            Some(Plan::Sort {
+                input: Box::new(inner),
+                keys: keys.clone(),
+            })
         }
         Plan::Limit { input, n } => {
             let inner = augment_with_guard(input)?;
-            Some(Plan::Limit { input: Box::new(inner), n: *n })
+            Some(Plan::Limit {
+                input: Box::new(inner),
+                n: *n,
+            })
         }
         // Distinct above an aggregate would see the guard column and
         // could change semantics; unions and the rest are out of scope.
@@ -362,20 +406,27 @@ fn regroup_generalized(
     plan: &Plan,
     generalized: &[String],
 ) -> Result<Option<(Table, String)>, ReportError> {
-    let Some((group_by, aggs)) = topmost_aggregate(plan) else { return Ok(None) };
+    let Some((group_by, aggs)) = topmost_aggregate(plan) else {
+        return Ok(None);
+    };
     if !generalized.iter().any(|g| group_by.contains(g)) {
         return Ok(None);
     }
     // Schema must be exactly group_by ++ agg names (no renames above).
-    let expected: Vec<&str> =
-        group_by.iter().map(String::as_str).chain(aggs.iter().map(|a| a.name.as_str())).collect();
+    let expected: Vec<&str> = group_by
+        .iter()
+        .map(String::as_str)
+        .chain(aggs.iter().map(|a| a.name.as_str()))
+        .collect();
     if table.schema().names() != expected {
         return Ok(None);
     }
-    if aggs
-        .iter()
-        .any(|a| matches!(a.func, bi_query::AggFunc::Avg | bi_query::AggFunc::CountDistinct))
-    {
+    if aggs.iter().any(|a| {
+        matches!(
+            a.func,
+            bi_query::AggFunc::Avg | bi_query::AggFunc::CountDistinct
+        )
+    }) {
         return Ok(None);
     }
 
@@ -420,9 +471,19 @@ fn regroup_generalized(
                         Value::Int(int_sum)
                     }
                 }
-                bi_query::AggFunc::Min => cells.filter(|v| !v.is_null()).min().cloned().unwrap_or(Value::Null),
-                bi_query::AggFunc::Max => cells.filter(|v| !v.is_null()).max().cloned().unwrap_or(Value::Null),
-                bi_query::AggFunc::Avg | bi_query::AggFunc::CountDistinct => unreachable!("checked above"),
+                bi_query::AggFunc::Min => cells
+                    .filter(|v| !v.is_null())
+                    .min()
+                    .cloned()
+                    .unwrap_or(Value::Null),
+                bi_query::AggFunc::Max => cells
+                    .filter(|v| !v.is_null())
+                    .max()
+                    .cloned()
+                    .unwrap_or(Value::Null),
+                bi_query::AggFunc::Avg | bi_query::AggFunc::CountDistinct => {
+                    unreachable!("checked above")
+                }
             };
             row.push(merged);
         }
@@ -454,7 +515,9 @@ fn apply_anon(
             let h = config
                 .hierarchies
                 .get(&key)
-                .ok_or_else(|| ReportError::MissingHierarchy { attribute: key.clone() })?;
+                .ok_or_else(|| ReportError::MissingHierarchy {
+                    attribute: key.clone(),
+                })?;
             let c = table.schema().index_of(column)?;
             let cols: Vec<Column> = table
                 .schema()
@@ -478,7 +541,11 @@ fn apply_anon(
                 r[c] = h.apply(&row[c], *level)?;
                 rows.push(r);
             }
-            Ok(Table::from_rows_trusted(table.name().to_string(), schema, rows))
+            Ok(Table::from_rows_trusted(
+                table.name().to_string(),
+                schema,
+                rows,
+            ))
         }
         AnonMethod::Noise { scale } => {
             let c = table.schema().index_of(column)?;
@@ -505,7 +572,11 @@ fn apply_anon(
                 }
                 rows.push(r);
             }
-            Ok(Table::from_rows_trusted(table.name().to_string(), table.schema_shared(), rows))
+            Ok(Table::from_rows_trusted(
+                table.name().to_string(),
+                table.schema_shared(),
+                rows,
+            ))
         }
         AnonMethod::Suppress => unreachable!("suppress handled at scan level"),
     }
@@ -548,7 +619,9 @@ mod tests {
     }
 
     fn table_source() -> BTreeMap<String, SourceId> {
-        [("FactPrescriptions".to_string(), SourceId::new("hospital"))].into_iter().collect()
+        [("FactPrescriptions".to_string(), SourceId::new("hospital"))]
+            .into_iter()
+            .collect()
     }
 
     fn today() -> Date {
@@ -574,9 +647,15 @@ mod tests {
             table: "FactPrescriptions".into(),
             min_group_size: 2,
         }]);
-        let out =
-            render_enforced(&report, &catalog(), &p, &table_source(), &EngineConfig::default(), today())
-                .unwrap();
+        let out = render_enforced(
+            &report,
+            &catalog(),
+            &p,
+            &table_source(),
+            &EngineConfig::default(),
+            today(),
+        )
+        .unwrap();
         // DH(1) and DV(1) suppressed; DR(3) survives.
         assert_eq!(out.table.len(), 1);
         assert_eq!(out.table.rows()[0][0], Value::from("DR"));
@@ -590,7 +669,14 @@ mod tests {
             [RoleId::new("analyst")],
         );
         assert!(matches!(
-            render_enforced(&raw, &catalog(), &p, &table_source(), &EngineConfig::default(), today()),
+            render_enforced(
+                &raw,
+                &catalog(),
+                &p,
+                &table_source(),
+                &EngineConfig::default(),
+                today()
+            ),
             Err(ReportError::NonCompliant { .. })
         ));
     }
@@ -612,17 +698,28 @@ mod tests {
             table: "FactPrescriptions".into(),
             condition: col("Disease").ne(lit("HIV")),
         }]);
-        let serial =
-            render_enforced(&report, &catalog(), &p, &table_source(), &EngineConfig::default(), today())
-                .unwrap();
+        let serial = render_enforced(
+            &report,
+            &catalog(),
+            &p,
+            &table_source(),
+            &EngineConfig::default(),
+            today(),
+        )
+        .unwrap();
         for threads in [1, 2, 8] {
             let config = EngineConfig {
                 exec: ExecConfig::with_threads(threads).with_columnar(true),
                 ..Default::default()
             };
             let columnar =
-                render_enforced(&report, &catalog(), &p, &table_source(), &config, today()).unwrap();
-            assert_eq!(columnar.table.rows(), serial.table.rows(), "threads={threads}");
+                render_enforced(&report, &catalog(), &p, &table_source(), &config, today())
+                    .unwrap();
+            assert_eq!(
+                columnar.table.rows(),
+                serial.table.rows(),
+                "threads={threads}"
+            );
             assert_eq!(columnar.table.schema(), serial.table.schema());
             assert_eq!(columnar.suppressed_groups, serial.suppressed_groups);
         }
@@ -643,9 +740,15 @@ mod tests {
             table: "FactPrescriptions".into(),
             min_group_size: 3,
         }]);
-        let out =
-            render_enforced(&report, &catalog(), &p, &table_source(), &EngineConfig::default(), today())
-                .unwrap();
+        let out = render_enforced(
+            &report,
+            &catalog(),
+            &p,
+            &table_source(),
+            &EngineConfig::default(),
+            today(),
+        )
+        .unwrap();
         assert_eq!(out.table.schema().names(), vec!["Drug"]);
         assert_eq!(out.table.len(), 1);
         assert_eq!(out.suppressed_groups, 2);
@@ -664,9 +767,15 @@ mod tests {
             allowed_roles: [RoleId::new("auditor")].into_iter().collect(),
             condition: Some(col("Disease").ne(lit("HIV"))),
         }]);
-        let out =
-            render_enforced(&report, &catalog(), &p, &table_source(), &EngineConfig::default(), today())
-                .unwrap();
+        let out = render_enforced(
+            &report,
+            &catalog(),
+            &p,
+            &table_source(),
+            &EngineConfig::default(),
+            today(),
+        )
+        .unwrap();
         for r in out.table.rows() {
             if r[1] == Value::from("HIV") {
                 assert!(r[0].is_null(), "doctor hidden on HIV rows");
@@ -690,16 +799,28 @@ mod tests {
             attribute: bi_pla::AttrRef::new("FactPrescriptions", "Patient"),
             method: AnonMethod::Pseudonymize,
         }]);
-        let out =
-            render_enforced(&report, &catalog(), &p, &table_source(), &EngineConfig::default(), today())
-                .unwrap();
+        let out = render_enforced(
+            &report,
+            &catalog(),
+            &p,
+            &table_source(),
+            &EngineConfig::default(),
+            today(),
+        )
+        .unwrap();
         for r in out.table.rows() {
             assert!(r[0].as_text().unwrap().starts_with("Patient-"));
         }
         // Same key ⇒ stable pseudonyms across renders.
-        let out2 =
-            render_enforced(&report, &catalog(), &p, &table_source(), &EngineConfig::default(), today())
-                .unwrap();
+        let out2 = render_enforced(
+            &report,
+            &catalog(),
+            &p,
+            &table_source(),
+            &EngineConfig::default(),
+            today(),
+        )
+        .unwrap();
         assert_eq!(out.table, out2.table);
     }
 
@@ -718,7 +839,14 @@ mod tests {
         }]);
         // Without a hierarchy: error.
         assert!(matches!(
-            render_enforced(&report, &catalog(), &p, &table_source(), &EngineConfig::default(), today()),
+            render_enforced(
+                &report,
+                &catalog(),
+                &p,
+                &table_source(),
+                &EngineConfig::default(),
+                today()
+            ),
             Err(ReportError::MissingHierarchy { .. })
         ));
         // With one: values generalize.
@@ -755,10 +883,20 @@ mod tests {
         // no-op for text, so instead target the count via... counts have
         // no origin. Use a numeric-origin example: noise on Drug affects
         // the Text group column and leaves it unchanged.
-        let out =
-            render_enforced(&report, &catalog(), &p, &table_source(), &EngineConfig::default(), today())
-                .unwrap();
-        assert_eq!(out.table.len(), 3, "text columns pass through noise unchanged");
+        let out = render_enforced(
+            &report,
+            &catalog(),
+            &p,
+            &table_source(),
+            &EngineConfig::default(),
+            today(),
+        )
+        .unwrap();
+        assert_eq!(
+            out.table.len(),
+            3,
+            "text columns pass through noise unchanged"
+        );
     }
 
     #[test]
@@ -766,18 +904,27 @@ mod tests {
         let report = ReportSpec::new(
             "r",
             "Counts",
-            scan("FactPrescriptions")
-                .aggregate(vec![], vec![AggItem::count_star("n")]),
+            scan("FactPrescriptions").aggregate(vec![], vec![AggItem::count_star("n")]),
             [RoleId::new("analyst")],
         );
         let p = policy(vec![PlaRule::RowRestriction {
             table: "FactPrescriptions".into(),
             condition: col("Disease").ne(lit("HIV")),
         }]);
-        let out =
-            render_enforced(&report, &catalog(), &p, &table_source(), &EngineConfig::default(), today())
-                .unwrap();
-        assert_eq!(out.table.rows()[0][0], Value::Int(3), "HIV rows never counted");
+        let out = render_enforced(
+            &report,
+            &catalog(),
+            &p,
+            &table_source(),
+            &EngineConfig::default(),
+            today(),
+        )
+        .unwrap();
+        assert_eq!(
+            out.table.rows()[0][0],
+            Value::Int(3),
+            "HIV rows never counted"
+        );
     }
 }
 
@@ -828,12 +975,14 @@ mod regroup_tests {
     }
 
     fn policy() -> CombinedPolicy {
-        CombinedPolicy::combine(&[PlaDocument::new("d", "s", PlaLevel::MetaReport).with_rule(
-            PlaRule::Anonymize {
-                attribute: bi_pla::AttrRef::new("Fact", "Disease"),
-                method: AnonMethod::Generalize { level: 1 },
-            },
-        )])
+        CombinedPolicy::combine(
+            &[
+                PlaDocument::new("d", "s", PlaLevel::MetaReport).with_rule(PlaRule::Anonymize {
+                    attribute: bi_pla::AttrRef::new("Fact", "Disease"),
+                    method: AnonMethod::Generalize { level: 1 },
+                }),
+            ],
+        )
     }
 
     fn deliver(aggs: Vec<AggItem>) -> EnforcedReport {
@@ -950,29 +1099,67 @@ mod differencing_tests {
             [RoleId::new("analyst")],
         );
         let policy = CombinedPolicy::combine(&[PlaDocument::new("d", "s", PlaLevel::MetaReport)
-            .with_rule(PlaRule::AggregationThreshold { table: "Fact".into(), min_group_size: 3 })]);
-        let config = EngineConfig { complementary_guard: complementary, ..Default::default() };
-        render_enforced(&report, &catalog(), &policy, &BTreeMap::new(), &config, Date::new(2008, 7, 1).unwrap())
-            .unwrap()
+            .with_rule(PlaRule::AggregationThreshold {
+                table: "Fact".into(),
+                min_group_size: 3,
+            })]);
+        let config = EngineConfig {
+            complementary_guard: complementary,
+            ..Default::default()
+        };
+        render_enforced(
+            &report,
+            &catalog(),
+            &policy,
+            &BTreeMap::new(),
+            &config,
+            Date::new(2008, 7, 1).unwrap(),
+        )
+        .unwrap()
     }
 
     #[test]
     fn plain_k_leaves_one_differencable_cell() {
         let out = deliver(false);
         assert_eq!(out.suppressed_groups, 1, "only the (Q1, DM) singleton");
-        let q1: Vec<_> = out.table.rows().iter().filter(|r| r[0] == Value::from("Q1")).collect();
-        assert_eq!(q1.len(), 2, "DH and DR both published — Q1 total differencing finds DM");
+        let q1: Vec<_> = out
+            .table
+            .rows()
+            .iter()
+            .filter(|r| r[0] == Value::from("Q1"))
+            .collect();
+        assert_eq!(
+            q1.len(),
+            2,
+            "DH and DR both published — Q1 total differencing finds DM"
+        );
     }
 
     #[test]
     fn complementary_guard_hides_the_sibling_too() {
         let out = deliver(true);
         assert_eq!(out.suppressed_groups, 2, "singleton + the smallest sibling");
-        let q1: Vec<_> = out.table.rows().iter().filter(|r| r[0] == Value::from("Q1")).collect();
+        let q1: Vec<_> = out
+            .table
+            .rows()
+            .iter()
+            .filter(|r| r[0] == Value::from("Q1"))
+            .collect();
         assert_eq!(q1.len(), 1);
-        assert_eq!(q1[0][1], Value::from("DH"), "only the largest Q1 cell survives");
+        assert_eq!(
+            q1[0][1],
+            Value::from("DH"),
+            "only the largest Q1 cell survives"
+        );
         assert!(out.applied.iter().any(|a| a.contains("complementary")));
         // Q2 (nothing suppressed there) stays intact.
-        assert_eq!(out.table.rows().iter().filter(|r| r[0] == Value::from("Q2")).count(), 2);
+        assert_eq!(
+            out.table
+                .rows()
+                .iter()
+                .filter(|r| r[0] == Value::from("Q2"))
+                .count(),
+            2
+        );
     }
 }

@@ -26,7 +26,11 @@ impl fmt::Display for ReportError {
         match self {
             ReportError::Query(e) => write!(f, "{e}"),
             ReportError::NonCompliant { violations } => {
-                write!(f, "report is not PLA-compliant ({} violation(s)): ", violations.len())?;
+                write!(
+                    f,
+                    "report is not PLA-compliant ({} violation(s)): ",
+                    violations.len()
+                )?;
                 for (i, v) in violations.iter().enumerate() {
                     if i > 0 {
                         f.write_str("; ")?;
@@ -84,6 +88,10 @@ mod tests {
             }],
         };
         assert!(e.to_string().contains("attribute-access"));
-        assert!(ReportError::MissingHierarchy { attribute: "T.c".into() }.to_string().contains("T.c"));
+        assert!(ReportError::MissingHierarchy {
+            attribute: "T.c".into()
+        }
+        .to_string()
+        .contains("T.c"));
     }
 }

@@ -84,7 +84,10 @@ pub struct EvolutionWorkload {
 impl EvolutionWorkload {
     /// Generates a workload over the universe.
     pub fn generate(params: WorkloadParams, universe: &ReportUniverse) -> Self {
-        assert!(!universe.tables.is_empty(), "universe needs at least one table");
+        assert!(
+            !universe.tables.is_empty(),
+            "universe needs at least one table"
+        );
         let mut rng = StdRng::seed_from_u64(params.seed);
         let mut next_id = 0usize;
         let fresh_id = |next_id: &mut usize| {
@@ -251,15 +254,24 @@ pub(crate) mod tests {
                     group_cols: vec!["Drug".into(), "Disease".into()],
                     measure_cols: vec!["Cost".into()],
                     filter_cols: vec![
-                        ("Disease".into(), vec!["HIV".into(), "asthma".into(), "diabetes".into()]),
-                        ("Drug".into(), vec!["DH".into(), "DR".into(), "DM".into(), "DV".into()]),
+                        (
+                            "Disease".into(),
+                            vec!["HIV".into(), "asthma".into(), "diabetes".into()],
+                        ),
+                        (
+                            "Drug".into(),
+                            vec!["DH".into(), "DR".into(), "DM".into(), "DV".into()],
+                        ),
                     ],
                 },
                 TableDesc {
                     name: "DimDrug".into(),
                     group_cols: vec!["Family".into()],
                     measure_cols: vec![],
-                    filter_cols: vec![("Family".into(), vec!["antiviral".into(), "respiratory".into()])],
+                    filter_cols: vec![(
+                        "Family".into(),
+                        vec!["antiviral".into(), "respiratory".into()],
+                    )],
                 },
             ],
             joins: vec![("Fact".into(), "Drug".into(), "DimDrug".into(), "Key".into())],
@@ -317,14 +329,23 @@ pub(crate) mod tests {
         assert_eq!(a.initial.len(), b.initial.len());
         assert_eq!(format!("{:?}", a.epochs), format!("{:?}", b.epochs));
         let c = EvolutionWorkload::generate(WorkloadParams { seed: 7, ..params }, &universe());
-        assert_ne!(format!("{:?}", a.epochs), format!("{:?}", c.epochs), "seeds differ");
+        assert_ne!(
+            format!("{:?}", a.epochs),
+            format!("{:?}", c.epochs),
+            "seeds differ"
+        );
     }
 
     #[test]
     fn all_generated_plans_execute() {
         let cat = catalog();
         let w = EvolutionWorkload::generate(
-            WorkloadParams { initial_reports: 20, epochs: 5, events_per_epoch: 5, ..Default::default() },
+            WorkloadParams {
+                initial_reports: 20,
+                epochs: 5,
+                events_per_epoch: 5,
+                ..Default::default()
+            },
             &universe(),
         );
         for r in &w.initial {
@@ -349,7 +370,12 @@ pub(crate) mod tests {
         // otherwise E5's coverage measurements would be vacuous.
         let cat = catalog();
         let w = EvolutionWorkload::generate(
-            WorkloadParams { initial_reports: 30, epochs: 3, events_per_epoch: 4, ..Default::default() },
+            WorkloadParams {
+                initial_reports: 30,
+                epochs: 3,
+                events_per_epoch: 4,
+                ..Default::default()
+            },
             &universe(),
         );
         for r in &w.initial {
@@ -360,7 +386,13 @@ pub(crate) mod tests {
     #[test]
     fn ids_unique_and_removals_consistent() {
         let w = EvolutionWorkload::generate(
-            WorkloadParams { initial_reports: 5, epochs: 10, events_per_epoch: 4, w_remove: 3, ..Default::default() },
+            WorkloadParams {
+                initial_reports: 5,
+                epochs: 10,
+                events_per_epoch: 4,
+                w_remove: 3,
+                ..Default::default()
+            },
             &universe(),
         );
         let mut seen = std::collections::HashSet::new();

@@ -179,10 +179,8 @@ fn build_wide_plans(cluster: &Cluster) -> Vec<Plan> {
 
     let projected = |t: &str| -> Plan {
         let cols = per_table.get(t).cloned().unwrap_or_default();
-        let items: Vec<(String, bi_relation::Expr)> = cols
-            .iter()
-            .map(|c| (format!("{t}_{c}"), col(*c)))
-            .collect();
+        let items: Vec<(String, bi_relation::Expr)> =
+            cols.iter().map(|c| (format!("{t}_{c}"), col(*c))).collect();
         if items.is_empty() {
             scan(t)
         } else {
@@ -192,7 +190,11 @@ fn build_wide_plans(cluster: &Cluster) -> Vec<Plan> {
 
     // Connected components over tables via pairs.
     let mut remaining: BTreeSet<&str> = cluster.tables.iter().map(String::as_str).collect();
-    let table_of = |q: &str| q.split_once('.').map(|(t, _)| t.to_string()).unwrap_or_default();
+    let table_of = |q: &str| {
+        q.split_once('.')
+            .map(|(t, _)| t.to_string())
+            .unwrap_or_default()
+    };
     let mut plans = Vec::new();
     while let Some(&start) = remaining.iter().next() {
         remaining.remove(start);
@@ -390,7 +392,9 @@ mod tests {
             ReportSpec::new(
                 "r-cheap",
                 "Cheap drugs",
-                scan("Fact").filter(col("Cost").lt(lit(50))).project_cols(&["Drug", "Cost"]),
+                scan("Fact")
+                    .filter(col("Cost").lt(lit(50)))
+                    .project_cols(&["Drug", "Cost"]),
                 roles,
             ),
         ]
@@ -399,13 +403,21 @@ mod tests {
     #[test]
     fn per_footprint_covers_every_report() {
         let cat = catalog();
-        let out =
-            synthesize_meta_reports(&portfolio(), &cat, &refs(), GranularityKnob::per_footprint()).unwrap();
+        let out = synthesize_meta_reports(
+            &portfolio(),
+            &cat,
+            &refs(),
+            GranularityKnob::per_footprint(),
+        )
+        .unwrap();
         assert!(out.unsupported.is_empty());
         // Footprints: {Fact} (three reports) and {Fact, DimDrug}.
         assert_eq!(out.metas.len(), 2);
         for r in portfolio() {
-            let covered = out.metas.iter().any(|m| derive(&r.plan, &m.plan, &cat, &refs()).is_ok());
+            let covered = out
+                .metas
+                .iter()
+                .any(|m| derive(&r.plan, &m.plan, &cat, &refs()).is_ok());
             assert!(covered, "report {} not covered", r.id);
         }
     }
@@ -413,12 +425,16 @@ mod tests {
     #[test]
     fn universe_knob_merges_into_one() {
         let cat = catalog();
-        let out = synthesize_meta_reports(&portfolio(), &cat, &refs(), GranularityKnob::universe()).unwrap();
+        let out = synthesize_meta_reports(&portfolio(), &cat, &refs(), GranularityKnob::universe())
+            .unwrap();
         assert_eq!(out.metas.len(), 1, "everything joins into the universe");
         // With declared FKs, the universe still covers the Fact-only
         // reports (lossless pruning).
         for r in portfolio() {
-            let covered = out.metas.iter().any(|m| derive(&r.plan, &m.plan, &cat, &refs()).is_ok());
+            let covered = out
+                .metas
+                .iter()
+                .any(|m| derive(&r.plan, &m.plan, &cat, &refs()).is_ok());
             assert!(covered, "report {} not covered by the universe", r.id);
         }
         // Without FKs, Fact-only reports are NOT covered by the wide
@@ -427,9 +443,13 @@ mod tests {
         assert!(derive(&r.plan, &out.metas[0].plan, &cat, &RefIntegrity::new()).is_err());
         // And the synthesizer knows it: with no declared FKs it refuses
         // the coverage-breaking merge even at the universe knob.
-        let cautious =
-            synthesize_meta_reports(&portfolio(), &cat, &RefIntegrity::new(), GranularityKnob::universe())
-                .unwrap();
+        let cautious = synthesize_meta_reports(
+            &portfolio(),
+            &cat,
+            &RefIntegrity::new(),
+            GranularityKnob::universe(),
+        )
+        .unwrap();
         assert_eq!(cautious.metas.len(), 2, "no lossless merge without FKs");
         for r in portfolio() {
             let covered = cautious
@@ -446,10 +466,14 @@ mod tests {
         let weird = ReportSpec::new(
             "r-union",
             "Union",
-            scan("Fact").project_cols(&["Drug"]).union(scan("Fact").project_cols(&["Drug"])),
+            scan("Fact")
+                .project_cols(&["Drug"])
+                .union(scan("Fact").project_cols(&["Drug"])),
             [RoleId::new("analyst")],
         );
-        let out = synthesize_meta_reports(&[weird], &cat, &refs(), GranularityKnob::per_footprint()).unwrap();
+        let out =
+            synthesize_meta_reports(&[weird], &cat, &refs(), GranularityKnob::per_footprint())
+                .unwrap();
         assert_eq!(out.unsupported.len(), 1);
         assert!(out.metas.is_empty());
     }
@@ -457,8 +481,13 @@ mod tests {
     #[test]
     fn meta_titles_and_ids_are_stable() {
         let cat = catalog();
-        let out =
-            synthesize_meta_reports(&portfolio(), &cat, &refs(), GranularityKnob::per_footprint()).unwrap();
+        let out = synthesize_meta_reports(
+            &portfolio(),
+            &cat,
+            &refs(),
+            GranularityKnob::per_footprint(),
+        )
+        .unwrap();
         let mut ids: Vec<&str> = out.metas.iter().map(|m| m.id.as_str()).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec!["meta-0-0", "meta-1-0"]);
@@ -469,18 +498,33 @@ mod tests {
     fn knob_monotonicity() {
         // Lower thresholds can only reduce (or keep) the meta count.
         let cat = catalog();
-        let n_fine = synthesize_meta_reports(&portfolio(), &cat, &refs(), GranularityKnob { merge_overlap: 1.0 })
-            .unwrap()
-            .metas
-            .len();
-        let n_mid = synthesize_meta_reports(&portfolio(), &cat, &refs(), GranularityKnob { merge_overlap: 0.5 })
-            .unwrap()
-            .metas
-            .len();
-        let n_coarse = synthesize_meta_reports(&portfolio(), &cat, &refs(), GranularityKnob { merge_overlap: 0.0 })
-            .unwrap()
-            .metas
-            .len();
+        let n_fine = synthesize_meta_reports(
+            &portfolio(),
+            &cat,
+            &refs(),
+            GranularityKnob { merge_overlap: 1.0 },
+        )
+        .unwrap()
+        .metas
+        .len();
+        let n_mid = synthesize_meta_reports(
+            &portfolio(),
+            &cat,
+            &refs(),
+            GranularityKnob { merge_overlap: 0.5 },
+        )
+        .unwrap()
+        .metas
+        .len();
+        let n_coarse = synthesize_meta_reports(
+            &portfolio(),
+            &cat,
+            &refs(),
+            GranularityKnob { merge_overlap: 0.0 },
+        )
+        .unwrap()
+        .metas
+        .len();
         assert!(n_fine >= n_mid && n_mid >= n_coarse);
     }
 }

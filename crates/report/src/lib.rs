@@ -32,7 +32,7 @@ pub mod render;
 pub mod spec;
 
 pub use comply::{check_report, ComplianceResult, Coverage, MetaIndex};
-pub use engine::{render_checked, render_enforced, EngineConfig, EnforcedReport, RenderOutcome};
+pub use engine::{render_checked, render_enforced, EnforcedReport, EngineConfig, RenderOutcome};
 pub use error::ReportError;
 pub use evolve::{EvolutionEvent, EvolutionWorkload, WorkloadParams};
 pub use generate::{synthesize_meta_reports, GranularityKnob};

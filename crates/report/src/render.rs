@@ -58,7 +58,11 @@ pub fn elicitation_sheet(meta: &MetaReport, cat: &bi_query::Catalog) -> String {
     let approved: Vec<&str> = meta.approved_by.iter().map(|s| s.as_str()).collect();
     out.push_str(&format!(
         "APPROVALS  [{}]\n",
-        if approved.is_empty() { "pending".to_string() } else { approved.join(", ") }
+        if approved.is_empty() {
+            "pending".to_string()
+        } else {
+            approved.join(", ")
+        }
     ));
     out.push_str("COMPUTES\n");
     match bi_query::explain(&meta.plan, Some(cat)) {
@@ -127,8 +131,15 @@ mod tests {
             [RoleId::new("analyst")],
         )
         .for_purpose("quality");
-        let policy = bi_pla::CombinedPolicy::combine(&[PlaDocument::new("h1", "hospital", PlaLevel::MetaReport)
-            .with_rule(PlaRule::AggregationThreshold { table: "Fact".into(), min_group_size: 2 })]);
+        let policy = bi_pla::CombinedPolicy::combine(&[PlaDocument::new(
+            "h1",
+            "hospital",
+            PlaLevel::MetaReport,
+        )
+        .with_rule(PlaRule::AggregationThreshold {
+            table: "Fact".into(),
+            min_group_size: 2,
+        })]);
         let enforced = crate::engine::render_enforced(
             &spec,
             &cat,
@@ -153,18 +164,28 @@ mod tests {
         assert!(doc.contains("1 group(s) suppressed"));
         assert!(doc.contains("Drug | n"));
         assert!(doc.contains("DR"));
-        assert!(!doc.contains("DH"), "the suppressed singleton must not appear");
+        assert!(
+            !doc.contains("DH"),
+            "the suppressed singleton must not appear"
+        );
     }
 
     #[test]
     fn elicitation_sheet_shows_plan_and_agreements() {
         let cat = catalog();
-        let meta = MetaReport::new("m1", "Fact universe", scan("Fact").project_cols(&["Drug", "Disease"]))
-            .with_annotation(
-                PlaDocument::new("h1", "hospital", PlaLevel::MetaReport).with_rule(
-                    PlaRule::AggregationThreshold { table: "Fact".into(), min_group_size: 3 },
-                ),
-            );
+        let meta = MetaReport::new(
+            "m1",
+            "Fact universe",
+            scan("Fact").project_cols(&["Drug", "Disease"]),
+        )
+        .with_annotation(
+            PlaDocument::new("h1", "hospital", PlaLevel::MetaReport).with_rule(
+                PlaRule::AggregationThreshold {
+                    table: "Fact".into(),
+                    min_group_size: 3,
+                },
+            ),
+        );
         let sheet = elicitation_sheet(&meta, &cat);
         assert!(sheet.contains("META-REPORT m1 — Fact universe"));
         assert!(sheet.contains("APPROVALS  [pending]"));

@@ -25,11 +25,41 @@ pub fn prescriptions() -> Table {
         "Prescriptions",
         schema,
         vec![
-            vec!["Alice".into(), "Luis".into(), "DH".into(), "HIV".into(), date("12/02/2007")],
-            vec!["Chris".into(), Value::Null, "DV".into(), "HIV".into(), date("10/03/2007")],
-            vec!["Bob".into(), "Anne".into(), "DR".into(), "asthma".into(), date("10/08/2007")],
-            vec!["Math".into(), "Mark".into(), "DM".into(), "diabetes".into(), date("15/10/2007")],
-            vec!["Alice".into(), "Luis".into(), "DR".into(), "asthma".into(), date("15/04/2008")],
+            vec![
+                "Alice".into(),
+                "Luis".into(),
+                "DH".into(),
+                "HIV".into(),
+                date("12/02/2007"),
+            ],
+            vec![
+                "Chris".into(),
+                Value::Null,
+                "DV".into(),
+                "HIV".into(),
+                date("10/03/2007"),
+            ],
+            vec![
+                "Bob".into(),
+                "Anne".into(),
+                "DR".into(),
+                "asthma".into(),
+                date("10/08/2007"),
+            ],
+            vec![
+                "Math".into(),
+                "Mark".into(),
+                "DM".into(),
+                "diabetes".into(),
+                date("15/10/2007"),
+            ],
+            vec![
+                "Alice".into(),
+                "Luis".into(),
+                "DR".into(),
+                "asthma".into(),
+                date("15/04/2008"),
+            ],
         ],
     )
     .expect("fixture rows")
@@ -133,7 +163,11 @@ mod tests {
     #[test]
     fn chris_has_no_doctor() {
         let p = prescriptions();
-        let chris = p.rows().iter().find(|r| r[0] == Value::from("Chris")).unwrap();
+        let chris = p
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::from("Chris"))
+            .unwrap();
         assert!(chris[1].is_null());
     }
 
@@ -147,7 +181,11 @@ mod tests {
     #[test]
     fn math_opted_out_of_name_disclosure() {
         let p = policies();
-        let math = p.rows().iter().find(|r| r[0] == Value::from("Math")).unwrap();
+        let math = p
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::from("Math"))
+            .unwrap();
         assert_eq!(math[1], Value::from("no"));
     }
 }

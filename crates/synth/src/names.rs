@@ -3,16 +3,33 @@
 /// Patient/doctor given names (Trentino-flavoured, as in the paper's
 /// running example).
 pub const FIRST_NAMES: &[&str] = &[
-    "Alice", "Bob", "Chris", "Math", "Anna", "Luca", "Marco", "Giulia", "Sara", "Paolo",
-    "Elena", "Franco", "Marta", "Nico", "Irene", "Dario", "Carla", "Enzo", "Lia", "Omar",
-    "Piera", "Rita", "Sandro", "Tilde", "Ugo", "Vera", "Walter", "Ylenia", "Zeno", "Bruna",
+    "Alice", "Bob", "Chris", "Math", "Anna", "Luca", "Marco", "Giulia", "Sara", "Paolo", "Elena",
+    "Franco", "Marta", "Nico", "Irene", "Dario", "Carla", "Enzo", "Lia", "Omar", "Piera", "Rita",
+    "Sandro", "Tilde", "Ugo", "Vera", "Walter", "Ylenia", "Zeno", "Bruna",
 ];
 
 /// Surnames.
 pub const SURNAMES: &[&str] = &[
-    "Rossi", "Bianchi", "Ferrari", "Russo", "Gallo", "Costa", "Fontana", "Conti", "Ricci",
-    "Bruno", "Moretti", "Barbieri", "Lombardi", "Giordano", "Rinaldi", "Colombo", "Mancini",
-    "Longo", "Leone", "Martinelli",
+    "Rossi",
+    "Bianchi",
+    "Ferrari",
+    "Russo",
+    "Gallo",
+    "Costa",
+    "Fontana",
+    "Conti",
+    "Ricci",
+    "Bruno",
+    "Moretti",
+    "Barbieri",
+    "Lombardi",
+    "Giordano",
+    "Rinaldi",
+    "Colombo",
+    "Mancini",
+    "Longo",
+    "Leone",
+    "Martinelli",
 ];
 
 /// Doctors (family doctors and hospital physicians).
@@ -65,18 +82,32 @@ pub const MUNICIPALITIES: &[&str] = &[
 ];
 
 /// Laboratory test types.
-pub const LAB_TESTS: &[&str] =
-    &["CD4", "glycemia", "spirometry", "ECG", "EEG", "lipid panel", "viral load", "HbA1c"];
+pub const LAB_TESTS: &[&str] = &[
+    "CD4",
+    "glycemia",
+    "spirometry",
+    "ECG",
+    "EEG",
+    "lipid panel",
+    "viral load",
+    "HbA1c",
+];
 
 /// Disease → family edges for building a generalization hierarchy
 /// (consumed by `bi-anonymize`'s categorical builder downstream).
 pub fn disease_hierarchy_edges() -> Vec<(String, String)> {
-    DISEASES.iter().map(|(d, f, _)| (d.to_string(), f.to_string())).collect()
+    DISEASES
+        .iter()
+        .map(|(d, f, _)| (d.to_string(), f.to_string()))
+        .collect()
 }
 
 /// Drug → family edges.
 pub fn drug_hierarchy_edges() -> Vec<(String, String)> {
-    DRUGS.iter().map(|(code, _, f, _)| (code.to_string(), f.to_string())).collect()
+    DRUGS
+        .iter()
+        .map(|(code, _, f, _)| (code.to_string(), f.to_string()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -87,9 +118,18 @@ mod tests {
     #[test]
     fn pools_are_nonempty_and_unique() {
         assert!(FIRST_NAMES.len() >= 20);
-        assert_eq!(FIRST_NAMES.iter().collect::<HashSet<_>>().len(), FIRST_NAMES.len());
-        assert_eq!(DRUGS.iter().map(|d| d.0).collect::<HashSet<_>>().len(), DRUGS.len());
-        assert_eq!(DISEASES.iter().map(|d| d.0).collect::<HashSet<_>>().len(), DISEASES.len());
+        assert_eq!(
+            FIRST_NAMES.iter().collect::<HashSet<_>>().len(),
+            FIRST_NAMES.len()
+        );
+        assert_eq!(
+            DRUGS.iter().map(|d| d.0).collect::<HashSet<_>>().len(),
+            DRUGS.len()
+        );
+        assert_eq!(
+            DISEASES.iter().map(|d| d.0).collect::<HashSet<_>>().len(),
+            DISEASES.len()
+        );
     }
 
     #[test]
@@ -99,11 +139,17 @@ mod tests {
             let _ = df;
         }
         for (disease_family, drug_family) in TREATMENT_MAP {
-            assert!(drug_families.contains(drug_family), "{drug_family} missing for {disease_family}");
+            assert!(
+                drug_families.contains(drug_family),
+                "{drug_family} missing for {disease_family}"
+            );
         }
         let mapped: HashSet<&str> = TREATMENT_MAP.iter().map(|(df, _)| *df).collect();
         for (_, family, _) in DISEASES {
-            assert!(mapped.contains(family), "disease family {family} untreatable");
+            assert!(
+                mapped.contains(family),
+                "disease family {family} untreatable"
+            );
         }
     }
 

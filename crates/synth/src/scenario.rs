@@ -38,7 +38,12 @@ pub struct ScenarioConfig {
 
 impl Default for ScenarioConfig {
     fn default() -> Self {
-        ScenarioConfig { seed: 42, patients: 200, prescriptions: 1000, lab_tests: 400 }
+        ScenarioConfig {
+            seed: 42,
+            patients: 200,
+            prescriptions: 1000,
+            lab_tests: 400,
+        }
     }
 }
 
@@ -79,7 +84,11 @@ impl Scenario {
             let f = names::FIRST_NAMES.choose(&mut rng).expect("pool non-empty");
             let s = names::SURNAMES.choose(&mut rng).expect("pool non-empty");
             let n = format!("{f} {s}");
-            let n = if seen.contains(&n) { format!("{n} {}", patients.len()) } else { n };
+            let n = if seen.contains(&n) {
+                format!("{n} {}", patients.len())
+            } else {
+                n
+            };
             seen.insert(n.clone());
             patients.push(n);
         }
@@ -103,7 +112,11 @@ impl Scenario {
             }
             patient_disease.push(*chosen);
             patient_doctor.push(*names::DOCTORS.choose(&mut rng).expect("pool non-empty"));
-            patient_town.push(*names::MUNICIPALITIES.choose(&mut rng).expect("pool non-empty"));
+            patient_town.push(
+                *names::MUNICIPALITIES
+                    .choose(&mut rng)
+                    .expect("pool non-empty"),
+            );
             patient_birth.push(rng.gen_range(1930..2005) as i64);
         }
 
@@ -114,7 +127,10 @@ impl Scenario {
                 .filter(|(df, _)| *df == family)
                 .map(|(_, drugf)| *drugf)
                 .collect();
-            names::DRUGS.iter().filter(|d| allowed.contains(&d.2)).collect()
+            names::DRUGS
+                .iter()
+                .filter(|d| allowed.contains(&d.2))
+                .collect()
         };
 
         let rand_date = |rng: &mut StdRng| -> Date {
@@ -202,7 +218,11 @@ impl Scenario {
         let mut residents = Table::new("Residents", res_schema);
         for (pi, p) in patients.iter().enumerate() {
             residents
-                .push_row(vec![p.clone().into(), patient_town[pi].into(), patient_birth[pi].into()])
+                .push_row(vec![
+                    p.clone().into(),
+                    patient_town[pi].into(),
+                    patient_birth[pi].into(),
+                ])
                 .expect("row conforms");
         }
 
@@ -224,30 +244,59 @@ impl Scenario {
             registry
                 .push_row(vec![(*code).into(), (*name).into(), (*family).into()])
                 .expect("row conforms");
-            drug_cost.push_row(vec![(*code).into(), (*cost).into()]).expect("row conforms");
+            drug_cost
+                .push_row(vec![(*code).into(), (*cost).into()])
+                .expect("row conforms");
         }
 
         // Assemble source catalogs.
         let mut sources: BTreeMap<SourceId, Catalog> = BTreeMap::new();
         let mut table_source: BTreeMap<String, SourceId> = BTreeMap::new();
-        let add = |source: &str, table: Table, sources: &mut BTreeMap<SourceId, Catalog>, ts: &mut BTreeMap<String, SourceId>| {
+        let add = |source: &str,
+                   table: Table,
+                   sources: &mut BTreeMap<SourceId, Catalog>,
+                   ts: &mut BTreeMap<String, SourceId>| {
             let sid = SourceId::new(source);
             ts.insert(table.name().to_string(), sid.clone());
-            sources.entry(sid).or_default().add_table(table).expect("unique names");
+            sources
+                .entry(sid)
+                .or_default()
+                .add_table(table)
+                .expect("unique names");
         };
         add("hospital", prescriptions, &mut sources, &mut table_source);
         add("laboratory", lab, &mut sources, &mut table_source);
-        add("familydoctor", familydoctor, &mut sources, &mut table_source);
+        add(
+            "familydoctor",
+            familydoctor,
+            &mut sources,
+            &mut table_source,
+        );
         add("municipality", residents, &mut sources, &mut table_source);
         add("health-agency", registry, &mut sources, &mut table_source);
         add("health-agency", drug_cost, &mut sources, &mut table_source);
 
         let foreign_keys = vec![
-            ("Prescriptions".into(), "Drug".into(), "DrugRegistry".into(), "Drug".into()),
-            ("Prescriptions".into(), "Drug".into(), "DrugCost".into(), "Drug".into()),
+            (
+                "Prescriptions".into(),
+                "Drug".into(),
+                "DrugRegistry".into(),
+                "Drug".into(),
+            ),
+            (
+                "Prescriptions".into(),
+                "Drug".into(),
+                "DrugCost".into(),
+                "Drug".into(),
+            ),
         ];
 
-        Scenario { sources, table_source, foreign_keys, patients }
+        Scenario {
+            sources,
+            table_source,
+            foreign_keys,
+            patients,
+        }
     }
 
     /// The catalog of one source.
@@ -284,13 +333,28 @@ mod tests {
         let a = Scenario::generate(ScenarioConfig::default());
         let b = Scenario::generate(ScenarioConfig::default());
         assert_eq!(
-            a.source("hospital").unwrap().table("Prescriptions").unwrap(),
-            b.source("hospital").unwrap().table("Prescriptions").unwrap()
+            a.source("hospital")
+                .unwrap()
+                .table("Prescriptions")
+                .unwrap(),
+            b.source("hospital")
+                .unwrap()
+                .table("Prescriptions")
+                .unwrap()
         );
-        let c = Scenario::generate(ScenarioConfig { seed: 7, ..Default::default() });
+        let c = Scenario::generate(ScenarioConfig {
+            seed: 7,
+            ..Default::default()
+        });
         assert_ne!(
-            a.source("hospital").unwrap().table("Prescriptions").unwrap(),
-            c.source("hospital").unwrap().table("Prescriptions").unwrap()
+            a.source("hospital")
+                .unwrap()
+                .table("Prescriptions")
+                .unwrap(),
+            c.source("hospital")
+                .unwrap()
+                .table("Prescriptions")
+                .unwrap()
         );
     }
 
@@ -303,20 +367,59 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(s.patients.len(), 50);
-        assert_eq!(s.source("hospital").unwrap().table("Prescriptions").unwrap().len(), 300);
-        assert_eq!(s.source("laboratory").unwrap().table("LabTests").unwrap().len(), 120);
-        assert_eq!(s.source("familydoctor").unwrap().table("Familydoctor").unwrap().len(), 50);
-        assert_eq!(s.source("municipality").unwrap().table("Residents").unwrap().len(), 50);
+        assert_eq!(
+            s.source("hospital")
+                .unwrap()
+                .table("Prescriptions")
+                .unwrap()
+                .len(),
+            300
+        );
+        assert_eq!(
+            s.source("laboratory")
+                .unwrap()
+                .table("LabTests")
+                .unwrap()
+                .len(),
+            120
+        );
+        assert_eq!(
+            s.source("familydoctor")
+                .unwrap()
+                .table("Familydoctor")
+                .unwrap()
+                .len(),
+            50
+        );
+        assert_eq!(
+            s.source("municipality")
+                .unwrap()
+                .table("Residents")
+                .unwrap()
+                .len(),
+            50
+        );
     }
 
     #[test]
     fn referential_integrity_holds() {
         let s = Scenario::generate(ScenarioConfig::default());
         // Every prescribed drug exists in registry and cost list.
-        let presc = s.source("hospital").unwrap().table("Prescriptions").unwrap();
-        let registry = s.source("health-agency").unwrap().table("DrugRegistry").unwrap();
-        let keys: std::collections::HashSet<Value> =
-            registry.column_values("Drug").unwrap().into_iter().collect();
+        let presc = s
+            .source("hospital")
+            .unwrap()
+            .table("Prescriptions")
+            .unwrap();
+        let registry = s
+            .source("health-agency")
+            .unwrap()
+            .table("DrugRegistry")
+            .unwrap();
+        let keys: std::collections::HashSet<Value> = registry
+            .column_values("Drug")
+            .unwrap()
+            .into_iter()
+            .collect();
         for v in presc.column_values("Drug").unwrap() {
             assert!(keys.contains(&v), "dangling drug {v}");
         }
@@ -334,14 +437,24 @@ mod tests {
             .iter()
             .filter(|v| !canonical.contains(&v.to_string()))
             .count();
-        assert!(variants > 10, "expected spelling variants, found {variants}");
+        assert!(
+            variants > 10,
+            "expected spelling variants, found {variants}"
+        );
         assert!(variants < lab.len() / 2, "most names stay canonical");
     }
 
     #[test]
     fn disease_distribution_follows_weights() {
-        let s = Scenario::generate(ScenarioConfig { prescriptions: 5000, ..Default::default() });
-        let presc = s.source("hospital").unwrap().table("Prescriptions").unwrap();
+        let s = Scenario::generate(ScenarioConfig {
+            prescriptions: 5000,
+            ..Default::default()
+        });
+        let presc = s
+            .source("hospital")
+            .unwrap()
+            .table("Prescriptions")
+            .unwrap();
         let vals = presc.column_values("Disease").unwrap();
         let count = |d: &str| vals.iter().filter(|v| **v == Value::from(d)).count();
         // hypertension (weight 12) should dominate epilepsy (weight 2).
@@ -351,8 +464,18 @@ mod tests {
     #[test]
     fn table_source_attribution_complete() {
         let s = Scenario::generate(ScenarioConfig::default());
-        for t in ["Prescriptions", "LabTests", "Familydoctor", "Residents", "DrugRegistry", "DrugCost"] {
-            assert!(s.table_source.contains_key(t), "missing attribution for {t}");
+        for t in [
+            "Prescriptions",
+            "LabTests",
+            "Familydoctor",
+            "Residents",
+            "DrugRegistry",
+            "DrugCost",
+        ] {
+            assert!(
+                s.table_source.contains_key(t),
+                "missing attribution for {t}"
+            );
         }
         assert_eq!(s.table_source["Prescriptions"], SourceId::new("hospital"));
     }

@@ -48,7 +48,11 @@ impl Date {
             || day == 0
             || day > days_in_month(year, month)
         {
-            return Err(TypeError::InvalidDate { year: year as i32, month, day });
+            return Err(TypeError::InvalidDate {
+                year: year as i32,
+                month,
+                day,
+            });
         }
         Ok(Date { year, month, day })
     }
@@ -88,7 +92,11 @@ impl Date {
     /// Inverse of [`days_from_epoch`](Self::days_from_epoch).
     pub fn from_days_from_epoch(mut days: i64) -> Result<Self, TypeError> {
         if days < 0 {
-            return Err(TypeError::InvalidDate { year: 0, month: 1, day: 1 });
+            return Err(TypeError::InvalidDate {
+                year: 0,
+                month: 1,
+                day: 1,
+            });
         }
         // 400-year cycles have a fixed day count.
         const DAYS_400: i64 = 146_097;
@@ -104,7 +112,11 @@ impl Date {
             year += 1;
         }
         if year > 9999 {
-            return Err(TypeError::InvalidDate { year: year as i32, month: 1, day: 1 });
+            return Err(TypeError::InvalidDate {
+                year: year as i32,
+                month: 1,
+                day: 1,
+            });
         }
         let mut month = 1u8;
         loop {
@@ -125,7 +137,11 @@ impl Date {
         let days = self
             .days_from_epoch()
             .checked_add(n)
-            .ok_or(TypeError::InvalidDate { year: 0, month: 1, day: 1 })?;
+            .ok_or(TypeError::InvalidDate {
+                year: 0,
+                month: 1,
+                day: 1,
+            })?;
         Self::from_days_from_epoch(days)
     }
 
@@ -205,7 +221,13 @@ mod tests {
 
     #[test]
     fn epoch_roundtrip() {
-        for &(y, m, d) in &[(1, 1, 1), (2000, 2, 29), (2007, 12, 31), (9999, 12, 31), (1970, 1, 1)] {
+        for &(y, m, d) in &[
+            (1, 1, 1),
+            (2000, 2, 29),
+            (2007, 12, 31),
+            (9999, 12, 31),
+            (1970, 1, 1),
+        ] {
             let date = Date::new(y, m, d).unwrap();
             let back = Date::from_days_from_epoch(date.days_from_epoch()).unwrap();
             assert_eq!(date, back, "roundtrip failed for {date}");
@@ -217,7 +239,12 @@ mod tests {
         let d = Date::new(2007, 12, 31).unwrap();
         assert_eq!(d.plus_days(1).unwrap(), Date::new(2008, 1, 1).unwrap());
         assert_eq!(d.plus_days(-365).unwrap(), Date::new(2006, 12, 31).unwrap());
-        assert_eq!(Date::new(2008, 3, 1).unwrap().days_since(&Date::new(2008, 2, 1).unwrap()), 29);
+        assert_eq!(
+            Date::new(2008, 3, 1)
+                .unwrap()
+                .days_since(&Date::new(2008, 2, 1).unwrap()),
+            29
+        );
     }
 
     #[test]

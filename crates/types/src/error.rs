@@ -13,7 +13,11 @@ pub enum TypeError {
     /// A textual date that does not match a supported format.
     DateParse { input: String },
     /// An operation received a value of the wrong type.
-    TypeMismatch { expected: DataType, found: String, context: String },
+    TypeMismatch {
+        expected: DataType,
+        found: String,
+        context: String,
+    },
     /// A column name not present in a schema.
     NoSuchColumn { name: String, schema: String },
     /// Two schemas that were required to agree do not.
@@ -24,12 +28,22 @@ pub enum TypeError {
 
 impl TypeError {
     pub(crate) fn date_parse(input: &str) -> Self {
-        TypeError::DateParse { input: input.to_string() }
+        TypeError::DateParse {
+            input: input.to_string(),
+        }
     }
 
     /// Convenience constructor for mismatches discovered while evaluating.
-    pub fn mismatch(expected: DataType, found: impl fmt::Display, context: impl Into<String>) -> Self {
-        TypeError::TypeMismatch { expected, found: found.to_string(), context: context.into() }
+    pub fn mismatch(
+        expected: DataType,
+        found: impl fmt::Display,
+        context: impl Into<String>,
+    ) -> Self {
+        TypeError::TypeMismatch {
+            expected,
+            found: found.to_string(),
+            context: context.into(),
+        }
     }
 }
 
@@ -40,8 +54,15 @@ impl fmt::Display for TypeError {
                 write!(f, "invalid date {year:04}-{month:02}-{day:02}")
             }
             TypeError::DateParse { input } => write!(f, "cannot parse date from {input:?}"),
-            TypeError::TypeMismatch { expected, found, context } => {
-                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            TypeError::TypeMismatch {
+                expected,
+                found,
+                context,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in {context}: expected {expected}, found {found}"
+                )
             }
             TypeError::NoSuchColumn { name, schema } => {
                 write!(f, "no column {name:?} in schema [{schema}]")
@@ -60,11 +81,18 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = TypeError::InvalidDate { year: 2007, month: 2, day: 30 };
+        let e = TypeError::InvalidDate {
+            year: 2007,
+            month: 2,
+            day: 30,
+        };
         assert_eq!(e.to_string(), "invalid date 2007-02-30");
         let e = TypeError::mismatch(DataType::Int, "\"abc\"", "aggregation");
         assert!(e.to_string().contains("expected Int"));
-        let e = TypeError::NoSuchColumn { name: "Drug".into(), schema: "Patient, Doctor".into() };
+        let e = TypeError::NoSuchColumn {
+            name: "Drug".into(),
+            schema: "Patient, Doctor".into(),
+        };
         assert!(e.to_string().contains("Drug"));
     }
 }

@@ -16,12 +16,20 @@ pub struct Column {
 impl Column {
     /// A non-nullable column.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Column { name: name.into(), dtype, nullable: false }
+        Column {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
     }
 
     /// A nullable column.
     pub fn nullable(name: impl Into<String>, dtype: DataType) -> Self {
-        Column { name: name.into(), dtype, nullable: true }
+        Column {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
     }
 
     /// Checks that `v` may be stored in this column.
@@ -45,7 +53,9 @@ impl Schema {
     pub fn new(columns: Vec<Column>) -> Result<Self, TypeError> {
         for (i, c) in columns.iter().enumerate() {
             if columns[..i].iter().any(|p| p.name == c.name) {
-                return Err(TypeError::DuplicateColumn { name: c.name.clone() });
+                return Err(TypeError::DuplicateColumn {
+                    name: c.name.clone(),
+                });
             }
         }
         Ok(Schema { columns })
@@ -53,7 +63,9 @@ impl Schema {
 
     /// The empty schema (zero columns).
     pub fn empty() -> Self {
-        Schema { columns: Vec::new() }
+        Schema {
+            columns: Vec::new(),
+        }
     }
 
     /// All columns in order.
@@ -73,10 +85,13 @@ impl Schema {
 
     /// Position of the column named `name`.
     pub fn index_of(&self, name: &str) -> Result<usize, TypeError> {
-        self.columns.iter().position(|c| c.name == name).ok_or_else(|| TypeError::NoSuchColumn {
-            name: name.to_string(),
-            schema: self.to_string(),
-        })
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| TypeError::NoSuchColumn {
+                name: name.to_string(),
+                schema: self.to_string(),
+            })
     }
 
     /// The column named `name`.
@@ -128,13 +143,20 @@ impl Schema {
     pub fn check_row(&self, row: &[Value]) -> Result<(), TypeError> {
         if row.len() != self.columns.len() {
             return Err(TypeError::SchemaMismatch {
-                reason: format!("row arity {} != schema arity {}", row.len(), self.columns.len()),
+                reason: format!(
+                    "row arity {} != schema arity {}",
+                    row.len(),
+                    self.columns.len()
+                ),
             });
         }
         for (c, v) in self.columns.iter().zip(row) {
             if !c.admits(v) {
                 return Err(TypeError::SchemaMismatch {
-                    reason: format!("value {v:?} not admissible in column {:?} ({})", c.name, c.dtype),
+                    reason: format!(
+                        "value {v:?} not admissible in column {:?} ({})",
+                        c.name, c.dtype
+                    ),
                 });
             }
         }
@@ -161,7 +183,13 @@ impl fmt::Display for Schema {
                 f.write_str(", ")?;
             }
             first = false;
-            write!(f, "{}: {}{}", c.name, c.dtype, if c.nullable { "?" } else { "" })?;
+            write!(
+                f,
+                "{}: {}{}",
+                c.name,
+                c.dtype,
+                if c.nullable { "?" } else { "" }
+            )?;
         }
         Ok(())
     }
@@ -215,17 +243,33 @@ mod tests {
         ];
         s.check_row(&ok).unwrap();
         // Nullable doctor (patient Chris in the paper's figure).
-        let with_null =
-            vec![Value::from("Chris"), Value::Null, Value::from("DV"), Value::from("HIV"), Value::date("10/03/2007").unwrap()];
+        let with_null = vec![
+            Value::from("Chris"),
+            Value::Null,
+            Value::from("DV"),
+            Value::from("HIV"),
+            Value::date("10/03/2007").unwrap(),
+        ];
         s.check_row(&with_null).unwrap();
         // Null in non-nullable Patient is rejected.
-        let bad = vec![Value::Null, Value::Null, Value::from("DV"), Value::from("HIV"), Value::date("10/03/2007").unwrap()];
+        let bad = vec![
+            Value::Null,
+            Value::Null,
+            Value::from("DV"),
+            Value::from("HIV"),
+            Value::date("10/03/2007").unwrap(),
+        ];
         assert!(s.check_row(&bad).is_err());
         // Wrong arity.
         assert!(s.check_row(&[Value::from("Alice")]).is_err());
         // Wrong type.
-        let wrong =
-            vec![Value::Int(1), Value::Null, Value::from("DV"), Value::from("HIV"), Value::date("10/03/2007").unwrap()];
+        let wrong = vec![
+            Value::Int(1),
+            Value::Null,
+            Value::from("DV"),
+            Value::from("HIV"),
+            Value::date("10/03/2007").unwrap(),
+        ];
         assert!(s.check_row(&wrong).is_err());
     }
 

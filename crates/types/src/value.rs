@@ -330,11 +330,13 @@ mod tests {
 
     #[test]
     fn total_order_across_types() {
-        let mut vs = [Value::from("b"),
+        let mut vs = [
+            Value::from("b"),
             Value::Null,
             Value::Int(1),
             Value::Bool(true),
-            Value::date("2007-02-12").unwrap()];
+            Value::date("2007-02-12").unwrap(),
+        ];
         vs.sort();
         assert!(vs[0].is_null());
         assert_eq!(vs[1], Value::Bool(true));
@@ -352,7 +354,11 @@ mod tests {
         m.insert(Value::Float(-0.0), 1);
         assert_eq!(m.get(&Value::Float(0.0)), Some(&1));
         m.insert(Value::Int(2), 7);
-        assert_eq!(m.get(&Value::Float(2.0)), Some(&7), "Int/Float hash-consistent");
+        assert_eq!(
+            m.get(&Value::Float(2.0)),
+            Some(&7),
+            "Int/Float hash-consistent"
+        );
     }
 
     #[test]

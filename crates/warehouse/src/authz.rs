@@ -51,14 +51,18 @@ pub fn guard_cube_with_measures(
     measure_cols: &[&str],
 ) -> Result<GuardedCube, WarehouseError> {
     if k == 0 {
-        return Err(WarehouseError::BadParams { reason: "k must be at least 1".into() });
+        return Err(WarehouseError::BadParams {
+            reason: "k must be at least 1".into(),
+        });
     }
     let cidx = cube.schema().index_of(count_col)?;
     let mut keep: Vec<bool> = Vec::with_capacity(cube.len());
     let mut suppressed_small = 0usize;
     for row in cube.rows() {
         let n = row[cidx].as_int().map_err(|e| {
-            WarehouseError::Query(bi_query::QueryError::Relation(bi_relation::RelationError::Type(e)))
+            WarehouseError::Query(bi_query::QueryError::Relation(
+                bi_relation::RelationError::Type(e),
+            ))
         })?;
         let ok = n >= k as i64;
         if !ok {
@@ -117,7 +121,12 @@ pub fn guard_cube_with_measures(
         .map(|(r, _)| r.clone())
         .collect();
     let table = Table::from_rows(cube.name().to_string(), cube.schema().clone(), rows)?;
-    Ok(GuardedCube { table, suppressed_small, suppressed_complementary, inferable_singletons })
+    Ok(GuardedCube {
+        table,
+        suppressed_small,
+        suppressed_complementary,
+        inferable_singletons,
+    })
 }
 
 /// [`guard_cube_with_measures`] with no extra measure columns — the
@@ -175,11 +184,23 @@ mod tests {
         let g = guard_cube(&cube(), "n", 3, Some("Drug")).unwrap();
         assert_eq!(g.suppressed_small, 1);
         assert_eq!(g.suppressed_complementary, 1);
-        let q1: Vec<_> = g.table.rows().iter().filter(|r| r[0] == Value::from("Q1")).collect();
+        let q1: Vec<_> = g
+            .table
+            .rows()
+            .iter()
+            .filter(|r| r[0] == Value::from("Q1"))
+            .collect();
         assert_eq!(q1.len(), 1);
         assert_eq!(q1[0][1], Value::from("DH"));
         // Q2 untouched (nothing hidden there).
-        assert_eq!(g.table.rows().iter().filter(|r| r[0] == Value::from("Q2")).count(), 2);
+        assert_eq!(
+            g.table
+                .rows()
+                .iter()
+                .filter(|r| r[0] == Value::from("Q2"))
+                .count(),
+            2
+        );
     }
 
     #[test]
@@ -213,6 +234,9 @@ mod tests {
     fn bad_params() {
         assert!(guard_cube(&cube(), "n", 0, None).is_err());
         assert!(guard_cube(&cube(), "ghost", 3, None).is_err());
-        assert!(guard_cube(&cube(), "Drug", 3, None).is_err(), "count must be Int");
+        assert!(
+            guard_cube(&cube(), "Drug", 3, None).is_err(),
+            "count must be Int"
+        );
     }
 }

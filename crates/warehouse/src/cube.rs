@@ -42,12 +42,20 @@ pub struct CubeQuery {
 impl CubeQuery {
     /// A query over `fact` with no axes, measures, or filters yet.
     pub fn on(fact: impl Into<String>) -> Self {
-        CubeQuery { fact: fact.into(), axes: Vec::new(), measures: Vec::new(), filters: Vec::new() }
+        CubeQuery {
+            fact: fact.into(),
+            axes: Vec::new(),
+            measures: Vec::new(),
+            filters: Vec::new(),
+        }
     }
 
     /// Adds a group-by axis.
     pub fn by(mut self, dimension: impl Into<String>, level: impl Into<String>) -> Self {
-        self.axes.push(Axis { dimension: dimension.into(), level: level.into() });
+        self.axes.push(Axis {
+            dimension: dimension.into(),
+            level: level.into(),
+        });
         self
     }
 
@@ -58,7 +66,11 @@ impl CubeQuery {
         func: AggFunc,
         measure: impl Into<String>,
     ) -> Self {
-        self.measures.push(MeasureAgg { name: name.into(), func, measure: measure.into() });
+        self.measures.push(MeasureAgg {
+            name: name.into(),
+            func,
+            measure: measure.into(),
+        });
         self
     }
 
@@ -81,7 +93,10 @@ impl CubeQuery {
                 return self;
             }
         }
-        self.axes.push(Axis { dimension: dimension.to_string(), level: to_level.into() });
+        self.axes.push(Axis {
+            dimension: dimension.to_string(),
+            level: to_level.into(),
+        });
         self
     }
 
@@ -160,10 +175,16 @@ mod tests {
     fn drug_consumption_cube() {
         // The paper's Fig. 4 report as a cube: drug × count.
         let w = small_star();
-        let q = CubeQuery::on("Prescriptions").by("Drug", "Drug").count("Consumption");
+        let q = CubeQuery::on("Prescriptions")
+            .by("Drug", "Drug")
+            .count("Consumption");
         let t = q.execute(&w).unwrap();
         assert_eq!(t.len(), 4);
-        let respira = t.rows().iter().find(|r| r[0] == Value::from("Respira")).unwrap();
+        let respira = t
+            .rows()
+            .iter()
+            .find(|r| r[0] == Value::from("Respira"))
+            .unwrap();
         assert_eq!(respira[1], Value::Int(2));
     }
 
@@ -227,8 +248,16 @@ mod tests {
     fn bad_references_fail_cleanly() {
         let w = small_star();
         assert!(CubeQuery::on("Ghost").count("n").plan(&w).is_err());
-        assert!(CubeQuery::on("Prescriptions").by("Ghost", "X").count("n").plan(&w).is_err());
-        assert!(CubeQuery::on("Prescriptions").by("Time", "Week").count("n").plan(&w).is_err());
+        assert!(CubeQuery::on("Prescriptions")
+            .by("Ghost", "X")
+            .count("n")
+            .plan(&w)
+            .is_err());
+        assert!(CubeQuery::on("Prescriptions")
+            .by("Time", "Week")
+            .count("n")
+            .plan(&w)
+            .is_err());
         assert!(CubeQuery::on("Prescriptions")
             .measure("x", AggFunc::Sum, "Ghost")
             .plan(&w)

@@ -24,7 +24,10 @@ impl fmt::Display for WarehouseError {
             WarehouseError::Query(e) => write!(f, "{e}"),
             WarehouseError::UnknownElement { kind, name } => write!(f, "unknown {kind} {name:?}"),
             WarehouseError::DanglingBinding { fact, dimension } => {
-                write!(f, "fact {fact:?} binds unregistered dimension {dimension:?}")
+                write!(
+                    f,
+                    "fact {fact:?} binds unregistered dimension {dimension:?}"
+                )
             }
             WarehouseError::BadParams { reason } => write!(f, "bad parameters: {reason}"),
         }
@@ -57,9 +60,15 @@ mod tests {
 
     #[test]
     fn displays() {
-        let e = WarehouseError::UnknownElement { kind: "dimension", name: "Time".into() };
+        let e = WarehouseError::UnknownElement {
+            kind: "dimension",
+            name: "Time".into(),
+        };
         assert!(e.to_string().contains("Time"));
-        let e = WarehouseError::DanglingBinding { fact: "F".into(), dimension: "D".into() };
+        let e = WarehouseError::DanglingBinding {
+            fact: "F".into(),
+            dimension: "D".into(),
+        };
         assert!(e.to_string().contains("unregistered"));
     }
 }

@@ -12,13 +12,20 @@
 //!   group by dimension levels, aggregate measures, with
 //!   rollup / drill-down / slice / dice operations building new queries;
 //! * [`authz`] — cube-cell authorization: minimum-count suppression and
-//!   complementary suppression against differencing attacks.
+//!   complementary suppression against differencing attacks;
+//! * [`mvcc`] — bounded multi-version table storage: every
+//!   [`star::Warehouse::load_table`] assigns a deterministic data
+//!   version and retains the committed rows (Arc-shared, one pointer
+//!   per version) so audit replays resolve the exact rows a journaled
+//!   delivery read.
 
 pub mod authz;
 pub mod cube;
 pub mod error;
+pub mod mvcc;
 pub mod star;
 
 pub use cube::CubeQuery;
 pub use error::WarehouseError;
-pub use star::{DimLevel, Dimension, FactTable, Measure, Warehouse};
+pub use mvcc::VersionHistory;
+pub use star::{DimLevel, Dimension, FactTable, Measure, Warehouse, WarehouseSnapshot};

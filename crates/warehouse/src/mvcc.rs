@@ -1,0 +1,177 @@
+//! Multi-version table storage.
+//!
+//! The audit story needs time travel: a journal entry records the data
+//! versions its plan read, and a later recheck must resolve those exact
+//! versions even though ETL has committed newer ones since. Versions
+//! are cheap — a `Table` is an `Arc<Schema>` plus CoW `Arc<Vec<Row>>`,
+//! so a retained version is one pointer, not a copy — which makes a
+//! bounded per-table history affordable even under nightly reloads.
+//!
+//! The history is keyed by the *warehouse-assigned* data version (first
+//! load = 1, bumped per commit that actually changes row storage — see
+//! `Warehouse::load_table`), **not** by
+//! [`bi_relation::Table::storage_version`]: storage versions are
+//! process-unique allocation ids, so the same ETL workload replayed in
+//! another process (or after WAL recovery) would draw different
+//! numbers. Data versions are deterministic per workload, which keeps
+//! journaled provenance byte-comparable across runs and replayable
+//! after a restart.
+//!
+//! The history is *bounded* (default [`DEFAULT_RETENTION`] versions per
+//! table, oldest evicted first) so a long-lived warehouse cannot leak
+//! every row set it ever held. A version that aged out simply resolves
+//! to `None`; the audit layer falls back — flagged — to current data.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use bi_relation::Table;
+
+/// Versions retained per table unless [`VersionHistory::set_retention`]
+/// says otherwise.
+pub const DEFAULT_RETENTION: usize = 8;
+
+/// Bounded per-table history of `(data version, table)` snapshots,
+/// newest last. Snapshots share row storage with whoever loaded them.
+#[derive(Debug, Clone)]
+pub struct VersionHistory {
+    retain: usize,
+    tables: BTreeMap<String, VecDeque<(u64, Table)>>,
+}
+
+impl Default for VersionHistory {
+    fn default() -> Self {
+        Self::new(DEFAULT_RETENTION)
+    }
+}
+
+impl VersionHistory {
+    /// An empty history retaining up to `retain` versions per table.
+    pub fn new(retain: usize) -> Self {
+        VersionHistory {
+            retain: retain.max(1),
+            tables: BTreeMap::new(),
+        }
+    }
+
+    /// Changes the retention bound (at least 1), evicting immediately
+    /// if the new bound is tighter. Returns the number evicted.
+    pub fn set_retention(&mut self, retain: usize) -> usize {
+        self.retain = retain.max(1);
+        let mut evicted = 0;
+        for h in self.tables.values_mut() {
+            while h.len() > self.retain {
+                h.pop_front();
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// The retention bound, in versions per table.
+    pub fn retention(&self) -> usize {
+        self.retain
+    }
+
+    /// Records `table` under the warehouse-assigned data `version`. A
+    /// no-op when that version is already retained (reloading identical
+    /// storage keeps its version and churns nothing). Returns the
+    /// number of versions evicted to stay within the bound.
+    pub fn record(&mut self, version: u64, table: Table) -> usize {
+        let h = self.tables.entry(table.name().to_string()).or_default();
+        if h.iter().any(|(v, _)| *v == version) {
+            return 0;
+        }
+        h.push_back((version, table));
+        let mut evicted = 0;
+        while h.len() > self.retain {
+            h.pop_front();
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// The retained snapshot of `name` at `version`, if it has not aged
+    /// out of the bound.
+    pub fn resolve(&self, name: &str, version: u64) -> Option<&Table> {
+        self.tables
+            .get(name)?
+            .iter()
+            .rev()
+            .find(|(v, _)| *v == version)
+            .map(|(_, t)| t)
+    }
+
+    /// Retained versions of one table, oldest first.
+    pub fn versions(&self, name: &str) -> Vec<u64> {
+        self.tables
+            .get(name)
+            .map(|h| h.iter().map(|(v, _)| *v).collect())
+            .unwrap_or_default()
+    }
+
+    /// Total snapshots retained across every table.
+    pub fn retained(&self) -> usize {
+        self.tables.values().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_types::{Column, DataType, Schema, Value};
+
+    fn table(name: &str, rows: &[i64]) -> Table {
+        Table::from_rows(
+            name,
+            Schema::new(vec![Column::new("x", DataType::Int)]).unwrap(),
+            rows.iter().map(|&v| vec![Value::Int(v)]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn records_and_resolves_versions() {
+        let mut h = VersionHistory::new(4);
+        let t1 = table("T", &[1, 2]);
+        let t2 = table("T", &[3]);
+        assert_eq!(h.record(1, t1.clone()), 0);
+        assert_eq!(h.record(2, t2.clone()), 0);
+        assert_eq!(h.retained(), 2);
+        assert_eq!(h.resolve("T", 1).unwrap().rows(), t1.rows());
+        assert_eq!(h.resolve("T", 2).unwrap().rows(), t2.rows());
+        assert!(h.resolve("T", 0).is_none());
+        assert!(h.resolve("Ghost", 1).is_none());
+    }
+
+    #[test]
+    fn identical_version_is_not_rerecorded() {
+        let mut h = VersionHistory::new(4);
+        let t = table("T", &[1]);
+        h.record(1, t.clone());
+        h.record(1, t);
+        assert_eq!(
+            h.retained(),
+            1,
+            "re-recording the same data version churns nothing"
+        );
+    }
+
+    #[test]
+    fn retention_bound_evicts_oldest_first() {
+        let mut h = VersionHistory::new(2);
+        let tables: Vec<Table> = (0..4).map(|i| table("T", &[i])).collect();
+        let mut evicted = 0;
+        for (i, t) in tables.iter().enumerate() {
+            evicted += h.record(i as u64 + 1, t.clone());
+        }
+        assert_eq!(evicted, 2);
+        assert_eq!(h.retained(), 2);
+        assert!(h.resolve("T", 1).is_none(), "oldest aged out");
+        assert!(h.resolve("T", 4).is_some());
+        assert_eq!(h.versions("T").len(), 2);
+        // Tightening the bound evicts immediately.
+        assert_eq!(h.set_retention(1), 1);
+        assert!(h.resolve("T", 3).is_none());
+        assert!(h.resolve("T", 4).is_some());
+    }
+}

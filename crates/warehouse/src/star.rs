@@ -1,5 +1,7 @@
 //! Star-schema modeling.
 
+use std::collections::BTreeMap;
+
 use bi_query::contain::RefIntegrity;
 use bi_query::{Catalog, QueryError};
 use bi_relation::Table;
@@ -35,7 +37,10 @@ impl Dimension {
             .iter()
             .find(|l| l.name == level)
             .map(|l| l.column.as_str())
-            .ok_or_else(|| WarehouseError::UnknownElement { kind: "level", name: level.to_string() })
+            .ok_or_else(|| WarehouseError::UnknownElement {
+                kind: "level",
+                name: level.to_string(),
+            })
     }
 
     /// Position of a level (0 = finest).
@@ -43,7 +48,10 @@ impl Dimension {
         self.levels
             .iter()
             .position(|l| l.name == level)
-            .ok_or_else(|| WarehouseError::UnknownElement { kind: "level", name: level.to_string() })
+            .ok_or_else(|| WarehouseError::UnknownElement {
+                kind: "level",
+                name: level.to_string(),
+            })
     }
 }
 
@@ -85,17 +93,55 @@ impl FactTable {
             .iter()
             .find(|m| m.name == measure)
             .map(|m| m.column.as_str())
-            .ok_or_else(|| WarehouseError::UnknownElement { kind: "measure", name: measure.to_string() })
+            .ok_or_else(|| WarehouseError::UnknownElement {
+                kind: "measure",
+                name: measure.to_string(),
+            })
     }
 }
 
-/// The warehouse: loaded tables + star schema + declared FKs.
+/// The warehouse: loaded tables + star schema + declared FKs + a
+/// bounded multi-version history of loaded table storage.
 #[derive(Debug, Clone, Default)]
 pub struct Warehouse {
     catalog: Catalog,
     dimensions: Vec<Dimension>,
     facts: Vec<FactTable>,
     refs: RefIntegrity,
+    history: crate::mvcc::VersionHistory,
+    /// Per table: `(data version, storage version it was assigned to)`.
+    /// The data version is warehouse-local and deterministic (first load
+    /// = 1, +1 per commit whose row storage actually differs), so the
+    /// same ETL workload journals the same provenance in any process —
+    /// unlike the process-unique storage-allocation ids, which stay
+    /// internal (render-cache keys only).
+    versions: BTreeMap<String, (u64, u64)>,
+}
+
+/// A pinned, consistent view of the warehouse at one instant: the
+/// catalog (tables Arc-share their row storage, so the clone is cheap)
+/// plus the data version each table carried. Delivery pins one snapshot
+/// per request/batch so renders and journaled provenance cannot tear
+/// across a concurrent ETL commit.
+#[derive(Debug, Clone)]
+pub struct WarehouseSnapshot {
+    catalog: Catalog,
+    versions: BTreeMap<String, u64>,
+}
+
+impl WarehouseSnapshot {
+    /// The pinned catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The pinned data version of `name`; `0` for tables that never
+    /// went through [`Warehouse::load_table`] (views, direct catalog
+    /// writes) — version 0 is never retained, so a recheck of such an
+    /// entry falls back, flagged, to current data.
+    pub fn data_version(&self, name: &str) -> u64 {
+        self.versions.get(name).copied().unwrap_or(0)
+    }
 }
 
 impl Warehouse {
@@ -119,9 +165,66 @@ impl Warehouse {
         &self.refs
     }
 
-    /// Loads (or reloads) a table produced by ETL.
-    pub fn load_table(&mut self, table: Table) {
+    /// Loads (or reloads) a table produced by ETL, assigning it a
+    /// deterministic warehouse-local *data version*: `1` on first load,
+    /// `+1` on every commit whose row storage differs from the live
+    /// table, unchanged when an identity reload carries the same
+    /// storage through. The committed version is retained in the MVCC
+    /// history (bounded; see [`crate::mvcc::VersionHistory`]) so audit
+    /// replays can resolve it after later reloads. Returns the number
+    /// of older versions evicted to stay within the retention bound.
+    pub fn load_table(&mut self, table: Table) -> usize {
+        let name = table.name().to_string();
+        let storage = table.storage_version();
+        let version = match self.versions.get(&name) {
+            Some(&(v, prev_storage)) if prev_storage == storage => v,
+            Some(&(v, _)) => v + 1,
+            None => 1,
+        };
+        self.versions.insert(name, (version, storage));
+        let evicted = self.history.record(version, table.clone());
         self.catalog.put_table(table);
+        evicted
+    }
+
+    /// The live data version of `name`, if it was loaded through
+    /// [`Warehouse::load_table`].
+    pub fn data_version(&self, name: &str) -> Option<u64> {
+        self.versions.get(name).map(|&(v, _)| v)
+    }
+
+    /// The table's rows as of data `version`, if that version has not
+    /// aged out of the retention bound (the live version is always
+    /// retained). `None` also covers tables that never went through
+    /// [`Warehouse::load_table`].
+    pub fn table_at(&self, name: &str, version: u64) -> Option<&Table> {
+        self.history.resolve(name, version)
+    }
+
+    /// The MVCC version history (retained snapshots, retention bound).
+    pub fn version_history(&self) -> &crate::mvcc::VersionHistory {
+        &self.history
+    }
+
+    /// Bounds the MVCC history, in versions per table (min 1); returns
+    /// the number of snapshots evicted if the new bound is tighter.
+    pub fn set_version_retention(&mut self, retain: usize) -> usize {
+        self.history.set_retention(retain)
+    }
+
+    /// A pinned snapshot of the current catalog and its data versions:
+    /// tables are Arc-shared, so the clone is cheap and the snapshot
+    /// keeps serving the same row storage while later loads commit new
+    /// versions on top.
+    pub fn snapshot(&self) -> WarehouseSnapshot {
+        WarehouseSnapshot {
+            catalog: self.catalog.clone(),
+            versions: self
+                .versions
+                .iter()
+                .map(|(n, &(v, _))| (n.clone(), v))
+                .collect(),
+        }
     }
 
     /// Registers a dimension; declares nothing about data presence yet.
@@ -134,7 +237,12 @@ impl Warehouse {
     pub fn add_fact(&mut self, fact: FactTable) -> Result<(), WarehouseError> {
         for (dname, fk) in &fact.dims {
             let dim = self.dimension(dname)?;
-            self.refs.add_fk(fact.table.clone(), fk.clone(), dim.table.clone(), dim.key.clone());
+            self.refs.add_fk(
+                fact.table.clone(),
+                fk.clone(),
+                dim.table.clone(),
+                dim.key.clone(),
+            );
         }
         self.facts.push(fact);
         Ok(())
@@ -145,7 +253,10 @@ impl Warehouse {
         self.dimensions
             .iter()
             .find(|d| d.name == name)
-            .ok_or_else(|| WarehouseError::UnknownElement { kind: "dimension", name: name.to_string() })
+            .ok_or_else(|| WarehouseError::UnknownElement {
+                kind: "dimension",
+                name: name.to_string(),
+            })
     }
 
     /// The named fact table.
@@ -153,7 +264,10 @@ impl Warehouse {
         self.facts
             .iter()
             .find(|f| f.name == name)
-            .ok_or_else(|| WarehouseError::UnknownElement { kind: "fact", name: name.to_string() })
+            .ok_or_else(|| WarehouseError::UnknownElement {
+                kind: "fact",
+                name: name.to_string(),
+            })
     }
 
     /// All registered dimensions.
@@ -209,11 +323,36 @@ pub(crate) mod tests {
                 ])
                 .unwrap(),
                 vec![
-                    vec![Value::date("2007-02-12").unwrap(), "2007-02".into(), "2007-Q1".into(), 2007.into()],
-                    vec![Value::date("2007-03-10").unwrap(), "2007-03".into(), "2007-Q1".into(), 2007.into()],
-                    vec![Value::date("2007-08-10").unwrap(), "2007-08".into(), "2007-Q3".into(), 2007.into()],
-                    vec![Value::date("2007-10-15").unwrap(), "2007-10".into(), "2007-Q4".into(), 2007.into()],
-                    vec![Value::date("2008-04-15").unwrap(), "2008-04".into(), "2008-Q2".into(), 2008.into()],
+                    vec![
+                        Value::date("2007-02-12").unwrap(),
+                        "2007-02".into(),
+                        "2007-Q1".into(),
+                        2007.into(),
+                    ],
+                    vec![
+                        Value::date("2007-03-10").unwrap(),
+                        "2007-03".into(),
+                        "2007-Q1".into(),
+                        2007.into(),
+                    ],
+                    vec![
+                        Value::date("2007-08-10").unwrap(),
+                        "2007-08".into(),
+                        "2007-Q3".into(),
+                        2007.into(),
+                    ],
+                    vec![
+                        Value::date("2007-10-15").unwrap(),
+                        "2007-10".into(),
+                        "2007-Q4".into(),
+                        2007.into(),
+                    ],
+                    vec![
+                        Value::date("2008-04-15").unwrap(),
+                        "2008-04".into(),
+                        "2008-Q2".into(),
+                        2008.into(),
+                    ],
                 ],
             )
             .unwrap(),
@@ -229,11 +368,36 @@ pub(crate) mod tests {
                 ])
                 .unwrap(),
                 vec![
-                    vec!["Alice".into(), "DH".into(), Value::date("2007-02-12").unwrap(), 60.into()],
-                    vec!["Chris".into(), "DV".into(), Value::date("2007-03-10").unwrap(), 30.into()],
-                    vec!["Bob".into(), "DR".into(), Value::date("2007-08-10").unwrap(), 10.into()],
-                    vec!["Math".into(), "DM".into(), Value::date("2007-10-15").unwrap(), 10.into()],
-                    vec!["Alice".into(), "DR".into(), Value::date("2008-04-15").unwrap(), 10.into()],
+                    vec![
+                        "Alice".into(),
+                        "DH".into(),
+                        Value::date("2007-02-12").unwrap(),
+                        60.into(),
+                    ],
+                    vec![
+                        "Chris".into(),
+                        "DV".into(),
+                        Value::date("2007-03-10").unwrap(),
+                        30.into(),
+                    ],
+                    vec![
+                        "Bob".into(),
+                        "DR".into(),
+                        Value::date("2007-08-10").unwrap(),
+                        10.into(),
+                    ],
+                    vec![
+                        "Math".into(),
+                        "DM".into(),
+                        Value::date("2007-10-15").unwrap(),
+                        10.into(),
+                    ],
+                    vec![
+                        "Alice".into(),
+                        "DR".into(),
+                        Value::date("2008-04-15").unwrap(),
+                        10.into(),
+                    ],
                 ],
             )
             .unwrap(),
@@ -243,8 +407,14 @@ pub(crate) mod tests {
             table: "DimDrug".into(),
             key: "DrugKey".into(),
             levels: vec![
-                DimLevel { name: "Drug".into(), column: "DrugName".into() },
-                DimLevel { name: "Family".into(), column: "DrugFamily".into() },
+                DimLevel {
+                    name: "Drug".into(),
+                    column: "DrugName".into(),
+                },
+                DimLevel {
+                    name: "Family".into(),
+                    column: "DrugFamily".into(),
+                },
             ],
         });
         w.add_dimension(Dimension {
@@ -252,16 +422,31 @@ pub(crate) mod tests {
             table: "DimTime".into(),
             key: "DateKey".into(),
             levels: vec![
-                DimLevel { name: "Month".into(), column: "Month".into() },
-                DimLevel { name: "Quarter".into(), column: "Quarter".into() },
-                DimLevel { name: "Year".into(), column: "Year".into() },
+                DimLevel {
+                    name: "Month".into(),
+                    column: "Month".into(),
+                },
+                DimLevel {
+                    name: "Quarter".into(),
+                    column: "Quarter".into(),
+                },
+                DimLevel {
+                    name: "Year".into(),
+                    column: "Year".into(),
+                },
             ],
         });
         w.add_fact(FactTable {
             name: "Prescriptions".into(),
             table: "FactPrescriptions".into(),
-            dims: vec![("Drug".into(), "Drug".into()), ("Time".into(), "Date".into())],
-            measures: vec![Measure { name: "Cost".into(), column: "Cost".into() }],
+            dims: vec![
+                ("Drug".into(), "Drug".into()),
+                ("Time".into(), "Date".into()),
+            ],
+            measures: vec![Measure {
+                name: "Cost".into(),
+                column: "Cost".into(),
+            }],
         })
         .unwrap();
         w
@@ -287,9 +472,54 @@ pub(crate) mod tests {
     #[test]
     fn fact_registration_declares_fks() {
         let w = small_star();
-        assert!(w.refs().is_fk(("FactPrescriptions", "Drug"), ("DimDrug", "DrugKey")));
-        assert!(w.refs().is_fk(("FactPrescriptions", "Date"), ("DimTime", "DateKey")));
-        assert!(!w.refs().is_fk(("FactPrescriptions", "Cost"), ("DimDrug", "DrugKey")));
+        assert!(w
+            .refs()
+            .is_fk(("FactPrescriptions", "Drug"), ("DimDrug", "DrugKey")));
+        assert!(w
+            .refs()
+            .is_fk(("FactPrescriptions", "Date"), ("DimTime", "DateKey")));
+        assert!(!w
+            .refs()
+            .is_fk(("FactPrescriptions", "Cost"), ("DimDrug", "DrugKey")));
+    }
+
+    #[test]
+    fn data_versions_are_deterministic_and_resolve_history() {
+        fn t(rows: &[i64]) -> Table {
+            Table::from_rows(
+                "F",
+                Schema::new(vec![Column::new("x", DataType::Int)]).unwrap(),
+                rows.iter().map(|&v| vec![Value::Int(v)]).collect(),
+            )
+            .unwrap()
+        }
+        let mut w = Warehouse::new();
+        assert_eq!(w.data_version("F"), None);
+        let first = t(&[1, 2]);
+        w.load_table(first.clone());
+        assert_eq!(w.data_version("F"), Some(1), "first load is version 1");
+        // Identity reload: same storage, same version, no history churn.
+        w.load_table(first.clone());
+        assert_eq!(w.data_version("F"), Some(1));
+        assert_eq!(w.version_history().retained(), 1);
+        // A real change bumps the version; the old rows stay resolvable.
+        w.load_table(t(&[9]));
+        assert_eq!(w.data_version("F"), Some(2));
+        assert_eq!(w.table_at("F", 1).unwrap().rows(), first.rows());
+        assert_eq!(w.table_at("F", 2).unwrap().len(), 1);
+        assert!(w.table_at("F", 3).is_none());
+        // A second warehouse replaying the same loads assigns the same
+        // versions — provenance journaled against one process resolves
+        // identically in another (the WAL-recovery contract).
+        let mut other = Warehouse::new();
+        other.load_table(first);
+        other.load_table(t(&[9]));
+        assert_eq!(other.data_version("F"), Some(2));
+        // The pinned snapshot carries versions; unknown tables are 0.
+        let snap = w.snapshot();
+        assert_eq!(snap.data_version("F"), 2);
+        assert_eq!(snap.data_version("Ghost"), 0);
+        assert!(snap.catalog().table("F").is_some());
     }
 
     #[test]
@@ -338,7 +568,9 @@ pub fn time_dimension(
         if day == to {
             break;
         }
-        day = day.plus_days(1).map_err(|e| WarehouseError::BadParams { reason: e.to_string() })?;
+        day = day.plus_days(1).map_err(|e| WarehouseError::BadParams {
+            reason: e.to_string(),
+        })?;
     }
     Ok(t)
 }
@@ -351,10 +583,22 @@ pub fn time_dimension_spec(dimension_name: &str, table: &str) -> Dimension {
         table: table.to_string(),
         key: "DateKey".to_string(),
         levels: vec![
-            DimLevel { name: "Day".into(), column: "DateKey".into() },
-            DimLevel { name: "Month".into(), column: "Month".into() },
-            DimLevel { name: "Quarter".into(), column: "Quarter".into() },
-            DimLevel { name: "Year".into(), column: "Year".into() },
+            DimLevel {
+                name: "Day".into(),
+                column: "DateKey".into(),
+            },
+            DimLevel {
+                name: "Month".into(),
+                column: "Month".into(),
+            },
+            DimLevel {
+                name: "Quarter".into(),
+                column: "Quarter".into(),
+            },
+            DimLevel {
+                name: "Year".into(),
+                column: "Year".into(),
+            },
         ],
     }
 }

@@ -41,8 +41,16 @@ fn main() {
                 as_name: "s".into(),
             },
         )
-        .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "FactPrescriptions".into() });
-    system.run_etl(&pipeline, Some("quality")).expect("compliant pipeline");
+        .step(
+            "l",
+            EtlOp::Load {
+                table: "s".into(),
+                warehouse_table: "FactPrescriptions".into(),
+            },
+        );
+    system
+        .run_etl(&pipeline, Some("quality"))
+        .expect("compliant pipeline");
 
     system.add_meta_report(
         MetaReport::new(
@@ -58,7 +66,8 @@ fn main() {
     for (id, plan) in [
         (
             "r-drug",
-            scan("FactPrescriptions").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]),
+            scan("FactPrescriptions")
+                .aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]),
         ),
         (
             "r-patient",
@@ -74,9 +83,14 @@ fn main() {
         system.define_report(
             ReportSpec::new(id, id, plan, [RoleId::new("analyst")]).for_purpose("quality"),
         );
-        system.deliver(&id.into(), &"ada@agency".into()).expect("compliant at the time");
+        system
+            .deliver(&id.into(), &"ada@agency".into())
+            .expect("compliant at the time");
     }
-    println!("delivered {} report(s) under the v1 agreement\n", system.audit_log().deliveries().count());
+    println!(
+        "delivered {} report(s) under the v1 agreement\n",
+        system.audit_log().deliveries().count()
+    );
 
     // ---- (a) Policy drift: the hospital tightens its PLA. ----
     system
@@ -88,7 +102,10 @@ fn main() {
         )
         .expect("PLA parses");
     let findings = system.recheck().expect("recheck runs");
-    println!("auditor re-check under the v2 agreement: {} finding(s)", findings.len());
+    println!(
+        "auditor re-check under the v2 agreement: {} finding(s)",
+        findings.len()
+    );
     for f in &findings {
         println!("  seq {} report {}:", f.seq, f.report);
         for v in &f.violations {
@@ -98,7 +115,9 @@ fn main() {
 
     // ---- (b) Dispute: which deliveries exposed patient names? ----
     println!("\ndispute: who exposed FactPrescriptions.Patient?");
-    let exposures = system.dispute("FactPrescriptions", "Patient").expect("dispute runs");
+    let exposures = system
+        .dispute("FactPrescriptions", "Patient")
+        .expect("dispute runs");
     for e in &exposures {
         let direct: Vec<&(usize, String)> =
             e.cells.iter().filter(|(_, c)| c == "Patient").collect();

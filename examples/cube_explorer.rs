@@ -46,15 +46,24 @@ fn main() {
         table: "DimDrug".into(),
         key: "Drug".into(),
         levels: vec![
-            DimLevel { name: "Drug".into(), column: "DrugName".into() },
-            DimLevel { name: "Family".into(), column: "Family".into() },
+            DimLevel {
+                name: "Drug".into(),
+                column: "DrugName".into(),
+            },
+            DimLevel {
+                name: "Family".into(),
+                column: "Family".into(),
+            },
         ],
     });
     w.add_dimension(time_dimension_spec("Time", "DimTime"));
     w.add_fact(FactTable {
         name: "Prescriptions".into(),
         table: "FactPrescriptions".into(),
-        dims: vec![("Drug".into(), "Drug".into()), ("Time".into(), "Date".into())],
+        dims: vec![
+            ("Drug".into(), "Drug".into()),
+            ("Time".into(), "Date".into()),
+        ],
         measures: vec![],
     })
     .expect("dimensions registered");
@@ -65,7 +74,13 @@ fn main() {
         .by("Time", "Year")
         .count("n");
     let t = coarse.clone().execute(&w).expect("cube runs");
-    println!("{}", pretty::render_titled("Family × Year", &t.sort_by(&["Family", "Year"], &[]).unwrap()));
+    println!(
+        "{}",
+        pretty::render_titled(
+            "Family × Year",
+            &t.sort_by(&["Family", "Year"], &[]).unwrap()
+        )
+    );
 
     // Drill the time axis down to quarters, slice to 2007.
     let drilled = coarse
@@ -75,7 +90,10 @@ fn main() {
     let t = drilled.execute(&w).expect("cube runs");
     println!(
         "{}",
-        pretty::render_titled("Family × Quarter (2007 slice)", &t.sort_by(&["Family", "Quarter"], &[]).unwrap())
+        pretty::render_titled(
+            "Family × Quarter (2007 slice)",
+            &t.sort_by(&["Family", "Quarter"], &[]).unwrap()
+        )
     );
 
     // Dice to the antiviral family at drug × year granularity. The dice

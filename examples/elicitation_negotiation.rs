@@ -28,11 +28,15 @@ fn main() {
             (attr("SocialSecurityNo"), Stance::Forbid),
             (
                 attr("Doctor"),
-                Stance::RestrictRoles { roles: [RoleId::new("auditor")].into_iter().collect() },
+                Stance::RestrictRoles {
+                    roles: [RoleId::new("auditor")].into_iter().collect(),
+                },
             ),
             (
                 attr("Disease"),
-                Stance::RequireCondition { condition: col("Disease").ne(lit("HIV")) },
+                Stance::RequireCondition {
+                    condition: col("Disease").ne(lit("HIV")),
+                },
             ),
             (attr("Drug"), Stance::RequireAggregation { k: 5 }),
             (attr("Ward"), Stance::RequireAggregation { k: 10 }),
@@ -44,14 +48,26 @@ fn main() {
 
     // The full source surface vs what the current reports actually use.
     let all: BTreeSet<AttrRef> = [
-        "Patient", "SocialSecurityNo", "Doctor", "Disease", "Drug", "Date", "Ward", "Bed",
-        "Insurer", "AdmissionNo", "Severity", "Notes",
+        "Patient",
+        "SocialSecurityNo",
+        "Doctor",
+        "Disease",
+        "Drug",
+        "Date",
+        "Ward",
+        "Bed",
+        "Insurer",
+        "AdmissionNo",
+        "Severity",
+        "Notes",
     ]
     .iter()
     .map(|c| attr(c))
     .collect();
-    let needed: BTreeSet<AttrRef> =
-        ["Drug", "Disease", "Date"].iter().map(|c| attr(c)).collect();
+    let needed: BTreeSet<AttrRef> = ["Drug", "Disease", "Date"]
+        .iter()
+        .map(|c| attr(c))
+        .collect();
 
     let (wide, minimal) = compare_strategies(&all, &needed, &owner);
 

@@ -116,18 +116,43 @@ pla "municipality-2008" source municipality version 1 level source {
                 out: "stg_linked".into(),
             },
         )
-        .step("dedup", EtlOp::Deduplicate { table: "stg_presc".into() })
+        .step(
+            "dedup",
+            EtlOp::Deduplicate {
+                table: "stg_presc".into(),
+            },
+        )
         .step(
             "l-presc",
-            EtlOp::Load { table: "stg_presc".into(), warehouse_table: "FactPrescriptions".into() },
+            EtlOp::Load {
+                table: "stg_presc".into(),
+                warehouse_table: "FactPrescriptions".into(),
+            },
         )
-        .step("l-reg", EtlOp::Load { table: "stg_reg".into(), warehouse_table: "DimDrug".into() })
-        .step("l-cost", EtlOp::Load { table: "stg_cost".into(), warehouse_table: "DimCost".into() });
+        .step(
+            "l-reg",
+            EtlOp::Load {
+                table: "stg_reg".into(),
+                warehouse_table: "DimDrug".into(),
+            },
+        )
+        .step(
+            "l-cost",
+            EtlOp::Load {
+                table: "stg_cost".into(),
+                warehouse_table: "DimCost".into(),
+            },
+        );
 
-    let etl = system.run_etl(&pipeline, Some("quality")).expect("pipeline compliant");
+    let etl = system
+        .run_etl(&pipeline, Some("quality"))
+        .expect("pipeline compliant");
     println!("== ETL ==");
     for s in &etl.steps {
-        println!("  {:10} {:20} -> {:6} rows (touched {})", s.step_id, s.op, s.rows_out, s.touched);
+        println!(
+            "  {:10} {:20} -> {:6} rows (touched {})",
+            s.step_id, s.op, s.rows_out, s.touched
+        );
     }
 
     // ---- Star schema + OLAP cube. ----
@@ -136,8 +161,14 @@ pla "municipality-2008" source municipality version 1 level source {
         table: "DimDrug".into(),
         key: "Drug".into(),
         levels: vec![
-            DimLevel { name: "Drug".into(), column: "DrugName".into() },
-            DimLevel { name: "Family".into(), column: "Family".into() },
+            DimLevel {
+                name: "Drug".into(),
+                column: "DrugName".into(),
+            },
+            DimLevel {
+                name: "Family".into(),
+                column: "Family".into(),
+            },
         ],
     });
     system
@@ -146,16 +177,25 @@ pla "municipality-2008" source municipality version 1 level source {
             name: "Prescriptions".into(),
             table: "FactPrescriptions".into(),
             dims: vec![("Drug".into(), "Drug".into())],
-            measures: vec![Measure { name: "n".into(), column: "Drug".into() }],
+            measures: vec![Measure {
+                name: "n".into(),
+                column: "Drug".into(),
+            }],
         })
         .expect("dimension registered");
-    let cube = CubeQuery::on("Prescriptions").by("Drug", "Family").count("prescriptions");
+    let cube = CubeQuery::on("Prescriptions")
+        .by("Drug", "Family")
+        .count("prescriptions");
     let cube_table = cube.execute(system.warehouse()).expect("cube runs");
-    println!("\n{}", pretty::render_titled("Prescriptions by drug family (OLAP rollup)", &cube_table));
+    println!(
+        "\n{}",
+        pretty::render_titled("Prescriptions by drug family (OLAP rollup)", &cube_table)
+    );
 
     // Cube-cell authorization: suppress small cells + differencing guard.
-    let guarded = plabi::warehouse::authz::guard_cube(&cube_table, "prescriptions", 25, Some("Family"))
-        .expect("guard runs");
+    let guarded =
+        plabi::warehouse::authz::guard_cube(&cube_table, "prescriptions", 25, Some("Family"))
+            .expect("guard runs");
     println!(
         "cube guard: {} small cell(s) suppressed, {} complementary\n",
         guarded.suppressed_small, guarded.suppressed_complementary
@@ -166,7 +206,8 @@ pla "municipality-2008" source municipality version 1 level source {
         MetaReport::new(
             "m-universe",
             "Prescription universe",
-            scan("FactPrescriptions").project_cols(&["Patient", "Doctor", "Drug", "Disease", "Date"]),
+            scan("FactPrescriptions")
+                .project_cols(&["Patient", "Doctor", "Drug", "Disease", "Date"]),
         )
         .approved("hospital"),
     );
@@ -185,8 +226,13 @@ pla "municipality-2008" source municipality version 1 level source {
         )
         .for_purpose("quality"),
     );
-    let out = system.deliver(&"per-patient".into(), &"ada@agency".into()).expect("compliant");
-    println!("{}", pretty::render_titled("Top patients (pseudonymized, k≥5)", &out.table));
+    let out = system
+        .deliver(&"per-patient".into(), &"ada@agency".into())
+        .expect("compliant");
+    println!(
+        "{}",
+        pretty::render_titled("Top patients (pseudonymized, k≥5)", &out.table)
+    );
     println!("suppressed groups: {}\n", out.suppressed_groups);
 
     // The same data without aggregation is refused outright.

@@ -26,11 +26,23 @@ fn main() {
     let mut cat = Catalog::new();
     {
         let t = "Prescriptions";
-        cat.add_table(scenario.source("hospital").expect("generated").table(t).expect("generated").clone())
-            .expect("fresh catalog");
+        cat.add_table(
+            scenario
+                .source("hospital")
+                .expect("generated")
+                .table(t)
+                .expect("generated")
+                .clone(),
+        )
+        .expect("fresh catalog");
     }
     cat.add_table(
-        scenario.source("health-agency").expect("generated").table("DrugRegistry").expect("generated").clone(),
+        scenario
+            .source("health-agency")
+            .expect("generated")
+            .table("DrugRegistry")
+            .expect("generated")
+            .clone(),
     )
     .expect("fresh catalog");
     let mut refs = RefIntegrity::new();
@@ -55,14 +67,21 @@ fn main() {
             "r-family",
             "Consumption per drug family",
             scan("Prescriptions")
-                .join(scan("DrugRegistry"), vec![("Drug".into(), "Drug".into())], "reg")
+                .join(
+                    scan("DrugRegistry"),
+                    vec![("Drug".into(), "Drug".into())],
+                    "reg",
+                )
                 .aggregate(vec!["Family".into()], vec![AggItem::count_star("n")]),
             roles.clone(),
         ),
     ];
 
     // ---- 2. Synthesize candidate meta-reports. ----
-    for knob in [GranularityKnob::per_footprint(), GranularityKnob::universe()] {
+    for knob in [
+        GranularityKnob::per_footprint(),
+        GranularityKnob::universe(),
+    ] {
         let out = synthesize_meta_reports(&portfolio, &cat, &refs, knob).expect("synthesis runs");
         println!(
             "knob overlap={:.2}: {} meta-report(s)",
@@ -109,7 +128,10 @@ fn main() {
                 res.obligations.len()
             ),
             Coverage::NotCovered { reasons } => {
-                println!("  {:<14} NOT covered — new elicitation round needed:", report.id);
+                println!(
+                    "  {:<14} NOT covered — new elicitation round needed:",
+                    report.id
+                );
                 for (mid, why) in reasons {
                     println!("      vs {}: {}", mid, why);
                 }
@@ -123,7 +145,11 @@ fn main() {
         "r-fam-coarse",
         "Families, filtered",
         scan("Prescriptions")
-            .join(scan("DrugRegistry"), vec![("Drug".into(), "Drug".into())], "reg")
+            .join(
+                scan("DrugRegistry"),
+                vec![("Drug".into(), "Drug".into())],
+                "reg",
+            )
             .filter(col("Family").ne(lit("antiviral")))
             .aggregate(vec!["Family".into()], vec![AggItem::count_star("n")]),
         roles.clone(),

@@ -54,7 +54,9 @@ pla "hospital-2008" source hospital version 1 level meta-report {
                 warehouse_table: "FactPrescriptions".into(),
             },
         );
-    let etl = system.run_etl(&pipeline, Some("quality")).expect("pipeline is PLA-compliant");
+    let etl = system
+        .run_etl(&pipeline, Some("quality"))
+        .expect("pipeline is PLA-compliant");
     println!("ETL loaded {} table(s); steps:", etl.loaded.len());
     for s in &etl.steps {
         println!("  {:10} {:18} -> {} rows", s.step_id, s.op, s.rows_out);
@@ -74,7 +76,10 @@ pla "hospital-2008" source hospital version 1 level meta-report {
             "drug-consumption",
             "Drug consumption",
             scan("FactPrescriptions")
-                .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")])
+                .aggregate(
+                    vec!["Drug".into()],
+                    vec![AggItem::count_star("Consumption")],
+                )
                 .sort(vec![SortKey::desc("Consumption")]),
             [RoleId::new("analyst")],
         )
@@ -82,7 +87,9 @@ pla "hospital-2008" source hospital version 1 level meta-report {
     );
 
     // 6. Compliance gate, then enforced delivery.
-    let gate = system.check(&"drug-consumption".into()).expect("check runs");
+    let gate = system
+        .check(&"drug-consumption".into())
+        .expect("check runs");
     println!(
         "\ncompliance: covered={} violations={} obligations={}",
         gate.coverage.is_covered(),
@@ -108,5 +115,8 @@ pla "hospital-2008" source hospital version 1 level meta-report {
     );
 
     // 7. The journal recorded everything an auditor needs.
-    println!("\naudit journal: {} delivery(ies)", system.audit_log().deliveries().count());
+    println!(
+        "\naudit journal: {} delivery(ies)",
+        system.audit_log().deliveries().count()
+    );
 }

@@ -9,11 +9,11 @@
 //!
 //! Run with: `cargo run --example report_evolution`
 
-use plabi::prelude::*;
 use plabi::core::continuum::{simulate_continuum, ContinuumParams};
+use plabi::prelude::*;
+use plabi::query::contain::RefIntegrity;
 use plabi::report::evolve::{ReportUniverse, TableDesc, WorkloadParams};
 use plabi::report::generate::GranularityKnob;
-use plabi::query::contain::RefIntegrity;
 
 fn main() {
     // A warehouse loaded from the synthetic scenario.
@@ -25,11 +25,21 @@ fn main() {
     });
     let mut cat = Catalog::new();
     cat.add_table(
-        scenario.source("hospital").expect("generated").table("Prescriptions").expect("generated").clone(),
+        scenario
+            .source("hospital")
+            .expect("generated")
+            .table("Prescriptions")
+            .expect("generated")
+            .clone(),
     )
     .expect("fresh catalog");
     cat.add_table(
-        scenario.source("health-agency").expect("generated").table("DrugRegistry").expect("generated").clone(),
+        scenario
+            .source("health-agency")
+            .expect("generated")
+            .table("DrugRegistry")
+            .expect("generated")
+            .clone(),
     )
     .expect("fresh catalog");
     let mut refs = RefIntegrity::new();
@@ -44,7 +54,12 @@ fn main() {
                 measure_cols: vec![],
                 filter_cols: vec![(
                     "Disease".into(),
-                    vec!["HIV".into(), "asthma".into(), "hypertension".into(), "diabetes".into()],
+                    vec![
+                        "HIV".into(),
+                        "asthma".into(),
+                        "hypertension".into(),
+                        "diabetes".into(),
+                    ],
                 )],
             },
             TableDesc {
@@ -57,7 +72,12 @@ fn main() {
                 )],
             },
         ],
-        joins: vec![("Prescriptions".into(), "Drug".into(), "DrugRegistry".into(), "Drug".into())],
+        joins: vec![(
+            "Prescriptions".into(),
+            "Drug".into(),
+            "DrugRegistry".into(),
+            "Drug".into(),
+        )],
         roles: vec![RoleId::new("analyst")],
     };
 
@@ -74,11 +94,20 @@ fn main() {
     };
     let outcomes = simulate_continuum(&cat, &universe, &refs, &params).expect("simulation runs");
 
-    println!("Fig. 5 continuum — {} evolution events over {} epochs\n",
-        params.workload.epochs * params.workload.events_per_epoch, params.workload.epochs);
+    println!(
+        "Fig. 5 continuum — {} evolution events over {} epochs\n",
+        params.workload.epochs * params.workload.events_per_epoch,
+        params.workload.epochs
+    );
     println!(
         "{:<12} {:>14} {:>10} {:>16} {:>11} {:>10} {:>9}",
-        "PLA level", "initial cols", "artifacts", "re-elicitations", "incr. cols", "stability", "over-eng"
+        "PLA level",
+        "initial cols",
+        "artifacts",
+        "re-elicitations",
+        "incr. cols",
+        "stability",
+        "over-eng"
     );
     println!("{}", "-".repeat(88));
     for o in &outcomes {
@@ -97,9 +126,17 @@ fn main() {
     // The granularity ablation (experiment E6): sweep the knob.
     println!("\nMeta-report granularity sweep (E6): knob → re-elicitations / initial effort");
     for overlap in [1.0, 0.75, 0.5, 0.25, 0.0] {
-        let p = ContinuumParams { knob: GranularityKnob { merge_overlap: overlap }, ..params.clone() };
+        let p = ContinuumParams {
+            knob: GranularityKnob {
+                merge_overlap: overlap,
+            },
+            ..params.clone()
+        };
         let o = simulate_continuum(&cat, &universe, &refs, &p).expect("simulation runs");
-        let meta = o.iter().find(|x| x.level == PlaLevel::MetaReport).expect("meta level present");
+        let meta = o
+            .iter()
+            .find(|x| x.level == PlaLevel::MetaReport)
+            .expect("meta level present");
         println!(
             "  overlap {overlap:>4.2}: {:>2} re-elicitations, {:>3} initial columns, stability {:.2}",
             meta.re_elicitations, meta.initial.schema_elements, meta.stability

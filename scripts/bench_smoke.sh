@@ -46,7 +46,11 @@
 #     (deliver.render.shared > 0), the identical warm batch must hit the
 #     cross-batch render cache, and after a storage-rebuilding ETL
 #     commit the cache must go quiet (zero hits) with the re-rendered
-#     batch matching the serial oracle (no stale serves).
+#     batch matching the serial oracle (no stale serves);
+#   * WAL durability (`bench_wal`): journaling every delivery to the
+#     write-ahead log must cost <= 1.15x the WAL-off delivery loop, and
+#     `BiSystem::recover` must replay the full journal (entry counts
+#     equal) in under 5000 ms.
 #
 # Usage: scripts/bench_smoke.sh [--full]
 #   --full  benchmark the 1M-row size too (slower)
@@ -65,6 +69,7 @@ PAR_OUT="BENCH_parallel.json"
 COL_OUT="BENCH_columnar.json"
 VM_OUT="BENCH_vm.json"
 BATCH_OUT="BENCH_batch.json"
+WAL_OUT="BENCH_wal.json"
 
 # Preserve the committed columnar baseline for the obs-overhead gate
 # before the fresh run overwrites it.
@@ -83,8 +88,10 @@ cargo run --release -q -p bi-bench --bin bench_columnar -- $COL_FLAG --out "$COL
 cargo run --release -q -p bi-bench --bin bench_vm -- $COL_FLAG --out "$VM_OUT"
 # shellcheck disable=SC2086
 cargo run --release -q -p bi-bench --bin bench_batch -- $MODE_FLAG --out "$BATCH_OUT"
+# shellcheck disable=SC2086
+cargo run --release -q -p bi-bench --bin bench_wal -- $MODE_FLAG --out "$WAL_OUT"
 
-python3 - "$PAR_OUT" "$COL_OUT" "$COL_BASELINE" "$VM_OUT" "$BATCH_OUT" <<'PY'
+python3 - "$PAR_OUT" "$COL_OUT" "$COL_BASELINE" "$VM_OUT" "$BATCH_OUT" "$WAL_OUT" <<'PY'
 import json
 import sys
 
@@ -327,5 +334,37 @@ print(
     f"batch smoke OK: {batch['requests']} requests / {batch['profiles']} profiles "
     f"x{batch['speedup']:.2f} cold, x{batch['warm_speedup']:.2f} warm "
     f"({batch['warm_cache_hits']} warm hits, 0 post-ETL hits)"
+)
+
+with open(sys.argv[6]) as f:
+    wal = json.load(f)
+
+assert wal["deliveries"] > 0, f"empty WAL bench: {wal}"
+assert wal["wal_off_ms"] > 0 and wal["wal_on_ms"] > 0, f"untimed WAL bench: {wal}"
+assert wal["wal_bytes"] > 0, f"WAL run wrote no bytes: {wal}"
+# Durability must be near-free at delivery time: one buffered append +
+# flush per journal entry against a full enforce-render-journal cycle.
+if wal["overhead"] > 1.15:
+    sys.exit(
+        f"FAIL: WAL-on delivery overhead x{wal['overhead']:.3f} > 1.15 "
+        f"({wal['deliveries']} deliveries, off {wal['wal_off_ms']:.1f} ms, "
+        f"on {wal['wal_on_ms']:.1f} ms)"
+    )
+# Recovery must replay the complete journal, and fast enough that a
+# restart is an operational non-event.
+if wal["recover_entries"] != wal["recover_expected"]:
+    sys.exit(
+        f"FAIL: recovery replayed {wal['recover_entries']} of "
+        f"{wal['recover_expected']} journal entries"
+    )
+if wal["recover_ms"] > 5000:
+    sys.exit(
+        f"FAIL: recovering {wal['recover_entries']} journal entries took "
+        f"{wal['recover_ms']:.0f} ms > 5000 ms"
+    )
+print(
+    f"wal smoke OK: {wal['deliveries']} deliveries x{wal['overhead']:.3f} "
+    f"overhead, {wal['recover_entries']} entries recovered in "
+    f"{wal['recover_ms']:.1f} ms"
 )
 PY

@@ -5,12 +5,14 @@
 #
 #   1. release build (the bench binaries need it anyway);
 #   2. the root integration suites plus every crate's unit tests;
-#   3. clippy over all targets — the crates' own
+#   3. rustfmt over every first-party package (`vendor/` is excluded —
+#      vendored sources stay byte-identical to upstream);
+#   4. clippy over all targets — the crates' own
 #      `deny(clippy::unwrap_used, clippy::expect_used)` attributes make
 #      panic paths hard errors here;
-#   4. the clone budget (no deep copies creeping into hot paths);
-#   5. the quick benchmark smoke with all perf gates (parallel,
-#      columnar, VM, fused pipeline, chunk cache, obs overhead).
+#   5. the clone budget (no deep copies creeping into hot paths);
+#   6. the quick benchmark smoke with all perf gates (parallel,
+#      columnar, VM, fused pipeline, chunk cache, obs overhead, WAL).
 #
 # Usage: scripts/ci.sh
 
@@ -23,6 +25,15 @@ cargo build --release
 echo "== tests =="
 cargo test -q
 cargo test --workspace -q
+
+echo "== rustfmt =="
+# First-party packages only: vendor/* are workspace members (offline
+# builds) but their sources must stay byte-identical to upstream.
+FMT_PKGS=(-p plabi)
+for d in crates/*; do
+  FMT_PKGS+=(-p "$(sed -n 's/^name = "\(.*\)"/\1/p' "$d/Cargo.toml" | head -1)")
+done
+cargo fmt --check "${FMT_PKGS[@]}"
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets

@@ -77,11 +77,15 @@ pub use bi_core as core;
 pub use bi_core::{
     anonymize, audit, etl, exec, pla, provenance, query, relation, report, types, warehouse,
 };
-pub use bi_core::{simulate_continuum, BiSystem, ContinuumParams, ElicitationCost, LevelOutcome, SystemError};
+pub use bi_core::{read_wal, ReplayedDelivery, WalError, WalReadout, WalRecord, WalWriter};
+pub use bi_core::{
+    simulate_continuum, BiSystem, ContinuumParams, ElicitationCost, LevelOutcome, SystemError,
+};
 pub use bi_synth as synth;
 
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
+    pub use bi_core::audit::SnapshotFidelity;
     pub use bi_core::etl::{EtlOp, Pipeline};
     pub use bi_core::pla::{AnonMethod, AttrRef, CombinedPolicy, PlaDocument, PlaLevel, PlaRule};
     pub use bi_core::query::plan::{scan, AggFunc, AggItem, Plan, SortKey};
@@ -91,5 +95,6 @@ pub mod prelude {
     pub use bi_core::report::{MetaReport, ReportSpec};
     pub use bi_core::types::{ConsumerId, Date, ReportId, RoleId, SourceId, Value};
     pub use bi_core::{simulate_continuum, BiSystem, ContinuumParams, LevelOutcome, SystemError};
+    pub use bi_core::{ReplayedDelivery, WalError};
     pub use bi_synth::{Scenario, ScenarioConfig};
 }

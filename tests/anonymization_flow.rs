@@ -27,12 +27,21 @@ fn system_with(pla_rules: &str) -> BiSystem {
     ))
     .unwrap();
     let pipeline = Pipeline::new("p")
-        .step("e", EtlOp::Extract {
-            source: "hospital".into(),
-            table: "Prescriptions".into(),
-            as_name: "s".into(),
-        })
-        .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "Fact".into() });
+        .step(
+            "e",
+            EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "s".into(),
+            },
+        )
+        .step(
+            "l",
+            EtlOp::Load {
+                table: "s".into(),
+                warehouse_table: "Fact".into(),
+            },
+        );
     sys.run_etl(&pipeline, None).unwrap();
     sys.add_meta_report(
         MetaReport::new(
@@ -50,9 +59,10 @@ fn system_with(pla_rules: &str) -> BiSystem {
     for (child, parent) in names::disease_hierarchy_edges() {
         builder = builder.edge(child, parent);
     }
-    sys.engine_mut()
-        .hierarchies
-        .insert("Fact.Disease".to_string(), builder.build("Disease").unwrap());
+    sys.engine_mut().hierarchies.insert(
+        "Fact.Disease".to_string(),
+        builder.build("Disease").unwrap(),
+    );
     sys.engine_mut().pseudo_key = 0xfeed;
     sys
 }
@@ -67,18 +77,32 @@ fn generalization_flows_from_dsl_to_delivered_cells() {
         [RoleId::new("analyst")],
     ));
     let out = sys.deliver(&"r".into(), &"ada".into()).unwrap();
-    let families: Vec<String> =
-        out.table.column_values("Disease").unwrap().iter().map(|v| v.to_string()).collect();
+    let families: Vec<String> = out
+        .table
+        .column_values("Disease")
+        .unwrap()
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
     let known_families: std::collections::HashSet<&str> =
         names::DISEASES.iter().map(|(_, f, _)| *f).collect();
     for f in &families {
-        assert!(known_families.contains(f.as_str()), "{f} is not a disease family");
+        assert!(
+            known_families.contains(f.as_str()),
+            "{f} is not a disease family"
+        );
     }
     // The engine re-merged coinciding generalized groups: one row per
     // family, counts summed to the grand total.
     let distinct: std::collections::BTreeSet<&String> = families.iter().collect();
     assert_eq!(distinct.len(), families.len(), "no duplicate family rows");
-    let total: i64 = out.table.column_values("n").unwrap().iter().map(|v| v.as_int().unwrap()).sum();
+    let total: i64 = out
+        .table
+        .column_values("n")
+        .unwrap()
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .sum();
     assert_eq!(total, 400, "counts conserved through the merge");
     assert!(out.applied.iter().any(|a| a.contains("re-merged")));
 }
@@ -112,18 +136,30 @@ fn pseudonyms_are_stable_but_unlinkable_across_keys() {
         [RoleId::new("analyst")],
     ));
     let c = sys2.deliver(&"r".into(), &"ada".into()).unwrap();
-    let names_a: std::collections::BTreeSet<String> =
-        a.table.column_values("Patient").unwrap().iter().map(|v| v.to_string()).collect();
-    let names_c: std::collections::BTreeSet<String> =
-        c.table.column_values("Patient").unwrap().iter().map(|v| v.to_string()).collect();
-    assert!(names_a.is_disjoint(&names_c), "different keys must not share pseudonyms");
+    let names_a: std::collections::BTreeSet<String> = a
+        .table
+        .column_values("Patient")
+        .unwrap()
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    let names_c: std::collections::BTreeSet<String> = c
+        .table
+        .column_values("Patient")
+        .unwrap()
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
+    assert!(
+        names_a.is_disjoint(&names_c),
+        "different keys must not share pseudonyms"
+    );
 }
 
 #[test]
 fn suppression_nulls_the_attribute_at_the_scan() {
-    let mut sys = system_with(
-        "anonymize Fact.Doctor with suppress;\n  require aggregation Fact min 2;",
-    );
+    let mut sys =
+        system_with("anonymize Fact.Doctor with suppress;\n  require aggregation Fact min 2;");
     sys.define_report(ReportSpec::new(
         "r",
         "By doctor",
@@ -151,12 +187,21 @@ fn noise_perturbs_numeric_outputs_deterministically() {
     )
     .unwrap();
     let pipeline = Pipeline::new("p")
-        .step("e", EtlOp::Extract {
-            source: "health-agency".into(),
-            table: "DrugCost".into(),
-            as_name: "s".into(),
-        })
-        .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "Costs".into() });
+        .step(
+            "e",
+            EtlOp::Extract {
+                source: "health-agency".into(),
+                table: "DrugCost".into(),
+                as_name: "s".into(),
+            },
+        )
+        .step(
+            "l",
+            EtlOp::Load {
+                table: "s".into(),
+                warehouse_table: "Costs".into(),
+            },
+        );
     sys.run_etl(&pipeline, None).unwrap();
     sys.add_meta_report(
         MetaReport::new("m", "costs", scan("Costs").project_cols(&["Drug", "Cost"]))
@@ -166,7 +211,10 @@ fn noise_perturbs_numeric_outputs_deterministically() {
     sys.define_report(ReportSpec::new(
         "r",
         "Costs",
-        scan("Costs").aggregate(vec!["Drug".into()], vec![AggItem::new("c", AggFunc::Max, "Cost")]),
+        scan("Costs").aggregate(
+            vec!["Drug".into()],
+            vec![AggItem::new("c", AggFunc::Max, "Cost")],
+        ),
         [RoleId::new("analyst")],
     ));
     let a = sys.deliver(&"r".into(), &"ada".into()).unwrap();
@@ -174,7 +222,10 @@ fn noise_perturbs_numeric_outputs_deterministically() {
     assert_eq!(a.table, b.table, "seeded noise is reproducible");
     // Values differ from the true maxima for at least some drugs.
     let truth = plabi::query::execute(
-        &scan("Costs").aggregate(vec!["Drug".into()], vec![AggItem::new("c", AggFunc::Max, "Cost")]),
+        &scan("Costs").aggregate(
+            vec!["Drug".into()],
+            vec![AggItem::new("c", AggFunc::Max, "Cost")],
+        ),
         sys.warehouse().catalog(),
     )
     .unwrap();

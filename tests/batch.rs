@@ -53,22 +53,22 @@ fn deployment() -> BiSystem {
     sys.define_report(ReportSpec::new(
         "r-consumption",
         "Drug consumption",
-        scan("FactPrescriptions")
-            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")]),
+        scan("FactPrescriptions").aggregate(
+            vec!["Drug".into()],
+            vec![AggItem::count_star("Consumption")],
+        ),
         [RoleId::new("analyst")],
     ));
     sys.define_report(ReportSpec::new(
         "r-disease",
         "Disease counts",
-        scan("FactPrescriptions")
-            .aggregate(vec!["Disease".into()], vec![AggItem::count_star("N")]),
+        scan("FactPrescriptions").aggregate(vec!["Disease".into()], vec![AggItem::count_star("N")]),
         [RoleId::new("analyst"), RoleId::new("auditor")],
     ));
     sys.define_report(ReportSpec::new(
         "r-monthly",
         "Monthly volume",
-        scan("FactPrescriptions")
-            .aggregate(vec!["Date".into()], vec![AggItem::count_star("N")]),
+        scan("FactPrescriptions").aggregate(vec!["Date".into()], vec![AggItem::count_star("N")]),
         [RoleId::new("auditor")],
     ));
     sys
@@ -76,12 +76,21 @@ fn deployment() -> BiSystem {
 
 fn etl_pipeline() -> Pipeline {
     Pipeline::new("nightly")
-        .step("e", EtlOp::Extract {
-            source: "hospital".into(),
-            table: "Prescriptions".into(),
-            as_name: "s".into(),
-        })
-        .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "FactPrescriptions".into() })
+        .step(
+            "e",
+            EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "s".into(),
+            },
+        )
+        .step(
+            "l",
+            EtlOp::Load {
+                table: "s".into(),
+                warehouse_table: "FactPrescriptions".into(),
+            },
+        )
 }
 
 /// A stable, byte-comparable rendering of one delivery result.
@@ -105,8 +114,10 @@ fn serial_oracle(
     requests: &[(ReportId, ConsumerId)],
 ) -> (Vec<String>, Vec<plabi::audit::AuditEntry>) {
     let mut sys = deployment();
-    let results: Vec<String> =
-        requests.iter().map(|(id, c)| fingerprint(&sys.deliver(id, c))).collect();
+    let results: Vec<String> = requests
+        .iter()
+        .map(|(id, c)| fingerprint(&sys.deliver(id, c)))
+        .collect();
     (results, sys.audit_log().entries().to_vec())
 }
 
@@ -180,9 +191,15 @@ fn duplicate_pairs_share_one_render_and_journal_per_request() {
     // Yet every request is journaled under its own consumer and trace.
     let entries = sys.audit_log().entries();
     assert_eq!(entries.len(), 3);
-    assert_eq!(entries.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
     assert_eq!(
-        entries.iter().map(|e| e.consumer.to_string()).collect::<Vec<_>>(),
+        entries.iter().map(|e| e.seq).collect::<Vec<_>>(),
+        vec![0, 1, 2]
+    );
+    assert_eq!(
+        entries
+            .iter()
+            .map(|e| e.consumer.to_string())
+            .collect::<Vec<_>>(),
         vec!["a0", "a0", "a1"],
     );
     let traces: Vec<u64> = entries.iter().map(|e| e.provenance.trace.value()).collect();
@@ -261,7 +278,11 @@ fn warm_batch_serves_from_render_cache() {
     for (c, w) in cold.iter().zip(&warm) {
         assert_eq!(fingerprint(c), fingerprint(w));
     }
-    assert_eq!(sys.audit_log().entries().len(), 4, "cache hits still journal");
+    assert_eq!(
+        sys.audit_log().entries().len(),
+        4,
+        "cache hits still journal"
+    );
 }
 
 /// No stale serves: an ETL commit bumps the source storage versions, so
@@ -291,13 +312,29 @@ fn cache_never_serves_stale_renders() {
     //     column) bumps the storage version: the old entry is
     //     unreachable, not served.
     let rebuilding = Pipeline::new("nightly-derive")
-        .step("e", EtlOp::Extract {
-            source: "hospital".into(),
-            table: "Prescriptions".into(),
-            as_name: "s".into(),
-        })
-        .step("d", EtlOp::Derive { table: "s".into(), column: "One".into(), expr: lit(1) })
-        .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "FactPrescriptions".into() });
+        .step(
+            "e",
+            EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "s".into(),
+            },
+        )
+        .step(
+            "d",
+            EtlOp::Derive {
+                table: "s".into(),
+                column: "One".into(),
+                expr: lit(1),
+            },
+        )
+        .step(
+            "l",
+            EtlOp::Load {
+                table: "s".into(),
+                warehouse_table: "FactPrescriptions".into(),
+            },
+        );
     sys.run_etl(&rebuilding, Some("quality")).unwrap();
     let before = obs.snapshot().counters.get("render.cache.hit").copied();
     let post_etl = sys.deliver_batch(&requests);

@@ -26,7 +26,13 @@ const THREADS: [usize; 3] = [1, 2, 8];
 // ---------- strategies ----------
 
 /// One random row of the mixed-type table: every column nullable.
-type MixedRow = (Option<i64>, Option<i64>, Option<u8>, Option<(i16, u8, u8)>, Option<bool>);
+type MixedRow = (
+    Option<i64>,
+    Option<i64>,
+    Option<u8>,
+    Option<(i16, u8, u8)>,
+    Option<bool>,
+);
 
 fn mixed_rows() -> impl Strategy<Value = Vec<MixedRow>> {
     prop::collection::vec(
@@ -56,8 +62,10 @@ fn mixed_table(rows: &[MixedRow]) -> Table {
         .map(|&(a, s, w, d, b)| {
             vec![
                 a.map(Value::Int).unwrap_or(Value::Null),
-                s.map(|v| Value::Float(v as f64 / 2.0)).unwrap_or(Value::Null),
-                w.map(|v| Value::text(format!("w{v}"))).unwrap_or(Value::Null),
+                s.map(|v| Value::Float(v as f64 / 2.0))
+                    .unwrap_or(Value::Null),
+                w.map(|v| Value::text(format!("w{v}")))
+                    .unwrap_or(Value::Null),
                 d.map(|(y, m, dd)| Value::Date(Date::new(y, m, dd).unwrap()))
                     .unwrap_or(Value::Null),
                 b.map(Value::Bool).unwrap_or(Value::Null),
@@ -89,11 +97,16 @@ fn predicate() -> impl Strategy<Value = Expr> {
         Just(col("Age").is_null()),
         Just(col("Ward").is_null()),
         prop::collection::vec(-40i64..40, 0..4).prop_map(|ns| {
-            Expr::InList(Box::new(col("Age")), ns.into_iter().map(Value::Int).collect())
+            Expr::InList(
+                Box::new(col("Age")),
+                ns.into_iter().map(Value::Int).collect(),
+            )
         }),
         (prop::collection::vec(0u8..7, 1..3), any::<bool>()).prop_map(|(ws, with_null)| {
-            let mut list: Vec<Value> =
-                ws.into_iter().map(|w| Value::text(format!("w{w}"))).collect();
+            let mut list: Vec<Value> = ws
+                .into_iter()
+                .map(|w| Value::text(format!("w{w}")))
+                .collect();
             if with_null {
                 list.push(Value::Null);
             }
@@ -171,8 +184,11 @@ fn fact_catalog(rows: &[MixedRow]) -> Catalog {
     ])
     .unwrap();
     // Only some wards resolve, so inner joins drop rows and left joins pad.
-    let dim = (0..4i64).map(|w| vec![Value::text(format!("w{w}")), Value::Int(w * 9)]).collect();
-    cat.add_table(Table::from_rows("Wards", dim_schema, dim).unwrap()).unwrap();
+    let dim = (0..4i64)
+        .map(|w| vec![Value::text(format!("w{w}")), Value::Int(w * 9)])
+        .collect();
+    cat.add_table(Table::from_rows("Wards", dim_schema, dim).unwrap())
+        .unwrap();
     cat
 }
 
@@ -295,13 +311,17 @@ fn dictionary_overflow_falls_back_to_row_engine() {
         Column::new("V", DataType::Int),
     ])
     .unwrap();
-    let rows: Vec<Vec<Value>> =
-        (0..50i64).map(|i| vec![Value::text(format!("p{i}")), Value::Int(i)]).collect();
+    let rows: Vec<Vec<Value>> = (0..50i64)
+        .map(|i| vec![Value::text(format!("p{i}")), Value::Int(i)])
+        .collect();
     let t = Table::from_rows("People", schema, rows).unwrap();
 
     // 50 distinct strings vs a 8-code dictionary: conversion must fail…
     let err = ColumnChunk::from_table_cols_with_dict_limit(&t, &[0], 8).unwrap_err();
-    assert!(matches!(err, ColumnarError::DictOverflow { .. }), "got {err:?}");
+    assert!(
+        matches!(err, ColumnarError::DictOverflow { .. }),
+        "got {err:?}"
+    );
 
     // …the capped vectorized filter must decline rather than diverge…
     let pred = col("Name").ne(lit("p7"));

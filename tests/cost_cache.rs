@@ -25,7 +25,11 @@ use plabi::core::relation::column::cache;
 /// Fact rows: nullable Int join key, low-cardinality text, Int value.
 fn fact_rows() -> impl Strategy<Value = Vec<(Option<i64>, u8, i64)>> {
     prop::collection::vec(
-        ((0i64..50).prop_map(|k| if k >= 40 { None } else { Some(k) }), 0u8..6, -50i64..50),
+        (
+            (0i64..50).prop_map(|k| if k >= 40 { None } else { Some(k) }),
+            0u8..6,
+            -50i64..50,
+        ),
         0..120,
     )
 }
@@ -60,11 +64,20 @@ fn fact_catalog(rows: &[(Option<i64>, u8, i64)]) -> Catalog {
     ])
     .unwrap();
     let dim = (0..40i64)
-        .flat_map(|k| (0..3u8).map(move |g| vec![Value::Int(k), Value::text(format!("g{g}")), Value::Int(k * 3)]))
+        .flat_map(|k| {
+            (0..3u8).map(move |g| {
+                vec![
+                    Value::Int(k),
+                    Value::text(format!("g{g}")),
+                    Value::Int(k * 3),
+                ]
+            })
+        })
         .collect();
     let mut cat = Catalog::new();
     cat.add_table(fact_table(rows)).unwrap();
-    cat.add_table(Table::from_rows("Dim", dim_schema, dim).unwrap()).unwrap();
+    cat.add_table(Table::from_rows("Dim", dim_schema, dim).unwrap())
+        .unwrap();
     cat
 }
 
@@ -178,7 +191,10 @@ fn cache_hits_never_outlive_mutation() {
     cat.add_table(fact_table(&rows)).unwrap();
     let plan = scan("Fact").aggregate(
         vec!["G".into()],
-        vec![AggItem::count_star("n"), AggItem::new("total", AggFunc::Sum, "V")],
+        vec![
+            AggItem::count_star("n"),
+            AggItem::new("total", AggFunc::Sum, "V"),
+        ],
     );
     let observe = |cat: &Catalog| {
         let obs = Obs::enabled();
@@ -205,13 +221,17 @@ fn cache_hits_never_outlive_mutation() {
     // Mutation moves the storage version: back to all-miss, and the
     // render sees the new row (the serial oracle agrees).
     let mut t = cat.table("Fact").unwrap().clone();
-    t.push_row(vec![Value::Int(7), Value::text("g-new"), Value::Int(1_000)]).unwrap();
+    t.push_row(vec![Value::Int(7), Value::text("g-new"), Value::Int(1_000)])
+        .unwrap();
     cat.put_table(t);
     let (out, hits, misses) = observe(&cat);
     assert_eq!(hits, 0, "mutated version must not reuse cached chunks");
     assert!(misses > 0);
     assert_eq!(out.rows(), execute(&plan, &cat).unwrap().rows());
-    assert!(out.rows().iter().any(|r| r[0] == Value::text("g-new")), "render reflects the mutation");
+    assert!(
+        out.rows().iter().any(|r| r[0] == Value::text("g-new")),
+        "render reflects the mutation"
+    );
 
     // The cache itself is bounded state, not a leak: entries exist.
     assert!(cache::len() > 0);
@@ -236,9 +256,12 @@ fn planner_choices_are_pinned_per_workload() {
             })
             .collect();
         let mut cat = Catalog::new();
-        cat.add_table(Table::from_rows("T", schema, data).unwrap()).unwrap();
-        let plan = scan("T")
-            .aggregate(vec!["Id".into()], vec![AggItem::new("total", AggFunc::Sum, "V")]);
+        cat.add_table(Table::from_rows("T", schema, data).unwrap())
+            .unwrap();
+        let plan = scan("T").aggregate(
+            vec!["Id".into()],
+            vec![AggItem::new("total", AggFunc::Sum, "V")],
+        );
         let obs = Obs::enabled();
         let cfg = ExecConfig::with_threads(threads)
             .with_pinned_threads(true)
@@ -246,8 +269,14 @@ fn planner_choices_are_pinned_per_workload() {
         execute_with(&plan, &cat, &cfg).unwrap();
         let snap = obs.snapshot();
         (
-            snap.counters.get("plan.choice.serial").copied().unwrap_or(0),
-            snap.counters.get("plan.choice.parallel").copied().unwrap_or(0),
+            snap.counters
+                .get("plan.choice.serial")
+                .copied()
+                .unwrap_or(0),
+            snap.counters
+                .get("plan.choice.parallel")
+                .copied()
+                .unwrap_or(0),
         )
     };
 

@@ -35,18 +35,36 @@ pla "laboratory" source laboratory version 1 level source {
     )
     .unwrap();
     let pipeline = Pipeline::new("nightly")
-        .step("e1", EtlOp::Extract {
-            source: "hospital".into(),
-            table: "Prescriptions".into(),
-            as_name: "sp".into(),
-        })
-        .step("e2", EtlOp::Extract {
-            source: "health-agency".into(),
-            table: "DrugRegistry".into(),
-            as_name: "sr".into(),
-        })
-        .step("l1", EtlOp::Load { table: "sp".into(), warehouse_table: "FactPrescriptions".into() })
-        .step("l2", EtlOp::Load { table: "sr".into(), warehouse_table: "DimDrug".into() });
+        .step(
+            "e1",
+            EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "sp".into(),
+            },
+        )
+        .step(
+            "e2",
+            EtlOp::Extract {
+                source: "health-agency".into(),
+                table: "DrugRegistry".into(),
+                as_name: "sr".into(),
+            },
+        )
+        .step(
+            "l1",
+            EtlOp::Load {
+                table: "sp".into(),
+                warehouse_table: "FactPrescriptions".into(),
+            },
+        )
+        .step(
+            "l2",
+            EtlOp::Load {
+                table: "sr".into(),
+                warehouse_table: "DimDrug".into(),
+            },
+        );
     sys.run_etl(&pipeline, Some("quality")).unwrap();
 
     sys.warehouse_mut().add_dimension(Dimension {
@@ -54,8 +72,14 @@ pla "laboratory" source laboratory version 1 level source {
         table: "DimDrug".into(),
         key: "Drug".into(),
         levels: vec![
-            DimLevel { name: "Drug".into(), column: "DrugName".into() },
-            DimLevel { name: "Family".into(), column: "Family".into() },
+            DimLevel {
+                name: "Drug".into(),
+                column: "DrugName".into(),
+            },
+            DimLevel {
+                name: "Family".into(),
+                column: "Family".into(),
+            },
         ],
     });
     sys.warehouse_mut()
@@ -139,15 +163,23 @@ fn cross_level_equivalence_source_vs_report_enforcement() {
     let restriction = "Disease <> 'HIV'";
     let mk_pipeline = || {
         Pipeline::new("p")
-            .step("e", EtlOp::Extract {
-                source: "hospital".into(),
-                table: "Prescriptions".into(),
-                as_name: "s".into(),
-            })
-            .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "Fact".into() })
+            .step(
+                "e",
+                EtlOp::Extract {
+                    source: "hospital".into(),
+                    table: "Prescriptions".into(),
+                    as_name: "s".into(),
+                },
+            )
+            .step(
+                "l",
+                EtlOp::Load {
+                    table: "s".into(),
+                    warehouse_table: "Fact".into(),
+                },
+            )
     };
-    let report_plan =
-        scan("Fact").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
+    let report_plan = scan("Fact").aggregate(vec!["Drug".into()], vec![AggItem::count_star("n")]);
 
     // (a) Source-level: restriction on the *source* table name.
     let mut sys_a = BiSystem::new(today());
@@ -161,9 +193,15 @@ fn cross_level_equivalence_source_vs_report_enforcement() {
         .unwrap();
     sys_a.run_etl(&mk_pipeline(), None).unwrap();
     sys_a.add_meta_report(
-        MetaReport::new("m", "u", scan("Fact").project_cols(&["Drug", "Disease"])).approved("hospital"),
+        MetaReport::new("m", "u", scan("Fact").project_cols(&["Drug", "Disease"]))
+            .approved("hospital"),
     );
-    sys_a.define_report(ReportSpec::new("r", "r", report_plan.clone(), [RoleId::new("analyst")]));
+    sys_a.define_report(ReportSpec::new(
+        "r",
+        "r",
+        report_plan.clone(),
+        [RoleId::new("analyst")],
+    ));
     sys_a.subjects_mut().grant("ada", "analyst");
     let a = sys_a.deliver(&"r".into(), &"ada".into()).unwrap();
 
@@ -179,9 +217,15 @@ fn cross_level_equivalence_source_vs_report_enforcement() {
         .unwrap();
     sys_b.run_etl(&mk_pipeline(), None).unwrap();
     sys_b.add_meta_report(
-        MetaReport::new("m", "u", scan("Fact").project_cols(&["Drug", "Disease"])).approved("hospital"),
+        MetaReport::new("m", "u", scan("Fact").project_cols(&["Drug", "Disease"]))
+            .approved("hospital"),
     );
-    sys_b.define_report(ReportSpec::new("r", "r", report_plan, [RoleId::new("analyst")]));
+    sys_b.define_report(ReportSpec::new(
+        "r",
+        "r",
+        report_plan,
+        [RoleId::new("analyst")],
+    ));
     sys_b.subjects_mut().grant("ada", "analyst");
     let b = sys_b.deliver(&"r".into(), &"ada".into()).unwrap();
 
@@ -210,12 +254,21 @@ fn retention_is_enforced_wherever_the_data_flows() {
     )
     .unwrap();
     let pipeline = Pipeline::new("p")
-        .step("e", EtlOp::Extract {
-            source: "hospital".into(),
-            table: "Prescriptions".into(),
-            as_name: "s".into(),
-        })
-        .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "Fact".into() });
+        .step(
+            "e",
+            EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "s".into(),
+            },
+        )
+        .step(
+            "l",
+            EtlOp::Load {
+                table: "s".into(),
+                warehouse_table: "Fact".into(),
+            },
+        );
     sys.run_etl(&pipeline, None).unwrap();
     let cutoff = today().plus_days(-200).unwrap();
     let fact = sys.warehouse().catalog().table("Fact").unwrap();
@@ -231,27 +284,42 @@ fn join_prohibition_blocks_report_combining_sources() {
     let mut sys = deployment(200);
     // The municipality forbids joining with the hospital.
     sys.add_pla(
-        PlaDocument::new("mun", "municipality", PlaLevel::Source).with_rule(PlaRule::JoinPermission {
-            left_source: "municipality".into(),
-            right_source: "hospital".into(),
-            allowed: false,
-        }),
+        PlaDocument::new("mun", "municipality", PlaLevel::Source).with_rule(
+            PlaRule::JoinPermission {
+                left_source: "municipality".into(),
+                right_source: "hospital".into(),
+                allowed: false,
+            },
+        ),
     );
     // Load residents next to the facts.
     let pipeline = Pipeline::new("res")
-        .step("e", EtlOp::Extract {
-            source: "municipality".into(),
-            table: "Residents".into(),
-            as_name: "sr".into(),
-        })
-        .step("l", EtlOp::Load { table: "sr".into(), warehouse_table: "DimResident".into() });
+        .step(
+            "e",
+            EtlOp::Extract {
+                source: "municipality".into(),
+                table: "Residents".into(),
+                as_name: "sr".into(),
+            },
+        )
+        .step(
+            "l",
+            EtlOp::Load {
+                table: "sr".into(),
+                warehouse_table: "DimResident".into(),
+            },
+        );
     sys.run_etl(&pipeline, None).unwrap();
 
     sys.define_report(ReportSpec::new(
         "r-combine",
         "Prescriptions by municipality",
         scan("FactPrescriptions")
-            .join(scan("DimResident"), vec![("Patient".into(), "Patient".into())], "res")
+            .join(
+                scan("DimResident"),
+                vec![("Patient".into(), "Patient".into())],
+                "res",
+            )
             .aggregate(vec!["Municipality".into()], vec![AggItem::count_star("n")]),
         [RoleId::new("analyst")],
     ));
@@ -283,8 +351,8 @@ fn pla_dsl_documents_round_trip_through_the_system() {
 fn provenance_tracks_through_etl_and_reporting() {
     use plabi::provenance::{pexecute, Lineage, ProvCatalog};
     let sys = deployment(150);
-    let plan = scan("FactPrescriptions")
-        .aggregate(vec!["Disease".into()], vec![AggItem::count_star("n")]);
+    let plan =
+        scan("FactPrescriptions").aggregate(vec!["Disease".into()], vec![AggItem::count_star("n")]);
     let pcat = ProvCatalog::new(sys.warehouse().catalog());
     let annotated = pexecute(&plan, &pcat).unwrap();
     let lineage = Lineage::build(&annotated);

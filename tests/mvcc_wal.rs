@@ -1,0 +1,460 @@
+//! MVCC time travel + write-ahead durability: the audit layer must
+//! replay every journaled delivery against the exact data (and policy)
+//! that served it — not whatever ETL committed since — and the whole
+//! system must rebuild from its WAL after a crash, torn tail included.
+//!
+//! The bug class this pins down: without journaled data versions, an
+//! audit recheck runs against *post-ETL* data, so verdicts silently
+//! flip when rows are reloaded, filtered or restructured between
+//! delivery and audit.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use plabi::exec::ExecConfig;
+use plabi::prelude::*;
+use plabi::report::RenderOutcome;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn today() -> Date {
+    Date::new(2008, 7, 1).unwrap()
+}
+
+fn etl_pipeline() -> Pipeline {
+    Pipeline::new("nightly")
+        .step(
+            "e",
+            EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "s".into(),
+            },
+        )
+        .step(
+            "l",
+            EtlOp::Load {
+                table: "s".into(),
+                warehouse_table: "FactPrescriptions".into(),
+            },
+        )
+}
+
+/// The standard deployment: hospital prescriptions ETL'd into the
+/// warehouse, an aggregate report, a detail report, two role profiles.
+fn deployment() -> BiSystem {
+    let scenario = Scenario::generate(ScenarioConfig {
+        patients: 20,
+        prescriptions: 90,
+        lab_tests: 0,
+        ..Default::default()
+    });
+    let mut sys = BiSystem::new(today());
+    for (sid, cat) in scenario.sources {
+        sys.register_source(sid, cat);
+    }
+    sys.run_etl(&etl_pipeline(), Some("quality")).unwrap();
+    sys.grant("a0", "analyst");
+    sys.grant("u0", "auditor");
+    sys.define_report(ReportSpec::new(
+        "r-disease",
+        "Disease counts",
+        scan("FactPrescriptions").aggregate(vec!["Disease".into()], vec![AggItem::count_star("N")]),
+        [RoleId::new("analyst"), RoleId::new("auditor")],
+    ));
+    sys.define_report(ReportSpec::new(
+        "r-detail",
+        "Prescription detail",
+        scan("FactPrescriptions").project_cols(&["Patient", "Drug", "Disease"]),
+        [RoleId::new("analyst")],
+    ));
+    sys
+}
+
+/// A byte-comparable rendering of a replayed outcome (full table).
+fn outcome_fingerprint(o: &RenderOutcome) -> String {
+    match o {
+        RenderOutcome::Delivered(e) => format!(
+            "ok:{:?}:{:?}:{}:{:?}",
+            e.table.schema(),
+            e.table.rows(),
+            e.suppressed_groups,
+            e.applied
+        ),
+        RenderOutcome::Refused(vs) => format!("refused:{vs:?}"),
+    }
+}
+
+fn replay_fingerprints(sys: &BiSystem) -> Vec<(u64, bool, String)> {
+    sys.replay_at_delivery()
+        .unwrap()
+        .iter()
+        .map(|r| (r.seq, r.matches_journal, outcome_fingerprint(&r.outcome)))
+        .collect()
+}
+
+/// A pipeline that commits genuinely different rows: keep only
+/// prescriptions after a cutoff date (the scenario generates dates
+/// across 2006–2008, so every cutoff drops a real subset), then derive
+/// a flag column (rebuilding row storage either way).
+fn mutating_pipeline(tag: usize) -> Pipeline {
+    let cutoffs = ["2006-07-01", "2007-01-01", "2007-07-01", "2008-01-01"];
+    let cutoff = Value::date(cutoffs[tag % cutoffs.len()]).unwrap();
+    Pipeline::new("mutate")
+        .step(
+            "e",
+            EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "s".into(),
+            },
+        )
+        .step(
+            "f",
+            EtlOp::FilterRows {
+                table: "s".into(),
+                pred: col("Date").gt(lit(cutoff)),
+            },
+        )
+        .step(
+            "d",
+            EtlOp::Derive {
+                table: "s".into(),
+                column: "One".into(),
+                expr: lit(1),
+            },
+        )
+        .step(
+            "l",
+            EtlOp::Load {
+                table: "s".into(),
+                warehouse_table: "FactPrescriptions".into(),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The headline invariant: whatever ETL commits *after* a delivery,
+    /// replaying the journal reproduces the journaled outcome — same
+    /// rows, same suppression, byte for byte — at every thread count,
+    /// because the journaled data versions resolve through the MVCC
+    /// history instead of reading current tables.
+    #[test]
+    fn prop_replay_verdicts_survive_post_delivery_etl(
+        mutations in prop::collection::vec(0usize..4, 1..4),
+    ) {
+        let mut sys = deployment();
+        sys.deliver(&ReportId::new("r-disease"), &ConsumerId::new("a0")).unwrap();
+        sys.deliver(&ReportId::new("r-detail"), &ConsumerId::new("a0")).unwrap();
+        // u0 holds no role on r-detail: a journaled refusal rides along.
+        let _ = sys.deliver(&ReportId::new("r-detail"), &ConsumerId::new("u0"));
+        let before = replay_fingerprints(&sys);
+        prop_assert!(before.iter().all(|(_, m, _)| *m), "clean replay matches the journal");
+
+        for tag in mutations {
+            sys.run_etl(&mutating_pipeline(tag), Some("quality")).unwrap();
+        }
+        // Current data really did change under the journal's feet…
+        let live = sys.warehouse().catalog().table("FactPrescriptions").unwrap();
+        prop_assert!(live.schema().column("One").is_ok());
+        // …yet the replay is unmoved, on every thread count.
+        for threads in THREADS {
+            sys.engine_mut().exec = ExecConfig::with_threads(threads).with_pinned_threads(true);
+            let after = replay_fingerprints(&sys);
+            prop_assert_eq!(&after, &before, "threads={}", threads);
+            prop_assert!(after.iter().all(|(_, m, _)| *m));
+        }
+        let replays = sys.replay_at_delivery().unwrap();
+        prop_assert!(
+            replays
+                .iter()
+                .all(|r| r.data_snapshot == SnapshotFidelity::Exact
+                    && r.policy_snapshot == SnapshotFidelity::Exact),
+            "every journaled version resolved exactly"
+        );
+        // A recheck of the same journal is equally unmoved (and clean:
+        // nothing was delivered against a tightened policy).
+        prop_assert!(sys.recheck_at_delivery().unwrap().is_empty());
+    }
+}
+
+/// The deterministic red/green core of the PR: after a post-delivery
+/// ETL commit changes the data, a *current-data* render diverges from
+/// what was handed out — exactly what a naive recheck would compare
+/// against — while the versioned replay still reproduces the journal.
+#[test]
+fn versioned_replay_diverges_from_current_data_after_etl() {
+    let mut sys = deployment();
+    let delivered = sys
+        .deliver(&ReportId::new("r-detail"), &ConsumerId::new("a0"))
+        .unwrap();
+    let journaled_rows = delivered.table.len();
+
+    sys.run_etl(&mutating_pipeline(0), Some("quality")).unwrap();
+
+    // The same report today renders a different table…
+    let now = sys
+        .deliver(&ReportId::new("r-detail"), &ConsumerId::new("a0"))
+        .unwrap();
+    assert_ne!(
+        now.table.len(),
+        journaled_rows,
+        "the mutation must actually change the data"
+    );
+
+    // …but each journal entry replays against ITS versions: the first
+    // against pre-mutation rows, the second against post-mutation rows.
+    let replays = sys.replay_at_delivery().unwrap();
+    assert_eq!(replays.len(), 2);
+    for r in &replays {
+        assert!(
+            r.matches_journal,
+            "seq {} diverged from its journaled outcome",
+            r.seq
+        );
+        assert_eq!(r.data_snapshot, SnapshotFidelity::Exact);
+    }
+    let rows_of = |o: &RenderOutcome| match o {
+        RenderOutcome::Delivered(e) => e.table.len(),
+        RenderOutcome::Refused(_) => 0,
+    };
+    assert_eq!(rows_of(&replays[0].outcome), journaled_rows);
+    assert_eq!(rows_of(&replays[1].outcome), now.table.len());
+
+    // The two entries journaled different data versions of the same
+    // table — the provenance is what keeps the replays apart.
+    let entries = sys.audit_log().entries();
+    assert_eq!(
+        entries[0].provenance.source_versions,
+        vec![("FactPrescriptions".into(), 1)]
+    );
+    assert_eq!(
+        entries[1].provenance.source_versions,
+        vec![("FactPrescriptions".into(), 2)]
+    );
+}
+
+/// Aging out of the bounded histories is flagged, never silent: a
+/// pre-history policy epoch and an evicted data version both mark the
+/// affected recheck/replay as `FellBackToCurrent`.
+#[test]
+fn prehistory_fallbacks_are_flagged_not_silent() {
+    // Policy half: retention 1 keeps only the newest epoch snapshot.
+    let mut sys = deployment();
+    sys.set_policy_history_retention(1);
+    sys.deliver(&ReportId::new("r-detail"), &ConsumerId::new("a0"))
+        .unwrap();
+    sys.add_pla_text(
+        r#"pla "tighten" source hospital version 2 level report {
+  allow attribute FactPrescriptions.Patient to dba;
+}"#,
+    )
+    .unwrap();
+    let findings = sys.recheck_at_delivery().unwrap();
+    assert_eq!(
+        findings.len(),
+        1,
+        "fallback to the tightened policy flags the old delivery"
+    );
+    assert_eq!(
+        findings[0].policy_snapshot,
+        SnapshotFidelity::FellBackToCurrent
+    );
+    assert_eq!(findings[0].data_snapshot, SnapshotFidelity::Exact);
+
+    // Control: with the default retention the epoch-0 snapshot is still
+    // there, so the same workload rechecks clean (drift, not a bug).
+    let mut control = deployment();
+    control
+        .deliver(&ReportId::new("r-detail"), &ConsumerId::new("a0"))
+        .unwrap();
+    control
+        .add_pla_text(
+            r#"pla "tighten" source hospital version 2 level report {
+  allow attribute FactPrescriptions.Patient to dba;
+}"#,
+        )
+        .unwrap();
+    assert!(control.recheck_at_delivery().unwrap().is_empty());
+
+    // Data half: retention 1 keeps only the live version, so a replayed
+    // entry whose version was evicted falls back, flagged.
+    let mut sys = deployment();
+    sys.deliver(&ReportId::new("r-disease"), &ConsumerId::new("a0"))
+        .unwrap();
+    sys.warehouse_mut().set_version_retention(1);
+    sys.run_etl(&mutating_pipeline(1), Some("quality")).unwrap();
+    let replays = sys.replay_at_delivery().unwrap();
+    assert_eq!(
+        replays[0].data_snapshot,
+        SnapshotFidelity::FellBackToCurrent
+    );
+}
+
+/// Builds the reference WAL'd workload once: returns the log bytes and
+/// the journal fingerprint it should recover to.
+fn reference_wal() -> &'static (Vec<u8>, Vec<String>) {
+    static REF: OnceLock<(Vec<u8>, Vec<String>)> = OnceLock::new();
+    REF.get_or_init(|| {
+        let path = temp_path("reference");
+        let scenario = Scenario::generate(ScenarioConfig {
+            patients: 16,
+            prescriptions: 60,
+            lab_tests: 0,
+            ..Default::default()
+        });
+        let mut sys = BiSystem::new(today());
+        sys.enable_wal(&path).unwrap();
+        for (sid, cat) in scenario.sources {
+            sys.register_source(sid, cat);
+        }
+        sys.add_pla_text(
+            r#"pla "hospital-1" source hospital version 1 level meta-report {
+  require aggregation FactPrescriptions min 2;
+}"#,
+        )
+        .unwrap();
+        sys.run_etl(&etl_pipeline(), Some("quality")).unwrap();
+        sys.add_meta_report(
+            MetaReport::new(
+                "m1",
+                "Prescription universe",
+                scan("FactPrescriptions").project_cols(&["Patient", "Drug", "Disease", "Date"]),
+            )
+            .approved("hospital"),
+        );
+        sys.grant("a0", "analyst");
+        sys.grant("u0", "auditor");
+        sys.define_report(ReportSpec::new(
+            "r-disease",
+            "Disease counts",
+            scan("FactPrescriptions")
+                .aggregate(vec!["Disease".into()], vec![AggItem::count_star("N")]),
+            [RoleId::new("analyst"), RoleId::new("auditor")],
+        ));
+        sys.deliver(&ReportId::new("r-disease"), &ConsumerId::new("a0"))
+            .unwrap();
+        sys.run_etl(&mutating_pipeline(2), Some("quality")).unwrap();
+        sys.deliver(&ReportId::new("r-disease"), &ConsumerId::new("u0"))
+            .unwrap();
+        // A refusal rides along: strangers hold no declared role.
+        let _ = sys.deliver(&ReportId::new("r-disease"), &ConsumerId::new("nobody"));
+        let journal: Vec<String> = sys
+            .audit_log()
+            .entries()
+            .iter()
+            .map(|e| format!("{e:?}"))
+            .collect();
+        drop(sys);
+        let bytes = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        (bytes, journal)
+    })
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("plabi-mvcc-wal-{}-{}.wal", tag, std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Crash recovery: truncate the log at ANY byte offset and recover.
+    /// A cut below the first (Init) record is a clean error; any longer
+    /// prefix recovers a journal that is a prefix of the original, and
+    /// recovery is idempotent (the healed file recovers identically).
+    #[test]
+    fn prop_recovery_survives_random_truncation(frac in 0.0f64..1.0) {
+        let (bytes, journal) = reference_wal();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let path = temp_path(&format!("trunc-{cut}"));
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        match BiSystem::recover(&path) {
+            Ok(sys) => {
+                let got: Vec<String> =
+                    sys.audit_log().entries().iter().map(|e| format!("{e:?}")).collect();
+                prop_assert!(got.len() <= journal.len());
+                prop_assert_eq!(&got[..], &journal[..got.len()],
+                    "recovered journal must be a byte-identical prefix (cut={})", cut);
+                drop(sys);
+                // Idempotent: the healed file recovers to the same state.
+                let again = BiSystem::recover(&path).unwrap();
+                let got2: Vec<String> =
+                    again.audit_log().entries().iter().map(|e| format!("{e:?}")).collect();
+                prop_assert_eq!(got, got2);
+            }
+            Err(e) => {
+                // Only a cut inside the header or the Init record may
+                // refuse; everything after that has a valid prefix.
+                let init_end = plabi::read_wal(&path).map(|r| r.valid_len).unwrap_or(0);
+                prop_assert!(
+                    cut < 32 || init_end == 0,
+                    "recover refused a healthy prefix (cut={}): {}", cut, e
+                );
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// The full durability round trip: a recovered system serves the same
+/// journal, the same versioned rechecks and replays, and keeps logging
+/// — a second crash after new deliveries recovers those too.
+#[test]
+fn recovery_round_trips_journal_rechecks_and_replays() {
+    let (bytes, journal) = reference_wal();
+    let path = temp_path("roundtrip");
+    std::fs::write(&path, &bytes[..]).unwrap();
+
+    let mut rec = BiSystem::recover(&path).unwrap();
+    assert!(rec.wal_enabled());
+    let got: Vec<String> = rec
+        .audit_log()
+        .entries()
+        .iter()
+        .map(|e| format!("{e:?}"))
+        .collect();
+    assert_eq!(
+        &got, journal,
+        "journal survives the restart byte-identically"
+    );
+
+    // The versioned audit story survives too: every entry replays
+    // exactly, including the one journaled against the PRE-mutation
+    // data version — the MVCC history was rebuilt from the log.
+    let replays = rec.replay_at_delivery().unwrap();
+    assert!(!replays.is_empty());
+    for r in &replays {
+        assert!(r.matches_journal, "seq {} diverged after recovery", r.seq);
+        assert_eq!(r.data_snapshot, SnapshotFidelity::Exact);
+        assert_eq!(r.policy_snapshot, SnapshotFidelity::Exact);
+    }
+    assert!(rec.recheck_at_delivery().unwrap().is_empty());
+
+    // The recovered system keeps serving AND logging: a new delivery
+    // lands in the journal with the next seq, and survives a second
+    // crash/recover cycle.
+    let before = rec.audit_log().entries().len();
+    rec.deliver(&ReportId::new("r-disease"), &ConsumerId::new("a0"))
+        .unwrap();
+    assert_eq!(rec.audit_log().entries().len(), before + 1);
+    let full: Vec<String> = rec
+        .audit_log()
+        .entries()
+        .iter()
+        .map(|e| format!("{e:?}"))
+        .collect();
+    drop(rec);
+    let rec2 = BiSystem::recover(&path).unwrap();
+    let got2: Vec<String> = rec2
+        .audit_log()
+        .entries()
+        .iter()
+        .map(|e| format!("{e:?}"))
+        .collect();
+    assert_eq!(got2, full, "post-recovery deliveries are durable");
+    let _ = std::fs::remove_file(&path);
+}

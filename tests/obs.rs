@@ -37,12 +37,21 @@ fn deployment() -> BiSystem {
     )
     .unwrap();
     let pipeline = Pipeline::new("nightly")
-        .step("e1", EtlOp::Extract {
-            source: "hospital".into(),
-            table: "Prescriptions".into(),
-            as_name: "stg".into(),
-        })
-        .step("l1", EtlOp::Load { table: "stg".into(), warehouse_table: "FactPrescriptions".into() });
+        .step(
+            "e1",
+            EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "stg".into(),
+            },
+        )
+        .step(
+            "l1",
+            EtlOp::Load {
+                table: "stg".into(),
+                warehouse_table: "FactPrescriptions".into(),
+            },
+        );
     sys.run_etl(&pipeline, Some("quality")).unwrap();
     sys.add_meta_report(
         MetaReport::new(
@@ -56,8 +65,10 @@ fn deployment() -> BiSystem {
     sys.define_report(ReportSpec::new(
         "r-consumption",
         "Drug consumption",
-        scan("FactPrescriptions")
-            .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")]),
+        scan("FactPrescriptions").aggregate(
+            vec!["Drug".into()],
+            vec![AggItem::count_star("Consumption")],
+        ),
         [RoleId::new("analyst")],
     ));
     sys.define_report(ReportSpec::new(
@@ -71,11 +82,17 @@ fn deployment() -> BiSystem {
 
 fn batch() -> Vec<(ReportId, ConsumerId)> {
     vec![
-        (ReportId::new("r-consumption"), ConsumerId::new("alice@agency")),
+        (
+            ReportId::new("r-consumption"),
+            ConsumerId::new("alice@agency"),
+        ),
         (ReportId::new("r-raw"), ConsumerId::new("alice@agency")),
         (ReportId::new("r-ghost"), ConsumerId::new("alice@agency")),
         (ReportId::new("r-consumption"), ConsumerId::new("nobody")),
-        (ReportId::new("r-consumption"), ConsumerId::new("alice@agency")),
+        (
+            ReportId::new("r-consumption"),
+            ConsumerId::new("alice@agency"),
+        ),
     ]
 }
 
@@ -84,11 +101,14 @@ fn batch() -> Vec<(ReportId, ConsumerId)> {
 fn observed_run(threads: usize) -> (ObsSnapshot, Vec<Option<usize>>) {
     let mut sys = deployment();
     let obs = Obs::enabled();
-    sys.engine_mut().exec =
-        ExecConfig::with_threads(threads).with_columnar(true).with_obs(obs.clone());
+    sys.engine_mut().exec = ExecConfig::with_threads(threads)
+        .with_columnar(true)
+        .with_obs(obs.clone());
     let results = sys.deliver_batch(&batch());
-    let rows: Vec<Option<usize>> =
-        results.iter().map(|r| r.as_ref().ok().map(|e| e.table.len())).collect();
+    let rows: Vec<Option<usize>> = results
+        .iter()
+        .map(|r| r.as_ref().ok().map(|e| e.table.len()))
+        .collect();
     (obs.snapshot(), rows)
 }
 
@@ -101,7 +121,10 @@ fn snapshots_are_identical_across_thread_counts() {
     assert!(!base.counters.is_empty(), "enabled obs records counters");
     for threads in [2, 8] {
         let (snap, rows) = observed_run(threads);
-        assert_eq!(snap, base, "threads={threads}\n-- base --\n{base}\n-- got --\n{snap}");
+        assert_eq!(
+            snap, base,
+            "threads={threads}\n-- base --\n{base}\n-- got --\n{snap}"
+        );
         assert_eq!(rows, base_rows, "threads={threads}");
     }
     // Spot-check the delivery-layer counters: 5 requests, 1 ghost
@@ -132,12 +155,16 @@ fn disabled_obs_is_inert_and_byte_identical() {
     plain.engine_mut().exec = ExecConfig::with_threads(2).with_columnar(true);
     let baseline = plain.deliver_batch(&batch());
     assert!(!plain.engine_mut().exec.obs.is_enabled());
-    assert_eq!(plain.engine_mut().exec.obs.snapshot(), ObsSnapshot::default());
+    assert_eq!(
+        plain.engine_mut().exec.obs.snapshot(),
+        ObsSnapshot::default()
+    );
 
     let mut observed = deployment();
     let obs = Obs::enabled();
-    observed.engine_mut().exec =
-        ExecConfig::with_threads(2).with_columnar(true).with_obs(obs.clone());
+    observed.engine_mut().exec = ExecConfig::with_threads(2)
+        .with_columnar(true)
+        .with_obs(obs.clone());
     let results = observed.deliver_batch(&batch());
 
     assert_eq!(baseline.len(), results.len());
@@ -153,10 +180,18 @@ fn disabled_obs_is_inert_and_byte_identical() {
         }
     }
     // Journals agree too (modulo nothing: traces are assigned either way).
-    let plain_entries: Vec<_> =
-        plain.audit_log().entries().iter().map(|e| (e.seq, e.report.clone())).collect();
-    let obs_entries: Vec<_> =
-        observed.audit_log().entries().iter().map(|e| (e.seq, e.report.clone())).collect();
+    let plain_entries: Vec<_> = plain
+        .audit_log()
+        .entries()
+        .iter()
+        .map(|e| (e.seq, e.report.clone()))
+        .collect();
+    let obs_entries: Vec<_> = observed
+        .audit_log()
+        .entries()
+        .iter()
+        .map(|e| (e.seq, e.report.clone()))
+        .collect();
     assert_eq!(plain_entries, obs_entries);
 }
 
@@ -174,16 +209,29 @@ fn delivery_traces_round_trip_through_journal_and_recheck() {
     let snap = obs.snapshot();
     assert!(!snap.traces.is_empty());
     for t in &snap.traces {
-        let entry = sys.audit_log().find_trace(*t).expect("snapshot trace resolves in journal");
+        let entry = sys
+            .audit_log()
+            .find_trace(*t)
+            .expect("snapshot trace resolves in journal");
         assert_eq!(entry.provenance.trace, *t);
-        assert!(entry.provenance.policy_epoch > 0, "epoch of the serving policy recorded");
+        assert!(
+            entry.provenance.policy_epoch > 0,
+            "epoch of the serving policy recorded"
+        );
     }
     // One trace per journaled entry, in journal order.
-    let journal_traces: Vec<TraceId> =
-        sys.audit_log().entries().iter().map(|e| e.provenance.trace).collect();
+    let journal_traces: Vec<TraceId> = sys
+        .audit_log()
+        .entries()
+        .iter()
+        .map(|e| e.provenance.trace)
+        .collect();
     assert_eq!(snap.traces, journal_traces);
     // A trace never issued does not resolve.
-    assert!(sys.audit_log().find_trace(TraceId::new(0xdead_beef)).is_none());
+    assert!(sys
+        .audit_log()
+        .find_trace(TraceId::new(0xdead_beef))
+        .is_none());
 
     // Both rechecks are clean today.
     assert!(sys.recheck().unwrap().is_empty());
@@ -202,7 +250,10 @@ fn delivery_traces_round_trip_through_journal_and_recheck() {
         ),
     );
     let drifted = sys.recheck().unwrap();
-    assert!(!drifted.is_empty(), "drift recheck flags the tightened policy");
+    assert!(
+        !drifted.is_empty(),
+        "drift recheck flags the tightened policy"
+    );
     // Each finding links back to its journal entry by trace.
     for f in &drifted {
         let entry = sys.audit_log().find_trace(f.trace).unwrap();
@@ -236,7 +287,9 @@ fn patient_table(rows: &[(&str, i64)]) -> Table {
             Column::new("Age", DataType::Int),
         ])
         .unwrap(),
-        rows.iter().map(|(d, a)| vec![Value::from(*d), Value::Int(*a)]).collect(),
+        rows.iter()
+            .map(|(d, a)| vec![Value::from(*d), Value::Int(*a)])
+            .collect(),
     )
     .unwrap()
 }
@@ -257,9 +310,15 @@ fn kanon_counters_are_thread_invariant() {
     let hs = vec![disease_hierarchy()];
     let run = |threads: usize| {
         let obs = Obs::enabled();
-        let cfg = ExecConfig::with_threads(threads).with_columnar(true).with_obs(obs.clone());
+        let cfg = ExecConfig::with_threads(threads)
+            .with_columnar(true)
+            .with_obs(obs.clone());
         let out = anonymize::kanonymize_with(&table, &hs, 2, 1, &cfg).unwrap();
-        (obs.snapshot(), out.table.rows().to_vec(), out.levels.clone())
+        (
+            obs.snapshot(),
+            out.table.rows().to_vec(),
+            out.levels.clone(),
+        )
     };
     let (base_snap, base_rows, base_levels) = run(1);
     assert!(base_snap.counters.contains_key("anonymize.lattice.nodes"));

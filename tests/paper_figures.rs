@@ -22,7 +22,11 @@ Alice   | Luis   | DR   | asthma   | 2008-04-15
     assert_eq!(rendered, expected);
 
     let pol = fixtures::policies();
-    assert_eq!(pol.cell(3, "ShowDisease").unwrap(), &Value::from("yes"), "Chris consented");
+    assert_eq!(
+        pol.cell(3, "ShowDisease").unwrap(),
+        &Value::from("yes"),
+        "Chris consented"
+    );
 }
 
 #[test]
@@ -55,7 +59,11 @@ fn fig2b_policies_translate_to_row_and_mask_rules() {
     let math_row = t.rows().iter().find(|r| r[2] == Value::from("DM")).unwrap();
     assert!(math_row[0].is_null());
     let chris_row = t.rows().iter().find(|r| r[2] == Value::from("DV")).unwrap();
-    assert_eq!(chris_row[3], Value::from("HIV"), "Chris allowed disease disclosure");
+    assert_eq!(
+        chris_row[3],
+        Value::from("HIV"),
+        "Chris allowed disease disclosure"
+    );
     let alice_row = t.rows().iter().find(|r| r[2] == Value::from("DH")).unwrap();
     assert!(alice_row[3].is_null(), "Alice's disease hidden");
 }
@@ -76,22 +84,31 @@ fn fig3b_join_restriction_scenario() {
     );
     let policy = CombinedPolicy::combine(&[doc]);
     let pipeline = Pipeline::new("fig3")
-        .step("e1", EtlOp::Extract {
-            source: "hospital".into(),
-            table: "Prescriptions".into(),
-            as_name: "p".into(),
-        })
-        .step("e2", EtlOp::Extract {
-            source: "familydoctor".into(),
-            table: "Familydoctor".into(),
-            as_name: "f".into(),
-        })
-        .step("j", EtlOp::Join {
-            left: "p".into(),
-            right: "f".into(),
-            on: vec![("Patient".into(), "Patient".into())],
-            out: "joined".into(),
-        });
+        .step(
+            "e1",
+            EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "p".into(),
+            },
+        )
+        .step(
+            "e2",
+            EtlOp::Extract {
+                source: "familydoctor".into(),
+                table: "Familydoctor".into(),
+                as_name: "f".into(),
+            },
+        )
+        .step(
+            "j",
+            EtlOp::Join {
+                left: "p".into(),
+                right: "f".into(),
+                on: vec![("Patient".into(), "Patient".into())],
+                out: "joined".into(),
+            },
+        );
     let violations = check_pipeline(&pipeline, &policy, None);
     assert_eq!(violations.len(), 1);
     assert_eq!(violations[0].kind, "join-permission");
@@ -104,9 +121,12 @@ fn fig4_drug_consumption_derives_from_the_prescription_meta_report() {
     // report is provably a view over it.
     let mut cat = Catalog::new();
     cat.add_table(fixtures::prescriptions()).unwrap();
-    let meta = scan("Prescriptions").project_cols(&["Patient", "Doctor", "Drug", "Disease", "Date"]);
-    let report = scan("Prescriptions")
-        .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")]);
+    let meta =
+        scan("Prescriptions").project_cols(&["Patient", "Doctor", "Drug", "Disease", "Date"]);
+    let report = scan("Prescriptions").aggregate(
+        vec!["Drug".into()],
+        vec![AggItem::count_star("Consumption")],
+    );
     let d = derive(&report, &meta, &cat, &RefIntegrity::new()).unwrap();
     assert!(validate_derivation(&report, &meta, &d, &cat).unwrap());
 
@@ -134,11 +154,12 @@ fn fig4b_intensional_annotation_hiv_masking() {
 
     let mut cat = Catalog::new();
     cat.add_table(fixtures::prescriptions()).unwrap();
-    let doc = PlaDocument::new("h", "hospital", PlaLevel::Report).with_rule(PlaRule::AttributeAccess {
-        attribute: plabi::pla::AttrRef::new("Prescriptions", "Doctor"),
-        allowed_roles: [RoleId::new("analyst")].into_iter().collect(),
-        condition: Some(col("Disease").ne(lit("HIV"))),
-    });
+    let doc =
+        PlaDocument::new("h", "hospital", PlaLevel::Report).with_rule(PlaRule::AttributeAccess {
+            attribute: plabi::pla::AttrRef::new("Prescriptions", "Doctor"),
+            allowed_roles: [RoleId::new("analyst")].into_iter().collect(),
+            condition: Some(col("Disease").ne(lit("HIV"))),
+        });
     let policy = CombinedPolicy::combine(&[doc]);
     let plan = scan("Prescriptions").project_cols(&["Patient", "Doctor"]);
     let out = check_plan(

@@ -46,13 +46,19 @@ fn fact_catalog(rows: &[(Option<i64>, u8, i64)]) -> Catalog {
             ]
         })
         .collect();
-    let dim_schema =
-        Schema::new(vec![Column::new("K", DataType::Int), Column::new("W", DataType::Int)])
-            .unwrap();
-    let dim = (0..40i64).map(|k| vec![Value::Int(k), Value::Int(k * 3)]).collect();
+    let dim_schema = Schema::new(vec![
+        Column::new("K", DataType::Int),
+        Column::new("W", DataType::Int),
+    ])
+    .unwrap();
+    let dim = (0..40i64)
+        .map(|k| vec![Value::Int(k), Value::Int(k * 3)])
+        .collect();
     let mut cat = Catalog::new();
-    cat.add_table(Table::from_rows("Fact", schema, data).unwrap()).unwrap();
-    cat.add_table(Table::from_rows("Dim", dim_schema, dim).unwrap()).unwrap();
+    cat.add_table(Table::from_rows("Fact", schema, data).unwrap())
+        .unwrap();
+    cat.add_table(Table::from_rows("Dim", dim_schema, dim).unwrap())
+        .unwrap();
     cat
 }
 
@@ -60,7 +66,12 @@ fn fact_catalog(rows: &[(Option<i64>, u8, i64)]) -> Catalog {
 fn assert_plan_parallel_identical(plan: &Plan, cat: &Catalog) {
     let serial = execute(plan, cat).unwrap();
     for threads in THREADS {
-        let par = execute_with(plan, cat, &ExecConfig::with_threads(threads).with_pinned_threads(true)).unwrap();
+        let par = execute_with(
+            plan,
+            cat,
+            &ExecConfig::with_threads(threads).with_pinned_threads(true),
+        )
+        .unwrap();
         assert_eq!(serial.rows(), par.rows(), "threads={threads}");
         assert_eq!(serial.schema(), par.schema(), "threads={threads}");
         assert_eq!(serial.name(), par.name(), "threads={threads}");
@@ -194,7 +205,13 @@ fn deliver_batch_ordering_is_deterministic() {
                     as_name: "s".into(),
                 },
             )
-            .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "FactPrescriptions".into() });
+            .step(
+                "l",
+                EtlOp::Load {
+                    table: "s".into(),
+                    warehouse_table: "FactPrescriptions".into(),
+                },
+            );
         sys.run_etl(&pipeline, Some("quality")).unwrap();
         sys.add_meta_report(
             MetaReport::new(
@@ -208,8 +225,10 @@ fn deliver_batch_ordering_is_deterministic() {
         sys.define_report(ReportSpec::new(
             "drug-consumption",
             "Drug consumption",
-            scan("FactPrescriptions")
-                .aggregate(vec!["Drug".into()], vec![AggItem::count_star("Consumption")]),
+            scan("FactPrescriptions").aggregate(
+                vec!["Drug".into()],
+                vec![AggItem::count_star("Consumption")],
+            ),
             [RoleId::new("analyst")],
         ));
         sys.define_report(ReportSpec::new(
@@ -223,10 +242,22 @@ fn deliver_batch_ordering_is_deterministic() {
     };
 
     let requests: Vec<(ReportId, ConsumerId)> = vec![
-        (ReportId::new("drug-consumption"), ConsumerId::new("alice@agency")),
-        (ReportId::new("disease-count"), ConsumerId::new("alice@agency")),
-        (ReportId::new("drug-consumption"), ConsumerId::new("stranger@x")),
-        (ReportId::new("disease-count"), ConsumerId::new("alice@agency")),
+        (
+            ReportId::new("drug-consumption"),
+            ConsumerId::new("alice@agency"),
+        ),
+        (
+            ReportId::new("disease-count"),
+            ConsumerId::new("alice@agency"),
+        ),
+        (
+            ReportId::new("drug-consumption"),
+            ConsumerId::new("stranger@x"),
+        ),
+        (
+            ReportId::new("disease-count"),
+            ConsumerId::new("alice@agency"),
+        ),
     ];
 
     let reference: Vec<String> = {
@@ -258,8 +289,11 @@ fn deliver_batch_ordering_is_deterministic() {
             // The journal sequence follows request order, not completion
             // order (the stranger's refusal is journaled but is not a
             // delivery).
-            let journal: Vec<String> =
-                sys.audit_log().deliveries().map(|e| e.report.to_string()).collect();
+            let journal: Vec<String> = sys
+                .audit_log()
+                .deliveries()
+                .map(|e| e.report.to_string())
+                .collect();
             assert_eq!(
                 journal,
                 vec!["drug-consumption", "disease-count", "disease-count"],

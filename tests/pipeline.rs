@@ -24,7 +24,13 @@ const THREADS: [usize; 3] = [1, 2, 8];
 // ---------- strategies ----------
 
 /// One random row of the mixed-type table: every column nullable.
-type MixedRow = (Option<i64>, Option<i64>, Option<u8>, Option<(i16, u8, u8)>, Option<bool>);
+type MixedRow = (
+    Option<i64>,
+    Option<i64>,
+    Option<u8>,
+    Option<(i16, u8, u8)>,
+    Option<bool>,
+);
 
 fn mixed_rows() -> impl Strategy<Value = Vec<MixedRow>> {
     prop::collection::vec(
@@ -54,8 +60,10 @@ fn mixed_table(rows: &[MixedRow]) -> Table {
         .map(|&(a, s, w, d, b)| {
             vec![
                 a.map(Value::Int).unwrap_or(Value::Null),
-                s.map(|v| Value::Float(v as f64 / 2.0)).unwrap_or(Value::Null),
-                w.map(|v| Value::text(format!("w{v}"))).unwrap_or(Value::Null),
+                s.map(|v| Value::Float(v as f64 / 2.0))
+                    .unwrap_or(Value::Null),
+                w.map(|v| Value::text(format!("w{v}")))
+                    .unwrap_or(Value::Null),
                 d.map(|(y, m, dd)| Value::Date(Date::new(y, m, dd).unwrap()))
                     .unwrap_or(Value::Null),
                 b.map(Value::Bool).unwrap_or(Value::Null),
@@ -91,7 +99,10 @@ fn predicate() -> impl Strategy<Value = Expr> {
         Just(col("Age").is_null()),
         Just(col("Ward").is_null().not()),
         prop::collection::vec(-40i64..40, 0..4).prop_map(|ns| {
-            Expr::InList(Box::new(col("Age")), ns.into_iter().map(Value::Int).collect())
+            Expr::InList(
+                Box::new(col("Age")),
+                ns.into_iter().map(Value::Int).collect(),
+            )
         }),
         (-40i64..0, 0i64..40).prop_map(|(lo, hi)| {
             Expr::Between(Box::new(col("Age")), Box::new(lit(lo)), Box::new(lit(hi)))
@@ -127,7 +138,10 @@ fn projection() -> impl Strategy<Value = Vec<(String, Expr)>> {
                 ("Score".to_string(), col("Score")),
                 ("Ward".to_string(), col("Ward")),
                 ("Admitted".to_string(), col("Admitted")),
-                ("Chronic".to_string(), col("Chronic").and(col("Age").is_null().not())),
+                (
+                    "Chronic".to_string(),
+                    col("Chronic").and(col("Age").is_null().not()),
+                ),
             ]
         }),
     ]
@@ -204,7 +218,9 @@ fn build_plan(ops: &[Op], sink: &SinkSpec) -> Plan {
 }
 
 fn pipeline_cfg(threads: usize) -> ExecConfig {
-    ExecConfig::with_threads(threads).with_pinned_threads(true).with_columnar(true)
+    ExecConfig::with_threads(threads)
+        .with_pinned_threads(true)
+        .with_columnar(true)
 }
 
 // ---------- byte-identity vs the operator-at-a-time oracle ----------
@@ -277,14 +293,18 @@ proptest! {
 /// fusion must not cost a copy when nothing was dropped.
 #[test]
 fn keep_all_filter_shares_storage() {
-    let rows: Vec<MixedRow> =
-        (0..500).map(|i| (Some(i % 40), Some(i % 50), Some((i % 6) as u8), None, None)).collect();
+    let rows: Vec<MixedRow> = (0..500)
+        .map(|i| (Some(i % 40), Some(i % 50), Some((i % 6) as u8), None, None))
+        .collect();
     let cat = mixed_catalog(&rows);
     let plan = scan("Mixed").filter(col("Age").is_null().or(col("Age").is_null().not()));
     let out = execute_with(&plan, &cat, &pipeline_cfg(2)).unwrap();
     let base = cat.table("Mixed").unwrap();
     assert_eq!(out.rows(), base.rows());
-    assert!(out.shares_rows_with(base), "keep-all fused filter must share storage");
+    assert!(
+        out.shares_rows_with(base),
+        "keep-all fused filter must share storage"
+    );
 }
 
 /// An aggregate the partial states cannot reproduce bit-for-bit (here a
@@ -294,9 +314,10 @@ fn keep_all_filter_shares_storage() {
 fn unreproducible_aggregate_declines_and_matches_oracle() {
     let rows: Vec<MixedRow> = vec![(Some(1), None, Some(2), None, Some(true))];
     let cat = mixed_catalog(&rows);
-    let plan = scan("Mixed")
-        .filter(col("Age").ge(lit(0)))
-        .aggregate(vec!["Ward".into()], vec![AggItem::new("bad", AggFunc::Sum, "Ward")]);
+    let plan = scan("Mixed").filter(col("Age").ge(lit(0))).aggregate(
+        vec!["Ward".into()],
+        vec![AggItem::new("bad", AggFunc::Sum, "Ward")],
+    );
     let obs = Obs::enabled();
     let cfg = pipeline_cfg(2).with_obs(obs.clone());
     let got = execute_with(&plan, &cat, &cfg);
@@ -304,11 +325,19 @@ fn unreproducible_aggregate_declines_and_matches_oracle() {
     assert_eq!(expect.unwrap_err(), got.unwrap_err());
     let snap = obs.snapshot();
     assert!(
-        snap.counters.get("pipeline.decline.shape").copied().unwrap_or(0) >= 1,
+        snap.counters
+            .get("pipeline.decline.shape")
+            .copied()
+            .unwrap_or(0)
+            >= 1,
         "shape decline must be counted, got {:?}",
         snap.counters
     );
-    assert_eq!(snap.counters.get("plan.choice.pipeline"), None, "declined plans are not fused");
+    assert_eq!(
+        snap.counters.get("plan.choice.pipeline"),
+        None,
+        "declined plans are not fused"
+    );
 }
 
 /// Global aggregation over an empty (fully filtered) input still yields
@@ -316,23 +345,32 @@ fn unreproducible_aggregate_declines_and_matches_oracle() {
 #[test]
 fn empty_input_global_aggregate_matches_oracle() {
     let cat = mixed_catalog(&[]);
-    let plan = scan("Mixed").filter(col("Chronic")).aggregate(vec![], vec![
-        AggItem::count_star("n"),
-        AggItem::new("s", AggFunc::Sum, "Age"),
-        AggItem::new("mn", AggFunc::Min, "Score"),
-    ]);
+    let plan = scan("Mixed").filter(col("Chronic")).aggregate(
+        vec![],
+        vec![
+            AggItem::count_star("n"),
+            AggItem::new("s", AggFunc::Sum, "Age"),
+            AggItem::new("mn", AggFunc::Min, "Score"),
+        ],
+    );
     let expect = execute(&plan, &cat).unwrap();
     let got = execute_with(&plan, &cat, &pipeline_cfg(8)).unwrap();
     assert_eq!(expect.rows(), got.rows());
     assert_eq!(expect.schema(), got.schema());
-    assert_eq!(got.rows().len(), 1, "global aggregate over empty input is one default group");
+    assert_eq!(
+        got.rows().len(),
+        1,
+        "global aggregate over empty input is one default group"
+    );
 }
 
 /// Single-operator plans are not worth fusing: the cost model keeps them
 /// on the operator-at-a-time path and no pipeline counter fires.
 #[test]
 fn single_op_plans_are_not_fused() {
-    let rows: Vec<MixedRow> = (0..50).map(|i| (Some(i), None, Some((i % 4) as u8), None, None)).collect();
+    let rows: Vec<MixedRow> = (0..50)
+        .map(|i| (Some(i), None, Some((i % 4) as u8), None, None))
+        .collect();
     let cat = mixed_catalog(&rows);
     let obs = Obs::enabled();
     let cfg = pipeline_cfg(1).with_obs(obs.clone());
@@ -340,8 +378,18 @@ fn single_op_plans_are_not_fused() {
     let out = execute_with(&plan, &cat, &cfg).unwrap();
     assert_eq!(out.rows().len(), 25);
     let snap = obs.snapshot();
-    assert_eq!(snap.counters.get("plan.choice.pipeline"), None, "one op: nothing to fuse");
-    assert!(snap.counters.get("plan.choice.columnar").copied().unwrap_or(0) >= 1);
+    assert_eq!(
+        snap.counters.get("plan.choice.pipeline"),
+        None,
+        "one op: nothing to fuse"
+    );
+    assert!(
+        snap.counters
+            .get("plan.choice.columnar")
+            .copied()
+            .unwrap_or(0)
+            >= 1
+    );
 }
 
 // ---------- PLA obligations run through the fused pipeline ----------
@@ -377,12 +425,21 @@ fn pla_obligations_execute_through_fused_pipeline() {
             }),
     );
     let pipeline = Pipeline::new("nightly")
-        .step("e", EtlOp::Extract {
-            source: "hospital".into(),
-            table: "Prescriptions".into(),
-            as_name: "s".into(),
-        })
-        .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "FactPrescriptions".into() });
+        .step(
+            "e",
+            EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "s".into(),
+            },
+        )
+        .step(
+            "l",
+            EtlOp::Load {
+                table: "s".into(),
+                warehouse_table: "FactPrescriptions".into(),
+            },
+        );
     sys.run_etl(&pipeline, None).unwrap();
     sys.add_meta_report(
         MetaReport::new(
@@ -395,17 +452,21 @@ fn pla_obligations_execute_through_fused_pipeline() {
     sys.define_report(ReportSpec::new(
         "r",
         "Per-disease volume",
-        scan("FactPrescriptions")
-            .aggregate(vec!["Disease".into()], vec![AggItem::count_star("n")]),
+        scan("FactPrescriptions").aggregate(vec!["Disease".into()], vec![AggItem::count_star("n")]),
         [RoleId::new("analyst")],
     ));
     sys.subjects_mut().grant("alice@agency", "analyst");
 
     // Serial operator-at-a-time reference render.
     sys.engine_mut().exec = ExecConfig::with_threads(1);
-    let reference =
-        sys.deliver(&ReportId::new("r"), &ConsumerId::new("alice@agency")).unwrap().table;
-    assert!(!reference.rows().is_empty(), "scenario must produce a non-trivial report");
+    let reference = sys
+        .deliver(&ReportId::new("r"), &ConsumerId::new("alice@agency"))
+        .unwrap()
+        .table;
+    assert!(
+        !reference.rows().is_empty(),
+        "scenario must produce a non-trivial report"
+    );
 
     for threads in THREADS {
         let obs = Obs::enabled();
@@ -413,13 +474,19 @@ fn pla_obligations_execute_through_fused_pipeline() {
             .with_pinned_threads(true)
             .with_columnar(true)
             .with_obs(obs.clone());
-        let delivered =
-            sys.deliver(&ReportId::new("r"), &ConsumerId::new("alice@agency")).unwrap().table;
+        let delivered = sys
+            .deliver(&ReportId::new("r"), &ConsumerId::new("alice@agency"))
+            .unwrap()
+            .table;
         assert_eq!(reference.rows(), delivered.rows(), "threads: {threads}");
         assert_eq!(reference.schema(), delivered.schema(), "threads: {threads}");
         let snap = obs.snapshot();
         assert!(
-            snap.counters.get("plan.choice.pipeline").copied().unwrap_or(0) >= 1,
+            snap.counters
+                .get("plan.choice.pipeline")
+                .copied()
+                .unwrap_or(0)
+                >= 1,
             "threads {threads}: obligation chain must fuse, got {:?}",
             snap.counters
         );

@@ -11,9 +11,7 @@
 
 use std::collections::BTreeSet;
 
-use plabi::anonymize::{
-    kanon, ldiv, mondrian, Hierarchy,
-};
+use plabi::anonymize::{kanon, ldiv, mondrian, Hierarchy};
 use plabi::pla::{self, AnonMethod, AttrRef, PlaDocument, PlaLevel, PlaRule};
 use plabi::prelude::*;
 use plabi::query::contain::{derive, validate_derivation, RefIntegrity};
@@ -48,7 +46,12 @@ fn literal_strategy() -> impl Strategy<Value = Value> {
 }
 
 fn col_name() -> impl Strategy<Value = String> {
-    prop_oneof![Just("a".to_string()), Just("b".to_string()), Just("t".to_string()), Just("d".to_string())]
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("t".to_string()),
+        Just("d".to_string())
+    ]
 }
 
 fn expr_strategy() -> impl Strategy<Value = Expr> {
@@ -58,23 +61,49 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(4, 32, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div),
-                Just(BinOp::Eq), Just(BinOp::Ne), Just(BinOp::Lt), Just(BinOp::Le),
-                Just(BinOp::Gt), Just(BinOp::Ge), Just(BinOp::And), Just(BinOp::Or),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ]
+            )
                 .prop_map(|(l, r, op)| Expr::Bin(op, Box::new(l), Box::new(r))),
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
             inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
             inner.clone().prop_map(|e| Expr::IsNull(Box::new(e))),
-            (inner.clone(), prop::collection::vec(literal_strategy(), 1..4))
+            (
+                inner.clone(),
+                prop::collection::vec(literal_strategy(), 1..4)
+            )
                 .prop_map(|(e, vs)| Expr::InList(Box::new(e), vs)),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(e, lo, hi)| Expr::Between(Box::new(e), Box::new(lo), Box::new(hi))),
-            (prop_oneof![Just(Func::Year), Just(Func::Lower), Just(Func::Length), Just(Func::Abs)], inner.clone())
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(e, lo, hi)| Expr::Between(
+                Box::new(e),
+                Box::new(lo),
+                Box::new(hi)
+            )),
+            (
+                prop_oneof![
+                    Just(Func::Year),
+                    Just(Func::Lower),
+                    Just(Func::Length),
+                    Just(Func::Abs)
+                ],
+                inner.clone()
+            )
                 .prop_map(|(f, e)| Expr::Func(f, vec![e])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Func(Func::NullIf, vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Func(Func::NullIf, vec![a, b])),
             (inner.clone(), inner.clone(), inner)
                 .prop_map(|(c, a, b)| Expr::Func(Func::If, vec![c, a, b])),
         ]
@@ -132,7 +161,8 @@ proptest! {
 
 fn fixture_catalog() -> Catalog {
     let mut cat = Catalog::new();
-    cat.add_table(plabi::synth::fixtures::prescriptions()).unwrap();
+    cat.add_table(plabi::synth::fixtures::prescriptions())
+        .unwrap();
     cat.add_table(plabi::synth::fixtures::drug_cost()).unwrap();
     cat
 }
@@ -185,7 +215,11 @@ fn patients_table(ages: &[i64], zips: &[i64]) -> Table {
         .zip(zips)
         .enumerate()
         .map(|(i, (&a, &z))| {
-            vec![Value::Int(a), Value::Int(z), diseases[i % diseases.len()].into()]
+            vec![
+                Value::Int(a),
+                Value::Int(z),
+                diseases[i % diseases.len()].into(),
+            ]
         })
         .collect();
     Table::from_rows("P", schema, rows).unwrap()
@@ -261,10 +295,24 @@ fn small_universe() -> (Catalog, ReportUniverse, RefIntegrity) {
         ..Default::default()
     });
     let mut cat = Catalog::new();
-    cat.add_table(scenario.source("hospital").unwrap().table("Prescriptions").unwrap().clone())
-        .unwrap();
-    cat.add_table(scenario.source("health-agency").unwrap().table("DrugRegistry").unwrap().clone())
-        .unwrap();
+    cat.add_table(
+        scenario
+            .source("hospital")
+            .unwrap()
+            .table("Prescriptions")
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
+    cat.add_table(
+        scenario
+            .source("health-agency")
+            .unwrap()
+            .table("DrugRegistry")
+            .unwrap()
+            .clone(),
+    )
+    .unwrap();
     let mut refs = RefIntegrity::new();
     refs.add_fk("Prescriptions", "Drug", "DrugRegistry", "Drug");
     let universe = ReportUniverse {
@@ -285,7 +333,12 @@ fn small_universe() -> (Catalog, ReportUniverse, RefIntegrity) {
                 filter_cols: vec![],
             },
         ],
-        joins: vec![("Prescriptions".into(), "Drug".into(), "DrugRegistry".into(), "Drug".into())],
+        joins: vec![(
+            "Prescriptions".into(),
+            "Drug".into(),
+            "DrugRegistry".into(),
+            "Drug".into(),
+        )],
         roles: vec![RoleId::new("analyst")],
     };
     (cat, universe, refs)
@@ -361,28 +414,43 @@ proptest! {
 // ---------- PLA DSL round-trip ----------
 
 fn rule_strategy() -> impl Strategy<Value = PlaRule> {
-    let attr = ("[A-Z][a-z]{2,8}", "[A-Z][a-z]{2,8}")
-        .prop_map(|(t, c)| AttrRef::new(t, c));
+    let attr = ("[A-Z][a-z]{2,8}", "[A-Z][a-z]{2,8}").prop_map(|(t, c)| AttrRef::new(t, c));
     let roles = prop::collection::btree_set("[a-z]{3,8}".prop_map(RoleId::new), 1..4);
     prop_oneof![
-        (attr.clone(), roles, prop::option::of(Just(expr::col("Disease").ne(expr::lit("HIV")))))
-            .prop_map(|(attribute, allowed_roles, condition)| PlaRule::AttributeAccess {
-                attribute,
-                allowed_roles,
-                condition,
-            }),
+        (
+            attr.clone(),
+            roles,
+            prop::option::of(Just(expr::col("Disease").ne(expr::lit("HIV"))))
+        )
+            .prop_map(
+                |(attribute, allowed_roles, condition)| PlaRule::AttributeAccess {
+                    attribute,
+                    allowed_roles,
+                    condition,
+                }
+            ),
         ("[A-Z][a-z]{2,8}", 1usize..99).prop_map(|(table, min_group_size)| {
-            PlaRule::AggregationThreshold { table, min_group_size }
+            PlaRule::AggregationThreshold {
+                table,
+                min_group_size,
+            }
         }),
-        (attr.clone(), prop_oneof![
-            Just(AnonMethod::Suppress),
-            Just(AnonMethod::Pseudonymize),
-            (0usize..5).prop_map(|level| AnonMethod::Generalize { level }),
-            (1i64..100).prop_map(|s| AnonMethod::Noise { scale: s as f64 }),
-        ])
-        .prop_map(|(attribute, method)| PlaRule::Anonymize { attribute, method }),
+        (
+            attr.clone(),
+            prop_oneof![
+                Just(AnonMethod::Suppress),
+                Just(AnonMethod::Pseudonymize),
+                (0usize..5).prop_map(|level| AnonMethod::Generalize { level }),
+                (1i64..100).prop_map(|s| AnonMethod::Noise { scale: s as f64 }),
+            ]
+        )
+            .prop_map(|(attribute, method)| PlaRule::Anonymize { attribute, method }),
         ("[a-z]{3,8}", "[a-z]{3,8}", any::<bool>()).prop_map(|(a, b, allowed)| {
-            PlaRule::JoinPermission { left_source: a.into(), right_source: b.into(), allowed }
+            PlaRule::JoinPermission {
+                left_source: a.into(),
+                right_source: b.into(),
+                allowed,
+            }
         }),
         ("[a-z]{3,8}", any::<bool>()).prop_map(|(s, allowed)| PlaRule::IntegrationPermission {
             source: s.into(),

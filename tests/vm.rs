@@ -57,23 +57,49 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(4, 32, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div),
-                Just(BinOp::Eq), Just(BinOp::Ne), Just(BinOp::Lt), Just(BinOp::Le),
-                Just(BinOp::Gt), Just(BinOp::Ge), Just(BinOp::And), Just(BinOp::Or),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Ge),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ]
+            )
                 .prop_map(|(l, r, op)| Expr::Bin(op, Box::new(l), Box::new(r))),
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
             inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
             inner.clone().prop_map(|e| Expr::IsNull(Box::new(e))),
-            (inner.clone(), prop::collection::vec(literal_strategy(), 1..4))
+            (
+                inner.clone(),
+                prop::collection::vec(literal_strategy(), 1..4)
+            )
                 .prop_map(|(e, vs)| Expr::InList(Box::new(e), vs)),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(e, lo, hi)| Expr::Between(Box::new(e), Box::new(lo), Box::new(hi))),
-            (prop_oneof![Just(Func::Year), Just(Func::Lower), Just(Func::Length), Just(Func::Abs)], inner.clone())
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(e, lo, hi)| Expr::Between(
+                Box::new(e),
+                Box::new(lo),
+                Box::new(hi)
+            )),
+            (
+                prop_oneof![
+                    Just(Func::Year),
+                    Just(Func::Lower),
+                    Just(Func::Length),
+                    Just(Func::Abs)
+                ],
+                inner.clone()
+            )
                 .prop_map(|(f, e)| Expr::Func(f, vec![e])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Func(Func::NullIf, vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Func(Func::NullIf, vec![a, b])),
             (inner.clone(), inner.clone(), inner)
                 .prop_map(|(c, a, b)| Expr::Func(Func::If, vec![c, a, b])),
         ]
@@ -126,7 +152,12 @@ fn make_schema_rows(dts: &[DataType], seeds: &[Vec<Option<i64>>]) -> (Schema, Ve
     .expect("distinct names, valid schema");
     let rows = seeds
         .iter()
-        .map(|row| dts.iter().zip(row).map(|(&dt, &s)| cell_value(dt, s)).collect())
+        .map(|row| {
+            dts.iter()
+                .zip(row)
+                .map(|(&dt, &s)| cell_value(dt, s))
+                .collect()
+        })
         .collect();
     (schema, rows)
 }
@@ -256,12 +287,21 @@ fn pla_filter_rows_obligations_compile_to_vm_programs() {
             }),
     );
     let pipeline = Pipeline::new("nightly")
-        .step("e", EtlOp::Extract {
-            source: "hospital".into(),
-            table: "Prescriptions".into(),
-            as_name: "s".into(),
-        })
-        .step("l", EtlOp::Load { table: "s".into(), warehouse_table: "FactPrescriptions".into() });
+        .step(
+            "e",
+            EtlOp::Extract {
+                source: "hospital".into(),
+                table: "Prescriptions".into(),
+                as_name: "s".into(),
+            },
+        )
+        .step(
+            "l",
+            EtlOp::Load {
+                table: "s".into(),
+                warehouse_table: "FactPrescriptions".into(),
+            },
+        );
     sys.run_etl(&pipeline, None).unwrap();
     sys.add_meta_report(
         MetaReport::new(
@@ -274,8 +314,7 @@ fn pla_filter_rows_obligations_compile_to_vm_programs() {
     sys.define_report(ReportSpec::new(
         "r",
         "Per-disease volume",
-        scan("FactPrescriptions")
-            .aggregate(vec!["Disease".into()], vec![AggItem::count_star("n")]),
+        scan("FactPrescriptions").aggregate(vec!["Disease".into()], vec![AggItem::count_star("n")]),
         [RoleId::new("analyst")],
     ));
     let out = sys.check(&"r".into()).unwrap();
